@@ -1,0 +1,396 @@
+//! AIGER format reader and writer (combinational subset).
+//!
+//! Supports both the ASCII (`aag`) and binary (`aig`) formats of the
+//! AIGER 1.9 specification, restricted to combinational circuits
+//! (no latches). Binary files use the delta-encoded AND representation.
+
+use std::io::{BufRead, Read, Write};
+
+use crate::error::AigError;
+use crate::graph::Aig;
+use crate::lit::Lit;
+
+/// Parses an AIGER file (ASCII `aag` or binary `aig`) from a reader.
+///
+/// Note that a `&mut` reader works too, per the usual `Read` blanket impl.
+///
+/// # Errors
+///
+/// Returns [`AigError`] if the header or body is malformed, or if the file
+/// contains latches.
+pub fn read_aiger<R: Read>(mut reader: R) -> Result<Aig, AigError> {
+    let mut data = Vec::new();
+    reader.read_to_end(&mut data)?;
+    if data.starts_with(b"aag") {
+        read_ascii(&data)
+    } else if data.starts_with(b"aig") {
+        read_binary(&data)
+    } else {
+        Err(AigError::BadHeader("file does not start with 'aag' or 'aig'".into()))
+    }
+}
+
+/// Parses an AIGER file from a string (convenience for tests/docs).
+///
+/// # Errors
+///
+/// Same as [`read_aiger`].
+pub fn read_aiger_str(s: &str) -> Result<Aig, AigError> {
+    read_aiger(s.as_bytes())
+}
+
+fn parse_header(line: &str) -> Result<(usize, usize, usize, usize, usize), AigError> {
+    let mut it = line.split_whitespace();
+    let magic = it.next().ok_or_else(|| AigError::BadHeader("empty header".into()))?;
+    if magic != "aag" && magic != "aig" {
+        return Err(AigError::BadHeader(format!("bad magic '{magic}'")));
+    }
+    let mut nums = [0usize; 5];
+    for slot in &mut nums {
+        *slot = it
+            .next()
+            .ok_or_else(|| AigError::BadHeader("missing M I L O A field".into()))?
+            .parse()
+            .map_err(|_| AigError::BadHeader("non-numeric header field".into()))?;
+    }
+    Ok((nums[0], nums[1], nums[2], nums[3], nums[4]))
+}
+
+fn read_ascii(data: &[u8]) -> Result<Aig, AigError> {
+    let text = std::str::from_utf8(data).map_err(|_| AigError::BadBody("non-UTF8 ascii file".into()))?;
+    let mut lines = text.lines();
+    let header = lines.next().ok_or_else(|| AigError::BadHeader("empty file".into()))?;
+    let (m, i, l, o, a) = parse_header(header)?;
+    if l != 0 {
+        return Err(AigError::Sequential);
+    }
+    let mut aig = Aig::new();
+    // AIGER var v corresponds to our node. We require the conventional
+    // numbering: inputs 1..=i, ands i+1..=i+a; remap defensively otherwise.
+    let mut lit_map = vec![Lit::NONE; 2 * (m + 1)];
+    lit_map[0] = Lit::FALSE;
+    lit_map[1] = Lit::TRUE;
+    let set = |map: &mut Vec<Lit>, aiger_lit: usize, l: Lit| {
+        map[aiger_lit] = l;
+        map[aiger_lit ^ 1] = !l;
+    };
+    let mut input_lits = Vec::with_capacity(i);
+    for _ in 0..i {
+        let line = lines.next().ok_or_else(|| AigError::BadBody("missing input line".into()))?;
+        let lit: usize =
+            line.trim().parse().map_err(|_| AigError::BadBody(format!("bad input literal '{line}'")))?;
+        if lit % 2 != 0 || lit == 0 || lit > 2 * m {
+            return Err(AigError::BadBody(format!("invalid input literal {lit}")));
+        }
+        let pi = aig.add_pi();
+        set(&mut lit_map, lit, pi);
+        input_lits.push(lit);
+    }
+    let mut output_lits = Vec::with_capacity(o);
+    for _ in 0..o {
+        let line = lines.next().ok_or_else(|| AigError::BadBody("missing output line".into()))?;
+        let lit: usize =
+            line.trim().parse().map_err(|_| AigError::BadBody(format!("bad output literal '{line}'")))?;
+        output_lits.push(lit);
+    }
+    let mut pending: Vec<(usize, usize, usize)> = Vec::with_capacity(a);
+    for _ in 0..a {
+        let line = lines.next().ok_or_else(|| AigError::BadBody("missing and line".into()))?;
+        let mut it = line.split_whitespace();
+        let mut next = || -> Result<usize, AigError> {
+            it.next()
+                .ok_or_else(|| AigError::BadBody("short and line".into()))?
+                .parse()
+                .map_err(|_| AigError::BadBody("bad and literal".into()))
+        };
+        let lhs = next()?;
+        let r0 = next()?;
+        let r1 = next()?;
+        if lhs % 2 != 0 || lhs == 0 {
+            return Err(AigError::BadBody(format!("invalid and lhs {lhs}")));
+        }
+        pending.push((lhs, r0, r1));
+    }
+    // ASCII files may list ANDs out of topological order; iterate to fixpoint.
+    let mut remaining = pending;
+    while !remaining.is_empty() {
+        let before = remaining.len();
+        remaining.retain(|&(lhs, r0, r1)| {
+            let a0 = lit_map.get(r0).copied().unwrap_or(Lit::NONE);
+            let a1 = lit_map.get(r1).copied().unwrap_or(Lit::NONE);
+            if a0 == Lit::NONE || a1 == Lit::NONE {
+                return true; // fanins not ready yet
+            }
+            let l = aig.and(a0, a1);
+            lit_map[lhs] = l;
+            lit_map[lhs ^ 1] = !l;
+            false
+        });
+        if remaining.len() == before {
+            return Err(AigError::BadBody("cyclic or undefined and fanins".into()));
+        }
+    }
+    for lit in output_lits {
+        let l = lit_map.get(lit).copied().unwrap_or(Lit::NONE);
+        if l == Lit::NONE {
+            return Err(AigError::BadBody(format!("output references undefined literal {lit}")));
+        }
+        aig.add_po(l);
+    }
+    Ok(aig)
+}
+
+fn read_binary(data: &[u8]) -> Result<Aig, AigError> {
+    // Header line is ASCII up to the first newline.
+    let nl = data
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or_else(|| AigError::BadHeader("no header line".into()))?;
+    let header = std::str::from_utf8(&data[..nl]).map_err(|_| AigError::BadHeader("non-UTF8 header".into()))?;
+    let (m, i, l, o, a) = parse_header(header)?;
+    if l != 0 {
+        return Err(AigError::Sequential);
+    }
+    if m != i + a {
+        return Err(AigError::BadHeader(format!("binary aig requires M = I + A (got M={m}, I={i}, A={a})")));
+    }
+    let mut pos = nl + 1;
+    let read_line = |pos: &mut usize| -> Result<String, AigError> {
+        let start = *pos;
+        while *pos < data.len() && data[*pos] != b'\n' {
+            *pos += 1;
+        }
+        let s = std::str::from_utf8(&data[start..*pos])
+            .map_err(|_| AigError::BadBody("non-UTF8 output line".into()))?
+            .to_string();
+        *pos += 1;
+        Ok(s)
+    };
+    let mut output_lits = Vec::with_capacity(o);
+    for _ in 0..o {
+        let line = read_line(&mut pos)?;
+        let lit: usize =
+            line.trim().parse().map_err(|_| AigError::BadBody(format!("bad output literal '{line}'")))?;
+        output_lits.push(lit);
+    }
+    let mut aig = Aig::new();
+    let mut lits = vec![Lit::FALSE; m + 1];
+    for v in 1..=i {
+        lits[v] = aig.add_pi();
+    }
+    let read_delta = |pos: &mut usize| -> Result<u64, AigError> {
+        let mut x = 0u64;
+        let mut shift = 0u32;
+        loop {
+            if *pos >= data.len() {
+                return Err(AigError::BadBody("truncated binary delta".into()));
+            }
+            let b = data[*pos];
+            *pos += 1;
+            x |= ((b & 0x7F) as u64) << shift;
+            if b & 0x80 == 0 {
+                return Ok(x);
+            }
+            shift += 7;
+        }
+    };
+    for v in (i + 1)..=(i + a) {
+        let lhs = 2 * v as u64;
+        let d0 = read_delta(&mut pos)?;
+        let d1 = read_delta(&mut pos)?;
+        let r0 = lhs - d0;
+        let r1 = r0 - d1;
+        let to_lit = |aiger: u64, lits: &[Lit]| -> Result<Lit, AigError> {
+            let var = (aiger / 2) as usize;
+            if var >= lits.len() {
+                return Err(AigError::BadBody(format!("and fanin {aiger} out of range")));
+            }
+            Ok(lits[var].xor_complement(aiger % 2 == 1))
+        };
+        let a0 = to_lit(r0, &lits)?;
+        let a1 = to_lit(r1, &lits)?;
+        lits[v] = aig.and(a0, a1);
+    }
+    for lit in output_lits {
+        let var = lit / 2;
+        if var >= lits.len() {
+            return Err(AigError::BadBody(format!("output literal {lit} out of range")));
+        }
+        aig.add_po(lits[var].xor_complement(lit % 2 == 1));
+    }
+    Ok(aig)
+}
+
+/// Writes the AIG in ASCII AIGER (`aag`) format.
+///
+/// A `&mut` writer works too.
+///
+/// # Errors
+///
+/// Propagates writer errors.
+pub fn write_ascii<W: Write>(aig: &Aig, mut w: W) -> Result<(), AigError> {
+    let m = aig.num_pis() + aig.num_ands();
+    // Assign AIGER vars: inputs first, then ANDs in topological order.
+    let mut var_of = vec![0usize; aig.num_nodes()];
+    for (k, pi) in aig.pis().iter().enumerate() {
+        var_of[pi.index()] = k + 1;
+    }
+    let mut next = aig.num_pis() + 1;
+    for n in aig.and_ids() {
+        var_of[n.index()] = next;
+        next += 1;
+    }
+    let lit_of = |l: Lit| -> usize { 2 * var_of[l.node().index()] + l.is_complement() as usize };
+    writeln!(w, "aag {} {} 0 {} {}", m, aig.num_pis(), aig.num_pos(), aig.num_ands())?;
+    for pi in aig.pis() {
+        writeln!(w, "{}", 2 * var_of[pi.index()])?;
+    }
+    for &po in aig.pos() {
+        writeln!(w, "{}", lit_of(po))?;
+    }
+    for n in aig.and_ids() {
+        let (f0, f1) = aig.fanins(n);
+        writeln!(w, "{} {} {}", 2 * var_of[n.index()], lit_of(f0), lit_of(f1))?;
+    }
+    if !aig.name().is_empty() {
+        writeln!(w, "c")?;
+        writeln!(w, "{}", aig.name())?;
+    }
+    Ok(())
+}
+
+/// Writes the AIG in binary AIGER (`aig`) format.
+///
+/// # Errors
+///
+/// Propagates writer errors.
+pub fn write_binary<W: Write>(aig: &Aig, mut w: W) -> Result<(), AigError> {
+    let m = aig.num_pis() + aig.num_ands();
+    let mut var_of = vec![0usize; aig.num_nodes()];
+    for (k, pi) in aig.pis().iter().enumerate() {
+        var_of[pi.index()] = k + 1;
+    }
+    let mut next = aig.num_pis() + 1;
+    for n in aig.and_ids() {
+        var_of[n.index()] = next;
+        next += 1;
+    }
+    let lit_of = |l: Lit| -> u64 { 2 * var_of[l.node().index()] as u64 + l.is_complement() as u64 };
+    writeln!(w, "aig {} {} 0 {} {}", m, aig.num_pis(), aig.num_pos(), aig.num_ands())?;
+    for &po in aig.pos() {
+        writeln!(w, "{}", lit_of(po))?;
+    }
+    for n in aig.and_ids() {
+        let (f0, f1) = aig.fanins(n);
+        let lhs = 2 * var_of[n.index()] as u64;
+        let (mut l0, mut l1) = (lit_of(f0), lit_of(f1));
+        if l0 < l1 {
+            std::mem::swap(&mut l0, &mut l1);
+        }
+        debug_assert!(lhs > l0 && l0 >= l1, "binary AIGER requires lhs > rhs0 >= rhs1");
+        write_delta(&mut w, lhs - l0)?;
+        write_delta(&mut w, l0 - l1)?;
+    }
+    Ok(())
+}
+
+fn write_delta<W: Write>(w: &mut W, mut x: u64) -> std::io::Result<()> {
+    loop {
+        let b = (x & 0x7F) as u8;
+        x >>= 7;
+        if x == 0 {
+            return w.write_all(&[b]);
+        }
+        w.write_all(&[b | 0x80])?;
+    }
+}
+
+/// Reads an AIGER file from a buffered reader line source — convenience
+/// wrapper so callers holding a `BufRead` don't need to slurp manually.
+///
+/// # Errors
+///
+/// Same as [`read_aiger`].
+pub fn read_aiger_buf<R: BufRead>(reader: R) -> Result<Aig, AigError> {
+    read_aiger(reader)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::random_equiv_check;
+
+    fn sample_aig() -> Aig {
+        let mut aig = Aig::new();
+        let a = aig.add_pi();
+        let b = aig.add_pi();
+        let c = aig.add_pi();
+        let x = aig.xor(a, b);
+        let y = aig.mux(c, x, !a);
+        aig.add_po(y);
+        aig.add_po(!x);
+        aig
+    }
+
+    #[test]
+    fn ascii_round_trip_preserves_function() {
+        let aig = sample_aig();
+        let mut buf = Vec::new();
+        write_ascii(&aig, &mut buf).expect("write");
+        let back = read_aiger(&buf[..]).expect("parse");
+        assert_eq!(back.num_pis(), 3);
+        assert_eq!(back.num_pos(), 2);
+        assert!(random_equiv_check(&aig, &back, 8, 9));
+    }
+
+    #[test]
+    fn binary_round_trip_preserves_function() {
+        let aig = sample_aig();
+        let mut buf = Vec::new();
+        write_binary(&aig, &mut buf).expect("write");
+        let back = read_aiger(&buf[..]).expect("parse");
+        assert!(random_equiv_check(&aig, &back, 8, 10));
+    }
+
+    #[test]
+    fn parses_known_ascii_example() {
+        // Half adder from the AIGER spec family: sum and carry of a, b.
+        let text = "aag 7 2 0 2 3\n2\n4\n12\n14\n6 2 4\n12 6 6\n14 3 5\n";
+        // lhs 14 = !a & !b (nor); 12 = a&b; outputs: 12 (carry), 14.
+        let aig = read_aiger_str(text).expect("parse");
+        assert_eq!(aig.num_pis(), 2);
+        assert_eq!(aig.num_pos(), 2);
+        let out = crate::sim::simulate_bits(&aig, &[true, true]);
+        assert_eq!(out[0], true); // a&b
+        assert_eq!(out[1], false); // !a & !b
+    }
+
+    #[test]
+    fn rejects_sequential() {
+        let text = "aag 1 0 1 0 0\n2 3\n";
+        assert!(matches!(read_aiger_str(text), Err(AigError::Sequential)));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(read_aiger_str("hello world").is_err());
+        assert!(read_aiger_str("aag x y z").is_err());
+        assert!(read_aiger_str("aag 1 1 0 0 1\n2\n").is_err());
+    }
+
+    #[test]
+    fn round_trip_larger_graph() {
+        let mut aig = Aig::new();
+        let xs = aig.add_pis(8);
+        let mut acc = xs[0];
+        for &x in &xs[1..] {
+            let t = aig.xor(acc, x);
+            acc = aig.mux(x, t, acc);
+        }
+        aig.add_po(acc);
+        let mut buf = Vec::new();
+        write_binary(&aig, &mut buf).expect("write");
+        let back = read_aiger(&buf[..]).expect("parse");
+        assert!(random_equiv_check(&aig, &back, 16, 11));
+    }
+}

@@ -1,0 +1,180 @@
+//! Cut-cone utilities: the nodes covered by a cut, and the cut's local
+//! function.
+//!
+//! A cut `(n, L)` covers the nodes on the paths from the root `n` down to
+//! (excluding) the leaves `L`. The number of covered nodes is the cut's
+//! *volume* (`vol(c)` in the paper); the local function over the leaves is
+//! what Boolean matching binds to library gates.
+
+use crate::graph::{Aig, NodeId};
+use crate::tt::Tt;
+
+/// Collects the nodes covered by the cut `(root, leaves)` in topological
+/// (ascending id) order. The root is included, leaves are excluded.
+///
+/// Returns `None` if the cone is not closed under the leaves — i.e. some
+/// path from the root escapes past a non-leaf PI or the traversal reaches
+/// the constant node without it being a leaf (an invalid cut).
+pub fn collect_cone(aig: &Aig, root: NodeId, leaves: &[NodeId]) -> Option<Vec<NodeId>> {
+    if leaves.contains(&root) {
+        // Trivial cut: covers nothing.
+        return Some(Vec::new());
+    }
+    let mut cone = Vec::new();
+    let mut stack = vec![root];
+    let mut visited: Vec<NodeId> = Vec::new();
+    while let Some(n) = stack.pop() {
+        if visited.contains(&n) || leaves.contains(&n) {
+            continue;
+        }
+        if !aig.is_and(n) {
+            // Reached a PI or the constant that is not a leaf: invalid cut.
+            return None;
+        }
+        visited.push(n);
+        cone.push(n);
+        let (f0, f1) = aig.fanins(n);
+        stack.push(f0.node());
+        stack.push(f1.node());
+    }
+    cone.sort_unstable();
+    Some(cone)
+}
+
+/// The volume of a cut: number of covered nodes. Returns `None` for
+/// invalid cuts (see [`collect_cone`]).
+pub fn cut_volume(aig: &Aig, root: NodeId, leaves: &[NodeId]) -> Option<usize> {
+    collect_cone(aig, root, leaves).map(|c| c.len())
+}
+
+/// Computes the local function of the cut `(root, leaves)` as a truth
+/// table over the leaves (leaf `i` is variable `i`), along with the cut
+/// volume.
+///
+/// Works by simulating the cone with projection tables at the leaves.
+/// Supports up to [`Tt::MAX_VARS`] leaves.
+///
+/// Returns `None` for invalid cuts.
+///
+/// # Panics
+///
+/// Panics if `leaves.len() > 6`.
+pub fn cut_function(aig: &Aig, root: NodeId, leaves: &[NodeId]) -> Option<(Tt, usize)> {
+    assert!(leaves.len() <= Tt::MAX_VARS, "at most 6 leaves supported");
+    let nv = leaves.len();
+    if let Some(pos) = leaves.iter().position(|&l| l == root) {
+        // Trivial cut: identity on that leaf.
+        return Some((Tt::var(pos, nv.max(1)), 0));
+    }
+    let cone = collect_cone(aig, root, leaves)?;
+    // Local simulation over the cone only, using a tiny map from node to tt.
+    let mut values: Vec<(NodeId, Tt)> = Vec::with_capacity(cone.len() + leaves.len() + 1);
+    values.push((NodeId::CONST0, Tt::zero(nv)));
+    for (i, &l) in leaves.iter().enumerate() {
+        values.push((l, Tt::var(i, nv)));
+    }
+    let lookup = |values: &Vec<(NodeId, Tt)>, n: NodeId| -> Tt {
+        values
+            .iter()
+            .rev()
+            .find(|(id, _)| *id == n)
+            .map(|(_, t)| *t)
+            .expect("cone node evaluated before its fanins")
+    };
+    for &n in &cone {
+        let (f0, f1) = aig.fanins(n);
+        let mut t0 = lookup(&values, f0.node());
+        let mut t1 = lookup(&values, f1.node());
+        if f0.is_complement() {
+            t0 = t0.not();
+        }
+        if f1.is_complement() {
+            t1 = t1.not();
+        }
+        values.push((n, t0.and(t1)));
+    }
+    let volume = cone.len();
+    Some((lookup(&values, root), volume))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Aig;
+
+    /// Builds the paper's Fig. 2-style graph fragment:
+    /// node13 = and(node10, !node12) etc. We just exercise a 3-level cone.
+    fn sample() -> (Aig, NodeId, Vec<NodeId>) {
+        let mut aig = Aig::new();
+        let a = aig.add_pi();
+        let b = aig.add_pi();
+        let c = aig.add_pi();
+        let ab = aig.and(a, b);
+        let bc = aig.and(b, c);
+        let root = aig.and(ab, !bc);
+        aig.add_po(root);
+        (aig, root.node(), vec![a.node(), b.node(), c.node()])
+    }
+
+    #[test]
+    fn cone_collection_and_volume() {
+        let (aig, root, leaves) = sample();
+        let cone = collect_cone(&aig, root, &leaves).expect("valid cut");
+        assert_eq!(cone.len(), 3);
+        assert_eq!(cut_volume(&aig, root, &leaves), Some(3));
+    }
+
+    #[test]
+    fn trivial_cut_volume_is_zero() {
+        let (aig, root, _) = sample();
+        assert_eq!(cut_volume(&aig, root, &[root]), Some(0));
+    }
+
+    #[test]
+    fn invalid_cut_detected() {
+        let (aig, root, leaves) = sample();
+        // Omitting leaf c: path from root escapes to a non-leaf PI.
+        assert!(collect_cone(&aig, root, &leaves[..2]).is_none());
+    }
+
+    #[test]
+    fn cut_function_matches_semantics() {
+        let (aig, root, leaves) = sample();
+        let (tt, vol) = cut_function(&aig, root, &leaves).expect("valid cut");
+        assert_eq!(vol, 3);
+        // f = (a&b) & !(b&c)
+        let a = Tt::var(0, 3);
+        let b = Tt::var(1, 3);
+        let c = Tt::var(2, 3);
+        let expect = a.and(b).and(b.and(c).not());
+        assert_eq!(tt, expect);
+    }
+
+    #[test]
+    fn cut_function_with_intermediate_leaf() {
+        let (aig, root, leaves) = sample();
+        // Use the inner node ab as a leaf along with b, c.
+        let mut aig2 = aig.clone();
+        let _ = &mut aig2;
+        let ab = {
+            // ab is the first AND created: id = num_pis + 1.
+            NodeId::new(4)
+        };
+        let cut = vec![ab, leaves[1], leaves[2]];
+        let (tt, vol) = cut_function(&aig, root, &cut).expect("valid cut");
+        assert_eq!(vol, 2);
+        // f = ab & !(b & c) with variables (ab, b, c).
+        let v0 = Tt::var(0, 3);
+        let v1 = Tt::var(1, 3);
+        let v2 = Tt::var(2, 3);
+        assert_eq!(tt, v0.and(v1.and(v2).not()));
+    }
+
+    #[test]
+    fn trivial_cut_function_is_identity() {
+        let (aig, root, _) = sample();
+        let (tt, vol) = cut_function(&aig, root, &[root]).expect("trivial cut");
+        assert_eq!(vol, 0);
+        assert_eq!(tt, Tt::var(0, 1));
+    }
+}

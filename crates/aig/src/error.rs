@@ -1,0 +1,55 @@
+//! Error type for AIG parsing and validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by this crate's fallible operations (chiefly AIGER
+/// parsing).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AigError {
+    /// The AIGER header line is malformed or unsupported.
+    BadHeader(String),
+    /// A literal or line in the body is malformed.
+    BadBody(String),
+    /// The file references sequential elements (latches), which this
+    /// combinational reproduction does not support.
+    Sequential,
+    /// Underlying I/O problem, carried as a message (keeps the error `Eq`).
+    Io(String),
+}
+
+impl fmt::Display for AigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AigError::BadHeader(s) => write!(f, "invalid AIGER header: {s}"),
+            AigError::BadBody(s) => write!(f, "invalid AIGER body: {s}"),
+            AigError::Sequential => write!(f, "sequential AIGER files are not supported"),
+            AigError::Io(s) => write!(f, "i/o error: {s}"),
+        }
+    }
+}
+
+impl Error for AigError {}
+
+impl From<std::io::Error> for AigError {
+    fn from(e: std::io::Error) -> AigError {
+        AigError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(AigError::BadHeader("x".into()).to_string().contains("header"));
+        assert!(AigError::Sequential.to_string().contains("sequential"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<AigError>();
+    }
+}

@@ -1,0 +1,514 @@
+//! The structurally hashed And-Inverter Graph.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::lit::Lit;
+
+/// Index of a node inside an [`Aig`].
+///
+/// Node 0 is always the constant-false node. Nodes are stored in
+/// topological order: every AND node appears after both of its fanins.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// The constant-false node present in every AIG.
+    pub const CONST0: NodeId = NodeId(0);
+
+    /// Creates a node id from a raw index.
+    #[inline]
+    pub fn new(index: usize) -> NodeId {
+        NodeId(index as u32)
+    }
+
+    /// The raw index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Node {
+    f0: Lit,
+    f1: Lit,
+    level: u32,
+    fanout: u32,
+}
+
+/// A combinational And-Inverter Graph.
+///
+/// The graph is append-only: primary inputs and AND nodes are added and
+/// never removed, which keeps node ids stable and the node array in
+/// topological order. Structural hashing folds constants, idempotence
+/// (`a & a`), and contradiction (`a & !a`) on the fly, so [`Aig::and`] may
+/// return an existing literal instead of creating a node.
+///
+/// # Example
+///
+/// ```
+/// use slap_aig::Aig;
+///
+/// let mut aig = Aig::new();
+/// let a = aig.add_pi();
+/// let b = aig.add_pi();
+/// let f = aig.and(a, b);
+/// // Structural hashing: the same AND is not duplicated.
+/// assert_eq!(aig.and(b, a), f);
+/// // Folding: a & !a == false.
+/// assert_eq!(aig.and(a, !a), slap_aig::Lit::FALSE);
+/// ```
+#[derive(Clone)]
+pub struct Aig {
+    nodes: Vec<Node>,
+    pis: Vec<NodeId>,
+    pos: Vec<Lit>,
+    strash: HashMap<(Lit, Lit), NodeId>,
+    num_ands: usize,
+    name: String,
+}
+
+impl Aig {
+    /// Creates an empty AIG containing only the constant-false node.
+    pub fn new() -> Aig {
+        Aig {
+            nodes: vec![Node { f0: Lit::NONE, f1: Lit::NONE, level: 0, fanout: 0 }],
+            pis: Vec::new(),
+            pos: Vec::new(),
+            strash: HashMap::new(),
+            num_ands: 0,
+            name: String::new(),
+        }
+    }
+
+    /// Sets a human-readable design name (used by reports and AIGER output).
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// The design name, empty if never set.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a primary input and returns its (plain) literal.
+    pub fn add_pi(&mut self) -> Lit {
+        let id = NodeId::new(self.nodes.len());
+        self.nodes.push(Node { f0: Lit::NONE, f1: Lit::NONE, level: 0, fanout: 0 });
+        self.pis.push(id);
+        Lit::new(id, false)
+    }
+
+    /// Adds `n` primary inputs, returning their literals in order.
+    pub fn add_pis(&mut self, n: usize) -> Vec<Lit> {
+        (0..n).map(|_| self.add_pi()).collect()
+    }
+
+    /// Registers `l` as a primary output. PO edges count towards the
+    /// fanout of the driving node (`FO(n)` in the paper).
+    pub fn add_po(&mut self, l: Lit) {
+        debug_assert!(l.node().index() < self.nodes.len(), "literal out of range");
+        self.nodes[l.node().index()].fanout += 1;
+        self.pos.push(l);
+    }
+
+    /// The AND of two literals, with structural hashing and constant folding.
+    pub fn and(&mut self, a: Lit, b: Lit) -> Lit {
+        debug_assert!(a.node().index() < self.nodes.len());
+        debug_assert!(b.node().index() < self.nodes.len());
+        // Constant folding.
+        if a == Lit::FALSE || b == Lit::FALSE || a == !b {
+            return Lit::FALSE;
+        }
+        if a == Lit::TRUE {
+            return b;
+        }
+        if b == Lit::TRUE || a == b {
+            return a;
+        }
+        // Normalize fanin order for hashing.
+        let (f0, f1) = if a.raw() <= b.raw() { (a, b) } else { (b, a) };
+        if let Some(&id) = self.strash.get(&(f0, f1)) {
+            return Lit::new(id, false);
+        }
+        let level = 1 + self.level_of(f0.node()).max(self.level_of(f1.node()));
+        let id = NodeId::new(self.nodes.len());
+        self.nodes.push(Node { f0, f1, level, fanout: 0 });
+        self.nodes[f0.node().index()].fanout += 1;
+        self.nodes[f1.node().index()].fanout += 1;
+        self.strash.insert((f0, f1), id);
+        self.num_ands += 1;
+        Lit::new(id, false)
+    }
+
+    /// The OR of two literals (`!( !a & !b )`).
+    pub fn or(&mut self, a: Lit, b: Lit) -> Lit {
+        !self.and(!a, !b)
+    }
+
+    /// The XOR of two literals, built from three ANDs.
+    pub fn xor(&mut self, a: Lit, b: Lit) -> Lit {
+        let n0 = self.and(a, !b);
+        let n1 = self.and(!a, b);
+        self.or(n0, n1)
+    }
+
+    /// The XNOR of two literals.
+    pub fn xnor(&mut self, a: Lit, b: Lit) -> Lit {
+        !self.xor(a, b)
+    }
+
+    /// Multiplexer: `sel ? t : e`.
+    pub fn mux(&mut self, sel: Lit, t: Lit, e: Lit) -> Lit {
+        let a = self.and(sel, t);
+        let b = self.and(!sel, e);
+        self.or(a, b)
+    }
+
+    /// Majority-of-three, the full-adder carry function.
+    pub fn maj(&mut self, a: Lit, b: Lit, c: Lit) -> Lit {
+        let ab = self.and(a, b);
+        let ac = self.and(a, c);
+        let bc = self.and(b, c);
+        let t = self.or(ab, ac);
+        self.or(t, bc)
+    }
+
+    /// N-ary AND over an iterator of literals (balanced tree).
+    pub fn and_all<I: IntoIterator<Item = Lit>>(&mut self, lits: I) -> Lit {
+        self.reduce_balanced(lits.into_iter().collect(), Lit::TRUE, Aig::and)
+    }
+
+    /// N-ary OR over an iterator of literals (balanced tree).
+    pub fn or_all<I: IntoIterator<Item = Lit>>(&mut self, lits: I) -> Lit {
+        self.reduce_balanced(lits.into_iter().collect(), Lit::FALSE, Aig::or)
+    }
+
+    /// N-ary XOR over an iterator of literals (balanced tree).
+    pub fn xor_all<I: IntoIterator<Item = Lit>>(&mut self, lits: I) -> Lit {
+        self.reduce_balanced(lits.into_iter().collect(), Lit::FALSE, Aig::xor)
+    }
+
+    fn reduce_balanced(
+        &mut self,
+        mut lits: Vec<Lit>,
+        empty: Lit,
+        op: fn(&mut Aig, Lit, Lit) -> Lit,
+    ) -> Lit {
+        if lits.is_empty() {
+            return empty;
+        }
+        while lits.len() > 1 {
+            let mut next = Vec::with_capacity(lits.len().div_ceil(2));
+            for pair in lits.chunks(2) {
+                next.push(if pair.len() == 2 { op(self, pair[0], pair[1]) } else { pair[0] });
+            }
+            lits = next;
+        }
+        lits[0]
+    }
+
+    /// Number of nodes including the constant node, PIs, and ANDs.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of AND nodes.
+    pub fn num_ands(&self) -> usize {
+        self.num_ands
+    }
+
+    /// Number of primary inputs.
+    pub fn num_pis(&self) -> usize {
+        self.pis.len()
+    }
+
+    /// Number of primary outputs.
+    pub fn num_pos(&self) -> usize {
+        self.pos.len()
+    }
+
+    /// Primary-input node ids, in creation order.
+    pub fn pis(&self) -> &[NodeId] {
+        &self.pis
+    }
+
+    /// Primary-output literals, in creation order.
+    pub fn pos(&self) -> &[Lit] {
+        &self.pos
+    }
+
+    /// True for the constant node.
+    pub fn is_const0(&self, n: NodeId) -> bool {
+        n == NodeId::CONST0
+    }
+
+    /// True for primary inputs.
+    pub fn is_pi(&self, n: NodeId) -> bool {
+        n != NodeId::CONST0 && self.nodes[n.index()].f0 == Lit::NONE
+    }
+
+    /// True for AND nodes.
+    pub fn is_and(&self, n: NodeId) -> bool {
+        n != NodeId::CONST0 && self.nodes[n.index()].f0 != Lit::NONE
+    }
+
+    /// The two fanin literals of an AND node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not an AND node.
+    pub fn fanins(&self, n: NodeId) -> (Lit, Lit) {
+        let node = &self.nodes[n.index()];
+        assert!(node.f0 != Lit::NONE, "{n} is not an AND node");
+        (node.f0, node.f1)
+    }
+
+    /// Structural level of a node (`lvl(n)`): the longest path from any PI,
+    /// with PIs and the constant node at level 0.
+    #[inline]
+    pub fn level_of(&self, n: NodeId) -> u32 {
+        self.nodes[n.index()].level
+    }
+
+    /// Fanout count of a node (`FO(n)`), including PO edges.
+    #[inline]
+    pub fn fanout_of(&self, n: NodeId) -> u32 {
+        self.nodes[n.index()].fanout
+    }
+
+    /// The maximum level over all nodes (the AIG depth).
+    pub fn depth(&self) -> u32 {
+        self.nodes.iter().map(|n| n.level).max().unwrap_or(0)
+    }
+
+    /// Reverse levels (`rLvl(n)`): the longest path from each node to any
+    /// PO. Nodes not in any PO cone get reverse level 0.
+    pub fn reverse_levels(&self) -> Vec<u32> {
+        let mut rlvl = vec![0u32; self.nodes.len()];
+        // Process in reverse topological order (ids descend).
+        for idx in (0..self.nodes.len()).rev() {
+            let node = &self.nodes[idx];
+            if node.f0 == Lit::NONE {
+                continue;
+            }
+            let r = rlvl[idx] + 1;
+            let i0 = node.f0.node().index();
+            let i1 = node.f1.node().index();
+            if rlvl[i0] < r {
+                rlvl[i0] = r;
+            }
+            if rlvl[i1] < r {
+                rlvl[i1] = r;
+            }
+        }
+        rlvl
+    }
+
+    /// Whether any outgoing edge of `n` is complemented: true if some AND
+    /// fanin edge or PO edge from `n` is inverted. This is feature (i) of
+    /// the paper's cut features and `inv(e0)` of the node embedding.
+    ///
+    /// Computed in O(|AIG|); batch queries should use
+    /// [`Aig::complemented_fanout_flags`].
+    pub fn has_complemented_fanout(&self, n: NodeId) -> bool {
+        self.complemented_fanout_flags()[n.index()]
+    }
+
+    /// For every node, whether it drives at least one complemented edge.
+    pub fn complemented_fanout_flags(&self) -> Vec<bool> {
+        let mut flags = vec![false; self.nodes.len()];
+        for node in &self.nodes {
+            if node.f0 == Lit::NONE {
+                continue;
+            }
+            if node.f0.is_complement() {
+                flags[node.f0.node().index()] = true;
+            }
+            if node.f1.is_complement() {
+                flags[node.f1.node().index()] = true;
+            }
+        }
+        for po in &self.pos {
+            if po.is_complement() {
+                flags[po.node().index()] = true;
+            }
+        }
+        flags
+    }
+
+    /// Iterator over the ids of all AND nodes in topological order.
+    pub fn and_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len()).map(NodeId::new).filter(move |&n| self.is_and(n))
+    }
+
+    /// Iterator over all node ids (constant, PIs, ANDs) in topological order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len()).map(NodeId::new)
+    }
+}
+
+impl Default for Aig {
+    fn default() -> Aig {
+        Aig::new()
+    }
+}
+
+impl fmt::Debug for Aig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Aig {{ name: {:?}, pis: {}, pos: {}, ands: {}, depth: {} }}",
+            self.name,
+            self.num_pis(),
+            self.num_pos(),
+            self.num_ands(),
+            self.depth()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph_has_constant_node() {
+        let aig = Aig::new();
+        assert_eq!(aig.num_nodes(), 1);
+        assert!(aig.is_const0(NodeId::CONST0));
+        assert!(!aig.is_pi(NodeId::CONST0));
+        assert!(!aig.is_and(NodeId::CONST0));
+    }
+
+    #[test]
+    fn strashing_dedups_commutative_ands() {
+        let mut aig = Aig::new();
+        let a = aig.add_pi();
+        let b = aig.add_pi();
+        let x = aig.and(a, b);
+        let y = aig.and(b, a);
+        assert_eq!(x, y);
+        assert_eq!(aig.num_ands(), 1);
+    }
+
+    #[test]
+    fn constant_folding_rules() {
+        let mut aig = Aig::new();
+        let a = aig.add_pi();
+        assert_eq!(aig.and(a, Lit::FALSE), Lit::FALSE);
+        assert_eq!(aig.and(Lit::TRUE, a), a);
+        assert_eq!(aig.and(a, a), a);
+        assert_eq!(aig.and(a, !a), Lit::FALSE);
+        assert_eq!(aig.num_ands(), 0);
+    }
+
+    #[test]
+    fn levels_track_longest_path() {
+        let mut aig = Aig::new();
+        let a = aig.add_pi();
+        let b = aig.add_pi();
+        let c = aig.add_pi();
+        let ab = aig.and(a, b);
+        let abc = aig.and(ab, c);
+        assert_eq!(aig.level_of(a.node()), 0);
+        assert_eq!(aig.level_of(ab.node()), 1);
+        assert_eq!(aig.level_of(abc.node()), 2);
+        assert_eq!(aig.depth(), 2);
+    }
+
+    #[test]
+    fn fanout_counts_include_pos() {
+        let mut aig = Aig::new();
+        let a = aig.add_pi();
+        let b = aig.add_pi();
+        let x = aig.and(a, b);
+        let y = aig.and(a, !b);
+        aig.add_po(x);
+        aig.add_po(x);
+        assert_eq!(aig.fanout_of(a.node()), 2);
+        assert_eq!(aig.fanout_of(b.node()), 2);
+        assert_eq!(aig.fanout_of(x.node()), 2);
+        assert_eq!(aig.fanout_of(y.node()), 0);
+    }
+
+    #[test]
+    fn reverse_levels_from_pos() {
+        let mut aig = Aig::new();
+        let a = aig.add_pi();
+        let b = aig.add_pi();
+        let c = aig.add_pi();
+        let ab = aig.and(a, b);
+        let abc = aig.and(ab, c);
+        aig.add_po(abc);
+        let rlvl = aig.reverse_levels();
+        assert_eq!(rlvl[abc.node().index()], 0);
+        assert_eq!(rlvl[ab.node().index()], 1);
+        assert_eq!(rlvl[a.node().index()], 2);
+        assert_eq!(rlvl[c.node().index()], 1);
+    }
+
+    #[test]
+    fn complemented_fanout_flags_cover_and_and_po_edges() {
+        let mut aig = Aig::new();
+        let a = aig.add_pi();
+        let b = aig.add_pi();
+        let x = aig.and(!a, b);
+        aig.add_po(!x);
+        let flags = aig.complemented_fanout_flags();
+        assert!(flags[a.node().index()]);
+        assert!(!flags[b.node().index()]);
+        assert!(flags[x.node().index()]);
+    }
+
+    #[test]
+    fn xor_and_mux_semantics_via_two_input_truth_table() {
+        // Check all 4 input combinations by building separate constant graphs.
+        for va in [false, true] {
+            for vb in [false, true] {
+                let mut aig = Aig::new();
+                let a = Lit::FALSE.xor_complement(va);
+                let b = Lit::FALSE.xor_complement(vb);
+                assert_eq!(aig.xor(a, b) == Lit::TRUE, va ^ vb);
+                assert_eq!(aig.or(a, b) == Lit::TRUE, va | vb);
+                assert_eq!(aig.mux(a, b, !b) == Lit::TRUE, if va { vb } else { !vb });
+            }
+        }
+    }
+
+    #[test]
+    fn nary_reductions() {
+        let mut aig = Aig::new();
+        let xs = aig.add_pis(5);
+        let all = aig.and_all(xs.iter().copied());
+        assert!(aig.is_and(all.node()));
+        assert_eq!(aig.and_all(std::iter::empty()), Lit::TRUE);
+        assert_eq!(aig.or_all(std::iter::empty()), Lit::FALSE);
+        assert_eq!(aig.xor_all([xs[0]]), xs[0]);
+    }
+
+    #[test]
+    fn maj_matches_majority() {
+        for bits in 0u32..8 {
+            let mut aig = Aig::new();
+            let vals = [(bits & 1) != 0, (bits & 2) != 0, (bits & 4) != 0];
+            let lits: Vec<Lit> = vals.iter().map(|&v| Lit::FALSE.xor_complement(v)).collect();
+            let m = aig.maj(lits[0], lits[1], lits[2]);
+            let expect = vals.iter().filter(|&&v| v).count() >= 2;
+            assert_eq!(m == Lit::TRUE, expect, "bits={bits:03b}");
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! And-Inverter Graph (AIG) substrate for the SLAP reproduction.
+//!
+//! This crate provides the Boolean-network layer that every other crate in
+//! the workspace builds on: a structurally hashed [`Aig`] with constant-time
+//! access to the structural attributes used by the paper (levels, reverse
+//! levels, fanout counts, edge polarities), 64-bit parallel simulation,
+//! small-function truth-table utilities ([`tt`]), a deterministic PRNG
+//! ([`rng`]) so every experiment is reproducible from a seed, and AIGER
+//! reader/writers ([`aiger`]).
+//!
+//! # Example
+//!
+//! ```
+//! use slap_aig::Aig;
+//!
+//! let mut aig = Aig::new();
+//! let a = aig.add_pi();
+//! let b = aig.add_pi();
+//! let c = aig.add_pi();
+//! // f = (a & b) | c, built from AND and inverters only.
+//! let ab = aig.and(a, b);
+//! let f = aig.or(ab, c);
+//! aig.add_po(f);
+//! assert_eq!(aig.num_ands(), 2);
+//! assert_eq!(aig.level_of(f.node()), 2);
+//! ```
+
+pub mod aiger;
+pub mod cone;
+pub mod error;
+pub mod graph;
+pub mod lit;
+pub mod rng;
+pub mod sim;
+pub mod stats;
+pub mod tt;
+
+pub use error::AigError;
+pub use graph::{Aig, NodeId};
+pub use lit::Lit;
+pub use rng::Rng64;
+pub use stats::AigStats;
+pub use tt::Tt;

@@ -1,0 +1,166 @@
+//! AIG literals: a node index plus a complement bit.
+
+use std::fmt;
+
+use crate::graph::NodeId;
+
+/// A literal is an edge into a node: the node index shifted left by one,
+/// with the least-significant bit recording whether the edge is inverted
+/// (the `inv(e)` function of the paper).
+///
+/// `Lit::FALSE` (the constant-0 node, non-inverted) and `Lit::TRUE`
+/// (the same node, inverted) are always available.
+///
+/// # Example
+///
+/// ```
+/// use slap_aig::Lit;
+///
+/// let l = Lit::new(slap_aig::NodeId::new(3), false);
+/// assert_eq!(l.node().index(), 3);
+/// assert!(!l.is_complement());
+/// assert!((!l).is_complement());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// The constant-false literal (node 0, plain edge).
+    pub const FALSE: Lit = Lit(0);
+    /// The constant-true literal (node 0, inverted edge).
+    pub const TRUE: Lit = Lit(1);
+    /// Sentinel used internally for "no fanin" (primary inputs).
+    pub(crate) const NONE: Lit = Lit(u32::MAX);
+
+    /// Creates a literal from a node and a complement flag.
+    #[inline]
+    pub fn new(node: NodeId, complement: bool) -> Lit {
+        Lit(node.index() as u32 * 2 + complement as u32)
+    }
+
+    /// Creates a literal from its raw AIGER-style encoding (`2*var + c`).
+    #[inline]
+    pub fn from_raw(raw: u32) -> Lit {
+        Lit(raw)
+    }
+
+    /// The raw AIGER-style encoding of this literal.
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// The node this literal points at.
+    #[inline]
+    pub fn node(self) -> NodeId {
+        NodeId::new((self.0 >> 1) as usize)
+    }
+
+    /// Whether the edge is inverted (`inv(e) = 1` in the paper).
+    #[inline]
+    pub fn is_complement(self) -> bool {
+        self.0 & 1 != 0
+    }
+
+    /// The same literal with the requested complement flag.
+    #[inline]
+    pub fn with_complement(self, complement: bool) -> Lit {
+        Lit((self.0 & !1) | complement as u32)
+    }
+
+    /// True if this is one of the two constant literals.
+    #[inline]
+    pub fn is_const(self) -> bool {
+        self.0 < 2
+    }
+
+    /// XORs the complement bit with `c` — a conditional inversion.
+    #[inline]
+    pub fn xor_complement(self, c: bool) -> Lit {
+        Lit(self.0 ^ c as u32)
+    }
+}
+
+impl std::ops::Not for Lit {
+    type Output = Lit;
+
+    #[inline]
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Debug for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == Lit::NONE {
+            return write!(f, "Lit(NONE)");
+        }
+        write!(
+            f,
+            "{}n{}",
+            if self.is_complement() { "!" } else { "" },
+            self.node().index()
+        )
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants() {
+        assert_eq!(Lit::FALSE.raw(), 0);
+        assert_eq!(Lit::TRUE.raw(), 1);
+        assert_eq!(!Lit::FALSE, Lit::TRUE);
+        assert!(Lit::FALSE.is_const());
+        assert!(Lit::TRUE.is_const());
+    }
+
+    #[test]
+    fn round_trip_node_and_complement() {
+        for idx in [0usize, 1, 5, 1000] {
+            for c in [false, true] {
+                let l = Lit::new(NodeId::new(idx), c);
+                assert_eq!(l.node().index(), idx);
+                assert_eq!(l.is_complement(), c);
+                assert_eq!(Lit::from_raw(l.raw()), l);
+            }
+        }
+    }
+
+    #[test]
+    fn not_flips_only_complement() {
+        let l = Lit::new(NodeId::new(7), false);
+        assert_eq!((!l).node(), l.node());
+        assert!((!l).is_complement());
+        assert_eq!(!!l, l);
+    }
+
+    #[test]
+    fn xor_complement_matches_not() {
+        let l = Lit::new(NodeId::new(9), true);
+        assert_eq!(l.xor_complement(true), !l);
+        assert_eq!(l.xor_complement(false), l);
+    }
+
+    #[test]
+    fn with_complement_is_idempotent() {
+        let l = Lit::new(NodeId::new(4), true);
+        assert_eq!(l.with_complement(false).with_complement(false), l.with_complement(false));
+        assert_eq!(l.with_complement(true), l);
+    }
+
+    #[test]
+    fn display_formats() {
+        let l = Lit::new(NodeId::new(3), true);
+        assert_eq!(format!("{l}"), "!n3");
+        assert_eq!(format!("{}", !l), "n3");
+    }
+}

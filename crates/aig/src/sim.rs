@@ -1,0 +1,198 @@
+//! 64-bit parallel simulation of an [`Aig`].
+//!
+//! Each node carries one `u64` word per simulation step, evaluating 64
+//! input patterns at once. Used throughout the workspace to verify circuit
+//! generators against software reference models and to check that mapping
+//! preserves functionality.
+
+use crate::graph::{Aig, NodeId};
+use crate::lit::Lit;
+use crate::rng::Rng64;
+
+/// Simulates the whole AIG on one 64-pattern word per PI.
+///
+/// `pi_values[i]` is the pattern word for the i-th primary input (in
+/// [`Aig::pis`] order). Returns one word per node, indexed by node id.
+///
+/// # Panics
+///
+/// Panics if `pi_values.len() != aig.num_pis()`.
+pub fn simulate_nodes(aig: &Aig, pi_values: &[u64]) -> Vec<u64> {
+    assert_eq!(pi_values.len(), aig.num_pis(), "one pattern word per PI required");
+    let mut values = vec![0u64; aig.num_nodes()];
+    for (pi, &v) in aig.pis().iter().zip(pi_values) {
+        values[pi.index()] = v;
+    }
+    for n in aig.and_ids() {
+        let (f0, f1) = aig.fanins(n);
+        values[n.index()] = eval_lit(&values, f0) & eval_lit(&values, f1);
+    }
+    values
+}
+
+/// Simulates the AIG and returns one word per primary output.
+pub fn simulate(aig: &Aig, pi_values: &[u64]) -> Vec<u64> {
+    let values = simulate_nodes(aig, pi_values);
+    aig.pos().iter().map(|&po| eval_lit(&values, po)).collect()
+}
+
+#[inline]
+fn eval_lit(values: &[u64], l: Lit) -> u64 {
+    let v = values[l.node().index()];
+    if l.is_complement() {
+        !v
+    } else {
+        v
+    }
+}
+
+/// Evaluates one literal given per-node words.
+pub fn lit_value(values: &[u64], l: Lit) -> u64 {
+    eval_lit(values, l)
+}
+
+/// Convenience: simulate on single-bit input assignments (bit 0 of each word).
+pub fn simulate_bits(aig: &Aig, pi_bits: &[bool]) -> Vec<bool> {
+    let words: Vec<u64> = pi_bits.iter().map(|&b| if b { u64::MAX } else { 0 }).collect();
+    simulate(aig, &words).into_iter().map(|w| w & 1 != 0).collect()
+}
+
+/// Checks combinational equivalence of two AIGs with `rounds` rounds of
+/// 64-pattern random simulation (a probabilistic check, suitable for tests).
+///
+/// Returns `false` as soon as any output word differs. Both AIGs must have
+/// the same PI/PO counts.
+///
+/// # Panics
+///
+/// Panics if the interfaces differ.
+pub fn random_equiv_check(a: &Aig, b: &Aig, rounds: usize, seed: u64) -> bool {
+    assert_eq!(a.num_pis(), b.num_pis(), "PI counts differ");
+    assert_eq!(a.num_pos(), b.num_pos(), "PO counts differ");
+    let mut rng = Rng64::seed_from(seed);
+    for _ in 0..rounds {
+        let pi: Vec<u64> = (0..a.num_pis()).map(|_| rng.next_u64()).collect();
+        if simulate(a, &pi) != simulate(b, &pi) {
+            return false;
+        }
+    }
+    true
+}
+
+/// A node's global function cannot be stored for large graphs, but for
+/// graphs with at most 6 PIs this computes the full truth table of every
+/// node — handy for exhaustive checks in tests.
+///
+/// # Panics
+///
+/// Panics if the AIG has more than 6 PIs.
+pub fn exhaustive_node_tables(aig: &Aig) -> Vec<u64> {
+    assert!(aig.num_pis() <= 6, "exhaustive simulation supports at most 6 PIs");
+    let n = aig.num_pis();
+    let pi: Vec<u64> = (0..n).map(|v| crate::tt::Tt::var(v, n.max(1)).bits()).collect();
+    let mut values = simulate_nodes(aig, &pi);
+    let m = if n == 0 { 1 } else { (1u128 << (1 << n)) - 1 } as u64;
+    let m = if n >= 6 { u64::MAX } else { m };
+    for v in &mut values {
+        *v &= m;
+    }
+    values
+}
+
+/// Helper for tests: the PO truth tables of a ≤6-PI AIG.
+pub fn exhaustive_po_tables(aig: &Aig) -> Vec<u64> {
+    let values = exhaustive_node_tables(aig);
+    let n = aig.num_pis();
+    let m = if n >= 6 { u64::MAX } else { (1u64 << (1usize << n)) - 1 };
+    aig.pos().iter().map(|&po| eval_lit(&values, po) & m).collect()
+}
+
+/// Counts how many nodes lie in the transitive fanin cone of `root`
+/// (including `root`, excluding PIs and the constant).
+pub fn cone_size(aig: &Aig, root: NodeId) -> usize {
+    let mut seen = vec![false; aig.num_nodes()];
+    let mut stack = vec![root];
+    let mut count = 0;
+    while let Some(n) = stack.pop() {
+        if seen[n.index()] || !aig.is_and(n) {
+            continue;
+        }
+        seen[n.index()] = true;
+        count += 1;
+        let (f0, f1) = aig.fanins(n);
+        stack.push(f0.node());
+        stack.push(f1.node());
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Aig;
+
+    fn xor_aig() -> Aig {
+        let mut aig = Aig::new();
+        let a = aig.add_pi();
+        let b = aig.add_pi();
+        let x = aig.xor(a, b);
+        aig.add_po(x);
+        aig
+    }
+
+    #[test]
+    fn xor_simulates_correctly() {
+        let aig = xor_aig();
+        let out = simulate(&aig, &[0b1010, 0b1100]);
+        assert_eq!(out[0] & 0xF, 0b0110);
+    }
+
+    #[test]
+    fn simulate_bits_single_assignment() {
+        let aig = xor_aig();
+        assert_eq!(simulate_bits(&aig, &[true, false]), vec![true]);
+        assert_eq!(simulate_bits(&aig, &[true, true]), vec![false]);
+    }
+
+    #[test]
+    fn equivalent_graphs_pass_random_check() {
+        let a = xor_aig();
+        // Same function, different structure: a^b = (a|b) & !(a&b).
+        let mut b = Aig::new();
+        let x = b.add_pi();
+        let y = b.add_pi();
+        let o = b.or(x, y);
+        let n = b.and(x, y);
+        let f = b.and(o, !n);
+        b.add_po(f);
+        assert!(random_equiv_check(&a, &b, 16, 1));
+    }
+
+    #[test]
+    fn inequivalent_graphs_fail_random_check() {
+        let a = xor_aig();
+        let mut b = Aig::new();
+        let x = b.add_pi();
+        let y = b.add_pi();
+        let f = b.and(x, y);
+        b.add_po(f);
+        assert!(!random_equiv_check(&a, &b, 16, 1));
+    }
+
+    #[test]
+    fn exhaustive_tables_match_tt() {
+        let aig = xor_aig();
+        let tts = exhaustive_po_tables(&aig);
+        assert_eq!(tts[0], 0b0110);
+    }
+
+    #[test]
+    fn cone_size_counts_ands_only() {
+        let mut aig = Aig::new();
+        let a = aig.add_pi();
+        let b = aig.add_pi();
+        let x = aig.xor(a, b); // three ANDs
+        assert_eq!(cone_size(&aig, x.node()), 3);
+        assert_eq!(cone_size(&aig, a.node()), 0);
+    }
+}

@@ -1,0 +1,204 @@
+//! Structural statistics and Graphviz export for AIGs.
+
+use std::io::Write;
+
+use crate::graph::{Aig, NodeId};
+
+/// A structural summary of an AIG.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AigStats {
+    /// Primary inputs.
+    pub num_pis: usize,
+    /// Primary outputs.
+    pub num_pos: usize,
+    /// AND nodes.
+    pub num_ands: usize,
+    /// Longest PI→PO path (levels).
+    pub depth: u32,
+    /// Complemented edges (including PO edges).
+    pub complemented_edges: usize,
+    /// Maximum fanout over all nodes.
+    pub max_fanout: u32,
+    /// Mean fanout over driven nodes.
+    pub mean_fanout: f64,
+    /// Nodes with zero fanout (dangling).
+    pub dangling: usize,
+}
+
+impl AigStats {
+    /// Computes the summary in one pass.
+    pub fn of(aig: &Aig) -> AigStats {
+        let mut complemented = 0usize;
+        for n in aig.and_ids() {
+            let (f0, f1) = aig.fanins(n);
+            complemented += f0.is_complement() as usize + f1.is_complement() as usize;
+        }
+        complemented += aig.pos().iter().filter(|p| p.is_complement()).count();
+        let mut max_fo = 0u32;
+        let mut sum_fo = 0u64;
+        let mut driven = 0usize;
+        let mut dangling = 0usize;
+        for n in aig.node_ids() {
+            if aig.is_const0(n) {
+                continue;
+            }
+            let fo = aig.fanout_of(n);
+            max_fo = max_fo.max(fo);
+            if fo > 0 {
+                sum_fo += fo as u64;
+                driven += 1;
+            } else {
+                dangling += 1;
+            }
+        }
+        AigStats {
+            num_pis: aig.num_pis(),
+            num_pos: aig.num_pos(),
+            num_ands: aig.num_ands(),
+            depth: aig.depth(),
+            complemented_edges: complemented,
+            max_fanout: max_fo,
+            mean_fanout: sum_fo as f64 / driven.max(1) as f64,
+            dangling,
+        }
+    }
+}
+
+impl std::fmt::Display for AigStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "pi={} po={} and={} depth={} compl-edges={} max-fo={} mean-fo={:.2} dangling={}",
+            self.num_pis,
+            self.num_pos,
+            self.num_ands,
+            self.depth,
+            self.complemented_edges,
+            self.max_fanout,
+            self.mean_fanout,
+            self.dangling
+        )
+    }
+}
+
+/// Writes the AIG in Graphviz DOT format: boxes for PIs, circles for AND
+/// nodes, dashed edges for complemented fanins, double circles for POs.
+///
+/// Intended for small graphs (debugging); a `&mut` writer works too.
+///
+/// # Errors
+///
+/// Propagates writer errors.
+pub fn write_dot<W: Write>(aig: &Aig, mut w: W) -> std::io::Result<()> {
+    writeln!(w, "digraph aig {{")?;
+    writeln!(w, "  rankdir=BT;")?;
+    for (k, pi) in aig.pis().iter().enumerate() {
+        writeln!(w, "  n{} [shape=box,label=\"pi{}\"];", pi.index(), k)?;
+    }
+    for n in aig.and_ids() {
+        writeln!(w, "  n{} [shape=circle,label=\"{}\"];", n.index(), n.index())?;
+        let (f0, f1) = aig.fanins(n);
+        for f in [f0, f1] {
+            writeln!(
+                w,
+                "  n{} -> n{}{};",
+                f.node().index(),
+                n.index(),
+                if f.is_complement() { " [style=dashed]" } else { "" }
+            )?;
+        }
+    }
+    for (k, po) in aig.pos().iter().enumerate() {
+        writeln!(w, "  po{k} [shape=doublecircle,label=\"po{k}\"];")?;
+        writeln!(
+            w,
+            "  n{} -> po{}{};",
+            po.node().index(),
+            k,
+            if po.is_complement() { " [style=dashed]" } else { "" }
+        )?;
+    }
+    writeln!(w, "}}")?;
+    Ok(())
+}
+
+/// True when every AND node lies in the transitive fanin of some PO —
+/// i.e. the graph has no dead logic.
+pub fn is_fully_used(aig: &Aig) -> bool {
+    let mut used = vec![false; aig.num_nodes()];
+    let mut stack: Vec<NodeId> = aig.pos().iter().map(|p| p.node()).collect();
+    while let Some(n) = stack.pop() {
+        if used[n.index()] {
+            continue;
+        }
+        used[n.index()] = true;
+        if aig.is_and(n) {
+            let (f0, f1) = aig.fanins(n);
+            stack.push(f0.node());
+            stack.push(f1.node());
+        }
+    }
+    aig.and_ids().all(|n| used[n.index()])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Aig;
+
+    fn sample() -> Aig {
+        let mut aig = Aig::new();
+        let a = aig.add_pi();
+        let b = aig.add_pi();
+        let x = aig.and(a, !b);
+        let y = aig.and(x, b);
+        aig.add_po(!y);
+        aig
+    }
+
+    #[test]
+    fn stats_counts() {
+        let aig = sample();
+        let s = AigStats::of(&aig);
+        assert_eq!(s.num_pis, 2);
+        assert_eq!(s.num_ands, 2);
+        assert_eq!(s.depth, 2);
+        assert_eq!(s.complemented_edges, 2); // !b fanin and !y PO
+        assert_eq!(s.dangling, 0);
+        assert!(s.mean_fanout >= 1.0);
+        assert!(!format!("{s}").is_empty());
+    }
+
+    #[test]
+    fn dangling_detected() {
+        let mut aig = sample();
+        let c = aig.add_pi(); // never used
+        let _ = c;
+        let s = AigStats::of(&aig);
+        assert_eq!(s.dangling, 1);
+        assert!(is_fully_used(&aig)); // dead PI but no dead ANDs
+    }
+
+    #[test]
+    fn dead_and_detected() {
+        let mut aig = Aig::new();
+        let a = aig.add_pi();
+        let b = aig.add_pi();
+        let _dead = aig.and(a, b);
+        let live = aig.and(a, !b);
+        aig.add_po(live);
+        assert!(!is_fully_used(&aig));
+    }
+
+    #[test]
+    fn dot_output_shape() {
+        let aig = sample();
+        let mut buf = Vec::new();
+        write_dot(&aig, &mut buf).expect("write");
+        let text = String::from_utf8(buf).expect("utf8");
+        assert!(text.starts_with("digraph aig {"));
+        assert!(text.contains("style=dashed"));
+        assert!(text.contains("doublecircle"));
+        assert!(text.trim_end().ends_with('}'));
+    }
+}

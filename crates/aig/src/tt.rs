@@ -1,0 +1,369 @@
+//! Truth tables for functions of up to six variables, packed in a `u64`.
+//!
+//! Bit `i` of the table is the function value on the input assignment whose
+//! binary encoding is `i` (variable 0 is the least-significant input).
+//! These tables are what cut functions are computed into and what library
+//! gates are matched against.
+
+/// A truth table over `num_vars` ≤ 6 variables.
+///
+/// # Example
+///
+/// ```
+/// use slap_aig::Tt;
+///
+/// let a = Tt::var(0, 2);
+/// let b = Tt::var(1, 2);
+/// let and = a.and(b);
+/// assert_eq!(and.bits(), 0x8); // only assignment 11 is true
+/// assert!(and.support().contains(&0));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Tt {
+    bits: u64,
+    num_vars: u8,
+}
+
+/// Projection masks: `VAR_MASKS[i]` is the truth table of variable `i`
+/// over 6 variables.
+const VAR_MASKS: [u64; 6] = [
+    0xAAAA_AAAA_AAAA_AAAA,
+    0xCCCC_CCCC_CCCC_CCCC,
+    0xF0F0_F0F0_F0F0_F0F0,
+    0xFF00_FF00_FF00_FF00,
+    0xFFFF_0000_FFFF_0000,
+    0xFFFF_FFFF_0000_0000,
+];
+
+impl Tt {
+    /// Maximum supported variable count.
+    pub const MAX_VARS: usize = 6;
+
+    /// The constant-false table over `num_vars` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_vars > 6`.
+    pub fn zero(num_vars: usize) -> Tt {
+        assert!(num_vars <= Tt::MAX_VARS, "at most 6 variables supported");
+        Tt { bits: 0, num_vars: num_vars as u8 }
+    }
+
+    /// The constant-true table over `num_vars` variables.
+    pub fn one(num_vars: usize) -> Tt {
+        Tt::zero(num_vars).not()
+    }
+
+    /// The projection of variable `var` over `num_vars` variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var >= num_vars` or `num_vars > 6`.
+    pub fn var(var: usize, num_vars: usize) -> Tt {
+        assert!(num_vars <= Tt::MAX_VARS);
+        assert!(var < num_vars, "variable index out of range");
+        Tt { bits: VAR_MASKS[var] & mask(num_vars), num_vars: num_vars as u8 }
+    }
+
+    /// Builds a table from raw bits (excess bits are masked off).
+    pub fn from_bits(bits: u64, num_vars: usize) -> Tt {
+        assert!(num_vars <= Tt::MAX_VARS);
+        Tt { bits: bits & mask(num_vars), num_vars: num_vars as u8 }
+    }
+
+    /// The raw bits, valid in the low `2^num_vars` positions.
+    #[inline]
+    pub fn bits(self) -> u64 {
+        self.bits
+    }
+
+    /// The number of variables of this table.
+    #[inline]
+    pub fn num_vars(self) -> usize {
+        self.num_vars as usize
+    }
+
+    /// Complement.
+    #[inline]
+    pub fn not(self) -> Tt {
+        Tt { bits: !self.bits & mask(self.num_vars as usize), num_vars: self.num_vars }
+    }
+
+    /// Conjunction. Both tables must have the same variable count.
+    #[inline]
+    pub fn and(self, other: Tt) -> Tt {
+        debug_assert_eq!(self.num_vars, other.num_vars);
+        Tt { bits: self.bits & other.bits, num_vars: self.num_vars }
+    }
+
+    /// Disjunction.
+    #[inline]
+    pub fn or(self, other: Tt) -> Tt {
+        debug_assert_eq!(self.num_vars, other.num_vars);
+        Tt { bits: self.bits | other.bits, num_vars: self.num_vars }
+    }
+
+    /// Exclusive or.
+    #[inline]
+    pub fn xor(self, other: Tt) -> Tt {
+        debug_assert_eq!(self.num_vars, other.num_vars);
+        Tt { bits: self.bits ^ other.bits, num_vars: self.num_vars }
+    }
+
+    /// True if the function is constant (all-0 or all-1).
+    pub fn is_const(self) -> bool {
+        self.bits == 0 || self.bits == mask(self.num_vars as usize)
+    }
+
+    /// The variables in the functional support, ascending.
+    pub fn support(self) -> Vec<usize> {
+        (0..self.num_vars as usize).filter(|&v| self.influenced_by(v)).collect()
+    }
+
+    /// Whether flipping variable `var` can change the output.
+    pub fn influenced_by(self, var: usize) -> bool {
+        let m = VAR_MASKS[var];
+        let shift = 1u64 << var;
+        let pos = (self.bits & m) >> shift; // cofactor var=1, aligned to var=0 positions
+        let neg = self.bits & !m;
+        (pos ^ neg) & !m & mask(self.num_vars as usize) != 0
+    }
+
+    /// Removes variables outside the support, compacting the remaining
+    /// variables downwards. Returns the shrunk table and, for each new
+    /// variable position, the original variable it came from.
+    pub fn shrink_to_support(self) -> (Tt, Vec<usize>) {
+        let support = self.support();
+        if support.len() == self.num_vars as usize {
+            return (self, support);
+        }
+        let mut tt = self;
+        // Swap each support variable down into consecutive low positions.
+        for (new_pos, &old_pos) in support.iter().enumerate() {
+            if new_pos != old_pos {
+                tt = tt.swap_vars(new_pos, old_pos);
+            }
+        }
+        (Tt::from_bits(tt.bits, support.len()), support)
+    }
+
+    /// Swaps two variables of the table.
+    pub fn swap_vars(self, a: usize, b: usize) -> Tt {
+        if a == b {
+            return self;
+        }
+        let (a, b) = if a < b { (a, b) } else { (b, a) };
+        let step_a = 1u64 << a;
+        let step_b = 1u64 << b;
+        let mut out = 0u64;
+        for i in 0..(1u64 << self.num_vars) {
+            let bit = (self.bits >> i) & 1;
+            let va = (i >> a) & 1;
+            let vb = (i >> b) & 1;
+            let j = (i & !(step_a | step_b)) | (vb << a) | (va << b);
+            out |= bit << j;
+        }
+        Tt { bits: out, num_vars: self.num_vars }
+    }
+
+    /// Applies a permutation: new variable `i` takes the role of old
+    /// variable `perm[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm` is not a permutation of `0..num_vars`.
+    pub fn permute(self, perm: &[usize]) -> Tt {
+        assert_eq!(perm.len(), self.num_vars as usize);
+        let mut out = 0u64;
+        for i in 0..(1u64 << self.num_vars) {
+            // Build the old-space assignment from the new-space assignment i.
+            let mut old = 0u64;
+            for (new_var, &old_var) in perm.iter().enumerate() {
+                old |= ((i >> new_var) & 1) << old_var;
+            }
+            out |= ((self.bits >> old) & 1) << i;
+        }
+        Tt { bits: out, num_vars: self.num_vars }
+    }
+
+    /// Complements the inputs selected by `phase_mask` (bit `i` set means
+    /// variable `i` is complemented).
+    pub fn flip_inputs(self, phase_mask: u32) -> Tt {
+        let mut tt = self;
+        for v in 0..self.num_vars as usize {
+            if phase_mask & (1 << v) != 0 {
+                tt = tt.flip_input(v);
+            }
+        }
+        tt
+    }
+
+    /// Complements a single input variable.
+    pub fn flip_input(self, var: usize) -> Tt {
+        let m = VAR_MASKS[var];
+        let shift = 1u64 << var;
+        let hi = self.bits & m;
+        let lo = self.bits & !m;
+        Tt { bits: ((hi >> shift) | (lo << shift)) & mask(self.num_vars as usize), num_vars: self.num_vars }
+    }
+
+    /// Number of input assignments on which the function is true.
+    pub fn count_ones(self) -> u32 {
+        self.bits.count_ones()
+    }
+}
+
+#[inline]
+fn mask(num_vars: usize) -> u64 {
+    if num_vars >= 6 {
+        u64::MAX
+    } else {
+        (1u64 << (1usize << num_vars)) - 1
+    }
+}
+
+impl std::fmt::Debug for Tt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Tt({}v:{:0width$x})", self.num_vars, self.bits, width = (1 << self.num_vars) / 4)
+    }
+}
+
+impl std::fmt::Display for Tt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(self, f)
+    }
+}
+
+/// All permutations of `0..n`, for NPN enumeration (n ≤ 6).
+pub fn permutations(n: usize) -> Vec<Vec<usize>> {
+    let mut result = Vec::new();
+    let mut items: Vec<usize> = (0..n).collect();
+    heap_permute(&mut items, n, &mut result);
+    result
+}
+
+fn heap_permute(items: &mut Vec<usize>, k: usize, out: &mut Vec<Vec<usize>>) {
+    if k <= 1 {
+        out.push(items.clone());
+        return;
+    }
+    for i in 0..k {
+        heap_permute(items, k - 1, out);
+        if k % 2 == 0 {
+            items.swap(i, k - 1);
+        } else {
+            items.swap(0, k - 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_projections_match_bit_patterns() {
+        let a = Tt::var(0, 3);
+        let b = Tt::var(1, 3);
+        let c = Tt::var(2, 3);
+        assert_eq!(a.bits(), 0xAA);
+        assert_eq!(b.bits(), 0xCC);
+        assert_eq!(c.bits(), 0xF0);
+    }
+
+    #[test]
+    fn boolean_ops() {
+        let a = Tt::var(0, 2);
+        let b = Tt::var(1, 2);
+        assert_eq!(a.and(b).bits(), 0b1000);
+        assert_eq!(a.or(b).bits(), 0b1110);
+        assert_eq!(a.xor(b).bits(), 0b0110);
+        assert_eq!(a.not().bits(), 0b0101);
+    }
+
+    #[test]
+    fn constants() {
+        assert!(Tt::zero(3).is_const());
+        assert!(Tt::one(3).is_const());
+        assert!(!Tt::var(0, 3).is_const());
+        assert_eq!(Tt::one(2).bits(), 0xF);
+    }
+
+    #[test]
+    fn support_detection() {
+        let a = Tt::var(0, 4);
+        let c = Tt::var(2, 4);
+        let f = a.and(c);
+        assert_eq!(f.support(), vec![0, 2]);
+        assert!(f.influenced_by(0));
+        assert!(!f.influenced_by(1));
+        assert!(f.influenced_by(2));
+        assert!(!f.influenced_by(3));
+    }
+
+    #[test]
+    fn shrink_to_support_compacts_variables() {
+        let a = Tt::var(0, 5);
+        let d = Tt::var(3, 5);
+        let f = a.xor(d);
+        let (g, map) = f.shrink_to_support();
+        assert_eq!(g.num_vars(), 2);
+        assert_eq!(map, vec![0, 3]);
+        assert_eq!(g.bits(), Tt::var(0, 2).xor(Tt::var(1, 2)).bits());
+    }
+
+    #[test]
+    fn swap_vars_roundtrip() {
+        let f = Tt::var(0, 3).and(Tt::var(1, 3)).or(Tt::var(2, 3));
+        let g = f.swap_vars(0, 2);
+        assert_eq!(g.swap_vars(0, 2), f);
+        // After swapping 0 and 2, the function is (c & b) | a.
+        let expect = Tt::var(2, 3).and(Tt::var(1, 3)).or(Tt::var(0, 3));
+        assert_eq!(g, expect);
+    }
+
+    #[test]
+    fn permute_identity_and_rotation() {
+        let f = Tt::var(0, 3).and(Tt::var(1, 3));
+        assert_eq!(f.permute(&[0, 1, 2]), f);
+        // perm[i] = old var for new var i: rotate 0<-1, 1<-2, 2<-0.
+        let g = f.permute(&[1, 2, 0]);
+        // New var 0 plays old var 1's role, new var 2 plays old var 0's.
+        let expect = Tt::var(2, 3).and(Tt::var(0, 3));
+        assert_eq!(g, expect);
+    }
+
+    #[test]
+    fn flip_input_matches_cofactor_exchange() {
+        let f = Tt::var(0, 2); // f = a
+        let g = f.flip_input(0); // g = !a
+        assert_eq!(g.bits(), Tt::var(0, 2).not().bits());
+        let h = Tt::var(1, 3).flip_input(0); // independent variable: unchanged
+        assert_eq!(h, Tt::var(1, 3));
+    }
+
+    #[test]
+    fn flip_inputs_mask() {
+        let f = Tt::var(0, 2).and(Tt::var(1, 2));
+        let g = f.flip_inputs(0b11); // !a & !b = NOR
+        assert_eq!(g.bits(), 0b0001);
+    }
+
+    #[test]
+    fn permutations_count() {
+        assert_eq!(permutations(1).len(), 1);
+        assert_eq!(permutations(3).len(), 6);
+        assert_eq!(permutations(5).len(), 120);
+        // All distinct.
+        let mut p4 = permutations(4);
+        p4.sort();
+        p4.dedup();
+        assert_eq!(p4.len(), 24);
+    }
+
+    #[test]
+    fn six_var_mask_is_full() {
+        assert_eq!(Tt::one(6).bits(), u64::MAX);
+        assert!(Tt::var(5, 6).influenced_by(5));
+    }
+}

@@ -1,0 +1,22 @@
+//! CNN inference throughput (the cost SLAP adds per considered cut).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use slap_aig::Rng64;
+use slap_ml::{CnnConfig, CutCnn};
+
+fn bench_inference(c: &mut Criterion) {
+    let mut rng = Rng64::seed_from(7);
+    let sample: Vec<f32> = (0..150).map(|_| rng.f32()).collect();
+    let mut g = c.benchmark_group("inference");
+    for filters in [32usize, 64, 128] {
+        let model = CutCnn::new(&CnnConfig { filters, ..CnnConfig::paper() }, 1);
+        g.bench_function(format!("predict/{filters}-filters"), |b| {
+            b.iter(|| model.predict(black_box(&sample)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Regenerates the §V-B model-accuracy experiment: trains the Fig. 3 CNN
+//! on random maps of the two 16-bit adders and reports the 10-class and
+//! binarised validation accuracies (paper: ≈ 34 % and ≈ 93.4 %).
+//!
+//! Usage:
+//!   cargo run --release -p slap-bench --bin accuracy -- \
+//!       [--maps 250] [--epochs 20] [--filters 128] [--keep 4] [--lr 0.002]
+//!       [--seed 1] [--save model.txt]
+
+use slap_bench::{experiments_dir, Args};
+use slap_cell::asap7_mini;
+use slap_circuits::catalog::Scale;
+use slap_circuits::training_benchmarks;
+use slap_core::{generate_dataset, LabelMode, SampleConfig, CUT_EMBED_COLS, CUT_EMBED_ROWS};
+use slap_map::{MapOptions, Mapper};
+use slap_ml::{CnnConfig, CutCnn, Dataset, TrainConfig};
+
+fn main() {
+    let args = Args::from_env();
+    let maps = args.get("maps", 250usize);
+    let epochs = args.get("epochs", 20usize);
+    let filters = args.get("filters", 128usize);
+    let keep = args.get("keep", 4usize);
+    let lr = args.get("lr", 2e-3f32);
+    let seed = args.get("seed", 1u64);
+    let label_mode = if args.has("peruse") {
+        LabelMode::PerUse
+    } else if args.has("nonegatives") {
+        LabelMode::BestPerCut
+    } else {
+        LabelMode::BestPerCutWithNegatives
+    };
+
+    let library = asap7_mini();
+    let mapper = Mapper::new(&library, MapOptions::default());
+    println!("== §V-B model accuracy: {maps} maps/circuit, keep {keep}, {epochs} epochs, {filters} filters ==");
+
+    let mut dataset = Dataset::new(CUT_EMBED_ROWS, CUT_EMBED_COLS, 10);
+    for bench in training_benchmarks() {
+        let aig = bench.build(Scale::Full);
+        let samples = generate_dataset(
+            &aig,
+            &mapper,
+            &SampleConfig { maps, keep, seed, label_mode, ..SampleConfig::default() },
+            &mut dataset,
+        )
+        .expect("training circuit maps");
+        let delays: Vec<f32> = samples.iter().map(|s| s.delay).collect();
+        let min = delays.iter().copied().fold(f32::INFINITY, f32::min);
+        let max = delays.iter().copied().fold(0.0f32, f32::max);
+        println!(
+            "  {}: {} distinct maps, delay {:.0}..{:.0} ps ({:.1}% spread)",
+            bench.name,
+            samples.len(),
+            min,
+            max,
+            (max / min - 1.0) * 100.0
+        );
+    }
+    let counts = dataset.class_counts();
+    let total = dataset.len().max(1);
+    println!("  dataset: {} cut samples; class histogram:", dataset.len());
+    for (c, n) in counts.iter().enumerate() {
+        println!("    class {c}: {:>6} ({:>5.1}%)", n, *n as f64 / total as f64 * 100.0);
+    }
+    let keep_share: usize = counts.iter().take(7).sum();
+    println!(
+        "  majority-class baseline: {:.1}% (10-class), {:.1}% (binarised keep-vs-discard)",
+        counts.iter().max().copied().unwrap_or(0) as f64 / total as f64 * 100.0,
+        (keep_share.max(total - keep_share)) as f64 / total as f64 * 100.0
+    );
+
+    let mut model = CutCnn::new(&CnnConfig { filters, ..CnnConfig::paper() }, seed);
+    let report = model.train(
+        &dataset,
+        &TrainConfig { epochs, seed, learning_rate: lr, verbose: true, ..TrainConfig::default() },
+    );
+
+    println!("\nresults:");
+    println!("  data points            : {}", report.train_samples + report.val_samples);
+    println!("  train 10-class accuracy: {:.2}%", report.train_accuracy * 100.0);
+    println!("  val   10-class accuracy: {:.2}%   (paper: ~34%)", report.val_accuracy * 100.0);
+    println!(
+        "  val   binarised accuracy: {:.2}%  (paper: ~93.4%)",
+        report.val_binary_accuracy * 100.0
+    );
+    println!("  final training loss    : {:.4}", report.final_loss);
+
+    let path = experiments_dir().join(args.get("save", "model.txt".to_string()));
+    std::fs::write(&path, model.to_text()).expect("write model");
+    println!("\nwrote trained model to {}", path.display());
+}

@@ -1,0 +1,78 @@
+//! Regenerates Fig. 1: the 2-D QoR distribution of random-shuffle
+//! mappings of an AES core, with the default-heuristic star.
+//!
+//! Usage:
+//!   cargo run --release -p slap-bench --bin fig1 -- \
+//!       [--maps 300] [--keep 8] [--seed 1] [--full]
+
+use std::io::Write as _;
+
+use slap_bench::{experiments_dir, Args};
+use slap_cell::asap7_mini;
+use slap_circuits::aes::{aes_core, aes_mini};
+use slap_cuts::CutConfig;
+use slap_map::{MapOptions, Mapper};
+
+fn main() {
+    let args = Args::from_env();
+    let maps = args.get("maps", 300usize);
+    let keep = args.get("keep", 8usize);
+    let seed = args.get("seed", 1u64);
+    let aig = if args.has("full") { aes_core(1) } else { aes_mini() };
+    println!("circuit: {} ({} AND nodes)", aig.name(), aig.num_ands());
+
+    let library = asap7_mini();
+    let mapper = Mapper::new(&library, MapOptions::default());
+    let cut_config = CutConfig::default();
+    let reference = mapper.map_default(&aig, &cut_config).expect("default maps");
+    let (ref_area, ref_delay) = (reference.area() as f64, reference.delay() as f64);
+    println!("ABC default: area {ref_area:.2} µm², delay {ref_delay:.2} ps (the black star)");
+
+    let path = experiments_dir().join("fig1.csv");
+    let mut f = std::fs::File::create(&path).expect("create csv");
+    writeln!(f, "seed,area_um2,delay_ps,area_delta_pct,delay_delta_pct").expect("write");
+    let mut delays = Vec::with_capacity(maps);
+    let mut areas = Vec::with_capacity(maps);
+    for i in 0..maps {
+        let s = seed + i as u64;
+        let nl = mapper.map_shuffled(&aig, &cut_config, s, keep).expect("maps");
+        let (a, d) = (nl.area() as f64, nl.delay() as f64);
+        writeln!(
+            f,
+            "{s},{a:.2},{d:.2},{:.2},{:.2}",
+            (a / ref_area - 1.0) * 100.0,
+            (d / ref_delay - 1.0) * 100.0
+        )
+        .expect("write");
+        delays.push(d);
+        areas.push(a);
+        if (i + 1) % 50 == 0 {
+            eprintln!("  {}/{} maps", i + 1, maps);
+        }
+    }
+    let min_d = delays.iter().copied().fold(f64::INFINITY, f64::min);
+    let max_d = delays.iter().copied().fold(0.0f64, f64::max);
+    let min_a = areas.iter().copied().fold(f64::INFINITY, f64::min);
+    let max_a = areas.iter().copied().fold(0.0f64, f64::max);
+    println!("\n{maps} random-shuffle maps (keep = {keep}):");
+    println!(
+        "  delay spread: {:.2} .. {:.2} ps ({:+.1}% .. {:+.1}% vs default)",
+        min_d,
+        max_d,
+        (min_d / ref_delay - 1.0) * 100.0,
+        (max_d / ref_delay - 1.0) * 100.0
+    );
+    println!(
+        "  area  spread: {:.2} .. {:.2} µm² ({:+.1}% .. {:+.1}% vs default)",
+        min_a,
+        max_a,
+        (min_a / ref_area - 1.0) * 100.0,
+        (max_a / ref_area - 1.0) * 100.0
+    );
+    let below = delays.iter().filter(|&&d| d < ref_delay).count();
+    println!(
+        "  maps beating the default heuristic on delay: {below}/{maps} ({:.1}%)",
+        below as f64 / maps as f64 * 100.0
+    );
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,78 @@
+//! Regenerates Fig. 5: permutation feature importance of the trained
+//! model (accuracy drop when each of the 19 feature groups is permuted,
+//! averaged over 10 rounds).
+//!
+//! Usage:
+//!   cargo run --release -p slap-bench --bin fig5 -- \
+//!       [--maps 120] [--epochs 12] [--filters 64] [--rounds 10]
+//!       [--eval 2000] [--seed 1]
+
+use std::io::Write as _;
+
+use slap_bench::{experiments_dir, Args};
+use slap_cell::asap7_mini;
+use slap_circuits::catalog::Scale;
+use slap_circuits::training_benchmarks;
+use slap_core::{feature_groups, generate_dataset, SampleConfig, CUT_EMBED_COLS, CUT_EMBED_ROWS};
+use slap_map::{MapOptions, Mapper};
+use slap_ml::{permutation_importance, CnnConfig, CutCnn, Dataset, TrainConfig};
+
+fn main() {
+    let args = Args::from_env();
+    let maps = args.get("maps", 120usize);
+    let epochs = args.get("epochs", 12usize);
+    let filters = args.get("filters", 64usize);
+    let rounds = args.get("rounds", 10usize);
+    let eval = args.get("eval", 2000usize);
+    let seed = args.get("seed", 1u64);
+
+    let library = asap7_mini();
+    let mapper = Mapper::new(&library, MapOptions::default());
+    let mut dataset = Dataset::new(CUT_EMBED_ROWS, CUT_EMBED_COLS, 10);
+    for bench in training_benchmarks() {
+        let aig = bench.build(Scale::Full);
+        generate_dataset(
+            &aig,
+            &mapper,
+            &SampleConfig { maps, seed, ..SampleConfig::default() },
+            &mut dataset,
+        )
+        .expect("training circuit maps");
+    }
+    println!("dataset: {} cut samples", dataset.len());
+    let mut model = CutCnn::new(&CnnConfig { filters, ..CnnConfig::paper() }, seed);
+    let report = model.train(&dataset, &TrainConfig { epochs, seed, ..TrainConfig::default() });
+    println!(
+        "trained: val 10-class {:.2}%, binarised {:.2}%",
+        report.val_accuracy * 100.0,
+        report.val_binary_accuracy * 100.0
+    );
+
+    // Evaluate importance on a bounded validation subsample for speed.
+    let (_, val) = dataset.split(0.2, seed);
+    let mut eval_set = Dataset::new(CUT_EMBED_ROWS, CUT_EMBED_COLS, 10);
+    for i in 0..val.len().min(eval) {
+        let (x, y) = val.sample(i);
+        eval_set.push(x.to_vec(), y);
+    }
+    println!("permuting {} features x {rounds} rounds over {} samples...", 19, eval_set.len());
+    let groups = feature_groups();
+    let importance = permutation_importance(&model, &eval_set, &groups, rounds, seed);
+
+    let mut sorted = importance.clone();
+    sorted.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    println!("\n== Fig. 5 reproduction: permutation feature importance ==");
+    let max_imp = sorted.first().map(|(_, v)| *v).unwrap_or(0.0).max(1e-9);
+    for (name, imp) in &sorted {
+        let bar_len = ((imp / max_imp) * 40.0).max(0.0) as usize;
+        println!("  {:<14} {:>7.4}  {}", name, imp, "#".repeat(bar_len));
+    }
+
+    let path = experiments_dir().join("fig5.csv");
+    let mut f = std::fs::File::create(&path).expect("create csv");
+    writeln!(f, "feature,importance").expect("write");
+    for (name, imp) in &importance {
+        writeln!(f, "{name},{imp:.6}").expect("write");
+    }
+    println!("\nwrote {}", path.display());
+}

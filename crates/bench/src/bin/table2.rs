@@ -1,0 +1,161 @@
+//! Regenerates Table II: 14 circuits × {ABC original, ABC unlimited,
+//! SLAP}, reporting area (µm²), delay (ps), cuts considered, the
+//! SLAP/ABC and SLAP/Unlimited ratios, and the geomean rows.
+//!
+//! Usage:
+//!   cargo run --release -p slap-bench --bin table2 -- \
+//!       [--full] [--maps 150] [--epochs 15] [--filters 128] [--seed 1] [--cap 1000]
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use slap_bench::{experiments_dir, geomean, train_paper_model, Args, Qor};
+use slap_cell::asap7_mini;
+use slap_circuits::catalog::{table2_benchmarks, Scale};
+use slap_core::{SlapConfig, SlapMapper};
+use slap_cuts::CutConfig;
+use slap_map::{MapOptions, Mapper};
+
+struct Row {
+    name: &'static str,
+    abc: Qor,
+    unlimited: Qor,
+    slap: Qor,
+}
+
+fn main() {
+    let args = Args::from_env();
+    let scale = if args.has("full") { Scale::Full } else { Scale::Quick };
+    let maps = args.get("maps", 300usize);
+    let epochs = args.get("epochs", 30usize);
+    let filters = args.get("filters", 128usize);
+    let seed = args.get("seed", 1u64);
+    let cap = args.get("cap", 1000usize);
+
+    let library = asap7_mini();
+    let mapper = Mapper::new(&library, MapOptions::default());
+    println!("== training SLAP model on rc16 + cla16 ({maps} maps each, {epochs} epochs) ==");
+    let (model, _report) = train_paper_model(&mapper, maps, epochs, filters, seed, true);
+    println!();
+
+    let slap = SlapMapper::new(&mapper, model, SlapConfig { unlimited_cap: cap, ..SlapConfig::default() });
+    let cut_config = CutConfig::default();
+
+    let mut rows: Vec<Row> = Vec::new();
+    for bench in table2_benchmarks() {
+        let t0 = Instant::now();
+        let aig = bench.build(scale);
+        let abc = mapper.map_default(&aig, &cut_config).expect("default maps");
+        let unl = mapper.map_unlimited(&aig, &cut_config, cap).expect("unlimited maps");
+        let (snl, _) = slap.map(&aig).expect("slap maps");
+        assert!(snl.verify_against(&aig, 4, seed), "{}: SLAP netlist not equivalent", bench.name);
+        let to_qor = |n: &slap_map::MappedNetlist| Qor {
+            area: n.area() as f64,
+            delay: n.delay() as f64,
+            cuts: n.stats().cuts_considered,
+        };
+        rows.push(Row {
+            name: bench.name,
+            abc: to_qor(&abc),
+            unlimited: to_qor(&unl),
+            slap: to_qor(&snl),
+        });
+        eprintln!(
+            "  {:<12} ({} ands) done in {:.1}s",
+            bench.name,
+            aig.num_ands(),
+            t0.elapsed().as_secs_f64()
+        );
+    }
+
+    print_table(&rows, scale);
+    write_csv(&rows).expect("csv written");
+}
+
+fn print_table(rows: &[Row], scale: Scale) {
+    println!("\n== Table II reproduction (scale: {scale:?}) ==");
+    println!(
+        "{:<12} | {:>10} {:>10} {:>9} | {:>10} {:>10} {:>9} | {:>10} {:>10} {:>9} | {:>5} {:>5} {:>5} | {:>5} {:>5} {:>5}",
+        "Circuit", "ABC area", "delay", "cuts", "Unl area", "delay", "cuts", "SLAP area", "delay",
+        "cuts", "A", "D", "C", "A/u", "D/u", "C/u"
+    );
+    for r in rows {
+        println!(
+            "{:<12} | {:>10.2} {:>10.2} {:>9} | {:>10.2} {:>10.2} {:>9} | {:>10.2} {:>10.2} {:>9} | {:>5.2} {:>5.2} {:>5.2} | {:>5.2} {:>5.2} {:>5.2}",
+            r.name,
+            r.abc.area, r.abc.delay, r.abc.cuts,
+            r.unlimited.area, r.unlimited.delay, r.unlimited.cuts,
+            r.slap.area, r.slap.delay, r.slap.cuts,
+            r.slap.area / r.abc.area,
+            r.slap.delay / r.abc.delay,
+            r.slap.cuts as f64 / r.abc.cuts as f64,
+            r.slap.area / r.unlimited.area,
+            r.slap.delay / r.unlimited.delay,
+            r.slap.cuts as f64 / r.unlimited.cuts as f64,
+        );
+    }
+    let gm = |f: &dyn Fn(&Row) -> f64| geomean(rows.iter().map(f));
+    println!(
+        "{:<12} | {:>10.2} {:>10.2} {:>9.0} | {:>10.2} {:>10.2} {:>9.0} | {:>10.2} {:>10.2} {:>9.0} | {:>5.2} {:>5.2} {:>5.2} | {:>5.2} {:>5.2} {:>5.2}",
+        "Geomean",
+        gm(&|r| r.abc.area), gm(&|r| r.abc.delay), gm(&|r| r.abc.cuts as f64),
+        gm(&|r| r.unlimited.area), gm(&|r| r.unlimited.delay), gm(&|r| r.unlimited.cuts as f64),
+        gm(&|r| r.slap.area), gm(&|r| r.slap.delay), gm(&|r| r.slap.cuts as f64),
+        gm(&|r| r.slap.area / r.abc.area),
+        gm(&|r| r.slap.delay / r.abc.delay),
+        gm(&|r| r.slap.cuts as f64 / r.abc.cuts as f64),
+        gm(&|r| r.slap.area / r.unlimited.area),
+        gm(&|r| r.slap.delay / r.unlimited.delay),
+        gm(&|r| r.slap.cuts as f64 / r.unlimited.cuts as f64),
+    );
+    // Paper-style "Improvements" summary (vs vanilla ABC = 1.0).
+    println!(
+        "\nImprovements vs ABC:       unlimited area {:.2}, delay {:.2}, cuts {:.2}",
+        gm(&|r| r.unlimited.area / r.abc.area),
+        gm(&|r| r.unlimited.delay / r.abc.delay),
+        gm(&|r| r.unlimited.cuts as f64 / r.abc.cuts as f64),
+    );
+    println!(
+        "                           SLAP      area {:.2}, delay {:.2}, cuts {:.2}, ADP {:.2}",
+        gm(&|r| r.slap.area / r.abc.area),
+        gm(&|r| r.slap.delay / r.abc.delay),
+        gm(&|r| r.slap.cuts as f64 / r.abc.cuts as f64),
+        gm(&|r| r.slap.adp() / r.abc.adp()),
+    );
+    let delay_wins_abc = rows.iter().filter(|r| r.slap.delay <= r.abc.delay).count();
+    let delay_wins_unl = rows.iter().filter(|r| r.slap.delay <= r.unlimited.delay).count();
+    let adp_wins_abc = rows.iter().filter(|r| r.slap.adp() <= r.abc.adp()).count();
+    println!(
+        "SLAP delay wins: {delay_wins_abc}/{} vs ABC, {delay_wins_unl}/{} vs Unlimited; ADP wins vs ABC: {adp_wins_abc}/{}",
+        rows.len(),
+        rows.len(),
+        rows.len()
+    );
+}
+
+fn write_csv(rows: &[Row]) -> std::io::Result<()> {
+    let path = experiments_dir().join("table2.csv");
+    let mut f = std::fs::File::create(&path)?;
+    writeln!(
+        f,
+        "circuit,abc_area,abc_delay,abc_cuts,unl_area,unl_delay,unl_cuts,slap_area,slap_delay,slap_cuts"
+    )?;
+    for r in rows {
+        writeln!(
+            f,
+            "{},{:.2},{:.2},{},{:.2},{:.2},{},{:.2},{:.2},{}",
+            r.name,
+            r.abc.area,
+            r.abc.delay,
+            r.abc.cuts,
+            r.unlimited.area,
+            r.unlimited.delay,
+            r.unlimited.cuts,
+            r.slap.area,
+            r.slap.delay,
+            r.slap.cuts
+        )?;
+    }
+    println!("\nwrote {}", path.display());
+    Ok(())
+}

@@ -1,0 +1,176 @@
+//! Shared harness code for the experiment binaries.
+//!
+//! Each binary regenerates one table or figure of the paper:
+//!
+//! * `table2` — Table II (14 circuits × {ABC default, ABC unlimited,
+//!   SLAP}: area, delay, cuts, ratios, geomean);
+//! * `fig1` — the 2-D QoR scatter of random-shuffle mappings;
+//! * `accuracy` — the §V-B model-accuracy numbers;
+//! * `fig5` — the permutation feature-importance bars.
+//!
+//! Outputs land under `experiments/` in the workspace root (CSV + the
+//! printed tables recorded in `EXPERIMENTS.md`).
+
+use std::time::Instant;
+
+use slap_aig::Aig;
+use slap_circuits::training_benchmarks;
+use slap_core::{train_slap_model, PipelineConfig, SampleConfig};
+use slap_map::Mapper;
+use slap_ml::{CnnConfig, CutCnn, TrainConfig, TrainReport};
+
+/// One mapped result row.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Qor {
+    /// Cell area in µm².
+    pub area: f64,
+    /// STA delay in ps.
+    pub delay: f64,
+    /// Cuts exposed to Boolean matching.
+    pub cuts: usize,
+}
+
+impl Qor {
+    /// Area-delay product.
+    pub fn adp(&self) -> f64 {
+        self.area * self.delay
+    }
+}
+
+/// Geometric mean of a sequence (positive values).
+pub fn geomean<I: IntoIterator<Item = f64>>(values: I) -> f64 {
+    let mut sum = 0.0f64;
+    let mut n = 0usize;
+    for v in values {
+        assert!(v > 0.0, "geomean requires positive values");
+        sum += v.ln();
+        n += 1;
+    }
+    if n == 0 {
+        return 0.0;
+    }
+    (sum / n as f64).exp()
+}
+
+/// Simple `--key value` / `--flag` argument scanner for the binaries.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    raw: Vec<String>,
+}
+
+impl Args {
+    /// Captures the process arguments.
+    pub fn from_env() -> Args {
+        Args { raw: std::env::args().skip(1).collect() }
+    }
+
+    /// Builds from explicit strings (tests).
+    pub fn from_vec(raw: Vec<String>) -> Args {
+        Args { raw }
+    }
+
+    /// The value following `--name`, parsed.
+    pub fn get<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        let key = format!("--{name}");
+        self.raw
+            .iter()
+            .position(|a| *a == key)
+            .and_then(|i| self.raw.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Whether the bare flag `--name` is present.
+    pub fn has(&self, name: &str) -> bool {
+        let key = format!("--{name}");
+        self.raw.iter().any(|a| *a == key)
+    }
+}
+
+/// Trains the paper's model on the two 16-bit adders (§V-A/§V-B),
+/// printing progress. Returns the model and its accuracy report.
+pub fn train_paper_model(
+    mapper: &Mapper<'_>,
+    maps_per_circuit: usize,
+    epochs: usize,
+    filters: usize,
+    seed: u64,
+    verbose: bool,
+) -> (CutCnn, TrainReport) {
+    train_paper_model_tuned(mapper, maps_per_circuit, epochs, filters, seed, verbose, 4, 2e-3)
+}
+
+/// [`train_paper_model`] with explicit shuffle-keep and learning-rate
+/// knobs (exposed for the harness' tuning flags).
+#[allow(clippy::too_many_arguments)]
+pub fn train_paper_model_tuned(
+    mapper: &Mapper<'_>,
+    maps_per_circuit: usize,
+    epochs: usize,
+    filters: usize,
+    seed: u64,
+    verbose: bool,
+    keep: usize,
+    learning_rate: f32,
+) -> (CutCnn, TrainReport) {
+    let circuits: Vec<Aig> =
+        training_benchmarks().iter().map(|b| b.build(slap_circuits::catalog::Scale::Full)).collect();
+    let config = PipelineConfig {
+        sample: SampleConfig { maps: maps_per_circuit, keep, seed, ..SampleConfig::default() },
+        train: TrainConfig { epochs, seed, verbose, learning_rate, ..TrainConfig::default() },
+        model: CnnConfig { filters, ..CnnConfig::paper() },
+        model_seed: seed,
+    };
+    let t0 = Instant::now();
+    let (model, report) = train_slap_model(&circuits, mapper, &config);
+    if verbose {
+        println!(
+            "trained on {} samples in {:.1}s: 10-class val {:.2}%, binary val {:.2}%",
+            report.train_samples + report.val_samples,
+            t0.elapsed().as_secs_f64(),
+            report.val_accuracy * 100.0,
+            report.val_binary_accuracy * 100.0,
+        );
+    }
+    (model, report)
+}
+
+/// Ensures the `experiments/` output directory exists and returns its
+/// path.
+pub fn experiments_dir() -> std::path::PathBuf {
+    // The binaries run from the workspace (cargo sets CARGO_MANIFEST_DIR
+    // for the crate; experiments/ lives two levels up).
+    let base = std::env::var("CARGO_MANIFEST_DIR")
+        .map(|d| std::path::PathBuf::from(d).join("../.."))
+        .unwrap_or_else(|_| std::path::PathBuf::from("."));
+    let dir = base.join("experiments");
+    std::fs::create_dir_all(&dir).expect("can create experiments dir");
+    dir
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_known_values() {
+        assert!((geomean([1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean([2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert_eq!(geomean(Vec::<f64>::new()), 0.0);
+    }
+
+    #[test]
+    fn qor_adp() {
+        let q = Qor { area: 2.0, delay: 3.0, cuts: 5 };
+        assert_eq!(q.adp(), 6.0);
+    }
+
+    #[test]
+    fn args_parsing() {
+        let a = Args::from_vec(vec!["--maps".into(), "42".into(), "--full".into()]);
+        assert_eq!(a.get("maps", 7usize), 42);
+        assert_eq!(a.get("epochs", 7usize), 7);
+        assert!(a.has("full"));
+        assert!(!a.has("quick"));
+    }
+}

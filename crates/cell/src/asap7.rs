@@ -1,0 +1,149 @@
+//! The bundled ASAP7-flavoured mini library.
+//!
+//! The paper maps against the ASAP7 7 nm predictive PDK. Its liberty
+//! files are not redistributable here, so this module provides a
+//! substitute with the same *shape*: the ASAP7 simple-cell set
+//! (INV/BUF/NAND/NOR/AND/OR/XOR/XNOR/AOI/OAI/AO/OA/MAJ/MUX families up to
+//! five inputs), areas in µm² on the order of ASAP7's 7.5-track cells,
+//! and intrinsic delays of a handful of picoseconds with a linear
+//! fanout-load term. The mapper's optimisation problem — a discrete
+//! covering with per-gate area/delay trade-offs — is preserved; absolute
+//! numbers shift (see `DESIGN.md`, substitution table).
+
+use crate::gate::Library;
+use crate::genlib::parse_genlib;
+
+/// Genlib source of the bundled library (kept public so tests and docs
+/// can inspect it, and so users can tweak and re-parse it).
+pub const ASAP7_MINI_GENLIB: &str = "\
+# asap7-mini: ASAP7-flavoured cells. area in um^2; delays in ps.
+# PIN fields: name phase input_load max_load rise_block rise_fanout fall_block fall_fanout
+GATE INVx1    0.58 Y=!A;                 PIN * INV 1 999 4.5 1.2 4.5 1.2
+GATE INVx2    0.87 Y=!A;                 PIN * INV 2 999 3.5 0.7 3.5 0.7
+GATE BUFx2    1.16 Y=A;                  PIN * NONINV 1 999 7.0 0.9 7.0 0.9
+GATE NAND2x1  0.87 Y=!(A*B);             PIN * INV 1 999 6.5 1.3 6.5 1.3
+GATE NAND3x1  1.16 Y=!(A*B*C);           PIN * INV 1 999 8.5 1.5 8.5 1.5
+GATE NAND4x1  1.45 Y=!(A*B*C*D);         PIN * INV 1 999 10.5 1.7 10.5 1.7
+GATE NAND5x1  1.74 Y=!(A*B*C*D*E);       PIN * INV 1 999 12.5 1.9 12.5 1.9
+GATE NOR2x1   0.87 Y=!(A+B);             PIN * INV 1 999 7.5 1.5 7.5 1.5
+GATE NOR3x1   1.16 Y=!(A+B+C);           PIN * INV 1 999 10.0 1.8 10.0 1.8
+GATE NOR4x1   1.45 Y=!(A+B+C+D);         PIN * INV 1 999 12.5 2.1 12.5 2.1
+GATE NOR5x1   1.74 Y=!(A+B+C+D+E);       PIN * INV 1 999 15.0 2.4 15.0 2.4
+GATE AND2x2   1.16 Y=A*B;                PIN * NONINV 1 999 9.5 1.0 9.5 1.0
+GATE AND3x2   1.45 Y=A*B*C;              PIN * NONINV 1 999 11.0 1.1 11.0 1.1
+GATE AND4x2   1.74 Y=A*B*C*D;            PIN * NONINV 1 999 12.5 1.2 12.5 1.2
+GATE AND5x2   2.03 Y=A*B*C*D*E;          PIN * NONINV 1 999 14.0 1.3 14.0 1.3
+GATE OR2x2    1.16 Y=A+B;                PIN * NONINV 1 999 10.0 1.0 10.0 1.0
+GATE OR3x2    1.45 Y=A+B+C;              PIN * NONINV 1 999 12.0 1.1 12.0 1.1
+GATE OR4x2    1.74 Y=A+B+C+D;            PIN * NONINV 1 999 13.5 1.2 13.5 1.2
+GATE OR5x2    2.03 Y=A+B+C+D+E;          PIN * NONINV 1 999 15.5 1.3 15.5 1.3
+GATE XOR2x1   1.74 Y=A^B;                PIN * UNKNOWN 1 999 11.5 1.4 11.5 1.4
+GATE XNOR2x1  1.74 Y=!(A^B);             PIN * UNKNOWN 1 999 11.5 1.4 11.5 1.4
+GATE XOR3x1   2.90 Y=A^B^C;              PIN * UNKNOWN 1 999 16.0 1.6 16.0 1.6
+GATE AOI21x1  1.16 Y=!((A*B)+C);
+  PIN A INV 1 999 8.5 1.4 8.5 1.4
+  PIN B INV 1 999 8.5 1.4 8.5 1.4
+  PIN C INV 1 999 6.5 1.4 6.5 1.4
+GATE AOI22x1  1.45 Y=!((A*B)+(C*D));     PIN * INV 1 999 9.0 1.5 9.0 1.5
+GATE AOI211x1 1.45 Y=!((A*B)+C+D);       PIN * INV 1 999 10.0 1.6 10.0 1.6
+GATE AOI221x1 1.74 Y=!((A*B)+(C*D)+E);   PIN * INV 1 999 11.5 1.7 11.5 1.7
+GATE AOI31x1  1.45 Y=!((A*B*C)+D);       PIN * INV 1 999 10.5 1.6 10.5 1.6
+GATE AOI32x1  1.74 Y=!((A*B*C)+(D*E));   PIN * INV 1 999 11.5 1.7 11.5 1.7
+GATE OAI21x1  1.16 Y=!((A+B)*C);
+  PIN A INV 1 999 8.5 1.4 8.5 1.4
+  PIN B INV 1 999 8.5 1.4 8.5 1.4
+  PIN C INV 1 999 6.5 1.4 6.5 1.4
+GATE OAI22x1  1.45 Y=!((A+B)*(C+D));     PIN * INV 1 999 9.0 1.5 9.0 1.5
+GATE OAI211x1 1.45 Y=!((A+B)*C*D);       PIN * INV 1 999 10.0 1.6 10.0 1.6
+GATE OAI221x1 1.74 Y=!((A+B)*(C+D)*E);   PIN * INV 1 999 11.5 1.7 11.5 1.7
+GATE OAI31x1  1.45 Y=!((A+B+C)*D);       PIN * INV 1 999 10.5 1.6 10.5 1.6
+GATE OAI32x1  1.74 Y=!((A+B+C)*(D+E));   PIN * INV 1 999 11.5 1.7 11.5 1.7
+GATE AO21x2   1.45 Y=(A*B)+C;            PIN * NONINV 1 999 10.5 1.1 10.5 1.1
+GATE AO22x2   1.74 Y=(A*B)+(C*D);        PIN * NONINV 1 999 11.5 1.2 11.5 1.2
+GATE OA21x2   1.45 Y=(A+B)*C;            PIN * NONINV 1 999 11.0 1.1 11.0 1.1
+GATE OA22x2   1.74 Y=(A+B)*(C+D);        PIN * NONINV 1 999 12.0 1.2 12.0 1.2
+GATE MAJ3x1   1.74 Y=(A*B)+(A*C)+(B*C);  PIN * UNKNOWN 1 999 11.0 1.3 11.0 1.3
+GATE MUX2x1   1.74 Y=(S*B)+(!S*A);       PIN * UNKNOWN 1 999 12.0 1.4 12.0 1.4
+";
+
+/// Returns the bundled ASAP7-flavoured library.
+///
+/// # Panics
+///
+/// Never panics in practice — the embedded genlib is validated by tests;
+/// an invalid embedded library would be a build defect.
+pub fn asap7_mini() -> Library {
+    parse_genlib("asap7-mini", ASAP7_MINI_GENLIB).expect("embedded asap7-mini genlib is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::MatchIndex;
+    use slap_aig::Tt;
+
+    #[test]
+    fn parses_and_has_expected_size() {
+        let lib = asap7_mini();
+        assert_eq!(lib.len(), 40);
+        assert_eq!(lib.gate(lib.inverter()).name(), "INVx1");
+        assert!(lib.buffer().is_some());
+    }
+
+    #[test]
+    fn spot_check_functions() {
+        let lib = asap7_mini();
+        let maj = lib.gate(lib.find("MAJ3x1").expect("present"));
+        let a = Tt::var(0, 3);
+        let b = Tt::var(1, 3);
+        let c = Tt::var(2, 3);
+        assert_eq!(maj.tt(), a.and(b).or(a.and(c)).or(b.and(c)));
+        let mux = lib.gate(lib.find("MUX2x1").expect("present"));
+        assert_eq!(mux.num_pins(), 3);
+    }
+
+    #[test]
+    fn index_covers_basic_functions() {
+        let lib = asap7_mini();
+        let idx = MatchIndex::build(&lib);
+        let a2 = Tt::var(0, 2);
+        let b2 = Tt::var(1, 2);
+        for f in [
+            a2.and(b2),
+            a2.and(b2).not(),
+            a2.or(b2),
+            a2.or(b2).not(),
+            a2.xor(b2),
+            a2.xor(b2).not(),
+        ] {
+            assert!(!idx.matches(f).is_empty(), "no match for {f}");
+        }
+        // Full 5-input AND via AND5.
+        let mut and5 = Tt::var(0, 5);
+        for v in 1..5 {
+            and5 = and5.and(Tt::var(v, 5));
+        }
+        assert!(!idx.matches(and5).is_empty());
+    }
+
+    #[test]
+    fn drive_strength_variants_present() {
+        let lib = asap7_mini();
+        let x1 = lib.gate(lib.find("INVx1").expect("present"));
+        let x2 = lib.gate(lib.find("INVx2").expect("present"));
+        assert!(x2.area() > x1.area());
+        assert!(x2.pin_delay(0) < x1.pin_delay(0));
+    }
+
+    #[test]
+    fn areas_and_delays_are_positive() {
+        let lib = asap7_mini();
+        for (_, g) in lib.iter() {
+            assert!(g.area() > 0.0, "{}", g.name());
+            for p in 0..g.num_pins() {
+                assert!(g.pin_delay(p) > 0.0, "{}", g.name());
+            }
+            assert!(g.load_slope() >= 0.0);
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! Error type for library parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors from Boolean-expression or genlib parsing and library validation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CellError {
+    /// The Boolean expression is syntactically invalid.
+    ParseExpr(String),
+    /// A genlib construct is malformed.
+    ParseGenlib(String),
+    /// The library is unusable (e.g. it lacks an inverter).
+    InvalidLibrary(String),
+}
+
+impl fmt::Display for CellError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CellError::ParseExpr(s) => write!(f, "invalid boolean expression: {s}"),
+            CellError::ParseGenlib(s) => write!(f, "invalid genlib: {s}"),
+            CellError::InvalidLibrary(s) => write!(f, "invalid library: {s}"),
+        }
+    }
+}
+
+impl Error for CellError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty() {
+        assert!(!CellError::ParseExpr("x".into()).to_string().is_empty());
+        assert!(CellError::InvalidLibrary("no inverter".into()).to_string().contains("inverter"));
+    }
+}

@@ -1,0 +1,342 @@
+//! Boolean expression parser for genlib-style gate functions.
+//!
+//! Grammar (standard genlib conventions):
+//!
+//! ```text
+//! expr   := term (('+' | '|') term)*
+//! term   := factor (('*' | '&')? factor)*      -- juxtaposition is AND
+//! xfact  := factor ('^' factor)*               -- XOR binds tighter than OR
+//! factor := ('!' | '~') factor | atom '\''* | atom
+//! atom   := identifier | '0' | '1' | '(' expr ')'
+//! ```
+//!
+//! Pins are collected in order of first appearance; the resulting truth
+//! table's variable `i` is the i-th distinct pin.
+
+use slap_aig::Tt;
+
+use crate::error::CellError;
+
+/// The result of parsing: the function and the ordered pin names.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ParsedExpr {
+    /// Truth table over the pins, pin `i` = variable `i`.
+    pub tt: Tt,
+    /// Pin names in order of first appearance.
+    pub pins: Vec<String>,
+}
+
+/// Parses a genlib-style Boolean expression.
+///
+/// # Errors
+///
+/// Returns [`CellError::ParseExpr`] on syntax errors or on more than six
+/// distinct pins.
+///
+/// # Example
+///
+/// ```
+/// use slap_cell::expr::parse_expr;
+///
+/// # fn main() -> Result<(), slap_cell::CellError> {
+/// let p = parse_expr("!(A * B)")?;
+/// assert_eq!(p.pins, vec!["A", "B"]);
+/// assert_eq!(p.tt.bits(), 0b0111); // NAND2
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_expr(input: &str) -> Result<ParsedExpr, CellError> {
+    // Two-pass: discover pins first so all sub-tables share a variable count.
+    let pins = discover_pins(input)?;
+    if pins.len() > Tt::MAX_VARS {
+        return Err(CellError::ParseExpr(format!(
+            "expression has {} pins, at most {} supported",
+            pins.len(),
+            Tt::MAX_VARS
+        )));
+    }
+    let tokens = tokenize(input)?;
+    let mut parser = Parser { tokens, pos: 0, pins: &pins };
+    let tt = parser.parse_or()?;
+    if parser.pos != parser.tokens.len() {
+        return Err(CellError::ParseExpr(format!("trailing input at token {}", parser.pos)));
+    }
+    Ok(ParsedExpr { tt, pins })
+}
+
+#[derive(Clone, Debug, PartialEq)]
+enum Token {
+    Ident(String),
+    Const(bool),
+    Not,
+    Post,
+    And,
+    Or,
+    Xor,
+    LParen,
+    RParen,
+}
+
+fn tokenize(input: &str) -> Result<Vec<Token>, CellError> {
+    let mut tokens = Vec::new();
+    let mut chars = input.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                chars.next();
+            }
+            '!' | '~' => {
+                chars.next();
+                tokens.push(Token::Not);
+            }
+            '\'' => {
+                chars.next();
+                tokens.push(Token::Post);
+            }
+            '*' | '&' => {
+                chars.next();
+                tokens.push(Token::And);
+            }
+            '+' | '|' => {
+                chars.next();
+                tokens.push(Token::Or);
+            }
+            '^' => {
+                chars.next();
+                tokens.push(Token::Xor);
+            }
+            '(' => {
+                chars.next();
+                tokens.push(Token::LParen);
+            }
+            ')' => {
+                chars.next();
+                tokens.push(Token::RParen);
+            }
+            '0' => {
+                chars.next();
+                tokens.push(Token::Const(false));
+            }
+            '1' => {
+                chars.next();
+                tokens.push(Token::Const(true));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut name = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' || c == '[' || c == ']' {
+                        name.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token::Ident(name));
+            }
+            other => return Err(CellError::ParseExpr(format!("unexpected character '{other}'"))),
+        }
+    }
+    Ok(tokens)
+}
+
+fn discover_pins(input: &str) -> Result<Vec<String>, CellError> {
+    let tokens = tokenize(input)?;
+    let mut pins: Vec<String> = Vec::new();
+    for t in tokens {
+        if let Token::Ident(name) = t {
+            if !pins.contains(&name) {
+                pins.push(name);
+            }
+        }
+    }
+    Ok(pins)
+}
+
+struct Parser<'a> {
+    tokens: Vec<Token>,
+    pos: usize,
+    pins: &'a [String],
+}
+
+impl Parser<'_> {
+    fn nv(&self) -> usize {
+        self.pins.len().max(1)
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn parse_or(&mut self) -> Result<Tt, CellError> {
+        let mut acc = self.parse_and()?;
+        while self.peek() == Some(&Token::Or) {
+            self.pos += 1;
+            let rhs = self.parse_and()?;
+            acc = acc.or(rhs);
+        }
+        Ok(acc)
+    }
+
+    fn parse_and(&mut self) -> Result<Tt, CellError> {
+        let mut acc = self.parse_xor()?;
+        loop {
+            match self.peek() {
+                Some(Token::And) => {
+                    self.pos += 1;
+                    let rhs = self.parse_xor()?;
+                    acc = acc.and(rhs);
+                }
+                // Juxtaposition: `a b` and `a (b+c)` mean AND.
+                Some(Token::Ident(_)) | Some(Token::LParen) | Some(Token::Not) | Some(Token::Const(_)) => {
+                    let rhs = self.parse_xor()?;
+                    acc = acc.and(rhs);
+                }
+                _ => return Ok(acc),
+            }
+        }
+    }
+
+    fn parse_xor(&mut self) -> Result<Tt, CellError> {
+        let mut acc = self.parse_factor()?;
+        while self.peek() == Some(&Token::Xor) {
+            self.pos += 1;
+            let rhs = self.parse_factor()?;
+            acc = acc.xor(rhs);
+        }
+        Ok(acc)
+    }
+
+    fn parse_factor(&mut self) -> Result<Tt, CellError> {
+        let mut negations = 0usize;
+        while self.peek() == Some(&Token::Not) {
+            self.pos += 1;
+            negations += 1;
+        }
+        let mut tt = self.parse_atom()?;
+        while self.peek() == Some(&Token::Post) {
+            self.pos += 1;
+            negations += 1;
+        }
+        if negations % 2 == 1 {
+            tt = tt.not();
+        }
+        Ok(tt)
+    }
+
+    fn parse_atom(&mut self) -> Result<Tt, CellError> {
+        match self.tokens.get(self.pos).cloned() {
+            Some(Token::Ident(name)) => {
+                self.pos += 1;
+                let var = self
+                    .pins
+                    .iter()
+                    .position(|p| *p == name)
+                    .expect("pin discovered in first pass");
+                Ok(Tt::var(var, self.nv()))
+            }
+            Some(Token::Const(b)) => {
+                self.pos += 1;
+                Ok(if b { Tt::one(self.nv()) } else { Tt::zero(self.nv()) })
+            }
+            Some(Token::LParen) => {
+                self.pos += 1;
+                let tt = self.parse_or()?;
+                if self.tokens.get(self.pos) != Some(&Token::RParen) {
+                    return Err(CellError::ParseExpr("missing ')'".into()));
+                }
+                self.pos += 1;
+                Ok(tt)
+            }
+            other => Err(CellError::ParseExpr(format!("unexpected token {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tt_of(s: &str) -> Tt {
+        parse_expr(s).expect("parse").tt
+    }
+
+    #[test]
+    fn single_pin() {
+        let p = parse_expr("A").expect("parse");
+        assert_eq!(p.pins, vec!["A"]);
+        assert_eq!(p.tt, Tt::var(0, 1));
+    }
+
+    #[test]
+    fn and_or_not() {
+        assert_eq!(tt_of("A*B").bits(), 0b1000);
+        assert_eq!(tt_of("A+B").bits(), 0b1110);
+        assert_eq!(tt_of("!A").bits(), 0b01);
+        assert_eq!(tt_of("!(A*B)").bits(), 0b0111);
+        assert_eq!(tt_of("!A * !B").bits(), 0b0001);
+    }
+
+    #[test]
+    fn alternate_operators() {
+        assert_eq!(tt_of("A&B"), tt_of("A*B"));
+        assert_eq!(tt_of("A|B"), tt_of("A+B"));
+        assert_eq!(tt_of("~A"), tt_of("!A"));
+        assert_eq!(tt_of("A'"), tt_of("!A"));
+    }
+
+    #[test]
+    fn juxtaposition_is_and() {
+        assert_eq!(tt_of("A B"), tt_of("A*B"));
+        assert_eq!(tt_of("A (B+C)"), tt_of("A*(B+C)"));
+    }
+
+    #[test]
+    fn xor_and_precedence() {
+        // XOR binds tighter than OR and is a factor of AND terms.
+        assert_eq!(tt_of("A^B").bits(), 0b0110);
+        // A + B*C: OR of A with AND.
+        let a = Tt::var(0, 3);
+        let b = Tt::var(1, 3);
+        let c = Tt::var(2, 3);
+        assert_eq!(tt_of("A + B*C"), a.or(b.and(c)));
+        assert_eq!(tt_of("(A+B)*C"), a.or(b).and(c));
+    }
+
+    #[test]
+    fn aoi_function() {
+        // AOI21: !((A*B) + C)
+        let a = Tt::var(0, 3);
+        let b = Tt::var(1, 3);
+        let c = Tt::var(2, 3);
+        assert_eq!(tt_of("!((A*B)+C)"), a.and(b).or(c).not());
+    }
+
+    #[test]
+    fn constants() {
+        // Pinless expressions parse over one dummy variable.
+        assert_eq!(tt_of("0"), Tt::zero(1));
+        assert_eq!(tt_of("1"), Tt::one(1));
+        assert!(tt_of("A * !A").is_const());
+    }
+
+    #[test]
+    fn pin_order_is_first_appearance() {
+        let p = parse_expr("B + A*B").expect("parse");
+        assert_eq!(p.pins, vec!["B", "A"]);
+    }
+
+    #[test]
+    fn five_pins() {
+        let p = parse_expr("!((A*B)+(C*D)+E)").expect("parse");
+        assert_eq!(p.pins.len(), 5);
+        assert_eq!(p.tt.num_vars(), 5);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_expr("A +").is_err());
+        assert!(parse_expr("(A").is_err());
+        assert!(parse_expr("A @ B").is_err());
+        assert!(parse_expr("A*B*C*D*E*F*G").is_err()); // 7 pins
+    }
+}

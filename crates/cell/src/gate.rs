@@ -1,0 +1,262 @@
+//! Gates and libraries.
+
+use std::fmt;
+
+use slap_aig::Tt;
+
+use crate::error::CellError;
+
+/// Index of a gate inside a [`Library`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GateId(u32);
+
+impl GateId {
+    /// Creates a gate id from a raw index.
+    pub fn new(index: usize) -> GateId {
+        GateId(index as u32)
+    }
+
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for GateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// A standard cell: a single-output Boolean function with area and a
+/// per-pin linear delay model (`delay(pin) = intrinsic(pin) + slope × load`,
+/// where load is measured in fanout count).
+#[derive(Clone, Debug)]
+pub struct Gate {
+    name: String,
+    area: f32,
+    tt: Tt,
+    pins: Vec<String>,
+    pin_delays: Vec<f32>,
+    load_slope: f32,
+}
+
+impl Gate {
+    /// Creates a gate. `pin_delays` are intrinsic delays in ps, one per
+    /// pin (variable order of `tt`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if pin counts disagree with the truth table's variable count.
+    pub fn new(
+        name: impl Into<String>,
+        area: f32,
+        tt: Tt,
+        pins: Vec<String>,
+        pin_delays: Vec<f32>,
+        load_slope: f32,
+    ) -> Gate {
+        assert_eq!(pins.len(), tt.num_vars(), "one pin per truth-table variable");
+        assert_eq!(pin_delays.len(), pins.len(), "one delay per pin");
+        Gate { name: name.into(), area, tt, pins, pin_delays, load_slope }
+    }
+
+    /// The cell name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Cell area in µm².
+    pub fn area(&self) -> f32 {
+        self.area
+    }
+
+    /// The function over the pins (pin `i` = variable `i`).
+    pub fn tt(&self) -> Tt {
+        self.tt
+    }
+
+    /// Number of input pins.
+    pub fn num_pins(&self) -> usize {
+        self.pins.len()
+    }
+
+    /// Pin names.
+    pub fn pins(&self) -> &[String] {
+        &self.pins
+    }
+
+    /// Intrinsic delay of `pin` in ps.
+    pub fn pin_delay(&self, pin: usize) -> f32 {
+        self.pin_delays[pin]
+    }
+
+    /// Extra delay per unit of output load (fanout count), in ps.
+    pub fn load_slope(&self) -> f32 {
+        self.load_slope
+    }
+
+    /// Pin-to-output delay under a given output fanout count.
+    pub fn delay(&self, pin: usize, fanout: usize) -> f32 {
+        self.pin_delays[pin] + self.load_slope * fanout as f32
+    }
+
+    /// Worst intrinsic pin delay — a quick pessimistic bound.
+    pub fn max_pin_delay(&self) -> f32 {
+        self.pin_delays.iter().copied().fold(0.0, f32::max)
+    }
+}
+
+/// A collection of gates plus the distinguished inverter (and optional
+/// buffer) every mapper needs.
+#[derive(Clone, Debug)]
+pub struct Library {
+    name: String,
+    gates: Vec<Gate>,
+    inverter: GateId,
+    buffer: Option<GateId>,
+}
+
+impl Library {
+    /// Builds a library from gates, locating the inverter and buffer by
+    /// function (single-input NOT / identity).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CellError::InvalidLibrary`] if no inverter is present or
+    /// the library is empty.
+    pub fn from_gates(name: impl Into<String>, gates: Vec<Gate>) -> Result<Library, CellError> {
+        if gates.is_empty() {
+            return Err(CellError::InvalidLibrary("library has no gates".into()));
+        }
+        let not_tt = Tt::var(0, 1).not();
+        let buf_tt = Tt::var(0, 1);
+        let mut inverter: Option<GateId> = None;
+        let mut buffer: Option<GateId> = None;
+        for (i, g) in gates.iter().enumerate() {
+            if g.num_pins() == 1 {
+                if g.tt() == not_tt {
+                    // Keep the smallest-area inverter.
+                    match inverter {
+                        Some(prev) if gates[prev.index()].area() <= g.area() => {}
+                        _ => inverter = Some(GateId::new(i)),
+                    }
+                } else if g.tt() == buf_tt {
+                    match buffer {
+                        Some(prev) if gates[prev.index()].area() <= g.area() => {}
+                        _ => buffer = Some(GateId::new(i)),
+                    }
+                }
+            }
+        }
+        let inverter = inverter
+            .ok_or_else(|| CellError::InvalidLibrary("library must contain an inverter".into()))?;
+        Ok(Library { name: name.into(), gates, inverter, buffer })
+    }
+
+    /// The library name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All gates.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Access a gate by id.
+    pub fn gate(&self, id: GateId) -> &Gate {
+        &self.gates[id.index()]
+    }
+
+    /// Number of gates.
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Whether the library is empty (never true for a constructed library).
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// The distinguished (smallest) inverter.
+    pub fn inverter(&self) -> GateId {
+        self.inverter
+    }
+
+    /// The distinguished buffer, if present.
+    pub fn buffer(&self) -> Option<GateId> {
+        self.buffer
+    }
+
+    /// Iterator over `(GateId, &Gate)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (GateId, &Gate)> {
+        self.gates.iter().enumerate().map(|(i, g)| (GateId::new(i), g))
+    }
+
+    /// Looks a gate up by name.
+    pub fn find(&self, name: &str) -> Option<GateId> {
+        self.gates.iter().position(|g| g.name() == name).map(GateId::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inv() -> Gate {
+        Gate::new("INV", 1.0, Tt::var(0, 1).not(), vec!["A".into()], vec![5.0], 1.0)
+    }
+
+    fn and2() -> Gate {
+        let tt = Tt::var(0, 2).and(Tt::var(1, 2));
+        Gate::new("AND2", 2.0, tt, vec!["A".into(), "B".into()], vec![8.0, 9.0], 1.5)
+    }
+
+    #[test]
+    fn gate_accessors() {
+        let g = and2();
+        assert_eq!(g.name(), "AND2");
+        assert_eq!(g.num_pins(), 2);
+        assert_eq!(g.pin_delay(1), 9.0);
+        assert_eq!(g.delay(0, 2), 8.0 + 3.0);
+        assert_eq!(g.max_pin_delay(), 9.0);
+    }
+
+    #[test]
+    fn library_finds_inverter() {
+        let lib = Library::from_gates("test", vec![and2(), inv()]).expect("valid");
+        assert_eq!(lib.gate(lib.inverter()).name(), "INV");
+        assert!(lib.buffer().is_none());
+        assert_eq!(lib.len(), 2);
+        assert_eq!(lib.find("AND2"), Some(GateId::new(0)));
+        assert_eq!(lib.find("NOPE"), None);
+    }
+
+    #[test]
+    fn library_prefers_smaller_inverter() {
+        let mut small = inv();
+        small = Gate::new("INVS", 0.5, small.tt(), vec!["A".into()], vec![4.0], 1.0);
+        let lib = Library::from_gates("test", vec![inv(), small]).expect("valid");
+        assert_eq!(lib.gate(lib.inverter()).name(), "INVS");
+    }
+
+    #[test]
+    fn library_without_inverter_is_rejected() {
+        assert!(Library::from_gates("test", vec![and2()]).is_err());
+        assert!(Library::from_gates("test", vec![]).is_err());
+    }
+
+    #[test]
+    fn buffer_detected() {
+        let buf = Gate::new("BUF", 1.2, Tt::var(0, 1), vec!["A".into()], vec![7.0], 1.0);
+        let lib = Library::from_gates("test", vec![inv(), buf]).expect("valid");
+        assert_eq!(lib.gate(lib.buffer().expect("buffer")).name(), "BUF");
+    }
+
+    #[test]
+    #[should_panic(expected = "one pin per truth-table variable")]
+    fn pin_mismatch_panics() {
+        let _ = Gate::new("BAD", 1.0, Tt::var(0, 2), vec!["A".into()], vec![1.0], 0.0);
+    }
+}

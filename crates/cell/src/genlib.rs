@@ -1,0 +1,221 @@
+//! Parser for a practical subset of the SIS/ABC genlib format.
+//!
+//! Supported syntax (one gate per `GATE` statement):
+//!
+//! ```text
+//! GATE <name> <area> <output>=<expr>;
+//!   PIN <name|*> <phase> <input_load> <max_load>
+//!       <rise_block> <rise_fanout> <fall_block> <fall_fanout>
+//! ```
+//!
+//! `PIN *` applies one timing spec to every pin. The intrinsic pin delay
+//! is taken as the average of rise/fall block delays and the load slope
+//! as the average of rise/fall fanout coefficients, matching how ABC's
+//! `map` collapses genlib arcs into a single number per pin. Comments
+//! start with `#`.
+
+use slap_aig::Tt;
+
+use crate::error::CellError;
+use crate::expr::parse_expr;
+use crate::gate::{Gate, Library};
+
+/// Parses genlib text into a [`Library`].
+///
+/// # Errors
+///
+/// Returns [`CellError`] on malformed statements or if the resulting
+/// library has no inverter.
+///
+/// # Example
+///
+/// ```
+/// use slap_cell::genlib::parse_genlib;
+///
+/// # fn main() -> Result<(), slap_cell::CellError> {
+/// let lib = parse_genlib("demo", "
+///     GATE INVx1 1.0 Y=!A; PIN * INV 1 999 5.0 1.0 5.0 1.0
+///     GATE NAND2 2.0 Y=!(A*B); PIN * INV 1 999 8.0 1.5 8.0 1.5
+/// ")?;
+/// assert_eq!(lib.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+pub fn parse_genlib(name: &str, text: &str) -> Result<Library, CellError> {
+    let cleaned: String = text
+        .lines()
+        .map(|l| l.split('#').next().unwrap_or(""))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let tokens: Vec<&str> = cleaned.split_whitespace().collect();
+    let mut gates = Vec::new();
+    let mut pos = 0usize;
+    while pos < tokens.len() {
+        if tokens[pos] != "GATE" {
+            return Err(CellError::ParseGenlib(format!(
+                "expected GATE, found '{}'",
+                tokens[pos]
+            )));
+        }
+        pos += 1;
+        let gate_name = tokens
+            .get(pos)
+            .ok_or_else(|| CellError::ParseGenlib("missing gate name".into()))?
+            .to_string();
+        pos += 1;
+        let area: f32 = tokens
+            .get(pos)
+            .ok_or_else(|| CellError::ParseGenlib("missing area".into()))?
+            .parse()
+            .map_err(|_| CellError::ParseGenlib(format!("bad area for {gate_name}")))?;
+        pos += 1;
+        // The function spans tokens until the terminating ';'.
+        let mut func = String::new();
+        loop {
+            let t = tokens
+                .get(pos)
+                .ok_or_else(|| CellError::ParseGenlib(format!("unterminated function for {gate_name}")))?;
+            pos += 1;
+            if let Some(stripped) = t.strip_suffix(';') {
+                func.push_str(stripped);
+                break;
+            }
+            func.push_str(t);
+            func.push(' ');
+        }
+        let expr_text = func
+            .split_once('=')
+            .ok_or_else(|| CellError::ParseGenlib(format!("function of {gate_name} lacks '='")))?
+            .1
+            .to_string();
+        let parsed = parse_expr(&expr_text)
+            .map_err(|e| CellError::ParseGenlib(format!("{gate_name}: {e}")))?;
+        // PIN statements.
+        let mut pin_specs: Vec<(String, f32, f32)> = Vec::new();
+        while tokens.get(pos) == Some(&"PIN") {
+            pos += 1;
+            let pin_name = tokens
+                .get(pos)
+                .ok_or_else(|| CellError::ParseGenlib("missing pin name".into()))?
+                .to_string();
+            pos += 1;
+            // phase, input_load, max_load, rise_block, rise_fanout,
+            // fall_block, fall_fanout
+            let mut nums = [0f32; 6];
+            let _phase = tokens
+                .get(pos)
+                .ok_or_else(|| CellError::ParseGenlib("missing pin phase".into()))?;
+            pos += 1;
+            for slot in &mut nums {
+                *slot = tokens
+                    .get(pos)
+                    .ok_or_else(|| CellError::ParseGenlib(format!("short PIN line in {gate_name}")))?
+                    .parse()
+                    .map_err(|_| CellError::ParseGenlib(format!("bad PIN number in {gate_name}")))?;
+                pos += 1;
+            }
+            let intrinsic = (nums[2] + nums[4]) / 2.0;
+            let slope = (nums[3] + nums[5]) / 2.0;
+            pin_specs.push((pin_name, intrinsic, slope));
+        }
+        let (pin_delays, load_slope) = assign_pin_timing(&parsed.pins, &pin_specs, &gate_name)?;
+        let tt = normalize_const(parsed.tt);
+        gates.push(Gate::new(gate_name, area, tt, parsed.pins, pin_delays, load_slope));
+    }
+    Library::from_gates(name, gates)
+}
+
+fn normalize_const(tt: Tt) -> Tt {
+    // Genlib constant cells (Y=0 / Y=1) parse as zero-variable tables;
+    // keep them as-is — the match index skips constants anyway.
+    tt
+}
+
+fn assign_pin_timing(
+    pins: &[String],
+    specs: &[(String, f32, f32)],
+    gate: &str,
+) -> Result<(Vec<f32>, f32), CellError> {
+    if pins.is_empty() {
+        return Ok((Vec::new(), 0.0));
+    }
+    if specs.is_empty() {
+        return Err(CellError::ParseGenlib(format!("{gate}: no PIN timing given")));
+    }
+    let wildcard = specs.iter().find(|(n, _, _)| n == "*");
+    let mut delays = Vec::with_capacity(pins.len());
+    let mut slope_acc = 0.0f32;
+    for p in pins {
+        let spec = specs
+            .iter()
+            .find(|(n, _, _)| n == p)
+            .or(wildcard)
+            .ok_or_else(|| CellError::ParseGenlib(format!("{gate}: no timing for pin {p}")))?;
+        delays.push(spec.1);
+        slope_acc += spec.2;
+    }
+    Ok((delays, slope_acc / pins.len() as f32))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "
+        # a tiny library
+        GATE INVx1 1.0 Y=!A;      PIN * INV 1 999 4.0 1.0 6.0 1.0
+        GATE NAND2 2.0 Y=!(A*B);  PIN * INV 1 999 8.0 1.5 8.0 1.5
+        GATE AOI21 2.5 Y=!((A*B)+C);
+          PIN A INV 1 999 9.0 1.0 9.0 1.0
+          PIN B INV 1 999 9.5 1.0 9.5 1.0
+          PIN C INV 1 999 7.0 1.0 7.0 1.0
+    ";
+
+    #[test]
+    fn parses_sample() {
+        let lib = parse_genlib("sample", SAMPLE).expect("parse");
+        assert_eq!(lib.len(), 3);
+        let inv = lib.gate(lib.inverter());
+        assert_eq!(inv.name(), "INVx1");
+        assert_eq!(inv.pin_delay(0), 5.0); // average of 4 and 6
+        let aoi = lib.gate(lib.find("AOI21").expect("present"));
+        assert_eq!(aoi.num_pins(), 3);
+        assert_eq!(aoi.pin_delay(2), 7.0);
+        // AOI21 function: !((A*B)+C)
+        let a = Tt::var(0, 3);
+        let b = Tt::var(1, 3);
+        let c = Tt::var(2, 3);
+        assert_eq!(aoi.tt(), a.and(b).or(c).not());
+    }
+
+    #[test]
+    fn function_with_spaces_before_semicolon() {
+        let lib = parse_genlib("t", "GATE G 1.0 Y=A * B ; PIN * INV 1 999 1 1 1 1\nGATE I 1.0 Y=!A; PIN * INV 1 999 1 1 1 1")
+            .expect("parse");
+        assert_eq!(lib.find("G").map(|g| lib.gate(g).num_pins()), Some(2));
+    }
+
+    #[test]
+    fn missing_pin_timing_is_error() {
+        let r = parse_genlib("t", "GATE G 1.0 Y=!A;");
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn unknown_keyword_is_error() {
+        assert!(parse_genlib("t", "LATCH x").is_err());
+    }
+
+    #[test]
+    fn library_without_inverter_rejected() {
+        let r = parse_genlib("t", "GATE NAND2 2.0 Y=!(A*B); PIN * INV 1 999 1 1 1 1");
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn comments_are_stripped() {
+        let lib = parse_genlib("t", "# header\nGATE I 1.0 Y=!A; PIN * INV 1 999 1 1 1 1 # trailing")
+            .expect("parse");
+        assert_eq!(lib.len(), 1);
+    }
+}

@@ -1,0 +1,236 @@
+//! The Boolean matching index.
+//!
+//! For every gate we pre-expand all input permutations and input/output
+//! polarities, so that matching a cut function is a single hash lookup of
+//! its raw truth table (normalized to its support). This replaces NPN
+//! canonicalisation at query time with a one-off enumeration at library
+//! build time — the classic trade ABC's supergate library makes.
+
+use std::collections::HashMap;
+
+use slap_aig::tt::permutations;
+use slap_aig::Tt;
+
+use crate::gate::{GateId, Library};
+
+/// One way a gate can realize a function over cut leaves.
+///
+/// Leaf `i` of the cut feeds gate pin `pin_of_leaf[i]`; if bit `i` of
+/// `leaf_compl` is set, the *complement* of leaf `i` is required.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct MatchEntry {
+    /// The matched gate.
+    pub gate: GateId,
+    /// For each leaf position, the gate pin it drives.
+    pub pin_of_leaf: [u8; 6],
+    /// Bit `i` set ⇒ leaf `i` must be complemented.
+    pub leaf_compl: u8,
+}
+
+impl MatchEntry {
+    /// The gate pin fed by leaf `leaf`.
+    pub fn pin(&self, leaf: usize) -> usize {
+        self.pin_of_leaf[leaf] as usize
+    }
+
+    /// Whether leaf `leaf` is required in complemented polarity.
+    pub fn leaf_complemented(&self, leaf: usize) -> bool {
+        self.leaf_compl & (1 << leaf) != 0
+    }
+}
+
+/// Hash index from (support size, truth table) to the gate bindings that
+/// realize that exact function.
+#[derive(Clone, Debug)]
+pub struct MatchIndex {
+    table: HashMap<(u8, u64), Vec<MatchEntry>>,
+    max_inputs: usize,
+}
+
+impl MatchIndex {
+    /// Builds the index by expanding every gate of `library` over all pin
+    /// permutations and input polarities.
+    pub fn build(library: &Library) -> MatchIndex {
+        let mut table: HashMap<(u8, u64), Vec<MatchEntry>> = HashMap::new();
+        // Two bindings of the same gate to the same function are redundant
+        // when every leaf sees the same polarity and pin delay (symmetric
+        // pins): dedup on that profile to keep match lists tight.
+        let mut seen: std::collections::HashSet<(u8, u64, GateId, u8, [u32; 6])> =
+            std::collections::HashSet::new();
+        let mut max_inputs = 0usize;
+        for (id, gate) in library.iter() {
+            let n = gate.num_pins();
+            if n == 0 || n > Tt::MAX_VARS || gate.tt().is_const() {
+                continue;
+            }
+            max_inputs = max_inputs.max(n);
+            for perm in permutations(n) {
+                // perm[leaf] = pin: leaf `leaf` plays the role of gate pin
+                // perm[leaf].
+                for compl in 0u32..(1 << n) {
+                    // Complement the gate's pins selected by `compl`, then
+                    // rename pin variables to leaf variables.
+                    let tt = gate.tt().flip_inputs(compl).permute(&perm);
+                    let mut pin_of_leaf = [0u8; 6];
+                    let mut leaf_compl = 0u8;
+                    let mut delay_profile = [0u32; 6];
+                    for (leaf, &pin) in perm.iter().enumerate() {
+                        pin_of_leaf[leaf] = pin as u8;
+                        delay_profile[leaf] = gate.pin_delay(pin).to_bits();
+                        if compl & (1 << pin) != 0 {
+                            leaf_compl |= 1 << leaf;
+                        }
+                    }
+                    if !seen.insert((n as u8, tt.bits(), id, leaf_compl, delay_profile)) {
+                        continue;
+                    }
+                    let entry = MatchEntry { gate: id, pin_of_leaf, leaf_compl };
+                    table.entry((n as u8, tt.bits())).or_default().push(entry);
+                }
+            }
+        }
+        MatchIndex { table, max_inputs }
+    }
+
+    /// All gate bindings realizing exactly `tt` (over its own variable
+    /// count). Returns an empty slice when nothing matches.
+    pub fn matches(&self, tt: Tt) -> &[MatchEntry] {
+        self.table
+            .get(&(tt.num_vars() as u8, tt.bits()))
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Largest pin count among indexed gates.
+    pub fn max_inputs(&self) -> usize {
+        self.max_inputs
+    }
+
+    /// Number of distinct (size, function) keys in the index.
+    pub fn num_functions(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Total number of stored bindings.
+    pub fn num_entries(&self) -> usize {
+        self.table.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::{Gate, Library};
+
+    fn test_library() -> Library {
+        let inv = Gate::new("INV", 1.0, Tt::var(0, 1).not(), vec!["A".into()], vec![5.0], 1.0);
+        let nand_tt = Tt::var(0, 2).and(Tt::var(1, 2)).not();
+        let nand = Gate::new("NAND2", 2.0, nand_tt, vec!["A".into(), "B".into()], vec![8.0, 9.0], 1.5);
+        let aoi_tt = Tt::var(0, 3).and(Tt::var(1, 3)).or(Tt::var(2, 3)).not();
+        let aoi = Gate::new(
+            "AOI21",
+            2.5,
+            aoi_tt,
+            vec!["A".into(), "B".into(), "C".into()],
+            vec![9.0, 9.5, 7.0],
+            1.2,
+        );
+        Library::from_gates("test", vec![inv, nand, aoi]).expect("valid")
+    }
+
+    #[test]
+    fn direct_match() {
+        let lib = test_library();
+        let idx = MatchIndex::build(&lib);
+        let nand_tt = Tt::var(0, 2).and(Tt::var(1, 2)).not();
+        let ms = idx.matches(nand_tt);
+        assert!(ms.iter().any(|m| lib.gate(m.gate).name() == "NAND2" && m.leaf_compl == 0));
+    }
+
+    #[test]
+    fn polarity_expanded_match() {
+        let lib = test_library();
+        let idx = MatchIndex::build(&lib);
+        // OR2 = NAND2 with both inputs complemented.
+        let or_tt = Tt::var(0, 2).or(Tt::var(1, 2));
+        let ms = idx.matches(or_tt);
+        let m = ms
+            .iter()
+            .find(|m| lib.gate(m.gate).name() == "NAND2")
+            .expect("NAND2 realizes OR with inverted inputs");
+        assert_eq!(m.leaf_compl & 0b11, 0b11);
+    }
+
+    #[test]
+    fn permutation_expanded_match() {
+        let lib = test_library();
+        let idx = MatchIndex::build(&lib);
+        // !((B*C) + A): AOI21 with pins permuted — leaf 0 plays pin C.
+        let a = Tt::var(0, 3);
+        let b = Tt::var(1, 3);
+        let c = Tt::var(2, 3);
+        let f = b.and(c).or(a).not();
+        let ms = idx.matches(f);
+        let m = ms.iter().find(|m| lib.gate(m.gate).name() == "AOI21").expect("permuted AOI21");
+        assert_eq!(m.pin(0), 2); // leaf 0 feeds pin C (index 2)
+        assert!(!m.leaf_complemented(0));
+    }
+
+    #[test]
+    fn unmatched_function_returns_empty() {
+        let lib = test_library();
+        let idx = MatchIndex::build(&lib);
+        let xor = Tt::var(0, 2).xor(Tt::var(1, 2));
+        assert!(idx.matches(xor).is_empty());
+    }
+
+    #[test]
+    fn match_semantics_verified_by_evaluation() {
+        // For every entry of a sampled tt, re-evaluating the gate under the
+        // recorded binding must reproduce the tt.
+        let lib = test_library();
+        let idx = MatchIndex::build(&lib);
+        let a = Tt::var(0, 3);
+        let b = Tt::var(1, 3);
+        let c = Tt::var(2, 3);
+        let f = a.and(b).or(c).not();
+        for m in idx.matches(f) {
+            let gate = lib.gate(m.gate);
+            let n = gate.num_pins();
+            // Rebuild: pin p reads leaf l (with polarity) where
+            // pin_of_leaf[l] = p.
+            let mut pin_tts = vec![Tt::zero(n); n];
+            for leaf in 0..n {
+                let mut t = Tt::var(leaf, n);
+                if m.leaf_complemented(leaf) {
+                    t = t.not();
+                }
+                pin_tts[m.pin(leaf)] = t;
+            }
+            // Evaluate gate.tt() with pin variables substituted: brute force
+            // over assignments.
+            let mut result = 0u64;
+            for x in 0..(1u64 << n) {
+                let mut gate_input = 0u64;
+                for (p, t) in pin_tts.iter().enumerate() {
+                    if (t.bits() >> x) & 1 != 0 {
+                        gate_input |= 1 << p;
+                    }
+                }
+                if (gate.tt().bits() >> gate_input) & 1 != 0 {
+                    result |= 1 << x;
+                }
+            }
+            assert_eq!(result, f.bits(), "entry {m:?} of gate {} is wrong", gate.name());
+        }
+        assert!(!idx.matches(f).is_empty());
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let idx = MatchIndex::build(&test_library());
+        assert_eq!(idx.max_inputs(), 3);
+        assert!(idx.num_functions() > 3);
+        assert!(idx.num_entries() >= idx.num_functions());
+    }
+}

@@ -1,0 +1,43 @@
+//! Standard-cell library substrate for the SLAP reproduction.
+//!
+//! The paper maps onto the open-source ASAP7 7 nm PDK through ABC's
+//! library handling. Since the real liberty files are not redistributable
+//! here, this crate provides the equivalent machinery from scratch:
+//!
+//! * [`Gate`] / [`Library`] — cells with a Boolean function (truth table
+//!   over pins), an area in µm², and a per-pin linear delay model
+//!   (intrinsic block delay + load slope, in ps);
+//! * a Boolean expression parser ([`expr`]) and a genlib-subset parser
+//!   ([`genlib`]);
+//! * a [`MatchIndex`] that pre-expands every gate over all input
+//!   permutations and polarities, so a cut's truth table matches with a
+//!   single hash lookup;
+//! * [`asap7_mini`] — a bundled ~40-cell ASAP7-flavoured library
+//!   (documented substitution, see `DESIGN.md`).
+//!
+//! # Example
+//!
+//! ```
+//! use slap_cell::{asap7_mini, MatchIndex};
+//! use slap_aig::Tt;
+//!
+//! let lib = asap7_mini();
+//! let index = MatchIndex::build(&lib);
+//! // A 2-input AND matches at least one cell directly.
+//! let tt = Tt::var(0, 2).and(Tt::var(1, 2));
+//! assert!(!index.matches(tt).is_empty());
+//! ```
+
+pub mod asap7;
+pub mod error;
+pub mod expr;
+pub mod gate;
+pub mod genlib;
+pub mod genlib_write;
+pub mod index;
+
+pub use asap7::asap7_mini;
+pub use error::CellError;
+pub use gate::{Gate, GateId, Library};
+pub use genlib_write::write_genlib;
+pub use index::{MatchEntry, MatchIndex};

@@ -1,0 +1,481 @@
+//! AES-128 core generator with gate-level GF(2⁸) S-boxes.
+//!
+//! The S-box computes the multiplicative inverse with an Itoh–Tsujii
+//! addition chain (x²⁵⁴ via four GF multiplications and seven squarings,
+//! all as Boolean circuits over the AES polynomial x⁸+x⁴+x³+x+1) followed
+//! by the FIPS-197 affine transform. A software model ([`model`]) mirrors
+//! every step bit-exactly and is checked against the FIPS-197 test vector.
+
+use slap_aig::{Aig, Lit};
+
+use crate::words::{input_word, output_word};
+
+/// A byte in the circuit: 8 literals, LSB first.
+pub type ByteW = [Lit; 8];
+
+/// GF(2⁸) carry-less multiplication followed by reduction modulo the AES
+/// polynomial.
+pub fn gf_mul(aig: &mut Aig, a: &ByteW, b: &ByteW) -> ByteW {
+    // Polynomial product coefficients c_0..c_14.
+    let mut coeff: Vec<Vec<Lit>> = vec![Vec::new(); 15];
+    for (i, &ai) in a.iter().enumerate() {
+        for (j, &bj) in b.iter().enumerate() {
+            let p = aig.and(ai, bj);
+            coeff[i + j].push(p);
+        }
+    }
+    let mut c: Vec<Lit> = coeff.into_iter().map(|terms| aig.xor_all(terms)).collect();
+    reduce_poly(aig, &mut c);
+    to_byte(&c)
+}
+
+/// GF(2⁸) squaring (linear: spread bits to even positions, then reduce).
+pub fn gf_sq(aig: &mut Aig, a: &ByteW) -> ByteW {
+    let mut c = vec![Lit::FALSE; 15];
+    for (i, &ai) in a.iter().enumerate() {
+        c[2 * i] = ai;
+    }
+    reduce_poly(aig, &mut c);
+    to_byte(&c)
+}
+
+/// Reduces a 15-coefficient polynomial modulo x⁸+x⁴+x³+x+1 in place
+/// (high coefficients fold into positions −8, −7, −5, −4 relative offsets
+/// +0, +1, +3, +4).
+fn reduce_poly(aig: &mut Aig, c: &mut Vec<Lit>) {
+    for k in (8..c.len()).rev() {
+        let hi = c[k];
+        c[k] = Lit::FALSE;
+        for off in [0usize, 1, 3, 4] {
+            let idx = k - 8 + off;
+            c[idx] = aig.xor(c[idx], hi);
+        }
+    }
+    c.truncate(8);
+}
+
+fn to_byte(c: &[Lit]) -> ByteW {
+    let mut b = [Lit::FALSE; 8];
+    b.copy_from_slice(&c[..8]);
+    b
+}
+
+/// GF(2⁸) inversion via the addition chain
+/// x → x² → x³ → x⁶ → x⁷ → x¹⁴ → x¹⁵ → x²⁴⁰ → x²⁵⁴ (0⁻¹ := 0, as AES
+/// requires).
+pub fn gf_inv(aig: &mut Aig, x: &ByteW) -> ByteW {
+    let t1 = gf_sq(aig, x); // x^2
+    let t2 = gf_mul(aig, &t1, x); // x^3
+    let t3 = gf_sq(aig, &t2); // x^6
+    let t4 = gf_mul(aig, &t3, x); // x^7
+    let t5 = gf_sq(aig, &t4); // x^14
+    let t6 = gf_mul(aig, &t5, x); // x^15
+    let mut t7 = t6;
+    for _ in 0..4 {
+        t7 = gf_sq(aig, &t7); // x^240
+    }
+    gf_mul(aig, &t7, &t5) // x^254
+}
+
+/// The AES S-box: inversion followed by the FIPS-197 affine transform
+/// `b'ᵢ = bᵢ ⊕ b₍ᵢ₊₄₎ ⊕ b₍ᵢ₊₅₎ ⊕ b₍ᵢ₊₆₎ ⊕ b₍ᵢ₊₇₎ ⊕ cᵢ` with c = 0x63.
+pub fn sbox(aig: &mut Aig, x: &ByteW) -> ByteW {
+    let inv = gf_inv(aig, x);
+    let mut out = [Lit::FALSE; 8];
+    for i in 0..8 {
+        let t = aig.xor(inv[i], inv[(i + 4) % 8]);
+        let t = aig.xor(t, inv[(i + 5) % 8]);
+        let t = aig.xor(t, inv[(i + 6) % 8]);
+        let mut t = aig.xor(t, inv[(i + 7) % 8]);
+        if (0x63 >> i) & 1 != 0 {
+            t = !t;
+        }
+        out[i] = t;
+    }
+    out
+}
+
+fn xor_byte(aig: &mut Aig, a: &ByteW, b: &ByteW) -> ByteW {
+    let mut out = [Lit::FALSE; 8];
+    for i in 0..8 {
+        out[i] = aig.xor(a[i], b[i]);
+    }
+    out
+}
+
+/// xtime: multiplication by 2 in GF(2⁸) (shift + conditional reduction).
+fn xtime(aig: &mut Aig, a: &ByteW) -> ByteW {
+    let msb = a[7];
+    let mut out = [Lit::FALSE; 8];
+    for i in (1..8).rev() {
+        out[i] = a[i - 1];
+    }
+    out[0] = Lit::FALSE;
+    for i in [0usize, 1, 3, 4] {
+        out[i] = aig.xor(out[i], msb);
+    }
+    out
+}
+
+/// One AES-128 encryption datapath with `rounds` rounds and on-the-fly
+/// key schedule. Inputs: 128-bit plaintext then the 128-bit cipher key
+/// (byte 0 first, each byte LSB-first). Output: the 128-bit state after
+/// the final round. With `rounds == 10` this is exactly FIPS-197 AES-128
+/// encryption (the last round skips MixColumns).
+///
+/// # Panics
+///
+/// Panics if `rounds == 0`.
+pub fn aes_core(rounds: usize) -> Aig {
+    assert!(rounds > 0, "at least one round required");
+    let mut aig = Aig::new();
+    aig.set_name(if rounds == 10 { "aes128".to_string() } else { format!("aes128-r{rounds}") });
+    let pt = input_word(&mut aig, 128);
+    let key = input_word(&mut aig, 128);
+    let byte = |w: &[Lit], i: usize| -> ByteW {
+        let mut b = [Lit::FALSE; 8];
+        b.copy_from_slice(&w[i * 8..i * 8 + 8]);
+        b
+    };
+    // State and key as 16 bytes in FIPS input order (byte i = column-major
+    // state[i%4][i/4]).
+    let mut state: Vec<ByteW> = (0..16).map(|i| byte(&pt, i)).collect();
+    let mut round_key: Vec<ByteW> = (0..16).map(|i| byte(&key, i)).collect();
+    // Initial AddRoundKey.
+    for i in 0..16 {
+        state[i] = xor_byte(&mut aig, &state[i], &round_key[i]);
+    }
+    let mut rcon: u8 = 0x01;
+    for r in 1..=rounds {
+        // Key schedule: derive round key r from round key r-1.
+        round_key = next_round_key(&mut aig, &round_key, rcon);
+        rcon = model::xtime_u8(rcon);
+        // SubBytes.
+        for b in state.iter_mut() {
+            *b = sbox(&mut aig, b);
+        }
+        // ShiftRows: byte at (row, col) moves from (row, col+row).
+        let mut shifted = state.clone();
+        for row in 1..4 {
+            for col in 0..4 {
+                shifted[row + 4 * col] = state[row + 4 * ((col + row) % 4)];
+            }
+        }
+        state = shifted;
+        // MixColumns, skipped in the final round.
+        if r != rounds {
+            for col in 0..4 {
+                let s: Vec<ByteW> = (0..4).map(|row| state[row + 4 * col]).collect();
+                for row in 0..4 {
+                    let a0 = &s[row];
+                    let a1 = &s[(row + 1) % 4];
+                    let a2 = &s[(row + 2) % 4];
+                    let a3 = &s[(row + 3) % 4];
+                    let d0 = xtime(&mut aig, a0); // 2·a0
+                    let d1 = xtime(&mut aig, a1);
+                    let t1 = xor_byte(&mut aig, &d1, a1); // 3·a1
+                    let acc = xor_byte(&mut aig, &d0, &t1);
+                    let acc = xor_byte(&mut aig, &acc, a2);
+                    let acc = xor_byte(&mut aig, &acc, a3);
+                    state[row + 4 * col] = acc;
+                }
+            }
+        }
+        // AddRoundKey.
+        for i in 0..16 {
+            state[i] = xor_byte(&mut aig, &state[i], &round_key[i]);
+        }
+    }
+    for b in &state {
+        output_word(&mut aig, b);
+    }
+    aig
+}
+
+/// A reduced-width AES-like round on a 32-bit state (4 S-boxes, one
+/// MixColumns column, 32-bit key) — the fast stand-in used for the Fig. 1
+/// design-space sweep, where thousands of mappings of the full core would
+/// be needlessly slow.
+pub fn aes_mini() -> Aig {
+    let mut aig = Aig::new();
+    aig.set_name("aes-mini");
+    let pt = input_word(&mut aig, 32);
+    let key = input_word(&mut aig, 32);
+    let byte = |w: &[Lit], i: usize| -> ByteW {
+        let mut b = [Lit::FALSE; 8];
+        b.copy_from_slice(&w[i * 8..i * 8 + 8]);
+        b
+    };
+    let mut state: Vec<ByteW> = (0..4).map(|i| byte(&pt, i)).collect();
+    let keyb: Vec<ByteW> = (0..4).map(|i| byte(&key, i)).collect();
+    for i in 0..4 {
+        state[i] = xor_byte(&mut aig, &state[i], &keyb[i]);
+        state[i] = sbox(&mut aig, &state[i]);
+    }
+    // One MixColumns column.
+    let s = state.clone();
+    for row in 0..4 {
+        let d0 = xtime(&mut aig, &s[row]);
+        let d1 = xtime(&mut aig, &s[(row + 1) % 4]);
+        let t1 = xor_byte(&mut aig, &d1, &s[(row + 1) % 4]);
+        let acc = xor_byte(&mut aig, &d0, &t1);
+        let acc = xor_byte(&mut aig, &acc, &s[(row + 2) % 4]);
+        let acc = xor_byte(&mut aig, &acc, &s[(row + 3) % 4]);
+        state[row] = xor_byte(&mut aig, &acc, &keyb[row]);
+    }
+    for b in &state {
+        output_word(&mut aig, b);
+    }
+    aig
+}
+
+/// One key-schedule step: 4 S-boxes on the rotated last word plus Rcon.
+fn next_round_key(aig: &mut Aig, prev: &[ByteW], rcon: u8) -> Vec<ByteW> {
+    // prev[4*w + b] = byte b of word w.
+    let mut out: Vec<ByteW> = Vec::with_capacity(16);
+    // temp = SubWord(RotWord(w3)) ^ Rcon.
+    let w3 = &prev[12..16];
+    let mut temp: Vec<ByteW> = (0..4).map(|b| w3[(b + 1) % 4]).collect();
+    for t in temp.iter_mut() {
+        *t = sbox(aig, t);
+    }
+    for i in 0..8 {
+        if (rcon >> i) & 1 != 0 {
+            temp[0][i] = !temp[0][i];
+        }
+    }
+    for w in 0..4 {
+        for b in 0..4 {
+            let prev_word_byte = prev[4 * w + b];
+            let xor_with = if w == 0 { temp[b] } else { out[4 * (w - 1) + b] };
+            out.push([Lit::FALSE; 8]);
+            let idx = out.len() - 1;
+            out[idx] = xor_byte(aig, &prev_word_byte, &xor_with);
+        }
+    }
+    out
+}
+
+/// Bit-exact software model of the circuit generators above.
+pub mod model {
+    /// GF(2⁸) multiply-by-2 modulo the AES polynomial.
+    pub fn xtime_u8(a: u8) -> u8 {
+        let hi = a & 0x80 != 0;
+        let mut r = a << 1;
+        if hi {
+            r ^= 0x1B;
+        }
+        r
+    }
+
+    /// GF(2⁸) multiplication.
+    pub fn gf_mul_u8(mut a: u8, mut b: u8) -> u8 {
+        let mut r = 0u8;
+        for _ in 0..8 {
+            if b & 1 != 0 {
+                r ^= a;
+            }
+            a = xtime_u8(a);
+            b >>= 1;
+        }
+        r
+    }
+
+    /// GF(2⁸) inversion (0 maps to 0).
+    pub fn gf_inv_u8(a: u8) -> u8 {
+        if a == 0 {
+            return 0;
+        }
+        // x^254 by square-and-multiply.
+        let mut result = 1u8;
+        let mut base = a;
+        let mut e = 254u32;
+        while e > 0 {
+            if e & 1 != 0 {
+                result = gf_mul_u8(result, base);
+            }
+            base = gf_mul_u8(base, base);
+            e >>= 1;
+        }
+        result
+    }
+
+    /// The AES S-box.
+    pub fn sbox_u8(a: u8) -> u8 {
+        let b = gf_inv_u8(a);
+        let mut out = 0u8;
+        for i in 0..8 {
+            let bit = ((b >> i) ^ (b >> ((i + 4) % 8)) ^ (b >> ((i + 5) % 8))
+                ^ (b >> ((i + 6) % 8))
+                ^ (b >> ((i + 7) % 8))
+                ^ (0x63 >> i))
+                & 1;
+            out |= bit << i;
+        }
+        out
+    }
+
+    /// AES-128 encryption truncated to `rounds` rounds, mirroring
+    /// [`super::aes_core`] exactly.
+    pub fn encrypt(pt: [u8; 16], key: [u8; 16], rounds: usize) -> [u8; 16] {
+        let mut state = pt;
+        let mut rk = key;
+        for (s, k) in state.iter_mut().zip(rk.iter()) {
+            *s ^= k;
+        }
+        let mut rcon = 0x01u8;
+        for r in 1..=rounds {
+            rk = next_round_key(rk, rcon);
+            rcon = xtime_u8(rcon);
+            for s in state.iter_mut() {
+                *s = sbox_u8(*s);
+            }
+            // ShiftRows.
+            let mut shifted = state;
+            for row in 1..4 {
+                for col in 0..4 {
+                    shifted[row + 4 * col] = state[row + 4 * ((col + row) % 4)];
+                }
+            }
+            state = shifted;
+            if r != rounds {
+                for col in 0..4 {
+                    let s: Vec<u8> = (0..4).map(|row| state[row + 4 * col]).collect();
+                    for row in 0..4 {
+                        state[row + 4 * col] = gf_mul_u8(2, s[row])
+                            ^ gf_mul_u8(3, s[(row + 1) % 4])
+                            ^ s[(row + 2) % 4]
+                            ^ s[(row + 3) % 4];
+                    }
+                }
+            }
+            for (s, k) in state.iter_mut().zip(rk.iter()) {
+                *s ^= k;
+            }
+        }
+        state
+    }
+
+    fn next_round_key(prev: [u8; 16], rcon: u8) -> [u8; 16] {
+        let mut temp = [prev[13], prev[14], prev[15], prev[12]];
+        for t in temp.iter_mut() {
+            *t = sbox_u8(*t);
+        }
+        temp[0] ^= rcon;
+        let mut out = [0u8; 16];
+        for w in 0..4 {
+            for b in 0..4 {
+                let x = if w == 0 { temp[b] } else { out[4 * (w - 1) + b] };
+                out[4 * w + b] = prev[4 * w + b] ^ x;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::words::{bits_to_u64, u64_to_bits};
+    use slap_aig::sim::simulate_bits;
+    use slap_aig::Rng64;
+
+    #[test]
+    fn model_sbox_matches_fips_table_spots() {
+        // Known S-box values from FIPS-197.
+        assert_eq!(model::sbox_u8(0x00), 0x63);
+        assert_eq!(model::sbox_u8(0x01), 0x7C);
+        assert_eq!(model::sbox_u8(0x53), 0xED);
+        assert_eq!(model::sbox_u8(0xFF), 0x16);
+    }
+
+    #[test]
+    fn circuit_sbox_matches_model() {
+        let mut aig = Aig::new();
+        let x = input_word(&mut aig, 8);
+        let mut xb = [Lit::FALSE; 8];
+        xb.copy_from_slice(&x);
+        let y = sbox(&mut aig, &xb);
+        output_word(&mut aig, &y);
+        for v in [0u64, 1, 0x53, 0x7F, 0x80, 0xC2, 0xFF] {
+            let out = simulate_bits(&aig, &u64_to_bits(v, 8));
+            assert_eq!(bits_to_u64(&out) as u8, model::sbox_u8(v as u8), "sbox({v:#x})");
+        }
+    }
+
+    #[test]
+    fn gf_mul_circuit_matches_model() {
+        let mut aig = Aig::new();
+        let a = input_word(&mut aig, 8);
+        let b = input_word(&mut aig, 8);
+        let mut ab = [Lit::FALSE; 8];
+        ab.copy_from_slice(&a);
+        let mut bb = [Lit::FALSE; 8];
+        bb.copy_from_slice(&b);
+        let p = gf_mul(&mut aig, &ab, &bb);
+        output_word(&mut aig, &p);
+        let mut rng = Rng64::seed_from(9);
+        for _ in 0..30 {
+            let x = rng.below(256) as u8;
+            let y = rng.below(256) as u8;
+            let mut ins = u64_to_bits(x as u64, 8);
+            ins.extend(u64_to_bits(y as u64, 8));
+            let out = simulate_bits(&aig, &ins);
+            assert_eq!(bits_to_u64(&out) as u8, model::gf_mul_u8(x, y), "{x:#x}*{y:#x}");
+        }
+    }
+
+    #[test]
+    fn full_aes_matches_fips_vector() {
+        // FIPS-197 appendix B: key 2b7e..., pt 3243..., ct 3925841d02dc09fbdc118597196a0b32.
+        let key: [u8; 16] = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let pt: [u8; 16] = [
+            0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+            0x07, 0x34,
+        ];
+        let expect: [u8; 16] = [
+            0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a,
+            0x0b, 0x32,
+        ];
+        assert_eq!(model::encrypt(pt, key, 10), expect, "software model vs FIPS vector");
+    }
+
+    #[test]
+    fn aes_core_circuit_matches_model_two_rounds() {
+        let aig = aes_core(2);
+        let mut rng = Rng64::seed_from(10);
+        let mut pt = [0u8; 16];
+        let mut key = [0u8; 16];
+        for b in pt.iter_mut() {
+            *b = rng.below(256) as u8;
+        }
+        for b in key.iter_mut() {
+            *b = rng.below(256) as u8;
+        }
+        let mut ins = Vec::new();
+        for &b in &pt {
+            ins.extend(u64_to_bits(b as u64, 8));
+        }
+        for &b in &key {
+            ins.extend(u64_to_bits(b as u64, 8));
+        }
+        let out = simulate_bits(&aig, &ins);
+        let expect = model::encrypt(pt, key, 2);
+        for i in 0..16 {
+            let got = bits_to_u64(&out[i * 8..(i + 1) * 8]) as u8;
+            assert_eq!(got, expect[i], "byte {i}");
+        }
+    }
+
+    #[test]
+    fn aes_mini_is_compact_and_nontrivial() {
+        let aig = aes_mini();
+        assert_eq!(aig.num_pis(), 64);
+        assert_eq!(aig.num_pos(), 32);
+        assert!(aig.num_ands() > 2000, "{}", aig.num_ands());
+        assert!(aig.num_ands() < 20000, "{}", aig.num_ands());
+    }
+}

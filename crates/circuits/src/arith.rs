@@ -1,0 +1,409 @@
+//! Arithmetic benchmark generators (EPFL-style and ABC `gen`-style).
+
+use slap_aig::{Aig, Lit};
+
+use crate::words::{
+    const_word, input_word, mux_word, output_word, ripple_add, ripple_sub,
+    unsigned_ge,
+};
+
+/// `n`-bit ripple-carry adder (ABC's `gen -a`): inputs `a`, `b`, outputs
+/// `sum` plus carry-out.
+pub fn ripple_carry_adder(n: usize) -> Aig {
+    let mut aig = Aig::new();
+    aig.set_name(format!("rc{n}b"));
+    let a = input_word(&mut aig, n);
+    let b = input_word(&mut aig, n);
+    let (sum, cout) = ripple_add(&mut aig, &a, &b, Lit::FALSE);
+    output_word(&mut aig, &sum);
+    aig.add_po(cout);
+    aig
+}
+
+/// `n`-bit carry-lookahead adder built from 4-bit lookahead groups with
+/// rippled group carries — the EPFL `adder`-style shallow adder.
+///
+/// # Panics
+///
+/// Panics if `n` is not a positive multiple of 4.
+pub fn carry_lookahead_adder(n: usize) -> Aig {
+    assert!(n > 0 && n % 4 == 0, "width must be a positive multiple of 4");
+    let mut aig = Aig::new();
+    aig.set_name(format!("cla{n}"));
+    let a = input_word(&mut aig, n);
+    let b = input_word(&mut aig, n);
+    let mut sum = Vec::with_capacity(n);
+    let mut carry = Lit::FALSE;
+    for group in 0..(n / 4) {
+        let base = group * 4;
+        // Per-bit propagate/generate.
+        let mut p = [Lit::FALSE; 4];
+        let mut g = [Lit::FALSE; 4];
+        for i in 0..4 {
+            p[i] = aig.xor(a[base + i], b[base + i]);
+            g[i] = aig.and(a[base + i], b[base + i]);
+        }
+        // Lookahead carries within the group.
+        let mut c = [Lit::FALSE; 5];
+        c[0] = carry;
+        for i in 0..4 {
+            // c[i+1] = g[i] | p[i] & c[i], fully expanded each step keeps
+            // the carry chain shallow inside the group.
+            let t = aig.and(p[i], c[i]);
+            c[i + 1] = aig.or(g[i], t);
+        }
+        for i in 0..4 {
+            sum.push(aig.xor(p[i], c[i]));
+        }
+        carry = c[4];
+    }
+    output_word(&mut aig, &sum);
+    aig.add_po(carry);
+    aig
+}
+
+/// `width`-bit barrel shifter (EPFL `bar`-style): rotates the data word
+/// left by the shift amount.
+///
+/// # Panics
+///
+/// Panics if `width` is not a power of two.
+pub fn barrel_shifter(width: usize) -> Aig {
+    assert!(width.is_power_of_two(), "width must be a power of two");
+    let stages = width.trailing_zeros() as usize;
+    let mut aig = Aig::new();
+    aig.set_name(format!("bar{width}"));
+    let data = input_word(&mut aig, width);
+    let amount = input_word(&mut aig, stages);
+    let mut word = data;
+    for (s, &sel) in amount.iter().enumerate() {
+        let by = 1usize << s;
+        let rotated: Vec<Lit> = (0..width).map(|i| word[(i + width - by) % width]).collect();
+        word = mux_word(&mut aig, sel, &rotated, &word);
+    }
+    output_word(&mut aig, &word);
+    aig
+}
+
+/// Maximum of four `width`-bit unsigned operands (EPFL `max`-style):
+/// outputs the maximum value.
+pub fn max4(width: usize) -> Aig {
+    let mut aig = Aig::new();
+    aig.set_name(format!("max{width}x4"));
+    let ops: Vec<Vec<Lit>> = (0..4).map(|_| input_word(&mut aig, width)).collect();
+    let m01 = max2(&mut aig, &ops[0], &ops[1]);
+    let m23 = max2(&mut aig, &ops[2], &ops[3]);
+    let m = max2(&mut aig, &m01, &m23);
+    output_word(&mut aig, &m);
+    aig
+}
+
+fn max2(aig: &mut Aig, a: &[Lit], b: &[Lit]) -> Vec<Lit> {
+    let ge = unsigned_ge(aig, a, b);
+    mux_word(aig, ge, a, b)
+}
+
+/// Unsigned `n`×`m` array multiplier: rows of partial products reduced by
+/// ripple adders (the c6288 structure, generalized).
+pub fn array_multiplier(n: usize, m: usize) -> Aig {
+    let mut aig = Aig::new();
+    aig.set_name(format!("mul{n}x{m}"));
+    let a = input_word(&mut aig, n);
+    let b = input_word(&mut aig, m);
+    let product = array_multiply(&mut aig, &a, &b);
+    output_word(&mut aig, &product);
+    aig
+}
+
+/// The multiplier datapath as a reusable function: returns the
+/// `a.len() + b.len()`-bit unsigned product word.
+pub fn array_multiply(aig: &mut Aig, a: &[Lit], b: &[Lit]) -> Vec<Lit> {
+    let (n, m) = (a.len(), b.len());
+    let total = n + m;
+    let mut acc = vec![Lit::FALSE; total];
+    for (j, &bj) in b.iter().enumerate() {
+        // Row j: (a & bj) << j, accumulated with a ripple adder.
+        let mut row = vec![Lit::FALSE; total];
+        for (i, &ai) in a.iter().enumerate() {
+            row[i + j] = aig.and(ai, bj);
+        }
+        let (sum, _) = ripple_add(aig, &acc, &row, Lit::FALSE);
+        acc = sum;
+    }
+    acc
+}
+
+/// Dedicated unsigned squarer (EPFL `square`-style): exploits partial-
+/// product symmetry (`aᵢaⱼ` appears twice ⇒ shifted once).
+pub fn squarer(n: usize) -> Aig {
+    let mut aig = Aig::new();
+    aig.set_name(format!("square{n}"));
+    let a = input_word(&mut aig, n);
+    let total = 2 * n;
+    let mut acc = vec![Lit::FALSE; total];
+    // Row i gathers the diagonal term aᵢ at weight 2i and the doubled
+    // off-diagonal terms aᵢaⱼ (j > i) at weight i+j+1 — all distinct
+    // positions, so one ripple add per row suffices.
+    for i in 0..n {
+        let mut row = vec![Lit::FALSE; total];
+        row[2 * i] = a[i];
+        for j in (i + 1)..n {
+            if i + j + 1 < total {
+                row[i + j + 1] = aig.and(a[i], a[j]);
+            }
+        }
+        let (sum, _) = ripple_add(&mut aig, &acc, &row, Lit::FALSE);
+        acc = sum;
+    }
+    output_word(&mut aig, &acc);
+    aig
+}
+
+/// Radix-4 Booth multiplier of two `n`-bit *signed* operands, producing
+/// the `2n`-bit signed product (the paper's `mul32-booth`/`mul64-booth`).
+///
+/// # Panics
+///
+/// Panics if `n` is odd or zero.
+pub fn booth_multiplier(n: usize) -> Aig {
+    assert!(n > 0 && n % 2 == 0, "width must be positive and even");
+    let mut aig = Aig::new();
+    aig.set_name(format!("mul{n}-booth"));
+    let a = input_word(&mut aig, n);
+    let b = input_word(&mut aig, n);
+    let total = 2 * n;
+    // Sign-extended A and 2A to full width.
+    let sext = |w: &[Lit], total: usize| -> Vec<Lit> {
+        let mut v = w.to_vec();
+        let sign = *w.last().expect("nonempty");
+        v.resize(total, sign);
+        v
+    };
+    let a_ext = sext(&a, total);
+    // 2A needs n+1 significant bits before sign extension — the sign is
+    // still A's sign bit.
+    let a2_ext = {
+        let mut v = vec![Lit::FALSE];
+        v.extend_from_slice(&a);
+        let sign = *a.last().expect("nonempty");
+        v.resize(total, sign);
+        v
+    };
+    let mut acc = vec![Lit::FALSE; total];
+    let mut prev = Lit::FALSE;
+    let num_groups = n / 2;
+    for g in 0..num_groups {
+        let b0 = prev;
+        let b1 = b[2 * g];
+        let b2 = if 2 * g + 1 < n { b[2 * g + 1] } else { *b.last().expect("nonempty") };
+        prev = b2;
+        // Booth encoding of (b2 b1 b0): value v ∈ {-2,-1,0,1,2}.
+        // one  = b0 ^ b1        (|v| == 1)
+        // two  = (b2 & !b1 & !b0) | (!b2 & b1 & b0)   (|v| == 2)
+        // neg  = b2             (v < 0)
+        let one = aig.xor(b0, b1);
+        let t1 = aig.and(!b1, !b0);
+        let t1 = aig.and(b2, t1);
+        let t2 = aig.and(b1, b0);
+        let t2 = aig.and(!b2, t2);
+        let two = aig.or(t1, t2);
+        let neg = b2;
+        // Select |v|·A, then conditionally negate: xor with neg and add
+        // neg as carry-in at the group's weight position.
+        let zero = vec![Lit::FALSE; total];
+        let sel1 = mux_word(&mut aig, one, &a_ext, &zero);
+        let sel = mux_word(&mut aig, two, &a2_ext, &sel1);
+        let inverted: Vec<Lit> = sel.iter().map(|&x| aig.xor(x, neg)).collect();
+        // Shift into position 2g and add. Two's-complement negation of the
+        // shifted row is (!sel << 2g) + (1 << 2g) modulo 2^total: the
+        // vacated low bits stay zero and the +1 lands at weight 2g.
+        let mut row = vec![Lit::FALSE; total];
+        for (i, &bit) in inverted.iter().enumerate() {
+            if i + 2 * g < total {
+                row[i + 2 * g] = bit;
+            }
+        }
+        let mut carry_row = vec![Lit::FALSE; total];
+        carry_row[2 * g] = neg;
+        let (sum, _) = ripple_add(&mut aig, &acc, &row, Lit::FALSE);
+        let (sum2, _) = ripple_add(&mut aig, &sum, &carry_row, Lit::FALSE);
+        acc = sum2;
+    }
+    output_word(&mut aig, &acc);
+    aig
+}
+
+/// Fixed-point sine approximation (EPFL `sin`-style): evaluates
+/// `x − x³·C3 + x⁵·C5` in Q0.16 with truncating multiplications, where
+/// `C3 = ⌊2¹⁶/6⌋` and `C5 = ⌊2¹⁶/120⌋`. The exact bit-level model is
+/// mirrored by [`sin_poly_model`].
+pub fn sin_poly(n: usize) -> Aig {
+    let mut aig = Aig::new();
+    aig.set_name(format!("sin{n}"));
+    let x = input_word(&mut aig, n);
+    let trunc_mul = |aig: &mut Aig, a: &[Lit], b: &[Lit]| -> Vec<Lit> {
+        let p = array_multiply(aig, a, b);
+        p[a.len()..a.len() + b.len().min(a.len())].to_vec()
+    };
+    let x2 = trunc_mul(&mut aig, &x, &x);
+    let x3 = trunc_mul(&mut aig, &x2, &x);
+    let x5 = trunc_mul(&mut aig, &x3, &x2);
+    let c3 = const_word(((1u64 << n) / 6) as u64, n);
+    let c5 = const_word(((1u64 << n) / 120) as u64, n);
+    let t3 = trunc_mul(&mut aig, &x3, &c3);
+    let t5 = trunc_mul(&mut aig, &x5, &c5);
+    let (d, _) = ripple_sub(&mut aig, &x, &t3);
+    let (y, _) = ripple_add(&mut aig, &d, &t5, Lit::FALSE);
+    output_word(&mut aig, &y);
+    aig
+}
+
+/// Software model of [`sin_poly`] — bit-exact, for verification.
+pub fn sin_poly_model(x: u64, n: usize) -> u64 {
+    let mask = (1u64 << n) - 1;
+    let tm = |a: u64, b: u64| ((a as u128 * b as u128) >> n) as u64 & mask;
+    let x2 = tm(x, x);
+    let x3 = tm(x2, x);
+    let x5 = tm(x3, x2);
+    let c3 = (1u64 << n) / 6;
+    let c5 = (1u64 << n) / 120;
+    let t3 = tm(x3, c3);
+    let t5 = tm(x5, c5);
+    x.wrapping_sub(t3).wrapping_add(t5) & mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::words::{bits_to_u64, u64_to_bits};
+    use slap_aig::sim::simulate_bits;
+    use slap_aig::Rng64;
+
+    fn run(aig: &Aig, ins: &[bool]) -> Vec<bool> {
+        simulate_bits(aig, ins)
+    }
+
+    #[test]
+    fn ripple_and_cla_agree_with_arithmetic() {
+        let mut rng = Rng64::seed_from(1);
+        for n in [8usize, 16] {
+            let rc = ripple_carry_adder(n);
+            let cla = carry_lookahead_adder(n);
+            for _ in 0..20 {
+                let x = rng.next_u64() & ((1 << n) - 1);
+                let y = rng.next_u64() & ((1 << n) - 1);
+                let mut ins = u64_to_bits(x, n);
+                ins.extend(u64_to_bits(y, n));
+                for aig in [&rc, &cla] {
+                    let out = run(aig, &ins);
+                    assert_eq!(bits_to_u64(&out), x + y, "{x}+{y} width {n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cla_is_shallower_than_ripple() {
+        let rc = ripple_carry_adder(32);
+        let cla = carry_lookahead_adder(32);
+        assert!(cla.depth() < rc.depth());
+    }
+
+    #[test]
+    fn barrel_shifter_rotates() {
+        let aig = barrel_shifter(16);
+        let mut rng = Rng64::seed_from(2);
+        for _ in 0..20 {
+            let data = rng.next_u64() & 0xFFFF;
+            let amt = rng.below(16);
+            let mut ins = u64_to_bits(data, 16);
+            ins.extend(u64_to_bits(amt, 4));
+            let out = run(&aig, &ins);
+            let expect = ((data << amt) | (data >> (16 - amt))) & 0xFFFF;
+            let expect = if amt == 0 { data } else { expect };
+            assert_eq!(bits_to_u64(&out), expect, "rot {data:#x} by {amt}");
+        }
+    }
+
+    #[test]
+    fn max4_picks_maximum() {
+        let aig = max4(8);
+        let mut rng = Rng64::seed_from(3);
+        for _ in 0..20 {
+            let vals: Vec<u64> = (0..4).map(|_| rng.below(256)).collect();
+            let mut ins = Vec::new();
+            for &v in &vals {
+                ins.extend(u64_to_bits(v, 8));
+            }
+            let out = run(&aig, &ins);
+            assert_eq!(bits_to_u64(&out), *vals.iter().max().expect("4 values"));
+        }
+    }
+
+    #[test]
+    fn array_multiplier_matches() {
+        let aig = array_multiplier(8, 8);
+        let mut rng = Rng64::seed_from(4);
+        for _ in 0..20 {
+            let x = rng.below(256);
+            let y = rng.below(256);
+            let mut ins = u64_to_bits(x, 8);
+            ins.extend(u64_to_bits(y, 8));
+            let out = run(&aig, &ins);
+            assert_eq!(bits_to_u64(&out), x * y, "{x}*{y}");
+        }
+    }
+
+    #[test]
+    fn squarer_matches() {
+        let aig = squarer(8);
+        for x in [0u64, 1, 7, 100, 255] {
+            let out = run(&aig, &u64_to_bits(x, 8));
+            assert_eq!(bits_to_u64(&out), x * x, "{x}^2");
+        }
+    }
+
+    #[test]
+    fn booth_matches_signed_multiplication() {
+        let aig = booth_multiplier(8);
+        let mut rng = Rng64::seed_from(5);
+        for _ in 0..40 {
+            let x = rng.below(256) as i64;
+            let y = rng.below(256) as i64;
+            let xs = (x as u8) as i8 as i64;
+            let ys = (y as u8) as i8 as i64;
+            let mut ins = u64_to_bits(x as u64, 8);
+            ins.extend(u64_to_bits(y as u64, 8));
+            let out = run(&aig, &ins);
+            let got = bits_to_u64(&out) as i64;
+            let got = (got << 48) >> 48; // sign-extend 16-bit
+            assert_eq!(got, xs * ys, "{xs}*{ys}");
+        }
+    }
+
+    #[test]
+    fn booth_corner_cases() {
+        let aig = booth_multiplier(8);
+        for (x, y) in [(0x80u64, 0x80u64), (0x80, 0x7F), (0xFF, 0xFF), (0, 0x80)] {
+            let mut ins = u64_to_bits(x, 8);
+            ins.extend(u64_to_bits(y, 8));
+            let out = run(&aig, &ins);
+            let got = ((bits_to_u64(&out) as i64) << 48) >> 48;
+            let xs = (x as u8) as i8 as i64;
+            let ys = (y as u8) as i8 as i64;
+            assert_eq!(got, xs * ys, "{xs}*{ys}");
+        }
+    }
+
+    #[test]
+    fn sin_matches_model() {
+        let n = 10; // keep the test-size multiplier small
+        let aig = sin_poly(n);
+        let mut rng = Rng64::seed_from(6);
+        for _ in 0..10 {
+            let x = rng.below(1 << n);
+            let out = run(&aig, &u64_to_bits(x, n));
+            assert_eq!(bits_to_u64(&out), sin_poly_model(x, n), "x={x}");
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! The named benchmark catalogue: the paper's Table II set and the two
+//! training adders of §V-A.
+
+use slap_aig::Aig;
+
+use crate::aes::{aes_core, aes_mini};
+use crate::arith::{
+    array_multiplier, barrel_shifter, booth_multiplier, carry_lookahead_adder, max4,
+    ripple_carry_adder, sin_poly, squarer,
+};
+use crate::iscas::{c6288_like, c7552_like};
+use crate::riscv::rv32_datapath;
+
+/// How large to build the benchmark set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Paper-faithful operand widths (slow on a laptop for the 64-bit
+    /// multipliers and the AES core, but exercises everything).
+    Full,
+    /// Reduced widths with identical structure, sized so the whole
+    /// Table II harness finishes in minutes on one core.
+    Quick,
+}
+
+/// A named benchmark circuit.
+pub struct Benchmark {
+    /// The paper's circuit name (Table II row).
+    pub name: &'static str,
+    builder: fn(Scale) -> Aig,
+}
+
+impl Benchmark {
+    /// Builds the circuit at the requested scale.
+    pub fn build(&self, scale: Scale) -> Aig {
+        (self.builder)(scale)
+    }
+}
+
+impl std::fmt::Debug for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Benchmark({})", self.name)
+    }
+}
+
+/// The 14 Table II benchmarks, in the paper's row order.
+pub fn table2_benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "adder",
+            builder: |s| carry_lookahead_adder(pick(s, 128, 64)),
+        },
+        Benchmark { name: "bar", builder: |s| barrel_shifter(pick(s, 128, 64)) },
+        Benchmark { name: "c6288", builder: |_| c6288_like() },
+        Benchmark { name: "max", builder: |s| max4(pick(s, 128, 64)) },
+        Benchmark { name: "rc256b", builder: |s| ripple_carry_adder(pick(s, 256, 128)) },
+        Benchmark { name: "rc64b", builder: |_| ripple_carry_adder(64) },
+        Benchmark { name: "sin", builder: |s| sin_poly(pick(s, 16, 12)) },
+        Benchmark { name: "c7552", builder: |_| c7552_like() },
+        Benchmark { name: "mul32-booth", builder: |s| booth_multiplier(pick(s, 32, 16)) },
+        Benchmark { name: "mul64-booth", builder: |s| booth_multiplier(pick(s, 64, 32)) },
+        Benchmark { name: "square", builder: |s| squarer(pick(s, 64, 32)) },
+        Benchmark {
+            name: "AES",
+            builder: |s| if s == Scale::Full { aes_core(1) } else { aes_mini() },
+        },
+        Benchmark {
+            name: "64b_mult",
+            builder: |s| {
+                let w = pick(s, 64, 24);
+                array_multiplier(w, w)
+            },
+        },
+        Benchmark { name: "Pico RISCV", builder: |_| rv32_datapath() },
+    ]
+}
+
+/// The two 16-bit adder architectures used to generate training data
+/// (§V-A): a ripple-carry and a carry-lookahead adder.
+pub fn training_benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark { name: "rc16", builder: |_| ripple_carry_adder(16) },
+        Benchmark { name: "cla16", builder: |_| carry_lookahead_adder(16) },
+    ]
+}
+
+fn pick(scale: Scale, full: usize, quick: usize) -> usize {
+    match scale {
+        Scale::Full => full,
+        Scale::Quick => quick,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fourteen_benchmarks_in_paper_order() {
+        let b = table2_benchmarks();
+        assert_eq!(b.len(), 14);
+        assert_eq!(b[0].name, "adder");
+        assert_eq!(b[13].name, "Pico RISCV");
+    }
+
+    #[test]
+    fn quick_scale_builds_everything_nontrivially() {
+        for bench in table2_benchmarks() {
+            let aig = bench.build(Scale::Quick);
+            assert!(aig.num_ands() > 100, "{} too small: {}", bench.name, aig.num_ands());
+            assert!(aig.num_pos() > 0, "{} has no outputs", bench.name);
+        }
+    }
+
+    #[test]
+    fn training_benchmarks_are_16_bit_adders() {
+        let t = training_benchmarks();
+        assert_eq!(t.len(), 2);
+        for bench in &t {
+            let aig = bench.build(Scale::Full);
+            assert_eq!(aig.num_pis(), 32);
+            assert_eq!(aig.num_pos(), 17);
+        }
+    }
+
+    #[test]
+    fn quick_is_no_larger_than_full() {
+        for bench in table2_benchmarks() {
+            let q = bench.build(Scale::Quick).num_ands();
+            let f = bench.build(Scale::Full).num_ands();
+            assert!(q <= f, "{}: quick {} > full {}", bench.name, q, f);
+        }
+    }
+}

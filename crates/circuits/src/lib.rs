@@ -1,0 +1,42 @@
+//! Benchmark circuit generators for the SLAP reproduction.
+//!
+//! The paper evaluates on 14 arithmetic-heavy designs drawn from the
+//! ISCAS'85 and EPFL suites plus ABC's `gen` ripple-carry adders, an AES
+//! core, and a PicoRV32 RISC-V core. The original benchmark files are
+//! external artifacts, so this crate regenerates functionally equivalent
+//! circuits from scratch (each verified in tests against a software
+//! reference model):
+//!
+//! * [`arith`] — adders (ripple-carry, carry-lookahead), barrel shifter,
+//!   4-way max, array/Booth multipliers, squarer, fixed-point sine;
+//! * [`iscas`] — c6288-style 16×16 multiplier and c7552-style
+//!   adder/comparator;
+//! * [`aes`] — AES-128 round datapath with Itoh–Tsujii GF(2⁸) inversion
+//!   S-boxes;
+//! * [`riscv`] — a PicoRV32-flavoured single-cycle RV32I datapath slice;
+//! * [`catalog`] — the named Table II benchmark set.
+//!
+//! # Example
+//!
+//! ```
+//! use slap_circuits::arith::ripple_carry_adder;
+//! use slap_aig::sim::simulate_bits;
+//!
+//! let aig = ripple_carry_adder(8);
+//! // 8-bit 3 + 5 = 8.
+//! let mut ins = vec![false; 16];
+//! ins[0] = true; ins[1] = true;          // a = 3
+//! ins[8] = true; ins[10] = true;         // b = 5
+//! let out = simulate_bits(&aig, &ins);
+//! let sum: u32 = out.iter().enumerate().map(|(i, &b)| (b as u32) << i).sum();
+//! assert_eq!(sum, 8);
+//! ```
+
+pub mod aes;
+pub mod arith;
+pub mod catalog;
+pub mod iscas;
+pub mod riscv;
+pub mod words;
+
+pub use catalog::{table2_benchmarks, training_benchmarks, Benchmark};

@@ -1,0 +1,359 @@
+//! A PicoRV32-flavoured single-cycle RV32I datapath slice.
+//!
+//! The paper's "Pico RISCV" entry is the PicoRV32 core; its combinational
+//! heart is decode + ALU + branch resolution. This generator builds that
+//! slice: given an instruction word, two register operands, and the PC,
+//! it produces the ALU/LUI result, the next PC, and the branch-taken
+//! flag, for the RV32I subset {OP, OP-IMM, BRANCH, JAL, LUI}. A software
+//! model ([`datapath_model`]) mirrors it bit-exactly.
+
+use slap_aig::{Aig, Lit};
+
+use crate::words::{const_word, input_word, mux_word, output_word, ripple_add, ripple_sub, xor_word};
+
+const OPCODE_OP: u32 = 0b0110011;
+const OPCODE_OP_IMM: u32 = 0b0010011;
+const OPCODE_BRANCH: u32 = 0b1100011;
+const OPCODE_JAL: u32 = 0b1101111;
+const OPCODE_LUI: u32 = 0b0110111;
+
+/// Builds the datapath AIG. Inputs (in order): `instr[32]`, `rs1[32]`,
+/// `rs2[32]`, `pc[32]`. Outputs: `result[32]`, `next_pc[32]`, `taken`.
+pub fn rv32_datapath() -> Aig {
+    let mut aig = Aig::new();
+    aig.set_name("pico-rv32");
+    let instr = input_word(&mut aig, 32);
+    let rs1 = input_word(&mut aig, 32);
+    let rs2 = input_word(&mut aig, 32);
+    let pc = input_word(&mut aig, 32);
+
+    let opcode_is = |aig: &mut Aig, op: u32| -> Lit {
+        let bits: Vec<Lit> = (0..7)
+            .map(|i| instr[i].xor_complement((op >> i) & 1 == 0))
+            .collect();
+        aig.and_all(bits)
+    };
+    let is_op = opcode_is(&mut aig, OPCODE_OP);
+    let is_op_imm = opcode_is(&mut aig, OPCODE_OP_IMM);
+    let is_branch = opcode_is(&mut aig, OPCODE_BRANCH);
+    let is_jal = opcode_is(&mut aig, OPCODE_JAL);
+    let is_lui = opcode_is(&mut aig, OPCODE_LUI);
+    let funct3: Vec<Lit> = instr[12..15].to_vec();
+    let funct7_5 = instr[30];
+
+    // Immediates.
+    let sign = instr[31];
+    let mut imm_i = vec![Lit::FALSE; 32];
+    for i in 0..12 {
+        imm_i[i] = instr[20 + i];
+    }
+    for slot in imm_i.iter_mut().skip(12) {
+        *slot = sign;
+    }
+    let mut imm_b = vec![Lit::FALSE; 32];
+    for i in 0..4 {
+        imm_b[1 + i] = instr[8 + i];
+    }
+    for i in 0..6 {
+        imm_b[5 + i] = instr[25 + i];
+    }
+    imm_b[11] = instr[7];
+    for slot in imm_b.iter_mut().skip(12) {
+        *slot = sign;
+    }
+    let mut imm_j = vec![Lit::FALSE; 32];
+    for i in 0..10 {
+        imm_j[1 + i] = instr[21 + i];
+    }
+    imm_j[11] = instr[20];
+    for i in 0..8 {
+        imm_j[12 + i] = instr[12 + i];
+    }
+    for slot in imm_j.iter_mut().skip(20) {
+        *slot = sign;
+    }
+    let mut imm_u = vec![Lit::FALSE; 32];
+    for i in 0..20 {
+        imm_u[12 + i] = instr[12 + i];
+    }
+
+    // ALU.
+    let in2 = mux_word(&mut aig, is_op_imm, &imm_i, &rs2);
+    let (sum, _) = ripple_add(&mut aig, &rs1, &in2, Lit::FALSE);
+    let (diff, carry) = ripple_sub(&mut aig, &rs1, &in2);
+    let do_sub = aig.and(is_op, funct7_5);
+    let addsub = mux_word(&mut aig, do_sub, &diff, &sum);
+    let ltu = !carry; // rs1 < in2 unsigned
+    let sign_differs = aig.xor(rs1[31], in2[31]);
+    let lts = aig.mux(sign_differs, rs1[31], diff[31]);
+    let xorv = xor_word(&mut aig, &rs1, &in2);
+    let orv: Vec<Lit> = rs1.iter().zip(&in2).map(|(&a, &b)| aig.or(a, b)).collect();
+    let andv: Vec<Lit> = rs1.iter().zip(&in2).map(|(&a, &b)| aig.and(a, b)).collect();
+    let shamt: Vec<Lit> = in2[..5].to_vec();
+    let sll = shift_left(&mut aig, &rs1, &shamt);
+    let fill = aig.and(funct7_5, rs1[31]); // SRA fills with the sign bit
+    let srx = shift_right(&mut aig, &rs1, &shamt, fill);
+    let mut slt_word = vec![Lit::FALSE; 32];
+    slt_word[0] = lts;
+    let mut sltu_word = vec![Lit::FALSE; 32];
+    sltu_word[0] = ltu;
+
+    // 8-way select on funct3.
+    let choices = [&addsub, &sll, &slt_word, &sltu_word, &xorv, &srx, &orv, &andv];
+    let mut alu = choices[0].clone();
+    // Binary mux tree over the three funct3 bits.
+    let mut level: Vec<Vec<Lit>> = choices.iter().map(|w| w.to_vec()).collect();
+    for bit in 0..3 {
+        let sel = funct3[bit];
+        let mut next = Vec::new();
+        for pair in level.chunks(2) {
+            next.push(mux_word(&mut aig, sel, &pair[1], &pair[0]));
+        }
+        level = next;
+    }
+    alu.clone_from(&level[0]);
+    let result = mux_word(&mut aig, is_lui, &imm_u, &alu);
+
+    // Branch resolution.
+    let ne = aig.or_all(xorv.iter().copied());
+    let eq = !ne;
+    let ges = !lts;
+    let geu = carry;
+    // funct3: 000 beq, 001 bne, 100 blt, 101 bge, 110 bltu, 111 bgeu.
+    let conds = [eq, ne, Lit::FALSE, Lit::FALSE, lts, ges, ltu, geu];
+    let mut clevel: Vec<Lit> = conds.to_vec();
+    for bit in 0..3 {
+        let sel = funct3[bit];
+        let mut next = Vec::new();
+        for pair in clevel.chunks(2) {
+            next.push(aig.mux(sel, pair[1], pair[0]));
+        }
+        clevel = next;
+    }
+    let branch_cond = clevel[0];
+    let taken_branch = aig.and(is_branch, branch_cond);
+    let taken = aig.or(taken_branch, is_jal);
+
+    // Next PC.
+    let four = const_word(4, 32);
+    let (pc4, _) = ripple_add(&mut aig, &pc, &four, Lit::FALSE);
+    let off = mux_word(&mut aig, is_jal, &imm_j, &imm_b);
+    let (pc_tgt, _) = ripple_add(&mut aig, &pc, &off, Lit::FALSE);
+    let next_pc = mux_word(&mut aig, taken, &pc_tgt, &pc4);
+
+    output_word(&mut aig, &result);
+    output_word(&mut aig, &next_pc);
+    aig.add_po(taken);
+    aig
+}
+
+fn shift_left(aig: &mut Aig, w: &[Lit], amt: &[Lit]) -> Vec<Lit> {
+    let n = w.len();
+    let mut cur = w.to_vec();
+    for (s, &sel) in amt.iter().enumerate() {
+        let by = 1usize << s;
+        let shifted: Vec<Lit> =
+            (0..n).map(|i| if i >= by { cur[i - by] } else { Lit::FALSE }).collect();
+        cur = mux_word(aig, sel, &shifted, &cur);
+    }
+    cur
+}
+
+fn shift_right(aig: &mut Aig, w: &[Lit], amt: &[Lit], fill: Lit) -> Vec<Lit> {
+    let n = w.len();
+    let mut cur = w.to_vec();
+    for (s, &sel) in amt.iter().enumerate() {
+        let by = 1usize << s;
+        let shifted: Vec<Lit> = (0..n).map(|i| if i + by < n { cur[i + by] } else { fill }).collect();
+        cur = mux_word(aig, sel, &shifted, &cur);
+    }
+    cur
+}
+
+/// Software model mirroring [`rv32_datapath`]: returns
+/// `(result, next_pc, taken)`.
+pub fn datapath_model(instr: u32, rs1: u32, rs2: u32, pc: u32) -> (u32, u32, bool) {
+    let opcode = instr & 0x7F;
+    let funct3 = (instr >> 12) & 7;
+    let funct7_5 = (instr >> 30) & 1 != 0;
+    let imm_i = ((instr as i32) >> 20) as u32;
+    let imm_b = {
+        let b = ((instr >> 8) & 0xF) << 1
+            | ((instr >> 25) & 0x3F) << 5
+            | ((instr >> 7) & 1) << 11
+            | ((instr >> 31) & 1) << 12;
+        ((b as i32) << 19 >> 19) as u32
+    };
+    let imm_j = {
+        let j = ((instr >> 21) & 0x3FF) << 1
+            | ((instr >> 20) & 1) << 11
+            | ((instr >> 12) & 0xFF) << 12
+            | ((instr >> 31) & 1) << 20;
+        ((j as i32) << 11 >> 11) as u32
+    };
+    let imm_u = instr & 0xFFFF_F000;
+    let is_op = opcode == OPCODE_OP;
+    let is_op_imm = opcode == OPCODE_OP_IMM;
+    let is_branch = opcode == OPCODE_BRANCH;
+    let is_jal = opcode == OPCODE_JAL;
+    let is_lui = opcode == OPCODE_LUI;
+    let in2 = if is_op_imm { imm_i } else { rs2 };
+    let shamt = in2 & 31;
+    let do_sub = is_op && funct7_5;
+    let alu = match funct3 {
+        0 => {
+            if do_sub {
+                rs1.wrapping_sub(in2)
+            } else {
+                rs1.wrapping_add(in2)
+            }
+        }
+        1 => rs1 << shamt,
+        2 => ((rs1 as i32) < (in2 as i32)) as u32,
+        3 => (rs1 < in2) as u32,
+        4 => rs1 ^ in2,
+        5 => {
+            if funct7_5 {
+                ((rs1 as i32) >> shamt) as u32
+            } else {
+                rs1 >> shamt
+            }
+        }
+        6 => rs1 | in2,
+        7 => rs1 & in2,
+        _ => unreachable!(),
+    };
+    let result = if is_lui { imm_u } else { alu };
+    let cond = match funct3 {
+        0 => rs1 == in2,
+        1 => rs1 != in2,
+        4 => (rs1 as i32) < (in2 as i32),
+        5 => (rs1 as i32) >= (in2 as i32),
+        6 => rs1 < in2,
+        7 => rs1 >= in2,
+        _ => false,
+    };
+    let taken = (is_branch && cond) || is_jal;
+    let next_pc = if taken {
+        pc.wrapping_add(if is_jal { imm_j } else { imm_b })
+    } else {
+        pc.wrapping_add(4)
+    };
+    (result, next_pc, taken)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::words::{bits_to_u64, u64_to_bits};
+    use slap_aig::sim::simulate_bits;
+    use slap_aig::Rng64;
+
+    fn run(aig: &Aig, instr: u32, rs1: u32, rs2: u32, pc: u32) -> (u32, u32, bool) {
+        let mut ins = u64_to_bits(instr as u64, 32);
+        ins.extend(u64_to_bits(rs1 as u64, 32));
+        ins.extend(u64_to_bits(rs2 as u64, 32));
+        ins.extend(u64_to_bits(pc as u64, 32));
+        let out = simulate_bits(aig, &ins);
+        (
+            bits_to_u64(&out[..32]) as u32,
+            bits_to_u64(&out[32..64]) as u32,
+            out[64],
+        )
+    }
+
+    fn encode_r(funct7: u32, rs2: u32, rs1: u32, funct3: u32, opcode: u32) -> u32 {
+        (funct7 << 25) | (rs2 << 20) | (rs1 << 15) | (funct3 << 12) | (5 << 7) | opcode
+    }
+
+    #[test]
+    fn alu_register_ops_match_model() {
+        let aig = rv32_datapath();
+        let mut rng = Rng64::seed_from(11);
+        for funct3 in 0..8u32 {
+            for funct7 in [0u32, 0x20] {
+                // SUB/SRA variants only valid for funct3 0 and 5.
+                if funct7 == 0x20 && funct3 != 0 && funct3 != 5 {
+                    continue;
+                }
+                let instr = encode_r(funct7, 2, 1, funct3, OPCODE_OP);
+                let rs1 = rng.next_u64() as u32;
+                let rs2 = rng.next_u64() as u32;
+                let pc = (rng.next_u64() as u32) & !3;
+                assert_eq!(
+                    run(&aig, instr, rs1, rs2, pc),
+                    datapath_model(instr, rs1, rs2, pc),
+                    "funct3={funct3} funct7={funct7:#x}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn immediate_ops_match_model() {
+        let aig = rv32_datapath();
+        let mut rng = Rng64::seed_from(12);
+        for funct3 in [0u32, 2, 3, 4, 6, 7] {
+            let imm = (rng.next_u64() as u32) & 0xFFF;
+            let instr = (imm << 20) | (1 << 15) | (funct3 << 12) | (5 << 7) | OPCODE_OP_IMM;
+            let rs1 = rng.next_u64() as u32;
+            let rs2 = rng.next_u64() as u32;
+            let pc = 0x1000;
+            assert_eq!(
+                run(&aig, instr, rs1, rs2, pc),
+                datapath_model(instr, rs1, rs2, pc),
+                "funct3={funct3}"
+            );
+        }
+    }
+
+    #[test]
+    fn branches_match_model() {
+        let aig = rv32_datapath();
+        let mut rng = Rng64::seed_from(13);
+        for funct3 in [0u32, 1, 4, 5, 6, 7] {
+            for equal in [false, true] {
+                let rs1 = rng.next_u64() as u32;
+                let rs2 = if equal { rs1 } else { rng.next_u64() as u32 };
+                let imm = (rng.next_u64() as u32) & 0x1FFE;
+                let instr = (((imm >> 12) & 1) << 31)
+                    | (((imm >> 5) & 0x3F) << 25)
+                    | (2 << 20)
+                    | (1 << 15)
+                    | (funct3 << 12)
+                    | (((imm >> 1) & 0xF) << 8)
+                    | (((imm >> 11) & 1) << 7)
+                    | OPCODE_BRANCH;
+                let pc = 0x8000_0000u32;
+                assert_eq!(
+                    run(&aig, instr, rs1, rs2, pc),
+                    datapath_model(instr, rs1, rs2, pc),
+                    "funct3={funct3} equal={equal}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn jal_and_lui_match_model() {
+        let aig = rv32_datapath();
+        let mut rng = Rng64::seed_from(14);
+        for _ in 0..8 {
+            let raw = rng.next_u64() as u32;
+            let jal = (raw & 0xFFFF_F000) | (5 << 7) | OPCODE_JAL;
+            let lui = (raw & 0xFFFF_F000) | (5 << 7) | OPCODE_LUI;
+            let rs1 = rng.next_u64() as u32;
+            let rs2 = rng.next_u64() as u32;
+            let pc = (rng.next_u64() as u32) & !3;
+            for instr in [jal, lui] {
+                assert_eq!(run(&aig, instr, rs1, rs2, pc), datapath_model(instr, rs1, rs2, pc));
+            }
+        }
+    }
+
+    #[test]
+    fn datapath_size_is_core_like() {
+        let aig = rv32_datapath();
+        assert!(aig.num_ands() > 1500, "{}", aig.num_ands());
+    }
+}

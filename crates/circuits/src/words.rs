@@ -1,0 +1,192 @@
+//! Multi-bit word helpers shared by the circuit generators.
+//!
+//! A word is a `Vec<Lit>`, least-significant bit first.
+
+use slap_aig::{Aig, Lit};
+
+/// Adds `n` fresh primary inputs as a word (LSB first).
+pub fn input_word(aig: &mut Aig, n: usize) -> Vec<Lit> {
+    aig.add_pis(n)
+}
+
+/// A constant word of the given unsigned value.
+pub fn const_word(value: u64, n: usize) -> Vec<Lit> {
+    (0..n)
+        .map(|i| if (value >> i) & 1 != 0 { Lit::TRUE } else { Lit::FALSE })
+        .collect()
+}
+
+/// Registers each bit of a word as a primary output.
+pub fn output_word(aig: &mut Aig, word: &[Lit]) {
+    for &b in word {
+        aig.add_po(b);
+    }
+}
+
+/// Full adder: returns (sum, carry).
+pub fn full_adder(aig: &mut Aig, a: Lit, b: Lit, c: Lit) -> (Lit, Lit) {
+    let axb = aig.xor(a, b);
+    let sum = aig.xor(axb, c);
+    let carry = aig.maj(a, b, c);
+    (sum, carry)
+}
+
+/// Half adder: returns (sum, carry).
+pub fn half_adder(aig: &mut Aig, a: Lit, b: Lit) -> (Lit, Lit) {
+    (aig.xor(a, b), aig.and(a, b))
+}
+
+/// Ripple-carry addition of two equal-width words with carry-in.
+/// Returns (sum word, carry-out).
+///
+/// # Panics
+///
+/// Panics if the words differ in width.
+pub fn ripple_add(aig: &mut Aig, a: &[Lit], b: &[Lit], cin: Lit) -> (Vec<Lit>, Lit) {
+    assert_eq!(a.len(), b.len(), "operand widths differ");
+    let mut sum = Vec::with_capacity(a.len());
+    let mut carry = cin;
+    for (&x, &y) in a.iter().zip(b) {
+        let (s, c) = full_adder(aig, x, y, carry);
+        sum.push(s);
+        carry = c;
+    }
+    (sum, carry)
+}
+
+/// Two's-complement subtraction `a - b`; returns (difference, borrow-free
+/// carry-out — 1 when `a >= b` for unsigned operands).
+pub fn ripple_sub(aig: &mut Aig, a: &[Lit], b: &[Lit]) -> (Vec<Lit>, Lit) {
+    let nb: Vec<Lit> = b.iter().map(|&x| !x).collect();
+    ripple_add(aig, a, &nb, Lit::TRUE)
+}
+
+/// Unsigned comparison `a >= b`.
+pub fn unsigned_ge(aig: &mut Aig, a: &[Lit], b: &[Lit]) -> Lit {
+    ripple_sub(aig, a, b).1
+}
+
+/// Bitwise multiplexer over words: `sel ? t : e`.
+///
+/// # Panics
+///
+/// Panics if the words differ in width.
+pub fn mux_word(aig: &mut Aig, sel: Lit, t: &[Lit], e: &[Lit]) -> Vec<Lit> {
+    assert_eq!(t.len(), e.len(), "operand widths differ");
+    t.iter().zip(e).map(|(&x, &y)| aig.mux(sel, x, y)).collect()
+}
+
+/// Bitwise XOR of two words.
+pub fn xor_word(aig: &mut Aig, a: &[Lit], b: &[Lit]) -> Vec<Lit> {
+    assert_eq!(a.len(), b.len(), "operand widths differ");
+    a.iter().zip(b).map(|(&x, &y)| aig.xor(x, y)).collect()
+}
+
+/// Left-shift by a fixed amount, dropping high bits (width preserved).
+pub fn shift_left_const(word: &[Lit], by: usize) -> Vec<Lit> {
+    let n = word.len();
+    let mut out = vec![Lit::FALSE; n];
+    for i in by..n {
+        out[i] = word[i - by];
+    }
+    out
+}
+
+/// Interprets a simulation output slice as an unsigned number (LSB first).
+pub fn bits_to_u64(bits: &[bool]) -> u64 {
+    bits.iter().enumerate().fold(0u64, |acc, (i, &b)| acc | ((b as u64) << i))
+}
+
+/// Builds the `n`-bit input assignment of an unsigned value (LSB first).
+pub fn u64_to_bits(value: u64, n: usize) -> Vec<bool> {
+    (0..n).map(|i| (value >> i) & 1 != 0).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slap_aig::sim::simulate_bits;
+
+    #[test]
+    fn full_adder_truth_table() {
+        for bits in 0u32..8 {
+            let mut aig = Aig::new();
+            let a = Lit::FALSE.xor_complement(bits & 1 != 0);
+            let b = Lit::FALSE.xor_complement(bits & 2 != 0);
+            let c = Lit::FALSE.xor_complement(bits & 4 != 0);
+            let (s, co) = full_adder(&mut aig, a, b, c);
+            let total = (bits & 1) + ((bits >> 1) & 1) + ((bits >> 2) & 1);
+            assert_eq!(s == Lit::TRUE, total & 1 == 1);
+            assert_eq!(co == Lit::TRUE, total >= 2);
+        }
+    }
+
+    #[test]
+    fn ripple_add_matches_arithmetic() {
+        let mut aig = Aig::new();
+        let a = input_word(&mut aig, 8);
+        let b = input_word(&mut aig, 8);
+        let (s, co) = ripple_add(&mut aig, &a, &b, Lit::FALSE);
+        output_word(&mut aig, &s);
+        aig.add_po(co);
+        for (x, y) in [(0u64, 0u64), (255, 1), (170, 85), (200, 100)] {
+            let mut ins = u64_to_bits(x, 8);
+            ins.extend(u64_to_bits(y, 8));
+            let out = simulate_bits(&aig, &ins);
+            let got = bits_to_u64(&out);
+            assert_eq!(got, x + y, "{x}+{y}");
+        }
+    }
+
+    #[test]
+    fn subtraction_and_comparison() {
+        let mut aig = Aig::new();
+        let a = input_word(&mut aig, 8);
+        let b = input_word(&mut aig, 8);
+        let (d, ge) = ripple_sub(&mut aig, &a, &b);
+        output_word(&mut aig, &d);
+        aig.add_po(ge);
+        for (x, y) in [(10u64, 3u64), (3, 10), (200, 200), (0, 255)] {
+            let mut ins = u64_to_bits(x, 8);
+            ins.extend(u64_to_bits(y, 8));
+            let out = simulate_bits(&aig, &ins);
+            assert_eq!(bits_to_u64(&out[..8]), x.wrapping_sub(y) & 0xFF);
+            assert_eq!(out[8], x >= y, "{x}>={y}");
+        }
+    }
+
+    #[test]
+    fn mux_and_shift_helpers() {
+        let mut aig = Aig::new();
+        let a = input_word(&mut aig, 4);
+        let b = input_word(&mut aig, 4);
+        let s = aig.add_pi();
+        let m = mux_word(&mut aig, s, &a, &b);
+        output_word(&mut aig, &m);
+        let sh = shift_left_const(&a, 2);
+        output_word(&mut aig, &sh);
+        let mut ins = u64_to_bits(0b1010, 4);
+        ins.extend(u64_to_bits(0b0110, 4));
+        ins.push(true);
+        let out = simulate_bits(&aig, &ins);
+        assert_eq!(bits_to_u64(&out[..4]), 0b1010);
+        assert_eq!(bits_to_u64(&out[4..8]), 0b1000); // 1010 << 2, truncated
+    }
+
+    #[test]
+    fn const_word_bits() {
+        let w = const_word(0b1011, 6);
+        assert_eq!(w[0], Lit::TRUE);
+        assert_eq!(w[1], Lit::TRUE);
+        assert_eq!(w[2], Lit::FALSE);
+        assert_eq!(w[3], Lit::TRUE);
+        assert_eq!(w[5], Lit::FALSE);
+    }
+
+    #[test]
+    fn u64_round_trip() {
+        for v in [0u64, 1, 0xDEAD, u32::MAX as u64] {
+            assert_eq!(bits_to_u64(&u64_to_bits(v, 64)), v);
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Training-data generation (paper §IV-B): many random-shuffle mappings,
+//! each labelling the cuts of its cover with the mapping's delay class.
+
+use slap_aig::Aig;
+use slap_cuts::CutConfig;
+use slap_map::{MapError, Mapper};
+use slap_ml::Dataset;
+
+use crate::embed::{EmbeddingContext, CUT_EMBED_COLS, CUT_EMBED_ROWS};
+
+/// Random-map sampling parameters.
+#[derive(Clone, Debug)]
+pub struct SampleConfig {
+    /// Number of random-shuffle mappings per circuit (the paper uses
+    /// thousands; a few hundred already yields a wide QoR spread).
+    pub maps: usize,
+    /// Cuts kept per node by the shuffle policy (the diversity knob).
+    pub keep: usize,
+    /// Cut feasibility bound.
+    pub cut_config: CutConfig,
+    /// Base seed; map `i` uses `seed + i`.
+    pub seed: u64,
+    /// Number of QoR classes (paper: 10).
+    pub classes: usize,
+    /// Deduplicate mappings with identical (area, delay) before
+    /// labelling, as the paper does ("we hash the final QoR by its area
+    /// and delay, to have a variety of mappings to learn from").
+    pub dedup_qor: bool,
+    /// How conflicting labels of a cut reused across maps are resolved.
+    pub label_mode: LabelMode,
+}
+
+/// Label aggregation across the many mappings a cut participates in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LabelMode {
+    /// One data point per (map, cover cut) — the paper's scheme. The same
+    /// cut then carries every class it was ever part of, which is noisy
+    /// but unbiased.
+    PerUse,
+    /// One data point per distinct cut, labelled with the best (lowest)
+    /// class observed — "can this cut be part of a fast cover?". Cleaner
+    /// signal for the keep/discard decision; documented deviation.
+    BestPerCut,
+    /// [`LabelMode::BestPerCut`] plus negative examples: cuts that exist
+    /// in the circuit's full k-cut space but were never chosen by any
+    /// sampled cover are labelled with the worst class. Without these,
+    /// the training population contains only cover survivors and the
+    /// model has no basis to ever discard a cut at inference time
+    /// (documented deviation; default).
+    BestPerCutWithNegatives,
+}
+
+impl Default for SampleConfig {
+    fn default() -> SampleConfig {
+        SampleConfig {
+            maps: 120,
+            keep: 8,
+            cut_config: CutConfig::default(),
+            seed: 1,
+            classes: 10,
+            dedup_qor: true,
+            label_mode: LabelMode::BestPerCutWithNegatives,
+        }
+    }
+}
+
+/// One random mapping's quality record.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MapSample {
+    /// The shuffle seed that produced the mapping.
+    pub seed: u64,
+    /// Total area (µm²).
+    pub area: f32,
+    /// STA delay (ps).
+    pub delay: f32,
+    /// Assigned QoR class (0 = fastest in the sample).
+    pub class: u8,
+}
+
+/// Runs `config.maps` random-shuffle mappings of `aig`, labels each
+/// mapping's delay into `classes` bins (min–max scaled over the sample,
+/// so class 0 is the fastest observed — the paper's "cuts that minimize
+/// delay"), and emits one data point per cover cut.
+///
+/// Appends into `dataset` (so multiple circuits can share one dataset)
+/// and returns the per-map QoR records.
+///
+/// # Errors
+///
+/// Propagates [`MapError`] from the underlying mapper.
+///
+/// # Panics
+///
+/// Panics if `dataset` has a different shape than the cut embedding or
+/// `config.maps == 0`.
+pub fn generate_dataset(
+    aig: &Aig,
+    mapper: &Mapper<'_>,
+    config: &SampleConfig,
+    dataset: &mut Dataset,
+) -> Result<Vec<MapSample>, MapError> {
+    assert!(config.maps > 0, "at least one map required");
+    assert_eq!(dataset.rows(), CUT_EMBED_ROWS);
+    assert_eq!(dataset.cols(), CUT_EMBED_COLS);
+    let ctx = EmbeddingContext::new(aig);
+    let mut records: Vec<(MapSample, Vec<(slap_aig::NodeId, slap_cuts::Cut)>)> =
+        Vec::with_capacity(config.maps);
+    let mut seen_qor: std::collections::HashSet<(u32, u32)> = std::collections::HashSet::new();
+    for i in 0..config.maps {
+        let seed = config.seed.wrapping_add(i as u64);
+        let netlist = mapper.map_shuffled(aig, &config.cut_config, seed, config.keep)?;
+        if config.dedup_qor && !seen_qor.insert((netlist.area().to_bits(), netlist.delay().to_bits()))
+        {
+            continue;
+        }
+        let sample = MapSample { seed, area: netlist.area(), delay: netlist.delay(), class: 0 };
+        records.push((sample, netlist.cover_cuts().to_vec()));
+    }
+    let min = records.iter().map(|(s, _)| s.delay).fold(f32::INFINITY, f32::min);
+    let max = records.iter().map(|(s, _)| s.delay).fold(0.0f32, f32::max);
+    let span = (max - min).max(1e-6);
+    let classes = config.classes as f32;
+    for (sample, _) in records.iter_mut() {
+        let norm = (sample.delay - min) / span;
+        sample.class = ((norm * classes) as usize).min(config.classes - 1) as u8;
+    }
+    match config.label_mode {
+        LabelMode::PerUse => {
+            for (sample, cover) in &records {
+                for (root, cut) in cover {
+                    let x = ctx.cut_embedding(aig, *root, cut);
+                    dataset.push(x, sample.class);
+                }
+            }
+        }
+        LabelMode::BestPerCut | LabelMode::BestPerCutWithNegatives => {
+            let mut best: std::collections::HashMap<(slap_aig::NodeId, slap_cuts::Cut), u8> =
+                std::collections::HashMap::new();
+            for (sample, cover) in &records {
+                for &(root, cut) in cover {
+                    best.entry((root, cut))
+                        .and_modify(|c| *c = (*c).min(sample.class))
+                        .or_insert(sample.class);
+                }
+            }
+            // Deterministic order: sort by (root, leaves).
+            let mut entries: Vec<_> = best.iter().map(|(k, v)| (*k, *v)).collect();
+            entries.sort_by(|a, b| {
+                (a.0 .0, a.0 .1.leaf_indices()).cmp(&(b.0 .0, b.0 .1.leaf_indices()))
+            });
+            let num_positive = entries.len();
+            for ((root, cut), class) in entries {
+                let x = ctx.cut_embedding(aig, root, &cut);
+                dataset.push(x, class);
+            }
+            if config.label_mode == LabelMode::BestPerCutWithNegatives {
+                // Enumerate the full cut space and emit never-used cuts as
+                // worst-class examples, bounded to balance the positives.
+                let all = slap_cuts::enumerate_cuts(
+                    aig,
+                    &config.cut_config,
+                    &mut slap_cuts::UnlimitedPolicy::new(),
+                );
+                let worst = (config.classes - 1) as u8;
+                let budget = num_positive.max(64);
+                let mut emitted = 0usize;
+                let mut rng = slap_aig::Rng64::seed_from(config.seed ^ 0xBAD_C0DE);
+                'outer: for n in aig.and_ids() {
+                    for cut in all.cuts_of(n) {
+                        if best.contains_key(&(n, *cut)) {
+                            continue;
+                        }
+                        // Thin deterministically so negatives spread over
+                        // the whole circuit instead of its low node ids.
+                        if rng.f32() > 0.5 {
+                            continue;
+                        }
+                        let x = ctx.cut_embedding(aig, n, cut);
+                        dataset.push(x, worst);
+                        emitted += 1;
+                        if emitted >= budget {
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(records.into_iter().map(|(s, _)| s).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slap_cell::asap7_mini;
+    use slap_circuits::arith::ripple_carry_adder;
+    use slap_map::MapOptions;
+
+    #[test]
+    fn generates_labelled_samples_from_adder() {
+        let aig = ripple_carry_adder(8);
+        let lib = asap7_mini();
+        let mapper = Mapper::new(&lib, MapOptions::default());
+        let mut ds = Dataset::new(CUT_EMBED_ROWS, CUT_EMBED_COLS, 10);
+        let cfg = SampleConfig { maps: 12, ..SampleConfig::default() };
+        let samples = generate_dataset(&aig, &mapper, &cfg, &mut ds).expect("maps");
+        assert!(samples.len() <= 12 && samples.len() > 2, "{}", samples.len());
+        assert!(!ds.is_empty());
+        // Class 0 is assigned to the fastest map.
+        let fastest = samples
+            .iter()
+            .min_by(|a, b| a.delay.partial_cmp(&b.delay).expect("finite"))
+            .expect("nonempty");
+        assert_eq!(fastest.class, 0);
+        // All classes within range.
+        assert!(samples.iter().all(|s| (s.class as usize) < 10));
+        // The sample should exhibit QoR diversity.
+        let distinct: std::collections::HashSet<u32> =
+            samples.iter().map(|s| s.delay.to_bits()).collect();
+        assert!(distinct.len() > 3, "only {} distinct delays", distinct.len());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let aig = ripple_carry_adder(8);
+        let lib = asap7_mini();
+        let mapper = Mapper::new(&lib, MapOptions::default());
+        let cfg = SampleConfig { maps: 6, ..SampleConfig::default() };
+        let mut d1 = Dataset::new(CUT_EMBED_ROWS, CUT_EMBED_COLS, 10);
+        let mut d2 = Dataset::new(CUT_EMBED_ROWS, CUT_EMBED_COLS, 10);
+        let s1 = generate_dataset(&aig, &mapper, &cfg, &mut d1).expect("maps");
+        let s2 = generate_dataset(&aig, &mapper, &cfg, &mut d2).expect("maps");
+        assert_eq!(s1, s2);
+        assert_eq!(d1.len(), d2.len());
+    }
+
+    #[test]
+    fn multiple_circuits_share_a_dataset() {
+        let lib = asap7_mini();
+        let mapper = Mapper::new(&lib, MapOptions::default());
+        let cfg = SampleConfig { maps: 4, ..SampleConfig::default() };
+        let mut ds = Dataset::new(CUT_EMBED_ROWS, CUT_EMBED_COLS, 10);
+        let a = ripple_carry_adder(8);
+        let b = ripple_carry_adder(12);
+        generate_dataset(&a, &mapper, &cfg, &mut ds).expect("maps");
+        let after_first = ds.len();
+        generate_dataset(&b, &mapper, &cfg, &mut ds).expect("maps");
+        assert!(ds.len() > after_first);
+    }
+}

@@ -1,0 +1,214 @@
+//! Node and cut embeddings (paper §IV-A, Table I, Fig. 2).
+
+use slap_aig::{Aig, NodeId};
+use slap_cuts::{cut_features, Cut, CutFeatures, NUM_CUT_FEATURES};
+use slap_ml::FeatureGroup;
+
+/// Width of a node embedding (Table I: 4 node features + 3 per child).
+pub const NODE_EMBED_DIM: usize = 10;
+/// Rows of a cut embedding: root + 5 leaves + 9 cut-feature rows.
+pub const CUT_EMBED_ROWS: usize = 15;
+/// Columns of a cut embedding (= [`NODE_EMBED_DIM`]).
+pub const CUT_EMBED_COLS: usize = NODE_EMBED_DIM;
+/// Flattened cut-embedding length.
+pub const CUT_EMBED_DIM: usize = CUT_EMBED_ROWS * CUT_EMBED_COLS;
+
+/// Precomputed per-circuit embedding state — the paper's hash table of
+/// node tensors keyed by node id, plus the complemented-fanout flags and
+/// reverse levels both embeddings need.
+#[derive(Clone, Debug)]
+pub struct EmbeddingContext {
+    node_embeddings: Vec<[f32; NODE_EMBED_DIM]>,
+    compl_flags: Vec<bool>,
+}
+
+impl EmbeddingContext {
+    /// Builds the context for a circuit in one pass.
+    pub fn new(aig: &Aig) -> EmbeddingContext {
+        let compl_flags = aig.complemented_fanout_flags();
+        let rlvl = aig.reverse_levels();
+        let mut node_embeddings = vec![[0f32; NODE_EMBED_DIM]; aig.num_nodes()];
+        for n in aig.node_ids() {
+            let mut e = [0f32; NODE_EMBED_DIM];
+            e[0] = compl_flags[n.index()] as u32 as f32;
+            e[1] = aig.level_of(n) as f32;
+            e[2] = aig.fanout_of(n) as f32;
+            e[3] = rlvl[n.index()] as f32;
+            if aig.is_and(n) {
+                let (f0, f1) = aig.fanins(n);
+                e[4] = f0.is_complement() as u32 as f32;
+                e[5] = aig.level_of(f0.node()) as f32;
+                e[6] = aig.fanout_of(f0.node()) as f32;
+                e[7] = f1.is_complement() as u32 as f32;
+                e[8] = aig.level_of(f1.node()) as f32;
+                e[9] = aig.fanout_of(f1.node()) as f32;
+            }
+            node_embeddings[n.index()] = e;
+        }
+        EmbeddingContext { node_embeddings, compl_flags }
+    }
+
+    /// The Table I embedding of a node.
+    pub fn node_embedding(&self, n: NodeId) -> &[f32; NODE_EMBED_DIM] {
+        &self.node_embeddings[n.index()]
+    }
+
+    /// The complemented-fanout flags (shared with cut-feature extraction).
+    pub fn compl_flags(&self) -> &[bool] {
+        &self.compl_flags
+    }
+
+    /// The Fig. 2 cut embedding: rows 0–5 are the node embeddings of the
+    /// root and the (up to five) leaves, zero-padded; rows 6–14 broadcast
+    /// the nine structural cut features across the columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cut is invalid for `root` or has more than 5 leaves.
+    pub fn cut_embedding(&self, aig: &Aig, root: NodeId, cut: &Cut) -> Vec<f32> {
+        let features = cut_features(aig, root, cut, &self.compl_flags);
+        self.cut_embedding_with_features(root, cut, &features)
+    }
+
+    /// Same as [`EmbeddingContext::cut_embedding`] with precomputed
+    /// features (avoids re-walking the cone when the caller already has
+    /// them).
+    pub fn cut_embedding_with_features(
+        &self,
+        root: NodeId,
+        cut: &Cut,
+        features: &CutFeatures,
+    ) -> Vec<f32> {
+        assert!(cut.len() <= 5, "cut embedding supports at most 5 leaves");
+        let mut m = vec![0f32; CUT_EMBED_DIM];
+        m[..NODE_EMBED_DIM].copy_from_slice(self.node_embedding(root));
+        for (i, leaf) in cut.leaves().enumerate() {
+            let row = (1 + i) * CUT_EMBED_COLS;
+            m[row..row + NODE_EMBED_DIM].copy_from_slice(self.node_embedding(leaf));
+        }
+        let fv = features.to_vec();
+        for (k, &f) in fv.iter().enumerate() {
+            let row = (6 + k) * CUT_EMBED_COLS;
+            for c in 0..CUT_EMBED_COLS {
+                m[row + c] = f;
+            }
+        }
+        debug_assert_eq!(6 + NUM_CUT_FEATURES, CUT_EMBED_ROWS);
+        m
+    }
+}
+
+/// The 19 named feature groups used by the Fig. 5 permutation-importance
+/// analysis: the 10 node-embedding columns (taken across the root and
+/// leaf rows together) and the 9 cut-feature rows.
+pub fn feature_groups() -> Vec<FeatureGroup> {
+    let node_names = [
+        "invE0", "lvl", "FO", "rLvl", "invE1", "lvlC1", "FOC1", "invE2", "lvlC2", "FOC2",
+    ];
+    let mut groups = Vec::with_capacity(19);
+    for (c, name) in node_names.iter().enumerate() {
+        let indices: Vec<usize> = (0..6).map(|r| r * CUT_EMBED_COLS + c).collect();
+        groups.push(FeatureGroup::new(format!("emb:{name}"), indices));
+    }
+    for (k, name) in CutFeatures::names().iter().enumerate() {
+        let row = 6 + k;
+        let indices: Vec<usize> = (0..CUT_EMBED_COLS).map(|c| row * CUT_EMBED_COLS + c).collect();
+        groups.push(FeatureGroup::new(format!("cut:{name}"), indices));
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slap_aig::Lit;
+
+    /// Reconstructs the paper's Fig. 2 worked example: a node whose
+    /// embedding is [1, 3, 1, 0, 1, 2, 2, 1, 2, 1].
+    fn fig2_graph() -> (Aig, NodeId, NodeId, NodeId) {
+        let mut aig = Aig::new();
+        let a = aig.add_pi();
+        let b = aig.add_pi();
+        let c = aig.add_pi();
+        let d = aig.add_pi();
+        let n1 = aig.and(a, b); // lvl 1
+        let n2 = aig.and(c, d); // lvl 1
+        let c1 = aig.and(n1, n2); // lvl 2, will have FO 2
+        let c2 = aig.and(n2, !a); // lvl 2, FO 1
+        let n13 = aig.and(!c1, !c2); // lvl 3
+        let extra = aig.and(c1, d); // gives c1 its second fanout
+        aig.add_po(!n13); // inverted PO edge => inv(e0) = 1, rLvl = 0
+        aig.add_po(extra);
+        (aig, n13.node(), c1.node(), c2.node())
+    }
+
+    #[test]
+    fn node_embedding_matches_paper_example() {
+        let (aig, n13, _, _) = fig2_graph();
+        let ctx = EmbeddingContext::new(&aig);
+        let e = ctx.node_embedding(n13);
+        assert_eq!(e, &[1.0, 3.0, 1.0, 0.0, 1.0, 2.0, 2.0, 1.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn pi_embedding_has_zero_child_features() {
+        let (aig, _, _, _) = fig2_graph();
+        let ctx = EmbeddingContext::new(&aig);
+        let pi = aig.pis()[1]; // b: feeds only n1, plain edge
+        let e = ctx.node_embedding(pi);
+        assert_eq!(e[0], 0.0); // no complemented fanout
+        assert_eq!(e[1], 0.0); // level 0
+        assert_eq!(e[2], 1.0); // one fanout
+        assert_eq!(&e[4..], &[0.0; 6]);
+    }
+
+    #[test]
+    fn cut_embedding_layout() {
+        let (aig, n13, c1, c2) = fig2_graph();
+        let ctx = EmbeddingContext::new(&aig);
+        let cut = Cut::from_leaves(&[c1, c2]);
+        let m = ctx.cut_embedding(&aig, n13, &cut);
+        assert_eq!(m.len(), CUT_EMBED_DIM);
+        // Row 0: root embedding.
+        assert_eq!(&m[..10], ctx.node_embedding(n13));
+        // Rows 1-2: leaf embeddings (sorted order: c1 < c2 by id).
+        assert_eq!(&m[10..20], ctx.node_embedding(c1));
+        assert_eq!(&m[20..30], ctx.node_embedding(c2));
+        // Rows 3-5: zero padding.
+        assert!(m[30..60].iter().all(|&v| v == 0.0));
+        // Row 6: rootCompl flag broadcast (n13 drives an inverted PO).
+        assert!(m[60..70].iter().all(|&v| v == 1.0));
+        // Row 7: numLeaves = 2 broadcast.
+        assert!(m[70..80].iter().all(|&v| v == 2.0));
+        // Row 8: volume = 1 (just n13) broadcast.
+        assert!(m[80..90].iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn trivial_cut_embedding_works() {
+        let (aig, n13, _, _) = fig2_graph();
+        let ctx = EmbeddingContext::new(&aig);
+        let cut = Cut::trivial(n13);
+        let m = ctx.cut_embedding(&aig, n13, &cut);
+        // Row 1 = embedding of the single leaf (the root itself).
+        assert_eq!(&m[10..20], ctx.node_embedding(n13));
+        // Volume row is zero.
+        assert!(m[80..90].iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn nineteen_feature_groups_cover_disjoint_indices() {
+        let groups = feature_groups();
+        assert_eq!(groups.len(), 19);
+        let mut seen = std::collections::HashSet::new();
+        for g in &groups {
+            for &i in &g.indices {
+                assert!(i < CUT_EMBED_DIM);
+                assert!(seen.insert(i), "index {i} in two groups");
+            }
+        }
+        // 10 columns × 6 rows + 9 rows × 10 columns = 150 = full coverage.
+        assert_eq!(seen.len(), CUT_EMBED_DIM);
+        let _ = Lit::FALSE;
+    }
+}

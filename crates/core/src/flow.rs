@@ -1,0 +1,231 @@
+//! The end-to-end SLAP flow (paper Fig. 4): `prepare_map` → inference →
+//! `read_cuts` → map.
+
+use slap_aig::Aig;
+use slap_cuts::{cut_features, enumerate_cuts, CutConfig, UnlimitedPolicy};
+use slap_map::{MapError, MappedNetlist, Mapper};
+use slap_ml::{CnnConfig, CutCnn, Dataset, TrainConfig, TrainReport};
+
+use crate::datagen::{generate_dataset, SampleConfig};
+use crate::embed::{EmbeddingContext, CUT_EMBED_COLS, CUT_EMBED_ROWS};
+use crate::policy::BandPolicy;
+
+/// SLAP inference-time configuration.
+#[derive(Clone, Debug)]
+pub struct SlapConfig {
+    /// Cut feasibility bound for `prepare_map` (paper: k = 5).
+    pub cut_config: CutConfig,
+    /// Per-node cap of the exhaustive enumeration feeding inference.
+    pub unlimited_cap: usize,
+    /// The class bands of §IV-C.
+    pub policy: BandPolicy,
+}
+
+impl Default for SlapConfig {
+    fn default() -> SlapConfig {
+        SlapConfig {
+            cut_config: CutConfig::default(),
+            unlimited_cap: 1000,
+            policy: BandPolicy::paper(),
+        }
+    }
+}
+
+/// Accounting for one SLAP mapping run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SlapStats {
+    /// Cuts enumerated and scored by the CNN.
+    pub cuts_scored: usize,
+    /// Cuts surviving the band policy (exposed via `read_cuts`).
+    pub cuts_kept: usize,
+    /// Histogram of predicted classes over all scored cuts.
+    pub class_histogram: Vec<usize>,
+    /// Nodes whose every cut was predicted bad (trivial-cut-only nodes).
+    pub nodes_all_bad: usize,
+}
+
+/// The SLAP mapper: a pre-trained cut classifier in front of the
+/// unchanged matching/covering engine.
+///
+/// See the [crate documentation](crate) for an end-to-end example.
+#[derive(Debug)]
+pub struct SlapMapper<'a> {
+    mapper: &'a Mapper<'a>,
+    model: CutCnn,
+    config: SlapConfig,
+}
+
+impl<'a> SlapMapper<'a> {
+    /// Wraps a mapper with a trained model.
+    pub fn new(mapper: &'a Mapper<'a>, model: CutCnn, config: SlapConfig) -> SlapMapper<'a> {
+        SlapMapper { mapper, model, config }
+    }
+
+    /// The trained model.
+    pub fn model(&self) -> &CutCnn {
+        &self.model
+    }
+
+    /// The underlying mapper.
+    pub fn mapper(&self) -> &Mapper<'a> {
+        self.mapper
+    }
+
+    /// Maps a circuit with CNN-filtered cuts and returns the netlist plus
+    /// SLAP-side statistics. Matching, covering, and area recovery are
+    /// exactly those of the baseline mapper — only the cut list changes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MapError`] from the covering engine.
+    pub fn map(&self, aig: &Aig) -> Result<(MappedNetlist, SlapStats), MapError> {
+        // prepare_map: exhaustive k-cut enumeration + features/embeddings.
+        let mut cuts = enumerate_cuts(
+            aig,
+            &self.config.cut_config,
+            &mut UnlimitedPolicy::with_cap(self.config.unlimited_cap),
+        );
+        let ctx = EmbeddingContext::new(aig);
+        let mut stats = SlapStats {
+            class_histogram: vec![0; self.model.config().classes],
+            ..SlapStats::default()
+        };
+        // Inference + band policy, node by node.
+        let mut keep_masks: Vec<Vec<bool>> = vec![Vec::new(); aig.num_nodes()];
+        for n in aig.and_ids() {
+            let list = cuts.cuts_of(n);
+            if list.is_empty() {
+                continue;
+            }
+            let mut classes = Vec::with_capacity(list.len());
+            for cut in list {
+                let features = cut_features(aig, n, cut, ctx.compl_flags());
+                let x = ctx.cut_embedding_with_features(n, cut, &features);
+                let class = self.model.predict(&x);
+                stats.class_histogram[class as usize] += 1;
+                classes.push(class);
+            }
+            stats.cuts_scored += classes.len();
+            let mask = self.config.policy.select(&classes);
+            if mask.iter().all(|&k| !k) {
+                stats.nodes_all_bad += 1;
+            }
+            stats.cuts_kept += mask.iter().filter(|&&k| k).count();
+            keep_masks[n.index()] = mask;
+        }
+        // read_cuts: keep exactly the selected cuts. Nodes left empty fall
+        // back to their structural cut so the cover stays realizable (the
+        // paper's trivial-cut case).
+        let mut cursor: Vec<usize> = vec![0; aig.num_nodes()];
+        cuts.retain_selected(
+            aig,
+            |n, _| {
+                let i = cursor[n.index()];
+                cursor[n.index()] += 1;
+                keep_masks[n.index()].get(i).copied().unwrap_or(false)
+            },
+            true,
+        );
+        let netlist = self.mapper.map_with_cuts(aig, &cuts)?;
+        Ok((netlist, stats))
+    }
+}
+
+/// Training-pipeline configuration: sampling plus CNN hyper-parameters.
+#[derive(Clone, Debug, Default)]
+pub struct PipelineConfig {
+    /// Random-map sampling settings (per circuit).
+    pub sample: SampleConfig,
+    /// CNN training settings.
+    pub train: TrainConfig,
+    /// Model architecture (paper defaults).
+    pub model: CnnConfig,
+    /// Weight-initialization seed.
+    pub model_seed: u64,
+}
+
+/// Generates a dataset from `circuits` (paper: 16-bit ripple-carry and
+/// carry-lookahead adders) and trains the Fig. 3 CNN.
+///
+/// # Panics
+///
+/// Panics if `circuits` is empty or mapping one of them fails (the
+/// bundled library always maps).
+pub fn train_slap_model(
+    circuits: &[Aig],
+    mapper: &Mapper<'_>,
+    config: &PipelineConfig,
+) -> (CutCnn, TrainReport) {
+    assert!(!circuits.is_empty(), "at least one training circuit required");
+    let mut dataset = Dataset::new(CUT_EMBED_ROWS, CUT_EMBED_COLS, config.sample.classes);
+    for aig in circuits {
+        generate_dataset(aig, mapper, &config.sample, &mut dataset)
+            .expect("training circuit must map");
+    }
+    let mut model = CutCnn::new(&config.model, config.model_seed);
+    let report = model.train(&dataset, &config.train);
+    (model, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slap_cell::asap7_mini;
+    use slap_circuits::arith::{carry_lookahead_adder, ripple_carry_adder};
+    use slap_map::MapOptions;
+    use slap_ml::CnnConfig;
+
+    fn quick_pipeline() -> PipelineConfig {
+        PipelineConfig {
+            sample: SampleConfig { maps: 16, ..SampleConfig::default() },
+            train: TrainConfig { epochs: 4, ..TrainConfig::default() },
+            model: CnnConfig { filters: 16, ..CnnConfig::paper() },
+            model_seed: 5,
+        }
+    }
+
+    #[test]
+    fn end_to_end_train_and_map_preserves_function() {
+        let lib = asap7_mini();
+        let mapper = Mapper::new(&lib, MapOptions::default());
+        let train_set = vec![ripple_carry_adder(8)];
+        let (model, report) = train_slap_model(&train_set, &mapper, &quick_pipeline());
+        assert!(report.train_samples > 0);
+        let slap = SlapMapper::new(&mapper, model, SlapConfig::default());
+        let target = carry_lookahead_adder(12);
+        let (netlist, stats) = slap.map(&target).expect("maps");
+        assert!(netlist.verify_against(&target, 16, 77), "SLAP result must stay equivalent");
+        assert!(stats.cuts_scored > 0);
+        assert!(stats.cuts_kept <= stats.cuts_scored);
+        let histo_total: usize = stats.class_histogram.iter().sum();
+        assert_eq!(histo_total, stats.cuts_scored);
+    }
+
+    #[test]
+    fn slap_reduces_cuts_exposed_versus_unlimited() {
+        let lib = asap7_mini();
+        let mapper = Mapper::new(&lib, MapOptions::default());
+        let train_set = vec![ripple_carry_adder(8)];
+        let (model, _) = train_slap_model(&train_set, &mapper, &quick_pipeline());
+        let slap = SlapMapper::new(&mapper, model, SlapConfig::default());
+        let target = ripple_carry_adder(16);
+        let (netlist, _) = slap.map(&target).expect("maps");
+        let unlimited = mapper.map_unlimited(&target, &CutConfig::default(), 1000).expect("maps");
+        assert!(
+            netlist.stats().cuts_considered <= unlimited.stats().cuts_considered,
+            "SLAP ({}) must not exceed unlimited ({})",
+            netlist.stats().cuts_considered,
+            unlimited.stats().cuts_considered
+        );
+    }
+
+    #[test]
+    fn accessors() {
+        let lib = asap7_mini();
+        let mapper = Mapper::new(&lib, MapOptions::default());
+        let model = CutCnn::new(&CnnConfig { filters: 4, ..CnnConfig::paper() }, 1);
+        let slap = SlapMapper::new(&mapper, model, SlapConfig::default());
+        assert_eq!(slap.model().config().filters, 4);
+        assert_eq!(slap.mapper().library().name(), "asap7-mini");
+    }
+}

@@ -1,0 +1,53 @@
+//! SLAP — the Supervised Learning Approach for Priority-cuts technology
+//! mapping (the paper's core contribution).
+//!
+//! The pipeline (paper §IV):
+//!
+//! 1. [`embed`] turns every AIG node into the ℝ^1×10 embedding of Table I
+//!    and every cut into the ℝ^15×10 matrix of Fig. 2;
+//! 2. [`datagen`] generates training data by mapping a circuit many times
+//!    under the random-shuffle policy and labelling every cut used in
+//!    each cover with the mapping's delay class (10 classes);
+//! 3. the CNN of `slap-ml` (Fig. 3) learns to predict a cut's class;
+//! 4. [`policy`] implements the three-band filter (§IV-C): keep the
+//!    good cuts (classes 0–3) if any, else the average ones (4–6), else
+//!    expose only the trivial cut;
+//! 5. [`flow::SlapMapper`] wires it together — the `prepare_map` /
+//!    inference / `read_cuts` flow of Fig. 4 — in front of the unchanged
+//!    Boolean matching and covering of `slap-map`.
+//!
+//! # Example: train on a small adder, then map with SLAP
+//!
+//! ```no_run
+//! use slap_cell::asap7_mini;
+//! use slap_circuits::arith::ripple_carry_adder;
+//! use slap_core::{train_slap_model, PipelineConfig, SlapMapper};
+//! use slap_map::{MapOptions, Mapper};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let lib = asap7_mini();
+//! let mapper = Mapper::new(&lib, MapOptions::default());
+//! let circuits = vec![ripple_carry_adder(16)];
+//! let (model, report) = train_slap_model(&circuits, &mapper, &PipelineConfig::default());
+//! println!("10-class val accuracy: {:.1}%", report.val_accuracy * 100.0);
+//!
+//! let slap = SlapMapper::new(&mapper, model, Default::default());
+//! let target = ripple_carry_adder(32);
+//! let (netlist, stats) = slap.map(&target)?;
+//! println!("delay {} ps with {} cuts kept", netlist.delay(), stats.cuts_kept);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod datagen;
+pub mod embed;
+pub mod flow;
+pub mod policy;
+
+pub use datagen::{generate_dataset, LabelMode, MapSample, SampleConfig};
+pub use embed::{
+    feature_groups, EmbeddingContext, CUT_EMBED_COLS, CUT_EMBED_DIM, CUT_EMBED_ROWS,
+    NODE_EMBED_DIM,
+};
+pub use flow::{train_slap_model, PipelineConfig, SlapConfig, SlapMapper, SlapStats};
+pub use policy::BandPolicy;

@@ -1,0 +1,100 @@
+//! The three-band cut selection policy (paper §IV-C).
+
+/// The QoR-class bands: cuts predicted in `0..=good_max` are the top
+/// options; if none exist, cuts in `good_max+1..=avg_max` are offered;
+/// otherwise the node exposes only its trivial cut.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BandPolicy {
+    /// Highest class still considered "good" (paper: 3).
+    pub good_max: u8,
+    /// Highest class still considered "average" (paper: 6).
+    pub avg_max: u8,
+    /// When every cut of a node is predicted bad, keep the single
+    /// best-predicted cut instead of dropping to the trivial cut. The
+    /// paper drops to the trivial cut; keeping one cut is a quality
+    /// guard for circuits far from the training distribution
+    /// (documented deviation, on by default, disable for the literal
+    /// paper behaviour).
+    pub keep_best_when_all_bad: bool,
+}
+
+impl BandPolicy {
+    /// The paper's thresholds: good = 0–3, average = 4–6.
+    pub fn paper() -> BandPolicy {
+        BandPolicy { good_max: 3, avg_max: 6, keep_best_when_all_bad: true }
+    }
+
+    /// The literal paper behaviour: all-bad nodes expose only their
+    /// trivial cut.
+    pub fn paper_strict() -> BandPolicy {
+        BandPolicy { keep_best_when_all_bad: false, ..BandPolicy::paper() }
+    }
+
+    /// Given the predicted classes of one node's cuts, returns the keep
+    /// mask implementing the band rule.
+    pub fn select(&self, classes: &[u8]) -> Vec<bool> {
+        let has_good = classes.iter().any(|&c| c <= self.good_max);
+        if has_good {
+            return classes.iter().map(|&c| c <= self.good_max).collect();
+        }
+        let has_avg = classes.iter().any(|&c| c <= self.avg_max);
+        if has_avg {
+            return classes.iter().map(|&c| c <= self.avg_max).collect();
+        }
+        let mut mask = vec![false; classes.len()];
+        if self.keep_best_when_all_bad {
+            if let Some(best) =
+                classes.iter().enumerate().min_by_key(|(_, &c)| c).map(|(i, _)| i)
+            {
+                mask[best] = true;
+            }
+        }
+        mask
+    }
+}
+
+impl Default for BandPolicy {
+    fn default() -> BandPolicy {
+        BandPolicy::paper()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_only_good_when_available() {
+        let p = BandPolicy::paper();
+        assert_eq!(p.select(&[0, 3, 4, 7]), vec![true, true, false, false]);
+        assert_eq!(p.select(&[9, 2, 9]), vec![false, true, false]);
+    }
+
+    #[test]
+    fn falls_back_to_average_band() {
+        let p = BandPolicy::paper();
+        assert_eq!(p.select(&[4, 6, 7]), vec![true, true, false]);
+        assert_eq!(p.select(&[5]), vec![true]);
+    }
+
+    #[test]
+    fn strict_policy_drops_everything_when_all_bad() {
+        let p = BandPolicy::paper_strict();
+        assert_eq!(p.select(&[7, 8, 9]), vec![false, false, false]);
+        assert_eq!(p.select(&[]), Vec::<bool>::new());
+    }
+
+    #[test]
+    fn default_policy_keeps_single_best_when_all_bad() {
+        let p = BandPolicy::paper();
+        assert_eq!(p.select(&[9, 7, 8]), vec![false, true, false]);
+        assert_eq!(p.select(&[]), Vec::<bool>::new());
+    }
+
+    #[test]
+    fn custom_thresholds() {
+        let p = BandPolicy { good_max: 1, avg_max: 2, keep_best_when_all_bad: false };
+        assert_eq!(p.select(&[2, 3]), vec![true, false]);
+        assert_eq!(p.select(&[1, 2]), vec![true, false]);
+    }
+}

@@ -1,0 +1,71 @@
+//! Integration tests for the three label modes of training-data
+//! generation.
+
+use slap_cell::asap7_mini;
+use slap_circuits::arith::ripple_carry_adder;
+use slap_core::{generate_dataset, LabelMode, SampleConfig, CUT_EMBED_COLS, CUT_EMBED_ROWS};
+use slap_map::{MapOptions, Mapper};
+use slap_ml::Dataset;
+
+fn run(mode: LabelMode) -> Dataset {
+    let aig = ripple_carry_adder(8);
+    let lib = asap7_mini();
+    let mapper = Mapper::new(&lib, MapOptions::default());
+    let mut ds = Dataset::new(CUT_EMBED_ROWS, CUT_EMBED_COLS, 10);
+    let cfg = SampleConfig { maps: 20, label_mode: mode, ..SampleConfig::default() };
+    generate_dataset(&aig, &mapper, &cfg, &mut ds).expect("maps");
+    ds
+}
+
+#[test]
+fn per_use_emits_more_samples_than_best_per_cut() {
+    let per_use = run(LabelMode::PerUse);
+    let best = run(LabelMode::BestPerCut);
+    assert!(per_use.len() > best.len(), "{} vs {}", per_use.len(), best.len());
+}
+
+#[test]
+fn negatives_extend_best_per_cut_with_worst_class() {
+    let best = run(LabelMode::BestPerCut);
+    let with_neg = run(LabelMode::BestPerCutWithNegatives);
+    assert!(with_neg.len() > best.len());
+    let counts = with_neg.class_counts();
+    // Negatives all land in the worst class.
+    assert!(counts[9] >= with_neg.len() - best.len());
+    // And positives are preserved.
+    let positives: usize = counts.iter().take(9).sum();
+    assert!(positives > 0);
+}
+
+#[test]
+fn negatives_are_bounded_relative_to_positives() {
+    let best = run(LabelMode::BestPerCut);
+    let with_neg = run(LabelMode::BestPerCutWithNegatives);
+    let negatives = with_neg.len() - best.len();
+    assert!(
+        negatives <= best.len().max(64),
+        "negatives {negatives} exceed balance budget for {} positives",
+        best.len()
+    );
+}
+
+#[test]
+fn best_per_cut_labels_are_minima_of_per_use_labels() {
+    // Every (embedding) in BestPerCut must appear in PerUse with a label
+    // that is >= the BestPerCut label.
+    let per_use = run(LabelMode::PerUse);
+    let best = run(LabelMode::BestPerCut);
+    use std::collections::HashMap;
+    let mut min_label: HashMap<Vec<u32>, u8> = HashMap::new();
+    for i in 0..per_use.len() {
+        let (x, y) = per_use.sample(i);
+        let key: Vec<u32> = x.iter().map(|v| v.to_bits()).collect();
+        min_label.entry(key).and_modify(|m| *m = (*m).min(y)).or_insert(y);
+    }
+    for i in 0..best.len() {
+        let (x, y) = best.sample(i);
+        let key: Vec<u32> = x.iter().map(|v| v.to_bits()).collect();
+        let expect = min_label.get(&key).copied().expect("best sample must exist in per-use");
+        assert_eq!(y, expect);
+    }
+}

@@ -1,0 +1,290 @@
+//! The cut data structure: a bounded, sorted leaf set with a signature.
+
+use slap_aig::NodeId;
+
+/// Maximum number of leaves a cut may have. The paper uses k = 5; we allow
+/// up to 6 so the data structure also serves 6-input experiments.
+pub const MAX_CUT_SIZE: usize = 6;
+
+/// A cut `(n, L)`: the set of leaf node ids, stored inline and sorted
+/// ascending, plus a 64-bit Bloom-style signature for O(1) subset
+/// rejection.
+///
+/// The root is *not* stored in the cut — cuts live in per-root lists
+/// inside [`crate::CutSets`].
+///
+/// # Example
+///
+/// ```
+/// use slap_cuts::Cut;
+/// use slap_aig::NodeId;
+///
+/// let c = Cut::from_leaves(&[NodeId::new(4), NodeId::new(2)]);
+/// assert_eq!(c.len(), 2);
+/// assert_eq!(c.leaves().next(), Some(NodeId::new(2))); // sorted
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Cut {
+    leaves: [u32; MAX_CUT_SIZE],
+    len: u8,
+    sig: u64,
+}
+
+impl Cut {
+    /// The trivial cut `{n}`.
+    pub fn trivial(n: NodeId) -> Cut {
+        Cut::from_leaves(&[n])
+    }
+
+    /// Builds a cut from an arbitrary leaf list (sorted and deduplicated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are more than [`MAX_CUT_SIZE`] distinct leaves.
+    pub fn from_leaves(leaves: &[NodeId]) -> Cut {
+        let mut ids: Vec<u32> = leaves.iter().map(|l| l.index() as u32).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert!(ids.len() <= MAX_CUT_SIZE, "cut with more than {MAX_CUT_SIZE} leaves");
+        let mut arr = [0u32; MAX_CUT_SIZE];
+        let mut sig = 0u64;
+        for (i, &id) in ids.iter().enumerate() {
+            arr[i] = id;
+            sig |= 1u64 << (id % 64);
+        }
+        Cut { leaves: arr, len: ids.len() as u8, sig }
+    }
+
+    /// Number of leaves.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// True for the (impossible in practice) empty cut.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The leaf ids, ascending.
+    #[inline]
+    pub fn leaves(&self) -> impl ExactSizeIterator<Item = NodeId> + '_ {
+        self.leaves[..self.len as usize].iter().map(|&id| NodeId::new(id as usize))
+    }
+
+    /// The raw sorted leaf indices.
+    #[inline]
+    pub fn leaf_indices(&self) -> &[u32] {
+        &self.leaves[..self.len as usize]
+    }
+
+    /// Whether this cut is the trivial cut of `n`.
+    pub fn is_trivial_of(&self, n: NodeId) -> bool {
+        self.len == 1 && self.leaves[0] as usize == n.index()
+    }
+
+    /// Whether `leaf` is one of this cut's leaves.
+    pub fn contains(&self, leaf: NodeId) -> bool {
+        self.leaf_indices().binary_search(&(leaf.index() as u32)).is_ok()
+    }
+
+    /// The Bloom signature (union of `1 << (id mod 64)` per leaf).
+    #[inline]
+    pub fn signature(&self) -> u64 {
+        self.sig
+    }
+
+    /// Merges two cuts (set union), returning `None` if the union exceeds
+    /// `k` leaves. This is the core operation of Eq. (1).
+    pub fn merge(&self, other: &Cut, k: usize) -> Option<Cut> {
+        debug_assert!(k <= MAX_CUT_SIZE);
+        // Quick reject: a union of two sets has at least popcount(sig-union)
+        // distinct residues; if that already exceeds k, bail out early.
+        if (self.sig | other.sig).count_ones() as usize > k {
+            return None;
+        }
+        let a = self.leaf_indices();
+        let b = other.leaf_indices();
+        let mut out = [0u32; MAX_CUT_SIZE];
+        let (mut i, mut j, mut n) = (0usize, 0usize, 0usize);
+        while i < a.len() && j < b.len() {
+            if n == k {
+                return None;
+            }
+            let v = if a[i] < b[j] {
+                let v = a[i];
+                i += 1;
+                v
+            } else if b[j] < a[i] {
+                let v = b[j];
+                j += 1;
+                v
+            } else {
+                let v = a[i];
+                i += 1;
+                j += 1;
+                v
+            };
+            out[n] = v;
+            n += 1;
+        }
+        for &v in &a[i..] {
+            if n == k {
+                return None;
+            }
+            out[n] = v;
+            n += 1;
+        }
+        for &v in &b[j..] {
+            if n == k {
+                return None;
+            }
+            out[n] = v;
+            n += 1;
+        }
+        Some(Cut { leaves: out, len: n as u8, sig: self.sig | other.sig })
+    }
+
+    /// True if `self`'s leaves are a subset of `other`'s (i.e. `self`
+    /// *dominates* `other`, making `other` redundant).
+    pub fn dominates(&self, other: &Cut) -> bool {
+        if self.len > other.len {
+            return false;
+        }
+        if self.sig & !other.sig != 0 {
+            return false;
+        }
+        let a = self.leaf_indices();
+        let b = other.leaf_indices();
+        let mut j = 0usize;
+        'outer: for &x in a {
+            while j < b.len() {
+                if b[j] == x {
+                    j += 1;
+                    continue 'outer;
+                }
+                if b[j] > x {
+                    return false;
+                }
+                j += 1;
+            }
+            return false;
+        }
+        true
+    }
+}
+
+impl std::fmt::Debug for Cut {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Cut{{")?;
+        for (i, l) in self.leaf_indices().iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{l}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Total order used for canonical sorting: by size, then lexicographically
+/// by leaves. (Not `Ord` on the type itself: domination, not lexicographic
+/// order, is the semantically meaningful relation between cuts.)
+pub(crate) fn cut_cmp(a: &Cut, b: &Cut) -> std::cmp::Ordering {
+    a.len().cmp(&b.len()).then_with(|| a.leaf_indices().cmp(b.leaf_indices()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cut(ids: &[usize]) -> Cut {
+        Cut::from_leaves(&ids.iter().map(|&i| NodeId::new(i)).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn from_leaves_sorts_and_dedups() {
+        let c = cut(&[5, 2, 5, 9]);
+        assert_eq!(c.leaf_indices(), &[2, 5, 9]);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn trivial_cut() {
+        let c = Cut::trivial(NodeId::new(7));
+        assert!(c.is_trivial_of(NodeId::new(7)));
+        assert!(!c.is_trivial_of(NodeId::new(8)));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn merge_unions_leaves() {
+        let a = cut(&[1, 2, 3]);
+        let b = cut(&[3, 4]);
+        let m = a.merge(&b, 5).expect("fits in k=5");
+        assert_eq!(m.leaf_indices(), &[1, 2, 3, 4]);
+        assert_eq!(m.signature(), a.signature() | b.signature());
+    }
+
+    #[test]
+    fn merge_respects_k() {
+        let a = cut(&[1, 2, 3]);
+        let b = cut(&[4, 5, 6]);
+        assert!(a.merge(&b, 5).is_none());
+        assert!(a.merge(&b, 6).is_some());
+    }
+
+    #[test]
+    fn merge_with_overlap_exactly_k() {
+        let a = cut(&[1, 2, 3, 4]);
+        let b = cut(&[3, 4, 5, 6]);
+        let m = a.merge(&b, 6).expect("union has 6 leaves");
+        assert_eq!(m.len(), 6);
+        assert!(a.merge(&b, 5).is_none());
+    }
+
+    #[test]
+    fn dominance() {
+        let small = cut(&[2, 5]);
+        let big = cut(&[2, 5, 9]);
+        assert!(small.dominates(&big));
+        assert!(!big.dominates(&small));
+        assert!(small.dominates(&small));
+        let other = cut(&[2, 6]);
+        assert!(!small.dominates(&other));
+        assert!(!other.dominates(&big));
+    }
+
+    #[test]
+    fn dominance_signature_collision_resistant() {
+        // Leaves 1 and 65 share the signature bit; subset test must still
+        // be exact.
+        let a = cut(&[1]);
+        let b = cut(&[65, 70]);
+        assert!(!a.dominates(&b));
+    }
+
+    #[test]
+    fn contains_checks_membership() {
+        let c = cut(&[3, 8, 12]);
+        assert!(c.contains(NodeId::new(8)));
+        assert!(!c.contains(NodeId::new(9)));
+    }
+
+    #[test]
+    fn cmp_orders_by_size_then_lex() {
+        let a = cut(&[9]);
+        let b = cut(&[1, 2]);
+        let c = cut(&[1, 3]);
+        assert_eq!(cut_cmp(&a, &b), std::cmp::Ordering::Less);
+        assert_eq!(cut_cmp(&b, &c), std::cmp::Ordering::Less);
+        assert_eq!(cut_cmp(&c, &c), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    #[should_panic(expected = "more than")]
+    fn too_many_leaves_panics() {
+        let _ = cut(&[1, 2, 3, 4, 5, 6, 7]);
+    }
+}

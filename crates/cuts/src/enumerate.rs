@@ -1,0 +1,267 @@
+//! Bottom-up cut enumeration (Eq. 1 of the paper).
+
+use slap_aig::{Aig, NodeId};
+
+use crate::cut::{cut_cmp, Cut, MAX_CUT_SIZE};
+use crate::policy::CutPolicy;
+
+/// Parameters of cut enumeration shared by all policies.
+#[derive(Clone, Debug)]
+pub struct CutConfig {
+    /// Maximum number of leaves per cut (the paper uses k = 5).
+    pub k: usize,
+}
+
+impl CutConfig {
+    /// The paper's configuration: 5-feasible cuts.
+    pub fn new() -> CutConfig {
+        CutConfig { k: 5 }
+    }
+
+    /// Custom `k` (at most [`MAX_CUT_SIZE`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is 0 or exceeds [`MAX_CUT_SIZE`].
+    pub fn with_k(k: usize) -> CutConfig {
+        assert!(k >= 1 && k <= MAX_CUT_SIZE, "k must be in 1..={MAX_CUT_SIZE}");
+        CutConfig { k }
+    }
+}
+
+impl Default for CutConfig {
+    fn default() -> CutConfig {
+        CutConfig::new()
+    }
+}
+
+/// Per-node cut lists produced by [`enumerate_cuts`].
+///
+/// The trivial cut of each node is stored implicitly (it always exists and
+/// is never exposed to matching); `cuts_of` returns only the non-trivial
+/// cuts, in the order the policy left them.
+#[derive(Clone, Debug)]
+pub struct CutSets {
+    sets: Vec<Vec<Cut>>,
+    k: usize,
+}
+
+impl CutSets {
+    /// The non-trivial cuts stored for `node`.
+    pub fn cuts_of(&self, node: NodeId) -> &[Cut] {
+        &self.sets[node.index()]
+    }
+
+    /// Mutable access, for external selection passes.
+    pub fn cuts_of_mut(&mut self, node: NodeId) -> &mut Vec<Cut> {
+        &mut self.sets[node.index()]
+    }
+
+    /// The `k` the sets were enumerated with.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Total number of non-trivial cuts across all nodes — the paper's
+    /// "cuts considered / memory footprint" metric.
+    pub fn total_cuts(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Number of nodes with at least one stored cut.
+    pub fn num_nodes_with_cuts(&self) -> usize {
+        self.sets.iter().filter(|s| !s.is_empty()).count()
+    }
+
+    /// Applies an external selection: for every AND node, keeps only cuts
+    /// for which `select` returns true. This is the `read_cuts` step of
+    /// the SLAP flow.
+    ///
+    /// If `ensure_structural` is set, the structural cut `{fanin0, fanin1}`
+    /// of each AND node is re-added when the selection removed every cut,
+    /// so the node stays mappable (the paper's "only the trivial cut"
+    /// case — the node then costs one 2-input gate if the cover needs it).
+    pub fn retain_selected<F>(&mut self, aig: &Aig, mut select: F, ensure_structural: bool)
+    where
+        F: FnMut(NodeId, &Cut) -> bool,
+    {
+        for n in aig.and_ids() {
+            let list = &mut self.sets[n.index()];
+            list.retain(|c| select(n, c));
+            if ensure_structural && list.is_empty() {
+                let (f0, f1) = aig.fanins(n);
+                list.push(Cut::from_leaves(&[f0.node(), f1.node()]));
+            }
+        }
+    }
+}
+
+/// Enumerates k-feasible cuts for every AND node bottom-up, applying
+/// `policy` to each node's merged list before storing it.
+///
+/// The stored (policy-refined) list is what propagates to fanout merges,
+/// matching ABC's priority-cuts behaviour where pruning shapes the whole
+/// downstream cut space.
+pub fn enumerate_cuts(aig: &Aig, config: &CutConfig, policy: &mut dyn CutPolicy) -> CutSets {
+    let k = config.k;
+    let mut sets: Vec<Vec<Cut>> = vec![Vec::new(); aig.num_nodes()];
+    let mut scratch: Vec<Cut> = Vec::new();
+    for n in aig.and_ids() {
+        let (f0, f1) = aig.fanins(n);
+        scratch.clear();
+        {
+            let set0 = with_trivial(&sets[f0.node().index()], f0.node());
+            let set1 = with_trivial(&sets[f1.node().index()], f1.node());
+            for c0 in set0.iter() {
+                for c1 in set1.iter() {
+                    if let Some(m) = c0.merge(c1, k) {
+                        scratch.push(m);
+                    }
+                }
+            }
+        }
+        // Canonical order + dedup (different merge paths can produce the
+        // same leaf set); the policy then reorders/prunes as it likes.
+        scratch.sort_by(cut_cmp);
+        scratch.dedup();
+        // The trivial cut of n can never be produced by merging (leaves
+        // precede n topologically), so no need to remove it.
+        policy.refine(aig, n, &mut scratch);
+        sets[n.index()] = scratch.clone();
+    }
+    CutSets { sets, k }
+}
+
+/// The fanin cut set plus its trivial cut, as Eq. (1) requires.
+fn with_trivial(set: &[Cut], n: NodeId) -> Vec<Cut> {
+    let mut v = Vec::with_capacity(set.len() + 1);
+    v.push(Cut::trivial(n));
+    v.extend_from_slice(set);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{DefaultPolicy, ShufflePolicy, UnlimitedPolicy};
+    use slap_aig::Lit;
+
+    /// A small 2-level circuit: f = (a&b) & (c&d).
+    fn two_level() -> (Aig, Lit, Lit, Lit) {
+        let mut aig = Aig::new();
+        let a = aig.add_pi();
+        let b = aig.add_pi();
+        let c = aig.add_pi();
+        let d = aig.add_pi();
+        let ab = aig.and(a, b);
+        let cd = aig.and(c, d);
+        let f = aig.and(ab, cd);
+        aig.add_po(f);
+        (aig, ab, cd, f)
+    }
+
+    #[test]
+    fn enumerates_expected_cut_sets() {
+        let (aig, ab, cd, f) = two_level();
+        let sets = enumerate_cuts(&aig, &CutConfig::default(), &mut DefaultPolicy::default());
+        // ab has exactly the structural cut {a,b}.
+        assert_eq!(sets.cuts_of(ab.node()).len(), 1);
+        // f has {ab,cd}, {ab,c,d}, {a,b,cd}, {a,b,c,d}.
+        let cuts = sets.cuts_of(f.node());
+        assert_eq!(cuts.len(), 4);
+        assert!(cuts.iter().any(|c| c.len() == 4));
+        let _ = cd;
+    }
+
+    #[test]
+    fn k_limits_cut_width() {
+        let mut aig = Aig::new();
+        let xs = aig.add_pis(6);
+        let mut acc = xs[0];
+        for &x in &xs[1..] {
+            acc = aig.and(acc, x);
+        }
+        aig.add_po(acc);
+        let sets3 = enumerate_cuts(&aig, &CutConfig::with_k(3), &mut UnlimitedPolicy::new());
+        for n in aig.and_ids() {
+            for c in sets3.cuts_of(n) {
+                assert!(c.len() <= 3);
+            }
+        }
+    }
+
+    #[test]
+    fn total_cuts_counts_all_nodes() {
+        let (aig, _, _, _) = two_level();
+        let sets = enumerate_cuts(&aig, &CutConfig::default(), &mut DefaultPolicy::default());
+        assert_eq!(sets.total_cuts(), 1 + 1 + 4);
+    }
+
+    #[test]
+    fn unlimited_supersets_default() {
+        // Default filters dominated cuts; unlimited must keep at least as many.
+        let mut aig = Aig::new();
+        let xs = aig.add_pis(5);
+        let ab = aig.and(xs[0], xs[1]);
+        let abc = aig.and(ab, xs[2]);
+        let abcd = aig.and(abc, xs[3]);
+        let f = aig.and(abcd, xs[4]);
+        aig.add_po(f);
+        let d = enumerate_cuts(&aig, &CutConfig::default(), &mut DefaultPolicy::default());
+        let u = enumerate_cuts(&aig, &CutConfig::default(), &mut UnlimitedPolicy::new());
+        assert!(u.total_cuts() >= d.total_cuts());
+    }
+
+    #[test]
+    fn retain_selected_filters_and_restores_structural() {
+        let (aig, _, _, f) = two_level();
+        let mut sets = enumerate_cuts(&aig, &CutConfig::default(), &mut UnlimitedPolicy::new());
+        // Drop everything.
+        sets.retain_selected(&aig, |_, _| false, true);
+        let cuts = sets.cuts_of(f.node());
+        assert_eq!(cuts.len(), 1);
+        assert_eq!(cuts[0].len(), 2); // structural cut restored
+    }
+
+    #[test]
+    fn retain_selected_keeps_matching() {
+        let (aig, _, _, f) = two_level();
+        let mut sets = enumerate_cuts(&aig, &CutConfig::default(), &mut UnlimitedPolicy::new());
+        sets.retain_selected(&aig, |_, c| c.len() == 4, true);
+        let cuts = sets.cuts_of(f.node());
+        assert_eq!(cuts.len(), 1);
+        assert_eq!(cuts[0].len(), 4);
+    }
+
+    #[test]
+    fn shuffle_policy_reduces_cut_counts() {
+        let mut aig = Aig::new();
+        let xs = aig.add_pis(8);
+        // A denser structure with many cuts per node.
+        let mut layer: Vec<Lit> = xs.clone();
+        while layer.len() > 1 {
+            let mut next = Vec::new();
+            for w in layer.windows(2) {
+                next.push(aig.and(w[0], w[1]));
+            }
+            layer = next;
+        }
+        aig.add_po(layer[0]);
+        let full = enumerate_cuts(&aig, &CutConfig::default(), &mut UnlimitedPolicy::new());
+        let some = enumerate_cuts(&aig, &CutConfig::default(), &mut ShufflePolicy::with_keep(1, 2));
+        assert!(some.total_cuts() < full.total_cuts());
+        for n in aig.and_ids() {
+            assert!(some.cuts_of(n).len() <= 2);
+        }
+    }
+
+    #[test]
+    fn pi_and_const_have_no_stored_cuts() {
+        let (aig, _, _, _) = two_level();
+        let sets = enumerate_cuts(&aig, &CutConfig::default(), &mut DefaultPolicy::default());
+        for pi in aig.pis() {
+            assert!(sets.cuts_of(*pi).is_empty());
+        }
+        assert!(sets.cuts_of(NodeId::CONST0).is_empty());
+    }
+}

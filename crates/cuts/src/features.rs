@@ -1,0 +1,186 @@
+//! The nine structural cut features of §IV-A of the paper.
+
+use slap_aig::cone::cut_volume;
+use slap_aig::{Aig, NodeId};
+
+use crate::cut::Cut;
+
+/// Number of structural cut features (paper §IV-A defines nine).
+pub const NUM_CUT_FEATURES: usize = 9;
+
+/// The nine structural features of a cut, in the paper's order:
+///
+/// 1. root drives at least one complemented edge,
+/// 2. number of leaves,
+/// 3. volume (nodes covered),
+/// 4. minimum leaf level,
+/// 5. maximum leaf level,
+/// 6. sum of leaf levels,
+/// 7. minimum leaf fanout,
+/// 8. maximum leaf fanout,
+/// 9. sum of leaf fanouts.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CutFeatures {
+    /// Feature (i): whether the root has a complemented outgoing edge.
+    pub root_complemented: bool,
+    /// Feature (ii): number of leaves.
+    pub num_leaves: u32,
+    /// Feature (iii): `vol(c)`.
+    pub volume: u32,
+    /// Feature (iv).
+    pub min_leaf_level: u32,
+    /// Feature (v).
+    pub max_leaf_level: u32,
+    /// Feature (vi).
+    pub sum_leaf_levels: u32,
+    /// Feature (vii).
+    pub min_leaf_fanout: u32,
+    /// Feature (viii).
+    pub max_leaf_fanout: u32,
+    /// Feature (ix).
+    pub sum_leaf_fanouts: u32,
+}
+
+impl CutFeatures {
+    /// The features as an `f32` vector in the paper's order.
+    pub fn to_vec(self) -> [f32; NUM_CUT_FEATURES] {
+        [
+            self.root_complemented as u32 as f32,
+            self.num_leaves as f32,
+            self.volume as f32,
+            self.min_leaf_level as f32,
+            self.max_leaf_level as f32,
+            self.sum_leaf_levels as f32,
+            self.min_leaf_fanout as f32,
+            self.max_leaf_fanout as f32,
+            self.sum_leaf_fanouts as f32,
+        ]
+    }
+
+    /// Human-readable feature names, aligned with [`CutFeatures::to_vec`].
+    pub fn names() -> [&'static str; NUM_CUT_FEATURES] {
+        [
+            "rootCompl",
+            "numLeaves",
+            "volume",
+            "minLeafLvl",
+            "maxLeafLvl",
+            "sumLeafLvl",
+            "minLeafFO",
+            "maxLeafFO",
+            "sumLeafFO",
+        ]
+    }
+}
+
+/// Computes the nine features of `cut` rooted at `root`.
+///
+/// `compl_flags` must come from [`Aig::complemented_fanout_flags`] (passed
+/// in so bulk feature extraction is O(1) per cut for that feature).
+///
+/// # Panics
+///
+/// Panics if the cut is not a valid cut of `root` (its cone is not closed
+/// under the leaves).
+pub fn cut_features(aig: &Aig, root: NodeId, cut: &Cut, compl_flags: &[bool]) -> CutFeatures {
+    let leaves: Vec<NodeId> = cut.leaves().collect();
+    let volume = cut_volume(aig, root, &leaves).expect("valid cut required") as u32;
+    let mut min_lvl = u32::MAX;
+    let mut max_lvl = 0u32;
+    let mut sum_lvl = 0u32;
+    let mut min_fo = u32::MAX;
+    let mut max_fo = 0u32;
+    let mut sum_fo = 0u32;
+    for &l in &leaves {
+        let lvl = aig.level_of(l);
+        let fo = aig.fanout_of(l);
+        min_lvl = min_lvl.min(lvl);
+        max_lvl = max_lvl.max(lvl);
+        sum_lvl += lvl;
+        min_fo = min_fo.min(fo);
+        max_fo = max_fo.max(fo);
+        sum_fo += fo;
+    }
+    CutFeatures {
+        root_complemented: compl_flags[root.index()],
+        num_leaves: leaves.len() as u32,
+        volume,
+        min_leaf_level: min_lvl,
+        max_leaf_level: max_lvl,
+        sum_leaf_levels: sum_lvl,
+        min_leaf_fanout: min_fo,
+        max_leaf_fanout: max_fo,
+        sum_leaf_fanouts: sum_fo,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slap_aig::Aig;
+
+    #[test]
+    fn features_of_three_input_cone() {
+        let mut aig = Aig::new();
+        let a = aig.add_pi();
+        let b = aig.add_pi();
+        let c = aig.add_pi();
+        let ab = aig.and(a, b);
+        let f = aig.and(ab, !c);
+        aig.add_po(!f);
+        let flags = aig.complemented_fanout_flags();
+        let cut = Cut::from_leaves(&[a.node(), b.node(), c.node()]);
+        let feat = cut_features(&aig, f.node(), &cut, &flags);
+        assert!(feat.root_complemented); // PO edge is inverted
+        assert_eq!(feat.num_leaves, 3);
+        assert_eq!(feat.volume, 2);
+        assert_eq!(feat.min_leaf_level, 0);
+        assert_eq!(feat.max_leaf_level, 0);
+        assert_eq!(feat.sum_leaf_levels, 0);
+        // a,b feed only ab; c feeds only f.
+        assert_eq!(feat.min_leaf_fanout, 1);
+        assert_eq!(feat.max_leaf_fanout, 1);
+        assert_eq!(feat.sum_leaf_fanouts, 3);
+    }
+
+    #[test]
+    fn features_with_internal_leaf() {
+        let mut aig = Aig::new();
+        let a = aig.add_pi();
+        let b = aig.add_pi();
+        let c = aig.add_pi();
+        let ab = aig.and(a, b);
+        let f = aig.and(ab, c);
+        aig.add_po(f);
+        let flags = aig.complemented_fanout_flags();
+        let cut = Cut::from_leaves(&[ab.node(), c.node()]);
+        let feat = cut_features(&aig, f.node(), &cut, &flags);
+        assert!(!feat.root_complemented);
+        assert_eq!(feat.num_leaves, 2);
+        assert_eq!(feat.volume, 1);
+        assert_eq!(feat.min_leaf_level, 0);
+        assert_eq!(feat.max_leaf_level, 1);
+        assert_eq!(feat.sum_leaf_levels, 1);
+    }
+
+    #[test]
+    fn vector_and_names_align() {
+        assert_eq!(CutFeatures::names().len(), NUM_CUT_FEATURES);
+        let f = CutFeatures {
+            root_complemented: true,
+            num_leaves: 2,
+            volume: 3,
+            min_leaf_level: 4,
+            max_leaf_level: 5,
+            sum_leaf_levels: 9,
+            min_leaf_fanout: 1,
+            max_leaf_fanout: 2,
+            sum_leaf_fanouts: 3,
+        };
+        let v = f.to_vec();
+        assert_eq!(v[0], 1.0);
+        assert_eq!(v[1], 2.0);
+        assert_eq!(v[5], 9.0);
+        assert_eq!(v[8], 3.0);
+    }
+}

@@ -1,0 +1,49 @@
+//! k-feasible cut enumeration for the SLAP reproduction.
+//!
+//! Implements Eq. (1) of the paper: starting from trivial cuts at the
+//! primary inputs, the cut set of an AND node is the pairwise union of its
+//! fanin cut sets, bounded by `k` leaves. What distinguishes the paper's
+//! three experimental modes is the *policy* applied to each node's cut
+//! list before it is stored (and therefore both propagated to fanouts and
+//! exposed to Boolean matching):
+//!
+//! * [`DefaultPolicy`] — ABC's behaviour: sort by number of leaves, filter
+//!   dominated cuts, keep at most 250.
+//! * [`UnlimitedPolicy`] — the paper's *ABC Unlimited*: no sorting, no
+//!   dominance filtering (a hard safety cap bounds memory).
+//! * [`ShufflePolicy`] — the paper's design-space-exploration mode:
+//!   randomly shuffle the list and keep a random subset, producing the
+//!   QoR diversity of Fig. 1 and the training data of §IV-B.
+//! * External selection ([`CutSets::retain_selected`]) — the `read_cuts`
+//!   command: keep exactly the cuts an oracle (the CNN) chose.
+//!
+//! # Example
+//!
+//! ```
+//! use slap_aig::Aig;
+//! use slap_cuts::{enumerate_cuts, CutConfig, DefaultPolicy};
+//!
+//! let mut aig = Aig::new();
+//! let a = aig.add_pi();
+//! let b = aig.add_pi();
+//! let c = aig.add_pi();
+//! let ab = aig.and(a, b);
+//! let f = aig.and(ab, c);
+//! aig.add_po(f);
+//!
+//! let sets = enumerate_cuts(&aig, &CutConfig::default(), &mut DefaultPolicy::default());
+//! // f has the structural cut {ab, c} and the expanded cut {a, b, c}.
+//! assert_eq!(sets.cuts_of(f.node()).len(), 2);
+//! ```
+
+mod cut;
+mod enumerate;
+mod features;
+mod policy;
+mod stats;
+
+pub use cut::{Cut, MAX_CUT_SIZE};
+pub use enumerate::{enumerate_cuts, CutConfig, CutSets};
+pub use features::{cut_features, CutFeatures, NUM_CUT_FEATURES};
+pub use policy::{CutPolicy, DefaultPolicy, ShufflePolicy, UnlimitedPolicy};
+pub use stats::CutStats;

@@ -1,0 +1,230 @@
+//! Cut sorting and filtering policies — the knob the paper turns.
+
+use slap_aig::{Aig, NodeId, Rng64};
+
+use crate::cut::{cut_cmp, Cut};
+
+/// A policy refines the freshly merged, deduplicated cut list of a node
+/// before the list is stored (and thus both propagated to fanout merges
+/// and exposed to Boolean matching).
+///
+/// The trivial cut is handled outside the policy: it is always stored
+/// first and never counted as "considered".
+pub trait CutPolicy {
+    /// Reorders and/or prunes `cuts` in place. `cuts` contains only
+    /// non-trivial cuts, deduplicated, in canonical (size, lex) order.
+    fn refine(&mut self, aig: &Aig, node: NodeId, cuts: &mut Vec<Cut>);
+
+    /// Short name used in reports.
+    fn name(&self) -> &'static str;
+}
+
+/// ABC's default heuristic: sort by number of leaves, remove dominated
+/// cuts, keep at most `limit` (ABC stores up to 250 cuts per node).
+#[derive(Clone, Debug)]
+pub struct DefaultPolicy {
+    /// Maximum number of cuts kept per node.
+    pub limit: usize,
+}
+
+impl DefaultPolicy {
+    /// The ABC default limit of 250 cuts per node.
+    pub fn new() -> DefaultPolicy {
+        DefaultPolicy { limit: 250 }
+    }
+
+    /// A policy with a custom per-node limit.
+    pub fn with_limit(limit: usize) -> DefaultPolicy {
+        DefaultPolicy { limit }
+    }
+}
+
+impl Default for DefaultPolicy {
+    fn default() -> DefaultPolicy {
+        DefaultPolicy::new()
+    }
+}
+
+impl CutPolicy for DefaultPolicy {
+    fn refine(&mut self, _aig: &Aig, _node: NodeId, cuts: &mut Vec<Cut>) {
+        cuts.sort_by(cut_cmp);
+        filter_dominated_sorted(cuts);
+        cuts.truncate(self.limit);
+    }
+
+    fn name(&self) -> &'static str {
+        "abc-default"
+    }
+}
+
+/// The paper's *ABC Unlimited* mode: no sorting, no dominance filtering —
+/// every enumerated cut is exposed to the matcher.
+///
+/// A hard per-node `cap` (default 1000) bounds memory; the paper's own
+/// Table II shows only ~1.5–2× growth over the default mode, consistent
+/// with this cap almost never binding.
+#[derive(Clone, Debug)]
+pub struct UnlimitedPolicy {
+    /// Safety cap on cuts per node.
+    pub cap: usize,
+}
+
+impl UnlimitedPolicy {
+    /// Unlimited mode with the default safety cap of 1000.
+    pub fn new() -> UnlimitedPolicy {
+        UnlimitedPolicy { cap: 1000 }
+    }
+
+    /// Unlimited mode with a custom safety cap.
+    pub fn with_cap(cap: usize) -> UnlimitedPolicy {
+        UnlimitedPolicy { cap }
+    }
+}
+
+impl Default for UnlimitedPolicy {
+    fn default() -> UnlimitedPolicy {
+        UnlimitedPolicy::new()
+    }
+}
+
+impl CutPolicy for UnlimitedPolicy {
+    fn refine(&mut self, _aig: &Aig, _node: NodeId, cuts: &mut Vec<Cut>) {
+        cuts.truncate(self.cap);
+    }
+
+    fn name(&self) -> &'static str {
+        "abc-unlimited"
+    }
+}
+
+/// The paper's design-space-exploration mode (§III): the cut list is
+/// randomly shuffled with dominance filtering disabled, and a random
+/// subset of `keep` cuts survives.
+///
+/// Note on fidelity: in ABC, list *order* biases the mapper through
+/// tie-breaking and the 250-cut cap; our mapper minimizes over every
+/// exposed cut, so order alone would be inert. Keeping a random subset is
+/// the order-sensitive equivalent that produces the QoR diversity of
+/// Fig. 1 — the knob that actually changes which matches exist.
+#[derive(Clone, Debug)]
+pub struct ShufflePolicy {
+    /// Number of cuts kept per node after shuffling.
+    pub keep: usize,
+    rng: Rng64,
+}
+
+impl ShufflePolicy {
+    /// Creates a shuffling policy with a seed; `keep` defaults to 8,
+    /// which empirically produces a Fig. 1-like QoR spread.
+    pub fn new(seed: u64) -> ShufflePolicy {
+        ShufflePolicy { keep: 8, rng: Rng64::seed_from(seed) }
+    }
+
+    /// Creates a shuffling policy with an explicit keep count.
+    pub fn with_keep(seed: u64, keep: usize) -> ShufflePolicy {
+        ShufflePolicy { keep, rng: Rng64::seed_from(seed) }
+    }
+}
+
+impl CutPolicy for ShufflePolicy {
+    fn refine(&mut self, _aig: &Aig, _node: NodeId, cuts: &mut Vec<Cut>) {
+        self.rng.shuffle(cuts);
+        cuts.truncate(self.keep);
+    }
+
+    fn name(&self) -> &'static str {
+        "random-shuffle"
+    }
+}
+
+/// Removes dominated cuts from a list sorted by (size, lex). Because any
+/// dominating cut is no larger than the cut it dominates, a single forward
+/// pass that checks each cut against the kept prefix is exact.
+pub(crate) fn filter_dominated_sorted(cuts: &mut Vec<Cut>) {
+    let mut kept: Vec<Cut> = Vec::with_capacity(cuts.len());
+    'next: for &c in cuts.iter() {
+        for k in &kept {
+            if k.dominates(&c) && *k != c {
+                continue 'next;
+            }
+        }
+        kept.push(c);
+    }
+    *cuts = kept;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cut(ids: &[usize]) -> Cut {
+        Cut::from_leaves(&ids.iter().map(|&i| NodeId::new(i)).collect::<Vec<_>>())
+    }
+
+    fn tiny_aig() -> Aig {
+        let mut aig = Aig::new();
+        let a = aig.add_pi();
+        let b = aig.add_pi();
+        let f = aig.and(a, b);
+        aig.add_po(f);
+        aig
+    }
+
+    #[test]
+    fn default_policy_sorts_filters_limits() {
+        let aig = tiny_aig();
+        let mut cuts = vec![cut(&[1, 2, 3]), cut(&[1, 2]), cut(&[4, 5]), cut(&[4, 5, 6])];
+        let mut p = DefaultPolicy::with_limit(2);
+        p.refine(&aig, NodeId::new(3), &mut cuts);
+        // {1,2} dominates {1,2,3}; {4,5} dominates {4,5,6}; limit keeps 2.
+        assert_eq!(cuts, vec![cut(&[1, 2]), cut(&[4, 5])]);
+    }
+
+    #[test]
+    fn unlimited_policy_keeps_dominated_cuts() {
+        let aig = tiny_aig();
+        let mut cuts = vec![cut(&[1, 2]), cut(&[1, 2, 3])];
+        let mut p = UnlimitedPolicy::new();
+        p.refine(&aig, NodeId::new(3), &mut cuts);
+        assert_eq!(cuts.len(), 2);
+    }
+
+    #[test]
+    fn unlimited_cap_binds() {
+        let aig = tiny_aig();
+        let mut cuts: Vec<Cut> = (0..20).map(|i| cut(&[i, i + 1])).collect();
+        let mut p = UnlimitedPolicy::with_cap(5);
+        p.refine(&aig, NodeId::new(3), &mut cuts);
+        assert_eq!(cuts.len(), 5);
+    }
+
+    #[test]
+    fn shuffle_policy_is_deterministic_per_seed() {
+        let aig = tiny_aig();
+        let base: Vec<Cut> = (0..30).map(|i| cut(&[i, i + 1])).collect();
+        let mut c1 = base.clone();
+        let mut c2 = base.clone();
+        ShufflePolicy::with_keep(9, 4).refine(&aig, NodeId::new(3), &mut c1);
+        ShufflePolicy::with_keep(9, 4).refine(&aig, NodeId::new(3), &mut c2);
+        assert_eq!(c1, c2);
+        assert_eq!(c1.len(), 4);
+        let mut c3 = base;
+        ShufflePolicy::with_keep(10, 4).refine(&aig, NodeId::new(3), &mut c3);
+        assert_ne!(c1, c3);
+    }
+
+    #[test]
+    fn filter_dominated_keeps_incomparable_cuts() {
+        let mut cuts = vec![cut(&[1]), cut(&[2, 3]), cut(&[1, 4])];
+        cuts.sort_by(super::cut_cmp);
+        filter_dominated_sorted(&mut cuts);
+        assert_eq!(cuts, vec![cut(&[1]), cut(&[2, 3])]);
+    }
+
+    #[test]
+    fn policy_names() {
+        assert_eq!(DefaultPolicy::new().name(), "abc-default");
+        assert_eq!(UnlimitedPolicy::new().name(), "abc-unlimited");
+        assert_eq!(ShufflePolicy::new(0).name(), "random-shuffle");
+    }
+}

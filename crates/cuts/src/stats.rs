@@ -1,0 +1,115 @@
+//! Aggregate statistics over enumerated cut sets — the numbers behind
+//! the paper's memory-footprint discussion.
+
+use slap_aig::Aig;
+
+use crate::enumerate::CutSets;
+
+/// Distribution summary of a [`CutSets`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct CutStats {
+    /// Total non-trivial cuts (the footprint metric).
+    pub total: usize,
+    /// AND nodes with at least one stored cut.
+    pub nodes: usize,
+    /// Mean cuts per AND node.
+    pub mean_per_node: f64,
+    /// Maximum cuts on any node.
+    pub max_per_node: usize,
+    /// Histogram of cut sizes `1..=k` (index 0 = 1-leaf cuts).
+    pub size_histogram: Vec<usize>,
+    /// Mean leaves per cut.
+    pub mean_leaves: f64,
+}
+
+impl CutStats {
+    /// Computes the summary for `sets` over `aig`.
+    pub fn of(aig: &Aig, sets: &CutSets) -> CutStats {
+        let mut total = 0usize;
+        let mut nodes = 0usize;
+        let mut max_per_node = 0usize;
+        let mut size_histogram = vec![0usize; sets.k()];
+        let mut leaves_sum = 0usize;
+        for n in aig.and_ids() {
+            let cuts = sets.cuts_of(n);
+            if cuts.is_empty() {
+                continue;
+            }
+            nodes += 1;
+            total += cuts.len();
+            max_per_node = max_per_node.max(cuts.len());
+            for c in cuts {
+                size_histogram[c.len() - 1] += 1;
+                leaves_sum += c.len();
+            }
+        }
+        CutStats {
+            total,
+            nodes,
+            mean_per_node: total as f64 / nodes.max(1) as f64,
+            max_per_node,
+            size_histogram,
+            mean_leaves: leaves_sum as f64 / total.max(1) as f64,
+        }
+    }
+}
+
+impl std::fmt::Display for CutStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cuts={} nodes={} mean/node={:.1} max/node={} mean-leaves={:.2} sizes={:?}",
+            self.total, self.nodes, self.mean_per_node, self.max_per_node, self.mean_leaves,
+            self.size_histogram
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::{enumerate_cuts, CutConfig};
+    use crate::policy::{DefaultPolicy, UnlimitedPolicy};
+
+    fn chain(n: usize) -> Aig {
+        let mut aig = Aig::new();
+        let pis = aig.add_pis(n + 1);
+        let mut acc = pis[0];
+        for &x in &pis[1..] {
+            acc = aig.and(acc, x);
+        }
+        aig.add_po(acc);
+        aig
+    }
+
+    #[test]
+    fn totals_match_cutsets() {
+        let aig = chain(6);
+        let sets = enumerate_cuts(&aig, &CutConfig::default(), &mut DefaultPolicy::default());
+        let stats = CutStats::of(&aig, &sets);
+        assert_eq!(stats.total, sets.total_cuts());
+        assert_eq!(stats.nodes, aig.num_ands());
+        let histo_sum: usize = stats.size_histogram.iter().sum();
+        assert_eq!(histo_sum, stats.total);
+    }
+
+    #[test]
+    fn mean_leaves_within_k() {
+        let aig = chain(8);
+        let sets = enumerate_cuts(&aig, &CutConfig::with_k(4), &mut UnlimitedPolicy::new());
+        let stats = CutStats::of(&aig, &sets);
+        assert!(stats.mean_leaves >= 2.0 && stats.mean_leaves <= 4.0, "{}", stats.mean_leaves);
+        assert_eq!(stats.size_histogram.len(), 4);
+        // A pure AND chain has no 1-leaf non-trivial cuts.
+        assert_eq!(stats.size_histogram[0], 0);
+    }
+
+    #[test]
+    fn unlimited_mean_per_node_at_least_default() {
+        let aig = chain(10);
+        let d = CutStats::of(&aig, &enumerate_cuts(&aig, &CutConfig::default(), &mut DefaultPolicy::default()));
+        let u = CutStats::of(&aig, &enumerate_cuts(&aig, &CutConfig::default(), &mut UnlimitedPolicy::new()));
+        assert!(u.mean_per_node >= d.mean_per_node);
+        assert!(!format!("{u}").is_empty());
+    }
+}

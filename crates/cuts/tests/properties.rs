@@ -1,0 +1,120 @@
+//! Property-based tests for the cut data structure and enumeration.
+
+use proptest::prelude::*;
+use slap_aig::{Aig, NodeId};
+use slap_cuts::{enumerate_cuts, Cut, CutConfig, DefaultPolicy, UnlimitedPolicy};
+
+fn leaf_set() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::btree_set(0usize..64, 1..=6).prop_map(|s| s.into_iter().collect())
+}
+
+fn to_cut(ids: &[usize]) -> Cut {
+    Cut::from_leaves(&ids.iter().map(|&i| NodeId::new(i)).collect::<Vec<_>>())
+}
+
+proptest! {
+    #[test]
+    fn merge_is_set_union(a in leaf_set(), b in leaf_set()) {
+        let ca = to_cut(&a);
+        let cb = to_cut(&b);
+        let mut union: Vec<usize> = a.iter().chain(b.iter()).copied().collect();
+        union.sort_unstable();
+        union.dedup();
+        match ca.merge(&cb, 6) {
+            Some(m) => {
+                prop_assert!(union.len() <= 6);
+                let leaves: Vec<usize> = m.leaves().map(|n| n.index()).collect();
+                prop_assert_eq!(leaves, union);
+            }
+            None => prop_assert!(union.len() > 6),
+        }
+    }
+
+    #[test]
+    fn merge_is_commutative(a in leaf_set(), b in leaf_set()) {
+        let ca = to_cut(&a);
+        let cb = to_cut(&b);
+        prop_assert_eq!(ca.merge(&cb, 5), cb.merge(&ca, 5));
+    }
+
+    #[test]
+    fn dominates_iff_subset(a in leaf_set(), b in leaf_set()) {
+        let ca = to_cut(&a);
+        let cb = to_cut(&b);
+        let subset = a.iter().all(|x| b.contains(x));
+        prop_assert_eq!(ca.dominates(&cb), subset);
+    }
+
+    #[test]
+    fn dominance_is_transitive(a in leaf_set(), b in leaf_set(), c in leaf_set()) {
+        let (ca, cb, cc) = (to_cut(&a), to_cut(&b), to_cut(&c));
+        if ca.dominates(&cb) && cb.dominates(&cc) {
+            prop_assert!(ca.dominates(&cc));
+        }
+    }
+}
+
+/// Builds a random DAG from a sequence of (i, j) fanin choices.
+fn random_aig(num_pis: usize, pairs: &[(usize, usize, bool, bool)]) -> Aig {
+    let mut aig = Aig::new();
+    let mut lits = aig.add_pis(num_pis);
+    for &(i, j, c0, c1) in pairs {
+        let a = lits[i % lits.len()].xor_complement(c0);
+        let b = lits[j % lits.len()].xor_complement(c1);
+        let f = aig.and(a, b);
+        lits.push(f);
+    }
+    let last = *lits.last().expect("nonempty");
+    aig.add_po(last);
+    aig
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn enumerated_cuts_are_valid_cuts(
+        pairs in prop::collection::vec((0usize..100, 0usize..100, any::<bool>(), any::<bool>()), 1..40)
+    ) {
+        let aig = random_aig(4, &pairs);
+        let sets = enumerate_cuts(&aig, &CutConfig::default(), &mut UnlimitedPolicy::new());
+        for n in aig.and_ids() {
+            for cut in sets.cuts_of(n) {
+                let leaves: Vec<NodeId> = cut.leaves().collect();
+                // Every enumerated cut must have a closed cone.
+                prop_assert!(
+                    slap_aig::cone::collect_cone(&aig, n, &leaves).is_some(),
+                    "invalid cut {:?} at {:?}", cut, n
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn default_sets_have_no_dominated_pairs(
+        pairs in prop::collection::vec((0usize..60, 0usize..60, any::<bool>(), any::<bool>()), 1..30)
+    ) {
+        let aig = random_aig(4, &pairs);
+        let sets = enumerate_cuts(&aig, &CutConfig::default(), &mut DefaultPolicy::default());
+        for n in aig.and_ids() {
+            let cuts = sets.cuts_of(n);
+            for (i, a) in cuts.iter().enumerate() {
+                for (j, b) in cuts.iter().enumerate() {
+                    if i != j {
+                        prop_assert!(!a.dominates(b), "dominated pair survived at {:?}", n);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn default_cut_count_never_exceeds_unlimited(
+        pairs in prop::collection::vec((0usize..60, 0usize..60, any::<bool>(), any::<bool>()), 1..30)
+    ) {
+        let aig = random_aig(4, &pairs);
+        let d = enumerate_cuts(&aig, &CutConfig::default(), &mut DefaultPolicy::default());
+        let u = enumerate_cuts(&aig, &CutConfig::default(), &mut UnlimitedPolicy::new());
+        prop_assert!(d.total_cuts() <= u.total_cuts());
+    }
+}

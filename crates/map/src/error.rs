@@ -1,0 +1,47 @@
+//! Error type for technology mapping.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while mapping.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MapError {
+    /// A required node/phase had no realizable implementation. With
+    /// structural-match fallback enabled this indicates a library without
+    /// basic 2-input cells.
+    Unmappable {
+        /// Index of the offending node.
+        node: usize,
+        /// Whether its complemented phase was the one required.
+        complemented: bool,
+    },
+    /// The cut sets were enumerated for a different graph.
+    CutSetMismatch,
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::Unmappable { node, complemented } => write!(
+                f,
+                "node n{node} has no implementation for its {} phase",
+                if *complemented { "complemented" } else { "positive" }
+            ),
+            MapError::CutSetMismatch => write!(f, "cut sets do not belong to this graph"),
+        }
+    }
+}
+
+impl Error for MapError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = MapError::Unmappable { node: 3, complemented: true };
+        assert!(e.to_string().contains("n3"));
+        assert!(MapError::CutSetMismatch.to_string().contains("cut sets"));
+    }
+}

@@ -1,0 +1,52 @@
+//! ABC-style ASIC technology mapper for the SLAP reproduction.
+//!
+//! The pipeline mirrors the flow described in §II-A of the paper:
+//!
+//! 1. k-feasible cuts are enumerated per node (by `slap-cuts`, under one
+//!    of the paper's policies);
+//! 2. each cut's local function is computed and Boolean-matched against
+//!    the library ([`matching`]);
+//! 3. a two-polarity dynamic program picks a delay-optimal cover, with
+//!    explicit inverters bridging phases ([`Mapper`]);
+//! 4. global (area-flow) and exact local area recovery iterate under the
+//!    required times;
+//! 5. the cover is extracted into a [`MappedNetlist`] and timed with a
+//!    static timing analysis (the paper's `stime` step).
+//!
+//! # Example
+//!
+//! ```
+//! use slap_aig::Aig;
+//! use slap_cell::asap7_mini;
+//! use slap_cuts::CutConfig;
+//! use slap_map::{MapOptions, Mapper};
+//!
+//! # fn main() -> Result<(), slap_map::MapError> {
+//! let mut aig = Aig::new();
+//! let a = aig.add_pi();
+//! let b = aig.add_pi();
+//! let c = aig.add_pi();
+//! let ab = aig.xor(a, b);
+//! let f = aig.and(ab, c);
+//! aig.add_po(!f);
+//!
+//! let lib = asap7_mini();
+//! let mapper = Mapper::new(&lib, MapOptions::default());
+//! let netlist = mapper.map_default(&aig, &CutConfig::default())?;
+//! assert!(netlist.verify_against(&aig, 16, 7));
+//! assert!(netlist.delay() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod error;
+pub mod matching;
+pub mod mapping;
+pub mod netlist;
+pub mod verilog;
+
+pub use error::MapError;
+pub use mapping::{MapOptions, MapStats, Mapper};
+pub use matching::{compute_matches, MatchStats, NodeMatches, PreparedMatch};
+pub use netlist::{Instance, MappedNetlist, PoSource, Signal};
+pub use verilog::write_verilog;

@@ -1,0 +1,736 @@
+//! The covering engine: delay-optimal mapping with area recovery.
+
+use slap_aig::{Aig, NodeId, Rng64};
+use slap_cell::{Library, MatchIndex};
+use slap_cuts::{
+    enumerate_cuts, CutConfig, CutSets, DefaultPolicy, ShufflePolicy, UnlimitedPolicy,
+};
+
+use crate::error::MapError;
+use crate::matching::{compute_matches, MatchStats, NodeMatches};
+use crate::netlist::{Instance, MappedNetlist, PoSource, Signal};
+
+/// Tolerance used when comparing arrivals against required times.
+const EPS: f32 = 1e-3;
+
+/// Mapper configuration.
+#[derive(Clone, Debug)]
+pub struct MapOptions {
+    /// Number of global area-flow recovery passes (ABC runs one or two).
+    pub area_flow_passes: usize,
+    /// Number of exact local-area recovery passes.
+    pub exact_area_passes: usize,
+    /// Inject the structural 2-input cut for nodes whose policy-filtered
+    /// cut list lost it, guaranteeing mappability.
+    pub add_structural_matches: bool,
+}
+
+impl MapOptions {
+    /// ABC-like defaults: two area-flow passes and one exact pass.
+    pub fn new() -> MapOptions {
+        MapOptions { area_flow_passes: 2, exact_area_passes: 1, add_structural_matches: true }
+    }
+
+    /// Delay-only mapping (no area recovery) — useful for ablations.
+    pub fn delay_only() -> MapOptions {
+        MapOptions { area_flow_passes: 0, exact_area_passes: 0, add_structural_matches: true }
+    }
+}
+
+impl Default for MapOptions {
+    fn default() -> MapOptions {
+        MapOptions::new()
+    }
+}
+
+/// Quality-of-results and accounting for one mapping run.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct MapStats {
+    /// Total cell area in µm² (inverters included).
+    pub area: f32,
+    /// STA delay in ps under the load-dependent model.
+    pub delay: f32,
+    /// Delay predicted by the covering DP (unit-load model).
+    pub dp_delay: f32,
+    /// Cuts exposed to Boolean matching — the paper's footprint metric.
+    pub cuts_considered: usize,
+    /// Number of emitted instances.
+    pub num_instances: usize,
+    /// How many of those are phase-fixing inverters.
+    pub num_inverters: usize,
+    /// Matching-step statistics.
+    pub match_stats: MatchStats,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Choice {
+    Unset,
+    PiPos,
+    Const,
+    Match(u32),
+    InvertOther,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Ph {
+    arrival: f32,
+    required: f32,
+    flow: f32,
+    refs: u32,
+    choice: Choice,
+}
+
+impl Ph {
+    fn unset() -> Ph {
+        Ph { arrival: f32::INFINITY, required: f32::INFINITY, flow: f32::INFINITY, refs: 0, choice: Choice::Unset }
+    }
+}
+
+/// The technology mapper: owns the match index for a library and maps
+/// AIGs under any cut policy.
+///
+/// See the [crate documentation](crate) for an end-to-end example.
+#[derive(Debug)]
+pub struct Mapper<'a> {
+    library: &'a Library,
+    index: MatchIndex,
+    options: MapOptions,
+}
+
+impl<'a> Mapper<'a> {
+    /// Builds a mapper (and its match index) for a library.
+    pub fn new(library: &'a Library, options: MapOptions) -> Mapper<'a> {
+        Mapper { library, index: MatchIndex::build(library), options }
+    }
+
+    /// The library this mapper targets.
+    pub fn library(&self) -> &Library {
+        self.library
+    }
+
+    /// The pre-built match index (shared with SLAP's inference pipeline).
+    pub fn index(&self) -> &MatchIndex {
+        &self.index
+    }
+
+    /// Maps with ABC's default cut policy (sort by leaves, dominance
+    /// filter, 250-cut limit).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError`] if some required node has no implementation
+    /// (impossible with a library containing basic 2-input cells).
+    pub fn map_default(&self, aig: &Aig, config: &CutConfig) -> Result<MappedNetlist, MapError> {
+        let cuts = enumerate_cuts(aig, config, &mut DefaultPolicy::default());
+        self.map_with_cuts(aig, &cuts)
+    }
+
+    /// Maps with the paper's *ABC Unlimited* policy (no sorting or
+    /// dominance filtering; `cap` bounds per-node memory).
+    ///
+    /// # Errors
+    ///
+    /// See [`Mapper::map_default`].
+    pub fn map_unlimited(
+        &self,
+        aig: &Aig,
+        config: &CutConfig,
+        cap: usize,
+    ) -> Result<MappedNetlist, MapError> {
+        let cuts = enumerate_cuts(aig, config, &mut UnlimitedPolicy::with_cap(cap));
+        self.map_with_cuts(aig, &cuts)
+    }
+
+    /// Maps with the random-shuffle policy used for design-space
+    /// exploration and training-data generation (Fig. 1 / §IV-B).
+    ///
+    /// # Errors
+    ///
+    /// See [`Mapper::map_default`].
+    pub fn map_shuffled(
+        &self,
+        aig: &Aig,
+        config: &CutConfig,
+        seed: u64,
+        keep: usize,
+    ) -> Result<MappedNetlist, MapError> {
+        let _ = Rng64::seed_from(seed); // seed validity is trivially total; kept for symmetry
+        let cuts = enumerate_cuts(aig, config, &mut ShufflePolicy::with_keep(seed, keep));
+        self.map_with_cuts(aig, &cuts)
+    }
+
+    /// Maps an AIG given externally prepared cut sets (the `read_cuts`
+    /// entry point used by SLAP).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError::CutSetMismatch`] if the cut sets were built for
+    /// a different graph, or [`MapError::Unmappable`] if covering fails.
+    pub fn map_with_cuts(&self, aig: &Aig, cuts: &CutSets) -> Result<MappedNetlist, MapError> {
+        if aig.and_ids().next().is_some() {
+            // Cheap sanity check: every stored cut list must index within
+            // the graph.
+            let max = aig.num_nodes();
+            for n in aig.and_ids() {
+                for c in cuts.cuts_of(n) {
+                    if c.leaf_indices().iter().any(|&l| l as usize >= max) {
+                        return Err(MapError::CutSetMismatch);
+                    }
+                }
+            }
+        }
+        let (matches, match_stats) =
+            compute_matches(aig, cuts, &self.index, self.options.add_structural_matches);
+        let mut state: Vec<[Ph; 2]> = vec![[Ph::unset(), Ph::unset()]; aig.num_nodes()];
+        self.init_terminals(aig, &mut state);
+        self.delay_pass(aig, &matches, &mut state);
+        let mut dp_delay = self.compute_refs_required(aig, &matches, &mut state);
+        for _ in 0..self.options.area_flow_passes {
+            self.area_flow_pass(aig, &matches, &mut state);
+            dp_delay = self.compute_refs_required(aig, &matches, &mut state);
+        }
+        for _ in 0..self.options.exact_area_passes {
+            self.exact_area_pass(aig, &matches, &mut state);
+            dp_delay = self.compute_refs_required(aig, &matches, &mut state);
+        }
+        let netlist = self.extract(aig, &matches, &state, dp_delay, match_stats)?;
+        Ok(netlist)
+    }
+
+    fn inv_delay(&self) -> f32 {
+        let inv = self.library.gate(self.library.inverter());
+        inv.delay(0, 1)
+    }
+
+    fn inv_area(&self) -> f32 {
+        self.library.gate(self.library.inverter()).area()
+    }
+
+    fn init_terminals(&self, aig: &Aig, state: &mut [[Ph; 2]]) {
+        let c0 = &mut state[NodeId::CONST0.index()];
+        c0[0] = Ph { arrival: 0.0, required: f32::INFINITY, flow: 0.0, refs: 0, choice: Choice::Const };
+        c0[1] = Ph { arrival: 0.0, required: f32::INFINITY, flow: 0.0, refs: 0, choice: Choice::Const };
+        for pi in aig.pis() {
+            let s = &mut state[pi.index()];
+            s[0] = Ph { arrival: 0.0, required: f32::INFINITY, flow: 0.0, refs: 0, choice: Choice::PiPos };
+            s[1] = Ph {
+                arrival: self.inv_delay(),
+                required: f32::INFINITY,
+                flow: self.inv_area(),
+                refs: 0,
+                choice: Choice::InvertOther,
+            };
+        }
+    }
+
+    /// Arrival of a prepared match under the unit-load DP model.
+    fn match_arrival(&self, m: &crate::matching::PreparedMatch, state: &[[Ph; 2]]) -> f32 {
+        let gate = self.library.gate(m.gate);
+        let mut arr = 0.0f32;
+        for &(leaf, compl, pin) in &m.leaves {
+            let a = state[leaf.index()][compl as usize].arrival + gate.delay(pin as usize, 1);
+            arr = arr.max(a);
+        }
+        arr
+    }
+
+    /// Area flow of a prepared match given current flows and refs.
+    fn match_flow(&self, m: &crate::matching::PreparedMatch, state: &[[Ph; 2]]) -> f32 {
+        let gate = self.library.gate(m.gate);
+        let mut flow = gate.area();
+        for &(leaf, compl, _) in &m.leaves {
+            let s = &state[leaf.index()][compl as usize];
+            flow += s.flow / (s.refs.max(1) as f32);
+        }
+        flow
+    }
+
+    fn delay_pass(&self, aig: &Aig, matches: &[NodeMatches], state: &mut Vec<[Ph; 2]>) {
+        for n in aig.and_ids() {
+            for phase in 0..2 {
+                let list = matches[n.index()].phase(phase == 1);
+                let mut best: Option<(f32, f32, u32)> = None; // (arrival, area, idx)
+                for (i, m) in list.iter().enumerate() {
+                    let arr = self.match_arrival(m, state);
+                    let area = self.library.gate(m.gate).area();
+                    let better = match best {
+                        None => true,
+                        Some((ba, bar, _)) => arr < ba - EPS || (arr < ba + EPS && area < bar),
+                    };
+                    if better {
+                        best = Some((arr, area, i as u32));
+                    }
+                }
+                let ph = &mut state[n.index()][phase];
+                if let Some((arr, _, i)) = best {
+                    ph.arrival = arr;
+                    ph.choice = Choice::Match(i);
+                } else {
+                    ph.arrival = f32::INFINITY;
+                    ph.choice = Choice::Unset;
+                }
+            }
+            // Inverter relaxation between the two phases.
+            for phase in 0..2 {
+                let other = &state[n.index()][1 - phase];
+                if matches!(other.choice, Choice::Match(_)) {
+                    let alt = other.arrival + self.inv_delay();
+                    let ph = &state[n.index()][phase];
+                    if alt + EPS < ph.arrival || ph.choice == Choice::Unset {
+                        let ph = &mut state[n.index()][phase];
+                        ph.arrival = alt;
+                        ph.choice = Choice::InvertOther;
+                    }
+                }
+            }
+            // Flow bookkeeping so later passes have sane starting values.
+            for phase in 0..2 {
+                let flow = match state[n.index()][phase].choice {
+                    Choice::Match(i) => {
+                        let m = &matches[n.index()].phase(phase == 1)[i as usize];
+                        self.match_flow(m, state)
+                    }
+                    Choice::InvertOther => state[n.index()][1 - phase].flow + self.inv_area(),
+                    _ => f32::INFINITY,
+                };
+                state[n.index()][phase].flow = flow;
+            }
+        }
+    }
+
+    /// Rebuilds reference counts and required times from the POs over the
+    /// current choices. Returns the DP delay (max PO arrival).
+    fn compute_refs_required(&self, aig: &Aig, matches: &[NodeMatches], state: &mut [[Ph; 2]]) -> f32 {
+        for s in state.iter_mut() {
+            s[0].refs = 0;
+            s[0].required = f32::INFINITY;
+            s[1].refs = 0;
+            s[1].required = f32::INFINITY;
+        }
+        let mut dp_delay = 0.0f32;
+        for &po in aig.pos() {
+            if po.node() == NodeId::CONST0 {
+                continue;
+            }
+            let arr = state[po.node().index()][po.is_complement() as usize].arrival;
+            dp_delay = dp_delay.max(arr);
+        }
+        for &po in aig.pos() {
+            if po.node() == NodeId::CONST0 {
+                continue;
+            }
+            let s = &mut state[po.node().index()][po.is_complement() as usize];
+            s.refs += 1;
+            s.required = s.required.min(dp_delay);
+        }
+        let inv_delay = self.inv_delay();
+        for idx in (0..aig.num_nodes()).rev() {
+            // Inverter edges first (intra-node), then match edges.
+            for phase in 0..2 {
+                let s = state[idx][phase];
+                if s.refs > 0 && s.choice == Choice::InvertOther {
+                    let req = s.required - inv_delay;
+                    let o = &mut state[idx][1 - phase];
+                    o.refs += 1;
+                    o.required = o.required.min(req);
+                }
+            }
+            let n = NodeId::new(idx);
+            if !aig.is_and(n) {
+                continue;
+            }
+            for phase in 0..2 {
+                let s = state[idx][phase];
+                if s.refs == 0 {
+                    continue;
+                }
+                if let Choice::Match(i) = s.choice {
+                    let m = &matches[idx].phase(phase == 1)[i as usize];
+                    let gate = self.library.gate(m.gate);
+                    for &(leaf, compl, pin) in &m.leaves {
+                        let req = s.required - gate.delay(pin as usize, 1);
+                        let l = &mut state[leaf.index()][compl as usize];
+                        l.refs += 1;
+                        l.required = l.required.min(req);
+                    }
+                }
+            }
+        }
+        dp_delay
+    }
+
+    fn area_flow_pass(&self, aig: &Aig, matches: &[NodeMatches], state: &mut Vec<[Ph; 2]>) {
+        for n in aig.and_ids() {
+            // Match-based candidates for both phases.
+            for phase in 0..2 {
+                let required = state[n.index()][phase].required;
+                let list = matches[n.index()].phase(phase == 1);
+                let mut best: Option<(f32, f32, u32)> = None; // (flow, arrival, idx)
+                for (i, m) in list.iter().enumerate() {
+                    let arr = self.match_arrival(m, state);
+                    if arr > required + EPS {
+                        continue;
+                    }
+                    let flow = self.match_flow(m, state);
+                    let better = match best {
+                        None => true,
+                        Some((bf, ba, _)) => flow < bf - EPS || (flow < bf + EPS && arr < ba),
+                    };
+                    if better {
+                        best = Some((flow, arr, i as u32));
+                    }
+                }
+                if let Some((flow, arr, i)) = best {
+                    let ph = &mut state[n.index()][phase];
+                    ph.choice = Choice::Match(i);
+                    ph.arrival = arr;
+                    ph.flow = flow;
+                }
+                // If nothing is feasible (tight required through an edge the
+                // previous cover did not constrain), the previous choice is
+                // kept — it is feasible by construction.
+            }
+            // Inverter relaxation by flow.
+            for phase in 0..2 {
+                let other = state[n.index()][1 - phase];
+                if !matches!(other.choice, Choice::Match(_)) {
+                    continue;
+                }
+                let alt_arr = other.arrival + self.inv_delay();
+                let alt_flow = other.flow + self.inv_area();
+                let ph = state[n.index()][phase];
+                if alt_arr <= ph.required + EPS && alt_flow + EPS < ph.flow {
+                    let ph = &mut state[n.index()][phase];
+                    ph.choice = Choice::InvertOther;
+                    ph.arrival = alt_arr;
+                    ph.flow = alt_flow;
+                }
+            }
+        }
+    }
+
+    fn exact_area_pass(&self, aig: &Aig, matches: &[NodeMatches], state: &mut Vec<[Ph; 2]>) {
+        for n in aig.and_ids() {
+            for phase in 0..2 {
+                if state[n.index()][phase].refs == 0 {
+                    continue;
+                }
+                let required = state[n.index()][phase].required;
+                let old_choice = state[n.index()][phase].choice;
+                // Remove the current implementation's cone.
+                self.deref_impl(n, phase, matches, state);
+                let list = matches[n.index()].phase(phase == 1);
+                let mut best: Option<(f32, f32, Choice)> = None; // (area, arrival, choice)
+                for (i, m) in list.iter().enumerate() {
+                    let arr = self.match_arrival(m, state);
+                    if arr > required + EPS {
+                        continue;
+                    }
+                    let area = self.ref_candidate(n, phase, Choice::Match(i as u32), matches, state);
+                    self.deref_candidate(n, phase, Choice::Match(i as u32), matches, state);
+                    let better = match best {
+                        None => true,
+                        Some((ba, baa, _)) => area < ba - EPS || (area < ba + EPS && arr < baa),
+                    };
+                    if better {
+                        best = Some((area, arr, Choice::Match(i as u32)));
+                    }
+                }
+                // Inverter candidate.
+                let other = state[n.index()][1 - phase];
+                if matches!(other.choice, Choice::Match(_)) {
+                    let arr = other.arrival + self.inv_delay();
+                    if arr <= required + EPS {
+                        let area = self.ref_candidate(n, phase, Choice::InvertOther, matches, state);
+                        self.deref_candidate(n, phase, Choice::InvertOther, matches, state);
+                        let better = match best {
+                            None => true,
+                            Some((ba, _, _)) => area + EPS < ba,
+                        };
+                        if better {
+                            best = Some((area, arr, Choice::InvertOther));
+                        }
+                    }
+                }
+                let (arr, choice) = match best {
+                    Some((_, arr, choice)) => (arr, choice),
+                    None => {
+                        // Nothing feasible: restore the old implementation.
+                        let arr = state[n.index()][phase].arrival;
+                        (arr, old_choice)
+                    }
+                };
+                self.ref_candidate(n, phase, choice, matches, state);
+                let ph = &mut state[n.index()][phase];
+                ph.choice = choice;
+                ph.arrival = arr;
+            }
+        }
+    }
+
+    /// Frees the gate implementing `(n, phase)` and releases its input
+    /// references, returning the freed area.
+    fn deref_impl(&self, n: NodeId, phase: usize, matches: &[NodeMatches], state: &mut [[Ph; 2]]) -> f32 {
+        match state[n.index()][phase].choice {
+            Choice::PiPos | Choice::Const | Choice::Unset => 0.0,
+            Choice::InvertOther => self.inv_area() + self.release(n, 1 - phase, matches, state),
+            Choice::Match(i) => {
+                let m = matches[n.index()].phase(phase == 1)[i as usize].clone();
+                let mut area = self.library.gate(m.gate).area();
+                for &(leaf, compl, _) in &m.leaves {
+                    area += self.release(leaf, compl as usize, matches, state);
+                }
+                area
+            }
+        }
+    }
+
+    fn release(&self, m: NodeId, phase: usize, matches: &[NodeMatches], state: &mut [[Ph; 2]]) -> f32 {
+        let s = &mut state[m.index()][phase];
+        debug_assert!(s.refs > 0, "release of unreferenced signal");
+        s.refs -= 1;
+        if s.refs == 0 {
+            self.deref_impl(m, phase, matches, state)
+        } else {
+            0.0
+        }
+    }
+
+    /// Adds one reference to the candidate implementation of `(n, phase)`,
+    /// returning the area it would add.
+    fn ref_candidate(
+        &self,
+        n: NodeId,
+        phase: usize,
+        cand: Choice,
+        matches: &[NodeMatches],
+        state: &mut [[Ph; 2]],
+    ) -> f32 {
+        match cand {
+            Choice::PiPos | Choice::Const | Choice::Unset => 0.0,
+            Choice::InvertOther => self.inv_area() + self.acquire(n, 1 - phase, matches, state),
+            Choice::Match(i) => {
+                let m = matches[n.index()].phase(phase == 1)[i as usize].clone();
+                let mut area = self.library.gate(m.gate).area();
+                for &(leaf, compl, _) in &m.leaves {
+                    area += self.acquire(leaf, compl as usize, matches, state);
+                }
+                area
+            }
+        }
+    }
+
+    fn acquire(&self, m: NodeId, phase: usize, matches: &[NodeMatches], state: &mut [[Ph; 2]]) -> f32 {
+        let needs_impl = state[m.index()][phase].refs == 0;
+        let area = if needs_impl {
+            // Temporarily reuse ref_candidate on the node's own choice.
+            let choice = state[m.index()][phase].choice;
+            self.ref_candidate(m, phase, choice, matches, state)
+        } else {
+            0.0
+        };
+        state[m.index()][phase].refs += 1;
+        area
+    }
+
+    fn deref_candidate(
+        &self,
+        n: NodeId,
+        phase: usize,
+        cand: Choice,
+        matches: &[NodeMatches],
+        state: &mut [[Ph; 2]],
+    ) -> f32 {
+        match cand {
+            Choice::PiPos | Choice::Const | Choice::Unset => 0.0,
+            Choice::InvertOther => self.inv_area() + self.release(n, 1 - phase, matches, state),
+            Choice::Match(i) => {
+                let m = matches[n.index()].phase(phase == 1)[i as usize].clone();
+                let mut area = self.library.gate(m.gate).area();
+                for &(leaf, compl, _) in &m.leaves {
+                    area += self.release(leaf, compl as usize, matches, state);
+                }
+                area
+            }
+        }
+    }
+
+    /// Extracts the final cover as a gate-level netlist.
+    fn extract(
+        &self,
+        aig: &Aig,
+        matches: &[NodeMatches],
+        state: &[[Ph; 2]],
+        dp_delay: f32,
+        match_stats: MatchStats,
+    ) -> Result<MappedNetlist, MapError> {
+        let mut instances: Vec<Instance> = Vec::new();
+        let mut cover_cuts: Vec<(NodeId, slap_cuts::Cut)> = Vec::new();
+        let mut emitted = vec![[false, false]; aig.num_nodes()];
+        let mut pos = Vec::with_capacity(aig.num_pos());
+        for &po in aig.pos() {
+            if po.node() == NodeId::CONST0 {
+                pos.push(PoSource::Const(po.is_complement()));
+                continue;
+            }
+            let sig = Signal::new(po.node(), po.is_complement());
+            self.emit(aig, matches, state, sig, &mut emitted, &mut instances, &mut cover_cuts)?;
+            pos.push(PoSource::Signal(sig));
+        }
+        let num_inverters = instances
+            .iter()
+            .filter(|i| i.gate == self.library.inverter())
+            .count();
+        let mut stats = MapStats {
+            area: 0.0,
+            delay: 0.0,
+            dp_delay,
+            cuts_considered: match_stats.cuts_considered,
+            num_instances: instances.len(),
+            num_inverters,
+            match_stats,
+        };
+        stats.area = instances.iter().map(|i| self.library.gate(i.gate).area()).sum();
+        let mut netlist =
+            MappedNetlist::new(self.library.clone(), aig.num_pis(), instances, pos, stats, cover_cuts);
+        netlist.run_sta();
+        Ok(netlist)
+    }
+
+    fn emit(
+        &self,
+        aig: &Aig,
+        matches: &[NodeMatches],
+        state: &[[Ph; 2]],
+        sig: Signal,
+        emitted: &mut [[bool; 2]],
+        out: &mut Vec<Instance>,
+        cover_cuts: &mut Vec<(NodeId, slap_cuts::Cut)>,
+    ) -> Result<(), MapError> {
+        let (n, phase) = (sig.node(), sig.complement() as usize);
+        if emitted[n.index()][phase] {
+            return Ok(());
+        }
+        emitted[n.index()][phase] = true;
+        match state[n.index()][phase].choice {
+            Choice::PiPos | Choice::Const => Ok(()),
+            Choice::Unset => Err(MapError::Unmappable { node: n.index(), complemented: phase == 1 }),
+            Choice::InvertOther => {
+                let input = Signal::new(n, phase == 0);
+                self.emit(aig, matches, state, input, emitted, out, cover_cuts)?;
+                out.push(Instance::new(self.library.inverter(), sig, vec![input]));
+                Ok(())
+            }
+            Choice::Match(i) => {
+                let m = &matches[n.index()].phase(phase == 1)[i as usize];
+                let gate = self.library.gate(m.gate);
+                let mut inputs = vec![Signal::new(NodeId::CONST0, false); gate.num_pins()];
+                for &(leaf, compl, pin) in &m.leaves {
+                    let ls = Signal::new(leaf, compl);
+                    self.emit(aig, matches, state, ls, emitted, out, cover_cuts)?;
+                    inputs[pin as usize] = ls;
+                }
+                cover_cuts.push((n, m.cut));
+                out.push(Instance::new(m.gate, sig, inputs));
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slap_cell::asap7_mini;
+
+    fn small_graph() -> Aig {
+        let mut aig = Aig::new();
+        let a = aig.add_pi();
+        let b = aig.add_pi();
+        let c = aig.add_pi();
+        let d = aig.add_pi();
+        let x = aig.xor(a, b);
+        let y = aig.and(c, d);
+        let f = aig.or(x, !y);
+        aig.add_po(f);
+        aig.add_po(!x);
+        aig
+    }
+
+    #[test]
+    fn maps_and_verifies_small_graph() {
+        let aig = small_graph();
+        let lib = asap7_mini();
+        let mapper = Mapper::new(&lib, MapOptions::default());
+        let nl = mapper.map_default(&aig, &CutConfig::default()).expect("maps");
+        assert!(nl.verify_against(&aig, 32, 3), "netlist must be functionally equivalent");
+        assert!(nl.area() > 0.0);
+        assert!(nl.delay() > 0.0);
+        assert!(nl.stats().cuts_considered > 0);
+    }
+
+    #[test]
+    fn delay_only_vs_recovered_area() {
+        let aig = small_graph();
+        let lib = asap7_mini();
+        let delay_only = Mapper::new(&lib, MapOptions::delay_only())
+            .map_default(&aig, &CutConfig::default())
+            .expect("maps");
+        let recovered = Mapper::new(&lib, MapOptions::default())
+            .map_default(&aig, &CutConfig::default())
+            .expect("maps");
+        assert!(recovered.area() <= delay_only.area() + 1e-3);
+        // Area recovery must not worsen the DP delay.
+        assert!(recovered.stats().dp_delay <= delay_only.stats().dp_delay + 1e-2);
+    }
+
+    #[test]
+    fn unlimited_considers_more_cuts() {
+        let aig = small_graph();
+        let lib = asap7_mini();
+        let mapper = Mapper::new(&lib, MapOptions::default());
+        let d = mapper.map_default(&aig, &CutConfig::default()).expect("maps");
+        let u = mapper.map_unlimited(&aig, &CutConfig::default(), 1000).expect("maps");
+        assert!(u.stats().cuts_considered >= d.stats().cuts_considered);
+        assert!(u.verify_against(&aig, 16, 4));
+    }
+
+    #[test]
+    fn shuffled_maps_stay_correct() {
+        let aig = small_graph();
+        let lib = asap7_mini();
+        let mapper = Mapper::new(&lib, MapOptions::default());
+        for seed in 0..8 {
+            let nl = mapper.map_shuffled(&aig, &CutConfig::default(), seed, 4).expect("maps");
+            assert!(nl.verify_against(&aig, 16, seed + 100), "seed {seed} broke equivalence");
+        }
+    }
+
+    #[test]
+    fn po_on_pi_and_constants() {
+        let mut aig = Aig::new();
+        let a = aig.add_pi();
+        aig.add_po(a);
+        aig.add_po(!a);
+        aig.add_po(slap_aig::Lit::TRUE);
+        aig.add_po(slap_aig::Lit::FALSE);
+        let lib = asap7_mini();
+        let mapper = Mapper::new(&lib, MapOptions::default());
+        let nl = mapper.map_default(&aig, &CutConfig::default()).expect("maps");
+        assert!(nl.verify_against(&aig, 8, 5));
+        // Exactly one inverter for !a; constants and the plain PI are free.
+        assert_eq!(nl.stats().num_instances, 1);
+        assert_eq!(nl.stats().num_inverters, 1);
+    }
+
+    #[test]
+    fn empty_aig_maps_to_empty_netlist() {
+        let aig = Aig::new();
+        let lib = asap7_mini();
+        let mapper = Mapper::new(&lib, MapOptions::default());
+        let nl = mapper.map_default(&aig, &CutConfig::default()).expect("maps");
+        assert_eq!(nl.stats().num_instances, 0);
+        assert_eq!(nl.area(), 0.0);
+        assert_eq!(nl.delay(), 0.0);
+    }
+}

@@ -1,0 +1,260 @@
+//! Boolean matching: binding library gates to cut functions.
+
+use std::collections::HashMap;
+
+use slap_aig::cone::cut_function;
+use slap_aig::{Aig, NodeId};
+use slap_cell::{GateId, MatchIndex};
+use slap_cuts::{Cut, CutSets};
+
+/// One realizable implementation of a node phase: a gate plus, for each
+/// gate pin, the AIG node and polarity feeding it.
+#[derive(Clone, Debug)]
+pub struct PreparedMatch {
+    /// The library gate.
+    pub gate: GateId,
+    /// `(node, complemented, pin)` per connected leaf; `pin` indexes the
+    /// gate's pins.
+    pub leaves: Vec<(NodeId, bool, u8)>,
+    /// The cut this match was derived from (as enumerated, pre-shrink) —
+    /// recorded so training-data generation can label "cuts used to
+    /// deliver the mapping".
+    pub cut: Cut,
+}
+
+/// The match lists of one AND node, per output phase.
+#[derive(Clone, Debug, Default)]
+pub struct NodeMatches {
+    /// Implementations of the node's positive function.
+    pub pos: Vec<PreparedMatch>,
+    /// Implementations of the complemented function.
+    pub neg: Vec<PreparedMatch>,
+}
+
+impl NodeMatches {
+    /// The match list for the given phase (`true` = complemented).
+    pub fn phase(&self, complemented: bool) -> &[PreparedMatch] {
+        if complemented {
+            &self.neg
+        } else {
+            &self.pos
+        }
+    }
+}
+
+/// Aggregate statistics of the matching step.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MatchStats {
+    /// Cuts exposed to the matcher — the paper's memory-footprint metric.
+    pub cuts_considered: usize,
+    /// Cuts that produced at least one gate binding (either phase).
+    pub cuts_matched: usize,
+    /// Structural fallback cuts injected to keep nodes mappable.
+    pub structural_added: usize,
+    /// Total prepared matches over all nodes and phases.
+    pub total_matches: usize,
+}
+
+/// Computes the per-node match lists for every AND node.
+///
+/// For each stored cut the local function is computed by cone simulation,
+/// shrunk to its true support, and looked up (both polarities) in the
+/// match index. When `add_structural` is set, the structural cut
+/// `{fanin0, fanin1}` is additionally matched for nodes whose stored cut
+/// list does not contain it — this guarantees every node stays mappable
+/// regardless of how aggressive the filtering policy was (any 2-input
+/// AND-with-polarities is in the library).
+pub fn compute_matches(
+    aig: &Aig,
+    cuts: &CutSets,
+    index: &MatchIndex,
+    add_structural: bool,
+) -> (Vec<NodeMatches>, MatchStats) {
+    let mut result: Vec<NodeMatches> = vec![NodeMatches::default(); aig.num_nodes()];
+    let mut stats = MatchStats::default();
+    // Cut functions repeat massively across a circuit; memoizing on the
+    // (root, leaves) pair is useless, but prepared lookups keyed on the
+    // function alone are shared via the index, so only cone simulation
+    // remains per-cut — cheap. No extra cache needed.
+    let mut scratch_leaves: Vec<NodeId> = Vec::new();
+    for n in aig.and_ids() {
+        let list = cuts.cuts_of(n);
+        let (f0, f1) = aig.fanins(n);
+        let structural = Cut::from_leaves(&[f0.node(), f1.node()]);
+        let has_structural = list.iter().any(|c| *c == structural);
+        let mut matches = NodeMatches::default();
+        for cut in list {
+            stats.cuts_considered += 1;
+            if match_cut(aig, n, cut, index, &mut matches, &mut scratch_leaves) {
+                stats.cuts_matched += 1;
+            }
+        }
+        if add_structural && !has_structural {
+            stats.structural_added += 1;
+            stats.cuts_considered += 1;
+            if match_cut(aig, n, &structural, index, &mut matches, &mut scratch_leaves) {
+                stats.cuts_matched += 1;
+            }
+        }
+        stats.total_matches += matches.pos.len() + matches.neg.len();
+        result[n.index()] = matches;
+    }
+    (result, stats)
+}
+
+/// Matches a single cut, appending prepared matches for both phases.
+/// Returns true if anything matched.
+fn match_cut(
+    aig: &Aig,
+    root: NodeId,
+    cut: &Cut,
+    index: &MatchIndex,
+    out: &mut NodeMatches,
+    scratch: &mut Vec<NodeId>,
+) -> bool {
+    scratch.clear();
+    scratch.extend(cut.leaves());
+    if cut.is_trivial_of(root) {
+        return false;
+    }
+    let Some((tt, _vol)) = cut_function(aig, root, scratch) else {
+        return false;
+    };
+    let (tt, support) = tt.shrink_to_support();
+    if support.is_empty() {
+        // Constant function — a strashed AIG never needs this.
+        return false;
+    }
+    let mut any = false;
+    for (phase, key) in [(false, tt), (true, tt.not())] {
+        for entry in index.matches(key) {
+            let mut leaves = Vec::with_capacity(support.len());
+            for (i, &orig_var) in support.iter().enumerate() {
+                let leaf = scratch[orig_var];
+                leaves.push((leaf, entry.leaf_complemented(i), entry.pin(i) as u8));
+            }
+            let m = PreparedMatch { gate: entry.gate, leaves, cut: *cut };
+            if phase {
+                out.neg.push(m);
+            } else {
+                out.pos.push(m);
+            }
+            any = true;
+        }
+    }
+    any
+}
+
+/// Groups matches by gate for reporting (used by explainability tooling).
+pub fn gate_histogram(matches: &[NodeMatches]) -> HashMap<GateId, usize> {
+    let mut histo = HashMap::new();
+    for nm in matches {
+        for m in nm.pos.iter().chain(nm.neg.iter()) {
+            *histo.entry(m.gate).or_insert(0) += 1;
+        }
+    }
+    histo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slap_cell::asap7_mini;
+    use slap_cuts::{enumerate_cuts, CutConfig, DefaultPolicy};
+
+    fn xor_and_graph() -> Aig {
+        let mut aig = Aig::new();
+        let a = aig.add_pi();
+        let b = aig.add_pi();
+        let c = aig.add_pi();
+        let x = aig.xor(a, b);
+        let f = aig.and(x, c);
+        aig.add_po(f);
+        aig
+    }
+
+    #[test]
+    fn every_and_node_gets_matches() {
+        let aig = xor_and_graph();
+        let lib = asap7_mini();
+        let index = MatchIndex::build(&lib);
+        let cuts = enumerate_cuts(&aig, &CutConfig::default(), &mut DefaultPolicy::default());
+        let (matches, stats) = compute_matches(&aig, &cuts, &index, true);
+        for n in aig.and_ids() {
+            let nm = &matches[n.index()];
+            assert!(
+                !nm.pos.is_empty() || !nm.neg.is_empty(),
+                "node {n} unmatched"
+            );
+        }
+        assert!(stats.cuts_considered >= cuts.total_cuts());
+        assert!(stats.total_matches > 0);
+    }
+
+    #[test]
+    fn xor_cut_matches_xor_cell() {
+        let aig = xor_and_graph();
+        let lib = asap7_mini();
+        let index = MatchIndex::build(&lib);
+        let cuts = enumerate_cuts(&aig, &CutConfig::default(), &mut DefaultPolicy::default());
+        let (matches, _) = compute_matches(&aig, &cuts, &index, true);
+        // The XOR root (third AND created) should have an XOR2 match.
+        let xor_root = aig
+            .and_ids()
+            .nth(2)
+            .expect("three AND nodes before final");
+        let nm = &matches[xor_root.index()];
+        let has_xor = nm
+            .pos
+            .iter()
+            .chain(nm.neg.iter())
+            .any(|m| lib.gate(m.gate).name().starts_with("X"));
+        assert!(has_xor, "xor node should match an XOR/XNOR cell");
+    }
+
+    #[test]
+    fn structural_fallback_injected_when_cuts_removed() {
+        let aig = xor_and_graph();
+        let lib = asap7_mini();
+        let index = MatchIndex::build(&lib);
+        let mut cuts = enumerate_cuts(&aig, &CutConfig::default(), &mut DefaultPolicy::default());
+        cuts.retain_selected(&aig, |_, _| false, false); // drop everything, no restore
+        let (matches, stats) = compute_matches(&aig, &cuts, &index, true);
+        assert_eq!(stats.structural_added, aig.num_ands());
+        for n in aig.and_ids() {
+            let nm = &matches[n.index()];
+            assert!(!nm.pos.is_empty() && !nm.neg.is_empty());
+        }
+    }
+
+    #[test]
+    fn match_leaves_reference_cut_leaves() {
+        let aig = xor_and_graph();
+        let lib = asap7_mini();
+        let index = MatchIndex::build(&lib);
+        let cuts = enumerate_cuts(&aig, &CutConfig::default(), &mut DefaultPolicy::default());
+        let (matches, _) = compute_matches(&aig, &cuts, &index, true);
+        for n in aig.and_ids() {
+            for m in matches[n.index()].pos.iter().chain(matches[n.index()].neg.iter()) {
+                let gate = lib.gate(m.gate);
+                assert!(m.leaves.len() <= gate.num_pins());
+                for &(leaf, _, pin) in &m.leaves {
+                    assert!(leaf.index() < n.index(), "leaf after root");
+                    assert!((pin as usize) < gate.num_pins());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gate_histogram_totals_match() {
+        let aig = xor_and_graph();
+        let lib = asap7_mini();
+        let index = MatchIndex::build(&lib);
+        let cuts = enumerate_cuts(&aig, &CutConfig::default(), &mut DefaultPolicy::default());
+        let (matches, stats) = compute_matches(&aig, &cuts, &index, true);
+        let histo = gate_histogram(&matches);
+        let total: usize = histo.values().sum();
+        assert_eq!(total, stats.total_matches);
+    }
+}

@@ -1,0 +1,398 @@
+//! The mapped gate-level netlist and its static timing analysis.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use slap_aig::sim::simulate_nodes;
+use slap_aig::{Aig, NodeId, Rng64};
+use slap_cell::{GateId, Library};
+use slap_cuts::Cut;
+
+use crate::mapping::MapStats;
+
+/// A signal in the mapped netlist: an AIG node in one polarity.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Signal {
+    node: NodeId,
+    complement: bool,
+}
+
+impl Signal {
+    /// Creates a signal.
+    pub fn new(node: NodeId, complement: bool) -> Signal {
+        Signal { node, complement }
+    }
+
+    /// The underlying AIG node.
+    pub fn node(self) -> NodeId {
+        self.node
+    }
+
+    /// Whether this is the complemented polarity of the node.
+    pub fn complement(self) -> bool {
+        self.complement
+    }
+}
+
+impl fmt::Debug for Signal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{:?}", if self.complement { "!" } else { "" }, self.node)
+    }
+}
+
+/// One placed gate: its cell, output signal, and one input signal per pin.
+#[derive(Clone, Debug)]
+pub struct Instance {
+    /// The library cell.
+    pub gate: GateId,
+    /// The signal this instance produces.
+    pub output: Signal,
+    /// `inputs[pin]` is the signal driving that pin.
+    pub inputs: Vec<Signal>,
+}
+
+impl Instance {
+    /// Creates an instance.
+    pub fn new(gate: GateId, output: Signal, inputs: Vec<Signal>) -> Instance {
+        Instance { gate, output, inputs }
+    }
+}
+
+/// What drives a primary output.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PoSource {
+    /// A constant output.
+    Const(bool),
+    /// A mapped signal.
+    Signal(Signal),
+}
+
+/// A technology-mapped netlist: instances in topological order, PO
+/// bindings, the QoR statistics, and per-signal STA results.
+///
+/// Produced by [`crate::Mapper`]; see the crate docs for an example.
+#[derive(Clone, Debug)]
+pub struct MappedNetlist {
+    library: Library,
+    num_pis: usize,
+    instances: Vec<Instance>,
+    pos: Vec<PoSource>,
+    stats: MapStats,
+    arrivals: HashMap<Signal, f32>,
+    cover_cuts: Vec<(NodeId, Cut)>,
+}
+
+impl MappedNetlist {
+    pub(crate) fn new(
+        library: Library,
+        num_pis: usize,
+        instances: Vec<Instance>,
+        pos: Vec<PoSource>,
+        stats: MapStats,
+        cover_cuts: Vec<(NodeId, Cut)>,
+    ) -> MappedNetlist {
+        MappedNetlist {
+            library,
+            num_pis,
+            instances,
+            pos,
+            stats,
+            arrivals: HashMap::new(),
+            cover_cuts,
+        }
+    }
+
+    /// The cuts realized by the cover's (non-inverter) gates: one
+    /// `(root node, cut)` pair per mapped match, deduplicated per
+    /// node-phase. This is the paper's "cuts used to deliver the mapping"
+    /// training signal.
+    pub fn cover_cuts(&self) -> &[(NodeId, Cut)] {
+        &self.cover_cuts
+    }
+
+    /// The library the netlist is mapped onto.
+    pub fn library(&self) -> &Library {
+        &self.library
+    }
+
+    /// The gate instances, in topological order.
+    pub fn instances(&self) -> &[Instance] {
+        &self.instances
+    }
+
+    /// Primary-output bindings.
+    pub fn pos(&self) -> &[PoSource] {
+        &self.pos
+    }
+
+    /// Number of primary inputs of the original AIG.
+    pub fn num_pis(&self) -> usize {
+        self.num_pis
+    }
+
+    /// Total cell area in µm².
+    pub fn area(&self) -> f32 {
+        self.stats.area
+    }
+
+    /// Critical-path delay in ps from the load-aware STA (the paper's
+    /// `stime` number).
+    pub fn delay(&self) -> f32 {
+        self.stats.delay
+    }
+
+    /// Area-delay product.
+    pub fn adp(&self) -> f64 {
+        self.stats.area as f64 * self.stats.delay as f64
+    }
+
+    /// All mapping statistics.
+    pub fn stats(&self) -> &MapStats {
+        &self.stats
+    }
+
+    /// Arrival time of a signal computed by the last [`MappedNetlist::run_sta`].
+    pub fn arrival(&self, sig: Signal) -> Option<f32> {
+        self.arrivals.get(&sig).copied()
+    }
+
+    /// Runs the load-aware static timing analysis: each instance's output
+    /// arrival is the max over pins of `input arrival + intrinsic(pin) +
+    /// slope × fanout(output)`. Updates `stats.delay`.
+    pub fn run_sta(&mut self) {
+        // Fanout per signal = number of instance pins reading it + PO uses.
+        let mut fanout: HashMap<Signal, usize> = HashMap::new();
+        for inst in &self.instances {
+            for &s in &inst.inputs {
+                *fanout.entry(s).or_insert(0) += 1;
+            }
+        }
+        for po in &self.pos {
+            if let PoSource::Signal(s) = po {
+                *fanout.entry(*s).or_insert(0) += 1;
+            }
+        }
+        let mut arrivals: HashMap<Signal, f32> = HashMap::new();
+        let arrival_of = |arrivals: &HashMap<Signal, f32>, s: Signal| -> f32 {
+            // PIs (positive phase) and constants arrive at t = 0; everything
+            // else must have been computed already (topological order).
+            *arrivals.get(&s).unwrap_or(&0.0)
+        };
+        for inst in &self.instances {
+            let gate = self.library.gate(inst.gate);
+            let load = fanout.get(&inst.output).copied().unwrap_or(0).max(1);
+            let mut arr = 0.0f32;
+            for (pin, &s) in inst.inputs.iter().enumerate() {
+                arr = arr.max(arrival_of(&arrivals, s) + gate.delay(pin, load));
+            }
+            arrivals.insert(inst.output, arr);
+        }
+        let mut delay = 0.0f32;
+        for po in &self.pos {
+            if let PoSource::Signal(s) = po {
+                delay = delay.max(arrival_of(&arrivals, *s));
+            }
+        }
+        self.stats.delay = delay;
+        self.arrivals = arrivals;
+    }
+
+    /// Evaluates the netlist on one 64-pattern word per PI, returning one
+    /// word per PO.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pi_values.len() != self.num_pis()`.
+    pub fn evaluate(&self, pi_values: &[u64]) -> Vec<u64> {
+        assert_eq!(pi_values.len(), self.num_pis, "one word per PI required");
+        let mut values: HashMap<Signal, u64> = HashMap::new();
+        // PI signals: node ids 1..=num_pis in creation order is not
+        // guaranteed in general, but the mapper only produces PI signals
+        // for real PI nodes; we reconstruct their ids from instances and
+        // PO uses lazily via the node index ordering: PIs are the first
+        // nodes after the constant.
+        for (k, &w) in pi_values.iter().enumerate() {
+            values.insert(Signal::new(NodeId::new(k + 1), false), w);
+        }
+        values.insert(Signal::new(NodeId::CONST0, false), 0);
+        values.insert(Signal::new(NodeId::CONST0, true), u64::MAX);
+        for inst in &self.instances {
+            let gate = self.library.gate(inst.gate);
+            let inputs: Vec<u64> = inst
+                .inputs
+                .iter()
+                .map(|s| lookup_signal(&values, *s))
+                .collect();
+            let out = eval_gate(gate.tt().bits(), &inputs);
+            values.insert(inst.output, out);
+        }
+        self.pos
+            .iter()
+            .map(|po| match po {
+                PoSource::Const(true) => u64::MAX,
+                PoSource::Const(false) => 0,
+                PoSource::Signal(s) => lookup_signal(&values, *s),
+            })
+            .collect()
+    }
+
+    /// Probabilistically verifies functional equivalence against the
+    /// source AIG with `rounds` × 64 random patterns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the AIG's PI count differs from the netlist's.
+    pub fn verify_against(&self, aig: &Aig, rounds: usize, seed: u64) -> bool {
+        assert_eq!(aig.num_pis(), self.num_pis, "PI counts differ");
+        let mut rng = Rng64::seed_from(seed);
+        for _ in 0..rounds {
+            let pi: Vec<u64> = (0..self.num_pis).map(|_| rng.next_u64()).collect();
+            let expect: Vec<u64> = {
+                let node_vals = simulate_nodes(aig, &pi);
+                aig.pos()
+                    .iter()
+                    .map(|&po| {
+                        let v = node_vals[po.node().index()];
+                        if po.is_complement() {
+                            !v
+                        } else {
+                            v
+                        }
+                    })
+                    .collect()
+            };
+            if self.evaluate(&pi) != expect {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Per-gate instance counts, for reports.
+    pub fn gate_counts(&self) -> HashMap<String, usize> {
+        let mut counts = HashMap::new();
+        for inst in &self.instances {
+            *counts.entry(self.library.gate(inst.gate).name().to_string()).or_insert(0) += 1;
+        }
+        counts
+    }
+}
+
+fn lookup_signal(values: &HashMap<Signal, u64>, s: Signal) -> u64 {
+    if let Some(&v) = values.get(&s) {
+        return v;
+    }
+    // A complemented signal whose positive phase exists only implicitly
+    // cannot occur (the mapper emits an inverter instance), but a positive
+    // PI phase consulted through its complement does: derive it.
+    let other = Signal::new(s.node(), !s.complement());
+    match values.get(&other) {
+        Some(&v) => !v,
+        None => panic!("signal {s:?} evaluated before its driver"),
+    }
+}
+
+/// Evaluates a gate truth table bitwise over 64-pattern input words.
+fn eval_gate(tt_bits: u64, inputs: &[u64]) -> u64 {
+    let n = inputs.len();
+    let mut out = 0u64;
+    for assignment in 0..(1u64 << n) {
+        if (tt_bits >> assignment) & 1 == 0 {
+            continue;
+        }
+        let mut mask = u64::MAX;
+        for (p, &w) in inputs.iter().enumerate() {
+            mask &= if (assignment >> p) & 1 != 0 { w } else { !w };
+        }
+        out |= mask;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::{MapOptions, Mapper};
+    use slap_cell::asap7_mini;
+    use slap_cuts::CutConfig;
+
+    #[test]
+    fn eval_gate_matches_truth_table() {
+        // AND2: tt 0b1000 over inputs a, b.
+        let a = 0b1010u64;
+        let b = 0b1100u64;
+        assert_eq!(eval_gate(0b1000, &[a, b]) & 0xF, 0b1000);
+        // XOR2: 0b0110.
+        assert_eq!(eval_gate(0b0110, &[a, b]) & 0xF, 0b0110);
+        // INV: tt 0b01 over one input.
+        assert_eq!(eval_gate(0b01, &[a]) & 0xF, 0b0101);
+    }
+
+    fn mapped_pair() -> (Aig, MappedNetlist) {
+        let mut aig = Aig::new();
+        let a = aig.add_pi();
+        let b = aig.add_pi();
+        let c = aig.add_pi();
+        let s = aig.xor(a, b);
+        let s2 = aig.xor(s, c);
+        let carry = aig.maj(a, b, c);
+        aig.add_po(s2);
+        aig.add_po(carry);
+        let lib = asap7_mini();
+        let mapper = Mapper::new(&lib, MapOptions::default());
+        let nl = mapper.map_default(&aig, &CutConfig::default()).expect("maps");
+        (aig, nl)
+    }
+
+    #[test]
+    fn full_adder_maps_correctly() {
+        let (aig, nl) = mapped_pair();
+        assert!(nl.verify_against(&aig, 32, 11));
+    }
+
+    #[test]
+    fn sta_delay_positive_and_consistent() {
+        let (_, nl) = mapped_pair();
+        assert!(nl.delay() > 0.0);
+        // Every instance output must have an arrival.
+        for inst in nl.instances() {
+            assert!(nl.arrival(inst.output).is_some());
+        }
+    }
+
+    #[test]
+    fn area_is_sum_of_instance_areas() {
+        let (_, nl) = mapped_pair();
+        let sum: f32 = nl
+            .instances()
+            .iter()
+            .map(|i| nl.library().gate(i.gate).area())
+            .sum();
+        assert!((nl.area() - sum).abs() < 1e-4);
+        assert!(nl.adp() > 0.0);
+    }
+
+    #[test]
+    fn gate_counts_total_instances() {
+        let (_, nl) = mapped_pair();
+        let total: usize = nl.gate_counts().values().sum();
+        assert_eq!(total, nl.instances().len());
+    }
+
+    #[test]
+    fn instances_are_topologically_ordered() {
+        let (_, nl) = mapped_pair();
+        let mut produced: Vec<Signal> = Vec::new();
+        for inst in nl.instances() {
+            for &inp in &inst.inputs {
+                let is_primary = inp.node().index() <= nl.num_pis() && !inp.complement();
+                let is_const = inp.node() == NodeId::CONST0;
+                assert!(
+                    is_primary || is_const || produced.contains(&inp),
+                    "input {inp:?} not yet produced"
+                );
+            }
+            produced.push(inst.output);
+        }
+    }
+}

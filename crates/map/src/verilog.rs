@@ -1,0 +1,144 @@
+//! Structural Verilog export for mapped netlists — the artifact a
+//! downstream place-and-route flow consumes.
+
+use std::io::Write;
+
+use slap_aig::NodeId;
+
+use crate::netlist::{MappedNetlist, PoSource, Signal};
+
+/// Writes the netlist as a structural Verilog module.
+///
+/// Nets are named `n<i>` / `n<i>_b` for the two polarities of AIG node
+/// `i`; PIs are `pi<i>`, POs `po<i>`. Gate instances use the library's
+/// cell names with positional pin connections `(.A(..), .B(..), .Y(..))`
+/// using the genlib pin names.
+///
+/// Note that a `&mut` writer can be passed for any `W: Write`.
+///
+/// # Errors
+///
+/// Propagates writer errors.
+pub fn write_verilog<W: Write>(netlist: &MappedNetlist, module: &str, mut w: W) -> std::io::Result<()> {
+    let num_pis = netlist.num_pis();
+    write!(w, "module {module}(")?;
+    for i in 0..num_pis {
+        write!(w, "pi{i}, ")?;
+    }
+    for i in 0..netlist.pos().len() {
+        write!(w, "po{i}{}", if i + 1 < netlist.pos().len() { ", " } else { "" })?;
+    }
+    writeln!(w, ");")?;
+    for i in 0..num_pis {
+        writeln!(w, "  input pi{i};")?;
+    }
+    for i in 0..netlist.pos().len() {
+        writeln!(w, "  output po{i};")?;
+    }
+    // Internal wires.
+    for inst in netlist.instances() {
+        writeln!(w, "  wire {};", net_name(inst.output, num_pis))?;
+    }
+    writeln!(w)?;
+    for (k, inst) in netlist.instances().iter().enumerate() {
+        let gate = netlist.library().gate(inst.gate);
+        write!(w, "  {} g{k} (", gate.name())?;
+        for (pin, sig) in inst.inputs.iter().enumerate() {
+            let pin_name = &gate.pins()[pin];
+            write!(w, ".{pin_name}({}), ", net_name(*sig, num_pis))?;
+        }
+        writeln!(w, ".Y({}));", net_name(inst.output, num_pis))?;
+    }
+    writeln!(w)?;
+    for (i, po) in netlist.pos().iter().enumerate() {
+        match po {
+            PoSource::Const(b) => writeln!(w, "  assign po{i} = 1'b{};", *b as u8)?,
+            PoSource::Signal(s) => writeln!(w, "  assign po{i} = {};", net_name(*s, num_pis))?,
+        }
+    }
+    writeln!(w, "endmodule")?;
+    Ok(())
+}
+
+fn net_name(sig: Signal, num_pis: usize) -> String {
+    let idx = sig.node().index();
+    if sig.node() == NodeId::CONST0 {
+        return if sig.complement() { "1'b1".to_string() } else { "1'b0".to_string() };
+    }
+    let base = if idx <= num_pis { format!("pi{}", idx - 1) } else { format!("n{idx}") };
+    if sig.complement() {
+        format!("{base}_b")
+    } else {
+        base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::{MapOptions, Mapper};
+    use slap_aig::Aig;
+    use slap_cell::asap7_mini;
+    use slap_cuts::CutConfig;
+
+    fn sample_netlist() -> MappedNetlist {
+        let mut aig = Aig::new();
+        let a = aig.add_pi();
+        let b = aig.add_pi();
+        let c = aig.add_pi();
+        let x = aig.xor(a, b);
+        let f = aig.and(x, !c);
+        aig.add_po(f);
+        aig.add_po(!x);
+        let lib = asap7_mini();
+        Mapper::new(&lib, MapOptions::default())
+            .map_default(&aig, &CutConfig::default())
+            .expect("maps")
+    }
+
+    #[test]
+    fn writes_well_formed_module() {
+        let nl = sample_netlist();
+        let mut buf = Vec::new();
+        write_verilog(&nl, "test_mod", &mut buf).expect("write");
+        let text = String::from_utf8(buf).expect("utf8");
+        assert!(text.starts_with("module test_mod("));
+        assert!(text.trim_end().ends_with("endmodule"));
+        assert!(text.contains("input pi0;"));
+        assert!(text.contains("output po1;"));
+        // One instance line per gate.
+        let instances = text.lines().filter(|l| l.trim_start().contains(" g")).count();
+        assert_eq!(instances, nl.instances().len());
+        // Every PO is assigned.
+        assert!(text.contains("assign po0 ="));
+        assert!(text.contains("assign po1 ="));
+    }
+
+    #[test]
+    fn constant_pos_become_literals() {
+        let mut aig = Aig::new();
+        let _ = aig.add_pi();
+        aig.add_po(slap_aig::Lit::TRUE);
+        aig.add_po(slap_aig::Lit::FALSE);
+        let lib = asap7_mini();
+        let nl = Mapper::new(&lib, MapOptions::default())
+            .map_default(&aig, &CutConfig::default())
+            .expect("maps");
+        let mut buf = Vec::new();
+        write_verilog(&nl, "consts", &mut buf).expect("write");
+        let text = String::from_utf8(buf).expect("utf8");
+        assert!(text.contains("assign po0 = 1'b1;"));
+        assert!(text.contains("assign po1 = 1'b0;"));
+    }
+
+    #[test]
+    fn pin_names_come_from_library() {
+        let nl = sample_netlist();
+        let mut buf = Vec::new();
+        write_verilog(&nl, "m", &mut buf).expect("write");
+        let text = String::from_utf8(buf).expect("utf8");
+        // Every instance connects an output pin Y and at least pin A.
+        assert!(text.contains(".Y("));
+        assert!(text.contains(".A("));
+    }
+}

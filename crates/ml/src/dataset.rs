@@ -1,0 +1,185 @@
+//! In-memory datasets of cut embeddings (replaces the paper's pandas
+//! pipeline, which the authors single out as their bottleneck).
+
+use slap_aig::Rng64;
+
+/// A labelled dataset of row-major `rows × cols` feature matrices.
+#[derive(Clone, Debug)]
+pub struct Dataset {
+    rows: usize,
+    cols: usize,
+    classes: usize,
+    x: Vec<Vec<f32>>,
+    y: Vec<u8>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset of `rows × cols` samples over `classes`
+    /// labels.
+    pub fn new(rows: usize, cols: usize, classes: usize) -> Dataset {
+        Dataset { rows, cols, classes, x: Vec::new(), y: Vec::new() }
+    }
+
+    /// Adds a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the feature length is not `rows × cols` or the label is
+    /// out of range.
+    pub fn push(&mut self, features: Vec<f32>, label: u8) {
+        assert_eq!(features.len(), self.rows * self.cols, "feature length mismatch");
+        assert!((label as usize) < self.classes, "label out of range");
+        self.x.push(features);
+        self.y.push(label);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// True when no samples have been added.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Feature matrix rows per sample.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Feature matrix columns per sample.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Borrow a sample.
+    pub fn sample(&self, i: usize) -> (&[f32], u8) {
+        (&self.x[i], self.y[i])
+    }
+
+    /// Mutable feature access (used by permutation importance).
+    pub fn sample_mut(&mut self, i: usize) -> &mut Vec<f32> {
+        &mut self.x[i]
+    }
+
+    /// Label histogram.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.classes];
+        for &y in &self.y {
+            counts[y as usize] += 1;
+        }
+        counts
+    }
+
+    /// Splits into (train, validation) with the given validation fraction,
+    /// after a deterministic shuffle.
+    pub fn split(&self, val_fraction: f64, seed: u64) -> (Dataset, Dataset) {
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        let mut rng = Rng64::seed_from(seed);
+        rng.shuffle(&mut order);
+        let val_len = ((self.len() as f64) * val_fraction).round() as usize;
+        let mut val = Dataset::new(self.rows, self.cols, self.classes);
+        let mut train = Dataset::new(self.rows, self.cols, self.classes);
+        for (k, &i) in order.iter().enumerate() {
+            let (x, y) = self.sample(i);
+            if k < val_len {
+                val.push(x.to_vec(), y);
+            } else {
+                train.push(x.to_vec(), y);
+            }
+        }
+        (train, val)
+    }
+
+    /// Per-dimension mean and standard deviation (for standardization).
+    pub fn feature_stats(&self) -> (Vec<f32>, Vec<f32>) {
+        let d = self.rows * self.cols;
+        let n = self.len().max(1) as f64;
+        let mut mean = vec![0f64; d];
+        for x in &self.x {
+            for (m, &v) in mean.iter_mut().zip(x) {
+                *m += v as f64;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut var = vec![0f64; d];
+        for x in &self.x {
+            for ((v, &xv), &m) in var.iter_mut().zip(x).zip(&mean) {
+                let dlt = xv as f64 - m;
+                *v += dlt * dlt;
+            }
+        }
+        let std: Vec<f32> =
+            var.iter().map(|&v| ((v / n).sqrt() as f32).max(1e-6)).collect();
+        (mean.iter().map(|&m| m as f32).collect(), std)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let mut ds = Dataset::new(2, 3, 4);
+        for i in 0..20 {
+            ds.push(vec![i as f32; 6], (i % 4) as u8);
+        }
+        ds
+    }
+
+    #[test]
+    fn push_and_access() {
+        let ds = toy();
+        assert_eq!(ds.len(), 20);
+        let (x, y) = ds.sample(5);
+        assert_eq!(x[0], 5.0);
+        assert_eq!(y, 1);
+    }
+
+    #[test]
+    fn class_counts_balance() {
+        let ds = toy();
+        assert_eq!(ds.class_counts(), vec![5, 5, 5, 5]);
+    }
+
+    #[test]
+    fn split_partitions_all_samples() {
+        let ds = toy();
+        let (train, val) = ds.split(0.25, 42);
+        assert_eq!(train.len() + val.len(), 20);
+        assert_eq!(val.len(), 5);
+        // Deterministic per seed.
+        let (t2, _) = ds.split(0.25, 42);
+        assert_eq!(train.sample(0).0, t2.sample(0).0);
+    }
+
+    #[test]
+    fn feature_stats_reasonable() {
+        let ds = toy();
+        let (mean, std) = ds.feature_stats();
+        assert!((mean[0] - 9.5).abs() < 1e-4);
+        assert!(std[0] > 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature length mismatch")]
+    fn wrong_length_panics() {
+        let mut ds = Dataset::new(2, 3, 4);
+        ds.push(vec![0.0; 5], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn bad_label_panics() {
+        let mut ds = Dataset::new(2, 3, 4);
+        ds.push(vec![0.0; 6], 4);
+    }
+}

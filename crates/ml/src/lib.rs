@@ -1,0 +1,39 @@
+//! From-scratch neural network substrate for the SLAP reproduction.
+//!
+//! The paper's model (Fig. 3) is small: one convolution layer (128
+//! filters of shape 15×1, stride 1, sliding across the 10 columns of the
+//! 15×10 cut embedding), a flatten to 1280 units, a dense layer to 10
+//! classes, and a softmax trained with sparse categorical cross-entropy
+//! under Adam. Rust's ML crate ecosystem is thin, so this crate
+//! implements forward, backward, and the optimizer by hand with
+//! deterministic seeding — every training run replays exactly.
+//!
+//! # Example
+//!
+//! ```
+//! use slap_ml::{CnnConfig, CutCnn, Dataset, TrainConfig};
+//!
+//! // A toy dataset: class 0 iff the first feature is positive.
+//! let mut ds = Dataset::new(15, 10, 2);
+//! for i in 0..200 {
+//!     let mut x = vec![0.0f32; 150];
+//!     x[0] = if i % 2 == 0 { 1.0 } else { -1.0 };
+//!     ds.push(x, (i % 2) as u8);
+//! }
+//! let mut model = CutCnn::new(&CnnConfig { filters: 8, ..CnnConfig::default_with_classes(2) }, 1);
+//! let report = model.train(&ds, &TrainConfig { epochs: 12, ..TrainConfig::default() });
+//! assert!(report.val_accuracy > 0.9);
+//! ```
+
+pub mod dataset;
+pub mod importance;
+pub mod metrics;
+pub mod model;
+pub mod serialize;
+pub mod train;
+
+pub use dataset::Dataset;
+pub use importance::{permutation_importance, FeatureGroup};
+pub use metrics::ConfusionMatrix;
+pub use model::{CnnConfig, CutCnn};
+pub use train::{TrainConfig, TrainReport};

@@ -1,0 +1,160 @@
+//! Richer evaluation metrics: confusion matrix and per-class statistics.
+
+use crate::dataset::Dataset;
+use crate::model::CutCnn;
+
+/// A `classes × classes` confusion matrix: `counts[actual][predicted]`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    counts: Vec<Vec<usize>>,
+}
+
+impl ConfusionMatrix {
+    /// Evaluates `model` over `data`.
+    pub fn compute(model: &CutCnn, data: &Dataset) -> ConfusionMatrix {
+        let k = data.classes();
+        let mut counts = vec![vec![0usize; k]; k];
+        for i in 0..data.len() {
+            let (x, y) = data.sample(i);
+            let p = model.predict(x) as usize;
+            if p < k {
+                counts[y as usize][p] += 1;
+            }
+        }
+        ConfusionMatrix { counts }
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Count of samples with true class `actual` predicted as `predicted`.
+    pub fn count(&self, actual: usize, predicted: usize) -> usize {
+        self.counts[actual][predicted]
+    }
+
+    /// Total samples.
+    pub fn total(&self) -> usize {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// Overall accuracy (trace / total).
+    pub fn accuracy(&self) -> f64 {
+        let trace: usize = (0..self.classes()).map(|i| self.counts[i][i]).sum();
+        trace as f64 / self.total().max(1) as f64
+    }
+
+    /// Precision of one class (`tp / predicted-as-class`), `None` when the
+    /// class was never predicted.
+    pub fn precision(&self, class: usize) -> Option<f64> {
+        let predicted: usize = (0..self.classes()).map(|a| self.counts[a][class]).sum();
+        if predicted == 0 {
+            return None;
+        }
+        Some(self.counts[class][class] as f64 / predicted as f64)
+    }
+
+    /// Recall of one class (`tp / actual-class count`), `None` when the
+    /// class has no samples.
+    pub fn recall(&self, class: usize) -> Option<f64> {
+        let actual: usize = self.counts[class].iter().sum();
+        if actual == 0 {
+            return None;
+        }
+        Some(self.counts[class][class] as f64 / actual as f64)
+    }
+
+    /// Mean absolute class distance between prediction and truth — a
+    /// useful ordinal metric for QoR classes, where predicting 4 for a 3
+    /// is far less harmful than predicting 9.
+    pub fn mean_class_distance(&self) -> f64 {
+        let mut sum = 0usize;
+        for (a, row) in self.counts.iter().enumerate() {
+            for (p, &n) in row.iter().enumerate() {
+                sum += n * a.abs_diff(p);
+            }
+        }
+        sum as f64 / self.total().max(1) as f64
+    }
+
+    /// Renders an aligned text table.
+    pub fn to_table(&self) -> String {
+        let mut out = String::from("actual\\pred");
+        for p in 0..self.classes() {
+            out.push_str(&format!("{p:>7}"));
+        }
+        out.push('\n');
+        for (a, row) in self.counts.iter().enumerate() {
+            out.push_str(&format!("{a:>11}"));
+            for &n in row {
+                out.push_str(&format!("{n:>7}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::CnnConfig;
+    use crate::train::TrainConfig;
+    use slap_aig::Rng64;
+
+    fn trained_pair() -> (CutCnn, Dataset) {
+        let mut ds = Dataset::new(15, 10, 3);
+        let mut rng = Rng64::seed_from(44);
+        for _ in 0..300 {
+            let v = rng.f32() * 3.0;
+            let mut x = vec![0.0f32; 150];
+            x[0] = v;
+            ds.push(x, (v as usize).min(2) as u8);
+        }
+        let mut m = CutCnn::new(&CnnConfig { filters: 8, ..CnnConfig::default_with_classes(3) }, 1);
+        m.train(&ds, &TrainConfig { epochs: 20, ..TrainConfig::default() });
+        (m, ds)
+    }
+
+    #[test]
+    fn totals_and_accuracy_consistent() {
+        let (m, ds) = trained_pair();
+        let cm = ConfusionMatrix::compute(&m, &ds);
+        assert_eq!(cm.total(), ds.len());
+        assert!((cm.accuracy() - m.accuracy(&ds)).abs() < 1e-12);
+        assert!(cm.accuracy() > 0.55, "{}", cm.accuracy());
+    }
+
+    #[test]
+    fn precision_recall_bounds() {
+        let (m, ds) = trained_pair();
+        let cm = ConfusionMatrix::compute(&m, &ds);
+        for c in 0..3 {
+            if let Some(p) = cm.precision(c) {
+                assert!((0.0..=1.0).contains(&p));
+            }
+            let r = cm.recall(c).expect("every class has samples");
+            assert!((0.0..=1.0).contains(&r));
+        }
+    }
+
+    #[test]
+    fn class_distance_zero_iff_perfect() {
+        let (m, ds) = trained_pair();
+        let cm = ConfusionMatrix::compute(&m, &ds);
+        if cm.accuracy() == 1.0 {
+            assert_eq!(cm.mean_class_distance(), 0.0);
+        } else {
+            assert!(cm.mean_class_distance() > 0.0);
+        }
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let (m, ds) = trained_pair();
+        let cm = ConfusionMatrix::compute(&m, &ds);
+        let table = cm.to_table();
+        assert_eq!(table.lines().count(), 4); // header + 3 classes
+    }
+}

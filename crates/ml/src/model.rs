@@ -1,0 +1,360 @@
+//! The cut-classification CNN of Fig. 3, with hand-written
+//! forward/backward passes and an Adam optimizer.
+
+use slap_aig::Rng64;
+
+/// Architecture parameters. The paper's model is the default: 128 filters
+/// of shape `rows × 1` over a 15×10 input, 10 classes.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CnnConfig {
+    /// Input rows (15: root + 5 leaf embeddings + 9 cut-feature rows).
+    pub rows: usize,
+    /// Input columns (10: the node-embedding width).
+    pub cols: usize,
+    /// Convolution filters (paper: 128, each `rows × 1`, stride 1).
+    pub filters: usize,
+    /// Output classes (paper: 10 QoR classes).
+    pub classes: usize,
+}
+
+impl CnnConfig {
+    /// The paper's configuration.
+    pub fn paper() -> CnnConfig {
+        CnnConfig { rows: 15, cols: 10, filters: 128, classes: 10 }
+    }
+
+    /// The paper's shape with a custom class count (useful in tests).
+    pub fn default_with_classes(classes: usize) -> CnnConfig {
+        CnnConfig { classes, ..CnnConfig::paper() }
+    }
+}
+
+impl Default for CnnConfig {
+    fn default() -> CnnConfig {
+        CnnConfig::paper()
+    }
+}
+
+/// The model: conv (`filters × rows`) → ReLU → flatten (`filters × cols`)
+/// → dense (`classes`) → softmax.
+///
+/// Feature standardization constants learned from the training set are
+/// stored inside the model so inference applies the identical transform.
+#[derive(Clone, Debug)]
+pub struct CutCnn {
+    pub(crate) config: CnnConfig,
+    /// `conv_w[f * rows + r]`: filter `f`, row `r`.
+    pub(crate) conv_w: Vec<f32>,
+    pub(crate) conv_b: Vec<f32>,
+    /// `dense_w[k * filters * cols + j]`.
+    pub(crate) dense_w: Vec<f32>,
+    pub(crate) dense_b: Vec<f32>,
+    /// Standardization: (x - mean) / std per input dimension.
+    pub(crate) feat_mean: Vec<f32>,
+    pub(crate) feat_std: Vec<f32>,
+    // Adam state.
+    pub(crate) adam_m: Vec<f32>,
+    pub(crate) adam_v: Vec<f32>,
+    pub(crate) adam_t: u64,
+}
+
+/// Per-sample forward scratch (exposed to the trainer).
+pub(crate) struct Forward {
+    pub x: Vec<f32>,          // standardized input, rows × cols
+    pub conv_out: Vec<f32>,   // filters × cols, pre-ReLU
+    pub hidden: Vec<f32>,     // filters × cols, post-ReLU
+    pub probs: Vec<f32>,      // classes
+}
+
+impl CutCnn {
+    /// Initializes a model with He-style uniform weights.
+    pub fn new(config: &CnnConfig, seed: u64) -> CutCnn {
+        let mut rng = Rng64::seed_from(seed);
+        let conv_len = config.filters * config.rows;
+        let hidden = config.filters * config.cols;
+        let dense_len = config.classes * hidden;
+        let conv_scale = (2.0 / config.rows as f32).sqrt();
+        let dense_scale = (2.0 / hidden as f32).sqrt();
+        let conv_w: Vec<f32> = (0..conv_len).map(|_| rng.f32_symmetric(conv_scale)).collect();
+        let dense_w: Vec<f32> = (0..dense_len).map(|_| rng.f32_symmetric(dense_scale)).collect();
+        let num_params = conv_len + config.filters + dense_len + config.classes;
+        CutCnn {
+            config: config.clone(),
+            conv_w,
+            conv_b: vec![0.0; config.filters],
+            dense_w,
+            dense_b: vec![0.0; config.classes],
+            feat_mean: vec![0.0; config.rows * config.cols],
+            feat_std: vec![1.0; config.rows * config.cols],
+            adam_m: vec![0.0; num_params],
+            adam_v: vec![0.0; num_params],
+            adam_t: 0,
+        }
+    }
+
+    /// The architecture.
+    pub fn config(&self) -> &CnnConfig {
+        &self.config
+    }
+
+    /// Total trainable parameters.
+    pub fn num_params(&self) -> usize {
+        self.conv_w.len() + self.conv_b.len() + self.dense_w.len() + self.dense_b.len()
+    }
+
+    /// Sets the standardization constants (done by the trainer from the
+    /// training split).
+    pub fn set_standardization(&mut self, mean: Vec<f32>, std: Vec<f32>) {
+        assert_eq!(mean.len(), self.config.rows * self.config.cols);
+        assert_eq!(std.len(), mean.len());
+        self.feat_mean = mean;
+        self.feat_std = std;
+    }
+
+    pub(crate) fn forward(&self, raw: &[f32]) -> Forward {
+        let c = &self.config;
+        debug_assert_eq!(raw.len(), c.rows * c.cols);
+        // Standardize, clamping the z-scores: inference-time inputs from
+        // circuits much larger than the training set would otherwise push
+        // the network far outside the regime it was trained in.
+        let x: Vec<f32> = raw
+            .iter()
+            .zip(self.feat_mean.iter().zip(&self.feat_std))
+            .map(|(&v, (&m, &s))| ((v - m) / s).clamp(-6.0, 6.0))
+            .collect();
+        // Conv: out[f][col] = b[f] + Σ_r w[f][r] · x[r][col].
+        let mut conv_out = vec![0.0f32; c.filters * c.cols];
+        for f in 0..c.filters {
+            let w = &self.conv_w[f * c.rows..(f + 1) * c.rows];
+            let b = self.conv_b[f];
+            let out = &mut conv_out[f * c.cols..(f + 1) * c.cols];
+            for (col, o) in out.iter_mut().enumerate() {
+                let mut acc = b;
+                for (r, &wr) in w.iter().enumerate() {
+                    acc += wr * x[r * c.cols + col];
+                }
+                *o = acc;
+            }
+        }
+        let hidden: Vec<f32> = conv_out.iter().map(|&v| v.max(0.0)).collect();
+        // Dense + softmax.
+        let h = c.filters * c.cols;
+        let mut logits = vec![0.0f32; c.classes];
+        for (k, logit) in logits.iter_mut().enumerate() {
+            let w = &self.dense_w[k * h..(k + 1) * h];
+            let mut acc = self.dense_b[k];
+            for (wj, hj) in w.iter().zip(&hidden) {
+                acc += wj * hj;
+            }
+            *logit = acc;
+        }
+        let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut probs: Vec<f32> = logits.iter().map(|&l| (l - max).exp()).collect();
+        let sum: f32 = probs.iter().sum();
+        for p in &mut probs {
+            *p /= sum;
+        }
+        Forward { x, conv_out, hidden, probs }
+    }
+
+    /// Class probabilities for a raw (unstandardized) sample.
+    pub fn predict_probs(&self, raw: &[f32]) -> Vec<f32> {
+        self.forward(raw).probs
+    }
+
+    /// The most likely class.
+    pub fn predict(&self, raw: &[f32]) -> u8 {
+        let probs = self.predict_probs(raw);
+        probs
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("probabilities are finite"))
+            .map(|(i, _)| i as u8)
+            .expect("at least one class")
+    }
+
+    /// Accumulates gradients for one sample into `grad` (same layout as
+    /// the Adam state) and returns the cross-entropy loss.
+    pub(crate) fn backward(&self, fwd: &Forward, label: u8, grad: &mut [f32]) -> f32 {
+        let c = &self.config;
+        let h = c.filters * c.cols;
+        let loss = -(fwd.probs[label as usize].max(1e-12)).ln();
+        // dL/dlogit_k = p_k - [k == label]
+        let mut dlogits = fwd.probs.clone();
+        dlogits[label as usize] -= 1.0;
+        let (g_conv_w, rest) = grad.split_at_mut(c.filters * c.rows);
+        let (g_conv_b, rest) = rest.split_at_mut(c.filters);
+        let (g_dense_w, g_dense_b) = rest.split_at_mut(c.classes * h);
+        let mut dhidden = vec![0.0f32; h];
+        for (k, &dl) in dlogits.iter().enumerate() {
+            g_dense_b[k] += dl;
+            let gw = &mut g_dense_w[k * h..(k + 1) * h];
+            let w = &self.dense_w[k * h..(k + 1) * h];
+            for j in 0..h {
+                gw[j] += dl * fwd.hidden[j];
+                dhidden[j] += dl * w[j];
+            }
+        }
+        // Through ReLU into conv params.
+        for f in 0..c.filters {
+            let gw = &mut g_conv_w[f * c.rows..(f + 1) * c.rows];
+            for col in 0..c.cols {
+                let idx = f * c.cols + col;
+                if fwd.conv_out[idx] <= 0.0 {
+                    continue;
+                }
+                let d = dhidden[idx];
+                g_conv_b[f] += d;
+                for (r, g) in gw.iter_mut().enumerate() {
+                    *g += d * fwd.x[r * c.cols + col];
+                }
+            }
+        }
+        loss
+    }
+
+    /// Applies one Adam step given summed gradients over a batch.
+    pub(crate) fn adam_step(&mut self, grad: &[f32], batch: usize, lr: f32) {
+        const B1: f32 = 0.9;
+        const B2: f32 = 0.999;
+        const EPS: f32 = 1e-8;
+        self.adam_t += 1;
+        let t = self.adam_t as f32;
+        let scale = 1.0 / batch.max(1) as f32;
+        let bias1 = 1.0 - B1.powf(t);
+        let bias2 = 1.0 - B2.powf(t);
+        let conv_len = self.conv_w.len();
+        let conv_b_len = self.conv_b.len();
+        let dense_len = self.dense_w.len();
+        for (i, g) in grad.iter().enumerate() {
+            let g = g * scale;
+            let m = &mut self.adam_m[i];
+            let v = &mut self.adam_v[i];
+            *m = B1 * *m + (1.0 - B1) * g;
+            *v = B2 * *v + (1.0 - B2) * g * g;
+            let update = lr * (*m / bias1) / ((*v / bias2).sqrt() + EPS);
+            let p = if i < conv_len {
+                &mut self.conv_w[i]
+            } else if i < conv_len + conv_b_len {
+                &mut self.conv_b[i - conv_len]
+            } else if i < conv_len + conv_b_len + dense_len {
+                &mut self.dense_w[i - conv_len - conv_b_len]
+            } else {
+                &mut self.dense_b[i - conv_len - conv_b_len - dense_len]
+            };
+            *p -= update;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_dimensions() {
+        let c = CnnConfig::paper();
+        let m = CutCnn::new(&c, 1);
+        // 128 filters × 15 rows + 128 + 10 × 1280 + 10.
+        assert_eq!(m.num_params(), 128 * 15 + 128 + 10 * 1280 + 10);
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let m = CutCnn::new(&CnnConfig::paper(), 2);
+        let x = vec![0.5f32; 150];
+        let p = m.predict_probs(&x);
+        assert_eq!(p.len(), 10);
+        let sum: f32 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-4);
+        assert!(p.iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn deterministic_initialization() {
+        let a = CutCnn::new(&CnnConfig::paper(), 7);
+        let b = CutCnn::new(&CnnConfig::paper(), 7);
+        assert_eq!(a.conv_w, b.conv_w);
+        let c = CutCnn::new(&CnnConfig::paper(), 8);
+        assert_ne!(a.conv_w, c.conv_w);
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        // Numerical check of a few parameters on a tiny model.
+        let cfg = CnnConfig { rows: 3, cols: 2, filters: 2, classes: 3 };
+        let mut model = CutCnn::new(&cfg, 3);
+        let x: Vec<f32> = (0..6).map(|i| (i as f32) / 3.0 - 0.8).collect();
+        let label = 1u8;
+        let n = model.num_params();
+        let mut grad = vec![0.0f32; n];
+        let fwd = model.forward(&x);
+        let _ = model.backward(&fwd, label, &mut grad);
+        let loss_at = |m: &CutCnn| -> f32 {
+            let f = m.forward(&x);
+            -(f.probs[label as usize].max(1e-12)).ln()
+        };
+        let eps = 1e-3;
+        // Check a conv weight, a conv bias, a dense weight, a dense bias.
+        let checks = [0usize, cfg.filters * cfg.rows, cfg.filters * cfg.rows + cfg.filters + 1, n - 1];
+        for &i in &checks {
+            let mut bumped = model.clone();
+            let conv_len = bumped.conv_w.len();
+            let conv_b_len = bumped.conv_b.len();
+            let dense_len = bumped.dense_w.len();
+            {
+                let p = if i < conv_len {
+                    &mut bumped.conv_w[i]
+                } else if i < conv_len + conv_b_len {
+                    &mut bumped.conv_b[i - conv_len]
+                } else if i < conv_len + conv_b_len + dense_len {
+                    &mut bumped.dense_w[i - conv_len - conv_b_len]
+                } else {
+                    &mut bumped.dense_b[i - conv_len - conv_b_len - dense_len]
+                };
+                *p += eps;
+            }
+            let numeric = (loss_at(&bumped) - loss_at(&model)) / eps;
+            assert!(
+                (numeric - grad[i]).abs() < 2e-2,
+                "param {i}: numeric {numeric} vs analytic {}",
+                grad[i]
+            );
+        }
+    }
+
+    #[test]
+    fn adam_reduces_loss_on_one_sample() {
+        let cfg = CnnConfig { rows: 4, cols: 3, filters: 4, classes: 5 };
+        let mut model = CutCnn::new(&cfg, 4);
+        let x: Vec<f32> = (0..12).map(|i| (i % 5) as f32 * 0.3 - 0.5).collect();
+        let label = 2u8;
+        let loss0 = {
+            let f = model.forward(&x);
+            -(f.probs[label as usize].max(1e-12)).ln()
+        };
+        for _ in 0..50 {
+            let mut grad = vec![0.0f32; model.num_params()];
+            let f = model.forward(&x);
+            model.backward(&f, label, &mut grad);
+            model.adam_step(&grad, 1, 1e-2);
+        }
+        let loss1 = {
+            let f = model.forward(&x);
+            -(f.probs[label as usize].max(1e-12)).ln()
+        };
+        assert!(loss1 < loss0 * 0.5, "loss {loss0} -> {loss1}");
+        assert_eq!(model.predict(&x), label);
+    }
+
+    #[test]
+    fn standardization_changes_prediction_input() {
+        let cfg = CnnConfig { rows: 2, cols: 2, filters: 2, classes: 2 };
+        let mut m = CutCnn::new(&cfg, 5);
+        let x = vec![10.0f32, 20.0, 30.0, 40.0];
+        let p0 = m.predict_probs(&x);
+        m.set_standardization(vec![25.0; 4], vec![10.0; 4]);
+        let p1 = m.predict_probs(&x);
+        assert_ne!(p0, p1);
+    }
+}

@@ -1,0 +1,135 @@
+//! Plain-text weight serialization (self-describing; no serde needed).
+//!
+//! Format: a header line `slap-cnn v1 <rows> <cols> <filters> <classes>`,
+//! then one line per tensor: `<name> <len> <values...>`.
+
+use std::fmt::Write as _;
+
+use crate::model::{CnnConfig, CutCnn};
+
+/// Error for weight parsing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseWeightsError(String);
+
+impl std::fmt::Display for ParseWeightsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid weight file: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseWeightsError {}
+
+impl CutCnn {
+    /// Serializes the model (weights + standardization) to a string.
+    pub fn to_text(&self) -> String {
+        let c = self.config();
+        let mut out = String::new();
+        let _ = writeln!(out, "slap-cnn v1 {} {} {} {}", c.rows, c.cols, c.filters, c.classes);
+        for (name, values) in [
+            ("conv_w", &self.conv_w),
+            ("conv_b", &self.conv_b),
+            ("dense_w", &self.dense_w),
+            ("dense_b", &self.dense_b),
+            ("feat_mean", &self.feat_mean),
+            ("feat_std", &self.feat_std),
+        ] {
+            let _ = write!(out, "{name} {}", values.len());
+            for v in values {
+                let _ = write!(out, " {v}");
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a model serialized by [`CutCnn::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseWeightsError`] on malformed input or dimension
+    /// mismatches.
+    pub fn from_text(text: &str) -> Result<CutCnn, ParseWeightsError> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or_else(|| ParseWeightsError("empty file".into()))?;
+        let mut it = header.split_whitespace();
+        if it.next() != Some("slap-cnn") || it.next() != Some("v1") {
+            return Err(ParseWeightsError("bad magic".into()));
+        }
+        let mut dims = [0usize; 4];
+        for d in &mut dims {
+            *d = it
+                .next()
+                .ok_or_else(|| ParseWeightsError("short header".into()))?
+                .parse()
+                .map_err(|_| ParseWeightsError("non-numeric header".into()))?;
+        }
+        let config = CnnConfig { rows: dims[0], cols: dims[1], filters: dims[2], classes: dims[3] };
+        let mut model = CutCnn::new(&config, 0);
+        let mut read_tensor = |expect_name: &str, expect_len: usize| -> Result<Vec<f32>, ParseWeightsError> {
+            let line = lines
+                .next()
+                .ok_or_else(|| ParseWeightsError(format!("missing tensor {expect_name}")))?;
+            let mut it = line.split_whitespace();
+            let name = it.next().ok_or_else(|| ParseWeightsError("empty tensor line".into()))?;
+            if name != expect_name {
+                return Err(ParseWeightsError(format!("expected {expect_name}, got {name}")));
+            }
+            let len: usize = it
+                .next()
+                .ok_or_else(|| ParseWeightsError("missing length".into()))?
+                .parse()
+                .map_err(|_| ParseWeightsError("bad length".into()))?;
+            if len != expect_len {
+                return Err(ParseWeightsError(format!(
+                    "tensor {expect_name}: expected {expect_len} values, header says {len}"
+                )));
+            }
+            let values: Result<Vec<f32>, _> = it.map(str::parse::<f32>).collect();
+            let values = values.map_err(|_| ParseWeightsError(format!("bad value in {expect_name}")))?;
+            if values.len() != expect_len {
+                return Err(ParseWeightsError(format!("tensor {expect_name} truncated")));
+            }
+            Ok(values)
+        };
+        let hidden = config.filters * config.cols;
+        model.conv_w = read_tensor("conv_w", config.filters * config.rows)?;
+        model.conv_b = read_tensor("conv_b", config.filters)?;
+        model.dense_w = read_tensor("dense_w", config.classes * hidden)?;
+        model.dense_b = read_tensor("dense_b", config.classes)?;
+        model.feat_mean = read_tensor("feat_mean", config.rows * config.cols)?;
+        model.feat_std = read_tensor("feat_std", config.rows * config.cols)?;
+        Ok(model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_preserves_predictions() {
+        let cfg = CnnConfig { rows: 4, cols: 3, filters: 5, classes: 3 };
+        let mut m = CutCnn::new(&cfg, 42);
+        m.set_standardization(vec![1.0; 12], vec![2.0; 12]);
+        let text = m.to_text();
+        let back = CutCnn::from_text(&text).expect("parse");
+        let x: Vec<f32> = (0..12).map(|i| i as f32 * 0.1).collect();
+        assert_eq!(m.predict_probs(&x), back.predict_probs(&x));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(CutCnn::from_text("").is_err());
+        assert!(CutCnn::from_text("hello").is_err());
+        assert!(CutCnn::from_text("slap-cnn v1 2 2 2").is_err());
+        assert!(CutCnn::from_text("slap-cnn v1 2 2 2 2\nconv_w 1 0.5").is_err());
+    }
+
+    #[test]
+    fn rejects_wrong_tensor_order() {
+        let cfg = CnnConfig { rows: 2, cols: 2, filters: 2, classes: 2 };
+        let m = CutCnn::new(&cfg, 1);
+        let text = m.to_text().replace("conv_w", "conv_x");
+        assert!(CutCnn::from_text(&text).is_err());
+    }
+}

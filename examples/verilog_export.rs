@@ -1,0 +1,40 @@
+//! Map a benchmark and export the result as structural Verilog plus the
+//! library it targets as genlib — the hand-off artifacts a downstream
+//! P&R / simulation flow consumes.
+//!
+//! Run with:
+//!   cargo run --release --example verilog_export
+
+use slap::cell::asap7_mini;
+use slap::circuits::arith::carry_lookahead_adder;
+use slap::cuts::CutConfig;
+use slap::map::{write_verilog, MapOptions, Mapper};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let aig = carry_lookahead_adder(16);
+    let library = asap7_mini();
+    let mapper = Mapper::new(&library, MapOptions::default());
+    let netlist = mapper.map_default(&aig, &CutConfig::default())?;
+    assert!(netlist.verify_against(&aig, 16, 1));
+
+    let mut verilog = Vec::new();
+    write_verilog(&netlist, "cla16", &mut verilog)?;
+    let verilog = String::from_utf8(verilog)?;
+    println!("// {} gates, {:.1} µm², {:.1} ps", netlist.instances().len(), netlist.area(), netlist.delay());
+    // Print the first and last lines of the module.
+    for line in verilog.lines().take(12) {
+        println!("{line}");
+    }
+    println!("  ...");
+    for line in verilog.lines().rev().take(4).collect::<Vec<_>>().iter().rev() {
+        println!("{line}");
+    }
+
+    // The target library in genlib form, for the consuming flow.
+    let genlib = library.to_genlib();
+    println!("\n# library ({} cells); first entries:", library.len());
+    for line in genlib.lines().take(4) {
+        println!("{line}");
+    }
+    Ok(())
+}

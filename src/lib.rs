@@ -1,0 +1,49 @@
+//! # SLAP — Supervised Learning Approach for Priority-cuts technology mapping
+//!
+//! A from-scratch Rust reproduction of the DAC 2021 paper
+//! *"SLAP: A Supervised Learning Approach for Priority Cuts Technology
+//! Mapping"* (Lau Neto, Moreira, Li, Amarù, Yu, Gaillardon).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`aig`] — And-Inverter Graph substrate (strashing, simulation, AIGER).
+//! * [`cuts`] — k-feasible cut enumeration and the sorting/filtering
+//!   policies the paper studies.
+//! * [`cell`] — standard-cell library, Boolean matching index, the
+//!   bundled ASAP7-flavoured library.
+//! * [`map`] — the ABC-style ASIC technology mapper and STA.
+//! * [`ml`] — the from-scratch CNN (conv → dense → softmax, Adam).
+//! * [`circuits`] — generators for the paper's 14 benchmark circuits.
+//! * [`core`] — SLAP itself: embeddings, dataset generation, the
+//!   three-band filtering policy, and the end-to-end [`core::SlapMapper`].
+//!
+//! # Quickstart
+//!
+//! ```
+//! use slap::aig::Aig;
+//! use slap::cell::asap7_mini;
+//! use slap::map::{MapOptions, Mapper};
+//! use slap::cuts::CutConfig;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut aig = Aig::new();
+//! let a = aig.add_pi();
+//! let b = aig.add_pi();
+//! let f = aig.xor(a, b);
+//! aig.add_po(f);
+//!
+//! let library = asap7_mini();
+//! let mapper = Mapper::new(&library, MapOptions::default());
+//! let netlist = mapper.map_default(&aig, &CutConfig::default())?;
+//! assert!(netlist.area() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use slap_aig as aig;
+pub use slap_cell as cell;
+pub use slap_circuits as circuits;
+pub use slap_core as core;
+pub use slap_cuts as cuts;
+pub use slap_map as map;
+pub use slap_ml as ml;

@@ -1,0 +1,90 @@
+//! Cross-crate integration tests: circuits → cuts → matching → mapping →
+//! SLAP, all through the public facade.
+
+use slap::cell::asap7_mini;
+use slap::circuits::arith::{carry_lookahead_adder, max4, ripple_carry_adder};
+use slap::circuits::catalog::{table2_benchmarks, Scale};
+use slap::core::{train_slap_model, PipelineConfig, SampleConfig, SlapConfig, SlapMapper};
+use slap::cuts::CutConfig;
+use slap::map::{MapOptions, Mapper};
+use slap::ml::{CnnConfig, TrainConfig};
+
+#[test]
+fn all_three_modes_preserve_function_on_an_adder() {
+    let aig = carry_lookahead_adder(16);
+    let lib = asap7_mini();
+    let mapper = Mapper::new(&lib, MapOptions::default());
+    let cfg = CutConfig::default();
+    let d = mapper.map_default(&aig, &cfg).expect("default");
+    let u = mapper.map_unlimited(&aig, &cfg, 1000).expect("unlimited");
+    let s = mapper.map_shuffled(&aig, &cfg, 3, 6).expect("shuffled");
+    for (name, nl) in [("default", &d), ("unlimited", &u), ("shuffled", &s)] {
+        assert!(nl.verify_against(&aig, 16, 9), "{name} broke equivalence");
+        assert!(nl.area() > 0.0 && nl.delay() > 0.0, "{name} has degenerate QoR");
+    }
+    // Unlimited exposes at least as many cuts; the shuffled subset fewer.
+    assert!(u.stats().cuts_considered >= d.stats().cuts_considered);
+    assert!(s.stats().cuts_considered <= u.stats().cuts_considered);
+}
+
+#[test]
+fn unlimited_dp_delay_is_a_lower_bound() {
+    // More exposed cuts can only improve the covering DP's objective.
+    let aig = max4(16);
+    let lib = asap7_mini();
+    let mapper = Mapper::new(&lib, MapOptions::default());
+    let cfg = CutConfig::default();
+    let d = mapper.map_default(&aig, &cfg).expect("default");
+    let u = mapper.map_unlimited(&aig, &cfg, 1000).expect("unlimited");
+    assert!(u.stats().dp_delay <= d.stats().dp_delay + 1e-2);
+}
+
+#[test]
+fn slap_end_to_end_on_unseen_circuit() {
+    let lib = asap7_mini();
+    let mapper = Mapper::new(&lib, MapOptions::default());
+    let train_set = vec![ripple_carry_adder(16)];
+    let config = PipelineConfig {
+        sample: SampleConfig { maps: 20, ..SampleConfig::default() },
+        train: TrainConfig { epochs: 5, ..TrainConfig::default() },
+        model: CnnConfig { filters: 16, ..CnnConfig::paper() },
+        model_seed: 2,
+    };
+    let (model, report) = train_slap_model(&train_set, &mapper, &config);
+    assert!(report.val_samples > 0);
+    let slap = SlapMapper::new(&mapper, model, SlapConfig::default());
+    // An architecture the model never saw.
+    let target = max4(16);
+    let (nl, stats) = slap.map(&target).expect("slap maps");
+    assert!(nl.verify_against(&target, 16, 5));
+    assert!(stats.cuts_kept < stats.cuts_scored, "policy should prune something");
+    let unl = mapper.map_unlimited(&target, &CutConfig::default(), 1000).expect("unlimited");
+    assert!(nl.stats().cuts_considered <= unl.stats().cuts_considered);
+}
+
+#[test]
+fn every_table2_benchmark_maps_and_verifies_quickly() {
+    let lib = asap7_mini();
+    let mapper = Mapper::new(&lib, MapOptions::default());
+    let cfg = CutConfig::default();
+    for bench in table2_benchmarks() {
+        // Smallest faithful structures only — this is a correctness sweep,
+        // not a QoR run.
+        let aig = bench.build(Scale::Quick);
+        if aig.num_ands() > 8000 {
+            continue; // the big ones are covered by the harness itself
+        }
+        let nl = mapper.map_default(&aig, &cfg).unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+        assert!(nl.verify_against(&aig, 4, 11), "{} mapping not equivalent", bench.name);
+    }
+}
+
+#[test]
+fn facade_reexports_are_usable() {
+    // Compile-time check that the facade exposes the whole stack.
+    let _ = slap::aig::Aig::new();
+    let _ = slap::cuts::CutConfig::default();
+    let _ = asap7_mini();
+    let _ = slap::ml::CnnConfig::paper();
+    let _ = slap::core::BandPolicy::paper();
+}

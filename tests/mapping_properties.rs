@@ -1,0 +1,106 @@
+//! Property-based integration tests: random AIGs through the whole
+//! mapping stack must always produce functionally equivalent netlists.
+
+use proptest::prelude::*;
+use slap::aig::aiger::{read_aiger, write_binary};
+use slap::aig::sim::random_equiv_check;
+use slap::aig::{Aig, Lit};
+use slap::cell::asap7_mini;
+use slap::cuts::CutConfig;
+use slap::map::{MapOptions, Mapper};
+
+/// Builds a random DAG: each step ANDs two previously created literals
+/// (with random complementation) and the final few literals become POs.
+fn build_random_aig(num_pis: usize, steps: &[(usize, usize, bool, bool)]) -> Aig {
+    let mut aig = Aig::new();
+    let mut lits = aig.add_pis(num_pis);
+    for &(i, j, ci, cj) in steps {
+        let a = lits[i % lits.len()].xor_complement(ci);
+        let b = lits[j % lits.len()].xor_complement(cj);
+        let f = aig.and(a, b);
+        lits.push(f);
+    }
+    let n = lits.len();
+    for k in 0..3.min(n) {
+        let l = lits[n - 1 - k];
+        aig.add_po(if k % 2 == 0 { l } else { !l });
+    }
+    aig
+}
+
+fn steps() -> impl Strategy<Value = Vec<(usize, usize, bool, bool)>> {
+    prop::collection::vec((0usize..200, 0usize..200, any::<bool>(), any::<bool>()), 1..60)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn default_mapping_is_always_equivalent(s in steps()) {
+        let aig = build_random_aig(5, &s);
+        let lib = asap7_mini();
+        let mapper = Mapper::new(&lib, MapOptions::default());
+        let nl = mapper.map_default(&aig, &CutConfig::default()).expect("maps");
+        prop_assert!(nl.verify_against(&aig, 8, 1));
+    }
+
+    #[test]
+    fn shuffled_mapping_is_always_equivalent(s in steps(), seed in 0u64..1000) {
+        let aig = build_random_aig(5, &s);
+        let lib = asap7_mini();
+        let mapper = Mapper::new(&lib, MapOptions::default());
+        let nl = mapper.map_shuffled(&aig, &CutConfig::default(), seed, 3).expect("maps");
+        prop_assert!(nl.verify_against(&aig, 8, 2));
+    }
+
+    #[test]
+    fn delay_only_area_recovery_relation(s in steps()) {
+        let aig = build_random_aig(5, &s);
+        let lib = asap7_mini();
+        let plain = Mapper::new(&lib, MapOptions::delay_only());
+        let recovered = Mapper::new(&lib, MapOptions::default());
+        let cfg = CutConfig::default();
+        let a = plain.map_default(&aig, &cfg).expect("maps");
+        let b = recovered.map_default(&aig, &cfg).expect("maps");
+        // Area recovery never increases area and never breaks function.
+        prop_assert!(b.area() <= a.area() + 1e-3);
+        prop_assert!(b.verify_against(&aig, 4, 3));
+    }
+
+    #[test]
+    fn aiger_binary_round_trip(s in steps()) {
+        let aig = build_random_aig(5, &s);
+        let mut buf = Vec::new();
+        write_binary(&aig, &mut buf).expect("write");
+        let back = read_aiger(&buf[..]).expect("parse");
+        prop_assert_eq!(back.num_pis(), aig.num_pis());
+        prop_assert_eq!(back.num_pos(), aig.num_pos());
+        prop_assert!(random_equiv_check(&aig, &back, 8, 4));
+    }
+
+    #[test]
+    fn k_sweep_mappings_stay_equivalent(s in steps(), k in 3usize..=6) {
+        let aig = build_random_aig(4, &s);
+        let lib = asap7_mini();
+        let mapper = Mapper::new(&lib, MapOptions::default());
+        let nl = mapper.map_default(&aig, &CutConfig::with_k(k)).expect("maps");
+        prop_assert!(nl.verify_against(&aig, 4, 5));
+    }
+}
+
+#[test]
+fn constant_and_degenerate_outputs() {
+    let mut aig = Aig::new();
+    let a = aig.add_pi();
+    let b = aig.add_pi();
+    let f = aig.and(a, b);
+    aig.add_po(Lit::TRUE);
+    aig.add_po(Lit::FALSE);
+    aig.add_po(f);
+    aig.add_po(f); // duplicate PO
+    aig.add_po(!f);
+    let lib = asap7_mini();
+    let mapper = Mapper::new(&lib, MapOptions::default());
+    let nl = mapper.map_default(&aig, &CutConfig::default()).expect("maps");
+    assert!(nl.verify_against(&aig, 8, 6));
+}
