@@ -26,7 +26,9 @@ pub fn read_aiger<R: Read>(mut reader: R) -> Result<Aig, AigError> {
     } else if data.starts_with(b"aig") {
         read_binary(&data)
     } else {
-        Err(AigError::BadHeader("file does not start with 'aag' or 'aig'".into()))
+        Err(AigError::BadHeader(
+            "file does not start with 'aag' or 'aig'".into(),
+        ))
     }
 }
 
@@ -41,7 +43,9 @@ pub fn read_aiger_str(s: &str) -> Result<Aig, AigError> {
 
 fn parse_header(line: &str) -> Result<(usize, usize, usize, usize, usize), AigError> {
     let mut it = line.split_whitespace();
-    let magic = it.next().ok_or_else(|| AigError::BadHeader("empty header".into()))?;
+    let magic = it
+        .next()
+        .ok_or_else(|| AigError::BadHeader("empty header".into()))?;
     if magic != "aag" && magic != "aig" {
         return Err(AigError::BadHeader(format!("bad magic '{magic}'")));
     }
@@ -57,9 +61,12 @@ fn parse_header(line: &str) -> Result<(usize, usize, usize, usize, usize), AigEr
 }
 
 fn read_ascii(data: &[u8]) -> Result<Aig, AigError> {
-    let text = std::str::from_utf8(data).map_err(|_| AigError::BadBody("non-UTF8 ascii file".into()))?;
+    let text =
+        std::str::from_utf8(data).map_err(|_| AigError::BadBody("non-UTF8 ascii file".into()))?;
     let mut lines = text.lines();
-    let header = lines.next().ok_or_else(|| AigError::BadHeader("empty file".into()))?;
+    let header = lines
+        .next()
+        .ok_or_else(|| AigError::BadHeader("empty file".into()))?;
     let (m, i, l, o, a) = parse_header(header)?;
     if l != 0 {
         return Err(AigError::Sequential);
@@ -76,10 +83,14 @@ fn read_ascii(data: &[u8]) -> Result<Aig, AigError> {
     };
     let mut input_lits = Vec::with_capacity(i);
     for _ in 0..i {
-        let line = lines.next().ok_or_else(|| AigError::BadBody("missing input line".into()))?;
-        let lit: usize =
-            line.trim().parse().map_err(|_| AigError::BadBody(format!("bad input literal '{line}'")))?;
-        if lit % 2 != 0 || lit == 0 || lit > 2 * m {
+        let line = lines
+            .next()
+            .ok_or_else(|| AigError::BadBody("missing input line".into()))?;
+        let lit: usize = line
+            .trim()
+            .parse()
+            .map_err(|_| AigError::BadBody(format!("bad input literal '{line}'")))?;
+        if !lit.is_multiple_of(2) || lit == 0 || lit > 2 * m {
             return Err(AigError::BadBody(format!("invalid input literal {lit}")));
         }
         let pi = aig.add_pi();
@@ -88,14 +99,20 @@ fn read_ascii(data: &[u8]) -> Result<Aig, AigError> {
     }
     let mut output_lits = Vec::with_capacity(o);
     for _ in 0..o {
-        let line = lines.next().ok_or_else(|| AigError::BadBody("missing output line".into()))?;
-        let lit: usize =
-            line.trim().parse().map_err(|_| AigError::BadBody(format!("bad output literal '{line}'")))?;
+        let line = lines
+            .next()
+            .ok_or_else(|| AigError::BadBody("missing output line".into()))?;
+        let lit: usize = line
+            .trim()
+            .parse()
+            .map_err(|_| AigError::BadBody(format!("bad output literal '{line}'")))?;
         output_lits.push(lit);
     }
     let mut pending: Vec<(usize, usize, usize)> = Vec::with_capacity(a);
     for _ in 0..a {
-        let line = lines.next().ok_or_else(|| AigError::BadBody("missing and line".into()))?;
+        let line = lines
+            .next()
+            .ok_or_else(|| AigError::BadBody("missing and line".into()))?;
         let mut it = line.split_whitespace();
         let mut next = || -> Result<usize, AigError> {
             it.next()
@@ -133,7 +150,9 @@ fn read_ascii(data: &[u8]) -> Result<Aig, AigError> {
     for lit in output_lits {
         let l = lit_map.get(lit).copied().unwrap_or(Lit::NONE);
         if l == Lit::NONE {
-            return Err(AigError::BadBody(format!("output references undefined literal {lit}")));
+            return Err(AigError::BadBody(format!(
+                "output references undefined literal {lit}"
+            )));
         }
         aig.add_po(l);
     }
@@ -146,13 +165,16 @@ fn read_binary(data: &[u8]) -> Result<Aig, AigError> {
         .iter()
         .position(|&b| b == b'\n')
         .ok_or_else(|| AigError::BadHeader("no header line".into()))?;
-    let header = std::str::from_utf8(&data[..nl]).map_err(|_| AigError::BadHeader("non-UTF8 header".into()))?;
+    let header = std::str::from_utf8(&data[..nl])
+        .map_err(|_| AigError::BadHeader("non-UTF8 header".into()))?;
     let (m, i, l, o, a) = parse_header(header)?;
     if l != 0 {
         return Err(AigError::Sequential);
     }
     if m != i + a {
-        return Err(AigError::BadHeader(format!("binary aig requires M = I + A (got M={m}, I={i}, A={a})")));
+        return Err(AigError::BadHeader(format!(
+            "binary aig requires M = I + A (got M={m}, I={i}, A={a})"
+        )));
     }
     let mut pos = nl + 1;
     let read_line = |pos: &mut usize| -> Result<String, AigError> {
@@ -169,14 +191,16 @@ fn read_binary(data: &[u8]) -> Result<Aig, AigError> {
     let mut output_lits = Vec::with_capacity(o);
     for _ in 0..o {
         let line = read_line(&mut pos)?;
-        let lit: usize =
-            line.trim().parse().map_err(|_| AigError::BadBody(format!("bad output literal '{line}'")))?;
+        let lit: usize = line
+            .trim()
+            .parse()
+            .map_err(|_| AigError::BadBody(format!("bad output literal '{line}'")))?;
         output_lits.push(lit);
     }
     let mut aig = Aig::new();
     let mut lits = vec![Lit::FALSE; m + 1];
-    for v in 1..=i {
-        lits[v] = aig.add_pi();
+    for lit in lits.iter_mut().take(i + 1).skip(1) {
+        *lit = aig.add_pi();
     }
     let read_delta = |pos: &mut usize| -> Result<u64, AigError> {
         let mut x = 0u64;
@@ -214,7 +238,9 @@ fn read_binary(data: &[u8]) -> Result<Aig, AigError> {
     for lit in output_lits {
         let var = lit / 2;
         if var >= lits.len() {
-            return Err(AigError::BadBody(format!("output literal {lit} out of range")));
+            return Err(AigError::BadBody(format!(
+                "output literal {lit} out of range"
+            )));
         }
         aig.add_po(lits[var].xor_complement(lit % 2 == 1));
     }
@@ -235,13 +261,18 @@ pub fn write_ascii<W: Write>(aig: &Aig, mut w: W) -> Result<(), AigError> {
     for (k, pi) in aig.pis().iter().enumerate() {
         var_of[pi.index()] = k + 1;
     }
-    let mut next = aig.num_pis() + 1;
-    for n in aig.and_ids() {
+    for (next, n) in (aig.num_pis() + 1..).zip(aig.and_ids()) {
         var_of[n.index()] = next;
-        next += 1;
     }
     let lit_of = |l: Lit| -> usize { 2 * var_of[l.node().index()] + l.is_complement() as usize };
-    writeln!(w, "aag {} {} 0 {} {}", m, aig.num_pis(), aig.num_pos(), aig.num_ands())?;
+    writeln!(
+        w,
+        "aag {} {} 0 {} {}",
+        m,
+        aig.num_pis(),
+        aig.num_pos(),
+        aig.num_ands()
+    )?;
     for pi in aig.pis() {
         writeln!(w, "{}", 2 * var_of[pi.index()])?;
     }
@@ -270,13 +301,18 @@ pub fn write_binary<W: Write>(aig: &Aig, mut w: W) -> Result<(), AigError> {
     for (k, pi) in aig.pis().iter().enumerate() {
         var_of[pi.index()] = k + 1;
     }
-    let mut next = aig.num_pis() + 1;
-    for n in aig.and_ids() {
+    for (next, n) in (aig.num_pis() + 1..).zip(aig.and_ids()) {
         var_of[n.index()] = next;
-        next += 1;
     }
     let lit_of = |l: Lit| -> u64 { 2 * var_of[l.node().index()] as u64 + l.is_complement() as u64 };
-    writeln!(w, "aig {} {} 0 {} {}", m, aig.num_pis(), aig.num_pos(), aig.num_ands())?;
+    writeln!(
+        w,
+        "aig {} {} 0 {} {}",
+        m,
+        aig.num_pis(),
+        aig.num_pos(),
+        aig.num_ands()
+    )?;
     for &po in aig.pos() {
         writeln!(w, "{}", lit_of(po))?;
     }
@@ -287,7 +323,10 @@ pub fn write_binary<W: Write>(aig: &Aig, mut w: W) -> Result<(), AigError> {
         if l0 < l1 {
             std::mem::swap(&mut l0, &mut l1);
         }
-        debug_assert!(lhs > l0 && l0 >= l1, "binary AIGER requires lhs > rhs0 >= rhs1");
+        debug_assert!(
+            lhs > l0 && l0 >= l1,
+            "binary AIGER requires lhs > rhs0 >= rhs1"
+        );
         write_delta(&mut w, lhs - l0)?;
         write_delta(&mut w, l0 - l1)?;
     }
@@ -361,8 +400,8 @@ mod tests {
         assert_eq!(aig.num_pis(), 2);
         assert_eq!(aig.num_pos(), 2);
         let out = crate::sim::simulate_bits(&aig, &[true, true]);
-        assert_eq!(out[0], true); // a&b
-        assert_eq!(out[1], false); // !a & !b
+        assert!(out[0]); // a&b
+        assert!(!out[1]); // !a & !b
     }
 
     #[test]

@@ -43,7 +43,9 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(AigError::BadHeader("x".into()).to_string().contains("header"));
+        assert!(AigError::BadHeader("x".into())
+            .to_string()
+            .contains("header"));
         assert!(AigError::Sequential.to_string().contains("sequential"));
     }
 

@@ -85,7 +85,12 @@ impl Aig {
     /// Creates an empty AIG containing only the constant-false node.
     pub fn new() -> Aig {
         Aig {
-            nodes: vec![Node { f0: Lit::NONE, f1: Lit::NONE, level: 0, fanout: 0 }],
+            nodes: vec![Node {
+                f0: Lit::NONE,
+                f1: Lit::NONE,
+                level: 0,
+                fanout: 0,
+            }],
             pis: Vec::new(),
             pos: Vec::new(),
             strash: HashMap::new(),
@@ -107,7 +112,12 @@ impl Aig {
     /// Adds a primary input and returns its (plain) literal.
     pub fn add_pi(&mut self) -> Lit {
         let id = NodeId::new(self.nodes.len());
-        self.nodes.push(Node { f0: Lit::NONE, f1: Lit::NONE, level: 0, fanout: 0 });
+        self.nodes.push(Node {
+            f0: Lit::NONE,
+            f1: Lit::NONE,
+            level: 0,
+            fanout: 0,
+        });
         self.pis.push(id);
         Lit::new(id, false)
     }
@@ -146,7 +156,12 @@ impl Aig {
         }
         let level = 1 + self.level_of(f0.node()).max(self.level_of(f1.node()));
         let id = NodeId::new(self.nodes.len());
-        self.nodes.push(Node { f0, f1, level, fanout: 0 });
+        self.nodes.push(Node {
+            f0,
+            f1,
+            level,
+            fanout: 0,
+        });
         self.nodes[f0.node().index()].fanout += 1;
         self.nodes[f1.node().index()].fanout += 1;
         self.strash.insert((f0, f1), id);
@@ -214,7 +229,11 @@ impl Aig {
         while lits.len() > 1 {
             let mut next = Vec::with_capacity(lits.len().div_ceil(2));
             for pair in lits.chunks(2) {
-                next.push(if pair.len() == 2 { op(self, pair[0], pair[1]) } else { pair[0] });
+                next.push(if pair.len() == 2 {
+                    op(self, pair[0], pair[1])
+                } else {
+                    pair[0]
+                });
             }
             lits = next;
         }
@@ -352,7 +371,9 @@ impl Aig {
 
     /// Iterator over the ids of all AND nodes in topological order.
     pub fn and_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.nodes.len()).map(NodeId::new).filter(move |&n| self.is_and(n))
+        (0..self.nodes.len())
+            .map(NodeId::new)
+            .filter(move |&n| self.is_and(n))
     }
 
     /// Iterator over all node ids (constant, PIs, ANDs) in topological order.

@@ -153,7 +153,10 @@ mod tests {
     #[test]
     fn with_complement_is_idempotent() {
         let l = Lit::new(NodeId::new(4), true);
-        assert_eq!(l.with_complement(false).with_complement(false), l.with_complement(false));
+        assert_eq!(
+            l.with_complement(false).with_complement(false),
+            l.with_complement(false)
+        );
         assert_eq!(l.with_complement(true), l);
     }
 

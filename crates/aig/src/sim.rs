@@ -18,7 +18,11 @@ use crate::rng::Rng64;
 ///
 /// Panics if `pi_values.len() != aig.num_pis()`.
 pub fn simulate_nodes(aig: &Aig, pi_values: &[u64]) -> Vec<u64> {
-    assert_eq!(pi_values.len(), aig.num_pis(), "one pattern word per PI required");
+    assert_eq!(
+        pi_values.len(),
+        aig.num_pis(),
+        "one pattern word per PI required"
+    );
     let mut values = vec![0u64; aig.num_nodes()];
     for (pi, &v) in aig.pis().iter().zip(pi_values) {
         values[pi.index()] = v;
@@ -53,8 +57,14 @@ pub fn lit_value(values: &[u64], l: Lit) -> u64 {
 
 /// Convenience: simulate on single-bit input assignments (bit 0 of each word).
 pub fn simulate_bits(aig: &Aig, pi_bits: &[bool]) -> Vec<bool> {
-    let words: Vec<u64> = pi_bits.iter().map(|&b| if b { u64::MAX } else { 0 }).collect();
-    simulate(aig, &words).into_iter().map(|w| w & 1 != 0).collect()
+    let words: Vec<u64> = pi_bits
+        .iter()
+        .map(|&b| if b { u64::MAX } else { 0 })
+        .collect();
+    simulate(aig, &words)
+        .into_iter()
+        .map(|w| w & 1 != 0)
+        .collect()
 }
 
 /// Checks combinational equivalence of two AIGs with `rounds` rounds of
@@ -87,9 +97,14 @@ pub fn random_equiv_check(a: &Aig, b: &Aig, rounds: usize, seed: u64) -> bool {
 ///
 /// Panics if the AIG has more than 6 PIs.
 pub fn exhaustive_node_tables(aig: &Aig) -> Vec<u64> {
-    assert!(aig.num_pis() <= 6, "exhaustive simulation supports at most 6 PIs");
+    assert!(
+        aig.num_pis() <= 6,
+        "exhaustive simulation supports at most 6 PIs"
+    );
     let n = aig.num_pis();
-    let pi: Vec<u64> = (0..n).map(|v| crate::tt::Tt::var(v, n.max(1)).bits()).collect();
+    let pi: Vec<u64> = (0..n)
+        .map(|v| crate::tt::Tt::var(v, n.max(1)).bits())
+        .collect();
     let mut values = simulate_nodes(aig, &pi);
     let m = if n == 0 { 1 } else { (1u128 << (1 << n)) - 1 } as u64;
     let m = if n >= 6 { u64::MAX } else { m };
@@ -103,8 +118,15 @@ pub fn exhaustive_node_tables(aig: &Aig) -> Vec<u64> {
 pub fn exhaustive_po_tables(aig: &Aig) -> Vec<u64> {
     let values = exhaustive_node_tables(aig);
     let n = aig.num_pis();
-    let m = if n >= 6 { u64::MAX } else { (1u64 << (1usize << n)) - 1 };
-    aig.pos().iter().map(|&po| eval_lit(&values, po) & m).collect()
+    let m = if n >= 6 {
+        u64::MAX
+    } else {
+        (1u64 << (1usize << n)) - 1
+    };
+    aig.pos()
+        .iter()
+        .map(|&po| eval_lit(&values, po) & m)
+        .collect()
 }
 
 /// Counts how many nodes lie in the transitive fanin cone of `root`

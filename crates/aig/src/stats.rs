@@ -64,6 +64,22 @@ impl AigStats {
     }
 }
 
+impl AigStats {
+    /// One JSONL line with every field.
+    pub fn to_json_line(&self) -> String {
+        let mut r = slap_obs::Record::new();
+        r.push("num_pis", self.num_pis);
+        r.push("num_pos", self.num_pos);
+        r.push("num_ands", self.num_ands);
+        r.push("depth", self.depth);
+        r.push("complemented_edges", self.complemented_edges);
+        r.push("max_fanout", self.max_fanout);
+        r.push("mean_fanout", self.mean_fanout);
+        r.push("dangling", self.dangling);
+        r.to_json_line()
+    }
+}
+
 impl std::fmt::Display for AigStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
@@ -96,7 +112,12 @@ pub fn write_dot<W: Write>(aig: &Aig, mut w: W) -> std::io::Result<()> {
         writeln!(w, "  n{} [shape=box,label=\"pi{}\"];", pi.index(), k)?;
     }
     for n in aig.and_ids() {
-        writeln!(w, "  n{} [shape=circle,label=\"{}\"];", n.index(), n.index())?;
+        writeln!(
+            w,
+            "  n{} [shape=circle,label=\"{}\"];",
+            n.index(),
+            n.index()
+        )?;
         let (f0, f1) = aig.fanins(n);
         for f in [f0, f1] {
             writeln!(
@@ -104,7 +125,11 @@ pub fn write_dot<W: Write>(aig: &Aig, mut w: W) -> std::io::Result<()> {
                 "  n{} -> n{}{};",
                 f.node().index(),
                 n.index(),
-                if f.is_complement() { " [style=dashed]" } else { "" }
+                if f.is_complement() {
+                    " [style=dashed]"
+                } else {
+                    ""
+                }
             )?;
         }
     }
@@ -115,7 +140,11 @@ pub fn write_dot<W: Write>(aig: &Aig, mut w: W) -> std::io::Result<()> {
             "  n{} -> po{}{};",
             po.node().index(),
             k,
-            if po.is_complement() { " [style=dashed]" } else { "" }
+            if po.is_complement() {
+                " [style=dashed]"
+            } else {
+                ""
+            }
         )?;
     }
     writeln!(w, "}}")?;
@@ -167,6 +196,18 @@ mod tests {
         assert_eq!(s.dangling, 0);
         assert!(s.mean_fanout >= 1.0);
         assert!(!format!("{s}").is_empty());
+    }
+
+    #[test]
+    fn stats_json_line_round_trips() {
+        let s = AigStats::of(&sample());
+        let line = s.to_json_line();
+        let fields = slap_obs::parse_object(line.trim()).expect("valid json");
+        let get = |k: &str| fields.iter().find(|(n, _)| n == k).map(|(_, v)| v);
+        assert_eq!(get("num_pis").and_then(|v| v.as_u64()), Some(2));
+        assert_eq!(get("num_ands").and_then(|v| v.as_u64()), Some(2));
+        assert_eq!(get("depth").and_then(|v| v.as_u64()), Some(2));
+        assert!(get("mean_fanout").and_then(|v| v.as_f64()).is_some());
     }
 
     #[test]

@@ -46,7 +46,10 @@ impl Tt {
     /// Panics if `num_vars > 6`.
     pub fn zero(num_vars: usize) -> Tt {
         assert!(num_vars <= Tt::MAX_VARS, "at most 6 variables supported");
-        Tt { bits: 0, num_vars: num_vars as u8 }
+        Tt {
+            bits: 0,
+            num_vars: num_vars as u8,
+        }
     }
 
     /// The constant-true table over `num_vars` variables.
@@ -62,13 +65,19 @@ impl Tt {
     pub fn var(var: usize, num_vars: usize) -> Tt {
         assert!(num_vars <= Tt::MAX_VARS);
         assert!(var < num_vars, "variable index out of range");
-        Tt { bits: VAR_MASKS[var] & mask(num_vars), num_vars: num_vars as u8 }
+        Tt {
+            bits: VAR_MASKS[var] & mask(num_vars),
+            num_vars: num_vars as u8,
+        }
     }
 
     /// Builds a table from raw bits (excess bits are masked off).
     pub fn from_bits(bits: u64, num_vars: usize) -> Tt {
         assert!(num_vars <= Tt::MAX_VARS);
-        Tt { bits: bits & mask(num_vars), num_vars: num_vars as u8 }
+        Tt {
+            bits: bits & mask(num_vars),
+            num_vars: num_vars as u8,
+        }
     }
 
     /// The raw bits, valid in the low `2^num_vars` positions.
@@ -85,29 +94,42 @@ impl Tt {
 
     /// Complement.
     #[inline]
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Tt {
-        Tt { bits: !self.bits & mask(self.num_vars as usize), num_vars: self.num_vars }
+        Tt {
+            bits: !self.bits & mask(self.num_vars as usize),
+            num_vars: self.num_vars,
+        }
     }
 
     /// Conjunction. Both tables must have the same variable count.
     #[inline]
     pub fn and(self, other: Tt) -> Tt {
         debug_assert_eq!(self.num_vars, other.num_vars);
-        Tt { bits: self.bits & other.bits, num_vars: self.num_vars }
+        Tt {
+            bits: self.bits & other.bits,
+            num_vars: self.num_vars,
+        }
     }
 
     /// Disjunction.
     #[inline]
     pub fn or(self, other: Tt) -> Tt {
         debug_assert_eq!(self.num_vars, other.num_vars);
-        Tt { bits: self.bits | other.bits, num_vars: self.num_vars }
+        Tt {
+            bits: self.bits | other.bits,
+            num_vars: self.num_vars,
+        }
     }
 
     /// Exclusive or.
     #[inline]
     pub fn xor(self, other: Tt) -> Tt {
         debug_assert_eq!(self.num_vars, other.num_vars);
-        Tt { bits: self.bits ^ other.bits, num_vars: self.num_vars }
+        Tt {
+            bits: self.bits ^ other.bits,
+            num_vars: self.num_vars,
+        }
     }
 
     /// True if the function is constant (all-0 or all-1).
@@ -117,7 +139,9 @@ impl Tt {
 
     /// The variables in the functional support, ascending.
     pub fn support(self) -> Vec<usize> {
-        (0..self.num_vars as usize).filter(|&v| self.influenced_by(v)).collect()
+        (0..self.num_vars as usize)
+            .filter(|&v| self.influenced_by(v))
+            .collect()
     }
 
     /// Whether flipping variable `var` can change the output.
@@ -163,7 +187,10 @@ impl Tt {
             let j = (i & !(step_a | step_b)) | (vb << a) | (va << b);
             out |= bit << j;
         }
-        Tt { bits: out, num_vars: self.num_vars }
+        Tt {
+            bits: out,
+            num_vars: self.num_vars,
+        }
     }
 
     /// Applies a permutation: new variable `i` takes the role of old
@@ -183,7 +210,10 @@ impl Tt {
             }
             out |= ((self.bits >> old) & 1) << i;
         }
-        Tt { bits: out, num_vars: self.num_vars }
+        Tt {
+            bits: out,
+            num_vars: self.num_vars,
+        }
     }
 
     /// Complements the inputs selected by `phase_mask` (bit `i` set means
@@ -204,7 +234,10 @@ impl Tt {
         let shift = 1u64 << var;
         let hi = self.bits & m;
         let lo = self.bits & !m;
-        Tt { bits: ((hi >> shift) | (lo << shift)) & mask(self.num_vars as usize), num_vars: self.num_vars }
+        Tt {
+            bits: ((hi >> shift) | (lo << shift)) & mask(self.num_vars as usize),
+            num_vars: self.num_vars,
+        }
     }
 
     /// Number of input assignments on which the function is true.
@@ -224,7 +257,13 @@ fn mask(num_vars: usize) -> u64 {
 
 impl std::fmt::Debug for Tt {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Tt({}v:{:0width$x})", self.num_vars, self.bits, width = (1 << self.num_vars) / 4)
+        write!(
+            f,
+            "Tt({}v:{:0width$x})",
+            self.num_vars,
+            self.bits,
+            width = (1 << self.num_vars) / 4
+        )
     }
 }
 
@@ -249,7 +288,7 @@ fn heap_permute(items: &mut Vec<usize>, k: usize, out: &mut Vec<Vec<usize>>) {
     }
     for i in 0..k {
         heap_permute(items, k - 1, out);
-        if k % 2 == 0 {
+        if k.is_multiple_of(2) {
             items.swap(i, k - 1);
         } else {
             items.swap(0, k - 1);

@@ -1,50 +1,76 @@
-//! Property-based tests for truth tables, simulation, and strashing.
+//! Randomized property tests for truth tables, simulation, and strashing.
+//!
+//! Driven by the workspace's own deterministic [`Rng64`] instead of an
+//! external property-testing crate (workspace policy: zero external
+//! dependencies). Every run replays the same cases from a fixed seed.
 
-use proptest::prelude::*;
 use slap_aig::tt::permutations;
-use slap_aig::{Aig, Lit, Tt};
+use slap_aig::{Aig, Lit, Rng64, Tt};
 
-fn tt3() -> impl Strategy<Value = Tt> {
-    (0u64..256).prop_map(|b| Tt::from_bits(b, 3))
+fn tt3(rng: &mut Rng64) -> Tt {
+    Tt::from_bits(rng.below(256), 3)
 }
 
-proptest! {
-    #[test]
-    fn de_morgan(a in tt3(), b in tt3()) {
-        prop_assert_eq!(a.and(b).not(), a.not().or(b.not()));
-        prop_assert_eq!(a.or(b).not(), a.not().and(b.not()));
+#[test]
+fn de_morgan() {
+    let mut rng = Rng64::seed_from(0xA16_0001);
+    for _ in 0..256 {
+        let (a, b) = (tt3(&mut rng), tt3(&mut rng));
+        assert_eq!(a.and(b).not(), a.not().or(b.not()));
+        assert_eq!(a.or(b).not(), a.not().and(b.not()));
     }
+}
 
-    #[test]
-    fn xor_is_its_own_inverse(a in tt3(), b in tt3()) {
-        prop_assert_eq!(a.xor(b).xor(b), a);
+#[test]
+fn xor_is_its_own_inverse() {
+    let mut rng = Rng64::seed_from(0xA16_0002);
+    for _ in 0..256 {
+        let (a, b) = (tt3(&mut rng), tt3(&mut rng));
+        assert_eq!(a.xor(b).xor(b), a);
     }
+}
 
-    #[test]
-    fn double_flip_is_identity(a in tt3(), v in 0usize..3) {
-        prop_assert_eq!(a.flip_input(v).flip_input(v), a);
-        prop_assert_eq!(a.not().not(), a);
+#[test]
+fn double_flip_is_identity() {
+    let mut rng = Rng64::seed_from(0xA16_0003);
+    for _ in 0..256 {
+        let a = tt3(&mut rng);
+        let v = rng.index(3);
+        assert_eq!(a.flip_input(v).flip_input(v), a);
+        assert_eq!(a.not().not(), a);
     }
+}
 
-    #[test]
-    fn swap_is_an_involution(a in tt3(), i in 0usize..3, j in 0usize..3) {
-        prop_assert_eq!(a.swap_vars(i, j).swap_vars(i, j), a);
-        prop_assert_eq!(a.swap_vars(i, j), a.swap_vars(j, i));
+#[test]
+fn swap_is_an_involution() {
+    let mut rng = Rng64::seed_from(0xA16_0004);
+    for _ in 0..256 {
+        let a = tt3(&mut rng);
+        let (i, j) = (rng.index(3), rng.index(3));
+        assert_eq!(a.swap_vars(i, j).swap_vars(i, j), a);
+        assert_eq!(a.swap_vars(i, j), a.swap_vars(j, i));
     }
+}
 
-    #[test]
-    fn permute_composes(a in tt3(), pi in 0usize..6, pj in 0usize..6) {
-        let perms = permutations(3);
-        let p = &perms[pi % perms.len()];
-        let q = &perms[pj % perms.len()];
+#[test]
+fn permute_composes() {
+    let mut rng = Rng64::seed_from(0xA16_0005);
+    let perms = permutations(3);
+    for _ in 0..256 {
+        let a = tt3(&mut rng);
+        let p = &perms[rng.index(perms.len())];
+        let q = &perms[rng.index(perms.len())];
         // Applying p then q equals applying the composition directly.
         let step = a.permute(p).permute(q);
         let composed: Vec<usize> = (0..3).map(|i| p[q[i]]).collect();
-        prop_assert_eq!(step, a.permute(&composed));
+        assert_eq!(step, a.permute(&composed));
     }
+}
 
-    #[test]
-    fn shrink_preserves_semantics(bits in 0u64..256) {
+#[test]
+fn shrink_preserves_semantics() {
+    // Exhaustive over every 3-input function — stronger than sampling.
+    for bits in 0u64..256 {
         let f = Tt::from_bits(bits, 3);
         let (g, support) = f.shrink_to_support();
         // Evaluate both on all assignments: g over compacted vars must
@@ -56,29 +82,41 @@ proptest! {
                 y |= ((x >> old) & 1) << new;
             }
             let gy = (g.bits() >> y) & 1;
-            prop_assert_eq!(fx, gy, "assignment {:03b}", x);
+            assert_eq!(fx, gy, "function {bits:08b}, assignment {x:03b}");
         }
-    }
-
-    #[test]
-    fn flip_inputs_mask_equals_sequential_flips(a in tt3(), mask in 0u32..8) {
-        let mut expect = a;
-        for v in 0..3 {
-            if mask & (1 << v) != 0 {
-                expect = expect.flip_input(v);
-            }
-        }
-        prop_assert_eq!(a.flip_inputs(mask), expect);
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+#[test]
+fn flip_inputs_mask_equals_sequential_flips() {
+    let mut rng = Rng64::seed_from(0xA16_0006);
+    for _ in 0..64 {
+        let a = tt3(&mut rng);
+        for mask in 0u32..8 {
+            let mut expect = a;
+            for v in 0..3 {
+                if mask & (1 << v) != 0 {
+                    expect = expect.flip_input(v);
+                }
+            }
+            assert_eq!(a.flip_inputs(mask), expect);
+        }
+    }
+}
 
-    #[test]
-    fn strashing_never_changes_semantics(
-        steps in prop::collection::vec((0usize..50, 0usize..50, any::<bool>(), any::<bool>()), 1..25)
-    ) {
+/// Random `(i, j, ci, cj)` AND-step sequences for DAG construction.
+fn random_steps(rng: &mut Rng64, max_len: usize, bound: usize) -> Vec<(usize, usize, bool, bool)> {
+    let len = 1 + rng.index(max_len);
+    (0..len)
+        .map(|_| (rng.index(bound), rng.index(bound), rng.bool(), rng.bool()))
+        .collect()
+}
+
+#[test]
+fn strashing_never_changes_semantics() {
+    let mut rng = Rng64::seed_from(0xA16_0007);
+    for _ in 0..64 {
+        let steps = random_steps(&mut rng, 24, 50);
         // Build the same function twice: once with strashing (Aig::and),
         // once tracked as exhaustive truth tables; they must agree.
         let mut aig = Aig::new();
@@ -88,21 +126,31 @@ proptest! {
         for &(i, j, ci, cj) in &steps {
             let a = lits[i % lits.len()].xor_complement(ci);
             let b = lits[j % lits.len()].xor_complement(cj);
-            let ta = if ci { tts[i % tts.len()].not() } else { tts[i % tts.len()] };
-            let tb = if cj { tts[j % tts.len()].not() } else { tts[j % tts.len()] };
+            let ta = if ci {
+                tts[i % tts.len()].not()
+            } else {
+                tts[i % tts.len()]
+            };
+            let tb = if cj {
+                tts[j % tts.len()].not()
+            } else {
+                tts[j % tts.len()]
+            };
             lits.push(aig.and(a, b));
             tts.push(ta.and(tb));
         }
         let last = *lits.last().expect("nonempty");
         aig.add_po(last);
         let got = slap_aig::sim::exhaustive_po_tables(&aig)[0];
-        prop_assert_eq!(got, tts.last().expect("nonempty").bits());
+        assert_eq!(got, tts.last().expect("nonempty").bits());
     }
+}
 
-    #[test]
-    fn levels_are_consistent_with_fanins(
-        steps in prop::collection::vec((0usize..50, 0usize..50, any::<bool>(), any::<bool>()), 1..25)
-    ) {
+#[test]
+fn levels_are_consistent_with_fanins() {
+    let mut rng = Rng64::seed_from(0xA16_0008);
+    for _ in 0..64 {
+        let steps = random_steps(&mut rng, 24, 50);
         let mut aig = Aig::new();
         let mut lits = aig.add_pis(4);
         for &(i, j, ci, cj) in &steps {
@@ -113,7 +161,7 @@ proptest! {
         for n in aig.and_ids() {
             let (f0, f1) = aig.fanins(n);
             let expect = 1 + aig.level_of(f0.node()).max(aig.level_of(f1.node()));
-            prop_assert_eq!(aig.level_of(n), expect);
+            assert_eq!(aig.level_of(n), expect);
         }
     }
 }

@@ -1,48 +1,49 @@
 //! Ablations for the design choices called out in DESIGN.md: the
 //! dominance filter, the per-node cut limit, and the cut width k.
+//!
+//! Hand-rolled `harness = false` bench (the workspace has no external
+//! bench framework); run with `cargo bench -p slap-bench --bench
+//! ablation`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use slap_bench::microbench::measure;
 use slap_circuits::arith::ripple_carry_adder;
 use slap_cuts::{enumerate_cuts, CutConfig, DefaultPolicy, UnlimitedPolicy};
 
-fn bench_ablations(c: &mut Criterion) {
+fn main() {
     let aig = ripple_carry_adder(64);
-    let mut g = c.benchmark_group("ablation");
-    g.sample_size(10);
     // Cut limit sweep (the 250-cut knob).
     for limit in [8usize, 50, 250] {
-        g.bench_function(format!("limit/{limit}"), |b| {
-            b.iter(|| {
-                enumerate_cuts(
-                    black_box(&aig),
-                    &CutConfig::default(),
-                    &mut DefaultPolicy::with_limit(limit),
-                )
-            })
+        let m = measure(&format!("ablation/limit/{limit}"), 10, || {
+            enumerate_cuts(
+                &aig,
+                &CutConfig::default(),
+                &mut DefaultPolicy::with_limit(limit),
+            )
         });
+        println!("{}", m.render());
     }
     // k sweep.
     for k in [3usize, 4, 5, 6] {
-        g.bench_function(format!("k/{k}"), |b| {
-            b.iter(|| {
-                enumerate_cuts(black_box(&aig), &CutConfig::with_k(k), &mut DefaultPolicy::default())
-            })
+        let m = measure(&format!("ablation/k/{k}"), 10, || {
+            enumerate_cuts(&aig, &CutConfig::with_k(k), &mut DefaultPolicy::default())
         });
+        println!("{}", m.render());
     }
     // Dominance filter on/off at the same cap.
-    g.bench_function("dominance/on", |b| {
-        b.iter(|| {
-            enumerate_cuts(black_box(&aig), &CutConfig::default(), &mut DefaultPolicy::with_limit(1000))
-        })
+    let on = measure("ablation/dominance/on", 10, || {
+        enumerate_cuts(
+            &aig,
+            &CutConfig::default(),
+            &mut DefaultPolicy::with_limit(1000),
+        )
     });
-    g.bench_function("dominance/off", |b| {
-        b.iter(|| {
-            enumerate_cuts(black_box(&aig), &CutConfig::default(), &mut UnlimitedPolicy::with_cap(1000))
-        })
+    println!("{}", on.render());
+    let off = measure("ablation/dominance/off", 10, || {
+        enumerate_cuts(
+            &aig,
+            &CutConfig::default(),
+            &mut UnlimitedPolicy::with_cap(1000),
+        )
     });
-    g.finish();
+    println!("{}", off.render());
 }
-
-criterion_group!(benches, bench_ablations);
-criterion_main!(benches);

@@ -1,30 +1,32 @@
 //! Cut-enumeration throughput per policy (the mapper's first stage).
+//!
+//! Hand-rolled `harness = false` bench (the workspace has no external
+//! bench framework); run with `cargo bench -p slap-bench --bench
+//! cut_enumeration`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use slap_bench::microbench::measure;
 use slap_circuits::arith::{barrel_shifter, ripple_carry_adder};
 use slap_cuts::{enumerate_cuts, CutConfig, DefaultPolicy, ShufflePolicy, UnlimitedPolicy};
 
-fn bench_policies(c: &mut Criterion) {
+fn main() {
     let adder = ripple_carry_adder(64);
     let bar = barrel_shifter(64);
     let cfg = CutConfig::default();
-    let mut g = c.benchmark_group("cut_enumeration");
-    g.sample_size(10);
-    g.bench_function("rc64/default", |b| {
-        b.iter(|| enumerate_cuts(black_box(&adder), &cfg, &mut DefaultPolicy::default()))
-    });
-    g.bench_function("rc64/unlimited", |b| {
-        b.iter(|| enumerate_cuts(black_box(&adder), &cfg, &mut UnlimitedPolicy::new()))
-    });
-    g.bench_function("rc64/shuffle", |b| {
-        b.iter(|| enumerate_cuts(black_box(&adder), &cfg, &mut ShufflePolicy::with_keep(1, 8)))
-    });
-    g.bench_function("bar64/default", |b| {
-        b.iter(|| enumerate_cuts(black_box(&bar), &cfg, &mut DefaultPolicy::default()))
-    });
-    g.finish();
+    let results = [
+        measure("cut_enumeration/rc64/default", 10, || {
+            enumerate_cuts(&adder, &cfg, &mut DefaultPolicy::default())
+        }),
+        measure("cut_enumeration/rc64/unlimited", 10, || {
+            enumerate_cuts(&adder, &cfg, &mut UnlimitedPolicy::new())
+        }),
+        measure("cut_enumeration/rc64/shuffle", 10, || {
+            enumerate_cuts(&adder, &cfg, &mut ShufflePolicy::with_keep(1, 8))
+        }),
+        measure("cut_enumeration/bar64/default", 10, || {
+            enumerate_cuts(&bar, &cfg, &mut DefaultPolicy::default())
+        }),
+    ];
+    for m in &results {
+        println!("{}", m.render());
+    }
 }
-
-criterion_group!(benches, bench_policies);
-criterion_main!(benches);

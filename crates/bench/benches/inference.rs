@@ -1,22 +1,27 @@
 //! CNN inference throughput (the cost SLAP adds per considered cut).
+//!
+//! Hand-rolled `harness = false` bench (the workspace has no external
+//! bench framework); run with `cargo bench -p slap-bench --bench
+//! inference`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
 use slap_aig::Rng64;
+use slap_bench::microbench::measure;
 use slap_ml::{CnnConfig, CutCnn};
 
-fn bench_inference(c: &mut Criterion) {
+fn main() {
     let mut rng = Rng64::seed_from(7);
     let sample: Vec<f32> = (0..150).map(|_| rng.f32()).collect();
-    let mut g = c.benchmark_group("inference");
     for filters in [32usize, 64, 128] {
-        let model = CutCnn::new(&CnnConfig { filters, ..CnnConfig::paper() }, 1);
-        g.bench_function(format!("predict/{filters}-filters"), |b| {
-            b.iter(|| model.predict(black_box(&sample)))
+        let model = CutCnn::new(
+            &CnnConfig {
+                filters,
+                ..CnnConfig::paper()
+            },
+            1,
+        );
+        let m = measure(&format!("inference/predict/{filters}-filters"), 100, || {
+            model.predict(&sample)
         });
+        println!("{}", m.render());
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_inference);
-criterion_main!(benches);

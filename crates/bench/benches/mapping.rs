@@ -1,36 +1,37 @@
 //! End-to-end mapping throughput per cut policy (Table II's inner loop).
+//!
+//! Hand-rolled `harness = false` bench (the workspace has no external
+//! bench framework); run with `cargo bench -p slap-bench --bench mapping`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+use slap_bench::microbench::measure;
 use slap_cell::asap7_mini;
 use slap_circuits::arith::ripple_carry_adder;
 use slap_circuits::iscas::c6288_like;
 use slap_cuts::CutConfig;
 use slap_map::{MapOptions, Mapper};
 
-fn bench_mapping(c: &mut Criterion) {
+fn main() {
     let lib = asap7_mini();
     let mapper = Mapper::new(&lib, MapOptions::default());
     let delay_only = Mapper::new(&lib, MapOptions::delay_only());
     let rc = ripple_carry_adder(64);
     let mult = c6288_like();
     let cfg = CutConfig::default();
-    let mut g = c.benchmark_group("mapping");
-    g.sample_size(10);
-    g.bench_function("rc64/default", |b| {
-        b.iter(|| mapper.map_default(black_box(&rc), &cfg).expect("maps"))
-    });
-    g.bench_function("rc64/unlimited", |b| {
-        b.iter(|| mapper.map_unlimited(black_box(&rc), &cfg, 1000).expect("maps"))
-    });
-    g.bench_function("rc64/delay-only", |b| {
-        b.iter(|| delay_only.map_default(black_box(&rc), &cfg).expect("maps"))
-    });
-    g.bench_function("c6288/default", |b| {
-        b.iter(|| mapper.map_default(black_box(&mult), &cfg).expect("maps"))
-    });
-    g.finish();
+    let results = [
+        measure("mapping/rc64/default", 10, || {
+            mapper.map_default(&rc, &cfg).expect("maps")
+        }),
+        measure("mapping/rc64/unlimited", 10, || {
+            mapper.map_unlimited(&rc, &cfg, 1000).expect("maps")
+        }),
+        measure("mapping/rc64/delay-only", 10, || {
+            delay_only.map_default(&rc, &cfg).expect("maps")
+        }),
+        measure("mapping/c6288/default", 10, || {
+            mapper.map_default(&mult, &cfg).expect("maps")
+        }),
+    ];
+    for m in &results {
+        println!("{}", m.render());
+    }
 }
-
-criterion_group!(benches, bench_mapping);
-criterion_main!(benches);

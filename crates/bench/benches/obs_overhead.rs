@@ -1,0 +1,81 @@
+//! Instrumentation-overhead check: estimates the share of one AES-core
+//! mapping spent inside slap-obs (spans, counters, histogram observes)
+//! and asserts it stays under the 5% budget recorded in DESIGN.md.
+//!
+//! Run with `cargo bench -p slap-bench --bench obs_overhead`.
+
+use slap_bench::microbench::measure;
+use slap_cell::asap7_mini;
+use slap_circuits::aes::aes_mini;
+use slap_cuts::CutConfig;
+use slap_map::{MapOptions, Mapper};
+use slap_obs::{MetricValue, Registry};
+
+fn main() {
+    let lib = asap7_mini();
+    let mapper = Mapper::new(&lib, MapOptions::default());
+    let aig = aes_mini();
+    let cfg = CutConfig::default();
+
+    // One counted run: how many obs operations does a single map perform?
+    let reg = Registry::global();
+    let before = reg.snapshot();
+    std::hint::black_box(mapper.map_default(&aig, &cfg).expect("maps"));
+    let delta = reg.snapshot().delta(&before);
+    let mut spans = 0u64;
+    let mut observes = 0u64;
+    let mut counter_adds = 0u64;
+    for (_, v) in delta.entries() {
+        match v {
+            MetricValue::Timer { count, .. } => spans += count,
+            MetricValue::Histogram(buckets) => observes += buckets.iter().sum::<u64>(),
+            // Each counter is bumped once per run (totals are batched),
+            // so touched counters ≈ fetch_adds.
+            MetricValue::Counter(_) => counter_adds += 1,
+            MetricValue::Gauge(_) => {}
+        }
+    }
+
+    // Primitive costs, amortised over batches of 1000.
+    const OPS: u32 = 1000;
+    let probe_counter = reg.counter("bench.probe_counter");
+    let add = measure("obs/counter_add_x1000", 50, || {
+        for _ in 0..OPS {
+            probe_counter.add(1);
+        }
+    });
+    let probe_hist = reg.histogram("bench.probe_hist");
+    let hist = measure("obs/hist_observe_x1000", 50, || {
+        for _ in 0..OPS {
+            probe_hist.observe(9);
+        }
+    });
+    let span = measure("obs/span_x1000", 50, || {
+        for _ in 0..OPS {
+            let _s = slap_obs::span("bench_probe");
+        }
+    });
+
+    let map = measure("map/aes_sbox_core", 10, || {
+        mapper.map_default(&aig, &cfg).expect("maps")
+    });
+
+    for m in [&map, &add, &hist, &span] {
+        println!("{}", m.render());
+    }
+    let per = |m: &slap_bench::microbench::Measurement| m.min_s / f64::from(OPS);
+    let obs_s =
+        spans as f64 * per(&span) + observes as f64 * per(&hist) + counter_adds as f64 * per(&add);
+    let share = obs_s / map.min_s * 100.0;
+    println!(
+        "\none map = {spans} spans + {observes} histogram observes + {counter_adds} counter adds"
+    );
+    println!(
+        "estimated instrumentation share: {share:.4}% of {:.3} ms per map",
+        map.min_s * 1e3
+    );
+    assert!(
+        share < 5.0,
+        "instrumentation overhead {share:.2}% exceeds the 5% budget"
+    );
+}

@@ -5,8 +5,11 @@
 //! Usage:
 //!   cargo run --release -p slap-bench --bin accuracy -- \
 //!       [--maps 250] [--epochs 20] [--filters 128] [--keep 4] [--lr 0.002]
-//!       [--seed 1] [--save model.txt]
+//!       [--seed 1] [--save model.txt] [--metrics-json out.jsonl]
 
+use std::sync::Arc;
+
+use slap_bench::metrics::{EpochMetrics, MetricsOut};
 use slap_bench::{experiments_dir, Args};
 use slap_cell::asap7_mini;
 use slap_circuits::catalog::Scale;
@@ -30,6 +33,9 @@ fn main() {
     } else {
         LabelMode::BestPerCutWithNegatives
     };
+    let metrics = Arc::new(MetricsOut::from_arg(
+        &args.get("metrics-json", String::new()),
+    ));
 
     let library = asap7_mini();
     let mapper = Mapper::new(&library, MapOptions::default());
@@ -41,7 +47,13 @@ fn main() {
         let samples = generate_dataset(
             &aig,
             &mapper,
-            &SampleConfig { maps, keep, seed, label_mode, ..SampleConfig::default() },
+            &SampleConfig {
+                maps,
+                keep,
+                seed,
+                label_mode,
+                ..SampleConfig::default()
+            },
             &mut dataset,
         )
         .expect("training circuit maps");
@@ -61,7 +73,11 @@ fn main() {
     let total = dataset.len().max(1);
     println!("  dataset: {} cut samples; class histogram:", dataset.len());
     for (c, n) in counts.iter().enumerate() {
-        println!("    class {c}: {:>6} ({:>5.1}%)", n, *n as f64 / total as f64 * 100.0);
+        println!(
+            "    class {c}: {:>6} ({:>5.1}%)",
+            n,
+            *n as f64 / total as f64 * 100.0
+        );
     }
     let keep_share: usize = counts.iter().take(7).sum();
     println!(
@@ -70,21 +86,55 @@ fn main() {
         (keep_share.max(total - keep_share)) as f64 / total as f64 * 100.0
     );
 
-    let mut model = CutCnn::new(&CnnConfig { filters, ..CnnConfig::paper() }, seed);
+    let mut model = CutCnn::new(
+        &CnnConfig {
+            filters,
+            ..CnnConfig::paper()
+        },
+        seed,
+    );
+    let progress = Some(Arc::new(EpochMetrics::new(metrics.clone(), true)) as _);
     let report = model.train(
         &dataset,
-        &TrainConfig { epochs, seed, learning_rate: lr, verbose: true, ..TrainConfig::default() },
+        &TrainConfig {
+            epochs,
+            seed,
+            learning_rate: lr,
+            progress,
+            ..TrainConfig::default()
+        },
     );
 
     println!("\nresults:");
-    println!("  data points            : {}", report.train_samples + report.val_samples);
-    println!("  train 10-class accuracy: {:.2}%", report.train_accuracy * 100.0);
-    println!("  val   10-class accuracy: {:.2}%   (paper: ~34%)", report.val_accuracy * 100.0);
+    println!(
+        "  data points            : {}",
+        report.train_samples + report.val_samples
+    );
+    println!(
+        "  train 10-class accuracy: {:.2}%",
+        report.train_accuracy * 100.0
+    );
+    println!(
+        "  val   10-class accuracy: {:.2}%   (paper: ~34%)",
+        report.val_accuracy * 100.0
+    );
     println!(
         "  val   binarised accuracy: {:.2}%  (paper: ~93.4%)",
         report.val_binary_accuracy * 100.0
     );
     println!("  final training loss    : {:.4}", report.final_loss);
+
+    let mut rec = slap_obs::Record::new();
+    rec.push("event", "summary");
+    rec.push("maps", maps);
+    rec.push("epochs", epochs);
+    rec.push("filters", filters);
+    rec.push("train_accuracy", report.train_accuracy);
+    rec.push("val_accuracy", report.val_accuracy);
+    rec.push("val_binary_accuracy", report.val_binary_accuracy);
+    rec.push("final_loss", report.final_loss);
+    metrics.emit(&rec);
+    metrics.finish();
 
     let path = experiments_dir().join(args.get("save", "model.txt".to_string()));
     std::fs::write(&path, model.to_text()).expect("write model");

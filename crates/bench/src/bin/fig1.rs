@@ -3,10 +3,11 @@
 //!
 //! Usage:
 //!   cargo run --release -p slap-bench --bin fig1 -- \
-//!       [--maps 300] [--keep 8] [--seed 1] [--full]
+//!       [--maps 300] [--keep 8] [--seed 1] [--full] [--metrics-json out.jsonl]
 
 use std::io::Write as _;
 
+use slap_bench::metrics::{map_record, MetricsOut};
 use slap_bench::{experiments_dir, Args};
 use slap_cell::asap7_mini;
 use slap_circuits::aes::{aes_core, aes_mini};
@@ -18,13 +19,19 @@ fn main() {
     let maps = args.get("maps", 300usize);
     let keep = args.get("keep", 8usize);
     let seed = args.get("seed", 1u64);
-    let aig = if args.has("full") { aes_core(1) } else { aes_mini() };
+    let metrics = MetricsOut::from_arg(&args.get("metrics-json", String::new()));
+    let aig = if args.has("full") {
+        aes_core(1)
+    } else {
+        aes_mini()
+    };
     println!("circuit: {} ({} AND nodes)", aig.name(), aig.num_ands());
 
     let library = asap7_mini();
     let mapper = Mapper::new(&library, MapOptions::default());
     let cut_config = CutConfig::default();
     let reference = mapper.map_default(&aig, &cut_config).expect("default maps");
+    metrics.emit(&map_record(aig.name(), "abc-default", reference.stats()));
     let (ref_area, ref_delay) = (reference.area() as f64, reference.delay() as f64);
     println!("ABC default: area {ref_area:.2} µm², delay {ref_delay:.2} ps (the black star)");
 
@@ -35,7 +42,14 @@ fn main() {
     let mut areas = Vec::with_capacity(maps);
     for i in 0..maps {
         let s = seed + i as u64;
-        let nl = mapper.map_shuffled(&aig, &cut_config, s, keep).expect("maps");
+        let nl = mapper
+            .map_shuffled(&aig, &cut_config, s, keep)
+            .expect("maps");
+        if metrics.enabled() {
+            let mut rec = map_record(aig.name(), "random-shuffle", nl.stats());
+            rec.push("seed", s);
+            metrics.emit(&rec);
+        }
         let (a, d) = (nl.area() as f64, nl.delay() as f64);
         writeln!(
             f,
@@ -75,4 +89,5 @@ fn main() {
         below as f64 / maps as f64 * 100.0
     );
     println!("wrote {}", path.display());
+    metrics.finish();
 }

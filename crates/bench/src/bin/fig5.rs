@@ -5,10 +5,12 @@
 //! Usage:
 //!   cargo run --release -p slap-bench --bin fig5 -- \
 //!       [--maps 120] [--epochs 12] [--filters 64] [--rounds 10]
-//!       [--eval 2000] [--seed 1]
+//!       [--eval 2000] [--seed 1] [--metrics-json out.jsonl]
 
 use std::io::Write as _;
+use std::sync::Arc;
 
+use slap_bench::metrics::{EpochMetrics, MetricsOut};
 use slap_bench::{experiments_dir, Args};
 use slap_cell::asap7_mini;
 use slap_circuits::catalog::Scale;
@@ -25,6 +27,9 @@ fn main() {
     let rounds = args.get("rounds", 10usize);
     let eval = args.get("eval", 2000usize);
     let seed = args.get("seed", 1u64);
+    let metrics = Arc::new(MetricsOut::from_arg(
+        &args.get("metrics-json", String::new()),
+    ));
 
     let library = asap7_mini();
     let mapper = Mapper::new(&library, MapOptions::default());
@@ -34,14 +39,35 @@ fn main() {
         generate_dataset(
             &aig,
             &mapper,
-            &SampleConfig { maps, seed, ..SampleConfig::default() },
+            &SampleConfig {
+                maps,
+                seed,
+                ..SampleConfig::default()
+            },
             &mut dataset,
         )
         .expect("training circuit maps");
     }
     println!("dataset: {} cut samples", dataset.len());
-    let mut model = CutCnn::new(&CnnConfig { filters, ..CnnConfig::paper() }, seed);
-    let report = model.train(&dataset, &TrainConfig { epochs, seed, ..TrainConfig::default() });
+    let mut model = CutCnn::new(
+        &CnnConfig {
+            filters,
+            ..CnnConfig::paper()
+        },
+        seed,
+    );
+    let progress = metrics
+        .enabled()
+        .then(|| Arc::new(EpochMetrics::new(metrics.clone(), false)) as _);
+    let report = model.train(
+        &dataset,
+        &TrainConfig {
+            epochs,
+            seed,
+            progress,
+            ..TrainConfig::default()
+        },
+    );
     println!(
         "trained: val 10-class {:.2}%, binarised {:.2}%",
         report.val_accuracy * 100.0,
@@ -55,7 +81,11 @@ fn main() {
         let (x, y) = val.sample(i);
         eval_set.push(x.to_vec(), y);
     }
-    println!("permuting {} features x {rounds} rounds over {} samples...", 19, eval_set.len());
+    println!(
+        "permuting {} features x {rounds} rounds over {} samples...",
+        19,
+        eval_set.len()
+    );
     let groups = feature_groups();
     let importance = permutation_importance(&model, &eval_set, &groups, rounds, seed);
 
@@ -73,6 +103,12 @@ fn main() {
     writeln!(f, "feature,importance").expect("write");
     for (name, imp) in &importance {
         writeln!(f, "{name},{imp:.6}").expect("write");
+        let mut rec = slap_obs::Record::new();
+        rec.push("event", "importance");
+        rec.push("feature", name.as_str());
+        rec.push("importance", *imp);
+        metrics.emit(&rec);
     }
     println!("\nwrote {}", path.display());
+    metrics.finish();
 }

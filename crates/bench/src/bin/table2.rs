@@ -5,10 +5,13 @@
 //! Usage:
 //!   cargo run --release -p slap-bench --bin table2 -- \
 //!       [--full] [--maps 150] [--epochs 15] [--filters 128] [--seed 1] [--cap 1000]
+//!       [--metrics-json out.jsonl]
 
 use std::io::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
+use slap_bench::metrics::{map_record, EpochMetrics, MetricsOut};
 use slap_bench::{experiments_dir, geomean, train_paper_model, Args, Qor};
 use slap_cell::asap7_mini;
 use slap_circuits::catalog::{table2_benchmarks, Scale};
@@ -25,20 +28,39 @@ struct Row {
 
 fn main() {
     let args = Args::from_env();
-    let scale = if args.has("full") { Scale::Full } else { Scale::Quick };
+    let scale = if args.has("full") {
+        Scale::Full
+    } else {
+        Scale::Quick
+    };
     let maps = args.get("maps", 300usize);
     let epochs = args.get("epochs", 30usize);
     let filters = args.get("filters", 128usize);
     let seed = args.get("seed", 1u64);
     let cap = args.get("cap", 1000usize);
+    let metrics = Arc::new(MetricsOut::from_arg(
+        &args.get("metrics-json", String::new()),
+    ));
 
     let library = asap7_mini();
     let mapper = Mapper::new(&library, MapOptions::default());
     println!("== training SLAP model on rc16 + cla16 ({maps} maps each, {epochs} epochs) ==");
-    let (model, _report) = train_paper_model(&mapper, maps, epochs, filters, seed, true);
-    println!();
+    let progress = Some(Arc::new(EpochMetrics::new(metrics.clone(), true)) as _);
+    let (model, report) = train_paper_model(&mapper, maps, epochs, filters, seed, progress);
+    println!(
+        "trained: val 10-class {:.2}%, binarised {:.2}%\n",
+        report.val_accuracy * 100.0,
+        report.val_binary_accuracy * 100.0
+    );
 
-    let slap = SlapMapper::new(&mapper, model, SlapConfig { unlimited_cap: cap, ..SlapConfig::default() });
+    let slap = SlapMapper::new(
+        &mapper,
+        model,
+        SlapConfig {
+            unlimited_cap: cap,
+            ..SlapConfig::default()
+        },
+    );
     let cut_config = CutConfig::default();
 
     let mut rows: Vec<Row> = Vec::new();
@@ -46,9 +68,22 @@ fn main() {
         let t0 = Instant::now();
         let aig = bench.build(scale);
         let abc = mapper.map_default(&aig, &cut_config).expect("default maps");
-        let unl = mapper.map_unlimited(&aig, &cut_config, cap).expect("unlimited maps");
-        let (snl, _) = slap.map(&aig).expect("slap maps");
-        assert!(snl.verify_against(&aig, 4, seed), "{}: SLAP netlist not equivalent", bench.name);
+        let unl = mapper
+            .map_unlimited(&aig, &cut_config, cap)
+            .expect("unlimited maps");
+        let (snl, sstats) = slap.map(&aig).expect("slap maps");
+        assert!(
+            snl.verify_against(&aig, 4, seed),
+            "{}: SLAP netlist not equivalent",
+            bench.name
+        );
+        metrics.emit(&map_record(bench.name, "abc-default", abc.stats()));
+        metrics.emit(&map_record(bench.name, "abc-unlimited", unl.stats()));
+        let mut slap_rec = map_record(bench.name, "slap", snl.stats());
+        slap_rec.push("cuts_scored", sstats.cuts_scored);
+        slap_rec.push("cuts_kept", sstats.cuts_kept);
+        slap_rec.push("nodes_all_bad", sstats.nodes_all_bad);
+        metrics.emit(&slap_rec);
         let to_qor = |n: &slap_map::MappedNetlist| Qor {
             area: n.area() as f64,
             delay: n.delay() as f64,
@@ -70,6 +105,7 @@ fn main() {
 
     print_table(&rows, scale);
     write_csv(&rows).expect("csv written");
+    metrics.finish();
 }
 
 fn print_table(rows: &[Row], scale: Scale) {
@@ -123,7 +159,10 @@ fn print_table(rows: &[Row], scale: Scale) {
         gm(&|r| r.slap.adp() / r.abc.adp()),
     );
     let delay_wins_abc = rows.iter().filter(|r| r.slap.delay <= r.abc.delay).count();
-    let delay_wins_unl = rows.iter().filter(|r| r.slap.delay <= r.unlimited.delay).count();
+    let delay_wins_unl = rows
+        .iter()
+        .filter(|r| r.slap.delay <= r.unlimited.delay)
+        .count();
     let adp_wins_abc = rows.iter().filter(|r| r.slap.adp() <= r.abc.adp()).count();
     println!(
         "SLAP delay wins: {delay_wins_abc}/{} vs ABC, {delay_wins_unl}/{} vs Unlimited; ADP wins vs ABC: {adp_wins_abc}/{}",

@@ -11,13 +11,16 @@
 //! Outputs land under `experiments/` in the workspace root (CSV + the
 //! printed tables recorded in `EXPERIMENTS.md`).
 
-use std::time::Instant;
+pub mod metrics;
+pub mod microbench;
+
+use std::sync::Arc;
 
 use slap_aig::Aig;
 use slap_circuits::training_benchmarks;
 use slap_core::{train_slap_model, PipelineConfig, SampleConfig};
 use slap_map::Mapper;
-use slap_ml::{CnnConfig, CutCnn, TrainConfig, TrainReport};
+use slap_ml::{CnnConfig, CutCnn, ProgressSink, TrainConfig, TrainReport};
 
 /// One mapped result row.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -61,7 +64,9 @@ pub struct Args {
 impl Args {
     /// Captures the process arguments.
     pub fn from_env() -> Args {
-        Args { raw: std::env::args().skip(1).collect() }
+        Args {
+            raw: std::env::args().skip(1).collect(),
+        }
     }
 
     /// Builds from explicit strings (tests).
@@ -83,21 +88,32 @@ impl Args {
     /// Whether the bare flag `--name` is present.
     pub fn has(&self, name: &str) -> bool {
         let key = format!("--{name}");
-        self.raw.iter().any(|a| *a == key)
+        self.raw.contains(&key)
     }
 }
 
-/// Trains the paper's model on the two 16-bit adders (§V-A/§V-B),
-/// printing progress. Returns the model and its accuracy report.
+/// Trains the paper's model on the two 16-bit adders (§V-A/§V-B).
+/// Returns the model and its accuracy report. Per-epoch progress goes to
+/// `progress` (`None` = silent); binaries that want a display pass
+/// `Some(Arc::new(StderrProgress))`.
 pub fn train_paper_model(
     mapper: &Mapper<'_>,
     maps_per_circuit: usize,
     epochs: usize,
     filters: usize,
     seed: u64,
-    verbose: bool,
+    progress: Option<Arc<dyn ProgressSink>>,
 ) -> (CutCnn, TrainReport) {
-    train_paper_model_tuned(mapper, maps_per_circuit, epochs, filters, seed, verbose, 4, 2e-3)
+    train_paper_model_tuned(
+        mapper,
+        maps_per_circuit,
+        epochs,
+        filters,
+        seed,
+        progress,
+        4,
+        2e-3,
+    )
 }
 
 /// [`train_paper_model`] with explicit shuffle-keep and learning-rate
@@ -109,30 +125,35 @@ pub fn train_paper_model_tuned(
     epochs: usize,
     filters: usize,
     seed: u64,
-    verbose: bool,
+    progress: Option<Arc<dyn ProgressSink>>,
     keep: usize,
     learning_rate: f32,
 ) -> (CutCnn, TrainReport) {
-    let circuits: Vec<Aig> =
-        training_benchmarks().iter().map(|b| b.build(slap_circuits::catalog::Scale::Full)).collect();
+    let circuits: Vec<Aig> = training_benchmarks()
+        .iter()
+        .map(|b| b.build(slap_circuits::catalog::Scale::Full))
+        .collect();
     let config = PipelineConfig {
-        sample: SampleConfig { maps: maps_per_circuit, keep, seed, ..SampleConfig::default() },
-        train: TrainConfig { epochs, seed, verbose, learning_rate, ..TrainConfig::default() },
-        model: CnnConfig { filters, ..CnnConfig::paper() },
+        sample: SampleConfig {
+            maps: maps_per_circuit,
+            keep,
+            seed,
+            ..SampleConfig::default()
+        },
+        train: TrainConfig {
+            epochs,
+            seed,
+            progress,
+            learning_rate,
+            ..TrainConfig::default()
+        },
+        model: CnnConfig {
+            filters,
+            ..CnnConfig::paper()
+        },
         model_seed: seed,
     };
-    let t0 = Instant::now();
-    let (model, report) = train_slap_model(&circuits, mapper, &config);
-    if verbose {
-        println!(
-            "trained on {} samples in {:.1}s: 10-class val {:.2}%, binary val {:.2}%",
-            report.train_samples + report.val_samples,
-            t0.elapsed().as_secs_f64(),
-            report.val_accuracy * 100.0,
-            report.val_binary_accuracy * 100.0,
-        );
-    }
-    (model, report)
+    train_slap_model(&circuits, mapper, &config)
 }
 
 /// Ensures the `experiments/` output directory exists and returns its
@@ -161,7 +182,11 @@ mod tests {
 
     #[test]
     fn qor_adp() {
-        let q = Qor { area: 2.0, delay: 3.0, cuts: 5 };
+        let q = Qor {
+            area: 2.0,
+            delay: 3.0,
+            cuts: 5,
+        };
         assert_eq!(q.adp(), 6.0);
     }
 

@@ -1,0 +1,218 @@
+//! JSONL metrics emission for the experiment binaries.
+//!
+//! Every binary accepts `--metrics-json <path>`; when set, one
+//! [`Record`] per circuit × mode (and per training epoch) is appended to
+//! the file via [`slap_obs::JsonlSink`]. The schema is flat (no nested
+//! objects) so [`slap_obs::parse_object`] can read each line back.
+
+use std::sync::{Arc, Mutex};
+
+use slap_map::MapStats;
+use slap_ml::{EpochProgress, ProgressSink, StderrProgress};
+use slap_obs::{JsonlSink, Record, Sink};
+
+/// A writer for per-run metrics records: either a JSONL file sink (when
+/// the user passed `--metrics-json`) or a no-op. Thread-safe so it can be
+/// shared with a training [`ProgressSink`].
+pub struct MetricsOut {
+    sink: Option<Mutex<JsonlSink<std::io::BufWriter<std::fs::File>>>>,
+}
+
+impl MetricsOut {
+    /// Creates the output from the optional `--metrics-json` path
+    /// (empty string = disabled).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file cannot be created.
+    pub fn from_arg(path: &str) -> MetricsOut {
+        let sink = if path.is_empty() {
+            None
+        } else {
+            Some(Mutex::new(
+                JsonlSink::create(std::path::Path::new(path)).expect("can create metrics file"),
+            ))
+        };
+        MetricsOut { sink }
+    }
+
+    /// Whether records are actually being written.
+    pub fn enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Appends one record (no-op when disabled).
+    ///
+    /// # Panics
+    ///
+    /// Panics on write errors.
+    pub fn emit(&self, record: &Record) {
+        if let Some(sink) = &self.sink {
+            sink.lock()
+                .expect("metrics lock")
+                .emit(record)
+                .expect("metrics write");
+        }
+    }
+
+    /// Flushes the underlying file (no-op when disabled).
+    ///
+    /// # Panics
+    ///
+    /// Panics on flush errors.
+    pub fn finish(&self) {
+        if let Some(sink) = &self.sink {
+            sink.lock()
+                .expect("metrics lock")
+                .flush()
+                .expect("metrics flush");
+        }
+    }
+}
+
+/// Adapter routing per-epoch training progress into a [`MetricsOut`]
+/// (one `event = "epoch"` record per epoch), optionally echoing the
+/// human-readable line to stderr.
+pub struct EpochMetrics {
+    out: Arc<MetricsOut>,
+    echo: bool,
+}
+
+impl EpochMetrics {
+    /// Wraps a shared metrics output.
+    pub fn new(out: Arc<MetricsOut>, echo: bool) -> EpochMetrics {
+        EpochMetrics { out, echo }
+    }
+}
+
+impl ProgressSink for EpochMetrics {
+    fn on_epoch(&self, p: &EpochProgress) {
+        if self.echo {
+            StderrProgress.on_epoch(p);
+        }
+        let mut r = Record::new();
+        r.push("event", "epoch");
+        r.push("epoch", p.epoch);
+        r.push("epochs", p.epochs);
+        r.push("loss", p.loss);
+        r.push("val_accuracy", p.val_accuracy);
+        r.push("seconds", p.seconds);
+        self.out.emit(&r);
+    }
+}
+
+/// Builds the JSONL record for one circuit × mode mapping run: QoR,
+/// cut-space footprint, pruning counters, NPN hit rate, and the
+/// per-phase wall-time breakdown.
+pub fn map_record(circuit: &str, mode: &str, stats: &MapStats) -> Record {
+    let mut r = Record::new();
+    r.push("circuit", circuit);
+    r.push("mode", mode);
+    r.push("area_um2", stats.area as f64);
+    r.push("delay_ps", stats.delay as f64);
+    r.push("dp_delay_ps", stats.dp_delay as f64);
+    r.push("cuts_considered", stats.cuts_considered);
+    r.push("cuts_enumerated", stats.cut_stats.cuts_enumerated);
+    r.push("cuts_merged", stats.cut_stats.cuts_merged);
+    r.push("dominance_kills", stats.cut_stats.dominance_kills);
+    r.push("cap_truncations", stats.cut_stats.cap_truncations);
+    r.push("cuts_dropped_by_cap", stats.cut_stats.cuts_dropped_by_cap);
+    r.push("matches_tried", stats.matches_tried);
+    r.push("npn_hit_rate", stats.match_stats.npn_hit_rate());
+    r.push("num_instances", stats.num_instances);
+    r.push("num_inverters", stats.num_inverters);
+    r.push("enumerate_s", stats.phase.enumerate_s);
+    r.push("match_s", stats.phase.match_s);
+    r.push("cover_s", stats.phase.cover_s);
+    r.push("area_flow_s", stats.phase.area_flow_s);
+    r.push("exact_area_s", stats.phase.exact_area_s);
+    r.push("sta_s", stats.phase.sta_s);
+    r.push("total_s", stats.phase.total_s());
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slap_cell::asap7_mini;
+    use slap_cuts::CutConfig;
+    use slap_map::{MapOptions, Mapper};
+
+    #[test]
+    fn map_record_round_trips_through_jsonl() {
+        let mut aig = slap_aig::Aig::new();
+        let a = aig.add_pi();
+        let b = aig.add_pi();
+        let c = aig.add_pi();
+        let ab = aig.and(a, b);
+        let f = aig.and(ab, c);
+        aig.add_po(f);
+        let lib = asap7_mini();
+        let mapper = Mapper::new(&lib, MapOptions::default());
+        let nl = mapper
+            .map_default(&aig, &CutConfig::default())
+            .expect("maps");
+        let rec = map_record("tiny", "abc-default", nl.stats());
+        let line = rec.to_json_line();
+        let fields = slap_obs::parse_object(line.trim()).expect("valid json");
+        let get = |k: &str| fields.iter().find(|(n, _)| n == k).map(|(_, v)| v);
+        assert_eq!(get("circuit").and_then(|v| v.as_str()), Some("tiny"));
+        assert_eq!(get("mode").and_then(|v| v.as_str()), Some("abc-default"));
+        assert!(get("area_um2").and_then(|v| v.as_f64()).expect("area") > 0.0);
+        assert!(
+            get("cuts_enumerated")
+                .and_then(|v| v.as_u64())
+                .expect("cuts")
+                > 0
+        );
+        assert!(
+            get("matches_tried")
+                .and_then(|v| v.as_u64())
+                .expect("tried")
+                > 0
+        );
+        assert!(get("npn_hit_rate").and_then(|v| v.as_f64()).expect("rate") > 0.0);
+        assert!(get("total_s").and_then(|v| v.as_f64()).expect("total") >= 0.0);
+    }
+
+    #[test]
+    fn metrics_out_disabled_is_noop() {
+        let out = MetricsOut::from_arg("");
+        assert!(!out.enabled());
+        out.emit(&map_record("x", "y", &MapStats::default()));
+        out.finish();
+    }
+
+    #[test]
+    fn metrics_out_writes_parseable_lines() {
+        let dir = std::env::temp_dir().join("slap-bench-metrics-test");
+        std::fs::create_dir_all(&dir).expect("tmp dir");
+        let path = dir.join("out.jsonl");
+        let path_str = path.to_str().expect("utf8 path");
+        {
+            let out = Arc::new(MetricsOut::from_arg(path_str));
+            assert!(out.enabled());
+            out.emit(&map_record("c1", "m1", &MapStats::default()));
+            let sink = EpochMetrics::new(out.clone(), false);
+            sink.on_epoch(&EpochProgress {
+                epoch: 1,
+                epochs: 2,
+                loss: 0.5,
+                val_accuracy: 0.75,
+                seconds: 0.01,
+            });
+            out.finish();
+        }
+        let text = std::fs::read_to_string(&path).expect("read back");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            slap_obs::parse_object(line).expect("each line parses");
+        }
+        let fields = slap_obs::parse_object(lines[1]).expect("epoch line");
+        assert!(fields
+            .iter()
+            .any(|(k, v)| k == "event" && v.as_str() == Some("epoch")));
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,104 @@
+//! A tiny hand-rolled microbenchmark harness.
+//!
+//! The workspace ships zero external dependencies, so instead of
+//! Criterion the `benches/` targets are `harness = false` binaries built
+//! on this module: warm up once, time a fixed number of iterations, and
+//! report min/mean (the min is the stable number on a noisy machine).
+//! Results can be serialized as JSONL [`Record`]s via slap-obs for
+//! before/after comparisons (e.g. the instrumentation-overhead check in
+//! DESIGN.md).
+
+use std::time::Instant;
+
+use slap_obs::Record;
+
+/// Timing summary of one benchmarked closure.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Benchmark name (`group/case`).
+    pub name: String,
+    /// Timed iterations (excluding warmup).
+    pub iters: u32,
+    /// Wall-clock total over all timed iterations, seconds.
+    pub total_s: f64,
+    /// Mean per-iteration time, seconds.
+    pub mean_s: f64,
+    /// Fastest iteration, seconds — the least noise-sensitive statistic.
+    pub min_s: f64,
+}
+
+impl Measurement {
+    /// The measurement as a JSONL-ready record.
+    pub fn to_record(&self) -> Record {
+        let mut r = Record::new();
+        r.push("bench", self.name.as_str())
+            .push("iters", u64::from(self.iters))
+            .push("total_s", self.total_s)
+            .push("mean_s", self.mean_s)
+            .push("min_s", self.min_s);
+        r
+    }
+
+    /// One aligned human-readable line.
+    pub fn render(&self) -> String {
+        format!(
+            "{:<28} {:>4} iters  mean {:>10.3} ms  min {:>10.3} ms",
+            self.name,
+            self.iters,
+            self.mean_s * 1e3,
+            self.min_s * 1e3,
+        )
+    }
+}
+
+/// Runs `f` once unmeasured, then `iters` timed iterations.
+///
+/// # Panics
+///
+/// Panics if `iters == 0`.
+pub fn measure<T>(name: &str, iters: u32, mut f: impl FnMut() -> T) -> Measurement {
+    assert!(iters > 0, "need at least one timed iteration");
+    std::hint::black_box(f());
+    let mut total_s = 0.0f64;
+    let mut min_s = f64::INFINITY;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        let dt = t0.elapsed().as_secs_f64();
+        total_s += dt;
+        min_s = min_s.min(dt);
+    }
+    Measurement {
+        name: name.to_string(),
+        iters,
+        total_s,
+        mean_s: total_s / f64::from(iters),
+        min_s,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_reports_consistent_statistics() {
+        let mut calls = 0u32;
+        let m = measure("unit/test", 4, || {
+            calls += 1;
+            std::thread::sleep(std::time::Duration::from_micros(200));
+        });
+        assert_eq!(calls, 5, "one warmup + four timed");
+        assert_eq!(m.iters, 4);
+        assert!(m.min_s > 0.0);
+        assert!(m.min_s <= m.mean_s);
+        assert!((m.mean_s * 4.0 - m.total_s).abs() < 1e-9);
+        let record = m.to_record();
+        assert_eq!(
+            record.get("bench").and_then(|v| v.as_str()),
+            Some("unit/test")
+        );
+        assert_eq!(record.get("iters").and_then(|v| v.as_u64()), Some(4));
+        assert!(m.render().contains("unit/test"));
+    }
+}

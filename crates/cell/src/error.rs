@@ -33,6 +33,8 @@ mod tests {
     #[test]
     fn display_is_nonempty() {
         assert!(!CellError::ParseExpr("x".into()).to_string().is_empty());
-        assert!(CellError::InvalidLibrary("no inverter".into()).to_string().contains("inverter"));
+        assert!(CellError::InvalidLibrary("no inverter".into())
+            .to_string()
+            .contains("inverter"));
     }
 }

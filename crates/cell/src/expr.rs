@@ -56,10 +56,17 @@ pub fn parse_expr(input: &str) -> Result<ParsedExpr, CellError> {
         )));
     }
     let tokens = tokenize(input)?;
-    let mut parser = Parser { tokens, pos: 0, pins: &pins };
+    let mut parser = Parser {
+        tokens,
+        pos: 0,
+        pins: &pins,
+    };
     let tt = parser.parse_or()?;
     if parser.pos != parser.tokens.len() {
-        return Err(CellError::ParseExpr(format!("trailing input at token {}", parser.pos)));
+        return Err(CellError::ParseExpr(format!(
+            "trailing input at token {}",
+            parser.pos
+        )));
     }
     Ok(ParsedExpr { tt, pins })
 }
@@ -133,7 +140,11 @@ fn tokenize(input: &str) -> Result<Vec<Token>, CellError> {
                 }
                 tokens.push(Token::Ident(name));
             }
-            other => return Err(CellError::ParseExpr(format!("unexpected character '{other}'"))),
+            other => {
+                return Err(CellError::ParseExpr(format!(
+                    "unexpected character '{other}'"
+                )))
+            }
         }
     }
     Ok(tokens)
@@ -187,7 +198,10 @@ impl Parser<'_> {
                     acc = acc.and(rhs);
                 }
                 // Juxtaposition: `a b` and `a (b+c)` mean AND.
-                Some(Token::Ident(_)) | Some(Token::LParen) | Some(Token::Not) | Some(Token::Const(_)) => {
+                Some(Token::Ident(_))
+                | Some(Token::LParen)
+                | Some(Token::Not)
+                | Some(Token::Const(_)) => {
                     let rhs = self.parse_xor()?;
                     acc = acc.and(rhs);
                 }
@@ -236,7 +250,11 @@ impl Parser<'_> {
             }
             Some(Token::Const(b)) => {
                 self.pos += 1;
-                Ok(if b { Tt::one(self.nv()) } else { Tt::zero(self.nv()) })
+                Ok(if b {
+                    Tt::one(self.nv())
+                } else {
+                    Tt::zero(self.nv())
+                })
             }
             Some(Token::LParen) => {
                 self.pos += 1;

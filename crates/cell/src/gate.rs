@@ -56,9 +56,20 @@ impl Gate {
         pin_delays: Vec<f32>,
         load_slope: f32,
     ) -> Gate {
-        assert_eq!(pins.len(), tt.num_vars(), "one pin per truth-table variable");
+        assert_eq!(
+            pins.len(),
+            tt.num_vars(),
+            "one pin per truth-table variable"
+        );
         assert_eq!(pin_delays.len(), pins.len(), "one delay per pin");
-        Gate { name: name.into(), area, tt, pins, pin_delays, load_slope }
+        Gate {
+            name: name.into(),
+            area,
+            tt,
+            pins,
+            pin_delays,
+            load_slope,
+        }
     }
 
     /// The cell name.
@@ -151,7 +162,12 @@ impl Library {
         }
         let inverter = inverter
             .ok_or_else(|| CellError::InvalidLibrary("library must contain an inverter".into()))?;
-        Ok(Library { name: name.into(), gates, inverter, buffer })
+        Ok(Library {
+            name: name.into(),
+            gates,
+            inverter,
+            buffer,
+        })
     }
 
     /// The library name.
@@ -191,12 +207,18 @@ impl Library {
 
     /// Iterator over `(GateId, &Gate)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (GateId, &Gate)> {
-        self.gates.iter().enumerate().map(|(i, g)| (GateId::new(i), g))
+        self.gates
+            .iter()
+            .enumerate()
+            .map(|(i, g)| (GateId::new(i), g))
     }
 
     /// Looks a gate up by name.
     pub fn find(&self, name: &str) -> Option<GateId> {
-        self.gates.iter().position(|g| g.name() == name).map(GateId::new)
+        self.gates
+            .iter()
+            .position(|g| g.name() == name)
+            .map(GateId::new)
     }
 }
 
@@ -205,12 +227,26 @@ mod tests {
     use super::*;
 
     fn inv() -> Gate {
-        Gate::new("INV", 1.0, Tt::var(0, 1).not(), vec!["A".into()], vec![5.0], 1.0)
+        Gate::new(
+            "INV",
+            1.0,
+            Tt::var(0, 1).not(),
+            vec!["A".into()],
+            vec![5.0],
+            1.0,
+        )
     }
 
     fn and2() -> Gate {
         let tt = Tt::var(0, 2).and(Tt::var(1, 2));
-        Gate::new("AND2", 2.0, tt, vec!["A".into(), "B".into()], vec![8.0, 9.0], 1.5)
+        Gate::new(
+            "AND2",
+            2.0,
+            tt,
+            vec!["A".into(), "B".into()],
+            vec![8.0, 9.0],
+            1.5,
+        )
     }
 
     #[test]

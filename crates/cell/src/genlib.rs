@@ -72,9 +72,9 @@ pub fn parse_genlib(name: &str, text: &str) -> Result<Library, CellError> {
         // The function spans tokens until the terminating ';'.
         let mut func = String::new();
         loop {
-            let t = tokens
-                .get(pos)
-                .ok_or_else(|| CellError::ParseGenlib(format!("unterminated function for {gate_name}")))?;
+            let t = tokens.get(pos).ok_or_else(|| {
+                CellError::ParseGenlib(format!("unterminated function for {gate_name}"))
+            })?;
             pos += 1;
             if let Some(stripped) = t.strip_suffix(';') {
                 func.push_str(stripped);
@@ -109,9 +109,13 @@ pub fn parse_genlib(name: &str, text: &str) -> Result<Library, CellError> {
             for slot in &mut nums {
                 *slot = tokens
                     .get(pos)
-                    .ok_or_else(|| CellError::ParseGenlib(format!("short PIN line in {gate_name}")))?
+                    .ok_or_else(|| {
+                        CellError::ParseGenlib(format!("short PIN line in {gate_name}"))
+                    })?
                     .parse()
-                    .map_err(|_| CellError::ParseGenlib(format!("bad PIN number in {gate_name}")))?;
+                    .map_err(|_| {
+                        CellError::ParseGenlib(format!("bad PIN number in {gate_name}"))
+                    })?;
                 pos += 1;
             }
             let intrinsic = (nums[2] + nums[4]) / 2.0;
@@ -120,7 +124,14 @@ pub fn parse_genlib(name: &str, text: &str) -> Result<Library, CellError> {
         }
         let (pin_delays, load_slope) = assign_pin_timing(&parsed.pins, &pin_specs, &gate_name)?;
         let tt = normalize_const(parsed.tt);
-        gates.push(Gate::new(gate_name, area, tt, parsed.pins, pin_delays, load_slope));
+        gates.push(Gate::new(
+            gate_name,
+            area,
+            tt,
+            parsed.pins,
+            pin_delays,
+            load_slope,
+        ));
     }
     Library::from_gates(name, gates)
 }
@@ -140,7 +151,9 @@ fn assign_pin_timing(
         return Ok((Vec::new(), 0.0));
     }
     if specs.is_empty() {
-        return Err(CellError::ParseGenlib(format!("{gate}: no PIN timing given")));
+        return Err(CellError::ParseGenlib(format!(
+            "{gate}: no PIN timing given"
+        )));
     }
     let wildcard = specs.iter().find(|(n, _, _)| n == "*");
     let mut delays = Vec::with_capacity(pins.len());
@@ -214,8 +227,11 @@ mod tests {
 
     #[test]
     fn comments_are_stripped() {
-        let lib = parse_genlib("t", "# header\nGATE I 1.0 Y=!A; PIN * INV 1 999 1 1 1 1 # trailing")
-            .expect("parse");
+        let lib = parse_genlib(
+            "t",
+            "# header\nGATE I 1.0 Y=!A; PIN * INV 1 999 1 1 1 1 # trailing",
+        )
+        .expect("parse");
         assert_eq!(lib.len(), 1);
     }
 }

@@ -84,7 +84,9 @@ mod tests {
         let back = parse_genlib("round-trip", &text).expect("re-parse own output");
         assert_eq!(back.len(), lib.len());
         for (_, g) in lib.iter() {
-            let id = back.find(g.name()).unwrap_or_else(|| panic!("{} missing", g.name()));
+            let id = back
+                .find(g.name())
+                .unwrap_or_else(|| panic!("{} missing", g.name()));
             let b = back.gate(id);
             // Function must survive exactly (up to the gate's own pin order).
             assert_eq!(b.num_pins(), g.num_pins(), "{}", g.name());
@@ -121,7 +123,13 @@ mod tests {
                     }
                 }
                 let back_bit = (b.tt().bits() >> b_assignment) & 1;
-                assert_eq!(orig_bit, back_bit, "{} assignment {:b}", g.name(), assignment);
+                assert_eq!(
+                    orig_bit,
+                    back_bit,
+                    "{} assignment {:b}",
+                    g.name(),
+                    assignment
+                );
             }
         }
     }

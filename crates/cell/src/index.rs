@@ -84,7 +84,11 @@ impl MatchIndex {
                     if !seen.insert((n as u8, tt.bits(), id, leaf_compl, delay_profile)) {
                         continue;
                     }
-                    let entry = MatchEntry { gate: id, pin_of_leaf, leaf_compl };
+                    let entry = MatchEntry {
+                        gate: id,
+                        pin_of_leaf,
+                        leaf_compl,
+                    };
                     table.entry((n as u8, tt.bits())).or_default().push(entry);
                 }
             }
@@ -123,9 +127,23 @@ mod tests {
     use crate::gate::{Gate, Library};
 
     fn test_library() -> Library {
-        let inv = Gate::new("INV", 1.0, Tt::var(0, 1).not(), vec!["A".into()], vec![5.0], 1.0);
+        let inv = Gate::new(
+            "INV",
+            1.0,
+            Tt::var(0, 1).not(),
+            vec!["A".into()],
+            vec![5.0],
+            1.0,
+        );
         let nand_tt = Tt::var(0, 2).and(Tt::var(1, 2)).not();
-        let nand = Gate::new("NAND2", 2.0, nand_tt, vec!["A".into(), "B".into()], vec![8.0, 9.0], 1.5);
+        let nand = Gate::new(
+            "NAND2",
+            2.0,
+            nand_tt,
+            vec!["A".into(), "B".into()],
+            vec![8.0, 9.0],
+            1.5,
+        );
         let aoi_tt = Tt::var(0, 3).and(Tt::var(1, 3)).or(Tt::var(2, 3)).not();
         let aoi = Gate::new(
             "AOI21",
@@ -144,7 +162,9 @@ mod tests {
         let idx = MatchIndex::build(&lib);
         let nand_tt = Tt::var(0, 2).and(Tt::var(1, 2)).not();
         let ms = idx.matches(nand_tt);
-        assert!(ms.iter().any(|m| lib.gate(m.gate).name() == "NAND2" && m.leaf_compl == 0));
+        assert!(ms
+            .iter()
+            .any(|m| lib.gate(m.gate).name() == "NAND2" && m.leaf_compl == 0));
     }
 
     #[test]
@@ -171,7 +191,10 @@ mod tests {
         let c = Tt::var(2, 3);
         let f = b.and(c).or(a).not();
         let ms = idx.matches(f);
-        let m = ms.iter().find(|m| lib.gate(m.gate).name() == "AOI21").expect("permuted AOI21");
+        let m = ms
+            .iter()
+            .find(|m| lib.gate(m.gate).name() == "AOI21")
+            .expect("permuted AOI21");
         assert_eq!(m.pin(0), 2); // leaf 0 feeds pin C (index 2)
         assert!(!m.leaf_complemented(0));
     }
@@ -221,7 +244,12 @@ mod tests {
                     result |= 1 << x;
                 }
             }
-            assert_eq!(result, f.bits(), "entry {m:?} of gate {} is wrong", gate.name());
+            assert_eq!(
+                result,
+                f.bits(),
+                "entry {m:?} of gate {} is wrong",
+                gate.name()
+            );
         }
         assert!(!idx.matches(f).is_empty());
     }

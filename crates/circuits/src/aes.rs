@@ -129,7 +129,11 @@ fn xtime(aig: &mut Aig, a: &ByteW) -> ByteW {
 pub fn aes_core(rounds: usize) -> Aig {
     assert!(rounds > 0, "at least one round required");
     let mut aig = Aig::new();
-    aig.set_name(if rounds == 10 { "aes128".to_string() } else { format!("aes128-r{rounds}") });
+    aig.set_name(if rounds == 10 {
+        "aes128".to_string()
+    } else {
+        format!("aes128-r{rounds}")
+    });
     let pt = input_word(&mut aig, 128);
     let key = input_word(&mut aig, 128);
     let byte = |w: &[Lit], i: usize| -> ByteW {
@@ -239,15 +243,19 @@ fn next_round_key(aig: &mut Aig, prev: &[ByteW], rcon: u8) -> Vec<ByteW> {
     for t in temp.iter_mut() {
         *t = sbox(aig, t);
     }
-    for i in 0..8 {
+    for (i, t) in temp[0].iter_mut().enumerate() {
         if (rcon >> i) & 1 != 0 {
-            temp[0][i] = !temp[0][i];
+            *t = !*t;
         }
     }
     for w in 0..4 {
         for b in 0..4 {
             let prev_word_byte = prev[4 * w + b];
-            let xor_with = if w == 0 { temp[b] } else { out[4 * (w - 1) + b] };
+            let xor_with = if w == 0 {
+                temp[b]
+            } else {
+                out[4 * (w - 1) + b]
+            };
             out.push([Lit::FALSE; 8]);
             let idx = out.len() - 1;
             out[idx] = xor_byte(aig, &prev_word_byte, &xor_with);
@@ -305,7 +313,9 @@ pub mod model {
         let b = gf_inv_u8(a);
         let mut out = 0u8;
         for i in 0..8 {
-            let bit = ((b >> i) ^ (b >> ((i + 4) % 8)) ^ (b >> ((i + 5) % 8))
+            let bit = ((b >> i)
+                ^ (b >> ((i + 4) % 8))
+                ^ (b >> ((i + 5) % 8))
                 ^ (b >> ((i + 6) % 8))
                 ^ (b >> ((i + 7) % 8))
                 ^ (0x63 >> i))
@@ -365,7 +375,11 @@ pub mod model {
         let mut out = [0u8; 16];
         for w in 0..4 {
             for b in 0..4 {
-                let x = if w == 0 { temp[b] } else { out[4 * (w - 1) + b] };
+                let x = if w == 0 {
+                    temp[b]
+                } else {
+                    out[4 * (w - 1) + b]
+                };
                 out[4 * w + b] = prev[4 * w + b] ^ x;
             }
         }
@@ -399,7 +413,11 @@ mod tests {
         output_word(&mut aig, &y);
         for v in [0u64, 1, 0x53, 0x7F, 0x80, 0xC2, 0xFF] {
             let out = simulate_bits(&aig, &u64_to_bits(v, 8));
-            assert_eq!(bits_to_u64(&out) as u8, model::sbox_u8(v as u8), "sbox({v:#x})");
+            assert_eq!(
+                bits_to_u64(&out) as u8,
+                model::sbox_u8(v as u8),
+                "sbox({v:#x})"
+            );
         }
     }
 
@@ -421,7 +439,11 @@ mod tests {
             let mut ins = u64_to_bits(x as u64, 8);
             ins.extend(u64_to_bits(y as u64, 8));
             let out = simulate_bits(&aig, &ins);
-            assert_eq!(bits_to_u64(&out) as u8, model::gf_mul_u8(x, y), "{x:#x}*{y:#x}");
+            assert_eq!(
+                bits_to_u64(&out) as u8,
+                model::gf_mul_u8(x, y),
+                "{x:#x}*{y:#x}"
+            );
         }
     }
 
@@ -440,7 +462,11 @@ mod tests {
             0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a,
             0x0b, 0x32,
         ];
-        assert_eq!(model::encrypt(pt, key, 10), expect, "software model vs FIPS vector");
+        assert_eq!(
+            model::encrypt(pt, key, 10),
+            expect,
+            "software model vs FIPS vector"
+        );
     }
 
     #[test]

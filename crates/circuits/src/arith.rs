@@ -3,8 +3,7 @@
 use slap_aig::{Aig, Lit};
 
 use crate::words::{
-    const_word, input_word, mux_word, output_word, ripple_add, ripple_sub,
-    unsigned_ge,
+    const_word, input_word, mux_word, output_word, ripple_add, ripple_sub, unsigned_ge,
 };
 
 /// `n`-bit ripple-carry adder (ABC's `gen -a`): inputs `a`, `b`, outputs
@@ -27,7 +26,10 @@ pub fn ripple_carry_adder(n: usize) -> Aig {
 ///
 /// Panics if `n` is not a positive multiple of 4.
 pub fn carry_lookahead_adder(n: usize) -> Aig {
-    assert!(n > 0 && n % 4 == 0, "width must be a positive multiple of 4");
+    assert!(
+        n > 0 && n.is_multiple_of(4),
+        "width must be a positive multiple of 4"
+    );
     let mut aig = Aig::new();
     aig.set_name(format!("cla{n}"));
     let a = input_word(&mut aig, n);
@@ -166,7 +168,10 @@ pub fn squarer(n: usize) -> Aig {
 ///
 /// Panics if `n` is odd or zero.
 pub fn booth_multiplier(n: usize) -> Aig {
-    assert!(n > 0 && n % 2 == 0, "width must be positive and even");
+    assert!(
+        n > 0 && n.is_multiple_of(2),
+        "width must be positive and even"
+    );
     let mut aig = Aig::new();
     aig.set_name(format!("mul{n}-booth"));
     let a = input_word(&mut aig, n);
@@ -195,7 +200,11 @@ pub fn booth_multiplier(n: usize) -> Aig {
     for g in 0..num_groups {
         let b0 = prev;
         let b1 = b[2 * g];
-        let b2 = if 2 * g + 1 < n { b[2 * g + 1] } else { *b.last().expect("nonempty") };
+        let b2 = if 2 * g + 1 < n {
+            b[2 * g + 1]
+        } else {
+            *b.last().expect("nonempty")
+        };
         prev = b2;
         // Booth encoding of (b2 b1 b0): value v ∈ {-2,-1,0,1,2}.
         // one  = b0 ^ b1        (|v| == 1)
@@ -248,8 +257,8 @@ pub fn sin_poly(n: usize) -> Aig {
     let x2 = trunc_mul(&mut aig, &x, &x);
     let x3 = trunc_mul(&mut aig, &x2, &x);
     let x5 = trunc_mul(&mut aig, &x3, &x2);
-    let c3 = const_word(((1u64 << n) / 6) as u64, n);
-    let c5 = const_word(((1u64 << n) / 120) as u64, n);
+    let c3 = const_word((1u64 << n) / 6, n);
+    let c5 = const_word((1u64 << n) / 120, n);
     let t3 = trunc_mul(&mut aig, &x3, &c3);
     let t5 = trunc_mul(&mut aig, &x5, &c5);
     let (d, _) = ripple_sub(&mut aig, &x, &t3);

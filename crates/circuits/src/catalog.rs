@@ -49,19 +49,55 @@ pub fn table2_benchmarks() -> Vec<Benchmark> {
             name: "adder",
             builder: |s| carry_lookahead_adder(pick(s, 128, 64)),
         },
-        Benchmark { name: "bar", builder: |s| barrel_shifter(pick(s, 128, 64)) },
-        Benchmark { name: "c6288", builder: |_| c6288_like() },
-        Benchmark { name: "max", builder: |s| max4(pick(s, 128, 64)) },
-        Benchmark { name: "rc256b", builder: |s| ripple_carry_adder(pick(s, 256, 128)) },
-        Benchmark { name: "rc64b", builder: |_| ripple_carry_adder(64) },
-        Benchmark { name: "sin", builder: |s| sin_poly(pick(s, 16, 12)) },
-        Benchmark { name: "c7552", builder: |_| c7552_like() },
-        Benchmark { name: "mul32-booth", builder: |s| booth_multiplier(pick(s, 32, 16)) },
-        Benchmark { name: "mul64-booth", builder: |s| booth_multiplier(pick(s, 64, 32)) },
-        Benchmark { name: "square", builder: |s| squarer(pick(s, 64, 32)) },
+        Benchmark {
+            name: "bar",
+            builder: |s| barrel_shifter(pick(s, 128, 64)),
+        },
+        Benchmark {
+            name: "c6288",
+            builder: |_| c6288_like(),
+        },
+        Benchmark {
+            name: "max",
+            builder: |s| max4(pick(s, 128, 64)),
+        },
+        Benchmark {
+            name: "rc256b",
+            builder: |s| ripple_carry_adder(pick(s, 256, 128)),
+        },
+        Benchmark {
+            name: "rc64b",
+            builder: |_| ripple_carry_adder(64),
+        },
+        Benchmark {
+            name: "sin",
+            builder: |s| sin_poly(pick(s, 16, 12)),
+        },
+        Benchmark {
+            name: "c7552",
+            builder: |_| c7552_like(),
+        },
+        Benchmark {
+            name: "mul32-booth",
+            builder: |s| booth_multiplier(pick(s, 32, 16)),
+        },
+        Benchmark {
+            name: "mul64-booth",
+            builder: |s| booth_multiplier(pick(s, 64, 32)),
+        },
+        Benchmark {
+            name: "square",
+            builder: |s| squarer(pick(s, 64, 32)),
+        },
         Benchmark {
             name: "AES",
-            builder: |s| if s == Scale::Full { aes_core(1) } else { aes_mini() },
+            builder: |s| {
+                if s == Scale::Full {
+                    aes_core(1)
+                } else {
+                    aes_mini()
+                }
+            },
         },
         Benchmark {
             name: "64b_mult",
@@ -70,7 +106,10 @@ pub fn table2_benchmarks() -> Vec<Benchmark> {
                 array_multiplier(w, w)
             },
         },
-        Benchmark { name: "Pico RISCV", builder: |_| rv32_datapath() },
+        Benchmark {
+            name: "Pico RISCV",
+            builder: |_| rv32_datapath(),
+        },
     ]
 }
 
@@ -78,8 +117,14 @@ pub fn table2_benchmarks() -> Vec<Benchmark> {
 /// (§V-A): a ripple-carry and a carry-lookahead adder.
 pub fn training_benchmarks() -> Vec<Benchmark> {
     vec![
-        Benchmark { name: "rc16", builder: |_| ripple_carry_adder(16) },
-        Benchmark { name: "cla16", builder: |_| carry_lookahead_adder(16) },
+        Benchmark {
+            name: "rc16",
+            builder: |_| ripple_carry_adder(16),
+        },
+        Benchmark {
+            name: "cla16",
+            builder: |_| carry_lookahead_adder(16),
+        },
     ]
 }
 
@@ -106,7 +151,12 @@ mod tests {
     fn quick_scale_builds_everything_nontrivially() {
         for bench in table2_benchmarks() {
             let aig = bench.build(Scale::Quick);
-            assert!(aig.num_ands() > 100, "{} too small: {}", bench.name, aig.num_ands());
+            assert!(
+                aig.num_ands() > 100,
+                "{} too small: {}",
+                bench.name,
+                aig.num_ands()
+            );
             assert!(aig.num_pos() > 0, "{} has no outputs", bench.name);
         }
     }

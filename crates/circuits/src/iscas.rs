@@ -70,7 +70,11 @@ mod tests {
         let mut rng = Rng64::seed_from(8);
         for round in 0..20 {
             let x = rng.next_u64() & 0xFFFF_FFFF;
-            let y = if round % 5 == 0 { x } else { rng.next_u64() & 0xFFFF_FFFF };
+            let y = if round % 5 == 0 {
+                x
+            } else {
+                rng.next_u64() & 0xFFFF_FFFF
+            };
             let cin = rng.bool();
             let mut ins = u64_to_bits(x, 32);
             ins.extend(u64_to_bits(y, 32));
@@ -81,7 +85,11 @@ mod tests {
             assert_eq!(out[32], full >> 32 != 0, "carry");
             assert_eq!(out[33], x >= y, "ge");
             assert_eq!(out[34], x == y, "eq");
-            assert_eq!(out[35], (full & 0xFFFF_FFFF).count_ones() % 2 == 1, "parity");
+            assert_eq!(
+                out[35],
+                (full & 0xFFFF_FFFF).count_ones() % 2 == 1,
+                "parity"
+            );
         }
     }
 
@@ -90,6 +98,10 @@ mod tests {
         let aig = c6288_like();
         // ISCAS c6288 has ~2400 gates; the regenerated array lands in the
         // same order of magnitude.
-        assert!(aig.num_ands() > 1500 && aig.num_ands() < 8000, "{}", aig.num_ands());
+        assert!(
+            aig.num_ands() > 1500 && aig.num_ands() < 8000,
+            "{}",
+            aig.num_ands()
+        );
     }
 }

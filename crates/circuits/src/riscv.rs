@@ -9,7 +9,9 @@
 
 use slap_aig::{Aig, Lit};
 
-use crate::words::{const_word, input_word, mux_word, output_word, ripple_add, ripple_sub, xor_word};
+use crate::words::{
+    const_word, input_word, mux_word, output_word, ripple_add, ripple_sub, xor_word,
+};
 
 const OPCODE_OP: u32 = 0b0110011;
 const OPCODE_OP_IMM: u32 = 0b0010011;
@@ -44,38 +46,26 @@ pub fn rv32_datapath() -> Aig {
     // Immediates.
     let sign = instr[31];
     let mut imm_i = vec![Lit::FALSE; 32];
-    for i in 0..12 {
-        imm_i[i] = instr[20 + i];
-    }
+    imm_i[..12].copy_from_slice(&instr[20..32]);
     for slot in imm_i.iter_mut().skip(12) {
         *slot = sign;
     }
     let mut imm_b = vec![Lit::FALSE; 32];
-    for i in 0..4 {
-        imm_b[1 + i] = instr[8 + i];
-    }
-    for i in 0..6 {
-        imm_b[5 + i] = instr[25 + i];
-    }
+    imm_b[1..5].copy_from_slice(&instr[8..12]);
+    imm_b[5..11].copy_from_slice(&instr[25..31]);
     imm_b[11] = instr[7];
     for slot in imm_b.iter_mut().skip(12) {
         *slot = sign;
     }
     let mut imm_j = vec![Lit::FALSE; 32];
-    for i in 0..10 {
-        imm_j[1 + i] = instr[21 + i];
-    }
+    imm_j[1..11].copy_from_slice(&instr[21..31]);
     imm_j[11] = instr[20];
-    for i in 0..8 {
-        imm_j[12 + i] = instr[12 + i];
-    }
+    imm_j[12..20].copy_from_slice(&instr[12..20]);
     for slot in imm_j.iter_mut().skip(20) {
         *slot = sign;
     }
     let mut imm_u = vec![Lit::FALSE; 32];
-    for i in 0..20 {
-        imm_u[12 + i] = instr[12 + i];
-    }
+    imm_u[12..32].copy_from_slice(&instr[12..32]);
 
     // ALU.
     let in2 = mux_word(&mut aig, is_op_imm, &imm_i, &rs2);
@@ -99,12 +89,13 @@ pub fn rv32_datapath() -> Aig {
     sltu_word[0] = ltu;
 
     // 8-way select on funct3.
-    let choices = [&addsub, &sll, &slt_word, &sltu_word, &xorv, &srx, &orv, &andv];
+    let choices = [
+        &addsub, &sll, &slt_word, &sltu_word, &xorv, &srx, &orv, &andv,
+    ];
     let mut alu = choices[0].clone();
     // Binary mux tree over the three funct3 bits.
     let mut level: Vec<Vec<Lit>> = choices.iter().map(|w| w.to_vec()).collect();
-    for bit in 0..3 {
-        let sel = funct3[bit];
+    for &sel in funct3.iter().take(3) {
         let mut next = Vec::new();
         for pair in level.chunks(2) {
             next.push(mux_word(&mut aig, sel, &pair[1], &pair[0]));
@@ -122,8 +113,7 @@ pub fn rv32_datapath() -> Aig {
     // funct3: 000 beq, 001 bne, 100 blt, 101 bge, 110 bltu, 111 bgeu.
     let conds = [eq, ne, Lit::FALSE, Lit::FALSE, lts, ges, ltu, geu];
     let mut clevel: Vec<Lit> = conds.to_vec();
-    for bit in 0..3 {
-        let sel = funct3[bit];
+    for &sel in funct3.iter().take(3) {
         let mut next = Vec::new();
         for pair in clevel.chunks(2) {
             next.push(aig.mux(sel, pair[1], pair[0]));
@@ -152,8 +142,9 @@ fn shift_left(aig: &mut Aig, w: &[Lit], amt: &[Lit]) -> Vec<Lit> {
     let mut cur = w.to_vec();
     for (s, &sel) in amt.iter().enumerate() {
         let by = 1usize << s;
-        let shifted: Vec<Lit> =
-            (0..n).map(|i| if i >= by { cur[i - by] } else { Lit::FALSE }).collect();
+        let shifted: Vec<Lit> = (0..n)
+            .map(|i| if i >= by { cur[i - by] } else { Lit::FALSE })
+            .collect();
         cur = mux_word(aig, sel, &shifted, &cur);
     }
     cur
@@ -164,7 +155,9 @@ fn shift_right(aig: &mut Aig, w: &[Lit], amt: &[Lit], fill: Lit) -> Vec<Lit> {
     let mut cur = w.to_vec();
     for (s, &sel) in amt.iter().enumerate() {
         let by = 1usize << s;
-        let shifted: Vec<Lit> = (0..n).map(|i| if i + by < n { cur[i + by] } else { fill }).collect();
+        let shifted: Vec<Lit> = (0..n)
+            .map(|i| if i + by < n { cur[i + by] } else { fill })
+            .collect();
         cur = mux_word(aig, sel, &shifted, &cur);
     }
     cur
@@ -346,7 +339,10 @@ mod tests {
             let rs2 = rng.next_u64() as u32;
             let pc = (rng.next_u64() as u32) & !3;
             for instr in [jal, lui] {
-                assert_eq!(run(&aig, instr, rs1, rs2, pc), datapath_model(instr, rs1, rs2, pc));
+                assert_eq!(
+                    run(&aig, instr, rs1, rs2, pc),
+                    datapath_model(instr, rs1, rs2, pc)
+                );
             }
         }
     }

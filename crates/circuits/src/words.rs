@@ -12,7 +12,13 @@ pub fn input_word(aig: &mut Aig, n: usize) -> Vec<Lit> {
 /// A constant word of the given unsigned value.
 pub fn const_word(value: u64, n: usize) -> Vec<Lit> {
     (0..n)
-        .map(|i| if (value >> i) & 1 != 0 { Lit::TRUE } else { Lit::FALSE })
+        .map(|i| {
+            if (value >> i) & 1 != 0 {
+                Lit::TRUE
+            } else {
+                Lit::FALSE
+            }
+        })
         .collect()
 }
 
@@ -86,15 +92,17 @@ pub fn xor_word(aig: &mut Aig, a: &[Lit], b: &[Lit]) -> Vec<Lit> {
 pub fn shift_left_const(word: &[Lit], by: usize) -> Vec<Lit> {
     let n = word.len();
     let mut out = vec![Lit::FALSE; n];
-    for i in by..n {
-        out[i] = word[i - by];
+    if by < n {
+        out[by..n].copy_from_slice(&word[..n - by]);
     }
     out
 }
 
 /// Interprets a simulation output slice as an unsigned number (LSB first).
 pub fn bits_to_u64(bits: &[bool]) -> u64 {
-    bits.iter().enumerate().fold(0u64, |acc, (i, &b)| acc | ((b as u64) << i))
+    bits.iter()
+        .enumerate()
+        .fold(0u64, |acc, (i, &b)| acc | ((b as u64) << i))
 }
 
 /// Builds the `n`-bit input assignment of an unsigned value (LSB first).

@@ -99,6 +99,7 @@ pub fn generate_dataset(
     config: &SampleConfig,
     dataset: &mut Dataset,
 ) -> Result<Vec<MapSample>, MapError> {
+    let _span = slap_obs::span("datagen");
     assert!(config.maps > 0, "at least one map required");
     assert_eq!(dataset.rows(), CUT_EMBED_ROWS);
     assert_eq!(dataset.cols(), CUT_EMBED_COLS);
@@ -109,14 +110,23 @@ pub fn generate_dataset(
     for i in 0..config.maps {
         let seed = config.seed.wrapping_add(i as u64);
         let netlist = mapper.map_shuffled(aig, &config.cut_config, seed, config.keep)?;
-        if config.dedup_qor && !seen_qor.insert((netlist.area().to_bits(), netlist.delay().to_bits()))
+        if config.dedup_qor
+            && !seen_qor.insert((netlist.area().to_bits(), netlist.delay().to_bits()))
         {
             continue;
         }
-        let sample = MapSample { seed, area: netlist.area(), delay: netlist.delay(), class: 0 };
+        let sample = MapSample {
+            seed,
+            area: netlist.area(),
+            delay: netlist.delay(),
+            class: 0,
+        };
         records.push((sample, netlist.cover_cuts().to_vec()));
     }
-    let min = records.iter().map(|(s, _)| s.delay).fold(f32::INFINITY, f32::min);
+    let min = records
+        .iter()
+        .map(|(s, _)| s.delay)
+        .fold(f32::INFINITY, f32::min);
     let max = records.iter().map(|(s, _)| s.delay).fold(0.0f32, f32::max);
     let span = (max - min).max(1e-6);
     let classes = config.classes as f32;
@@ -202,9 +212,16 @@ mod tests {
         let lib = asap7_mini();
         let mapper = Mapper::new(&lib, MapOptions::default());
         let mut ds = Dataset::new(CUT_EMBED_ROWS, CUT_EMBED_COLS, 10);
-        let cfg = SampleConfig { maps: 12, ..SampleConfig::default() };
+        let cfg = SampleConfig {
+            maps: 12,
+            ..SampleConfig::default()
+        };
         let samples = generate_dataset(&aig, &mapper, &cfg, &mut ds).expect("maps");
-        assert!(samples.len() <= 12 && samples.len() > 2, "{}", samples.len());
+        assert!(
+            samples.len() <= 12 && samples.len() > 2,
+            "{}",
+            samples.len()
+        );
         assert!(!ds.is_empty());
         // Class 0 is assigned to the fastest map.
         let fastest = samples
@@ -217,7 +234,11 @@ mod tests {
         // The sample should exhibit QoR diversity.
         let distinct: std::collections::HashSet<u32> =
             samples.iter().map(|s| s.delay.to_bits()).collect();
-        assert!(distinct.len() > 3, "only {} distinct delays", distinct.len());
+        assert!(
+            distinct.len() > 3,
+            "only {} distinct delays",
+            distinct.len()
+        );
     }
 
     #[test]
@@ -225,7 +246,10 @@ mod tests {
         let aig = ripple_carry_adder(8);
         let lib = asap7_mini();
         let mapper = Mapper::new(&lib, MapOptions::default());
-        let cfg = SampleConfig { maps: 6, ..SampleConfig::default() };
+        let cfg = SampleConfig {
+            maps: 6,
+            ..SampleConfig::default()
+        };
         let mut d1 = Dataset::new(CUT_EMBED_ROWS, CUT_EMBED_COLS, 10);
         let mut d2 = Dataset::new(CUT_EMBED_ROWS, CUT_EMBED_COLS, 10);
         let s1 = generate_dataset(&aig, &mapper, &cfg, &mut d1).expect("maps");
@@ -238,7 +262,10 @@ mod tests {
     fn multiple_circuits_share_a_dataset() {
         let lib = asap7_mini();
         let mapper = Mapper::new(&lib, MapOptions::default());
-        let cfg = SampleConfig { maps: 4, ..SampleConfig::default() };
+        let cfg = SampleConfig {
+            maps: 4,
+            ..SampleConfig::default()
+        };
         let mut ds = Dataset::new(CUT_EMBED_ROWS, CUT_EMBED_COLS, 10);
         let a = ripple_carry_adder(8);
         let b = ripple_carry_adder(12);

@@ -45,7 +45,10 @@ impl EmbeddingContext {
             }
             node_embeddings[n.index()] = e;
         }
-        EmbeddingContext { node_embeddings, compl_flags }
+        EmbeddingContext {
+            node_embeddings,
+            compl_flags,
+        }
     }
 
     /// The Table I embedding of a node.
@@ -112,7 +115,9 @@ pub fn feature_groups() -> Vec<FeatureGroup> {
     }
     for (k, name) in CutFeatures::names().iter().enumerate() {
         let row = 6 + k;
-        let indices: Vec<usize> = (0..CUT_EMBED_COLS).map(|c| row * CUT_EMBED_COLS + c).collect();
+        let indices: Vec<usize> = (0..CUT_EMBED_COLS)
+            .map(|c| row * CUT_EMBED_COLS + c)
+            .collect();
         groups.push(FeatureGroup::new(format!("cut:{name}"), indices));
     }
     groups

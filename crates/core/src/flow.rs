@@ -44,6 +44,56 @@ pub struct SlapStats {
     pub nodes_all_bad: usize,
 }
 
+impl SlapStats {
+    /// Checks internal consistency: the class histogram partitions the
+    /// scored cuts, and no more cuts are kept than were scored.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a description of the violated invariant.
+    pub fn check_invariants(&self) {
+        let histo_total: usize = self.class_histogram.iter().sum();
+        assert_eq!(
+            histo_total, self.cuts_scored,
+            "class_histogram must sum to cuts_scored"
+        );
+        assert!(
+            self.cuts_kept <= self.cuts_scored,
+            "cuts_kept ({}) exceeds cuts_scored ({})",
+            self.cuts_kept,
+            self.cuts_scored
+        );
+    }
+
+    /// One JSONL line with every field (histogram as an array).
+    pub fn to_json_line(&self) -> String {
+        let mut r = slap_obs::Record::new();
+        r.push("cuts_scored", self.cuts_scored);
+        r.push("cuts_kept", self.cuts_kept);
+        r.push(
+            "class_histogram",
+            slap_obs::Value::Array(
+                self.class_histogram
+                    .iter()
+                    .map(|&c| slap_obs::Value::U64(c as u64))
+                    .collect(),
+            ),
+        );
+        r.push("nodes_all_bad", self.nodes_all_bad);
+        r.to_json_line()
+    }
+}
+
+impl std::fmt::Display for SlapStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "scored={} kept={} all-bad-nodes={} classes={:?}",
+            self.cuts_scored, self.cuts_kept, self.nodes_all_bad, self.class_histogram
+        )
+    }
+}
+
 /// The SLAP mapper: a pre-trained cut classifier in front of the
 /// unchanged matching/covering engine.
 ///
@@ -58,7 +108,11 @@ pub struct SlapMapper<'a> {
 impl<'a> SlapMapper<'a> {
     /// Wraps a mapper with a trained model.
     pub fn new(mapper: &'a Mapper<'a>, model: CutCnn, config: SlapConfig) -> SlapMapper<'a> {
-        SlapMapper { mapper, model, config }
+        SlapMapper {
+            mapper,
+            model,
+            config,
+        }
     }
 
     /// The trained model.
@@ -79,6 +133,7 @@ impl<'a> SlapMapper<'a> {
     ///
     /// Propagates [`MapError`] from the covering engine.
     pub fn map(&self, aig: &Aig) -> Result<(MappedNetlist, SlapStats), MapError> {
+        let _slap_span = slap_obs::span("slap");
         // prepare_map: exhaustive k-cut enumeration + features/embeddings.
         let mut cuts = enumerate_cuts(
             aig,
@@ -92,27 +147,34 @@ impl<'a> SlapMapper<'a> {
         };
         // Inference + band policy, node by node.
         let mut keep_masks: Vec<Vec<bool>> = vec![Vec::new(); aig.num_nodes()];
-        for n in aig.and_ids() {
-            let list = cuts.cuts_of(n);
-            if list.is_empty() {
-                continue;
+        {
+            let _span = slap_obs::span("inference");
+            for n in aig.and_ids() {
+                let list = cuts.cuts_of(n);
+                if list.is_empty() {
+                    continue;
+                }
+                let mut classes = Vec::with_capacity(list.len());
+                for cut in list {
+                    let features = cut_features(aig, n, cut, ctx.compl_flags());
+                    let x = ctx.cut_embedding_with_features(n, cut, &features);
+                    let class = self.model.predict(&x);
+                    stats.class_histogram[class as usize] += 1;
+                    classes.push(class);
+                }
+                stats.cuts_scored += classes.len();
+                let mask = self.config.policy.select(&classes);
+                if mask.iter().all(|&k| !k) {
+                    stats.nodes_all_bad += 1;
+                }
+                stats.cuts_kept += mask.iter().filter(|&&k| k).count();
+                keep_masks[n.index()] = mask;
             }
-            let mut classes = Vec::with_capacity(list.len());
-            for cut in list {
-                let features = cut_features(aig, n, cut, ctx.compl_flags());
-                let x = ctx.cut_embedding_with_features(n, cut, &features);
-                let class = self.model.predict(&x);
-                stats.class_histogram[class as usize] += 1;
-                classes.push(class);
-            }
-            stats.cuts_scored += classes.len();
-            let mask = self.config.policy.select(&classes);
-            if mask.iter().all(|&k| !k) {
-                stats.nodes_all_bad += 1;
-            }
-            stats.cuts_kept += mask.iter().filter(|&&k| k).count();
-            keep_masks[n.index()] = mask;
         }
+        let reg = slap_obs::Registry::global();
+        reg.counter("slap.cuts_scored")
+            .add(stats.cuts_scored as u64);
+        reg.counter("slap.cuts_kept").add(stats.cuts_kept as u64);
         // read_cuts: keep exactly the selected cuts. Nodes left empty fall
         // back to their structural cut so the cover stays realizable (the
         // paper's trivial-cut case).
@@ -127,6 +189,9 @@ impl<'a> SlapMapper<'a> {
             true,
         );
         let netlist = self.mapper.map_with_cuts(aig, &cuts)?;
+        if cfg!(debug_assertions) {
+            stats.check_invariants();
+        }
         Ok((netlist, stats))
     }
 }
@@ -156,7 +221,10 @@ pub fn train_slap_model(
     mapper: &Mapper<'_>,
     config: &PipelineConfig,
 ) -> (CutCnn, TrainReport) {
-    assert!(!circuits.is_empty(), "at least one training circuit required");
+    assert!(
+        !circuits.is_empty(),
+        "at least one training circuit required"
+    );
     let mut dataset = Dataset::new(CUT_EMBED_ROWS, CUT_EMBED_COLS, config.sample.classes);
     for aig in circuits {
         generate_dataset(aig, mapper, &config.sample, &mut dataset)
@@ -177,9 +245,18 @@ mod tests {
 
     fn quick_pipeline() -> PipelineConfig {
         PipelineConfig {
-            sample: SampleConfig { maps: 16, ..SampleConfig::default() },
-            train: TrainConfig { epochs: 4, ..TrainConfig::default() },
-            model: CnnConfig { filters: 16, ..CnnConfig::paper() },
+            sample: SampleConfig {
+                maps: 16,
+                ..SampleConfig::default()
+            },
+            train: TrainConfig {
+                epochs: 4,
+                ..TrainConfig::default()
+            },
+            model: CnnConfig {
+                filters: 16,
+                ..CnnConfig::paper()
+            },
             model_seed: 5,
         }
     }
@@ -194,7 +271,10 @@ mod tests {
         let slap = SlapMapper::new(&mapper, model, SlapConfig::default());
         let target = carry_lookahead_adder(12);
         let (netlist, stats) = slap.map(&target).expect("maps");
-        assert!(netlist.verify_against(&target, 16, 77), "SLAP result must stay equivalent");
+        assert!(
+            netlist.verify_against(&target, 16, 77),
+            "SLAP result must stay equivalent"
+        );
         assert!(stats.cuts_scored > 0);
         assert!(stats.cuts_kept <= stats.cuts_scored);
         let histo_total: usize = stats.class_histogram.iter().sum();
@@ -210,7 +290,9 @@ mod tests {
         let slap = SlapMapper::new(&mapper, model, SlapConfig::default());
         let target = ripple_carry_adder(16);
         let (netlist, _) = slap.map(&target).expect("maps");
-        let unlimited = mapper.map_unlimited(&target, &CutConfig::default(), 1000).expect("maps");
+        let unlimited = mapper
+            .map_unlimited(&target, &CutConfig::default(), 1000)
+            .expect("maps");
         assert!(
             netlist.stats().cuts_considered <= unlimited.stats().cuts_considered,
             "SLAP ({}) must not exceed unlimited ({})",
@@ -220,10 +302,57 @@ mod tests {
     }
 
     #[test]
+    fn slap_stats_invariants_display_and_json() {
+        let stats = SlapStats {
+            cuts_scored: 5,
+            cuts_kept: 3,
+            class_histogram: vec![2, 3],
+            nodes_all_bad: 1,
+        };
+        stats.check_invariants();
+        let line = stats.to_json_line();
+        let fields = slap_obs::parse_object(line.trim()).expect("valid json");
+        let get = |k: &str| fields.iter().find(|(n, _)| n == k).map(|(_, v)| v);
+        assert_eq!(get("cuts_scored").and_then(|v| v.as_u64()), Some(5));
+        assert_eq!(get("cuts_kept").and_then(|v| v.as_u64()), Some(3));
+        assert!(format!("{stats}").contains("scored=5"));
+    }
+
+    #[test]
+    #[should_panic(expected = "class_histogram")]
+    fn slap_stats_bad_histogram_panics() {
+        let stats = SlapStats {
+            cuts_scored: 5,
+            cuts_kept: 1,
+            class_histogram: vec![1],
+            nodes_all_bad: 0,
+        };
+        stats.check_invariants();
+    }
+
+    #[test]
+    #[should_panic(expected = "cuts_kept")]
+    fn slap_stats_kept_exceeding_scored_panics() {
+        let stats = SlapStats {
+            cuts_scored: 2,
+            cuts_kept: 3,
+            class_histogram: vec![2],
+            nodes_all_bad: 0,
+        };
+        stats.check_invariants();
+    }
+
+    #[test]
     fn accessors() {
         let lib = asap7_mini();
         let mapper = Mapper::new(&lib, MapOptions::default());
-        let model = CutCnn::new(&CnnConfig { filters: 4, ..CnnConfig::paper() }, 1);
+        let model = CutCnn::new(
+            &CnnConfig {
+                filters: 4,
+                ..CnnConfig::paper()
+            },
+            1,
+        );
         let slap = SlapMapper::new(&mapper, model, SlapConfig::default());
         assert_eq!(slap.model().config().filters, 4);
         assert_eq!(slap.mapper().library().name(), "asap7-mini");

@@ -46,8 +46,7 @@ pub mod policy;
 
 pub use datagen::{generate_dataset, LabelMode, MapSample, SampleConfig};
 pub use embed::{
-    feature_groups, EmbeddingContext, CUT_EMBED_COLS, CUT_EMBED_DIM, CUT_EMBED_ROWS,
-    NODE_EMBED_DIM,
+    feature_groups, EmbeddingContext, CUT_EMBED_COLS, CUT_EMBED_DIM, CUT_EMBED_ROWS, NODE_EMBED_DIM,
 };
 pub use flow::{train_slap_model, PipelineConfig, SlapConfig, SlapMapper, SlapStats};
 pub use policy::BandPolicy;

@@ -21,13 +21,20 @@ pub struct BandPolicy {
 impl BandPolicy {
     /// The paper's thresholds: good = 0–3, average = 4–6.
     pub fn paper() -> BandPolicy {
-        BandPolicy { good_max: 3, avg_max: 6, keep_best_when_all_bad: true }
+        BandPolicy {
+            good_max: 3,
+            avg_max: 6,
+            keep_best_when_all_bad: true,
+        }
     }
 
     /// The literal paper behaviour: all-bad nodes expose only their
     /// trivial cut.
     pub fn paper_strict() -> BandPolicy {
-        BandPolicy { keep_best_when_all_bad: false, ..BandPolicy::paper() }
+        BandPolicy {
+            keep_best_when_all_bad: false,
+            ..BandPolicy::paper()
+        }
     }
 
     /// Given the predicted classes of one node's cuts, returns the keep
@@ -43,8 +50,11 @@ impl BandPolicy {
         }
         let mut mask = vec![false; classes.len()];
         if self.keep_best_when_all_bad {
-            if let Some(best) =
-                classes.iter().enumerate().min_by_key(|(_, &c)| c).map(|(i, _)| i)
+            if let Some(best) = classes
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &c)| c)
+                .map(|(i, _)| i)
             {
                 mask[best] = true;
             }
@@ -93,7 +103,11 @@ mod tests {
 
     #[test]
     fn custom_thresholds() {
-        let p = BandPolicy { good_max: 1, avg_max: 2, keep_best_when_all_bad: false };
+        let p = BandPolicy {
+            good_max: 1,
+            avg_max: 2,
+            keep_best_when_all_bad: false,
+        };
         assert_eq!(p.select(&[2, 3]), vec![true, false]);
         assert_eq!(p.select(&[1, 2]), vec![true, false]);
     }

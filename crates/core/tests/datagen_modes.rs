@@ -12,7 +12,11 @@ fn run(mode: LabelMode) -> Dataset {
     let lib = asap7_mini();
     let mapper = Mapper::new(&lib, MapOptions::default());
     let mut ds = Dataset::new(CUT_EMBED_ROWS, CUT_EMBED_COLS, 10);
-    let cfg = SampleConfig { maps: 20, label_mode: mode, ..SampleConfig::default() };
+    let cfg = SampleConfig {
+        maps: 20,
+        label_mode: mode,
+        ..SampleConfig::default()
+    };
     generate_dataset(&aig, &mapper, &cfg, &mut ds).expect("maps");
     ds
 }
@@ -21,7 +25,12 @@ fn run(mode: LabelMode) -> Dataset {
 fn per_use_emits_more_samples_than_best_per_cut() {
     let per_use = run(LabelMode::PerUse);
     let best = run(LabelMode::BestPerCut);
-    assert!(per_use.len() > best.len(), "{} vs {}", per_use.len(), best.len());
+    assert!(
+        per_use.len() > best.len(),
+        "{} vs {}",
+        per_use.len(),
+        best.len()
+    );
 }
 
 #[test]
@@ -60,12 +69,18 @@ fn best_per_cut_labels_are_minima_of_per_use_labels() {
     for i in 0..per_use.len() {
         let (x, y) = per_use.sample(i);
         let key: Vec<u32> = x.iter().map(|v| v.to_bits()).collect();
-        min_label.entry(key).and_modify(|m| *m = (*m).min(y)).or_insert(y);
+        min_label
+            .entry(key)
+            .and_modify(|m| *m = (*m).min(y))
+            .or_insert(y);
     }
     for i in 0..best.len() {
         let (x, y) = best.sample(i);
         let key: Vec<u32> = x.iter().map(|v| v.to_bits()).collect();
-        let expect = min_label.get(&key).copied().expect("best sample must exist in per-use");
+        let expect = min_label
+            .get(&key)
+            .copied()
+            .expect("best sample must exist in per-use");
         assert_eq!(y, expect);
     }
 }

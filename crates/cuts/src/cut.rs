@@ -45,14 +45,21 @@ impl Cut {
         let mut ids: Vec<u32> = leaves.iter().map(|l| l.index() as u32).collect();
         ids.sort_unstable();
         ids.dedup();
-        assert!(ids.len() <= MAX_CUT_SIZE, "cut with more than {MAX_CUT_SIZE} leaves");
+        assert!(
+            ids.len() <= MAX_CUT_SIZE,
+            "cut with more than {MAX_CUT_SIZE} leaves"
+        );
         let mut arr = [0u32; MAX_CUT_SIZE];
         let mut sig = 0u64;
         for (i, &id) in ids.iter().enumerate() {
             arr[i] = id;
             sig |= 1u64 << (id % 64);
         }
-        Cut { leaves: arr, len: ids.len() as u8, sig }
+        Cut {
+            leaves: arr,
+            len: ids.len() as u8,
+            sig,
+        }
     }
 
     /// Number of leaves.
@@ -70,7 +77,9 @@ impl Cut {
     /// The leaf ids, ascending.
     #[inline]
     pub fn leaves(&self) -> impl ExactSizeIterator<Item = NodeId> + '_ {
-        self.leaves[..self.len as usize].iter().map(|&id| NodeId::new(id as usize))
+        self.leaves[..self.len as usize]
+            .iter()
+            .map(|&id| NodeId::new(id as usize))
     }
 
     /// The raw sorted leaf indices.
@@ -86,7 +95,9 @@ impl Cut {
 
     /// Whether `leaf` is one of this cut's leaves.
     pub fn contains(&self, leaf: NodeId) -> bool {
-        self.leaf_indices().binary_search(&(leaf.index() as u32)).is_ok()
+        self.leaf_indices()
+            .binary_search(&(leaf.index() as u32))
+            .is_ok()
     }
 
     /// The Bloom signature (union of `1 << (id mod 64)` per leaf).
@@ -143,7 +154,11 @@ impl Cut {
             out[n] = v;
             n += 1;
         }
-        Some(Cut { leaves: out, len: n as u8, sig: self.sig | other.sig })
+        Some(Cut {
+            leaves: out,
+            len: n as u8,
+            sig: self.sig | other.sig,
+        })
     }
 
     /// True if `self`'s leaves are a subset of `other`'s (i.e. `self`
@@ -192,7 +207,9 @@ impl std::fmt::Debug for Cut {
 /// by leaves. (Not `Ord` on the type itself: domination, not lexicographic
 /// order, is the semantically meaningful relation between cuts.)
 pub(crate) fn cut_cmp(a: &Cut, b: &Cut) -> std::cmp::Ordering {
-    a.len().cmp(&b.len()).then_with(|| a.leaf_indices().cmp(b.leaf_indices()))
+    a.len()
+        .cmp(&b.len())
+        .then_with(|| a.leaf_indices().cmp(b.leaf_indices()))
 }
 
 #[cfg(test)]

@@ -5,6 +5,25 @@ use slap_aig::{Aig, NodeId};
 use crate::cut::{cut_cmp, Cut, MAX_CUT_SIZE};
 use crate::policy::CutPolicy;
 
+/// Work and pruning counters from one [`enumerate_cuts`] run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CutEnumStats {
+    /// AND nodes processed.
+    pub nodes_processed: u64,
+    /// Cuts produced by fanin-set merging (before dedup and pruning).
+    pub cuts_merged: u64,
+    /// Duplicate cuts removed after merging.
+    pub dedup_removed: u64,
+    /// Cuts stored across all nodes after policy refinement.
+    pub cuts_enumerated: u64,
+    /// Cuts the policy removed as dominated.
+    pub dominance_kills: u64,
+    /// Nodes where the policy's per-node cap dropped cuts.
+    pub cap_truncations: u64,
+    /// Cuts dropped by those caps.
+    pub cuts_dropped_by_cap: u64,
+}
+
 /// Parameters of cut enumeration shared by all policies.
 #[derive(Clone, Debug)]
 pub struct CutConfig {
@@ -24,7 +43,10 @@ impl CutConfig {
     ///
     /// Panics if `k` is 0 or exceeds [`MAX_CUT_SIZE`].
     pub fn with_k(k: usize) -> CutConfig {
-        assert!(k >= 1 && k <= MAX_CUT_SIZE, "k must be in 1..={MAX_CUT_SIZE}");
+        assert!(
+            (1..=MAX_CUT_SIZE).contains(&k),
+            "k must be in 1..={MAX_CUT_SIZE}"
+        );
         CutConfig { k }
     }
 }
@@ -44,9 +66,15 @@ impl Default for CutConfig {
 pub struct CutSets {
     sets: Vec<Vec<Cut>>,
     k: usize,
+    stats: CutEnumStats,
 }
 
 impl CutSets {
+    /// Counters recorded while enumerating these sets.
+    pub fn stats(&self) -> &CutEnumStats {
+        &self.stats
+    }
+
     /// The non-trivial cuts stored for `node`.
     pub fn cuts_of(&self, node: NodeId) -> &[Cut] {
         &self.sets[node.index()]
@@ -103,9 +131,13 @@ impl CutSets {
 /// matching ABC's priority-cuts behaviour where pruning shapes the whole
 /// downstream cut space.
 pub fn enumerate_cuts(aig: &Aig, config: &CutConfig, policy: &mut dyn CutPolicy) -> CutSets {
+    let _span = slap_obs::span("enumerate");
+    let policy_before = policy.stats();
     let k = config.k;
+    let mut stats = CutEnumStats::default();
     let mut sets: Vec<Vec<Cut>> = vec![Vec::new(); aig.num_nodes()];
     let mut scratch: Vec<Cut> = Vec::new();
+    let per_node = slap_obs::Registry::global().histogram("cuts.per_node");
     for n in aig.and_ids() {
         let (f0, f1) = aig.fanins(n);
         scratch.clear();
@@ -120,16 +152,33 @@ pub fn enumerate_cuts(aig: &Aig, config: &CutConfig, policy: &mut dyn CutPolicy)
                 }
             }
         }
+        stats.nodes_processed += 1;
+        stats.cuts_merged += scratch.len() as u64;
         // Canonical order + dedup (different merge paths can produce the
         // same leaf set); the policy then reorders/prunes as it likes.
         scratch.sort_by(cut_cmp);
+        let before_dedup = scratch.len();
         scratch.dedup();
+        stats.dedup_removed += (before_dedup - scratch.len()) as u64;
         // The trivial cut of n can never be produced by merging (leaves
         // precede n topologically), so no need to remove it.
         policy.refine(aig, n, &mut scratch);
+        stats.cuts_enumerated += scratch.len() as u64;
+        per_node.observe(scratch.len() as u64);
         sets[n.index()] = scratch.clone();
     }
-    CutSets { sets, k }
+    let pruned = policy.stats().delta(&policy_before);
+    stats.dominance_kills = pruned.dominance_kills;
+    stats.cap_truncations = pruned.cap_truncations;
+    stats.cuts_dropped_by_cap = pruned.cuts_dropped_by_cap;
+    let reg = slap_obs::Registry::global();
+    reg.counter("cuts.enumerated").add(stats.cuts_enumerated);
+    reg.counter("cuts.merged").add(stats.cuts_merged);
+    reg.counter("cuts.dominance_kills")
+        .add(stats.dominance_kills);
+    reg.counter("cuts.cap_truncations")
+        .add(stats.cap_truncations);
+    CutSets { sets, k, stats }
 }
 
 /// The fanin cut set plus its trivial cut, as Eq. (1) requires.
@@ -248,11 +297,47 @@ mod tests {
         }
         aig.add_po(layer[0]);
         let full = enumerate_cuts(&aig, &CutConfig::default(), &mut UnlimitedPolicy::new());
-        let some = enumerate_cuts(&aig, &CutConfig::default(), &mut ShufflePolicy::with_keep(1, 2));
+        let some = enumerate_cuts(
+            &aig,
+            &CutConfig::default(),
+            &mut ShufflePolicy::with_keep(1, 2),
+        );
         assert!(some.total_cuts() < full.total_cuts());
         for n in aig.and_ids() {
             assert!(some.cuts_of(n).len() <= 2);
         }
+    }
+
+    #[test]
+    fn enum_stats_track_work_and_pruning() {
+        let (aig, _, _, _) = two_level();
+        let sets = enumerate_cuts(&aig, &CutConfig::default(), &mut DefaultPolicy::default());
+        let s = sets.stats();
+        assert_eq!(s.nodes_processed, aig.num_ands() as u64);
+        assert_eq!(s.cuts_enumerated, sets.total_cuts() as u64);
+        assert!(s.cuts_merged >= s.cuts_enumerated);
+
+        // A limit of 1 must truncate at the output node (4 candidate cuts).
+        let t = enumerate_cuts(
+            &aig,
+            &CutConfig::default(),
+            &mut DefaultPolicy::with_limit(1),
+        );
+        assert!(t.stats().cap_truncations >= 1);
+        assert!(t.stats().cuts_dropped_by_cap >= 1);
+
+        // Reconvergence produces dominated cuts (e.g. {ab,c} ⊆ {a,b,ab,c}
+        // at g) that the default policy kills and unlimited keeps.
+        let mut recon = Aig::new();
+        let xs = recon.add_pis(3);
+        let ab = recon.and(xs[0], xs[1]);
+        let abc = recon.and(ab, xs[2]);
+        let g = recon.and(ab, abc);
+        recon.add_po(g);
+        let d = enumerate_cuts(&recon, &CutConfig::default(), &mut DefaultPolicy::default());
+        let u = enumerate_cuts(&recon, &CutConfig::default(), &mut UnlimitedPolicy::new());
+        assert!(d.stats().dominance_kills > 0);
+        assert_eq!(u.stats().dominance_kills, 0);
     }
 
     #[test]

@@ -43,7 +43,7 @@ mod policy;
 mod stats;
 
 pub use cut::{Cut, MAX_CUT_SIZE};
-pub use enumerate::{enumerate_cuts, CutConfig, CutSets};
+pub use enumerate::{enumerate_cuts, CutConfig, CutEnumStats, CutSets};
 pub use features::{cut_features, CutFeatures, NUM_CUT_FEATURES};
-pub use policy::{CutPolicy, DefaultPolicy, ShufflePolicy, UnlimitedPolicy};
+pub use policy::{CutPolicy, DefaultPolicy, PolicyStats, ShufflePolicy, UnlimitedPolicy};
 pub use stats::CutStats;

@@ -4,6 +4,42 @@ use slap_aig::{Aig, NodeId, Rng64};
 
 use crate::cut::{cut_cmp, Cut};
 
+/// Pruning statistics a policy accumulates across its `refine` calls.
+///
+/// Counters are cumulative over the policy's lifetime; callers that want
+/// per-run numbers (e.g. [`crate::enumerate_cuts`]) snapshot before and
+/// after and take [`PolicyStats::delta`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PolicyStats {
+    /// Cuts removed because another kept cut dominated them.
+    pub dominance_kills: u64,
+    /// Nodes where the per-node cap/limit/keep truncation dropped cuts.
+    pub cap_truncations: u64,
+    /// Cuts dropped by those truncations.
+    pub cuts_dropped_by_cap: u64,
+}
+
+impl PolicyStats {
+    /// The change since `earlier` (saturating).
+    pub fn delta(&self, earlier: &PolicyStats) -> PolicyStats {
+        PolicyStats {
+            dominance_kills: self.dominance_kills.saturating_sub(earlier.dominance_kills),
+            cap_truncations: self.cap_truncations.saturating_sub(earlier.cap_truncations),
+            cuts_dropped_by_cap: self
+                .cuts_dropped_by_cap
+                .saturating_sub(earlier.cuts_dropped_by_cap),
+        }
+    }
+
+    /// Records a truncation from `before` cuts down to `after`.
+    fn record_truncation(&mut self, before: usize, after: usize) {
+        if before > after {
+            self.cap_truncations += 1;
+            self.cuts_dropped_by_cap += (before - after) as u64;
+        }
+    }
+}
+
 /// A policy refines the freshly merged, deduplicated cut list of a node
 /// before the list is stored (and thus both propagated to fanout merges
 /// and exposed to Boolean matching).
@@ -17,6 +53,12 @@ pub trait CutPolicy {
 
     /// Short name used in reports.
     fn name(&self) -> &'static str;
+
+    /// Cumulative pruning statistics. The default implementation reports
+    /// zeros so external policies keep compiling unchanged.
+    fn stats(&self) -> PolicyStats {
+        PolicyStats::default()
+    }
 }
 
 /// ABC's default heuristic: sort by number of leaves, remove dominated
@@ -25,17 +67,24 @@ pub trait CutPolicy {
 pub struct DefaultPolicy {
     /// Maximum number of cuts kept per node.
     pub limit: usize,
+    stats: PolicyStats,
 }
 
 impl DefaultPolicy {
     /// The ABC default limit of 250 cuts per node.
     pub fn new() -> DefaultPolicy {
-        DefaultPolicy { limit: 250 }
+        DefaultPolicy {
+            limit: 250,
+            stats: PolicyStats::default(),
+        }
     }
 
     /// A policy with a custom per-node limit.
     pub fn with_limit(limit: usize) -> DefaultPolicy {
-        DefaultPolicy { limit }
+        DefaultPolicy {
+            limit,
+            stats: PolicyStats::default(),
+        }
     }
 }
 
@@ -48,12 +97,20 @@ impl Default for DefaultPolicy {
 impl CutPolicy for DefaultPolicy {
     fn refine(&mut self, _aig: &Aig, _node: NodeId, cuts: &mut Vec<Cut>) {
         cuts.sort_by(cut_cmp);
+        let before_filter = cuts.len();
         filter_dominated_sorted(cuts);
+        self.stats.dominance_kills += (before_filter - cuts.len()) as u64;
+        let before_cap = cuts.len();
         cuts.truncate(self.limit);
+        self.stats.record_truncation(before_cap, cuts.len());
     }
 
     fn name(&self) -> &'static str {
         "abc-default"
+    }
+
+    fn stats(&self) -> PolicyStats {
+        self.stats
     }
 }
 
@@ -67,17 +124,24 @@ impl CutPolicy for DefaultPolicy {
 pub struct UnlimitedPolicy {
     /// Safety cap on cuts per node.
     pub cap: usize,
+    stats: PolicyStats,
 }
 
 impl UnlimitedPolicy {
     /// Unlimited mode with the default safety cap of 1000.
     pub fn new() -> UnlimitedPolicy {
-        UnlimitedPolicy { cap: 1000 }
+        UnlimitedPolicy {
+            cap: 1000,
+            stats: PolicyStats::default(),
+        }
     }
 
     /// Unlimited mode with a custom safety cap.
     pub fn with_cap(cap: usize) -> UnlimitedPolicy {
-        UnlimitedPolicy { cap }
+        UnlimitedPolicy {
+            cap,
+            stats: PolicyStats::default(),
+        }
     }
 }
 
@@ -89,11 +153,17 @@ impl Default for UnlimitedPolicy {
 
 impl CutPolicy for UnlimitedPolicy {
     fn refine(&mut self, _aig: &Aig, _node: NodeId, cuts: &mut Vec<Cut>) {
+        let before = cuts.len();
         cuts.truncate(self.cap);
+        self.stats.record_truncation(before, cuts.len());
     }
 
     fn name(&self) -> &'static str {
         "abc-unlimited"
+    }
+
+    fn stats(&self) -> PolicyStats {
+        self.stats
     }
 }
 
@@ -111,29 +181,44 @@ pub struct ShufflePolicy {
     /// Number of cuts kept per node after shuffling.
     pub keep: usize,
     rng: Rng64,
+    stats: PolicyStats,
 }
 
 impl ShufflePolicy {
     /// Creates a shuffling policy with a seed; `keep` defaults to 8,
     /// which empirically produces a Fig. 1-like QoR spread.
     pub fn new(seed: u64) -> ShufflePolicy {
-        ShufflePolicy { keep: 8, rng: Rng64::seed_from(seed) }
+        ShufflePolicy {
+            keep: 8,
+            rng: Rng64::seed_from(seed),
+            stats: PolicyStats::default(),
+        }
     }
 
     /// Creates a shuffling policy with an explicit keep count.
     pub fn with_keep(seed: u64, keep: usize) -> ShufflePolicy {
-        ShufflePolicy { keep, rng: Rng64::seed_from(seed) }
+        ShufflePolicy {
+            keep,
+            rng: Rng64::seed_from(seed),
+            stats: PolicyStats::default(),
+        }
     }
 }
 
 impl CutPolicy for ShufflePolicy {
     fn refine(&mut self, _aig: &Aig, _node: NodeId, cuts: &mut Vec<Cut>) {
         self.rng.shuffle(cuts);
+        let before = cuts.len();
         cuts.truncate(self.keep);
+        self.stats.record_truncation(before, cuts.len());
     }
 
     fn name(&self) -> &'static str {
         "random-shuffle"
+    }
+
+    fn stats(&self) -> PolicyStats {
+        self.stats
     }
 }
 

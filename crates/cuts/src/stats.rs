@@ -59,7 +59,11 @@ impl std::fmt::Display for CutStats {
         write!(
             f,
             "cuts={} nodes={} mean/node={:.1} max/node={} mean-leaves={:.2} sizes={:?}",
-            self.total, self.nodes, self.mean_per_node, self.max_per_node, self.mean_leaves,
+            self.total,
+            self.nodes,
+            self.mean_per_node,
+            self.max_per_node,
+            self.mean_leaves,
             self.size_histogram
         )
     }
@@ -98,7 +102,11 @@ mod tests {
         let aig = chain(8);
         let sets = enumerate_cuts(&aig, &CutConfig::with_k(4), &mut UnlimitedPolicy::new());
         let stats = CutStats::of(&aig, &sets);
-        assert!(stats.mean_leaves >= 2.0 && stats.mean_leaves <= 4.0, "{}", stats.mean_leaves);
+        assert!(
+            stats.mean_leaves >= 2.0 && stats.mean_leaves <= 4.0,
+            "{}",
+            stats.mean_leaves
+        );
         assert_eq!(stats.size_histogram.len(), 4);
         // A pure AND chain has no 1-leaf non-trivial cuts.
         assert_eq!(stats.size_histogram[0], 0);
@@ -107,8 +115,14 @@ mod tests {
     #[test]
     fn unlimited_mean_per_node_at_least_default() {
         let aig = chain(10);
-        let d = CutStats::of(&aig, &enumerate_cuts(&aig, &CutConfig::default(), &mut DefaultPolicy::default()));
-        let u = CutStats::of(&aig, &enumerate_cuts(&aig, &CutConfig::default(), &mut UnlimitedPolicy::new()));
+        let d = CutStats::of(
+            &aig,
+            &enumerate_cuts(&aig, &CutConfig::default(), &mut DefaultPolicy::default()),
+        );
+        let u = CutStats::of(
+            &aig,
+            &enumerate_cuts(&aig, &CutConfig::default(), &mut UnlimitedPolicy::new()),
+        );
         assert!(u.mean_per_node >= d.mean_per_node);
         assert!(!format!("{u}").is_empty());
     }

@@ -1,20 +1,45 @@
-//! Property-based tests for the cut data structure and enumeration.
+//! Randomized property tests for the cut data structure and enumeration.
+//!
+//! Driven by the workspace's own deterministic [`Rng64`] instead of an
+//! external property-testing crate (workspace policy: zero external
+//! dependencies). Every run replays the same cases from a fixed seed.
 
-use proptest::prelude::*;
-use slap_aig::{Aig, NodeId};
+use slap_aig::{Aig, NodeId, Rng64};
 use slap_cuts::{enumerate_cuts, Cut, CutConfig, DefaultPolicy, UnlimitedPolicy};
 
-fn leaf_set() -> impl Strategy<Value = Vec<usize>> {
-    prop::collection::btree_set(0usize..64, 1..=6).prop_map(|s| s.into_iter().collect())
+/// A random sorted, deduplicated leaf id set of size 1..=`max` from 0..64.
+fn leaf_set_sized(rng: &mut Rng64, max: usize) -> Vec<usize> {
+    let size = 1 + rng.index(max);
+    let mut ids: Vec<usize> = (0..size).map(|_| rng.index(64)).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    ids
+}
+
+/// A random sorted, deduplicated leaf id set of size 1..=6 from 0..64.
+fn leaf_set(rng: &mut Rng64) -> Vec<usize> {
+    leaf_set_sized(rng, 6)
+}
+
+/// `base` plus up to `extra` more random ids (still within the 6-leaf
+/// cut capacity if the caller budgets sizes).
+fn superset_of(rng: &mut Rng64, base: &[usize], extra: usize) -> Vec<usize> {
+    let mut out = base.to_vec();
+    out.extend(leaf_set_sized(rng, extra));
+    out.sort_unstable();
+    out.dedup();
+    out
 }
 
 fn to_cut(ids: &[usize]) -> Cut {
     Cut::from_leaves(&ids.iter().map(|&i| NodeId::new(i)).collect::<Vec<_>>())
 }
 
-proptest! {
-    #[test]
-    fn merge_is_set_union(a in leaf_set(), b in leaf_set()) {
+#[test]
+fn merge_is_set_union() {
+    let mut rng = Rng64::seed_from(0xC07_0001);
+    for _ in 0..256 {
+        let (a, b) = (leaf_set(&mut rng), leaf_set(&mut rng));
         let ca = to_cut(&a);
         let cb = to_cut(&b);
         let mut union: Vec<usize> = a.iter().chain(b.iter()).copied().collect();
@@ -22,35 +47,58 @@ proptest! {
         union.dedup();
         match ca.merge(&cb, 6) {
             Some(m) => {
-                prop_assert!(union.len() <= 6);
+                assert!(union.len() <= 6);
                 let leaves: Vec<usize> = m.leaves().map(|n| n.index()).collect();
-                prop_assert_eq!(leaves, union);
+                assert_eq!(leaves, union);
             }
-            None => prop_assert!(union.len() > 6),
+            None => assert!(union.len() > 6),
         }
     }
+}
 
-    #[test]
-    fn merge_is_commutative(a in leaf_set(), b in leaf_set()) {
-        let ca = to_cut(&a);
-        let cb = to_cut(&b);
-        prop_assert_eq!(ca.merge(&cb, 5), cb.merge(&ca, 5));
+#[test]
+fn merge_is_commutative() {
+    let mut rng = Rng64::seed_from(0xC07_0002);
+    for _ in 0..256 {
+        let ca = to_cut(&leaf_set(&mut rng));
+        let cb = to_cut(&leaf_set(&mut rng));
+        assert_eq!(ca.merge(&cb, 5), cb.merge(&ca, 5));
     }
+}
 
-    #[test]
-    fn dominates_iff_subset(a in leaf_set(), b in leaf_set()) {
+#[test]
+fn dominates_iff_subset() {
+    let mut rng = Rng64::seed_from(0xC07_0003);
+    for step in 0..256 {
+        // Bias half the cases toward genuine supersets so the positive
+        // direction of the iff is actually exercised.
+        let (a, b) = if step % 2 == 0 {
+            let a = leaf_set_sized(&mut rng, 3);
+            let b = superset_of(&mut rng, &a, 3);
+            (a, b)
+        } else {
+            (leaf_set(&mut rng), leaf_set(&mut rng))
+        };
         let ca = to_cut(&a);
         let cb = to_cut(&b);
         let subset = a.iter().all(|x| b.contains(x));
-        prop_assert_eq!(ca.dominates(&cb), subset);
+        assert_eq!(ca.dominates(&cb), subset, "a={a:?} b={b:?}");
     }
+}
 
-    #[test]
-    fn dominance_is_transitive(a in leaf_set(), b in leaf_set(), c in leaf_set()) {
+#[test]
+fn dominance_is_transitive() {
+    let mut rng = Rng64::seed_from(0xC07_0004);
+    for _ in 0..256 {
+        // Build a ⊆ b ⊆ c by construction (sizes budgeted to stay within
+        // the 6-leaf cut capacity), then check transitivity.
+        let a = leaf_set_sized(&mut rng, 2);
+        let b = superset_of(&mut rng, &a, 2);
+        let c = superset_of(&mut rng, &b, 2);
         let (ca, cb, cc) = (to_cut(&a), to_cut(&b), to_cut(&c));
-        if ca.dominates(&cb) && cb.dominates(&cc) {
-            prop_assert!(ca.dominates(&cc));
-        }
+        assert!(ca.dominates(&cb));
+        assert!(cb.dominates(&cc));
+        assert!(ca.dominates(&cc));
     }
 }
 
@@ -69,31 +117,38 @@ fn random_aig(num_pis: usize, pairs: &[(usize, usize, bool, bool)]) -> Aig {
     aig
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn random_pairs(rng: &mut Rng64, max_len: usize, bound: usize) -> Vec<(usize, usize, bool, bool)> {
+    let len = 1 + rng.index(max_len);
+    (0..len)
+        .map(|_| (rng.index(bound), rng.index(bound), rng.bool(), rng.bool()))
+        .collect()
+}
 
-    #[test]
-    fn enumerated_cuts_are_valid_cuts(
-        pairs in prop::collection::vec((0usize..100, 0usize..100, any::<bool>(), any::<bool>()), 1..40)
-    ) {
+#[test]
+fn enumerated_cuts_are_valid_cuts() {
+    let mut rng = Rng64::seed_from(0xC07_0005);
+    for _ in 0..64 {
+        let pairs = random_pairs(&mut rng, 39, 100);
         let aig = random_aig(4, &pairs);
         let sets = enumerate_cuts(&aig, &CutConfig::default(), &mut UnlimitedPolicy::new());
         for n in aig.and_ids() {
             for cut in sets.cuts_of(n) {
                 let leaves: Vec<NodeId> = cut.leaves().collect();
                 // Every enumerated cut must have a closed cone.
-                prop_assert!(
+                assert!(
                     slap_aig::cone::collect_cone(&aig, n, &leaves).is_some(),
-                    "invalid cut {:?} at {:?}", cut, n
+                    "invalid cut {cut:?} at {n:?}"
                 );
             }
         }
     }
+}
 
-    #[test]
-    fn default_sets_have_no_dominated_pairs(
-        pairs in prop::collection::vec((0usize..60, 0usize..60, any::<bool>(), any::<bool>()), 1..30)
-    ) {
+#[test]
+fn default_sets_have_no_dominated_pairs() {
+    let mut rng = Rng64::seed_from(0xC07_0006);
+    for _ in 0..64 {
+        let pairs = random_pairs(&mut rng, 29, 60);
         let aig = random_aig(4, &pairs);
         let sets = enumerate_cuts(&aig, &CutConfig::default(), &mut DefaultPolicy::default());
         for n in aig.and_ids() {
@@ -101,20 +156,22 @@ proptest! {
             for (i, a) in cuts.iter().enumerate() {
                 for (j, b) in cuts.iter().enumerate() {
                     if i != j {
-                        prop_assert!(!a.dominates(b), "dominated pair survived at {:?}", n);
+                        assert!(!a.dominates(b), "dominated pair survived at {n:?}");
                     }
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn default_cut_count_never_exceeds_unlimited(
-        pairs in prop::collection::vec((0usize..60, 0usize..60, any::<bool>(), any::<bool>()), 1..30)
-    ) {
+#[test]
+fn default_cut_count_never_exceeds_unlimited() {
+    let mut rng = Rng64::seed_from(0xC07_0007);
+    for _ in 0..64 {
+        let pairs = random_pairs(&mut rng, 29, 60);
         let aig = random_aig(4, &pairs);
         let d = enumerate_cuts(&aig, &CutConfig::default(), &mut DefaultPolicy::default());
         let u = enumerate_cuts(&aig, &CutConfig::default(), &mut UnlimitedPolicy::new());
-        prop_assert!(d.total_cuts() <= u.total_cuts());
+        assert!(d.total_cuts() <= u.total_cuts());
     }
 }

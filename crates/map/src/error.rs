@@ -25,7 +25,11 @@ impl fmt::Display for MapError {
             MapError::Unmappable { node, complemented } => write!(
                 f,
                 "node n{node} has no implementation for its {} phase",
-                if *complemented { "complemented" } else { "positive" }
+                if *complemented {
+                    "complemented"
+                } else {
+                    "positive"
+                }
             ),
             MapError::CutSetMismatch => write!(f, "cut sets do not belong to this graph"),
         }
@@ -40,7 +44,10 @@ mod tests {
 
     #[test]
     fn display() {
-        let e = MapError::Unmappable { node: 3, complemented: true };
+        let e = MapError::Unmappable {
+            node: 3,
+            complemented: true,
+        };
         assert!(e.to_string().contains("n3"));
         assert!(MapError::CutSetMismatch.to_string().contains("cut sets"));
     }

@@ -40,13 +40,13 @@
 //! ```
 
 pub mod error;
-pub mod matching;
 pub mod mapping;
+pub mod matching;
 pub mod netlist;
 pub mod verilog;
 
 pub use error::MapError;
-pub use mapping::{MapOptions, MapStats, Mapper};
+pub use mapping::{MapOptions, MapStats, Mapper, PhaseTimes};
 pub use matching::{compute_matches, MatchStats, NodeMatches, PreparedMatch};
 pub use netlist::{Instance, MappedNetlist, PoSource, Signal};
 pub use verilog::write_verilog;

@@ -1,9 +1,11 @@
 //! The covering engine: delay-optimal mapping with area recovery.
 
+use std::time::Instant;
+
 use slap_aig::{Aig, NodeId, Rng64};
 use slap_cell::{Library, MatchIndex};
 use slap_cuts::{
-    enumerate_cuts, CutConfig, CutSets, DefaultPolicy, ShufflePolicy, UnlimitedPolicy,
+    enumerate_cuts, CutConfig, CutEnumStats, CutSets, DefaultPolicy, ShufflePolicy, UnlimitedPolicy,
 };
 
 use crate::error::MapError;
@@ -28,18 +30,55 @@ pub struct MapOptions {
 impl MapOptions {
     /// ABC-like defaults: two area-flow passes and one exact pass.
     pub fn new() -> MapOptions {
-        MapOptions { area_flow_passes: 2, exact_area_passes: 1, add_structural_matches: true }
+        MapOptions {
+            area_flow_passes: 2,
+            exact_area_passes: 1,
+            add_structural_matches: true,
+        }
     }
 
     /// Delay-only mapping (no area recovery) — useful for ablations.
     pub fn delay_only() -> MapOptions {
-        MapOptions { area_flow_passes: 0, exact_area_passes: 0, add_structural_matches: true }
+        MapOptions {
+            area_flow_passes: 0,
+            exact_area_passes: 0,
+            add_structural_matches: true,
+        }
     }
 }
 
 impl Default for MapOptions {
     fn default() -> MapOptions {
         MapOptions::new()
+    }
+}
+
+/// Wall-clock seconds spent in each mapping phase.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PhaseTimes {
+    /// Cut enumeration (zero when cuts were supplied externally).
+    pub enumerate_s: f64,
+    /// Boolean matching against the library index.
+    pub match_s: f64,
+    /// Delay-optimal covering (the first DP pass).
+    pub cover_s: f64,
+    /// Global area-flow recovery passes.
+    pub area_flow_s: f64,
+    /// Exact local-area recovery passes.
+    pub exact_area_s: f64,
+    /// Load-aware static timing analysis.
+    pub sta_s: f64,
+}
+
+impl PhaseTimes {
+    /// Sum over all phases.
+    pub fn total_s(&self) -> f64 {
+        self.enumerate_s
+            + self.match_s
+            + self.cover_s
+            + self.area_flow_s
+            + self.exact_area_s
+            + self.sta_s
     }
 }
 
@@ -60,6 +99,12 @@ pub struct MapStats {
     pub num_inverters: usize,
     /// Matching-step statistics.
     pub match_stats: MatchStats,
+    /// Cut-enumeration counters for the cut sets this run consumed.
+    pub cut_stats: CutEnumStats,
+    /// Match evaluations performed across all DP passes.
+    pub matches_tried: u64,
+    /// Per-phase wall time.
+    pub phase: PhaseTimes,
 }
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -82,7 +127,13 @@ struct Ph {
 
 impl Ph {
     fn unset() -> Ph {
-        Ph { arrival: f32::INFINITY, required: f32::INFINITY, flow: f32::INFINITY, refs: 0, choice: Choice::Unset }
+        Ph {
+            arrival: f32::INFINITY,
+            required: f32::INFINITY,
+            flow: f32::INFINITY,
+            refs: 0,
+            choice: Choice::Unset,
+        }
     }
 }
 
@@ -100,7 +151,11 @@ pub struct Mapper<'a> {
 impl<'a> Mapper<'a> {
     /// Builds a mapper (and its match index) for a library.
     pub fn new(library: &'a Library, options: MapOptions) -> Mapper<'a> {
-        Mapper { library, index: MatchIndex::build(library), options }
+        Mapper {
+            library,
+            index: MatchIndex::build(library),
+            options,
+        }
     }
 
     /// The library this mapper targets.
@@ -121,8 +176,9 @@ impl<'a> Mapper<'a> {
     /// Returns [`MapError`] if some required node has no implementation
     /// (impossible with a library containing basic 2-input cells).
     pub fn map_default(&self, aig: &Aig, config: &CutConfig) -> Result<MappedNetlist, MapError> {
+        let t0 = Instant::now();
         let cuts = enumerate_cuts(aig, config, &mut DefaultPolicy::default());
-        self.map_with_cuts(aig, &cuts)
+        self.map_with_cuts_timed(aig, &cuts, t0.elapsed().as_secs_f64())
     }
 
     /// Maps with the paper's *ABC Unlimited* policy (no sorting or
@@ -137,8 +193,9 @@ impl<'a> Mapper<'a> {
         config: &CutConfig,
         cap: usize,
     ) -> Result<MappedNetlist, MapError> {
+        let t0 = Instant::now();
         let cuts = enumerate_cuts(aig, config, &mut UnlimitedPolicy::with_cap(cap));
-        self.map_with_cuts(aig, &cuts)
+        self.map_with_cuts_timed(aig, &cuts, t0.elapsed().as_secs_f64())
     }
 
     /// Maps with the random-shuffle policy used for design-space
@@ -155,8 +212,9 @@ impl<'a> Mapper<'a> {
         keep: usize,
     ) -> Result<MappedNetlist, MapError> {
         let _ = Rng64::seed_from(seed); // seed validity is trivially total; kept for symmetry
+        let t0 = Instant::now();
         let cuts = enumerate_cuts(aig, config, &mut ShufflePolicy::with_keep(seed, keep));
-        self.map_with_cuts(aig, &cuts)
+        self.map_with_cuts_timed(aig, &cuts, t0.elapsed().as_secs_f64())
     }
 
     /// Maps an AIG given externally prepared cut sets (the `read_cuts`
@@ -167,6 +225,17 @@ impl<'a> Mapper<'a> {
     /// Returns [`MapError::CutSetMismatch`] if the cut sets were built for
     /// a different graph, or [`MapError::Unmappable`] if covering fails.
     pub fn map_with_cuts(&self, aig: &Aig, cuts: &CutSets) -> Result<MappedNetlist, MapError> {
+        self.map_with_cuts_timed(aig, cuts, 0.0)
+    }
+
+    /// [`Mapper::map_with_cuts`] with the seconds already spent on cut
+    /// enumeration, so the phase breakdown covers the whole run.
+    fn map_with_cuts_timed(
+        &self,
+        aig: &Aig,
+        cuts: &CutSets,
+        enumerate_s: f64,
+    ) -> Result<MappedNetlist, MapError> {
         if aig.and_ids().next().is_some() {
             // Cheap sanity check: every stored cut list must index within
             // the graph.
@@ -179,21 +248,65 @@ impl<'a> Mapper<'a> {
                 }
             }
         }
-        let (matches, match_stats) =
-            compute_matches(aig, cuts, &self.index, self.options.add_structural_matches);
+        let mut phase_times = PhaseTimes {
+            enumerate_s,
+            ..PhaseTimes::default()
+        };
+        let mut matches_tried = 0u64;
+
+        let t = Instant::now();
+        let (matches, match_stats) = {
+            let _span = slap_obs::span("match");
+            compute_matches(aig, cuts, &self.index, self.options.add_structural_matches)
+        };
+        phase_times.match_s = t.elapsed().as_secs_f64();
+
         let mut state: Vec<[Ph; 2]> = vec![[Ph::unset(), Ph::unset()]; aig.num_nodes()];
-        self.init_terminals(aig, &mut state);
-        self.delay_pass(aig, &matches, &mut state);
-        let mut dp_delay = self.compute_refs_required(aig, &matches, &mut state);
-        for _ in 0..self.options.area_flow_passes {
-            self.area_flow_pass(aig, &matches, &mut state);
-            dp_delay = self.compute_refs_required(aig, &matches, &mut state);
+        let t = Instant::now();
+        let mut dp_delay = {
+            let _span = slap_obs::span("cover");
+            self.init_terminals(aig, &mut state);
+            matches_tried += self.delay_pass(aig, &matches, &mut state);
+            self.compute_refs_required(aig, &matches, &mut state)
+        };
+        phase_times.cover_s = t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        {
+            let _span = slap_obs::span("area-flow");
+            for _ in 0..self.options.area_flow_passes {
+                matches_tried += self.area_flow_pass(aig, &matches, &mut state);
+                dp_delay = self.compute_refs_required(aig, &matches, &mut state);
+            }
         }
-        for _ in 0..self.options.exact_area_passes {
-            self.exact_area_pass(aig, &matches, &mut state);
-            dp_delay = self.compute_refs_required(aig, &matches, &mut state);
+        phase_times.area_flow_s = t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        {
+            let _span = slap_obs::span("exact-area");
+            for _ in 0..self.options.exact_area_passes {
+                matches_tried += self.exact_area_pass(aig, &matches, &mut state);
+                dp_delay = self.compute_refs_required(aig, &matches, &mut state);
+            }
         }
-        let netlist = self.extract(aig, &matches, &state, dp_delay, match_stats)?;
+        phase_times.exact_area_s = t.elapsed().as_secs_f64();
+
+        let netlist = self.extract(
+            aig,
+            &matches,
+            &state,
+            dp_delay,
+            match_stats,
+            *cuts.stats(),
+            matches_tried,
+            phase_times,
+        )?;
+        let reg = slap_obs::Registry::global();
+        reg.counter("map.matches_tried").add(matches_tried);
+        reg.counter("map.npn_hits").add(match_stats.npn_hits);
+        reg.counter("map.npn_misses").add(match_stats.npn_misses);
+        reg.counter("map.inverters")
+            .add(netlist.stats().num_inverters as u64);
         Ok(netlist)
     }
 
@@ -208,11 +321,29 @@ impl<'a> Mapper<'a> {
 
     fn init_terminals(&self, aig: &Aig, state: &mut [[Ph; 2]]) {
         let c0 = &mut state[NodeId::CONST0.index()];
-        c0[0] = Ph { arrival: 0.0, required: f32::INFINITY, flow: 0.0, refs: 0, choice: Choice::Const };
-        c0[1] = Ph { arrival: 0.0, required: f32::INFINITY, flow: 0.0, refs: 0, choice: Choice::Const };
+        c0[0] = Ph {
+            arrival: 0.0,
+            required: f32::INFINITY,
+            flow: 0.0,
+            refs: 0,
+            choice: Choice::Const,
+        };
+        c0[1] = Ph {
+            arrival: 0.0,
+            required: f32::INFINITY,
+            flow: 0.0,
+            refs: 0,
+            choice: Choice::Const,
+        };
         for pi in aig.pis() {
             let s = &mut state[pi.index()];
-            s[0] = Ph { arrival: 0.0, required: f32::INFINITY, flow: 0.0, refs: 0, choice: Choice::PiPos };
+            s[0] = Ph {
+                arrival: 0.0,
+                required: f32::INFINITY,
+                flow: 0.0,
+                refs: 0,
+                choice: Choice::PiPos,
+            };
             s[1] = Ph {
                 arrival: self.inv_delay(),
                 required: f32::INFINITY,
@@ -245,10 +376,13 @@ impl<'a> Mapper<'a> {
         flow
     }
 
-    fn delay_pass(&self, aig: &Aig, matches: &[NodeMatches], state: &mut Vec<[Ph; 2]>) {
+    /// Returns the number of match evaluations performed.
+    fn delay_pass(&self, aig: &Aig, matches: &[NodeMatches], state: &mut [[Ph; 2]]) -> u64 {
+        let mut tried = 0u64;
         for n in aig.and_ids() {
             for phase in 0..2 {
                 let list = matches[n.index()].phase(phase == 1);
+                tried += list.len() as u64;
                 let mut best: Option<(f32, f32, u32)> = None; // (arrival, area, idx)
                 for (i, m) in list.iter().enumerate() {
                     let arr = self.match_arrival(m, state);
@@ -296,11 +430,17 @@ impl<'a> Mapper<'a> {
                 state[n.index()][phase].flow = flow;
             }
         }
+        tried
     }
 
     /// Rebuilds reference counts and required times from the POs over the
     /// current choices. Returns the DP delay (max PO arrival).
-    fn compute_refs_required(&self, aig: &Aig, matches: &[NodeMatches], state: &mut [[Ph; 2]]) -> f32 {
+    fn compute_refs_required(
+        &self,
+        aig: &Aig,
+        matches: &[NodeMatches],
+        state: &mut [[Ph; 2]],
+    ) -> f32 {
         for s in state.iter_mut() {
             s[0].refs = 0;
             s[0].required = f32::INFINITY;
@@ -359,12 +499,15 @@ impl<'a> Mapper<'a> {
         dp_delay
     }
 
-    fn area_flow_pass(&self, aig: &Aig, matches: &[NodeMatches], state: &mut Vec<[Ph; 2]>) {
+    /// Returns the number of match evaluations performed.
+    fn area_flow_pass(&self, aig: &Aig, matches: &[NodeMatches], state: &mut [[Ph; 2]]) -> u64 {
+        let mut tried = 0u64;
         for n in aig.and_ids() {
             // Match-based candidates for both phases.
             for phase in 0..2 {
                 let required = state[n.index()][phase].required;
                 let list = matches[n.index()].phase(phase == 1);
+                tried += list.len() as u64;
                 let mut best: Option<(f32, f32, u32)> = None; // (flow, arrival, idx)
                 for (i, m) in list.iter().enumerate() {
                     let arr = self.match_arrival(m, state);
@@ -407,9 +550,12 @@ impl<'a> Mapper<'a> {
                 }
             }
         }
+        tried
     }
 
-    fn exact_area_pass(&self, aig: &Aig, matches: &[NodeMatches], state: &mut Vec<[Ph; 2]>) {
+    /// Returns the number of match evaluations performed.
+    fn exact_area_pass(&self, aig: &Aig, matches: &[NodeMatches], state: &mut [[Ph; 2]]) -> u64 {
+        let mut tried = 0u64;
         for n in aig.and_ids() {
             for phase in 0..2 {
                 if state[n.index()][phase].refs == 0 {
@@ -420,13 +566,15 @@ impl<'a> Mapper<'a> {
                 // Remove the current implementation's cone.
                 self.deref_impl(n, phase, matches, state);
                 let list = matches[n.index()].phase(phase == 1);
+                tried += list.len() as u64;
                 let mut best: Option<(f32, f32, Choice)> = None; // (area, arrival, choice)
                 for (i, m) in list.iter().enumerate() {
                     let arr = self.match_arrival(m, state);
                     if arr > required + EPS {
                         continue;
                     }
-                    let area = self.ref_candidate(n, phase, Choice::Match(i as u32), matches, state);
+                    let area =
+                        self.ref_candidate(n, phase, Choice::Match(i as u32), matches, state);
                     self.deref_candidate(n, phase, Choice::Match(i as u32), matches, state);
                     let better = match best {
                         None => true,
@@ -441,7 +589,8 @@ impl<'a> Mapper<'a> {
                 if matches!(other.choice, Choice::Match(_)) {
                     let arr = other.arrival + self.inv_delay();
                     if arr <= required + EPS {
-                        let area = self.ref_candidate(n, phase, Choice::InvertOther, matches, state);
+                        let area =
+                            self.ref_candidate(n, phase, Choice::InvertOther, matches, state);
                         self.deref_candidate(n, phase, Choice::InvertOther, matches, state);
                         let better = match best {
                             None => true,
@@ -466,11 +615,18 @@ impl<'a> Mapper<'a> {
                 ph.arrival = arr;
             }
         }
+        tried
     }
 
     /// Frees the gate implementing `(n, phase)` and releases its input
     /// references, returning the freed area.
-    fn deref_impl(&self, n: NodeId, phase: usize, matches: &[NodeMatches], state: &mut [[Ph; 2]]) -> f32 {
+    fn deref_impl(
+        &self,
+        n: NodeId,
+        phase: usize,
+        matches: &[NodeMatches],
+        state: &mut [[Ph; 2]],
+    ) -> f32 {
         match state[n.index()][phase].choice {
             Choice::PiPos | Choice::Const | Choice::Unset => 0.0,
             Choice::InvertOther => self.inv_area() + self.release(n, 1 - phase, matches, state),
@@ -485,7 +641,13 @@ impl<'a> Mapper<'a> {
         }
     }
 
-    fn release(&self, m: NodeId, phase: usize, matches: &[NodeMatches], state: &mut [[Ph; 2]]) -> f32 {
+    fn release(
+        &self,
+        m: NodeId,
+        phase: usize,
+        matches: &[NodeMatches],
+        state: &mut [[Ph; 2]],
+    ) -> f32 {
         let s = &mut state[m.index()][phase];
         debug_assert!(s.refs > 0, "release of unreferenced signal");
         s.refs -= 1;
@@ -520,7 +682,13 @@ impl<'a> Mapper<'a> {
         }
     }
 
-    fn acquire(&self, m: NodeId, phase: usize, matches: &[NodeMatches], state: &mut [[Ph; 2]]) -> f32 {
+    fn acquire(
+        &self,
+        m: NodeId,
+        phase: usize,
+        matches: &[NodeMatches],
+        state: &mut [[Ph; 2]],
+    ) -> f32 {
         let needs_impl = state[m.index()][phase].refs == 0;
         let area = if needs_impl {
             // Temporarily reuse ref_candidate on the node's own choice.
@@ -556,6 +724,7 @@ impl<'a> Mapper<'a> {
     }
 
     /// Extracts the final cover as a gate-level netlist.
+    #[allow(clippy::too_many_arguments)]
     fn extract(
         &self,
         aig: &Aig,
@@ -563,6 +732,9 @@ impl<'a> Mapper<'a> {
         state: &[[Ph; 2]],
         dp_delay: f32,
         match_stats: MatchStats,
+        cut_stats: CutEnumStats,
+        matches_tried: u64,
+        mut phase_times: PhaseTimes,
     ) -> Result<MappedNetlist, MapError> {
         let mut instances: Vec<Instance> = Vec::new();
         let mut cover_cuts: Vec<(NodeId, slap_cuts::Cut)> = Vec::new();
@@ -574,7 +746,15 @@ impl<'a> Mapper<'a> {
                 continue;
             }
             let sig = Signal::new(po.node(), po.is_complement());
-            self.emit(aig, matches, state, sig, &mut emitted, &mut instances, &mut cover_cuts)?;
+            self.emit(
+                aig,
+                matches,
+                state,
+                sig,
+                &mut emitted,
+                &mut instances,
+                &mut cover_cuts,
+            )?;
             pos.push(PoSource::Signal(sig));
         }
         let num_inverters = instances
@@ -589,14 +769,33 @@ impl<'a> Mapper<'a> {
             num_instances: instances.len(),
             num_inverters,
             match_stats,
+            cut_stats,
+            matches_tried,
+            phase: phase_times,
         };
-        stats.area = instances.iter().map(|i| self.library.gate(i.gate).area()).sum();
-        let mut netlist =
-            MappedNetlist::new(self.library.clone(), aig.num_pis(), instances, pos, stats, cover_cuts);
-        netlist.run_sta();
+        stats.area = instances
+            .iter()
+            .map(|i| self.library.gate(i.gate).area())
+            .sum();
+        let mut netlist = MappedNetlist::new(
+            self.library.clone(),
+            aig.num_pis(),
+            instances,
+            pos,
+            stats,
+            cover_cuts,
+        );
+        let t = Instant::now();
+        {
+            let _span = slap_obs::span("sta");
+            netlist.run_sta();
+        }
+        phase_times.sta_s = t.elapsed().as_secs_f64();
+        netlist.stats_mut().phase = phase_times;
         Ok(netlist)
     }
 
+    #[allow(clippy::too_many_arguments, clippy::only_used_in_recursion)]
     fn emit(
         &self,
         aig: &Aig,
@@ -614,7 +813,10 @@ impl<'a> Mapper<'a> {
         emitted[n.index()][phase] = true;
         match state[n.index()][phase].choice {
             Choice::PiPos | Choice::Const => Ok(()),
-            Choice::Unset => Err(MapError::Unmappable { node: n.index(), complemented: phase == 1 }),
+            Choice::Unset => Err(MapError::Unmappable {
+                node: n.index(),
+                complemented: phase == 1,
+            }),
             Choice::InvertOther => {
                 let input = Signal::new(n, phase == 0);
                 self.emit(aig, matches, state, input, emitted, out, cover_cuts)?;
@@ -662,8 +864,13 @@ mod tests {
         let aig = small_graph();
         let lib = asap7_mini();
         let mapper = Mapper::new(&lib, MapOptions::default());
-        let nl = mapper.map_default(&aig, &CutConfig::default()).expect("maps");
-        assert!(nl.verify_against(&aig, 32, 3), "netlist must be functionally equivalent");
+        let nl = mapper
+            .map_default(&aig, &CutConfig::default())
+            .expect("maps");
+        assert!(
+            nl.verify_against(&aig, 32, 3),
+            "netlist must be functionally equivalent"
+        );
         assert!(nl.area() > 0.0);
         assert!(nl.delay() > 0.0);
         assert!(nl.stats().cuts_considered > 0);
@@ -689,8 +896,12 @@ mod tests {
         let aig = small_graph();
         let lib = asap7_mini();
         let mapper = Mapper::new(&lib, MapOptions::default());
-        let d = mapper.map_default(&aig, &CutConfig::default()).expect("maps");
-        let u = mapper.map_unlimited(&aig, &CutConfig::default(), 1000).expect("maps");
+        let d = mapper
+            .map_default(&aig, &CutConfig::default())
+            .expect("maps");
+        let u = mapper
+            .map_unlimited(&aig, &CutConfig::default(), 1000)
+            .expect("maps");
         assert!(u.stats().cuts_considered >= d.stats().cuts_considered);
         assert!(u.verify_against(&aig, 16, 4));
     }
@@ -701,9 +912,32 @@ mod tests {
         let lib = asap7_mini();
         let mapper = Mapper::new(&lib, MapOptions::default());
         for seed in 0..8 {
-            let nl = mapper.map_shuffled(&aig, &CutConfig::default(), seed, 4).expect("maps");
-            assert!(nl.verify_against(&aig, 16, seed + 100), "seed {seed} broke equivalence");
+            let nl = mapper
+                .map_shuffled(&aig, &CutConfig::default(), seed, 4)
+                .expect("maps");
+            assert!(
+                nl.verify_against(&aig, 16, seed + 100),
+                "seed {seed} broke equivalence"
+            );
         }
+    }
+
+    #[test]
+    fn stats_carry_phase_times_and_work_counters() {
+        let aig = small_graph();
+        let lib = asap7_mini();
+        let mapper = Mapper::new(&lib, MapOptions::default());
+        let nl = mapper
+            .map_default(&aig, &CutConfig::default())
+            .expect("maps");
+        let s = nl.stats();
+        assert!(s.matches_tried > 0);
+        assert!(s.match_stats.npn_hits > 0);
+        assert!(s.cut_stats.cuts_enumerated > 0);
+        assert_eq!(s.cut_stats.nodes_processed as usize, aig.num_ands());
+        // Phase times are measured (non-negative) and sum consistently.
+        assert!(s.phase.enumerate_s >= 0.0 && s.phase.sta_s >= 0.0);
+        assert!(s.phase.total_s() >= s.phase.match_s);
     }
 
     #[test]
@@ -716,7 +950,9 @@ mod tests {
         aig.add_po(slap_aig::Lit::FALSE);
         let lib = asap7_mini();
         let mapper = Mapper::new(&lib, MapOptions::default());
-        let nl = mapper.map_default(&aig, &CutConfig::default()).expect("maps");
+        let nl = mapper
+            .map_default(&aig, &CutConfig::default())
+            .expect("maps");
         assert!(nl.verify_against(&aig, 8, 5));
         // Exactly one inverter for !a; constants and the plain PI are free.
         assert_eq!(nl.stats().num_instances, 1);
@@ -728,7 +964,9 @@ mod tests {
         let aig = Aig::new();
         let lib = asap7_mini();
         let mapper = Mapper::new(&lib, MapOptions::default());
-        let nl = mapper.map_default(&aig, &CutConfig::default()).expect("maps");
+        let nl = mapper
+            .map_default(&aig, &CutConfig::default())
+            .expect("maps");
         assert_eq!(nl.stats().num_instances, 0);
         assert_eq!(nl.area(), 0.0);
         assert_eq!(nl.delay(), 0.0);

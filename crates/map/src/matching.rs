@@ -53,6 +53,22 @@ pub struct MatchStats {
     pub structural_added: usize,
     /// Total prepared matches over all nodes and phases.
     pub total_matches: usize,
+    /// Match-index lookups that returned at least one gate.
+    pub npn_hits: u64,
+    /// Match-index lookups that returned nothing.
+    pub npn_misses: u64,
+}
+
+impl MatchStats {
+    /// Fraction of index lookups that found a gate (`0.0` when none ran).
+    pub fn npn_hit_rate(&self) -> f64 {
+        let total = self.npn_hits + self.npn_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.npn_hits as f64 / total as f64
+        }
+    }
 }
 
 /// Computes the per-node match lists for every AND node.
@@ -81,18 +97,34 @@ pub fn compute_matches(
         let list = cuts.cuts_of(n);
         let (f0, f1) = aig.fanins(n);
         let structural = Cut::from_leaves(&[f0.node(), f1.node()]);
-        let has_structural = list.iter().any(|c| *c == structural);
+        let has_structural = list.contains(&structural);
         let mut matches = NodeMatches::default();
         for cut in list {
             stats.cuts_considered += 1;
-            if match_cut(aig, n, cut, index, &mut matches, &mut scratch_leaves) {
+            if match_cut(
+                aig,
+                n,
+                cut,
+                index,
+                &mut matches,
+                &mut scratch_leaves,
+                &mut stats,
+            ) {
                 stats.cuts_matched += 1;
             }
         }
         if add_structural && !has_structural {
             stats.structural_added += 1;
             stats.cuts_considered += 1;
-            if match_cut(aig, n, &structural, index, &mut matches, &mut scratch_leaves) {
+            if match_cut(
+                aig,
+                n,
+                &structural,
+                index,
+                &mut matches,
+                &mut scratch_leaves,
+                &mut stats,
+            ) {
                 stats.cuts_matched += 1;
             }
         }
@@ -104,6 +136,7 @@ pub fn compute_matches(
 
 /// Matches a single cut, appending prepared matches for both phases.
 /// Returns true if anything matched.
+#[allow(clippy::too_many_arguments)]
 fn match_cut(
     aig: &Aig,
     root: NodeId,
@@ -111,6 +144,7 @@ fn match_cut(
     index: &MatchIndex,
     out: &mut NodeMatches,
     scratch: &mut Vec<NodeId>,
+    stats: &mut MatchStats,
 ) -> bool {
     scratch.clear();
     scratch.extend(cut.leaves());
@@ -127,13 +161,23 @@ fn match_cut(
     }
     let mut any = false;
     for (phase, key) in [(false, tt), (true, tt.not())] {
-        for entry in index.matches(key) {
+        let entries = index.matches(key);
+        if entries.is_empty() {
+            stats.npn_misses += 1;
+        } else {
+            stats.npn_hits += 1;
+        }
+        for entry in entries {
             let mut leaves = Vec::with_capacity(support.len());
             for (i, &orig_var) in support.iter().enumerate() {
                 let leaf = scratch[orig_var];
                 leaves.push((leaf, entry.leaf_complemented(i), entry.pin(i) as u8));
             }
-            let m = PreparedMatch { gate: entry.gate, leaves, cut: *cut };
+            let m = PreparedMatch {
+                gate: entry.gate,
+                leaves,
+                cut: *cut,
+            };
             if phase {
                 out.neg.push(m);
             } else {
@@ -189,6 +233,9 @@ mod tests {
         }
         assert!(stats.cuts_considered >= cuts.total_cuts());
         assert!(stats.total_matches > 0);
+        assert!(stats.npn_hits > 0);
+        assert!(stats.npn_hit_rate() > 0.0 && stats.npn_hit_rate() <= 1.0);
+        assert_eq!(MatchStats::default().npn_hit_rate(), 0.0);
     }
 
     #[test]
@@ -199,10 +246,7 @@ mod tests {
         let cuts = enumerate_cuts(&aig, &CutConfig::default(), &mut DefaultPolicy::default());
         let (matches, _) = compute_matches(&aig, &cuts, &index, true);
         // The XOR root (third AND created) should have an XOR2 match.
-        let xor_root = aig
-            .and_ids()
-            .nth(2)
-            .expect("three AND nodes before final");
+        let xor_root = aig.and_ids().nth(2).expect("three AND nodes before final");
         let nm = &matches[xor_root.index()];
         let has_xor = nm
             .pos
@@ -235,7 +279,11 @@ mod tests {
         let cuts = enumerate_cuts(&aig, &CutConfig::default(), &mut DefaultPolicy::default());
         let (matches, _) = compute_matches(&aig, &cuts, &index, true);
         for n in aig.and_ids() {
-            for m in matches[n.index()].pos.iter().chain(matches[n.index()].neg.iter()) {
+            for m in matches[n.index()]
+                .pos
+                .iter()
+                .chain(matches[n.index()].neg.iter())
+            {
                 let gate = lib.gate(m.gate);
                 assert!(m.leaves.len() <= gate.num_pins());
                 for &(leaf, _, pin) in &m.leaves {

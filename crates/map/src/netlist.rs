@@ -36,7 +36,12 @@ impl Signal {
 
 impl fmt::Debug for Signal {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}{:?}", if self.complement { "!" } else { "" }, self.node)
+        write!(
+            f,
+            "{}{:?}",
+            if self.complement { "!" } else { "" },
+            self.node
+        )
     }
 }
 
@@ -54,7 +59,11 @@ pub struct Instance {
 impl Instance {
     /// Creates an instance.
     pub fn new(gate: GateId, output: Signal, inputs: Vec<Signal>) -> Instance {
-        Instance { gate, output, inputs }
+        Instance {
+            gate,
+            output,
+            inputs,
+        }
     }
 }
 
@@ -149,6 +158,10 @@ impl MappedNetlist {
     /// All mapping statistics.
     pub fn stats(&self) -> &MapStats {
         &self.stats
+    }
+
+    pub(crate) fn stats_mut(&mut self) -> &mut MapStats {
+        &mut self.stats
     }
 
     /// Arrival time of a signal computed by the last [`MappedNetlist::run_sta`].
@@ -272,7 +285,9 @@ impl MappedNetlist {
     pub fn gate_counts(&self) -> HashMap<String, usize> {
         let mut counts = HashMap::new();
         for inst in &self.instances {
-            *counts.entry(self.library.gate(inst.gate).name().to_string()).or_insert(0) += 1;
+            *counts
+                .entry(self.library.gate(inst.gate).name().to_string())
+                .or_insert(0) += 1;
         }
         counts
     }
@@ -340,7 +355,9 @@ mod tests {
         aig.add_po(carry);
         let lib = asap7_mini();
         let mapper = Mapper::new(&lib, MapOptions::default());
-        let nl = mapper.map_default(&aig, &CutConfig::default()).expect("maps");
+        let nl = mapper
+            .map_default(&aig, &CutConfig::default())
+            .expect("maps");
         (aig, nl)
     }
 

@@ -19,14 +19,26 @@ use crate::netlist::{MappedNetlist, PoSource, Signal};
 /// # Errors
 ///
 /// Propagates writer errors.
-pub fn write_verilog<W: Write>(netlist: &MappedNetlist, module: &str, mut w: W) -> std::io::Result<()> {
+pub fn write_verilog<W: Write>(
+    netlist: &MappedNetlist,
+    module: &str,
+    mut w: W,
+) -> std::io::Result<()> {
     let num_pis = netlist.num_pis();
     write!(w, "module {module}(")?;
     for i in 0..num_pis {
         write!(w, "pi{i}, ")?;
     }
     for i in 0..netlist.pos().len() {
-        write!(w, "po{i}{}", if i + 1 < netlist.pos().len() { ", " } else { "" })?;
+        write!(
+            w,
+            "po{i}{}",
+            if i + 1 < netlist.pos().len() {
+                ", "
+            } else {
+                ""
+            }
+        )?;
     }
     writeln!(w, ");")?;
     for i in 0..num_pis {
@@ -63,9 +75,17 @@ pub fn write_verilog<W: Write>(netlist: &MappedNetlist, module: &str, mut w: W) 
 fn net_name(sig: Signal, num_pis: usize) -> String {
     let idx = sig.node().index();
     if sig.node() == NodeId::CONST0 {
-        return if sig.complement() { "1'b1".to_string() } else { "1'b0".to_string() };
+        return if sig.complement() {
+            "1'b1".to_string()
+        } else {
+            "1'b0".to_string()
+        };
     }
-    let base = if idx <= num_pis { format!("pi{}", idx - 1) } else { format!("n{idx}") };
+    let base = if idx <= num_pis {
+        format!("pi{}", idx - 1)
+    } else {
+        format!("n{idx}")
+    };
     if sig.complement() {
         format!("{base}_b")
     } else {
@@ -107,7 +127,10 @@ mod tests {
         assert!(text.contains("input pi0;"));
         assert!(text.contains("output po1;"));
         // One instance line per gate.
-        let instances = text.lines().filter(|l| l.trim_start().contains(" g")).count();
+        let instances = text
+            .lines()
+            .filter(|l| l.trim_start().contains(" g"))
+            .count();
         assert_eq!(instances, nl.instances().len());
         // Every PO is assigned.
         assert!(text.contains("assign po0 ="));

@@ -17,7 +17,13 @@ impl Dataset {
     /// Creates an empty dataset of `rows × cols` samples over `classes`
     /// labels.
     pub fn new(rows: usize, cols: usize, classes: usize) -> Dataset {
-        Dataset { rows, cols, classes, x: Vec::new(), y: Vec::new() }
+        Dataset {
+            rows,
+            cols,
+            classes,
+            x: Vec::new(),
+            y: Vec::new(),
+        }
     }
 
     /// Adds a sample.
@@ -27,7 +33,11 @@ impl Dataset {
     /// Panics if the feature length is not `rows × cols` or the label is
     /// out of range.
     pub fn push(&mut self, features: Vec<f32>, label: u8) {
-        assert_eq!(features.len(), self.rows * self.cols, "feature length mismatch");
+        assert_eq!(
+            features.len(),
+            self.rows * self.cols,
+            "feature length mismatch"
+        );
         assert!((label as usize) < self.classes, "label out of range");
         self.x.push(features);
         self.y.push(label);
@@ -117,8 +127,10 @@ impl Dataset {
                 *v += dlt * dlt;
             }
         }
-        let std: Vec<f32> =
-            var.iter().map(|&v| ((v / n).sqrt() as f32).max(1e-6)).collect();
+        let std: Vec<f32> = var
+            .iter()
+            .map(|&v| ((v / n).sqrt() as f32).max(1e-6))
+            .collect();
         (mean.iter().map(|&m| m as f32).collect(), std)
     }
 }

@@ -21,7 +21,10 @@ pub struct FeatureGroup {
 impl FeatureGroup {
     /// Creates a group.
     pub fn new(name: impl Into<String>, indices: Vec<usize>) -> FeatureGroup {
-        FeatureGroup { name: name.into(), indices }
+        FeatureGroup {
+            name: name.into(),
+            indices,
+        }
     }
 }
 
@@ -80,9 +83,20 @@ mod tests {
             x[1] = rng.f32(); // uninformative
             ds.push(x, (a > 0.0) as u8);
         }
-        let mut model =
-            CutCnn::new(&CnnConfig { filters: 8, ..CnnConfig::default_with_classes(2) }, 2);
-        model.train(&ds, &TrainConfig { epochs: 15, ..TrainConfig::default() });
+        let mut model = CutCnn::new(
+            &CnnConfig {
+                filters: 8,
+                ..CnnConfig::default_with_classes(2)
+            },
+            2,
+        );
+        model.train(
+            &ds,
+            &TrainConfig {
+                epochs: 15,
+                ..TrainConfig::default()
+            },
+        );
         let groups = vec![
             FeatureGroup::new("informative", vec![0]),
             FeatureGroup::new("noise", vec![1]),
@@ -104,9 +118,16 @@ mod tests {
             }
             d
         };
-        let model = CutCnn::new(&CnnConfig { filters: 4, ..CnnConfig::default_with_classes(2) }, 3);
-        let groups: Vec<FeatureGroup> =
-            (0..5).map(|i| FeatureGroup::new(format!("g{i}"), vec![i])).collect();
+        let model = CutCnn::new(
+            &CnnConfig {
+                filters: 4,
+                ..CnnConfig::default_with_classes(2)
+            },
+            3,
+        );
+        let groups: Vec<FeatureGroup> = (0..5)
+            .map(|i| FeatureGroup::new(format!("g{i}"), vec![i]))
+            .collect();
         let imp = permutation_importance(&model, &ds, &groups, 2, 8);
         assert_eq!(imp.len(), 5);
     }

@@ -36,4 +36,4 @@ pub use dataset::Dataset;
 pub use importance::{permutation_importance, FeatureGroup};
 pub use metrics::ConfusionMatrix;
 pub use model::{CnnConfig, CutCnn};
-pub use train::{TrainConfig, TrainReport};
+pub use train::{EpochProgress, ProgressSink, StderrProgress, TrainConfig, TrainReport};

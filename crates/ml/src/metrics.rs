@@ -112,8 +112,20 @@ mod tests {
             x[0] = v;
             ds.push(x, (v as usize).min(2) as u8);
         }
-        let mut m = CutCnn::new(&CnnConfig { filters: 8, ..CnnConfig::default_with_classes(3) }, 1);
-        m.train(&ds, &TrainConfig { epochs: 20, ..TrainConfig::default() });
+        let mut m = CutCnn::new(
+            &CnnConfig {
+                filters: 8,
+                ..CnnConfig::default_with_classes(3)
+            },
+            1,
+        );
+        m.train(
+            &ds,
+            &TrainConfig {
+                epochs: 20,
+                ..TrainConfig::default()
+            },
+        );
         (m, ds)
     }
 

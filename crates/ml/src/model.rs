@@ -20,12 +20,20 @@ pub struct CnnConfig {
 impl CnnConfig {
     /// The paper's configuration.
     pub fn paper() -> CnnConfig {
-        CnnConfig { rows: 15, cols: 10, filters: 128, classes: 10 }
+        CnnConfig {
+            rows: 15,
+            cols: 10,
+            filters: 128,
+            classes: 10,
+        }
     }
 
     /// The paper's shape with a custom class count (useful in tests).
     pub fn default_with_classes(classes: usize) -> CnnConfig {
-        CnnConfig { classes, ..CnnConfig::paper() }
+        CnnConfig {
+            classes,
+            ..CnnConfig::paper()
+        }
     }
 }
 
@@ -60,10 +68,10 @@ pub struct CutCnn {
 
 /// Per-sample forward scratch (exposed to the trainer).
 pub(crate) struct Forward {
-    pub x: Vec<f32>,          // standardized input, rows × cols
-    pub conv_out: Vec<f32>,   // filters × cols, pre-ReLU
-    pub hidden: Vec<f32>,     // filters × cols, post-ReLU
-    pub probs: Vec<f32>,      // classes
+    pub x: Vec<f32>,        // standardized input, rows × cols
+    pub conv_out: Vec<f32>, // filters × cols, pre-ReLU
+    pub hidden: Vec<f32>,   // filters × cols, post-ReLU
+    pub probs: Vec<f32>,    // classes
 }
 
 impl CutCnn {
@@ -75,8 +83,12 @@ impl CutCnn {
         let dense_len = config.classes * hidden;
         let conv_scale = (2.0 / config.rows as f32).sqrt();
         let dense_scale = (2.0 / hidden as f32).sqrt();
-        let conv_w: Vec<f32> = (0..conv_len).map(|_| rng.f32_symmetric(conv_scale)).collect();
-        let dense_w: Vec<f32> = (0..dense_len).map(|_| rng.f32_symmetric(dense_scale)).collect();
+        let conv_w: Vec<f32> = (0..conv_len)
+            .map(|_| rng.f32_symmetric(conv_scale))
+            .collect();
+        let dense_w: Vec<f32> = (0..dense_len)
+            .map(|_| rng.f32_symmetric(dense_scale))
+            .collect();
         let num_params = conv_len + config.filters + dense_len + config.classes;
         CutCnn {
             config: config.clone(),
@@ -154,7 +166,12 @@ impl CutCnn {
         for p in &mut probs {
             *p /= sum;
         }
-        Forward { x, conv_out, hidden, probs }
+        Forward {
+            x,
+            conv_out,
+            hidden,
+            probs,
+        }
     }
 
     /// Class probabilities for a raw (unstandardized) sample.
@@ -282,8 +299,13 @@ mod tests {
     #[test]
     fn gradient_matches_finite_difference() {
         // Numerical check of a few parameters on a tiny model.
-        let cfg = CnnConfig { rows: 3, cols: 2, filters: 2, classes: 3 };
-        let mut model = CutCnn::new(&cfg, 3);
+        let cfg = CnnConfig {
+            rows: 3,
+            cols: 2,
+            filters: 2,
+            classes: 3,
+        };
+        let model = CutCnn::new(&cfg, 3);
         let x: Vec<f32> = (0..6).map(|i| (i as f32) / 3.0 - 0.8).collect();
         let label = 1u8;
         let n = model.num_params();
@@ -296,7 +318,12 @@ mod tests {
         };
         let eps = 1e-3;
         // Check a conv weight, a conv bias, a dense weight, a dense bias.
-        let checks = [0usize, cfg.filters * cfg.rows, cfg.filters * cfg.rows + cfg.filters + 1, n - 1];
+        let checks = [
+            0usize,
+            cfg.filters * cfg.rows,
+            cfg.filters * cfg.rows + cfg.filters + 1,
+            n - 1,
+        ];
         for &i in &checks {
             let mut bumped = model.clone();
             let conv_len = bumped.conv_w.len();
@@ -325,7 +352,12 @@ mod tests {
 
     #[test]
     fn adam_reduces_loss_on_one_sample() {
-        let cfg = CnnConfig { rows: 4, cols: 3, filters: 4, classes: 5 };
+        let cfg = CnnConfig {
+            rows: 4,
+            cols: 3,
+            filters: 4,
+            classes: 5,
+        };
         let mut model = CutCnn::new(&cfg, 4);
         let x: Vec<f32> = (0..12).map(|i| (i % 5) as f32 * 0.3 - 0.5).collect();
         let label = 2u8;
@@ -349,7 +381,12 @@ mod tests {
 
     #[test]
     fn standardization_changes_prediction_input() {
-        let cfg = CnnConfig { rows: 2, cols: 2, filters: 2, classes: 2 };
+        let cfg = CnnConfig {
+            rows: 2,
+            cols: 2,
+            filters: 2,
+            classes: 2,
+        };
         let mut m = CutCnn::new(&cfg, 5);
         let x = vec![10.0f32, 20.0, 30.0, 40.0];
         let p0 = m.predict_probs(&x);

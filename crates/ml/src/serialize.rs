@@ -24,7 +24,11 @@ impl CutCnn {
     pub fn to_text(&self) -> String {
         let c = self.config();
         let mut out = String::new();
-        let _ = writeln!(out, "slap-cnn v1 {} {} {} {}", c.rows, c.cols, c.filters, c.classes);
+        let _ = writeln!(
+            out,
+            "slap-cnn v1 {} {} {} {}",
+            c.rows, c.cols, c.filters, c.classes
+        );
         for (name, values) in [
             ("conv_w", &self.conv_w),
             ("conv_b", &self.conv_b),
@@ -50,7 +54,9 @@ impl CutCnn {
     /// mismatches.
     pub fn from_text(text: &str) -> Result<CutCnn, ParseWeightsError> {
         let mut lines = text.lines();
-        let header = lines.next().ok_or_else(|| ParseWeightsError("empty file".into()))?;
+        let header = lines
+            .next()
+            .ok_or_else(|| ParseWeightsError("empty file".into()))?;
         let mut it = header.split_whitespace();
         if it.next() != Some("slap-cnn") || it.next() != Some("v1") {
             return Err(ParseWeightsError("bad magic".into()));
@@ -63,34 +69,45 @@ impl CutCnn {
                 .parse()
                 .map_err(|_| ParseWeightsError("non-numeric header".into()))?;
         }
-        let config = CnnConfig { rows: dims[0], cols: dims[1], filters: dims[2], classes: dims[3] };
-        let mut model = CutCnn::new(&config, 0);
-        let mut read_tensor = |expect_name: &str, expect_len: usize| -> Result<Vec<f32>, ParseWeightsError> {
-            let line = lines
-                .next()
-                .ok_or_else(|| ParseWeightsError(format!("missing tensor {expect_name}")))?;
-            let mut it = line.split_whitespace();
-            let name = it.next().ok_or_else(|| ParseWeightsError("empty tensor line".into()))?;
-            if name != expect_name {
-                return Err(ParseWeightsError(format!("expected {expect_name}, got {name}")));
-            }
-            let len: usize = it
-                .next()
-                .ok_or_else(|| ParseWeightsError("missing length".into()))?
-                .parse()
-                .map_err(|_| ParseWeightsError("bad length".into()))?;
-            if len != expect_len {
-                return Err(ParseWeightsError(format!(
-                    "tensor {expect_name}: expected {expect_len} values, header says {len}"
-                )));
-            }
-            let values: Result<Vec<f32>, _> = it.map(str::parse::<f32>).collect();
-            let values = values.map_err(|_| ParseWeightsError(format!("bad value in {expect_name}")))?;
-            if values.len() != expect_len {
-                return Err(ParseWeightsError(format!("tensor {expect_name} truncated")));
-            }
-            Ok(values)
+        let config = CnnConfig {
+            rows: dims[0],
+            cols: dims[1],
+            filters: dims[2],
+            classes: dims[3],
         };
+        let mut model = CutCnn::new(&config, 0);
+        let mut read_tensor =
+            |expect_name: &str, expect_len: usize| -> Result<Vec<f32>, ParseWeightsError> {
+                let line = lines
+                    .next()
+                    .ok_or_else(|| ParseWeightsError(format!("missing tensor {expect_name}")))?;
+                let mut it = line.split_whitespace();
+                let name = it
+                    .next()
+                    .ok_or_else(|| ParseWeightsError("empty tensor line".into()))?;
+                if name != expect_name {
+                    return Err(ParseWeightsError(format!(
+                        "expected {expect_name}, got {name}"
+                    )));
+                }
+                let len: usize = it
+                    .next()
+                    .ok_or_else(|| ParseWeightsError("missing length".into()))?
+                    .parse()
+                    .map_err(|_| ParseWeightsError("bad length".into()))?;
+                if len != expect_len {
+                    return Err(ParseWeightsError(format!(
+                        "tensor {expect_name}: expected {expect_len} values, header says {len}"
+                    )));
+                }
+                let values: Result<Vec<f32>, _> = it.map(str::parse::<f32>).collect();
+                let values =
+                    values.map_err(|_| ParseWeightsError(format!("bad value in {expect_name}")))?;
+                if values.len() != expect_len {
+                    return Err(ParseWeightsError(format!("tensor {expect_name} truncated")));
+                }
+                Ok(values)
+            };
         let hidden = config.filters * config.cols;
         model.conv_w = read_tensor("conv_w", config.filters * config.rows)?;
         model.conv_b = read_tensor("conv_b", config.filters)?;
@@ -108,7 +125,12 @@ mod tests {
 
     #[test]
     fn round_trip_preserves_predictions() {
-        let cfg = CnnConfig { rows: 4, cols: 3, filters: 5, classes: 3 };
+        let cfg = CnnConfig {
+            rows: 4,
+            cols: 3,
+            filters: 5,
+            classes: 3,
+        };
         let mut m = CutCnn::new(&cfg, 42);
         m.set_standardization(vec![1.0; 12], vec![2.0; 12]);
         let text = m.to_text();
@@ -127,7 +149,12 @@ mod tests {
 
     #[test]
     fn rejects_wrong_tensor_order() {
-        let cfg = CnnConfig { rows: 2, cols: 2, filters: 2, classes: 2 };
+        let cfg = CnnConfig {
+            rows: 2,
+            cols: 2,
+            filters: 2,
+            classes: 2,
+        };
         let m = CutCnn::new(&cfg, 1);
         let text = m.to_text().replace("conv_w", "conv_x");
         assert!(CutCnn::from_text(&text).is_err());

@@ -1,12 +1,58 @@
 //! Mini-batch training loop with sparse categorical cross-entropy + Adam.
 
+use std::io::Write;
+use std::sync::Arc;
+use std::time::Instant;
+
 use slap_aig::Rng64;
 
 use crate::dataset::Dataset;
 use crate::model::CutCnn;
 
+/// What one finished epoch looked like, delivered to a [`ProgressSink`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EpochProgress {
+    /// 1-based epoch number.
+    pub epoch: usize,
+    /// Total epochs configured.
+    pub epochs: usize,
+    /// Mean training loss over the epoch.
+    pub loss: f64,
+    /// Top-1 accuracy on the validation split after the epoch.
+    pub val_accuracy: f64,
+    /// Wall time of the epoch (including the validation pass).
+    pub seconds: f64,
+}
+
+/// Observer for per-epoch training progress.
+///
+/// The library never prints; binaries that want a progress display
+/// install a sink (e.g. [`StderrProgress`]) on [`TrainConfig::progress`].
+pub trait ProgressSink: Send + Sync {
+    /// Called once after every epoch.
+    fn on_epoch(&self, progress: &EpochProgress);
+}
+
+/// A [`ProgressSink`] writing one line per epoch to stderr.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StderrProgress;
+
+impl ProgressSink for StderrProgress {
+    fn on_epoch(&self, p: &EpochProgress) {
+        let _ = writeln!(
+            std::io::stderr(),
+            "epoch {:>3}/{}: loss {:.4}  val-acc {:.2}%  ({:.2}s)",
+            p.epoch,
+            p.epochs,
+            p.loss,
+            p.val_accuracy * 100.0,
+            p.seconds,
+        );
+    }
+}
+
 /// Training hyper-parameters.
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct TrainConfig {
     /// Epochs over the training split (the paper trains 50).
     pub epochs: usize,
@@ -22,8 +68,23 @@ pub struct TrainConfig {
     /// accuracy. Default 6: the classes the band policy ever exposes to
     /// the mapper (good 0–3 plus average 4–6).
     pub binary_threshold: u8,
-    /// Print a progress line per epoch.
-    pub verbose: bool,
+    /// Optional per-epoch progress observer (`None` = silent). When set,
+    /// validation accuracy is additionally computed after every epoch.
+    pub progress: Option<Arc<dyn ProgressSink>>,
+}
+
+impl std::fmt::Debug for TrainConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TrainConfig")
+            .field("epochs", &self.epochs)
+            .field("batch_size", &self.batch_size)
+            .field("learning_rate", &self.learning_rate)
+            .field("val_fraction", &self.val_fraction)
+            .field("seed", &self.seed)
+            .field("binary_threshold", &self.binary_threshold)
+            .field("progress", &self.progress.as_ref().map(|_| "<sink>"))
+            .finish()
+    }
 }
 
 impl Default for TrainConfig {
@@ -35,7 +96,7 @@ impl Default for TrainConfig {
             val_fraction: 0.2,
             seed: 1,
             binary_threshold: 6,
-            verbose: false,
+            progress: None,
         }
     }
 }
@@ -70,10 +131,14 @@ impl CutCnn {
     /// Panics if the dataset shape does not match the model config or the
     /// dataset is empty.
     pub fn train(&mut self, data: &Dataset, config: &TrainConfig) -> TrainReport {
+        let _span = slap_obs::span("train");
         assert!(!data.is_empty(), "cannot train on an empty dataset");
         assert_eq!(data.rows(), self.config.rows, "dataset rows mismatch");
         assert_eq!(data.cols(), self.config.cols, "dataset cols mismatch");
-        assert!(data.classes() <= self.config.classes, "too many classes for model");
+        assert!(
+            data.classes() <= self.config.classes,
+            "too many classes for model"
+        );
         let (train, val) = data.split(config.val_fraction, config.seed);
         let (mean, std) = train.feature_stats();
         self.set_standardization(mean, std);
@@ -82,6 +147,8 @@ impl CutCnn {
         let mut grad = vec![0.0f32; self.num_params()];
         let mut final_loss = 0.0f64;
         for epoch in 0..config.epochs {
+            let _epoch_span = slap_obs::span("epoch");
+            let epoch_start = Instant::now();
             rng.shuffle(&mut order);
             let mut epoch_loss = 0.0f64;
             for batch in order.chunks(config.batch_size) {
@@ -94,9 +161,15 @@ impl CutCnn {
                 self.adam_step(&grad, batch.len(), config.learning_rate);
             }
             final_loss = epoch_loss / train.len().max(1) as f64;
-            if config.verbose {
+            if let Some(sink) = &config.progress {
                 let acc = self.accuracy(&val);
-                println!("epoch {:>3}: loss {:.4}  val-acc {:.2}%", epoch + 1, final_loss, acc * 100.0);
+                sink.on_epoch(&EpochProgress {
+                    epoch: epoch + 1,
+                    epochs: config.epochs,
+                    loss: final_loss,
+                    val_accuracy: acc,
+                    seconds: epoch_start.elapsed().as_secs_f64(),
+                });
             }
         }
         TrainReport {
@@ -170,12 +243,26 @@ mod tests {
     #[test]
     fn learns_quadrants_well_above_chance() {
         let ds = quadrant_dataset(600, 21);
-        let mut model = CutCnn::new(&CnnConfig { filters: 16, ..CnnConfig::default_with_classes(4) }, 9);
+        let mut model = CutCnn::new(
+            &CnnConfig {
+                filters: 16,
+                ..CnnConfig::default_with_classes(4)
+            },
+            9,
+        );
         let report = model.train(
             &ds,
-            &TrainConfig { epochs: 25, learning_rate: 2e-3, ..TrainConfig::default() },
+            &TrainConfig {
+                epochs: 25,
+                learning_rate: 2e-3,
+                ..TrainConfig::default()
+            },
         );
-        assert!(report.val_accuracy > 0.85, "val accuracy {}", report.val_accuracy);
+        assert!(
+            report.val_accuracy > 0.85,
+            "val accuracy {}",
+            report.val_accuracy
+        );
         assert!(report.train_accuracy > 0.85);
         assert!(report.final_loss < 0.5);
     }
@@ -183,21 +270,71 @@ mod tests {
     #[test]
     fn binary_accuracy_at_least_top1() {
         let ds = quadrant_dataset(300, 22);
-        let mut model = CutCnn::new(&CnnConfig { filters: 8, ..CnnConfig::default_with_classes(4) }, 10);
-        let report = model.train(&ds, &TrainConfig { epochs: 8, ..TrainConfig::default() });
+        let mut model = CutCnn::new(
+            &CnnConfig {
+                filters: 8,
+                ..CnnConfig::default_with_classes(4)
+            },
+            10,
+        );
+        let report = model.train(
+            &ds,
+            &TrainConfig {
+                epochs: 8,
+                ..TrainConfig::default()
+            },
+        );
         assert!(report.val_binary_accuracy >= report.val_accuracy - 1e-9);
     }
 
     #[test]
     fn training_is_deterministic() {
         let ds = quadrant_dataset(200, 23);
-        let cfg = CnnConfig { filters: 8, ..CnnConfig::default_with_classes(4) };
-        let tc = TrainConfig { epochs: 3, ..TrainConfig::default() };
+        let cfg = CnnConfig {
+            filters: 8,
+            ..CnnConfig::default_with_classes(4)
+        };
+        let tc = TrainConfig {
+            epochs: 3,
+            ..TrainConfig::default()
+        };
         let mut m1 = CutCnn::new(&cfg, 11);
         let mut m2 = CutCnn::new(&cfg, 11);
         let r1 = m1.train(&ds, &tc);
         let r2 = m2.train(&ds, &tc);
         assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn progress_sink_sees_every_epoch() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        struct Counting(AtomicUsize);
+        impl ProgressSink for Counting {
+            fn on_epoch(&self, p: &EpochProgress) {
+                assert!(p.epoch >= 1 && p.epoch <= p.epochs);
+                assert!(p.seconds >= 0.0);
+                assert!(p.loss.is_finite());
+                self.0.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        let sink = Arc::new(Counting(AtomicUsize::new(0)));
+        let ds = quadrant_dataset(100, 24);
+        let mut m = CutCnn::new(
+            &CnnConfig {
+                filters: 4,
+                ..CnnConfig::default_with_classes(4)
+            },
+            12,
+        );
+        let tc = TrainConfig {
+            epochs: 3,
+            progress: Some(sink.clone()),
+            ..TrainConfig::default()
+        };
+        m.train(&ds, &tc);
+        assert_eq!(sink.0.load(Ordering::Relaxed), 3);
+        // The sink is opaque in Debug output but the config stays Debug.
+        assert!(format!("{tc:?}").contains("<sink>"));
     }
 
     #[test]

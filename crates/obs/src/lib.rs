@@ -1,0 +1,71 @@
+//! Zero-dependency observability for the SLAP reproduction.
+//!
+//! Every crate in the workspace reports what it does through this one:
+//! the mapper times its phases, cut enumeration counts what it prunes,
+//! and the training loop reports epochs — all without a single external
+//! dependency, in keeping with the workspace policy (see DESIGN.md §3).
+//!
+//! Three layers:
+//!
+//! * **Spans** ([`span`]) — RAII wall-clock timers that nest into
+//!   hierarchical phase paths (`map/cover`, `slap/inference`, …). On
+//!   drop, a span records its duration into the global [`Registry`].
+//! * **Metrics** ([`Registry`]) — thread-safe atomic [`Counter`]s,
+//!   [`Gauge`]s, and log2-bucket [`Histogram`]s behind a global
+//!   `OnceLock` registry. [`Registry::snapshot`] returns entries in
+//!   deterministic (sorted) order so tests can assert on output.
+//! * **Sinks** ([`Sink`]) — a human-readable [`TableSink`] and a
+//!   hand-rolled [`JsonlSink`] (no serde) that the bench harness writes
+//!   per-run [`Record`]s to and can parse back ([`json::parse_object`])
+//!   to diff across runs.
+//!
+//! # Example
+//!
+//! ```
+//! use slap_obs::{Record, Registry, Sink, JsonlSink, Value};
+//!
+//! // Process-wide counters, snapshotted in deterministic order.
+//! let local = Registry::new();
+//! local.counter("cuts.enumerated").add(42);
+//! local.histogram("cuts.per_node").observe(17);
+//! let snap = local.snapshot();
+//! assert_eq!(snap.entries()[0].0, "cuts.enumerated");
+//!
+//! // Per-run records, serialized as one JSON object per line.
+//! let mut record = Record::new();
+//! record.push("circuit", "aes_mini");
+//! record.push("area_um2", 1234.5);
+//! let mut out = Vec::new();
+//! JsonlSink::new(&mut out).emit(&record).unwrap();
+//! assert_eq!(
+//!     String::from_utf8(out).unwrap(),
+//!     "{\"circuit\":\"aes_mini\",\"area_um2\":1234.5}\n"
+//! );
+//! ```
+
+pub mod json;
+pub mod record;
+pub mod registry;
+pub mod sink;
+pub mod span;
+
+pub use json::{parse_object, JsonError};
+pub use record::{Record, Value};
+pub use registry::{Counter, Gauge, Histogram, MetricValue, Registry, Snapshot, Timer};
+pub use sink::{JsonlSink, NullSink, Sink, TableSink};
+pub use span::{span, Span};
+
+/// Shorthand for a counter in the global registry.
+pub fn counter(name: &str) -> Counter {
+    Registry::global().counter(name)
+}
+
+/// Shorthand for a gauge in the global registry.
+pub fn gauge(name: &str) -> Gauge {
+    Registry::global().gauge(name)
+}
+
+/// Shorthand for a histogram in the global registry.
+pub fn histogram(name: &str) -> Histogram {
+    Registry::global().histogram(name)
+}

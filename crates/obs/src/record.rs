@@ -1,0 +1,280 @@
+//! Per-run metric records: ordered key/value maps with hand-rolled JSON
+//! serialization.
+
+use crate::json::escape_into;
+
+/// A metric value. The numeric variants cover everything the pipeline
+/// reports; `Array` exists for histograms and `Null` for non-finite
+/// floats (JSON has no NaN/Infinity).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// Unsigned integer (counters, sizes).
+    U64(u64),
+    /// Signed integer (gauges).
+    I64(i64),
+    /// Finite float (areas, delays, seconds).
+    F64(f64),
+    /// String (circuit names, modes).
+    Str(String),
+    /// Boolean flag.
+    Bool(bool),
+    /// Nested array (histogram buckets).
+    Array(Vec<Value>),
+    /// JSON null (also what non-finite floats serialize as).
+    Null,
+}
+
+impl Value {
+    /// Serializes the value as JSON into `out`.
+    pub fn write_json(&self, out: &mut String) {
+        match self {
+            Value::U64(v) => {
+                out.push_str(&v.to_string());
+            }
+            Value::I64(v) => {
+                out.push_str(&v.to_string());
+            }
+            Value::F64(v) => {
+                if v.is_finite() {
+                    // Rust's shortest round-trip Display is valid JSON for
+                    // finite values.
+                    out.push_str(&v.to_string());
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::Str(s) => {
+                out.push('"');
+                escape_into(s, out);
+                out.push('"');
+            }
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_json(out);
+                }
+                out.push(']');
+            }
+            Value::Null => out.push_str("null"),
+        }
+    }
+
+    /// The value as an `f64`, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::U64(v) => Some(*v as f64),
+            Value::I64(v) => Some(*v as f64),
+            Value::F64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is an unsigned (or non-negative
+    /// signed) integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::U64(v) => Some(*v),
+            Value::I64(v) if *v >= 0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Value {
+        Value::U64(v)
+    }
+}
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Value {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Value {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::I64(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::F64(v)
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::F64(v as f64)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+/// One observation record: an insertion-ordered list of named values,
+/// serialized as a single JSONL line or a human-readable table block.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Record {
+    fields: Vec<(String, Value)>,
+}
+
+impl Record {
+    /// An empty record.
+    pub fn new() -> Record {
+        Record::default()
+    }
+
+    /// Appends a field. Insertion order is preserved on output, so a
+    /// fixed push sequence yields byte-identical lines across runs.
+    pub fn push(&mut self, key: &str, value: impl Into<Value>) -> &mut Record {
+        self.fields.push((key.to_string(), value.into()));
+        self
+    }
+
+    /// The fields in insertion order.
+    pub fn fields(&self) -> &[(String, Value)] {
+        &self.fields
+    }
+
+    /// Looks a field up by key (first match).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether the record has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Serializes the record as one JSON object (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut out = String::with_capacity(self.fields.len() * 24 + 2);
+        out.push('{');
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            escape_into(k, &mut out);
+            out.push_str("\":");
+            v.write_json(&mut out);
+        }
+        out.push('}');
+        out
+    }
+}
+
+impl std::fmt::Display for Record {
+    /// Aligned `key : value` lines — the human-readable table form.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let width = self.fields.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+        for (k, v) in &self.fields {
+            let mut rendered = String::new();
+            v.write_json(&mut rendered);
+            writeln!(f, "  {k:<width$} : {rendered}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<(String, Value)> for Record {
+    fn from_iter<T: IntoIterator<Item = (String, Value)>>(iter: T) -> Record {
+        Record {
+            fields: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_line_shape_and_order() {
+        let mut r = Record::new();
+        r.push("b", 1u64)
+            .push("a", -2i64)
+            .push("f", 0.5)
+            .push("s", "x\"y");
+        assert_eq!(r.to_json_line(), r#"{"b":1,"a":-2,"f":0.5,"s":"x\"y"}"#);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut r = Record::new();
+        r.push("nan", f64::NAN).push("inf", f64::INFINITY);
+        assert_eq!(r.to_json_line(), r#"{"nan":null,"inf":null}"#);
+    }
+
+    #[test]
+    fn arrays_and_bools() {
+        let mut r = Record::new();
+        r.push(
+            "h",
+            Value::Array(vec![Value::U64(1), Value::U64(0), Value::U64(3)]),
+        );
+        r.push("ok", true);
+        assert_eq!(r.to_json_line(), r#"{"h":[1,0,3],"ok":true}"#);
+    }
+
+    #[test]
+    fn get_and_accessors() {
+        let mut r = Record::new();
+        r.push("n", 7usize).push("name", "aes");
+        assert_eq!(r.get("n").and_then(Value::as_u64), Some(7));
+        assert_eq!(r.get("name").and_then(Value::as_str), Some("aes"));
+        assert_eq!(r.get("missing"), None);
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn display_renders_every_field() {
+        let mut r = Record::new();
+        r.push("area", 12.5).push("cuts", 99u64);
+        let text = format!("{r}");
+        assert!(text.contains("area"));
+        assert!(text.contains("12.5"));
+        assert!(text.contains("cuts"));
+    }
+}

@@ -1,0 +1,567 @@
+//! Thread-safe metric registry: atomic counters, gauges, log2-bucket
+//! histograms, and span timers, snapshotted in deterministic order.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Duration;
+
+use crate::record::{Record, Value};
+
+/// A monotonically increasing counter. Cloning shares the underlying
+/// atomic, so hot loops can grab a handle once and increment lock-free.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one.
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A last-write-wins signed gauge.
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjusts the gauge by `delta`.
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of log2 buckets: bucket 0 holds zeros, bucket `i ≥ 1` holds
+/// values in `[2^(i-1), 2^i - 1]`, up to bucket 64 for `u64::MAX`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+#[derive(Debug)]
+struct HistogramCore {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+}
+
+/// A log2-bucket histogram of `u64` observations.
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram(Arc::new(HistogramCore {
+            buckets: [const { AtomicU64::new(0) }; HISTOGRAM_BUCKETS],
+        }))
+    }
+}
+
+impl Histogram {
+    /// The bucket index of `v`: 0 for 0, else `⌊log2 v⌋ + 1`.
+    pub fn bucket_index(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            64 - v.leading_zeros() as usize
+        }
+    }
+
+    /// The inclusive `[lo, hi]` value range of bucket `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i ≥ HISTOGRAM_BUCKETS`.
+    pub fn bucket_bounds(i: usize) -> (u64, u64) {
+        assert!(i < HISTOGRAM_BUCKETS, "bucket out of range");
+        if i == 0 {
+            (0, 0)
+        } else if i == 64 {
+            (1u64 << 63, u64::MAX)
+        } else {
+            (1u64 << (i - 1), (1u64 << i) - 1)
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: u64) {
+        self.0.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.0
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Bucket counts with trailing empty buckets trimmed.
+    pub fn buckets(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self
+            .0
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        while v.last() == Some(&0) {
+            v.pop();
+        }
+        v
+    }
+}
+
+#[derive(Debug, Default)]
+struct TimerCore {
+    count: AtomicU64,
+    total_ns: AtomicU64,
+}
+
+/// An accumulating duration metric (what spans record into).
+#[derive(Clone, Debug, Default)]
+pub struct Timer(Arc<TimerCore>);
+
+impl Timer {
+    /// Records one duration.
+    pub fn record(&self, d: Duration) {
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0
+            .total_ns
+            .fetch_add(d.as_nanos().min(u64::MAX as u128) as u64, Ordering::Relaxed);
+    }
+
+    /// Number of recorded durations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded durations in nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.0.total_ns.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+    Timer(Timer),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+            Metric::Timer(_) => "timer",
+        }
+    }
+}
+
+/// A named-metric registry. The process-wide instance is
+/// [`Registry::global`]; tests and benches create private instances for
+/// interference-free assertions.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The process-wide registry every library instrument records into.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    fn get_or_insert<T: Clone>(
+        &self,
+        name: &str,
+        make: impl FnOnce() -> Metric,
+        pick: impl FnOnce(&Metric) -> Option<T>,
+    ) -> T {
+        let mut metrics = self.metrics.lock().expect("registry poisoned");
+        let metric = metrics.entry(name.to_string()).or_insert_with(make);
+        pick(metric)
+            .unwrap_or_else(|| panic!("metric '{name}' already registered as a {}", metric.kind()))
+    }
+
+    /// The counter named `name`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.get_or_insert(
+            name,
+            || Metric::Counter(Counter::default()),
+            |m| match m {
+                Metric::Counter(c) => Some(c.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// The gauge named `name`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.get_or_insert(
+            name,
+            || Metric::Gauge(Gauge::default()),
+            |m| match m {
+                Metric::Gauge(g) => Some(g.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// The histogram named `name`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.get_or_insert(
+            name,
+            || Metric::Histogram(Histogram::default()),
+            |m| match m {
+                Metric::Histogram(h) => Some(h.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// The timer named `name`, created on first use.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered as a different metric kind.
+    pub fn timer(&self, name: &str) -> Timer {
+        self.get_or_insert(
+            name,
+            || Metric::Timer(Timer::default()),
+            |m| match m {
+                Metric::Timer(t) => Some(t.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// A point-in-time copy of every metric, sorted by name — the
+    /// deterministic ordering tests assert against.
+    pub fn snapshot(&self) -> Snapshot {
+        let metrics = self.metrics.lock().expect("registry poisoned");
+        let entries = metrics
+            .iter()
+            .map(|(name, metric)| {
+                let value = match metric {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricValue::Histogram(h.buckets()),
+                    Metric::Timer(t) => MetricValue::Timer {
+                        count: t.count(),
+                        total_ns: t.total_ns(),
+                    },
+                };
+                (name.clone(), value)
+            })
+            .collect();
+        Snapshot { entries }
+    }
+
+    /// Removes every metric. Existing handles keep working but are no
+    /// longer reachable from snapshots.
+    pub fn clear(&self) {
+        self.metrics.lock().expect("registry poisoned").clear();
+    }
+}
+
+/// A point-in-time metric value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MetricValue {
+    /// Counter total.
+    Counter(u64),
+    /// Gauge level.
+    Gauge(i64),
+    /// Histogram bucket counts (trailing zeros trimmed).
+    Histogram(Vec<u64>),
+    /// Timer aggregate.
+    Timer {
+        /// Number of recorded spans.
+        count: u64,
+        /// Summed duration in nanoseconds.
+        total_ns: u64,
+    },
+}
+
+/// A deterministic, name-sorted copy of a registry's metrics.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    entries: Vec<(String, MetricValue)>,
+}
+
+impl Snapshot {
+    /// The entries, sorted by metric name.
+    pub fn entries(&self) -> &[(String, MetricValue)] {
+        &self.entries
+    }
+
+    /// Looks up one metric by name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries
+            .binary_search_by(|(n, _)| n.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// The change since `earlier`: counters, histograms, and timers are
+    /// subtracted (saturating); gauges keep their current level. Metrics
+    /// absent from `earlier` are reported in full.
+    pub fn delta(&self, earlier: &Snapshot) -> Snapshot {
+        let entries = self
+            .entries
+            .iter()
+            .map(|(name, value)| {
+                let diffed = match (value, earlier.get(name)) {
+                    (MetricValue::Counter(now), Some(MetricValue::Counter(then))) => {
+                        MetricValue::Counter(now.saturating_sub(*then))
+                    }
+                    (MetricValue::Histogram(now), Some(MetricValue::Histogram(then))) => {
+                        MetricValue::Histogram(
+                            now.iter()
+                                .enumerate()
+                                .map(|(i, n)| n.saturating_sub(then.get(i).copied().unwrap_or(0)))
+                                .collect(),
+                        )
+                    }
+                    (
+                        MetricValue::Timer { count, total_ns },
+                        Some(MetricValue::Timer {
+                            count: c0,
+                            total_ns: t0,
+                        }),
+                    ) => MetricValue::Timer {
+                        count: count.saturating_sub(*c0),
+                        total_ns: total_ns.saturating_sub(*t0),
+                    },
+                    (v, _) => v.clone(),
+                };
+                (name.clone(), diffed)
+            })
+            .collect();
+        Snapshot { entries }
+    }
+
+    /// Drops timer entries — what the byte-identical determinism tests
+    /// compare, since wall-clock durations differ between runs.
+    pub fn without_timers(&self) -> Snapshot {
+        Snapshot {
+            entries: self
+                .entries
+                .iter()
+                .filter(|(_, v)| !matches!(v, MetricValue::Timer { .. }))
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Flattens the snapshot into a [`Record`] for a sink: counters and
+    /// gauges one field each, histograms an array field, timers a
+    /// `<name>.count` plus `<name>.ns` pair.
+    pub fn to_record(&self) -> Record {
+        let mut record = Record::new();
+        for (name, value) in &self.entries {
+            match value {
+                MetricValue::Counter(v) => {
+                    record.push(name, *v);
+                }
+                MetricValue::Gauge(v) => {
+                    record.push(name, *v);
+                }
+                MetricValue::Histogram(buckets) => {
+                    record.push(
+                        name,
+                        Value::Array(buckets.iter().map(|&b| Value::U64(b)).collect()),
+                    );
+                }
+                MetricValue::Timer { count, total_ns } => {
+                    record.push(&format!("{name}.count"), *count);
+                    record.push(&format!("{name}.ns"), *total_ns);
+                }
+            }
+        }
+        record
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_and_lookup() {
+        let r = Registry::new();
+        r.counter("b").add(2);
+        r.counter("a").incr();
+        r.gauge("g").set(-5);
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.entries().iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["a", "b", "g"], "snapshot must sort by name");
+        assert_eq!(snap.get("b"), Some(&MetricValue::Counter(2)));
+        assert_eq!(snap.get("g"), Some(&MetricValue::Gauge(-5)));
+        assert_eq!(snap.get("zzz"), None);
+    }
+
+    #[test]
+    fn handles_share_state() {
+        let r = Registry::new();
+        let c1 = r.counter("x");
+        let c2 = r.counter("x");
+        c1.add(3);
+        c2.add(4);
+        assert_eq!(r.counter("x").get(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_conflicts_panic() {
+        let r = Registry::new();
+        r.counter("m");
+        r.gauge("m");
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        // Bucket 0 = {0}; bucket i = [2^(i-1), 2^i - 1].
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(7), 3);
+        assert_eq!(Histogram::bucket_index(8), 4);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        for i in 0..HISTOGRAM_BUCKETS {
+            let (lo, hi) = Histogram::bucket_bounds(i);
+            assert_eq!(Histogram::bucket_index(lo), i, "lower bound of bucket {i}");
+            assert_eq!(Histogram::bucket_index(hi), i, "upper bound of bucket {i}");
+            if i + 1 < HISTOGRAM_BUCKETS {
+                assert_eq!(
+                    Histogram::bucket_index(hi + 1),
+                    i + 1,
+                    "first value past bucket {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_observe_and_trim() {
+        let h = Histogram::default();
+        h.observe(0);
+        h.observe(1);
+        h.observe(2);
+        h.observe(3);
+        h.observe(8);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.buckets(), vec![1, 1, 2, 0, 1]);
+    }
+
+    #[test]
+    fn timer_accumulates() {
+        let t = Timer::default();
+        t.record(Duration::from_nanos(100));
+        t.record(Duration::from_nanos(250));
+        assert_eq!(t.count(), 2);
+        assert_eq!(t.total_ns(), 350);
+    }
+
+    #[test]
+    fn delta_subtracts_and_keeps_gauges() {
+        let r = Registry::new();
+        r.counter("c").add(10);
+        r.gauge("g").set(100);
+        r.histogram("h").observe(1);
+        let before = r.snapshot();
+        r.counter("c").add(5);
+        r.gauge("g").set(7);
+        r.histogram("h").observe(1);
+        r.histogram("h").observe(4);
+        let delta = r.snapshot().delta(&before);
+        assert_eq!(delta.get("c"), Some(&MetricValue::Counter(5)));
+        assert_eq!(delta.get("g"), Some(&MetricValue::Gauge(7)));
+        assert_eq!(
+            delta.get("h"),
+            Some(&MetricValue::Histogram(vec![0, 1, 0, 1]))
+        );
+    }
+
+    #[test]
+    fn snapshot_to_record_flattens_timers() {
+        let r = Registry::new();
+        r.counter("n").add(1);
+        r.timer("t").record(Duration::from_nanos(9));
+        let record = r.snapshot().to_record();
+        assert_eq!(record.get("n").and_then(|v| v.as_u64()), Some(1));
+        assert_eq!(record.get("t.count").and_then(|v| v.as_u64()), Some(1));
+        assert_eq!(record.get("t.ns").and_then(|v| v.as_u64()), Some(9));
+        // without_timers drops the timing entry entirely.
+        let trimmed = r.snapshot().without_timers().to_record();
+        assert_eq!(trimmed.get("t.count"), None);
+        assert!(trimmed.get("n").is_some());
+    }
+
+    #[test]
+    fn clear_empties_the_registry() {
+        let r = Registry::new();
+        r.counter("c").incr();
+        r.clear();
+        assert!(r.snapshot().entries().is_empty());
+    }
+
+    #[test]
+    fn concurrent_counters_under_scoped_threads() {
+        let r = Registry::new();
+        let c = r.counter("racy");
+        let h = r.histogram("spread");
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let c = c.clone();
+                let h = h.clone();
+                scope.spawn(move || {
+                    for i in 0..1000u64 {
+                        c.incr();
+                        h.observe(t * 1000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 8000);
+        assert_eq!(h.count(), 8000);
+    }
+}

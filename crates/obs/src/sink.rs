@@ -1,0 +1,180 @@
+//! Output sinks for metric [`Record`]s: JSONL for machines, an aligned
+//! table for humans, and a null sink for "observability off".
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+use crate::record::Record;
+
+/// Something records can be emitted to.
+pub trait Sink {
+    /// Writes one record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from the underlying writer.
+    fn emit(&mut self, record: &Record) -> io::Result<()>;
+
+    /// Flushes buffered output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from the underlying writer.
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Writes each record as one JSON object per line (JSONL).
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    out: W,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wraps a writer.
+    pub fn new(out: W) -> JsonlSink<W> {
+        JsonlSink { out }
+    }
+
+    /// Consumes the sink, returning the writer.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+impl JsonlSink<BufWriter<File>> {
+    /// Creates (truncating) a JSONL file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation failures.
+    pub fn create(path: &Path) -> io::Result<JsonlSink<BufWriter<File>>> {
+        Ok(JsonlSink::new(BufWriter::new(File::create(path)?)))
+    }
+}
+
+impl<W: Write> Sink for JsonlSink<W> {
+    fn emit(&mut self, record: &Record) -> io::Result<()> {
+        self.out.write_all(record.to_json_line().as_bytes())?;
+        self.out.write_all(b"\n")
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.out.flush()
+    }
+}
+
+/// Writes each record as an aligned `key : value` block for terminals.
+#[derive(Debug)]
+pub struct TableSink<W: Write> {
+    out: W,
+    records_emitted: usize,
+}
+
+impl<W: Write> TableSink<W> {
+    /// Wraps a writer.
+    pub fn new(out: W) -> TableSink<W> {
+        TableSink {
+            out,
+            records_emitted: 0,
+        }
+    }
+
+    /// Consumes the sink, returning the writer.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+impl<W: Write> Sink for TableSink<W> {
+    fn emit(&mut self, record: &Record) -> io::Result<()> {
+        if self.records_emitted > 0 {
+            self.out.write_all(b"\n")?;
+        }
+        self.records_emitted += 1;
+        write!(self.out, "{record}")
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.out.flush()
+    }
+}
+
+/// Discards every record — the default when no metrics output was asked
+/// for, so instrumented code paths need no conditionals.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn emit(&mut self, _record: &Record) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Record {
+        let mut r = Record::new();
+        r.push("circuit", "c17")
+            .push("area", 9.5)
+            .push("cuts", 12u64);
+        r
+    }
+
+    #[test]
+    fn jsonl_sink_one_line_per_record() {
+        let mut out = Vec::new();
+        {
+            let mut sink = JsonlSink::new(&mut out);
+            sink.emit(&sample()).unwrap();
+            sink.emit(&sample()).unwrap();
+            sink.flush().unwrap();
+        }
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], r#"{"circuit":"c17","area":9.5,"cuts":12}"#);
+        assert_eq!(lines[0], lines[1]);
+        assert!(text.ends_with('\n'));
+    }
+
+    #[test]
+    fn table_sink_renders_fields_with_blank_line_between_records() {
+        let mut out = Vec::new();
+        {
+            let mut sink = TableSink::new(&mut out);
+            sink.emit(&sample()).unwrap();
+            sink.emit(&sample()).unwrap();
+        }
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("circuit : \"c17\""));
+        assert!(text.contains("\n\n"), "records separated by a blank line");
+    }
+
+    #[test]
+    fn null_sink_accepts_everything() {
+        let mut sink = NullSink;
+        sink.emit(&sample()).unwrap();
+        sink.flush().unwrap();
+    }
+
+    #[test]
+    fn jsonl_file_sink_round_trips() {
+        let dir = std::env::temp_dir().join("slap_obs_sink_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("metrics.jsonl");
+        {
+            let mut sink = JsonlSink::create(&path).unwrap();
+            sink.emit(&sample()).unwrap();
+            sink.flush().unwrap();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let parsed = crate::json::parse_object(text.trim_end()).unwrap();
+        assert_eq!(parsed, sample().fields().to_vec());
+        std::fs::remove_file(&path).ok();
+    }
+}

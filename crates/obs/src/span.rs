@@ -1,0 +1,164 @@
+//! RAII span timers with hierarchical phase nesting.
+//!
+//! A [`span`] pushes its name onto a thread-local stack, so spans opened
+//! while another is alive get slash-joined paths (`map/cover`,
+//! `slap/inference`). On drop, the span records its wall-clock duration
+//! into a [`Registry::global`] timer keyed by that path.
+
+use std::cell::RefCell;
+use std::time::{Duration, Instant};
+
+use crate::registry::Registry;
+
+thread_local! {
+    static STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Opens a span named `name`, nested under any span already open on this
+/// thread. Hold the guard for the duration of the phase:
+///
+/// ```
+/// {
+///     let _span = slap_obs::span("doctest_example_phase");
+///     // ... phase work ...
+/// } // duration recorded into the global registry here
+/// let snap = slap_obs::Registry::global().snapshot();
+/// assert!(snap.get("doctest_example_phase").is_some());
+/// ```
+pub fn span(name: &str) -> Span {
+    Span::enter(name)
+}
+
+/// An open phase timer; see [`span`].
+#[derive(Debug)]
+pub struct Span {
+    path: String,
+    start: Instant,
+}
+
+impl Span {
+    fn enter(name: &str) -> Span {
+        let path = STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let path = match stack.last() {
+                Some(parent) => format!("{parent}/{name}"),
+                None => name.to_string(),
+            };
+            stack.push(path.clone());
+            path
+        });
+        Span {
+            path,
+            start: Instant::now(),
+        }
+    }
+
+    /// The full slash-joined phase path of this span.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Time elapsed since the span was opened.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let elapsed = self.start.elapsed();
+        STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Spans are RAII guards, so drops are LIFO in practice; if a
+            // guard was moved and outlived its parent, drop the matching
+            // entry rather than corrupting sibling paths.
+            match stack.last() {
+                Some(top) if *top == self.path => {
+                    stack.pop();
+                }
+                _ => {
+                    if let Some(i) = stack.iter().rposition(|p| *p == self.path) {
+                        stack.remove(i);
+                    }
+                }
+            }
+        });
+        Registry::global().timer(&self.path).record(elapsed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // These touch the process-global registry, so every name is unique to
+    // this module to stay independent of other tests in the binary.
+
+    #[test]
+    fn nested_spans_join_paths() {
+        {
+            let outer = span("span_test_outer");
+            assert_eq!(outer.path(), "span_test_outer");
+            {
+                let inner = span("span_test_inner");
+                assert_eq!(inner.path(), "span_test_outer/span_test_inner");
+                let deeper = span("span_test_deep");
+                assert_eq!(
+                    deeper.path(),
+                    "span_test_outer/span_test_inner/span_test_deep"
+                );
+            }
+        }
+        let snap = Registry::global().snapshot();
+        for path in [
+            "span_test_outer",
+            "span_test_outer/span_test_inner",
+            "span_test_outer/span_test_inner/span_test_deep",
+        ] {
+            match snap.get(path) {
+                Some(crate::registry::MetricValue::Timer { count, .. }) => {
+                    assert!(*count >= 1, "timer {path} must have recorded");
+                }
+                other => panic!("expected timer at {path}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_spans_do_not_nest() {
+        {
+            let _a = span("span_test_seq_a");
+        }
+        let b = span("span_test_seq_b");
+        assert_eq!(b.path(), "span_test_seq_b");
+    }
+
+    #[test]
+    fn repeated_spans_accumulate() {
+        for _ in 0..3 {
+            let _s = span("span_test_repeat");
+        }
+        let snap = Registry::global().snapshot();
+        match snap.get("span_test_repeat") {
+            Some(crate::registry::MetricValue::Timer { count, .. }) => {
+                assert_eq!(*count, 3);
+            }
+            other => panic!("expected timer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_order_drop_keeps_stack_consistent() {
+        let a = span("span_test_ooo_a");
+        let b = span("span_test_ooo_b");
+        drop(a);
+        // `b`'s entry must survive `a`'s removal so a new child still
+        // nests under it.
+        let c = span("span_test_ooo_c");
+        assert_eq!(c.path(), "span_test_ooo_a/span_test_ooo_b/span_test_ooo_c");
+        drop(c);
+        drop(b);
+        let fresh = span("span_test_ooo_fresh");
+        assert_eq!(fresh.path(), "span_test_ooo_fresh");
+    }
+}

@@ -1,0 +1,143 @@
+//! Determinism guarantees of the observability substrate: two identical
+//! instrumented runs must serialize to byte-identical JSONL once timing
+//! fields are stripped, regardless of thread interleaving.
+
+use std::time::Duration;
+
+use slap_obs::{parse_object, Histogram, JsonlSink, MetricValue, Record, Registry, Sink, Value};
+
+/// A stand-in for an instrumented mapping run: counters, a histogram,
+/// and a wall-clock timer (the nondeterministic part).
+fn instrumented_workload(registry: &Registry, sleep_ns: u64) {
+    registry.counter("cuts.enumerated").add(1234);
+    registry.counter("cuts.dominance_kills").add(98);
+    registry.gauge("nodes.live").set(417);
+    for v in [0u64, 1, 3, 7, 8, 250, 251, 1 << 20] {
+        registry.histogram("cuts.per_node").observe(v);
+    }
+    let timer = registry.timer("map/cover");
+    let start = std::time::Instant::now();
+    std::thread::sleep(Duration::from_nanos(sleep_ns));
+    timer.record(start.elapsed());
+}
+
+fn snapshot_jsonl(registry: &Registry) -> String {
+    let mut out = Vec::new();
+    let record = registry.snapshot().without_timers().to_record();
+    JsonlSink::new(&mut out).emit(&record).unwrap();
+    String::from_utf8(out).unwrap()
+}
+
+#[test]
+fn identical_runs_yield_byte_identical_jsonl_modulo_timing() {
+    let first = Registry::new();
+    let second = Registry::new();
+    // Different sleep times: wall-clock results differ, metrics must not.
+    instrumented_workload(&first, 1_000);
+    instrumented_workload(&second, 2_000_000);
+
+    // Timers differ between the runs...
+    let (t1, t2) = (first.snapshot(), second.snapshot());
+    assert!(matches!(
+        t1.get("map/cover"),
+        Some(MetricValue::Timer { count: 1, .. })
+    ));
+    assert!(matches!(
+        t2.get("map/cover"),
+        Some(MetricValue::Timer { count: 1, .. })
+    ));
+
+    // ...but the timing-stripped JSONL is byte-identical.
+    let line1 = snapshot_jsonl(&first);
+    let line2 = snapshot_jsonl(&second);
+    assert_eq!(line1, line2);
+    assert_eq!(
+        line1,
+        "{\"cuts.dominance_kills\":98,\"cuts.enumerated\":1234,\
+         \"cuts.per_node\":[1,1,1,1,1,0,0,0,2,0,0,0,0,0,0,0,0,0,0,0,0,1],\
+         \"nodes.live\":417}\n"
+    );
+
+    // The line parses back to the same ordered fields.
+    let parsed = parse_object(line1.trim_end()).unwrap();
+    let record: Record = parsed.into_iter().collect();
+    assert_eq!(
+        record.get("cuts.enumerated").and_then(Value::as_u64),
+        Some(1234)
+    );
+}
+
+#[test]
+fn snapshot_order_is_independent_of_registration_order() {
+    let forward = Registry::new();
+    forward.counter("alpha").add(1);
+    forward.counter("mid").add(2);
+    forward.counter("zeta").add(3);
+
+    let reverse = Registry::new();
+    reverse.counter("zeta").add(3);
+    reverse.counter("mid").add(2);
+    reverse.counter("alpha").add(1);
+
+    assert_eq!(forward.snapshot(), reverse.snapshot());
+    assert_eq!(snapshot_jsonl(&forward), snapshot_jsonl(&reverse));
+}
+
+#[test]
+fn histogram_buckets_split_exactly_at_powers_of_two() {
+    let registry = Registry::new();
+    let h = registry.histogram("boundaries");
+    // One observation per boundary-adjacent value around 2^4.
+    for v in [15u64, 16, 31, 32] {
+        h.observe(v);
+    }
+    // 15 → bucket 4 ([8,15]); 16 and 31 → bucket 5 ([16,31]); 32 → bucket 6.
+    assert_eq!(Histogram::bucket_index(15), 4);
+    assert_eq!(Histogram::bucket_index(16), 5);
+    assert_eq!(Histogram::bucket_index(31), 5);
+    assert_eq!(Histogram::bucket_index(32), 6);
+    match registry.snapshot().get("boundaries") {
+        Some(MetricValue::Histogram(buckets)) => {
+            assert_eq!(buckets, &vec![0, 0, 0, 0, 1, 2, 1]);
+        }
+        other => panic!("expected histogram, got {other:?}"),
+    }
+}
+
+#[test]
+fn concurrent_increments_are_lossless_and_deterministic() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 10_000;
+
+    let registry = Registry::new();
+    let counter = registry.counter("contended");
+    let histogram = registry.histogram("contended.sizes");
+    std::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let counter = counter.clone();
+            let histogram = histogram.clone();
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    counter.add(1);
+                    // Every thread observes the same value multiset, so
+                    // the merged histogram is interleaving-independent.
+                    histogram.observe(i % 100);
+                }
+            });
+        }
+    });
+    assert_eq!(counter.get(), THREADS * PER_THREAD);
+    assert_eq!(histogram.count(), THREADS * PER_THREAD);
+
+    // A second, single-threaded registry observing the same multiset
+    // serializes identically — interleaving cannot leak into output.
+    let serial = Registry::new();
+    serial.counter("contended").add(THREADS * PER_THREAD);
+    let sh = serial.histogram("contended.sizes");
+    for _ in 0..THREADS {
+        for i in 0..PER_THREAD {
+            sh.observe(i % 100);
+        }
+    }
+    assert_eq!(snapshot_jsonl(&registry), snapshot_jsonl(&serial));
+}

@@ -21,7 +21,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     write_binary(&aig, &mut binary)?;
     println!("binary AIGER: {} bytes", binary.len());
     let back = read_aiger(&binary[..])?;
-    assert!(random_equiv_check(&aig, &back, 16, 1), "round trip must preserve function");
+    assert!(
+        random_equiv_check(&aig, &back, 16, 1),
+        "round trip must preserve function"
+    );
     println!("round-trip equivalence verified");
 
     // ASCII AIGER, for eyeballing.

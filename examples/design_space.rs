@@ -12,7 +12,12 @@ use slap::map::{MapOptions, Mapper};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let aig = rv32_datapath();
-    println!("circuit: {} ({} ANDs, depth {})", aig.name(), aig.num_ands(), aig.depth());
+    println!(
+        "circuit: {} ({} ANDs, depth {})",
+        aig.name(),
+        aig.num_ands(),
+        aig.depth()
+    );
 
     let library = asap7_mini();
     let mapper = Mapper::new(&library, MapOptions::default());
@@ -25,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         reference.delay()
     );
 
-    println!("{:>4} {:>10} {:>10} {:>9} {:>8} {:>8}", "seed", "area µm²", "delay ps", "cuts", "Δarea%", "Δdelay%");
+    println!(
+        "{:>4} {:>10} {:>10} {:>9} {:>8} {:>8}",
+        "seed", "area µm²", "delay ps", "cuts", "Δarea%", "Δdelay%"
+    );
     let mut best_delay = f32::INFINITY;
     let mut worst_delay = 0f32;
     for seed in 0..24u64 {

@@ -22,7 +22,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         aig.add_po(sum);
     }
     aig.add_po(carry);
-    println!("AIG: {} PIs, {} POs, {} ANDs, depth {}", aig.num_pis(), aig.num_pos(), aig.num_ands(), aig.depth());
+    println!(
+        "AIG: {} PIs, {} POs, {} ANDs, depth {}",
+        aig.num_pis(),
+        aig.num_pos(),
+        aig.num_ands(),
+        aig.depth()
+    );
 
     // Map it.
     let library = asap7_mini();

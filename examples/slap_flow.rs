@@ -22,9 +22,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("== training (random-shuffle maps of rc16 + cla16) ==");
     let circuits = vec![ripple_carry_adder(16), carry_lookahead_adder(16)];
     let config = PipelineConfig {
-        sample: SampleConfig { maps: 60, ..SampleConfig::default() },
-        train: TrainConfig { epochs: 10, ..TrainConfig::default() },
-        model: CnnConfig { filters: 64, ..CnnConfig::paper() },
+        sample: SampleConfig {
+            maps: 60,
+            ..SampleConfig::default()
+        },
+        train: TrainConfig {
+            epochs: 10,
+            ..TrainConfig::default()
+        },
+        model: CnnConfig {
+            filters: 64,
+            ..CnnConfig::paper()
+        },
         model_seed: 1,
     };
     let (model, report) = train_slap_model(&circuits, &mapper, &config);
@@ -37,7 +46,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Map the multiplier three ways.
     let target = c6288_like();
-    println!("\n== mapping {} ({} ANDs) ==", target.name(), target.num_ands());
+    println!(
+        "\n== mapping {} ({} ANDs) ==",
+        target.name(),
+        target.num_ands()
+    );
     let cut_config = CutConfig::default();
     let abc = mapper.map_default(&target, &cut_config)?;
     let unlimited = mapper.map_unlimited(&target, &cut_config, 1000)?;
@@ -45,8 +58,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (slap_nl, stats) = slap.map(&target)?;
     assert!(slap_nl.verify_against(&target, 8, 7));
 
-    println!("  {:<14} {:>10} {:>10} {:>10}", "mode", "area µm²", "delay ps", "cuts");
-    for (name, nl) in [("abc-default", &abc), ("abc-unlimited", &unlimited), ("slap", &slap_nl)] {
+    println!(
+        "  {:<14} {:>10} {:>10} {:>10}",
+        "mode", "area µm²", "delay ps", "cuts"
+    );
+    for (name, nl) in [
+        ("abc-default", &abc),
+        ("abc-unlimited", &unlimited),
+        ("slap", &slap_nl),
+    ] {
         println!(
             "  {:<14} {:>10.1} {:>10.1} {:>10}",
             name,

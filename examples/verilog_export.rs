@@ -20,13 +20,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut verilog = Vec::new();
     write_verilog(&netlist, "cla16", &mut verilog)?;
     let verilog = String::from_utf8(verilog)?;
-    println!("// {} gates, {:.1} µm², {:.1} ps", netlist.instances().len(), netlist.area(), netlist.delay());
+    println!(
+        "// {} gates, {:.1} µm², {:.1} ps",
+        netlist.instances().len(),
+        netlist.area(),
+        netlist.delay()
+    );
     // Print the first and last lines of the module.
     for line in verilog.lines().take(12) {
         println!("{line}");
     }
     println!("  ...");
-    for line in verilog.lines().rev().take(4).collect::<Vec<_>>().iter().rev() {
+    for line in verilog
+        .lines()
+        .rev()
+        .take(4)
+        .collect::<Vec<_>>()
+        .iter()
+        .rev()
+    {
         println!("{line}");
     }
 

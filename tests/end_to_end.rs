@@ -20,7 +20,10 @@ fn all_three_modes_preserve_function_on_an_adder() {
     let s = mapper.map_shuffled(&aig, &cfg, 3, 6).expect("shuffled");
     for (name, nl) in [("default", &d), ("unlimited", &u), ("shuffled", &s)] {
         assert!(nl.verify_against(&aig, 16, 9), "{name} broke equivalence");
-        assert!(nl.area() > 0.0 && nl.delay() > 0.0, "{name} has degenerate QoR");
+        assert!(
+            nl.area() > 0.0 && nl.delay() > 0.0,
+            "{name} has degenerate QoR"
+        );
     }
     // Unlimited exposes at least as many cuts; the shuffled subset fewer.
     assert!(u.stats().cuts_considered >= d.stats().cuts_considered);
@@ -45,9 +48,18 @@ fn slap_end_to_end_on_unseen_circuit() {
     let mapper = Mapper::new(&lib, MapOptions::default());
     let train_set = vec![ripple_carry_adder(16)];
     let config = PipelineConfig {
-        sample: SampleConfig { maps: 20, ..SampleConfig::default() },
-        train: TrainConfig { epochs: 5, ..TrainConfig::default() },
-        model: CnnConfig { filters: 16, ..CnnConfig::paper() },
+        sample: SampleConfig {
+            maps: 20,
+            ..SampleConfig::default()
+        },
+        train: TrainConfig {
+            epochs: 5,
+            ..TrainConfig::default()
+        },
+        model: CnnConfig {
+            filters: 16,
+            ..CnnConfig::paper()
+        },
         model_seed: 2,
     };
     let (model, report) = train_slap_model(&train_set, &mapper, &config);
@@ -57,8 +69,13 @@ fn slap_end_to_end_on_unseen_circuit() {
     let target = max4(16);
     let (nl, stats) = slap.map(&target).expect("slap maps");
     assert!(nl.verify_against(&target, 16, 5));
-    assert!(stats.cuts_kept < stats.cuts_scored, "policy should prune something");
-    let unl = mapper.map_unlimited(&target, &CutConfig::default(), 1000).expect("unlimited");
+    assert!(
+        stats.cuts_kept < stats.cuts_scored,
+        "policy should prune something"
+    );
+    let unl = mapper
+        .map_unlimited(&target, &CutConfig::default(), 1000)
+        .expect("unlimited");
     assert!(nl.stats().cuts_considered <= unl.stats().cuts_considered);
 }
 
@@ -74,8 +91,14 @@ fn every_table2_benchmark_maps_and_verifies_quickly() {
         if aig.num_ands() > 8000 {
             continue; // the big ones are covered by the harness itself
         }
-        let nl = mapper.map_default(&aig, &cfg).unwrap_or_else(|e| panic!("{}: {e}", bench.name));
-        assert!(nl.verify_against(&aig, 4, 11), "{} mapping not equivalent", bench.name);
+        let nl = mapper
+            .map_default(&aig, &cfg)
+            .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+        assert!(
+            nl.verify_against(&aig, 4, 11),
+            "{} mapping not equivalent",
+            bench.name
+        );
     }
 }
 

@@ -1,10 +1,13 @@
-//! Property-based integration tests: random AIGs through the whole
-//! mapping stack must always produce functionally equivalent netlists.
+//! Randomized integration tests: random AIGs through the whole mapping
+//! stack must always produce functionally equivalent netlists.
+//!
+//! Driven by the workspace's own deterministic [`Rng64`] instead of an
+//! external property-testing crate (workspace policy: zero external
+//! dependencies). Every run replays the same cases from a fixed seed.
 
-use proptest::prelude::*;
 use slap::aig::aiger::{read_aiger, write_binary};
 use slap::aig::sim::random_equiv_check;
-use slap::aig::{Aig, Lit};
+use slap::aig::{Aig, Lit, Rng64};
 use slap::cell::asap7_mini;
 use slap::cuts::CutConfig;
 use slap::map::{MapOptions, Mapper};
@@ -28,34 +31,47 @@ fn build_random_aig(num_pis: usize, steps: &[(usize, usize, bool, bool)]) -> Aig
     aig
 }
 
-fn steps() -> impl Strategy<Value = Vec<(usize, usize, bool, bool)>> {
-    prop::collection::vec((0usize..200, 0usize..200, any::<bool>(), any::<bool>()), 1..60)
+fn steps(rng: &mut Rng64) -> Vec<(usize, usize, bool, bool)> {
+    let len = 1 + rng.index(59);
+    (0..len)
+        .map(|_| (rng.index(200), rng.index(200), rng.bool(), rng.bool()))
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    #[test]
-    fn default_mapping_is_always_equivalent(s in steps()) {
-        let aig = build_random_aig(5, &s);
+#[test]
+fn default_mapping_is_always_equivalent() {
+    let mut rng = Rng64::seed_from(0x3A9_0001);
+    for _ in 0..24 {
+        let aig = build_random_aig(5, &steps(&mut rng));
         let lib = asap7_mini();
         let mapper = Mapper::new(&lib, MapOptions::default());
-        let nl = mapper.map_default(&aig, &CutConfig::default()).expect("maps");
-        prop_assert!(nl.verify_against(&aig, 8, 1));
+        let nl = mapper
+            .map_default(&aig, &CutConfig::default())
+            .expect("maps");
+        assert!(nl.verify_against(&aig, 8, 1));
     }
+}
 
-    #[test]
-    fn shuffled_mapping_is_always_equivalent(s in steps(), seed in 0u64..1000) {
-        let aig = build_random_aig(5, &s);
+#[test]
+fn shuffled_mapping_is_always_equivalent() {
+    let mut rng = Rng64::seed_from(0x3A9_0002);
+    for _ in 0..24 {
+        let aig = build_random_aig(5, &steps(&mut rng));
+        let seed = rng.below(1000);
         let lib = asap7_mini();
         let mapper = Mapper::new(&lib, MapOptions::default());
-        let nl = mapper.map_shuffled(&aig, &CutConfig::default(), seed, 3).expect("maps");
-        prop_assert!(nl.verify_against(&aig, 8, 2));
+        let nl = mapper
+            .map_shuffled(&aig, &CutConfig::default(), seed, 3)
+            .expect("maps");
+        assert!(nl.verify_against(&aig, 8, 2));
     }
+}
 
-    #[test]
-    fn delay_only_area_recovery_relation(s in steps()) {
-        let aig = build_random_aig(5, &s);
+#[test]
+fn delay_only_area_recovery_relation() {
+    let mut rng = Rng64::seed_from(0x3A9_0003);
+    for _ in 0..24 {
+        let aig = build_random_aig(5, &steps(&mut rng));
         let lib = asap7_mini();
         let plain = Mapper::new(&lib, MapOptions::delay_only());
         let recovered = Mapper::new(&lib, MapOptions::default());
@@ -63,28 +79,37 @@ proptest! {
         let a = plain.map_default(&aig, &cfg).expect("maps");
         let b = recovered.map_default(&aig, &cfg).expect("maps");
         // Area recovery never increases area and never breaks function.
-        prop_assert!(b.area() <= a.area() + 1e-3);
-        prop_assert!(b.verify_against(&aig, 4, 3));
+        assert!(b.area() <= a.area() + 1e-3);
+        assert!(b.verify_against(&aig, 4, 3));
     }
+}
 
-    #[test]
-    fn aiger_binary_round_trip(s in steps()) {
-        let aig = build_random_aig(5, &s);
+#[test]
+fn aiger_binary_round_trip() {
+    let mut rng = Rng64::seed_from(0x3A9_0004);
+    for _ in 0..24 {
+        let aig = build_random_aig(5, &steps(&mut rng));
         let mut buf = Vec::new();
         write_binary(&aig, &mut buf).expect("write");
         let back = read_aiger(&buf[..]).expect("parse");
-        prop_assert_eq!(back.num_pis(), aig.num_pis());
-        prop_assert_eq!(back.num_pos(), aig.num_pos());
-        prop_assert!(random_equiv_check(&aig, &back, 8, 4));
+        assert_eq!(back.num_pis(), aig.num_pis());
+        assert_eq!(back.num_pos(), aig.num_pos());
+        assert!(random_equiv_check(&aig, &back, 8, 4));
     }
+}
 
-    #[test]
-    fn k_sweep_mappings_stay_equivalent(s in steps(), k in 3usize..=6) {
-        let aig = build_random_aig(4, &s);
+#[test]
+fn k_sweep_mappings_stay_equivalent() {
+    let mut rng = Rng64::seed_from(0x3A9_0005);
+    for _ in 0..24 {
+        let aig = build_random_aig(4, &steps(&mut rng));
+        let k = 3 + rng.index(4);
         let lib = asap7_mini();
         let mapper = Mapper::new(&lib, MapOptions::default());
-        let nl = mapper.map_default(&aig, &CutConfig::with_k(k)).expect("maps");
-        prop_assert!(nl.verify_against(&aig, 4, 5));
+        let nl = mapper
+            .map_default(&aig, &CutConfig::with_k(k))
+            .expect("maps");
+        assert!(nl.verify_against(&aig, 4, 5));
     }
 }
 
@@ -101,6 +126,8 @@ fn constant_and_degenerate_outputs() {
     aig.add_po(!f);
     let lib = asap7_mini();
     let mapper = Mapper::new(&lib, MapOptions::default());
-    let nl = mapper.map_default(&aig, &CutConfig::default()).expect("maps");
+    let nl = mapper
+        .map_default(&aig, &CutConfig::default())
+        .expect("maps");
     assert!(nl.verify_against(&aig, 8, 6));
 }

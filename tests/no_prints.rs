@@ -1,0 +1,61 @@
+//! Library code must report through `slap-obs` (or return data), never
+//! print: this test walks every crate's `src/` tree and fails on
+//! `println!`/`eprintln!` outside binaries and tests.
+
+use std::path::{Path, PathBuf};
+
+fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in std::fs::read_dir(dir).expect("readable source dir") {
+        let path = entry.expect("dir entry").path();
+        if path.is_dir() {
+            // Binaries may print; that is their job.
+            if path.file_name().map(|n| n == "bin").unwrap_or(false) {
+                continue;
+            }
+            rust_sources(&path, out);
+        } else if path.extension().map(|e| e == "rs").unwrap_or(false) {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn library_code_does_not_print() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let mut files = Vec::new();
+    rust_sources(&root.join("src"), &mut files);
+    for entry in std::fs::read_dir(root.join("crates")).expect("crates dir") {
+        let dir = entry.expect("dir entry").path().join("src");
+        if dir.is_dir() {
+            rust_sources(&dir, &mut files);
+        }
+    }
+    assert!(
+        files.len() > 20,
+        "walker found too few files ({})",
+        files.len()
+    );
+
+    let mut offenders = Vec::new();
+    for file in &files {
+        let text = std::fs::read_to_string(file).expect("readable source");
+        for (i, line) in text.lines().enumerate() {
+            let trimmed = line.trim_start();
+            // Everything below the test module is test-only code.
+            if trimmed.starts_with("#[cfg(test)]") {
+                break;
+            }
+            if trimmed.starts_with("//") {
+                continue;
+            }
+            if trimmed.contains("println!") || trimmed.contains("eprintln!") {
+                offenders.push(format!("{}:{}: {}", file.display(), i + 1, trimmed));
+            }
+        }
+    }
+    assert!(
+        offenders.is_empty(),
+        "library code must use slap-obs instead of printing:\n{}",
+        offenders.join("\n")
+    );
+}
