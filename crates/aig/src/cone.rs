@@ -9,6 +9,16 @@
 use crate::graph::{Aig, NodeId};
 use crate::tt::Tt;
 
+/// Reusable buffers for cone traversal and simulation, so the hot
+/// matching loop can evaluate hundreds of thousands of cut functions
+/// without touching the allocator (see [`cut_function_with`]).
+#[derive(Debug, Default)]
+pub struct ConeScratch {
+    cone: Vec<NodeId>,
+    stack: Vec<NodeId>,
+    values: Vec<(NodeId, Tt)>,
+}
+
 /// Collects the nodes covered by the cut `(root, leaves)` in topological
 /// (ascending id) order. The root is included, leaves are excluded.
 ///
@@ -16,29 +26,46 @@ use crate::tt::Tt;
 /// path from the root escapes past a non-leaf PI or the traversal reaches
 /// the constant node without it being a leaf (an invalid cut).
 pub fn collect_cone(aig: &Aig, root: NodeId, leaves: &[NodeId]) -> Option<Vec<NodeId>> {
+    let mut scratch = ConeScratch::default();
+    if collect_cone_into(aig, root, leaves, &mut scratch) {
+        Some(std::mem::take(&mut scratch.cone))
+    } else {
+        None
+    }
+}
+
+/// Allocation-free core of [`collect_cone`]: leaves the sorted cone in
+/// `scratch.cone` and returns whether the cut is valid.
+fn collect_cone_into(
+    aig: &Aig,
+    root: NodeId,
+    leaves: &[NodeId],
+    scratch: &mut ConeScratch,
+) -> bool {
+    let cone = &mut scratch.cone;
+    let stack = &mut scratch.stack;
+    cone.clear();
+    stack.clear();
     if leaves.contains(&root) {
         // Trivial cut: covers nothing.
-        return Some(Vec::new());
+        return true;
     }
-    let mut cone = Vec::new();
-    let mut stack = vec![root];
-    let mut visited: Vec<NodeId> = Vec::new();
+    stack.push(root);
     while let Some(n) = stack.pop() {
-        if visited.contains(&n) || leaves.contains(&n) {
+        if cone.contains(&n) || leaves.contains(&n) {
             continue;
         }
         if !aig.is_and(n) {
             // Reached a PI or the constant that is not a leaf: invalid cut.
-            return None;
+            return false;
         }
-        visited.push(n);
         cone.push(n);
         let (f0, f1) = aig.fanins(n);
         stack.push(f0.node());
         stack.push(f1.node());
     }
     cone.sort_unstable();
-    Some(cone)
+    true
 }
 
 /// The volume of a cut: number of covered nodes. Returns `None` for
@@ -60,20 +87,39 @@ pub fn cut_volume(aig: &Aig, root: NodeId, leaves: &[NodeId]) -> Option<usize> {
 ///
 /// Panics if `leaves.len() > 6`.
 pub fn cut_function(aig: &Aig, root: NodeId, leaves: &[NodeId]) -> Option<(Tt, usize)> {
+    cut_function_with(aig, root, leaves, &mut ConeScratch::default())
+}
+
+/// [`cut_function`] with caller-provided scratch buffers: after warm-up,
+/// evaluating a cut allocates nothing. This is the matcher's hot path.
+///
+/// # Panics
+///
+/// Panics if `leaves.len() > 6`.
+pub fn cut_function_with(
+    aig: &Aig,
+    root: NodeId,
+    leaves: &[NodeId],
+    scratch: &mut ConeScratch,
+) -> Option<(Tt, usize)> {
     assert!(leaves.len() <= Tt::MAX_VARS, "at most 6 leaves supported");
     let nv = leaves.len();
     if let Some(pos) = leaves.iter().position(|&l| l == root) {
         // Trivial cut: identity on that leaf.
         return Some((Tt::var(pos, nv.max(1)), 0));
     }
-    let cone = collect_cone(aig, root, leaves)?;
+    if !collect_cone_into(aig, root, leaves, scratch) {
+        return None;
+    }
     // Local simulation over the cone only, using a tiny map from node to tt.
-    let mut values: Vec<(NodeId, Tt)> = Vec::with_capacity(cone.len() + leaves.len() + 1);
+    let cone = &scratch.cone;
+    let values = &mut scratch.values;
+    values.clear();
     values.push((NodeId::CONST0, Tt::zero(nv)));
     for (i, &l) in leaves.iter().enumerate() {
         values.push((l, Tt::var(i, nv)));
     }
-    let lookup = |values: &Vec<(NodeId, Tt)>, n: NodeId| -> Tt {
+    let lookup = |values: &[(NodeId, Tt)], n: NodeId| -> Tt {
         values
             .iter()
             .rev()
@@ -81,10 +127,10 @@ pub fn cut_function(aig: &Aig, root: NodeId, leaves: &[NodeId]) -> Option<(Tt, u
             .map(|(_, t)| *t)
             .expect("cone node evaluated before its fanins")
     };
-    for &n in &cone {
+    for &n in cone {
         let (f0, f1) = aig.fanins(n);
-        let mut t0 = lookup(&values, f0.node());
-        let mut t1 = lookup(&values, f1.node());
+        let mut t0 = lookup(values, f0.node());
+        let mut t1 = lookup(values, f1.node());
         if f0.is_complement() {
             t0 = t0.not();
         }
@@ -94,7 +140,7 @@ pub fn cut_function(aig: &Aig, root: NodeId, leaves: &[NodeId]) -> Option<(Tt, u
         values.push((n, t0.and(t1)));
     }
     let volume = cone.len();
-    Some((lookup(&values, root), volume))
+    Some((lookup(values, root), volume))
 }
 
 #[cfg(test)]

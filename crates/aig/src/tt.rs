@@ -157,18 +157,33 @@ impl Tt {
     /// variables downwards. Returns the shrunk table and, for each new
     /// variable position, the original variable it came from.
     pub fn shrink_to_support(self) -> (Tt, Vec<usize>) {
-        let support = self.support();
-        if support.len() == self.num_vars as usize {
-            return (self, support);
+        let mut vars = [0usize; Tt::MAX_VARS];
+        let (tt, n) = self.shrink_to_support_into(&mut vars);
+        (tt, vars[..n].to_vec())
+    }
+
+    /// Allocation-free [`shrink_to_support`]: writes the original variable
+    /// of each surviving position into `vars` and returns the shrunk table
+    /// plus the support size (the filled prefix of `vars`).
+    pub fn shrink_to_support_into(self, vars: &mut [usize; Tt::MAX_VARS]) -> (Tt, usize) {
+        let mut n = 0usize;
+        for v in 0..self.num_vars as usize {
+            if self.influenced_by(v) {
+                vars[n] = v;
+                n += 1;
+            }
+        }
+        if n == self.num_vars as usize {
+            return (self, n);
         }
         let mut tt = self;
         // Swap each support variable down into consecutive low positions.
-        for (new_pos, &old_pos) in support.iter().enumerate() {
+        for (new_pos, &old_pos) in vars[..n].iter().enumerate() {
             if new_pos != old_pos {
                 tt = tt.swap_vars(new_pos, old_pos);
             }
         }
-        (Tt::from_bits(tt.bits, support.len()), support)
+        (Tt::from_bits(tt.bits, n), n)
     }
 
     /// Swaps two variables of the table.

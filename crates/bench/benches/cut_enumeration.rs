@@ -5,12 +5,14 @@
 //! cut_enumeration`.
 
 use slap_bench::microbench::measure;
+use slap_circuits::aes::aes_core;
 use slap_circuits::arith::{barrel_shifter, ripple_carry_adder};
 use slap_cuts::{enumerate_cuts, CutConfig, DefaultPolicy, ShufflePolicy, UnlimitedPolicy};
 
 fn main() {
     let adder = ripple_carry_adder(64);
     let bar = barrel_shifter(64);
+    let aes = aes_core(1);
     let cfg = CutConfig::default();
     let results = [
         measure("cut_enumeration/rc64/default", 10, || {
@@ -24,6 +26,12 @@ fn main() {
         }),
         measure("cut_enumeration/bar64/default", 10, || {
             enumerate_cuts(&bar, &cfg, &mut DefaultPolicy::default())
+        }),
+        measure("cut_enumeration/aes/default", 10, || {
+            enumerate_cuts(&aes, &cfg, &mut DefaultPolicy::default())
+        }),
+        measure("cut_enumeration/aes/unlimited", 10, || {
+            enumerate_cuts(&aes, &cfg, &mut UnlimitedPolicy::new())
         }),
     ];
     for m in &results {

@@ -5,6 +5,7 @@
 
 use slap_bench::microbench::measure;
 use slap_cell::asap7_mini;
+use slap_circuits::aes::aes_core;
 use slap_circuits::arith::ripple_carry_adder;
 use slap_circuits::iscas::c6288_like;
 use slap_cuts::CutConfig;
@@ -16,6 +17,7 @@ fn main() {
     let delay_only = Mapper::new(&lib, MapOptions::delay_only());
     let rc = ripple_carry_adder(64);
     let mult = c6288_like();
+    let aes = aes_core(1);
     let cfg = CutConfig::default();
     let results = [
         measure("mapping/rc64/default", 10, || {
@@ -29,6 +31,9 @@ fn main() {
         }),
         measure("mapping/c6288/default", 10, || {
             mapper.map_default(&mult, &cfg).expect("maps")
+        }),
+        measure("mapping/aes/default", 10, || {
+            mapper.map_default(&aes, &cfg).expect("maps")
         }),
     ];
     for m in &results {

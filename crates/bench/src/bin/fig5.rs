@@ -79,7 +79,7 @@ fn main() {
     let mut eval_set = Dataset::new(CUT_EMBED_ROWS, CUT_EMBED_COLS, 10);
     for i in 0..val.len().min(eval) {
         let (x, y) = val.sample(i);
-        eval_set.push(x.to_vec(), y);
+        eval_set.push(x, y);
     }
     println!(
         "permuting {} features x {rounds} rounds over {} samples...",

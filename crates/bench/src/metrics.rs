@@ -49,7 +49,7 @@ impl MetricsOut {
     pub fn emit(&self, record: &Record) {
         if let Some(sink) = &self.sink {
             sink.lock()
-                .expect("metrics lock")
+                .expect("metrics sink mutex poisoned by a panicking writer")
                 .emit(record)
                 .expect("metrics write");
         }
@@ -63,7 +63,7 @@ impl MetricsOut {
     pub fn finish(&self) {
         if let Some(sink) = &self.sink {
             sink.lock()
-                .expect("metrics lock")
+                .expect("metrics sink mutex poisoned by a panicking writer")
                 .flush()
                 .expect("metrics flush");
         }
@@ -117,6 +117,9 @@ pub fn map_record(circuit: &str, mode: &str, stats: &MapStats) -> Record {
     r.push("dominance_kills", stats.cut_stats.dominance_kills);
     r.push("cap_truncations", stats.cut_stats.cap_truncations);
     r.push("cuts_dropped_by_cap", stats.cut_stats.cuts_dropped_by_cap);
+    r.push("arena_cuts", stats.arena_stats.cuts);
+    r.push("arena_bytes", stats.arena_stats.bytes);
+    r.push("arena_spans", stats.arena_stats.spans);
     r.push("matches_tried", stats.matches_tried);
     r.push("npn_hit_rate", stats.match_stats.npn_hit_rate());
     r.push("num_instances", stats.num_instances);
@@ -173,6 +176,13 @@ mod tests {
         );
         assert!(get("npn_hit_rate").and_then(|v| v.as_f64()).expect("rate") > 0.0);
         assert!(get("total_s").and_then(|v| v.as_f64()).expect("total") >= 0.0);
+        // Arena footprint fields travel with every mapping record.
+        assert!(get("arena_cuts").and_then(|v| v.as_u64()).expect("cuts") > 0);
+        assert!(get("arena_bytes").and_then(|v| v.as_u64()).expect("bytes") > 0);
+        assert_eq!(
+            get("arena_spans").and_then(|v| v.as_u64()),
+            Some(aig.num_nodes() as u64)
+        );
     }
 
     #[test]

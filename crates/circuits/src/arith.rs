@@ -180,7 +180,7 @@ pub fn booth_multiplier(n: usize) -> Aig {
     // Sign-extended A and 2A to full width.
     let sext = |w: &[Lit], total: usize| -> Vec<Lit> {
         let mut v = w.to_vec();
-        let sign = *w.last().expect("nonempty");
+        let sign = *w.last().expect("operand words have width n >= 1");
         v.resize(total, sign);
         v
     };
@@ -190,7 +190,7 @@ pub fn booth_multiplier(n: usize) -> Aig {
     let a2_ext = {
         let mut v = vec![Lit::FALSE];
         v.extend_from_slice(&a);
-        let sign = *a.last().expect("nonempty");
+        let sign = *a.last().expect("operand words have width n >= 1");
         v.resize(total, sign);
         v
     };
@@ -203,7 +203,7 @@ pub fn booth_multiplier(n: usize) -> Aig {
         let b2 = if 2 * g + 1 < n {
             b[2 * g + 1]
         } else {
-            *b.last().expect("nonempty")
+            *b.last().expect("operand words have width n >= 1")
         };
         prev = b2;
         // Booth encoding of (b2 b1 b0): value v ∈ {-2,-1,0,1,2}.

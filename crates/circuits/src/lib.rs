@@ -39,4 +39,4 @@ pub mod iscas;
 pub mod riscv;
 pub mod words;
 
-pub use catalog::{table2_benchmarks, training_benchmarks, Benchmark};
+pub use catalog::{table2_benchmarks, training_benchmarks, Benchmark, Scale};

@@ -6,7 +6,7 @@ use slap_cuts::CutConfig;
 use slap_map::{MapError, Mapper};
 use slap_ml::Dataset;
 
-use crate::embed::{EmbeddingContext, CUT_EMBED_COLS, CUT_EMBED_ROWS};
+use crate::embed::{EmbeddingContext, CUT_EMBED_COLS, CUT_EMBED_DIM, CUT_EMBED_ROWS};
 
 /// Random-map sampling parameters.
 #[derive(Clone, Debug)]
@@ -134,12 +134,20 @@ pub fn generate_dataset(
         let norm = (sample.delay - min) / span;
         sample.class = ((norm * classes) as usize).min(config.classes - 1) as u8;
     }
+    // One embedding buffer serves every emitted sample; `Dataset::push`
+    // copies it into the dataset's flat storage.
+    let mut embedding = [0f32; CUT_EMBED_DIM];
+    let embed_into =
+        |ctx: &EmbeddingContext, root: slap_aig::NodeId, cut: &slap_cuts::Cut, buf: &mut [f32]| {
+            let features = slap_cuts::cut_features(aig, root, cut, ctx.compl_flags());
+            ctx.cut_embedding_into(root, cut, &features, buf);
+        };
     match config.label_mode {
         LabelMode::PerUse => {
             for (sample, cover) in &records {
                 for (root, cut) in cover {
-                    let x = ctx.cut_embedding(aig, *root, cut);
-                    dataset.push(x, sample.class);
+                    embed_into(&ctx, *root, cut, &mut embedding);
+                    dataset.push(&embedding, sample.class);
                 }
             }
         }
@@ -160,8 +168,8 @@ pub fn generate_dataset(
             });
             let num_positive = entries.len();
             for ((root, cut), class) in entries {
-                let x = ctx.cut_embedding(aig, root, &cut);
-                dataset.push(x, class);
+                embed_into(&ctx, root, &cut, &mut embedding);
+                dataset.push(&embedding, class);
             }
             if config.label_mode == LabelMode::BestPerCutWithNegatives {
                 // Enumerate the full cut space and emit never-used cuts as
@@ -185,8 +193,8 @@ pub fn generate_dataset(
                         if rng.f32() > 0.5 {
                             continue;
                         }
-                        let x = ctx.cut_embedding(aig, n, cut);
-                        dataset.push(x, worst);
+                        embed_into(&ctx, n, cut, &mut embedding);
+                        dataset.push(&embedding, worst);
                         emitted += 1;
                         if emitted >= budget {
                             break 'outer;

@@ -82,22 +82,46 @@ impl EmbeddingContext {
         cut: &Cut,
         features: &CutFeatures,
     ) -> Vec<f32> {
-        assert!(cut.len() <= 5, "cut embedding supports at most 5 leaves");
         let mut m = vec![0f32; CUT_EMBED_DIM];
-        m[..NODE_EMBED_DIM].copy_from_slice(self.node_embedding(root));
+        self.cut_embedding_into(root, cut, features, &mut m);
+        m
+    }
+
+    /// Writes the Fig. 2 embedding into a caller-supplied buffer of
+    /// [`CUT_EMBED_DIM`] floats, so bulk scoring (inference, data
+    /// generation) reuses one buffer instead of allocating per cut.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is not exactly [`CUT_EMBED_DIM`] long or the cut
+    /// has more than 5 leaves.
+    pub fn cut_embedding_into(
+        &self,
+        root: NodeId,
+        cut: &Cut,
+        features: &CutFeatures,
+        out: &mut [f32],
+    ) {
+        assert_eq!(
+            out.len(),
+            CUT_EMBED_DIM,
+            "embedding buffer must hold CUT_EMBED_DIM floats"
+        );
+        assert!(cut.len() <= 5, "cut embedding supports at most 5 leaves");
+        out.fill(0.0);
+        out[..NODE_EMBED_DIM].copy_from_slice(self.node_embedding(root));
         for (i, leaf) in cut.leaves().enumerate() {
             let row = (1 + i) * CUT_EMBED_COLS;
-            m[row..row + NODE_EMBED_DIM].copy_from_slice(self.node_embedding(leaf));
+            out[row..row + NODE_EMBED_DIM].copy_from_slice(self.node_embedding(leaf));
         }
         let fv = features.to_vec();
         for (k, &f) in fv.iter().enumerate() {
             let row = (6 + k) * CUT_EMBED_COLS;
-            for c in 0..CUT_EMBED_COLS {
-                m[row + c] = f;
+            for v in &mut out[row..row + CUT_EMBED_COLS] {
+                *v = f;
             }
         }
         debug_assert_eq!(6 + NUM_CUT_FEATURES, CUT_EMBED_ROWS);
-        m
     }
 }
 

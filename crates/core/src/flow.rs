@@ -7,7 +7,7 @@ use slap_map::{MapError, MappedNetlist, Mapper};
 use slap_ml::{CnnConfig, CutCnn, Dataset, TrainConfig, TrainReport};
 
 use crate::datagen::{generate_dataset, SampleConfig};
-use crate::embed::{EmbeddingContext, CUT_EMBED_COLS, CUT_EMBED_ROWS};
+use crate::embed::{EmbeddingContext, CUT_EMBED_COLS, CUT_EMBED_DIM, CUT_EMBED_ROWS};
 use crate::policy::BandPolicy;
 
 /// SLAP inference-time configuration.
@@ -145,20 +145,24 @@ impl<'a> SlapMapper<'a> {
             class_histogram: vec![0; self.model.config().classes],
             ..SlapStats::default()
         };
-        // Inference + band policy, node by node.
-        let mut keep_masks: Vec<Vec<bool>> = vec![Vec::new(); aig.num_nodes()];
+        // Inference + band policy, node by node. The keep decision is a
+        // single flat mask keyed by CutId (the cut's arena offset), so
+        // selection needs no per-node cursors or nested buffers.
+        let mut keep: Vec<bool> = vec![false; cuts.total_cuts()];
         {
             let _span = slap_obs::span("inference");
+            let mut embedding = [0f32; CUT_EMBED_DIM];
+            let mut classes: Vec<u8> = Vec::new();
             for n in aig.and_ids() {
-                let list = cuts.cuts_of(n);
-                if list.is_empty() {
+                let span = cuts.span_of(n);
+                if span.is_empty() {
                     continue;
                 }
-                let mut classes = Vec::with_capacity(list.len());
-                for cut in list {
+                classes.clear();
+                for (_, cut) in cuts.ids_of(n) {
                     let features = cut_features(aig, n, cut, ctx.compl_flags());
-                    let x = ctx.cut_embedding_with_features(n, cut, &features);
-                    let class = self.model.predict(&x);
+                    ctx.cut_embedding_into(n, cut, &features, &mut embedding);
+                    let class = self.model.predict(&embedding);
                     stats.class_histogram[class as usize] += 1;
                     classes.push(class);
                 }
@@ -168,7 +172,9 @@ impl<'a> SlapMapper<'a> {
                     stats.nodes_all_bad += 1;
                 }
                 stats.cuts_kept += mask.iter().filter(|&&k| k).count();
-                keep_masks[n.index()] = mask;
+                for (offset, &kept) in (span.start as usize..).zip(&mask) {
+                    keep[offset] = kept;
+                }
             }
         }
         let reg = slap_obs::Registry::global();
@@ -178,16 +184,7 @@ impl<'a> SlapMapper<'a> {
         // read_cuts: keep exactly the selected cuts. Nodes left empty fall
         // back to their structural cut so the cover stays realizable (the
         // paper's trivial-cut case).
-        let mut cursor: Vec<usize> = vec![0; aig.num_nodes()];
-        cuts.retain_selected(
-            aig,
-            |n, _| {
-                let i = cursor[n.index()];
-                cursor[n.index()] += 1;
-                keep_masks[n.index()].get(i).copied().unwrap_or(false)
-            },
-            true,
-        );
+        cuts.retain_with_ids(aig, |_, id, _| keep[id.index()], true);
         let netlist = self.mapper.map_with_cuts(aig, &cuts)?;
         if cfg!(debug_assertions) {
             stats.check_invariants();

@@ -37,27 +37,44 @@ impl Cut {
     }
 
     /// Builds a cut from an arbitrary leaf list (sorted and deduplicated).
+    /// Allocation-free: the sort/dedup runs on an inline
+    /// `[u32; MAX_CUT_SIZE]` buffer (insertion into a sorted prefix, which
+    /// is optimal at these sizes).
     ///
     /// # Panics
     ///
     /// Panics if there are more than [`MAX_CUT_SIZE`] distinct leaves.
     pub fn from_leaves(leaves: &[NodeId]) -> Cut {
-        let mut ids: Vec<u32> = leaves.iter().map(|l| l.index() as u32).collect();
-        ids.sort_unstable();
-        ids.dedup();
-        assert!(
-            ids.len() <= MAX_CUT_SIZE,
-            "cut with more than {MAX_CUT_SIZE} leaves"
-        );
         let mut arr = [0u32; MAX_CUT_SIZE];
+        let mut len = 0usize;
+        for l in leaves {
+            let id = l.index() as u32;
+            // Find the insertion point in the sorted prefix arr[..len].
+            let mut pos = len;
+            for (i, &v) in arr[..len].iter().enumerate() {
+                if v >= id {
+                    pos = i;
+                    break;
+                }
+            }
+            if pos < len && arr[pos] == id {
+                continue; // duplicate
+            }
+            assert!(
+                len < MAX_CUT_SIZE,
+                "cut with more than {MAX_CUT_SIZE} leaves"
+            );
+            arr.copy_within(pos..len, pos + 1);
+            arr[pos] = id;
+            len += 1;
+        }
         let mut sig = 0u64;
-        for (i, &id) in ids.iter().enumerate() {
-            arr[i] = id;
+        for &id in &arr[..len] {
             sig |= 1u64 << (id % 64);
         }
         Cut {
             leaves: arr,
-            len: ids.len() as u8,
+            len: len as u8,
             sig,
         }
     }

@@ -1,4 +1,6 @@
-//! Bottom-up cut enumeration (Eq. 1 of the paper).
+//! Bottom-up cut enumeration (Eq. 1 of the paper) into a flat cut arena.
+
+use std::ops::Range;
 
 use slap_aig::{Aig, NodeId};
 
@@ -57,32 +59,169 @@ impl Default for CutConfig {
     }
 }
 
-/// Per-node cut lists produced by [`enumerate_cuts`].
+/// Identifier of a stored cut: its offset in the owning [`CutArena`].
+///
+/// A `CutId` is only meaningful with respect to the arena it came from and
+/// is invalidated by any operation that rebuilds the arena (such as
+/// [`CutArena::retain_selected`]). The sentinel [`CutId::STRUCTURAL`]
+/// denotes a structural cut `{fanin0, fanin1}` that was never stored —
+/// consumers resolve it from the graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CutId(u32);
+
+impl CutId {
+    /// Sentinel for the implicit structural cut of a node (not stored in
+    /// the arena; reconstruct it from the node's fanins).
+    pub const STRUCTURAL: CutId = CutId(u32::MAX);
+
+    /// Wraps an arena offset.
+    #[inline]
+    pub fn new(index: usize) -> CutId {
+        CutId(index as u32)
+    }
+
+    /// The arena offset.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Memory-footprint summary of a [`CutArena`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Cuts stored in the flat buffer.
+    pub cuts: usize,
+    /// Bytes held by the cut buffer and the span table.
+    pub bytes: usize,
+    /// Per-node spans tracked (one per graph node, empty ones included).
+    pub spans: usize,
+}
+
+/// Per-node cut lists produced by [`enumerate_cuts`], stored as one
+/// contiguous `Vec<Cut>` with per-node [`Range<u32>`] spans.
 ///
 /// The trivial cut of each node is stored implicitly (it always exists and
 /// is never exposed to matching); `cuts_of` returns only the non-trivial
-/// cuts, in the order the policy left them.
+/// cuts, in the order the policy left them. Every stored cut is addressed
+/// by a [`CutId`] — its offset in the flat buffer — which downstream
+/// layers (matching, the SLAP flow) carry instead of cloning leaf lists.
+///
+/// Invariant: spans are laid out in ascending node order (the enumeration
+/// order), so `starts` is monotone and `CutId` ranges of distinct nodes
+/// never overlap.
 #[derive(Clone, Debug)]
-pub struct CutSets {
-    sets: Vec<Vec<Cut>>,
+pub struct CutArena {
+    cuts: Vec<Cut>,
+    /// `starts[i]..starts[i + 1]` is node `i`'s span; length `num_nodes + 1`.
+    starts: Vec<u32>,
+    /// Next `starts` entry to finalize (nodes are pushed in ascending order).
+    filled: usize,
     k: usize,
     stats: CutEnumStats,
 }
 
-impl CutSets {
+/// The previous name of [`CutArena`], kept so external callers written
+/// against the nested-`Vec` era keep compiling.
+pub type CutSets = CutArena;
+
+impl CutArena {
+    /// An empty arena over `num_nodes` graph nodes.
+    pub fn with_nodes(num_nodes: usize, k: usize) -> CutArena {
+        CutArena {
+            cuts: Vec::new(),
+            starts: vec![0; num_nodes + 1],
+            filled: 1,
+            k,
+            stats: CutEnumStats::default(),
+        }
+    }
+
+    /// Builds an arena from explicit per-node cut lists (golden tests and
+    /// external tooling). `lists[i]` becomes node `i`'s span.
+    pub fn from_lists(lists: &[Vec<Cut>], k: usize) -> CutArena {
+        let mut arena = CutArena::with_nodes(lists.len(), k);
+        for (i, list) in lists.iter().enumerate() {
+            arena.push_node(NodeId::new(i), list);
+        }
+        arena.seal();
+        arena
+    }
+
+    /// Appends `list` as the span of `node`. Nodes must be pushed in
+    /// ascending index order; skipped nodes get empty spans.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range or not after every pushed node.
+    pub fn push_node(&mut self, node: NodeId, list: &[Cut]) {
+        let idx = node.index();
+        assert!(
+            idx + 1 < self.starts.len(),
+            "node {idx} outside arena of {} nodes",
+            self.starts.len() - 1
+        );
+        assert!(
+            idx + 1 >= self.filled,
+            "nodes must be pushed in ascending order (got {idx} after {})",
+            self.filled - 1
+        );
+        let start = self.cuts.len() as u32;
+        for s in &mut self.starts[self.filled..=idx] {
+            *s = start;
+        }
+        self.cuts.extend_from_slice(list);
+        self.starts[idx + 1] = self.cuts.len() as u32;
+        self.filled = idx + 2;
+    }
+
+    /// Finalizes the span table: every node not pushed gets an empty span.
+    pub fn seal(&mut self) {
+        let end = self.cuts.len() as u32;
+        for s in &mut self.starts[self.filled..] {
+            *s = end;
+        }
+        self.filled = self.starts.len();
+    }
+
     /// Counters recorded while enumerating these sets.
     pub fn stats(&self) -> &CutEnumStats {
         &self.stats
     }
 
     /// The non-trivial cuts stored for `node`.
+    #[inline]
     pub fn cuts_of(&self, node: NodeId) -> &[Cut] {
-        &self.sets[node.index()]
+        let r = self.span_of(node);
+        &self.cuts[r.start as usize..r.end as usize]
     }
 
-    /// Mutable access, for external selection passes.
-    pub fn cuts_of_mut(&mut self, node: NodeId) -> &mut Vec<Cut> {
-        &mut self.sets[node.index()]
+    /// The arena offsets of `node`'s span: `span.start..span.end` are the
+    /// [`CutId`] indices of its cuts.
+    #[inline]
+    pub fn span_of(&self, node: NodeId) -> Range<u32> {
+        let i = node.index();
+        self.starts[i]..self.starts[i + 1]
+    }
+
+    /// The `(id, cut)` pairs of `node`'s span.
+    pub fn ids_of(&self, node: NodeId) -> impl ExactSizeIterator<Item = (CutId, &Cut)> + '_ {
+        let r = self.span_of(node);
+        self.cuts[r.start as usize..r.end as usize]
+            .iter()
+            .enumerate()
+            .map(move |(i, c)| (CutId(r.start + i as u32), c))
+    }
+
+    /// The cut stored at `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is the [`CutId::STRUCTURAL`] sentinel or out of
+    /// bounds for this arena.
+    #[inline]
+    pub fn cut(&self, id: CutId) -> &Cut {
+        &self.cuts[id.index()]
     }
 
     /// The `k` the sets were enumerated with.
@@ -93,17 +232,28 @@ impl CutSets {
     /// Total number of non-trivial cuts across all nodes — the paper's
     /// "cuts considered / memory footprint" metric.
     pub fn total_cuts(&self) -> usize {
-        self.sets.iter().map(Vec::len).sum()
+        self.cuts.len()
     }
 
     /// Number of nodes with at least one stored cut.
     pub fn num_nodes_with_cuts(&self) -> usize {
-        self.sets.iter().filter(|s| !s.is_empty()).count()
+        self.starts.windows(2).filter(|w| w[0] < w[1]).count()
+    }
+
+    /// Memory-footprint summary (cuts stored, bytes, spans).
+    pub fn arena_stats(&self) -> ArenaStats {
+        ArenaStats {
+            cuts: self.cuts.len(),
+            bytes: self.cuts.len() * std::mem::size_of::<Cut>()
+                + self.starts.len() * std::mem::size_of::<u32>(),
+            spans: self.starts.len().saturating_sub(1),
+        }
     }
 
     /// Applies an external selection: for every AND node, keeps only cuts
     /// for which `select` returns true. This is the `read_cuts` step of
-    /// the SLAP flow.
+    /// the SLAP flow. The arena is compacted in place, so all previously
+    /// issued [`CutId`]s are invalidated.
     ///
     /// If `ensure_structural` is set, the structural cut `{fanin0, fanin1}`
     /// of each AND node is re-added when the selection removed every cut,
@@ -113,14 +263,47 @@ impl CutSets {
     where
         F: FnMut(NodeId, &Cut) -> bool,
     {
-        for n in aig.and_ids() {
-            let list = &mut self.sets[n.index()];
-            list.retain(|c| select(n, c));
-            if ensure_structural && list.is_empty() {
+        self.retain_with_ids(aig, |n, _, c| select(n, c), ensure_structural)
+    }
+
+    /// [`CutArena::retain_selected`] with the [`CutId`] of each candidate
+    /// exposed, so callers holding flat id-keyed masks (the SLAP flow)
+    /// select in O(1) without per-node cursors.
+    pub fn retain_with_ids<F>(&mut self, aig: &Aig, mut select: F, ensure_structural: bool)
+    where
+        F: FnMut(NodeId, CutId, &Cut) -> bool,
+    {
+        // Rebuild into fresh buffers (two allocations for the whole pass,
+        // regardless of node count). Ids passed to `select` are the
+        // pre-compaction ids, offered in ascending order.
+        let mut new_cuts: Vec<Cut> = Vec::with_capacity(self.cuts.len());
+        let mut new_starts: Vec<u32> = vec![0; self.starts.len()];
+        let num_spans = self.starts.len() - 1;
+        for (i, new_start) in new_starts.iter_mut().enumerate().take(num_spans) {
+            *new_start = new_cuts.len() as u32;
+            let n = NodeId::new(i);
+            if !aig.is_and(n) {
+                continue;
+            }
+            let (start, end) = (self.starts[i] as usize, self.starts[i + 1] as usize);
+            let before = new_cuts.len();
+            for r in start..end {
+                let c = self.cuts[r];
+                if select(n, CutId(r as u32), &c) {
+                    new_cuts.push(c);
+                }
+            }
+            if ensure_structural && new_cuts.len() == before {
                 let (f0, f1) = aig.fanins(n);
-                list.push(Cut::from_leaves(&[f0.node(), f1.node()]));
+                new_cuts.push(Cut::from_leaves(&[f0.node(), f1.node()]));
             }
         }
+        if let Some(last) = new_starts.last_mut() {
+            *last = new_cuts.len() as u32;
+        }
+        self.cuts = new_cuts;
+        self.starts = new_starts;
+        self.filled = self.starts.len();
     }
 }
 
@@ -130,22 +313,29 @@ impl CutSets {
 /// The stored (policy-refined) list is what propagates to fanout merges,
 /// matching ABC's priority-cuts behaviour where pruning shapes the whole
 /// downstream cut space.
-pub fn enumerate_cuts(aig: &Aig, config: &CutConfig, policy: &mut dyn CutPolicy) -> CutSets {
+///
+/// Allocation discipline: one scratch buffer is reused for every node's
+/// merge + refine, and the refined list is appended to the arena's flat
+/// buffer — no per-node `Vec` is ever created.
+pub fn enumerate_cuts(aig: &Aig, config: &CutConfig, policy: &mut dyn CutPolicy) -> CutArena {
     let _span = slap_obs::span("enumerate");
     let policy_before = policy.stats();
     let k = config.k;
     let mut stats = CutEnumStats::default();
-    let mut sets: Vec<Vec<Cut>> = vec![Vec::new(); aig.num_nodes()];
+    let mut arena = CutArena::with_nodes(aig.num_nodes(), k);
     let mut scratch: Vec<Cut> = Vec::new();
     let per_node = slap_obs::Registry::global().histogram("cuts.per_node");
     for n in aig.and_ids() {
         let (f0, f1) = aig.fanins(n);
         scratch.clear();
         {
-            let set0 = with_trivial(&sets[f0.node().index()], f0.node());
-            let set1 = with_trivial(&sets[f1.node().index()], f1.node());
-            for c0 in set0.iter() {
-                for c1 in set1.iter() {
+            // Eq. (1): the fanin sets each extended by their trivial cut.
+            let t0 = Cut::trivial(f0.node());
+            let t1 = Cut::trivial(f1.node());
+            let set0 = arena.cuts_of(f0.node());
+            let set1 = arena.cuts_of(f1.node());
+            for c0 in std::iter::once(&t0).chain(set0.iter()) {
+                for c1 in std::iter::once(&t1).chain(set1.iter()) {
                     if let Some(m) = c0.merge(c1, k) {
                         scratch.push(m);
                     }
@@ -165,12 +355,15 @@ pub fn enumerate_cuts(aig: &Aig, config: &CutConfig, policy: &mut dyn CutPolicy)
         policy.refine(aig, n, &mut scratch);
         stats.cuts_enumerated += scratch.len() as u64;
         per_node.observe(scratch.len() as u64);
-        sets[n.index()] = scratch.clone();
+        arena.push_node(n, &scratch);
     }
+    arena.seal();
     let pruned = policy.stats().delta(&policy_before);
     stats.dominance_kills = pruned.dominance_kills;
     stats.cap_truncations = pruned.cap_truncations;
     stats.cuts_dropped_by_cap = pruned.cuts_dropped_by_cap;
+    arena.stats = stats;
+    let arena_stats = arena.arena_stats();
     let reg = slap_obs::Registry::global();
     reg.counter("cuts.enumerated").add(stats.cuts_enumerated);
     reg.counter("cuts.merged").add(stats.cuts_merged);
@@ -178,15 +371,9 @@ pub fn enumerate_cuts(aig: &Aig, config: &CutConfig, policy: &mut dyn CutPolicy)
         .add(stats.dominance_kills);
     reg.counter("cuts.cap_truncations")
         .add(stats.cap_truncations);
-    CutSets { sets, k, stats }
-}
-
-/// The fanin cut set plus its trivial cut, as Eq. (1) requires.
-fn with_trivial(set: &[Cut], n: NodeId) -> Vec<Cut> {
-    let mut v = Vec::with_capacity(set.len() + 1);
-    v.push(Cut::trivial(n));
-    v.extend_from_slice(set);
-    v
+    reg.counter("cuts.arena_bytes")
+        .add(arena_stats.bytes as u64);
+    arena
 }
 
 #[cfg(test)]
@@ -280,6 +467,60 @@ mod tests {
         let cuts = sets.cuts_of(f.node());
         assert_eq!(cuts.len(), 1);
         assert_eq!(cuts[0].len(), 4);
+    }
+
+    #[test]
+    fn retain_with_ids_passes_stable_span_offsets() {
+        let (aig, _, _, f) = two_level();
+        let mut sets = enumerate_cuts(&aig, &CutConfig::default(), &mut UnlimitedPolicy::new());
+        let span = sets.span_of(f.node());
+        let keep_id = CutId(span.start + 1);
+        let expected = *sets.cut(keep_id);
+        let mut seen = Vec::new();
+        sets.retain_with_ids(
+            &aig,
+            |_, id, _| {
+                seen.push(id);
+                id == keep_id
+            },
+            false,
+        );
+        // Every stored cut was offered exactly once, ids ascending.
+        assert!(seen.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(sets.cuts_of(f.node()), &[expected]);
+        // Ids were reissued for the compacted arena.
+        assert_eq!(sets.span_of(f.node()).len(), 1);
+    }
+
+    #[test]
+    fn arena_ids_resolve_to_their_cuts() {
+        let (aig, _, _, f) = two_level();
+        let sets = enumerate_cuts(&aig, &CutConfig::default(), &mut DefaultPolicy::default());
+        for n in aig.and_ids() {
+            for (id, cut) in sets.ids_of(n) {
+                assert_eq!(sets.cut(id), cut);
+            }
+        }
+        let span = sets.span_of(f.node());
+        assert_eq!(span.len(), sets.cuts_of(f.node()).len());
+        let stats = sets.arena_stats();
+        assert_eq!(stats.cuts, sets.total_cuts());
+        assert_eq!(stats.spans, aig.num_nodes());
+        assert!(stats.bytes >= stats.cuts * std::mem::size_of::<Cut>());
+    }
+
+    #[test]
+    fn from_lists_round_trips() {
+        let (aig, _, _, _) = two_level();
+        let enumerated = enumerate_cuts(&aig, &CutConfig::default(), &mut DefaultPolicy::default());
+        let lists: Vec<Vec<Cut>> = (0..aig.num_nodes())
+            .map(|i| enumerated.cuts_of(NodeId::new(i)).to_vec())
+            .collect();
+        let rebuilt = CutArena::from_lists(&lists, enumerated.k());
+        assert_eq!(rebuilt.total_cuts(), enumerated.total_cuts());
+        for n in aig.and_ids() {
+            assert_eq!(rebuilt.cuts_of(n), enumerated.cuts_of(n));
+        }
     }
 
     #[test]

@@ -83,15 +83,21 @@ impl CutFeatures {
 /// Panics if the cut is not a valid cut of `root` (its cone is not closed
 /// under the leaves).
 pub fn cut_features(aig: &Aig, root: NodeId, cut: &Cut, compl_flags: &[bool]) -> CutFeatures {
-    let leaves: Vec<NodeId> = cut.leaves().collect();
-    let volume = cut_volume(aig, root, &leaves).expect("valid cut required") as u32;
+    let mut buf = [NodeId::CONST0; crate::MAX_CUT_SIZE];
+    for (slot, leaf) in buf.iter_mut().zip(cut.leaves()) {
+        *slot = leaf;
+    }
+    let leaves = &buf[..cut.len()];
+    let volume = cut_volume(aig, root, leaves)
+        .expect("cut_features requires a valid cut: cone not closed under the leaves")
+        as u32;
     let mut min_lvl = u32::MAX;
     let mut max_lvl = 0u32;
     let mut sum_lvl = 0u32;
     let mut min_fo = u32::MAX;
     let mut max_fo = 0u32;
     let mut sum_fo = 0u32;
-    for &l in &leaves {
+    for &l in leaves {
         let lvl = aig.level_of(l);
         let fo = aig.fanout_of(l);
         min_lvl = min_lvl.min(lvl);

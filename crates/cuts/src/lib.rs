@@ -14,8 +14,12 @@
 //! * [`ShufflePolicy`] — the paper's design-space-exploration mode:
 //!   randomly shuffle the list and keep a random subset, producing the
 //!   QoR diversity of Fig. 1 and the training data of §IV-B.
-//! * External selection ([`CutSets::retain_selected`]) — the `read_cuts`
+//! * External selection ([`CutArena::retain_selected`]) — the `read_cuts`
 //!   command: keep exactly the cuts an oracle (the CNN) chose.
+//!
+//! Cuts live in a flat [`CutArena`]: one contiguous buffer of [`Cut`]s
+//! with per-node spans, addressed by typed [`CutId`]s that downstream
+//! layers carry instead of cloning leaf lists.
 //!
 //! # Example
 //!
@@ -43,7 +47,9 @@ mod policy;
 mod stats;
 
 pub use cut::{Cut, MAX_CUT_SIZE};
-pub use enumerate::{enumerate_cuts, CutConfig, CutEnumStats, CutSets};
+pub use enumerate::{
+    enumerate_cuts, ArenaStats, CutArena, CutConfig, CutEnumStats, CutId, CutSets,
+};
 pub use features::{cut_features, CutFeatures, NUM_CUT_FEATURES};
 pub use policy::{CutPolicy, DefaultPolicy, PolicyStats, ShufflePolicy, UnlimitedPolicy};
 pub use stats::CutStats;

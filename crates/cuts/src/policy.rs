@@ -49,6 +49,14 @@ impl PolicyStats {
 pub trait CutPolicy {
     /// Reorders and/or prunes `cuts` in place. `cuts` contains only
     /// non-trivial cuts, deduplicated, in canonical (size, lex) order.
+    ///
+    /// Scratch-buffer contract: `cuts` is the enumerator's single reusable
+    /// scratch buffer, not a per-node list the policy gets to keep — after
+    /// `refine` returns, the enumerator copies the surviving cuts into the
+    /// flat [`crate::CutArena`] and reuses the buffer for the next node. A
+    /// policy must therefore never stash the `Vec` (it cannot: it only
+    /// borrows it) and should avoid allocating per call; truncate, swap,
+    /// and sort in place instead.
     fn refine(&mut self, aig: &Aig, node: NodeId, cuts: &mut Vec<Cut>);
 
     /// Short name used in reports.
@@ -224,18 +232,21 @@ impl CutPolicy for ShufflePolicy {
 
 /// Removes dominated cuts from a list sorted by (size, lex). Because any
 /// dominating cut is no larger than the cut it dominates, a single forward
-/// pass that checks each cut against the kept prefix is exact.
+/// pass that checks each cut against the kept prefix is exact. Runs in
+/// place with a write cursor — no allocation.
 pub(crate) fn filter_dominated_sorted(cuts: &mut Vec<Cut>) {
-    let mut kept: Vec<Cut> = Vec::with_capacity(cuts.len());
-    'next: for &c in cuts.iter() {
-        for k in &kept {
+    let mut kept = 0usize;
+    'next: for i in 0..cuts.len() {
+        let c = cuts[i];
+        for k in &cuts[..kept] {
             if k.dominates(&c) && *k != c {
                 continue 'next;
             }
         }
-        kept.push(c);
+        cuts[kept] = c;
+        kept += 1;
     }
-    *cuts = kept;
+    cuts.truncate(kept);
 }
 
 #[cfg(test)]

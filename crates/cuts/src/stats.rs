@@ -3,9 +3,9 @@
 
 use slap_aig::Aig;
 
-use crate::enumerate::CutSets;
+use crate::enumerate::CutArena;
 
-/// Distribution summary of a [`CutSets`].
+/// Distribution summary of a [`CutArena`].
 #[derive(Clone, Debug, PartialEq)]
 pub struct CutStats {
     /// Total non-trivial cuts (the footprint metric).
@@ -24,7 +24,7 @@ pub struct CutStats {
 
 impl CutStats {
     /// Computes the summary for `sets` over `aig`.
-    pub fn of(aig: &Aig, sets: &CutSets) -> CutStats {
+    pub fn of(aig: &Aig, sets: &CutArena) -> CutStats {
         let mut total = 0usize;
         let mut nodes = 0usize;
         let mut max_per_node = 0usize;

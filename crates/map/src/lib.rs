@@ -47,6 +47,6 @@ pub mod verilog;
 
 pub use error::MapError;
 pub use mapping::{MapOptions, MapStats, Mapper, PhaseTimes};
-pub use matching::{compute_matches, MatchStats, NodeMatches, PreparedMatch};
+pub use matching::{compute_matches, gate_histogram, MatchArena, MatchStats, PreparedMatch};
 pub use netlist::{Instance, MappedNetlist, PoSource, Signal};
 pub use verilog::write_verilog;

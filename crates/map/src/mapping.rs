@@ -5,11 +5,12 @@ use std::time::Instant;
 use slap_aig::{Aig, NodeId, Rng64};
 use slap_cell::{Library, MatchIndex};
 use slap_cuts::{
-    enumerate_cuts, CutConfig, CutEnumStats, CutSets, DefaultPolicy, ShufflePolicy, UnlimitedPolicy,
+    enumerate_cuts, ArenaStats, Cut, CutArena, CutConfig, CutEnumStats, CutId, DefaultPolicy,
+    ShufflePolicy, UnlimitedPolicy,
 };
 
 use crate::error::MapError;
-use crate::matching::{compute_matches, MatchStats, NodeMatches};
+use crate::matching::{compute_matches, MatchArena, MatchStats, PreparedMatch};
 use crate::netlist::{Instance, MappedNetlist, PoSource, Signal};
 
 /// Tolerance used when comparing arrivals against required times.
@@ -101,6 +102,8 @@ pub struct MapStats {
     pub match_stats: MatchStats,
     /// Cut-enumeration counters for the cut sets this run consumed.
     pub cut_stats: CutEnumStats,
+    /// Storage footprint of the cut arena this run consumed.
+    pub arena_stats: ArenaStats,
     /// Match evaluations performed across all DP passes.
     pub matches_tried: u64,
     /// Per-phase wall time.
@@ -116,23 +119,33 @@ enum Choice {
     InvertOther,
 }
 
-#[derive(Clone, Copy, Debug)]
-struct Ph {
-    arrival: f32,
-    required: f32,
-    flow: f32,
-    refs: u32,
-    choice: Choice,
+/// The covering DP's per-signal table in structure-of-arrays layout:
+/// entry `2 * node + phase` describes the node's `phase` polarity
+/// (`0` = positive). Each pass touches only the columns it needs, so the
+/// hot delay/area loops stream through dense `f32` rows instead of
+/// striding over an array-of-structs.
+struct DpState {
+    arrival: Vec<f32>,
+    required: Vec<f32>,
+    flow: Vec<f32>,
+    refs: Vec<u32>,
+    choice: Vec<Choice>,
 }
 
-impl Ph {
-    fn unset() -> Ph {
-        Ph {
-            arrival: f32::INFINITY,
-            required: f32::INFINITY,
-            flow: f32::INFINITY,
-            refs: 0,
-            choice: Choice::Unset,
+/// Index of `(node, phase)` in the [`DpState`] columns.
+#[inline]
+fn sx(n: NodeId, phase: usize) -> usize {
+    2 * n.index() + phase
+}
+
+impl DpState {
+    fn new(num_nodes: usize) -> DpState {
+        DpState {
+            arrival: vec![f32::INFINITY; 2 * num_nodes],
+            required: vec![f32::INFINITY; 2 * num_nodes],
+            flow: vec![f32::INFINITY; 2 * num_nodes],
+            refs: vec![0; 2 * num_nodes],
+            choice: vec![Choice::Unset; 2 * num_nodes],
         }
     }
 }
@@ -217,14 +230,14 @@ impl<'a> Mapper<'a> {
         self.map_with_cuts_timed(aig, &cuts, t0.elapsed().as_secs_f64())
     }
 
-    /// Maps an AIG given externally prepared cut sets (the `read_cuts`
+    /// Maps an AIG given an externally prepared cut arena (the `read_cuts`
     /// entry point used by SLAP).
     ///
     /// # Errors
     ///
-    /// Returns [`MapError::CutSetMismatch`] if the cut sets were built for
+    /// Returns [`MapError::CutSetMismatch`] if the cut arena was built for
     /// a different graph, or [`MapError::Unmappable`] if covering fails.
-    pub fn map_with_cuts(&self, aig: &Aig, cuts: &CutSets) -> Result<MappedNetlist, MapError> {
+    pub fn map_with_cuts(&self, aig: &Aig, cuts: &CutArena) -> Result<MappedNetlist, MapError> {
         self.map_with_cuts_timed(aig, cuts, 0.0)
     }
 
@@ -233,7 +246,7 @@ impl<'a> Mapper<'a> {
     fn map_with_cuts_timed(
         &self,
         aig: &Aig,
-        cuts: &CutSets,
+        cuts: &CutArena,
         enumerate_s: f64,
     ) -> Result<MappedNetlist, MapError> {
         if aig.and_ids().next().is_some() {
@@ -261,7 +274,7 @@ impl<'a> Mapper<'a> {
         };
         phase_times.match_s = t.elapsed().as_secs_f64();
 
-        let mut state: Vec<[Ph; 2]> = vec![[Ph::unset(), Ph::unset()]; aig.num_nodes()];
+        let mut state = DpState::new(aig.num_nodes());
         let t = Instant::now();
         let mut dp_delay = {
             let _span = slap_obs::span("cover");
@@ -293,11 +306,11 @@ impl<'a> Mapper<'a> {
 
         let netlist = self.extract(
             aig,
+            cuts,
             &matches,
             &state,
             dp_delay,
             match_stats,
-            *cuts.stats(),
             matches_tried,
             phase_times,
         )?;
@@ -319,69 +332,53 @@ impl<'a> Mapper<'a> {
         self.library.gate(self.library.inverter()).area()
     }
 
-    fn init_terminals(&self, aig: &Aig, state: &mut [[Ph; 2]]) {
-        let c0 = &mut state[NodeId::CONST0.index()];
-        c0[0] = Ph {
-            arrival: 0.0,
-            required: f32::INFINITY,
-            flow: 0.0,
-            refs: 0,
-            choice: Choice::Const,
-        };
-        c0[1] = Ph {
-            arrival: 0.0,
-            required: f32::INFINITY,
-            flow: 0.0,
-            refs: 0,
-            choice: Choice::Const,
-        };
+    fn init_terminals(&self, aig: &Aig, state: &mut DpState) {
+        for phase in 0..2 {
+            let i = sx(NodeId::CONST0, phase);
+            state.arrival[i] = 0.0;
+            state.flow[i] = 0.0;
+            state.choice[i] = Choice::Const;
+        }
         for pi in aig.pis() {
-            let s = &mut state[pi.index()];
-            s[0] = Ph {
-                arrival: 0.0,
-                required: f32::INFINITY,
-                flow: 0.0,
-                refs: 0,
-                choice: Choice::PiPos,
-            };
-            s[1] = Ph {
-                arrival: self.inv_delay(),
-                required: f32::INFINITY,
-                flow: self.inv_area(),
-                refs: 0,
-                choice: Choice::InvertOther,
-            };
+            let i = sx(*pi, 0);
+            state.arrival[i] = 0.0;
+            state.flow[i] = 0.0;
+            state.choice[i] = Choice::PiPos;
+            let i = sx(*pi, 1);
+            state.arrival[i] = self.inv_delay();
+            state.flow[i] = self.inv_area();
+            state.choice[i] = Choice::InvertOther;
         }
     }
 
     /// Arrival of a prepared match under the unit-load DP model.
-    fn match_arrival(&self, m: &crate::matching::PreparedMatch, state: &[[Ph; 2]]) -> f32 {
+    fn match_arrival(&self, m: &PreparedMatch, state: &DpState) -> f32 {
         let gate = self.library.gate(m.gate);
         let mut arr = 0.0f32;
-        for &(leaf, compl, pin) in &m.leaves {
-            let a = state[leaf.index()][compl as usize].arrival + gate.delay(pin as usize, 1);
+        for &(leaf, compl, pin) in m.leaves() {
+            let a = state.arrival[sx(leaf, compl as usize)] + gate.delay(pin as usize, 1);
             arr = arr.max(a);
         }
         arr
     }
 
     /// Area flow of a prepared match given current flows and refs.
-    fn match_flow(&self, m: &crate::matching::PreparedMatch, state: &[[Ph; 2]]) -> f32 {
+    fn match_flow(&self, m: &PreparedMatch, state: &DpState) -> f32 {
         let gate = self.library.gate(m.gate);
         let mut flow = gate.area();
-        for &(leaf, compl, _) in &m.leaves {
-            let s = &state[leaf.index()][compl as usize];
-            flow += s.flow / (s.refs.max(1) as f32);
+        for &(leaf, compl, _) in m.leaves() {
+            let i = sx(leaf, compl as usize);
+            flow += state.flow[i] / (state.refs[i].max(1) as f32);
         }
         flow
     }
 
     /// Returns the number of match evaluations performed.
-    fn delay_pass(&self, aig: &Aig, matches: &[NodeMatches], state: &mut [[Ph; 2]]) -> u64 {
+    fn delay_pass(&self, aig: &Aig, matches: &MatchArena, state: &mut DpState) -> u64 {
         let mut tried = 0u64;
         for n in aig.and_ids() {
             for phase in 0..2 {
-                let list = matches[n.index()].phase(phase == 1);
+                let list = matches.of(n, phase == 1);
                 tried += list.len() as u64;
                 let mut best: Option<(f32, f32, u32)> = None; // (arrival, area, idx)
                 for (i, m) in list.iter().enumerate() {
@@ -395,39 +392,39 @@ impl<'a> Mapper<'a> {
                         best = Some((arr, area, i as u32));
                     }
                 }
-                let ph = &mut state[n.index()][phase];
-                if let Some((arr, _, i)) = best {
-                    ph.arrival = arr;
-                    ph.choice = Choice::Match(i);
+                let i = sx(n, phase);
+                if let Some((arr, _, idx)) = best {
+                    state.arrival[i] = arr;
+                    state.choice[i] = Choice::Match(idx);
                 } else {
-                    ph.arrival = f32::INFINITY;
-                    ph.choice = Choice::Unset;
+                    state.arrival[i] = f32::INFINITY;
+                    state.choice[i] = Choice::Unset;
                 }
             }
             // Inverter relaxation between the two phases.
             for phase in 0..2 {
-                let other = &state[n.index()][1 - phase];
-                if matches!(other.choice, Choice::Match(_)) {
-                    let alt = other.arrival + self.inv_delay();
-                    let ph = &state[n.index()][phase];
-                    if alt + EPS < ph.arrival || ph.choice == Choice::Unset {
-                        let ph = &mut state[n.index()][phase];
-                        ph.arrival = alt;
-                        ph.choice = Choice::InvertOther;
+                let o = sx(n, 1 - phase);
+                if matches!(state.choice[o], Choice::Match(_)) {
+                    let alt = state.arrival[o] + self.inv_delay();
+                    let i = sx(n, phase);
+                    if alt + EPS < state.arrival[i] || state.choice[i] == Choice::Unset {
+                        state.arrival[i] = alt;
+                        state.choice[i] = Choice::InvertOther;
                     }
                 }
             }
             // Flow bookkeeping so later passes have sane starting values.
             for phase in 0..2 {
-                let flow = match state[n.index()][phase].choice {
-                    Choice::Match(i) => {
-                        let m = &matches[n.index()].phase(phase == 1)[i as usize];
+                let i = sx(n, phase);
+                let flow = match state.choice[i] {
+                    Choice::Match(idx) => {
+                        let m = &matches.of(n, phase == 1)[idx as usize];
                         self.match_flow(m, state)
                     }
-                    Choice::InvertOther => state[n.index()][1 - phase].flow + self.inv_area(),
+                    Choice::InvertOther => state.flow[sx(n, 1 - phase)] + self.inv_area(),
                     _ => f32::INFINITY,
                 };
-                state[n.index()][phase].flow = flow;
+                state.flow[i] = flow;
             }
         }
         tried
@@ -435,63 +432,55 @@ impl<'a> Mapper<'a> {
 
     /// Rebuilds reference counts and required times from the POs over the
     /// current choices. Returns the DP delay (max PO arrival).
-    fn compute_refs_required(
-        &self,
-        aig: &Aig,
-        matches: &[NodeMatches],
-        state: &mut [[Ph; 2]],
-    ) -> f32 {
-        for s in state.iter_mut() {
-            s[0].refs = 0;
-            s[0].required = f32::INFINITY;
-            s[1].refs = 0;
-            s[1].required = f32::INFINITY;
-        }
+    fn compute_refs_required(&self, aig: &Aig, matches: &MatchArena, state: &mut DpState) -> f32 {
+        state.refs.fill(0);
+        state.required.fill(f32::INFINITY);
         let mut dp_delay = 0.0f32;
         for &po in aig.pos() {
             if po.node() == NodeId::CONST0 {
                 continue;
             }
-            let arr = state[po.node().index()][po.is_complement() as usize].arrival;
+            let arr = state.arrival[sx(po.node(), po.is_complement() as usize)];
             dp_delay = dp_delay.max(arr);
         }
         for &po in aig.pos() {
             if po.node() == NodeId::CONST0 {
                 continue;
             }
-            let s = &mut state[po.node().index()][po.is_complement() as usize];
-            s.refs += 1;
-            s.required = s.required.min(dp_delay);
+            let i = sx(po.node(), po.is_complement() as usize);
+            state.refs[i] += 1;
+            state.required[i] = state.required[i].min(dp_delay);
         }
         let inv_delay = self.inv_delay();
         for idx in (0..aig.num_nodes()).rev() {
+            let n = NodeId::new(idx);
             // Inverter edges first (intra-node), then match edges.
             for phase in 0..2 {
-                let s = state[idx][phase];
-                if s.refs > 0 && s.choice == Choice::InvertOther {
-                    let req = s.required - inv_delay;
-                    let o = &mut state[idx][1 - phase];
-                    o.refs += 1;
-                    o.required = o.required.min(req);
+                let i = sx(n, phase);
+                if state.refs[i] > 0 && state.choice[i] == Choice::InvertOther {
+                    let req = state.required[i] - inv_delay;
+                    let o = sx(n, 1 - phase);
+                    state.refs[o] += 1;
+                    state.required[o] = state.required[o].min(req);
                 }
             }
-            let n = NodeId::new(idx);
             if !aig.is_and(n) {
                 continue;
             }
             for phase in 0..2 {
-                let s = state[idx][phase];
-                if s.refs == 0 {
+                let i = sx(n, phase);
+                if state.refs[i] == 0 {
                     continue;
                 }
-                if let Choice::Match(i) = s.choice {
-                    let m = &matches[idx].phase(phase == 1)[i as usize];
+                if let Choice::Match(mi) = state.choice[i] {
+                    let m = &matches.of(n, phase == 1)[mi as usize];
                     let gate = self.library.gate(m.gate);
-                    for &(leaf, compl, pin) in &m.leaves {
-                        let req = s.required - gate.delay(pin as usize, 1);
-                        let l = &mut state[leaf.index()][compl as usize];
-                        l.refs += 1;
-                        l.required = l.required.min(req);
+                    let required = state.required[i];
+                    for &(leaf, compl, pin) in m.leaves() {
+                        let req = required - gate.delay(pin as usize, 1);
+                        let l = sx(leaf, compl as usize);
+                        state.refs[l] += 1;
+                        state.required[l] = state.required[l].min(req);
                     }
                 }
             }
@@ -500,13 +489,13 @@ impl<'a> Mapper<'a> {
     }
 
     /// Returns the number of match evaluations performed.
-    fn area_flow_pass(&self, aig: &Aig, matches: &[NodeMatches], state: &mut [[Ph; 2]]) -> u64 {
+    fn area_flow_pass(&self, aig: &Aig, matches: &MatchArena, state: &mut DpState) -> u64 {
         let mut tried = 0u64;
         for n in aig.and_ids() {
             // Match-based candidates for both phases.
             for phase in 0..2 {
-                let required = state[n.index()][phase].required;
-                let list = matches[n.index()].phase(phase == 1);
+                let required = state.required[sx(n, phase)];
+                let list = matches.of(n, phase == 1);
                 tried += list.len() as u64;
                 let mut best: Option<(f32, f32, u32)> = None; // (flow, arrival, idx)
                 for (i, m) in list.iter().enumerate() {
@@ -523,11 +512,11 @@ impl<'a> Mapper<'a> {
                         best = Some((flow, arr, i as u32));
                     }
                 }
-                if let Some((flow, arr, i)) = best {
-                    let ph = &mut state[n.index()][phase];
-                    ph.choice = Choice::Match(i);
-                    ph.arrival = arr;
-                    ph.flow = flow;
+                if let Some((flow, arr, idx)) = best {
+                    let i = sx(n, phase);
+                    state.choice[i] = Choice::Match(idx);
+                    state.arrival[i] = arr;
+                    state.flow[i] = flow;
                 }
                 // If nothing is feasible (tight required through an edge the
                 // previous cover did not constrain), the previous choice is
@@ -535,18 +524,17 @@ impl<'a> Mapper<'a> {
             }
             // Inverter relaxation by flow.
             for phase in 0..2 {
-                let other = state[n.index()][1 - phase];
-                if !matches!(other.choice, Choice::Match(_)) {
+                let o = sx(n, 1 - phase);
+                if !matches!(state.choice[o], Choice::Match(_)) {
                     continue;
                 }
-                let alt_arr = other.arrival + self.inv_delay();
-                let alt_flow = other.flow + self.inv_area();
-                let ph = state[n.index()][phase];
-                if alt_arr <= ph.required + EPS && alt_flow + EPS < ph.flow {
-                    let ph = &mut state[n.index()][phase];
-                    ph.choice = Choice::InvertOther;
-                    ph.arrival = alt_arr;
-                    ph.flow = alt_flow;
+                let alt_arr = state.arrival[o] + self.inv_delay();
+                let alt_flow = state.flow[o] + self.inv_area();
+                let i = sx(n, phase);
+                if alt_arr <= state.required[i] + EPS && alt_flow + EPS < state.flow[i] {
+                    state.choice[i] = Choice::InvertOther;
+                    state.arrival[i] = alt_arr;
+                    state.flow[i] = alt_flow;
                 }
             }
         }
@@ -554,40 +542,41 @@ impl<'a> Mapper<'a> {
     }
 
     /// Returns the number of match evaluations performed.
-    fn exact_area_pass(&self, aig: &Aig, matches: &[NodeMatches], state: &mut [[Ph; 2]]) -> u64 {
+    fn exact_area_pass(&self, aig: &Aig, matches: &MatchArena, state: &mut DpState) -> u64 {
         let mut tried = 0u64;
         for n in aig.and_ids() {
             for phase in 0..2 {
-                if state[n.index()][phase].refs == 0 {
+                let i = sx(n, phase);
+                if state.refs[i] == 0 {
                     continue;
                 }
-                let required = state[n.index()][phase].required;
-                let old_choice = state[n.index()][phase].choice;
+                let required = state.required[i];
+                let old_choice = state.choice[i];
                 // Remove the current implementation's cone.
                 self.deref_impl(n, phase, matches, state);
-                let list = matches[n.index()].phase(phase == 1);
+                let list = matches.of(n, phase == 1);
                 tried += list.len() as u64;
                 let mut best: Option<(f32, f32, Choice)> = None; // (area, arrival, choice)
-                for (i, m) in list.iter().enumerate() {
+                for (mi, m) in list.iter().enumerate() {
                     let arr = self.match_arrival(m, state);
                     if arr > required + EPS {
                         continue;
                     }
-                    let area =
-                        self.ref_candidate(n, phase, Choice::Match(i as u32), matches, state);
-                    self.deref_candidate(n, phase, Choice::Match(i as u32), matches, state);
+                    let cand = Choice::Match(mi as u32);
+                    let area = self.ref_candidate(n, phase, cand, matches, state);
+                    self.deref_candidate(n, phase, cand, matches, state);
                     let better = match best {
                         None => true,
                         Some((ba, baa, _)) => area < ba - EPS || (area < ba + EPS && arr < baa),
                     };
                     if better {
-                        best = Some((area, arr, Choice::Match(i as u32)));
+                        best = Some((area, arr, cand));
                     }
                 }
                 // Inverter candidate.
-                let other = state[n.index()][1 - phase];
-                if matches!(other.choice, Choice::Match(_)) {
-                    let arr = other.arrival + self.inv_delay();
+                let o = sx(n, 1 - phase);
+                if matches!(state.choice[o], Choice::Match(_)) {
+                    let arr = state.arrival[o] + self.inv_delay();
                     if arr <= required + EPS {
                         let area =
                             self.ref_candidate(n, phase, Choice::InvertOther, matches, state);
@@ -605,14 +594,12 @@ impl<'a> Mapper<'a> {
                     Some((_, arr, choice)) => (arr, choice),
                     None => {
                         // Nothing feasible: restore the old implementation.
-                        let arr = state[n.index()][phase].arrival;
-                        (arr, old_choice)
+                        (state.arrival[i], old_choice)
                     }
                 };
                 self.ref_candidate(n, phase, choice, matches, state);
-                let ph = &mut state[n.index()][phase];
-                ph.choice = choice;
-                ph.arrival = arr;
+                state.choice[i] = choice;
+                state.arrival[i] = arr;
             }
         }
         tried
@@ -624,16 +611,16 @@ impl<'a> Mapper<'a> {
         &self,
         n: NodeId,
         phase: usize,
-        matches: &[NodeMatches],
-        state: &mut [[Ph; 2]],
+        matches: &MatchArena,
+        state: &mut DpState,
     ) -> f32 {
-        match state[n.index()][phase].choice {
+        match state.choice[sx(n, phase)] {
             Choice::PiPos | Choice::Const | Choice::Unset => 0.0,
             Choice::InvertOther => self.inv_area() + self.release(n, 1 - phase, matches, state),
             Choice::Match(i) => {
-                let m = matches[n.index()].phase(phase == 1)[i as usize].clone();
+                let m = matches.of(n, phase == 1)[i as usize];
                 let mut area = self.library.gate(m.gate).area();
-                for &(leaf, compl, _) in &m.leaves {
+                for &(leaf, compl, _) in m.leaves() {
                     area += self.release(leaf, compl as usize, matches, state);
                 }
                 area
@@ -641,17 +628,11 @@ impl<'a> Mapper<'a> {
         }
     }
 
-    fn release(
-        &self,
-        m: NodeId,
-        phase: usize,
-        matches: &[NodeMatches],
-        state: &mut [[Ph; 2]],
-    ) -> f32 {
-        let s = &mut state[m.index()][phase];
-        debug_assert!(s.refs > 0, "release of unreferenced signal");
-        s.refs -= 1;
-        if s.refs == 0 {
+    fn release(&self, m: NodeId, phase: usize, matches: &MatchArena, state: &mut DpState) -> f32 {
+        let i = sx(m, phase);
+        debug_assert!(state.refs[i] > 0, "release of unreferenced signal");
+        state.refs[i] -= 1;
+        if state.refs[i] == 0 {
             self.deref_impl(m, phase, matches, state)
         } else {
             0.0
@@ -665,16 +646,16 @@ impl<'a> Mapper<'a> {
         n: NodeId,
         phase: usize,
         cand: Choice,
-        matches: &[NodeMatches],
-        state: &mut [[Ph; 2]],
+        matches: &MatchArena,
+        state: &mut DpState,
     ) -> f32 {
         match cand {
             Choice::PiPos | Choice::Const | Choice::Unset => 0.0,
             Choice::InvertOther => self.inv_area() + self.acquire(n, 1 - phase, matches, state),
             Choice::Match(i) => {
-                let m = matches[n.index()].phase(phase == 1)[i as usize].clone();
+                let m = matches.of(n, phase == 1)[i as usize];
                 let mut area = self.library.gate(m.gate).area();
-                for &(leaf, compl, _) in &m.leaves {
+                for &(leaf, compl, _) in m.leaves() {
                     area += self.acquire(leaf, compl as usize, matches, state);
                 }
                 area
@@ -682,22 +663,17 @@ impl<'a> Mapper<'a> {
         }
     }
 
-    fn acquire(
-        &self,
-        m: NodeId,
-        phase: usize,
-        matches: &[NodeMatches],
-        state: &mut [[Ph; 2]],
-    ) -> f32 {
-        let needs_impl = state[m.index()][phase].refs == 0;
+    fn acquire(&self, m: NodeId, phase: usize, matches: &MatchArena, state: &mut DpState) -> f32 {
+        let i = sx(m, phase);
+        let needs_impl = state.refs[i] == 0;
         let area = if needs_impl {
             // Temporarily reuse ref_candidate on the node's own choice.
-            let choice = state[m.index()][phase].choice;
+            let choice = state.choice[i];
             self.ref_candidate(m, phase, choice, matches, state)
         } else {
             0.0
         };
-        state[m.index()][phase].refs += 1;
+        state.refs[sx(m, phase)] += 1;
         area
     }
 
@@ -706,20 +682,31 @@ impl<'a> Mapper<'a> {
         n: NodeId,
         phase: usize,
         cand: Choice,
-        matches: &[NodeMatches],
-        state: &mut [[Ph; 2]],
+        matches: &MatchArena,
+        state: &mut DpState,
     ) -> f32 {
         match cand {
             Choice::PiPos | Choice::Const | Choice::Unset => 0.0,
             Choice::InvertOther => self.inv_area() + self.release(n, 1 - phase, matches, state),
             Choice::Match(i) => {
-                let m = matches[n.index()].phase(phase == 1)[i as usize].clone();
+                let m = matches.of(n, phase == 1)[i as usize];
                 let mut area = self.library.gate(m.gate).area();
-                for &(leaf, compl, _) in &m.leaves {
+                for &(leaf, compl, _) in m.leaves() {
                     area += self.release(leaf, compl as usize, matches, state);
                 }
                 area
             }
+        }
+    }
+
+    /// Resolves the cut a match covers: stored cuts by arena id, the
+    /// structural sentinel from the node's fanins.
+    fn resolve_cover_cut(aig: &Aig, cuts: &CutArena, n: NodeId, m: &PreparedMatch) -> Cut {
+        if m.cut == CutId::STRUCTURAL {
+            let (f0, f1) = aig.fanins(n);
+            Cut::from_leaves(&[f0.node(), f1.node()])
+        } else {
+            *cuts.cut(m.cut)
         }
     }
 
@@ -728,16 +715,16 @@ impl<'a> Mapper<'a> {
     fn extract(
         &self,
         aig: &Aig,
-        matches: &[NodeMatches],
-        state: &[[Ph; 2]],
+        cuts: &CutArena,
+        matches: &MatchArena,
+        state: &DpState,
         dp_delay: f32,
         match_stats: MatchStats,
-        cut_stats: CutEnumStats,
         matches_tried: u64,
         mut phase_times: PhaseTimes,
     ) -> Result<MappedNetlist, MapError> {
         let mut instances: Vec<Instance> = Vec::new();
-        let mut cover_cuts: Vec<(NodeId, slap_cuts::Cut)> = Vec::new();
+        let mut cover_cuts: Vec<(NodeId, Cut)> = Vec::new();
         let mut emitted = vec![[false, false]; aig.num_nodes()];
         let mut pos = Vec::with_capacity(aig.num_pos());
         for &po in aig.pos() {
@@ -748,6 +735,7 @@ impl<'a> Mapper<'a> {
             let sig = Signal::new(po.node(), po.is_complement());
             self.emit(
                 aig,
+                cuts,
                 matches,
                 state,
                 sig,
@@ -769,7 +757,8 @@ impl<'a> Mapper<'a> {
             num_instances: instances.len(),
             num_inverters,
             match_stats,
-            cut_stats,
+            cut_stats: *cuts.stats(),
+            arena_stats: cuts.arena_stats(),
             matches_tried,
             phase: phase_times,
         };
@@ -795,23 +784,24 @@ impl<'a> Mapper<'a> {
         Ok(netlist)
     }
 
-    #[allow(clippy::too_many_arguments, clippy::only_used_in_recursion)]
+    #[allow(clippy::too_many_arguments)]
     fn emit(
         &self,
         aig: &Aig,
-        matches: &[NodeMatches],
-        state: &[[Ph; 2]],
+        cuts: &CutArena,
+        matches: &MatchArena,
+        state: &DpState,
         sig: Signal,
         emitted: &mut [[bool; 2]],
         out: &mut Vec<Instance>,
-        cover_cuts: &mut Vec<(NodeId, slap_cuts::Cut)>,
+        cover_cuts: &mut Vec<(NodeId, Cut)>,
     ) -> Result<(), MapError> {
         let (n, phase) = (sig.node(), sig.complement() as usize);
         if emitted[n.index()][phase] {
             return Ok(());
         }
         emitted[n.index()][phase] = true;
-        match state[n.index()][phase].choice {
+        match state.choice[sx(n, phase)] {
             Choice::PiPos | Choice::Const => Ok(()),
             Choice::Unset => Err(MapError::Unmappable {
                 node: n.index(),
@@ -819,20 +809,20 @@ impl<'a> Mapper<'a> {
             }),
             Choice::InvertOther => {
                 let input = Signal::new(n, phase == 0);
-                self.emit(aig, matches, state, input, emitted, out, cover_cuts)?;
+                self.emit(aig, cuts, matches, state, input, emitted, out, cover_cuts)?;
                 out.push(Instance::new(self.library.inverter(), sig, vec![input]));
                 Ok(())
             }
             Choice::Match(i) => {
-                let m = &matches[n.index()].phase(phase == 1)[i as usize];
+                let m = &matches.of(n, phase == 1)[i as usize];
                 let gate = self.library.gate(m.gate);
                 let mut inputs = vec![Signal::new(NodeId::CONST0, false); gate.num_pins()];
-                for &(leaf, compl, pin) in &m.leaves {
+                for &(leaf, compl, pin) in m.leaves() {
                     let ls = Signal::new(leaf, compl);
-                    self.emit(aig, matches, state, ls, emitted, out, cover_cuts)?;
+                    self.emit(aig, cuts, matches, state, ls, emitted, out, cover_cuts)?;
                     inputs[pin as usize] = ls;
                 }
-                cover_cuts.push((n, m.cut));
+                cover_cuts.push((n, Self::resolve_cover_cut(aig, cuts, n, m)));
                 out.push(Instance::new(m.gate, sig, inputs));
                 Ok(())
             }
@@ -935,9 +925,31 @@ mod tests {
         assert!(s.match_stats.npn_hits > 0);
         assert!(s.cut_stats.cuts_enumerated > 0);
         assert_eq!(s.cut_stats.nodes_processed as usize, aig.num_ands());
+        // Arena footprint travels with the run.
+        assert_eq!(s.arena_stats.cuts, s.cut_stats.cuts_enumerated as usize);
+        assert!(s.arena_stats.bytes > 0);
+        assert_eq!(s.arena_stats.spans, aig.num_nodes());
         // Phase times are measured (non-negative) and sum consistently.
         assert!(s.phase.enumerate_s >= 0.0 && s.phase.sta_s >= 0.0);
         assert!(s.phase.total_s() >= s.phase.match_s);
+    }
+
+    #[test]
+    fn cover_cuts_resolve_through_the_arena() {
+        let aig = small_graph();
+        let lib = asap7_mini();
+        let mapper = Mapper::new(&lib, MapOptions::default());
+        let cuts = enumerate_cuts(&aig, &CutConfig::default(), &mut DefaultPolicy::default());
+        let nl = mapper.map_with_cuts(&aig, &cuts).expect("maps");
+        assert!(!nl.cover_cuts().is_empty());
+        for (n, cut) in nl.cover_cuts() {
+            // Every cover cut is either stored for its node or the
+            // structural fallback — in both cases its leaves precede it.
+            assert!(!cut.is_empty());
+            for leaf in cut.leaves() {
+                assert!(leaf.index() < n.index());
+            }
+        }
     }
 
     #[test]

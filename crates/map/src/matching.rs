@@ -1,44 +1,83 @@
 //! Boolean matching: binding library gates to cut functions.
+//!
+//! Matches are stored in a flat [`MatchArena`] parallel to the cut arena:
+//! one contiguous buffer of [`PreparedMatch`]es with two spans (positive
+//! and negative phase) per node. Each match references the cut it was
+//! derived from by [`CutId`] instead of carrying a copy of the leaf list.
 
 use std::collections::HashMap;
 
-use slap_aig::cone::cut_function;
-use slap_aig::{Aig, NodeId};
+use slap_aig::cone::{cut_function_with, ConeScratch};
+use slap_aig::{Aig, NodeId, Tt};
 use slap_cell::{GateId, MatchIndex};
-use slap_cuts::{Cut, CutSets};
+use slap_cuts::{Cut, CutArena, CutId, MAX_CUT_SIZE};
 
 /// One realizable implementation of a node phase: a gate plus, for each
-/// gate pin, the AIG node and polarity feeding it.
-#[derive(Clone, Debug)]
+/// gate pin, the AIG node and polarity feeding it. Plain-old-data — the
+/// connected leaves live in an inline array, and the originating cut is
+/// referenced by id into the [`CutArena`] the matches were computed from
+/// ([`CutId::STRUCTURAL`] for the injected structural fallback cut).
+#[derive(Clone, Copy, Debug)]
 pub struct PreparedMatch {
     /// The library gate.
     pub gate: GateId,
-    /// `(node, complemented, pin)` per connected leaf; `pin` indexes the
-    /// gate's pins.
-    pub leaves: Vec<(NodeId, bool, u8)>,
     /// The cut this match was derived from (as enumerated, pre-shrink) —
     /// recorded so training-data generation can label "cuts used to
     /// deliver the mapping".
-    pub cut: Cut,
+    pub cut: CutId,
+    leaves: [(NodeId, bool, u8); MAX_CUT_SIZE],
+    num_leaves: u8,
 }
 
-/// The match lists of one AND node, per output phase.
+impl PreparedMatch {
+    /// The `(node, complemented, pin)` triple per connected leaf; `pin`
+    /// indexes the gate's pins.
+    #[inline]
+    pub fn leaves(&self) -> &[(NodeId, bool, u8)] {
+        &self.leaves[..self.num_leaves as usize]
+    }
+}
+
+/// All prepared matches of a circuit: one flat buffer with per-node,
+/// per-phase spans (replaces the former `Vec<NodeMatches>` of per-node
+/// `Vec` pairs).
 #[derive(Clone, Debug, Default)]
-pub struct NodeMatches {
-    /// Implementations of the node's positive function.
-    pub pos: Vec<PreparedMatch>,
-    /// Implementations of the complemented function.
-    pub neg: Vec<PreparedMatch>,
+pub struct MatchArena {
+    matches: Vec<PreparedMatch>,
+    /// `offsets[2i]..offsets[2i+1]` is node `i`'s positive-phase span and
+    /// `offsets[2i+1]..offsets[2i+2]` its negative-phase span; length
+    /// `2 * num_nodes + 1`.
+    offsets: Vec<u32>,
 }
 
-impl NodeMatches {
-    /// The match list for the given phase (`true` = complemented).
-    pub fn phase(&self, complemented: bool) -> &[PreparedMatch] {
-        if complemented {
-            &self.neg
-        } else {
-            &self.pos
+impl MatchArena {
+    fn with_nodes(num_nodes: usize) -> MatchArena {
+        MatchArena {
+            matches: Vec::new(),
+            offsets: vec![0; 2 * num_nodes + 1],
         }
+    }
+
+    /// The match list of one node phase (`true` = complemented).
+    #[inline]
+    pub fn of(&self, node: NodeId, complemented: bool) -> &[PreparedMatch] {
+        let i = 2 * node.index() + complemented as usize;
+        &self.matches[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// Every stored match, all nodes and phases.
+    pub fn all(&self) -> &[PreparedMatch] {
+        &self.matches
+    }
+
+    /// Total prepared matches.
+    pub fn len(&self) -> usize {
+        self.matches.len()
+    }
+
+    /// True when no matches are stored.
+    pub fn is_empty(&self) -> bool {
+        self.matches.is_empty()
     }
 }
 
@@ -79,37 +118,33 @@ impl MatchStats {
 /// `{fanin0, fanin1}` is additionally matched for nodes whose stored cut
 /// list does not contain it — this guarantees every node stays mappable
 /// regardless of how aggressive the filtering policy was (any 2-input
-/// AND-with-polarities is in the library).
+/// AND-with-polarities is in the library). Such injected matches carry
+/// [`CutId::STRUCTURAL`]; consumers reconstruct the cut from the fanins.
 pub fn compute_matches(
     aig: &Aig,
-    cuts: &CutSets,
+    cuts: &CutArena,
     index: &MatchIndex,
     add_structural: bool,
-) -> (Vec<NodeMatches>, MatchStats) {
-    let mut result: Vec<NodeMatches> = vec![NodeMatches::default(); aig.num_nodes()];
+) -> (MatchArena, MatchStats) {
+    let mut arena = MatchArena::with_nodes(aig.num_nodes());
     let mut stats = MatchStats::default();
     // Cut functions repeat massively across a circuit; memoizing on the
     // (root, leaves) pair is useless, but prepared lookups keyed on the
     // function alone are shared via the index, so only cone simulation
-    // remains per-cut — cheap. No extra cache needed.
-    let mut scratch_leaves: Vec<NodeId> = Vec::new();
+    // remains per-cut — cheap and, with the shared scratch, allocation-free
+    // after warm-up. No extra cache needed.
+    let mut scratch = MatchScratch::default();
+    let mut prev = 0usize;
     for n in aig.and_ids() {
-        let list = cuts.cuts_of(n);
         let (f0, f1) = aig.fanins(n);
         let structural = Cut::from_leaves(&[f0.node(), f1.node()]);
+        let list = cuts.cuts_of(n);
         let has_structural = list.contains(&structural);
-        let mut matches = NodeMatches::default();
-        for cut in list {
+        scratch.pos.clear();
+        scratch.neg.clear();
+        for (id, cut) in cuts.ids_of(n) {
             stats.cuts_considered += 1;
-            if match_cut(
-                aig,
-                n,
-                cut,
-                index,
-                &mut matches,
-                &mut scratch_leaves,
-                &mut stats,
-            ) {
+            if match_cut(aig, n, cut, id, index, &mut scratch, &mut stats) {
                 stats.cuts_matched += 1;
             }
         }
@@ -120,42 +155,70 @@ pub fn compute_matches(
                 aig,
                 n,
                 &structural,
+                CutId::STRUCTURAL,
                 index,
-                &mut matches,
-                &mut scratch_leaves,
+                &mut scratch,
                 &mut stats,
             ) {
                 stats.cuts_matched += 1;
             }
         }
-        stats.total_matches += matches.pos.len() + matches.neg.len();
-        result[n.index()] = matches;
+        stats.total_matches += scratch.pos.len() + scratch.neg.len();
+        // Seal empty spans for the nodes skipped since the last AND node,
+        // then this node's two spans.
+        let i = 2 * n.index();
+        let start = arena.matches.len() as u32;
+        for o in &mut arena.offsets[prev + 1..=i] {
+            *o = start;
+        }
+        arena.matches.extend_from_slice(&scratch.pos);
+        arena.offsets[i + 1] = arena.matches.len() as u32;
+        arena.matches.extend_from_slice(&scratch.neg);
+        arena.offsets[i + 2] = arena.matches.len() as u32;
+        prev = i + 2;
     }
-    (result, stats)
+    let end = arena.matches.len() as u32;
+    for o in &mut arena.offsets[prev + 1..] {
+        *o = end;
+    }
+    (arena, stats)
 }
 
-/// Matches a single cut, appending prepared matches for both phases.
-/// Returns true if anything matched.
-#[allow(clippy::too_many_arguments)]
+/// Buffers reused across every [`match_cut`] call of one matching run:
+/// the per-node phase lists (match_cut interleaves pos/neg appends, so
+/// they cannot go straight into the flat buffer, which needs the positive
+/// span contiguous before the negative one), the leaf list of the cut
+/// under evaluation, and the cone-simulation scratch.
+#[derive(Default)]
+struct MatchScratch {
+    pos: Vec<PreparedMatch>,
+    neg: Vec<PreparedMatch>,
+    leaves: Vec<NodeId>,
+    cone: ConeScratch,
+}
+
+/// Matches a single cut, appending prepared matches for both phases into
+/// the scratch lists. Returns true if anything matched.
 fn match_cut(
     aig: &Aig,
     root: NodeId,
     cut: &Cut,
+    cut_id: CutId,
     index: &MatchIndex,
-    out: &mut NodeMatches,
-    scratch: &mut Vec<NodeId>,
+    scratch: &mut MatchScratch,
     stats: &mut MatchStats,
 ) -> bool {
-    scratch.clear();
-    scratch.extend(cut.leaves());
+    scratch.leaves.clear();
+    scratch.leaves.extend(cut.leaves());
     if cut.is_trivial_of(root) {
         return false;
     }
-    let Some((tt, _vol)) = cut_function(aig, root, scratch) else {
+    let Some((tt, _vol)) = cut_function_with(aig, root, &scratch.leaves, &mut scratch.cone) else {
         return false;
     };
-    let (tt, support) = tt.shrink_to_support();
-    if support.is_empty() {
+    let mut support = [0usize; Tt::MAX_VARS];
+    let (tt, num_support) = tt.shrink_to_support_into(&mut support);
+    if num_support == 0 {
         // Constant function — a strashed AIG never needs this.
         return false;
     }
@@ -168,20 +231,21 @@ fn match_cut(
             stats.npn_hits += 1;
         }
         for entry in entries {
-            let mut leaves = Vec::with_capacity(support.len());
-            for (i, &orig_var) in support.iter().enumerate() {
-                let leaf = scratch[orig_var];
-                leaves.push((leaf, entry.leaf_complemented(i), entry.pin(i) as u8));
+            let mut leaves = [(NodeId::CONST0, false, 0u8); MAX_CUT_SIZE];
+            for (i, &orig_var) in support[..num_support].iter().enumerate() {
+                let leaf = scratch.leaves[orig_var];
+                leaves[i] = (leaf, entry.leaf_complemented(i), entry.pin(i) as u8);
             }
             let m = PreparedMatch {
                 gate: entry.gate,
+                cut: cut_id,
                 leaves,
-                cut: *cut,
+                num_leaves: num_support as u8,
             };
             if phase {
-                out.neg.push(m);
+                scratch.neg.push(m);
             } else {
-                out.pos.push(m);
+                scratch.pos.push(m);
             }
             any = true;
         }
@@ -190,12 +254,10 @@ fn match_cut(
 }
 
 /// Groups matches by gate for reporting (used by explainability tooling).
-pub fn gate_histogram(matches: &[NodeMatches]) -> HashMap<GateId, usize> {
+pub fn gate_histogram(matches: &MatchArena) -> HashMap<GateId, usize> {
     let mut histo = HashMap::new();
-    for nm in matches {
-        for m in nm.pos.iter().chain(nm.neg.iter()) {
-            *histo.entry(m.gate).or_insert(0) += 1;
-        }
+    for m in matches.all() {
+        *histo.entry(m.gate).or_insert(0) += 1;
     }
     histo
 }
@@ -225,17 +287,42 @@ mod tests {
         let cuts = enumerate_cuts(&aig, &CutConfig::default(), &mut DefaultPolicy::default());
         let (matches, stats) = compute_matches(&aig, &cuts, &index, true);
         for n in aig.and_ids() {
-            let nm = &matches[n.index()];
             assert!(
-                !nm.pos.is_empty() || !nm.neg.is_empty(),
+                !matches.of(n, false).is_empty() || !matches.of(n, true).is_empty(),
                 "node {n} unmatched"
             );
         }
         assert!(stats.cuts_considered >= cuts.total_cuts());
         assert!(stats.total_matches > 0);
+        assert_eq!(stats.total_matches, matches.len());
+        assert!(!matches.is_empty());
         assert!(stats.npn_hits > 0);
         assert!(stats.npn_hit_rate() > 0.0 && stats.npn_hit_rate() <= 1.0);
         assert_eq!(MatchStats::default().npn_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn matches_reference_cuts_by_arena_id() {
+        let aig = xor_and_graph();
+        let lib = asap7_mini();
+        let index = MatchIndex::build(&lib);
+        let cuts = enumerate_cuts(&aig, &CutConfig::default(), &mut DefaultPolicy::default());
+        let (matches, _) = compute_matches(&aig, &cuts, &index, false);
+        for n in aig.and_ids() {
+            let span = cuts.span_of(n);
+            for m in matches.of(n, false).iter().chain(matches.of(n, true)) {
+                // Without structural injection every id must land inside
+                // the node's own span of the cut arena.
+                assert!(m.cut != CutId::STRUCTURAL);
+                let off = m.cut.index() as u32;
+                assert!(span.contains(&off), "cut id outside node span");
+                // The referenced cut contains every match leaf.
+                let cut = cuts.cut(m.cut);
+                for &(leaf, _, _) in m.leaves() {
+                    assert!(cut.contains(leaf), "match leaf not in referenced cut");
+                }
+            }
+        }
     }
 
     #[test]
@@ -247,11 +334,10 @@ mod tests {
         let (matches, _) = compute_matches(&aig, &cuts, &index, true);
         // The XOR root (third AND created) should have an XOR2 match.
         let xor_root = aig.and_ids().nth(2).expect("three AND nodes before final");
-        let nm = &matches[xor_root.index()];
-        let has_xor = nm
-            .pos
+        let has_xor = matches
+            .of(xor_root, false)
             .iter()
-            .chain(nm.neg.iter())
+            .chain(matches.of(xor_root, true))
             .any(|m| lib.gate(m.gate).name().starts_with("X"));
         assert!(has_xor, "xor node should match an XOR/XNOR cell");
     }
@@ -266,8 +352,10 @@ mod tests {
         let (matches, stats) = compute_matches(&aig, &cuts, &index, true);
         assert_eq!(stats.structural_added, aig.num_ands());
         for n in aig.and_ids() {
-            let nm = &matches[n.index()];
-            assert!(!nm.pos.is_empty() && !nm.neg.is_empty());
+            assert!(!matches.of(n, false).is_empty() && !matches.of(n, true).is_empty());
+            for m in matches.of(n, false).iter().chain(matches.of(n, true)) {
+                assert_eq!(m.cut, CutId::STRUCTURAL);
+            }
         }
     }
 
@@ -279,14 +367,10 @@ mod tests {
         let cuts = enumerate_cuts(&aig, &CutConfig::default(), &mut DefaultPolicy::default());
         let (matches, _) = compute_matches(&aig, &cuts, &index, true);
         for n in aig.and_ids() {
-            for m in matches[n.index()]
-                .pos
-                .iter()
-                .chain(matches[n.index()].neg.iter())
-            {
+            for m in matches.of(n, false).iter().chain(matches.of(n, true)) {
                 let gate = lib.gate(m.gate);
-                assert!(m.leaves.len() <= gate.num_pins());
-                for &(leaf, _, pin) in &m.leaves {
+                assert!(m.leaves().len() <= gate.num_pins());
+                for &(leaf, _, pin) in m.leaves() {
                     assert!(leaf.index() < n.index(), "leaf after root");
                     assert!((pin as usize) < gate.num_pins());
                 }

@@ -4,12 +4,17 @@
 use slap_aig::Rng64;
 
 /// A labelled dataset of row-major `rows × cols` feature matrices.
+///
+/// Features are stored in one contiguous buffer (`len × rows × cols`
+/// floats) rather than a `Vec` per sample, so training epochs stream
+/// through memory and adding a sample never allocates beyond the shared
+/// buffer's amortized growth.
 #[derive(Clone, Debug)]
 pub struct Dataset {
     rows: usize,
     cols: usize,
     classes: usize,
-    x: Vec<Vec<f32>>,
+    x: Vec<f32>,
     y: Vec<u8>,
 }
 
@@ -26,31 +31,33 @@ impl Dataset {
         }
     }
 
-    /// Adds a sample.
+    /// Feature floats per sample.
+    #[inline]
+    fn dim(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Adds a sample by copying `features` into the flat buffer.
     ///
     /// # Panics
     ///
     /// Panics if the feature length is not `rows × cols` or the label is
     /// out of range.
-    pub fn push(&mut self, features: Vec<f32>, label: u8) {
-        assert_eq!(
-            features.len(),
-            self.rows * self.cols,
-            "feature length mismatch"
-        );
+    pub fn push(&mut self, features: &[f32], label: u8) {
+        assert_eq!(features.len(), self.dim(), "feature length mismatch");
         assert!((label as usize) < self.classes, "label out of range");
-        self.x.push(features);
+        self.x.extend_from_slice(features);
         self.y.push(label);
     }
 
     /// Number of samples.
     pub fn len(&self) -> usize {
-        self.x.len()
+        self.y.len()
     }
 
     /// True when no samples have been added.
     pub fn is_empty(&self) -> bool {
-        self.x.is_empty()
+        self.y.is_empty()
     }
 
     /// Feature matrix rows per sample.
@@ -70,12 +77,14 @@ impl Dataset {
 
     /// Borrow a sample.
     pub fn sample(&self, i: usize) -> (&[f32], u8) {
-        (&self.x[i], self.y[i])
+        let d = self.dim();
+        (&self.x[i * d..(i + 1) * d], self.y[i])
     }
 
     /// Mutable feature access (used by permutation importance).
-    pub fn sample_mut(&mut self, i: usize) -> &mut Vec<f32> {
-        &mut self.x[i]
+    pub fn sample_mut(&mut self, i: usize) -> &mut [f32] {
+        let d = self.dim();
+        &mut self.x[i * d..(i + 1) * d]
     }
 
     /// Label histogram.
@@ -99,9 +108,9 @@ impl Dataset {
         for (k, &i) in order.iter().enumerate() {
             let (x, y) = self.sample(i);
             if k < val_len {
-                val.push(x.to_vec(), y);
+                val.push(x, y);
             } else {
-                train.push(x.to_vec(), y);
+                train.push(x, y);
             }
         }
         (train, val)
@@ -109,10 +118,10 @@ impl Dataset {
 
     /// Per-dimension mean and standard deviation (for standardization).
     pub fn feature_stats(&self) -> (Vec<f32>, Vec<f32>) {
-        let d = self.rows * self.cols;
+        let d = self.dim();
         let n = self.len().max(1) as f64;
         let mut mean = vec![0f64; d];
-        for x in &self.x {
+        for x in self.x.chunks_exact(d) {
             for (m, &v) in mean.iter_mut().zip(x) {
                 *m += v as f64;
             }
@@ -121,7 +130,7 @@ impl Dataset {
             *m /= n;
         }
         let mut var = vec![0f64; d];
-        for x in &self.x {
+        for x in self.x.chunks_exact(d) {
             for ((v, &xv), &m) in var.iter_mut().zip(x).zip(&mean) {
                 let dlt = xv as f64 - m;
                 *v += dlt * dlt;
@@ -142,7 +151,7 @@ mod tests {
     fn toy() -> Dataset {
         let mut ds = Dataset::new(2, 3, 4);
         for i in 0..20 {
-            ds.push(vec![i as f32; 6], (i % 4) as u8);
+            ds.push(&[i as f32; 6], (i % 4) as u8);
         }
         ds
     }
@@ -152,8 +161,19 @@ mod tests {
         let ds = toy();
         assert_eq!(ds.len(), 20);
         let (x, y) = ds.sample(5);
+        assert_eq!(x.len(), 6);
         assert_eq!(x[0], 5.0);
         assert_eq!(y, 1);
+    }
+
+    #[test]
+    fn sample_mut_edits_in_place() {
+        let mut ds = toy();
+        ds.sample_mut(3)[2] = 99.0;
+        assert_eq!(ds.sample(3).0[2], 99.0);
+        // Neighbouring samples are untouched in the flat buffer.
+        assert_eq!(ds.sample(2).0[2], 2.0);
+        assert_eq!(ds.sample(4).0[2], 4.0);
     }
 
     #[test]
@@ -185,13 +205,13 @@ mod tests {
     #[should_panic(expected = "feature length mismatch")]
     fn wrong_length_panics() {
         let mut ds = Dataset::new(2, 3, 4);
-        ds.push(vec![0.0; 5], 0);
+        ds.push(&[0.0; 5], 0);
     }
 
     #[test]
     #[should_panic(expected = "label out of range")]
     fn bad_label_panics() {
         let mut ds = Dataset::new(2, 3, 4);
-        ds.push(vec![0.0; 6], 4);
+        ds.push(&[0.0; 6], 4);
     }
 }

@@ -81,7 +81,7 @@ mod tests {
             let a = rng.f32() * 2.0 - 1.0;
             x[0] = a;
             x[1] = rng.f32(); // uninformative
-            ds.push(x, (a > 0.0) as u8);
+            ds.push(&x, (a > 0.0) as u8);
         }
         let mut model = CutCnn::new(
             &CnnConfig {
@@ -114,7 +114,7 @@ mod tests {
             let mut rng = Rng64::seed_from(32);
             for i in 0..50 {
                 let x: Vec<f32> = (0..150).map(|_| rng.f32()).collect();
-                d.push(x, (i % 2) as u8);
+                d.push(&x, (i % 2) as u8);
             }
             d
         };

@@ -18,7 +18,7 @@
 //! for i in 0..200 {
 //!     let mut x = vec![0.0f32; 150];
 //!     x[0] = if i % 2 == 0 { 1.0 } else { -1.0 };
-//!     ds.push(x, (i % 2) as u8);
+//!     ds.push(&x, (i % 2) as u8);
 //! }
 //! let mut model = CutCnn::new(&CnnConfig { filters: 8, ..CnnConfig::default_with_classes(2) }, 1);
 //! let report = model.train(&ds, &TrainConfig { epochs: 12, ..TrainConfig::default() });

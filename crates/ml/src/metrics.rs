@@ -110,7 +110,7 @@ mod tests {
             let v = rng.f32() * 3.0;
             let mut x = vec![0.0f32; 150];
             x[0] = v;
-            ds.push(x, (v as usize).min(2) as u8);
+            ds.push(&x, (v as usize).min(2) as u8);
         }
         let mut m = CutCnn::new(
             &CnnConfig {

@@ -235,7 +235,7 @@ mod tests {
                 *v = rng.f32() * 0.1;
             }
             let label = ((a > 0.0) as u8) * 2 + ((b > 0.0) as u8);
-            ds.push(x, label);
+            ds.push(&x, label);
         }
         ds
     }

@@ -1,0 +1,66 @@
+//! Allocation budget for the arena-backed pipeline (CI guard).
+//!
+//! A counting global allocator wraps the system allocator; the test runs
+//! one full enumerate + map pass over the AES-core circuit (after a
+//! warm-up pass so lazily initialised global state is excluded) and
+//! asserts the allocation count stays within budget. Before the flat
+//! `CutArena`/`MatchArena` refactor the same pass performed ~4.22M
+//! allocations (per-cut `Vec`s in enumeration plus per-cut cone/support
+//! buffers in matching); the arena pipeline performs a few thousand.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+struct CountingAlloc;
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, l: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(l)
+    }
+    unsafe fn dealloc(&self, p: *mut u8, l: Layout) {
+        System.dealloc(p, l)
+    }
+    unsafe fn realloc(&self, p: *mut u8, l: Layout, n: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(p, l, n)
+    }
+}
+
+#[global_allocator]
+static A: CountingAlloc = CountingAlloc;
+
+#[test]
+fn enumeration_and_mapping_allocation_count() {
+    use slap_cell::asap7_mini;
+    use slap_circuits::aes::aes_mini;
+    use slap_cuts::{enumerate_cuts, CutConfig, DefaultPolicy};
+    use slap_map::{MapOptions, Mapper};
+
+    let aig = aes_mini();
+    let lib = asap7_mini();
+    let mapper = Mapper::new(&lib, MapOptions::default());
+    let cfg = CutConfig::default();
+    // Warm up once so lazy global state (obs registry etc.) is excluded.
+    let cuts = enumerate_cuts(&aig, &cfg, &mut DefaultPolicy::default());
+    mapper.map_with_cuts(&aig, &cuts).expect("maps");
+    drop(cuts);
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let cuts = enumerate_cuts(&aig, &cfg, &mut DefaultPolicy::default());
+    let nl = mapper.map_with_cuts(&aig, &cuts).expect("maps");
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert!(nl.area() > 0.0);
+    let count = after - before;
+    eprintln!("allocations on enumerate+map(aes_mini): {count}");
+    // Pre-refactor baseline: ~4,220,000 allocations. The arena pipeline
+    // measures ~6,100; the budget leaves slack for allocator-sensitive
+    // library changes while still catching any per-cut regression.
+    assert!(
+        count < 50_000,
+        "allocation budget exceeded: {count} >= 50000 \
+         (pre-arena baseline was ~4.22M; arena pipeline should stay in \
+         the low thousands)"
+    );
+}

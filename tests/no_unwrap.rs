@@ -1,0 +1,65 @@
+//! Library code must not swallow invariants behind bare `.unwrap()`:
+//! fallible paths return errors, and the remaining panics are `expect`s
+//! whose message names the violated invariant. This test walks every
+//! crate's `src/` tree and fails on `.unwrap()` outside binaries, test
+//! modules, and doc comments (doc examples may unwrap for brevity).
+
+use std::path::{Path, PathBuf};
+
+fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in std::fs::read_dir(dir).expect("readable source dir") {
+        let path = entry.expect("dir entry").path();
+        if path.is_dir() {
+            // Binaries may panic on bad CLI input; that is their job.
+            if path.file_name().map(|n| n == "bin").unwrap_or(false) {
+                continue;
+            }
+            rust_sources(&path, out);
+        } else if path.extension().map(|e| e == "rs").unwrap_or(false) {
+            out.push(path);
+        }
+    }
+}
+
+#[test]
+fn library_code_does_not_unwrap() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let mut files = Vec::new();
+    rust_sources(&root.join("src"), &mut files);
+    for entry in std::fs::read_dir(root.join("crates")).expect("crates dir") {
+        let dir = entry.expect("dir entry").path().join("src");
+        if dir.is_dir() {
+            rust_sources(&dir, &mut files);
+        }
+    }
+    assert!(
+        files.len() > 20,
+        "walker found too few files ({})",
+        files.len()
+    );
+
+    let mut offenders = Vec::new();
+    for file in &files {
+        let text = std::fs::read_to_string(file).expect("readable source file");
+        for (lineno, line) in text.lines().enumerate() {
+            let trimmed = line.trim_start();
+            // Everything from the first test-module marker on is test code,
+            // which may unwrap freely.
+            if trimmed.starts_with("#[cfg(test)]") {
+                break;
+            }
+            if trimmed.starts_with("//") {
+                continue; // comments and doc examples
+            }
+            if trimmed.contains(".unwrap()") {
+                offenders.push(format!("{}:{}: {}", file.display(), lineno + 1, trimmed));
+            }
+        }
+    }
+    assert!(
+        offenders.is_empty(),
+        "bare .unwrap() in library code (return an error or use an \
+         invariant-naming expect):\n{}",
+        offenders.join("\n")
+    );
+}
