@@ -314,6 +314,26 @@ impl Aig {
         self.nodes.iter().map(|n| n.level).max().unwrap_or(0)
     }
 
+    /// AND nodes bucketed by structural level: `levels()[l]` holds every
+    /// AND node of level `l + 1`, in ascending id order (PIs and the
+    /// constant, all level 0, are omitted). Nodes within one bucket have
+    /// no structural dependency on each other — both fanins sit at
+    /// strictly lower levels — which is what makes level-ordered parallel
+    /// cut enumeration safe. Note that node ids are topological but *not*
+    /// level-monotone, so level order differs from id order.
+    pub fn levels(&self) -> Vec<Vec<NodeId>> {
+        let mut levels: Vec<Vec<NodeId>> = Vec::new();
+        for n in self.and_ids() {
+            let l = self.level_of(n) as usize;
+            debug_assert!(l >= 1, "AND nodes sit above level 0");
+            if levels.len() < l {
+                levels.resize_with(l, Vec::new);
+            }
+            levels[l - 1].push(n);
+        }
+        levels
+    }
+
     /// Reverse levels (`rLvl(n)`): the longest path from each node to any
     /// PO. Nodes not in any PO cone get reverse level 0.
     pub fn reverse_levels(&self) -> Vec<u32> {
@@ -519,6 +539,28 @@ mod tests {
         assert_eq!(aig.and_all(std::iter::empty()), Lit::TRUE);
         assert_eq!(aig.or_all(std::iter::empty()), Lit::FALSE);
         assert_eq!(aig.xor_all([xs[0]]), xs[0]);
+    }
+
+    #[test]
+    fn levels_bucket_every_and_once_by_level() {
+        let mut aig = Aig::new();
+        let xs = aig.add_pis(4);
+        let ab = aig.and(xs[0], xs[1]); // level 1
+        let cd = aig.and(xs[2], xs[3]); // level 1
+        let f = aig.and(ab, cd); // level 2
+        aig.add_po(f);
+        let levels = aig.levels();
+        assert_eq!(levels.len(), aig.depth() as usize);
+        assert_eq!(levels[0], vec![ab.node(), cd.node()]);
+        assert_eq!(levels[1], vec![f.node()]);
+        let total: usize = levels.iter().map(Vec::len).sum();
+        assert_eq!(total, aig.num_ands());
+        for (li, bucket) in levels.iter().enumerate() {
+            assert!(bucket.windows(2).all(|w| w[0] < w[1]));
+            for &n in bucket {
+                assert_eq!(aig.level_of(n) as usize, li + 1);
+            }
+        }
     }
 
     #[test]

@@ -5,12 +5,12 @@
 //! Usage:
 //!   cargo run --release -p slap-bench --bin accuracy -- \
 //!       [--maps 250] [--epochs 20] [--filters 128] [--keep 4] [--lr 0.002]
-//!       [--seed 1] [--save model.txt] [--metrics-json out.jsonl]
+//!       [--seed 1] [--threads N] [--save model.txt] [--metrics-json out.jsonl]
 
 use std::sync::Arc;
 
-use slap_bench::metrics::{EpochMetrics, MetricsOut};
-use slap_bench::{experiments_dir, Args};
+use slap_bench::metrics::{config_record, EpochMetrics, MetricsOut};
+use slap_bench::{experiments_dir, init_threads, Args};
 use slap_cell::asap7_mini;
 use slap_circuits::catalog::Scale;
 use slap_circuits::training_benchmarks;
@@ -33,17 +33,22 @@ fn main() {
     } else {
         LabelMode::BestPerCutWithNegatives
     };
+    let threads = init_threads(&args);
     let metrics = Arc::new(MetricsOut::from_arg(
         &args.get("metrics-json", String::new()),
     ));
+    metrics.emit(&config_record("accuracy", threads));
 
     let library = asap7_mini();
     let mapper = Mapper::new(&library, MapOptions::default());
     println!("== §V-B model accuracy: {maps} maps/circuit, keep {keep}, {epochs} epochs, {filters} filters ==");
 
-    let mut dataset = Dataset::new(CUT_EMBED_ROWS, CUT_EMBED_COLS, 10);
-    for bench in training_benchmarks() {
+    // The training circuits sample independently; build one dataset per
+    // circuit across worker threads and merge in catalog order.
+    let benches = training_benchmarks();
+    let parts = slap_par::par_map(&benches, |_, bench| {
         let aig = bench.build(Scale::Full);
+        let mut part = Dataset::new(CUT_EMBED_ROWS, CUT_EMBED_COLS, 10);
         let samples = generate_dataset(
             &aig,
             &mapper,
@@ -54,15 +59,20 @@ fn main() {
                 label_mode,
                 ..SampleConfig::default()
             },
-            &mut dataset,
+            &mut part,
         )
         .expect("training circuit maps");
+        (bench.name, samples, part)
+    });
+    let mut dataset = Dataset::new(CUT_EMBED_ROWS, CUT_EMBED_COLS, 10);
+    for (name, samples, part) in &parts {
+        dataset.extend_from(part);
         let delays: Vec<f32> = samples.iter().map(|s| s.delay).collect();
         let min = delays.iter().copied().fold(f32::INFINITY, f32::min);
         let max = delays.iter().copied().fold(0.0f32, f32::max);
         println!(
             "  {}: {} distinct maps, delay {:.0}..{:.0} ps ({:.1}% spread)",
-            bench.name,
+            name,
             samples.len(),
             min,
             max,

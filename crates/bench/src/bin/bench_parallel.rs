@@ -1,0 +1,111 @@
+//! Thread-scaling benchmark: times AES enumerate+map and adder datagen at
+//! 1/2/4/8 worker threads and writes the speedup curve to
+//! `BENCH_parallel.json` in the workspace root.
+//!
+//! Thread counts are interleaved (1,2,4,8 per round rather than all
+//! rounds of one count back-to-back) so slow drift of the host — thermal
+//! state, co-tenants — spreads evenly across the curve instead of biasing
+//! one count.
+//!
+//! Usage:
+//!   cargo run --release -p slap-bench --bin bench_parallel -- \
+//!       [--rounds 3] [--maps 24] [--out BENCH_parallel.json]
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use slap_bench::Args;
+use slap_cell::asap7_mini;
+use slap_circuits::aes::aes_mini;
+use slap_circuits::arith::ripple_carry_adder;
+use slap_core::{generate_dataset, SampleConfig, CUT_EMBED_COLS, CUT_EMBED_ROWS};
+use slap_cuts::{enumerate_cuts, CutConfig, DefaultPolicy};
+use slap_map::{MapOptions, Mapper};
+use slap_ml::Dataset;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn main() {
+    let args = Args::from_env();
+    let rounds = args.get("rounds", 3usize);
+    let maps = args.get("maps", 24usize);
+    let out_path = args.get("out", "BENCH_parallel.json".to_string());
+
+    let lib = asap7_mini();
+    let mapper = Mapper::new(&lib, MapOptions::default());
+    let cut_config = CutConfig::default();
+    let aes = aes_mini();
+    let adder = ripple_carry_adder(16);
+    let sample_cfg = SampleConfig {
+        maps,
+        ..SampleConfig::default()
+    };
+
+    let enumerate_map = || {
+        let cuts = enumerate_cuts(&aes, &cut_config, &mut DefaultPolicy::default());
+        let nl = mapper.map_with_cuts(&aes, &cuts).expect("maps");
+        assert!(nl.area() > 0.0);
+    };
+    let datagen = || {
+        let mut ds = Dataset::new(CUT_EMBED_ROWS, CUT_EMBED_COLS, 10);
+        generate_dataset(&adder, &mapper, &sample_cfg, &mut ds).expect("maps");
+        assert!(!ds.is_empty());
+    };
+
+    // best[workload][thread index] = fastest observed round, seconds.
+    let mut best = [[f64::INFINITY; THREAD_COUNTS.len()]; 2];
+    // Warm up once per workload (lazy globals, allocator pools).
+    slap_par::set_threads(1);
+    enumerate_map();
+    datagen();
+    for round in 0..rounds {
+        for (ti, &t) in THREAD_COUNTS.iter().enumerate() {
+            slap_par::set_threads(t);
+            let t0 = Instant::now();
+            enumerate_map();
+            best[0][ti] = best[0][ti].min(t0.elapsed().as_secs_f64());
+            let t0 = Instant::now();
+            datagen();
+            best[1][ti] = best[1][ti].min(t0.elapsed().as_secs_f64());
+            eprintln!(
+                "  round {}/{rounds}: {t} threads done ({:.0} ands aes, {maps} maps datagen)",
+                round + 1,
+                aes.num_ands() as f64,
+            );
+        }
+    }
+
+    let host_cpus = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let workloads = [("aes_enumerate_map", &best[0]), ("datagen_rc16", &best[1])];
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
+    let _ = writeln!(json, "  \"rounds\": {rounds},");
+    json.push_str(
+        "  \"note\": \"best-of-round wall times, thread counts interleaved per round; \
+         speedup is vs the 1-thread run. On a single-core host (host_cpus = 1) extra \
+         workers only add coordination overhead, so speedup <= 1 is expected there.\",\n",
+    );
+    json.push_str("  \"workloads\": {\n");
+    for (wi, (name, times)) in workloads.iter().enumerate() {
+        let base = times[0];
+        let _ = writeln!(json, "    \"{name}\": {{");
+        json.push_str("      \"threads\": [1, 2, 4, 8],\n");
+        let secs: Vec<String> = times.iter().map(|s| format!("{s:.6}")).collect();
+        let _ = writeln!(json, "      \"seconds\": [{}],", secs.join(", "));
+        let speedups: Vec<String> = times.iter().map(|s| format!("{:.3}", base / s)).collect();
+        let _ = writeln!(json, "      \"speedup\": [{}]", speedups.join(", "));
+        let comma = if wi + 1 < workloads.len() { "," } else { "" };
+        let _ = writeln!(json, "    }}{comma}");
+    }
+    json.push_str("  }\n}\n");
+
+    let path = std::env::var("CARGO_MANIFEST_DIR")
+        .map(|d| std::path::PathBuf::from(d).join("../..").join(&out_path))
+        .unwrap_or_else(|_| std::path::PathBuf::from(&out_path));
+    std::fs::write(&path, &json).expect("write results");
+    println!("{json}");
+    println!("wrote {}", path.display());
+}

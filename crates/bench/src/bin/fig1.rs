@@ -3,12 +3,13 @@
 //!
 //! Usage:
 //!   cargo run --release -p slap-bench --bin fig1 -- \
-//!       [--maps 300] [--keep 8] [--seed 1] [--full] [--metrics-json out.jsonl]
+//!       [--maps 300] [--keep 8] [--seed 1] [--full] [--threads N]
+//!       [--metrics-json out.jsonl]
 
 use std::io::Write as _;
 
-use slap_bench::metrics::{map_record, MetricsOut};
-use slap_bench::{experiments_dir, Args};
+use slap_bench::metrics::{config_record, map_record, MetricsOut};
+use slap_bench::{experiments_dir, init_threads, Args};
 use slap_cell::asap7_mini;
 use slap_circuits::aes::{aes_core, aes_mini};
 use slap_cuts::CutConfig;
@@ -19,7 +20,9 @@ fn main() {
     let maps = args.get("maps", 300usize);
     let keep = args.get("keep", 8usize);
     let seed = args.get("seed", 1u64);
+    let threads = init_threads(&args);
     let metrics = MetricsOut::from_arg(&args.get("metrics-json", String::new()));
+    metrics.emit(&config_record("fig1", threads));
     let aig = if args.has("full") {
         aes_core(1)
     } else {
@@ -38,19 +41,28 @@ fn main() {
     let path = experiments_dir().join("fig1.csv");
     let mut f = std::fs::File::create(&path).expect("create csv");
     writeln!(f, "seed,area_um2,delay_ps,area_delta_pct,delay_delta_pct").expect("write");
-    let mut delays = Vec::with_capacity(maps);
-    let mut areas = Vec::with_capacity(maps);
-    for i in 0..maps {
+    // Each shuffle seed maps independently; fan the maps out, then write
+    // the CSV rows and metrics records back in seed order so the outputs
+    // are identical for every thread count.
+    let indices: Vec<usize> = (0..maps).collect();
+    let runs = slap_par::par_map(&indices, |_, &i| {
         let s = seed + i as u64;
         let nl = mapper
             .map_shuffled(&aig, &cut_config, s, keep)
             .expect("maps");
-        if metrics.enabled() {
+        let rec = metrics.enabled().then(|| {
             let mut rec = map_record(aig.name(), "random-shuffle", nl.stats());
             rec.push("seed", s);
+            rec
+        });
+        (s, nl.area() as f64, nl.delay() as f64, rec)
+    });
+    let mut delays = Vec::with_capacity(maps);
+    let mut areas = Vec::with_capacity(maps);
+    for (i, (s, a, d, rec)) in runs.into_iter().enumerate() {
+        if let Some(rec) = rec {
             metrics.emit(&rec);
         }
-        let (a, d) = (nl.area() as f64, nl.delay() as f64);
         writeln!(
             f,
             "{s},{a:.2},{d:.2},{:.2},{:.2}",

@@ -5,13 +5,13 @@
 //! Usage:
 //!   cargo run --release -p slap-bench --bin fig5 -- \
 //!       [--maps 120] [--epochs 12] [--filters 64] [--rounds 10]
-//!       [--eval 2000] [--seed 1] [--metrics-json out.jsonl]
+//!       [--eval 2000] [--seed 1] [--threads N] [--metrics-json out.jsonl]
 
 use std::io::Write as _;
 use std::sync::Arc;
 
-use slap_bench::metrics::{EpochMetrics, MetricsOut};
-use slap_bench::{experiments_dir, Args};
+use slap_bench::metrics::{config_record, EpochMetrics, MetricsOut};
+use slap_bench::{experiments_dir, init_threads, Args};
 use slap_cell::asap7_mini;
 use slap_circuits::catalog::Scale;
 use slap_circuits::training_benchmarks;
@@ -27,15 +27,20 @@ fn main() {
     let rounds = args.get("rounds", 10usize);
     let eval = args.get("eval", 2000usize);
     let seed = args.get("seed", 1u64);
+    let threads = init_threads(&args);
     let metrics = Arc::new(MetricsOut::from_arg(
         &args.get("metrics-json", String::new()),
     ));
+    metrics.emit(&config_record("fig5", threads));
 
     let library = asap7_mini();
     let mapper = Mapper::new(&library, MapOptions::default());
-    let mut dataset = Dataset::new(CUT_EMBED_ROWS, CUT_EMBED_COLS, 10);
-    for bench in training_benchmarks() {
+    // The training circuits sample independently; build one dataset per
+    // circuit across worker threads and merge in catalog order.
+    let benches = training_benchmarks();
+    let parts = slap_par::par_map(&benches, |_, bench| {
         let aig = bench.build(Scale::Full);
+        let mut part = Dataset::new(CUT_EMBED_ROWS, CUT_EMBED_COLS, 10);
         generate_dataset(
             &aig,
             &mapper,
@@ -44,9 +49,14 @@ fn main() {
                 seed,
                 ..SampleConfig::default()
             },
-            &mut dataset,
+            &mut part,
         )
         .expect("training circuit maps");
+        part
+    });
+    let mut dataset = Dataset::new(CUT_EMBED_ROWS, CUT_EMBED_COLS, 10);
+    for part in &parts {
+        dataset.extend_from(part);
     }
     println!("dataset: {} cut samples", dataset.len());
     let mut model = CutCnn::new(

@@ -5,14 +5,14 @@
 //! Usage:
 //!   cargo run --release -p slap-bench --bin table2 -- \
 //!       [--full] [--maps 150] [--epochs 15] [--filters 128] [--seed 1] [--cap 1000]
-//!       [--metrics-json out.jsonl]
+//!       [--threads N] [--metrics-json out.jsonl]
 
 use std::io::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
 
-use slap_bench::metrics::{map_record, EpochMetrics, MetricsOut};
-use slap_bench::{experiments_dir, geomean, train_paper_model, Args, Qor};
+use slap_bench::metrics::{config_record, map_record, EpochMetrics, MetricsOut};
+use slap_bench::{experiments_dir, geomean, init_threads, train_paper_model, Args, Qor};
 use slap_cell::asap7_mini;
 use slap_circuits::catalog::{table2_benchmarks, Scale};
 use slap_core::{SlapConfig, SlapMapper};
@@ -38,9 +38,11 @@ fn main() {
     let filters = args.get("filters", 128usize);
     let seed = args.get("seed", 1u64);
     let cap = args.get("cap", 1000usize);
+    let threads = init_threads(&args);
     let metrics = Arc::new(MetricsOut::from_arg(
         &args.get("metrics-json", String::new()),
     ));
+    metrics.emit(&config_record("table2", threads));
 
     let library = asap7_mini();
     let mapper = Mapper::new(&library, MapOptions::default());
@@ -63,8 +65,11 @@ fn main() {
     );
     let cut_config = CutConfig::default();
 
-    let mut rows: Vec<Row> = Vec::new();
-    for bench in table2_benchmarks() {
+    // The 14 circuits map independently; fan them out and then emit the
+    // metrics records and rows in catalog order, so the table, the CSV,
+    // and the JSONL stream are identical for every thread count.
+    let benches = table2_benchmarks();
+    let mapped = slap_par::par_map(&benches, |_, bench| {
         let t0 = Instant::now();
         let aig = bench.build(scale);
         let abc = mapper.map_default(&aig, &cut_config).expect("default maps");
@@ -77,30 +82,35 @@ fn main() {
             "{}: SLAP netlist not equivalent",
             bench.name
         );
-        metrics.emit(&map_record(bench.name, "abc-default", abc.stats()));
-        metrics.emit(&map_record(bench.name, "abc-unlimited", unl.stats()));
         let mut slap_rec = map_record(bench.name, "slap", snl.stats());
         slap_rec.push("cuts_scored", sstats.cuts_scored);
         slap_rec.push("cuts_kept", sstats.cuts_kept);
         slap_rec.push("nodes_all_bad", sstats.nodes_all_bad);
-        metrics.emit(&slap_rec);
+        let records = vec![
+            map_record(bench.name, "abc-default", abc.stats()),
+            map_record(bench.name, "abc-unlimited", unl.stats()),
+            slap_rec,
+        ];
         let to_qor = |n: &slap_map::MappedNetlist| Qor {
             area: n.area() as f64,
             delay: n.delay() as f64,
             cuts: n.stats().cuts_considered,
         };
-        rows.push(Row {
+        let row = Row {
             name: bench.name,
             abc: to_qor(&abc),
             unlimited: to_qor(&unl),
             slap: to_qor(&snl),
-        });
-        eprintln!(
-            "  {:<12} ({} ands) done in {:.1}s",
-            bench.name,
-            aig.num_ands(),
-            t0.elapsed().as_secs_f64()
-        );
+        };
+        (row, records, aig.num_ands(), t0.elapsed().as_secs_f64())
+    });
+    let mut rows: Vec<Row> = Vec::new();
+    for (row, records, ands, seconds) in mapped {
+        for record in &records {
+            metrics.emit(record);
+        }
+        eprintln!("  {:<12} ({ands} ands) done in {seconds:.1}s", row.name);
+        rows.push(row);
     }
 
     print_table(&rows, scale);

@@ -92,6 +92,17 @@ impl Args {
     }
 }
 
+/// Applies the `--threads N` override and returns the effective worker
+/// count. Without the flag the count falls back to the `SLAP_THREADS`
+/// environment variable, then to the machine's available parallelism.
+pub fn init_threads(args: &Args) -> usize {
+    let n = args.get("threads", 0usize);
+    if n > 0 {
+        slap_par::set_threads(n);
+    }
+    slap_par::threads()
+}
+
 /// Trains the paper's model on the two 16-bit adders (§V-A/§V-B).
 /// Returns the model and its accuracy report. Per-epoch progress goes to
 /// `progress` (`None` = silent); binaries that want a display pass
@@ -197,5 +208,16 @@ mod tests {
         assert_eq!(a.get("epochs", 7usize), 7);
         assert!(a.has("full"));
         assert!(!a.has("quick"));
+    }
+
+    #[test]
+    fn init_threads_applies_flag() {
+        let prev = slap_par::threads();
+        let n = init_threads(&Args::from_vec(vec!["--threads".into(), "3".into()]));
+        assert_eq!(n, 3);
+        assert_eq!(slap_par::threads(), 3);
+        // Without the flag the current setting is reported unchanged.
+        assert_eq!(init_threads(&Args::from_vec(vec![])), 3);
+        slap_par::set_threads(prev);
     }
 }

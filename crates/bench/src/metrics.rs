@@ -101,6 +101,16 @@ impl ProgressSink for EpochMetrics {
     }
 }
 
+/// Builds the `event = "config"` record every binary emits first: which
+/// binary ran and with how many worker threads.
+pub fn config_record(bin: &str, threads: usize) -> Record {
+    let mut r = Record::new();
+    r.push("event", "config");
+    r.push("bin", bin);
+    r.push("threads", threads);
+    r
+}
+
 /// Builds the JSONL record for one circuit × mode mapping run: QoR,
 /// cut-space footprint, pruning counters, NPN hit rate, and the
 /// per-phase wall-time breakdown.

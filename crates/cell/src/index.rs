@@ -6,12 +6,12 @@
 //! canonicalisation at query time with a one-off enumeration at library
 //! build time — the classic trade ABC's supergate library makes.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use slap_aig::tt::permutations;
 use slap_aig::Tt;
 
-use crate::gate::{GateId, Library};
+use crate::gate::{Gate, GateId, Library};
 
 /// One way a gate can realize a function over cut leaves.
 ///
@@ -50,47 +50,20 @@ pub struct MatchIndex {
 impl MatchIndex {
     /// Builds the index by expanding every gate of `library` over all pin
     /// permutations and input polarities.
+    ///
+    /// Gates expand independently (the binding dedup is per gate), so the
+    /// expansion fans out across worker threads; the per-gate entry lists
+    /// are merged into the hash table in gate order, which reproduces the
+    /// sequential per-key entry ordering exactly for any thread count.
     pub fn build(library: &Library) -> MatchIndex {
+        let gates: Vec<(GateId, &Gate)> = library.iter().collect();
+        let expanded = slap_par::par_map(&gates, |_, &(id, gate)| expand_gate(id, gate));
         let mut table: HashMap<(u8, u64), Vec<MatchEntry>> = HashMap::new();
-        // Two bindings of the same gate to the same function are redundant
-        // when every leaf sees the same polarity and pin delay (symmetric
-        // pins): dedup on that profile to keep match lists tight.
-        let mut seen: std::collections::HashSet<(u8, u64, GateId, u8, [u32; 6])> =
-            std::collections::HashSet::new();
         let mut max_inputs = 0usize;
-        for (id, gate) in library.iter() {
-            let n = gate.num_pins();
-            if n == 0 || n > Tt::MAX_VARS || gate.tt().is_const() {
-                continue;
-            }
+        for (entries, n) in expanded {
             max_inputs = max_inputs.max(n);
-            for perm in permutations(n) {
-                // perm[leaf] = pin: leaf `leaf` plays the role of gate pin
-                // perm[leaf].
-                for compl in 0u32..(1 << n) {
-                    // Complement the gate's pins selected by `compl`, then
-                    // rename pin variables to leaf variables.
-                    let tt = gate.tt().flip_inputs(compl).permute(&perm);
-                    let mut pin_of_leaf = [0u8; 6];
-                    let mut leaf_compl = 0u8;
-                    let mut delay_profile = [0u32; 6];
-                    for (leaf, &pin) in perm.iter().enumerate() {
-                        pin_of_leaf[leaf] = pin as u8;
-                        delay_profile[leaf] = gate.pin_delay(pin).to_bits();
-                        if compl & (1 << pin) != 0 {
-                            leaf_compl |= 1 << leaf;
-                        }
-                    }
-                    if !seen.insert((n as u8, tt.bits(), id, leaf_compl, delay_profile)) {
-                        continue;
-                    }
-                    let entry = MatchEntry {
-                        gate: id,
-                        pin_of_leaf,
-                        leaf_compl,
-                    };
-                    table.entry((n as u8, tt.bits())).or_default().push(entry);
-                }
+            for (key, entry) in entries {
+                table.entry(key).or_default().push(entry);
             }
         }
         MatchIndex { table, max_inputs }
@@ -119,6 +92,57 @@ impl MatchIndex {
     pub fn num_entries(&self) -> usize {
         self.table.values().map(Vec::len).sum()
     }
+}
+
+/// One gate's expansion: `((support size, truth table), entry)` pairs in
+/// emission order.
+type GateEntries = Vec<((u8, u64), MatchEntry)>;
+
+/// Expands one gate over all pin permutations and input polarities,
+/// returning its match entries keyed and ordered exactly as the classic
+/// sequential build would emit them, plus the gate's pin count (0 when the
+/// gate is skipped).
+fn expand_gate(id: GateId, gate: &Gate) -> (GateEntries, usize) {
+    let n = gate.num_pins();
+    if n == 0 || n > Tt::MAX_VARS || gate.tt().is_const() {
+        return (Vec::new(), 0);
+    }
+    let mut out = Vec::new();
+    // Two bindings of the same gate to the same function are redundant when
+    // every leaf sees the same polarity and pin delay (symmetric pins):
+    // dedup on that profile to keep match lists tight. The profile is
+    // entirely gate-local, so deduping here is equivalent to deduping over
+    // the whole library with the gate id in the key.
+    let mut seen: HashSet<(u64, u8, [u32; 6])> = HashSet::new();
+    for perm in permutations(n) {
+        // perm[leaf] = pin: leaf `leaf` plays the role of gate pin
+        // perm[leaf].
+        for compl in 0u32..(1 << n) {
+            // Complement the gate's pins selected by `compl`, then rename
+            // pin variables to leaf variables.
+            let tt = gate.tt().flip_inputs(compl).permute(&perm);
+            let mut pin_of_leaf = [0u8; 6];
+            let mut leaf_compl = 0u8;
+            let mut delay_profile = [0u32; 6];
+            for (leaf, &pin) in perm.iter().enumerate() {
+                pin_of_leaf[leaf] = pin as u8;
+                delay_profile[leaf] = gate.pin_delay(pin).to_bits();
+                if compl & (1 << pin) != 0 {
+                    leaf_compl |= 1 << leaf;
+                }
+            }
+            if !seen.insert((tt.bits(), leaf_compl, delay_profile)) {
+                continue;
+            }
+            let entry = MatchEntry {
+                gate: id,
+                pin_of_leaf,
+                leaf_compl,
+            };
+            out.push(((n as u8, tt.bits()), entry));
+        }
+    }
+    (out, n)
 }
 
 #[cfg(test)]
@@ -260,5 +284,20 @@ mod tests {
         assert_eq!(idx.max_inputs(), 3);
         assert!(idx.num_functions() > 3);
         assert!(idx.num_entries() >= idx.num_functions());
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical_to_sequential() {
+        let lib = test_library();
+        let prev = slap_par::threads();
+        slap_par::set_threads(1);
+        let seq = MatchIndex::build(&lib);
+        for t in [2, 4, 8] {
+            slap_par::set_threads(t);
+            let par = MatchIndex::build(&lib);
+            assert_eq!(par.max_inputs, seq.max_inputs, "threads={t}");
+            assert_eq!(par.table, seq.table, "threads={t}");
+        }
+        slap_par::set_threads(prev);
     }
 }

@@ -104,24 +104,36 @@ pub fn generate_dataset(
     assert_eq!(dataset.rows(), CUT_EMBED_ROWS);
     assert_eq!(dataset.cols(), CUT_EMBED_COLS);
     let ctx = EmbeddingContext::new(aig);
+    // Each map is an independent shuffle-seeded mapping, so the sampling
+    // loop fans out across worker threads. Results come back in map-index
+    // order, and the QoR dedup + error propagation below run sequentially
+    // over that order, so the surviving records (and the returned error, if
+    // any) are identical for every thread count.
+    let indices: Vec<usize> = (0..config.maps).collect();
+    let runs = slap_par::par_map(&indices, |_, &i| {
+        let seed = config.seed.wrapping_add(i as u64);
+        mapper
+            .map_shuffled(aig, &config.cut_config, seed, config.keep)
+            .map(|netlist| {
+                let qor = (netlist.area().to_bits(), netlist.delay().to_bits());
+                let sample = MapSample {
+                    seed,
+                    area: netlist.area(),
+                    delay: netlist.delay(),
+                    class: 0,
+                };
+                (sample, netlist.cover_cuts().to_vec(), qor)
+            })
+    });
     let mut records: Vec<(MapSample, Vec<(slap_aig::NodeId, slap_cuts::Cut)>)> =
         Vec::with_capacity(config.maps);
     let mut seen_qor: std::collections::HashSet<(u32, u32)> = std::collections::HashSet::new();
-    for i in 0..config.maps {
-        let seed = config.seed.wrapping_add(i as u64);
-        let netlist = mapper.map_shuffled(aig, &config.cut_config, seed, config.keep)?;
-        if config.dedup_qor
-            && !seen_qor.insert((netlist.area().to_bits(), netlist.delay().to_bits()))
-        {
+    for run in runs {
+        let (sample, cover, qor) = run?;
+        if config.dedup_qor && !seen_qor.insert(qor) {
             continue;
         }
-        let sample = MapSample {
-            seed,
-            area: netlist.area(),
-            delay: netlist.delay(),
-            class: 0,
-        };
-        records.push((sample, netlist.cover_cuts().to_vec()));
+        records.push((sample, cover));
     }
     let min = records
         .iter()
@@ -264,6 +276,30 @@ mod tests {
         let s2 = generate_dataset(&aig, &mapper, &cfg, &mut d2).expect("maps");
         assert_eq!(s1, s2);
         assert_eq!(d1.len(), d2.len());
+    }
+
+    #[test]
+    fn parallel_datagen_is_bit_identical_to_sequential() {
+        let aig = ripple_carry_adder(8);
+        let lib = asap7_mini();
+        let mapper = Mapper::new(&lib, MapOptions::default());
+        let cfg = SampleConfig {
+            maps: 10,
+            ..SampleConfig::default()
+        };
+        let prev = slap_par::threads();
+        slap_par::set_threads(1);
+        let mut seq_ds = Dataset::new(CUT_EMBED_ROWS, CUT_EMBED_COLS, 10);
+        let seq = generate_dataset(&aig, &mapper, &cfg, &mut seq_ds).expect("maps");
+        for t in [2, 8] {
+            slap_par::set_threads(t);
+            let mut ds = Dataset::new(CUT_EMBED_ROWS, CUT_EMBED_COLS, 10);
+            let samples = generate_dataset(&aig, &mapper, &cfg, &mut ds).expect("maps");
+            assert_eq!(samples, seq, "threads={t}");
+            assert_eq!(ds, seq_ds, "threads={t}");
+            assert_eq!(ds.content_hash(), seq_ds.content_hash(), "threads={t}");
+        }
+        slap_par::set_threads(prev);
     }
 
     #[test]

@@ -5,7 +5,7 @@ use std::ops::Range;
 use slap_aig::{Aig, NodeId};
 
 use crate::cut::{cut_cmp, Cut, MAX_CUT_SIZE};
-use crate::policy::CutPolicy;
+use crate::policy::{CutPolicy, PolicyStats};
 
 /// Work and pruning counters from one [`enumerate_cuts`] run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -24,6 +24,17 @@ pub struct CutEnumStats {
     pub cap_truncations: u64,
     /// Cuts dropped by those caps.
     pub cuts_dropped_by_cap: u64,
+}
+
+impl CutEnumStats {
+    /// Adds the merge/dedup work counters of `other` (the pruning fields
+    /// are owned by the policy and filled in from its stats delta).
+    fn add_work(&mut self, other: &CutEnumStats) {
+        self.nodes_processed += other.nodes_processed;
+        self.cuts_merged += other.cuts_merged;
+        self.dedup_removed += other.dedup_removed;
+        self.cuts_enumerated += other.cuts_enumerated;
+    }
 }
 
 /// Parameters of cut enumeration shared by all policies.
@@ -201,6 +212,12 @@ impl CutArena {
     #[inline]
     pub fn span_of(&self, node: NodeId) -> Range<u32> {
         let i = node.index();
+        if i + 1 >= self.filled {
+            // Mid-enumeration lookup of a node not pushed yet — e.g. a PI
+            // whose id interleaves between AND ids, so no later push has
+            // sealed its slot. Its span is empty by definition.
+            return 0..0;
+        }
         self.starts[i]..self.starts[i + 1]
     }
 
@@ -314,11 +331,40 @@ impl CutArena {
 /// matching ABC's priority-cuts behaviour where pruning shapes the whole
 /// downstream cut space.
 ///
-/// Allocation discipline: one scratch buffer is reused for every node's
-/// merge + refine, and the refined list is appended to the arena's flat
-/// buffer — no per-node `Vec` is ever created.
+/// When the process-wide thread count ([`slap_par::threads`]) is above 1
+/// and the policy supports forking ([`CutPolicy::fork`]), enumeration
+/// runs level-parallel: nodes of one topological level are independent
+/// given the (frozen) results of strictly lower levels, so each level is
+/// mapped across workers and the refined lists are spliced into the
+/// arena in node order afterwards. The result is bit-identical to the
+/// sequential path for every thread count — refinement of a forkable
+/// policy is a pure per-node function and the merged list is
+/// canonicalized (sorted + deduped) before refinement, so neither
+/// schedule nor worker assignment can leak into the output. Policies
+/// whose refinement consumes state in node order (e.g.
+/// [`crate::ShufflePolicy`]'s RNG) return `None` from `fork` and keep
+/// the sequential path.
+///
+/// Allocation discipline (sequential path): one scratch buffer is reused
+/// for every node's merge + refine, and the refined list is appended to
+/// the arena's flat buffer — no per-node `Vec` is ever created. The
+/// parallel path adds O(levels × threads) worker-local buffers; the
+/// allocation-budget test accounts for them as `base + c · threads`.
 pub fn enumerate_cuts(aig: &Aig, config: &CutConfig, policy: &mut dyn CutPolicy) -> CutArena {
     let _span = slap_obs::span("enumerate");
+    if slap_par::threads() > 1 && !slap_par::in_worker() && aig.num_ands() > 0 {
+        if let Some(prototype) = policy.fork() {
+            return enumerate_cuts_parallel(aig, config, policy, prototype);
+        }
+    }
+    enumerate_cuts_sequential(aig, config, policy)
+}
+
+fn enumerate_cuts_sequential(
+    aig: &Aig,
+    config: &CutConfig,
+    policy: &mut dyn CutPolicy,
+) -> CutArena {
     let policy_before = policy.stats();
     let k = config.k;
     let mut stats = CutEnumStats::default();
@@ -327,41 +373,77 @@ pub fn enumerate_cuts(aig: &Aig, config: &CutConfig, policy: &mut dyn CutPolicy)
     let per_node = slap_obs::Registry::global().histogram("cuts.per_node");
     for n in aig.and_ids() {
         let (f0, f1) = aig.fanins(n);
-        scratch.clear();
-        {
-            // Eq. (1): the fanin sets each extended by their trivial cut.
-            let t0 = Cut::trivial(f0.node());
-            let t1 = Cut::trivial(f1.node());
-            let set0 = arena.cuts_of(f0.node());
-            let set1 = arena.cuts_of(f1.node());
-            for c0 in std::iter::once(&t0).chain(set0.iter()) {
-                for c1 in std::iter::once(&t1).chain(set1.iter()) {
-                    if let Some(m) = c0.merge(c1, k) {
-                        scratch.push(m);
-                    }
-                }
-            }
-        }
-        stats.nodes_processed += 1;
-        stats.cuts_merged += scratch.len() as u64;
-        // Canonical order + dedup (different merge paths can produce the
-        // same leaf set); the policy then reorders/prunes as it likes.
-        scratch.sort_by(cut_cmp);
-        let before_dedup = scratch.len();
-        scratch.dedup();
-        stats.dedup_removed += (before_dedup - scratch.len()) as u64;
-        // The trivial cut of n can never be produced by merging (leaves
-        // precede n topologically), so no need to remove it.
-        policy.refine(aig, n, &mut scratch);
-        stats.cuts_enumerated += scratch.len() as u64;
+        merge_fanin_sets(
+            aig,
+            k,
+            n,
+            arena.cuts_of(f0.node()),
+            arena.cuts_of(f1.node()),
+            &mut scratch,
+            &mut stats,
+            policy,
+        );
         per_node.observe(scratch.len() as u64);
         arena.push_node(n, &scratch);
     }
     arena.seal();
-    let pruned = policy.stats().delta(&policy_before);
+    finish_stats(&mut stats, policy, &policy_before);
+    publish_arena(arena, stats)
+}
+
+/// One node's merge + canonicalize + refine step, shared by the
+/// sequential and parallel paths (determinism depends on both running
+/// byte-for-byte the same per-node computation). Leaves the refined list
+/// in `scratch`.
+#[allow(clippy::too_many_arguments)]
+fn merge_fanin_sets(
+    aig: &Aig,
+    k: usize,
+    n: NodeId,
+    set0: &[Cut],
+    set1: &[Cut],
+    scratch: &mut Vec<Cut>,
+    stats: &mut CutEnumStats,
+    policy: &mut dyn CutPolicy,
+) {
+    let (f0, f1) = aig.fanins(n);
+    scratch.clear();
+    // Eq. (1): the fanin sets each extended by their trivial cut.
+    let t0 = Cut::trivial(f0.node());
+    let t1 = Cut::trivial(f1.node());
+    for c0 in std::iter::once(&t0).chain(set0.iter()) {
+        for c1 in std::iter::once(&t1).chain(set1.iter()) {
+            if let Some(m) = c0.merge(c1, k) {
+                scratch.push(m);
+            }
+        }
+    }
+    stats.nodes_processed += 1;
+    stats.cuts_merged += scratch.len() as u64;
+    // Canonical order + dedup (different merge paths can produce the
+    // same leaf set); the policy then reorders/prunes as it likes.
+    scratch.sort_by(cut_cmp);
+    let before_dedup = scratch.len();
+    scratch.dedup();
+    stats.dedup_removed += (before_dedup - scratch.len()) as u64;
+    // The trivial cut of n can never be produced by merging (leaves
+    // precede n topologically), so no need to remove it.
+    policy.refine(aig, n, scratch);
+    stats.cuts_enumerated += scratch.len() as u64;
+}
+
+/// Fills the pruning fields of `stats` from the policy's delta since
+/// `before` (parallel forks have already been absorbed at this point).
+fn finish_stats(stats: &mut CutEnumStats, policy: &dyn CutPolicy, before: &PolicyStats) {
+    let pruned = policy.stats().delta(before);
     stats.dominance_kills = pruned.dominance_kills;
     stats.cap_truncations = pruned.cap_truncations;
     stats.cuts_dropped_by_cap = pruned.cuts_dropped_by_cap;
+}
+
+/// Stamps `stats` onto the arena and publishes the run's counters to the
+/// global registry.
+fn publish_arena(mut arena: CutArena, stats: CutEnumStats) -> CutArena {
     arena.stats = stats;
     let arena_stats = arena.arena_stats();
     let reg = slap_obs::Registry::global();
@@ -374,6 +456,155 @@ pub fn enumerate_cuts(aig: &Aig, config: &CutConfig, policy: &mut dyn CutPolicy)
     reg.counter("cuts.arena_bytes")
         .add(arena_stats.bytes as u64);
     arena
+}
+
+/// Where a node's refined cut list lives during level-parallel
+/// enumeration: `bufs[buf][start..start + len]`. Buffers are frozen once
+/// their level completes, so later levels read them without
+/// synchronization.
+#[derive(Clone, Copy)]
+struct Slot {
+    buf: u32,
+    start: u32,
+    len: u32,
+}
+
+const NO_SLOT: Slot = Slot {
+    buf: u32::MAX,
+    start: 0,
+    len: 0,
+};
+
+/// Shared read-only context for one level: the slot table and the frozen
+/// buffers of all completed levels.
+struct LevelCtx {
+    slots: Vec<Slot>,
+    bufs: Vec<Vec<Cut>>,
+    stats: CutEnumStats,
+}
+
+impl LevelCtx {
+    fn cuts_of(&self, n: NodeId) -> &[Cut] {
+        let s = self.slots[n.index()];
+        if s.buf == u32::MAX {
+            &[]
+        } else {
+            &self.bufs[s.buf as usize][s.start as usize..(s.start + s.len) as usize]
+        }
+    }
+}
+
+/// Per-worker state for one level of parallel enumeration. Results stay
+/// in `out` (with `spans` recording each node's slice) and are only
+/// registered in the shared slot table — on the driver thread — after
+/// the level's barrier.
+struct LevelWorker {
+    policy: Box<dyn CutPolicy + Send + Sync>,
+    scratch: Vec<Cut>,
+    out: Vec<Cut>,
+    spans: Vec<(u32, u32, u32)>,
+    stats: CutEnumStats,
+    per_node: slap_obs::HistogramShard,
+}
+
+/// Level-synchronized parallel enumeration (see [`enumerate_cuts`]).
+///
+/// Node ids are topological but *not* level-monotone, so results cannot
+/// be pushed into the arena as they are produced; they are buffered per
+/// worker and spliced in ascending node order at the end.
+fn enumerate_cuts_parallel(
+    aig: &Aig,
+    config: &CutConfig,
+    policy: &mut dyn CutPolicy,
+    prototype: Box<dyn CutPolicy + Send + Sync>,
+) -> CutArena {
+    let policy_before = policy.stats();
+    let k = config.k;
+    let levels = aig.levels();
+    let per_node_hist = slap_obs::Registry::global().histogram("cuts.per_node");
+    let ctx = LevelCtx {
+        slots: vec![NO_SLOT; aig.num_nodes()],
+        bufs: Vec::new(),
+        stats: CutEnumStats::default(),
+    };
+    let mut fork_stats: Vec<PolicyStats> = Vec::new();
+    let ctx = slap_par::par_levels(
+        &levels,
+        ctx,
+        |_w| LevelWorker {
+            policy: prototype
+                .fork()
+                .expect("a forkable policy's forks must fork"),
+            scratch: Vec::new(),
+            out: Vec::new(),
+            spans: Vec::new(),
+            stats: CutEnumStats::default(),
+            per_node: slap_obs::HistogramShard::new(per_node_hist.clone()),
+        },
+        |ctx, worker, _i, &n| {
+            let (f0, f1) = aig.fanins(n);
+            merge_fanin_sets(
+                aig,
+                k,
+                n,
+                ctx.cuts_of(f0.node()),
+                ctx.cuts_of(f1.node()),
+                &mut worker.scratch,
+                &mut worker.stats,
+                worker.policy.as_mut(),
+            );
+            worker.per_node.observe(worker.scratch.len() as u64);
+            let start = worker.out.len() as u32;
+            worker.out.extend_from_slice(&worker.scratch);
+            worker
+                .spans
+                .push((n.index() as u32, start, worker.scratch.len() as u32));
+        },
+        |ctx, _level, _results, workers| {
+            // Barrier: register every worker's freshly written spans in
+            // the slot table, freeze its buffer, and fold its counters.
+            // Worker order is fixed, and sums are commutative anyway.
+            for worker in workers {
+                let buf_idx = ctx.bufs.len() as u32;
+                for &(node, start, len) in &worker.spans {
+                    ctx.slots[node as usize] = Slot {
+                        buf: buf_idx,
+                        start,
+                        len,
+                    };
+                }
+                ctx.bufs.push(worker.out);
+                ctx.stats.add_work(&worker.stats);
+                fork_stats.push(worker.policy.stats());
+                // Dropping the worker flushes its histogram shard.
+            }
+        },
+    );
+    let LevelCtx {
+        slots,
+        bufs,
+        mut stats,
+    } = ctx;
+    for s in fork_stats {
+        policy.absorb_stats(s);
+    }
+    // Splice the per-worker buffers into the arena in ascending node
+    // order — the exact layout the sequential path produces.
+    let mut arena = CutArena::with_nodes(aig.num_nodes(), k);
+    for n in aig.and_ids() {
+        let s = slots[n.index()];
+        if s.buf == u32::MAX {
+            arena.push_node(n, &[]);
+        } else {
+            arena.push_node(
+                n,
+                &bufs[s.buf as usize][s.start as usize..(s.start + s.len) as usize],
+            );
+        }
+    }
+    arena.seal();
+    finish_stats(&mut stats, policy, &policy_before);
+    publish_arena(arena, stats)
 }
 
 #[cfg(test)]
@@ -579,6 +810,56 @@ mod tests {
         let u = enumerate_cuts(&recon, &CutConfig::default(), &mut UnlimitedPolicy::new());
         assert!(d.stats().dominance_kills > 0);
         assert_eq!(u.stats().dominance_kills, 0);
+    }
+
+    /// A dense multi-level circuit (several nodes per level) so the
+    /// parallel path actually fans out.
+    fn layered_aig() -> Aig {
+        let mut aig = Aig::new();
+        let xs = aig.add_pis(10);
+        let mut layer: Vec<Lit> = xs;
+        while layer.len() > 1 {
+            let mut next = Vec::new();
+            for w in layer.windows(2) {
+                next.push(aig.and(w[0], w[1]));
+            }
+            layer = next;
+        }
+        aig.add_po(layer[0]);
+        aig
+    }
+
+    #[test]
+    fn parallel_enumeration_is_bit_identical_to_sequential() {
+        let aig = layered_aig();
+        let config = CutConfig::default();
+        slap_par::set_threads(1);
+        let seq_default = enumerate_cuts(&aig, &config, &mut DefaultPolicy::default());
+        let seq_unlimited = enumerate_cuts(&aig, &config, &mut UnlimitedPolicy::new());
+        let seq_shuffle = enumerate_cuts(&aig, &config, &mut ShufflePolicy::with_keep(3, 4));
+        for t in [2, 4, 8] {
+            slap_par::set_threads(t);
+            let par_default = enumerate_cuts(&aig, &config, &mut DefaultPolicy::default());
+            let par_unlimited = enumerate_cuts(&aig, &config, &mut UnlimitedPolicy::new());
+            // Shuffle cannot fork; it must still be identical (sequential).
+            let par_shuffle = enumerate_cuts(&aig, &config, &mut ShufflePolicy::with_keep(3, 4));
+            for n in aig.and_ids() {
+                assert_eq!(par_default.cuts_of(n), seq_default.cuts_of(n), "t={t}");
+                assert_eq!(par_unlimited.cuts_of(n), seq_unlimited.cuts_of(n), "t={t}");
+                assert_eq!(par_shuffle.cuts_of(n), seq_shuffle.cuts_of(n), "t={t}");
+            }
+            assert_eq!(par_default.stats(), seq_default.stats(), "t={t}");
+            assert_eq!(par_unlimited.stats(), seq_unlimited.stats(), "t={t}");
+            assert_eq!(
+                par_default
+                    .span_of(aig.and_ids().last().expect("ands"))
+                    .len(),
+                seq_default
+                    .cuts_of(aig.and_ids().last().expect("ands"))
+                    .len()
+            );
+        }
+        slap_par::set_threads(1);
     }
 
     #[test]

@@ -67,6 +67,23 @@ pub trait CutPolicy {
     fn stats(&self) -> PolicyStats {
         PolicyStats::default()
     }
+
+    /// A fresh, independently usable copy for a parallel worker, with
+    /// zeroed stats, or `None` when refinement is order-dependent (e.g. a
+    /// stateful RNG consumed in node order) and enumeration must stay
+    /// sequential to keep outputs thread-count-invariant. A policy may
+    /// only return `Some` when `refine` is a pure per-node function of
+    /// `(aig, node, cuts)`. The default is `None`: external policies are
+    /// conservatively sequential until they opt in.
+    fn fork(&self) -> Option<Box<dyn CutPolicy + Send + Sync>> {
+        None
+    }
+
+    /// Folds a fork's accumulated [`PolicyStats`] back into this policy's
+    /// counters at join. Sums are commutative, so the merged totals are
+    /// schedule-independent. The default is a no-op (matching the
+    /// zero-stats default of [`CutPolicy::stats`]).
+    fn absorb_stats(&mut self, _stats: PolicyStats) {}
 }
 
 /// ABC's default heuristic: sort by number of leaves, remove dominated
@@ -120,6 +137,16 @@ impl CutPolicy for DefaultPolicy {
     fn stats(&self) -> PolicyStats {
         self.stats
     }
+
+    fn fork(&self) -> Option<Box<dyn CutPolicy + Send + Sync>> {
+        Some(Box::new(DefaultPolicy::with_limit(self.limit)))
+    }
+
+    fn absorb_stats(&mut self, stats: PolicyStats) {
+        self.stats.dominance_kills += stats.dominance_kills;
+        self.stats.cap_truncations += stats.cap_truncations;
+        self.stats.cuts_dropped_by_cap += stats.cuts_dropped_by_cap;
+    }
 }
 
 /// The paper's *ABC Unlimited* mode: no sorting, no dominance filtering —
@@ -172,6 +199,16 @@ impl CutPolicy for UnlimitedPolicy {
 
     fn stats(&self) -> PolicyStats {
         self.stats
+    }
+
+    fn fork(&self) -> Option<Box<dyn CutPolicy + Send + Sync>> {
+        Some(Box::new(UnlimitedPolicy::with_cap(self.cap)))
+    }
+
+    fn absorb_stats(&mut self, stats: PolicyStats) {
+        self.stats.dominance_kills += stats.dominance_kills;
+        self.stats.cap_truncations += stats.cap_truncations;
+        self.stats.cuts_dropped_by_cap += stats.cuts_dropped_by_cap;
     }
 }
 

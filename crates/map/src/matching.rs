@@ -17,7 +17,7 @@ use slap_cuts::{Cut, CutArena, CutId, MAX_CUT_SIZE};
 /// connected leaves live in an inline array, and the originating cut is
 /// referenced by id into the [`CutArena`] the matches were computed from
 /// ([`CutId::STRUCTURAL`] for the injected structural fallback cut).
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct PreparedMatch {
     /// The library gate.
     pub gate: GateId,
@@ -41,7 +41,7 @@ impl PreparedMatch {
 /// All prepared matches of a circuit: one flat buffer with per-node,
 /// per-phase spans (replaces the former `Vec<NodeMatches>` of per-node
 /// `Vec` pairs).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct MatchArena {
     matches: Vec<PreparedMatch>,
     /// `offsets[2i]..offsets[2i+1]` is node `i`'s positive-phase span and
@@ -108,6 +108,17 @@ impl MatchStats {
             self.npn_hits as f64 / total as f64
         }
     }
+
+    /// Adds another accumulator (all fields are sums, so merging worker
+    /// partials in any order gives the sequential totals).
+    fn add(&mut self, other: &MatchStats) {
+        self.cuts_considered += other.cuts_considered;
+        self.cuts_matched += other.cuts_matched;
+        self.structural_added += other.structural_added;
+        self.total_matches += other.total_matches;
+        self.npn_hits += other.npn_hits;
+        self.npn_misses += other.npn_misses;
+    }
 }
 
 /// Computes the per-node match lists for every AND node.
@@ -126,6 +137,13 @@ pub fn compute_matches(
     index: &MatchIndex,
     add_structural: bool,
 ) -> (MatchArena, MatchStats) {
+    // Matching one node is a pure function of `(aig, cuts, index, node)`,
+    // so the node list can be split into contiguous chunks matched in
+    // parallel and concatenated in chunk order — bit-identical to the
+    // sequential pass for any thread count.
+    if slap_par::threads() > 1 && !slap_par::in_worker() && aig.num_ands() > 1 {
+        return compute_matches_parallel(aig, cuts, index, add_structural);
+    }
     let mut arena = MatchArena::with_nodes(aig.num_nodes());
     let mut stats = MatchStats::default();
     // Cut functions repeat massively across a circuit; memoizing on the
@@ -136,34 +154,15 @@ pub fn compute_matches(
     let mut scratch = MatchScratch::default();
     let mut prev = 0usize;
     for n in aig.and_ids() {
-        let (f0, f1) = aig.fanins(n);
-        let structural = Cut::from_leaves(&[f0.node(), f1.node()]);
-        let list = cuts.cuts_of(n);
-        let has_structural = list.contains(&structural);
-        scratch.pos.clear();
-        scratch.neg.clear();
-        for (id, cut) in cuts.ids_of(n) {
-            stats.cuts_considered += 1;
-            if match_cut(aig, n, cut, id, index, &mut scratch, &mut stats) {
-                stats.cuts_matched += 1;
-            }
-        }
-        if add_structural && !has_structural {
-            stats.structural_added += 1;
-            stats.cuts_considered += 1;
-            if match_cut(
-                aig,
-                n,
-                &structural,
-                CutId::STRUCTURAL,
-                index,
-                &mut scratch,
-                &mut stats,
-            ) {
-                stats.cuts_matched += 1;
-            }
-        }
-        stats.total_matches += scratch.pos.len() + scratch.neg.len();
+        match_node(
+            aig,
+            cuts,
+            index,
+            add_structural,
+            n,
+            &mut scratch,
+            &mut stats,
+        );
         // Seal empty spans for the nodes skipped since the last AND node,
         // then this node's two spans.
         let i = 2 * n.index();
@@ -176,6 +175,117 @@ pub fn compute_matches(
         arena.matches.extend_from_slice(&scratch.neg);
         arena.offsets[i + 2] = arena.matches.len() as u32;
         prev = i + 2;
+    }
+    let end = arena.matches.len() as u32;
+    for o in &mut arena.offsets[prev + 1..] {
+        *o = end;
+    }
+    (arena, stats)
+}
+
+/// Matches all cuts of one node (plus the structural fallback when
+/// requested) into `scratch.pos` / `scratch.neg`, updating `stats`.
+/// Shared by the sequential and parallel paths.
+fn match_node(
+    aig: &Aig,
+    cuts: &CutArena,
+    index: &MatchIndex,
+    add_structural: bool,
+    n: NodeId,
+    scratch: &mut MatchScratch,
+    stats: &mut MatchStats,
+) {
+    let (f0, f1) = aig.fanins(n);
+    let structural = Cut::from_leaves(&[f0.node(), f1.node()]);
+    let list = cuts.cuts_of(n);
+    let has_structural = list.contains(&structural);
+    scratch.pos.clear();
+    scratch.neg.clear();
+    for (id, cut) in cuts.ids_of(n) {
+        stats.cuts_considered += 1;
+        if match_cut(aig, n, cut, id, index, scratch, stats) {
+            stats.cuts_matched += 1;
+        }
+    }
+    if add_structural && !has_structural {
+        stats.structural_added += 1;
+        stats.cuts_considered += 1;
+        if match_cut(
+            aig,
+            n,
+            &structural,
+            CutId::STRUCTURAL,
+            index,
+            scratch,
+            stats,
+        ) {
+            stats.cuts_matched += 1;
+        }
+    }
+    stats.total_matches += scratch.pos.len() + scratch.neg.len();
+}
+
+/// Chunked parallel matching: the AND-node list is split into one
+/// contiguous range per worker; each worker matches its range with
+/// private scratch, a private match buffer, and private stats. The
+/// buffers are then spliced in chunk (= ascending node) order, which
+/// reproduces the sequential arena layout exactly; the stats are sums,
+/// so their merge order is immaterial.
+fn compute_matches_parallel(
+    aig: &Aig,
+    cuts: &CutArena,
+    index: &MatchIndex,
+    add_structural: bool,
+) -> (MatchArena, MatchStats) {
+    let nodes: Vec<NodeId> = aig.and_ids().collect();
+    let ranges = slap_par::split_ranges(nodes.len(), slap_par::threads());
+    let chunks: Vec<&[NodeId]> = ranges.into_iter().map(|r| &nodes[r]).collect();
+    let results = slap_par::par_map(&chunks, |_, chunk| {
+        let mut scratch = MatchScratch::default();
+        let mut stats = MatchStats::default();
+        let mut out: Vec<PreparedMatch> = Vec::new();
+        let mut spans: Vec<(u32, u32, u32)> = Vec::with_capacity(chunk.len());
+        for &n in *chunk {
+            match_node(
+                aig,
+                cuts,
+                index,
+                add_structural,
+                n,
+                &mut scratch,
+                &mut stats,
+            );
+            out.extend_from_slice(&scratch.pos);
+            out.extend_from_slice(&scratch.neg);
+            spans.push((
+                n.index() as u32,
+                scratch.pos.len() as u32,
+                scratch.neg.len() as u32,
+            ));
+        }
+        (out, spans, stats)
+    });
+    let mut arena = MatchArena::with_nodes(aig.num_nodes());
+    let mut stats = MatchStats::default();
+    let mut prev = 0usize;
+    for (out, spans, local) in results {
+        stats.add(&local);
+        let mut cursor = 0usize;
+        for &(node, pos_len, neg_len) in &spans {
+            let i = 2 * node as usize;
+            let start = arena.matches.len() as u32;
+            for o in &mut arena.offsets[prev + 1..=i] {
+                *o = start;
+            }
+            let pos_end = cursor + pos_len as usize;
+            let neg_end = pos_end + neg_len as usize;
+            arena.matches.extend_from_slice(&out[cursor..pos_end]);
+            arena.offsets[i + 1] = arena.matches.len() as u32;
+            arena.matches.extend_from_slice(&out[pos_end..neg_end]);
+            arena.offsets[i + 2] = arena.matches.len() as u32;
+            cursor = neg_end;
+            prev = i + 2;
+        }
     }
     let end = arena.matches.len() as u32;
     for o in &mut arena.offsets[prev + 1..] {
@@ -376,6 +486,33 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn parallel_matching_is_bit_identical_to_sequential() {
+        // Chain several xor/and blocks so there are enough AND nodes to
+        // split across workers.
+        let mut aig = Aig::new();
+        let mut acc = aig.add_pi();
+        for _ in 0..6 {
+            let b = aig.add_pi();
+            let c = aig.add_pi();
+            let x = aig.xor(acc, b);
+            acc = aig.and(x, c);
+        }
+        aig.add_po(acc);
+        let lib = asap7_mini();
+        let index = MatchIndex::build(&lib);
+        slap_par::set_threads(1);
+        let cuts = enumerate_cuts(&aig, &CutConfig::default(), &mut DefaultPolicy::default());
+        let (seq, seq_stats) = compute_matches(&aig, &cuts, &index, true);
+        for t in [2, 4, 8] {
+            slap_par::set_threads(t);
+            let (par, par_stats) = compute_matches(&aig, &cuts, &index, true);
+            assert_eq!(par, seq, "t={t}: arena diverged");
+            assert_eq!(par_stats, seq_stats, "t={t}: stats diverged");
+        }
+        slap_par::set_threads(1);
     }
 
     #[test]

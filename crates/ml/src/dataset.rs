@@ -9,7 +9,7 @@ use slap_aig::Rng64;
 /// floats) rather than a `Vec` per sample, so training epochs stream
 /// through memory and adding a sample never allocates beyond the shared
 /// buffer's amortized growth.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Dataset {
     rows: usize,
     cols: usize,
@@ -116,6 +116,43 @@ impl Dataset {
         (train, val)
     }
 
+    /// Appends every sample of `other` in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes (rows, cols, classes) differ.
+    pub fn extend_from(&mut self, other: &Dataset) {
+        assert_eq!(
+            (self.rows, self.cols, self.classes),
+            (other.rows, other.cols, other.classes),
+            "dataset shape mismatch"
+        );
+        self.x.extend_from_slice(&other.x);
+        self.y.extend_from_slice(&other.y);
+    }
+
+    /// FNV-1a hash over the raw feature bits and labels — a cheap, exact
+    /// fingerprint for determinism checks (bit-identical datasets and only
+    /// those hash equal).
+    pub fn content_hash(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf29ce484222325;
+        const PRIME: u64 = 0x100000001b3;
+        let mut h = OFFSET;
+        let mut eat = |byte: u8| {
+            h ^= byte as u64;
+            h = h.wrapping_mul(PRIME);
+        };
+        for &v in &self.x {
+            for b in v.to_bits().to_le_bytes() {
+                eat(b);
+            }
+        }
+        for &y in &self.y {
+            eat(y);
+        }
+        h
+    }
+
     /// Per-dimension mean and standard deviation (for standardization).
     pub fn feature_stats(&self) -> (Vec<f32>, Vec<f32>) {
         let d = self.dim();
@@ -199,6 +236,33 @@ mod tests {
         let (mean, std) = ds.feature_stats();
         assert!((mean[0] - 9.5).abs() < 1e-4);
         assert!(std[0] > 5.0);
+    }
+
+    #[test]
+    fn extend_from_appends_in_order() {
+        let mut a = toy();
+        let b = toy();
+        a.extend_from(&b);
+        assert_eq!(a.len(), 40);
+        assert_eq!(a.sample(20), b.sample(0));
+        assert_eq!(a.sample(39), b.sample(19));
+    }
+
+    #[test]
+    #[should_panic(expected = "dataset shape mismatch")]
+    fn extend_from_rejects_shape_mismatch() {
+        let mut a = toy();
+        let b = Dataset::new(3, 2, 4);
+        a.extend_from(&b);
+    }
+
+    #[test]
+    fn content_hash_detects_any_change() {
+        let a = toy();
+        let mut b = toy();
+        assert_eq!(a.content_hash(), b.content_hash());
+        b.sample_mut(7)[1] += 1.0;
+        assert_ne!(a.content_hash(), b.content_hash());
     }
 
     #[test]

@@ -144,7 +144,18 @@ impl CutCnn {
         self.set_standardization(mean, std);
         let mut order: Vec<usize> = (0..train.len()).collect();
         let mut rng = Rng64::seed_from(config.seed ^ 0x5EED);
-        let mut grad = vec![0.0f32; self.num_params()];
+        let num_params = self.num_params();
+        let mut grad = vec![0.0f32; num_params];
+        // One gradient buffer per batch slot, reused across batches. Each
+        // sample's backward pass writes its own buffer (fanned out across
+        // worker threads), and the buffers are reduced into `grad` in batch
+        // order — a fixed float-addition order, so the summed gradient and
+        // hence the whole weight trajectory are bit-identical for every
+        // thread count. (The per-sample pre-sum regroups the additions
+        // relative to accumulating straight into `grad`, so absolute values
+        // differ from the old direct-accumulate loop at the float-ulp
+        // level; determinism per seed is unchanged.)
+        let mut sample_grads = vec![0.0f32; config.batch_size.max(1) * num_params];
         let mut final_loss = 0.0f64;
         for epoch in 0..config.epochs {
             let _epoch_span = slap_obs::span("epoch");
@@ -152,11 +163,21 @@ impl CutCnn {
             rng.shuffle(&mut order);
             let mut epoch_loss = 0.0f64;
             for batch in order.chunks(config.batch_size) {
-                grad.iter_mut().for_each(|g| *g = 0.0);
-                for &i in batch {
-                    let (x, y) = train.sample(i);
+                let buf = &mut sample_grads[..batch.len() * num_params];
+                let losses = slap_par::par_chunks_mut(buf, num_params, |s, chunk| {
+                    chunk.fill(0.0);
+                    let (x, y) = train.sample(batch[s]);
                     let fwd = self.forward(x);
-                    epoch_loss += self.backward(&fwd, y, &mut grad) as f64;
+                    self.backward(&fwd, y, chunk)
+                });
+                for loss in losses {
+                    epoch_loss += loss as f64;
+                }
+                grad.iter_mut().for_each(|g| *g = 0.0);
+                for chunk in buf.chunks_exact(num_params) {
+                    for (g, &s) in grad.iter_mut().zip(chunk) {
+                        *g += s;
+                    }
                 }
                 self.adam_step(&grad, batch.len(), config.learning_rate);
             }
@@ -187,12 +208,7 @@ impl CutCnn {
         if data.is_empty() {
             return 0.0;
         }
-        let correct = (0..data.len())
-            .filter(|&i| {
-                let (x, y) = data.sample(i);
-                self.predict(x) == y
-            })
-            .count();
+        let correct = self.count_correct(data, |pred, y| pred == y);
         correct as f64 / data.len() as f64
     }
 
@@ -203,13 +219,26 @@ impl CutCnn {
         if data.is_empty() {
             return 0.0;
         }
-        let correct = (0..data.len())
-            .filter(|&i| {
-                let (x, y) = data.sample(i);
-                (self.predict(x) <= threshold) == (y <= threshold)
-            })
-            .count();
+        let correct = self.count_correct(data, |pred, y| (pred <= threshold) == (y <= threshold));
         correct as f64 / data.len() as f64
+    }
+
+    /// Counts samples whose prediction satisfies `ok`, evaluating the
+    /// (read-only) forward passes across worker threads. An integer sum of
+    /// per-range counts, so the result is exact for every thread count.
+    fn count_correct(&self, data: &Dataset, ok: impl Fn(u8, u8) -> bool + Sync) -> usize {
+        let ranges = slap_par::split_ranges(data.len(), slap_par::threads());
+        slap_par::par_map(&ranges, |_, range| {
+            range
+                .clone()
+                .filter(|&i| {
+                    let (x, y) = data.sample(i);
+                    ok(self.predict(x), y)
+                })
+                .count()
+        })
+        .into_iter()
+        .sum()
     }
 }
 
@@ -303,6 +332,33 @@ mod tests {
         let r1 = m1.train(&ds, &tc);
         let r2 = m2.train(&ds, &tc);
         assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn parallel_training_is_bit_identical_to_sequential() {
+        let ds = quadrant_dataset(150, 25);
+        let cfg = CnnConfig {
+            filters: 8,
+            ..CnnConfig::default_with_classes(4)
+        };
+        let tc = TrainConfig {
+            epochs: 2,
+            ..TrainConfig::default()
+        };
+        let prev = slap_par::threads();
+        slap_par::set_threads(1);
+        let mut seq = CutCnn::new(&cfg, 13);
+        let seq_report = seq.train(&ds, &tc);
+        let seq_text = seq.to_text();
+        for t in [2, 8] {
+            slap_par::set_threads(t);
+            let mut m = CutCnn::new(&cfg, 13);
+            let report = m.train(&ds, &tc);
+            assert_eq!(report, seq_report, "threads={t}");
+            assert_eq!(m.to_text(), seq_text, "threads={t}");
+            assert_eq!(m.accuracy(&ds), seq.accuracy(&ds), "threads={t}");
+        }
+        slap_par::set_threads(prev);
     }
 
     #[test]

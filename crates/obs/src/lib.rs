@@ -14,6 +14,9 @@
 //!   [`Gauge`]s, and log2-bucket [`Histogram`]s behind a global
 //!   `OnceLock` registry. [`Registry::snapshot`] returns entries in
 //!   deterministic (sorted) order so tests can assert on output.
+//!   Parallel kernels use per-worker [`CounterShard`]s /
+//!   [`HistogramShard`]s — plain local accumulators merged by addition
+//!   at join, so the hot path never touches an atomic.
 //! * **Sinks** ([`Sink`]) — a human-readable [`TableSink`] and a
 //!   hand-rolled [`JsonlSink`] (no serde) that the bench harness writes
 //!   per-run [`Record`]s to and can parse back ([`json::parse_object`])
@@ -46,12 +49,14 @@
 pub mod json;
 pub mod record;
 pub mod registry;
+pub mod shard;
 pub mod sink;
 pub mod span;
 
 pub use json::{parse_object, JsonError};
 pub use record::{Record, Value};
 pub use registry::{Counter, Gauge, Histogram, MetricValue, Registry, Snapshot, Timer};
+pub use shard::{CounterShard, HistogramShard};
 pub use sink::{JsonlSink, NullSink, Sink, TableSink};
 pub use span::{span, Span};
 

@@ -112,6 +112,12 @@ impl Histogram {
             .sum()
     }
 
+    /// Adds `n` observations directly into bucket `i` — the merge path of
+    /// [`crate::HistogramShard`].
+    pub(crate) fn add_to_bucket(&self, i: usize, n: u64) {
+        self.0.buckets[i].fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Bucket counts with trailing empty buckets trimmed.
     pub fn buckets(&self) -> Vec<u64> {
         let mut v: Vec<u64> = self

@@ -1,0 +1,217 @@
+//! Per-worker metric shards: plain (non-atomic) local accumulators that
+//! fold into a shared [`Counter`] / [`Histogram`] when flushed or dropped.
+//!
+//! Parallel kernels hand each worker its own shard so the hot path is a
+//! plain integer add — no atomics, no locks, no cache-line ping-pong.
+//! Because counters and histogram buckets are merged by addition (a
+//! commutative, associative operation on `u64`), the shared totals are
+//! identical for any thread count and any flush order, which keeps the
+//! byte-exact JSONL determinism guarantees of the registry intact.
+
+use crate::registry::{Counter, Histogram, HISTOGRAM_BUCKETS};
+
+/// A single-threaded shard of a [`Counter`]. Increments are plain `u64`
+/// adds; the accumulated total is added to the shared counter on
+/// [`flush`](CounterShard::flush) or drop.
+#[derive(Debug)]
+pub struct CounterShard {
+    local: u64,
+    target: Counter,
+}
+
+impl CounterShard {
+    /// A zeroed shard feeding `target`.
+    pub fn new(target: Counter) -> CounterShard {
+        CounterShard { local: 0, target }
+    }
+
+    /// Adds `n` locally (no synchronization).
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.local += n;
+    }
+
+    /// Adds one locally.
+    #[inline]
+    pub fn incr(&mut self) {
+        self.local += 1;
+    }
+
+    /// The not-yet-flushed local total.
+    pub fn pending(&self) -> u64 {
+        self.local
+    }
+
+    /// Folds the local total into the shared counter and resets it.
+    pub fn flush(&mut self) {
+        if self.local != 0 {
+            self.target.add(self.local);
+            self.local = 0;
+        }
+    }
+}
+
+impl Drop for CounterShard {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+/// A single-threaded shard of a [`Histogram`]: a plain bucket array with
+/// the same log2 layout, merged into the shared histogram on
+/// [`flush`](HistogramShard::flush) or drop.
+#[derive(Debug)]
+pub struct HistogramShard {
+    buckets: [u64; HISTOGRAM_BUCKETS],
+    target: Histogram,
+}
+
+impl HistogramShard {
+    /// A zeroed shard feeding `target`.
+    pub fn new(target: Histogram) -> HistogramShard {
+        HistogramShard {
+            buckets: [0; HISTOGRAM_BUCKETS],
+            target,
+        }
+    }
+
+    /// Records one observation locally (no synchronization).
+    #[inline]
+    pub fn observe(&mut self, v: u64) {
+        self.buckets[Histogram::bucket_index(v)] += 1;
+    }
+
+    /// The not-yet-flushed number of local observations.
+    pub fn pending(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Folds the local buckets into the shared histogram and resets them.
+    pub fn flush(&mut self) {
+        for (i, count) in self.buckets.iter_mut().enumerate() {
+            if *count != 0 {
+                self.target.add_to_bucket(i, *count);
+                *count = 0;
+            }
+        }
+    }
+}
+
+impl Drop for HistogramShard {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    #[test]
+    fn counter_shard_flushes_on_drop() {
+        let r = Registry::new();
+        let c = r.counter("sharded");
+        {
+            let mut s = CounterShard::new(c.clone());
+            s.add(5);
+            s.incr();
+            assert_eq!(s.pending(), 6);
+            assert_eq!(c.get(), 0, "nothing shared before flush");
+        }
+        assert_eq!(c.get(), 6);
+    }
+
+    #[test]
+    fn counter_shard_explicit_flush_resets() {
+        let r = Registry::new();
+        let c = r.counter("sharded");
+        let mut s = CounterShard::new(c.clone());
+        s.add(3);
+        s.flush();
+        assert_eq!(c.get(), 3);
+        assert_eq!(s.pending(), 0);
+        drop(s);
+        assert_eq!(c.get(), 3, "drop after flush adds nothing");
+    }
+
+    #[test]
+    fn histogram_shard_merges_same_buckets_as_direct_observe() {
+        let direct = Histogram::default();
+        let shared = Histogram::default();
+        let mut shard = HistogramShard::new(shared.clone());
+        for v in [0u64, 1, 2, 3, 8, 1000, u64::MAX] {
+            direct.observe(v);
+            shard.observe(v);
+        }
+        assert_eq!(shard.pending(), 7);
+        drop(shard);
+        assert_eq!(shared.buckets(), direct.buckets());
+        assert_eq!(shared.count(), 7);
+    }
+
+    #[test]
+    fn sharded_registry_snapshot_jsonl_is_byte_identical_to_sequential() {
+        use crate::{JsonlSink, Sink};
+
+        // Sequential reference: every bump goes straight to the registry.
+        let seq = Registry::new();
+        let c = seq.counter("cuts.enumerated");
+        let h = seq.histogram("cuts.per_node");
+        for v in 0..600u64 {
+            c.add(v % 7);
+            h.observe(v);
+        }
+        // Sharded run: the same bumps split across 3 workers' shards.
+        let par = Registry::new();
+        let pc = par.counter("cuts.enumerated");
+        let ph = par.histogram("cuts.per_node");
+        std::thread::scope(|scope| {
+            for w in 0..3u64 {
+                let mut cs = CounterShard::new(pc.clone());
+                let mut hs = HistogramShard::new(ph.clone());
+                scope.spawn(move || {
+                    for v in (200 * w)..(200 * (w + 1)) {
+                        cs.add(v % 7);
+                        hs.observe(v);
+                    }
+                });
+            }
+        });
+        let render = |r: &Registry| {
+            let mut out = Vec::new();
+            JsonlSink::new(&mut out)
+                .emit(&r.snapshot().to_record())
+                .expect("emit");
+            out
+        };
+        assert_eq!(render(&par), render(&seq));
+    }
+
+    #[test]
+    fn shards_from_many_workers_merge_to_the_sequential_totals() {
+        let r = Registry::new();
+        let c = r.counter("work");
+        let h = r.histogram("sizes");
+        std::thread::scope(|scope| {
+            for w in 0..4u64 {
+                let mut cs = CounterShard::new(c.clone());
+                let mut hs = HistogramShard::new(h.clone());
+                scope.spawn(move || {
+                    for i in 0..250 {
+                        cs.incr();
+                        hs.observe(w * 250 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 1000);
+        assert_eq!(h.count(), 1000);
+        // The merged histogram equals a sequential pass over 0..1000.
+        let seq = Histogram::default();
+        for v in 0..1000u64 {
+            seq.observe(v);
+        }
+        assert_eq!(h.buckets(), seq.buckets());
+    }
+}

@@ -1,0 +1,451 @@
+//! Deterministic scoped-thread parallelism for the SLAP pipeline.
+//!
+//! Zero dependencies, `std::thread::scope` only. Every primitive in this
+//! crate has a determinism contract: the returned values are a pure
+//! function of the inputs, independent of the thread count and of how the
+//! scheduler interleaves workers. Callers get that guarantee by
+//! construction — results are collected per chunk and merged back in item
+//! order, never in completion order.
+//!
+//! The effective thread count is a process-wide setting resolved from, in
+//! priority order: [`set_threads`] (e.g. a `--threads` flag), the
+//! `SLAP_THREADS` environment variable, and finally
+//! [`std::thread::available_parallelism`]. Code inside a worker never
+//! spawns nested pools: the primitives detect re-entry and run inline,
+//! so outer-level parallelism (e.g. per-circuit) composes with inner
+//! parallel kernels (e.g. per-level cut enumeration) without
+//! oversubscription or surprise recursion.
+
+use std::cell::Cell;
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread::ScopedJoinHandle;
+
+/// Process-wide thread count; 0 means "not resolved yet".
+static THREADS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Set while the current thread runs inside a pool worker; nested
+    /// primitives then execute inline instead of spawning.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Resolves the thread count from the environment: `SLAP_THREADS` if it
+/// parses to a positive integer, otherwise the machine's available
+/// parallelism (1 if unknown).
+fn resolve_default() -> usize {
+    std::env::var("SLAP_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
+/// The effective thread count used by the primitives in this crate.
+///
+/// Resolved lazily on first call (see the crate docs for the priority
+/// order) and cached; [`set_threads`] overrides it at any time.
+pub fn threads() -> usize {
+    let t = THREADS.load(Ordering::Relaxed);
+    if t != 0 {
+        return t;
+    }
+    let resolved = resolve_default().max(1);
+    // A racing first call computes the same value, so a plain store is fine.
+    THREADS.store(resolved, Ordering::Relaxed);
+    resolved
+}
+
+/// Overrides the thread count (clamped to at least 1). Intended for
+/// `--threads` flags and tests; takes effect for all subsequent calls.
+pub fn set_threads(n: usize) {
+    THREADS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// Clears any cached/overridden thread count so the next [`threads`] call
+/// re-reads `SLAP_THREADS` / available parallelism. Mainly for tests.
+pub fn reset_threads() {
+    THREADS.store(0, Ordering::Relaxed);
+}
+
+/// True while the calling thread is a pool worker (primitives then run
+/// inline; see the crate docs on nested parallelism).
+pub fn in_worker() -> bool {
+    IN_WORKER.with(Cell::get)
+}
+
+/// How many workers to use for `n` items: 1 inside a worker or when a
+/// pool would not help, otherwise `threads()` capped by the item count.
+fn workers_for(n: usize) -> usize {
+    if n <= 1 || in_worker() {
+        1
+    } else {
+        threads().min(n)
+    }
+}
+
+/// Joins a worker, propagating its panic payload unchanged.
+fn join_worker<T>(handle: ScopedJoinHandle<'_, T>) -> T {
+    match handle.join() {
+        Ok(v) => v,
+        Err(payload) => std::panic::resume_unwind(payload),
+    }
+}
+
+/// Splits `0..len` into at most `parts` contiguous, near-equal, in-order
+/// ranges (fewer when `len < parts`; empty when `len == 0`).
+pub fn split_ranges(len: usize, parts: usize) -> Vec<Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let parts = parts.clamp(1, len);
+    let base = len / parts;
+    let rem = len % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let size = base + usize::from(p < rem);
+        out.push(start..start + size);
+        start += size;
+    }
+    out
+}
+
+/// Maps `f` over `items` with per-worker state, returning the results in
+/// item order plus every worker's final state (in worker-index order).
+///
+/// Work is claimed dynamically in contiguous chunks for load balance, but
+/// the output vector is reassembled by chunk start offset, so the result
+/// is identical for any thread count and any schedule — provided `f` is a
+/// pure function of `(state, index, item)` and the per-worker states are
+/// only used for commutative accumulation (stats, scratch buffers).
+///
+/// `init` receives the worker index; with one worker (or inside a nested
+/// call) everything runs inline on the current thread.
+pub fn par_map_with<T, R, S>(
+    items: &[T],
+    init: impl Fn(usize) -> S + Sync,
+    f: impl Fn(&mut S, usize, &T) -> R + Sync,
+) -> (Vec<R>, Vec<S>)
+where
+    T: Sync,
+    R: Send,
+    S: Send,
+{
+    let n = items.len();
+    let nw = workers_for(n);
+    if nw <= 1 {
+        let mut state = init(0);
+        let out = items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| f(&mut state, i, t))
+            .collect();
+        return (out, vec![state]);
+    }
+    // Chunked dynamic claiming: small enough for balance, large enough to
+    // keep the shared cursor cold.
+    let chunk = (n / (nw * 4)).max(1);
+    let cursor = AtomicUsize::new(0);
+    let mut pieces: Vec<(usize, Vec<R>)> = Vec::new();
+    let mut states: Vec<S> = Vec::with_capacity(nw);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..nw)
+            .map(|w| {
+                let cursor = &cursor;
+                let init = &init;
+                let f = &f;
+                scope.spawn(move || {
+                    IN_WORKER.with(|c| c.set(true));
+                    let mut state = init(w);
+                    let mut local: Vec<(usize, Vec<R>)> = Vec::new();
+                    loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        let end = (start + chunk).min(n);
+                        let mut out = Vec::with_capacity(end - start);
+                        for (i, t) in items[start..end].iter().enumerate() {
+                            out.push(f(&mut state, start + i, t));
+                        }
+                        local.push((start, out));
+                    }
+                    IN_WORKER.with(|c| c.set(false));
+                    (state, local)
+                })
+            })
+            .collect();
+        for handle in handles {
+            let (state, local) = join_worker(handle);
+            states.push(state);
+            pieces.extend(local);
+        }
+    });
+    pieces.sort_unstable_by_key(|&(start, _)| start);
+    let mut out = Vec::with_capacity(n);
+    for (_, mut piece) in pieces {
+        out.append(&mut piece);
+    }
+    (out, states)
+}
+
+/// Maps `f` over `items` in parallel, returning results in item order.
+/// See [`par_map_with`] for the determinism contract.
+pub fn par_map<T, R>(items: &[T], f: impl Fn(usize, &T) -> R + Sync) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+{
+    par_map_with(items, |_| (), |(), i, t| f(i, t)).0
+}
+
+/// Runs `f` over disjoint `chunk_size`-sized mutable chunks of `data`
+/// (the last chunk may be shorter), returning the per-chunk results in
+/// chunk order. Chunks are assigned to workers round-robin (static, so no
+/// unsafe aliasing); each chunk index always denotes the same slice, so
+/// the output — and the data mutations — are schedule-independent when
+/// `f` is a pure function of `(chunk_index, chunk)`.
+///
+/// # Panics
+///
+/// Panics if `chunk_size` is 0.
+pub fn par_chunks_mut<T, R>(
+    data: &mut [T],
+    chunk_size: usize,
+    f: impl Fn(usize, &mut [T]) -> R + Sync,
+) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+{
+    assert!(chunk_size > 0, "chunk_size must be positive");
+    let num_chunks = data.len().div_ceil(chunk_size);
+    let nw = workers_for(num_chunks);
+    if nw <= 1 {
+        return data
+            .chunks_mut(chunk_size)
+            .enumerate()
+            .map(|(i, c)| f(i, c))
+            .collect();
+    }
+    let mut per_worker: Vec<Vec<(usize, &mut [T])>> = (0..nw).map(|_| Vec::new()).collect();
+    for (i, c) in data.chunks_mut(chunk_size).enumerate() {
+        per_worker[i % nw].push((i, c));
+    }
+    let mut results: Vec<(usize, R)> = Vec::with_capacity(num_chunks);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = per_worker
+            .into_iter()
+            .map(|chunks| {
+                let f = &f;
+                scope.spawn(move || {
+                    IN_WORKER.with(|c| c.set(true));
+                    let out: Vec<(usize, R)> =
+                        chunks.into_iter().map(|(i, c)| (i, f(i, c))).collect();
+                    IN_WORKER.with(|c| c.set(false));
+                    out
+                })
+            })
+            .collect();
+        for handle in handles {
+            results.extend(join_worker(handle));
+        }
+    });
+    results.sort_unstable_by_key(|&(i, _)| i);
+    results.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Level-synchronized parallel map: each level's items run in parallel
+/// (via [`par_map_with`]), with a barrier between levels; after each
+/// level, `sink` folds that level's in-order results and worker states
+/// into the shared context, which the next level's `f` reads immutably.
+///
+/// This is the shape of level-ordered cut enumeration: nodes on one
+/// topological level are independent given the results of strictly lower
+/// levels, so `f` gets `&C` (everything already sunk) and the
+/// sequential `sink` is the only writer. Returns the final context.
+pub fn par_levels<T, R, S, C>(
+    levels: &[Vec<T>],
+    mut ctx: C,
+    init: impl Fn(usize) -> S + Sync,
+    f: impl Fn(&C, &mut S, usize, &T) -> R + Sync,
+    mut sink: impl FnMut(&mut C, usize, Vec<R>, Vec<S>),
+) -> C
+where
+    T: Sync,
+    R: Send,
+    S: Send,
+    C: Sync,
+{
+    for (li, level) in levels.iter().enumerate() {
+        let (results, states) = par_map_with(level, &init, |s, i, t| f(&ctx, s, i, t));
+        sink(&mut ctx, li, results, states);
+    }
+    ctx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Serializes tests that mutate the process-wide thread count.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+        let _guard = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        let prev = threads();
+        set_threads(n);
+        let out = f();
+        set_threads(prev);
+        out
+    }
+
+    #[test]
+    fn par_map_preserves_item_order() {
+        for t in [1, 2, 3, 8] {
+            let items: Vec<u64> = (0..103).collect();
+            let out = with_threads(t, || par_map(&items, |i, &x| x * 2 + i as u64));
+            let expected: Vec<u64> = (0..103).map(|x| x * 3).collect();
+            assert_eq!(out, expected, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn par_map_with_returns_one_state_per_worker() {
+        let items: Vec<usize> = (0..40).collect();
+        let (out, states) = with_threads(4, || {
+            par_map_with(
+                &items,
+                |_w| 0u64,
+                |count, _i, &x| {
+                    *count += 1;
+                    x + 1
+                },
+            )
+        });
+        assert_eq!(out, (1..=40).collect::<Vec<_>>());
+        assert_eq!(states.len(), 4);
+        // Every item was processed by exactly one worker.
+        assert_eq!(states.iter().sum::<u64>(), 40);
+    }
+
+    #[test]
+    fn empty_and_single_item_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, |_, &x| x).is_empty());
+        assert_eq!(par_map(&[7u32], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn nested_calls_run_inline() {
+        let outer: Vec<usize> = (0..4).collect();
+        let nested_was_inline = with_threads(4, || {
+            par_map(&outer, |_, _| {
+                assert!(in_worker());
+                // A nested call must not spawn: its single worker state
+                // proves it ran inline.
+                let (_, states) = par_map_with(&[1, 2, 3], |_| (), |(), _, &x| x);
+                states.len() == 1
+            })
+        });
+        assert!(nested_was_inline.iter().all(|&b| b));
+        assert!(!in_worker());
+    }
+
+    #[test]
+    fn par_chunks_mut_mutates_every_chunk_once() {
+        for t in [1, 3, 8] {
+            let mut data = vec![0u32; 25];
+            let lens = with_threads(t, || {
+                par_chunks_mut(&mut data, 4, |i, chunk| {
+                    for v in chunk.iter_mut() {
+                        *v = i as u32 + 1;
+                    }
+                    chunk.len()
+                })
+            });
+            assert_eq!(lens, vec![4, 4, 4, 4, 4, 4, 1], "threads={t}");
+            assert_eq!(data[0], 1);
+            assert_eq!(data[24], 7);
+            assert!(data.iter().all(|&v| v != 0));
+        }
+    }
+
+    #[test]
+    fn split_ranges_covers_exactly() {
+        assert!(split_ranges(0, 4).is_empty());
+        for (len, parts) in [(10, 3), (3, 10), (16, 4), (1, 1)] {
+            let ranges = split_ranges(len, parts);
+            assert!(ranges.len() <= parts);
+            let mut next = 0;
+            for r in &ranges {
+                assert_eq!(r.start, next);
+                assert!(!r.is_empty());
+                next = r.end;
+            }
+            assert_eq!(next, len);
+        }
+    }
+
+    #[test]
+    fn par_levels_sinks_in_level_order() {
+        let levels: Vec<Vec<u32>> = vec![vec![1, 2], vec![3], vec![4, 5, 6]];
+        // ctx accumulates the running sum of everything sunk so far; each
+        // item adds the ctx sum it observed, proving levels are barriers.
+        let sums = with_threads(4, || {
+            par_levels(
+                &levels,
+                (0u32, Vec::new()),
+                |_w| (),
+                |ctx, (), _i, &x| x + ctx.0,
+                |ctx, _li, results, _states| {
+                    ctx.0 += results.iter().sum::<u32>();
+                    ctx.1.push(results);
+                },
+            )
+        });
+        assert_eq!(sums.1[0], vec![1, 2]);
+        assert_eq!(sums.1[1], vec![3 + 3]);
+        assert_eq!(sums.1[2], vec![4 + 9, 5 + 9, 6 + 9]);
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let items: Vec<u64> = (0..517).map(|i| i * 31 % 97).collect();
+        let baseline = with_threads(1, || par_map(&items, |i, &x| x.wrapping_mul(i as u64 + 1)));
+        for t in [2, 5, 8] {
+            let out = with_threads(t, || par_map(&items, |i, &x| x.wrapping_mul(i as u64 + 1)));
+            assert_eq!(out, baseline, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn set_and_reset_threads() {
+        let _guard = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+        set_threads(3);
+        assert_eq!(threads(), 3);
+        set_threads(0); // clamped
+        assert_eq!(threads(), 1);
+        reset_threads();
+        assert!(threads() >= 1); // re-resolved from the environment
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let result = std::panic::catch_unwind(|| {
+            with_threads(2, || {
+                par_map(&[1u32, 2, 3, 4], |_, &x| {
+                    assert!(x != 3, "boom");
+                    x
+                })
+            })
+        });
+        assert!(result.is_err());
+    }
+}

@@ -121,6 +121,124 @@ fn shuffle_policy_matches_reference() {
     check_mode("shuffle", &|| Box::new(ShufflePolicy::with_keep(7, 8)));
 }
 
+/// Serializes the thread-axis tests below: they mutate the process-global
+/// worker count, so they must not observe each other's settings.
+static THREAD_AXIS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// The worker count must never change any output: for every catalog
+/// circuit and policy, enumeration at 2 and 8 threads must reproduce the
+/// 1-thread cut lists and stats bit-for-bit, and (on a subset, to bound
+/// runtime) the mapped QoR must match to the last float bit too.
+#[test]
+fn enumeration_is_thread_count_invariant() {
+    let _guard = THREAD_AXIS_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    let prev = slap_par::threads();
+    let config = CutConfig::default();
+    let lib = asap7_mini();
+    let mapper = Mapper::new(&lib, MapOptions::default());
+    type PolicyFactory<'a> = &'a dyn Fn() -> Box<dyn CutPolicy>;
+    let policies: [(&str, PolicyFactory); 4] = [
+        ("default", &|| Box::new(DefaultPolicy::default())),
+        ("unlimited", &|| Box::new(UnlimitedPolicy::new())),
+        ("shuffle-7-8", &|| Box::new(ShufflePolicy::with_keep(7, 8))),
+        ("shuffle-3-4", &|| Box::new(ShufflePolicy::with_keep(3, 4))),
+    ];
+    for (bi, bench) in table2_benchmarks().iter().enumerate() {
+        let aig = bench.build(Scale::Quick);
+        for (label, make_policy) in &policies {
+            slap_par::set_threads(1);
+            let base = enumerate_cuts(&aig, &config, &mut *make_policy());
+            // Mapping every circuit × policy × thread count would dominate
+            // the suite's runtime; QoR is checked on the first circuits.
+            let check_qor = bi < 3;
+            let base_map =
+                check_qor.then(|| mapper.map_with_cuts(&aig, &base).expect("baseline maps"));
+            for t in [2usize, 8] {
+                slap_par::set_threads(t);
+                let arena = enumerate_cuts(&aig, &config, &mut *make_policy());
+                for n in aig.and_ids() {
+                    assert_eq!(
+                        arena.cuts_of(n),
+                        base.cuts_of(n),
+                        "{label}/{}: node {n} cut list diverged at {t} threads",
+                        bench.name
+                    );
+                }
+                assert_eq!(
+                    arena.stats(),
+                    base.stats(),
+                    "{label}/{}: enumeration stats diverged at {t} threads",
+                    bench.name
+                );
+                if let Some(base_map) = &base_map {
+                    let mapped = mapper.map_with_cuts(&aig, &arena).expect("maps");
+                    assert_eq!(
+                        mapped.area().to_bits(),
+                        base_map.area().to_bits(),
+                        "{label}/{}: area diverged at {t} threads",
+                        bench.name
+                    );
+                    assert_eq!(
+                        mapped.delay().to_bits(),
+                        base_map.delay().to_bits(),
+                        "{label}/{}: delay diverged at {t} threads",
+                        bench.name
+                    );
+                }
+            }
+        }
+    }
+    slap_par::set_threads(prev);
+}
+
+/// Dataset generation and training must also be thread-count invariant:
+/// the same circuit and seeds must hash to the same dataset and converge
+/// to the same final weights at 1, 2, and 8 threads.
+#[test]
+fn datagen_and_training_are_thread_count_invariant() {
+    use slap_core::{generate_dataset, SampleConfig, CUT_EMBED_COLS, CUT_EMBED_ROWS};
+    use slap_ml::{CnnConfig, CutCnn, Dataset, TrainConfig};
+
+    let _guard = THREAD_AXIS_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    let prev = slap_par::threads();
+    let aig = table2_benchmarks()[0].build(Scale::Quick);
+    let lib = asap7_mini();
+    let mapper = Mapper::new(&lib, MapOptions::default());
+    let sample_cfg = SampleConfig {
+        maps: 8,
+        ..SampleConfig::default()
+    };
+    let cnn_cfg = CnnConfig {
+        filters: 8,
+        ..CnnConfig::paper()
+    };
+    let train_cfg = TrainConfig {
+        epochs: 2,
+        ..TrainConfig::default()
+    };
+    let run = |t: usize| {
+        slap_par::set_threads(t);
+        let mut ds = Dataset::new(CUT_EMBED_ROWS, CUT_EMBED_COLS, 10);
+        let samples = generate_dataset(&aig, &mapper, &sample_cfg, &mut ds).expect("maps");
+        let mut model = CutCnn::new(&cnn_cfg, 7);
+        let report = model.train(&ds, &train_cfg);
+        (samples, ds.content_hash(), model.to_text(), report)
+    };
+    let base = run(1);
+    for t in [2usize, 8] {
+        let got = run(t);
+        assert_eq!(got.0, base.0, "map samples diverged at {t} threads");
+        assert_eq!(got.1, base.1, "dataset hash diverged at {t} threads");
+        assert_eq!(got.2, base.2, "final weights diverged at {t} threads");
+        assert_eq!(got.3, base.3, "train report diverged at {t} threads");
+    }
+    slap_par::set_threads(prev);
+}
+
 /// The external-selection (`read_cuts`) path: the same deterministic
 /// selection applied through `retain_selected` and directly to the
 /// reference lists must agree, including the structural-cut fallback.
