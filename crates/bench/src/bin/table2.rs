@@ -72,11 +72,15 @@ fn main() {
     let mapped = slap_par::par_map(&benches, |_, bench| {
         let t0 = Instant::now();
         let aig = bench.build(scale);
-        let abc = mapper.map_default(&aig, &cut_config).expect("default maps");
-        let unl = mapper
-            .map_unlimited(&aig, &cut_config, cap)
+        // One session per circuit: the three policy runs share memoized
+        // cut functions and gate bindings (bit-identical to one-shot
+        // maps; disable with SLAP_CACHE=0).
+        let mut session = mapper.session(&aig);
+        let abc = session.map_default(&cut_config).expect("default maps");
+        let unl = session
+            .map_unlimited(&cut_config, cap)
             .expect("unlimited maps");
-        let (snl, sstats) = slap.map(&aig).expect("slap maps");
+        let (snl, sstats) = slap.map_with_session(&mut session).expect("slap maps");
         assert!(
             snl.verify_against(&aig, 4, seed),
             "{}: SLAP netlist not equivalent",

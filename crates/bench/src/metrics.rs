@@ -102,12 +102,17 @@ impl ProgressSink for EpochMetrics {
 }
 
 /// Builds the `event = "config"` record every binary emits first: which
-/// binary ran and with how many worker threads.
+/// binary ran, with how many worker threads, and whether session
+/// memoization is active (the `SLAP_CACHE` toggle).
 pub fn config_record(bin: &str, threads: usize) -> Record {
     let mut r = Record::new();
     r.push("event", "config");
     r.push("bin", bin);
     r.push("threads", threads);
+    r.push(
+        "cache",
+        std::env::var("SLAP_CACHE").map_or(true, |v| v != "0"),
+    );
     r
 }
 
@@ -132,6 +137,10 @@ pub fn map_record(circuit: &str, mode: &str, stats: &MapStats) -> Record {
     r.push("arena_spans", stats.arena_stats.spans);
     r.push("matches_tried", stats.matches_tried);
     r.push("npn_hit_rate", stats.match_stats.npn_hit_rate());
+    r.push("fn_cache_hits", stats.match_stats.fn_cache_hits);
+    r.push("fn_cache_misses", stats.match_stats.fn_cache_misses);
+    r.push("binding_cache_hits", stats.match_stats.binding_cache_hits);
+    r.push("interned_tts", stats.match_stats.interned_tts);
     r.push("num_instances", stats.num_instances);
     r.push("num_inverters", stats.num_inverters);
     r.push("enumerate_s", stats.phase.enumerate_s);
@@ -185,6 +194,16 @@ mod tests {
                 > 0
         );
         assert!(get("npn_hit_rate").and_then(|v| v.as_f64()).expect("rate") > 0.0);
+        // Session-cache counters travel with every mapping record (zero
+        // here: one-shot maps are cold).
+        for key in [
+            "fn_cache_hits",
+            "fn_cache_misses",
+            "binding_cache_hits",
+            "interned_tts",
+        ] {
+            assert_eq!(get(key).and_then(|v| v.as_u64()), Some(0), "{key}");
+        }
         assert!(get("total_s").and_then(|v| v.as_f64()).expect("total") >= 0.0);
         // Arena footprint fields travel with every mapping record.
         assert!(get("arena_cuts").and_then(|v| v.as_u64()).expect("cuts") > 0);

@@ -1,0 +1,848 @@
+//! Cross-run memoization for repeated mapping of a fixed AIG.
+//!
+//! SLAP's training pipeline maps the same circuit hundreds of times under
+//! random cut orderings, yet `(root, leaves) → truth table → per-phase
+//! gate bindings` is a pure function of the AIG and the library —
+//! invariant across every seed. This crate caches that chain so it is
+//! paid once per *distinct* cut (and once per *distinct function* for the
+//! binding part) instead of once per cut occurrence per run:
+//!
+//! * [`TtTable`] — a hash-consed truth-table interner (`Tt → TtId`),
+//!   open-addressing and append-only, so interned ids are densely
+//!   numbered in first-encounter order;
+//! * a *function cache* keyed on `(root, cut)` holding the cut's raw
+//!   local function as a [`TtId`] plus its cone volume (`None` records an
+//!   invalid cut, so negative answers are cached too);
+//! * a *binding cache* indexed by [`TtId`] holding the shrunk support and
+//!   the prepared per-phase [`MatchEntry`] lists, so the match-index
+//!   probe and support shrinking run once per distinct function.
+//!
+//! All three are bundled in a [`SessionCache`] owned by a mapping
+//! session. Cached values are pure, so replaying them is bit-identical
+//! to recomputation. Under `slap-par` fan-out the cache is used frozen
+//! (`&self`) with per-worker [`SessionDelta`]s merged in deterministic
+//! node-id order afterwards — no locks anywhere near the hot path.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
+use slap_aig::cone::{cut_function_with, ConeScratch};
+use slap_aig::{Aig, NodeId, Tt};
+use slap_cell::{MatchEntry, MatchIndex};
+use slap_cuts::Cut;
+
+/// Interned id of a truth table in a [`TtTable`]; densely numbered in
+/// insertion order starting at zero.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TtId(u32);
+
+impl TtId {
+    /// The id as a dense array index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// splitmix64 finalizer — cheap and well-mixed for open addressing.
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Hash-consed truth-table interner: `Tt → TtId`, open addressing,
+/// append-only (interned tables are never removed, so ids stay stable
+/// for the lifetime of the table).
+#[derive(Clone, Debug)]
+pub struct TtTable {
+    /// Interned tables, indexed by [`TtId`].
+    tts: Vec<Tt>,
+    /// Open-addressing slots holding `id + 1` (0 = empty); length is a
+    /// power of two.
+    slots: Vec<u32>,
+}
+
+impl TtTable {
+    /// An empty interner.
+    pub fn new() -> TtTable {
+        TtTable {
+            tts: Vec::new(),
+            slots: vec![0; 64],
+        }
+    }
+
+    #[inline]
+    fn hash(tt: Tt) -> u64 {
+        mix64(tt.bits() ^ ((tt.num_vars() as u64) << 58))
+    }
+
+    /// Interns `tt`, returning its id and whether it was newly inserted.
+    pub fn intern(&mut self, tt: Tt) -> (TtId, bool) {
+        // Keep the load factor below 70% so probe chains stay short.
+        if (self.tts.len() + 1) * 10 >= self.slots.len() * 7 {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (Self::hash(tt) as usize) & mask;
+        loop {
+            let s = self.slots[i];
+            if s == 0 {
+                let id = TtId(self.tts.len() as u32);
+                self.tts.push(tt);
+                self.slots[i] = id.0 + 1;
+                return (id, true);
+            }
+            if self.tts[(s - 1) as usize] == tt {
+                return (TtId(s - 1), false);
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Looks `tt` up without interning it.
+    pub fn lookup(&self, tt: Tt) -> Option<TtId> {
+        let mask = self.slots.len() - 1;
+        let mut i = (Self::hash(tt) as usize) & mask;
+        loop {
+            let s = self.slots[i];
+            if s == 0 {
+                return None;
+            }
+            if self.tts[(s - 1) as usize] == tt {
+                return Some(TtId(s - 1));
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// The interned table behind `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` did not come from this table.
+    #[inline]
+    pub fn get(&self, id: TtId) -> Tt {
+        self.tts[id.index()]
+    }
+
+    /// Number of interned tables.
+    pub fn len(&self) -> usize {
+        self.tts.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.tts.is_empty()
+    }
+
+    fn grow(&mut self) {
+        let new_len = self.slots.len() * 2;
+        let mut slots = vec![0u32; new_len];
+        let mask = new_len - 1;
+        for (idx, &tt) in self.tts.iter().enumerate() {
+            let mut i = (Self::hash(tt) as usize) & mask;
+            while slots[i] != 0 {
+                i = (i + 1) & mask;
+            }
+            slots[i] = idx as u32 + 1;
+        }
+        self.slots = slots;
+    }
+}
+
+impl Default for TtTable {
+    fn default() -> TtTable {
+        TtTable::new()
+    }
+}
+
+/// FxHash-style multiplicative hasher for the function-cache keys: the
+/// keys are small fixed tuples of integers, where SipHash's per-call
+/// setup would dominate the probe cost on the matching hot path.
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    const SEED: u64 = 0x517c_c1b7_2722_0a95;
+
+    #[inline]
+    fn fold(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(Self::SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in chunks.by_ref() {
+            let mut w = [0u8; 8];
+            w.copy_from_slice(c);
+            self.fold(u64::from_le_bytes(w));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut w = [0u8; 8];
+            w[..rem.len()].copy_from_slice(rem);
+            self.fold(u64::from_le_bytes(w));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.fold(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.fold(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.fold(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.fold(v as u64);
+    }
+}
+
+/// Hasher state for the function-cache map.
+pub type BuildFxHasher = BuildHasherDefault<FxHasher>;
+
+/// Function-cache key: a cut is identified by its root and leaf set (cut
+/// ids are arena offsets and differ between enumeration runs, so they
+/// cannot key anything that outlives one run).
+type FnKey = (NodeId, Cut);
+
+/// Function-cache value: `None` records an invalid cut; otherwise the
+/// interned raw local function and the cut's cone volume.
+type FnValue = Option<(TtId, u32)>;
+
+/// Per-function prepared bindings: the shrunk support mapping and the
+/// spans of the two phase lists inside the template buffer.
+#[derive(Clone, Copy, Debug)]
+struct BindingInfo {
+    /// `support[i]` = index into the cut's leaf list of shrunk variable
+    /// `i` (only the first `num_support` entries are meaningful).
+    support: [u8; 6],
+    num_support: u8,
+    pos_start: u32,
+    pos_end: u32,
+    neg_end: u32,
+}
+
+/// Prepared per-phase bindings of one distinct cut function, borrowed
+/// from the cache. Reinstantiating a [`MatchEntry`] against a concrete
+/// cut occurrence only needs the occurrence's leaf list.
+#[derive(Clone, Copy, Debug)]
+pub struct Prepared<'a> {
+    /// Index into the cut's leaf list per shrunk variable.
+    pub support: [u8; 6],
+    /// Number of true support variables (0 = constant function).
+    pub num_support: u8,
+    /// Positive-phase gate bindings, in match-index order.
+    pub pos: &'a [MatchEntry],
+    /// Negative-phase gate bindings, in match-index order.
+    pub neg: &'a [MatchEntry],
+}
+
+/// `TtId`-indexed store of prepared bindings. Entries are created
+/// lazily, the first time a function is resolved through the cache.
+#[derive(Clone, Debug, Default)]
+struct BindingCache {
+    /// Flat template buffer: each prepared function appends its positive
+    /// entries, then its negative entries.
+    templates: Vec<MatchEntry>,
+    /// `infos[id]` is `Some` once the bindings for `id` are prepared.
+    infos: Vec<Option<BindingInfo>>,
+    prepared: usize,
+}
+
+impl BindingCache {
+    fn get(&self, id: TtId) -> Option<&BindingInfo> {
+        self.infos.get(id.index()).and_then(Option::as_ref)
+    }
+
+    fn view(&self, info: &BindingInfo) -> Prepared<'_> {
+        Prepared {
+            support: info.support,
+            num_support: info.num_support,
+            pos: &self.templates[info.pos_start as usize..info.pos_end as usize],
+            neg: &self.templates[info.pos_end as usize..info.neg_end as usize],
+        }
+    }
+
+    /// Prepares the bindings of the raw function `tt` under `id`:
+    /// shrink to true support, then one canonical match-index probe for
+    /// both phases.
+    fn prepare(&mut self, id: TtId, tt: Tt, index: &MatchIndex) {
+        if self.infos.len() <= id.index() {
+            self.infos.resize(id.index() + 1, None);
+        }
+        let mut support = [0usize; Tt::MAX_VARS];
+        let (stt, num_support) = tt.shrink_to_support_into(&mut support);
+        let mut info = BindingInfo {
+            support: [0u8; 6],
+            num_support: num_support as u8,
+            pos_start: self.templates.len() as u32,
+            pos_end: self.templates.len() as u32,
+            neg_end: self.templates.len() as u32,
+        };
+        if num_support > 0 {
+            for (i, &v) in support[..num_support].iter().enumerate() {
+                info.support[i] = v as u8;
+            }
+            let (pos, neg) = index.matches_both(stt);
+            self.templates.extend_from_slice(pos);
+            info.pos_end = self.templates.len() as u32;
+            self.templates.extend_from_slice(neg);
+            info.neg_end = self.templates.len() as u32;
+        }
+        self.infos[id.index()] = Some(info);
+        self.prepared += 1;
+    }
+}
+
+/// What a cache probe observed, for the caller's statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ResolveInfo {
+    /// The `(root, cut)` pair was already in the function cache.
+    pub fn_hit: bool,
+    /// The function's bindings were already prepared.
+    pub binding_hit: bool,
+    /// The function's truth table was newly interned by this probe.
+    pub interned: bool,
+}
+
+/// Outcome of a frozen (read-only) cache probe.
+pub enum FrozenResolve<'a> {
+    /// The cache knows this cut: `None` = invalid cut, `Some` = prepared
+    /// bindings ready to replay.
+    Known(Option<Prepared<'a>>),
+    /// Cache miss: the function was computed cold (and recorded in the
+    /// delta); `None` = invalid cut. The caller finishes the cold path.
+    Cold(Option<(Tt, u32)>),
+}
+
+/// Cache insertions recorded by frozen probes, replayed later with
+/// [`SessionCache::absorb`]. Merging per-worker deltas in chunk (=
+/// ascending node-id) order reproduces the sequential first-encounter
+/// interning order exactly.
+#[derive(Debug, Default)]
+pub struct SessionDelta {
+    entries: Vec<(FnKey, Option<(Tt, u32)>)>,
+}
+
+impl SessionDelta {
+    /// Number of recorded insertions (before deduplication).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Appends every entry of `other`, preserving order.
+    pub fn append(&mut self, other: &mut SessionDelta) {
+        self.entries.append(&mut other.entries);
+    }
+}
+
+/// The per-session memoization bundle: truth-table interner, function
+/// cache, and binding cache. Values are pure functions of the AIG and
+/// library, so a session must only ever see one AIG (the owning
+/// `MapSession` enforces this) — within a session nothing is ever
+/// invalidated.
+#[derive(Debug)]
+pub struct SessionCache {
+    enabled: bool,
+    tts: TtTable,
+    functions: HashMap<FnKey, FnValue, BuildFxHasher>,
+    bindings: BindingCache,
+}
+
+impl SessionCache {
+    /// A cache that memoizes (`enabled = true`) or transparently forces
+    /// the cold path (`enabled = false`, bit-identical behavior, nothing
+    /// stored).
+    pub fn new(enabled: bool) -> SessionCache {
+        SessionCache {
+            enabled,
+            tts: TtTable::new(),
+            functions: HashMap::default(),
+            bindings: BindingCache::default(),
+        }
+    }
+
+    /// A cache honoring the `SLAP_CACHE` environment toggle: set
+    /// `SLAP_CACHE=0` to force the cold path everywhere (the CI matrix
+    /// runs one leg this way); any other value, or the variable being
+    /// unset, enables memoization.
+    pub fn from_env() -> SessionCache {
+        let enabled = std::env::var("SLAP_CACHE").map_or(true, |v| v != "0");
+        SessionCache::new(enabled)
+    }
+
+    /// Whether this cache memoizes at all.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Number of cached `(root, cut)` functions (invalid cuts included).
+    pub fn num_functions(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// Number of interned distinct truth tables.
+    pub fn num_interned(&self) -> usize {
+        self.tts.len()
+    }
+
+    /// Number of functions with prepared bindings.
+    pub fn num_prepared(&self) -> usize {
+        self.bindings.prepared
+    }
+
+    /// Resolves the local function and prepared bindings of
+    /// `(root, cut)`, computing and inserting on miss (the mutable,
+    /// sequential-path probe). `leaves` must be the cut's leaf list.
+    /// Returns `None` for an invalid cut.
+    pub fn resolve_mut<'a>(
+        &'a mut self,
+        aig: &Aig,
+        root: NodeId,
+        cut: &Cut,
+        leaves: &[NodeId],
+        index: &MatchIndex,
+        cone: &mut ConeScratch,
+    ) -> (Option<Prepared<'a>>, ResolveInfo) {
+        let mut info = ResolveInfo::default();
+        let value = match self.functions.get(&(root, *cut)) {
+            Some(v) => {
+                info.fn_hit = true;
+                *v
+            }
+            None => {
+                let v = cut_function_with(aig, root, leaves, cone).map(|(tt, vol)| {
+                    let (id, fresh) = self.tts.intern(tt);
+                    info.interned = fresh;
+                    if self.bindings.get(id).is_some() {
+                        info.binding_hit = true;
+                    } else {
+                        self.bindings.prepare(id, tt, index);
+                    }
+                    (id, vol as u32)
+                });
+                self.functions.insert((root, *cut), v);
+                v
+            }
+        };
+        match value {
+            None => (None, info),
+            Some((id, _)) => {
+                if info.fn_hit {
+                    // Invariant: any function committed to the cache has
+                    // prepared bindings.
+                    info.binding_hit = true;
+                }
+                let bi = self
+                    .bindings
+                    .get(id)
+                    .expect("cached function without prepared bindings");
+                (Some(self.bindings.view(bi)), info)
+            }
+        }
+    }
+
+    /// Read-only probe for parallel workers: hits replay prepared
+    /// bindings; misses compute the function cold, record it into
+    /// `delta`, and (when the function itself is already interned)
+    /// still reuse the prepared bindings.
+    pub fn resolve_frozen<'a>(
+        &'a self,
+        aig: &Aig,
+        root: NodeId,
+        cut: &Cut,
+        leaves: &[NodeId],
+        cone: &mut ConeScratch,
+        delta: &mut SessionDelta,
+    ) -> (FrozenResolve<'a>, ResolveInfo) {
+        let mut info = ResolveInfo::default();
+        if let Some(v) = self.functions.get(&(root, *cut)) {
+            info.fn_hit = true;
+            return match v {
+                None => (FrozenResolve::Known(None), info),
+                Some((id, _)) => {
+                    info.binding_hit = true;
+                    let bi = self
+                        .bindings
+                        .get(*id)
+                        .expect("cached function without prepared bindings");
+                    (FrozenResolve::Known(Some(self.bindings.view(bi))), info)
+                }
+            };
+        }
+        let v = cut_function_with(aig, root, leaves, cone).map(|(tt, vol)| (tt, vol as u32));
+        delta.entries.push(((root, *cut), v));
+        if let Some((tt, _)) = v {
+            if let Some(id) = self.tts.lookup(tt) {
+                if let Some(bi) = self.bindings.get(id) {
+                    info.binding_hit = true;
+                    return (FrozenResolve::Known(Some(self.bindings.view(bi))), info);
+                }
+            }
+        }
+        (FrozenResolve::Cold(v), info)
+    }
+
+    /// The cached volume of `(root, cut)`, if the function cache has
+    /// seen it (used to skip cone re-traversal in feature extraction).
+    pub fn cached_volume(&self, root: NodeId, cut: &Cut) -> Option<usize> {
+        match self.functions.get(&(root, *cut)) {
+            Some(Some((_, vol))) => Some(*vol as usize),
+            _ => None,
+        }
+    }
+
+    /// Replays `delta` into the cache in recorded order, skipping keys
+    /// that are already present, and returns how many truth tables were
+    /// newly interned. With worker deltas concatenated in chunk order
+    /// this reproduces the sequential first-encounter interning order.
+    pub fn absorb(&mut self, mut delta: SessionDelta, index: &MatchIndex) -> u64 {
+        let mut fresh_interns = 0u64;
+        for ((root, cut), v) in delta.entries.drain(..) {
+            if self.functions.contains_key(&(root, cut)) {
+                continue;
+            }
+            let stored = v.map(|(tt, vol)| {
+                let (id, fresh) = self.tts.intern(tt);
+                if fresh {
+                    fresh_interns += 1;
+                }
+                if self.bindings.get(id).is_none() {
+                    self.bindings.prepare(id, tt, index);
+                }
+                (id, vol)
+            });
+            self.functions.insert((root, cut), stored);
+        }
+        fresh_interns
+    }
+}
+
+/// Key of one memoized shuffled-map run: everything that, together with
+/// the session's AIG and mapper, determines the mapping bit-for-bit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct RunKey {
+    /// Cut feasibility bound (`CutConfig::k`).
+    pub k: usize,
+    /// Shuffle seed of the priority policy.
+    pub seed: u64,
+    /// Cuts kept per node by the shuffle policy.
+    pub keep: usize,
+}
+
+/// The replayable outcome of a map run: QoR as exact bit patterns plus
+/// the cover cuts, which is everything training-data generation consumes
+/// from a mapping.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CachedRun {
+    /// `area.to_bits()` of the mapped netlist.
+    pub area_bits: u32,
+    /// `delay.to_bits()` of the mapped netlist.
+    pub delay_bits: u32,
+    /// The `(root, cut)` pairs of the cover, in emission order.
+    pub cover: Vec<(NodeId, Cut)>,
+}
+
+/// Whole-run memoization: `(k, seed, keep) → (QoR, cover)` for one AIG.
+/// Mapping is a pure function of those inputs, so replaying a stored run
+/// is bit-identical to re-mapping — this is what makes repeated
+/// training-data generation on one circuit (epoch resampling, benchmark
+/// rounds) cheap. The finer-grained [`SessionCache`] still serves runs
+/// with novel parameters.
+#[derive(Debug, Default)]
+pub struct RunCache {
+    map: HashMap<RunKey, CachedRun, BuildFxHasher>,
+}
+
+impl RunCache {
+    /// The stored outcome for `key`, if this exact run happened before.
+    pub fn get(&self, key: RunKey) -> Option<&CachedRun> {
+        self.map.get(&key)
+    }
+
+    /// Stores one run's outcome (first store wins; the value is a pure
+    /// function of the key, so overwriting would be a no-op anyway).
+    pub fn insert(&mut self, key: RunKey, run: CachedRun) {
+        self.map.entry(key).or_insert(run);
+    }
+
+    /// Number of memoized runs.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no run has been stored.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slap_cell::asap7_mini;
+
+    #[test]
+    fn interner_deduplicates_and_keeps_ids_stable() {
+        let mut t = TtTable::new();
+        let a = Tt::var(0, 3);
+        let b = Tt::var(1, 3);
+        let (ia, fresh_a) = t.intern(a);
+        let (ib, fresh_b) = t.intern(b);
+        assert!(fresh_a && fresh_b);
+        assert_ne!(ia, ib);
+        let (ia2, fresh_a2) = t.intern(a);
+        assert_eq!(ia, ia2);
+        assert!(!fresh_a2);
+        assert_eq!(t.get(ia), a);
+        assert_eq!(t.get(ib), b);
+        assert_eq!(t.lookup(a), Some(ia));
+        assert_eq!(t.lookup(a.and(b)), None);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn interner_survives_growth() {
+        // Insert far more than the initial slot count to force rehashes.
+        let mut t = TtTable::new();
+        let mut ids = Vec::new();
+        for bits in 0..500u64 {
+            let tt = Tt::from_bits(bits, 6);
+            ids.push(t.intern(tt).0);
+        }
+        assert_eq!(t.len(), 500);
+        for (bits, &id) in ids.iter().enumerate().map(|(b, i)| (b as u64, i)) {
+            let tt = Tt::from_bits(bits, 6);
+            assert_eq!(t.get(id), tt);
+            assert_eq!(t.lookup(tt), Some(id));
+            assert_eq!(t.intern(tt), (id, false));
+        }
+    }
+
+    #[test]
+    fn fx_hasher_is_deterministic_and_spreads() {
+        let h = |f: &dyn Fn(&mut FxHasher)| {
+            let mut s = FxHasher::default();
+            f(&mut s);
+            s.finish()
+        };
+        let a = h(&|s| s.write_u64(1));
+        let b = h(&|s| s.write_u64(1));
+        let c = h(&|s| s.write_u64(2));
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        // The byte-slice path folds 8-byte chunks.
+        let d = h(&|s| s.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]));
+        let e = h(&|s| s.write(&[1, 2, 3, 4, 5, 6, 7, 8, 9]));
+        assert_eq!(d, e);
+    }
+
+    fn xor_chain() -> (Aig, Vec<NodeId>) {
+        let mut aig = Aig::new();
+        let a = aig.add_pi();
+        let b = aig.add_pi();
+        let c = aig.add_pi();
+        let x = aig.xor(a, b);
+        let f = aig.and(x, c);
+        aig.add_po(f);
+        let roots = aig.and_ids().collect();
+        (aig, roots)
+    }
+
+    #[test]
+    fn resolve_mut_hits_on_second_probe_and_matches_cold_compute() {
+        let (aig, roots) = xor_chain();
+        let lib = asap7_mini();
+        let index = MatchIndex::build(&lib);
+        let mut cache = SessionCache::new(true);
+        let mut cone = ConeScratch::default();
+        let root = *roots.last().expect("has ands");
+        let (f0, f1) = aig.fanins(root);
+        let leaves = [f0.node(), f1.node()];
+        let cut = Cut::from_leaves(&leaves);
+
+        let (first, info1) = cache.resolve_mut(&aig, root, &cut, &leaves, &index, &mut cone);
+        let first = first.expect("valid cut");
+        assert!(!info1.fn_hit && info1.interned);
+        let (first_pos, first_neg) = (first.pos.to_vec(), first.neg.to_vec());
+        let (first_support, first_ns) = (first.support, first.num_support);
+
+        let (second, info2) = cache.resolve_mut(&aig, root, &cut, &leaves, &index, &mut cone);
+        let second = second.expect("valid cut");
+        assert!(info2.fn_hit && info2.binding_hit && !info2.interned);
+        assert_eq!(second.pos, first_pos.as_slice());
+        assert_eq!(second.neg, first_neg.as_slice());
+        assert_eq!(second.support, first_support);
+        assert_eq!(second.num_support, first_ns);
+
+        // The replayed bindings agree with a cold recomputation.
+        let (tt, vol) = cut_function_with(&aig, root, &leaves, &mut cone).expect("valid");
+        assert_eq!(cache.cached_volume(root, &cut), Some(vol));
+        let mut support = [0usize; Tt::MAX_VARS];
+        let (stt, ns) = tt.shrink_to_support_into(&mut support);
+        assert_eq!(ns, first_ns as usize);
+        let (pos, neg) = index.matches_both(stt);
+        assert_eq!(pos, first_pos.as_slice());
+        assert_eq!(neg, first_neg.as_slice());
+    }
+
+    #[test]
+    fn invalid_cuts_are_negatively_cached() {
+        let (aig, roots) = xor_chain();
+        let lib = asap7_mini();
+        let index = MatchIndex::build(&lib);
+        let mut cache = SessionCache::new(true);
+        let mut cone = ConeScratch::default();
+        let root = *roots.last().expect("has ands");
+        // A leaf set that does not close the cone: only one PI.
+        let leaves = [NodeId::new(1)];
+        let cut = Cut::from_leaves(&leaves);
+        let (r1, i1) = cache.resolve_mut(&aig, root, &cut, &leaves, &index, &mut cone);
+        assert!(r1.is_none() && !i1.fn_hit);
+        let (r2, i2) = cache.resolve_mut(&aig, root, &cut, &leaves, &index, &mut cone);
+        assert!(r2.is_none() && i2.fn_hit);
+        assert_eq!(cache.cached_volume(root, &cut), None);
+    }
+
+    #[test]
+    fn frozen_miss_records_delta_and_absorb_makes_it_hit() {
+        let (aig, roots) = xor_chain();
+        let lib = asap7_mini();
+        let index = MatchIndex::build(&lib);
+        let mut cache = SessionCache::new(true);
+        let mut cone = ConeScratch::default();
+        let root = *roots.last().expect("has ands");
+        let (f0, f1) = aig.fanins(root);
+        let leaves = [f0.node(), f1.node()];
+        let cut = Cut::from_leaves(&leaves);
+
+        let mut delta = SessionDelta::default();
+        let (res, info) = cache.resolve_frozen(&aig, root, &cut, &leaves, &mut cone, &mut delta);
+        assert!(matches!(res, FrozenResolve::Cold(Some(_))));
+        assert!(!info.fn_hit);
+        assert_eq!(delta.len(), 1);
+
+        let fresh = cache.absorb(delta, &index);
+        assert_eq!(fresh, 1);
+        assert_eq!(cache.num_functions(), 1);
+
+        let mut delta2 = SessionDelta::default();
+        let (res2, info2) = cache.resolve_frozen(&aig, root, &cut, &leaves, &mut cone, &mut delta2);
+        assert!(info2.fn_hit && info2.binding_hit);
+        assert!(matches!(res2, FrozenResolve::Known(Some(_))));
+        assert!(delta2.is_empty());
+
+        // Absorbing a duplicate key is a no-op.
+        let mut dup = SessionDelta::default();
+        let _ = cache.resolve_frozen(
+            &aig, roots[0], &cut, &leaves, &mut cone,
+            &mut dup, // different root: genuinely new key
+        );
+        let before = cache.num_functions();
+        let mut dup2 = SessionDelta::default();
+        dup2.append(&mut dup);
+        let _ = cache.absorb(dup2, &index);
+        assert_eq!(cache.num_functions(), before + 1);
+    }
+
+    #[test]
+    fn frozen_reuses_bindings_of_interned_functions() {
+        // Two cuts with the same function at different roots: after the
+        // first is absorbed, a frozen probe of the second misses the
+        // function cache but still replays the prepared bindings.
+        let mut aig = Aig::new();
+        let a = aig.add_pi();
+        let b = aig.add_pi();
+        let c = aig.add_pi();
+        let d = aig.add_pi();
+        let x = aig.and(a, b);
+        let y = aig.and(c, d);
+        aig.add_po(x);
+        aig.add_po(y);
+        let roots: Vec<NodeId> = aig.and_ids().collect();
+        let lib = asap7_mini();
+        let index = MatchIndex::build(&lib);
+        let mut cache = SessionCache::new(true);
+        let mut cone = ConeScratch::default();
+        let lv_x = [a.node(), b.node()];
+        let cut_x = Cut::from_leaves(&lv_x);
+        let lv_y = [c.node(), d.node()];
+        let cut_y = Cut::from_leaves(&lv_y);
+        let (r, _) = cache.resolve_mut(&aig, roots[0], &cut_x, &lv_x, &index, &mut cone);
+        assert!(r.is_some());
+        let mut delta = SessionDelta::default();
+        let (res, info) =
+            cache.resolve_frozen(&aig, roots[1], &cut_y, &lv_y, &mut cone, &mut delta);
+        assert!(!info.fn_hit, "different (root, cut) key");
+        assert!(info.binding_hit, "same function, bindings reused");
+        assert!(matches!(res, FrozenResolve::Known(Some(_))));
+        assert_eq!(delta.len(), 1, "still recorded for absorption");
+    }
+
+    #[test]
+    fn disabled_cache_reports_disabled() {
+        assert!(!SessionCache::new(false).enabled());
+        assert!(SessionCache::new(true).enabled());
+    }
+
+    #[test]
+    fn run_cache_round_trips_and_first_store_wins() {
+        let mut runs = RunCache::default();
+        assert!(runs.is_empty());
+        let key = RunKey {
+            k: 5,
+            seed: 7,
+            keep: 8,
+        };
+        assert!(runs.get(key).is_none());
+        let cover = vec![(NodeId::new(3), Cut::from_leaves(&[NodeId::new(1)]))];
+        let run = CachedRun {
+            area_bits: 1.5f32.to_bits(),
+            delay_bits: 20.0f32.to_bits(),
+            cover: cover.clone(),
+        };
+        runs.insert(key, run.clone());
+        runs.insert(
+            key,
+            CachedRun {
+                area_bits: 0,
+                delay_bits: 0,
+                cover: Vec::new(),
+            },
+        );
+        assert_eq!(runs.len(), 1);
+        let got = runs.get(key).expect("stored");
+        assert_eq!(*got, run, "first store wins");
+        assert_eq!(got.cover, cover);
+        assert!(runs.get(RunKey { seed: 8, ..key }).is_none());
+    }
+}

@@ -39,12 +39,34 @@ impl MatchEntry {
     }
 }
 
+/// The two phase lists of one canonical bucket: entries realizing the
+/// canonical polarity of the function and entries realizing its
+/// complement, each in gate-expansion emission order.
+#[derive(Clone, Debug, Default, PartialEq)]
+struct PhasePair {
+    canon: Vec<MatchEntry>,
+    compl: Vec<MatchEntry>,
+}
+
 /// Hash index from (support size, truth table) to the gate bindings that
 /// realize that exact function.
+///
+/// A function and its complement share a bucket: keys are canonicalized
+/// to the output polarity with the smaller bit pattern, and the bucket
+/// keeps one entry list per polarity. Matching a cut therefore needs a
+/// single hash probe for *both* phases ([`MatchIndex::matches_both`]).
 #[derive(Clone, Debug)]
 pub struct MatchIndex {
-    table: HashMap<(u8, u64), Vec<MatchEntry>>,
+    table: HashMap<(u8, u64), PhasePair>,
     max_inputs: usize,
+}
+
+/// The canonical-polarity key bits of `bits` over `num_vars` variables:
+/// the smaller of the pattern and its masked complement.
+#[inline]
+fn canonical_bits(num_vars: u8, bits: u64) -> u64 {
+    let compl = Tt::from_bits(bits, num_vars as usize).not().bits();
+    bits.min(compl)
 }
 
 impl MatchIndex {
@@ -58,12 +80,18 @@ impl MatchIndex {
     pub fn build(library: &Library) -> MatchIndex {
         let gates: Vec<(GateId, &Gate)> = library.iter().collect();
         let expanded = slap_par::par_map(&gates, |_, &(id, gate)| expand_gate(id, gate));
-        let mut table: HashMap<(u8, u64), Vec<MatchEntry>> = HashMap::new();
+        let mut table: HashMap<(u8, u64), PhasePair> = HashMap::new();
         let mut max_inputs = 0usize;
         for (entries, n) in expanded {
             max_inputs = max_inputs.max(n);
-            for (key, entry) in entries {
-                table.entry(key).or_default().push(entry);
+            for ((nv, bits), entry) in entries {
+                let canon = canonical_bits(nv, bits);
+                let pair = table.entry((nv, canon)).or_default();
+                if bits == canon {
+                    pair.canon.push(entry);
+                } else {
+                    pair.compl.push(entry);
+                }
             }
         }
         MatchIndex { table, max_inputs }
@@ -72,10 +100,27 @@ impl MatchIndex {
     /// All gate bindings realizing exactly `tt` (over its own variable
     /// count). Returns an empty slice when nothing matches.
     pub fn matches(&self, tt: Tt) -> &[MatchEntry] {
-        self.table
-            .get(&(tt.num_vars() as u8, tt.bits()))
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+        self.matches_both(tt).0
+    }
+
+    /// The gate bindings of `tt` and of `!tt`, resolved with a single
+    /// hash probe of the shared canonical bucket. Either slice may be
+    /// empty; a function over at least one variable never equals its own
+    /// complement, so the two lists are always distinct.
+    pub fn matches_both(&self, tt: Tt) -> (&[MatchEntry], &[MatchEntry]) {
+        let bits = tt.bits();
+        let compl = tt.not().bits();
+        let canon = bits.min(compl);
+        match self.table.get(&(tt.num_vars() as u8, canon)) {
+            None => (&[], &[]),
+            Some(pair) => {
+                if bits == canon {
+                    (&pair.canon, &pair.compl)
+                } else {
+                    (&pair.compl, &pair.canon)
+                }
+            }
+        }
     }
 
     /// Largest pin count among indexed gates.
@@ -83,14 +128,22 @@ impl MatchIndex {
         self.max_inputs
     }
 
-    /// Number of distinct (size, function) keys in the index.
+    /// Number of distinct (size, function) keys in the index (each
+    /// non-empty polarity of a canonical bucket counts as one function,
+    /// matching the pre-canonicalization accounting).
     pub fn num_functions(&self) -> usize {
-        self.table.len()
+        self.table
+            .values()
+            .map(|p| usize::from(!p.canon.is_empty()) + usize::from(!p.compl.is_empty()))
+            .sum()
     }
 
     /// Total number of stored bindings.
     pub fn num_entries(&self) -> usize {
-        self.table.values().map(Vec::len).sum()
+        self.table
+            .values()
+            .map(|p| p.canon.len() + p.compl.len())
+            .sum()
     }
 }
 
@@ -276,6 +329,24 @@ mod tests {
             );
         }
         assert!(!idx.matches(f).is_empty());
+    }
+
+    #[test]
+    fn matches_both_agrees_with_per_phase_lookups() {
+        let lib = test_library();
+        let idx = MatchIndex::build(&lib);
+        // Probe a spread of functions over 1..=3 variables, including
+        // unmatched ones: the fused lookup must agree with the per-phase
+        // lookups for every polarity.
+        for nv in 1..=3usize {
+            let limit = 1u64 << (1 << nv);
+            for bits in (0..limit).step_by(3) {
+                let tt = Tt::from_bits(bits, nv);
+                let (pos, neg) = idx.matches_both(tt);
+                assert_eq!(pos, idx.matches(tt), "nv={nv} bits={bits:#x}");
+                assert_eq!(neg, idx.matches(tt.not()), "nv={nv} bits={bits:#x}");
+            }
+        }
     }
 
     #[test]

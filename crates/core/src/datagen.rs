@@ -3,7 +3,7 @@
 
 use slap_aig::Aig;
 use slap_cuts::CutConfig;
-use slap_map::{MapError, Mapper};
+use slap_map::{MapError, MapSession, Mapper};
 use slap_ml::Dataset;
 
 use crate::embed::{EmbeddingContext, CUT_EMBED_COLS, CUT_EMBED_DIM, CUT_EMBED_ROWS};
@@ -99,37 +99,134 @@ pub fn generate_dataset(
     config: &SampleConfig,
     dataset: &mut Dataset,
 ) -> Result<Vec<MapSample>, MapError> {
+    // The internal session honors `SLAP_CACHE` (set it to `0` for the
+    // cold path); all `config.maps` runs of this call share its cache.
+    let mut session = mapper.session(aig);
+    generate_dataset_session(&mut session, config, dataset)
+}
+
+/// [`generate_dataset`] against a caller-owned [`MapSession`], so several
+/// datagen calls on the same circuit (epoch resampling, benchmark rounds)
+/// reuse one cache instead of rebuilding it. Bit-identical to
+/// [`generate_dataset`] — memoization never changes results.
+///
+/// # Errors
+///
+/// Propagates [`MapError`] from the underlying mapper.
+///
+/// # Panics
+///
+/// Panics if `dataset` has a different shape than the cut embedding or
+/// `config.maps == 0`.
+pub fn generate_dataset_session(
+    session: &mut MapSession<'_, '_>,
+    config: &SampleConfig,
+    dataset: &mut Dataset,
+) -> Result<Vec<MapSample>, MapError> {
     let _span = slap_obs::span("datagen");
     assert!(config.maps > 0, "at least one map required");
     assert_eq!(dataset.rows(), CUT_EMBED_ROWS);
     assert_eq!(dataset.cols(), CUT_EMBED_COLS);
+    let aig = session.aig();
     let ctx = EmbeddingContext::new(aig);
-    // Each map is an independent shuffle-seeded mapping, so the sampling
-    // loop fans out across worker threads. Results come back in map-index
-    // order, and the QoR dedup + error propagation below run sequentially
-    // over that order, so the surviving records (and the returned error, if
-    // any) are identical for every thread count.
-    let indices: Vec<usize> = (0..config.maps).collect();
-    let runs = slap_par::par_map(&indices, |_, &i| {
-        let seed = config.seed.wrapping_add(i as u64);
-        mapper
-            .map_shuffled(aig, &config.cut_config, seed, config.keep)
-            .map(|netlist| {
-                let qor = (netlist.area().to_bits(), netlist.delay().to_bits());
-                let sample = MapSample {
-                    seed,
-                    area: netlist.area(),
-                    delay: netlist.delay(),
-                    class: 0,
+    let to_run = |seed: u64, netlist: slap_map::MappedNetlist| {
+        let qor = (netlist.area().to_bits(), netlist.delay().to_bits());
+        let sample = MapSample {
+            seed,
+            area: netlist.area(),
+            delay: netlist.delay(),
+            class: 0,
+        };
+        (sample, netlist.cover_cuts().to_vec(), qor)
+    };
+    // Each map is an independent shuffle-seeded mapping. Runs the session
+    // already memoized (same k/seed/keep on the same AIG ⇒ bit-identical
+    // mapping, see `MapSession::cached_run`) are replayed directly — this
+    // is what makes repeated datagen on one circuit cheap. The rest fan
+    // out across worker threads; results come back in map-index order and
+    // are stored (and their cache deltas absorbed) in that order, so the
+    // datasets, the session's cache contents, and the returned error (if
+    // any) are identical for every thread count and for any warm/cold
+    // split. (The sequential path additionally hits cache entries
+    // inserted earlier in this very call — same results either way, since
+    // cached values are pure.)
+    type Run = (
+        MapSample,
+        Vec<(slap_aig::NodeId, slap_cuts::Cut)>,
+        (u32, u32),
+    );
+    let seed_of = |i: usize| config.seed.wrapping_add(i as u64);
+    let mut outcomes: Vec<Option<Run>> = (0..config.maps)
+        .map(|i| {
+            session
+                .cached_run(&config.cut_config, seed_of(i), config.keep)
+                .map(|run| {
+                    let sample = MapSample {
+                        seed: seed_of(i),
+                        area: f32::from_bits(run.area_bits),
+                        delay: f32::from_bits(run.delay_bits),
+                        class: 0,
+                    };
+                    (sample, run.cover.clone(), (run.area_bits, run.delay_bits))
+                })
+        })
+        .collect();
+    let missing: Vec<usize> = (0..config.maps)
+        .filter(|&i| outcomes[i].is_none())
+        .collect();
+    let reg = slap_obs::Registry::global();
+    reg.counter("datagen.run_cache_hits")
+        .add((config.maps - missing.len()) as u64);
+    reg.counter("datagen.run_cache_misses")
+        .add(missing.len() as u64);
+    let mapped: Vec<(usize, Result<Run, MapError>)> =
+        if slap_par::threads() == 1 || slap_par::in_worker() {
+            let mut v = Vec::with_capacity(missing.len());
+            for &i in &missing {
+                let seed = seed_of(i);
+                let r = match session.map_shuffled(&config.cut_config, seed, config.keep) {
+                    Ok(netlist) => {
+                        session.store_run(&config.cut_config, seed, config.keep, &netlist);
+                        Ok(to_run(seed, netlist))
+                    }
+                    Err(e) => Err(e),
                 };
-                (sample, netlist.cover_cuts().to_vec(), qor)
-            })
-    });
+                v.push((i, r));
+            }
+            v
+        } else {
+            let results = slap_par::par_map(&missing, |_, &i| {
+                let (result, delta) =
+                    session.map_shuffled_frozen(&config.cut_config, seed_of(i), config.keep);
+                (i, result, delta)
+            });
+            results
+                .into_iter()
+                .map(|(i, result, delta)| {
+                    session.absorb(delta);
+                    let seed = seed_of(i);
+                    let r = match result {
+                        Ok(netlist) => {
+                            session.store_run(&config.cut_config, seed, config.keep, &netlist);
+                            Ok(to_run(seed, netlist))
+                        }
+                        Err(e) => Err(e),
+                    };
+                    (i, r)
+                })
+                .collect()
+        };
+    // `mapped` is in ascending map-index order and replayed runs cannot
+    // fail, so propagating the first miss error here reproduces the
+    // error a fully cold call would return.
+    for (i, r) in mapped {
+        outcomes[i] = Some(r?);
+    }
     let mut records: Vec<(MapSample, Vec<(slap_aig::NodeId, slap_cuts::Cut)>)> =
         Vec::with_capacity(config.maps);
     let mut seen_qor: std::collections::HashSet<(u32, u32)> = std::collections::HashSet::new();
-    for run in runs {
-        let (sample, cover, qor) = run?;
+    for outcome in outcomes {
+        let (sample, cover, qor) = outcome.expect("every map index resolved above");
         if config.dedup_qor && !seen_qor.insert(qor) {
             continue;
         }
@@ -298,6 +395,71 @@ mod tests {
             assert_eq!(samples, seq, "threads={t}");
             assert_eq!(ds, seq_ds, "threads={t}");
             assert_eq!(ds.content_hash(), seq_ds.content_hash(), "threads={t}");
+        }
+        slap_par::set_threads(prev);
+    }
+
+    #[test]
+    fn session_datagen_is_bit_identical_to_cold_and_hits_cache() {
+        let aig = ripple_carry_adder(8);
+        let lib = asap7_mini();
+        let mapper = Mapper::new(&lib, MapOptions::default());
+        let cfg = SampleConfig {
+            maps: 6,
+            ..SampleConfig::default()
+        };
+        let mut cold_ds = Dataset::new(CUT_EMBED_ROWS, CUT_EMBED_COLS, 10);
+        let mut cold_session = mapper.session_cached(&aig, false);
+        let cold = generate_dataset_session(&mut cold_session, &cfg, &mut cold_ds).expect("maps");
+        assert_eq!(cold_session.num_cached_functions(), 0);
+        let mut session = mapper.session_cached(&aig, true);
+        for round in 0..2 {
+            let mut ds = Dataset::new(CUT_EMBED_ROWS, CUT_EMBED_COLS, 10);
+            let warm = generate_dataset_session(&mut session, &cfg, &mut ds).expect("maps");
+            assert_eq!(warm, cold, "round {round}: samples diverged");
+            assert_eq!(ds, cold_ds, "round {round}: dataset diverged");
+            assert_eq!(ds.content_hash(), cold_ds.content_hash());
+        }
+        assert!(session.num_cached_functions() > 0);
+        assert!(session.num_interned_tts() > 0);
+        // Every (seed, keep) run of the two rounds is memoized once; the
+        // second round replayed them without re-mapping.
+        assert_eq!(session.num_cached_runs(), 6);
+    }
+
+    #[test]
+    fn partially_warm_session_datagen_matches_cold_at_every_thread_count() {
+        let aig = ripple_carry_adder(8);
+        let lib = asap7_mini();
+        let mapper = Mapper::new(&lib, MapOptions::default());
+        let small = SampleConfig {
+            maps: 6,
+            ..SampleConfig::default()
+        };
+        let big = SampleConfig {
+            maps: 10,
+            ..SampleConfig::default()
+        };
+        let prev = slap_par::threads();
+        slap_par::set_threads(1);
+        let mut cold_ds = Dataset::new(CUT_EMBED_ROWS, CUT_EMBED_COLS, 10);
+        let mut cold_session = mapper.session_cached(&aig, false);
+        let cold = generate_dataset_session(&mut cold_session, &big, &mut cold_ds).expect("maps");
+        // The big call replays the small call's 6 memoized runs and maps
+        // only the 4 novel seeds — on every thread count the result is
+        // bit-identical to the cold big call.
+        for t in [1, 2, 8] {
+            slap_par::set_threads(t);
+            let mut session = mapper.session_cached(&aig, true);
+            let mut ds = Dataset::new(CUT_EMBED_ROWS, CUT_EMBED_COLS, 10);
+            generate_dataset_session(&mut session, &small, &mut ds).expect("maps");
+            assert_eq!(session.num_cached_runs(), 6, "threads={t}");
+            let mut ds = Dataset::new(CUT_EMBED_ROWS, CUT_EMBED_COLS, 10);
+            let warm = generate_dataset_session(&mut session, &big, &mut ds).expect("maps");
+            assert_eq!(session.num_cached_runs(), 10, "threads={t}");
+            assert_eq!(warm, cold, "threads={t}: samples diverged");
+            assert_eq!(ds, cold_ds, "threads={t}: dataset diverged");
+            assert_eq!(ds.content_hash(), cold_ds.content_hash(), "threads={t}");
         }
         slap_par::set_threads(prev);
     }

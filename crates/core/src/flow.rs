@@ -3,7 +3,7 @@
 
 use slap_aig::Aig;
 use slap_cuts::{cut_features, enumerate_cuts, CutConfig, UnlimitedPolicy};
-use slap_map::{MapError, MappedNetlist, Mapper};
+use slap_map::{MapError, MapSession, MappedNetlist, Mapper};
 use slap_ml::{CnnConfig, CutCnn, Dataset, TrainConfig, TrainReport};
 
 use crate::datagen::{generate_dataset, SampleConfig};
@@ -133,6 +133,37 @@ impl<'a> SlapMapper<'a> {
     ///
     /// Propagates [`MapError`] from the covering engine.
     pub fn map(&self, aig: &Aig) -> Result<(MappedNetlist, SlapStats), MapError> {
+        // One-shot maps stay cold (a fresh cache could not pay for
+        // itself); callers mapping the same circuit repeatedly pass a
+        // session via [`SlapMapper::map_with_session`].
+        let mut session = self.mapper.session_cached(aig, false);
+        self.map_impl(&mut session)
+    }
+
+    /// [`SlapMapper::map`] against a caller-owned [`MapSession`], so the
+    /// final covering run shares the session's memoized cut functions and
+    /// gate bindings with the other policies mapped on the same circuit.
+    /// Bit-identical to [`SlapMapper::map`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`MapError`] from the covering engine.
+    pub fn map_with_session(
+        &self,
+        session: &mut MapSession<'_, '_>,
+    ) -> Result<(MappedNetlist, SlapStats), MapError> {
+        debug_assert!(
+            std::ptr::eq(self.mapper, session.mapper()),
+            "session built on a different mapper"
+        );
+        self.map_impl(session)
+    }
+
+    fn map_impl(
+        &self,
+        session: &mut MapSession<'_, '_>,
+    ) -> Result<(MappedNetlist, SlapStats), MapError> {
+        let aig = session.aig();
         let _slap_span = slap_obs::span("slap");
         // prepare_map: exhaustive k-cut enumeration + features/embeddings.
         let mut cuts = enumerate_cuts(
@@ -185,7 +216,7 @@ impl<'a> SlapMapper<'a> {
         // back to their structural cut so the cover stays realizable (the
         // paper's trivial-cut case).
         cuts.retain_with_ids(aig, |_, id, _| keep[id.index()], true);
-        let netlist = self.mapper.map_with_cuts(aig, &cuts)?;
+        let netlist = session.map_with_cuts(&cuts)?;
         if cfg!(debug_assertions) {
             stats.check_invariants();
         }
@@ -337,6 +368,26 @@ mod tests {
             nodes_all_bad: 0,
         };
         stats.check_invariants();
+    }
+
+    #[test]
+    fn slap_map_with_session_matches_one_shot() {
+        let lib = asap7_mini();
+        let mapper = Mapper::new(&lib, MapOptions::default());
+        let train_set = vec![ripple_carry_adder(8)];
+        let (model, _) = train_slap_model(&train_set, &mapper, &quick_pipeline());
+        let slap = SlapMapper::new(&mapper, model, SlapConfig::default());
+        let target = carry_lookahead_adder(12);
+        let (cold_nl, cold_stats) = slap.map(&target).expect("maps");
+        let mut session = mapper.session_cached(&target, true);
+        for round in 0..2 {
+            let (warm_nl, warm_stats) = slap.map_with_session(&mut session).expect("maps");
+            assert_eq!(warm_nl.instances(), cold_nl.instances(), "round {round}");
+            assert_eq!(warm_nl.area().to_bits(), cold_nl.area().to_bits());
+            assert_eq!(warm_nl.delay().to_bits(), cold_nl.delay().to_bits());
+            assert_eq!(warm_stats, cold_stats, "round {round}");
+        }
+        assert!(session.num_cached_functions() > 0);
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub mod embed;
 pub mod flow;
 pub mod policy;
 
-pub use datagen::{generate_dataset, LabelMode, MapSample, SampleConfig};
+pub use datagen::{generate_dataset, generate_dataset_session, LabelMode, MapSample, SampleConfig};
 pub use embed::{
     feature_groups, EmbeddingContext, CUT_EMBED_COLS, CUT_EMBED_DIM, CUT_EMBED_ROWS, NODE_EMBED_DIM,
 };

@@ -46,7 +46,7 @@ pub mod netlist;
 pub mod verilog;
 
 pub use error::MapError;
-pub use mapping::{MapOptions, MapStats, Mapper, PhaseTimes};
+pub use mapping::{MapOptions, MapSession, MapStats, Mapper, PhaseTimes};
 pub use matching::{compute_matches, gate_histogram, MatchArena, MatchStats, PreparedMatch};
 pub use netlist::{Instance, MappedNetlist, PoSource, Signal};
 pub use verilog::write_verilog;

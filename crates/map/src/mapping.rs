@@ -3,6 +3,7 @@
 use std::time::Instant;
 
 use slap_aig::{Aig, NodeId, Rng64};
+use slap_cache::{CachedRun, RunCache, RunKey, SessionCache, SessionDelta};
 use slap_cell::{Library, MatchIndex};
 use slap_cuts::{
     enumerate_cuts, ArenaStats, Cut, CutArena, CutConfig, CutEnumStats, CutId, DefaultPolicy,
@@ -10,7 +11,7 @@ use slap_cuts::{
 };
 
 use crate::error::MapError;
-use crate::matching::{compute_matches, MatchArena, MatchStats, PreparedMatch};
+use crate::matching::{compute_matches_ctx, CacheCtx, MatchArena, MatchStats, PreparedMatch};
 use crate::netlist::{Instance, MappedNetlist, PoSource, Signal};
 
 /// Tolerance used when comparing arrivals against required times.
@@ -124,6 +125,7 @@ enum Choice {
 /// (`0` = positive). Each pass touches only the columns it needs, so the
 /// hot delay/area loops stream through dense `f32` rows instead of
 /// striding over an array-of-structs.
+#[derive(Debug)]
 struct DpState {
     arrival: Vec<f32>,
     required: Vec<f32>,
@@ -140,13 +142,32 @@ fn sx(n: NodeId, phase: usize) -> usize {
 
 impl DpState {
     fn new(num_nodes: usize) -> DpState {
-        DpState {
-            arrival: vec![f32::INFINITY; 2 * num_nodes],
-            required: vec![f32::INFINITY; 2 * num_nodes],
-            flow: vec![f32::INFINITY; 2 * num_nodes],
-            refs: vec![0; 2 * num_nodes],
-            choice: vec![Choice::Unset; 2 * num_nodes],
-        }
+        let mut state = DpState {
+            arrival: Vec::new(),
+            required: Vec::new(),
+            flow: Vec::new(),
+            refs: Vec::new(),
+            choice: Vec::new(),
+        };
+        state.reset(num_nodes);
+        state
+    }
+
+    /// Restores the pristine-table invariants while keeping the
+    /// allocations, so a session re-mapping the same AIG pays for the DP
+    /// columns once instead of once per run.
+    fn reset(&mut self, num_nodes: usize) {
+        let len = 2 * num_nodes;
+        self.arrival.clear();
+        self.arrival.resize(len, f32::INFINITY);
+        self.required.clear();
+        self.required.resize(len, f32::INFINITY);
+        self.flow.clear();
+        self.flow.resize(len, f32::INFINITY);
+        self.refs.clear();
+        self.refs.resize(len, 0);
+        self.choice.clear();
+        self.choice.resize(len, Choice::Unset);
     }
 }
 
@@ -241,6 +262,34 @@ impl<'a> Mapper<'a> {
         self.map_with_cuts_timed(aig, cuts, 0.0)
     }
 
+    /// Opens a memoizing session on `aig`: repeated maps of the same AIG
+    /// through the session replay cached cut functions and gate bindings
+    /// instead of recomputing them, with bit-identical results. Honors
+    /// the `SLAP_CACHE` environment toggle (`SLAP_CACHE=0` forces the
+    /// cold path). The one-shot `map_*` methods on [`Mapper`] stay cold.
+    pub fn session<'s>(&'s self, aig: &'s Aig) -> MapSession<'s, 'a> {
+        MapSession {
+            mapper: self,
+            aig,
+            cache: SessionCache::from_env(),
+            runs: RunCache::default(),
+            dp: DpState::new(aig.num_nodes()),
+        }
+    }
+
+    /// [`Mapper::session`] with the cache toggle set explicitly instead
+    /// of from the environment (used by benchmarks interleaving cold and
+    /// warm runs in one process).
+    pub fn session_cached<'s>(&'s self, aig: &'s Aig, enabled: bool) -> MapSession<'s, 'a> {
+        MapSession {
+            mapper: self,
+            aig,
+            cache: SessionCache::new(enabled),
+            runs: RunCache::default(),
+            dp: DpState::new(aig.num_nodes()),
+        }
+    }
+
     /// [`Mapper::map_with_cuts`] with the seconds already spent on cut
     /// enumeration, so the phase breakdown covers the whole run.
     fn map_with_cuts_timed(
@@ -248,6 +297,20 @@ impl<'a> Mapper<'a> {
         aig: &Aig,
         cuts: &CutArena,
         enumerate_s: f64,
+    ) -> Result<MappedNetlist, MapError> {
+        let mut state = DpState::new(aig.num_nodes());
+        self.map_with_cuts_ctx(aig, cuts, enumerate_s, CacheCtx::Off, &mut state)
+    }
+
+    /// The full covering run with an explicit cache context and reusable
+    /// DP state (the session entry point; `state` is reset here).
+    fn map_with_cuts_ctx(
+        &self,
+        aig: &Aig,
+        cuts: &CutArena,
+        enumerate_s: f64,
+        ctx: CacheCtx<'_>,
+        state: &mut DpState,
     ) -> Result<MappedNetlist, MapError> {
         if aig.and_ids().next().is_some() {
             // Cheap sanity check: every stored cut list must index within
@@ -270,17 +333,23 @@ impl<'a> Mapper<'a> {
         let t = Instant::now();
         let (matches, match_stats) = {
             let _span = slap_obs::span("match");
-            compute_matches(aig, cuts, &self.index, self.options.add_structural_matches)
+            compute_matches_ctx(
+                aig,
+                cuts,
+                &self.index,
+                self.options.add_structural_matches,
+                ctx,
+            )
         };
         phase_times.match_s = t.elapsed().as_secs_f64();
 
-        let mut state = DpState::new(aig.num_nodes());
+        state.reset(aig.num_nodes());
         let t = Instant::now();
         let mut dp_delay = {
             let _span = slap_obs::span("cover");
-            self.init_terminals(aig, &mut state);
-            matches_tried += self.delay_pass(aig, &matches, &mut state);
-            self.compute_refs_required(aig, &matches, &mut state)
+            self.init_terminals(aig, state);
+            matches_tried += self.delay_pass(aig, &matches, state);
+            self.compute_refs_required(aig, &matches, state)
         };
         phase_times.cover_s = t.elapsed().as_secs_f64();
 
@@ -288,8 +357,8 @@ impl<'a> Mapper<'a> {
         {
             let _span = slap_obs::span("area-flow");
             for _ in 0..self.options.area_flow_passes {
-                matches_tried += self.area_flow_pass(aig, &matches, &mut state);
-                dp_delay = self.compute_refs_required(aig, &matches, &mut state);
+                matches_tried += self.area_flow_pass(aig, &matches, state);
+                dp_delay = self.compute_refs_required(aig, &matches, state);
             }
         }
         phase_times.area_flow_s = t.elapsed().as_secs_f64();
@@ -298,8 +367,8 @@ impl<'a> Mapper<'a> {
         {
             let _span = slap_obs::span("exact-area");
             for _ in 0..self.options.exact_area_passes {
-                matches_tried += self.exact_area_pass(aig, &matches, &mut state);
-                dp_delay = self.compute_refs_required(aig, &matches, &mut state);
+                matches_tried += self.exact_area_pass(aig, &matches, state);
+                dp_delay = self.compute_refs_required(aig, &matches, state);
             }
         }
         phase_times.exact_area_s = t.elapsed().as_secs_f64();
@@ -308,7 +377,7 @@ impl<'a> Mapper<'a> {
             aig,
             cuts,
             &matches,
-            &state,
+            state,
             dp_delay,
             match_stats,
             matches_tried,
@@ -318,6 +387,14 @@ impl<'a> Mapper<'a> {
         reg.counter("map.matches_tried").add(matches_tried);
         reg.counter("map.npn_hits").add(match_stats.npn_hits);
         reg.counter("map.npn_misses").add(match_stats.npn_misses);
+        reg.counter("map.fn_cache_hits")
+            .add(match_stats.fn_cache_hits);
+        reg.counter("map.fn_cache_misses")
+            .add(match_stats.fn_cache_misses);
+        reg.counter("map.binding_cache_hits")
+            .add(match_stats.binding_cache_hits);
+        reg.counter("map.interned_tts")
+            .add(match_stats.interned_tts);
         reg.counter("map.inverters")
             .add(netlist.stats().num_inverters as u64);
         Ok(netlist)
@@ -830,6 +907,219 @@ impl<'a> Mapper<'a> {
     }
 }
 
+/// A memoizing mapping session: one AIG, one mapper, many map runs.
+///
+/// Owns the [`SessionCache`] (truth-table interner + function cache +
+/// binding cache, see `slap-cache`), a [`RunCache`] memoizing whole
+/// shuffled-map outcomes for training-data generation, and the reusable
+/// DP state. Every
+/// `map_*` method produces output bit-identical to the corresponding
+/// one-shot [`Mapper`] method for any `SLAP_THREADS` setting — the cache
+/// only removes recomputation, never changes results.
+///
+/// Sessions are `&mut self` on the warm path. For parallel fan-out over
+/// seeds (training-data generation), workers call
+/// [`MapSession::map_shuffled_frozen`] through a shared `&MapSession`
+/// and the caller [`MapSession::absorb`]s the returned deltas in seed
+/// order afterwards, which keeps the cache contents deterministic.
+#[derive(Debug)]
+pub struct MapSession<'s, 'lib> {
+    mapper: &'s Mapper<'lib>,
+    aig: &'s Aig,
+    cache: SessionCache,
+    runs: RunCache,
+    dp: DpState,
+}
+
+impl<'s, 'lib> MapSession<'s, 'lib> {
+    /// The AIG this session maps.
+    pub fn aig(&self) -> &'s Aig {
+        self.aig
+    }
+
+    /// The mapper this session runs on.
+    pub fn mapper(&self) -> &'s Mapper<'lib> {
+        self.mapper
+    }
+
+    /// Whether memoization is active (false under `SLAP_CACHE=0`).
+    pub fn cache_enabled(&self) -> bool {
+        self.cache.enabled()
+    }
+
+    /// Cached `(root, cut)` functions so far.
+    pub fn num_cached_functions(&self) -> usize {
+        self.cache.num_functions()
+    }
+
+    /// Distinct truth tables interned so far.
+    pub fn num_interned_tts(&self) -> usize {
+        self.cache.num_interned()
+    }
+
+    /// Memoized shuffled-map runs so far (see [`MapSession::store_run`]).
+    pub fn num_cached_runs(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// The stored outcome of an earlier [`MapSession::map_shuffled`] run
+    /// with exactly these parameters, or `None` when the run is new or
+    /// memoization is disabled. The mapping is a pure function of
+    /// `(aig, mapper, config.k, seed, keep)`, so replaying the stored
+    /// QoR and cover is bit-identical to re-mapping.
+    pub fn cached_run(&self, config: &CutConfig, seed: u64, keep: usize) -> Option<&CachedRun> {
+        if !self.cache.enabled() {
+            return None;
+        }
+        self.runs.get(RunKey {
+            k: config.k,
+            seed,
+            keep,
+        })
+    }
+
+    /// Memoizes the outcome of a [`MapSession::map_shuffled`] run with
+    /// these parameters, so a later [`MapSession::cached_run`] can replay
+    /// it. No-op when memoization is disabled. Callers are responsible
+    /// for passing the netlist the session actually produced for exactly
+    /// these parameters.
+    pub fn store_run(
+        &mut self,
+        config: &CutConfig,
+        seed: u64,
+        keep: usize,
+        netlist: &MappedNetlist,
+    ) {
+        if !self.cache.enabled() {
+            return;
+        }
+        self.runs.insert(
+            RunKey {
+                k: config.k,
+                seed,
+                keep,
+            },
+            CachedRun {
+                area_bits: netlist.area().to_bits(),
+                delay_bits: netlist.delay().to_bits(),
+                cover: netlist.cover_cuts().to_vec(),
+            },
+        );
+    }
+
+    /// Warm equivalent of [`Mapper::map_default`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Mapper::map_default`].
+    pub fn map_default(&mut self, config: &CutConfig) -> Result<MappedNetlist, MapError> {
+        let t0 = Instant::now();
+        let cuts = enumerate_cuts(self.aig, config, &mut DefaultPolicy::default());
+        let enumerate_s = t0.elapsed().as_secs_f64();
+        self.mapper.map_with_cuts_ctx(
+            self.aig,
+            &cuts,
+            enumerate_s,
+            CacheCtx::Mut(&mut self.cache),
+            &mut self.dp,
+        )
+    }
+
+    /// Warm equivalent of [`Mapper::map_unlimited`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Mapper::map_default`].
+    pub fn map_unlimited(
+        &mut self,
+        config: &CutConfig,
+        cap: usize,
+    ) -> Result<MappedNetlist, MapError> {
+        let t0 = Instant::now();
+        let cuts = enumerate_cuts(self.aig, config, &mut UnlimitedPolicy::with_cap(cap));
+        let enumerate_s = t0.elapsed().as_secs_f64();
+        self.mapper.map_with_cuts_ctx(
+            self.aig,
+            &cuts,
+            enumerate_s,
+            CacheCtx::Mut(&mut self.cache),
+            &mut self.dp,
+        )
+    }
+
+    /// Warm equivalent of [`Mapper::map_shuffled`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Mapper::map_default`].
+    pub fn map_shuffled(
+        &mut self,
+        config: &CutConfig,
+        seed: u64,
+        keep: usize,
+    ) -> Result<MappedNetlist, MapError> {
+        let t0 = Instant::now();
+        let cuts = enumerate_cuts(self.aig, config, &mut ShufflePolicy::with_keep(seed, keep));
+        let enumerate_s = t0.elapsed().as_secs_f64();
+        self.mapper.map_with_cuts_ctx(
+            self.aig,
+            &cuts,
+            enumerate_s,
+            CacheCtx::Mut(&mut self.cache),
+            &mut self.dp,
+        )
+    }
+
+    /// Warm equivalent of [`Mapper::map_with_cuts`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Mapper::map_with_cuts`].
+    pub fn map_with_cuts(&mut self, cuts: &CutArena) -> Result<MappedNetlist, MapError> {
+        self.mapper.map_with_cuts_ctx(
+            self.aig,
+            cuts,
+            0.0,
+            CacheCtx::Mut(&mut self.cache),
+            &mut self.dp,
+        )
+    }
+
+    /// [`MapSession::map_shuffled`] against a frozen (`&self`) cache, for
+    /// `slap-par` workers: cache misses are computed cold and recorded in
+    /// the returned [`SessionDelta`] instead of mutating the session.
+    /// Callers absorb the deltas of all workers in seed order with
+    /// [`MapSession::absorb`], which reproduces the cache contents (and
+    /// interning order) of running the seeds sequentially.
+    pub fn map_shuffled_frozen(
+        &self,
+        config: &CutConfig,
+        seed: u64,
+        keep: usize,
+    ) -> (Result<MappedNetlist, MapError>, SessionDelta) {
+        let t0 = Instant::now();
+        let cuts = enumerate_cuts(self.aig, config, &mut ShufflePolicy::with_keep(seed, keep));
+        let enumerate_s = t0.elapsed().as_secs_f64();
+        let mut delta = SessionDelta::default();
+        let mut dp = DpState::new(self.aig.num_nodes());
+        let result = self.mapper.map_with_cuts_ctx(
+            self.aig,
+            &cuts,
+            enumerate_s,
+            CacheCtx::Frozen(&self.cache, &mut delta),
+            &mut dp,
+        );
+        (result, delta)
+    }
+
+    /// Replays a worker delta into the session cache (in recorded order,
+    /// skipping keys that arrived in the meantime). Returns how many
+    /// truth tables were newly interned.
+    pub fn absorb(&mut self, delta: SessionDelta) -> u64 {
+        self.cache.absorb(delta, &self.mapper.index)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -969,6 +1259,136 @@ mod tests {
         // Exactly one inverter for !a; constants and the plain PI are free.
         assert_eq!(nl.stats().num_instances, 1);
         assert_eq!(nl.stats().num_inverters, 1);
+    }
+
+    /// Everything that must be bit-identical between a cold map and a
+    /// warm session map of the same circuit/policy.
+    fn assert_same_mapping(a: &MappedNetlist, b: &MappedNetlist, what: &str) {
+        assert_eq!(a.instances(), b.instances(), "{what}: instances");
+        assert_eq!(a.cover_cuts(), b.cover_cuts(), "{what}: cover cuts");
+        assert_eq!(a.area().to_bits(), b.area().to_bits(), "{what}: area");
+        assert_eq!(a.delay().to_bits(), b.delay().to_bits(), "{what}: delay");
+        assert_eq!(
+            a.stats().dp_delay.to_bits(),
+            b.stats().dp_delay.to_bits(),
+            "{what}: dp delay"
+        );
+        assert_eq!(
+            a.stats().match_stats.without_cache_counters(),
+            b.stats().match_stats.without_cache_counters(),
+            "{what}: match stats"
+        );
+        assert_eq!(
+            a.stats().matches_tried,
+            b.stats().matches_tried,
+            "{what}: matches tried"
+        );
+    }
+
+    #[test]
+    fn session_maps_are_bit_identical_to_cold_maps() {
+        let aig = small_graph();
+        let lib = asap7_mini();
+        let mapper = Mapper::new(&lib, MapOptions::default());
+        let config = CutConfig::default();
+        let mut session = mapper.session_cached(&aig, true);
+        assert!(session.cache_enabled());
+
+        let cold = mapper.map_default(&aig, &config).expect("maps");
+        let warm1 = session.map_default(&config).expect("maps");
+        let warm2 = session.map_default(&config).expect("maps");
+        assert_same_mapping(&warm1, &cold, "first warm default");
+        assert_same_mapping(&warm2, &cold, "second warm default");
+        assert!(warm2.stats().match_stats.fn_cache_hits > 0);
+        assert_eq!(warm2.stats().match_stats.fn_cache_misses, 0);
+
+        let cold_u = mapper.map_unlimited(&aig, &config, 1000).expect("maps");
+        let warm_u = session.map_unlimited(&config, 1000).expect("maps");
+        assert_same_mapping(&warm_u, &cold_u, "warm unlimited");
+
+        for seed in 0..4 {
+            let cold_s = mapper.map_shuffled(&aig, &config, seed, 4).expect("maps");
+            let warm_s = session.map_shuffled(&config, seed, 4).expect("maps");
+            assert_same_mapping(&warm_s, &cold_s, "warm shuffled");
+        }
+        assert!(session.num_cached_functions() > 0);
+        assert!(session.num_interned_tts() > 0);
+    }
+
+    #[test]
+    fn run_cache_replays_stored_outcomes_exactly() {
+        let aig = small_graph();
+        let lib = asap7_mini();
+        let mapper = Mapper::new(&lib, MapOptions::default());
+        let config = CutConfig::default();
+        let mut session = mapper.session_cached(&aig, true);
+        assert_eq!(session.num_cached_runs(), 0);
+        assert!(session.cached_run(&config, 3, 4).is_none());
+
+        let nl = session.map_shuffled(&config, 3, 4).expect("maps");
+        session.store_run(&config, 3, 4, &nl);
+        assert_eq!(session.num_cached_runs(), 1);
+        let run = session.cached_run(&config, 3, 4).expect("stored");
+        assert_eq!(run.area_bits, nl.area().to_bits());
+        assert_eq!(run.delay_bits, nl.delay().to_bits());
+        assert_eq!(run.cover, nl.cover_cuts());
+        // Different seed / keep / k are distinct keys.
+        assert!(session.cached_run(&config, 4, 4).is_none());
+        assert!(session.cached_run(&config, 3, 5).is_none());
+        assert!(session.cached_run(&CutConfig::with_k(4), 3, 4).is_none());
+
+        // A disabled session neither stores nor replays.
+        let mut cold = mapper.session_cached(&aig, false);
+        let nl = cold.map_shuffled(&config, 3, 4).expect("maps");
+        cold.store_run(&config, 3, 4, &nl);
+        assert_eq!(cold.num_cached_runs(), 0);
+        assert!(cold.cached_run(&config, 3, 4).is_none());
+    }
+
+    #[test]
+    fn frozen_session_maps_match_and_absorb_warms_the_cache() {
+        let aig = small_graph();
+        let lib = asap7_mini();
+        let mapper = Mapper::new(&lib, MapOptions::default());
+        let config = CutConfig::default();
+        let mut session = mapper.session_cached(&aig, true);
+        // Frozen runs on a cold session: identical output, all work in
+        // the deltas.
+        let mut deltas = Vec::new();
+        for seed in 0..3 {
+            let cold = mapper.map_shuffled(&aig, &config, seed, 4).expect("maps");
+            let (warm, delta) = session.map_shuffled_frozen(&config, seed, 4);
+            let warm = warm.expect("maps");
+            assert_same_mapping(&warm, &cold, "frozen shuffled");
+            assert!(!delta.is_empty());
+            deltas.push(delta);
+        }
+        assert_eq!(session.num_cached_functions(), 0);
+        for delta in deltas {
+            session.absorb(delta);
+        }
+        assert!(session.num_cached_functions() > 0);
+        // Replaying a seed through the warmed cache is now a pure hit.
+        let cold = mapper.map_shuffled(&aig, &config, 0, 4).expect("maps");
+        let (warm, delta) = session.map_shuffled_frozen(&config, 0, 4);
+        assert_same_mapping(&warm.expect("maps"), &cold, "frozen replay");
+        assert!(delta.is_empty(), "warm frozen replay records nothing");
+    }
+
+    #[test]
+    fn disabled_session_is_cold_and_stores_nothing() {
+        let aig = small_graph();
+        let lib = asap7_mini();
+        let mapper = Mapper::new(&lib, MapOptions::default());
+        let config = CutConfig::default();
+        let mut session = mapper.session_cached(&aig, false);
+        assert!(!session.cache_enabled());
+        let cold = mapper.map_default(&aig, &config).expect("maps");
+        let off = session.map_default(&config).expect("maps");
+        assert_same_mapping(&off, &cold, "disabled session");
+        assert_eq!(off.stats().match_stats, cold.stats().match_stats);
+        assert_eq!(session.num_cached_functions(), 0);
+        assert_eq!(session.num_interned_tts(), 0);
     }
 
     #[test]

@@ -4,12 +4,20 @@
 //! one contiguous buffer of [`PreparedMatch`]es with two spans (positive
 //! and negative phase) per node. Each match references the cut it was
 //! derived from by [`CutId`] instead of carrying a copy of the leaf list.
+//!
+//! Matching can run against a [`SessionCache`] (see `slap-cache`): the
+//! `(root, leaves) → truth table → per-phase bindings` chain is a pure
+//! function of the AIG and library, so a session that maps the same AIG
+//! repeatedly replays it from the cache instead of re-simulating the
+//! cone and re-probing the index. Cold and cached paths emit through the
+//! same helper, so their output is bit-identical by construction.
 
 use std::collections::HashMap;
 
 use slap_aig::cone::{cut_function_with, ConeScratch};
 use slap_aig::{Aig, NodeId, Tt};
-use slap_cell::{GateId, MatchIndex};
+use slap_cache::{FrozenResolve, ResolveInfo, SessionCache, SessionDelta};
+use slap_cell::{GateId, MatchEntry, MatchIndex};
 use slap_cuts::{Cut, CutArena, CutId, MAX_CUT_SIZE};
 
 /// One realizable implementation of a node phase: a gate plus, for each
@@ -82,6 +90,14 @@ impl MatchArena {
 }
 
 /// Aggregate statistics of the matching step.
+///
+/// The four `*_cache_*` / `interned_tts` counters describe session-cache
+/// traffic and are zero on cold (cache-less or `SLAP_CACHE=0`) runs. The
+/// mapped *outputs* are bit-identical with and without the cache; the
+/// cache counters themselves may legitimately differ between thread
+/// counts (a sequential warm run can hit entries inserted earlier in the
+/// same datagen call, which frozen parallel workers cannot see yet), so
+/// equivalence tests compare stats with these fields zeroed.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct MatchStats {
     /// Cuts exposed to the matcher — the paper's memory-footprint metric.
@@ -96,6 +112,14 @@ pub struct MatchStats {
     pub npn_hits: u64,
     /// Match-index lookups that returned nothing.
     pub npn_misses: u64,
+    /// Function-cache probes that found the `(root, cut)` pair.
+    pub fn_cache_hits: u64,
+    /// Function-cache probes that had to simulate the cone.
+    pub fn_cache_misses: u64,
+    /// Binding-cache probes that replayed prepared gate bindings.
+    pub binding_cache_hits: u64,
+    /// Truth tables newly interned by this run.
+    pub interned_tts: u64,
 }
 
 impl MatchStats {
@@ -109,6 +133,19 @@ impl MatchStats {
         }
     }
 
+    /// This record with the session-cache counters zeroed — what
+    /// equivalence tests compare, since cache traffic (unlike mapped
+    /// output) legitimately depends on warm-up history and thread count.
+    pub fn without_cache_counters(&self) -> MatchStats {
+        MatchStats {
+            fn_cache_hits: 0,
+            fn_cache_misses: 0,
+            binding_cache_hits: 0,
+            interned_tts: 0,
+            ..*self
+        }
+    }
+
     /// Adds another accumulator (all fields are sums, so merging worker
     /// partials in any order gives the sequential totals).
     fn add(&mut self, other: &MatchStats) {
@@ -118,39 +155,80 @@ impl MatchStats {
         self.total_matches += other.total_matches;
         self.npn_hits += other.npn_hits;
         self.npn_misses += other.npn_misses;
+        self.fn_cache_hits += other.fn_cache_hits;
+        self.fn_cache_misses += other.fn_cache_misses;
+        self.binding_cache_hits += other.binding_cache_hits;
+        self.interned_tts += other.interned_tts;
     }
+
+    fn note_cache(&mut self, info: ResolveInfo) {
+        self.fn_cache_hits += info.fn_hit as u64;
+        self.fn_cache_misses += !info.fn_hit as u64;
+        self.binding_cache_hits += info.binding_hit as u64;
+        self.interned_tts += info.interned as u64;
+    }
+}
+
+/// How one matching run talks to the session cache.
+pub(crate) enum CacheCtx<'c> {
+    /// No memoization: every cut takes the cold path.
+    Off,
+    /// Sequential path: probe and populate in place.
+    Mut(&'c mut SessionCache),
+    /// Read-only probe with miss recording, for use inside `slap-par`
+    /// workers (and for frozen map runs): never mutates the cache, so
+    /// many workers can share it without locks.
+    Frozen(&'c SessionCache, &'c mut SessionDelta),
 }
 
 /// Computes the per-node match lists for every AND node.
 ///
 /// For each stored cut the local function is computed by cone simulation,
-/// shrunk to its true support, and looked up (both polarities) in the
-/// match index. When `add_structural` is set, the structural cut
-/// `{fanin0, fanin1}` is additionally matched for nodes whose stored cut
-/// list does not contain it — this guarantees every node stays mappable
-/// regardless of how aggressive the filtering policy was (any 2-input
-/// AND-with-polarities is in the library). Such injected matches carry
-/// [`CutId::STRUCTURAL`]; consumers reconstruct the cut from the fanins.
+/// shrunk to its true support, and looked up (both polarities with one
+/// canonical probe) in the match index. When `add_structural` is set, the
+/// structural cut `{fanin0, fanin1}` is additionally matched for nodes
+/// whose stored cut list does not contain it — this guarantees every node
+/// stays mappable regardless of how aggressive the filtering policy was
+/// (any 2-input AND-with-polarities is in the library). Such injected
+/// matches carry [`CutId::STRUCTURAL`]; consumers reconstruct the cut
+/// from the fanins.
 pub fn compute_matches(
     aig: &Aig,
     cuts: &CutArena,
     index: &MatchIndex,
     add_structural: bool,
 ) -> (MatchArena, MatchStats) {
-    // Matching one node is a pure function of `(aig, cuts, index, node)`,
-    // so the node list can be split into contiguous chunks matched in
-    // parallel and concatenated in chunk order — bit-identical to the
-    // sequential pass for any thread count.
+    compute_matches_ctx(aig, cuts, index, add_structural, CacheCtx::Off)
+}
+
+/// [`compute_matches`] with an explicit cache context (the session entry
+/// point).
+pub(crate) fn compute_matches_ctx(
+    aig: &Aig,
+    cuts: &CutArena,
+    index: &MatchIndex,
+    add_structural: bool,
+    mut ctx: CacheCtx<'_>,
+) -> (MatchArena, MatchStats) {
+    // Normalize a disabled cache to the cold path once, so the per-cut
+    // hot loop never re-checks the toggle.
+    let enabled = match &ctx {
+        CacheCtx::Off => false,
+        CacheCtx::Mut(c) => c.enabled(),
+        CacheCtx::Frozen(c, _) => c.enabled(),
+    };
+    if !enabled {
+        ctx = CacheCtx::Off;
+    }
+    // Matching one node is a pure function of `(aig, cuts, index, node)`
+    // plus the frozen cache contents, so the node list can be split into
+    // contiguous chunks matched in parallel and concatenated in chunk
+    // order — bit-identical to the sequential pass for any thread count.
     if slap_par::threads() > 1 && !slap_par::in_worker() && aig.num_ands() > 1 {
-        return compute_matches_parallel(aig, cuts, index, add_structural);
+        return compute_matches_parallel(aig, cuts, index, add_structural, ctx);
     }
     let mut arena = MatchArena::with_nodes(aig.num_nodes());
     let mut stats = MatchStats::default();
-    // Cut functions repeat massively across a circuit; memoizing on the
-    // (root, leaves) pair is useless, but prepared lookups keyed on the
-    // function alone are shared via the index, so only cone simulation
-    // remains per-cut — cheap and, with the shared scratch, allocation-free
-    // after warm-up. No extra cache needed.
     let mut scratch = MatchScratch::default();
     let mut prev = 0usize;
     for n in aig.and_ids() {
@@ -162,6 +240,7 @@ pub fn compute_matches(
             n,
             &mut scratch,
             &mut stats,
+            &mut ctx,
         );
         // Seal empty spans for the nodes skipped since the last AND node,
         // then this node's two spans.
@@ -186,6 +265,7 @@ pub fn compute_matches(
 /// Matches all cuts of one node (plus the structural fallback when
 /// requested) into `scratch.pos` / `scratch.neg`, updating `stats`.
 /// Shared by the sequential and parallel paths.
+#[allow(clippy::too_many_arguments)]
 fn match_node(
     aig: &Aig,
     cuts: &CutArena,
@@ -194,6 +274,7 @@ fn match_node(
     n: NodeId,
     scratch: &mut MatchScratch,
     stats: &mut MatchStats,
+    ctx: &mut CacheCtx<'_>,
 ) {
     let (f0, f1) = aig.fanins(n);
     let structural = Cut::from_leaves(&[f0.node(), f1.node()]);
@@ -203,7 +284,7 @@ fn match_node(
     scratch.neg.clear();
     for (id, cut) in cuts.ids_of(n) {
         stats.cuts_considered += 1;
-        if match_cut(aig, n, cut, id, index, scratch, stats) {
+        if match_cut(aig, n, cut, id, index, scratch, stats, ctx) {
             stats.cuts_matched += 1;
         }
     }
@@ -218,6 +299,7 @@ fn match_node(
             index,
             scratch,
             stats,
+            ctx,
         ) {
             stats.cuts_matched += 1;
         }
@@ -227,49 +309,67 @@ fn match_node(
 
 /// Chunked parallel matching: the AND-node list is split into one
 /// contiguous range per worker; each worker matches its range with
-/// private scratch, a private match buffer, and private stats. The
-/// buffers are then spliced in chunk (= ascending node) order, which
-/// reproduces the sequential arena layout exactly; the stats are sums,
-/// so their merge order is immaterial.
+/// private scratch, a private match buffer, private stats, and (when a
+/// cache is in play) a frozen view plus a private delta. The buffers are
+/// then spliced in chunk (= ascending node) order, which reproduces the
+/// sequential arena layout exactly; the stats are sums, so their merge
+/// order is immaterial; the deltas are absorbed in chunk order, which
+/// reproduces the sequential first-encounter interning order.
 fn compute_matches_parallel(
     aig: &Aig,
     cuts: &CutArena,
     index: &MatchIndex,
     add_structural: bool,
+    ctx: CacheCtx<'_>,
 ) -> (MatchArena, MatchStats) {
     let nodes: Vec<NodeId> = aig.and_ids().collect();
     let ranges = slap_par::split_ranges(nodes.len(), slap_par::threads());
     let chunks: Vec<&[NodeId]> = ranges.into_iter().map(|r| &nodes[r]).collect();
+    let shared: Option<&SessionCache> = match &ctx {
+        CacheCtx::Off => None,
+        CacheCtx::Mut(c) => Some(c),
+        CacheCtx::Frozen(c, _) => Some(c),
+    };
     let results = slap_par::par_map(&chunks, |_, chunk| {
         let mut scratch = MatchScratch::default();
         let mut stats = MatchStats::default();
         let mut out: Vec<PreparedMatch> = Vec::new();
         let mut spans: Vec<(u32, u32, u32)> = Vec::with_capacity(chunk.len());
-        for &n in *chunk {
-            match_node(
-                aig,
-                cuts,
-                index,
-                add_structural,
-                n,
-                &mut scratch,
-                &mut stats,
-            );
-            out.extend_from_slice(&scratch.pos);
-            out.extend_from_slice(&scratch.neg);
-            spans.push((
-                n.index() as u32,
-                scratch.pos.len() as u32,
-                scratch.neg.len() as u32,
-            ));
+        let mut delta = SessionDelta::default();
+        {
+            let mut local_ctx = match shared {
+                None => CacheCtx::Off,
+                Some(c) => CacheCtx::Frozen(c, &mut delta),
+            };
+            for &n in *chunk {
+                match_node(
+                    aig,
+                    cuts,
+                    index,
+                    add_structural,
+                    n,
+                    &mut scratch,
+                    &mut stats,
+                    &mut local_ctx,
+                );
+                out.extend_from_slice(&scratch.pos);
+                out.extend_from_slice(&scratch.neg);
+                spans.push((
+                    n.index() as u32,
+                    scratch.pos.len() as u32,
+                    scratch.neg.len() as u32,
+                ));
+            }
         }
-        (out, spans, stats)
+        (out, spans, stats, delta)
     });
     let mut arena = MatchArena::with_nodes(aig.num_nodes());
     let mut stats = MatchStats::default();
+    let mut merged = SessionDelta::default();
     let mut prev = 0usize;
-    for (out, spans, local) in results {
+    for (out, spans, local, mut delta) in results {
         stats.add(&local);
+        merged.append(&mut delta);
         let mut cursor = 0usize;
         for &(node, pos_len, neg_len) in &spans {
             let i = 2 * node as usize;
@@ -291,6 +391,17 @@ fn compute_matches_parallel(
     for o in &mut arena.offsets[prev + 1..] {
         *o = end;
     }
+    match ctx {
+        CacheCtx::Off => {}
+        CacheCtx::Mut(cache) => {
+            // Absorbing in chunk order re-interns exactly the tables a
+            // sequential warm pass would have interned, in the same
+            // first-encounter order, so the counter stays thread-count
+            // invariant.
+            stats.interned_tts += cache.absorb(merged, index);
+        }
+        CacheCtx::Frozen(_, outer) => outer.append(&mut merged),
+    }
     (arena, stats)
 }
 
@@ -309,6 +420,7 @@ struct MatchScratch {
 
 /// Matches a single cut, appending prepared matches for both phases into
 /// the scratch lists. Returns true if anything matched.
+#[allow(clippy::too_many_arguments)]
 fn match_cut(
     aig: &Aig,
     root: NodeId,
@@ -317,45 +429,149 @@ fn match_cut(
     index: &MatchIndex,
     scratch: &mut MatchScratch,
     stats: &mut MatchStats,
+    ctx: &mut CacheCtx<'_>,
 ) -> bool {
     scratch.leaves.clear();
     scratch.leaves.extend(cut.leaves());
     if cut.is_trivial_of(root) {
         return false;
     }
-    let Some((tt, _vol)) = cut_function_with(aig, root, &scratch.leaves, &mut scratch.cone) else {
+    let MatchScratch {
+        pos,
+        neg,
+        leaves,
+        cone,
+    } = scratch;
+    match ctx {
+        CacheCtx::Off => {
+            let Some((tt, _vol)) = cut_function_with(aig, root, leaves, cone) else {
+                return false;
+            };
+            emit_cold(tt, cut_id, index, leaves, pos, neg, stats)
+        }
+        CacheCtx::Mut(cache) => {
+            let (prep, info) = cache.resolve_mut(aig, root, cut, leaves, index, cone);
+            stats.note_cache(info);
+            match prep {
+                None => false,
+                Some(p) => emit_prepared(&p, cut_id, leaves, pos, neg, stats),
+            }
+        }
+        CacheCtx::Frozen(cache, delta) => {
+            let (res, info) = cache.resolve_frozen(aig, root, cut, leaves, cone, delta);
+            stats.note_cache(info);
+            match res {
+                FrozenResolve::Known(None) | FrozenResolve::Cold(None) => false,
+                FrozenResolve::Known(Some(p)) => emit_prepared(&p, cut_id, leaves, pos, neg, stats),
+                FrozenResolve::Cold(Some((tt, _vol))) => {
+                    emit_cold(tt, cut_id, index, leaves, pos, neg, stats)
+                }
+            }
+        }
+    }
+}
+
+/// Cached finish: replay prepared bindings. The constant-function guard
+/// mirrors [`emit_cold`]'s early return — the cold path never probes the
+/// index for constants, so the warm path must not count phase probes for
+/// them either.
+fn emit_prepared(
+    p: &slap_cache::Prepared<'_>,
+    cut_id: CutId,
+    leaves: &[NodeId],
+    pos: &mut Vec<PreparedMatch>,
+    neg: &mut Vec<PreparedMatch>,
+    stats: &mut MatchStats,
+) -> bool {
+    if p.num_support == 0 {
         return false;
-    };
+    }
+    emit_entries(
+        p.pos,
+        p.neg,
+        &p.support[..p.num_support as usize],
+        cut_id,
+        leaves,
+        pos,
+        neg,
+        stats,
+    )
+}
+
+/// Cold finish: shrink the raw function to its support and probe the
+/// index once for both phases.
+fn emit_cold(
+    tt: Tt,
+    cut_id: CutId,
+    index: &MatchIndex,
+    leaves: &[NodeId],
+    pos: &mut Vec<PreparedMatch>,
+    neg: &mut Vec<PreparedMatch>,
+    stats: &mut MatchStats,
+) -> bool {
     let mut support = [0usize; Tt::MAX_VARS];
     let (tt, num_support) = tt.shrink_to_support_into(&mut support);
     if num_support == 0 {
         // Constant function — a strashed AIG never needs this.
         return false;
     }
+    let mut support8 = [0u8; Tt::MAX_VARS];
+    for (d, &s) in support8.iter_mut().zip(&support[..num_support]) {
+        *d = s as u8;
+    }
+    let (pos_entries, neg_entries) = index.matches_both(tt);
+    emit_entries(
+        pos_entries,
+        neg_entries,
+        &support8[..num_support],
+        cut_id,
+        leaves,
+        pos,
+        neg,
+        stats,
+    )
+}
+
+/// Instantiates the per-phase entry lists of one cut function against a
+/// concrete cut occurrence. Cold and cached matching both funnel through
+/// here, so their emitted matches (and the npn hit/miss accounting,
+/// which is per-phase probe-result emptiness) are identical by
+/// construction. A constant function (empty `support`) never reaches
+/// this point.
+#[allow(clippy::too_many_arguments)]
+fn emit_entries(
+    pos_entries: &[MatchEntry],
+    neg_entries: &[MatchEntry],
+    support: &[u8],
+    cut_id: CutId,
+    leaves: &[NodeId],
+    pos: &mut Vec<PreparedMatch>,
+    neg: &mut Vec<PreparedMatch>,
+    stats: &mut MatchStats,
+) -> bool {
     let mut any = false;
-    for (phase, key) in [(false, tt), (true, tt.not())] {
-        let entries = index.matches(key);
+    for (phase, entries) in [(false, pos_entries), (true, neg_entries)] {
         if entries.is_empty() {
             stats.npn_misses += 1;
         } else {
             stats.npn_hits += 1;
         }
         for entry in entries {
-            let mut leaves = [(NodeId::CONST0, false, 0u8); MAX_CUT_SIZE];
-            for (i, &orig_var) in support[..num_support].iter().enumerate() {
-                let leaf = scratch.leaves[orig_var];
-                leaves[i] = (leaf, entry.leaf_complemented(i), entry.pin(i) as u8);
+            let mut match_leaves = [(NodeId::CONST0, false, 0u8); MAX_CUT_SIZE];
+            for (i, &leaf_idx) in support.iter().enumerate() {
+                let leaf = leaves[leaf_idx as usize];
+                match_leaves[i] = (leaf, entry.leaf_complemented(i), entry.pin(i) as u8);
             }
             let m = PreparedMatch {
                 gate: entry.gate,
                 cut: cut_id,
-                leaves,
-                num_leaves: num_support as u8,
+                leaves: match_leaves,
+                num_leaves: support.len() as u8,
             };
             if phase {
-                scratch.neg.push(m);
+                neg.push(m);
             } else {
-                scratch.pos.push(m);
+                pos.push(m);
             }
             any = true;
         }
@@ -409,6 +625,9 @@ mod tests {
         assert!(stats.npn_hits > 0);
         assert!(stats.npn_hit_rate() > 0.0 && stats.npn_hit_rate() <= 1.0);
         assert_eq!(MatchStats::default().npn_hit_rate(), 0.0);
+        // A cold run never touches a cache.
+        assert_eq!(stats.fn_cache_hits + stats.fn_cache_misses, 0);
+        assert_eq!(stats.binding_cache_hits + stats.interned_tts, 0);
     }
 
     #[test]
@@ -511,6 +730,129 @@ mod tests {
             let (par, par_stats) = compute_matches(&aig, &cuts, &index, true);
             assert_eq!(par, seq, "t={t}: arena diverged");
             assert_eq!(par_stats, seq_stats, "t={t}: stats diverged");
+        }
+        slap_par::set_threads(1);
+    }
+
+    #[test]
+    fn cached_matching_is_bit_identical_to_cold() {
+        let aig = xor_and_graph();
+        let lib = asap7_mini();
+        let index = MatchIndex::build(&lib);
+        let cuts = enumerate_cuts(&aig, &CutConfig::default(), &mut DefaultPolicy::default());
+        let (cold, cold_stats) = compute_matches(&aig, &cuts, &index, true);
+        let mut cache = SessionCache::new(true);
+        // First warm run populates, second replays entirely from cache;
+        // both must reproduce the cold arena and non-cache stats.
+        for round in 0..2 {
+            let (warm, warm_stats) =
+                compute_matches_ctx(&aig, &cuts, &index, true, CacheCtx::Mut(&mut cache));
+            assert_eq!(warm, cold, "round {round}: arena diverged");
+            assert_eq!(
+                warm_stats.without_cache_counters(),
+                cold_stats,
+                "round {round}: stats diverged"
+            );
+            if round == 0 {
+                assert!(warm_stats.fn_cache_misses > 0);
+                assert!(warm_stats.interned_tts > 0);
+            } else {
+                assert_eq!(warm_stats.fn_cache_misses, 0, "second run must fully hit");
+                // Every non-trivial cut probes the cache exactly once.
+                let probes = warm_stats.cuts_considered as u64 - count_trivial(&aig, &cuts);
+                assert_eq!(warm_stats.fn_cache_hits, probes);
+            }
+        }
+        assert!(cache.num_functions() > 0);
+        assert!(cache.num_interned() > 0);
+        // A disabled cache is transparently the cold path and stores
+        // nothing.
+        let mut disabled = SessionCache::new(false);
+        let (off, off_stats) =
+            compute_matches_ctx(&aig, &cuts, &index, true, CacheCtx::Mut(&mut disabled));
+        assert_eq!(off, cold);
+        assert_eq!(off_stats, cold_stats);
+        assert_eq!(disabled.num_functions(), 0);
+    }
+
+    /// Trivial cuts bypass the cache entirely; everything else probes it.
+    fn count_trivial(aig: &Aig, cuts: &CutArena) -> u64 {
+        let mut n = 0u64;
+        for node in aig.and_ids() {
+            for cut in cuts.cuts_of(node) {
+                if cut.is_trivial_of(node) {
+                    n += 1;
+                }
+            }
+        }
+        n
+    }
+
+    #[test]
+    fn frozen_and_parallel_cached_matching_match_sequential() {
+        let mut aig = Aig::new();
+        let mut acc = aig.add_pi();
+        for _ in 0..6 {
+            let b = aig.add_pi();
+            let c = aig.add_pi();
+            let x = aig.xor(acc, b);
+            acc = aig.and(x, c);
+        }
+        aig.add_po(acc);
+        let lib = asap7_mini();
+        let index = MatchIndex::build(&lib);
+        slap_par::set_threads(1);
+        let cuts = enumerate_cuts(&aig, &CutConfig::default(), &mut DefaultPolicy::default());
+        let (cold, cold_stats) = compute_matches(&aig, &cuts, &index, true);
+
+        // Frozen probe of an empty cache: cold output, everything in the
+        // delta; absorbing the delta reproduces a warm cache.
+        let frozen_src = SessionCache::new(true);
+        let mut delta = SessionDelta::default();
+        let (froz, froz_stats) = compute_matches_ctx(
+            &aig,
+            &cuts,
+            &index,
+            true,
+            CacheCtx::Frozen(&frozen_src, &mut delta),
+        );
+        assert_eq!(froz, cold);
+        assert_eq!(froz_stats.without_cache_counters(), cold_stats);
+        assert!(!delta.is_empty());
+
+        // Parallel warm runs against a mutable cache: identical output to
+        // the sequential warm run for every thread count, and the cache
+        // ends up with identical contents.
+        let mut seq_cache = SessionCache::new(true);
+        let (seq_warm, seq_warm_stats) =
+            compute_matches_ctx(&aig, &cuts, &index, true, CacheCtx::Mut(&mut seq_cache));
+        assert_eq!(seq_warm, cold);
+        for t in [2, 4, 8] {
+            slap_par::set_threads(t);
+            let mut par_cache = SessionCache::new(true);
+            let (par_warm, par_warm_stats) =
+                compute_matches_ctx(&aig, &cuts, &index, true, CacheCtx::Mut(&mut par_cache));
+            assert_eq!(par_warm, cold, "t={t}: warm arena diverged");
+            assert_eq!(
+                par_warm_stats.without_cache_counters(),
+                cold_stats,
+                "t={t}: warm stats diverged"
+            );
+            assert_eq!(
+                par_warm_stats.interned_tts, seq_warm_stats.interned_tts,
+                "t={t}: interning order not reproduced"
+            );
+            assert_eq!(
+                par_cache.num_functions(),
+                seq_cache.num_functions(),
+                "t={t}"
+            );
+            assert_eq!(par_cache.num_interned(), seq_cache.num_interned(), "t={t}");
+            // A second parallel run over the warm cache replays fully.
+            let (replay, replay_stats) =
+                compute_matches_ctx(&aig, &cuts, &index, true, CacheCtx::Mut(&mut par_cache));
+            assert_eq!(replay, cold, "t={t}: replay diverged");
+            assert_eq!(replay_stats.fn_cache_misses, 0, "t={t}: replay missed");
         }
         slap_par::set_threads(1);
     }

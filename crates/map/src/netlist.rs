@@ -46,7 +46,7 @@ impl fmt::Debug for Signal {
 }
 
 /// One placed gate: its cell, output signal, and one input signal per pin.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Instance {
     /// The library cell.
     pub gate: GateId,

@@ -31,6 +31,10 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static A: CountingAlloc = CountingAlloc;
 
+/// Serializes the budget tests: they read the same global allocation
+/// counter, so concurrent runs would attribute each other's allocations.
+static BUDGET_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 #[test]
 fn enumeration_and_mapping_allocation_count() {
     use slap_cell::asap7_mini;
@@ -38,6 +42,9 @@ fn enumeration_and_mapping_allocation_count() {
     use slap_cuts::{enumerate_cuts, CutConfig, DefaultPolicy};
     use slap_map::{MapOptions, Mapper};
 
+    let _guard = BUDGET_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
     let aig = aes_mini();
     let lib = asap7_mini();
     let mapper = Mapper::new(&lib, MapOptions::default());
@@ -69,5 +76,59 @@ fn enumeration_and_mapping_allocation_count() {
         "allocation budget exceeded: {count} >= {budget} at {threads} threads \
          (pre-arena baseline was ~4.22M; arena pipeline should stay in \
          the low thousands plus a small per-worker constant)"
+    );
+}
+
+/// The memoization guard: re-mapping the same cut arena through a warm
+/// [`slap_map::MapSession`] must allocate strictly less than the first
+/// (cache-filling) map of that session — the second run replays interned
+/// truth tables and prepared bindings instead of rebuilding them, and
+/// reuses the session's DP columns. A pinned absolute ceiling keeps the
+/// warm path from regressing toward per-cut allocation.
+#[test]
+fn warm_session_remap_allocation_count() {
+    use slap_cell::asap7_mini;
+    use slap_circuits::aes::aes_mini;
+    use slap_cuts::{enumerate_cuts, CutConfig, DefaultPolicy};
+    use slap_map::{MapOptions, Mapper};
+
+    let _guard = BUDGET_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    let aig = aes_mini();
+    let lib = asap7_mini();
+    let mapper = Mapper::new(&lib, MapOptions::default());
+    let cfg = CutConfig::default();
+    // Warm up lazy global state outside the measured windows.
+    let cuts = enumerate_cuts(&aig, &cfg, &mut DefaultPolicy::default());
+    mapper.map_with_cuts(&aig, &cuts).expect("maps");
+
+    let mut session = mapper.session_cached(&aig, true);
+    let before = ALLOCS.load(Ordering::Relaxed);
+    session.map_with_cuts(&cuts).expect("maps");
+    let mid = ALLOCS.load(Ordering::Relaxed);
+    let nl = session.map_with_cuts(&cuts).expect("maps");
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert!(nl.area() > 0.0);
+    let first = mid - before;
+    let second = after - mid;
+    let threads = slap_par::threads() as u64;
+    eprintln!(
+        "allocations on session map(aes_mini) at {threads} threads: \
+         first {first}, second {second}"
+    );
+    assert!(
+        second < first,
+        "warm re-map must allocate less than the cache-filling map: \
+         {second} >= {first} at {threads} threads"
+    );
+    // Absolute ceiling, same shape as the cold budget above: measured
+    // ~2,000 sequential and a per-worker constant for the scoped-thread
+    // scratch on parallel runs; budget leaves ~2× headroom.
+    let budget = 25_000 + 4_000 * threads;
+    assert!(
+        second < budget,
+        "warm re-map allocation budget exceeded: {second} >= {budget} \
+         at {threads} threads"
     );
 }

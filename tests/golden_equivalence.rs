@@ -15,7 +15,7 @@ use slap_cuts::{
     enumerate_cuts, Cut, CutArena, CutConfig, CutPolicy, DefaultPolicy, ShufflePolicy,
     UnlimitedPolicy,
 };
-use slap_map::{MapOptions, Mapper};
+use slap_map::{MapOptions, MapSession, MappedNetlist, Mapper};
 
 /// The seed implementation's canonical cut order: fewer leaves first,
 /// then lexicographic on the leaf ids (the arena keeps the same order).
@@ -235,6 +235,184 @@ fn datagen_and_training_are_thread_count_invariant() {
         assert_eq!(got.1, base.1, "dataset hash diverged at {t} threads");
         assert_eq!(got.2, base.2, "final weights diverged at {t} threads");
         assert_eq!(got.3, base.3, "train report diverged at {t} threads");
+    }
+    slap_par::set_threads(prev);
+}
+
+/// Everything a warm-session map must reproduce bit-for-bit from the
+/// cold map of the same circuit and policy. The session-cache traffic
+/// counters are excluded deliberately: they describe cache history (and
+/// legitimately differ between a first and a second warm run), while the
+/// mapped output may not.
+fn assert_same_mapping(warm: &MappedNetlist, cold: &MappedNetlist, label: &str) {
+    assert_eq!(warm.instances(), cold.instances(), "{label}: instances");
+    assert_eq!(warm.pos(), cold.pos(), "{label}: po sources");
+    assert_eq!(warm.cover_cuts(), cold.cover_cuts(), "{label}: cover cuts");
+    assert_eq!(
+        warm.area().to_bits(),
+        cold.area().to_bits(),
+        "{label}: area"
+    );
+    assert_eq!(
+        warm.delay().to_bits(),
+        cold.delay().to_bits(),
+        "{label}: delay"
+    );
+    assert_eq!(
+        warm.stats().dp_delay.to_bits(),
+        cold.stats().dp_delay.to_bits(),
+        "{label}: dp delay"
+    );
+    assert_eq!(
+        warm.stats().match_stats.without_cache_counters(),
+        cold.stats().match_stats.without_cache_counters(),
+        "{label}: match stats"
+    );
+    assert_eq!(
+        warm.stats().matches_tried,
+        cold.stats().matches_tried,
+        "{label}: matches tried"
+    );
+}
+
+/// The four policy modes the memoization suite exercises, as function
+/// pointers over (cold mapper, warm session).
+type ColdMap = fn(&Mapper, &Aig) -> MappedNetlist;
+type WarmMap = fn(&mut MapSession) -> MappedNetlist;
+
+fn session_modes() -> Vec<(&'static str, ColdMap, WarmMap)> {
+    vec![
+        (
+            "default",
+            |m, aig| {
+                m.map_default(aig, &CutConfig::default())
+                    .expect("cold maps")
+            },
+            |s| s.map_default(&CutConfig::default()).expect("warm maps"),
+        ),
+        (
+            "unlimited-1000",
+            |m, aig| {
+                m.map_unlimited(aig, &CutConfig::default(), 1000)
+                    .expect("cold maps")
+            },
+            |s| {
+                s.map_unlimited(&CutConfig::default(), 1000)
+                    .expect("warm maps")
+            },
+        ),
+        (
+            "shuffle-7-8",
+            |m, aig| {
+                m.map_shuffled(aig, &CutConfig::default(), 7, 8)
+                    .expect("cold maps")
+            },
+            |s| {
+                s.map_shuffled(&CutConfig::default(), 7, 8)
+                    .expect("warm maps")
+            },
+        ),
+        (
+            "shuffle-3-4",
+            |m, aig| {
+                m.map_shuffled(aig, &CutConfig::default(), 3, 4)
+                    .expect("cold maps")
+            },
+            |s| {
+                s.map_shuffled(&CutConfig::default(), 3, 4)
+                    .expect("warm maps")
+            },
+        ),
+    ]
+}
+
+/// The memoization tentpole's golden contract: for every catalog circuit
+/// and policy, a warm [`MapSession`] — first map (cache filling) and
+/// second map (cache replaying) alike — produces bit-identical netlists,
+/// QoR, cover cuts, and (cache counters aside) stats to the cold
+/// one-shot map.
+#[test]
+fn warm_sessions_are_bit_identical_to_cold_maps() {
+    let _guard = THREAD_AXIS_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    let prev = slap_par::threads();
+    slap_par::set_threads(1);
+    let lib = asap7_mini();
+    let mapper = Mapper::new(&lib, MapOptions::default());
+    let modes = session_modes();
+    for bench in table2_benchmarks() {
+        let aig = bench.build(Scale::Quick);
+        // One session spans all policies of the circuit, like the bench
+        // harness uses it: cut functions memoized under one policy must
+        // replay correctly under every other.
+        let mut session = mapper.session_cached(&aig, true);
+        for (mode, cold_map, warm_map) in &modes {
+            let cold = cold_map(&mapper, &aig);
+            let warm1 = warm_map(&mut session);
+            let warm2 = warm_map(&mut session);
+            let label = format!("{}/{mode}", bench.name);
+            assert_same_mapping(&warm1, &cold, &format!("{label}/first"));
+            assert_same_mapping(&warm2, &cold, &format!("{label}/second"));
+            assert_eq!(
+                warm2.stats().match_stats.fn_cache_misses,
+                0,
+                "{label}: repeat of an identical map must replay fully from cache"
+            );
+        }
+        assert!(session.num_cached_functions() > 0, "{}", bench.name);
+    }
+    slap_par::set_threads(prev);
+}
+
+/// The thread axis of the same contract: warm sessions at 2 and 8
+/// workers (frozen cache + delta absorption under the hood) reproduce
+/// the 1-thread warm and cold outputs bit-for-bit. Subset of circuits to
+/// bound runtime, matching `enumeration_is_thread_count_invariant`.
+#[test]
+fn warm_sessions_are_thread_count_invariant() {
+    let _guard = THREAD_AXIS_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    let prev = slap_par::threads();
+    let lib = asap7_mini();
+    let mapper = Mapper::new(&lib, MapOptions::default());
+    let modes = session_modes();
+    for bench in &table2_benchmarks()[..3] {
+        let aig = bench.build(Scale::Quick);
+        slap_par::set_threads(1);
+        let mut base_session = mapper.session_cached(&aig, true);
+        let baselines: Vec<(&str, MappedNetlist, MappedNetlist)> = modes
+            .iter()
+            .map(|(mode, cold_map, warm_map)| {
+                (*mode, cold_map(&mapper, &aig), warm_map(&mut base_session))
+            })
+            .collect();
+        for t in [2usize, 8] {
+            slap_par::set_threads(t);
+            let mut session = mapper.session_cached(&aig, true);
+            for (warm_map, (mode, cold, warm_seq)) in
+                modes.iter().map(|(_, _, w)| w).zip(&baselines)
+            {
+                let warm1 = warm_map(&mut session);
+                let warm2 = warm_map(&mut session);
+                let label = format!("{}/{mode}/t={t}", bench.name);
+                assert_same_mapping(&warm1, cold, &format!("{label}/first"));
+                assert_same_mapping(&warm2, warm_seq, &format!("{label}/second"));
+            }
+            assert_eq!(
+                session.num_cached_functions(),
+                base_session.num_cached_functions(),
+                "{}/t={t}: cache contents depend on thread count",
+                bench.name
+            );
+            assert_eq!(
+                session.num_interned_tts(),
+                base_session.num_interned_tts(),
+                "{}/t={t}: interner contents depend on thread count",
+                bench.name
+            );
+        }
     }
     slap_par::set_threads(prev);
 }
