@@ -2,11 +2,13 @@
 //!
 //! Hand-rolled `harness = false` bench (the workspace has no external
 //! bench framework); run with `cargo bench -p slap-bench --bench
-//! inference`.
+//! inference`. Measures the one-shot path and the batched kernel sweep
+//! ([`CutCnn::predict_batch_into`]) at several batch sizes — the batched
+//! numbers are what the two-pass SLAP flow pays per 64-cut chunk.
 
 use slap_aig::Rng64;
 use slap_bench::microbench::measure;
-use slap_ml::{CnnConfig, CutCnn};
+use slap_ml::{CnnConfig, CutCnn, InferenceScratch};
 
 fn main() {
     let mut rng = Rng64::seed_from(7);
@@ -23,5 +25,25 @@ fn main() {
             model.predict(&sample)
         });
         println!("{}", m.render());
+    }
+
+    // Batched sweep: per-sample cost as the batch grows (64 is the SLAP
+    // flow's chunk size). Bit-identical to the per-sample path, so the
+    // delta is pure batching overhead amortization.
+    let model = CutCnn::new(&CnnConfig::paper(), 1);
+    for batch in [1usize, 16, 64, 256] {
+        let xs: Vec<f32> = (0..batch * 150).map(|_| rng.f32()).collect();
+        let mut scratch = InferenceScratch::new();
+        let mut out: Vec<u8> = Vec::with_capacity(batch);
+        let iters = (6400 / batch).max(10) as u32;
+        let m = measure(&format!("inference/predict_batch/{batch}"), iters, || {
+            out.clear();
+            model.predict_batch_into(&xs, &mut scratch, &mut out);
+        });
+        println!(
+            "{}  ({:.3} us/sample)",
+            m.render(),
+            m.min_s * 1e6 / batch as f64
+        );
     }
 }

@@ -1,0 +1,285 @@
+//! Batched-inference benchmark: times the two-pass batched cut scoring
+//! of [`slap_core::SlapMapper::classify_cuts`] against a transcription
+//! of the seed per-sample path (allocating forward pass, scalar strided
+//! conv, single-chain dense) on the AES-core SLAP flow, and writes the
+//! speedup to `BENCH_inference.json` in the workspace root.
+//!
+//! Old and new timings are interleaved within each round (old, then new,
+//! per round) so slow drift of the host — thermal state, co-tenants —
+//! spreads evenly across both sides instead of biasing one. Every round
+//! asserts the batched keep mask and stats are bit-identical to the seed
+//! path's: the speedup must come from blocking, batching, and allocation
+//! removal alone, never from changing a single predicted class.
+//!
+//! Usage:
+//!   cargo run --release -p slap-bench --bin bench_inference -- \
+//!       [--rounds 5] [--threads N] [--smoke] [--out BENCH_inference.json]
+//!
+//! `--smoke` runs one round and skips the JSON file — the CI leg proving
+//! the harness and the bit-identity asserts stay green.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use slap_bench::{init_threads, Args};
+use slap_cell::asap7_mini;
+use slap_circuits::aes::aes_mini;
+use slap_core::{BandPolicy, EmbeddingContext, SlapConfig, SlapMapper, SlapStats, CUT_EMBED_DIM};
+use slap_cuts::{cut_features, enumerate_cuts, CutArena, UnlimitedPolicy};
+use slap_map::{MapOptions, Mapper};
+use slap_ml::{CnnConfig, CutCnn};
+
+/// The seed model representation: raw tensors extracted through the
+/// text serialization (Rust's float `Display` round-trips exactly, so
+/// the transcribed forward pass sees bit-identical weights).
+struct SeedModel {
+    rows: usize,
+    cols: usize,
+    filters: usize,
+    classes: usize,
+    conv_w: Vec<f32>,
+    conv_b: Vec<f32>,
+    dense_w: Vec<f32>,
+    dense_b: Vec<f32>,
+    feat_mean: Vec<f32>,
+    feat_std: Vec<f32>,
+}
+
+impl SeedModel {
+    fn from_model(model: &CutCnn) -> SeedModel {
+        let text = model.to_text();
+        let mut lines = text.lines();
+        let header: Vec<usize> = lines
+            .next()
+            .expect("header")
+            .split_whitespace()
+            .skip(2)
+            .map(|v| v.parse().expect("dims"))
+            .collect();
+        let mut tensor = |name: &str| -> Vec<f32> {
+            let line = lines.next().expect("tensor line");
+            let mut it = line.split_whitespace();
+            assert_eq!(it.next(), Some(name), "tensor order");
+            it.skip(1).map(|v| v.parse().expect("weight")).collect()
+        };
+        SeedModel {
+            rows: header[0],
+            cols: header[1],
+            filters: header[2],
+            classes: header[3],
+            conv_w: tensor("conv_w"),
+            conv_b: tensor("conv_b"),
+            dense_w: tensor("dense_w"),
+            dense_b: tensor("dense_b"),
+            feat_mean: tensor("feat_mean"),
+            feat_std: tensor("feat_std"),
+        }
+    }
+
+    /// Transcription of the pre-kernel per-sample forward: standardize,
+    /// conv, ReLU, dense, and softmax each allocate a fresh `Vec`, the
+    /// conv inner loop strides across columns, and the dense layer is one
+    /// latency-bound accumulation chain per class.
+    fn predict(&self, raw: &[f32]) -> u8 {
+        let x: Vec<f32> = raw
+            .iter()
+            .zip(self.feat_mean.iter().zip(&self.feat_std))
+            .map(|(&v, (&mean, &s))| ((v - mean) / s).clamp(-6.0, 6.0))
+            .collect();
+        let mut conv_out = vec![0.0f32; self.filters * self.cols];
+        for f in 0..self.filters {
+            let w = &self.conv_w[f * self.rows..(f + 1) * self.rows];
+            let b = self.conv_b[f];
+            let out = &mut conv_out[f * self.cols..(f + 1) * self.cols];
+            for (col, o) in out.iter_mut().enumerate() {
+                let mut acc = b;
+                for (r, &wr) in w.iter().enumerate() {
+                    acc += wr * x[r * self.cols + col];
+                }
+                *o = acc;
+            }
+        }
+        let hidden: Vec<f32> = conv_out.iter().map(|&v| v.max(0.0)).collect();
+        let h = self.filters * self.cols;
+        let mut logits = vec![0.0f32; self.classes];
+        for (k, logit) in logits.iter_mut().enumerate() {
+            let w = &self.dense_w[k * h..(k + 1) * h];
+            let mut acc = self.dense_b[k];
+            for (wj, hj) in w.iter().zip(&hidden) {
+                acc += wj * hj;
+            }
+            *logit = acc;
+        }
+        let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let probs: Vec<f32> = logits.iter().map(|&l| (l - max).exp()).collect();
+        let sum: f32 = probs.iter().sum();
+        probs
+            .iter()
+            .map(|p| p / sum)
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite probs"))
+            .map(|(i, _)| i as u8)
+            .expect("non-empty")
+    }
+}
+
+/// Transcription of the seed inference loop: node by node, one embedding
+/// buffer, one allocating `predict` per cut, one allocating `select` per
+/// node.
+fn seed_classify(
+    seed: &SeedModel,
+    policy: &BandPolicy,
+    aig: &slap_aig::Aig,
+    cuts: &CutArena,
+) -> (Vec<bool>, SlapStats) {
+    let ctx = EmbeddingContext::new(aig);
+    let mut stats = SlapStats {
+        class_histogram: vec![0; seed.classes],
+        ..SlapStats::default()
+    };
+    let mut keep: Vec<bool> = vec![false; cuts.total_cuts()];
+    let mut embedding = [0f32; CUT_EMBED_DIM];
+    let mut classes: Vec<u8> = Vec::new();
+    for n in aig.and_ids() {
+        let span = cuts.span_of(n);
+        if span.is_empty() {
+            continue;
+        }
+        classes.clear();
+        for (_, cut) in cuts.ids_of(n) {
+            let features = cut_features(aig, n, cut, ctx.compl_flags());
+            ctx.cut_embedding_into(n, cut, &features, &mut embedding);
+            let class = seed.predict(&embedding);
+            stats.class_histogram[class as usize] += 1;
+            classes.push(class);
+        }
+        stats.cuts_scored += classes.len();
+        let mask = policy.select(&classes);
+        if mask.iter().all(|&k| !k) {
+            stats.nodes_all_bad += 1;
+        }
+        stats.cuts_kept += mask.iter().filter(|&&k| k).count();
+        for (offset, &kept) in (span.start as usize..).zip(&mask) {
+            keep[offset] = kept;
+        }
+    }
+    (keep, stats)
+}
+
+fn main() {
+    let args = Args::from_env();
+    let smoke = args.has("smoke");
+    let rounds = if smoke { 1 } else { args.get("rounds", 5usize) };
+    let out_path = args.get("out", "BENCH_inference.json".to_string());
+    let threads = init_threads(&args);
+
+    let lib = asap7_mini();
+    let mapper = Mapper::new(&lib, MapOptions::default());
+    let aig = aes_mini();
+    let config = SlapConfig::default();
+    // An untrained paper-architecture model: weights are irrelevant for
+    // timing (the FLOP count is fixed by the architecture) and the
+    // deterministic init keeps every round's asserts meaningful.
+    let model = CutCnn::new(&CnnConfig::paper(), 7);
+    let seed = SeedModel::from_model(&model);
+    let policy = config.policy;
+    let slap = SlapMapper::new(&mapper, model, config.clone());
+    // The smoke leg caps the per-node cut count so CI exercises the whole
+    // harness (including the bit-identity asserts) in seconds; the real
+    // measurement scores the full SLAP-flow enumeration.
+    let cap = if smoke { 12 } else { config.unlimited_cap };
+    let cuts = enumerate_cuts(
+        &aig,
+        &config.cut_config,
+        &mut UnlimitedPolicy::with_cap(cap),
+    );
+
+    // Warm up both paths (lazy obs state, scratch growth) and pin the
+    // reference output.
+    let (ref_keep, ref_stats) = seed_classify(&seed, &policy, &aig, &cuts);
+    let _ = slap.classify_cuts(&aig, &cuts);
+    eprintln!(
+        "aes_mini: {} ands, {} cuts scored, {} kept ({} threads)",
+        aig.num_ands(),
+        ref_stats.cuts_scored,
+        ref_stats.cuts_kept,
+        threads
+    );
+
+    let mut old_times = Vec::with_capacity(rounds);
+    let mut new_times = Vec::with_capacity(rounds);
+    for round in 0..rounds {
+        let t0 = Instant::now();
+        let (old_keep, old_stats) = seed_classify(&seed, &policy, &aig, &cuts);
+        old_times.push(t0.elapsed().as_secs_f64());
+
+        let t0 = Instant::now();
+        let (new_keep, new_stats) = slap.classify_cuts(&aig, &cuts);
+        new_times.push(t0.elapsed().as_secs_f64());
+
+        // Bit-identity: the batched path must replay the seed decisions
+        // exactly, every round.
+        assert_eq!(old_keep, ref_keep, "round {round}: seed keep mask drifted");
+        assert_eq!(old_stats, ref_stats, "round {round}: seed stats drifted");
+        assert_eq!(
+            new_keep, ref_keep,
+            "round {round}: batched keep mask diverged from the seed path"
+        );
+        assert_eq!(
+            new_stats, ref_stats,
+            "round {round}: batched stats diverged from the seed path"
+        );
+        eprintln!(
+            "  round {}/{rounds}: old {:.3}s, new {:.3}s",
+            round + 1,
+            old_times[round],
+            new_times[round]
+        );
+    }
+
+    let best = |ts: &[f64]| ts.iter().copied().fold(f64::INFINITY, f64::min);
+    let (old_best, new_best) = (best(&old_times), best(&new_times));
+    let speedup = old_best / new_best;
+    let host_cpus = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"rounds\": {rounds},");
+    json.push_str("  \"circuit\": \"aes_mini\",\n");
+    json.push_str("  \"model\": \"paper (128 filters, untrained)\",\n");
+    let _ = writeln!(json, "  \"cuts_scored\": {},", ref_stats.cuts_scored);
+    json.push_str(
+        "  \"note\": \"best-of-round wall times of the whole inference phase (embed + \
+         score + select), old/new interleaved per round; old = transcribed seed \
+         per-sample path (allocating forward, scalar conv, single-chain dense), new = \
+         two-pass batched kernels. Every round asserts keep masks and stats are \
+         bit-identical across paths.\",\n",
+    );
+    let secs = |ts: &[f64]| {
+        ts.iter()
+            .map(|s| format!("{s:.6}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let _ = writeln!(json, "  \"old_seconds\": [{}],", secs(&old_times));
+    let _ = writeln!(json, "  \"new_seconds\": [{}],", secs(&new_times));
+    let _ = writeln!(json, "  \"old_best\": {old_best:.6},");
+    let _ = writeln!(json, "  \"new_best\": {new_best:.6},");
+    let _ = writeln!(json, "  \"speedup\": {speedup:.3}");
+    json.push_str("}\n");
+    println!("{json}");
+
+    if smoke {
+        println!("smoke mode: bit-identity asserts passed, skipping {out_path}");
+        return;
+    }
+    let path = std::env::var("CARGO_MANIFEST_DIR")
+        .map(|d| std::path::PathBuf::from(d).join("../..").join(&out_path))
+        .unwrap_or_else(|_| std::path::PathBuf::from(&out_path));
+    std::fs::write(&path, &json).expect("write results");
+    println!("wrote {}", path.display());
+}

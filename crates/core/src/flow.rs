@@ -1,10 +1,16 @@
 //! The end-to-end SLAP flow (paper Fig. 4): `prepare_map` → inference →
 //! `read_cuts` → map.
+//!
+//! Inference runs in two passes over the cut arena (see
+//! [`SlapMapper::classify_cuts`]): collect every cut embedding into one
+//! flat buffer, then batch-classify the whole circuit through the
+//! `slap-ml` kernel layer in `slap-par` chunks with in-order reassembly
+//! — bit-identical to scoring each cut alone, at a fraction of the cost.
 
 use slap_aig::Aig;
-use slap_cuts::{cut_features, enumerate_cuts, CutConfig, UnlimitedPolicy};
+use slap_cuts::{cut_features, enumerate_cuts, CutArena, CutConfig, UnlimitedPolicy};
 use slap_map::{MapError, MapSession, MappedNetlist, Mapper};
-use slap_ml::{CnnConfig, CutCnn, Dataset, TrainConfig, TrainReport};
+use slap_ml::{CnnConfig, CutCnn, Dataset, InferenceScratch, TrainConfig, TrainReport};
 
 use crate::datagen::{generate_dataset, SampleConfig};
 use crate::embed::{EmbeddingContext, CUT_EMBED_COLS, CUT_EMBED_DIM, CUT_EMBED_ROWS};
@@ -159,6 +165,122 @@ impl<'a> SlapMapper<'a> {
         self.map_impl(session)
     }
 
+    /// Scores every cut of `cuts` with the CNN and applies the band
+    /// policy, returning the flat keep mask (indexed by `CutId` arena
+    /// offset) and the SLAP-side statistics — the inference half of
+    /// [`SlapMapper::map`], exposed so benches and golden tests can
+    /// compare it against a per-sample reference without mapping.
+    ///
+    /// Two passes over the arena:
+    ///
+    /// 1. **embed** — walk the AND nodes in id order and pack every
+    ///    cut's 15×10 embedding into one flat buffer (an arena of
+    ///    samples mirroring the cut arena's layout);
+    /// 2. **classify** — batch-score the whole circuit through
+    ///    [`CutCnn::predict_batch_into`] in fixed-size `slap-par`
+    ///    chunks, reassembled in order, then sweep the per-node class
+    ///    slices through [`BandPolicy::select_into`].
+    ///
+    /// The kernel layer's fixed accumulation order makes the batched
+    /// classes bit-identical to per-sample `predict` calls, and the
+    /// fixed chunk grid makes them independent of the worker count — so
+    /// this is a pure restructuring of the seed's node-by-node loop.
+    pub fn classify_cuts(&self, aig: &Aig, cuts: &CutArena) -> (Vec<bool>, SlapStats) {
+        /// Samples per scoring batch: big enough to amortize the sweep,
+        /// small enough to keep every worker busy on medium circuits.
+        /// Fixed (never derived from the thread count) so the batch grid
+        /// — and with it every downstream bit — is thread-invariant.
+        const SCORE_BATCH: usize = 64;
+        const DIM: usize = CUT_EMBED_DIM;
+        let _span = slap_obs::span("inference");
+        let ctx = EmbeddingContext::new(aig);
+        let mut stats = SlapStats {
+            class_histogram: vec![0; self.model.config().classes],
+            ..SlapStats::default()
+        };
+        let mut keep: Vec<bool> = vec![false; cuts.total_cuts()];
+
+        // Pass 1: flat arena of cut embeddings, in scoring order (AND
+        // nodes ascending, each node's cuts in arena order).
+        let mut scored_nodes: Vec<slap_aig::NodeId> = Vec::new();
+        let total_scored: usize = aig.and_ids().map(|n| cuts.span_of(n).len()).sum();
+        let mut embeddings: Vec<f32> = vec![0.0; total_scored * DIM];
+        {
+            let _span = slap_obs::span("embed");
+            let mut w = 0usize;
+            for n in aig.and_ids() {
+                if cuts.span_of(n).is_empty() {
+                    continue;
+                }
+                scored_nodes.push(n);
+                for (_, cut) in cuts.ids_of(n) {
+                    let features = cut_features(aig, n, cut, ctx.compl_flags());
+                    ctx.cut_embedding_into(n, cut, &features, &mut embeddings[w..w + DIM]);
+                    w += DIM;
+                }
+            }
+            debug_assert_eq!(w, embeddings.len());
+        }
+
+        // Pass 2a: batch-classify the whole circuit. Chunks are claimed
+        // dynamically by the workers but reassembled by start offset, so
+        // the class vector is identical for every thread count.
+        let classes: Vec<u8> = {
+            let _span = slap_obs::span("classify");
+            let chunks: Vec<std::ops::Range<usize>> = (0..total_scored)
+                .step_by(SCORE_BATCH)
+                .map(|s| s..(s + SCORE_BATCH).min(total_scored))
+                .collect();
+            let (per_chunk, _scratch) = slap_par::par_map_with(
+                &chunks,
+                |_w| InferenceScratch::new(),
+                |scratch, _i, range| {
+                    let mut out: Vec<u8> = Vec::with_capacity(range.len());
+                    self.model.predict_batch_into(
+                        &embeddings[range.start * DIM..range.end * DIM],
+                        scratch,
+                        &mut out,
+                    );
+                    out
+                },
+            );
+            let mut all = Vec::with_capacity(total_scored);
+            for chunk in per_chunk {
+                all.extend(chunk);
+            }
+            all
+        };
+
+        // Pass 2b: band policy over each node's class slice. The keep
+        // decision is a single flat mask keyed by CutId (the cut's arena
+        // offset), so selection needs no per-node cursors or nested
+        // buffers.
+        {
+            let _span = slap_obs::span("select");
+            let mut mask: Vec<bool> = Vec::new();
+            let mut cursor = 0usize;
+            for &n in &scored_nodes {
+                let span = cuts.span_of(n);
+                let node_classes = &classes[cursor..cursor + span.len()];
+                cursor += span.len();
+                for &class in node_classes {
+                    stats.class_histogram[class as usize] += 1;
+                }
+                stats.cuts_scored += node_classes.len();
+                self.config.policy.select_into(node_classes, &mut mask);
+                if mask.iter().all(|&k| !k) {
+                    stats.nodes_all_bad += 1;
+                }
+                stats.cuts_kept += mask.iter().filter(|&&k| k).count();
+                for (offset, &kept) in (span.start as usize..).zip(&mask) {
+                    keep[offset] = kept;
+                }
+            }
+            debug_assert_eq!(cursor, classes.len());
+        }
+        (keep, stats)
+    }
+
     fn map_impl(
         &self,
         session: &mut MapSession<'_, '_>,
@@ -171,43 +293,8 @@ impl<'a> SlapMapper<'a> {
             &self.config.cut_config,
             &mut UnlimitedPolicy::with_cap(self.config.unlimited_cap),
         );
-        let ctx = EmbeddingContext::new(aig);
-        let mut stats = SlapStats {
-            class_histogram: vec![0; self.model.config().classes],
-            ..SlapStats::default()
-        };
-        // Inference + band policy, node by node. The keep decision is a
-        // single flat mask keyed by CutId (the cut's arena offset), so
-        // selection needs no per-node cursors or nested buffers.
-        let mut keep: Vec<bool> = vec![false; cuts.total_cuts()];
-        {
-            let _span = slap_obs::span("inference");
-            let mut embedding = [0f32; CUT_EMBED_DIM];
-            let mut classes: Vec<u8> = Vec::new();
-            for n in aig.and_ids() {
-                let span = cuts.span_of(n);
-                if span.is_empty() {
-                    continue;
-                }
-                classes.clear();
-                for (_, cut) in cuts.ids_of(n) {
-                    let features = cut_features(aig, n, cut, ctx.compl_flags());
-                    ctx.cut_embedding_into(n, cut, &features, &mut embedding);
-                    let class = self.model.predict(&embedding);
-                    stats.class_histogram[class as usize] += 1;
-                    classes.push(class);
-                }
-                stats.cuts_scored += classes.len();
-                let mask = self.config.policy.select(&classes);
-                if mask.iter().all(|&k| !k) {
-                    stats.nodes_all_bad += 1;
-                }
-                stats.cuts_kept += mask.iter().filter(|&&k| k).count();
-                for (offset, &kept) in (span.start as usize..).zip(&mask) {
-                    keep[offset] = kept;
-                }
-            }
-        }
+        // Inference: two-pass batched scoring + band selection.
+        let (keep, stats) = self.classify_cuts(aig, &cuts);
         let reg = slap_obs::Registry::global();
         reg.counter("slap.cuts_scored")
             .add(stats.cuts_scored as u64);

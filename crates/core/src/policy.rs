@@ -40,15 +40,27 @@ impl BandPolicy {
     /// Given the predicted classes of one node's cuts, returns the keep
     /// mask implementing the band rule.
     pub fn select(&self, classes: &[u8]) -> Vec<bool> {
+        let mut mask = Vec::new();
+        self.select_into(classes, &mut mask);
+        mask
+    }
+
+    /// [`BandPolicy::select`] into a caller-owned mask buffer (cleared
+    /// and refilled), so per-node selection over a whole circuit reuses
+    /// one allocation.
+    pub fn select_into(&self, classes: &[u8], mask: &mut Vec<bool>) {
+        mask.clear();
         let has_good = classes.iter().any(|&c| c <= self.good_max);
         if has_good {
-            return classes.iter().map(|&c| c <= self.good_max).collect();
+            mask.extend(classes.iter().map(|&c| c <= self.good_max));
+            return;
         }
         let has_avg = classes.iter().any(|&c| c <= self.avg_max);
         if has_avg {
-            return classes.iter().map(|&c| c <= self.avg_max).collect();
+            mask.extend(classes.iter().map(|&c| c <= self.avg_max));
+            return;
         }
-        let mut mask = vec![false; classes.len()];
+        mask.resize(classes.len(), false);
         if self.keep_best_when_all_bad {
             if let Some(best) = classes
                 .iter()
@@ -59,7 +71,6 @@ impl BandPolicy {
                 mask[best] = true;
             }
         }
-        mask
     }
 }
 
@@ -99,6 +110,21 @@ mod tests {
         let p = BandPolicy::paper();
         assert_eq!(p.select(&[9, 7, 8]), vec![false, true, false]);
         assert_eq!(p.select(&[]), Vec::<bool>::new());
+    }
+
+    #[test]
+    fn select_into_reuses_buffer_and_matches_select() {
+        let p = BandPolicy::paper();
+        let mut mask = Vec::new();
+        let node_classes: [&[u8]; 5] = [&[0, 3, 4, 7], &[4, 6, 7], &[9, 7, 8], &[], &[5]];
+        for classes in node_classes {
+            p.select_into(classes, &mut mask);
+            assert_eq!(mask, p.select(classes), "classes {classes:?}");
+        }
+        // A long node followed by a short one must not leak stale slots.
+        p.select_into(&[0; 8], &mut mask);
+        p.select_into(&[9], &mut mask);
+        assert_eq!(mask, vec![true]); // keep-best-when-all-bad
     }
 
     #[test]

@@ -87,6 +87,20 @@ impl Dataset {
         &mut self.x[i * d..(i + 1) * d]
     }
 
+    /// Borrow the contiguous features of samples `range.start..range.end`
+    /// — samples are stored back to back in one flat buffer, so a range
+    /// of samples is directly a batch for
+    /// [`CutCnn::predict_batch_into`](crate::CutCnn::predict_batch_into).
+    pub fn features_of(&self, range: std::ops::Range<usize>) -> &[f32] {
+        let d = self.dim();
+        &self.x[range.start * d..range.end * d]
+    }
+
+    /// The label of sample `i`.
+    pub fn label(&self, i: usize) -> u8 {
+        self.y[i]
+    }
+
     /// Label histogram.
     pub fn class_counts(&self) -> Vec<usize> {
         let mut counts = vec![0usize; self.classes];

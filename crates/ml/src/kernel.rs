@@ -1,0 +1,395 @@
+//! Blocked, allocation-free f32 kernels shared by the per-sample and
+//! batched inference/training paths.
+//!
+//! # The accumulation-order contract
+//!
+//! Every output element is produced by **exactly the same sequence of
+//! f32 operations** no matter how the call is batched, blocked, or
+//! distributed across threads: an accumulator is initialized from the
+//! bias and updated in ascending input-index order, one fused
+//! multiply-free `acc += w * x` at a time. Blocking only changes *which
+//! independent accumulators* advance together — the dense kernel walks
+//! four output classes side by side and the convolution kernel walks all
+//! columns of one filter side by side, giving the compiler independent
+//! chains to vectorize and pipeline — never the order of additions
+//! *within* one accumulator.
+//!
+//! Consequences, relied on across the workspace:
+//!
+//! - `CutCnn::predict_batch_into` is bit-identical to per-sample
+//!   [`CutCnn::predict`](crate::CutCnn::predict), which in turn is
+//!   bit-identical to the pre-kernel scalar implementation;
+//! - splitting a batch into `slap-par` chunks and reassembling in order
+//!   cannot change a single bit, so the SLAP flow's scored classes are
+//!   thread-count invariant;
+//! - the training forward/backward passes built on these kernels keep the
+//!   batch-order gradient reduction and hence the whole weight
+//!   trajectory bit-identical for every thread count.
+//!
+//! None of the kernels allocate; callers own every buffer.
+
+/// Standardizes `raw` into `out`: `(v - mean) / std`, clamped to ±6
+/// z-scores (inference-time inputs from circuits much larger than the
+/// training set would otherwise push the network far outside the regime
+/// it was trained in).
+///
+/// # Panics
+///
+/// Debug-asserts that all four slices share one length.
+#[inline]
+pub fn standardize_clamped(raw: &[f32], mean: &[f32], std: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(raw.len(), mean.len());
+    debug_assert_eq!(raw.len(), std.len());
+    debug_assert_eq!(raw.len(), out.len());
+    for (((o, &v), &m), &s) in out.iter_mut().zip(raw).zip(mean).zip(std) {
+        *o = ((v - m) / s).clamp(-6.0, 6.0);
+    }
+}
+
+/// The Fig. 3 convolution: `filters` filters of shape `rows × 1` slide
+/// across the `cols` columns of the `rows × cols` input `x`, so
+/// `out[f * cols + col] = b[f] + Σ_r w[f * rows + r] · x[r * cols + col]`.
+///
+/// Blocked over columns: for each filter the whole output row is seeded
+/// with the bias and then swept row by row, updating all `cols`
+/// independent accumulators with one broadcast weight — a contiguous,
+/// autovectorization-friendly inner loop. Each accumulator still sees
+/// its additions in ascending `r` order (the contract above).
+#[inline]
+pub fn conv_rows(
+    x: &[f32],
+    w: &[f32],
+    b: &[f32],
+    filters: usize,
+    rows: usize,
+    cols: usize,
+    out: &mut [f32],
+) {
+    debug_assert_eq!(x.len(), rows * cols);
+    debug_assert_eq!(w.len(), filters * rows);
+    debug_assert_eq!(b.len(), filters);
+    debug_assert_eq!(out.len(), filters * cols);
+    for f in 0..filters {
+        let wf = &w[f * rows..(f + 1) * rows];
+        let of = &mut out[f * cols..(f + 1) * cols];
+        of.fill(b[f]);
+        for (r, &wr) in wf.iter().enumerate() {
+            let xr = &x[r * cols..(r + 1) * cols];
+            for (o, &xv) in of.iter_mut().zip(xr) {
+                *o += wr * xv;
+            }
+        }
+    }
+}
+
+/// Elementwise `max(0, ·)` from `src` into `dst` (kept out of place so
+/// the trainer retains the pre-activation values for the backward pass).
+#[inline]
+pub fn relu(src: &[f32], dst: &mut [f32]) {
+    debug_assert_eq!(src.len(), dst.len());
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = s.max(0.0);
+    }
+}
+
+/// Elementwise `max(0, ·)` in place (the inference path, which never
+/// needs the pre-activation values again).
+#[inline]
+pub fn relu_inplace(data: &mut [f32]) {
+    for v in data.iter_mut() {
+        *v = v.max(0.0);
+    }
+}
+
+/// The dense layer: `out[k] = b[k] + Σ_j w[k * h.len() + j] · h[j]`.
+///
+/// Blocked four output classes at a time: the four accumulators form
+/// independent dependency chains sharing each `h[j]` load, so the
+/// compiler can pipeline the multiply-adds instead of serializing on one
+/// accumulator's add latency (the unblocked seed loop was latency-bound).
+/// Each accumulator still sums in ascending `j` order.
+#[inline]
+pub fn dense(h: &[f32], w: &[f32], b: &[f32], out: &mut [f32]) {
+    let hl = h.len();
+    let classes = out.len();
+    debug_assert_eq!(w.len(), classes * hl);
+    debug_assert_eq!(b.len(), classes);
+    let mut k = 0;
+    while k + 4 <= classes {
+        let w0 = &w[k * hl..(k + 1) * hl];
+        let w1 = &w[(k + 1) * hl..(k + 2) * hl];
+        let w2 = &w[(k + 2) * hl..(k + 3) * hl];
+        let w3 = &w[(k + 3) * hl..(k + 4) * hl];
+        let (mut a0, mut a1, mut a2, mut a3) = (b[k], b[k + 1], b[k + 2], b[k + 3]);
+        for (j, &hj) in h.iter().enumerate() {
+            a0 += w0[j] * hj;
+            a1 += w1[j] * hj;
+            a2 += w2[j] * hj;
+            a3 += w3[j] * hj;
+        }
+        out[k] = a0;
+        out[k + 1] = a1;
+        out[k + 2] = a2;
+        out[k + 3] = a3;
+        k += 4;
+    }
+    while k < classes {
+        let wk = &w[k * hl..(k + 1) * hl];
+        let mut acc = b[k];
+        for (&wj, &hj) in wk.iter().zip(h) {
+            acc += wj * hj;
+        }
+        out[k] = acc;
+        k += 1;
+    }
+}
+
+/// In-place numerically-stable softmax: subtracts the row maximum before
+/// exponentiating (so extreme logits cannot overflow `exp`), then
+/// normalizes by the sequential sum. The maximum entry exponentiates to
+/// exactly 1, so the sum is always ≥ 1 and the division is safe.
+#[inline]
+pub fn softmax_inplace(row: &mut [f32]) {
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    for v in row.iter_mut() {
+        *v = (*v - max).exp();
+    }
+    let sum: f32 = row.iter().sum();
+    for v in row.iter_mut() {
+        *v /= sum;
+    }
+}
+
+/// Index of the row maximum, taking the **last** of equal maxima — the
+/// tie rule of `Iterator::max_by`, which the pre-kernel implementation
+/// used, preserved so predicted classes stay bit-identical.
+///
+/// # Panics
+///
+/// Panics if `row` is empty; debug-asserts the values are not NaN.
+#[inline]
+pub fn argmax(row: &[f32]) -> usize {
+    assert!(!row.is_empty(), "argmax of an empty row");
+    debug_assert!(row.iter().all(|v| !v.is_nan()), "argmax over NaN");
+    let mut best = 0;
+    for (i, &v) in row.iter().enumerate() {
+        if v >= row[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+/// Backward through the dense layer for one sample, accumulating into the
+/// caller's gradient slices (never overwriting — the trainer sums batches
+/// in batch order):
+///
+/// - `g_b[k] += dlogits[k]`
+/// - `g_w[k][j] += dlogits[k] · h[j]`
+/// - `dhidden[j] += dlogits[k] · w[k][j]` (ascending `k`, the seed order)
+#[inline]
+pub fn dense_backward(
+    dlogits: &[f32],
+    h: &[f32],
+    w: &[f32],
+    g_w: &mut [f32],
+    g_b: &mut [f32],
+    dhidden: &mut [f32],
+) {
+    let hl = h.len();
+    debug_assert_eq!(dlogits.len(), g_b.len());
+    debug_assert_eq!(w.len(), dlogits.len() * hl);
+    debug_assert_eq!(g_w.len(), w.len());
+    debug_assert_eq!(dhidden.len(), hl);
+    for (k, &dl) in dlogits.iter().enumerate() {
+        g_b[k] += dl;
+        let gw = &mut g_w[k * hl..(k + 1) * hl];
+        let wk = &w[k * hl..(k + 1) * hl];
+        for j in 0..hl {
+            gw[j] += dl * h[j];
+            dhidden[j] += dl * wk[j];
+        }
+    }
+}
+
+/// Backward through ReLU and the convolution for one sample, accumulating
+/// conv parameter gradients. `conv_out` carries the pre-activation
+/// values; non-positive entries contribute nothing (a hard skip, not a
+/// multiply by zero, matching the seed's float behaviour exactly).
+#[inline]
+#[allow(clippy::too_many_arguments)] // mirrors conv_rows' shape triplet plus the gradient pair
+pub fn conv_backward_rows(
+    x: &[f32],
+    conv_out: &[f32],
+    dhidden: &[f32],
+    filters: usize,
+    rows: usize,
+    cols: usize,
+    g_w: &mut [f32],
+    g_b: &mut [f32],
+) {
+    debug_assert_eq!(x.len(), rows * cols);
+    debug_assert_eq!(conv_out.len(), filters * cols);
+    debug_assert_eq!(dhidden.len(), filters * cols);
+    debug_assert_eq!(g_w.len(), filters * rows);
+    debug_assert_eq!(g_b.len(), filters);
+    for f in 0..filters {
+        let gw = &mut g_w[f * rows..(f + 1) * rows];
+        for col in 0..cols {
+            let idx = f * cols + col;
+            if conv_out[idx] <= 0.0 {
+                continue;
+            }
+            let d = dhidden[idx];
+            g_b[f] += d;
+            for (r, g) in gw.iter_mut().enumerate() {
+                *g += d * x[r * cols + col];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slap_aig::Rng64;
+
+    fn random_vec(rng: &mut Rng64, n: usize, scale: f32) -> Vec<f32> {
+        (0..n).map(|_| rng.f32_symmetric(scale)).collect()
+    }
+
+    /// The unblocked scalar reference every kernel must reproduce
+    /// bit-for-bit: one accumulator per output, ascending-index adds.
+    fn dense_reference(h: &[f32], w: &[f32], b: &[f32]) -> Vec<f32> {
+        let hl = h.len();
+        b.iter()
+            .enumerate()
+            .map(|(k, &bk)| {
+                let mut acc = bk;
+                for (j, &hj) in h.iter().enumerate() {
+                    acc += w[k * hl + j] * hj;
+                }
+                acc
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dense_blocking_is_bit_identical_to_scalar() {
+        let mut rng = Rng64::seed_from(11);
+        // Class counts straddling the 4-wide block boundary, including a
+        // remainder tail and an all-tail case.
+        for classes in [1usize, 3, 4, 5, 8, 10, 11] {
+            let h = random_vec(&mut rng, 257, 1.0);
+            let w = random_vec(&mut rng, classes * h.len(), 0.5);
+            let b = random_vec(&mut rng, classes, 0.1);
+            let mut out = vec![0.0f32; classes];
+            dense(&h, &w, &b, &mut out);
+            let reference = dense_reference(&h, &w, &b);
+            for (k, (&got, &want)) in out.iter().zip(&reference).enumerate() {
+                assert_eq!(got.to_bits(), want.to_bits(), "class {k} of {classes}");
+            }
+        }
+    }
+
+    #[test]
+    fn conv_matches_scalar_reference() {
+        let (filters, rows, cols) = (7usize, 15usize, 10usize);
+        let mut rng = Rng64::seed_from(12);
+        let x = random_vec(&mut rng, rows * cols, 2.0);
+        let w = random_vec(&mut rng, filters * rows, 0.5);
+        let b = random_vec(&mut rng, filters, 0.1);
+        let mut out = vec![0.0f32; filters * cols];
+        conv_rows(&x, &w, &b, filters, rows, cols, &mut out);
+        for f in 0..filters {
+            for col in 0..cols {
+                let mut acc = b[f];
+                for r in 0..rows {
+                    acc += w[f * rows + r] * x[r * cols + col];
+                }
+                assert_eq!(out[f * cols + col].to_bits(), acc.to_bits(), "({f},{col})");
+            }
+        }
+    }
+
+    #[test]
+    fn standardize_clamps_extremes() {
+        let raw = [1e9f32, -1e9, 0.5];
+        let mean = [0.0f32; 3];
+        let std = [1.0f32; 3];
+        let mut out = [0.0f32; 3];
+        standardize_clamped(&raw, &mean, &std, &mut out);
+        assert_eq!(out, [6.0, -6.0, 0.5]);
+    }
+
+    #[test]
+    fn relu_variants_agree() {
+        let src = [-1.5f32, 0.0, 2.5, -0.0];
+        let mut dst = [9.0f32; 4];
+        relu(&src, &mut dst);
+        let mut inplace = src;
+        relu_inplace(&mut inplace);
+        assert_eq!(dst, inplace);
+        assert_eq!(dst, [0.0, 0.0, 2.5, 0.0]);
+    }
+
+    #[test]
+    fn softmax_is_finite_and_normalized_on_extreme_logits() {
+        // The satellite property test: logits at ±1e4 must not overflow
+        // (naive exp(1e4) = inf) and must still sum to one.
+        let cases: [&[f32]; 5] = [
+            &[1e4, -1e4, 0.0],
+            &[-1e4, -1e4, -1e4],
+            &[1e4, 1e4, 1e4],
+            &[1e4],
+            &[0.0, -2.5, 7.0, 1e4, -1e4],
+        ];
+        for logits in cases {
+            let mut row = logits.to_vec();
+            softmax_inplace(&mut row);
+            assert!(
+                row.iter().all(|v| v.is_finite() && *v >= 0.0),
+                "non-finite probabilities for {logits:?}: {row:?}"
+            );
+            let sum: f32 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5, "sum {sum} for {logits:?}");
+        }
+    }
+
+    #[test]
+    fn softmax_subtracts_row_max() {
+        // With the max subtracted, the largest entry exponentiates to
+        // exactly 1 before normalization, so its probability is
+        // 1 / Σ exp(l - max) — for one dominant logit, ≈ 1.
+        let mut row = vec![1e4f32, 0.0, -3.0];
+        softmax_inplace(&mut row);
+        assert!((row[0] - 1.0).abs() < 1e-6);
+        assert_eq!(row[1], 0.0);
+        assert_eq!(row[2], 0.0);
+    }
+
+    #[test]
+    fn argmax_takes_last_of_equal_maxima() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0, 2.0]), 2);
+        assert_eq!(argmax(&[5.0]), 0);
+        assert_eq!(argmax(&[-1.0, -1.0]), 1);
+        // Must match Iterator::max_by on every input.
+        let mut rng = Rng64::seed_from(13);
+        for _ in 0..50 {
+            let row = random_vec(&mut rng, 10, 1.0);
+            let reference = row
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                .map(|(i, _)| i)
+                .expect("non-empty");
+            assert_eq!(argmax(&row), reference, "{row:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty row")]
+    fn argmax_rejects_empty() {
+        argmax(&[]);
+    }
+}

@@ -27,6 +27,7 @@
 
 pub mod dataset;
 pub mod importance;
+pub mod kernel;
 pub mod metrics;
 pub mod model;
 pub mod serialize;
@@ -35,5 +36,5 @@ pub mod train;
 pub use dataset::Dataset;
 pub use importance::{permutation_importance, FeatureGroup};
 pub use metrics::ConfusionMatrix;
-pub use model::{CnnConfig, CutCnn};
+pub use model::{CnnConfig, CutCnn, InferenceScratch};
 pub use train::{EpochProgress, ProgressSink, StderrProgress, TrainConfig, TrainReport};

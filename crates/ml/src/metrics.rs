@@ -1,7 +1,7 @@
 //! Richer evaluation metrics: confusion matrix and per-class statistics.
 
 use crate::dataset::Dataset;
-use crate::model::CutCnn;
+use crate::model::{CutCnn, InferenceScratch};
 
 /// A `classes × classes` confusion matrix: `counts[actual][predicted]`.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -10,16 +10,28 @@ pub struct ConfusionMatrix {
 }
 
 impl ConfusionMatrix {
-    /// Evaluates `model` over `data`.
+    /// Evaluates `model` over `data`, scoring in batches through one
+    /// reused [`InferenceScratch`] (batched predictions are bit-identical
+    /// to per-sample ones, so the matrix is unchanged from a per-sample
+    /// sweep).
     pub fn compute(model: &CutCnn, data: &Dataset) -> ConfusionMatrix {
+        const BATCH: usize = 64;
         let k = data.classes();
         let mut counts = vec![vec![0usize; k]; k];
-        for i in 0..data.len() {
-            let (x, y) = data.sample(i);
-            let p = model.predict(x) as usize;
-            if p < k {
-                counts[y as usize][p] += 1;
+        let mut scratch = InferenceScratch::new();
+        let mut classes: Vec<u8> = Vec::with_capacity(BATCH);
+        let mut start = 0usize;
+        while start < data.len() {
+            let end = (start + BATCH).min(data.len());
+            classes.clear();
+            model.predict_batch_into(data.features_of(start..end), &mut scratch, &mut classes);
+            for (i, &pred) in (start..end).zip(&classes) {
+                let p = pred as usize;
+                if p < k {
+                    counts[data.label(i) as usize][p] += 1;
+                }
             }
+            start = end;
         }
         ConfusionMatrix { counts }
     }

@@ -1,7 +1,13 @@
 //! The cut-classification CNN of Fig. 3, with hand-written
-//! forward/backward passes and an Adam optimizer.
+//! forward/backward passes and an Adam optimizer, built on the shared
+//! [`kernel`](crate::kernel) layer so per-sample and batched inference
+//! are bit-identical.
+
+use std::cell::RefCell;
 
 use slap_aig::Rng64;
+
+use crate::kernel;
 
 /// Architecture parameters. The paper's model is the default: 128 filters
 /// of shape `rows × 1` over a 15×10 input, 10 classes.
@@ -35,6 +41,16 @@ impl CnnConfig {
             ..CnnConfig::paper()
         }
     }
+
+    /// Feature floats per sample (`rows × cols`).
+    pub fn input_dim(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Flattened hidden width (`filters × cols`).
+    pub fn hidden_dim(&self) -> usize {
+        self.filters * self.cols
+    }
 }
 
 impl Default for CnnConfig {
@@ -66,12 +82,75 @@ pub struct CutCnn {
     pub(crate) adam_t: u64,
 }
 
-/// Per-sample forward scratch (exposed to the trainer).
+/// Reusable per-sample forward scratch (exposed to the trainer). The
+/// buffers are grown on first use and reused on every subsequent
+/// [`CutCnn::forward_into`] call, so the steady-state training loop never
+/// allocates per sample.
+#[derive(Default)]
 pub(crate) struct Forward {
     pub x: Vec<f32>,        // standardized input, rows × cols
     pub conv_out: Vec<f32>, // filters × cols, pre-ReLU
     pub hidden: Vec<f32>,   // filters × cols, post-ReLU
     pub probs: Vec<f32>,    // classes
+}
+
+impl Forward {
+    fn ensure(&mut self, c: &CnnConfig) {
+        self.x.resize(c.input_dim(), 0.0);
+        self.conv_out.resize(c.hidden_dim(), 0.0);
+        self.hidden.resize(c.hidden_dim(), 0.0);
+        self.probs.resize(c.classes, 0.0);
+    }
+}
+
+/// Reusable backward-pass scratch (the seed implementation allocated
+/// both buffers on every call).
+#[derive(Default)]
+pub(crate) struct BackwardScratch {
+    dlogits: Vec<f32>, // classes
+    dhidden: Vec<f32>, // filters × cols
+}
+
+impl BackwardScratch {
+    fn ensure(&mut self, c: &CnnConfig) {
+        self.dlogits.resize(c.classes, 0.0);
+        self.dhidden.resize(c.hidden_dim(), 0.0);
+    }
+}
+
+/// Caller-owned scratch for (batched) inference: standardized inputs,
+/// hidden activations, and probability rows for up to the largest batch
+/// seen so far. Create once, pass to every
+/// [`CutCnn::predict_batch_into`] / [`CutCnn::predict_with`] call; after
+/// the first (growing) call, scoring allocates nothing.
+#[derive(Clone, Debug, Default)]
+pub struct InferenceScratch {
+    x: Vec<f32>,      // batch × rows × cols
+    hidden: Vec<f32>, // batch × filters × cols (ReLU applied in place)
+    probs: Vec<f32>,  // batch × classes
+}
+
+impl InferenceScratch {
+    /// An empty scratch; buffers grow to the model's shape on first use.
+    pub fn new() -> InferenceScratch {
+        InferenceScratch::default()
+    }
+
+    fn ensure(&mut self, c: &CnnConfig, batch: usize) {
+        // resize() never shrinks capacity, so a larger earlier batch keeps
+        // its buffers and smaller batches reuse them allocation-free.
+        self.x.resize(batch * c.input_dim(), 0.0);
+        self.hidden.resize(batch * c.hidden_dim(), 0.0);
+        self.probs.resize(batch * c.classes, 0.0);
+    }
+}
+
+thread_local! {
+    /// Scratch backing the one-shot [`CutCnn::predict`] /
+    /// [`CutCnn::predict_probs`] API, so even callers without their own
+    /// [`InferenceScratch`] stop paying per-call allocations after the
+    /// first prediction on a thread.
+    static ONE_SHOT_SCRATCH: RefCell<InferenceScratch> = RefCell::new(InferenceScratch::new());
 }
 
 impl CutCnn {
@@ -123,110 +202,200 @@ impl CutCnn {
         self.feat_std = std;
     }
 
-    pub(crate) fn forward(&self, raw: &[f32]) -> Forward {
+    /// Training-path forward pass into a reusable scratch (keeps the
+    /// pre-ReLU activations the backward pass needs).
+    pub(crate) fn forward_into(&self, raw: &[f32], fwd: &mut Forward) {
         let c = &self.config;
-        debug_assert_eq!(raw.len(), c.rows * c.cols);
-        // Standardize, clamping the z-scores: inference-time inputs from
-        // circuits much larger than the training set would otherwise push
-        // the network far outside the regime it was trained in.
-        let x: Vec<f32> = raw
-            .iter()
-            .zip(self.feat_mean.iter().zip(&self.feat_std))
-            .map(|(&v, (&m, &s))| ((v - m) / s).clamp(-6.0, 6.0))
-            .collect();
-        // Conv: out[f][col] = b[f] + Σ_r w[f][r] · x[r][col].
-        let mut conv_out = vec![0.0f32; c.filters * c.cols];
-        for f in 0..c.filters {
-            let w = &self.conv_w[f * c.rows..(f + 1) * c.rows];
-            let b = self.conv_b[f];
-            let out = &mut conv_out[f * c.cols..(f + 1) * c.cols];
-            for (col, o) in out.iter_mut().enumerate() {
-                let mut acc = b;
-                for (r, &wr) in w.iter().enumerate() {
-                    acc += wr * x[r * c.cols + col];
-                }
-                *o = acc;
-            }
+        debug_assert_eq!(raw.len(), c.input_dim());
+        fwd.ensure(c);
+        kernel::standardize_clamped(raw, &self.feat_mean, &self.feat_std, &mut fwd.x);
+        kernel::conv_rows(
+            &fwd.x,
+            &self.conv_w,
+            &self.conv_b,
+            c.filters,
+            c.rows,
+            c.cols,
+            &mut fwd.conv_out,
+        );
+        kernel::relu(&fwd.conv_out, &mut fwd.hidden);
+        kernel::dense(&fwd.hidden, &self.dense_w, &self.dense_b, &mut fwd.probs);
+        kernel::softmax_inplace(&mut fwd.probs);
+    }
+
+    /// Convenience wrapper allocating a fresh scratch (tests; hot paths
+    /// use [`CutCnn::forward_into`]).
+    #[cfg(test)]
+    pub(crate) fn forward(&self, raw: &[f32]) -> Forward {
+        let mut fwd = Forward::default();
+        self.forward_into(raw, &mut fwd);
+        fwd
+    }
+
+    /// The batched inference sweep shared by every predict entry point:
+    /// standardize → conv → ReLU → dense → softmax, stage by stage over
+    /// the whole batch. Returns the batch size; probability rows land in
+    /// `scratch.probs`. Bit-identical per sample to the per-sample path
+    /// by the kernel accumulation-order contract.
+    fn forward_batch(&self, xs: &[f32], scratch: &mut InferenceScratch) -> usize {
+        let c = &self.config;
+        let dim = c.input_dim();
+        assert_eq!(
+            xs.len() % dim,
+            0,
+            "batch length must be a multiple of rows × cols"
+        );
+        let batch = xs.len() / dim;
+        scratch.ensure(c, batch);
+        let hid = c.hidden_dim();
+        for (raw, x) in xs.chunks_exact(dim).zip(scratch.x.chunks_exact_mut(dim)) {
+            kernel::standardize_clamped(raw, &self.feat_mean, &self.feat_std, x);
         }
-        let hidden: Vec<f32> = conv_out.iter().map(|&v| v.max(0.0)).collect();
-        // Dense + softmax.
-        let h = c.filters * c.cols;
-        let mut logits = vec![0.0f32; c.classes];
-        for (k, logit) in logits.iter_mut().enumerate() {
-            let w = &self.dense_w[k * h..(k + 1) * h];
-            let mut acc = self.dense_b[k];
-            for (wj, hj) in w.iter().zip(&hidden) {
-                acc += wj * hj;
-            }
-            *logit = acc;
+        for (x, conv) in scratch
+            .x
+            .chunks_exact(dim)
+            .zip(scratch.hidden.chunks_exact_mut(hid))
+        {
+            kernel::conv_rows(
+                x,
+                &self.conv_w,
+                &self.conv_b,
+                c.filters,
+                c.rows,
+                c.cols,
+                conv,
+            );
         }
-        let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-        let mut probs: Vec<f32> = logits.iter().map(|&l| (l - max).exp()).collect();
-        let sum: f32 = probs.iter().sum();
-        for p in &mut probs {
-            *p /= sum;
+        kernel::relu_inplace(&mut scratch.hidden[..batch * hid]);
+        for (h, probs) in scratch
+            .hidden
+            .chunks_exact(hid)
+            .zip(scratch.probs.chunks_exact_mut(c.classes))
+        {
+            kernel::dense(h, &self.dense_w, &self.dense_b, probs);
+            kernel::softmax_inplace(probs);
         }
-        Forward {
-            x,
-            conv_out,
-            hidden,
-            probs,
+        batch
+    }
+
+    /// Classifies a batch of raw (unstandardized) samples packed
+    /// row-major into `xs` (`batch × rows × cols` floats), appending one
+    /// predicted class per sample to `out`.
+    ///
+    /// One stage-blocked sweep over the whole batch; with a warm
+    /// `scratch` and pre-reserved `out` the call performs **zero**
+    /// allocations. Per-sample results are bit-identical to
+    /// [`CutCnn::predict`] (see [`kernel`](crate::kernel) for the
+    /// accumulation-order contract), so callers may chunk a workload
+    /// arbitrarily — e.g. across `slap-par` workers — and reassemble in
+    /// order without changing a single bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is not a whole number of samples.
+    pub fn predict_batch_into(
+        &self,
+        xs: &[f32],
+        scratch: &mut InferenceScratch,
+        out: &mut Vec<u8>,
+    ) {
+        let _span = slap_obs::span("ml.predict_batch");
+        let batch = self.forward_batch(xs, scratch);
+        let reg = slap_obs::Registry::global();
+        reg.counter("ml.samples_scored").add(batch as u64);
+        reg.histogram("ml.batch_size").observe(batch as u64);
+        for probs in scratch.probs[..batch * self.config.classes].chunks_exact(self.config.classes)
+        {
+            out.push(kernel::argmax(probs) as u8);
         }
+    }
+
+    /// Batched [`CutCnn::predict_probs`]: appends `batch × classes`
+    /// probabilities (row-major) to `out`. Same contract as
+    /// [`CutCnn::predict_batch_into`].
+    pub fn predict_probs_batch_into(
+        &self,
+        xs: &[f32],
+        scratch: &mut InferenceScratch,
+        out: &mut Vec<f32>,
+    ) {
+        let _span = slap_obs::span("ml.predict_batch");
+        let batch = self.forward_batch(xs, scratch);
+        let reg = slap_obs::Registry::global();
+        reg.counter("ml.samples_scored").add(batch as u64);
+        reg.histogram("ml.batch_size").observe(batch as u64);
+        out.extend_from_slice(&scratch.probs[..batch * self.config.classes]);
+    }
+
+    /// The most likely class of one raw sample, using a caller-owned
+    /// scratch (allocation-free once the scratch is warm).
+    pub fn predict_with(&self, raw: &[f32], scratch: &mut InferenceScratch) -> u8 {
+        debug_assert_eq!(raw.len(), self.config.input_dim());
+        self.forward_batch(raw, scratch);
+        kernel::argmax(&scratch.probs[..self.config.classes]) as u8
     }
 
     /// Class probabilities for a raw (unstandardized) sample.
+    ///
+    /// Runs on a reusable thread-local scratch: only the returned `Vec`
+    /// is allocated. Batched callers should prefer
+    /// [`CutCnn::predict_probs_batch_into`].
     pub fn predict_probs(&self, raw: &[f32]) -> Vec<f32> {
-        self.forward(raw).probs
+        ONE_SHOT_SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            self.forward_batch(raw, scratch);
+            scratch.probs[..self.config.classes].to_vec()
+        })
     }
 
-    /// The most likely class.
+    /// The most likely class (ties resolve to the highest class index,
+    /// as in every prior release).
+    ///
+    /// Runs allocation-free on a reusable thread-local scratch. Batched
+    /// callers should prefer [`CutCnn::predict_batch_into`].
     pub fn predict(&self, raw: &[f32]) -> u8 {
-        let probs = self.predict_probs(raw);
-        probs
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("probabilities are finite"))
-            .map(|(i, _)| i as u8)
-            .expect("at least one class")
+        ONE_SHOT_SCRATCH.with(|cell| self.predict_with(raw, &mut cell.borrow_mut()))
     }
 
     /// Accumulates gradients for one sample into `grad` (same layout as
-    /// the Adam state) and returns the cross-entropy loss.
-    pub(crate) fn backward(&self, fwd: &Forward, label: u8, grad: &mut [f32]) -> f32 {
+    /// the Adam state) and returns the cross-entropy loss. `scratch`
+    /// holds the intermediate gradient buffers (reused across samples).
+    pub(crate) fn backward(
+        &self,
+        fwd: &Forward,
+        scratch: &mut BackwardScratch,
+        label: u8,
+        grad: &mut [f32],
+    ) -> f32 {
         let c = &self.config;
-        let h = c.filters * c.cols;
+        let h = c.hidden_dim();
+        scratch.ensure(c);
         let loss = -(fwd.probs[label as usize].max(1e-12)).ln();
         // dL/dlogit_k = p_k - [k == label]
-        let mut dlogits = fwd.probs.clone();
-        dlogits[label as usize] -= 1.0;
+        scratch.dlogits.copy_from_slice(&fwd.probs);
+        scratch.dlogits[label as usize] -= 1.0;
+        scratch.dhidden.fill(0.0);
         let (g_conv_w, rest) = grad.split_at_mut(c.filters * c.rows);
         let (g_conv_b, rest) = rest.split_at_mut(c.filters);
         let (g_dense_w, g_dense_b) = rest.split_at_mut(c.classes * h);
-        let mut dhidden = vec![0.0f32; h];
-        for (k, &dl) in dlogits.iter().enumerate() {
-            g_dense_b[k] += dl;
-            let gw = &mut g_dense_w[k * h..(k + 1) * h];
-            let w = &self.dense_w[k * h..(k + 1) * h];
-            for j in 0..h {
-                gw[j] += dl * fwd.hidden[j];
-                dhidden[j] += dl * w[j];
-            }
-        }
-        // Through ReLU into conv params.
-        for f in 0..c.filters {
-            let gw = &mut g_conv_w[f * c.rows..(f + 1) * c.rows];
-            for col in 0..c.cols {
-                let idx = f * c.cols + col;
-                if fwd.conv_out[idx] <= 0.0 {
-                    continue;
-                }
-                let d = dhidden[idx];
-                g_conv_b[f] += d;
-                for (r, g) in gw.iter_mut().enumerate() {
-                    *g += d * fwd.x[r * c.cols + col];
-                }
-            }
-        }
+        kernel::dense_backward(
+            &scratch.dlogits,
+            &fwd.hidden,
+            &self.dense_w,
+            g_dense_w,
+            g_dense_b,
+            &mut scratch.dhidden,
+        );
+        kernel::conv_backward_rows(
+            &fwd.x,
+            &fwd.conv_out,
+            &scratch.dhidden,
+            c.filters,
+            c.rows,
+            c.cols,
+            g_conv_w,
+            g_conv_b,
+        );
         loss
     }
 
@@ -274,6 +443,8 @@ mod tests {
         let m = CutCnn::new(&c, 1);
         // 128 filters × 15 rows + 128 + 10 × 1280 + 10.
         assert_eq!(m.num_params(), 128 * 15 + 128 + 10 * 1280 + 10);
+        assert_eq!(c.input_dim(), 150);
+        assert_eq!(c.hidden_dim(), 1280);
     }
 
     #[test]
@@ -296,6 +467,110 @@ mod tests {
         assert_ne!(a.conv_w, c.conv_w);
     }
 
+    /// Transcription of the pre-kernel (seed) scalar forward pass; the
+    /// kernel-based model must reproduce it bit for bit.
+    fn seed_forward_probs(m: &CutCnn, raw: &[f32]) -> Vec<f32> {
+        let c = &m.config;
+        let x: Vec<f32> = raw
+            .iter()
+            .zip(m.feat_mean.iter().zip(&m.feat_std))
+            .map(|(&v, (&mean, &s))| ((v - mean) / s).clamp(-6.0, 6.0))
+            .collect();
+        let mut conv_out = vec![0.0f32; c.filters * c.cols];
+        for f in 0..c.filters {
+            let w = &m.conv_w[f * c.rows..(f + 1) * c.rows];
+            let b = m.conv_b[f];
+            let out = &mut conv_out[f * c.cols..(f + 1) * c.cols];
+            for (col, o) in out.iter_mut().enumerate() {
+                let mut acc = b;
+                for (r, &wr) in w.iter().enumerate() {
+                    acc += wr * x[r * c.cols + col];
+                }
+                *o = acc;
+            }
+        }
+        let hidden: Vec<f32> = conv_out.iter().map(|&v| v.max(0.0)).collect();
+        let h = c.filters * c.cols;
+        let mut logits = vec![0.0f32; c.classes];
+        for (k, logit) in logits.iter_mut().enumerate() {
+            let w = &m.dense_w[k * h..(k + 1) * h];
+            let mut acc = m.dense_b[k];
+            for (wj, hj) in w.iter().zip(&hidden) {
+                acc += wj * hj;
+            }
+            *logit = acc;
+        }
+        let max = logits.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut probs: Vec<f32> = logits.iter().map(|&l| (l - max).exp()).collect();
+        let sum: f32 = probs.iter().sum();
+        for p in &mut probs {
+            *p /= sum;
+        }
+        probs
+    }
+
+    #[test]
+    fn kernel_forward_is_bit_identical_to_seed_scalar() {
+        let mut m = CutCnn::new(&CnnConfig::paper(), 21);
+        m.set_standardization(vec![0.3; 150], vec![1.7; 150]);
+        let mut rng = Rng64::seed_from(99);
+        for _ in 0..20 {
+            let raw: Vec<f32> = (0..150).map(|_| rng.f32_symmetric(30.0)).collect();
+            let seed_probs = seed_forward_probs(&m, &raw);
+            let new_probs = m.predict_probs(&raw);
+            for (k, (a, b)) in new_probs.iter().zip(&seed_probs).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "class {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_predictions_match_per_sample_bitwise() {
+        let mut m = CutCnn::new(&CnnConfig::paper(), 3);
+        m.set_standardization(vec![0.1; 150], vec![2.0; 150]);
+        let mut rng = Rng64::seed_from(42);
+        let n = 37; // deliberately not a multiple of any block size
+        let xs: Vec<f32> = (0..n * 150).map(|_| rng.f32_symmetric(20.0)).collect();
+        let mut scratch = InferenceScratch::new();
+        let mut classes = Vec::with_capacity(n);
+        m.predict_batch_into(&xs, &mut scratch, &mut classes);
+        assert_eq!(classes.len(), n);
+        let mut probs = Vec::new();
+        m.predict_probs_batch_into(&xs, &mut scratch, &mut probs);
+        assert_eq!(probs.len(), n * 10);
+        for (i, sample) in xs.chunks_exact(150).enumerate() {
+            assert_eq!(classes[i], m.predict(sample), "sample {i} class");
+            let one = m.predict_probs(sample);
+            for (k, (a, b)) in probs[i * 10..(i + 1) * 10].iter().zip(&one).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "sample {i} class {k}");
+            }
+        }
+        // Chunked scoring reassembled in order equals the single sweep.
+        let mut chunked = Vec::with_capacity(n);
+        for chunk in xs.chunks(5 * 150) {
+            m.predict_batch_into(chunk, &mut scratch, &mut chunked);
+        }
+        assert_eq!(chunked, classes);
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let m = CutCnn::new(&CnnConfig::paper(), 4);
+        let mut scratch = InferenceScratch::new();
+        let mut out = Vec::new();
+        m.predict_batch_into(&[], &mut scratch, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of rows")]
+    fn ragged_batch_panics() {
+        let m = CutCnn::new(&CnnConfig::paper(), 4);
+        let mut scratch = InferenceScratch::new();
+        let mut out = Vec::new();
+        m.predict_batch_into(&[0.0; 151], &mut scratch, &mut out);
+    }
+
     #[test]
     fn gradient_matches_finite_difference() {
         // Numerical check of a few parameters on a tiny model.
@@ -311,7 +586,8 @@ mod tests {
         let n = model.num_params();
         let mut grad = vec![0.0f32; n];
         let fwd = model.forward(&x);
-        let _ = model.backward(&fwd, label, &mut grad);
+        let mut scratch = BackwardScratch::default();
+        let _ = model.backward(&fwd, &mut scratch, label, &mut grad);
         let loss_at = |m: &CutCnn| -> f32 {
             let f = m.forward(&x);
             -(f.probs[label as usize].max(1e-12)).ln()
@@ -365,10 +641,12 @@ mod tests {
             let f = model.forward(&x);
             -(f.probs[label as usize].max(1e-12)).ln()
         };
+        let mut fwd = Forward::default();
+        let mut scratch = BackwardScratch::default();
         for _ in 0..50 {
             let mut grad = vec![0.0f32; model.num_params()];
-            let f = model.forward(&x);
-            model.backward(&f, label, &mut grad);
+            model.forward_into(&x, &mut fwd);
+            model.backward(&fwd, &mut scratch, label, &mut grad);
             model.adam_step(&grad, 1, 1e-2);
         }
         let loss1 = {

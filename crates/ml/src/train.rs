@@ -151,10 +151,12 @@ impl CutCnn {
         // worker threads), and the buffers are reduced into `grad` in batch
         // order — a fixed float-addition order, so the summed gradient and
         // hence the whole weight trajectory are bit-identical for every
-        // thread count. (The per-sample pre-sum regroups the additions
-        // relative to accumulating straight into `grad`, so absolute values
-        // differ from the old direct-accumulate loop at the float-ulp
-        // level; determinism per seed is unchanged.)
+        // thread count. The forward/backward passes run on the shared
+        // kernel layer with per-worker scratch (`Forward` +
+        // `BackwardScratch`), so the steady-state loop allocates nothing
+        // per sample; the kernels' fixed accumulation order keeps the
+        // per-sample gradients — and hence the trajectory — bit-identical
+        // to the pre-kernel scalar loops.
         let mut sample_grads = vec![0.0f32; config.batch_size.max(1) * num_params];
         let mut final_loss = 0.0f64;
         for epoch in 0..config.epochs {
@@ -164,12 +166,22 @@ impl CutCnn {
             let mut epoch_loss = 0.0f64;
             for batch in order.chunks(config.batch_size) {
                 let buf = &mut sample_grads[..batch.len() * num_params];
-                let losses = slap_par::par_chunks_mut(buf, num_params, |s, chunk| {
-                    chunk.fill(0.0);
-                    let (x, y) = train.sample(batch[s]);
-                    let fwd = self.forward(x);
-                    self.backward(&fwd, y, chunk)
-                });
+                let (losses, _scratch) = slap_par::par_chunks_mut_with(
+                    buf,
+                    num_params,
+                    |_w| {
+                        (
+                            crate::model::Forward::default(),
+                            crate::model::BackwardScratch::default(),
+                        )
+                    },
+                    |(fwd, back), s, chunk| {
+                        chunk.fill(0.0);
+                        let (x, y) = train.sample(batch[s]);
+                        self.forward_into(x, fwd);
+                        self.backward(fwd, back, y, chunk)
+                    },
+                );
                 for loss in losses {
                     epoch_loss += loss as f64;
                 }
@@ -223,19 +235,34 @@ impl CutCnn {
         correct as f64 / data.len() as f64
     }
 
-    /// Counts samples whose prediction satisfies `ok`, evaluating the
-    /// (read-only) forward passes across worker threads. An integer sum of
-    /// per-range counts, so the result is exact for every thread count.
+    /// Counts samples whose prediction satisfies `ok`, scoring the
+    /// (read-only) batched forward passes across worker threads: each
+    /// worker sweeps its contiguous range in [`ACCURACY_BATCH`]-sample
+    /// batches through `predict_batch_into` with a worker-owned scratch.
+    /// Batched predictions are bit-identical to per-sample ones and the
+    /// result is an integer sum of per-range counts, so the count is
+    /// exact for every thread count and batch size.
     fn count_correct(&self, data: &Dataset, ok: impl Fn(u8, u8) -> bool + Sync) -> usize {
+        /// Samples per scoring batch inside one worker's range.
+        const ACCURACY_BATCH: usize = 64;
         let ranges = slap_par::split_ranges(data.len(), slap_par::threads());
         slap_par::par_map(&ranges, |_, range| {
-            range
-                .clone()
-                .filter(|&i| {
-                    let (x, y) = data.sample(i);
-                    ok(self.predict(x), y)
-                })
-                .count()
+            let mut scratch = crate::model::InferenceScratch::new();
+            let mut classes: Vec<u8> = Vec::with_capacity(ACCURACY_BATCH);
+            let mut correct = 0usize;
+            let mut start = range.start;
+            while start < range.end {
+                let end = (start + ACCURACY_BATCH).min(range.end);
+                classes.clear();
+                self.predict_batch_into(data.features_of(start..end), &mut scratch, &mut classes);
+                for (i, &pred) in (start..end).zip(&classes) {
+                    if ok(pred, data.label(i)) {
+                        correct += 1;
+                    }
+                }
+                start = end;
+            }
+            correct
         })
         .into_iter()
         .sum()

@@ -223,41 +223,75 @@ where
     T: Send,
     R: Send,
 {
+    par_chunks_mut_with(data, chunk_size, |_| (), |(), i, c| f(i, c)).0
+}
+
+/// [`par_chunks_mut`] with per-worker state: `init` builds one state per
+/// worker (receiving the worker index), every chunk processed by that
+/// worker sees it as `&mut S`, and the final states are returned in
+/// worker-index order. The state is for scratch buffers and commutative
+/// accumulation only — chunk results must stay a pure function of
+/// `(chunk_index, chunk)` for the determinism contract to hold.
+///
+/// # Panics
+///
+/// Panics if `chunk_size` is 0.
+pub fn par_chunks_mut_with<T, R, S>(
+    data: &mut [T],
+    chunk_size: usize,
+    init: impl Fn(usize) -> S + Sync,
+    f: impl Fn(&mut S, usize, &mut [T]) -> R + Sync,
+) -> (Vec<R>, Vec<S>)
+where
+    T: Send,
+    R: Send,
+    S: Send,
+{
     assert!(chunk_size > 0, "chunk_size must be positive");
     let num_chunks = data.len().div_ceil(chunk_size);
     let nw = workers_for(num_chunks);
     if nw <= 1 {
-        return data
+        let mut state = init(0);
+        let out = data
             .chunks_mut(chunk_size)
             .enumerate()
-            .map(|(i, c)| f(i, c))
+            .map(|(i, c)| f(&mut state, i, c))
             .collect();
+        return (out, vec![state]);
     }
     let mut per_worker: Vec<Vec<(usize, &mut [T])>> = (0..nw).map(|_| Vec::new()).collect();
     for (i, c) in data.chunks_mut(chunk_size).enumerate() {
         per_worker[i % nw].push((i, c));
     }
     let mut results: Vec<(usize, R)> = Vec::with_capacity(num_chunks);
+    let mut states: Vec<S> = Vec::with_capacity(nw);
     std::thread::scope(|scope| {
         let handles: Vec<_> = per_worker
             .into_iter()
-            .map(|chunks| {
+            .enumerate()
+            .map(|(w, chunks)| {
+                let init = &init;
                 let f = &f;
                 scope.spawn(move || {
                     IN_WORKER.with(|c| c.set(true));
-                    let out: Vec<(usize, R)> =
-                        chunks.into_iter().map(|(i, c)| (i, f(i, c))).collect();
+                    let mut state = init(w);
+                    let out: Vec<(usize, R)> = chunks
+                        .into_iter()
+                        .map(|(i, c)| (i, f(&mut state, i, c)))
+                        .collect();
                     IN_WORKER.with(|c| c.set(false));
-                    out
+                    (state, out)
                 })
             })
             .collect();
         for handle in handles {
-            results.extend(join_worker(handle));
+            let (state, out) = join_worker(handle);
+            states.push(state);
+            results.extend(out);
         }
     });
     results.sort_unstable_by_key(|&(i, _)| i);
-    results.into_iter().map(|(_, r)| r).collect()
+    (results.into_iter().map(|(_, r)| r).collect(), states)
 }
 
 /// Level-synchronized parallel map: each level's items run in parallel
@@ -374,6 +408,33 @@ mod tests {
             assert_eq!(data[0], 1);
             assert_eq!(data[24], 7);
             assert!(data.iter().all(|&v| v != 0));
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_with_keeps_state_per_worker() {
+        for t in [1, 3, 8] {
+            let mut data = vec![0u32; 23];
+            let (firsts, states) = with_threads(t, || {
+                par_chunks_mut_with(
+                    &mut data,
+                    4,
+                    |_w| 0usize,
+                    |seen, i, chunk| {
+                        *seen += 1;
+                        for v in chunk.iter_mut() {
+                            *v = i as u32 + 1;
+                        }
+                        chunk[0]
+                    },
+                )
+            });
+            // Results in chunk order regardless of schedule.
+            assert_eq!(firsts, vec![1, 2, 3, 4, 5, 6], "threads={t}");
+            assert_eq!(data[22], 6, "threads={t}");
+            // Every chunk touched exactly one worker state.
+            assert_eq!(states.iter().sum::<usize>(), 6, "threads={t}");
+            assert_eq!(states.len(), t.min(6), "threads={t}");
         }
     }
 

@@ -79,6 +79,73 @@ fn enumeration_and_mapping_allocation_count() {
     );
 }
 
+/// The batched-inference guard: steady-state cut scoring must not
+/// allocate per cut. After one warm-up call (scratch growth, lazy obs
+/// registry entries), every `predict_batch_into` call costs a small
+/// constant number of allocations (the obs span's path strings) no
+/// matter how many samples the batch holds — zero allocations per cut —
+/// and the caller-owned-scratch per-sample path (`predict_with`) costs
+/// none at all.
+#[test]
+fn steady_state_scoring_allocation_count() {
+    use slap_ml::{CnnConfig, CutCnn, InferenceScratch};
+
+    let _guard = BUDGET_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    let model = CutCnn::new(
+        &CnnConfig {
+            filters: 32,
+            ..CnnConfig::paper()
+        },
+        9,
+    );
+    let dim = model.config().input_dim();
+    let batch = 256usize;
+    let xs: Vec<f32> = (0..batch * dim)
+        .map(|i| (i % 17) as f32 * 0.25 - 2.0)
+        .collect();
+    let mut scratch = InferenceScratch::new();
+    let mut out: Vec<u8> = Vec::with_capacity(batch);
+    // Warm up: scratch buffers grow to the batch shape, the obs registry
+    // creates its counter/histogram/timer entries.
+    model.predict_batch_into(&xs, &mut scratch, &mut out);
+    out.clear();
+    model.predict_with(&xs[..dim], &mut scratch);
+
+    let calls = 16u64;
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for _ in 0..calls {
+        out.clear();
+        model.predict_batch_into(&xs, &mut scratch, &mut out);
+    }
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(out.len(), batch);
+    let batched = after - before;
+    // The obs span allocates its path strings per call; everything else
+    // must be reused. The bound is per call, not per sample: 16 calls
+    // scored 4096 cuts, so any per-cut allocation blows through it.
+    let budget = calls * 8;
+    eprintln!("allocations for {calls} warm batched-scoring calls: {batched}");
+    assert!(
+        batched < budget,
+        "steady-state batched scoring allocated {batched} times in {calls} calls \
+         (budget {budget}); scoring must not allocate per cut"
+    );
+
+    // The caller-owned-scratch per-sample path is allocation-free.
+    let before = ALLOCS.load(Ordering::Relaxed);
+    for sample in xs.chunks_exact(dim) {
+        std::hint::black_box(model.predict_with(sample, &mut scratch));
+    }
+    let after = ALLOCS.load(Ordering::Relaxed);
+    assert_eq!(
+        after - before,
+        0,
+        "predict_with must be allocation-free with a warm scratch"
+    );
+}
+
 /// The memoization guard: re-mapping the same cut arena through a warm
 /// [`slap_map::MapSession`] must allocate strictly less than the first
 /// (cache-filling) map of that session — the second run replays interned

@@ -1,0 +1,209 @@
+//! Golden equivalence of the batched two-pass inference against the
+//! seed per-sample scoring path.
+//!
+//! The batched rewrite of [`SlapMapper::classify_cuts`] must be a pure
+//! restructuring: for every catalog circuit, the keep mask and stats it
+//! produces — and the full SLAP-mapped QoR downstream of them — must be
+//! bit-identical to scoring every cut alone in node order (transcribed
+//! below as the reference), at every worker count and in both session
+//! cache modes.
+
+use std::sync::OnceLock;
+
+use slap_aig::Aig;
+use slap_cell::asap7_mini;
+use slap_circuits::arith::ripple_carry_adder;
+use slap_circuits::{table2_benchmarks, Scale};
+use slap_core::{
+    train_slap_model, BandPolicy, EmbeddingContext, PipelineConfig, SampleConfig, SlapConfig,
+    SlapMapper, SlapStats, CUT_EMBED_DIM,
+};
+use slap_cuts::{cut_features, enumerate_cuts, CutArena, UnlimitedPolicy};
+use slap_map::{MapOptions, Mapper};
+use slap_ml::{CnnConfig, CutCnn, TrainConfig};
+
+/// Serializes the tests: they mutate the process-global worker count.
+static THREAD_AXIS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// The SLAP configuration the suite runs: the default flow with a
+/// reduced per-node enumeration cap. The batched/per-sample contract is
+/// independent of the cut count, and tier-1 runs this binary unoptimized
+/// — the default cap of 1000 would score ~10× the cuts for no extra
+/// coverage.
+fn suite_config() -> SlapConfig {
+    SlapConfig {
+        unlimited_cap: 12,
+        ..SlapConfig::default()
+    }
+}
+
+/// One quick-trained model shared by every test in this binary (training
+/// is the expensive part; the suite only needs fixed, non-degenerate
+/// weights so the band policy sees a spread of predicted classes).
+fn shared_model() -> &'static CutCnn {
+    static MODEL: OnceLock<CutCnn> = OnceLock::new();
+    MODEL.get_or_init(|| {
+        let lib = asap7_mini();
+        let mapper = Mapper::new(&lib, MapOptions::default());
+        let config = PipelineConfig {
+            sample: SampleConfig {
+                maps: 16,
+                ..SampleConfig::default()
+            },
+            train: TrainConfig {
+                epochs: 4,
+                ..TrainConfig::default()
+            },
+            model: CnnConfig {
+                filters: 8,
+                ..CnnConfig::paper()
+            },
+            model_seed: 5,
+        };
+        let (model, report) = train_slap_model(&[ripple_carry_adder(8)], &mapper, &config);
+        assert!(report.train_samples > 0);
+        model
+    })
+}
+
+/// Transcription of the seed inference loop: node by node, one embedding
+/// buffer, one `predict` call per cut, one `select` per node. (The
+/// per-sample `predict` itself is pinned to the seed's scalar forward
+/// pass bit-for-bit by the `slap-ml` kernel unit tests.)
+fn reference_classify(
+    model: &CutCnn,
+    policy: &BandPolicy,
+    aig: &Aig,
+    cuts: &CutArena,
+) -> (Vec<bool>, SlapStats) {
+    let ctx = EmbeddingContext::new(aig);
+    let mut stats = SlapStats {
+        class_histogram: vec![0; model.config().classes],
+        ..SlapStats::default()
+    };
+    let mut keep: Vec<bool> = vec![false; cuts.total_cuts()];
+    let mut embedding = [0f32; CUT_EMBED_DIM];
+    let mut classes: Vec<u8> = Vec::new();
+    for n in aig.and_ids() {
+        let span = cuts.span_of(n);
+        if span.is_empty() {
+            continue;
+        }
+        classes.clear();
+        for (_, cut) in cuts.ids_of(n) {
+            let features = cut_features(aig, n, cut, ctx.compl_flags());
+            ctx.cut_embedding_into(n, cut, &features, &mut embedding);
+            let class = model.predict(&embedding);
+            stats.class_histogram[class as usize] += 1;
+            classes.push(class);
+        }
+        stats.cuts_scored += classes.len();
+        let mask = policy.select(&classes);
+        if mask.iter().all(|&k| !k) {
+            stats.nodes_all_bad += 1;
+        }
+        stats.cuts_kept += mask.iter().filter(|&&k| k).count();
+        for (offset, &kept) in (span.start as usize..).zip(&mask) {
+            keep[offset] = kept;
+        }
+    }
+    (keep, stats)
+}
+
+/// The per-node keep masks: for every catalog circuit, the batched
+/// two-pass classification must reproduce the per-sample reference mask
+/// and stats bit-for-bit at 1, 2, and 8 worker threads.
+#[test]
+fn batched_keep_masks_match_per_sample_reference_across_threads() {
+    let _guard = THREAD_AXIS_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    let prev = slap_par::threads();
+    let lib = asap7_mini();
+    let mapper = Mapper::new(&lib, MapOptions::default());
+    let config = suite_config();
+    let slap = SlapMapper::new(&mapper, shared_model().clone(), config.clone());
+    for bench in table2_benchmarks() {
+        let aig = bench.build(Scale::Quick);
+        let cuts = enumerate_cuts(
+            &aig,
+            &config.cut_config,
+            &mut UnlimitedPolicy::with_cap(config.unlimited_cap),
+        );
+        slap_par::set_threads(1);
+        let (ref_keep, ref_stats) = reference_classify(slap.model(), &config.policy, &aig, &cuts);
+        assert!(ref_stats.cuts_scored > 0, "{}", bench.name);
+        for t in [1usize, 2, 8] {
+            slap_par::set_threads(t);
+            let (keep, stats) = slap.classify_cuts(&aig, &cuts);
+            assert_eq!(
+                keep, ref_keep,
+                "{}: keep mask diverged from the per-sample reference at {t} threads",
+                bench.name
+            );
+            assert_eq!(
+                stats, ref_stats,
+                "{}: stats diverged from the per-sample reference at {t} threads",
+                bench.name
+            );
+        }
+    }
+    slap_par::set_threads(prev);
+}
+
+/// The QoR axis of the same contract: the full `SlapMapper::map` of every
+/// catalog circuit — cold one-shot maps (the `SLAP_CACHE=0` path) and
+/// warm memoizing sessions alike — must be bit-identical across worker
+/// counts, and the warm sessions bit-identical to the cold maps.
+#[test]
+fn slap_map_qor_is_identical_across_threads_and_cache_modes() {
+    let _guard = THREAD_AXIS_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    let prev = slap_par::threads();
+    let lib = asap7_mini();
+    let mapper = Mapper::new(&lib, MapOptions::default());
+    let slap = SlapMapper::new(&mapper, shared_model().clone(), suite_config());
+    for bench in table2_benchmarks() {
+        let aig = bench.build(Scale::Quick);
+        slap_par::set_threads(1);
+        let (cold_nl, cold_stats) = slap.map(&aig).expect("maps");
+        assert!(cold_nl.area() > 0.0, "{}", bench.name);
+        for t in [1usize, 2, 8] {
+            slap_par::set_threads(t);
+            // Cold axis: `SlapMapper::map` always runs a cache-disabled
+            // session (what `SLAP_CACHE=0` forces everywhere).
+            let (nl, stats) = slap.map(&aig).expect("maps");
+            // Warm axis: repeated maps through one memoizing session,
+            // first (cache-filling) and second (cache-replaying) alike.
+            let mut session = mapper.session_cached(&aig, true);
+            let (warm1_nl, warm1_stats) = slap.map_with_session(&mut session).expect("maps");
+            let (warm2_nl, warm2_stats) = slap.map_with_session(&mut session).expect("maps");
+            for (mode, got_nl, got_stats) in [
+                ("cold", &nl, &stats),
+                ("warm-first", &warm1_nl, &warm1_stats),
+                ("warm-second", &warm2_nl, &warm2_stats),
+            ] {
+                let label = format!("{}/{mode}/t={t}", bench.name);
+                assert_eq!(
+                    got_nl.instances(),
+                    cold_nl.instances(),
+                    "{label}: instances"
+                );
+                assert_eq!(got_nl.pos(), cold_nl.pos(), "{label}: po sources");
+                assert_eq!(
+                    got_nl.area().to_bits(),
+                    cold_nl.area().to_bits(),
+                    "{label}: area"
+                );
+                assert_eq!(
+                    got_nl.delay().to_bits(),
+                    cold_nl.delay().to_bits(),
+                    "{label}: delay"
+                );
+                assert_eq!(got_stats, &cold_stats, "{label}: slap stats");
+            }
+        }
+    }
+    slap_par::set_threads(prev);
+}
