@@ -55,14 +55,30 @@ fn main() {
             let _s = slap_obs::span("bench_probe");
         }
     });
+    // The tracing-disabled path: with SLAP_TRACE unset every span pays
+    // one relaxed `enabled()` load and skips the buffer push entirely,
+    // so a traced build costs the same as the seed until the flag flips.
+    assert!(
+        !slap_obs::trace::enabled(),
+        "obs_overhead measures the default (tracing-off) configuration"
+    );
+    let enabled_check = measure("obs/trace_enabled_check_x1000", 50, || {
+        for _ in 0..OPS {
+            std::hint::black_box(slap_obs::trace::enabled());
+        }
+    });
 
     let map = measure("map/aes_sbox_core", 10, || {
         mapper.map_default(&aig, &cfg).expect("maps")
     });
 
-    for m in [&map, &add, &hist, &span] {
+    for m in [&map, &add, &hist, &span, &enabled_check] {
         println!("{}", m.render());
     }
+    assert!(
+        slap_obs::trace::drain().is_empty(),
+        "tracing-disabled spans must buffer no events"
+    );
     let per = |m: &slap_bench::microbench::Measurement| m.min_s / f64::from(OPS);
     let obs_s =
         spans as f64 * per(&span) + observes as f64 * per(&hist) + counter_adds as f64 * per(&add);

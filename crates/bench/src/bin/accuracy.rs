@@ -9,7 +9,11 @@
 
 use std::sync::Arc;
 
-use slap_bench::metrics::{config_record, EpochMetrics, MetricsOut};
+use slap_aig::Aig;
+use slap_bench::metrics::{
+    circuits_hash, library_hash, obs_snapshot_record, run_manifest, EpochMetrics, MetricsOut,
+    TraceOut,
+};
 use slap_bench::{experiments_dir, init_threads, Args};
 use slap_cell::asap7_mini;
 use slap_circuits::catalog::Scale;
@@ -17,6 +21,9 @@ use slap_circuits::training_benchmarks;
 use slap_core::{generate_dataset, LabelMode, SampleConfig, CUT_EMBED_COLS, CUT_EMBED_ROWS};
 use slap_map::{MapOptions, Mapper};
 use slap_ml::{CnnConfig, CutCnn, Dataset, TrainConfig};
+
+#[global_allocator]
+static ALLOC: slap_obs::alloc::CountingAllocator = slap_obs::alloc::CountingAllocator;
 
 fn main() {
     let args = Args::from_env();
@@ -37,7 +44,8 @@ fn main() {
     let metrics = Arc::new(MetricsOut::from_arg(
         &args.get("metrics-json", String::new()),
     ));
-    metrics.emit(&config_record("accuracy", threads));
+    let trace = TraceOut::from_args(&args);
+    let run_span = slap_obs::span("accuracy");
 
     let library = asap7_mini();
     let mapper = Mapper::new(&library, MapOptions::default());
@@ -46,11 +54,24 @@ fn main() {
     // The training circuits sample independently; build one dataset per
     // circuit across worker threads and merge in catalog order.
     let benches = training_benchmarks();
-    let parts = slap_par::par_map(&benches, |_, bench| {
-        let aig = bench.build(Scale::Full);
+    let aigs: Vec<Aig> = slap_par::par_map(&benches, |_, b| b.build(Scale::Full));
+    metrics.emit(
+        &run_manifest("accuracy", threads)
+            .config("maps", maps)
+            .config("epochs", epochs)
+            .config("filters", filters)
+            .config("keep", keep)
+            .config("seed", seed)
+            .input_hash("circuits", circuits_hash(&aigs))
+            .input_hash("library", library_hash(&library))
+            .into_record(),
+    );
+    let datagen_span = slap_obs::span("datagen");
+    let parts = slap_par::par_map(&aigs, |i, aig| {
+        let bench = &benches[i];
         let mut part = Dataset::new(CUT_EMBED_ROWS, CUT_EMBED_COLS, 10);
         let samples = generate_dataset(
-            &aig,
+            aig,
             &mapper,
             &SampleConfig {
                 maps,
@@ -64,6 +85,7 @@ fn main() {
         .expect("training circuit maps");
         (bench.name, samples, part)
     });
+    drop(datagen_span);
     let mut dataset = Dataset::new(CUT_EMBED_ROWS, CUT_EMBED_COLS, 10);
     for (name, samples, part) in &parts {
         dataset.extend_from(part);
@@ -104,6 +126,7 @@ fn main() {
         seed,
     );
     let progress = Some(Arc::new(EpochMetrics::new(metrics.clone(), true)) as _);
+    let train_span = slap_obs::span("train");
     let report = model.train(
         &dataset,
         &TrainConfig {
@@ -114,6 +137,7 @@ fn main() {
             ..TrainConfig::default()
         },
     );
+    drop(train_span);
 
     println!("\nresults:");
     println!(
@@ -144,7 +168,10 @@ fn main() {
     rec.push("val_binary_accuracy", report.val_binary_accuracy);
     rec.push("final_loss", report.final_loss);
     metrics.emit(&rec);
+    drop(run_span);
+    metrics.emit(&obs_snapshot_record());
     metrics.finish();
+    trace.finish();
 
     let path = experiments_dir().join(args.get("save", "model.txt".to_string()));
     std::fs::write(&path, model.to_text()).expect("write model");

@@ -14,10 +14,14 @@
 //! Usage:
 //!   cargo run --release -p slap-bench --bin bench_datagen -- \
 //!       [--rounds 3] [--maps 48] [--threads N] [--out BENCH_datagen.json]
+//!       [--metrics-json out.jsonl] [--trace-json trace.json]
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use slap_bench::metrics::{
+    aig_hash, library_hash, obs_snapshot_record, run_manifest, MetricsOut, TraceOut,
+};
 use slap_bench::{init_threads, Args};
 use slap_cell::asap7_mini;
 use slap_circuits::aes::aes_mini;
@@ -25,26 +29,42 @@ use slap_core::{generate_dataset_session, SampleConfig, CUT_EMBED_COLS, CUT_EMBE
 use slap_map::{MapOptions, Mapper};
 use slap_ml::Dataset;
 
+#[global_allocator]
+static ALLOC: slap_obs::alloc::CountingAllocator = slap_obs::alloc::CountingAllocator;
+
 fn main() {
     let args = Args::from_env();
     let rounds = args.get("rounds", 3usize);
     let maps = args.get("maps", 48usize);
     let out_path = args.get("out", "BENCH_datagen.json".to_string());
     let threads = init_threads(&args);
+    let metrics = MetricsOut::from_arg(&args.get("metrics-json", String::new()));
+    let trace = TraceOut::from_args(&args);
+    let run_span = slap_obs::span("bench_datagen");
     assert!(maps >= 32, "acceptance criterion measures maps >= 32");
 
     let lib = asap7_mini();
     let mapper = Mapper::new(&lib, MapOptions::default());
     let aig = aes_mini();
+    metrics.emit(
+        &run_manifest("bench_datagen", threads)
+            .config("rounds", rounds)
+            .config("maps", maps)
+            .input_hash("circuit", aig_hash(&aig))
+            .input_hash("library", library_hash(&lib))
+            .into_record(),
+    );
     let cfg = SampleConfig {
         maps,
         ..SampleConfig::default()
     };
 
     // Warm up lazy global state and pre-fill the persistent warm session.
+    let warm_fill_span = slap_obs::span("warm_fill");
     let mut warm_session = mapper.session_cached(&aig, true);
     let mut ds = Dataset::new(CUT_EMBED_ROWS, CUT_EMBED_COLS, cfg.classes);
     generate_dataset_session(&mut warm_session, &cfg, &mut ds).expect("maps");
+    drop(warm_fill_span);
     let reference_hash = ds.content_hash();
     eprintln!(
         "warm-fill done: {} memoized runs, {} cached functions, {} interned truth tables",
@@ -59,10 +79,12 @@ fn main() {
         // Cold: a fresh cache-disabled session each round, as if the
         // caller used `SLAP_CACHE=0`.
         let mut ds = Dataset::new(CUT_EMBED_ROWS, CUT_EMBED_COLS, cfg.classes);
+        let cold_span = slap_obs::span("cold_round");
         let t0 = Instant::now();
         let mut cold_session = mapper.session_cached(&aig, false);
         generate_dataset_session(&mut cold_session, &cfg, &mut ds).expect("maps");
         let cold_s = t0.elapsed().as_secs_f64();
+        drop(cold_span);
         assert_eq!(
             ds.content_hash(),
             reference_hash,
@@ -71,9 +93,11 @@ fn main() {
 
         // Warm: the persistent pre-filled session.
         let mut ds = Dataset::new(CUT_EMBED_ROWS, CUT_EMBED_COLS, cfg.classes);
+        let warm_span = slap_obs::span("warm_round");
         let t0 = Instant::now();
         generate_dataset_session(&mut warm_session, &cfg, &mut ds).expect("maps");
         let warm_s = t0.elapsed().as_secs_f64();
+        drop(warm_span);
         assert_eq!(
             ds.content_hash(),
             reference_hash,
@@ -85,6 +109,12 @@ fn main() {
             round + 1,
             cold_s / warm_s
         );
+        let mut rec = slap_obs::Record::new();
+        rec.push("event", "round");
+        rec.push("round", round);
+        rec.push("cold_s", cold_s);
+        rec.push("warm_s", warm_s);
+        metrics.emit(&rec);
         cold_times.push(cold_s);
         warm_times.push(warm_s);
     }
@@ -128,4 +158,18 @@ fn main() {
     std::fs::write(&path, &json).expect("write results");
     println!("{json}");
     println!("wrote {}", path.display());
+
+    let alloc = slap_obs::alloc::record_gauges();
+    let mut rec = slap_obs::Record::new();
+    rec.push("event", "summary");
+    rec.push("cold_best_s", cold_best);
+    rec.push("warm_best_s", warm_best);
+    rec.push("warm_speedup", speedup);
+    rec.push("alloc.count", alloc.count);
+    rec.push("alloc.bytes", alloc.bytes);
+    metrics.emit(&rec);
+    drop(run_span);
+    metrics.emit(&obs_snapshot_record());
+    metrics.finish();
+    trace.finish();
 }

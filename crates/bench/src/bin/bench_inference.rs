@@ -14,6 +14,7 @@
 //! Usage:
 //!   cargo run --release -p slap-bench --bin bench_inference -- \
 //!       [--rounds 5] [--threads N] [--smoke] [--out BENCH_inference.json]
+//!       [--metrics-json out.jsonl] [--trace-json trace.json]
 //!
 //! `--smoke` runs one round and skips the JSON file — the CI leg proving
 //! the harness and the bit-identity asserts stay green.
@@ -21,6 +22,9 @@
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use slap_bench::metrics::{
+    aig_hash, library_hash, obs_snapshot_record, run_manifest, MetricsOut, TraceOut,
+};
 use slap_bench::{init_threads, Args};
 use slap_cell::asap7_mini;
 use slap_circuits::aes::aes_mini;
@@ -28,6 +32,9 @@ use slap_core::{BandPolicy, EmbeddingContext, SlapConfig, SlapMapper, SlapStats,
 use slap_cuts::{cut_features, enumerate_cuts, CutArena, UnlimitedPolicy};
 use slap_map::{MapOptions, Mapper};
 use slap_ml::{CnnConfig, CutCnn};
+
+#[global_allocator]
+static ALLOC: slap_obs::alloc::CountingAllocator = slap_obs::alloc::CountingAllocator;
 
 /// The seed model representation: raw tensors extracted through the
 /// text serialization (Rust's float `Display` round-trips exactly, so
@@ -172,10 +179,21 @@ fn main() {
     let rounds = if smoke { 1 } else { args.get("rounds", 5usize) };
     let out_path = args.get("out", "BENCH_inference.json".to_string());
     let threads = init_threads(&args);
+    let metrics = MetricsOut::from_arg(&args.get("metrics-json", String::new()));
+    let trace = TraceOut::from_args(&args);
+    let run_span = slap_obs::span("bench_inference");
 
     let lib = asap7_mini();
     let mapper = Mapper::new(&lib, MapOptions::default());
     let aig = aes_mini();
+    metrics.emit(
+        &run_manifest("bench_inference", threads)
+            .config("rounds", rounds)
+            .config("smoke", smoke)
+            .input_hash("circuit", aig_hash(&aig))
+            .input_hash("library", library_hash(&lib))
+            .into_record(),
+    );
     let config = SlapConfig::default();
     // An untrained paper-architecture model: weights are irrelevant for
     // timing (the FLOP count is fixed by the architecture) and the
@@ -209,13 +227,17 @@ fn main() {
     let mut old_times = Vec::with_capacity(rounds);
     let mut new_times = Vec::with_capacity(rounds);
     for round in 0..rounds {
+        let old_span = slap_obs::span("seed_classify");
         let t0 = Instant::now();
         let (old_keep, old_stats) = seed_classify(&seed, &policy, &aig, &cuts);
         old_times.push(t0.elapsed().as_secs_f64());
+        drop(old_span);
 
+        let new_span = slap_obs::span("batched_classify");
         let t0 = Instant::now();
         let (new_keep, new_stats) = slap.classify_cuts(&aig, &cuts);
         new_times.push(t0.elapsed().as_secs_f64());
+        drop(new_span);
 
         // Bit-identity: the batched path must replay the seed decisions
         // exactly, every round.
@@ -272,6 +294,21 @@ fn main() {
     let _ = writeln!(json, "  \"speedup\": {speedup:.3}");
     json.push_str("}\n");
     println!("{json}");
+
+    let alloc = slap_obs::alloc::record_gauges();
+    let mut rec = slap_obs::Record::new();
+    rec.push("event", "summary");
+    rec.push("cuts_scored", ref_stats.cuts_scored);
+    rec.push("old_best_s", old_best);
+    rec.push("new_best_s", new_best);
+    rec.push("speedup", speedup);
+    rec.push("alloc.count", alloc.count);
+    rec.push("alloc.bytes", alloc.bytes);
+    metrics.emit(&rec);
+    drop(run_span);
+    metrics.emit(&obs_snapshot_record());
+    metrics.finish();
+    trace.finish();
 
     if smoke {
         println!("smoke mode: bit-identity asserts passed, skipping {out_path}");

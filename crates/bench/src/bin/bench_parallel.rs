@@ -10,10 +10,14 @@
 //! Usage:
 //!   cargo run --release -p slap-bench --bin bench_parallel -- \
 //!       [--rounds 3] [--maps 24] [--out BENCH_parallel.json]
+//!       [--metrics-json out.jsonl] [--trace-json trace.json]
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use slap_bench::metrics::{
+    aig_hash, library_hash, obs_snapshot_record, run_manifest, MetricsOut, TraceOut,
+};
 use slap_bench::Args;
 use slap_cell::asap7_mini;
 use slap_circuits::aes::aes_mini;
@@ -22,6 +26,10 @@ use slap_core::{generate_dataset, SampleConfig, CUT_EMBED_COLS, CUT_EMBED_ROWS};
 use slap_cuts::{enumerate_cuts, CutConfig, DefaultPolicy};
 use slap_map::{MapOptions, Mapper};
 use slap_ml::Dataset;
+use slap_obs::manifest::combine_hashes;
+
+#[global_allocator]
+static ALLOC: slap_obs::alloc::CountingAllocator = slap_obs::alloc::CountingAllocator;
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
@@ -30,12 +38,26 @@ fn main() {
     let rounds = args.get("rounds", 3usize);
     let maps = args.get("maps", 24usize);
     let out_path = args.get("out", "BENCH_parallel.json".to_string());
+    let metrics = MetricsOut::from_arg(&args.get("metrics-json", String::new()));
+    let trace = TraceOut::from_args(&args);
+    let run_span = slap_obs::span("bench_parallel");
 
     let lib = asap7_mini();
     let mapper = Mapper::new(&lib, MapOptions::default());
     let cut_config = CutConfig::default();
     let aes = aes_mini();
     let adder = ripple_carry_adder(16);
+    metrics.emit(
+        &run_manifest("bench_parallel", 0)
+            .config("rounds", rounds)
+            .config("maps", maps)
+            .input_hash(
+                "circuits",
+                combine_hashes([aig_hash(&aes), aig_hash(&adder)]),
+            )
+            .input_hash("library", library_hash(&lib))
+            .into_record(),
+    );
     let sample_cfg = SampleConfig {
         maps,
         ..SampleConfig::default()
@@ -61,11 +83,18 @@ fn main() {
     for round in 0..rounds {
         for (ti, &t) in THREAD_COUNTS.iter().enumerate() {
             slap_par::set_threads(t);
+            let _round_span = slap_obs::span("sweep_round");
             let t0 = Instant::now();
-            enumerate_map();
+            {
+                let _s = slap_obs::span("enumerate_map");
+                enumerate_map();
+            }
             best[0][ti] = best[0][ti].min(t0.elapsed().as_secs_f64());
             let t0 = Instant::now();
-            datagen();
+            {
+                let _s = slap_obs::span("datagen");
+                datagen();
+            }
             best[1][ti] = best[1][ti].min(t0.elapsed().as_secs_f64());
             eprintln!(
                 "  round {}/{rounds}: {t} threads done ({:.0} ands aes, {maps} maps datagen)",
@@ -108,4 +137,26 @@ fn main() {
     std::fs::write(&path, &json).expect("write results");
     println!("{json}");
     println!("wrote {}", path.display());
+
+    let alloc = slap_obs::alloc::record_gauges();
+    for (name, times) in &workloads {
+        for (ti, &t) in THREAD_COUNTS.iter().enumerate() {
+            let mut rec = slap_obs::Record::new();
+            rec.push("event", "scaling");
+            rec.push("workload", *name);
+            rec.push("threads", t);
+            rec.push("best_s", times[ti]);
+            rec.push("speedup", times[0] / times[ti]);
+            metrics.emit(&rec);
+        }
+    }
+    let mut rec = slap_obs::Record::new();
+    rec.push("event", "summary");
+    rec.push("alloc.count", alloc.count);
+    rec.push("alloc.bytes", alloc.bytes);
+    metrics.emit(&rec);
+    drop(run_span);
+    metrics.emit(&obs_snapshot_record());
+    metrics.finish();
+    trace.finish();
 }

@@ -4,16 +4,21 @@
 //! Usage:
 //!   cargo run --release -p slap-bench --bin fig1 -- \
 //!       [--maps 300] [--keep 8] [--seed 1] [--full] [--threads N]
-//!       [--metrics-json out.jsonl]
+//!       [--metrics-json out.jsonl] [--trace-json trace.json]
 
 use std::io::Write as _;
 
-use slap_bench::metrics::{config_record, map_record, MetricsOut};
+use slap_bench::metrics::{
+    aig_hash, library_hash, map_record, obs_snapshot_record, run_manifest, MetricsOut, TraceOut,
+};
 use slap_bench::{experiments_dir, init_threads, Args};
 use slap_cell::asap7_mini;
 use slap_circuits::aes::{aes_core, aes_mini};
 use slap_cuts::CutConfig;
 use slap_map::{MapOptions, Mapper};
+
+#[global_allocator]
+static ALLOC: slap_obs::alloc::CountingAllocator = slap_obs::alloc::CountingAllocator;
 
 fn main() {
     let args = Args::from_env();
@@ -22,7 +27,8 @@ fn main() {
     let seed = args.get("seed", 1u64);
     let threads = init_threads(&args);
     let metrics = MetricsOut::from_arg(&args.get("metrics-json", String::new()));
-    metrics.emit(&config_record("fig1", threads));
+    let trace = TraceOut::from_args(&args);
+    let run_span = slap_obs::span("fig1");
     let aig = if args.has("full") {
         aes_core(1)
     } else {
@@ -31,6 +37,15 @@ fn main() {
     println!("circuit: {} ({} AND nodes)", aig.name(), aig.num_ands());
 
     let library = asap7_mini();
+    metrics.emit(
+        &run_manifest("fig1", threads)
+            .config("maps", maps)
+            .config("keep", keep)
+            .config("seed", seed)
+            .input_hash("circuit", aig_hash(&aig))
+            .input_hash("library", library_hash(&library))
+            .into_record(),
+    );
     let mapper = Mapper::new(&library, MapOptions::default());
     let cut_config = CutConfig::default();
     let reference = mapper.map_default(&aig, &cut_config).expect("default maps");
@@ -45,6 +60,7 @@ fn main() {
     // the CSV rows and metrics records back in seed order so the outputs
     // are identical for every thread count.
     let indices: Vec<usize> = (0..maps).collect();
+    let shuffle_span = slap_obs::span("shuffle_maps");
     let runs = slap_par::par_map(&indices, |_, &i| {
         let s = seed + i as u64;
         let nl = mapper
@@ -57,6 +73,7 @@ fn main() {
         });
         (s, nl.area() as f64, nl.delay() as f64, rec)
     });
+    drop(shuffle_span);
     let mut delays = Vec::with_capacity(maps);
     let mut areas = Vec::with_capacity(maps);
     for (i, (s, a, d, rec)) in runs.into_iter().enumerate() {
@@ -101,5 +118,8 @@ fn main() {
         below as f64 / maps as f64 * 100.0
     );
     println!("wrote {}", path.display());
+    drop(run_span);
+    metrics.emit(&obs_snapshot_record());
     metrics.finish();
+    trace.finish();
 }

@@ -6,11 +6,16 @@
 //!   cargo run --release -p slap-bench --bin fig5 -- \
 //!       [--maps 120] [--epochs 12] [--filters 64] [--rounds 10]
 //!       [--eval 2000] [--seed 1] [--threads N] [--metrics-json out.jsonl]
+//!       [--trace-json trace.json]
 
 use std::io::Write as _;
 use std::sync::Arc;
 
-use slap_bench::metrics::{config_record, EpochMetrics, MetricsOut};
+use slap_aig::Aig;
+use slap_bench::metrics::{
+    circuits_hash, library_hash, obs_snapshot_record, run_manifest, EpochMetrics, MetricsOut,
+    TraceOut,
+};
 use slap_bench::{experiments_dir, init_threads, Args};
 use slap_cell::asap7_mini;
 use slap_circuits::catalog::Scale;
@@ -18,6 +23,9 @@ use slap_circuits::training_benchmarks;
 use slap_core::{feature_groups, generate_dataset, SampleConfig, CUT_EMBED_COLS, CUT_EMBED_ROWS};
 use slap_map::{MapOptions, Mapper};
 use slap_ml::{permutation_importance, CnnConfig, CutCnn, Dataset, TrainConfig};
+
+#[global_allocator]
+static ALLOC: slap_obs::alloc::CountingAllocator = slap_obs::alloc::CountingAllocator;
 
 fn main() {
     let args = Args::from_env();
@@ -31,18 +39,31 @@ fn main() {
     let metrics = Arc::new(MetricsOut::from_arg(
         &args.get("metrics-json", String::new()),
     ));
-    metrics.emit(&config_record("fig5", threads));
+    let trace = TraceOut::from_args(&args);
+    let run_span = slap_obs::span("fig5");
 
     let library = asap7_mini();
     let mapper = Mapper::new(&library, MapOptions::default());
     // The training circuits sample independently; build one dataset per
     // circuit across worker threads and merge in catalog order.
     let benches = training_benchmarks();
-    let parts = slap_par::par_map(&benches, |_, bench| {
-        let aig = bench.build(Scale::Full);
+    let aigs: Vec<Aig> = slap_par::par_map(&benches, |_, b| b.build(Scale::Full));
+    metrics.emit(
+        &run_manifest("fig5", threads)
+            .config("maps", maps)
+            .config("epochs", epochs)
+            .config("filters", filters)
+            .config("rounds", rounds)
+            .config("seed", seed)
+            .input_hash("circuits", circuits_hash(&aigs))
+            .input_hash("library", library_hash(&library))
+            .into_record(),
+    );
+    let datagen_span = slap_obs::span("datagen");
+    let parts = slap_par::par_map(&aigs, |_, aig| {
         let mut part = Dataset::new(CUT_EMBED_ROWS, CUT_EMBED_COLS, 10);
         generate_dataset(
-            &aig,
+            aig,
             &mapper,
             &SampleConfig {
                 maps,
@@ -54,6 +75,7 @@ fn main() {
         .expect("training circuit maps");
         part
     });
+    drop(datagen_span);
     let mut dataset = Dataset::new(CUT_EMBED_ROWS, CUT_EMBED_COLS, 10);
     for part in &parts {
         dataset.extend_from(part);
@@ -69,6 +91,7 @@ fn main() {
     let progress = metrics
         .enabled()
         .then(|| Arc::new(EpochMetrics::new(metrics.clone(), false)) as _);
+    let train_span = slap_obs::span("train");
     let report = model.train(
         &dataset,
         &TrainConfig {
@@ -78,6 +101,7 @@ fn main() {
             ..TrainConfig::default()
         },
     );
+    drop(train_span);
     println!(
         "trained: val 10-class {:.2}%, binarised {:.2}%",
         report.val_accuracy * 100.0,
@@ -97,7 +121,10 @@ fn main() {
         eval_set.len()
     );
     let groups = feature_groups();
-    let importance = permutation_importance(&model, &eval_set, &groups, rounds, seed);
+    let importance = {
+        let _s = slap_obs::span("importance");
+        permutation_importance(&model, &eval_set, &groups, rounds, seed)
+    };
 
     let mut sorted = importance.clone();
     sorted.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
@@ -120,5 +147,8 @@ fn main() {
         metrics.emit(&rec);
     }
     println!("\nwrote {}", path.display());
+    drop(run_span);
+    metrics.emit(&obs_snapshot_record());
     metrics.finish();
+    trace.finish();
 }

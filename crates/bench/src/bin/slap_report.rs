@@ -1,0 +1,106 @@
+//! `slap-report`: render, diff, and gate metrics JSONL streams produced
+//! by the experiment binaries (`--metrics-json`).
+//!
+//! Usage:
+//!   slap-report <metrics.jsonl>...               # render each run
+//!   slap-report new.jsonl --diff base.jsonl      # field-by-field diff
+//!   slap-report new.jsonl --check BASELINE.jsonl [--tolerance 2]
+//!
+//! `--check` is the CI regression gate: exits non-zero and names every
+//! offending metric when a deterministic QoR value drifts past the
+//! tolerance (percent), a `(circuit, mode)` row disappears, or the
+//! manifest input hashes / schema version disagree with the baseline.
+
+use std::process::ExitCode;
+
+use slap_bench::report::{check, load_run, render_diff, render_report};
+use slap_bench::Args;
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = Args::from_vec(raw.clone());
+    let inputs: Vec<&String> = {
+        // Positional arguments: anything not a --flag and not a flag's value.
+        let mut inputs = Vec::new();
+        let mut skip = false;
+        for (i, a) in raw.iter().enumerate() {
+            if skip {
+                skip = false;
+                continue;
+            }
+            if let Some(flag) = a.strip_prefix("--") {
+                // These flags consume the next argument as their value.
+                skip = matches!(flag, "check" | "diff" | "tolerance");
+                let _ = i;
+                continue;
+            }
+            inputs.push(a);
+        }
+        inputs
+    };
+
+    if inputs.is_empty() {
+        eprintln!(
+            "usage: slap-report <metrics.jsonl>... [--diff BASE.jsonl] \
+             [--check BASELINE.jsonl [--tolerance PCT]]"
+        );
+        return ExitCode::from(2);
+    }
+
+    let mut runs = Vec::new();
+    for path in &inputs {
+        match load_run(path) {
+            Ok(run) => runs.push(run),
+            Err(e) => {
+                eprintln!("slap-report: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    for run in &runs {
+        print!("{}", render_report(run));
+        println!();
+    }
+
+    let diff_path = args.get("diff", String::new());
+    if !diff_path.is_empty() {
+        match load_run(&diff_path) {
+            Ok(base) => print!("{}", render_diff(&base, &runs[0])),
+            Err(e) => {
+                eprintln!("slap-report: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let check_path = args.get("check", String::new());
+    if !check_path.is_empty() {
+        let tolerance = args.get("tolerance", 2.0f64);
+        let baseline = match load_run(&check_path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("slap-report: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let report = check(&runs[0], &baseline, tolerance);
+        if report.passed() {
+            println!(
+                "check PASSED: {} comparisons against {} within {tolerance}%",
+                report.compared, baseline.label
+            );
+        } else {
+            println!(
+                "check FAILED against {} ({} comparisons):",
+                baseline.label, report.compared
+            );
+            for failure in &report.failures {
+                println!("  FAIL: {failure}");
+            }
+            return ExitCode::FAILURE;
+        }
+    }
+
+    ExitCode::SUCCESS
+}

@@ -4,20 +4,32 @@
 //!
 //! Usage:
 //!   cargo run --release -p slap-bench --bin table2 -- \
-//!       [--full] [--maps 150] [--epochs 15] [--filters 128] [--seed 1] [--cap 1000]
-//!       [--threads N] [--metrics-json out.jsonl]
+//!       [--full | --smoke] [--maps 150] [--epochs 15] [--filters 128] [--seed 1]
+//!       [--cap 1000] [--threads N] [--metrics-json out.jsonl]
+//!       [--trace-json trace.json] [--trace-folded stacks.txt]
+//!
+//! `--smoke` is the CI profile: quick-scale circuits with a tiny
+//! training run, fast enough to gate every commit via `slap-report`.
 
 use std::io::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
 
-use slap_bench::metrics::{config_record, map_record, EpochMetrics, MetricsOut};
+use slap_aig::Aig;
+use slap_bench::metrics::{
+    aig_hash, library_hash, map_record, obs_snapshot_record, run_manifest, EpochMetrics,
+    MetricsOut, TraceOut,
+};
 use slap_bench::{experiments_dir, geomean, init_threads, train_paper_model, Args, Qor};
 use slap_cell::asap7_mini;
 use slap_circuits::catalog::{table2_benchmarks, Scale};
 use slap_core::{SlapConfig, SlapMapper};
 use slap_cuts::CutConfig;
 use slap_map::{MapOptions, Mapper};
+use slap_obs::manifest::combine_hashes;
+
+#[global_allocator]
+static ALLOC: slap_obs::alloc::CountingAllocator = slap_obs::alloc::CountingAllocator;
 
 struct Row {
     name: &'static str,
@@ -28,27 +40,53 @@ struct Row {
 
 fn main() {
     let args = Args::from_env();
+    let smoke = args.has("smoke");
     let scale = if args.has("full") {
         Scale::Full
     } else {
         Scale::Quick
     };
-    let maps = args.get("maps", 300usize);
-    let epochs = args.get("epochs", 30usize);
-    let filters = args.get("filters", 128usize);
+    let maps = args.get("maps", if smoke { 6 } else { 300usize });
+    let epochs = args.get("epochs", if smoke { 2 } else { 30usize });
+    let filters = args.get("filters", if smoke { 16 } else { 128usize });
     let seed = args.get("seed", 1u64);
-    let cap = args.get("cap", 1000usize);
+    let cap = args.get("cap", if smoke { 200 } else { 1000usize });
     let threads = init_threads(&args);
     let metrics = Arc::new(MetricsOut::from_arg(
         &args.get("metrics-json", String::new()),
     ));
-    metrics.emit(&config_record("table2", threads));
+    let trace = TraceOut::from_args(&args);
+    let run_span = slap_obs::span("table2");
 
     let library = asap7_mini();
     let mapper = Mapper::new(&library, MapOptions::default());
+
+    // Build the benchmark circuits up front so the manifest (the
+    // stream's first record) can carry their combined content hash.
+    let benches = table2_benchmarks();
+    let aigs: Vec<Aig> = {
+        let _s = slap_obs::span("build_circuits");
+        slap_par::par_map(&benches, |_, b| b.build(scale))
+    };
+    metrics.emit(
+        &run_manifest("table2", threads)
+            .config("scale", format!("{scale:?}"))
+            .config("smoke", smoke)
+            .config("maps", maps)
+            .config("epochs", epochs)
+            .config("filters", filters)
+            .config("seed", seed)
+            .config("cap", cap)
+            .input_hash("circuits", combine_hashes(aigs.iter().map(aig_hash)))
+            .input_hash("library", library_hash(&library))
+            .into_record(),
+    );
     println!("== training SLAP model on rc16 + cla16 ({maps} maps each, {epochs} epochs) ==");
     let progress = Some(Arc::new(EpochMetrics::new(metrics.clone(), true)) as _);
-    let (model, report) = train_paper_model(&mapper, maps, epochs, filters, seed, progress);
+    let (model, report) = {
+        let _s = slap_obs::span("train");
+        train_paper_model(&mapper, maps, epochs, filters, seed, progress)
+    };
     println!(
         "trained: val 10-class {:.2}%, binarised {:.2}%\n",
         report.val_accuracy * 100.0,
@@ -68,21 +106,22 @@ fn main() {
     // The 14 circuits map independently; fan them out and then emit the
     // metrics records and rows in catalog order, so the table, the CSV,
     // and the JSONL stream are identical for every thread count.
-    let benches = table2_benchmarks();
-    let mapped = slap_par::par_map(&benches, |_, bench| {
+    let map_span = slap_obs::span("map_circuits");
+    let mapped = slap_par::par_map(&aigs, |i, aig| {
+        let bench = &benches[i];
         let t0 = Instant::now();
-        let aig = bench.build(scale);
+        let _circuit_span = slap_obs::span(bench.name);
         // One session per circuit: the three policy runs share memoized
         // cut functions and gate bindings (bit-identical to one-shot
         // maps; disable with SLAP_CACHE=0).
-        let mut session = mapper.session(&aig);
+        let mut session = mapper.session(aig);
         let abc = session.map_default(&cut_config).expect("default maps");
         let unl = session
             .map_unlimited(&cut_config, cap)
             .expect("unlimited maps");
         let (snl, sstats) = slap.map_with_session(&mut session).expect("slap maps");
         assert!(
-            snl.verify_against(&aig, 4, seed),
+            snl.verify_against(aig, 4, seed),
             "{}: SLAP netlist not equivalent",
             bench.name
         );
@@ -108,6 +147,7 @@ fn main() {
         };
         (row, records, aig.num_ands(), t0.elapsed().as_secs_f64())
     });
+    drop(map_span);
     let mut rows: Vec<Row> = Vec::new();
     for (row, records, ands, seconds) in mapped {
         for record in &records {
@@ -119,7 +159,10 @@ fn main() {
 
     print_table(&rows, scale);
     write_csv(&rows).expect("csv written");
+    drop(run_span);
+    metrics.emit(&obs_snapshot_record());
     metrics.finish();
+    trace.finish();
 }
 
 fn print_table(rows: &[Row], scale: Scale) {

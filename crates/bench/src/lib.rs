@@ -13,6 +13,7 @@
 
 pub mod metrics;
 pub mod microbench;
+pub mod report;
 
 use std::sync::Arc;
 

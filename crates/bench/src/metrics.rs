@@ -1,26 +1,39 @@
 //! JSONL metrics emission for the experiment binaries.
 //!
-//! Every binary accepts `--metrics-json <path>`; when set, one
-//! [`Record`] per circuit × mode (and per training epoch) is appended to
-//! the file via [`slap_obs::JsonlSink`]. The schema is flat (no nested
-//! objects) so [`slap_obs::parse_object`] can read each line back.
+//! Every binary accepts `--metrics-json <path>` (`-` = stdout); when
+//! set, the stream opens with one `event = "run_manifest"` record
+//! ([`run_manifest`]) and then appends one [`Record`] per circuit × mode
+//! (and per training epoch) via [`slap_obs::JsonlSink`]. The per-line
+//! schema is flat (no nested objects) so [`slap_obs::parse_object`] can
+//! read each line back — `slap-report` consumes exactly this format.
+//!
+//! Trace timelines ride along through [`TraceOut`]: `--trace-json` /
+//! `--trace-folded` (or `SLAP_TRACE=1`) turn span collection on, and
+//! `finish` exports the drained timeline as Chrome `trace_event` JSON
+//! and/or folded flamegraph stacks.
 
+use std::io::Write;
 use std::sync::{Arc, Mutex};
 
+use slap_aig::Aig;
+use slap_cell::Library;
 use slap_map::MapStats;
 use slap_ml::{EpochProgress, ProgressSink, StderrProgress};
-use slap_obs::{JsonlSink, Record, Sink};
+use slap_obs::manifest::{combine_hashes, content_hash};
+use slap_obs::{trace, JsonlSink, Record, RunManifest, Sink};
 
-/// A writer for per-run metrics records: either a JSONL file sink (when
-/// the user passed `--metrics-json`) or a no-op. Thread-safe so it can be
-/// shared with a training [`ProgressSink`].
+use crate::Args;
+
+/// A writer for per-run metrics records: either a JSONL sink (when the
+/// user passed `--metrics-json`; `-` streams to stdout) or a no-op.
+/// Thread-safe so it can be shared with a training [`ProgressSink`].
 pub struct MetricsOut {
-    sink: Option<Mutex<JsonlSink<std::io::BufWriter<std::fs::File>>>>,
+    sink: Option<Mutex<JsonlSink<Box<dyn Write + Send>>>>,
 }
 
 impl MetricsOut {
     /// Creates the output from the optional `--metrics-json` path
-    /// (empty string = disabled).
+    /// (empty string = disabled, `-` = stdout).
     ///
     /// # Panics
     ///
@@ -30,7 +43,7 @@ impl MetricsOut {
             None
         } else {
             Some(Mutex::new(
-                JsonlSink::create(std::path::Path::new(path)).expect("can create metrics file"),
+                JsonlSink::open(path).expect("can create metrics file"),
             ))
         };
         MetricsOut { sink }
@@ -55,7 +68,7 @@ impl MetricsOut {
         }
     }
 
-    /// Flushes the underlying file (no-op when disabled).
+    /// Flushes the underlying writer (no-op when disabled).
     ///
     /// # Panics
     ///
@@ -101,25 +114,56 @@ impl ProgressSink for EpochMetrics {
     }
 }
 
-/// Builds the `event = "config"` record every binary emits first: which
-/// binary ran, with how many worker threads, and whether session
-/// memoization is active (the `SLAP_CACHE` toggle).
-pub fn config_record(bin: &str, threads: usize) -> Record {
+/// Starts the `event = "run_manifest"` record every metrics stream opens
+/// with: binary, thread count, cache mode, and trace state. Callers
+/// chain `.config(...)` / `.input_hash(...)` for run-specific fields
+/// before emitting; schema in DESIGN.md §11.
+pub fn run_manifest(bin: &str, threads: usize) -> RunManifest {
+    RunManifest::new(bin).threads(threads).cache(None).trace()
+}
+
+/// FNV-1a content hash of a circuit's canonical ASCII AIGER
+/// serialization — bit-stable across thread counts, cache modes, and
+/// hosts, because the serialization is a pure function of the AIG.
+///
+/// # Panics
+///
+/// Panics if the AIG cannot be serialized (structurally invalid).
+pub fn aig_hash(aig: &Aig) -> u64 {
+    let mut bytes = Vec::new();
+    slap_aig::aiger::write_ascii(aig, &mut bytes).expect("serialize AIG for hashing");
+    content_hash(&bytes)
+}
+
+/// One combined hash over an ordered set of circuits (the usual shape
+/// for multi-benchmark runs: hash each, combine in catalog order).
+pub fn circuits_hash<'a, I: IntoIterator<Item = &'a Aig>>(aigs: I) -> u64 {
+    combine_hashes(aigs.into_iter().map(aig_hash))
+}
+
+/// FNV-1a content hash of the cell library's canonical genlib text.
+pub fn library_hash(library: &Library) -> u64 {
+    content_hash(slap_cell::genlib_write::write_genlib(library).as_bytes())
+}
+
+/// Builds the `event = "obs_snapshot"` record: the whole global registry
+/// (counters, gauges, histograms, span timers) flattened into one line,
+/// emitted at the end of a run so `slap-report` can render phase tables
+/// and histogram quantiles without any other data source.
+pub fn obs_snapshot_record() -> Record {
     let mut r = Record::new();
-    r.push("event", "config");
-    r.push("bin", bin);
-    r.push("threads", threads);
-    r.push(
-        "cache",
-        std::env::var("SLAP_CACHE").map_or(true, |v| v != "0"),
-    );
+    r.push("event", "obs_snapshot");
+    for (key, value) in slap_obs::Registry::global().snapshot().to_record().fields() {
+        r.push(key, value.clone());
+    }
     r
 }
 
 /// Builds the JSONL record for one circuit × mode mapping run: QoR,
-/// cut-space footprint, pruning counters, NPN hit rate, and the
-/// per-phase wall-time breakdown.
+/// cut-space footprint, pruning counters, NPN hit rate, cumulative
+/// allocator traffic, and the per-phase wall-time breakdown.
 pub fn map_record(circuit: &str, mode: &str, stats: &MapStats) -> Record {
+    let alloc = slap_obs::alloc::record_gauges();
     let mut r = Record::new();
     r.push("circuit", circuit);
     r.push("mode", mode);
@@ -143,6 +187,8 @@ pub fn map_record(circuit: &str, mode: &str, stats: &MapStats) -> Record {
     r.push("interned_tts", stats.match_stats.interned_tts);
     r.push("num_instances", stats.num_instances);
     r.push("num_inverters", stats.num_inverters);
+    r.push("alloc.count", alloc.count);
+    r.push("alloc.bytes", alloc.bytes);
     r.push("enumerate_s", stats.phase.enumerate_s);
     r.push("match_s", stats.phase.match_s);
     r.push("cover_s", stats.phase.cover_s);
@@ -153,6 +199,60 @@ pub fn map_record(circuit: &str, mode: &str, stats: &MapStats) -> Record {
     r
 }
 
+/// The trace-timeline output of one binary run, wired to `--trace-json`
+/// and `--trace-folded` (either may be `-` for stdout) plus the
+/// `SLAP_TRACE` environment variable. Construct it *before* the run's
+/// top-level span opens so collection is on from the first span; call
+/// [`TraceOut::finish`] after the last span closed.
+pub struct TraceOut {
+    json_path: Option<String>,
+    folded_path: Option<String>,
+}
+
+impl TraceOut {
+    /// Reads `--trace-json` / `--trace-folded` and the environment, and
+    /// enables span collection if any output is requested.
+    pub fn from_args(args: &Args) -> TraceOut {
+        let json_path = Some(args.get("trace-json", String::new())).filter(|p| !p.is_empty());
+        let folded_path = Some(args.get("trace-folded", String::new())).filter(|p| !p.is_empty());
+        trace::init_from_env();
+        if json_path.is_some() || folded_path.is_some() {
+            trace::set_enabled(true);
+        }
+        TraceOut {
+            json_path,
+            folded_path,
+        }
+    }
+
+    /// Whether span events are being collected for this run.
+    pub fn enabled(&self) -> bool {
+        trace::enabled()
+    }
+
+    /// Drains the timeline and writes the requested exports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an output file cannot be created or written.
+    pub fn finish(&self) {
+        if self.json_path.is_none() && self.folded_path.is_none() {
+            return;
+        }
+        let events = trace::drain();
+        if let Some(path) = &self.json_path {
+            let mut w = slap_obs::open_writer(path).expect("can create trace file");
+            trace::write_chrome_json(&events, &mut w).expect("trace write");
+            w.flush().expect("trace flush");
+        }
+        if let Some(path) = &self.folded_path {
+            let mut w = slap_obs::open_writer(path).expect("can create folded-stacks file");
+            trace::write_folded(&events, &mut w).expect("folded write");
+            w.flush().expect("folded flush");
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,15 +260,20 @@ mod tests {
     use slap_cuts::CutConfig;
     use slap_map::{MapOptions, Mapper};
 
-    #[test]
-    fn map_record_round_trips_through_jsonl() {
-        let mut aig = slap_aig::Aig::new();
+    fn tiny_aig() -> Aig {
+        let mut aig = Aig::new();
         let a = aig.add_pi();
         let b = aig.add_pi();
         let c = aig.add_pi();
         let ab = aig.and(a, b);
         let f = aig.and(ab, c);
         aig.add_po(f);
+        aig
+    }
+
+    #[test]
+    fn map_record_round_trips_through_jsonl() {
+        let aig = tiny_aig();
         let lib = asap7_mini();
         let mapper = Mapper::new(&lib, MapOptions::default());
         let nl = mapper
@@ -212,6 +317,10 @@ mod tests {
             get("arena_spans").and_then(|v| v.as_u64()),
             Some(aig.num_nodes() as u64)
         );
+        // Allocator traffic fields are present (zero when the counting
+        // allocator is not installed, as in this test binary).
+        assert!(get("alloc.count").and_then(|v| v.as_u64()).is_some());
+        assert!(get("alloc.bytes").and_then(|v| v.as_u64()).is_some());
     }
 
     #[test]
@@ -231,6 +340,7 @@ mod tests {
         {
             let out = Arc::new(MetricsOut::from_arg(path_str));
             assert!(out.enabled());
+            out.emit(&run_manifest("test-bin", 2).into_record());
             out.emit(&map_record("c1", "m1", &MapStats::default()));
             let sink = EpochMetrics::new(out.clone(), false);
             sink.on_epoch(&EpochProgress {
@@ -244,14 +354,47 @@ mod tests {
         }
         let text = std::fs::read_to_string(&path).expect("read back");
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 2);
+        assert_eq!(lines.len(), 3);
         for line in &lines {
             slap_obs::parse_object(line).expect("each line parses");
         }
-        let fields = slap_obs::parse_object(lines[1]).expect("epoch line");
+        let manifest = slap_obs::parse_object(lines[0]).expect("manifest line");
+        assert!(slap_obs::manifest::is_manifest(&manifest));
+        let fields = slap_obs::parse_object(lines[2]).expect("epoch line");
         assert!(fields
             .iter()
             .any(|(k, v)| k == "event" && v.as_str() == Some("epoch")));
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn circuit_and_library_hashes_are_stable() {
+        let h1 = aig_hash(&tiny_aig());
+        let h2 = aig_hash(&tiny_aig());
+        assert_eq!(h1, h2, "same structure, same hash");
+        let mut other = tiny_aig();
+        let extra = other.add_pi();
+        other.add_po(extra);
+        assert_ne!(aig_hash(&other), h1, "different structure, new hash");
+
+        let lib = asap7_mini();
+        assert_eq!(library_hash(&lib), library_hash(&asap7_mini()));
+
+        let combined = circuits_hash([&tiny_aig(), &other]);
+        assert_ne!(combined, h1);
+        assert_eq!(combined, circuits_hash([&tiny_aig(), &other]));
+    }
+
+    #[test]
+    fn obs_snapshot_record_carries_registry_metrics() {
+        slap_obs::counter("metrics_test.snapshot_counter").add(5);
+        let rec = obs_snapshot_record();
+        let fields = slap_obs::parse_object(rec.to_json_line().trim()).expect("valid json");
+        assert!(fields
+            .iter()
+            .any(|(k, v)| k == "event" && v.as_str() == Some("obs_snapshot")));
+        assert!(fields
+            .iter()
+            .any(|(k, v)| k == "metrics_test.snapshot_counter" && v.as_u64() == Some(5)));
     }
 }

@@ -1,0 +1,533 @@
+//! The `slap-report` engine: parses metrics JSONL streams back into
+//! structured runs, renders per-phase self/total time tables and
+//! histogram quantiles, diffs two runs, and implements the CI
+//! regression gate (`--check`).
+//!
+//! Everything here returns strings or data — the `slap-report` binary
+//! does the printing. Input is exactly what [`crate::metrics`] emits:
+//! a `run_manifest` first line, `circuit × mode` mapping records, and a
+//! final `obs_snapshot` carrying the whole registry (span timers as
+//! `<path>.count` / `<path>.ns` pairs, histograms as bucket arrays).
+//!
+//! The gate compares only *deterministic* metrics — QoR and structural
+//! counts that DESIGN.md §8–§10 pin across thread counts and cache
+//! modes — plus the manifest's input hashes and schema version.
+//! Wall-clock times and allocation counts show up in diffs but never
+//! fail the gate: CI timing noise would make it flaky.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use slap_obs::manifest::is_manifest;
+use slap_obs::{parse_object, quantile_from_buckets, Value};
+
+/// Metrics gated by [`check`]: deterministic per-`(circuit, mode)`
+/// outputs of the mapper. A relative change beyond the tolerance on any
+/// of these fails CI.
+pub const GATED_METRICS: &[&str] = &[
+    "area_um2",
+    "delay_ps",
+    "cuts_considered",
+    "num_instances",
+    "num_inverters",
+];
+
+/// One parsed mapping record (`circuit` × `mode`).
+#[derive(Clone, Debug)]
+pub struct MapRow {
+    /// Circuit name.
+    pub circuit: String,
+    /// Mapping mode (`abc-default`, `slap`, …).
+    pub mode: String,
+    fields: Vec<(String, Value)>,
+}
+
+impl MapRow {
+    /// A numeric field of the record, if present.
+    pub fn num(&self, key: &str) -> Option<f64> {
+        self.fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .and_then(|(_, v)| v.as_f64())
+    }
+}
+
+/// One parsed metrics stream.
+#[derive(Clone, Debug, Default)]
+pub struct Run {
+    /// Display label (usually the file path).
+    pub label: String,
+    /// The `run_manifest` fields, when the stream had one.
+    pub manifest: Vec<(String, Value)>,
+    /// Mapping records in stream order.
+    pub maps: Vec<MapRow>,
+    /// The final `obs_snapshot` fields, when present.
+    pub snapshot: Vec<(String, Value)>,
+    /// Total parsed lines.
+    pub lines: usize,
+}
+
+impl Run {
+    /// A manifest field by name.
+    pub fn manifest_field(&self, key: &str) -> Option<&Value> {
+        self.manifest.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// The mapping row for `(circuit, mode)`.
+    pub fn map(&self, circuit: &str, mode: &str) -> Option<&MapRow> {
+        self.maps
+            .iter()
+            .find(|m| m.circuit == circuit && m.mode == mode)
+    }
+
+    /// Summed `total_s` across every mapping record — the run's mapping
+    /// wall time (diffed but never gated).
+    pub fn total_map_seconds(&self) -> f64 {
+        self.maps.iter().filter_map(|m| m.num("total_s")).sum()
+    }
+}
+
+/// Parses one metrics JSONL stream. Unknown events are counted but kept
+/// out of the structured fields; malformed lines are errors.
+///
+/// # Errors
+///
+/// Returns a message naming the offending line on parse failure.
+pub fn parse_run(text: &str, label: &str) -> Result<Run, String> {
+    let mut run = Run {
+        label: label.to_string(),
+        ..Run::default()
+    };
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields =
+            parse_object(line).map_err(|e| format!("{label}:{}: bad JSONL: {e:?}", i + 1))?;
+        run.lines += 1;
+        let get_str = |key: &str| {
+            fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .and_then(|(_, v)| v.as_str().map(str::to_string))
+        };
+        let event = get_str("event");
+        if is_manifest(&fields) {
+            run.manifest = fields;
+        } else if event.as_deref() == Some("obs_snapshot") {
+            run.snapshot = fields;
+        } else if let (Some(circuit), Some(mode)) = (get_str("circuit"), get_str("mode")) {
+            run.maps.push(MapRow {
+                circuit,
+                mode,
+                fields,
+            });
+        }
+    }
+    Ok(run)
+}
+
+/// Reads and parses a metrics JSONL file.
+///
+/// # Errors
+///
+/// Returns a message on I/O or parse failure.
+pub fn load_run(path: &str) -> Result<Run, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    parse_run(&text, path)
+}
+
+/// One row of the phase-time table: a span timer with its total time and
+/// the *self* portion (total minus direct children).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PhaseRow {
+    /// Slash-joined span path.
+    pub path: String,
+    /// Number of recorded spans.
+    pub count: u64,
+    /// Summed wall time, nanoseconds.
+    pub total_ns: u64,
+    /// Total minus the summed totals of direct children.
+    pub self_ns: u64,
+}
+
+/// Extracts the span timers from `obs_snapshot` fields (the
+/// `<path>.count` / `<path>.ns` pairs) and computes self times. Sorted
+/// by path, so parents precede children.
+pub fn phase_table(snapshot: &[(String, Value)]) -> Vec<PhaseRow> {
+    let mut counts: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut totals: BTreeMap<&str, u64> = BTreeMap::new();
+    for (key, value) in snapshot {
+        if let (Some(stem), Some(v)) = (key.strip_suffix(".count"), value.as_u64()) {
+            counts.insert(stem, v);
+        } else if let (Some(stem), Some(v)) = (key.strip_suffix(".ns"), value.as_u64()) {
+            totals.insert(stem, v);
+        }
+    }
+    // A timer is a stem with BOTH suffixes — that rules out plain
+    // counters/gauges that merely end in ".count" (e.g. "alloc.count").
+    let mut child_ns: BTreeMap<&str, u64> = BTreeMap::new();
+    let timers: Vec<&str> = totals
+        .keys()
+        .copied()
+        .filter(|stem| counts.contains_key(stem))
+        .collect();
+    for &path in &timers {
+        if let Some((parent, _)) = path.rsplit_once('/') {
+            if totals.contains_key(parent) && counts.contains_key(parent) {
+                *child_ns.entry(parent).or_insert(0) += totals[path];
+            }
+        }
+    }
+    timers
+        .into_iter()
+        .map(|path| {
+            let total_ns = totals[path];
+            PhaseRow {
+                path: path.to_string(),
+                count: counts[path],
+                total_ns,
+                self_ns: total_ns.saturating_sub(child_ns.get(path).copied().unwrap_or(0)),
+            }
+        })
+        .collect()
+}
+
+fn fmt_ms(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1e6)
+}
+
+/// Renders one run: manifest summary, the phase self/total table, map
+/// QoR rows, and histogram p50/p99 estimates from the snapshot.
+pub fn render_report(run: &Run) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "run: {}", run.label);
+    if run.manifest.is_empty() {
+        let _ = writeln!(out, "  (no run_manifest record)");
+    } else {
+        for key in ["bin", "slap_version", "threads", "cache", "trace"] {
+            if let Some(v) = run.manifest_field(key) {
+                let _ = writeln!(out, "  {key}: {v}");
+            }
+        }
+        for (key, value) in &run.manifest {
+            if key.ends_with("_hash") {
+                let _ = writeln!(out, "  {key}: {value}");
+            }
+        }
+    }
+
+    if !run.maps.is_empty() {
+        let _ = writeln!(out, "\nmappings ({}):", run.maps.len());
+        let _ = writeln!(
+            out,
+            "  {:<16} {:<14} {:>12} {:>12} {:>10}",
+            "circuit", "mode", "area_um2", "delay_ps", "total_s"
+        );
+        for m in &run.maps {
+            let _ = writeln!(
+                out,
+                "  {:<16} {:<14} {:>12.2} {:>12.1} {:>10.4}",
+                m.circuit,
+                m.mode,
+                m.num("area_um2").unwrap_or(f64::NAN),
+                m.num("delay_ps").unwrap_or(f64::NAN),
+                m.num("total_s").unwrap_or(f64::NAN),
+            );
+        }
+    }
+
+    let phases = phase_table(&run.snapshot);
+    if !phases.is_empty() {
+        let _ = writeln!(out, "\nphases (ms):");
+        let _ = writeln!(
+            out,
+            "  {:<48} {:>8} {:>12} {:>12}",
+            "span", "count", "total", "self"
+        );
+        for p in &phases {
+            let _ = writeln!(
+                out,
+                "  {:<48} {:>8} {:>12} {:>12}",
+                p.path,
+                p.count,
+                fmt_ms(p.total_ns),
+                fmt_ms(p.self_ns)
+            );
+        }
+    }
+
+    let mut hist_lines = Vec::new();
+    for (key, value) in &run.snapshot {
+        if let Some(items) = value.as_array() {
+            let buckets: Vec<u64> = items.iter().filter_map(Value::as_u64).collect();
+            if buckets.len() == items.len() {
+                if let (Some(p50), Some(p99)) = (
+                    quantile_from_buckets(&buckets, 0.50),
+                    quantile_from_buckets(&buckets, 0.99),
+                ) {
+                    hist_lines.push(format!("  {:<48} {:>12.1} {:>12.1}", key, p50, p99));
+                }
+            }
+        }
+    }
+    if !hist_lines.is_empty() {
+        let _ = writeln!(out, "\nhistograms (log2-bucket estimates):");
+        let _ = writeln!(out, "  {:<48} {:>12} {:>12}", "histogram", "~p50", "~p99");
+        for line in hist_lines {
+            let _ = writeln!(out, "{line}");
+        }
+    }
+    out
+}
+
+fn pct_change(from: f64, to: f64) -> f64 {
+    if from == 0.0 {
+        if to == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (to - from) / from * 100.0
+    }
+}
+
+/// Renders a field-by-field comparison of two runs: QoR and wall time
+/// per shared `(circuit, mode)`, plus total mapping time. Informational
+/// only — gating is [`check`]'s job.
+pub fn render_diff(base: &Run, new: &Run) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "diff: {} -> {}", base.label, new.label);
+    let _ = writeln!(
+        out,
+        "  {:<16} {:<14} {:<16} {:>12} {:>12} {:>9}",
+        "circuit", "mode", "metric", "base", "new", "delta%"
+    );
+    for b in &base.maps {
+        let Some(n) = new.map(&b.circuit, &b.mode) else {
+            let _ = writeln!(
+                out,
+                "  {:<16} {:<14} (missing in new run)",
+                b.circuit, b.mode
+            );
+            continue;
+        };
+        for metric in ["area_um2", "delay_ps", "total_s", "alloc.count"] {
+            if let (Some(vb), Some(vn)) = (b.num(metric), n.num(metric)) {
+                let delta = pct_change(vb, vn);
+                if metric == "total_s" || metric == "alloc.count" || delta.abs() > 1e-9 {
+                    let _ = writeln!(
+                        out,
+                        "  {:<16} {:<14} {:<16} {:>12.3} {:>12.3} {:>+8.2}%",
+                        b.circuit, b.mode, metric, vb, vn, delta
+                    );
+                }
+            }
+        }
+    }
+    let (tb, tn) = (base.total_map_seconds(), new.total_map_seconds());
+    let _ = writeln!(
+        out,
+        "  total mapping seconds: {tb:.4} -> {tn:.4} ({:+.2}%)",
+        pct_change(tb, tn)
+    );
+    out
+}
+
+/// The outcome of a regression check.
+#[derive(Clone, Debug, Default)]
+pub struct CheckReport {
+    /// Human-readable failures, each naming the offending metric. Empty
+    /// means the gate passes.
+    pub failures: Vec<String>,
+    /// Number of `(circuit, mode, metric)` comparisons performed.
+    pub compared: usize,
+}
+
+impl CheckReport {
+    /// Whether the gate passes.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// The CI regression gate: compares `current` against `baseline`,
+/// failing on
+///
+/// * manifest input-hash or `schema_version` mismatches (the runs
+///   mapped different inputs — QoR comparison would be meaningless);
+/// * baseline `(circuit, mode)` rows missing from the current run;
+/// * any [`GATED_METRICS`] value differing by more than
+///   `tolerance_pct` percent (QoR is deterministic, so the tolerance
+///   exists only for float formatting slack — CI uses a small one).
+pub fn check(current: &Run, baseline: &Run, tolerance_pct: f64) -> CheckReport {
+    let mut report = CheckReport::default();
+    for (key, base_value) in &baseline.manifest {
+        if key == "schema_version" || key.ends_with("_hash") {
+            match current.manifest_field(key) {
+                Some(v) if v == base_value => {}
+                Some(v) => report.failures.push(format!(
+                    "manifest {key} mismatch: baseline {base_value}, current {v}"
+                )),
+                None => report
+                    .failures
+                    .push(format!("manifest {key} missing from current run")),
+            }
+        }
+    }
+    if baseline.maps.is_empty() {
+        report
+            .failures
+            .push("baseline has no mapping records".to_string());
+    }
+    for b in &baseline.maps {
+        let Some(c) = current.map(&b.circuit, &b.mode) else {
+            report.failures.push(format!(
+                "missing mapping record for {} / {}",
+                b.circuit, b.mode
+            ));
+            continue;
+        };
+        for &metric in GATED_METRICS {
+            let (Some(vb), Some(vc)) = (b.num(metric), c.num(metric)) else {
+                continue;
+            };
+            report.compared += 1;
+            let delta = pct_change(vb, vc);
+            if delta.abs() > tolerance_pct {
+                report.failures.push(format!(
+                    "{} / {}: {metric} regressed {delta:+.3}% (baseline {vb}, current {vc}, \
+                     tolerance {tolerance_pct}%)",
+                    b.circuit, b.mode
+                ));
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = concat!(
+        r#"{"event":"run_manifest","schema_version":1,"bin":"table2","slap_version":"0.1.0","host_cpus":8,"threads":4,"cache":true,"trace":false,"circuits_hash":"00000000deadbeef","library_hash":"0000000000000007"}"#,
+        "\n",
+        r#"{"circuit":"c17","mode":"slap","area_um2":10.0,"delay_ps":50.0,"cuts_considered":100,"num_instances":4,"num_inverters":1,"total_s":0.5,"alloc.count":1000}"#,
+        "\n",
+        r#"{"circuit":"c17","mode":"abc-default","area_um2":12.0,"delay_ps":55.0,"cuts_considered":90,"num_instances":5,"num_inverters":1,"total_s":0.4,"alloc.count":900}"#,
+        "\n",
+        r#"{"event":"obs_snapshot","alloc.count":2000,"cuts.per_node":[0,2,4,2],"table2.count":1,"table2.ns":100000000,"table2/map.count":2,"table2/map.ns":60000000,"table2/map/cover.count":2,"table2/map/cover.ns":25000000}"#,
+        "\n",
+    );
+
+    fn sample_run() -> Run {
+        parse_run(SAMPLE, "sample").expect("parses")
+    }
+
+    #[test]
+    fn parse_splits_records_by_kind() {
+        let run = sample_run();
+        assert_eq!(run.lines, 4);
+        assert!(is_manifest(&run.manifest));
+        assert_eq!(run.maps.len(), 2);
+        assert_eq!(run.maps[0].circuit, "c17");
+        assert_eq!(run.maps[0].mode, "slap");
+        assert_eq!(run.maps[0].num("area_um2"), Some(10.0));
+        assert!(!run.snapshot.is_empty());
+        assert!((run.total_map_seconds() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        let err = parse_run("{\"a\":1}\nnot json\n", "bad").unwrap_err();
+        assert!(err.contains("bad:2"), "{err}");
+    }
+
+    #[test]
+    fn phase_table_computes_self_time_and_skips_non_timers() {
+        let run = sample_run();
+        let phases = phase_table(&run.snapshot);
+        let paths: Vec<&str> = phases.iter().map(|p| p.path.as_str()).collect();
+        // "alloc" has a .count but no .ns: not a timer.
+        assert_eq!(paths, ["table2", "table2/map", "table2/map/cover"]);
+        assert_eq!(phases[0].total_ns, 100_000_000);
+        assert_eq!(phases[0].self_ns, 40_000_000, "minus table2/map");
+        assert_eq!(phases[1].self_ns, 35_000_000, "minus cover");
+        assert_eq!(phases[2].self_ns, 25_000_000, "leaf keeps everything");
+    }
+
+    #[test]
+    fn report_renders_phases_maps_and_histograms() {
+        let text = render_report(&sample_run());
+        assert!(text.contains("bin"), "{text}");
+        assert!(text.contains("circuits_hash"), "{text}");
+        assert!(text.contains("c17"), "{text}");
+        assert!(text.contains("table2/map/cover"), "{text}");
+        assert!(text.contains("cuts.per_node"), "{text}");
+    }
+
+    #[test]
+    fn check_passes_against_itself() {
+        let run = sample_run();
+        let report = check(&run, &run, 0.01);
+        assert!(report.passed(), "{:?}", report.failures);
+        assert_eq!(report.compared, 10, "5 gated metrics x 2 rows");
+    }
+
+    #[test]
+    fn check_fails_on_regressed_metric_naming_it() {
+        let baseline = sample_run();
+        let doctored = SAMPLE.replace("\"area_um2\":10.0", "\"area_um2\":15.0");
+        let current = parse_run(&doctored, "doctored").expect("parses");
+        let report = check(&current, &baseline, 2.0);
+        assert!(!report.passed());
+        assert_eq!(report.failures.len(), 1);
+        assert!(
+            report.failures[0].contains("area_um2"),
+            "{:?}",
+            report.failures
+        );
+        assert!(report.failures[0].contains("c17"), "{:?}", report.failures);
+        // Within tolerance passes.
+        let slight = SAMPLE.replace("\"area_um2\":10.0", "\"area_um2\":10.0001");
+        let near = parse_run(&slight, "near").expect("parses");
+        assert!(check(&near, &baseline, 2.0).passed());
+    }
+
+    #[test]
+    fn check_fails_on_hash_mismatch_and_missing_rows() {
+        let baseline = sample_run();
+        let other_input = SAMPLE.replace("00000000deadbeef", "00000000deadbea7");
+        let current = parse_run(&other_input, "other").expect("parses");
+        let report = check(&current, &baseline, 2.0);
+        assert!(
+            report.failures.iter().any(|f| f.contains("circuits_hash")),
+            "{:?}",
+            report.failures
+        );
+
+        let mut missing = String::new();
+        for line in SAMPLE.lines().filter(|l| !l.contains("abc-default")) {
+            missing.push_str(line);
+            missing.push('\n');
+        }
+        let current = parse_run(&missing, "missing").expect("parses");
+        let report = check(&current, &baseline, 2.0);
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| f.contains("abc-default") && f.contains("missing")));
+    }
+
+    #[test]
+    fn diff_reports_changes() {
+        let baseline = sample_run();
+        let faster = SAMPLE.replace("\"total_s\":0.5", "\"total_s\":0.25");
+        let current = parse_run(&faster, "faster").expect("parses");
+        let text = render_diff(&baseline, &current);
+        assert!(text.contains("total_s"), "{text}");
+        assert!(text.contains("-50.00%"), "{text}");
+    }
+}

@@ -1,0 +1,125 @@
+//! Regression-gate test: the committed `BASELINE_metrics.jsonl` must
+//! parse, pass `check` against itself, and a synthetically regressed
+//! copy must fail the gate naming the offending metric — both through
+//! the library API and through the actual `slap-report` binary CI runs.
+
+use std::process::Command;
+
+use slap_bench::report::{check, load_run, parse_run, phase_table, render_report};
+
+fn baseline_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BASELINE_metrics.jsonl")
+}
+
+fn baseline_text() -> String {
+    std::fs::read_to_string(baseline_path()).expect("committed BASELINE_metrics.jsonl")
+}
+
+/// Doctors the baseline: multiplies the slap-mode `area_um2` values by
+/// 1.5, a regression far outside any sane tolerance.
+fn doctored_text() -> String {
+    let mut doctored = String::new();
+    let mut changed = 0;
+    for line in baseline_text().lines() {
+        if line.contains("\"mode\":\"slap\"") {
+            let run = parse_run(line, "row").expect("row parses");
+            let area = run.maps[0].num("area_um2").expect("area field");
+            let from = format!("\"area_um2\":{area}");
+            let to = format!("\"area_um2\":{}", area * 1.5);
+            assert!(line.contains(&from), "float round-trips through Display");
+            doctored.push_str(&line.replace(&from, &to));
+            changed += 1;
+        } else {
+            doctored.push_str(line);
+        }
+        doctored.push('\n');
+    }
+    assert!(changed > 0, "baseline has slap-mode rows to doctor");
+    doctored
+}
+
+#[test]
+fn committed_baseline_parses_and_passes_against_itself() {
+    let run = load_run(baseline_path().to_str().expect("utf-8 path")).expect("baseline parses");
+    assert!(!run.manifest.is_empty(), "baseline opens with a manifest");
+    for key in ["schema_version", "circuits_hash", "library_hash"] {
+        assert!(run.manifest_field(key).is_some(), "manifest carries {key}");
+    }
+    assert!(!run.maps.is_empty(), "baseline has mapping records");
+    assert!(
+        !run.snapshot.is_empty(),
+        "baseline ends with an obs_snapshot"
+    );
+    let phases = phase_table(&run.snapshot);
+    assert!(
+        phases.iter().any(|p| p.path == "table2"),
+        "snapshot carries the table2 run span: {phases:?}"
+    );
+
+    let report = check(&run, &run, 0.01);
+    assert!(report.passed(), "{:?}", report.failures);
+    assert!(report.compared >= run.maps.len(), "gates every row");
+
+    // The report renderer digests the real stream without panicking and
+    // shows the provenance fields CI logs rely on.
+    let text = render_report(&run);
+    assert!(text.contains("circuits_hash"), "{text}");
+    assert!(text.contains("phases (ms):"), "{text}");
+}
+
+#[test]
+fn doctored_baseline_fails_the_gate_naming_the_metric() {
+    let baseline = parse_run(&baseline_text(), "baseline").expect("parses");
+    let current = parse_run(&doctored_text(), "doctored").expect("parses");
+    let report = check(&current, &baseline, 2.0);
+    assert!(
+        !report.passed(),
+        "a 50% area regression must fail a 2% gate"
+    );
+    assert!(
+        report
+            .failures
+            .iter()
+            .all(|f| f.contains("area_um2") && f.contains("regressed")),
+        "failures name the offending metric: {:?}",
+        report.failures
+    );
+}
+
+#[test]
+fn slap_report_binary_gates_like_the_library() {
+    let bin = env!("CARGO_BIN_EXE_slap-report");
+    let baseline = baseline_path();
+
+    // Baseline vs itself: exit 0, PASSED on stdout.
+    let ok = Command::new(bin)
+        .arg(&baseline)
+        .arg("--check")
+        .arg(&baseline)
+        .arg("--tolerance")
+        .arg("0.01")
+        .output()
+        .expect("slap-report runs");
+    let stdout = String::from_utf8_lossy(&ok.stdout);
+    assert!(ok.status.success(), "{stdout}");
+    assert!(stdout.contains("check PASSED"), "{stdout}");
+
+    // Doctored vs baseline: nonzero exit, FAIL lines naming the metric.
+    let dir = std::env::temp_dir().join(format!("slap_report_gate_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let doctored = dir.join("doctored_metrics.jsonl");
+    std::fs::write(&doctored, doctored_text()).expect("write doctored stream");
+    let bad = Command::new(bin)
+        .arg(&doctored)
+        .arg("--check")
+        .arg(&baseline)
+        .arg("--tolerance")
+        .arg("2")
+        .output()
+        .expect("slap-report runs");
+    let stdout = String::from_utf8_lossy(&bad.stdout);
+    assert!(!bad.status.success(), "doctored input must fail the gate");
+    assert!(stdout.contains("check FAILED"), "{stdout}");
+    assert!(stdout.contains("area_um2"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}

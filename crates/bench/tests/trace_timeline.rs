@@ -1,0 +1,201 @@
+//! End-to-end trace-timeline test: enables tracing, runs a real
+//! enumerate + map pass plus a parallel fan-out, and checks that
+//!
+//! * the drained events reconstruct the span tree (library phases nested
+//!   under the enclosing root span),
+//! * worker spans spawned through `slap-par` are parented under the
+//!   forking phase even though they ran on other threads,
+//! * the Chrome `trace_event` export is valid JSON that round-trips
+//!   through `slap_obs::parse_object`, and
+//! * the folded-stacks export carries the same paths.
+//!
+//! Tracing is process-global state, so every test here serializes on one
+//! lock and restores the disabled default before releasing it.
+
+use std::sync::Mutex;
+
+use slap_cell::asap7_mini;
+use slap_circuits::arith::ripple_carry_adder;
+use slap_cuts::{enumerate_cuts, CutConfig, DefaultPolicy};
+use slap_map::{MapOptions, Mapper};
+use slap_obs::{parse_object, TraceEvent, Value};
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+/// Runs `f` with tracing enabled and returns the events it produced.
+fn traced<F: FnOnce()>(f: F) -> Vec<TraceEvent> {
+    slap_obs::trace::set_enabled(true);
+    let _ = slap_obs::trace::drain();
+    f();
+    slap_obs::trace::set_enabled(false);
+    slap_obs::trace::drain()
+}
+
+#[test]
+fn mapping_produces_a_nested_span_timeline() {
+    let _guard = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let aig = ripple_carry_adder(8);
+    let lib = asap7_mini();
+    let mapper = Mapper::new(&lib, MapOptions::default());
+    let cfg = CutConfig::default();
+
+    let events = traced(|| {
+        let _root = slap_obs::span("timeline_root");
+        let cuts = enumerate_cuts(&aig, &cfg, &mut DefaultPolicy::default());
+        let nl = mapper.map_with_cuts(&aig, &cuts).expect("maps");
+        assert!(nl.area() > 0.0);
+    });
+
+    let paths: Vec<&str> = events.iter().map(|e| e.path.as_str()).collect();
+    assert!(paths.contains(&"timeline_root"), "{paths:?}");
+    // The library phases must nest under the root span, not float free.
+    for phase in ["enumerate", "cover"] {
+        assert!(
+            paths
+                .iter()
+                .any(|p| p.starts_with("timeline_root/") && p.split('/').any(|seg| seg == phase)),
+            "no {phase} span under timeline_root in {paths:?}"
+        );
+    }
+    // Every event closes inside the root span's window.
+    let root = events
+        .iter()
+        .find(|e| e.path == "timeline_root")
+        .expect("root event");
+    for e in &events {
+        assert!(
+            e.start_ns >= root.start_ns && e.start_ns + e.dur_ns <= root.start_ns + root.dur_ns,
+            "event {} [{}, +{}] escapes the root window",
+            e.path,
+            e.start_ns,
+            e.dur_ns
+        );
+    }
+}
+
+#[test]
+fn worker_spans_are_parented_under_the_forking_phase() {
+    let _guard = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    slap_par::set_threads(4);
+    let items: Vec<u32> = (0..32).collect();
+
+    let events = traced(|| {
+        let _root = slap_obs::span("timeline_fork");
+        let out = slap_par::par_map(&items, |_, &x| {
+            let _s = slap_obs::span("timeline_work");
+            x * 2
+        });
+        assert_eq!(out.len(), items.len());
+    });
+
+    let work: Vec<&TraceEvent> = events
+        .iter()
+        .filter(|e| e.path == "timeline_fork/timeline_work")
+        .collect();
+    assert_eq!(
+        work.len(),
+        items.len(),
+        "every worker item records one parented span: {:?}",
+        events.iter().map(|e| e.path.as_str()).collect::<Vec<_>>()
+    );
+    // The fan-out genuinely crossed threads — par_map's caller only
+    // joins, so every work event was recorded on a spawned worker, never
+    // on the forking thread. (How many distinct workers ran is scheduler
+    // luck on a small host, so that is deliberately not asserted.)
+    let fork_tid = events
+        .iter()
+        .find(|e| e.path == "timeline_fork")
+        .expect("forking span event")
+        .tid;
+    assert!(
+        work.iter().all(|e| e.tid != fork_tid),
+        "worker spans ran off-thread"
+    );
+    assert!(work.iter().all(|e| e.parent() == Some("timeline_fork")));
+}
+
+#[test]
+fn chrome_and_folded_exports_round_trip() {
+    let _guard = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    slap_par::set_threads(2);
+    let items: Vec<u32> = (0..8).collect();
+
+    let events = traced(|| {
+        let _root = slap_obs::span("timeline_export");
+        let _ = slap_par::par_map(&items, |_, &x| {
+            let _s = slap_obs::span("timeline_leaf");
+            x + 1
+        });
+    });
+    assert!(!events.is_empty());
+
+    // Chrome trace JSON: one document, `traceEvents` array of complete
+    // ("X") events whose args carry the slash-joined path.
+    let mut chrome = Vec::new();
+    slap_obs::trace::write_chrome_json(&events, &mut chrome).expect("chrome export");
+    let doc = String::from_utf8(chrome).expect("utf-8");
+    let fields = parse_object(&doc).expect("valid JSON document");
+    let trace_events = fields
+        .iter()
+        .find(|(k, _)| k == "traceEvents")
+        .and_then(|(_, v)| v.as_array())
+        .expect("traceEvents array");
+    assert_eq!(trace_events.len(), events.len());
+    let mut seen_paths = Vec::new();
+    for ev in trace_events {
+        let obj = ev.as_object().expect("event object");
+        let get = |key: &str| obj.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+        assert_eq!(get("ph").and_then(Value::as_str), Some("X"));
+        assert!(get("ts").is_some() && get("dur").is_some() && get("tid").is_some());
+        let args = get("args").and_then(Value::as_object).expect("args");
+        let path = args
+            .iter()
+            .find(|(k, _)| k == "path")
+            .and_then(|(_, v)| v.as_str())
+            .expect("args.path");
+        seen_paths.push(path.to_string());
+    }
+    seen_paths.sort();
+    let mut expected: Vec<String> = events.iter().map(|e| e.path.clone()).collect();
+    expected.sort();
+    assert_eq!(seen_paths, expected, "exported paths match drained events");
+
+    // Folded stacks: semicolon-joined path + self time, one per line.
+    let mut folded = Vec::new();
+    slap_obs::trace::write_folded(&events, &mut folded).expect("folded export");
+    let text = String::from_utf8(folded).expect("utf-8");
+    assert!(text.lines().any(|l| l.starts_with("timeline_export ")));
+    assert!(text
+        .lines()
+        .any(|l| l.starts_with("timeline_export;timeline_leaf ")));
+    for line in text.lines() {
+        let (_, value) = line.rsplit_once(' ').expect("stack <space> value");
+        value.parse::<u64>().expect("numeric self time");
+    }
+}
+
+#[test]
+fn trace_structure_is_stable_across_thread_counts() {
+    let _guard = LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let items: Vec<u32> = (0..16).collect();
+    let mut shapes = Vec::new();
+    for threads in [1, 4] {
+        slap_par::set_threads(threads);
+        let events = traced(|| {
+            let _root = slap_obs::span("timeline_stable");
+            let _ = slap_par::par_map(&items, |_, &x| {
+                let _s = slap_obs::span("timeline_item");
+                x
+            });
+        });
+        // The determinism contract covers the path *multiset* — event
+        // order, timestamps, and thread ids legitimately vary.
+        let mut shape: Vec<String> = events.iter().map(|e| e.path.clone()).collect();
+        shape.sort();
+        shapes.push(shape);
+    }
+    assert_eq!(
+        shapes[0], shapes[1],
+        "path multiset must not depend on thread count"
+    );
+}

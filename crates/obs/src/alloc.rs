@@ -1,0 +1,96 @@
+//! A counting global allocator: the system allocator plus two relaxed
+//! atomics, so any binary (or test) that installs it can report
+//! cumulative allocation counts and bytes as `alloc.count` /
+//! `alloc.bytes` gauges in its metrics records.
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: slap_obs::alloc::CountingAllocator =
+//!     slap_obs::alloc::CountingAllocator;
+//! ```
+//!
+//! Totals are monotone (frees are not subtracted): the interesting
+//! signal is how much allocator traffic a phase generates, which is what
+//! the allocation-budget CI guard and `slap-report`'s cross-run diffs
+//! consume. When the allocator is not installed, [`allocations`]
+//! reports zeros and the gauges stay at 0.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNT: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// The system allocator with cumulative count/byte accounting.
+/// `realloc` counts as one allocation of the new size, matching the
+/// pre-existing allocation-budget guard's semantics.
+pub struct CountingAllocator;
+
+// SAFETY: defers every allocation to `System`; the atomics never touch
+// allocator state and relaxed ordering suffices for monotone totals.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        COUNT.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        COUNT.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// Cumulative allocator traffic since process start.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AllocTotals {
+    /// Number of `alloc` + `realloc` calls.
+    pub count: u64,
+    /// Total bytes requested by those calls.
+    pub bytes: u64,
+}
+
+/// The current totals (zeros unless [`CountingAllocator`] is installed
+/// as the process' `#[global_allocator]`).
+pub fn allocations() -> AllocTotals {
+    AllocTotals {
+        count: COUNT.load(Ordering::Relaxed),
+        bytes: BYTES.load(Ordering::Relaxed),
+    }
+}
+
+/// Publishes the current totals as `alloc.count` / `alloc.bytes` gauges
+/// in the global registry and returns them — call just before building
+/// a metrics record so the fields and the registry agree.
+pub fn record_gauges() -> AllocTotals {
+    let totals = allocations();
+    crate::gauge("alloc.count").set(totals.count.min(i64::MAX as u64) as i64);
+    crate::gauge("alloc.bytes").set(totals.bytes.min(i64::MAX as u64) as i64);
+    totals
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The test binary does not install the allocator, so totals are
+    // zero — which is exactly the documented uninstalled behavior; the
+    // installed path is exercised by `tests/alloc_budget.rs` at the
+    // workspace root.
+    #[test]
+    fn uninstalled_allocator_reports_zeros_and_sets_gauges() {
+        let totals = record_gauges();
+        assert_eq!(totals, allocations());
+        let snap = crate::Registry::global().snapshot();
+        let count = match snap.get("alloc.count") {
+            Some(crate::MetricValue::Gauge(v)) => *v,
+            other => panic!("expected gauge, got {other:?}"),
+        };
+        assert_eq!(count as u64, totals.count);
+    }
+}

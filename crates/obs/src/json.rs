@@ -2,9 +2,10 @@
 //! recursive-descent parser for reading JSONL metric lines back (the
 //! bench harness diffs metric files across runs; tests round-trip lines).
 //!
-//! The parser accepts exactly the subset the [`crate::Record`] writer
-//! emits — objects, arrays, strings with `\uXXXX`/short escapes, numbers,
-//! booleans, and null — which is a valid subset of RFC 8259.
+//! The parser accepts exactly the subset the [`crate::Record`] and trace
+//! writers emit — objects (nested ones land as [`Value::Object`]),
+//! arrays, strings with `\uXXXX`/short escapes, numbers, booleans, and
+//! null — which is a valid subset of RFC 8259.
 
 use crate::record::Value;
 
@@ -126,7 +127,7 @@ impl<'a> Parser<'a> {
 
     fn value(&mut self) -> Result<Value, JsonError> {
         match self.peek() {
-            Some(b'{') => Err(self.err("nested objects are not emitted by the metrics writer")),
+            Some(b'{') => Ok(Value::Object(self.object()?)),
             Some(b'[') => self.array(),
             Some(b'"') => Ok(Value::Str(self.string()?)),
             Some(b't') => self.literal("true", Value::Bool(true)),
@@ -166,6 +167,17 @@ impl<'a> Parser<'a> {
         }
     }
 
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let hex = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| self.err("truncated \\u escape"))?;
+        let hex = std::str::from_utf8(hex).map_err(|_| self.err("non-ascii \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
     fn string(&mut self) -> Result<String, JsonError> {
         self.expect(b'"')?;
         let mut out = String::new();
@@ -183,17 +195,24 @@ impl<'a> Parser<'a> {
                     Some(b'b') => out.push('\u{8}'),
                     Some(b'f') => out.push('\u{c}'),
                     Some(b'u') => {
-                        let hex = self
-                            .bytes
-                            .get(self.pos..self.pos + 4)
-                            .ok_or_else(|| self.err("truncated \\u escape"))?;
-                        let hex = std::str::from_utf8(hex)
-                            .map_err(|_| self.err("non-ascii \\u escape"))?;
-                        let code = u32::from_str_radix(hex, 16)
-                            .map_err(|_| self.err("invalid \\u escape"))?;
-                        self.pos += 4;
-                        // Surrogate pairs are never emitted by our writer;
-                        // map lone surrogates to the replacement char.
+                        let mut code = self.hex4()?;
+                        // Our writer only emits \u00XX, but external JSONL
+                        // may carry astral chars as UTF-16 surrogate pairs;
+                        // combine a high+low pair, map lone surrogates to
+                        // the replacement char.
+                        if (0xD800..0xDC00).contains(&code)
+                            && self.bytes.get(self.pos) == Some(&b'\\')
+                            && self.bytes.get(self.pos + 1) == Some(&b'u')
+                        {
+                            self.pos += 2;
+                            let low = self.hex4()?;
+                            if (0xDC00..0xE000).contains(&low) {
+                                code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                            } else {
+                                out.push('\u{FFFD}');
+                                code = low;
+                            }
+                        }
                         out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
                     }
                     _ => return Err(self.err("invalid escape")),
@@ -300,6 +319,33 @@ mod tests {
         assert!(parse_object(r#"{"a":1} extra"#).is_err());
         assert!(parse_object(r#"{"a":1,"#).is_err());
         assert!(parse_object("[1,2]").is_err());
+        assert!(parse_object(r#"{"a":{"b":1}"#).is_err());
+    }
+
+    #[test]
+    fn parses_nested_objects() {
+        let parsed =
+            parse_object(r#"{"events":[{"name":"cover","ts":1.5},{"name":"sta","ts":2}]}"#)
+                .expect("parses");
+        let events = parsed[0].1.as_array().expect("array");
+        assert_eq!(events.len(), 2);
+        let first = events[0].as_object().expect("object");
+        assert_eq!(first[0].1.as_str(), Some("cover"));
+        // Nested objects round-trip through the writer too.
+        let mut out = String::new();
+        parsed[0].1.write_json(&mut out);
+        assert_eq!(out, r#"[{"name":"cover","ts":1.5},{"name":"sta","ts":2}]"#);
+    }
+
+    #[test]
+    fn surrogate_pairs_combine() {
+        let parsed = parse_object(r#"{"k":"😀"}"#).expect("parses");
+        assert_eq!(parsed[0].1, Value::Str("\u{1F600}".to_string()));
+        let parsed = parse_object("{\"k\":\"\\ud83d\\ude00\"}").expect("parses");
+        assert_eq!(parsed[0].1, Value::Str("\u{1F600}".to_string()));
+        // Lone surrogates degrade to the replacement char, not an error.
+        let parsed = parse_object(r#"{"k":"\ud83d!"}"#).expect("parses");
+        assert_eq!(parsed[0].1, Value::Str("\u{FFFD}!".to_string()));
     }
 
     #[test]

@@ -22,6 +22,18 @@
 //!   per-run [`Record`]s to and can parse back ([`json::parse_object`])
 //!   to diff across runs.
 //!
+//! On top of those sit three run-level facilities:
+//!
+//! * **Trace timelines** ([`trace`]) — opt-in per-thread span event
+//!   buffers exported as Chrome `trace_event` JSON (Perfetto) or
+//!   folded-stacks flamegraph text. Off by default; one relaxed atomic
+//!   load per span when disabled.
+//! * **Run manifests** ([`manifest`]) — the `run_manifest` record every
+//!   metrics stream opens with: crate version, host, thread count,
+//!   cache mode, config, and FNV-1a content hashes of the inputs.
+//! * **Allocation accounting** ([`alloc`]) — an optional counting
+//!   global allocator surfacing `alloc.count` / `alloc.bytes` gauges.
+//!
 //! # Example
 //!
 //! ```
@@ -46,19 +58,26 @@
 //! );
 //! ```
 
+pub mod alloc;
 pub mod json;
+pub mod manifest;
 pub mod record;
 pub mod registry;
 pub mod shard;
 pub mod sink;
 pub mod span;
+pub mod trace;
 
 pub use json::{parse_object, JsonError};
+pub use manifest::{content_hash, content_hash_hex, RunManifest};
 pub use record::{Record, Value};
-pub use registry::{Counter, Gauge, Histogram, MetricValue, Registry, Snapshot, Timer};
+pub use registry::{
+    quantile_from_buckets, Counter, Gauge, Histogram, MetricValue, Registry, Snapshot, Timer,
+};
 pub use shard::{CounterShard, HistogramShard};
-pub use sink::{JsonlSink, NullSink, Sink, TableSink};
+pub use sink::{open_writer, JsonlSink, NullSink, Sink, TableSink};
 pub use span::{span, Span};
+pub use trace::TraceEvent;
 
 /// Shorthand for a counter in the global registry.
 pub fn counter(name: &str) -> Counter {

@@ -1,0 +1,178 @@
+//! Run provenance: the `run_manifest` record every metrics JSONL stream
+//! opens with, so any file is self-describing and machine-comparable
+//! (which binary produced it, under what config, over which inputs).
+//!
+//! The manifest is a plain flat [`Record`] (`event = "run_manifest"`)
+//! built through [`RunManifest`]; input identity travels as FNV-1a
+//! content hashes ([`content_hash_hex`]) of canonical serializations, so
+//! the hash of a circuit or library is bit-stable across thread counts,
+//! cache modes, and hosts. Field-by-field schema: DESIGN.md §11.
+
+use crate::record::{Record, Value};
+
+/// The `event` value of a manifest record.
+pub const MANIFEST_EVENT: &str = "run_manifest";
+
+/// Bumped whenever a manifest field changes meaning; consumers should
+/// refuse to diff manifests with different schema versions.
+pub const MANIFEST_SCHEMA_VERSION: u64 = 1;
+
+/// FNV-1a 64-bit hash of `bytes` — the content-hash primitive. Stable by
+/// construction: no seeds, no pointer identity, byte-order independent
+/// of the host.
+pub fn content_hash(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// [`content_hash`] rendered as the fixed-width hex string manifests
+/// carry (`"a1b2..."`, 16 chars).
+pub fn content_hash_hex(bytes: &[u8]) -> String {
+    format!("{:016x}", content_hash(bytes))
+}
+
+/// Chains several already-hashed inputs into one combined hash — used
+/// for multi-circuit runs, where the manifest carries one hash over the
+/// whole input set (order-sensitive, like the run itself).
+pub fn combine_hashes<I: IntoIterator<Item = u64>>(hashes: I) -> u64 {
+    let mut bytes = Vec::new();
+    for h in hashes {
+        bytes.extend_from_slice(&h.to_le_bytes());
+    }
+    content_hash(&bytes)
+}
+
+/// Builder for the `run_manifest` record. Field order is fixed by the
+/// call sequence, so a fixed build sequence yields byte-identical
+/// manifest lines modulo the values themselves.
+#[derive(Clone, Debug)]
+pub struct RunManifest {
+    record: Record,
+}
+
+impl RunManifest {
+    /// Starts a manifest for `bin`: pushes `event`, `schema_version`,
+    /// `bin`, the crate version, and `host_cpus`.
+    pub fn new(bin: &str) -> RunManifest {
+        let mut record = Record::new();
+        record.push("event", MANIFEST_EVENT);
+        record.push("schema_version", MANIFEST_SCHEMA_VERSION);
+        record.push("bin", bin);
+        record.push("slap_version", env!("CARGO_PKG_VERSION"));
+        record.push(
+            "host_cpus",
+            std::thread::available_parallelism().map_or(1usize, |n| n.get()),
+        );
+        RunManifest { record }
+    }
+
+    /// Records the effective worker-thread count.
+    pub fn threads(mut self, n: usize) -> RunManifest {
+        self.record.push("threads", n);
+        self
+    }
+
+    /// Records whether session memoization is active (the `SLAP_CACHE`
+    /// toggle; `None` reads the environment the way the pipeline does).
+    pub fn cache(mut self, enabled: Option<bool>) -> RunManifest {
+        let on = enabled.unwrap_or_else(|| std::env::var("SLAP_CACHE").map_or(true, |v| v != "0"));
+        self.record.push("cache", on);
+        self
+    }
+
+    /// Records whether trace collection is on for this run.
+    pub fn trace(mut self) -> RunManifest {
+        self.record.push("trace", crate::trace::enabled());
+        self
+    }
+
+    /// Appends one free-form config field (policy, k, seed, scale, …).
+    pub fn config(mut self, key: &str, value: impl Into<Value>) -> RunManifest {
+        self.record.push(key, value);
+        self
+    }
+
+    /// Appends a content hash under `<name>_hash` (e.g. `circuit_hash`).
+    pub fn input_hash(mut self, name: &str, hash: u64) -> RunManifest {
+        self.record
+            .push(&format!("{name}_hash"), format!("{hash:016x}"));
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn into_record(self) -> Record {
+        self.record
+    }
+}
+
+/// Whether a parsed JSONL line is a manifest record.
+pub fn is_manifest(fields: &[(String, Value)]) -> bool {
+    fields
+        .first()
+        .is_some_and(|(k, v)| k == "event" && v.as_str() == Some(MANIFEST_EVENT))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(content_hash(b""), 0xcbf29ce484222325);
+        assert_eq!(content_hash(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(content_hash(b"foobar"), 0x85944171f73967e8);
+        assert_eq!(content_hash_hex(b"foobar"), "85944171f73967e8");
+    }
+
+    #[test]
+    fn combine_is_order_sensitive() {
+        let ab = combine_hashes([1u64, 2]);
+        let ba = combine_hashes([2u64, 1]);
+        assert_ne!(ab, ba);
+        assert_eq!(ab, combine_hashes([1u64, 2]));
+    }
+
+    #[test]
+    fn manifest_record_shape() {
+        let rec = RunManifest::new("table2")
+            .threads(4)
+            .cache(Some(true))
+            .trace()
+            .config("seed", 1u64)
+            .input_hash("circuit", 0xabcd)
+            .input_hash("library", 7)
+            .into_record();
+        let line = rec.to_json_line();
+        let fields = crate::parse_object(&line).expect("valid json");
+        assert!(is_manifest(&fields));
+        let get = |k: &str| fields.iter().find(|(n, _)| n == k).map(|(_, v)| v);
+        assert_eq!(get("bin").and_then(|v| v.as_str()), Some("table2"));
+        assert_eq!(
+            get("schema_version").and_then(|v| v.as_u64()),
+            Some(MANIFEST_SCHEMA_VERSION)
+        );
+        assert_eq!(get("threads").and_then(|v| v.as_u64()), Some(4));
+        assert_eq!(
+            get("circuit_hash").and_then(|v| v.as_str()),
+            Some("000000000000abcd")
+        );
+        assert_eq!(
+            get("library_hash").and_then(|v| v.as_str()),
+            Some("0000000000000007")
+        );
+        assert!(get("host_cpus").and_then(|v| v.as_u64()).expect("cpus") >= 1);
+    }
+
+    #[test]
+    fn non_manifest_lines_are_rejected() {
+        let fields = crate::parse_object(r#"{"event":"epoch","epoch":1}"#).expect("parses");
+        assert!(!is_manifest(&fields));
+        let fields = crate::parse_object(r#"{"circuit":"c17"}"#).expect("parses");
+        assert!(!is_manifest(&fields));
+    }
+}

@@ -20,6 +20,8 @@ pub enum Value {
     Bool(bool),
     /// Nested array (histogram buckets).
     Array(Vec<Value>),
+    /// Nested object (trace-event documents; metrics lines stay flat).
+    Object(Vec<(String, Value)>),
     /// JSON null (also what non-finite floats serialize as).
     Null,
 }
@@ -59,6 +61,19 @@ impl Value {
                 }
                 out.push(']');
             }
+            Value::Object(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    escape_into(k, out);
+                    out.push_str("\":");
+                    v.write_json(out);
+                }
+                out.push('}');
+            }
             Value::Null => out.push_str("null"),
         }
     }
@@ -87,6 +102,22 @@ impl Value {
     pub fn as_str(&self) -> Option<&str> {
         match self {
             Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as nested object fields, if it is one.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
             _ => None,
         }
     }
@@ -143,6 +174,16 @@ impl From<String> for Value {
 impl From<bool> for Value {
     fn from(v: bool) -> Value {
         Value::Bool(v)
+    }
+}
+
+impl std::fmt::Display for Value {
+    /// The value's JSON rendering (strings quoted) — what both the
+    /// table form and report output show.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut rendered = String::new();
+        self.write_json(&mut rendered);
+        f.write_str(&rendered)
     }
 }
 

@@ -131,6 +131,47 @@ impl Histogram {
         }
         v
     }
+
+    /// Estimates the `q`-quantile (`0.0 ≤ q ≤ 1.0`) of the observed
+    /// values; see [`quantile_from_buckets`].
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        quantile_from_buckets(&self.buckets(), q)
+    }
+}
+
+/// Estimates the `q`-quantile of a log2-bucket histogram by locating the
+/// bucket containing the target rank and interpolating linearly within
+/// the bucket's `[lo, hi]` value range. Exact for bucket 0 (zeros) and
+/// within a factor of two elsewhere — good enough for the p50/p99
+/// summaries `slap-report` prints. Returns `None` for an empty histogram
+/// or a `q` outside `[0, 1]`.
+pub fn quantile_from_buckets(buckets: &[u64], q: f64) -> Option<f64> {
+    if !(0.0..=1.0).contains(&q) || buckets.len() > HISTOGRAM_BUCKETS {
+        return None;
+    }
+    let total: u64 = buckets.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    // Rank of the target observation, 1-based, clamped into [1, total].
+    let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+    let mut seen = 0u64;
+    for (i, &n) in buckets.iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        if seen + n >= rank {
+            let (lo, hi) = Histogram::bucket_bounds(i);
+            if lo == hi {
+                return Some(lo as f64);
+            }
+            // Position of the rank inside this bucket, in (0, 1].
+            let within = (rank - seen) as f64 / n as f64;
+            return Some(lo as f64 + within * (hi - lo) as f64);
+        }
+        seen += n;
+    }
+    None
 }
 
 #[derive(Debug, Default)]
@@ -496,6 +537,35 @@ mod tests {
         h.observe(8);
         assert_eq!(h.count(), 5);
         assert_eq!(h.buckets(), vec![1, 1, 2, 0, 1]);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        // Empty histogram and out-of-range q.
+        assert_eq!(quantile_from_buckets(&[], 0.5), None);
+        assert_eq!(quantile_from_buckets(&[1, 2], 1.5), None);
+        assert_eq!(quantile_from_buckets(&[1, 2], -0.1), None);
+
+        // All zeros: every quantile is exactly 0.
+        assert_eq!(quantile_from_buckets(&[10], 0.5), Some(0.0));
+        assert_eq!(quantile_from_buckets(&[10], 0.99), Some(0.0));
+
+        let h = Histogram::default();
+        for v in [0u64, 1, 2, 3, 100, 200, 5000] {
+            h.observe(v);
+        }
+        // p0 hits the smallest observation's bucket (zeros, exact).
+        assert_eq!(h.quantile(0.0), Some(0.0));
+        // The median (rank 4 of 7) lands in bucket 2 = [2, 3].
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((2.0..=3.0).contains(&p50), "p50 {p50} in bucket [2,3]");
+        // p99 lands in 5000's bucket [4096, 8191].
+        let p99 = h.quantile(0.99).unwrap();
+        assert!((4096.0..=8191.0).contains(&p99), "p99 {p99}");
+        // Interpolation: 4 observations in bucket [8, 15]; the rank-2
+        // quantile sits half-way through the bucket.
+        let q = quantile_from_buckets(&[0, 0, 0, 0, 4], 0.5).unwrap();
+        assert!((q - (8.0 + 0.5 * 7.0)).abs() < 1e-9, "midpoint, got {q}");
     }
 
     #[test]

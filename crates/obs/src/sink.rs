@@ -55,6 +55,33 @@ impl JsonlSink<BufWriter<File>> {
     }
 }
 
+impl JsonlSink<Box<dyn Write + Send>> {
+    /// Opens a JSONL sink at `path`, where `"-"` means the process'
+    /// stdout — serve-style consumers stream records without temp files.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation failures.
+    pub fn open(path: &str) -> io::Result<JsonlSink<Box<dyn Write + Send>>> {
+        Ok(JsonlSink::new(open_writer(path)?))
+    }
+}
+
+/// Opens `path` for writing, with `"-"` meaning stdout (line-buffered by
+/// the standard library, so each record appears as soon as it is
+/// emitted). Shared by the metrics and trace outputs.
+///
+/// # Errors
+///
+/// Propagates file-creation failures.
+pub fn open_writer(path: &str) -> io::Result<Box<dyn Write + Send>> {
+    if path == "-" {
+        Ok(Box::new(io::stdout()))
+    } else {
+        Ok(Box::new(BufWriter::new(File::create(Path::new(path))?)))
+    }
+}
+
 impl<W: Write> Sink for JsonlSink<W> {
     fn emit(&mut self, record: &Record) -> io::Result<()> {
         self.out.write_all(record.to_json_line().as_bytes())?;

@@ -3,7 +3,15 @@
 //! A [`span`] pushes its name onto a thread-local stack, so spans opened
 //! while another is alive get slash-joined paths (`map/cover`,
 //! `slap/inference`). On drop, the span records its wall-clock duration
-//! into a [`Registry::global`] timer keyed by that path.
+//! into a [`Registry::global`] timer keyed by that path — and, when
+//! [`crate::trace`] collection is on, one timeline event.
+//!
+//! The stack is thread-local, so spans opened on a freshly spawned
+//! worker would silently lose their ancestry. [`current_path`] +
+//! [`inherit`] close that gap: the spawner captures its open path, the
+//! worker installs it as ambient context, and every span the worker
+//! opens nests under the phase that forked it (`slap-par` does this for
+//! all its primitives).
 
 use std::cell::RefCell;
 use std::time::{Duration, Instant};
@@ -64,6 +72,63 @@ impl Span {
     }
 }
 
+/// The calling thread's innermost open span path, if any — what a
+/// parallel primitive captures before spawning workers.
+pub fn current_path() -> Option<String> {
+    STACK.with(|stack| stack.borrow().last().cloned())
+}
+
+/// Installs `parent` (a full span path from [`current_path`]) as the
+/// calling thread's ambient context: spans opened while the guard is
+/// alive nest under it, exactly as if they had been opened on the
+/// spawning thread. `None` is a no-op guard, so call sites can pass
+/// a captured `Option` through unconditionally.
+///
+/// Unlike [`span`], inheriting records no timer and no trace event —
+/// the parent's own span (on the spawning thread) already times it.
+pub fn inherit(parent: Option<&str>) -> ContextGuard {
+    let path = parent.map(|p| {
+        let path = p.to_string();
+        STACK.with(|stack| stack.borrow_mut().push(path.clone()));
+        path
+    });
+    ContextGuard { path }
+}
+
+/// Ambient span context installed by [`inherit`]; removes the inherited
+/// path from the thread's stack on drop.
+#[derive(Debug)]
+pub struct ContextGuard {
+    path: Option<String>,
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        // A worker dropping its inherited context is about to return from
+        // its closure; `thread::scope` may unblock before this thread's
+        // TLS destructors run, so push any trace events to the shared
+        // sink now to make them visible to a post-join drain.
+        if crate::trace::enabled() {
+            crate::trace::flush_thread();
+        }
+        if let Some(path) = &self.path {
+            STACK.with(|stack| {
+                let mut stack = stack.borrow_mut();
+                match stack.last() {
+                    Some(top) if top == path => {
+                        stack.pop();
+                    }
+                    _ => {
+                        if let Some(i) = stack.iter().rposition(|p| p == path) {
+                            stack.remove(i);
+                        }
+                    }
+                }
+            });
+        }
+    }
+}
+
 impl Drop for Span {
     fn drop(&mut self) {
         let elapsed = self.start.elapsed();
@@ -84,6 +149,9 @@ impl Drop for Span {
             }
         });
         Registry::global().timer(&self.path).record(elapsed);
+        if crate::trace::enabled() {
+            crate::trace::record(&self.path, self.start, elapsed);
+        }
     }
 }
 
@@ -145,6 +213,45 @@ mod tests {
             }
             other => panic!("expected timer, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn inherit_nests_spans_under_the_captured_path() {
+        let outer = span("span_test_inherit_outer");
+        let captured = current_path();
+        assert_eq!(captured.as_deref(), Some("span_test_inherit_outer"));
+        std::thread::scope(|scope| {
+            let captured = captured.as_deref();
+            scope.spawn(move || {
+                assert_eq!(current_path(), None, "fresh thread starts empty");
+                let _ctx = inherit(captured);
+                let child = span("span_test_inherit_child");
+                assert_eq!(
+                    child.path(),
+                    "span_test_inherit_outer/span_test_inherit_child"
+                );
+                drop(child);
+                drop(_ctx);
+                assert_eq!(current_path(), None, "guard restores the stack");
+            });
+        });
+        drop(outer);
+        // The inherited context recorded no timer of its own, but the
+        // worker's child did, under the joined path.
+        let snap = Registry::global().snapshot();
+        assert!(snap
+            .get("span_test_inherit_outer/span_test_inherit_child")
+            .is_some());
+    }
+
+    #[test]
+    fn inherit_none_is_a_noop() {
+        {
+            let _ctx = inherit(None);
+            let s = span("span_test_inherit_none");
+            assert_eq!(s.path(), "span_test_inherit_none");
+        }
+        assert_eq!(current_path(), None);
     }
 
     #[test]

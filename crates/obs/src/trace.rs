@@ -1,0 +1,306 @@
+//! Trace timelines: per-thread, lock-free span event buffers with
+//! exporters to Chrome `trace_event` JSON (loadable in Perfetto /
+//! `chrome://tracing`) and folded-stacks flamegraph text.
+//!
+//! Tracing is off by default and costs one relaxed atomic load per span
+//! drop (see the `obs_overhead` bench). When enabled — the bins wire it
+//! to `--trace-json` / the `SLAP_TRACE` environment variable — every
+//! [`crate::Span`] records one [`TraceEvent`] on drop into a
+//! thread-local buffer: the hot path never takes a lock and never
+//! touches another thread's cache lines. Buffers drain into a shared
+//! vector via [`flush_thread`] (workers holding a
+//! [`crate::span::ContextGuard`] flush when the guard drops), from the
+//! TLS destructor when a thread exits, or when [`drain`] collects the
+//! timeline.
+//!
+//! # Determinism contract
+//!
+//! The *structure* of a trace — the multiset of span paths, their
+//! counts, and the parent/child relations encoded in the paths — is a
+//! pure function of the work performed and is identical for every
+//! thread count (worker spans inherit the forking phase's path via
+//! [`crate::span::inherit`]). Timestamps, durations, thread ids, and
+//! event *order* are wall-clock and scheduler artifacts and are NOT
+//! deterministic; consumers that diff traces must compare structure
+//! only (see DESIGN.md §11).
+
+use std::cell::RefCell;
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use crate::json::escape_into;
+
+/// One completed span occurrence on the timeline.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Full slash-joined span path (`table2/enumerate`).
+    pub path: String,
+    /// Small sequential id of the recording thread (first event = 1).
+    pub tid: u32,
+    /// Start time in nanoseconds since the trace epoch.
+    pub start_ns: u64,
+    /// Wall-clock duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+impl TraceEvent {
+    /// The leaf segment of the span path (`enumerate` of `t2/enumerate`).
+    pub fn name(&self) -> &str {
+        self.path.rsplit('/').next().unwrap_or(&self.path)
+    }
+
+    /// The parent span path, if the span was nested.
+    pub fn parent(&self) -> Option<&str> {
+        self.path.rsplit_once('/').map(|(parent, _)| parent)
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_TID: AtomicU32 = AtomicU32::new(1);
+static DRAINED: Mutex<Vec<TraceEvent>> = Mutex::new(Vec::new());
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+struct LocalBuf {
+    tid: u32,
+    events: Vec<TraceEvent>,
+}
+
+impl Drop for LocalBuf {
+    fn drop(&mut self) {
+        if !self.events.is_empty() {
+            let mut shared = DRAINED.lock().expect("trace sink poisoned");
+            shared.append(&mut self.events);
+        }
+    }
+}
+
+thread_local! {
+    static LOCAL: RefCell<LocalBuf> = RefCell::new(LocalBuf {
+        tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+        events: Vec::new(),
+    });
+}
+
+/// Whether span events are being collected. One relaxed load — this is
+/// the whole cost of the tracing-disabled path.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns collection on or off. Enabling pins the trace epoch (t = 0) at
+/// the first enable of the process.
+pub fn set_enabled(on: bool) {
+    if on {
+        epoch();
+    }
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Enables tracing if the `SLAP_TRACE` environment variable is set to a
+/// non-empty value other than `0`. Returns whether tracing is on.
+pub fn init_from_env() -> bool {
+    if let Ok(v) = std::env::var("SLAP_TRACE") {
+        if !v.is_empty() && v != "0" {
+            set_enabled(true);
+        }
+    }
+    enabled()
+}
+
+/// Flushes the calling thread's local buffer into the shared sink.
+///
+/// Thread-local buffers also flush from their TLS destructor, but
+/// `std::thread::scope` returns as soon as each worker's *closure*
+/// finishes — TLS destructors may still be running — so anything that
+/// must be visible to a post-join [`drain`] has to flush explicitly
+/// before the closure returns. [`crate::span::ContextGuard`] does this
+/// on drop, which covers every `slap-par` worker.
+pub fn flush_thread() {
+    LOCAL.with(|buf| {
+        let mut buf = buf.borrow_mut();
+        if !buf.events.is_empty() {
+            let mut shared = DRAINED.lock().expect("trace sink poisoned");
+            shared.append(&mut buf.events);
+        }
+    });
+}
+
+/// Records one completed span. Called by [`crate::Span`] on drop when
+/// [`enabled`]; `start` is the span's opening instant.
+pub(crate) fn record(path: &str, start: Instant, dur: Duration) {
+    let start_ns = start
+        .checked_duration_since(epoch())
+        .unwrap_or(Duration::ZERO)
+        .as_nanos()
+        .min(u64::MAX as u128) as u64;
+    LOCAL.with(|buf| {
+        let mut buf = buf.borrow_mut();
+        let tid = buf.tid;
+        buf.events.push(TraceEvent {
+            path: path.to_string(),
+            tid,
+            start_ns,
+            dur_ns: dur.as_nanos().min(u64::MAX as u128) as u64,
+        });
+    });
+}
+
+/// Collects every event recorded so far: buffers already flushed by
+/// exited threads plus the calling thread's own buffer. Events from
+/// other still-live threads stay in their local buffers until those
+/// threads flush ([`flush_thread`]) or exit.
+///
+/// Returns the events sorted by `(start_ns, tid, path)` so repeated
+/// exports of one timeline render identically.
+pub fn drain() -> Vec<TraceEvent> {
+    let mut events = {
+        let mut shared = DRAINED.lock().expect("trace sink poisoned");
+        std::mem::take(&mut *shared)
+    };
+    LOCAL.with(|buf| events.append(&mut buf.borrow_mut().events));
+    events.sort_by(|a, b| {
+        (a.start_ns, a.tid, a.path.as_str()).cmp(&(b.start_ns, b.tid, b.path.as_str()))
+    });
+    events
+}
+
+/// Serializes events as Chrome `trace_event` JSON (the "JSON Object
+/// Format" with complete `ph = "X"` events), loadable in Perfetto and
+/// `chrome://tracing`. Timestamps are microseconds with nanosecond
+/// precision; the full span path travels in `args.path`.
+///
+/// # Errors
+///
+/// Propagates I/O failures from the writer.
+pub fn write_chrome_json<W: Write>(events: &[TraceEvent], mut w: W) -> io::Result<()> {
+    w.write_all(b"{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")?;
+    let mut name = String::new();
+    let mut path = String::new();
+    for (i, e) in events.iter().enumerate() {
+        name.clear();
+        escape_into(e.name(), &mut name);
+        path.clear();
+        escape_into(&e.path, &mut path);
+        write!(
+            w,
+            "{}\n{{\"name\":\"{name}\",\"cat\":\"slap\",\"ph\":\"X\",\"pid\":1,\
+             \"tid\":{},\"ts\":{}.{:03},\"dur\":{}.{:03},\"args\":{{\"path\":\"{path}\"}}}}",
+            if i == 0 { "" } else { "," },
+            e.tid,
+            e.start_ns / 1_000,
+            e.start_ns % 1_000,
+            e.dur_ns / 1_000,
+            e.dur_ns % 1_000,
+        )?;
+    }
+    w.write_all(b"\n]}\n")
+}
+
+/// Serializes events as folded-stacks flamegraph text: one
+/// `seg1;seg2;leaf <self_ns>` line per distinct span path, where the
+/// value is the path's *self* time (total minus the time covered by its
+/// direct children), so the flamegraph's widths add up correctly.
+/// Lines are sorted by path — structure-deterministic output.
+///
+/// # Errors
+///
+/// Propagates I/O failures from the writer.
+pub fn write_folded<W: Write>(events: &[TraceEvent], mut w: W) -> io::Result<()> {
+    use std::collections::BTreeMap;
+    let mut totals: BTreeMap<&str, u64> = BTreeMap::new();
+    for e in events {
+        *totals.entry(e.path.as_str()).or_insert(0) += e.dur_ns;
+    }
+    // Direct-children sums, keyed by parent path.
+    let mut child_ns: BTreeMap<&str, u64> = BTreeMap::new();
+    for (&path, &ns) in &totals {
+        if let Some((parent, _)) = path.rsplit_once('/') {
+            *child_ns.entry(parent).or_insert(0) += ns;
+        }
+    }
+    for (&path, &ns) in &totals {
+        let self_ns = ns.saturating_sub(child_ns.get(path).copied().unwrap_or(0));
+        writeln!(w, "{} {}", path.replace('/', ";"), self_ns)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn event_name_and_parent() {
+        let e = TraceEvent {
+            path: "a/b/c".into(),
+            tid: 1,
+            start_ns: 0,
+            dur_ns: 1,
+        };
+        assert_eq!(e.name(), "c");
+        assert_eq!(e.parent(), Some("a/b"));
+        let root = TraceEvent {
+            path: "a".into(),
+            tid: 1,
+            start_ns: 0,
+            dur_ns: 1,
+        };
+        assert_eq!(root.name(), "a");
+        assert_eq!(root.parent(), None);
+    }
+
+    #[test]
+    fn chrome_json_escapes_and_formats_times() {
+        let events = vec![TraceEvent {
+            path: "pha\"se/in ner".into(),
+            tid: 3,
+            start_ns: 1_234_567,
+            dur_ns: 89,
+        }];
+        let mut out = Vec::new();
+        write_chrome_json(&events, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.contains("\"ts\":1234.567"));
+        assert!(text.contains("\"dur\":0.089"));
+        assert!(text.contains("\"tid\":3"));
+        assert!(text.contains(r#"\"se/in ner"#), "leaf name escaped: {text}");
+        let fields = crate::parse_object(text.trim()).expect("valid json");
+        let events_field = fields
+            .iter()
+            .find(|(k, _)| k == "traceEvents")
+            .expect("traceEvents");
+        assert_eq!(events_field.1.as_array().expect("array").len(), 1);
+    }
+
+    #[test]
+    fn folded_stacks_subtract_child_time() {
+        let ev = |path: &str, dur_ns: u64| TraceEvent {
+            path: path.into(),
+            tid: 1,
+            start_ns: 0,
+            dur_ns,
+        };
+        let events = vec![
+            ev("run", 100),
+            ev("run/a", 60),
+            ev("run/a/x", 10),
+            ev("run/b", 25),
+        ];
+        let mut out = Vec::new();
+        write_folded(&events, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines,
+            vec!["run 15", "run;a 50", "run;a;x 10", "run;b 25"],
+            "self time = total - direct children, sorted by path"
+        );
+    }
+}

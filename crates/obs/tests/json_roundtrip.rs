@@ -1,0 +1,119 @@
+//! Property test: any string — quotes, backslashes, control bytes,
+//! non-ASCII, astral-plane characters — survives `escape_into` →
+//! `parse_object` unchanged, and whole records round-trip through their
+//! JSONL serialization. Uses a deterministic PRNG (no dev-dependencies),
+//! so a failure reproduces exactly.
+
+use slap_obs::json::escape_into;
+use slap_obs::{parse_object, Record, Value};
+
+/// xorshift64* — deterministic, seedable, no deps.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    /// A random valid `char`, biased toward the troublesome regions:
+    /// ASCII punctuation/controls, the escape characters themselves, and
+    /// astral-plane code points that need surrogate pairs in JSON.
+    fn char(&mut self) -> char {
+        match self.below(8) {
+            0 => char::from(self.below(0x20) as u8), // C0 controls
+            1 => ['"', '\\', '/', '\u{7f}'][self.below(4) as usize],
+            2 => char::from(0x20 + self.below(0x5f) as u8), // printable ASCII
+            3 => char::from_u32(0x80 + self.below(0x780) as u32).unwrap_or('?'),
+            4 => char::from_u32(0x800 + self.below(0xd800 - 0x800) as u32).unwrap_or('?'),
+            // BMP above the surrogate range.
+            5 => char::from_u32(0xe000 + self.below(0x1000) as u32).unwrap_or('?'),
+            // Astral plane: JSON \uXXXX escapes need surrogate pairs here.
+            6 => char::from_u32(0x10000 + self.below(0x10000) as u32).unwrap_or('?'),
+            _ => ['\u{1F600}', '\u{10FFFF}', '\u{FFFD}', 'é', '中'][self.below(5) as usize],
+        }
+    }
+
+    fn string(&mut self, max_len: u64) -> String {
+        let len = self.below(max_len + 1);
+        (0..len).map(|_| self.char()).collect()
+    }
+}
+
+fn roundtrip(s: &str) -> String {
+    let mut json = String::from("{\"k\":\"");
+    escape_into(s, &mut json);
+    json.push_str("\"}");
+    let fields = parse_object(&json).unwrap_or_else(|e| panic!("parse {json:?}: {e:?}"));
+    assert_eq!(fields.len(), 1);
+    match &fields[0].1 {
+        Value::Str(out) => out.clone(),
+        other => panic!("expected string, got {other:?}"),
+    }
+}
+
+#[test]
+fn known_nasty_strings_round_trip() {
+    for s in [
+        "",
+        "plain",
+        "\"",
+        "\\",
+        "\\\"\\",
+        "a\nb\rc\td",
+        "\u{0}\u{1}\u{1f}\u{7f}",
+        "naïve — déjà vu",
+        "中文字符",
+        "\u{1F600}\u{1F680}", // astral plane (surrogate pairs when escaped)
+        "\u{FFFD}",
+        "trailing backslash\\",
+        "\\u0041 looks like an escape but is literal",
+        "mixed \" quote \\ slash \n newline \u{1F600} emoji",
+    ] {
+        assert_eq!(roundtrip(s), s, "string {s:?} must survive the round trip");
+    }
+}
+
+#[test]
+fn random_strings_round_trip() {
+    let mut rng = Rng(0x5eed_cafe_f00d_0001);
+    for i in 0..2000 {
+        let s = rng.string(24);
+        assert_eq!(roundtrip(&s), s, "case {i}: {s:?}");
+    }
+}
+
+#[test]
+fn random_records_round_trip_via_jsonl() {
+    let mut rng = Rng(0x5eed_cafe_f00d_0002);
+    for _ in 0..200 {
+        let mut record = Record::new();
+        // Keys exercise escaping too (parse_object returns them decoded).
+        let n_fields = 1 + rng.below(6);
+        for f in 0..n_fields {
+            let key = format!("k{f}_{}", rng.string(6));
+            match rng.below(4) {
+                0 => record.push(&key, rng.string(16)),
+                1 => record.push(&key, rng.next()),
+                // Negative: non-negative integers parse back as U64.
+                2 => record.push(&key, -(rng.below(1 << 40) as i64) - 1),
+                _ => record.push(&key, rng.below(2) == 1),
+            };
+        }
+        let line = record.to_json_line();
+        let fields = parse_object(&line).unwrap_or_else(|e| panic!("parse {line:?}: {e:?}"));
+        assert_eq!(
+            fields,
+            record.fields().to_vec(),
+            "record must survive serialization: {line}"
+        );
+    }
+}

@@ -1,0 +1,150 @@
+//! Integration tests for the trace timeline: enable → span → drain →
+//! export, cross-thread parenting via `span::inherit`, and the
+//! tracing-disabled path recording nothing.
+//!
+//! Trace collection is process-global state, so every test takes LOCK
+//! and drains leftovers before asserting.
+
+use std::sync::Mutex;
+
+use slap_obs::span::{current_path, inherit};
+use slap_obs::{parse_object, span, trace, Value};
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn paths(events: &[trace::TraceEvent]) -> Vec<&str> {
+    let mut v: Vec<&str> = events.iter().map(|e| e.path.as_str()).collect();
+    v.sort_unstable();
+    v
+}
+
+#[test]
+fn disabled_tracing_records_nothing() {
+    let _guard = LOCK.lock().unwrap();
+    trace::set_enabled(false);
+    trace::drain();
+    {
+        let _s = span("trace_test_disabled_outer");
+        let _t = span("trace_test_disabled_inner");
+    }
+    assert!(
+        trace::drain().is_empty(),
+        "spans must not record events while tracing is off"
+    );
+}
+
+#[test]
+fn enabled_tracing_captures_the_span_tree() {
+    let _guard = LOCK.lock().unwrap();
+    trace::set_enabled(true);
+    trace::drain();
+    {
+        let _run = span("trace_test_run");
+        {
+            let _a = span("trace_test_a");
+            let _leaf = span("trace_test_leaf");
+        }
+        let _b = span("trace_test_b");
+    }
+    trace::set_enabled(false);
+    let events = trace::drain();
+    assert_eq!(
+        paths(&events),
+        vec![
+            "trace_test_run",
+            "trace_test_run/trace_test_a",
+            "trace_test_run/trace_test_a/trace_test_leaf",
+            "trace_test_run/trace_test_b",
+        ]
+    );
+    // Children fall within their parent's time window.
+    let by_path = |p: &str| events.iter().find(|e| e.path == p).unwrap();
+    let run = by_path("trace_test_run");
+    let leaf = by_path("trace_test_run/trace_test_a/trace_test_leaf");
+    assert!(leaf.start_ns >= run.start_ns);
+    assert!(leaf.start_ns + leaf.dur_ns <= run.start_ns + run.dur_ns);
+}
+
+#[test]
+fn worker_spans_parent_under_the_forking_phase() {
+    let _guard = LOCK.lock().unwrap();
+    trace::set_enabled(true);
+    trace::drain();
+    {
+        let _fork = span("trace_test_fork");
+        let parent = current_path();
+        std::thread::scope(|scope| {
+            for _ in 0..2 {
+                let parent = parent.as_deref();
+                scope.spawn(move || {
+                    let _ctx = inherit(parent);
+                    let _work = span("trace_test_work");
+                });
+            }
+        });
+    }
+    trace::set_enabled(false);
+    let events = trace::drain();
+    assert_eq!(
+        paths(&events),
+        vec![
+            "trace_test_fork",
+            "trace_test_fork/trace_test_work",
+            "trace_test_fork/trace_test_work",
+        ],
+        "both worker spans nest under the forking phase"
+    );
+    // The workers ran on their own threads (distinct tids from the fork).
+    let fork_tid = events
+        .iter()
+        .find(|e| e.path == "trace_test_fork")
+        .unwrap()
+        .tid;
+    for e in events
+        .iter()
+        .filter(|e| e.path.ends_with("trace_test_work"))
+    {
+        assert_ne!(e.tid, fork_tid, "worker events carry the worker's tid");
+    }
+}
+
+#[test]
+fn chrome_export_round_trips_through_the_parser() {
+    let _guard = LOCK.lock().unwrap();
+    trace::set_enabled(true);
+    trace::drain();
+    {
+        let _run = span("trace_test_export");
+        let _child = span("trace_test_export_child");
+    }
+    trace::set_enabled(false);
+    let events = trace::drain();
+
+    let mut json = Vec::new();
+    trace::write_chrome_json(&events, &mut json).unwrap();
+    let text = String::from_utf8(json).unwrap();
+    let fields = parse_object(text.trim()).expect("exporter emits valid JSON");
+    let trace_events = fields
+        .iter()
+        .find(|(k, _)| k == "traceEvents")
+        .and_then(|(_, v)| v.as_array())
+        .expect("traceEvents array");
+    assert_eq!(trace_events.len(), events.len());
+    for (value, event) in trace_events.iter().zip(&events) {
+        let obj = value.as_object().expect("event object");
+        let get = |k: &str| obj.iter().find(|(n, _)| n == k).map(|(_, v)| v);
+        assert_eq!(get("ph"), Some(&Value::Str("X".into())));
+        assert_eq!(get("name").and_then(|v| v.as_str()), Some(event.name()));
+        let args = get("args").and_then(|v| v.as_object()).expect("args");
+        assert_eq!(
+            args.iter().find(|(n, _)| n == "path").map(|(_, v)| v),
+            Some(&Value::Str(event.path.clone()))
+        );
+    }
+
+    let mut folded = Vec::new();
+    trace::write_folded(&events, &mut folded).unwrap();
+    let folded = String::from_utf8(folded).unwrap();
+    assert!(folded.contains("trace_test_export "));
+    assert!(folded.contains("trace_test_export;trace_test_export_child "));
+}

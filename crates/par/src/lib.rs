@@ -1,6 +1,7 @@
 //! Deterministic scoped-thread parallelism for the SLAP pipeline.
 //!
-//! Zero dependencies, `std::thread::scope` only. Every primitive in this
+//! No external dependencies, `std::thread::scope` only (plus `slap-obs`
+//! for span-context propagation). Every primitive in this
 //! crate has a determinism contract: the returned values are a pure
 //! function of the inputs, independent of the thread count and of how the
 //! scheduler interleaves workers. Callers get that guarantee by
@@ -15,6 +16,11 @@
 //! so outer-level parallelism (e.g. per-circuit) composes with inner
 //! parallel kernels (e.g. per-level cut enumeration) without
 //! oversubscription or surprise recursion.
+//!
+//! Workers inherit the spawning thread's open span path
+//! ([`slap_obs::span::inherit`]), so spans opened inside a worker — and
+//! the trace-timeline events they record — nest under the phase that
+//! forked them instead of appearing as orphaned roots.
 
 use std::cell::Cell;
 use std::ops::Range;
@@ -151,6 +157,9 @@ where
     // keep the shared cursor cold.
     let chunk = (n / (nw * 4)).max(1);
     let cursor = AtomicUsize::new(0);
+    // Workers get fresh threads with empty span stacks; hand them the
+    // spawning phase's path so their spans nest under it in traces.
+    let trace_parent = slap_obs::span::current_path();
     let mut pieces: Vec<(usize, Vec<R>)> = Vec::new();
     let mut states: Vec<S> = Vec::with_capacity(nw);
     std::thread::scope(|scope| {
@@ -159,7 +168,9 @@ where
                 let cursor = &cursor;
                 let init = &init;
                 let f = &f;
+                let trace_parent = trace_parent.as_deref();
                 scope.spawn(move || {
+                    let _trace_ctx = slap_obs::span::inherit(trace_parent);
                     IN_WORKER.with(|c| c.set(true));
                     let mut state = init(w);
                     let mut local: Vec<(usize, Vec<R>)> = Vec::new();
@@ -263,6 +274,7 @@ where
     for (i, c) in data.chunks_mut(chunk_size).enumerate() {
         per_worker[i % nw].push((i, c));
     }
+    let trace_parent = slap_obs::span::current_path();
     let mut results: Vec<(usize, R)> = Vec::with_capacity(num_chunks);
     let mut states: Vec<S> = Vec::with_capacity(nw);
     std::thread::scope(|scope| {
@@ -272,7 +284,9 @@ where
             .map(|(w, chunks)| {
                 let init = &init;
                 let f = &f;
+                let trace_parent = trace_parent.as_deref();
                 scope.spawn(move || {
+                    let _trace_ctx = slap_obs::span::inherit(trace_parent);
                     IN_WORKER.with(|c| c.set(true));
                     let mut state = init(w);
                     let out: Vec<(usize, R)> = chunks
@@ -495,6 +509,36 @@ mod tests {
         assert_eq!(threads(), 1);
         reset_threads();
         assert!(threads() >= 1); // re-resolved from the environment
+    }
+
+    #[test]
+    fn worker_spans_nest_under_the_forking_phase() {
+        // Workers inherit the spawning thread's span path; their trace
+        // events must parent under it, not appear as orphaned roots.
+        let events = with_threads(4, || {
+            slap_obs::trace::set_enabled(true);
+            slap_obs::trace::drain();
+            {
+                let _phase = slap_obs::span("par_test_fork_phase");
+                let items: Vec<u32> = (0..16).collect();
+                let out = par_map(&items, |_, &x| {
+                    let _s = slap_obs::span("par_test_work");
+                    x + 1
+                });
+                assert_eq!(out, (1..=16).collect::<Vec<_>>());
+            }
+            slap_obs::trace::set_enabled(false);
+            slap_obs::trace::drain()
+        });
+        let work: Vec<_> = events
+            .iter()
+            .filter(|e| e.path.ends_with("par_test_work"))
+            .collect();
+        assert_eq!(work.len(), 16, "one event per item");
+        for e in &work {
+            assert_eq!(e.path, "par_test_fork_phase/par_test_work");
+            assert_eq!(e.parent(), Some("par_test_fork_phase"));
+        }
     }
 
     #[test]

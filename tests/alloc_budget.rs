@@ -1,6 +1,8 @@
 //! Allocation budget for the arena-backed pipeline (CI guard).
 //!
-//! A counting global allocator wraps the system allocator; the test runs
+//! The shared `slap_obs::alloc::CountingAllocator` (the same one the
+//! bench binaries install for their `alloc.count` gauges) wraps the
+//! system allocator; the test runs
 //! one full enumerate + map pass over the AES-core circuit (after a
 //! warm-up pass so lazily initialised global state is excluded) and
 //! asserts the allocation count stays within budget. Before the flat
@@ -8,28 +10,13 @@
 //! allocations (per-cut `Vec`s in enumeration plus per-cut cone/support
 //! buffers in matching); the arena pipeline performs a few thousand.
 
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::sync::atomic::{AtomicU64, Ordering};
-
-struct CountingAlloc;
-static ALLOCS: AtomicU64 = AtomicU64::new(0);
-
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, l: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
-        System.alloc(l)
-    }
-    unsafe fn dealloc(&self, p: *mut u8, l: Layout) {
-        System.dealloc(p, l)
-    }
-    unsafe fn realloc(&self, p: *mut u8, l: Layout, n: usize) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
-        System.realloc(p, l, n)
-    }
-}
-
 #[global_allocator]
-static A: CountingAlloc = CountingAlloc;
+static A: slap_obs::alloc::CountingAllocator = slap_obs::alloc::CountingAllocator;
+
+/// Shorthand for the shared counting allocator's cumulative call count.
+fn allocs() -> u64 {
+    slap_obs::alloc::allocations().count
+}
 
 /// Serializes the budget tests: they read the same global allocation
 /// counter, so concurrent runs would attribute each other's allocations.
@@ -54,10 +41,10 @@ fn enumeration_and_mapping_allocation_count() {
     mapper.map_with_cuts(&aig, &cuts).expect("maps");
     drop(cuts);
 
-    let before = ALLOCS.load(Ordering::Relaxed);
+    let before = allocs();
     let cuts = enumerate_cuts(&aig, &cfg, &mut DefaultPolicy::default());
     let nl = mapper.map_with_cuts(&aig, &cuts).expect("maps");
-    let after = ALLOCS.load(Ordering::Relaxed);
+    let after = allocs();
     assert!(nl.area() > 0.0);
     let count = after - before;
     let threads = slap_par::threads() as u64;
@@ -114,12 +101,12 @@ fn steady_state_scoring_allocation_count() {
     model.predict_with(&xs[..dim], &mut scratch);
 
     let calls = 16u64;
-    let before = ALLOCS.load(Ordering::Relaxed);
+    let before = allocs();
     for _ in 0..calls {
         out.clear();
         model.predict_batch_into(&xs, &mut scratch, &mut out);
     }
-    let after = ALLOCS.load(Ordering::Relaxed);
+    let after = allocs();
     assert_eq!(out.len(), batch);
     let batched = after - before;
     // The obs span allocates its path strings per call; everything else
@@ -134,11 +121,11 @@ fn steady_state_scoring_allocation_count() {
     );
 
     // The caller-owned-scratch per-sample path is allocation-free.
-    let before = ALLOCS.load(Ordering::Relaxed);
+    let before = allocs();
     for sample in xs.chunks_exact(dim) {
         std::hint::black_box(model.predict_with(sample, &mut scratch));
     }
-    let after = ALLOCS.load(Ordering::Relaxed);
+    let after = allocs();
     assert_eq!(
         after - before,
         0,
@@ -171,11 +158,11 @@ fn warm_session_remap_allocation_count() {
     mapper.map_with_cuts(&aig, &cuts).expect("maps");
 
     let mut session = mapper.session_cached(&aig, true);
-    let before = ALLOCS.load(Ordering::Relaxed);
+    let before = allocs();
     session.map_with_cuts(&cuts).expect("maps");
-    let mid = ALLOCS.load(Ordering::Relaxed);
+    let mid = allocs();
     let nl = session.map_with_cuts(&cuts).expect("maps");
-    let after = ALLOCS.load(Ordering::Relaxed);
+    let after = allocs();
     assert!(nl.area() > 0.0);
     let first = mid - before;
     let second = after - mid;

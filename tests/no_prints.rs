@@ -59,3 +59,27 @@ fn library_code_does_not_print() {
         offenders.join("\n")
     );
 }
+
+/// The runtime counterpart for tracing: when `SLAP_TRACE` is unset the
+/// span macro-path must record **no** trace events — spans still feed
+/// the registry timers, but the per-thread trace buffers stay empty, so
+/// the disabled path costs one relaxed atomic load per span.
+#[test]
+fn disabled_tracing_spans_record_no_events() {
+    assert!(
+        !slap_obs::trace::enabled(),
+        "SLAP_TRACE must stay unset in the test environment \
+         (tracing is opt-in; this test pins the default-off contract)"
+    );
+    for _ in 0..100 {
+        let _outer = slap_obs::span("no_prints_outer");
+        let _inner = slap_obs::span("no_prints_inner");
+    }
+    slap_obs::trace::flush_thread();
+    let events = slap_obs::trace::drain();
+    assert!(
+        events.is_empty(),
+        "disabled tracing still buffered {} events",
+        events.len()
+    );
+}
