@@ -5,7 +5,8 @@
 //! Usage:
 //!   cargo run --release -p slap-bench --bin accuracy -- \
 //!       [--maps 250] [--epochs 20] [--filters 128] [--keep 4] [--lr 0.002]
-//!       [--seed 1] [--threads N] [--save model.txt] [--metrics-json out.jsonl]
+//!       [--seed 1] [--target asic|lut:k] [--threads N] [--save model.txt]
+//!       [--metrics-json out.jsonl]
 
 use std::sync::Arc;
 
@@ -14,12 +15,12 @@ use slap_bench::metrics::{
     circuits_hash, library_hash, obs_snapshot_record, run_manifest, EpochMetrics, MetricsOut,
     TraceOut,
 };
-use slap_bench::{experiments_dir, init_threads, Args};
-use slap_cell::asap7_mini;
+use slap_bench::{experiments_dir, init_threads, Args, TargetSpec};
+use slap_cell::{asap7_mini, Library};
 use slap_circuits::catalog::Scale;
 use slap_circuits::training_benchmarks;
 use slap_core::{generate_dataset, LabelMode, SampleConfig, CUT_EMBED_COLS, CUT_EMBED_ROWS};
-use slap_map::{MapOptions, Mapper};
+use slap_map::{LutMapper, MapOptions, Mapper, Target};
 use slap_ml::{CnnConfig, CutCnn, Dataset, TrainConfig};
 
 #[global_allocator]
@@ -27,6 +28,26 @@ static ALLOC: slap_obs::alloc::CountingAllocator = slap_obs::alloc::CountingAllo
 
 fn main() {
     let args = Args::from_env();
+    let target = TargetSpec::from_args(&args);
+    match target {
+        TargetSpec::Asic => {
+            let library = asap7_mini();
+            let mapper = Mapper::new(&library, MapOptions::default());
+            run(&args, &mapper, target, Some(&library));
+        }
+        TargetSpec::Lut(k) => {
+            let mapper = LutMapper::lut(k, MapOptions::default());
+            run(&args, &mapper, target, None);
+        }
+    }
+}
+
+fn run<T: Target>(
+    args: &Args,
+    mapper: &Mapper<'_, T>,
+    target: TargetSpec,
+    library: Option<&Library>,
+) {
     let maps = args.get("maps", 250usize);
     let epochs = args.get("epochs", 20usize);
     let filters = args.get("filters", 128usize);
@@ -40,44 +61,43 @@ fn main() {
     } else {
         LabelMode::BestPerCutWithNegatives
     };
-    let threads = init_threads(&args);
+    let threads = init_threads(args);
     let metrics = Arc::new(MetricsOut::from_arg(
         &args.get("metrics-json", String::new()),
     ));
-    let trace = TraceOut::from_args(&args);
+    let trace = TraceOut::from_args(args);
     let run_span = slap_obs::span("accuracy");
 
-    let library = asap7_mini();
-    let mapper = Mapper::new(&library, MapOptions::default());
     println!("== §V-B model accuracy: {maps} maps/circuit, keep {keep}, {epochs} epochs, {filters} filters ==");
 
     // The training circuits sample independently; build one dataset per
     // circuit across worker threads and merge in catalog order.
     let benches = training_benchmarks();
     let aigs: Vec<Aig> = slap_par::par_map(&benches, |_, b| b.build(Scale::Full));
-    metrics.emit(
-        &run_manifest("accuracy", threads)
-            .config("maps", maps)
-            .config("epochs", epochs)
-            .config("filters", filters)
-            .config("keep", keep)
-            .config("seed", seed)
-            .input_hash("circuits", circuits_hash(&aigs))
-            .input_hash("library", library_hash(&library))
-            .into_record(),
-    );
+    let mut manifest = run_manifest("accuracy", threads, &target.name())
+        .config("maps", maps)
+        .config("epochs", epochs)
+        .config("filters", filters)
+        .config("keep", keep)
+        .config("seed", seed)
+        .input_hash("circuits", circuits_hash(&aigs));
+    if let Some(lib) = library {
+        manifest = manifest.input_hash("library", library_hash(lib));
+    }
+    metrics.emit(&manifest.into_record());
     let datagen_span = slap_obs::span("datagen");
     let parts = slap_par::par_map(&aigs, |i, aig| {
         let bench = &benches[i];
         let mut part = Dataset::new(CUT_EMBED_ROWS, CUT_EMBED_COLS, 10);
         let samples = generate_dataset(
             aig,
-            &mapper,
+            mapper,
             &SampleConfig {
                 maps,
                 keep,
                 seed,
                 label_mode,
+                cut_config: target.cut_config(),
                 ..SampleConfig::default()
             },
             &mut part,

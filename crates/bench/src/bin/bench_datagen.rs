@@ -13,8 +13,9 @@
 //!
 //! Usage:
 //!   cargo run --release -p slap-bench --bin bench_datagen -- \
-//!       [--rounds 3] [--maps 48] [--threads N] [--out BENCH_datagen.json]
-//!       [--metrics-json out.jsonl] [--trace-json trace.json]
+//!       [--rounds 3] [--maps 48] [--target asic|lut:k] [--threads N]
+//!       [--out BENCH_datagen.json] [--metrics-json out.jsonl]
+//!       [--trace-json trace.json]
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -22,11 +23,11 @@ use std::time::Instant;
 use slap_bench::metrics::{
     aig_hash, library_hash, obs_snapshot_record, run_manifest, MetricsOut, TraceOut,
 };
-use slap_bench::{init_threads, Args};
-use slap_cell::asap7_mini;
+use slap_bench::{init_threads, Args, TargetSpec};
+use slap_cell::{asap7_mini, Library};
 use slap_circuits::aes::aes_mini;
 use slap_core::{generate_dataset_session, SampleConfig, CUT_EMBED_COLS, CUT_EMBED_ROWS};
-use slap_map::{MapOptions, Mapper};
+use slap_map::{LutMapper, MapOptions, Mapper, Target};
 use slap_ml::Dataset;
 
 #[global_allocator]
@@ -34,28 +35,47 @@ static ALLOC: slap_obs::alloc::CountingAllocator = slap_obs::alloc::CountingAllo
 
 fn main() {
     let args = Args::from_env();
+    let target = TargetSpec::from_args(&args);
+    match target {
+        TargetSpec::Asic => {
+            let library = asap7_mini();
+            let mapper = Mapper::new(&library, MapOptions::default());
+            run(&args, &mapper, target, Some(&library));
+        }
+        TargetSpec::Lut(k) => {
+            let mapper = LutMapper::lut(k, MapOptions::default());
+            run(&args, &mapper, target, None);
+        }
+    }
+}
+
+fn run<T: Target>(
+    args: &Args,
+    mapper: &Mapper<'_, T>,
+    target: TargetSpec,
+    library: Option<&Library>,
+) {
     let rounds = args.get("rounds", 3usize);
     let maps = args.get("maps", 48usize);
     let out_path = args.get("out", "BENCH_datagen.json".to_string());
-    let threads = init_threads(&args);
+    let threads = init_threads(args);
     let metrics = MetricsOut::from_arg(&args.get("metrics-json", String::new()));
-    let trace = TraceOut::from_args(&args);
+    let trace = TraceOut::from_args(args);
     let run_span = slap_obs::span("bench_datagen");
     assert!(maps >= 32, "acceptance criterion measures maps >= 32");
 
-    let lib = asap7_mini();
-    let mapper = Mapper::new(&lib, MapOptions::default());
     let aig = aes_mini();
-    metrics.emit(
-        &run_manifest("bench_datagen", threads)
-            .config("rounds", rounds)
-            .config("maps", maps)
-            .input_hash("circuit", aig_hash(&aig))
-            .input_hash("library", library_hash(&lib))
-            .into_record(),
-    );
+    let mut manifest = run_manifest("bench_datagen", threads, &target.name())
+        .config("rounds", rounds)
+        .config("maps", maps)
+        .input_hash("circuit", aig_hash(&aig));
+    if let Some(lib) = library {
+        manifest = manifest.input_hash("library", library_hash(lib));
+    }
+    metrics.emit(&manifest.into_record());
     let cfg = SampleConfig {
         maps,
+        cut_config: target.cut_config(),
         ..SampleConfig::default()
     };
 

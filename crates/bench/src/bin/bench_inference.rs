@@ -187,7 +187,7 @@ fn main() {
     let mapper = Mapper::new(&lib, MapOptions::default());
     let aig = aes_mini();
     metrics.emit(
-        &run_manifest("bench_inference", threads)
+        &run_manifest("bench_inference", threads, "asic")
             .config("rounds", rounds)
             .config("smoke", smoke)
             .input_hash("circuit", aig_hash(&aig))

@@ -48,7 +48,7 @@ fn main() {
     let aes = aes_mini();
     let adder = ripple_carry_adder(16);
     metrics.emit(
-        &run_manifest("bench_parallel", 0)
+        &run_manifest("bench_parallel", 0, "asic")
             .config("rounds", rounds)
             .config("maps", maps)
             .input_hash(

@@ -3,52 +3,71 @@
 //!
 //! Usage:
 //!   cargo run --release -p slap-bench --bin fig1 -- \
-//!       [--maps 300] [--keep 8] [--seed 1] [--full] [--threads N]
-//!       [--metrics-json out.jsonl] [--trace-json trace.json]
+//!       [--maps 300] [--keep 8] [--seed 1] [--full] [--target asic|lut:k]
+//!       [--threads N] [--metrics-json out.jsonl] [--trace-json trace.json]
 
 use std::io::Write as _;
 
+use slap_aig::Aig;
 use slap_bench::metrics::{
     aig_hash, library_hash, map_record, obs_snapshot_record, run_manifest, MetricsOut, TraceOut,
 };
-use slap_bench::{experiments_dir, init_threads, Args};
-use slap_cell::asap7_mini;
+use slap_bench::{experiments_dir, init_threads, Args, TargetSpec};
+use slap_cell::{asap7_mini, Library};
 use slap_circuits::aes::{aes_core, aes_mini};
-use slap_cuts::CutConfig;
-use slap_map::{MapOptions, Mapper};
+use slap_map::{LutMapper, MapOptions, Mapper, Target};
 
 #[global_allocator]
 static ALLOC: slap_obs::alloc::CountingAllocator = slap_obs::alloc::CountingAllocator;
 
 fn main() {
     let args = Args::from_env();
-    let maps = args.get("maps", 300usize);
-    let keep = args.get("keep", 8usize);
-    let seed = args.get("seed", 1u64);
-    let threads = init_threads(&args);
-    let metrics = MetricsOut::from_arg(&args.get("metrics-json", String::new()));
-    let trace = TraceOut::from_args(&args);
-    let run_span = slap_obs::span("fig1");
+    let target = TargetSpec::from_args(&args);
     let aig = if args.has("full") {
         aes_core(1)
     } else {
         aes_mini()
     };
+    match target {
+        TargetSpec::Asic => {
+            let library = asap7_mini();
+            let mapper = Mapper::new(&library, MapOptions::default());
+            run(&args, &aig, &mapper, target, Some(&library));
+        }
+        TargetSpec::Lut(k) => {
+            let mapper = LutMapper::lut(k, MapOptions::default());
+            run(&args, &aig, &mapper, target, None);
+        }
+    }
+}
+
+fn run<T: Target>(
+    args: &Args,
+    aig: &Aig,
+    mapper: &Mapper<'_, T>,
+    target: TargetSpec,
+    library: Option<&Library>,
+) {
+    let maps = args.get("maps", 300usize);
+    let keep = args.get("keep", 8usize);
+    let seed = args.get("seed", 1u64);
+    let threads = init_threads(args);
+    let metrics = MetricsOut::from_arg(&args.get("metrics-json", String::new()));
+    let trace = TraceOut::from_args(args);
+    let run_span = slap_obs::span("fig1");
     println!("circuit: {} ({} AND nodes)", aig.name(), aig.num_ands());
 
-    let library = asap7_mini();
-    metrics.emit(
-        &run_manifest("fig1", threads)
-            .config("maps", maps)
-            .config("keep", keep)
-            .config("seed", seed)
-            .input_hash("circuit", aig_hash(&aig))
-            .input_hash("library", library_hash(&library))
-            .into_record(),
-    );
-    let mapper = Mapper::new(&library, MapOptions::default());
-    let cut_config = CutConfig::default();
-    let reference = mapper.map_default(&aig, &cut_config).expect("default maps");
+    let mut manifest = run_manifest("fig1", threads, &target.name())
+        .config("maps", maps)
+        .config("keep", keep)
+        .config("seed", seed)
+        .input_hash("circuit", aig_hash(aig));
+    if let Some(lib) = library {
+        manifest = manifest.input_hash("library", library_hash(lib));
+    }
+    metrics.emit(&manifest.into_record());
+    let cut_config = target.cut_config();
+    let reference = mapper.map_default(aig, &cut_config).expect("default maps");
     metrics.emit(&map_record(aig.name(), "abc-default", reference.stats()));
     let (ref_area, ref_delay) = (reference.area() as f64, reference.delay() as f64);
     println!("ABC default: area {ref_area:.2} µm², delay {ref_delay:.2} ps (the black star)");
@@ -64,7 +83,7 @@ fn main() {
     let runs = slap_par::par_map(&indices, |_, &i| {
         let s = seed + i as u64;
         let nl = mapper
-            .map_shuffled(&aig, &cut_config, s, keep)
+            .map_shuffled(aig, &cut_config, s, keep)
             .expect("maps");
         let rec = metrics.enabled().then(|| {
             let mut rec = map_record(aig.name(), "random-shuffle", nl.stats());

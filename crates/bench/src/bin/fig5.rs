@@ -5,8 +5,8 @@
 //! Usage:
 //!   cargo run --release -p slap-bench --bin fig5 -- \
 //!       [--maps 120] [--epochs 12] [--filters 64] [--rounds 10]
-//!       [--eval 2000] [--seed 1] [--threads N] [--metrics-json out.jsonl]
-//!       [--trace-json trace.json]
+//!       [--eval 2000] [--seed 1] [--target asic|lut:k] [--threads N]
+//!       [--metrics-json out.jsonl] [--trace-json trace.json]
 
 use std::io::Write as _;
 use std::sync::Arc;
@@ -16,12 +16,12 @@ use slap_bench::metrics::{
     circuits_hash, library_hash, obs_snapshot_record, run_manifest, EpochMetrics, MetricsOut,
     TraceOut,
 };
-use slap_bench::{experiments_dir, init_threads, Args};
-use slap_cell::asap7_mini;
+use slap_bench::{experiments_dir, init_threads, Args, TargetSpec};
+use slap_cell::{asap7_mini, Library};
 use slap_circuits::catalog::Scale;
 use slap_circuits::training_benchmarks;
 use slap_core::{feature_groups, generate_dataset, SampleConfig, CUT_EMBED_COLS, CUT_EMBED_ROWS};
-use slap_map::{MapOptions, Mapper};
+use slap_map::{LutMapper, MapOptions, Mapper, Target};
 use slap_ml::{permutation_importance, CnnConfig, CutCnn, Dataset, TrainConfig};
 
 #[global_allocator]
@@ -29,45 +29,64 @@ static ALLOC: slap_obs::alloc::CountingAllocator = slap_obs::alloc::CountingAllo
 
 fn main() {
     let args = Args::from_env();
+    let target = TargetSpec::from_args(&args);
+    match target {
+        TargetSpec::Asic => {
+            let library = asap7_mini();
+            let mapper = Mapper::new(&library, MapOptions::default());
+            run(&args, &mapper, target, Some(&library));
+        }
+        TargetSpec::Lut(k) => {
+            let mapper = LutMapper::lut(k, MapOptions::default());
+            run(&args, &mapper, target, None);
+        }
+    }
+}
+
+fn run<T: Target>(
+    args: &Args,
+    mapper: &Mapper<'_, T>,
+    target: TargetSpec,
+    library: Option<&Library>,
+) {
     let maps = args.get("maps", 120usize);
     let epochs = args.get("epochs", 12usize);
     let filters = args.get("filters", 64usize);
     let rounds = args.get("rounds", 10usize);
     let eval = args.get("eval", 2000usize);
     let seed = args.get("seed", 1u64);
-    let threads = init_threads(&args);
+    let threads = init_threads(args);
     let metrics = Arc::new(MetricsOut::from_arg(
         &args.get("metrics-json", String::new()),
     ));
-    let trace = TraceOut::from_args(&args);
+    let trace = TraceOut::from_args(args);
     let run_span = slap_obs::span("fig5");
 
-    let library = asap7_mini();
-    let mapper = Mapper::new(&library, MapOptions::default());
     // The training circuits sample independently; build one dataset per
     // circuit across worker threads and merge in catalog order.
     let benches = training_benchmarks();
     let aigs: Vec<Aig> = slap_par::par_map(&benches, |_, b| b.build(Scale::Full));
-    metrics.emit(
-        &run_manifest("fig5", threads)
-            .config("maps", maps)
-            .config("epochs", epochs)
-            .config("filters", filters)
-            .config("rounds", rounds)
-            .config("seed", seed)
-            .input_hash("circuits", circuits_hash(&aigs))
-            .input_hash("library", library_hash(&library))
-            .into_record(),
-    );
+    let mut manifest = run_manifest("fig5", threads, &target.name())
+        .config("maps", maps)
+        .config("epochs", epochs)
+        .config("filters", filters)
+        .config("rounds", rounds)
+        .config("seed", seed)
+        .input_hash("circuits", circuits_hash(&aigs));
+    if let Some(lib) = library {
+        manifest = manifest.input_hash("library", library_hash(lib));
+    }
+    metrics.emit(&manifest.into_record());
     let datagen_span = slap_obs::span("datagen");
     let parts = slap_par::par_map(&aigs, |_, aig| {
         let mut part = Dataset::new(CUT_EMBED_ROWS, CUT_EMBED_COLS, 10);
         generate_dataset(
             aig,
-            &mapper,
+            mapper,
             &SampleConfig {
                 maps,
                 seed,
+                cut_config: target.cut_config(),
                 ..SampleConfig::default()
             },
             &mut part,

@@ -4,12 +4,16 @@
 //!
 //! Usage:
 //!   cargo run --release -p slap-bench --bin table2 -- \
-//!       [--full | --smoke] [--maps 150] [--epochs 15] [--filters 128] [--seed 1]
-//!       [--cap 1000] [--threads N] [--metrics-json out.jsonl]
-//!       [--trace-json trace.json] [--trace-folded stacks.txt]
+//!       [--full | --smoke] [--target asic|lut:k] [--maps 150] [--epochs 15]
+//!       [--filters 128] [--seed 1] [--cap 1000] [--threads N]
+//!       [--metrics-json out.jsonl] [--trace-json trace.json]
+//!       [--trace-folded stacks.txt]
 //!
 //! `--smoke` is the CI profile: quick-scale circuits with a tiny
 //! training run, fast enough to gate every commit via `slap-report`.
+//! `--target lut:k` maps the same catalog onto k-input LUTs instead of
+//! the ASIC library; the area/delay columns then report LUT count and
+//! logic depth (unit cost model).
 
 use std::io::Write as _;
 use std::sync::Arc;
@@ -20,12 +24,13 @@ use slap_bench::metrics::{
     aig_hash, library_hash, map_record, obs_snapshot_record, run_manifest, EpochMetrics,
     MetricsOut, TraceOut,
 };
-use slap_bench::{experiments_dir, geomean, init_threads, train_paper_model, Args, Qor};
-use slap_cell::asap7_mini;
+use slap_bench::{
+    experiments_dir, geomean, init_threads, train_paper_model, Args, Qor, TargetSpec,
+};
+use slap_cell::{asap7_mini, Library};
 use slap_circuits::catalog::{table2_benchmarks, Scale};
 use slap_core::{SlapConfig, SlapMapper};
-use slap_cuts::CutConfig;
-use slap_map::{MapOptions, Mapper};
+use slap_map::{LutMapper, MapOptions, Mapper, Target};
 use slap_obs::manifest::combine_hashes;
 
 #[global_allocator]
@@ -40,6 +45,26 @@ struct Row {
 
 fn main() {
     let args = Args::from_env();
+    let target = TargetSpec::from_args(&args);
+    match target {
+        TargetSpec::Asic => {
+            let library = asap7_mini();
+            let mapper = Mapper::new(&library, MapOptions::default());
+            run(&args, &mapper, target, Some(&library));
+        }
+        TargetSpec::Lut(k) => {
+            let mapper = LutMapper::lut(k, MapOptions::default());
+            run(&args, &mapper, target, None);
+        }
+    }
+}
+
+fn run<T: Target>(
+    args: &Args,
+    mapper: &Mapper<'_, T>,
+    target: TargetSpec,
+    library: Option<&Library>,
+) {
     let smoke = args.has("smoke");
     let scale = if args.has("full") {
         Scale::Full
@@ -51,15 +76,12 @@ fn main() {
     let filters = args.get("filters", if smoke { 16 } else { 128usize });
     let seed = args.get("seed", 1u64);
     let cap = args.get("cap", if smoke { 200 } else { 1000usize });
-    let threads = init_threads(&args);
+    let threads = init_threads(args);
     let metrics = Arc::new(MetricsOut::from_arg(
         &args.get("metrics-json", String::new()),
     ));
-    let trace = TraceOut::from_args(&args);
+    let trace = TraceOut::from_args(args);
     let run_span = slap_obs::span("table2");
-
-    let library = asap7_mini();
-    let mapper = Mapper::new(&library, MapOptions::default());
 
     // Build the benchmark circuits up front so the manifest (the
     // stream's first record) can carry their combined content hash.
@@ -68,24 +90,25 @@ fn main() {
         let _s = slap_obs::span("build_circuits");
         slap_par::par_map(&benches, |_, b| b.build(scale))
     };
-    metrics.emit(
-        &run_manifest("table2", threads)
-            .config("scale", format!("{scale:?}"))
-            .config("smoke", smoke)
-            .config("maps", maps)
-            .config("epochs", epochs)
-            .config("filters", filters)
-            .config("seed", seed)
-            .config("cap", cap)
-            .input_hash("circuits", combine_hashes(aigs.iter().map(aig_hash)))
-            .input_hash("library", library_hash(&library))
-            .into_record(),
-    );
+    let mut manifest = run_manifest("table2", threads, &target.name())
+        .config("scale", format!("{scale:?}"))
+        .config("smoke", smoke)
+        .config("maps", maps)
+        .config("epochs", epochs)
+        .config("filters", filters)
+        .config("seed", seed)
+        .config("cap", cap)
+        .input_hash("circuits", combine_hashes(aigs.iter().map(aig_hash)));
+    if let Some(lib) = library {
+        manifest = manifest.input_hash("library", library_hash(lib));
+    }
+    metrics.emit(&manifest.into_record());
+    let cut_config = target.cut_config();
     println!("== training SLAP model on rc16 + cla16 ({maps} maps each, {epochs} epochs) ==");
     let progress = Some(Arc::new(EpochMetrics::new(metrics.clone(), true)) as _);
     let (model, report) = {
         let _s = slap_obs::span("train");
-        train_paper_model(&mapper, maps, epochs, filters, seed, progress)
+        train_paper_model(mapper, &cut_config, maps, epochs, filters, seed, progress)
     };
     println!(
         "trained: val 10-class {:.2}%, binarised {:.2}%\n",
@@ -93,15 +116,18 @@ fn main() {
         report.val_binary_accuracy * 100.0
     );
 
+    let slap_config = match target {
+        TargetSpec::Asic => SlapConfig::default(),
+        TargetSpec::Lut(k) => SlapConfig::for_lut(k),
+    };
     let slap = SlapMapper::new(
-        &mapper,
+        mapper,
         model,
         SlapConfig {
             unlimited_cap: cap,
-            ..SlapConfig::default()
+            ..slap_config
         },
     );
-    let cut_config = CutConfig::default();
 
     // The 14 circuits map independently; fan them out and then emit the
     // metrics records and rows in catalog order, so the table, the CSV,
@@ -157,7 +183,7 @@ fn main() {
         rows.push(row);
     }
 
-    print_table(&rows, scale);
+    print_table(&rows, scale, target);
     write_csv(&rows).expect("csv written");
     drop(run_span);
     metrics.emit(&obs_snapshot_record());
@@ -165,11 +191,25 @@ fn main() {
     trace.finish();
 }
 
-fn print_table(rows: &[Row], scale: Scale) {
-    println!("\n== Table II reproduction (scale: {scale:?}) ==");
+fn print_table(rows: &[Row], scale: Scale, target: TargetSpec) {
+    // For LUT targets the "area" column is the LUT count and "delay" the
+    // logic depth in levels (unit cost model) — same math, new labels.
+    let (area_label, delay_label) = target.qor_labels();
+    println!(
+        "\n== Table II reproduction (scale: {scale:?}, target: {}) ==",
+        target.name()
+    );
     println!(
         "{:<12} | {:>10} {:>10} {:>9} | {:>10} {:>10} {:>9} | {:>10} {:>10} {:>9} | {:>5} {:>5} {:>5} | {:>5} {:>5} {:>5}",
-        "Circuit", "ABC area", "delay", "cuts", "Unl area", "delay", "cuts", "SLAP area", "delay",
+        "Circuit",
+        format!("ABC {area_label}"),
+        delay_label,
+        "cuts",
+        format!("Unl {area_label}"),
+        delay_label,
+        "cuts",
+        format!("SLAP {area_label}"),
+        delay_label,
         "cuts", "A", "D", "C", "A/u", "D/u", "C/u"
     );
     for r in rows {

@@ -20,7 +20,8 @@ use std::sync::Arc;
 use slap_aig::Aig;
 use slap_circuits::training_benchmarks;
 use slap_core::{train_slap_model, PipelineConfig, SampleConfig};
-use slap_map::Mapper;
+use slap_cuts::CutConfig;
+use slap_map::{Mapper, Target};
 use slap_ml::{CnnConfig, CutCnn, ProgressSink, TrainConfig, TrainReport};
 
 /// One mapped result row.
@@ -93,6 +94,75 @@ impl Args {
     }
 }
 
+/// Which mapping target a binary runs against, parsed from the
+/// `--target {asic,lut:k}` flag shared by the experiment binaries. The
+/// spec is only a *description* — binaries turn it into a concrete
+/// [`Mapper`] / [`slap_map::LutMapper`] and dispatch generically.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TargetSpec {
+    /// The default ASIC cell target (genlib library + NPN matching).
+    Asic,
+    /// A k-input LUT FPGA target: any cut with ≤ k leaves is a match.
+    Lut(usize),
+}
+
+impl TargetSpec {
+    /// Parses `"asic"` or `"lut:k"` (e.g. `"lut:6"`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message on anything else.
+    pub fn parse(s: &str) -> Result<TargetSpec, String> {
+        if s == "asic" {
+            return Ok(TargetSpec::Asic);
+        }
+        if let Some(k) = s.strip_prefix("lut:") {
+            let k: usize = k
+                .parse()
+                .map_err(|_| format!("bad LUT size in --target {s:?} (want lut:k, e.g. lut:6)"))?;
+            return Ok(TargetSpec::Lut(k));
+        }
+        Err(format!("unknown --target {s:?} (want asic or lut:k)"))
+    }
+
+    /// Reads the `--target` flag (default `asic`).
+    ///
+    /// # Panics
+    ///
+    /// Panics with the usage message on a malformed value.
+    pub fn from_args(args: &Args) -> TargetSpec {
+        let raw = args.get("target", "asic".to_string());
+        TargetSpec::parse(&raw).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// The canonical name carried by run manifests (`"asic"`, `"lut:6"`).
+    pub fn name(&self) -> String {
+        match self {
+            TargetSpec::Asic => "asic".to_string(),
+            TargetSpec::Lut(k) => format!("lut:{k}"),
+        }
+    }
+
+    /// The cut-enumeration config matching the target: the LUT target
+    /// enumerates k-feasible cuts for its own k.
+    pub fn cut_config(&self) -> CutConfig {
+        match self {
+            TargetSpec::Asic => CutConfig::default(),
+            TargetSpec::Lut(k) => CutConfig::with_k(*k),
+        }
+    }
+
+    /// Column labels for QoR tables: `(area, delay)` for ASIC runs,
+    /// `(LUTs, depth)` for LUT runs (unit cost model: area = LUT count,
+    /// delay = logic depth in levels).
+    pub fn qor_labels(&self) -> (&'static str, &'static str) {
+        match self {
+            TargetSpec::Asic => ("area", "delay"),
+            TargetSpec::Lut(_) => ("LUTs", "depth"),
+        }
+    }
+}
+
 /// Applies the `--threads N` override and returns the effective worker
 /// count. Without the flag the count falls back to the `SLAP_THREADS`
 /// environment variable, then to the machine's available parallelism.
@@ -108,8 +178,9 @@ pub fn init_threads(args: &Args) -> usize {
 /// Returns the model and its accuracy report. Per-epoch progress goes to
 /// `progress` (`None` = silent); binaries that want a display pass
 /// `Some(Arc::new(StderrProgress))`.
-pub fn train_paper_model(
-    mapper: &Mapper<'_>,
+pub fn train_paper_model<T: Target>(
+    mapper: &Mapper<'_, T>,
+    cut_config: &CutConfig,
     maps_per_circuit: usize,
     epochs: usize,
     filters: usize,
@@ -118,6 +189,7 @@ pub fn train_paper_model(
 ) -> (CutCnn, TrainReport) {
     train_paper_model_tuned(
         mapper,
+        cut_config,
         maps_per_circuit,
         epochs,
         filters,
@@ -131,8 +203,9 @@ pub fn train_paper_model(
 /// [`train_paper_model`] with explicit shuffle-keep and learning-rate
 /// knobs (exposed for the harness' tuning flags).
 #[allow(clippy::too_many_arguments)]
-pub fn train_paper_model_tuned(
-    mapper: &Mapper<'_>,
+pub fn train_paper_model_tuned<T: Target>(
+    mapper: &Mapper<'_, T>,
+    cut_config: &CutConfig,
     maps_per_circuit: usize,
     epochs: usize,
     filters: usize,
@@ -150,6 +223,7 @@ pub fn train_paper_model_tuned(
             maps: maps_per_circuit,
             keep,
             seed,
+            cut_config: cut_config.clone(),
             ..SampleConfig::default()
         },
         train: TrainConfig {
@@ -209,6 +283,25 @@ mod tests {
         assert_eq!(a.get("epochs", 7usize), 7);
         assert!(a.has("full"));
         assert!(!a.has("quick"));
+    }
+
+    #[test]
+    fn target_spec_parses_and_names() {
+        assert_eq!(TargetSpec::parse("asic"), Ok(TargetSpec::Asic));
+        assert_eq!(TargetSpec::parse("lut:6"), Ok(TargetSpec::Lut(6)));
+        assert!(TargetSpec::parse("fpga").is_err());
+        assert!(TargetSpec::parse("lut:x").is_err());
+        assert_eq!(TargetSpec::Asic.name(), "asic");
+        assert_eq!(TargetSpec::Lut(4).name(), "lut:4");
+        assert_eq!(TargetSpec::Lut(4).cut_config().k, 4);
+        assert_eq!(TargetSpec::Lut(4).qor_labels(), ("LUTs", "depth"));
+        // Flag plumbing: default asic, explicit lut:k.
+        let args = Args::from_vec(vec!["--target".into(), "lut:5".into()]);
+        assert_eq!(TargetSpec::from_args(&args), TargetSpec::Lut(5));
+        assert_eq!(
+            TargetSpec::from_args(&Args::from_vec(vec![])),
+            TargetSpec::Asic
+        );
     }
 
     #[test]

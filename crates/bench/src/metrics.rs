@@ -115,11 +115,17 @@ impl ProgressSink for EpochMetrics {
 }
 
 /// Starts the `event = "run_manifest"` record every metrics stream opens
-/// with: binary, thread count, cache mode, and trace state. Callers
-/// chain `.config(...)` / `.input_hash(...)` for run-specific fields
-/// before emitting; schema in DESIGN.md §11.
-pub fn run_manifest(bin: &str, threads: usize) -> RunManifest {
-    RunManifest::new(bin).threads(threads).cache(None).trace()
+/// with: binary, thread count, cache mode, trace state, and the mapping
+/// target (`"asic"`, `"lut:6"`, …). Callers chain `.config(...)` /
+/// `.input_hash(...)` for run-specific fields before emitting; schema in
+/// DESIGN.md §11. `slap-report --check` refuses to compare streams whose
+/// targets differ, so the field is mandatory here.
+pub fn run_manifest(bin: &str, threads: usize, target: &str) -> RunManifest {
+    RunManifest::new(bin)
+        .threads(threads)
+        .cache(None)
+        .trace()
+        .target(target)
 }
 
 /// FNV-1a content hash of a circuit's canonical ASCII AIGER
@@ -340,7 +346,7 @@ mod tests {
         {
             let out = Arc::new(MetricsOut::from_arg(path_str));
             assert!(out.enabled());
-            out.emit(&run_manifest("test-bin", 2).into_record());
+            out.emit(&run_manifest("test-bin", 2, "asic").into_record());
             out.emit(&map_record("c1", "m1", &MapStats::default()));
             let sink = EpochMetrics::new(out.clone(), false);
             sink.on_epoch(&EpochProgress {
@@ -360,6 +366,9 @@ mod tests {
         }
         let manifest = slap_obs::parse_object(lines[0]).expect("manifest line");
         assert!(slap_obs::manifest::is_manifest(&manifest));
+        assert!(manifest
+            .iter()
+            .any(|(k, v)| k == "target" && v.as_str() == Some("asic")));
         let fields = slap_obs::parse_object(lines[2]).expect("epoch line");
         assert!(fields
             .iter()

@@ -352,9 +352,20 @@ impl CheckReport {
     }
 }
 
+/// The mapping target a run's manifest declares. Streams written before
+/// the manifest carried a `target` field are all ASIC runs, so absence
+/// defaults to `"asic"`.
+pub fn run_target(run: &Run) -> &str {
+    run.manifest_field("target")
+        .and_then(Value::as_str)
+        .unwrap_or("asic")
+}
+
 /// The CI regression gate: compares `current` against `baseline`,
 /// failing on
 ///
+/// * manifest `target` mismatches (an ASIC stream can never gate a LUT
+///   stream or vice versa — the QoR units aren't even the same);
 /// * manifest input-hash or `schema_version` mismatches (the runs
 ///   mapped different inputs — QoR comparison would be meaningless);
 /// * baseline `(circuit, mode)` rows missing from the current run;
@@ -363,6 +374,12 @@ impl CheckReport {
 ///   exists only for float formatting slack — CI uses a small one).
 pub fn check(current: &Run, baseline: &Run, tolerance_pct: f64) -> CheckReport {
     let mut report = CheckReport::default();
+    let (ct, bt) = (run_target(current), run_target(baseline));
+    if ct != bt {
+        report.failures.push(format!(
+            "manifest target mismatch: baseline {bt:?}, current {ct:?}"
+        ));
+    }
     for (key, base_value) in &baseline.manifest {
         if key == "schema_version" || key.ends_with("_hash") {
             match current.manifest_field(key) {
@@ -519,6 +536,28 @@ mod tests {
             .failures
             .iter()
             .any(|f| f.contains("abc-default") && f.contains("missing")));
+    }
+
+    #[test]
+    fn check_fails_on_target_mismatch_defaulting_absent_to_asic() {
+        let baseline = sample_run();
+        assert_eq!(run_target(&baseline), "asic", "absent target is asic");
+        let lut = SAMPLE.replace("\"trace\":false", "\"trace\":false,\"target\":\"lut:6\"");
+        let current = parse_run(&lut, "lut").expect("parses");
+        assert_eq!(run_target(&current), "lut:6");
+        let report = check(&current, &baseline, 2.0);
+        assert!(
+            report
+                .failures
+                .iter()
+                .any(|f| f.contains("target mismatch") && f.contains("lut:6")),
+            "{:?}",
+            report.failures
+        );
+        // An explicit "asic" still matches a pre-target baseline.
+        let asic = SAMPLE.replace("\"trace\":false", "\"trace\":false,\"target\":\"asic\"");
+        let current = parse_run(&asic, "asic").expect("parses");
+        assert!(check(&current, &baseline, 2.0).passed());
     }
 
     #[test]

@@ -512,6 +512,63 @@ impl SessionCache {
         (FrozenResolve::Cold(v), info)
     }
 
+    /// Function-only mutable probe: resolves the raw local function of
+    /// `(root, cut)` without touching the binding cache. This is the
+    /// sequential probe of targets that match structurally on the truth
+    /// table itself (k-LUT) and therefore never prepare gate bindings.
+    /// A session serves exactly one target, so the binding cache simply
+    /// stays empty on this path — the function cache and interner are
+    /// target-independent pure functions of the AIG.
+    pub fn resolve_fn_mut(
+        &mut self,
+        aig: &Aig,
+        root: NodeId,
+        cut: &Cut,
+        leaves: &[NodeId],
+        cone: &mut ConeScratch,
+    ) -> (Option<(Tt, u32)>, ResolveInfo) {
+        let mut info = ResolveInfo::default();
+        let value = match self.functions.get(&(root, *cut)) {
+            Some(v) => {
+                info.fn_hit = true;
+                *v
+            }
+            None => {
+                let v = cut_function_with(aig, root, leaves, cone).map(|(tt, vol)| {
+                    let (id, fresh) = self.tts.intern(tt);
+                    info.interned = fresh;
+                    (id, vol as u32)
+                });
+                self.functions.insert((root, *cut), v);
+                v
+            }
+        };
+        (value.map(|(id, vol)| (self.tts.get(id), vol)), info)
+    }
+
+    /// Function-only read-only probe for parallel workers of
+    /// binding-free targets: hits replay the interned function, misses
+    /// compute it cold and record it into `delta` for
+    /// [`SessionCache::absorb_functions`].
+    pub fn resolve_fn_frozen(
+        &self,
+        aig: &Aig,
+        root: NodeId,
+        cut: &Cut,
+        leaves: &[NodeId],
+        cone: &mut ConeScratch,
+        delta: &mut SessionDelta,
+    ) -> (Option<(Tt, u32)>, ResolveInfo) {
+        let mut info = ResolveInfo::default();
+        if let Some(v) = self.functions.get(&(root, *cut)) {
+            info.fn_hit = true;
+            return (v.map(|(id, vol)| (self.tts.get(id), vol)), info);
+        }
+        let v = cut_function_with(aig, root, leaves, cone).map(|(tt, vol)| (tt, vol as u32));
+        delta.entries.push(((root, *cut), v));
+        (v, info)
+    }
+
     /// The cached volume of `(root, cut)`, if the function cache has
     /// seen it (used to skip cone re-traversal in feature extraction).
     pub fn cached_volume(&self, root: NodeId, cut: &Cut) -> Option<usize> {
@@ -545,12 +602,38 @@ impl SessionCache {
         }
         fresh_interns
     }
+
+    /// [`SessionCache::absorb`] for binding-free targets: replays
+    /// `delta` into the function cache and interner only, never touching
+    /// the binding cache (there is no match index to probe). Returns how
+    /// many truth tables were newly interned.
+    pub fn absorb_functions(&mut self, mut delta: SessionDelta) -> u64 {
+        let mut fresh_interns = 0u64;
+        for ((root, cut), v) in delta.entries.drain(..) {
+            if self.functions.contains_key(&(root, cut)) {
+                continue;
+            }
+            let stored = v.map(|(tt, vol)| {
+                let (id, fresh) = self.tts.intern(tt);
+                if fresh {
+                    fresh_interns += 1;
+                }
+                (id, vol)
+            });
+            self.functions.insert((root, cut), stored);
+        }
+        fresh_interns
+    }
 }
 
 /// Key of one memoized shuffled-map run: everything that, together with
 /// the session's AIG and mapper, determines the mapping bit-for-bit.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct RunKey {
+    /// Discriminant of the mapping target (`Target::cache_key()`), so
+    /// one session can never replay an ASIC run as a LUT run or vice
+    /// versa.
+    pub target: u64,
     /// Cut feasibility bound (`CutConfig::k`).
     pub k: usize,
     /// Shuffle seed of the priority policy.
@@ -819,6 +902,7 @@ mod tests {
         let mut runs = RunCache::default();
         assert!(runs.is_empty());
         let key = RunKey {
+            target: 11,
             k: 5,
             seed: 7,
             keep: 8,
@@ -844,5 +928,48 @@ mod tests {
         assert_eq!(*got, run, "first store wins");
         assert_eq!(got.cover, cover);
         assert!(runs.get(RunKey { seed: 8, ..key }).is_none());
+        assert!(
+            runs.get(RunKey { target: 12, ..key }).is_none(),
+            "runs are discriminated by target"
+        );
+    }
+
+    #[test]
+    fn fn_only_probes_match_cold_compute_and_skip_bindings() {
+        let (aig, roots) = xor_chain();
+        let mut cache = SessionCache::new(true);
+        let mut cone = ConeScratch::default();
+        let root = *roots.last().expect("has ands");
+        let (f0, f1) = aig.fanins(root);
+        let leaves = [f0.node(), f1.node()];
+        let cut = Cut::from_leaves(&leaves);
+
+        let (cold, _) = cut_function_with(&aig, root, &leaves, &mut cone).expect("valid cut");
+        let (first, i1) = cache.resolve_fn_mut(&aig, root, &cut, &leaves, &mut cone);
+        let (tt1, _) = first.expect("valid cut");
+        assert!(!i1.fn_hit && i1.interned);
+        assert_eq!(tt1, cold);
+        let (second, i2) = cache.resolve_fn_mut(&aig, root, &cut, &leaves, &mut cone);
+        assert!(i2.fn_hit && !i2.interned && !i2.binding_hit);
+        assert_eq!(second.expect("valid cut").0, cold);
+        assert_eq!(cache.num_prepared(), 0, "fn-only path never prepares");
+
+        // Frozen probe on a fresh key records a delta; absorbing it
+        // function-only warms the cache without touching bindings.
+        let other = roots[0];
+        let (g0, g1) = aig.fanins(other);
+        let lv = [g0.node(), g1.node()];
+        let cut2 = Cut::from_leaves(&lv);
+        let mut delta = SessionDelta::default();
+        let (froz, fi) = cache.resolve_fn_frozen(&aig, other, &cut2, &lv, &mut cone, &mut delta);
+        assert!(!fi.fn_hit && froz.is_some());
+        assert_eq!(delta.len(), 1);
+        let fresh = cache.absorb_functions(delta);
+        assert!(fresh <= 1, "at most one new distinct function");
+        assert_eq!(cache.num_functions(), 2);
+        assert_eq!(cache.num_prepared(), 0);
+        let mut delta2 = SessionDelta::default();
+        let (_, fi2) = cache.resolve_fn_frozen(&aig, other, &cut2, &lv, &mut cone, &mut delta2);
+        assert!(fi2.fn_hit && delta2.is_empty());
     }
 }

@@ -3,7 +3,7 @@
 
 use slap_aig::Aig;
 use slap_cuts::CutConfig;
-use slap_map::{MapError, MapSession, Mapper};
+use slap_map::{MapError, MapSession, Mapper, Target};
 use slap_ml::Dataset;
 
 use crate::embed::{EmbeddingContext, CUT_EMBED_COLS, CUT_EMBED_DIM, CUT_EMBED_ROWS};
@@ -93,9 +93,9 @@ pub struct MapSample {
 ///
 /// Panics if `dataset` has a different shape than the cut embedding or
 /// `config.maps == 0`.
-pub fn generate_dataset(
+pub fn generate_dataset<T: Target>(
     aig: &Aig,
-    mapper: &Mapper<'_>,
+    mapper: &Mapper<'_, T>,
     config: &SampleConfig,
     dataset: &mut Dataset,
 ) -> Result<Vec<MapSample>, MapError> {
@@ -118,8 +118,8 @@ pub fn generate_dataset(
 ///
 /// Panics if `dataset` has a different shape than the cut embedding or
 /// `config.maps == 0`.
-pub fn generate_dataset_session(
-    session: &mut MapSession<'_, '_>,
+pub fn generate_dataset_session<T: Target>(
+    session: &mut MapSession<'_, '_, T>,
     config: &SampleConfig,
     dataset: &mut Dataset,
 ) -> Result<Vec<MapSample>, MapError> {
@@ -462,6 +462,30 @@ mod tests {
             assert_eq!(ds.content_hash(), cold_ds.content_hash(), "threads={t}");
         }
         slap_par::set_threads(prev);
+    }
+
+    #[test]
+    fn lut_datagen_labels_by_lut_depth() {
+        let aig = ripple_carry_adder(8);
+        let mapper = slap_map::LutMapper::lut(4, MapOptions::default());
+        let cfg = SampleConfig {
+            maps: 8,
+            ..SampleConfig::default()
+        };
+        let mut ds = Dataset::new(CUT_EMBED_ROWS, CUT_EMBED_COLS, 10);
+        let samples = generate_dataset(&aig, &mapper, &cfg, &mut ds).expect("maps");
+        assert!(!ds.is_empty());
+        for s in &samples {
+            // Unit LUT cost model: area counts LUTs, delay counts levels.
+            assert_eq!(s.area.fract(), 0.0, "LUT area must be a count");
+            assert_eq!(s.delay.fract(), 0.0, "LUT delay must count levels");
+            assert!((s.class as usize) < 10);
+        }
+        // Deterministic across repeats, like the ASIC path.
+        let mut ds2 = Dataset::new(CUT_EMBED_ROWS, CUT_EMBED_COLS, 10);
+        let samples2 = generate_dataset(&aig, &mapper, &cfg, &mut ds2).expect("maps");
+        assert_eq!(samples, samples2);
+        assert_eq!(ds.content_hash(), ds2.content_hash());
     }
 
     #[test]

@@ -67,7 +67,7 @@ impl EmbeddingContext {
     ///
     /// # Panics
     ///
-    /// Panics if the cut is invalid for `root` or has more than 5 leaves.
+    /// Panics if the cut is invalid for `root`.
     pub fn cut_embedding(&self, aig: &Aig, root: NodeId, cut: &Cut) -> Vec<f32> {
         let features = cut_features(aig, root, cut, &self.compl_flags);
         self.cut_embedding_with_features(root, cut, &features)
@@ -91,10 +91,15 @@ impl EmbeddingContext {
     /// [`CUT_EMBED_DIM`] floats, so bulk scoring (inference, data
     /// generation) reuses one buffer instead of allocating per cut.
     ///
+    /// The paper's embedding reserves five leaf rows (k = 5). Wider cuts
+    /// — e.g. from the 6-LUT target — embed only their first five leaves;
+    /// the nine broadcast feature rows (which include `numLeaves`) still
+    /// describe the full cut, so width information is not lost, only the
+    /// per-leaf detail of leaves past the fifth.
+    ///
     /// # Panics
     ///
-    /// Panics if `out` is not exactly [`CUT_EMBED_DIM`] long or the cut
-    /// has more than 5 leaves.
+    /// Panics if `out` is not exactly [`CUT_EMBED_DIM`] long.
     pub fn cut_embedding_into(
         &self,
         root: NodeId,
@@ -107,10 +112,9 @@ impl EmbeddingContext {
             CUT_EMBED_DIM,
             "embedding buffer must hold CUT_EMBED_DIM floats"
         );
-        assert!(cut.len() <= 5, "cut embedding supports at most 5 leaves");
         out.fill(0.0);
         out[..NODE_EMBED_DIM].copy_from_slice(self.node_embedding(root));
-        for (i, leaf) in cut.leaves().enumerate() {
+        for (i, leaf) in cut.leaves().take(5).enumerate() {
             let row = (1 + i) * CUT_EMBED_COLS;
             out[row..row + NODE_EMBED_DIM].copy_from_slice(self.node_embedding(leaf));
         }
@@ -223,6 +227,36 @@ mod tests {
         assert_eq!(&m[10..20], ctx.node_embedding(n13));
         // Volume row is zero.
         assert!(m[80..90].iter().all(|&v| v == 0.0));
+    }
+
+    /// Cuts wider than the paper's k = 5 (e.g. from the 6-LUT target)
+    /// embed their first five leaves; the extra leaf shows up only
+    /// through the broadcast feature rows (`numLeaves` = 6 here).
+    #[test]
+    fn six_leaf_cut_embeds_first_five_leaves() {
+        let mut aig = Aig::new();
+        let lits: Vec<Lit> = (0..6).map(|_| aig.add_pi()).collect();
+        let pis: Vec<NodeId> = lits.iter().map(|l| l.node()).collect();
+        let mut acc = lits[0];
+        for &l in &lits[1..] {
+            acc = aig.and(acc, l);
+        }
+        aig.add_po(acc);
+        let root = acc.node();
+        let ctx = EmbeddingContext::new(&aig);
+        let cut = Cut::from_leaves(&pis);
+        assert_eq!(cut.len(), 6);
+        let m = ctx.cut_embedding(&aig, root, &cut);
+        assert_eq!(m.len(), CUT_EMBED_DIM);
+        // Rows 1-5: the first five leaves in sorted order; the sixth has
+        // no row of its own.
+        for (i, &leaf) in pis.iter().take(5).enumerate() {
+            let row = (1 + i) * CUT_EMBED_COLS;
+            assert_eq!(&m[row..row + 10], ctx.node_embedding(leaf));
+        }
+        // Row 7: numLeaves = 6 broadcast — the full width survives in the
+        // feature rows.
+        assert!(m[70..80].iter().all(|&v| v == 6.0));
     }
 
     #[test]

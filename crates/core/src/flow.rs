@@ -9,7 +9,7 @@
 
 use slap_aig::Aig;
 use slap_cuts::{cut_features, enumerate_cuts, CutArena, CutConfig, UnlimitedPolicy};
-use slap_map::{MapError, MapSession, MappedNetlist, Mapper};
+use slap_map::{AsicTarget, MapError, MapSession, MappedNetlist, Mapper, Target};
 use slap_ml::{CnnConfig, CutCnn, Dataset, InferenceScratch, TrainConfig, TrainReport};
 
 use crate::datagen::{generate_dataset, SampleConfig};
@@ -25,6 +25,17 @@ pub struct SlapConfig {
     pub unlimited_cap: usize,
     /// The class bands of §IV-C.
     pub policy: BandPolicy,
+}
+
+impl SlapConfig {
+    /// Paper defaults with the cut bound lowered to the LUT width, so
+    /// every scored cut is realizable by a single `k`-input LUT.
+    pub fn for_lut(k: usize) -> SlapConfig {
+        SlapConfig {
+            cut_config: CutConfig::with_k(k),
+            ..SlapConfig::default()
+        }
+    }
 }
 
 impl Default for SlapConfig {
@@ -105,15 +116,15 @@ impl std::fmt::Display for SlapStats {
 ///
 /// See the [crate documentation](crate) for an end-to-end example.
 #[derive(Debug)]
-pub struct SlapMapper<'a> {
-    mapper: &'a Mapper<'a>,
+pub struct SlapMapper<'a, T: Target = AsicTarget<'a>> {
+    mapper: &'a Mapper<'a, T>,
     model: CutCnn,
     config: SlapConfig,
 }
 
-impl<'a> SlapMapper<'a> {
+impl<'a, T: Target> SlapMapper<'a, T> {
     /// Wraps a mapper with a trained model.
-    pub fn new(mapper: &'a Mapper<'a>, model: CutCnn, config: SlapConfig) -> SlapMapper<'a> {
+    pub fn new(mapper: &'a Mapper<'a, T>, model: CutCnn, config: SlapConfig) -> SlapMapper<'a, T> {
         SlapMapper {
             mapper,
             model,
@@ -127,7 +138,7 @@ impl<'a> SlapMapper<'a> {
     }
 
     /// The underlying mapper.
-    pub fn mapper(&self) -> &Mapper<'a> {
+    pub fn mapper(&self) -> &Mapper<'a, T> {
         self.mapper
     }
 
@@ -156,7 +167,7 @@ impl<'a> SlapMapper<'a> {
     /// Propagates [`MapError`] from the covering engine.
     pub fn map_with_session(
         &self,
-        session: &mut MapSession<'_, '_>,
+        session: &mut MapSession<'_, '_, T>,
     ) -> Result<(MappedNetlist, SlapStats), MapError> {
         debug_assert!(
             std::ptr::eq(self.mapper, session.mapper()),
@@ -283,7 +294,7 @@ impl<'a> SlapMapper<'a> {
 
     fn map_impl(
         &self,
-        session: &mut MapSession<'_, '_>,
+        session: &mut MapSession<'_, '_, T>,
     ) -> Result<(MappedNetlist, SlapStats), MapError> {
         let aig = session.aig();
         let _slap_span = slap_obs::span("slap");
@@ -331,9 +342,9 @@ pub struct PipelineConfig {
 ///
 /// Panics if `circuits` is empty or mapping one of them fails (the
 /// bundled library always maps).
-pub fn train_slap_model(
+pub fn train_slap_model<T: Target>(
     circuits: &[Aig],
-    mapper: &Mapper<'_>,
+    mapper: &Mapper<'_, T>,
     config: &PipelineConfig,
 ) -> (CutCnn, TrainReport) {
     assert!(
@@ -414,6 +425,30 @@ mod tests {
             netlist.stats().cuts_considered,
             unlimited.stats().cuts_considered
         );
+    }
+
+    #[test]
+    fn lut_end_to_end_train_and_map_preserves_function() {
+        let k = 4;
+        let mapper = slap_map::LutMapper::lut(k, MapOptions::default());
+        let train_set = vec![ripple_carry_adder(8)];
+        let (model, report) = train_slap_model(&train_set, &mapper, &quick_pipeline());
+        assert!(report.train_samples > 0);
+        let slap = SlapMapper::new(&mapper, model, SlapConfig::for_lut(k));
+        let target = carry_lookahead_adder(12);
+        let (netlist, stats) = slap.map(&target).expect("maps");
+        assert!(
+            netlist.verify_against(&target, 16, 78),
+            "SLAP LUT result must stay equivalent"
+        );
+        assert!(stats.cuts_scored > 0);
+        // Unit cost model survives the SLAP path end to end.
+        assert_eq!(netlist.area(), netlist.stats().num_instances as f32);
+        assert_eq!(netlist.delay().fract(), 0.0);
+        assert!(netlist
+            .instances()
+            .iter()
+            .all(|i| i.lut_tt().is_some() && i.inputs.len() <= k));
     }
 
     #[test]

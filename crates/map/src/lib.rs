@@ -43,10 +43,12 @@ pub mod error;
 pub mod mapping;
 pub mod matching;
 pub mod netlist;
+pub mod target;
 pub mod verilog;
 
 pub use error::MapError;
-pub use mapping::{MapOptions, MapSession, MapStats, Mapper, PhaseTimes};
+pub use mapping::{LutMapper, MapOptions, MapSession, MapStats, Mapper, PhaseTimes};
 pub use matching::{compute_matches, gate_histogram, MatchArena, MatchStats, PreparedMatch};
-pub use netlist::{Instance, MappedNetlist, PoSource, Signal};
+pub use netlist::{Instance, InstanceKind, MappedNetlist, PoSource, Signal, TargetModel};
+pub use target::{AsicTarget, LutTarget, Target};
 pub use verilog::write_verilog;

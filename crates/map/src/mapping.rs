@@ -2,17 +2,19 @@
 
 use std::time::Instant;
 
+use slap_aig::cone::ConeScratch;
 use slap_aig::{Aig, NodeId, Rng64};
 use slap_cache::{CachedRun, RunCache, RunKey, SessionCache, SessionDelta};
 use slap_cell::{Library, MatchIndex};
 use slap_cuts::{
     enumerate_cuts, ArenaStats, Cut, CutArena, CutConfig, CutEnumStats, CutId, DefaultPolicy,
-    ShufflePolicy, UnlimitedPolicy,
+    ShufflePolicy, UnlimitedPolicy, MAX_CUT_SIZE,
 };
 
 use crate::error::MapError;
 use crate::matching::{compute_matches_ctx, CacheCtx, MatchArena, MatchStats, PreparedMatch};
 use crate::netlist::{Instance, MappedNetlist, PoSource, Signal};
+use crate::target::{AsicTarget, LutTarget, Target};
 
 /// Tolerance used when comparing arrivals against required times.
 const EPS: f32 = 1e-3;
@@ -171,35 +173,63 @@ impl DpState {
     }
 }
 
-/// The technology mapper: owns the match index for a library and maps
-/// AIGs under any cut policy.
+/// The technology mapper: covers AIGs onto a [`Target`] under any cut
+/// policy. Defaults to the ASIC target, so `Mapper<'a>` keeps meaning
+/// "standard-cell mapper for a library"; [`LutMapper`] is the k-LUT
+/// flavor.
 ///
 /// See the [crate documentation](crate) for an end-to-end example.
 #[derive(Debug)]
-pub struct Mapper<'a> {
-    library: &'a Library,
-    index: MatchIndex,
+pub struct Mapper<'a, T: Target = AsicTarget<'a>> {
+    target: T,
     options: MapOptions,
+    _lib: std::marker::PhantomData<&'a ()>,
 }
 
 impl<'a> Mapper<'a> {
-    /// Builds a mapper (and its match index) for a library.
+    /// Builds an ASIC mapper (and its match index) for a library.
     pub fn new(library: &'a Library, options: MapOptions) -> Mapper<'a> {
-        Mapper {
-            library,
-            index: MatchIndex::build(library),
-            options,
-        }
+        Mapper::for_target(AsicTarget::new(library), options)
     }
 
     /// The library this mapper targets.
-    pub fn library(&self) -> &Library {
-        self.library
+    pub fn library(&self) -> &'a Library {
+        self.target.library()
     }
 
     /// The pre-built match index (shared with SLAP's inference pipeline).
     pub fn index(&self) -> &MatchIndex {
-        &self.index
+        self.target.index()
+    }
+}
+
+/// A [`Mapper`] for the k-LUT FPGA target.
+pub type LutMapper = Mapper<'static, LutTarget>;
+
+impl LutMapper {
+    /// Builds a mapper covering onto `k`-input LUTs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is outside `2..=6` (see [`LutTarget::new`]).
+    pub fn lut(k: usize, options: MapOptions) -> LutMapper {
+        Mapper::for_target(LutTarget::new(k), options)
+    }
+}
+
+impl<'a, T: Target> Mapper<'a, T> {
+    /// Builds a mapper for an arbitrary target.
+    pub fn for_target(target: T, options: MapOptions) -> Mapper<'a, T> {
+        Mapper {
+            target,
+            options,
+            _lib: std::marker::PhantomData,
+        }
+    }
+
+    /// The target this mapper covers onto.
+    pub fn target(&self) -> &T {
+        &self.target
     }
 
     /// Maps with ABC's default cut policy (sort by leaves, dominance
@@ -267,7 +297,7 @@ impl<'a> Mapper<'a> {
     /// instead of recomputing them, with bit-identical results. Honors
     /// the `SLAP_CACHE` environment toggle (`SLAP_CACHE=0` forces the
     /// cold path). The one-shot `map_*` methods on [`Mapper`] stay cold.
-    pub fn session<'s>(&'s self, aig: &'s Aig) -> MapSession<'s, 'a> {
+    pub fn session<'s>(&'s self, aig: &'s Aig) -> MapSession<'s, 'a, T> {
         MapSession {
             mapper: self,
             aig,
@@ -280,7 +310,7 @@ impl<'a> Mapper<'a> {
     /// [`Mapper::session`] with the cache toggle set explicitly instead
     /// of from the environment (used by benchmarks interleaving cold and
     /// warm runs in one process).
-    pub fn session_cached<'s>(&'s self, aig: &'s Aig, enabled: bool) -> MapSession<'s, 'a> {
+    pub fn session_cached<'s>(&'s self, aig: &'s Aig, enabled: bool) -> MapSession<'s, 'a, T> {
         MapSession {
             mapper: self,
             aig,
@@ -336,7 +366,7 @@ impl<'a> Mapper<'a> {
             compute_matches_ctx(
                 aig,
                 cuts,
-                &self.index,
+                &self.target,
                 self.options.add_structural_matches,
                 ctx,
             )
@@ -401,12 +431,11 @@ impl<'a> Mapper<'a> {
     }
 
     fn inv_delay(&self) -> f32 {
-        let inv = self.library.gate(self.library.inverter());
-        inv.delay(0, 1)
+        self.target.inv_delay()
     }
 
     fn inv_area(&self) -> f32 {
-        self.library.gate(self.library.inverter()).area()
+        self.target.inv_area()
     }
 
     fn init_terminals(&self, aig: &Aig, state: &mut DpState) {
@@ -430,10 +459,9 @@ impl<'a> Mapper<'a> {
 
     /// Arrival of a prepared match under the unit-load DP model.
     fn match_arrival(&self, m: &PreparedMatch, state: &DpState) -> f32 {
-        let gate = self.library.gate(m.gate);
         let mut arr = 0.0f32;
-        for &(leaf, compl, pin) in m.leaves() {
-            let a = state.arrival[sx(leaf, compl as usize)] + gate.delay(pin as usize, 1);
+        for (i, &(leaf, compl, _pin)) in m.leaves().iter().enumerate() {
+            let a = state.arrival[sx(leaf, compl as usize)] + self.target.leaf_delay(m, i);
             arr = arr.max(a);
         }
         arr
@@ -441,8 +469,7 @@ impl<'a> Mapper<'a> {
 
     /// Area flow of a prepared match given current flows and refs.
     fn match_flow(&self, m: &PreparedMatch, state: &DpState) -> f32 {
-        let gate = self.library.gate(m.gate);
-        let mut flow = gate.area();
+        let mut flow = self.target.match_area(m);
         for &(leaf, compl, _) in m.leaves() {
             let i = sx(leaf, compl as usize);
             flow += state.flow[i] / (state.refs[i].max(1) as f32);
@@ -460,7 +487,7 @@ impl<'a> Mapper<'a> {
                 let mut best: Option<(f32, f32, u32)> = None; // (arrival, area, idx)
                 for (i, m) in list.iter().enumerate() {
                     let arr = self.match_arrival(m, state);
-                    let area = self.library.gate(m.gate).area();
+                    let area = self.target.match_area(m);
                     let better = match best {
                         None => true,
                         Some((ba, bar, _)) => arr < ba - EPS || (arr < ba + EPS && area < bar),
@@ -551,10 +578,9 @@ impl<'a> Mapper<'a> {
                 }
                 if let Choice::Match(mi) = state.choice[i] {
                     let m = &matches.of(n, phase == 1)[mi as usize];
-                    let gate = self.library.gate(m.gate);
                     let required = state.required[i];
-                    for &(leaf, compl, pin) in m.leaves() {
-                        let req = required - gate.delay(pin as usize, 1);
+                    for (j, &(leaf, compl, _pin)) in m.leaves().iter().enumerate() {
+                        let req = required - self.target.leaf_delay(m, j);
                         let l = sx(leaf, compl as usize);
                         state.refs[l] += 1;
                         state.required[l] = state.required[l].min(req);
@@ -696,7 +722,7 @@ impl<'a> Mapper<'a> {
             Choice::InvertOther => self.inv_area() + self.release(n, 1 - phase, matches, state),
             Choice::Match(i) => {
                 let m = matches.of(n, phase == 1)[i as usize];
-                let mut area = self.library.gate(m.gate).area();
+                let mut area = self.target.match_area(&m);
                 for &(leaf, compl, _) in m.leaves() {
                     area += self.release(leaf, compl as usize, matches, state);
                 }
@@ -731,7 +757,7 @@ impl<'a> Mapper<'a> {
             Choice::InvertOther => self.inv_area() + self.acquire(n, 1 - phase, matches, state),
             Choice::Match(i) => {
                 let m = matches.of(n, phase == 1)[i as usize];
-                let mut area = self.library.gate(m.gate).area();
+                let mut area = self.target.match_area(&m);
                 for &(leaf, compl, _) in m.leaves() {
                     area += self.acquire(leaf, compl as usize, matches, state);
                 }
@@ -767,7 +793,7 @@ impl<'a> Mapper<'a> {
             Choice::InvertOther => self.inv_area() + self.release(n, 1 - phase, matches, state),
             Choice::Match(i) => {
                 let m = matches.of(n, phase == 1)[i as usize];
-                let mut area = self.library.gate(m.gate).area();
+                let mut area = self.target.match_area(&m);
                 for &(leaf, compl, _) in m.leaves() {
                     area += self.release(leaf, compl as usize, matches, state);
                 }
@@ -804,6 +830,7 @@ impl<'a> Mapper<'a> {
         let mut cover_cuts: Vec<(NodeId, Cut)> = Vec::new();
         let mut emitted = vec![[false, false]; aig.num_nodes()];
         let mut pos = Vec::with_capacity(aig.num_pos());
+        let mut cone = ConeScratch::default();
         for &po in aig.pos() {
             if po.node() == NodeId::CONST0 {
                 pos.push(PoSource::Const(po.is_complement()));
@@ -819,12 +846,13 @@ impl<'a> Mapper<'a> {
                 &mut emitted,
                 &mut instances,
                 &mut cover_cuts,
+                &mut cone,
             )?;
             pos.push(PoSource::Signal(sig));
         }
         let num_inverters = instances
             .iter()
-            .filter(|i| i.gate == self.library.inverter())
+            .filter(|i| self.target.is_inverter(i))
             .count();
         let mut stats = MapStats {
             area: 0.0,
@@ -839,12 +867,9 @@ impl<'a> Mapper<'a> {
             matches_tried,
             phase: phase_times,
         };
-        stats.area = instances
-            .iter()
-            .map(|i| self.library.gate(i.gate).area())
-            .sum();
+        stats.area = instances.iter().map(|i| self.target.instance_area(i)).sum();
         let mut netlist = MappedNetlist::new(
-            self.library.clone(),
+            self.target.model(),
             aig.num_pis(),
             instances,
             pos,
@@ -872,6 +897,7 @@ impl<'a> Mapper<'a> {
         emitted: &mut [[bool; 2]],
         out: &mut Vec<Instance>,
         cover_cuts: &mut Vec<(NodeId, Cut)>,
+        cone: &mut ConeScratch,
     ) -> Result<(), MapError> {
         let (n, phase) = (sig.node(), sig.complement() as usize);
         if emitted[n.index()][phase] {
@@ -886,21 +912,35 @@ impl<'a> Mapper<'a> {
             }),
             Choice::InvertOther => {
                 let input = Signal::new(n, phase == 0);
-                self.emit(aig, cuts, matches, state, input, emitted, out, cover_cuts)?;
-                out.push(Instance::new(self.library.inverter(), sig, vec![input]));
+                self.emit(
+                    aig, cuts, matches, state, input, emitted, out, cover_cuts, cone,
+                )?;
+                out.push(self.target.make_inverter(sig, input));
                 Ok(())
             }
             Choice::Match(i) => {
                 let m = &matches.of(n, phase == 1)[i as usize];
-                let gate = self.library.gate(m.gate);
-                let mut inputs = vec![Signal::new(NodeId::CONST0, false); gate.num_pins()];
-                for &(leaf, compl, pin) in m.leaves() {
+                let mut leaf_signals = [Signal::new(NodeId::CONST0, false); MAX_CUT_SIZE];
+                for (j, &(leaf, compl, _pin)) in m.leaves().iter().enumerate() {
                     let ls = Signal::new(leaf, compl);
-                    self.emit(aig, cuts, matches, state, ls, emitted, out, cover_cuts)?;
-                    inputs[pin as usize] = ls;
+                    self.emit(
+                        aig, cuts, matches, state, ls, emitted, out, cover_cuts, cone,
+                    )?;
+                    leaf_signals[j] = ls;
                 }
-                cover_cuts.push((n, Self::resolve_cover_cut(aig, cuts, n, m)));
-                out.push(Instance::new(m.gate, sig, inputs));
+                let cover = Self::resolve_cover_cut(aig, cuts, n, m);
+                let inst = self.target.make_instance(
+                    aig,
+                    n,
+                    phase == 1,
+                    m,
+                    &cover,
+                    sig,
+                    &leaf_signals[..m.leaves().len()],
+                    cone,
+                );
+                cover_cuts.push((n, cover));
+                out.push(inst);
                 Ok(())
             }
         }
@@ -923,22 +963,22 @@ impl<'a> Mapper<'a> {
 /// and the caller [`MapSession::absorb`]s the returned deltas in seed
 /// order afterwards, which keeps the cache contents deterministic.
 #[derive(Debug)]
-pub struct MapSession<'s, 'lib> {
-    mapper: &'s Mapper<'lib>,
+pub struct MapSession<'s, 'lib, T: Target = AsicTarget<'lib>> {
+    mapper: &'s Mapper<'lib, T>,
     aig: &'s Aig,
     cache: SessionCache,
     runs: RunCache,
     dp: DpState,
 }
 
-impl<'s, 'lib> MapSession<'s, 'lib> {
+impl<'s, 'lib, T: Target> MapSession<'s, 'lib, T> {
     /// The AIG this session maps.
     pub fn aig(&self) -> &'s Aig {
         self.aig
     }
 
     /// The mapper this session runs on.
-    pub fn mapper(&self) -> &'s Mapper<'lib> {
+    pub fn mapper(&self) -> &'s Mapper<'lib, T> {
         self.mapper
     }
 
@@ -972,6 +1012,7 @@ impl<'s, 'lib> MapSession<'s, 'lib> {
             return None;
         }
         self.runs.get(RunKey {
+            target: self.mapper.target.cache_key(),
             k: config.k,
             seed,
             keep,
@@ -995,6 +1036,7 @@ impl<'s, 'lib> MapSession<'s, 'lib> {
         }
         self.runs.insert(
             RunKey {
+                target: self.mapper.target.cache_key(),
                 k: config.k,
                 seed,
                 keep,
@@ -1116,7 +1158,7 @@ impl<'s, 'lib> MapSession<'s, 'lib> {
     /// skipping keys that arrived in the meantime). Returns how many
     /// truth tables were newly interned.
     pub fn absorb(&mut self, delta: SessionDelta) -> u64 {
-        self.cache.absorb(delta, &self.mapper.index)
+        self.mapper.target.absorb_delta(&mut self.cache, delta)
     }
 }
 
@@ -1389,6 +1431,76 @@ mod tests {
         assert_eq!(off.stats().match_stats, cold.stats().match_stats);
         assert_eq!(session.num_cached_functions(), 0);
         assert_eq!(session.num_interned_tts(), 0);
+    }
+
+    #[test]
+    fn lut_target_maps_and_verifies() {
+        let aig = small_graph();
+        let k = 4;
+        let mapper = LutMapper::lut(k, MapOptions::default());
+        let nl = mapper
+            .map_default(&aig, &CutConfig::default())
+            .expect("maps");
+        assert!(nl.verify_against(&aig, 32, 9), "LUT netlist inequivalent");
+        // Unit cost model: area = LUT count, delay = LUT depth (integer).
+        assert_eq!(nl.area(), nl.stats().num_instances as f32);
+        assert!(nl.delay() >= 1.0);
+        assert_eq!(nl.delay().fract(), 0.0, "LUT delay must count levels");
+        assert_eq!(nl.delay(), nl.stats().dp_delay, "unit models agree");
+        for inst in nl.instances() {
+            let tt = inst.lut_tt().expect("all instances are LUTs");
+            assert!(inst.inputs.len() <= k);
+            assert_eq!(tt.num_vars(), inst.inputs.len());
+        }
+        // Shuffled and unlimited policies stay correct too.
+        assert!(mapper
+            .map_unlimited(&aig, &CutConfig::default(), 1000)
+            .expect("maps")
+            .verify_against(&aig, 16, 10));
+        for seed in 0..4 {
+            assert!(mapper
+                .map_shuffled(&aig, &CutConfig::default(), seed, 4)
+                .expect("maps")
+                .verify_against(&aig, 16, seed + 20));
+        }
+    }
+
+    #[test]
+    fn lut_session_maps_are_bit_identical_to_cold_maps() {
+        let aig = small_graph();
+        let mapper = LutMapper::lut(4, MapOptions::default());
+        let config = CutConfig::default();
+        let mut session = mapper.session_cached(&aig, true);
+
+        let cold = mapper.map_default(&aig, &config).expect("maps");
+        let warm1 = session.map_default(&config).expect("maps");
+        let warm2 = session.map_default(&config).expect("maps");
+        assert_same_mapping(&warm1, &cold, "first warm LUT default");
+        assert_same_mapping(&warm2, &cold, "second warm LUT default");
+        assert!(warm2.stats().match_stats.fn_cache_hits > 0);
+        assert_eq!(warm2.stats().match_stats.fn_cache_misses, 0);
+
+        for seed in 0..3 {
+            let cold_s = mapper.map_shuffled(&aig, &config, seed, 4).expect("maps");
+            let (froz, delta) = session.map_shuffled_frozen(&config, seed, 4);
+            assert_same_mapping(&froz.expect("maps"), &cold_s, "frozen LUT shuffled");
+            session.absorb(delta);
+        }
+        assert!(session.num_cached_functions() > 0);
+
+        // Run memoization is keyed by target, so an ASIC run with the
+        // same (k, seed, keep) never aliases a LUT run.
+        let nl = session.map_shuffled(&config, 3, 4).expect("maps");
+        session.store_run(&config, 3, 4, &nl);
+        assert!(session.cached_run(&config, 3, 4).is_some());
+        let lib = asap7_mini();
+        let asic = Mapper::new(&lib, MapOptions::default());
+        let mut asic_session = asic.session_cached(&aig, true);
+        assert!(asic_session.cached_run(&config, 3, 4).is_none());
+        let anl = asic_session.map_shuffled(&config, 3, 4).expect("maps");
+        asic_session.store_run(&config, 3, 4, &anl);
+        let stored = asic_session.cached_run(&config, 3, 4).expect("stored");
+        assert_ne!(stored.area_bits, nl.area().to_bits());
     }
 
     #[test]

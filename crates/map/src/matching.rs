@@ -1,9 +1,15 @@
-//! Boolean matching: binding library gates to cut functions.
+//! Boolean matching: binding target implementations to cut functions.
 //!
 //! Matches are stored in a flat [`MatchArena`] parallel to the cut arena:
 //! one contiguous buffer of [`PreparedMatch`]es with two spans (positive
 //! and negative phase) per node. Each match references the cut it was
 //! derived from by [`CutId`] instead of carrying a copy of the leaf list.
+//!
+//! The per-cut work is target-specific ([`Target::match_cut`]): the ASIC
+//! target shrinks each cut function and probes the library's match
+//! index; the k-LUT target accepts any function whose true support fits
+//! in a LUT. The driver (node iteration, span sealing, the parallel
+//! chunking scheme) is shared.
 //!
 //! Matching can run against a [`SessionCache`] (see `slap-cache`): the
 //! `(root, leaves) → truth table → per-phase bindings` chain is a pure
@@ -12,13 +18,15 @@
 //! cone and re-probing the index. Cold and cached paths emit through the
 //! same helper, so their output is bit-identical by construction.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use slap_aig::cone::{cut_function_with, ConeScratch};
 use slap_aig::{Aig, NodeId, Tt};
 use slap_cache::{FrozenResolve, ResolveInfo, SessionCache, SessionDelta};
 use slap_cell::{GateId, MatchEntry, MatchIndex};
 use slap_cuts::{Cut, CutArena, CutId, MAX_CUT_SIZE};
+
+use crate::target::{lut_gate, Target};
 
 /// One realizable implementation of a node phase: a gate plus, for each
 /// gate pin, the AIG node and polarity feeding it. Plain-old-data — the
@@ -169,8 +177,11 @@ impl MatchStats {
     }
 }
 
-/// How one matching run talks to the session cache.
-pub(crate) enum CacheCtx<'c> {
+/// How one matching run talks to the session cache. Public only so the
+/// [`Target`] trait can name it in `match_cut`; not part of the stable
+/// API surface.
+#[doc(hidden)]
+pub enum CacheCtx<'c> {
     /// No memoization: every cut takes the cold path.
     Off,
     /// Sequential path: probe and populate in place.
@@ -181,32 +192,36 @@ pub(crate) enum CacheCtx<'c> {
     Frozen(&'c SessionCache, &'c mut SessionDelta),
 }
 
-/// Computes the per-node match lists for every AND node.
+/// Computes the per-node match lists for every AND node against a
+/// [`Target`].
 ///
-/// For each stored cut the local function is computed by cone simulation,
-/// shrunk to its true support, and looked up (both polarities with one
-/// canonical probe) in the match index. When `add_structural` is set, the
-/// structural cut `{fanin0, fanin1}` is additionally matched for nodes
-/// whose stored cut list does not contain it — this guarantees every node
-/// stays mappable regardless of how aggressive the filtering policy was
-/// (any 2-input AND-with-polarities is in the library). Such injected
-/// matches carry [`CutId::STRUCTURAL`]; consumers reconstruct the cut
-/// from the fanins.
-pub fn compute_matches(
+/// For each stored cut the target decides which implementations (if any)
+/// realize it: the ASIC target computes the cut's local function by cone
+/// simulation, shrinks it to its true support, and looks it up (both
+/// polarities with one canonical probe) in the match index; the k-LUT
+/// target accepts any cut whose true support fits in a LUT. When
+/// `add_structural` is set, the structural cut `{fanin0, fanin1}` is
+/// additionally matched for nodes whose stored cut list does not contain
+/// it — this guarantees every node stays mappable regardless of how
+/// aggressive the filtering policy was (any 2-input AND-with-polarities
+/// is in the library, and trivially fits any LUT). Such injected matches
+/// carry [`CutId::STRUCTURAL`]; consumers reconstruct the cut from the
+/// fanins.
+pub fn compute_matches<T: Target>(
     aig: &Aig,
     cuts: &CutArena,
-    index: &MatchIndex,
+    target: &T,
     add_structural: bool,
 ) -> (MatchArena, MatchStats) {
-    compute_matches_ctx(aig, cuts, index, add_structural, CacheCtx::Off)
+    compute_matches_ctx(aig, cuts, target, add_structural, CacheCtx::Off)
 }
 
 /// [`compute_matches`] with an explicit cache context (the session entry
 /// point).
-pub(crate) fn compute_matches_ctx(
+pub(crate) fn compute_matches_ctx<T: Target>(
     aig: &Aig,
     cuts: &CutArena,
-    index: &MatchIndex,
+    target: &T,
     add_structural: bool,
     mut ctx: CacheCtx<'_>,
 ) -> (MatchArena, MatchStats) {
@@ -220,12 +235,12 @@ pub(crate) fn compute_matches_ctx(
     if !enabled {
         ctx = CacheCtx::Off;
     }
-    // Matching one node is a pure function of `(aig, cuts, index, node)`
+    // Matching one node is a pure function of `(aig, cuts, target, node)`
     // plus the frozen cache contents, so the node list can be split into
     // contiguous chunks matched in parallel and concatenated in chunk
     // order — bit-identical to the sequential pass for any thread count.
     if slap_par::threads() > 1 && !slap_par::in_worker() && aig.num_ands() > 1 {
-        return compute_matches_parallel(aig, cuts, index, add_structural, ctx);
+        return compute_matches_parallel(aig, cuts, target, add_structural, ctx);
     }
     let mut arena = MatchArena::with_nodes(aig.num_nodes());
     let mut stats = MatchStats::default();
@@ -235,7 +250,7 @@ pub(crate) fn compute_matches_ctx(
         match_node(
             aig,
             cuts,
-            index,
+            target,
             add_structural,
             n,
             &mut scratch,
@@ -266,10 +281,10 @@ pub(crate) fn compute_matches_ctx(
 /// requested) into `scratch.pos` / `scratch.neg`, updating `stats`.
 /// Shared by the sequential and parallel paths.
 #[allow(clippy::too_many_arguments)]
-fn match_node(
+fn match_node<T: Target>(
     aig: &Aig,
     cuts: &CutArena,
-    index: &MatchIndex,
+    target: &T,
     add_structural: bool,
     n: NodeId,
     scratch: &mut MatchScratch,
@@ -284,23 +299,14 @@ fn match_node(
     scratch.neg.clear();
     for (id, cut) in cuts.ids_of(n) {
         stats.cuts_considered += 1;
-        if match_cut(aig, n, cut, id, index, scratch, stats, ctx) {
+        if target.match_cut(aig, n, cut, id, scratch, stats, ctx) {
             stats.cuts_matched += 1;
         }
     }
     if add_structural && !has_structural {
         stats.structural_added += 1;
         stats.cuts_considered += 1;
-        if match_cut(
-            aig,
-            n,
-            &structural,
-            CutId::STRUCTURAL,
-            index,
-            scratch,
-            stats,
-            ctx,
-        ) {
+        if target.match_cut(aig, n, &structural, CutId::STRUCTURAL, scratch, stats, ctx) {
             stats.cuts_matched += 1;
         }
     }
@@ -315,10 +321,10 @@ fn match_node(
 /// sequential arena layout exactly; the stats are sums, so their merge
 /// order is immaterial; the deltas are absorbed in chunk order, which
 /// reproduces the sequential first-encounter interning order.
-fn compute_matches_parallel(
+fn compute_matches_parallel<T: Target>(
     aig: &Aig,
     cuts: &CutArena,
-    index: &MatchIndex,
+    target: &T,
     add_structural: bool,
     ctx: CacheCtx<'_>,
 ) -> (MatchArena, MatchStats) {
@@ -345,7 +351,7 @@ fn compute_matches_parallel(
                 match_node(
                     aig,
                     cuts,
-                    index,
+                    target,
                     add_structural,
                     n,
                     &mut scratch,
@@ -398,30 +404,33 @@ fn compute_matches_parallel(
             // sequential warm pass would have interned, in the same
             // first-encounter order, so the counter stays thread-count
             // invariant.
-            stats.interned_tts += cache.absorb(merged, index);
+            stats.interned_tts += target.absorb_delta(cache, merged);
         }
         CacheCtx::Frozen(_, outer) => outer.append(&mut merged),
     }
     (arena, stats)
 }
 
-/// Buffers reused across every [`match_cut`] call of one matching run:
-/// the per-node phase lists (match_cut interleaves pos/neg appends, so
-/// they cannot go straight into the flat buffer, which needs the positive
-/// span contiguous before the negative one), the leaf list of the cut
-/// under evaluation, and the cone-simulation scratch.
+/// Buffers reused across every [`Target::match_cut`] call of one
+/// matching run: the per-node phase lists (match_cut interleaves pos/neg
+/// appends, so they cannot go straight into the flat buffer, which needs
+/// the positive span contiguous before the negative one), the leaf list
+/// of the cut under evaluation, and the cone-simulation scratch. Public
+/// only so the [`Target`] trait can name it; the fields stay private.
+#[doc(hidden)]
 #[derive(Default)]
-struct MatchScratch {
+pub struct MatchScratch {
     pos: Vec<PreparedMatch>,
     neg: Vec<PreparedMatch>,
     leaves: Vec<NodeId>,
     cone: ConeScratch,
 }
 
-/// Matches a single cut, appending prepared matches for both phases into
-/// the scratch lists. Returns true if anything matched.
+/// Matches a single cut against the ASIC library, appending prepared
+/// matches for both phases into the scratch lists. Returns true if
+/// anything matched.
 #[allow(clippy::too_many_arguments)]
-fn match_cut(
+pub(crate) fn asic_match_cut(
     aig: &Aig,
     root: NodeId,
     cut: &Cut,
@@ -469,6 +478,94 @@ fn match_cut(
             }
         }
     }
+}
+
+/// Matches a single cut against a `k`-input LUT target: any cut whose
+/// true support fits in `k` inputs is realizable in both phases by one
+/// LUT programmed with the (possibly negated) cut function. Uses only
+/// the function half of the session cache — LUT feasibility is a pure
+/// property of the truth table, so there are no per-library bindings to
+/// replay.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn lut_match_cut(
+    aig: &Aig,
+    root: NodeId,
+    cut: &Cut,
+    cut_id: CutId,
+    k: usize,
+    scratch: &mut MatchScratch,
+    stats: &mut MatchStats,
+    ctx: &mut CacheCtx<'_>,
+) -> bool {
+    scratch.leaves.clear();
+    scratch.leaves.extend(cut.leaves());
+    if cut.is_trivial_of(root) {
+        return false;
+    }
+    let MatchScratch {
+        pos,
+        neg,
+        leaves,
+        cone,
+    } = scratch;
+    let resolved = match ctx {
+        CacheCtx::Off => {
+            cut_function_with(aig, root, leaves, cone).map(|(tt, vol)| (tt, vol as u32))
+        }
+        CacheCtx::Mut(cache) => {
+            let (v, info) = cache.resolve_fn_mut(aig, root, cut, leaves, cone);
+            stats.note_cache(info);
+            v
+        }
+        CacheCtx::Frozen(cache, delta) => {
+            let (v, info) = cache.resolve_fn_frozen(aig, root, cut, leaves, cone, delta);
+            stats.note_cache(info);
+            v
+        }
+    };
+    let Some((tt, _vol)) = resolved else {
+        return false;
+    };
+    emit_lut(tt, cut_id, k, leaves, pos, neg, stats)
+}
+
+/// LUT finish: shrink the raw function to its support and accept both
+/// phases iff the support fits. Counter semantics mirror the ASIC path:
+/// a feasibility decision counts one "probe" per phase, and constants
+/// (like [`emit_cold`]'s early return) never probe.
+fn emit_lut(
+    tt: Tt,
+    cut_id: CutId,
+    k: usize,
+    leaves: &[NodeId],
+    pos: &mut Vec<PreparedMatch>,
+    neg: &mut Vec<PreparedMatch>,
+    stats: &mut MatchStats,
+) -> bool {
+    let mut support = [0usize; Tt::MAX_VARS];
+    let (_stt, num_support) = tt.shrink_to_support_into(&mut support);
+    if num_support == 0 {
+        // Constant function — a strashed AIG never needs this.
+        return false;
+    }
+    if num_support > k {
+        stats.npn_misses += 2;
+        return false;
+    }
+    stats.npn_hits += 2;
+    let mut match_leaves = [(NodeId::CONST0, false, 0u8); MAX_CUT_SIZE];
+    for (i, &s) in support[..num_support].iter().enumerate() {
+        match_leaves[i] = (leaves[s], false, i as u8);
+    }
+    let m = PreparedMatch {
+        gate: lut_gate(),
+        cut: cut_id,
+        leaves: match_leaves,
+        num_leaves: num_support as u8,
+    };
+    pos.push(m);
+    neg.push(m);
+    true
 }
 
 /// Cached finish: replay prepared bindings. The constant-function guard
@@ -579,9 +676,10 @@ fn emit_entries(
     any
 }
 
-/// Groups matches by gate for reporting (used by explainability tooling).
-pub fn gate_histogram(matches: &MatchArena) -> HashMap<GateId, usize> {
-    let mut histo = HashMap::new();
+/// Groups matches by gate for reporting (used by explainability
+/// tooling). Ordered so serialized reports are stable across runs.
+pub fn gate_histogram(matches: &MatchArena) -> BTreeMap<GateId, usize> {
+    let mut histo = BTreeMap::new();
     for m in matches.all() {
         *histo.entry(m.gate).or_insert(0) += 1;
     }
@@ -591,6 +689,7 @@ pub fn gate_histogram(matches: &MatchArena) -> HashMap<GateId, usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::target::{AsicTarget, LutTarget};
     use slap_cell::asap7_mini;
     use slap_cuts::{enumerate_cuts, CutConfig, DefaultPolicy};
 
@@ -609,9 +708,9 @@ mod tests {
     fn every_and_node_gets_matches() {
         let aig = xor_and_graph();
         let lib = asap7_mini();
-        let index = MatchIndex::build(&lib);
+        let target = AsicTarget::new(&lib);
         let cuts = enumerate_cuts(&aig, &CutConfig::default(), &mut DefaultPolicy::default());
-        let (matches, stats) = compute_matches(&aig, &cuts, &index, true);
+        let (matches, stats) = compute_matches(&aig, &cuts, &target, true);
         for n in aig.and_ids() {
             assert!(
                 !matches.of(n, false).is_empty() || !matches.of(n, true).is_empty(),
@@ -634,9 +733,9 @@ mod tests {
     fn matches_reference_cuts_by_arena_id() {
         let aig = xor_and_graph();
         let lib = asap7_mini();
-        let index = MatchIndex::build(&lib);
+        let target = AsicTarget::new(&lib);
         let cuts = enumerate_cuts(&aig, &CutConfig::default(), &mut DefaultPolicy::default());
-        let (matches, _) = compute_matches(&aig, &cuts, &index, false);
+        let (matches, _) = compute_matches(&aig, &cuts, &target, false);
         for n in aig.and_ids() {
             let span = cuts.span_of(n);
             for m in matches.of(n, false).iter().chain(matches.of(n, true)) {
@@ -658,9 +757,9 @@ mod tests {
     fn xor_cut_matches_xor_cell() {
         let aig = xor_and_graph();
         let lib = asap7_mini();
-        let index = MatchIndex::build(&lib);
+        let target = AsicTarget::new(&lib);
         let cuts = enumerate_cuts(&aig, &CutConfig::default(), &mut DefaultPolicy::default());
-        let (matches, _) = compute_matches(&aig, &cuts, &index, true);
+        let (matches, _) = compute_matches(&aig, &cuts, &target, true);
         // The XOR root (third AND created) should have an XOR2 match.
         let xor_root = aig.and_ids().nth(2).expect("three AND nodes before final");
         let has_xor = matches
@@ -675,10 +774,10 @@ mod tests {
     fn structural_fallback_injected_when_cuts_removed() {
         let aig = xor_and_graph();
         let lib = asap7_mini();
-        let index = MatchIndex::build(&lib);
+        let target = AsicTarget::new(&lib);
         let mut cuts = enumerate_cuts(&aig, &CutConfig::default(), &mut DefaultPolicy::default());
         cuts.retain_selected(&aig, |_, _| false, false); // drop everything, no restore
-        let (matches, stats) = compute_matches(&aig, &cuts, &index, true);
+        let (matches, stats) = compute_matches(&aig, &cuts, &target, true);
         assert_eq!(stats.structural_added, aig.num_ands());
         for n in aig.and_ids() {
             assert!(!matches.of(n, false).is_empty() && !matches.of(n, true).is_empty());
@@ -692,9 +791,9 @@ mod tests {
     fn match_leaves_reference_cut_leaves() {
         let aig = xor_and_graph();
         let lib = asap7_mini();
-        let index = MatchIndex::build(&lib);
+        let target = AsicTarget::new(&lib);
         let cuts = enumerate_cuts(&aig, &CutConfig::default(), &mut DefaultPolicy::default());
-        let (matches, _) = compute_matches(&aig, &cuts, &index, true);
+        let (matches, _) = compute_matches(&aig, &cuts, &target, true);
         for n in aig.and_ids() {
             for m in matches.of(n, false).iter().chain(matches.of(n, true)) {
                 let gate = lib.gate(m.gate);
@@ -721,13 +820,13 @@ mod tests {
         }
         aig.add_po(acc);
         let lib = asap7_mini();
-        let index = MatchIndex::build(&lib);
+        let target = AsicTarget::new(&lib);
         slap_par::set_threads(1);
         let cuts = enumerate_cuts(&aig, &CutConfig::default(), &mut DefaultPolicy::default());
-        let (seq, seq_stats) = compute_matches(&aig, &cuts, &index, true);
+        let (seq, seq_stats) = compute_matches(&aig, &cuts, &target, true);
         for t in [2, 4, 8] {
             slap_par::set_threads(t);
-            let (par, par_stats) = compute_matches(&aig, &cuts, &index, true);
+            let (par, par_stats) = compute_matches(&aig, &cuts, &target, true);
             assert_eq!(par, seq, "t={t}: arena diverged");
             assert_eq!(par_stats, seq_stats, "t={t}: stats diverged");
         }
@@ -738,15 +837,15 @@ mod tests {
     fn cached_matching_is_bit_identical_to_cold() {
         let aig = xor_and_graph();
         let lib = asap7_mini();
-        let index = MatchIndex::build(&lib);
+        let target = AsicTarget::new(&lib);
         let cuts = enumerate_cuts(&aig, &CutConfig::default(), &mut DefaultPolicy::default());
-        let (cold, cold_stats) = compute_matches(&aig, &cuts, &index, true);
+        let (cold, cold_stats) = compute_matches(&aig, &cuts, &target, true);
         let mut cache = SessionCache::new(true);
         // First warm run populates, second replays entirely from cache;
         // both must reproduce the cold arena and non-cache stats.
         for round in 0..2 {
             let (warm, warm_stats) =
-                compute_matches_ctx(&aig, &cuts, &index, true, CacheCtx::Mut(&mut cache));
+                compute_matches_ctx(&aig, &cuts, &target, true, CacheCtx::Mut(&mut cache));
             assert_eq!(warm, cold, "round {round}: arena diverged");
             assert_eq!(
                 warm_stats.without_cache_counters(),
@@ -769,7 +868,7 @@ mod tests {
         // nothing.
         let mut disabled = SessionCache::new(false);
         let (off, off_stats) =
-            compute_matches_ctx(&aig, &cuts, &index, true, CacheCtx::Mut(&mut disabled));
+            compute_matches_ctx(&aig, &cuts, &target, true, CacheCtx::Mut(&mut disabled));
         assert_eq!(off, cold);
         assert_eq!(off_stats, cold_stats);
         assert_eq!(disabled.num_functions(), 0);
@@ -800,10 +899,10 @@ mod tests {
         }
         aig.add_po(acc);
         let lib = asap7_mini();
-        let index = MatchIndex::build(&lib);
+        let target = AsicTarget::new(&lib);
         slap_par::set_threads(1);
         let cuts = enumerate_cuts(&aig, &CutConfig::default(), &mut DefaultPolicy::default());
-        let (cold, cold_stats) = compute_matches(&aig, &cuts, &index, true);
+        let (cold, cold_stats) = compute_matches(&aig, &cuts, &target, true);
 
         // Frozen probe of an empty cache: cold output, everything in the
         // delta; absorbing the delta reproduces a warm cache.
@@ -812,7 +911,7 @@ mod tests {
         let (froz, froz_stats) = compute_matches_ctx(
             &aig,
             &cuts,
-            &index,
+            &target,
             true,
             CacheCtx::Frozen(&frozen_src, &mut delta),
         );
@@ -825,13 +924,13 @@ mod tests {
         // ends up with identical contents.
         let mut seq_cache = SessionCache::new(true);
         let (seq_warm, seq_warm_stats) =
-            compute_matches_ctx(&aig, &cuts, &index, true, CacheCtx::Mut(&mut seq_cache));
+            compute_matches_ctx(&aig, &cuts, &target, true, CacheCtx::Mut(&mut seq_cache));
         assert_eq!(seq_warm, cold);
         for t in [2, 4, 8] {
             slap_par::set_threads(t);
             let mut par_cache = SessionCache::new(true);
             let (par_warm, par_warm_stats) =
-                compute_matches_ctx(&aig, &cuts, &index, true, CacheCtx::Mut(&mut par_cache));
+                compute_matches_ctx(&aig, &cuts, &target, true, CacheCtx::Mut(&mut par_cache));
             assert_eq!(par_warm, cold, "t={t}: warm arena diverged");
             assert_eq!(
                 par_warm_stats.without_cache_counters(),
@@ -850,9 +949,80 @@ mod tests {
             assert_eq!(par_cache.num_interned(), seq_cache.num_interned(), "t={t}");
             // A second parallel run over the warm cache replays fully.
             let (replay, replay_stats) =
-                compute_matches_ctx(&aig, &cuts, &index, true, CacheCtx::Mut(&mut par_cache));
+                compute_matches_ctx(&aig, &cuts, &target, true, CacheCtx::Mut(&mut par_cache));
             assert_eq!(replay, cold, "t={t}: replay diverged");
             assert_eq!(replay_stats.fn_cache_misses, 0, "t={t}: replay missed");
+        }
+        slap_par::set_threads(1);
+    }
+
+    #[test]
+    fn lut_target_matches_feasible_cuts_both_phases() {
+        let aig = xor_and_graph();
+        let k = 4;
+        let target = LutTarget::new(k);
+        let cuts = enumerate_cuts(&aig, &CutConfig::default(), &mut DefaultPolicy::default());
+        let (matches, stats) = compute_matches(&aig, &cuts, &target, true);
+        assert!(stats.total_matches > 0);
+        for n in aig.and_ids() {
+            // A LUT absorbs any non-trivial cut in either polarity, so
+            // both phase lists are non-empty and mirror each other.
+            let (p, q) = (matches.of(n, false), matches.of(n, true));
+            assert!(!p.is_empty() && !q.is_empty(), "node {n} unmatched");
+            assert_eq!(p, q, "LUT phases must mirror");
+            for m in p {
+                assert_eq!(m.gate, lut_gate());
+                assert!(!m.leaves().is_empty() && m.leaves().len() <= k);
+                for (i, &(leaf, compl, pin)) in m.leaves().iter().enumerate() {
+                    assert!(leaf.index() < n.index(), "leaf after root");
+                    assert!(!compl, "LUT leaves connect uncomplemented");
+                    assert_eq!(pin as usize, i, "LUT pins are sequential");
+                }
+            }
+        }
+        // Feasibility decisions count one probe per phase.
+        assert_eq!(stats.npn_hits % 2, 0);
+        assert!(stats.npn_hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn lut_matching_cached_and_parallel_are_bit_identical() {
+        let mut aig = Aig::new();
+        let mut acc = aig.add_pi();
+        for _ in 0..6 {
+            let b = aig.add_pi();
+            let c = aig.add_pi();
+            let x = aig.xor(acc, b);
+            acc = aig.and(x, c);
+        }
+        aig.add_po(acc);
+        let target = LutTarget::new(4);
+        slap_par::set_threads(1);
+        let cuts = enumerate_cuts(&aig, &CutConfig::default(), &mut DefaultPolicy::default());
+        let (cold, cold_stats) = compute_matches(&aig, &cuts, &target, true);
+        let mut cache = SessionCache::new(true);
+        for round in 0..2 {
+            let (warm, warm_stats) =
+                compute_matches_ctx(&aig, &cuts, &target, true, CacheCtx::Mut(&mut cache));
+            assert_eq!(warm, cold, "round {round}: arena diverged");
+            assert_eq!(warm_stats.without_cache_counters(), cold_stats);
+            if round == 1 {
+                assert_eq!(warm_stats.fn_cache_misses, 0, "second run must fully hit");
+            }
+        }
+        // The LUT path never prepares per-library bindings.
+        assert!(cache.num_functions() > 0);
+        assert_eq!(cache.num_prepared(), 0);
+        for t in [2, 8] {
+            slap_par::set_threads(t);
+            let (par, par_stats) = compute_matches(&aig, &cuts, &target, true);
+            assert_eq!(par, cold, "t={t}: arena diverged");
+            assert_eq!(par_stats, cold_stats, "t={t}: stats diverged");
+            let mut par_cache = SessionCache::new(true);
+            let (par_warm, _) =
+                compute_matches_ctx(&aig, &cuts, &target, true, CacheCtx::Mut(&mut par_cache));
+            assert_eq!(par_warm, cold, "t={t}: warm arena diverged");
+            assert_eq!(par_cache.num_functions(), cache.num_functions(), "t={t}");
         }
         slap_par::set_threads(1);
     }
@@ -861,9 +1031,9 @@ mod tests {
     fn gate_histogram_totals_match() {
         let aig = xor_and_graph();
         let lib = asap7_mini();
-        let index = MatchIndex::build(&lib);
+        let target = AsicTarget::new(&lib);
         let cuts = enumerate_cuts(&aig, &CutConfig::default(), &mut DefaultPolicy::default());
-        let (matches, stats) = compute_matches(&aig, &cuts, &index, true);
+        let (matches, stats) = compute_matches(&aig, &cuts, &target, true);
         let histo = gate_histogram(&matches);
         let total: usize = histo.values().sum();
         assert_eq!(total, stats.total_matches);

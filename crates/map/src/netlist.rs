@@ -1,10 +1,10 @@
 //! The mapped gate-level netlist and its static timing analysis.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
 use slap_aig::sim::simulate_nodes;
-use slap_aig::{Aig, NodeId, Rng64};
+use slap_aig::{Aig, NodeId, Rng64, Tt};
 use slap_cell::{GateId, Library};
 use slap_cuts::Cut;
 
@@ -45,11 +45,23 @@ impl fmt::Debug for Signal {
     }
 }
 
-/// One placed gate: its cell, output signal, and one input signal per pin.
+/// What a placed instance computes: a library cell for ASIC targets, or
+/// a programmed truth table (over the instance's inputs, in pin order)
+/// for LUT targets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum InstanceKind {
+    /// An ASIC library cell.
+    Gate(GateId),
+    /// A LUT programmed with the given function of its inputs.
+    Lut(Tt),
+}
+
+/// One placed gate or LUT: what it computes, its output signal, and one
+/// input signal per pin.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Instance {
-    /// The library cell.
-    pub gate: GateId,
+    /// What the instance computes.
+    pub kind: InstanceKind,
     /// The signal this instance produces.
     pub output: Signal,
     /// `inputs[pin]` is the signal driving that pin.
@@ -58,11 +70,51 @@ pub struct Instance {
 
 impl Instance {
     /// Creates an instance.
-    pub fn new(gate: GateId, output: Signal, inputs: Vec<Signal>) -> Instance {
+    pub fn new(kind: InstanceKind, output: Signal, inputs: Vec<Signal>) -> Instance {
         Instance {
-            gate,
+            kind,
             output,
             inputs,
+        }
+    }
+
+    /// The library cell, when this is an ASIC gate instance.
+    pub fn gate_id(&self) -> Option<GateId> {
+        match self.kind {
+            InstanceKind::Gate(g) => Some(g),
+            InstanceKind::Lut(_) => None,
+        }
+    }
+
+    /// The programmed function, when this is a LUT instance.
+    pub fn lut_tt(&self) -> Option<Tt> {
+        match self.kind {
+            InstanceKind::Gate(_) => None,
+            InstanceKind::Lut(tt) => Some(tt),
+        }
+    }
+}
+
+/// The cost/realization model a netlist was mapped onto — the
+/// target-specific state [`MappedNetlist`] needs after mapping (STA,
+/// re-evaluation, reporting).
+#[derive(Clone, Debug)]
+pub enum TargetModel {
+    /// An ASIC standard-cell library.
+    Asic(Library),
+    /// `k`-input LUTs with unit area and unit level delay.
+    Lut {
+        /// Maximum LUT inputs.
+        k: usize,
+    },
+}
+
+impl TargetModel {
+    /// The standard-cell library, for ASIC netlists.
+    pub fn library(&self) -> Option<&Library> {
+        match self {
+            TargetModel::Asic(lib) => Some(lib),
+            TargetModel::Lut { .. } => None,
         }
     }
 }
@@ -82,7 +134,7 @@ pub enum PoSource {
 /// Produced by [`crate::Mapper`]; see the crate docs for an example.
 #[derive(Clone, Debug)]
 pub struct MappedNetlist {
-    library: Library,
+    target: TargetModel,
     num_pis: usize,
     instances: Vec<Instance>,
     pos: Vec<PoSource>,
@@ -93,7 +145,7 @@ pub struct MappedNetlist {
 
 impl MappedNetlist {
     pub(crate) fn new(
-        library: Library,
+        target: TargetModel,
         num_pis: usize,
         instances: Vec<Instance>,
         pos: Vec<PoSource>,
@@ -101,7 +153,7 @@ impl MappedNetlist {
         cover_cuts: Vec<(NodeId, Cut)>,
     ) -> MappedNetlist {
         MappedNetlist {
-            library,
+            target,
             num_pis,
             instances,
             pos,
@@ -119,9 +171,14 @@ impl MappedNetlist {
         &self.cover_cuts
     }
 
-    /// The library the netlist is mapped onto.
-    pub fn library(&self) -> &Library {
-        &self.library
+    /// The target model the netlist is mapped onto.
+    pub fn target(&self) -> &TargetModel {
+        &self.target
+    }
+
+    /// The library the netlist is mapped onto (ASIC targets only).
+    pub fn library(&self) -> Option<&Library> {
+        self.target.library()
     }
 
     /// The gate instances, in topological order.
@@ -192,11 +249,22 @@ impl MappedNetlist {
             *arrivals.get(&s).unwrap_or(&0.0)
         };
         for inst in &self.instances {
-            let gate = self.library.gate(inst.gate);
             let load = fanout.get(&inst.output).copied().unwrap_or(0).max(1);
             let mut arr = 0.0f32;
-            for (pin, &s) in inst.inputs.iter().enumerate() {
-                arr = arr.max(arrival_of(&arrivals, s) + gate.delay(pin, load));
+            match (&self.target, &inst.kind) {
+                (TargetModel::Asic(lib), InstanceKind::Gate(g)) => {
+                    let gate = lib.gate(*g);
+                    for (pin, &s) in inst.inputs.iter().enumerate() {
+                        arr = arr.max(arrival_of(&arrivals, s) + gate.delay(pin, load));
+                    }
+                }
+                (TargetModel::Lut { .. }, InstanceKind::Lut(_)) => {
+                    // Unit level delay: one level per LUT, load-independent.
+                    for &s in &inst.inputs {
+                        arr = arr.max(arrival_of(&arrivals, s) + 1.0);
+                    }
+                }
+                _ => panic!("instance kind does not match netlist target"),
             }
             arrivals.insert(inst.output, arr);
         }
@@ -230,13 +298,22 @@ impl MappedNetlist {
         values.insert(Signal::new(NodeId::CONST0, false), 0);
         values.insert(Signal::new(NodeId::CONST0, true), u64::MAX);
         for inst in &self.instances {
-            let gate = self.library.gate(inst.gate);
+            let tt_bits = match &inst.kind {
+                InstanceKind::Gate(g) => self
+                    .target
+                    .library()
+                    .expect("gate instance requires an ASIC netlist")
+                    .gate(*g)
+                    .tt()
+                    .bits(),
+                InstanceKind::Lut(tt) => tt.bits(),
+            };
             let inputs: Vec<u64> = inst
                 .inputs
                 .iter()
                 .map(|s| lookup_signal(&values, *s))
                 .collect();
-            let out = eval_gate(gate.tt().bits(), &inputs);
+            let out = eval_gate(tt_bits, &inputs);
             values.insert(inst.output, out);
         }
         self.pos
@@ -281,13 +358,22 @@ impl MappedNetlist {
         true
     }
 
-    /// Per-gate instance counts, for reports.
-    pub fn gate_counts(&self) -> HashMap<String, usize> {
-        let mut counts = HashMap::new();
+    /// Per-cell (or per-LUT-width) instance counts, for reports. Ordered
+    /// so serialized reports are stable across runs.
+    pub fn gate_counts(&self) -> BTreeMap<String, usize> {
+        let mut counts = BTreeMap::new();
         for inst in &self.instances {
-            *counts
-                .entry(self.library.gate(inst.gate).name().to_string())
-                .or_insert(0) += 1;
+            let name = match &inst.kind {
+                InstanceKind::Gate(g) => self
+                    .target
+                    .library()
+                    .expect("gate instance requires an ASIC netlist")
+                    .gate(*g)
+                    .name()
+                    .to_string(),
+                InstanceKind::Lut(tt) => format!("LUT{}", tt.num_vars()),
+            };
+            *counts.entry(name).or_insert(0) += 1;
         }
         counts
     }
@@ -380,10 +466,11 @@ mod tests {
     #[test]
     fn area_is_sum_of_instance_areas() {
         let (_, nl) = mapped_pair();
+        let lib = nl.library().expect("ASIC netlist").clone();
         let sum: f32 = nl
             .instances()
             .iter()
-            .map(|i| nl.library().gate(i.gate).area())
+            .map(|i| lib.gate(i.gate_id().expect("ASIC instance")).area())
             .sum();
         assert!((nl.area() - sum).abs() < 1e-4);
         assert!(nl.adp() > 0.0);
@@ -394,6 +481,38 @@ mod tests {
         let (_, nl) = mapped_pair();
         let total: usize = nl.gate_counts().values().sum();
         assert_eq!(total, nl.instances().len());
+    }
+
+    #[test]
+    fn lut_netlist_evaluates_and_times_by_level() {
+        // out = (a ^ b) & c as a hand-built 2-LUT netlist:
+        //   x = LUT2(xor)(a, b); out = LUT2(and)(x, c).
+        let a = Signal::new(NodeId::new(1), false);
+        let b = Signal::new(NodeId::new(2), false);
+        let c = Signal::new(NodeId::new(3), false);
+        let x = Signal::new(NodeId::new(4), false);
+        let o = Signal::new(NodeId::new(5), false);
+        let instances = vec![
+            Instance::new(InstanceKind::Lut(Tt::from_bits(0b0110, 2)), x, vec![a, b]),
+            Instance::new(InstanceKind::Lut(Tt::from_bits(0b1000, 2)), o, vec![x, c]),
+        ];
+        let mut nl = MappedNetlist::new(
+            TargetModel::Lut { k: 2 },
+            3,
+            instances,
+            vec![PoSource::Signal(o)],
+            MapStats::default(),
+            Vec::new(),
+        );
+        assert!(nl.library().is_none());
+        let av = 0b1010u64;
+        let bv = 0b1100u64;
+        let cv = 0b1111u64;
+        assert_eq!(nl.evaluate(&[av, bv, cv])[0] & 0xF, 0b0110);
+        nl.run_sta();
+        // Two LUT levels to the PO at unit delay each.
+        assert_eq!(nl.delay(), 2.0);
+        assert_eq!(nl.gate_counts().get("LUT2"), Some(&2));
     }
 
     #[test]

@@ -1,0 +1,384 @@
+//! The [`Target`] abstraction: what differs between mapping onto ASIC
+//! standard cells and onto k-input LUTs.
+//!
+//! Cut enumeration, truth tables, the match arena, the covering DP
+//! skeleton, sessions, and extraction order are all target-generic; a
+//! target supplies exactly four things:
+//!
+//! 1. **Matching** — how one cut becomes [`PreparedMatch`]es
+//!    ([`Target::match_cut`], plus the session-cache absorption rule for
+//!    parallel deltas);
+//! 2. **Cost model** — per-match area and per-leaf unit-load delay for
+//!    the DP, plus the phase-fixing inverter's cost;
+//! 3. **Extraction** — how a chosen match and the phase inverter become
+//!    [`Instance`]s;
+//! 4. **Identity** — a stable name (manifest field) and a 64-bit cache
+//!    discriminant so run-cache entries of different targets never mix.
+//!
+//! [`AsicTarget`] reproduces the pre-refactor mapper bit-for-bit (same
+//! float expressions, same iteration order). [`LutTarget`] implements
+//! the classical k-LUT FPGA model: any cut whose function has true
+//! support ≤ k is a match in both polarities, every LUT costs unit area
+//! and one level of delay, and instances carry their shrunk cut truth
+//! table instead of a `GateId`.
+
+use slap_aig::cone::{cut_function_with, ConeScratch};
+use slap_aig::{Aig, NodeId, Tt};
+use slap_cache::{SessionCache, SessionDelta};
+use slap_cell::{GateId, Library, MatchIndex};
+use slap_cuts::{Cut, CutId};
+
+use crate::matching::{asic_match_cut, lut_match_cut, CacheCtx, MatchScratch, MatchStats};
+use crate::netlist::{Instance, InstanceKind, Signal, TargetModel};
+use crate::PreparedMatch;
+
+/// Sentinel [`GateId`] carried by LUT matches: `PreparedMatch::gate` is
+/// meaningless for a target without a cell library, so LUT matches all
+/// share this out-of-range id (never dereferenced).
+pub(crate) fn lut_gate() -> GateId {
+    GateId::new(u32::MAX as usize)
+}
+
+/// What a mapping target supplies; everything else in the pipeline is
+/// target-generic. See the [module docs](self) for the contract and
+/// DESIGN.md §12 for the full discussion.
+pub trait Target: std::fmt::Debug + Sync {
+    /// Stable short name (`"asic"`, `"lut:6"`): the value recorded in
+    /// run manifests and the basis of the cache discriminant.
+    fn name(&self) -> String;
+
+    /// 64-bit discriminant mixed into `RunKey`s so one session's run
+    /// cache can never replay a run of a different target.
+    fn cache_key(&self) -> u64 {
+        slap_obs::content_hash(self.name().as_bytes())
+    }
+
+    /// The owned cost/naming model embedded into produced netlists
+    /// (drives STA, simulation, and reporting on the netlist side).
+    fn model(&self) -> TargetModel;
+
+    /// Matches a single cut, appending prepared matches for both phases
+    /// into the scratch lists. Returns true if anything matched.
+    #[doc(hidden)]
+    #[allow(clippy::too_many_arguments)]
+    fn match_cut(
+        &self,
+        aig: &Aig,
+        root: NodeId,
+        cut: &Cut,
+        cut_id: CutId,
+        scratch: &mut MatchScratch,
+        stats: &mut MatchStats,
+        ctx: &mut CacheCtx<'_>,
+    ) -> bool;
+
+    /// Replays a frozen-probe delta into the session cache (ASIC also
+    /// prepares gate bindings; LUT only interns functions). Returns how
+    /// many truth tables were newly interned.
+    #[doc(hidden)]
+    fn absorb_delta(&self, cache: &mut SessionCache, delta: SessionDelta) -> u64;
+
+    /// Delay of the phase-fixing inverter under unit load.
+    fn inv_delay(&self) -> f32;
+
+    /// Area of the phase-fixing inverter.
+    fn inv_area(&self) -> f32;
+
+    /// Area contribution of one prepared match.
+    fn match_area(&self, m: &PreparedMatch) -> f32;
+
+    /// Unit-load pin-to-output delay through leaf `i` of `m`.
+    fn leaf_delay(&self, m: &PreparedMatch, i: usize) -> f32;
+
+    /// The instance realizing the phase-fixing inverter.
+    fn make_inverter(&self, output: Signal, input: Signal) -> Instance;
+
+    /// The instance realizing match `m` of `(root, phase)`. `cover` is
+    /// the concrete cut the match covers (structural sentinel already
+    /// resolved), `leaf_signals[i]` the emitted signal of `m.leaves()[i]`,
+    /// and `cone` reusable cone-simulation scratch.
+    #[allow(clippy::too_many_arguments)]
+    fn make_instance(
+        &self,
+        aig: &Aig,
+        root: NodeId,
+        phase: bool,
+        m: &PreparedMatch,
+        cover: &Cut,
+        output: Signal,
+        leaf_signals: &[Signal],
+        cone: &mut ConeScratch,
+    ) -> Instance;
+
+    /// Whether `inst` is a phase-fixing inverter (for the QoR counter).
+    fn is_inverter(&self, inst: &Instance) -> bool;
+
+    /// Area of an emitted instance.
+    fn instance_area(&self, inst: &Instance) -> f32;
+}
+
+/// The ASIC standard-cell target: a genlib [`Library`] plus its
+/// [`MatchIndex`]. This is the default target of [`crate::Mapper`] and
+/// is bit-identical to the pre-`Target` mapper.
+#[derive(Debug)]
+pub struct AsicTarget<'a> {
+    library: &'a Library,
+    index: MatchIndex,
+}
+
+impl<'a> AsicTarget<'a> {
+    /// Builds the target (and its match index) for a library.
+    pub fn new(library: &'a Library) -> AsicTarget<'a> {
+        AsicTarget {
+            library,
+            index: MatchIndex::build(library),
+        }
+    }
+
+    /// The library this target maps onto.
+    pub fn library(&self) -> &'a Library {
+        self.library
+    }
+
+    /// The pre-built match index.
+    pub fn index(&self) -> &MatchIndex {
+        &self.index
+    }
+}
+
+impl Target for AsicTarget<'_> {
+    fn name(&self) -> String {
+        "asic".to_string()
+    }
+
+    fn model(&self) -> TargetModel {
+        TargetModel::Asic(self.library.clone())
+    }
+
+    fn match_cut(
+        &self,
+        aig: &Aig,
+        root: NodeId,
+        cut: &Cut,
+        cut_id: CutId,
+        scratch: &mut MatchScratch,
+        stats: &mut MatchStats,
+        ctx: &mut CacheCtx<'_>,
+    ) -> bool {
+        asic_match_cut(aig, root, cut, cut_id, &self.index, scratch, stats, ctx)
+    }
+
+    fn absorb_delta(&self, cache: &mut SessionCache, delta: SessionDelta) -> u64 {
+        cache.absorb(delta, &self.index)
+    }
+
+    fn inv_delay(&self) -> f32 {
+        self.library.gate(self.library.inverter()).delay(0, 1)
+    }
+
+    fn inv_area(&self) -> f32 {
+        self.library.gate(self.library.inverter()).area()
+    }
+
+    fn match_area(&self, m: &PreparedMatch) -> f32 {
+        self.library.gate(m.gate).area()
+    }
+
+    fn leaf_delay(&self, m: &PreparedMatch, i: usize) -> f32 {
+        let (_, _, pin) = m.leaves()[i];
+        self.library.gate(m.gate).delay(pin as usize, 1)
+    }
+
+    fn make_inverter(&self, output: Signal, input: Signal) -> Instance {
+        Instance::new(
+            InstanceKind::Gate(self.library.inverter()),
+            output,
+            vec![input],
+        )
+    }
+
+    fn make_instance(
+        &self,
+        _aig: &Aig,
+        _root: NodeId,
+        _phase: bool,
+        m: &PreparedMatch,
+        _cover: &Cut,
+        output: Signal,
+        leaf_signals: &[Signal],
+        _cone: &mut ConeScratch,
+    ) -> Instance {
+        let gate = self.library.gate(m.gate);
+        let mut inputs = vec![Signal::new(NodeId::CONST0, false); gate.num_pins()];
+        for (j, &(_, _, pin)) in m.leaves().iter().enumerate() {
+            inputs[pin as usize] = leaf_signals[j];
+        }
+        Instance::new(InstanceKind::Gate(m.gate), output, inputs)
+    }
+
+    fn is_inverter(&self, inst: &Instance) -> bool {
+        inst.kind == InstanceKind::Gate(self.library.inverter())
+    }
+
+    fn instance_area(&self, inst: &Instance) -> f32 {
+        match inst.kind {
+            InstanceKind::Gate(g) => self.library.gate(g).area(),
+            InstanceKind::Lut(_) => unreachable!("LUT instance under the ASIC target"),
+        }
+    }
+}
+
+/// The k-LUT FPGA target: any cut whose function has true support ≤ k
+/// matches in both polarities; every LUT costs unit area and one level
+/// of delay (the phase-fixing inverter is itself a 1-input NOT LUT, so
+/// it costs the same). `area` therefore reads as LUT count and `delay`
+/// as LUT depth.
+#[derive(Clone, Copy, Debug)]
+pub struct LutTarget {
+    k: usize,
+}
+
+impl LutTarget {
+    /// A k-input LUT target.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 <= k <= 6` (cut functions are 64-bit truth
+    /// tables, and a 1-input LUT cannot cover an AND node).
+    pub fn new(k: usize) -> LutTarget {
+        assert!(
+            (2..=Tt::MAX_VARS).contains(&k),
+            "LUT size must be within 2..=6, got {k}"
+        );
+        LutTarget { k }
+    }
+
+    /// The LUT input count.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+impl Target for LutTarget {
+    fn name(&self) -> String {
+        format!("lut:{}", self.k)
+    }
+
+    fn model(&self) -> TargetModel {
+        TargetModel::Lut { k: self.k }
+    }
+
+    fn match_cut(
+        &self,
+        aig: &Aig,
+        root: NodeId,
+        cut: &Cut,
+        cut_id: CutId,
+        scratch: &mut MatchScratch,
+        stats: &mut MatchStats,
+        ctx: &mut CacheCtx<'_>,
+    ) -> bool {
+        lut_match_cut(aig, root, cut, cut_id, self.k, scratch, stats, ctx)
+    }
+
+    fn absorb_delta(&self, cache: &mut SessionCache, delta: SessionDelta) -> u64 {
+        cache.absorb_functions(delta)
+    }
+
+    fn inv_delay(&self) -> f32 {
+        1.0
+    }
+
+    fn inv_area(&self) -> f32 {
+        1.0
+    }
+
+    fn match_area(&self, _m: &PreparedMatch) -> f32 {
+        1.0
+    }
+
+    fn leaf_delay(&self, _m: &PreparedMatch, _i: usize) -> f32 {
+        1.0
+    }
+
+    fn make_inverter(&self, output: Signal, input: Signal) -> Instance {
+        Instance::new(InstanceKind::Lut(Tt::var(0, 1).not()), output, vec![input])
+    }
+
+    fn make_instance(
+        &self,
+        aig: &Aig,
+        root: NodeId,
+        phase: bool,
+        _m: &PreparedMatch,
+        cover: &Cut,
+        output: Signal,
+        leaf_signals: &[Signal],
+        cone: &mut ConeScratch,
+    ) -> Instance {
+        // Recompute the cut function deterministically from the cover
+        // cut and shrink it to its true support — the same computation
+        // matching performed, so the support order agrees with
+        // `m.leaves()` (and therefore with `leaf_signals`).
+        let mut leaves = [NodeId::CONST0; Tt::MAX_VARS];
+        for (i, l) in cover.leaves().enumerate() {
+            leaves[i] = l;
+        }
+        let (tt, _vol) = cut_function_with(aig, root, &leaves[..cover.len()], cone)
+            .expect("cover cut was matched, so its cone is closed");
+        let mut support = [0usize; Tt::MAX_VARS];
+        let (stt, num_support) = tt.shrink_to_support_into(&mut support);
+        debug_assert_eq!(num_support, leaf_signals.len());
+        let stt = if phase { stt.not() } else { stt };
+        Instance::new(InstanceKind::Lut(stt), output, leaf_signals.to_vec())
+    }
+
+    fn is_inverter(&self, inst: &Instance) -> bool {
+        matches!(inst.kind, InstanceKind::Lut(tt) if tt == Tt::var(0, 1).not())
+    }
+
+    fn instance_area(&self, _inst: &Instance) -> f32 {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn target_names_and_cache_keys_are_distinct() {
+        let lib = slap_cell::asap7_mini();
+        let asic = AsicTarget::new(&lib);
+        assert_eq!(asic.name(), "asic");
+        let lut4 = LutTarget::new(4);
+        let lut6 = LutTarget::new(6);
+        assert_eq!(lut6.name(), "lut:6");
+        assert_eq!(lut6.k(), 6);
+        let keys = [asic.cache_key(), lut4.cache_key(), lut6.cache_key()];
+        assert_ne!(keys[0], keys[1]);
+        assert_ne!(keys[0], keys[2]);
+        assert_ne!(keys[1], keys[2]);
+        assert_eq!(lut6.cache_key(), LutTarget::new(6).cache_key());
+    }
+
+    #[test]
+    #[should_panic(expected = "LUT size")]
+    fn oversized_lut_rejected() {
+        let _ = LutTarget::new(7);
+    }
+
+    #[test]
+    fn lut_cost_model_is_unit() {
+        let t = LutTarget::new(5);
+        assert_eq!(t.inv_delay(), 1.0);
+        assert_eq!(t.inv_area(), 1.0);
+        let inv = t.make_inverter(
+            Signal::new(NodeId::new(3), false),
+            Signal::new(NodeId::new(3), true),
+        );
+        assert!(t.is_inverter(&inv));
+        assert_eq!(t.instance_area(&inv), 1.0);
+        assert_eq!(inv.kind, InstanceKind::Lut(Tt::from_bits(0b01, 1)));
+    }
+}

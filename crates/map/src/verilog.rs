@@ -5,7 +5,7 @@ use std::io::Write;
 
 use slap_aig::NodeId;
 
-use crate::netlist::{MappedNetlist, PoSource, Signal};
+use crate::netlist::{InstanceKind, MappedNetlist, PoSource, Signal};
 
 /// Writes the netlist as a structural Verilog module.
 ///
@@ -53,13 +53,33 @@ pub fn write_verilog<W: Write>(
     }
     writeln!(w)?;
     for (k, inst) in netlist.instances().iter().enumerate() {
-        let gate = netlist.library().gate(inst.gate);
-        write!(w, "  {} g{k} (", gate.name())?;
-        for (pin, sig) in inst.inputs.iter().enumerate() {
-            let pin_name = &gate.pins()[pin];
-            write!(w, ".{pin_name}({}), ", net_name(*sig, num_pis))?;
+        match inst.kind {
+            InstanceKind::Gate(g) => {
+                let gate = netlist
+                    .library()
+                    .expect("gate instance requires an ASIC netlist")
+                    .gate(g);
+                write!(w, "  {} g{k} (", gate.name())?;
+                for (pin, sig) in inst.inputs.iter().enumerate() {
+                    let pin_name = &gate.pins()[pin];
+                    write!(w, ".{pin_name}({}), ", net_name(*sig, num_pis))?;
+                }
+                writeln!(w, ".Y({}));", net_name(inst.output, num_pis))?;
+            }
+            InstanceKind::Lut(tt) => {
+                let n = tt.num_vars();
+                write!(
+                    w,
+                    "  LUT{n} #(.INIT({}'h{:x})) g{k} (",
+                    1usize << n,
+                    tt.bits()
+                )?;
+                for (pin, sig) in inst.inputs.iter().enumerate() {
+                    write!(w, ".I{pin}({}), ", net_name(*sig, num_pis))?;
+                }
+                writeln!(w, ".O({}));", net_name(inst.output, num_pis))?;
+            }
         }
-        writeln!(w, ".Y({}));", net_name(inst.output, num_pis))?;
     }
     writeln!(w)?;
     for (i, po) in netlist.pos().iter().enumerate() {
@@ -152,6 +172,30 @@ mod tests {
         let text = String::from_utf8(buf).expect("utf8");
         assert!(text.contains("assign po0 = 1'b1;"));
         assert!(text.contains("assign po1 = 1'b0;"));
+    }
+
+    #[test]
+    fn lut_netlists_export_init_parameters() {
+        let mut aig = Aig::new();
+        let a = aig.add_pi();
+        let b = aig.add_pi();
+        let c = aig.add_pi();
+        let x = aig.xor(a, b);
+        let f = aig.and(x, !c);
+        aig.add_po(f);
+        let nl = crate::mapping::LutMapper::lut(4, MapOptions::default())
+            .map_default(&aig, &CutConfig::default())
+            .expect("maps");
+        let mut buf = Vec::new();
+        write_verilog(&nl, "lut_mod", &mut buf).expect("write");
+        let text = String::from_utf8(buf).expect("utf8");
+        assert!(text.starts_with("module lut_mod("));
+        assert!(text.contains("LUT"), "missing LUT primitive");
+        assert!(text.contains("#(.INIT("), "missing INIT parameter");
+        assert!(text.contains(".I0("), "missing LUT input pin");
+        assert!(text.contains(".O("), "missing LUT output pin");
+        let instances = text.lines().filter(|l| l.contains("#(.INIT(")).count();
+        assert_eq!(instances, nl.instances().len());
     }
 
     #[test]

@@ -90,6 +90,14 @@ impl RunManifest {
         self
     }
 
+    /// Records the mapping target (`"asic"`, `"lut:6"`, …) so ASIC and
+    /// LUT metrics streams can never be diffed against each other
+    /// silently (`slap-report --check` gates on this field).
+    pub fn target(mut self, name: &str) -> RunManifest {
+        self.record.push("target", name);
+        self
+    }
+
     /// Appends one free-form config field (policy, k, seed, scale, …).
     pub fn config(mut self, key: &str, value: impl Into<Value>) -> RunManifest {
         self.record.push(key, value);
@@ -143,6 +151,7 @@ mod tests {
             .threads(4)
             .cache(Some(true))
             .trace()
+            .target("lut:6")
             .config("seed", 1u64)
             .input_hash("circuit", 0xabcd)
             .input_hash("library", 7)
@@ -157,6 +166,7 @@ mod tests {
             Some(MANIFEST_SCHEMA_VERSION)
         );
         assert_eq!(get("threads").and_then(|v| v.as_u64()), Some(4));
+        assert_eq!(get("target").and_then(|v| v.as_str()), Some("lut:6"));
         assert_eq!(
             get("circuit_hash").and_then(|v| v.as_str()),
             Some("000000000000abcd")

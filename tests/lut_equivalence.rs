@@ -1,0 +1,176 @@
+//! LUT-target equivalence suite: the k-LUT mapping path must satisfy the
+//! same simulation-equivalence and determinism contracts (DESIGN.md §8,
+//! §9, §12) the ASIC path is held to.
+//!
+//! For every catalog circuit the 6-LUT mapper is run cold (one-shot) and
+//! warm (through a cached [`MapSession`], first and second map) at 1, 2,
+//! and 8 worker threads. Every variant must
+//!
+//! * simulate identically to the source AIG (`verify_against` over the
+//!   LUT instances' truth tables);
+//! * reproduce the 1-thread cold netlist bit-for-bit — instances, PO
+//!   sources, cover cuts, QoR floats;
+//! * obey the unit cost model: area = LUT count, delay = logic depth in
+//!   whole levels, STA delay = DP delay.
+
+use slap_circuits::{table2_benchmarks, Scale};
+use slap_cuts::CutConfig;
+use slap_map::{LutMapper, MapOptions, MappedNetlist};
+
+/// Serializes tests that mutate the process-global worker count (same
+/// pattern as the golden ASIC suite — the two binaries don't share the
+/// lock, but tests within this binary must not race each other).
+static THREAD_AXIS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+const LUT_K: usize = 6;
+
+fn lut_mapper() -> LutMapper {
+    LutMapper::lut(LUT_K, MapOptions::default())
+}
+
+fn cut_config() -> CutConfig {
+    CutConfig::with_k(LUT_K)
+}
+
+/// Everything a re-mapped netlist must reproduce bit-for-bit from the
+/// baseline (cache-traffic counters excluded, as in the ASIC suite).
+fn assert_same_mapping(got: &MappedNetlist, base: &MappedNetlist, label: &str) {
+    assert_eq!(got.instances(), base.instances(), "{label}: instances");
+    assert_eq!(got.pos(), base.pos(), "{label}: po sources");
+    assert_eq!(got.cover_cuts(), base.cover_cuts(), "{label}: cover cuts");
+    assert_eq!(got.area().to_bits(), base.area().to_bits(), "{label}: area");
+    assert_eq!(
+        got.delay().to_bits(),
+        base.delay().to_bits(),
+        "{label}: delay"
+    );
+    assert_eq!(
+        got.stats().dp_delay.to_bits(),
+        base.stats().dp_delay.to_bits(),
+        "{label}: dp delay"
+    );
+    assert_eq!(
+        got.stats().match_stats.without_cache_counters(),
+        base.stats().match_stats.without_cache_counters(),
+        "{label}: match stats"
+    );
+}
+
+/// The LUT cost-model invariants: unit area per LUT (so area = instance
+/// count), unit level delay (so delays are whole numbers and the
+/// load-aware STA agrees with the DP's unit-load model), and no instance
+/// wider than k inputs.
+fn assert_lut_cost_model(nl: &MappedNetlist, label: &str) {
+    assert_eq!(
+        nl.area() as usize,
+        nl.instances().len(),
+        "{label}: area must equal the LUT count"
+    );
+    assert_eq!(
+        nl.delay(),
+        nl.delay().trunc(),
+        "{label}: LUT delay must be a whole level count"
+    );
+    assert_eq!(
+        nl.delay().to_bits(),
+        nl.stats().dp_delay.to_bits(),
+        "{label}: unit-load STA must equal the DP delay"
+    );
+    for inst in nl.instances() {
+        let tt = inst.lut_tt().expect("LUT netlists hold only LUT instances");
+        assert!(inst.inputs.len() <= LUT_K, "{label}: LUT wider than k");
+        assert_eq!(
+            tt.num_vars(),
+            inst.inputs.len(),
+            "{label}: truth table width must match the input count"
+        );
+    }
+}
+
+/// The headline contract: all 14 catalog circuits, cold and warm cache,
+/// 1/2/8 worker threads — every LUT netlist simulates identically to its
+/// AIG and reproduces the 1-thread cold map bit-for-bit.
+#[test]
+fn lut_maps_verify_and_are_thread_and_cache_invariant() {
+    let _guard = THREAD_AXIS_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    let prev = slap_par::threads();
+    let mapper = lut_mapper();
+    let config = cut_config();
+    for bench in table2_benchmarks() {
+        let aig = bench.build(Scale::Quick);
+        slap_par::set_threads(1);
+        let cold = mapper.map_default(&aig, &config).expect("cold maps");
+        assert!(
+            cold.verify_against(&aig, 8, 7),
+            "{}: cold LUT netlist not equivalent to the AIG",
+            bench.name
+        );
+        assert_lut_cost_model(&cold, bench.name);
+
+        // Warm sessions replay from the function cache; first (filling)
+        // and second (replaying) maps must both equal the cold map.
+        let mut session = mapper.session_cached(&aig, true);
+        let warm1 = session.map_default(&config).expect("warm maps");
+        let warm2 = session.map_default(&config).expect("warm maps");
+        assert_same_mapping(&warm1, &cold, &format!("{}/warm-first", bench.name));
+        assert_same_mapping(&warm2, &cold, &format!("{}/warm-second", bench.name));
+        assert!(
+            warm2.verify_against(&aig, 8, 7),
+            "{}: warm LUT netlist not equivalent to the AIG",
+            bench.name
+        );
+
+        for t in [2usize, 8] {
+            slap_par::set_threads(t);
+            let cold_t = mapper.map_default(&aig, &config).expect("cold maps");
+            assert_same_mapping(&cold_t, &cold, &format!("{}/cold/t={t}", bench.name));
+            let mut session = mapper.session_cached(&aig, true);
+            let warm_t = session.map_default(&config).expect("warm maps");
+            assert_same_mapping(&warm_t, &cold, &format!("{}/warm/t={t}", bench.name));
+        }
+    }
+    slap_par::set_threads(prev);
+}
+
+/// The shuffle-policy axis (the SLAP datagen workhorse) on a subset of
+/// circuits to bound runtime: shuffled LUT maps verify and stay
+/// thread-count invariant, warm or cold.
+#[test]
+fn shuffled_lut_maps_verify_and_stay_invariant() {
+    let _guard = THREAD_AXIS_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    let prev = slap_par::threads();
+    let mapper = lut_mapper();
+    let config = cut_config();
+    for bench in &table2_benchmarks()[..3] {
+        let aig = bench.build(Scale::Quick);
+        for (seed, keep) in [(7u64, 8usize), (3, 4)] {
+            slap_par::set_threads(1);
+            let cold = mapper
+                .map_shuffled(&aig, &config, seed, keep)
+                .expect("cold maps");
+            assert!(
+                cold.verify_against(&aig, 8, seed),
+                "{}/shuffle-{seed}-{keep}: not equivalent",
+                bench.name
+            );
+            assert_lut_cost_model(&cold, bench.name);
+            for t in [2usize, 8] {
+                slap_par::set_threads(t);
+                let mut session = mapper.session_cached(&aig, true);
+                let warm = session
+                    .map_shuffled(&config, seed, keep)
+                    .expect("warm maps");
+                assert_same_mapping(
+                    &warm,
+                    &cold,
+                    &format!("{}/shuffle-{seed}-{keep}/t={t}", bench.name),
+                );
+            }
+        }
+    }
+    slap_par::set_threads(prev);
+}
