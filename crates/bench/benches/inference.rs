@@ -8,7 +8,7 @@
 
 use slap_aig::Rng64;
 use slap_bench::microbench::measure;
-use slap_ml::{CnnConfig, CutCnn, InferenceScratch};
+use slap_ml::{CnnConfig, CutCnn, InferenceScratch, QuantScratch, QuantizedCnn};
 
 fn main() {
     let mut rng = Rng64::seed_from(7);
@@ -46,4 +46,99 @@ fn main() {
             m.min_s * 1e6 / batch as f64
         );
     }
+
+    // The int8 tier at the same batch sizes: the delta vs the f32 sweep
+    // above is what `--kernel int8` buys per scored cut.
+    let quant = QuantizedCnn::from_model(&model);
+    for batch in [1usize, 64, 256] {
+        let xs: Vec<f32> = (0..batch * 150).map(|_| rng.f32()).collect();
+        let mut scratch = QuantScratch::new();
+        let mut out: Vec<u8> = Vec::with_capacity(batch);
+        let iters = (6400 / batch).max(10) as u32;
+        let m = measure(
+            &format!("inference/predict_batch_i8/{batch}"),
+            iters,
+            || {
+                out.clear();
+                quant.predict_batch_into(&xs, &mut scratch, &mut out);
+            },
+        );
+        println!(
+            "{}  ({:.3} us/sample)",
+            m.render(),
+            m.min_s * 1e6 / batch as f64
+        );
+    }
+
+    // Per-stage breakdown (batch of 64, paper shape, GEMM layout): where
+    // a scored cut's microseconds actually go, f32 stages vs int8 stages.
+    stage_breakdown(&mut rng);
+}
+
+fn stage_breakdown(rng: &mut Rng64) {
+    use slap_ml::kernel;
+    let (rows, cols, filters, classes) = (15usize, 10usize, 128usize, 10usize);
+    let batch = 64usize;
+    let bc = cols * batch; // GEMM column count: the batch laid sample-minor
+    let hidden = filters * cols;
+    let per = |m: &slap_bench::microbench::Measurement| m.min_s * 1e6 / batch as f64;
+    let xt: Vec<f32> = (0..rows * bc).map(|_| rng.f32() * 12.0 - 6.0).collect();
+    let conv_w: Vec<f32> = (0..filters * rows).map(|_| rng.f32() - 0.5).collect();
+    let conv_b: Vec<f32> = (0..filters).map(|_| rng.f32() - 0.5).collect();
+    let dense_w: Vec<f32> = (0..classes * hidden).map(|_| rng.f32() - 0.5).collect();
+    let dense_b: Vec<f32> = (0..classes).map(|_| rng.f32() - 0.5).collect();
+    let mut conv_out = vec![0.0f32; filters * bc];
+    let mut logits = vec![0.0f32; batch * classes];
+    let iters = 200;
+
+    let m = measure("stage/f32/conv", iters, || {
+        kernel::conv_rows(&xt, &conv_w, &conv_b, filters, rows, bc, &mut conv_out);
+    });
+    println!("{}  ({:.3} us/sample)", m.render(), per(&m));
+    kernel::relu_inplace(&mut conv_out);
+    let m = measure("stage/f32/dense", iters, || {
+        kernel::dense_batch(&conv_out, &dense_w, &dense_b, batch, &mut logits);
+    });
+    println!("{}  ({:.3} us/sample)", m.render(), per(&m));
+    let m = measure("stage/f32/softmax+argmax", iters, || {
+        let mut last = 0;
+        for row in logits.chunks_exact_mut(classes) {
+            kernel::softmax_inplace(row);
+            last = kernel::argmax(row);
+        }
+        last
+    });
+    println!("{}  ({:.3} us/sample)", m.render(), per(&m));
+
+    let i8_vec = |rng: &mut Rng64, n: usize| -> Vec<i8> {
+        (0..n)
+            .map(|_| (rng.below(255) as i32 - 127) as i8)
+            .collect()
+    };
+    let xq = i8_vec(rng, rows * bc);
+    let wq = i8_vec(rng, filters * rows);
+    let bq: Vec<i32> = (0..filters).map(|_| rng.below(1000) as i32 - 500).collect();
+    let requant: Vec<f32> = (0..filters).map(|_| rng.f32() * 0.001).collect();
+    let dq = i8_vec(rng, classes * hidden);
+    let dscale: Vec<f32> = (0..classes).map(|_| rng.f32() * 0.001).collect();
+    let mut acc = vec![0i32; filters * bc];
+    let mut hq = vec![0i8; filters * bc];
+    let mut xq_out = vec![0i8; rows * bc];
+
+    let m = measure("stage/i8/quantize-input", iters, || {
+        kernel::quantize_i8(&xt, 127.0 / 6.0, &mut xq_out);
+    });
+    println!("{}  ({:.3} us/sample)", m.render(), per(&m));
+    let m = measure("stage/i8/conv", iters, || {
+        kernel::conv_rows_i8(&xq, &wq, &bq, filters, rows, bc, &mut acc);
+    });
+    println!("{}  ({:.3} us/sample)", m.render(), per(&m));
+    let m = measure("stage/i8/relu-requant", iters, || {
+        kernel::relu_requant_i8(&acc, &requant, filters, bc, &mut hq);
+    });
+    println!("{}  ({:.3} us/sample)", m.render(), per(&m));
+    let m = measure("stage/i8/dense", iters, || {
+        kernel::dense_batch_i8(&hq, &dq, &dscale, &dense_b, batch, &mut logits);
+    });
+    println!("{}  ({:.3} us/sample)", m.render(), per(&m));
 }

@@ -13,9 +13,15 @@
 //!
 //! Usage:
 //!   cargo run --release -p slap-bench --bin bench_datagen -- \
-//!       [--rounds 3] [--maps 48] [--target asic|lut:k] [--threads N]
-//!       [--out BENCH_datagen.json] [--metrics-json out.jsonl]
-//!       [--trace-json trace.json]
+//!       [--rounds 3] [--maps 48] [--target asic|lut:k]
+//!       [--kernel f32|int8] [--threads N] [--out BENCH_datagen.json]
+//!       [--metrics-json out.jsonl] [--trace-json trace.json]
+//!
+//! `--kernel` is accepted for flag symmetry with the inference binaries
+//! and recorded in the manifest, but datagen's random-shuffle mapping
+//! never invokes the CNN — the timings are tier-independent. Recording
+//! the tier keeps `slap-report --check` strict anyway: a datagen stream
+//! tagged int8 only gates against an int8 baseline.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -23,7 +29,7 @@ use std::time::Instant;
 use slap_bench::metrics::{
     aig_hash, library_hash, obs_snapshot_record, run_manifest, MetricsOut, TraceOut,
 };
-use slap_bench::{init_threads, Args, TargetSpec};
+use slap_bench::{init_threads, kernel_tier_from_args, Args, TargetSpec};
 use slap_cell::{asap7_mini, Library};
 use slap_circuits::aes::aes_mini;
 use slap_core::{generate_dataset_session, SampleConfig, CUT_EMBED_COLS, CUT_EMBED_ROWS};
@@ -66,6 +72,7 @@ fn run<T: Target>(
 
     let aig = aes_mini();
     let mut manifest = run_manifest("bench_datagen", threads, &target.name())
+        .kernel(kernel_tier_from_args(args).name())
         .config("rounds", rounds)
         .config("maps", maps)
         .input_hash("circuit", aig_hash(&aig));

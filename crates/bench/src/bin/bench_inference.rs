@@ -1,23 +1,37 @@
-//! Batched-inference benchmark: times the two-pass batched cut scoring
-//! of [`slap_core::SlapMapper::classify_cuts`] against a transcription
-//! of the seed per-sample path (allocating forward pass, scalar strided
-//! conv, single-chain dense) on the AES-core SLAP flow, and writes the
-//! speedup to `BENCH_inference.json` in the workspace root.
+//! Batched-inference benchmark: times the full inference phase of the
+//! AES-core SLAP flow across all three kernel tiers —
 //!
-//! Old and new timings are interleaved within each round (old, then new,
-//! per round) so slow drift of the host — thermal state, co-tenants —
-//! spreads evenly across both sides instead of biasing one. Every round
-//! asserts the batched keep mask and stats are bit-identical to the seed
-//! path's: the speedup must come from blocking, batching, and allocation
-//! removal alone, never from changing a single predicted class.
+//! * **seed**: a transcription of the pre-kernel per-sample path
+//!   (allocating forward pass, scalar strided conv, single-chain dense);
+//! * **f32**: [`slap_core::SlapMapper::classify_cuts`] on the
+//!   lane-blocked f32 kernels (bit-identical to seed by contract);
+//! * **int8**: the same two-pass flow on the quantized tier
+//!   (QoR-equivalent; keep-mask divergence measured and bounded) —
+//!
+//! interleaved seed → f32 → int8 within every round so slow drift of the
+//! host (thermal state, co-tenants) spreads evenly across all tiers
+//! instead of biasing one. The whole trajectory lands in
+//! `BENCH_inference.json` in the workspace root.
+//!
+//! Every round asserts the f32 keep mask and stats are bit-identical to
+//! the seed path's: that tier's speedup must come from blocking,
+//! batching, and allocation removal alone, never from changing a single
+//! predicted class. The int8 tier is held to its own contract instead:
+//! bit-deterministic across rounds, same cut count, and keep-mask
+//! divergence below [`INT8_KEEP_DIVERGENCE_BOUND`] (the same bound the
+//! golden suite in `tests/int8_divergence.rs` pins per circuit).
 //!
 //! Usage:
 //!   cargo run --release -p slap-bench --bin bench_inference -- \
-//!       [--rounds 5] [--threads N] [--smoke] [--out BENCH_inference.json]
-//!       [--metrics-json out.jsonl] [--trace-json trace.json]
+//!       [--rounds 5] [--threads N] [--smoke] [--kernel f32|int8]
+//!       [--out BENCH_inference.json] [--metrics-json out.jsonl]
+//!       [--trace-json trace.json]
 //!
 //! `--smoke` runs one round and skips the JSON file — the CI leg proving
-//! the harness and the bit-identity asserts stay green.
+//! the harness, the f32 bit-identity asserts, and the int8 divergence
+//! bound stay green. `--kernel` is recorded in the manifest for stream
+//! provenance (so `slap-report --check` gating stays strict); the bench
+//! itself always measures all three tiers.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -25,16 +39,23 @@ use std::time::Instant;
 use slap_bench::metrics::{
     aig_hash, library_hash, obs_snapshot_record, run_manifest, MetricsOut, TraceOut,
 };
-use slap_bench::{init_threads, Args};
+use slap_bench::{init_threads, kernel_tier_from_args, Args};
 use slap_cell::asap7_mini;
 use slap_circuits::aes::aes_mini;
-use slap_core::{BandPolicy, EmbeddingContext, SlapConfig, SlapMapper, SlapStats, CUT_EMBED_DIM};
+use slap_core::{
+    BandPolicy, EmbeddingContext, KernelTier, SlapConfig, SlapMapper, SlapStats, CUT_EMBED_DIM,
+};
 use slap_cuts::{cut_features, enumerate_cuts, CutArena, UnlimitedPolicy};
 use slap_map::{MapOptions, Mapper};
 use slap_ml::{CnnConfig, CutCnn};
 
 #[global_allocator]
 static ALLOC: slap_obs::alloc::CountingAllocator = slap_obs::alloc::CountingAllocator;
+
+/// Committed ceiling on the int8 tier's keep-mask divergence vs the f32
+/// reference, as a fraction of all cuts in the arena. Kept in lockstep
+/// with the per-circuit bound in `tests/int8_divergence.rs`.
+const INT8_KEEP_DIVERGENCE_BOUND: f64 = 0.05;
 
 /// The seed model representation: raw tensors extracted through the
 /// text serialization (Rust's float `Display` round-trips exactly, so
@@ -178,6 +199,7 @@ fn main() {
     let smoke = args.has("smoke");
     let rounds = if smoke { 1 } else { args.get("rounds", 5usize) };
     let out_path = args.get("out", "BENCH_inference.json".to_string());
+    let kernel_flag = kernel_tier_from_args(&args);
     let threads = init_threads(&args);
     let metrics = MetricsOut::from_arg(&args.get("metrics-json", String::new()));
     let trace = TraceOut::from_args(&args);
@@ -188,6 +210,7 @@ fn main() {
     let aig = aes_mini();
     metrics.emit(
         &run_manifest("bench_inference", threads, "asic")
+            .kernel(kernel_flag.name())
             .config("rounds", rounds)
             .config("smoke", smoke)
             .input_hash("circuit", aig_hash(&aig))
@@ -201,10 +224,19 @@ fn main() {
     let model = CutCnn::new(&CnnConfig::paper(), 7);
     let seed = SeedModel::from_model(&model);
     let policy = config.policy;
-    let slap = SlapMapper::new(&mapper, model, config.clone());
+    let slap_f32 = SlapMapper::new(&mapper, model.clone(), config.clone());
+    let slap_int8 = SlapMapper::new(
+        &mapper,
+        model,
+        SlapConfig {
+            kernel: KernelTier::Int8,
+            ..config.clone()
+        },
+    );
     // The smoke leg caps the per-node cut count so CI exercises the whole
-    // harness (including the bit-identity asserts) in seconds; the real
-    // measurement scores the full SLAP-flow enumeration.
+    // harness (including the bit-identity asserts and the int8 divergence
+    // bound) in seconds; the real measurement scores the full SLAP-flow
+    // enumeration.
     let cap = if smoke { 12 } else { config.unlimited_cap };
     let cuts = enumerate_cuts(
         &aig,
@@ -212,56 +244,95 @@ fn main() {
         &mut UnlimitedPolicy::with_cap(cap),
     );
 
-    // Warm up both paths (lazy obs state, scratch growth) and pin the
-    // reference output.
+    // Warm up all three paths (lazy obs state, scratch growth) and pin
+    // the reference outputs: the seed mask doubles as the f32 reference
+    // (bit-identity), the int8 mask is its own determinism reference.
     let (ref_keep, ref_stats) = seed_classify(&seed, &policy, &aig, &cuts);
-    let _ = slap.classify_cuts(&aig, &cuts);
+    let _ = slap_f32.classify_cuts(&aig, &cuts);
+    let (int8_ref_keep, int8_ref_stats) = slap_int8.classify_cuts(&aig, &cuts);
+    let divergent = ref_keep
+        .iter()
+        .zip(&int8_ref_keep)
+        .filter(|(a, b)| a != b)
+        .count();
+    let divergence = divergent as f64 / ref_keep.len().max(1) as f64;
     eprintln!(
-        "aes_mini: {} ands, {} cuts scored, {} kept ({} threads)",
+        "aes_mini: {} ands, {} cuts scored, {} kept f32 / {} kept int8, \
+         int8 keep divergence {divergent}/{} ({:.4}%) ({} threads)",
         aig.num_ands(),
         ref_stats.cuts_scored,
         ref_stats.cuts_kept,
+        int8_ref_stats.cuts_kept,
+        ref_keep.len(),
+        divergence * 100.0,
         threads
     );
+    assert_eq!(
+        int8_ref_stats.cuts_scored, ref_stats.cuts_scored,
+        "int8 tier must score exactly the same cuts"
+    );
+    assert!(
+        divergence <= INT8_KEEP_DIVERGENCE_BOUND,
+        "int8 keep-mask divergence {divergence:.4} exceeds the committed bound \
+         {INT8_KEEP_DIVERGENCE_BOUND}"
+    );
 
-    let mut old_times = Vec::with_capacity(rounds);
-    let mut new_times = Vec::with_capacity(rounds);
+    let mut seed_times = Vec::with_capacity(rounds);
+    let mut f32_times = Vec::with_capacity(rounds);
+    let mut int8_times = Vec::with_capacity(rounds);
     for round in 0..rounds {
-        let old_span = slap_obs::span("seed_classify");
+        let seed_span = slap_obs::span("seed_classify");
         let t0 = Instant::now();
-        let (old_keep, old_stats) = seed_classify(&seed, &policy, &aig, &cuts);
-        old_times.push(t0.elapsed().as_secs_f64());
-        drop(old_span);
+        let (seed_keep, seed_stats) = seed_classify(&seed, &policy, &aig, &cuts);
+        seed_times.push(t0.elapsed().as_secs_f64());
+        drop(seed_span);
 
-        let new_span = slap_obs::span("batched_classify");
+        let f32_span = slap_obs::span("f32_classify");
         let t0 = Instant::now();
-        let (new_keep, new_stats) = slap.classify_cuts(&aig, &cuts);
-        new_times.push(t0.elapsed().as_secs_f64());
-        drop(new_span);
+        let (f32_keep, f32_stats) = slap_f32.classify_cuts(&aig, &cuts);
+        f32_times.push(t0.elapsed().as_secs_f64());
+        drop(f32_span);
 
-        // Bit-identity: the batched path must replay the seed decisions
-        // exactly, every round.
-        assert_eq!(old_keep, ref_keep, "round {round}: seed keep mask drifted");
-        assert_eq!(old_stats, ref_stats, "round {round}: seed stats drifted");
+        let int8_span = slap_obs::span("int8_classify");
+        let t0 = Instant::now();
+        let (int8_keep, int8_stats) = slap_int8.classify_cuts(&aig, &cuts);
+        int8_times.push(t0.elapsed().as_secs_f64());
+        drop(int8_span);
+
+        // f32 bit-identity: the lane-blocked batched path must replay
+        // the seed decisions exactly, every round.
+        assert_eq!(seed_keep, ref_keep, "round {round}: seed keep mask drifted");
+        assert_eq!(seed_stats, ref_stats, "round {round}: seed stats drifted");
         assert_eq!(
-            new_keep, ref_keep,
-            "round {round}: batched keep mask diverged from the seed path"
+            f32_keep, ref_keep,
+            "round {round}: f32 keep mask diverged from the seed path"
         );
         assert_eq!(
-            new_stats, ref_stats,
-            "round {round}: batched stats diverged from the seed path"
+            f32_stats, ref_stats,
+            "round {round}: f32 stats diverged from the seed path"
+        );
+        // int8 determinism: identical output every round.
+        assert_eq!(
+            int8_keep, int8_ref_keep,
+            "round {round}: int8 keep mask is not deterministic"
+        );
+        assert_eq!(
+            int8_stats, int8_ref_stats,
+            "round {round}: int8 stats are not deterministic"
         );
         eprintln!(
-            "  round {}/{rounds}: old {:.3}s, new {:.3}s",
+            "  round {}/{rounds}: seed {:.3}s, f32 {:.3}s, int8 {:.3}s",
             round + 1,
-            old_times[round],
-            new_times[round]
+            seed_times[round],
+            f32_times[round],
+            int8_times[round]
         );
     }
 
     let best = |ts: &[f64]| ts.iter().copied().fold(f64::INFINITY, f64::min);
-    let (old_best, new_best) = (best(&old_times), best(&new_times));
-    let speedup = old_best / new_best;
+    let (seed_best, f32_best, int8_best) = (best(&seed_times), best(&f32_times), best(&int8_times));
+    let f32_speedup = seed_best / f32_best;
+    let int8_speedup = seed_best / int8_best;
     let host_cpus = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
@@ -276,10 +347,11 @@ fn main() {
     let _ = writeln!(json, "  \"cuts_scored\": {},", ref_stats.cuts_scored);
     json.push_str(
         "  \"note\": \"best-of-round wall times of the whole inference phase (embed + \
-         score + select), old/new interleaved per round; old = transcribed seed \
-         per-sample path (allocating forward, scalar conv, single-chain dense), new = \
-         two-pass batched kernels. Every round asserts keep masks and stats are \
-         bit-identical across paths.\",\n",
+         score + select), seed/f32/int8 interleaved per round; seed = transcribed \
+         per-sample path (allocating forward, scalar conv, single-chain dense), f32 = \
+         two-pass batched lane-blocked kernels (keep mask asserted bit-identical to seed \
+         every round), int8 = quantized tier with i32 accumulation (deterministic every \
+         round; keep-mask divergence vs f32 reported below and bounded).\",\n",
     );
     let secs = |ts: &[f64]| {
         ts.iter()
@@ -287,11 +359,20 @@ fn main() {
             .collect::<Vec<_>>()
             .join(", ")
     };
-    let _ = writeln!(json, "  \"old_seconds\": [{}],", secs(&old_times));
-    let _ = writeln!(json, "  \"new_seconds\": [{}],", secs(&new_times));
-    let _ = writeln!(json, "  \"old_best\": {old_best:.6},");
-    let _ = writeln!(json, "  \"new_best\": {new_best:.6},");
-    let _ = writeln!(json, "  \"speedup\": {speedup:.3}");
+    let _ = writeln!(json, "  \"seed_seconds\": [{}],", secs(&seed_times));
+    let _ = writeln!(json, "  \"f32_seconds\": [{}],", secs(&f32_times));
+    let _ = writeln!(json, "  \"int8_seconds\": [{}],", secs(&int8_times));
+    let _ = writeln!(json, "  \"seed_best\": {seed_best:.6},");
+    let _ = writeln!(json, "  \"f32_best\": {f32_best:.6},");
+    let _ = writeln!(json, "  \"int8_best\": {int8_best:.6},");
+    let _ = writeln!(json, "  \"f32_speedup\": {f32_speedup:.3},");
+    let _ = writeln!(json, "  \"int8_speedup\": {int8_speedup:.3},");
+    let _ = writeln!(json, "  \"int8_divergent_cuts\": {divergent},");
+    let _ = writeln!(json, "  \"int8_divergence_frac\": {divergence:.6},");
+    let _ = writeln!(
+        json,
+        "  \"int8_divergence_bound\": {INT8_KEEP_DIVERGENCE_BOUND}"
+    );
     json.push_str("}\n");
     println!("{json}");
 
@@ -299,9 +380,12 @@ fn main() {
     let mut rec = slap_obs::Record::new();
     rec.push("event", "summary");
     rec.push("cuts_scored", ref_stats.cuts_scored);
-    rec.push("old_best_s", old_best);
-    rec.push("new_best_s", new_best);
-    rec.push("speedup", speedup);
+    rec.push("seed_best_s", seed_best);
+    rec.push("f32_best_s", f32_best);
+    rec.push("int8_best_s", int8_best);
+    rec.push("f32_speedup", f32_speedup);
+    rec.push("int8_speedup", int8_speedup);
+    rec.push("int8_divergence_frac", divergence);
     rec.push("alloc.count", alloc.count);
     rec.push("alloc.bytes", alloc.bytes);
     metrics.emit(&rec);
@@ -311,7 +395,10 @@ fn main() {
     trace.finish();
 
     if smoke {
-        println!("smoke mode: bit-identity asserts passed, skipping {out_path}");
+        println!(
+            "smoke mode: f32 bit-identity asserts and int8 divergence bound passed, \
+             skipping {out_path}"
+        );
         return;
     }
     let path = std::env::var("CARGO_MANIFEST_DIR")

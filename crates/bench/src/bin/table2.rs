@@ -4,16 +4,19 @@
 //!
 //! Usage:
 //!   cargo run --release -p slap-bench --bin table2 -- \
-//!       [--full | --smoke] [--target asic|lut:k] [--maps 150] [--epochs 15]
-//!       [--filters 128] [--seed 1] [--cap 1000] [--threads N]
-//!       [--metrics-json out.jsonl] [--trace-json trace.json]
-//!       [--trace-folded stacks.txt]
+//!       [--full | --smoke] [--target asic|lut:k] [--kernel f32|int8]
+//!       [--maps 150] [--epochs 15] [--filters 128] [--seed 1]
+//!       [--cap 1000] [--threads N] [--metrics-json out.jsonl]
+//!       [--trace-json trace.json] [--trace-folded stacks.txt]
 //!
 //! `--smoke` is the CI profile: quick-scale circuits with a tiny
 //! training run, fast enough to gate every commit via `slap-report`.
 //! `--target lut:k` maps the same catalog onto k-input LUTs instead of
 //! the ASIC library; the area/delay columns then report LUT count and
-//! logic depth (unit cost model).
+//! logic depth (unit cost model). `--kernel int8` scores cuts with the
+//! quantized inference tier (training stays f32; the trained model is
+//! post-training-quantized) — the manifest records the tier, and
+//! `slap-report --check` refuses cross-tier comparisons.
 
 use std::io::Write as _;
 use std::sync::Arc;
@@ -25,7 +28,8 @@ use slap_bench::metrics::{
     MetricsOut, TraceOut,
 };
 use slap_bench::{
-    experiments_dir, geomean, init_threads, train_paper_model, Args, Qor, TargetSpec,
+    experiments_dir, geomean, init_threads, kernel_tier_from_args, train_paper_model, Args, Qor,
+    TargetSpec,
 };
 use slap_cell::{asap7_mini, Library};
 use slap_circuits::catalog::{table2_benchmarks, Scale};
@@ -76,6 +80,7 @@ fn run<T: Target>(
     let filters = args.get("filters", if smoke { 16 } else { 128usize });
     let seed = args.get("seed", 1u64);
     let cap = args.get("cap", if smoke { 200 } else { 1000usize });
+    let kernel = kernel_tier_from_args(args);
     let threads = init_threads(args);
     let metrics = Arc::new(MetricsOut::from_arg(
         &args.get("metrics-json", String::new()),
@@ -91,6 +96,7 @@ fn run<T: Target>(
         slap_par::par_map(&benches, |_, b| b.build(scale))
     };
     let mut manifest = run_manifest("table2", threads, &target.name())
+        .kernel(kernel.name())
         .config("scale", format!("{scale:?}"))
         .config("smoke", smoke)
         .config("maps", maps)
@@ -125,6 +131,7 @@ fn run<T: Target>(
         model,
         SlapConfig {
             unlimited_cap: cap,
+            kernel,
             ..slap_config
         },
     );

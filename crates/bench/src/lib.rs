@@ -22,7 +22,7 @@ use slap_circuits::training_benchmarks;
 use slap_core::{train_slap_model, PipelineConfig, SampleConfig};
 use slap_cuts::CutConfig;
 use slap_map::{Mapper, Target};
-use slap_ml::{CnnConfig, CutCnn, ProgressSink, TrainConfig, TrainReport};
+use slap_ml::{CnnConfig, CutCnn, KernelTier, ProgressSink, TrainConfig, TrainReport};
 
 /// One mapped result row.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -161,6 +161,21 @@ impl TargetSpec {
             TargetSpec::Lut(_) => ("LUTs", "depth"),
         }
     }
+}
+
+/// Reads the `--kernel {f32,int8}` flag (default `f32`) shared by the
+/// inference binaries. The chosen tier goes into [`SlapConfig::kernel`]
+/// and the run manifest (`RunManifest::kernel`), so `slap-report
+/// --check` can refuse cross-tier comparisons.
+///
+/// [`SlapConfig::kernel`]: slap_core::SlapConfig
+///
+/// # Panics
+///
+/// Panics with the usage message on a malformed value.
+pub fn kernel_tier_from_args(args: &Args) -> KernelTier {
+    let raw = args.get("kernel", "f32".to_string());
+    KernelTier::parse(&raw).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Applies the `--threads N` override and returns the effective worker
@@ -302,6 +317,16 @@ mod tests {
             TargetSpec::from_args(&Args::from_vec(vec![])),
             TargetSpec::Asic
         );
+    }
+
+    #[test]
+    fn kernel_tier_flag_parses_with_f32_default() {
+        assert_eq!(
+            kernel_tier_from_args(&Args::from_vec(vec![])),
+            KernelTier::F32
+        );
+        let args = Args::from_vec(vec!["--kernel".into(), "int8".into()]);
+        assert_eq!(kernel_tier_from_args(&args), KernelTier::Int8);
     }
 
     #[test]

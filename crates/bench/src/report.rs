@@ -361,11 +361,23 @@ pub fn run_target(run: &Run) -> &str {
         .unwrap_or("asic")
 }
 
+/// The inference kernel tier a run's manifest declares. Streams written
+/// before the manifest carried a `kernel` field all used the f32
+/// kernels, so absence defaults to `"f32"`.
+pub fn run_kernel(run: &Run) -> &str {
+    run.manifest_field("kernel")
+        .and_then(Value::as_str)
+        .unwrap_or("f32")
+}
+
 /// The CI regression gate: compares `current` against `baseline`,
 /// failing on
 ///
 /// * manifest `target` mismatches (an ASIC stream can never gate a LUT
 ///   stream or vice versa — the QoR units aren't even the same);
+/// * manifest `kernel` mismatches (the int8 tier is QoR-equivalent,
+///   not bit-identical, to f32 — diffing across tiers would either
+///   mask real regressions or flag expected divergence);
 /// * manifest input-hash or `schema_version` mismatches (the runs
 ///   mapped different inputs — QoR comparison would be meaningless);
 /// * baseline `(circuit, mode)` rows missing from the current run;
@@ -378,6 +390,12 @@ pub fn check(current: &Run, baseline: &Run, tolerance_pct: f64) -> CheckReport {
     if ct != bt {
         report.failures.push(format!(
             "manifest target mismatch: baseline {bt:?}, current {ct:?}"
+        ));
+    }
+    let (ck, bk) = (run_kernel(current), run_kernel(baseline));
+    if ck != bk {
+        report.failures.push(format!(
+            "manifest kernel mismatch: baseline {bk:?}, current {ck:?}"
         ));
     }
     for (key, base_value) in &baseline.manifest {
@@ -558,6 +576,38 @@ mod tests {
         let asic = SAMPLE.replace("\"trace\":false", "\"trace\":false,\"target\":\"asic\"");
         let current = parse_run(&asic, "asic").expect("parses");
         assert!(check(&current, &baseline, 2.0).passed());
+    }
+
+    #[test]
+    fn check_fails_on_kernel_mismatch_defaulting_absent_to_f32() {
+        let baseline = sample_run();
+        assert_eq!(run_kernel(&baseline), "f32", "absent kernel is f32");
+        let int8 = SAMPLE.replace("\"trace\":false", "\"trace\":false,\"kernel\":\"int8\"");
+        let current = parse_run(&int8, "int8").expect("parses");
+        assert_eq!(run_kernel(&current), "int8");
+        let report = check(&current, &baseline, 2.0);
+        assert!(
+            report
+                .failures
+                .iter()
+                .any(|f| f.contains("kernel mismatch") && f.contains("int8")),
+            "{:?}",
+            report.failures
+        );
+        // Symmetric: an f32 run can't gate an int8 baseline either.
+        let report = check(&baseline, &current, 2.0);
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| f.contains("kernel mismatch")));
+        // An explicit "f32" still matches a pre-kernel baseline.
+        let f32_run = SAMPLE.replace("\"trace\":false", "\"trace\":false,\"kernel\":\"f32\"");
+        let current = parse_run(&f32_run, "f32").expect("parses");
+        assert!(check(&current, &baseline, 2.0).passed());
+        // Two int8 runs gate each other fine.
+        let a = parse_run(&int8, "a").expect("parses");
+        let b = parse_run(&int8, "b").expect("parses");
+        assert!(check(&a, &b, 2.0).passed());
     }
 
     #[test]

@@ -10,7 +10,10 @@
 use slap_aig::Aig;
 use slap_cuts::{cut_features, enumerate_cuts, CutArena, CutConfig, UnlimitedPolicy};
 use slap_map::{AsicTarget, MapError, MapSession, MappedNetlist, Mapper, Target};
-use slap_ml::{CnnConfig, CutCnn, Dataset, InferenceScratch, TrainConfig, TrainReport};
+use slap_ml::{
+    CnnConfig, CutCnn, Dataset, InferenceScratch, KernelTier, QuantScratch, QuantizedCnn,
+    TrainConfig, TrainReport,
+};
 
 use crate::datagen::{generate_dataset, SampleConfig};
 use crate::embed::{EmbeddingContext, CUT_EMBED_COLS, CUT_EMBED_DIM, CUT_EMBED_ROWS};
@@ -25,6 +28,9 @@ pub struct SlapConfig {
     pub unlimited_cap: usize,
     /// The class bands of §IV-C.
     pub policy: BandPolicy,
+    /// Which kernel tier scores cuts: the bit-identical f32 default or
+    /// the opt-in int8 quantized tier (DESIGN.md §13).
+    pub kernel: KernelTier,
 }
 
 impl SlapConfig {
@@ -44,6 +50,7 @@ impl Default for SlapConfig {
             cut_config: CutConfig::default(),
             unlimited_cap: 1000,
             policy: BandPolicy::paper(),
+            kernel: KernelTier::F32,
         }
     }
 }
@@ -119,15 +126,25 @@ impl std::fmt::Display for SlapStats {
 pub struct SlapMapper<'a, T: Target = AsicTarget<'a>> {
     mapper: &'a Mapper<'a, T>,
     model: CutCnn,
+    /// The quantized twin of `model`, built eagerly when the config
+    /// selects the int8 tier (quantization is cheap and pure, so doing
+    /// it once at construction keeps `classify_cuts` read-only).
+    quant: Option<QuantizedCnn>,
     config: SlapConfig,
 }
 
 impl<'a, T: Target> SlapMapper<'a, T> {
-    /// Wraps a mapper with a trained model.
+    /// Wraps a mapper with a trained model. When `config.kernel` selects
+    /// the int8 tier the model is post-training-quantized here, once.
     pub fn new(mapper: &'a Mapper<'a, T>, model: CutCnn, config: SlapConfig) -> SlapMapper<'a, T> {
+        let quant = match config.kernel {
+            KernelTier::F32 => None,
+            KernelTier::Int8 => Some(QuantizedCnn::from_model(&model)),
+        };
         SlapMapper {
             mapper,
             model,
+            quant,
             config,
         }
     }
@@ -235,26 +252,49 @@ impl<'a, T: Target> SlapMapper<'a, T> {
 
         // Pass 2a: batch-classify the whole circuit. Chunks are claimed
         // dynamically by the workers but reassembled by start offset, so
-        // the class vector is identical for every thread count.
+        // the class vector is identical for every thread count. The two
+        // kernel tiers differ only in the per-chunk scorer (and its
+        // scratch type); the chunk grid and reassembly are shared.
         let classes: Vec<u8> = {
             let _span = slap_obs::span("classify");
             let chunks: Vec<std::ops::Range<usize>> = (0..total_scored)
                 .step_by(SCORE_BATCH)
                 .map(|s| s..(s + SCORE_BATCH).min(total_scored))
                 .collect();
-            let (per_chunk, _scratch) = slap_par::par_map_with(
-                &chunks,
-                |_w| InferenceScratch::new(),
-                |scratch, _i, range| {
-                    let mut out: Vec<u8> = Vec::with_capacity(range.len());
-                    self.model.predict_batch_into(
-                        &embeddings[range.start * DIM..range.end * DIM],
-                        scratch,
-                        &mut out,
+            let per_chunk: Vec<Vec<u8>> = match &self.quant {
+                None => {
+                    let (per_chunk, _scratch) = slap_par::par_map_with(
+                        &chunks,
+                        |_w| InferenceScratch::new(),
+                        |scratch, _i, range| {
+                            let mut out: Vec<u8> = Vec::with_capacity(range.len());
+                            self.model.predict_batch_into(
+                                &embeddings[range.start * DIM..range.end * DIM],
+                                scratch,
+                                &mut out,
+                            );
+                            out
+                        },
                     );
-                    out
-                },
-            );
+                    per_chunk
+                }
+                Some(quant) => {
+                    let (per_chunk, _scratch) = slap_par::par_map_with(
+                        &chunks,
+                        |_w| QuantScratch::new(),
+                        |scratch, _i, range| {
+                            let mut out: Vec<u8> = Vec::with_capacity(range.len());
+                            quant.predict_batch_into(
+                                &embeddings[range.start * DIM..range.end * DIM],
+                                scratch,
+                                &mut out,
+                            );
+                            out
+                        },
+                    );
+                    per_chunk
+                }
+            };
             let mut all = Vec::with_capacity(total_scored);
             for chunk in per_chunk {
                 all.extend(chunk);
@@ -449,6 +489,49 @@ mod tests {
             .instances()
             .iter()
             .all(|i| i.lut_tt().is_some() && i.inputs.len() <= k));
+    }
+
+    #[test]
+    fn int8_tier_maps_correctly_and_tracks_f32_keep_mask() {
+        let lib = asap7_mini();
+        let mapper = Mapper::new(&lib, MapOptions::default());
+        let train_set = vec![ripple_carry_adder(8)];
+        let (model, _) = train_slap_model(&train_set, &mapper, &quick_pipeline());
+        let f32_slap = SlapMapper::new(&mapper, model.clone(), SlapConfig::default());
+        let int8_slap = SlapMapper::new(
+            &mapper,
+            model,
+            SlapConfig {
+                kernel: KernelTier::Int8,
+                ..SlapConfig::default()
+            },
+        );
+        let target = carry_lookahead_adder(12);
+        // The int8 map still preserves function and produces sane stats.
+        let (netlist, stats) = int8_slap.map(&target).expect("maps");
+        assert!(netlist.verify_against(&target, 16, 79));
+        stats.check_invariants();
+        assert!(stats.cuts_scored > 0);
+        // Keep masks: same shape, bounded divergence (the golden suite
+        // in tests/int8_divergence.rs pins the bound per circuit; this
+        // is a cheap sanity floor).
+        let cuts = enumerate_cuts(
+            &target,
+            &CutConfig::default(),
+            &mut UnlimitedPolicy::with_cap(1000),
+        );
+        let (keep_f, _) = f32_slap.classify_cuts(&target, &cuts);
+        let (keep_q, _) = int8_slap.classify_cuts(&target, &cuts);
+        assert_eq!(keep_f.len(), keep_q.len());
+        let differing = keep_f.iter().zip(&keep_q).filter(|(a, b)| a != b).count();
+        assert!(
+            differing * 2 < keep_f.len(),
+            "int8 keep mask diverges on {differing}/{} cuts",
+            keep_f.len()
+        );
+        // And the int8 tier itself is deterministic.
+        let (keep_q2, _) = int8_slap.classify_cuts(&target, &cuts);
+        assert_eq!(keep_q, keep_q2);
     }
 
     #[test]

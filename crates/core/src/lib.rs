@@ -50,3 +50,4 @@ pub use embed::{
 };
 pub use flow::{train_slap_model, PipelineConfig, SlapConfig, SlapMapper, SlapStats};
 pub use policy::BandPolicy;
+pub use slap_ml::KernelTier;

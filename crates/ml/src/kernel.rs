@@ -1,18 +1,21 @@
-//! Blocked, allocation-free f32 kernels shared by the per-sample and
-//! batched inference/training paths.
+//! Lane-blocked, allocation-free kernels shared by the per-sample and
+//! batched inference/training paths, in two tiers: the default f32 tier
+//! (bit-identical to the seed scalar implementation) and an int8 tier
+//! (exact integer accumulation for the opt-in quantized path — see
+//! [`crate::quant`]).
 //!
-//! # The accumulation-order contract
+//! # The accumulation-order contract (f32 tier)
 //!
 //! Every output element is produced by **exactly the same sequence of
 //! f32 operations** no matter how the call is batched, blocked, or
 //! distributed across threads: an accumulator is initialized from the
 //! bias and updated in ascending input-index order, one fused
-//! multiply-free `acc += w * x` at a time. Blocking only changes *which
-//! independent accumulators* advance together — the dense kernel walks
-//! four output classes side by side and the convolution kernel walks all
-//! columns of one filter side by side, giving the compiler independent
-//! chains to vectorize and pipeline — never the order of additions
-//! *within* one accumulator.
+//! multiply-free `acc += w * x` at a time. Lane blocking only changes
+//! *which independent accumulators* advance together — kernels walk a
+//! fixed-width `[f32; LANES]` block of outputs side by side (cascading
+//! down to narrower blocks for the remainder), giving the compiler
+//! clean, register-resident 8/4/2-lane bodies to vectorize — never the
+//! order of additions *within* one accumulator.
 //!
 //! Consequences, relied on across the workspace:
 //!
@@ -26,12 +29,28 @@
 //!   batch-order gradient reduction and hence the whole weight
 //!   trajectory bit-identical for every thread count.
 //!
+//! # The int8 tier
+//!
+//! The `*_i8` kernels accumulate exclusively in `i32`: integer addition
+//! is associative and exact, so the quantized tier is deterministic and
+//! thread-count invariant *by construction* — there is no accumulation
+//! order to pin. Its contract against the f32 tier is QoR equivalence
+//! with a golden-bounded keep-mask divergence, not bit-identity
+//! (DESIGN.md §13).
+//!
 //! None of the kernels allocate; callers own every buffer.
+
+/// The widest lane block the kernels walk: eight independent
+/// accumulators advance together, matching one AVX2 f32 / i32 vector.
+/// Remainders cascade through 4-, 2-, and 1-wide blocks, so every
+/// output is still produced by a fixed-width block body.
+pub const LANES: usize = 8;
 
 /// Standardizes `raw` into `out`: `(v - mean) / std`, clamped to ±6
 /// z-scores (inference-time inputs from circuits much larger than the
 /// training set would otherwise push the network far outside the regime
-/// it was trained in).
+/// it was trained in). Lane-blocked elementwise sweep; per-element math
+/// is unchanged from the seed.
 ///
 /// # Panics
 ///
@@ -41,20 +60,72 @@ pub fn standardize_clamped(raw: &[f32], mean: &[f32], std: &[f32], out: &mut [f3
     debug_assert_eq!(raw.len(), mean.len());
     debug_assert_eq!(raw.len(), std.len());
     debug_assert_eq!(raw.len(), out.len());
-    for (((o, &v), &m), &s) in out.iter_mut().zip(raw).zip(mean).zip(std) {
+    let mut o_blocks = out.chunks_exact_mut(LANES);
+    let mut r_blocks = raw.chunks_exact(LANES);
+    let mut m_blocks = mean.chunks_exact(LANES);
+    let mut s_blocks = std.chunks_exact(LANES);
+    for (((o, r), m), s) in (&mut o_blocks)
+        .zip(&mut r_blocks)
+        .zip(&mut m_blocks)
+        .zip(&mut s_blocks)
+    {
+        let mut lane = [0.0f32; LANES];
+        for l in 0..LANES {
+            lane[l] = ((r[l] - m[l]) / s[l]).clamp(-6.0, 6.0);
+        }
+        o.copy_from_slice(&lane);
+    }
+    for (((o, &v), &m), &s) in o_blocks
+        .into_remainder()
+        .iter_mut()
+        .zip(r_blocks.remainder())
+        .zip(m_blocks.remainder())
+        .zip(s_blocks.remainder())
+    {
         *o = ((v - m) / s).clamp(-6.0, 6.0);
     }
+}
+
+/// One `L`-wide column block of the Fig. 3 convolution: `L` adjacent
+/// output columns of filter-slice `wf` advance together in registers,
+/// each seeded from the bias and swept through the rows in ascending
+/// `r` order (the contract above). Keeping the accumulators in a local
+/// `[f32; L]` for the whole row sweep — instead of re-loading and
+/// re-storing the output row per row as the previous column-blocked
+/// kernel did — is the lane-blocking win: `rows` loads and stores of
+/// the output become one store.
+#[inline(always)]
+fn conv_col_block<const L: usize>(
+    x: &[f32],
+    wf: &[f32],
+    bias: f32,
+    cols: usize,
+    col: usize,
+    of: &mut [f32],
+) {
+    let mut acc = [bias; L];
+    let mut base = col;
+    for &wr in wf {
+        // Fixed-size row block: one bounds check per row, and the exact
+        // length lets the autovectorizer emit straight-line vector loads.
+        let xr: &[f32; L] = x[base..base + L].try_into().expect("row block in bounds");
+        for l in 0..L {
+            acc[l] += wr * xr[l];
+        }
+        base += cols;
+    }
+    of[col..col + L].copy_from_slice(&acc);
 }
 
 /// The Fig. 3 convolution: `filters` filters of shape `rows × 1` slide
 /// across the `cols` columns of the `rows × cols` input `x`, so
 /// `out[f * cols + col] = b[f] + Σ_r w[f * rows + r] · x[r * cols + col]`.
 ///
-/// Blocked over columns: for each filter the whole output row is seeded
-/// with the bias and then swept row by row, updating all `cols`
-/// independent accumulators with one broadcast weight — a contiguous,
-/// autovectorization-friendly inner loop. Each accumulator still sees
-/// its additions in ascending `r` order (the contract above).
+/// Lane-blocked over columns: [`LANES`] independent column accumulators
+/// live in registers across the whole row sweep, cascading down to
+/// 4/2/1-wide blocks for the remainder. Each accumulator still sees its
+/// additions in ascending `r` order, so outputs are bit-identical to
+/// the seed scalar loop.
 #[inline]
 pub fn conv_rows(
     x: &[f32],
@@ -71,13 +142,23 @@ pub fn conv_rows(
     debug_assert_eq!(out.len(), filters * cols);
     for f in 0..filters {
         let wf = &w[f * rows..(f + 1) * rows];
+        let bias = b[f];
         let of = &mut out[f * cols..(f + 1) * cols];
-        of.fill(b[f]);
-        for (r, &wr) in wf.iter().enumerate() {
-            let xr = &x[r * cols..(r + 1) * cols];
-            for (o, &xv) in of.iter_mut().zip(xr) {
-                *o += wr * xv;
-            }
+        let mut col = 0;
+        while col + LANES <= cols {
+            conv_col_block::<LANES>(x, wf, bias, cols, col, of);
+            col += LANES;
+        }
+        if col + 4 <= cols {
+            conv_col_block::<4>(x, wf, bias, cols, col, of);
+            col += 4;
+        }
+        if col + 2 <= cols {
+            conv_col_block::<2>(x, wf, bias, cols, col, of);
+            col += 2;
+        }
+        if col < cols {
+            conv_col_block::<1>(x, wf, bias, cols, col, of);
         }
     }
 }
@@ -87,7 +168,20 @@ pub fn conv_rows(
 #[inline]
 pub fn relu(src: &[f32], dst: &mut [f32]) {
     debug_assert_eq!(src.len(), dst.len());
-    for (d, &s) in dst.iter_mut().zip(src) {
+    let mut d_blocks = dst.chunks_exact_mut(LANES);
+    let mut s_blocks = src.chunks_exact(LANES);
+    for (d, s) in (&mut d_blocks).zip(&mut s_blocks) {
+        let mut lane = [0.0f32; LANES];
+        for l in 0..LANES {
+            lane[l] = s[l].max(0.0);
+        }
+        d.copy_from_slice(&lane);
+    }
+    for (d, &s) in d_blocks
+        .into_remainder()
+        .iter_mut()
+        .zip(s_blocks.remainder())
+    {
         *d = s.max(0.0);
     }
 }
@@ -96,18 +190,44 @@ pub fn relu(src: &[f32], dst: &mut [f32]) {
 /// needs the pre-activation values again).
 #[inline]
 pub fn relu_inplace(data: &mut [f32]) {
-    for v in data.iter_mut() {
+    let mut blocks = data.chunks_exact_mut(LANES);
+    for block in &mut blocks {
+        let mut lane = [0.0f32; LANES];
+        for l in 0..LANES {
+            lane[l] = block[l].max(0.0);
+        }
+        block.copy_from_slice(&lane);
+    }
+    for v in blocks.into_remainder() {
         *v = v.max(0.0);
     }
 }
 
+/// One `L`-wide class block of the dense layer: `L` output-class
+/// accumulators form independent dependency chains sharing each `h[j]`
+/// load, so the compiler can pipeline the multiply-adds instead of
+/// serializing on one accumulator's add latency. Each accumulator still
+/// sums in ascending `j` order.
+#[inline(always)]
+fn dense_class_block<const L: usize>(h: &[f32], w: &[f32], b: &[f32], k: usize, out: &mut [f32]) {
+    let hl = h.len();
+    let rows: [&[f32]; L] = std::array::from_fn(|l| &w[(k + l) * hl..(k + l + 1) * hl]);
+    let mut acc = [0.0f32; L];
+    acc.copy_from_slice(&b[k..k + L]);
+    for (j, &hj) in h.iter().enumerate() {
+        for l in 0..L {
+            acc[l] += rows[l][j] * hj;
+        }
+    }
+    out[k..k + L].copy_from_slice(&acc);
+}
+
 /// The dense layer: `out[k] = b[k] + Σ_j w[k * h.len() + j] · h[j]`.
 ///
-/// Blocked four output classes at a time: the four accumulators form
-/// independent dependency chains sharing each `h[j]` load, so the
-/// compiler can pipeline the multiply-adds instead of serializing on one
-/// accumulator's add latency (the unblocked seed loop was latency-bound).
-/// Each accumulator still sums in ascending `j` order.
+/// Lane-blocked [`LANES`] output classes at a time (cascading 4/2/1 for
+/// the remainder): the seed's single latency-bound chain per class
+/// becomes up to eight independent chains. Each accumulator still sums
+/// in ascending `j` order, so outputs are bit-identical to the seed.
 #[inline]
 pub fn dense(h: &[f32], w: &[f32], b: &[f32], out: &mut [f32]) {
     let hl = h.len();
@@ -115,32 +235,108 @@ pub fn dense(h: &[f32], w: &[f32], b: &[f32], out: &mut [f32]) {
     debug_assert_eq!(w.len(), classes * hl);
     debug_assert_eq!(b.len(), classes);
     let mut k = 0;
-    while k + 4 <= classes {
-        let w0 = &w[k * hl..(k + 1) * hl];
-        let w1 = &w[(k + 1) * hl..(k + 2) * hl];
-        let w2 = &w[(k + 2) * hl..(k + 3) * hl];
-        let w3 = &w[(k + 3) * hl..(k + 4) * hl];
-        let (mut a0, mut a1, mut a2, mut a3) = (b[k], b[k + 1], b[k + 2], b[k + 3]);
-        for (j, &hj) in h.iter().enumerate() {
-            a0 += w0[j] * hj;
-            a1 += w1[j] * hj;
-            a2 += w2[j] * hj;
-            a3 += w3[j] * hj;
-        }
-        out[k] = a0;
-        out[k + 1] = a1;
-        out[k + 2] = a2;
-        out[k + 3] = a3;
+    while k + LANES <= classes {
+        dense_class_block::<LANES>(h, w, b, k, out);
+        k += LANES;
+    }
+    if k + 4 <= classes {
+        dense_class_block::<4>(h, w, b, k, out);
         k += 4;
     }
-    while k < classes {
-        let wk = &w[k * hl..(k + 1) * hl];
-        let mut acc = b[k];
-        for (&wj, &hj) in wk.iter().zip(h) {
-            acc += wj * hj;
+    if k + 2 <= classes {
+        dense_class_block::<2>(h, w, b, k, out);
+        k += 2;
+    }
+    if k < classes {
+        dense_class_block::<1>(h, w, b, k, out);
+    }
+}
+
+/// Transposes a `rows × cols` row-major matrix into `dst` (`cols × rows`
+/// row-major). The batched inference paths use it to re-lay a
+/// sample-major chunk (`batch × dim`) sample-*minor* (`dim × batch`), so
+/// the conv and dense GEMM kernels can vectorize across samples. Pure
+/// data movement — no arithmetic, so no ordering contract.
+#[inline]
+pub fn transpose(src: &[f32], rows: usize, cols: usize, dst: &mut [f32]) {
+    debug_assert_eq!(src.len(), rows * cols);
+    debug_assert_eq!(dst.len(), rows * cols);
+    for (k, row) in src.chunks_exact(cols).enumerate() {
+        for (j, &v) in row.iter().enumerate() {
+            dst[j * rows + k] = v;
         }
-        out[k] = acc;
-        k += 1;
+    }
+}
+
+/// One `L`-wide sample block of [`dense_batch`]: for each class, `L`
+/// adjacent samples' accumulators advance together — each seeded from
+/// the class bias and swept through `j` in ascending order (the
+/// contract), with the `L` activations of step `j` loading from one
+/// contiguous `h_t[j · batch + s ..][..L]` slice. Identical
+/// per-accumulator arithmetic to [`dense`], so bit-identical outputs.
+#[inline(always)]
+fn dense_sample_block<const L: usize>(
+    h_t: &[f32],
+    w: &[f32],
+    b: &[f32],
+    batch: usize,
+    s: usize,
+    out: &mut [f32],
+) {
+    let classes = b.len();
+    let hl = w.len() / classes;
+    for (k, (wk, &bk)) in w.chunks_exact(hl).zip(b).enumerate() {
+        let mut acc = [bk; L];
+        let mut base = s;
+        for &wj in wk {
+            let hv: &[f32; L] = h_t[base..base + L]
+                .try_into()
+                .expect("sample block in bounds");
+            for l in 0..L {
+                acc[l] += wj * hv[l];
+            }
+            base += batch;
+        }
+        for l in 0..L {
+            out[(s + l) * classes + k] = acc[l];
+        }
+    }
+}
+
+/// The dense layer over a whole batch at once — a small GEMM. `h_t` is
+/// the hidden activations laid out sample-minor (`h_t[j · batch + s]`,
+/// exactly what [`conv_rows`] produces when fed a transposed batch, see
+/// [`transpose`]); `w` keeps the model's `w[k · hl + j]` layout; `out`
+/// receives sample-major logit rows (`out[s · classes + k]`), ready for
+/// the per-sample softmax.
+///
+/// Lane-blocked [`LANES`] *samples* at a time (cascading 4/2/1): where
+/// [`dense`] vectorizes a 10-class output row, this kernel vectorizes
+/// across the batch — contiguous loads, full-width vectors, no tail
+/// inside the hot loop. Every `(k, s)` accumulator is still seeded from
+/// `b[k]` and sums in ascending `j` order, so each sample's logits are
+/// bit-identical to per-sample [`dense`].
+#[inline]
+pub fn dense_batch(h_t: &[f32], w: &[f32], b: &[f32], batch: usize, out: &mut [f32]) {
+    let classes = b.len();
+    debug_assert!(classes > 0 && w.len().is_multiple_of(classes));
+    debug_assert_eq!(h_t.len() * classes, w.len() * batch);
+    debug_assert_eq!(out.len(), batch * classes);
+    let mut s = 0;
+    while s + LANES <= batch {
+        dense_sample_block::<LANES>(h_t, w, b, batch, s, out);
+        s += LANES;
+    }
+    if s + 4 <= batch {
+        dense_sample_block::<4>(h_t, w, b, batch, s, out);
+        s += 4;
+    }
+    if s + 2 <= batch {
+        dense_sample_block::<2>(h_t, w, b, batch, s, out);
+        s += 2;
+    }
+    if s < batch {
+        dense_sample_block::<1>(h_t, w, b, batch, s, out);
     }
 }
 
@@ -160,9 +356,16 @@ pub fn softmax_inplace(row: &mut [f32]) {
     }
 }
 
-/// Index of the row maximum, taking the **last** of equal maxima — the
-/// tie rule of `Iterator::max_by`, which the pre-kernel implementation
-/// used, preserved so predicted classes stay bit-identical.
+/// Index of the row maximum. **Ties break to the first maximal index**
+/// — a deliberate, pinned contract: the int8 tier's exact integer
+/// accumulation makes bit-equal logits genuinely reachable (two classes
+/// with the same `i32` dot product dequantize to the same f32), and the
+/// keep mask must not depend on iteration accident. First-wins is the
+/// rule every scoring path shares, f32 and int8 alike.
+///
+/// (Float ties are only reachable through exact bit equality, which the
+/// golden suites confirm never occurs on the catalog circuits — so the
+/// f32 tier's seed bit-identity contract is unaffected by the rule.)
 ///
 /// # Panics
 ///
@@ -172,8 +375,8 @@ pub fn argmax(row: &[f32]) -> usize {
     assert!(!row.is_empty(), "argmax of an empty row");
     debug_assert!(row.iter().all(|v| !v.is_nan()), "argmax over NaN");
     let mut best = 0;
-    for (i, &v) in row.iter().enumerate() {
-        if v >= row[best] {
+    for (i, &v) in row.iter().enumerate().skip(1) {
+        if v > row[best] {
             best = i;
         }
     }
@@ -187,6 +390,10 @@ pub fn argmax(row: &[f32]) -> usize {
 /// - `g_b[k] += dlogits[k]`
 /// - `g_w[k][j] += dlogits[k] · h[j]`
 /// - `dhidden[j] += dlogits[k] · w[k][j]` (ascending `k`, the seed order)
+///
+/// The `j` sweep is lane-blocked: each `(k, j)` accumulator pair is
+/// independent of its neighbours, and the order-sensitive direction
+/// (ascending `k` for `dhidden[j]`) is the unchanged outer loop.
 #[inline]
 pub fn dense_backward(
     dlogits: &[f32],
@@ -205,9 +412,29 @@ pub fn dense_backward(
         g_b[k] += dl;
         let gw = &mut g_w[k * hl..(k + 1) * hl];
         let wk = &w[k * hl..(k + 1) * hl];
-        for j in 0..hl {
-            gw[j] += dl * h[j];
-            dhidden[j] += dl * wk[j];
+        let mut gw_blocks = gw.chunks_exact_mut(LANES);
+        let mut dh_blocks = dhidden.chunks_exact_mut(LANES);
+        let mut h_blocks = h.chunks_exact(LANES);
+        let mut wk_blocks = wk.chunks_exact(LANES);
+        for (((gwc, dhc), hc), wkc) in (&mut gw_blocks)
+            .zip(&mut dh_blocks)
+            .zip(&mut h_blocks)
+            .zip(&mut wk_blocks)
+        {
+            for l in 0..LANES {
+                gwc[l] += dl * hc[l];
+                dhc[l] += dl * wkc[l];
+            }
+        }
+        for (((gwj, dhj), &hj), &wj) in gw_blocks
+            .into_remainder()
+            .iter_mut()
+            .zip(dh_blocks.into_remainder().iter_mut())
+            .zip(h_blocks.remainder())
+            .zip(wk_blocks.remainder())
+        {
+            *gwj += dl * hj;
+            *dhj += dl * wj;
         }
     }
 }
@@ -216,6 +443,11 @@ pub fn dense_backward(
 /// conv parameter gradients. `conv_out` carries the pre-activation
 /// values; non-positive entries contribute nothing (a hard skip, not a
 /// multiply by zero, matching the seed's float behaviour exactly).
+///
+/// The per-column row sweep is lane-blocked over the `g_w` rows (each
+/// `g_w[f][r]` is an independent accumulator); the order-sensitive
+/// direction (ascending `col` for both `g_b[f]` and every `g_w[f][r]`)
+/// is the unchanged outer loop.
 #[inline]
 #[allow(clippy::too_many_arguments)] // mirrors conv_rows' shape triplet plus the gradient pair
 pub fn conv_backward_rows(
@@ -242,8 +474,574 @@ pub fn conv_backward_rows(
             }
             let d = dhidden[idx];
             g_b[f] += d;
-            for (r, g) in gw.iter_mut().enumerate() {
-                *g += d * x[r * cols + col];
+            let mut r = 0;
+            let mut blocks = gw.chunks_exact_mut(LANES);
+            for gwc in &mut blocks {
+                for l in 0..LANES {
+                    gwc[l] += d * x[(r + l) * cols + col];
+                }
+                r += LANES;
+            }
+            for (l, g) in blocks.into_remainder().iter_mut().enumerate() {
+                *g += d * x[(r + l) * cols + col];
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// The int8 tier: exact i32 accumulation over int8 operands.
+// ---------------------------------------------------------------------
+
+/// Quantizes already-standardized (±6-clamped) activations to int8:
+/// `q = round(v · inv_scale)`, clamped to ±127 (symmetric — −128 is
+/// never produced, so negation is always exact). Rounding is
+/// half-away-from-zero, computed as `trunc(v ± 0.5)` — one f32 add and
+/// a saturating int cast, both of which vectorize, where `f32::round`
+/// is a libm call per element. All ops are exact IEEE f32, so
+/// quantization is fully deterministic.
+#[inline]
+pub fn quantize_i8(src: &[f32], inv_scale: f32, out: &mut [i8]) {
+    debug_assert_eq!(src.len(), out.len());
+    #[inline(always)]
+    fn q(v: f32, inv_scale: f32) -> i8 {
+        let v = v * inv_scale;
+        ((v + 0.5f32.copysign(v)) as i32).clamp(-127, 127) as i8
+    }
+    let mut o_blocks = out.chunks_exact_mut(LANES);
+    let mut s_blocks = src.chunks_exact(LANES);
+    for (o, s) in (&mut o_blocks).zip(&mut s_blocks) {
+        let mut lane = [0i8; LANES];
+        for l in 0..LANES {
+            lane[l] = q(s[l], inv_scale);
+        }
+        o.copy_from_slice(&lane);
+    }
+    for (o, &v) in o_blocks
+        .into_remainder()
+        .iter_mut()
+        .zip(s_blocks.remainder())
+    {
+        *o = q(v, inv_scale);
+    }
+}
+
+/// One `L`-wide column block of the int8 convolution (see
+/// [`conv_rows_i8`]): i32 accumulators seeded from the integer bias.
+#[inline(always)]
+fn conv_col_block_i8<const L: usize>(
+    x: &[i8],
+    wf: &[i8],
+    bias: i32,
+    cols: usize,
+    col: usize,
+    of: &mut [i32],
+) {
+    let mut acc = [bias; L];
+    let mut base = col;
+    for &wr in wf {
+        let wr = i16::from(wr);
+        let xr: &[i8; L] = x[base..base + L].try_into().expect("row block in bounds");
+        for l in 0..L {
+            // The product of two values in [-127, 127] fits i16 (max
+            // 16129 < 32767), so multiplying in i16 is exact — and maps
+            // to the 8-wide `pmullw`-class instructions every x86-64
+            // baseline has, where an i32 vector multiply does not.
+            acc[l] += i32::from(wr * i16::from(xr[l]));
+        }
+        base += cols;
+    }
+    of[col..col + L].copy_from_slice(&acc);
+}
+
+/// The int8 convolution: identical shape contract to [`conv_rows`], but
+/// over int8 operands with **exact** i32 accumulation — `out[f·cols+c] =
+/// b[f] + Σ_r w[f·rows+r] · x[r·cols+c]` in integer arithmetic. Integer
+/// addition is associative, so this kernel is deterministic and
+/// thread-count invariant with no ordering contract to maintain.
+/// Overflow headroom: `|b[f]| + 127² · rows` must stay below `i32::MAX`
+/// — [`crate::quant::QuantizedCnn`] asserts it at construction and the
+/// property tests pin the paper-sized worst case.
+#[inline]
+pub fn conv_rows_i8(
+    x: &[i8],
+    w: &[i8],
+    b: &[i32],
+    filters: usize,
+    rows: usize,
+    cols: usize,
+    out: &mut [i32],
+) {
+    debug_assert_eq!(b.len(), filters);
+    #[cfg(target_arch = "x86_64")]
+    if cols >= 16 && rows <= 128 && std::arch::is_x86_feature_detected!("avx2") {
+        // rows ≤ 128 keeps the AVX2 body's packed-weight scratch on the
+        // stack; larger windows (never used by the paper shape) take the
+        // portable path. Hard (release-mode) shape checks: the AVX2 body
+        // does raw unaligned loads computed from these extents.
+        assert_eq!(x.len(), rows * cols);
+        assert_eq!(w.len(), filters * rows);
+        assert_eq!(out.len(), filters * cols);
+        // SAFETY: AVX2 presence verified at runtime just above; the
+        // shape invariants the body's pointer arithmetic relies on are
+        // asserted just above.
+        unsafe { x86::conv_rows_i8(x, w, b, filters, rows, cols, out) };
+        return;
+    }
+    conv_rows_i8_scalar(x, w, b, filters, rows, cols, out);
+}
+
+/// Portable body of [`conv_rows_i8`] (also the narrow-batch and
+/// non-AVX2 path). Autovectorizes via `pmullw`-class i16 multiplies.
+fn conv_rows_i8_scalar(
+    x: &[i8],
+    w: &[i8],
+    b: &[i32],
+    filters: usize,
+    rows: usize,
+    cols: usize,
+    out: &mut [i32],
+) {
+    debug_assert_eq!(x.len(), rows * cols);
+    debug_assert_eq!(w.len(), filters * rows);
+    debug_assert_eq!(out.len(), filters * cols);
+    for f in 0..filters {
+        let wf = &w[f * rows..(f + 1) * rows];
+        let bias = b[f];
+        let of = &mut out[f * cols..(f + 1) * cols];
+        let mut col = 0;
+        while col + LANES <= cols {
+            conv_col_block_i8::<LANES>(x, wf, bias, cols, col, of);
+            col += LANES;
+        }
+        if col + 4 <= cols {
+            conv_col_block_i8::<4>(x, wf, bias, cols, col, of);
+            col += 4;
+        }
+        if col + 2 <= cols {
+            conv_col_block_i8::<2>(x, wf, bias, cols, col, of);
+            col += 2;
+        }
+        if col < cols {
+            conv_col_block_i8::<1>(x, wf, bias, cols, col, of);
+        }
+    }
+}
+
+/// Fused ReLU + requantization of the int8 tier's hidden layer: each
+/// filter's `cols` i32 conv accumulators are clamped at zero and mapped
+/// to int8 with the filter's requantization multiplier —
+/// `h = min(127, round(max(0, acc) · m[f]))`. The multiplier is sized so
+/// the worst-case accumulator lands exactly at 127 (see
+/// [`crate::quant`]), making the `min` a safety net rather than a lossy
+/// saturation. Rounding is half-up via `trunc(v + 0.5)` — exact for the
+/// non-negative post-ReLU range and identical to half-away-from-zero
+/// there — because a single f32 add and a truncating cast vectorize
+/// where `f32::round` is a libm call per element. Exact IEEE ops, so
+/// the requantization is deterministic.
+#[inline]
+pub fn relu_requant_i8(acc: &[i32], m: &[f32], filters: usize, cols: usize, out: &mut [i8]) {
+    debug_assert_eq!(m.len(), filters);
+    #[cfg(target_arch = "x86_64")]
+    if cols >= 32 && std::arch::is_x86_feature_detected!("avx2") {
+        assert_eq!(acc.len(), filters * cols);
+        assert_eq!(out.len(), filters * cols);
+        // SAFETY: AVX2 verified at runtime; shapes asserted above. The
+        // vector body performs the same IEEE f32 ops per element
+        // (convert, multiply, add, truncate) as the scalar loop, so
+        // outputs are identical.
+        unsafe { x86::relu_requant_i8(acc, m, filters, cols, out) };
+        return;
+    }
+    relu_requant_i8_scalar(acc, m, filters, cols, out);
+}
+
+/// Portable body of [`relu_requant_i8`].
+fn relu_requant_i8_scalar(acc: &[i32], m: &[f32], filters: usize, cols: usize, out: &mut [i8]) {
+    debug_assert_eq!(acc.len(), filters * cols);
+    debug_assert_eq!(out.len(), filters * cols);
+    for f in 0..filters {
+        let mf = m[f];
+        let af = &acc[f * cols..(f + 1) * cols];
+        let of = &mut out[f * cols..(f + 1) * cols];
+        for (o, &a) in of.iter_mut().zip(af) {
+            let a = a.max(0);
+            *o = ((a as f32 * mf + 0.5) as i32).min(127) as i8;
+        }
+    }
+}
+
+/// One `L`-wide sample block of [`dense_batch_i8`]: exact i16 products
+/// (127² fits i16) widened into `L` i32 sample accumulators per class,
+/// dequantized by one f32 multiply-add at the end.
+#[inline(always)]
+fn dense_sample_block_i8<const L: usize>(
+    h_t: &[i8],
+    w: &[i8],
+    scale: &[f32],
+    b: &[f32],
+    batch: usize,
+    s: usize,
+    out: &mut [f32],
+) {
+    let classes = b.len();
+    let hl = w.len() / classes;
+    for (k, wk) in w.chunks_exact(hl).enumerate() {
+        let mut acc = [0i32; L];
+        let mut base = s;
+        for &wj in wk {
+            let wj = i16::from(wj);
+            let hv: &[i8; L] = h_t[base..base + L]
+                .try_into()
+                .expect("sample block in bounds");
+            for l in 0..L {
+                // Exact in i16 (|w|, |h| ≤ 127 → |product| ≤ 16129 <
+                // 32767), mapping to the 8-wide `pmullw`-class
+                // instructions every x86-64 baseline has.
+                acc[l] += i32::from(wj * i16::from(hv[l]));
+            }
+            base += batch;
+        }
+        for l in 0..L {
+            out[(s + l) * classes + k] = b[k] + scale[k] * acc[l] as f32;
+        }
+    }
+}
+
+/// The int8 dense layer over a whole batch at once — the integer twin of
+/// [`dense_batch`]. `h_t` is the requantized hidden layer sample-minor
+/// (`h_t[j · batch + s]`, what [`conv_rows_i8`] + [`relu_requant_i8`]
+/// produce from a transposed batch); `w` keeps the model's `w[k · hl +
+/// j]` layout; `out` receives sample-major dequantized logit rows:
+/// `out[s · classes + k] = b[k] + scale[k] · Σ_j w[k·hl+j] · h_t[j·batch+s]`,
+/// the dot product accumulated **exactly** in i32. Integer associativity
+/// makes the result independent of blocking and batch shape entirely.
+/// Overflow headroom: `hl · 127²` must stay below `i32::MAX` (the
+/// paper's 1280-wide hidden layer uses under 1% of the range — pinned by
+/// the property tests). Lane-blocked [`LANES`] samples at a time
+/// (cascading 4/2/1).
+#[inline]
+pub fn dense_batch_i8(
+    h_t: &[i8],
+    w: &[i8],
+    scale: &[f32],
+    b: &[f32],
+    batch: usize,
+    out: &mut [f32],
+) {
+    let classes = b.len();
+    debug_assert!(classes > 0 && w.len().is_multiple_of(classes));
+    debug_assert_eq!(scale.len(), classes);
+    #[cfg(target_arch = "x86_64")]
+    if batch >= 16 && std::arch::is_x86_feature_detected!("avx2") {
+        assert_eq!(h_t.len() * classes, w.len() * batch);
+        assert_eq!(out.len(), batch * classes);
+        // SAFETY: AVX2 verified at runtime; shapes asserted above.
+        // Integer accumulation is exact, so the vpmaddwd pairing inside
+        // cannot change a result vs the scalar cascade.
+        unsafe { x86::dense_batch_i8(h_t, w, scale, b, batch, out) };
+        return;
+    }
+    debug_assert_eq!(h_t.len() * classes, w.len() * batch);
+    debug_assert_eq!(out.len(), batch * classes);
+    dense_batch_i8_cascade(h_t, w, scale, b, batch, 0, out);
+}
+
+/// Portable sample-block cascade of [`dense_batch_i8`], starting at
+/// sample `s` (the AVX2 path reuses it for sub-16 batch tails).
+fn dense_batch_i8_cascade(
+    h_t: &[i8],
+    w: &[i8],
+    scale: &[f32],
+    b: &[f32],
+    batch: usize,
+    mut s: usize,
+    out: &mut [f32],
+) {
+    while s + LANES <= batch {
+        dense_sample_block_i8::<LANES>(h_t, w, scale, b, batch, s, out);
+        s += LANES;
+    }
+    if s + 4 <= batch {
+        dense_sample_block_i8::<4>(h_t, w, scale, b, batch, s, out);
+        s += 4;
+    }
+    if s + 2 <= batch {
+        dense_sample_block_i8::<2>(h_t, w, scale, b, batch, s, out);
+        s += 2;
+    }
+    if s < batch {
+        dense_sample_block_i8::<1>(h_t, w, scale, b, batch, s, out);
+    }
+}
+
+/// Runtime-dispatched AVX2 bodies for the int8 tier. Integer
+/// accumulation is exact and the requantization performs the same IEEE
+/// f32 ops per element, so these produce **identical** outputs to the
+/// portable bodies — the dispatch can never change a prediction, only
+/// its speed. The workhorse is `vpmaddwd`: adjacent `(j, j+1)` reduction
+/// steps are interleaved into the i16 pairs of one i32 lane, so each
+/// instruction retires 16 multiply-adds where the portable i16 path
+/// needs separate multiply and widening steps.
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use core::arch::x86_64::*;
+
+    /// Packs two i8 weights into the `(low, high)` i16 halves of an i32,
+    /// the operand shape `vpmaddwd` pairs against.
+    #[inline(always)]
+    fn pack_pair(w0: i8, w1: i8) -> i32 {
+        (i32::from(w1) << 16) | (i32::from(w0) & 0xFFFF)
+    }
+
+    /// # Safety
+    ///
+    /// Caller must verify AVX2 at runtime and the [`super::conv_rows_i8`]
+    /// shape contract (`x.len() == rows·cols`, `w.len() == filters·rows`,
+    /// `out.len() == filters·cols`, `cols ≥ 16`, `rows ≤ 128`).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn conv_rows_i8(
+        x: &[i8],
+        w: &[i8],
+        b: &[i32],
+        filters: usize,
+        rows: usize,
+        cols: usize,
+        out: &mut [i32],
+    ) {
+        unsafe {
+            let xp = x.as_ptr();
+            let pairs = rows / 2;
+            let odd = rows % 2;
+            // Row-pair packed weights, hoisted out of the column sweep.
+            let mut wp = [0i32; 65];
+            for f in 0..filters {
+                let wf = &w[f * rows..(f + 1) * rows];
+                for (p, pair) in wf.chunks_exact(2).enumerate() {
+                    wp[p] = pack_pair(pair[0], pair[1]);
+                }
+                if odd == 1 {
+                    wp[pairs] = pack_pair(wf[rows - 1], 0);
+                }
+                let bias = b[f];
+                let of = &mut out[f * cols..(f + 1) * cols];
+                let mut col = 0;
+                while col + 16 <= cols {
+                    // 16 output columns advance together; `vpunpck` lanes
+                    // hold columns [0..3, 8..11] / [4..7, 12..15] until
+                    // the final `vperm2i128` restores memory order.
+                    let mut acc_lo = _mm256_set1_epi32(bias);
+                    let mut acc_hi = _mm256_set1_epi32(bias);
+                    for (p, &wpp) in wp.iter().enumerate().take(pairs) {
+                        let r = 2 * p;
+                        let x0 = _mm256_cvtepi8_epi16(_mm_loadu_si128(
+                            xp.add(r * cols + col) as *const __m128i
+                        ));
+                        let x1 = _mm256_cvtepi8_epi16(_mm_loadu_si128(
+                            xp.add((r + 1) * cols + col) as *const __m128i,
+                        ));
+                        let lo = _mm256_unpacklo_epi16(x0, x1);
+                        let hi = _mm256_unpackhi_epi16(x0, x1);
+                        let wv = _mm256_set1_epi32(wpp);
+                        acc_lo = _mm256_add_epi32(acc_lo, _mm256_madd_epi16(lo, wv));
+                        acc_hi = _mm256_add_epi32(acc_hi, _mm256_madd_epi16(hi, wv));
+                    }
+                    if odd == 1 {
+                        let x0 = _mm256_cvtepi8_epi16(_mm_loadu_si128(
+                            xp.add((rows - 1) * cols + col) as *const __m128i,
+                        ));
+                        let z = _mm256_setzero_si256();
+                        let lo = _mm256_unpacklo_epi16(x0, z);
+                        let hi = _mm256_unpackhi_epi16(x0, z);
+                        let wv = _mm256_set1_epi32(wp[pairs]);
+                        acc_lo = _mm256_add_epi32(acc_lo, _mm256_madd_epi16(lo, wv));
+                        acc_hi = _mm256_add_epi32(acc_hi, _mm256_madd_epi16(hi, wv));
+                    }
+                    let a = _mm256_permute2x128_si256(acc_lo, acc_hi, 0x20);
+                    let c2 = _mm256_permute2x128_si256(acc_lo, acc_hi, 0x31);
+                    _mm256_storeu_si256(of.as_mut_ptr().add(col) as *mut __m256i, a);
+                    _mm256_storeu_si256(of.as_mut_ptr().add(col + 8) as *mut __m256i, c2);
+                    col += 16;
+                }
+                for c in col..cols {
+                    let mut acc = bias;
+                    for (r, &wr) in wf.iter().enumerate() {
+                        acc += i32::from(wr) * i32::from(x[r * cols + c]);
+                    }
+                    of[c] = acc;
+                }
+            }
+        }
+    }
+
+    /// # Safety
+    ///
+    /// Caller must verify AVX2 at runtime and the
+    /// [`super::relu_requant_i8`] shape contract (`acc.len() == out.len()
+    /// == filters·cols`, `m.len() == filters`).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn relu_requant_i8(
+        acc: &[i32],
+        m: &[f32],
+        filters: usize,
+        cols: usize,
+        out: &mut [i8],
+    ) {
+        unsafe {
+            let half = _mm256_set1_ps(0.5);
+            let cap = _mm256_set1_ps(127.0);
+            let zero = _mm256_setzero_si256();
+            // Restores byte order after the two saturating packs (which
+            // interleave their operands' 128-bit lanes).
+            let fix = _mm256_setr_epi32(0, 4, 1, 5, 2, 6, 3, 7);
+            for f in 0..filters {
+                let mf = _mm256_set1_ps(m[f]);
+                let ap = acc.as_ptr().add(f * cols);
+                let op = out.as_mut_ptr().add(f * cols);
+                let mut c = 0;
+                while c + 32 <= cols {
+                    let mut q = [zero; 4];
+                    for (i, qi) in q.iter_mut().enumerate() {
+                        let v = _mm256_loadu_si256(ap.add(c + 8 * i) as *const __m256i);
+                        let v = _mm256_max_epi32(v, zero);
+                        let vf = _mm256_add_ps(_mm256_mul_ps(_mm256_cvtepi32_ps(v), mf), half);
+                        // min against 127.0 before truncation matches the
+                        // scalar saturating cast + `.min(127)` for every
+                        // non-negative input.
+                        *qi = _mm256_cvttps_epi32(_mm256_min_ps(vf, cap));
+                    }
+                    let p01 = _mm256_packs_epi32(q[0], q[1]);
+                    let p23 = _mm256_packs_epi32(q[2], q[3]);
+                    let packed = _mm256_packs_epi16(p01, p23);
+                    let packed = _mm256_permutevar8x32_epi32(packed, fix);
+                    _mm256_storeu_si256(op.add(c) as *mut __m256i, packed);
+                    c += 32;
+                }
+                let mfs = m[f];
+                for cc in c..cols {
+                    let a = acc[f * cols + cc].max(0);
+                    out[f * cols + cc] = ((a as f32 * mfs + 0.5) as i32).min(127) as i8;
+                }
+            }
+        }
+    }
+
+    /// One 16-sample block of [`dense_batch_i8`][super::dense_batch_i8]
+    /// for one (`TWO` = false) or two adjacent classes: `vpmaddwd` over
+    /// interleaved `(j, j+1)` activation pairs, sharing each pair's
+    /// unpack across both classes.
+    ///
+    /// # Safety
+    ///
+    /// AVX2, and `hp` must point at `hl · batch` readable bytes with
+    /// `s + 16 ≤ batch`.
+    #[target_feature(enable = "avx2")]
+    unsafe fn dense16<const TWO: bool>(
+        hp: *const i8,
+        w0: &[i8],
+        w1: &[i8],
+        hl: usize,
+        batch: usize,
+        s: usize,
+    ) -> [__m256i; 4] {
+        unsafe {
+            let mut a0_lo = _mm256_setzero_si256();
+            let mut a0_hi = _mm256_setzero_si256();
+            let mut a1_lo = _mm256_setzero_si256();
+            let mut a1_hi = _mm256_setzero_si256();
+            let mut j = 0;
+            while j + 2 <= hl {
+                let h0 =
+                    _mm256_cvtepi8_epi16(_mm_loadu_si128(hp.add(j * batch + s) as *const __m128i));
+                let h1 = _mm256_cvtepi8_epi16(_mm_loadu_si128(
+                    hp.add((j + 1) * batch + s) as *const __m128i
+                ));
+                let lo = _mm256_unpacklo_epi16(h0, h1);
+                let hi = _mm256_unpackhi_epi16(h0, h1);
+                let wv0 = _mm256_set1_epi32(pack_pair(w0[j], w0[j + 1]));
+                a0_lo = _mm256_add_epi32(a0_lo, _mm256_madd_epi16(lo, wv0));
+                a0_hi = _mm256_add_epi32(a0_hi, _mm256_madd_epi16(hi, wv0));
+                if TWO {
+                    let wv1 = _mm256_set1_epi32(pack_pair(w1[j], w1[j + 1]));
+                    a1_lo = _mm256_add_epi32(a1_lo, _mm256_madd_epi16(lo, wv1));
+                    a1_hi = _mm256_add_epi32(a1_hi, _mm256_madd_epi16(hi, wv1));
+                }
+                j += 2;
+            }
+            if j < hl {
+                let h0 =
+                    _mm256_cvtepi8_epi16(_mm_loadu_si128(hp.add(j * batch + s) as *const __m128i));
+                let z = _mm256_setzero_si256();
+                let lo = _mm256_unpacklo_epi16(h0, z);
+                let hi = _mm256_unpackhi_epi16(h0, z);
+                let wv0 = _mm256_set1_epi32(pack_pair(w0[j], 0));
+                a0_lo = _mm256_add_epi32(a0_lo, _mm256_madd_epi16(lo, wv0));
+                a0_hi = _mm256_add_epi32(a0_hi, _mm256_madd_epi16(hi, wv0));
+                if TWO {
+                    let wv1 = _mm256_set1_epi32(pack_pair(w1[j], 0));
+                    a1_lo = _mm256_add_epi32(a1_lo, _mm256_madd_epi16(lo, wv1));
+                    a1_hi = _mm256_add_epi32(a1_hi, _mm256_madd_epi16(hi, wv1));
+                }
+            }
+            [a0_lo, a0_hi, a1_lo, a1_hi]
+        }
+    }
+
+    /// # Safety
+    ///
+    /// Caller must verify AVX2 at runtime and the
+    /// [`super::dense_batch_i8`] shape contract (`w.len() == classes·hl`,
+    /// `h_t.len() == hl·batch`, `out.len() == batch·classes`,
+    /// `batch ≥ 16`).
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn dense_batch_i8(
+        h_t: &[i8],
+        w: &[i8],
+        scale: &[f32],
+        b: &[f32],
+        batch: usize,
+        out: &mut [f32],
+    ) {
+        unsafe {
+            let classes = b.len();
+            let hl = w.len() / classes;
+            let hp = h_t.as_ptr();
+            // Dequantize + un-interleave one class's accumulators and
+            // scatter them into the sample-major output rows.
+            let store = |acc_lo: __m256i, acc_hi: __m256i, k: usize, s: usize, out: &mut [f32]| {
+                let a = _mm256_permute2x128_si256(acc_lo, acc_hi, 0x20);
+                let c2 = _mm256_permute2x128_si256(acc_lo, acc_hi, 0x31);
+                let sc = _mm256_set1_ps(scale[k]);
+                let bk = _mm256_set1_ps(b[k]);
+                let va = _mm256_add_ps(_mm256_mul_ps(_mm256_cvtepi32_ps(a), sc), bk);
+                let vb = _mm256_add_ps(_mm256_mul_ps(_mm256_cvtepi32_ps(c2), sc), bk);
+                let mut tmp = [0.0f32; 16];
+                _mm256_storeu_ps(tmp.as_mut_ptr(), va);
+                _mm256_storeu_ps(tmp.as_mut_ptr().add(8), vb);
+                for (l, &v) in tmp.iter().enumerate() {
+                    out[(s + l) * classes + k] = v;
+                }
+            };
+            let mut s = 0;
+            while s + 16 <= batch {
+                let mut k = 0;
+                while k + 2 <= classes {
+                    let w0 = &w[k * hl..(k + 1) * hl];
+                    let w1 = &w[(k + 1) * hl..(k + 2) * hl];
+                    let acc = dense16::<true>(hp, w0, w1, hl, batch, s);
+                    store(acc[0], acc[1], k, s, out);
+                    store(acc[2], acc[3], k + 1, s, out);
+                    k += 2;
+                }
+                if k < classes {
+                    let w0 = &w[k * hl..(k + 1) * hl];
+                    let acc = dense16::<false>(hp, w0, w0, hl, batch, s);
+                    store(acc[0], acc[1], k, s, out);
+                }
+                s += 16;
+            }
+            if s < batch {
+                super::dense_batch_i8_cascade(h_t, w, scale, b, batch, s, out);
             }
         }
     }
@@ -277,9 +1075,9 @@ mod tests {
     #[test]
     fn dense_blocking_is_bit_identical_to_scalar() {
         let mut rng = Rng64::seed_from(11);
-        // Class counts straddling the 4-wide block boundary, including a
-        // remainder tail and an all-tail case.
-        for classes in [1usize, 3, 4, 5, 8, 10, 11] {
+        // Class counts straddling the 8/4/2-wide block cascade, including
+        // remainder tails and an all-tail case.
+        for classes in [1usize, 3, 4, 5, 8, 10, 11, 16, 17] {
             let h = random_vec(&mut rng, 257, 1.0);
             let w = random_vec(&mut rng, classes * h.len(), 0.5);
             let b = random_vec(&mut rng, classes, 0.1);
@@ -293,44 +1091,102 @@ mod tests {
     }
 
     #[test]
-    fn conv_matches_scalar_reference() {
-        let (filters, rows, cols) = (7usize, 15usize, 10usize);
-        let mut rng = Rng64::seed_from(12);
-        let x = random_vec(&mut rng, rows * cols, 2.0);
-        let w = random_vec(&mut rng, filters * rows, 0.5);
-        let b = random_vec(&mut rng, filters, 0.1);
-        let mut out = vec![0.0f32; filters * cols];
-        conv_rows(&x, &w, &b, filters, rows, cols, &mut out);
-        for f in 0..filters {
-            for col in 0..cols {
-                let mut acc = b[f];
-                for r in 0..rows {
-                    acc += w[f * rows + r] * x[r * cols + col];
+    fn dense_batch_is_bit_identical_to_per_sample_dense() {
+        let mut rng = Rng64::seed_from(14);
+        // Batch sizes straddling the 8/4/2/1 sample-block cascade.
+        for batch in [1usize, 2, 5, 8, 16, 37] {
+            let (classes, hl) = (10usize, 64usize);
+            let hs = random_vec(&mut rng, batch * hl, 1.0); // sample-major
+            let w = random_vec(&mut rng, classes * hl, 0.5);
+            let b = random_vec(&mut rng, classes, 0.1);
+            let mut h_t = vec![0.0f32; hs.len()];
+            transpose(&hs, batch, hl, &mut h_t);
+            let mut out = vec![0.0f32; batch * classes];
+            dense_batch(&h_t, &w, &b, batch, &mut out);
+            for (s, h) in hs.chunks_exact(hl).enumerate() {
+                let reference = dense_reference(h, &w, &b);
+                for (k, &want) in reference.iter().enumerate() {
+                    assert_eq!(
+                        out[s * classes + k].to_bits(),
+                        want.to_bits(),
+                        "sample {s} class {k} of batch {batch}"
+                    );
                 }
-                assert_eq!(out[f * cols + col].to_bits(), acc.to_bits(), "({f},{col})");
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_round_trips() {
+        let mut rng = Rng64::seed_from(15);
+        let (rows, cols) = (7usize, 13usize);
+        let src = random_vec(&mut rng, rows * cols, 1.0);
+        let mut t = vec![0.0f32; src.len()];
+        let mut back = vec![0.0f32; src.len()];
+        transpose(&src, rows, cols, &mut t);
+        assert_eq!(t[2 * rows + 3], src[3 * cols + 2]);
+        transpose(&t, cols, rows, &mut back);
+        assert_eq!(src, back);
+    }
+
+    #[test]
+    fn conv_matches_scalar_reference() {
+        // Column counts straddling the 8/4/2-wide block cascade (10 is
+        // the paper shape: one 8-block plus a 2-block).
+        for (filters, rows, cols) in [
+            (7usize, 15usize, 10usize),
+            (3, 15, 8),
+            (2, 4, 3),
+            (1, 5, 17),
+        ] {
+            let mut rng = Rng64::seed_from(12);
+            let x = random_vec(&mut rng, rows * cols, 2.0);
+            let w = random_vec(&mut rng, filters * rows, 0.5);
+            let b = random_vec(&mut rng, filters, 0.1);
+            let mut out = vec![0.0f32; filters * cols];
+            conv_rows(&x, &w, &b, filters, rows, cols, &mut out);
+            for f in 0..filters {
+                for col in 0..cols {
+                    let mut acc = b[f];
+                    for r in 0..rows {
+                        acc += w[f * rows + r] * x[r * cols + col];
+                    }
+                    assert_eq!(
+                        out[f * cols + col].to_bits(),
+                        acc.to_bits(),
+                        "({f},{col}) of {cols}"
+                    );
+                }
             }
         }
     }
 
     #[test]
     fn standardize_clamps_extremes() {
-        let raw = [1e9f32, -1e9, 0.5];
-        let mean = [0.0f32; 3];
-        let std = [1.0f32; 3];
-        let mut out = [0.0f32; 3];
+        // 11 elements: one full 8-lane block plus a 3-element remainder.
+        let raw = [
+            1e9f32, -1e9, 0.5, 1.0, -1.0, 2.0, -2.0, 0.0, 1e9, -0.25, 0.75,
+        ];
+        let mean = [0.0f32; 11];
+        let std = [1.0f32; 11];
+        let mut out = [0.0f32; 11];
         standardize_clamped(&raw, &mean, &std, &mut out);
-        assert_eq!(out, [6.0, -6.0, 0.5]);
+        assert_eq!(
+            out,
+            [6.0, -6.0, 0.5, 1.0, -1.0, 2.0, -2.0, 0.0, 6.0, -0.25, 0.75]
+        );
     }
 
     #[test]
     fn relu_variants_agree() {
-        let src = [-1.5f32, 0.0, 2.5, -0.0];
-        let mut dst = [9.0f32; 4];
+        // 9 elements: one 8-lane block plus a 1-element remainder.
+        let src = [-1.5f32, 0.0, 2.5, -0.0, 7.0, -7.0, 0.25, -0.25, -3.0];
+        let mut dst = [9.0f32; 9];
         relu(&src, &mut dst);
         let mut inplace = src;
         relu_inplace(&mut inplace);
         assert_eq!(dst, inplace);
-        assert_eq!(dst, [0.0, 0.0, 2.5, 0.0]);
+        assert_eq!(dst, [0.0, 0.0, 2.5, 0.0, 7.0, 0.0, 0.25, 0.0, 0.0]);
     }
 
     #[test]
@@ -368,12 +1224,18 @@ mod tests {
         assert_eq!(row[2], 0.0);
     }
 
+    /// The pinned tie rule (satellite contract): the **first** maximal
+    /// index wins, on exact ties of any multiplicity, at any position.
     #[test]
-    fn argmax_takes_last_of_equal_maxima() {
-        assert_eq!(argmax(&[1.0, 3.0, 3.0, 2.0]), 2);
+    fn argmax_takes_first_of_equal_maxima() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0, 2.0]), 1);
         assert_eq!(argmax(&[5.0]), 0);
-        assert_eq!(argmax(&[-1.0, -1.0]), 1);
-        // Must match Iterator::max_by on every input.
+        assert_eq!(argmax(&[-1.0, -1.0]), 0);
+        assert_eq!(argmax(&[2.0, 2.0, 2.0, 2.0]), 0);
+        assert_eq!(argmax(&[0.0, 7.0, 6.0, 7.0, 7.0]), 1);
+        // -0.0 and +0.0 compare equal: the first occurrence wins.
+        assert_eq!(argmax(&[-0.0, 0.0]), 0);
+        // On tie-free rows the rule agrees with Iterator::max_by.
         let mut rng = Rng64::seed_from(13);
         for _ in 0..50 {
             let row = random_vec(&mut rng, 10, 1.0);
@@ -391,5 +1253,221 @@ mod tests {
     #[should_panic(expected = "empty row")]
     fn argmax_rejects_empty() {
         argmax(&[]);
+    }
+
+    #[test]
+    fn quantize_i8_round_trips_within_half_a_step() {
+        // Property: dequantizing q = round(v/s) recovers v to within
+        // s/2 for every in-range v (the classic uniform-quantizer bound).
+        let scale = 6.0f32 / 127.0;
+        let inv = 1.0 / scale;
+        let mut rng = Rng64::seed_from(17);
+        let src: Vec<f32> = (0..1000).map(|_| rng.f32_symmetric(6.0)).collect();
+        let mut q = vec![0i8; src.len()];
+        quantize_i8(&src, inv, &mut q);
+        for (&v, &qi) in src.iter().zip(&q) {
+            let back = f32::from(qi) * scale;
+            assert!(
+                (back - v).abs() <= scale / 2.0 + 1e-6,
+                "v={v} q={qi} back={back}"
+            );
+            assert!((-127..=127).contains(&i32::from(qi)));
+        }
+        // The clamp boundary itself quantizes to exactly ±127.
+        let mut edge = [0i8; 2];
+        quantize_i8(&[6.0, -6.0], inv, &mut edge);
+        assert_eq!(edge, [127, -127]);
+    }
+
+    #[test]
+    fn conv_rows_i8_matches_integer_reference_and_blocking_is_exact() {
+        // Shapes straddling both the scalar column cascade (cols < 16)
+        // and the AVX2 16-column path with scalar tails (cols ≥ 16),
+        // with even and odd row counts (the odd row pairs with zero in
+        // the vpmaddwd path).
+        let shapes = [
+            (5usize, 15usize, 10usize),
+            (3, 15, 160),
+            (2, 4, 37),
+            (1, 1, 16),
+            (2, 5, 33),
+        ];
+        let mut rng = Rng64::seed_from(18);
+        for (filters, rows, cols) in shapes {
+            let x: Vec<i8> = (0..rows * cols)
+                .map(|_| (rng.next_u64() % 255) as i32 - 127)
+                .map(|v| v as i8)
+                .collect();
+            let w: Vec<i8> = (0..filters * rows)
+                .map(|_| (rng.next_u64() % 255) as i32 - 127)
+                .map(|v| v as i8)
+                .collect();
+            let b: Vec<i32> = (0..filters)
+                .map(|_| (rng.next_u64() % 1000) as i32 - 500)
+                .collect();
+            let mut out = vec![0i32; filters * cols];
+            conv_rows_i8(&x, &w, &b, filters, rows, cols, &mut out);
+            for f in 0..filters {
+                for col in 0..cols {
+                    let mut acc = b[f];
+                    for r in 0..rows {
+                        acc += i32::from(w[f * rows + r]) * i32::from(x[r * cols + col]);
+                    }
+                    assert_eq!(out[f * cols + col], acc, "({f},{col}) cols={cols}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn conv_i8_worst_case_stays_in_i32_headroom() {
+        // Property: the adversarial worst case — every weight and input
+        // saturated at ±127, paper-sized layer — accumulates without
+        // i32 overflow (debug builds would panic on wrap). 15 rows of
+        // 127·127 plus a large bias is ~0.01% of the i32 range.
+        let (filters, rows, cols) = (128usize, 15usize, 10usize);
+        let x = vec![127i8; rows * cols];
+        let w = vec![-127i8; filters * rows];
+        let b = vec![i32::MAX / 4; filters];
+        let mut out = vec![0i32; filters * cols];
+        conv_rows_i8(&x, &w, &b, filters, rows, cols, &mut out);
+        let expect = i32::MAX / 4 - 15 * 127 * 127;
+        assert!(out.iter().all(|&v| v == expect));
+        let worst: i64 = 15 * 127 * 127;
+        assert!(
+            worst * 8 < i64::from(i32::MAX),
+            "paper conv worst case must leave ≥8× headroom"
+        );
+    }
+
+    #[test]
+    fn dense_batch_i8_matches_integer_reference_and_headroom_holds() {
+        let (classes, hl) = (10usize, 1280usize);
+        let mut rng = Rng64::seed_from(19);
+        let w: Vec<i8> = (0..classes * hl)
+            .map(|_| ((rng.next_u64() % 255) as i32 - 127) as i8)
+            .collect();
+        let scale: Vec<f32> = (0..classes)
+            .map(|_| rng.f32_symmetric(0.01).abs() + 1e-4)
+            .collect();
+        let b: Vec<f32> = (0..classes).map(|_| rng.f32_symmetric(0.5)).collect();
+        // Batch sizes straddling the 8/4/2/1 sample-block cascade
+        // (batch < 16) and the AVX2 16-sample blocks with cascade tails
+        // (batch ≥ 16).
+        for batch in [1usize, 3, 8, 11, 16, 19, 37, 64] {
+            let h_t: Vec<i8> = (0..hl * batch)
+                .map(|_| (rng.next_u64() % 128) as i8)
+                .collect();
+            let mut out = vec![0.0f32; batch * classes];
+            dense_batch_i8(&h_t, &w, &scale, &b, batch, &mut out);
+            for s in 0..batch {
+                for k in 0..classes {
+                    let mut acc = 0i32;
+                    for j in 0..hl {
+                        acc += i32::from(w[k * hl + j]) * i32::from(h_t[j * batch + s]);
+                    }
+                    let want = b[k] + scale[k] * acc as f32;
+                    assert_eq!(
+                        out[s * classes + k].to_bits(),
+                        want.to_bits(),
+                        "sample {s} class {k} of batch {batch}"
+                    );
+                }
+            }
+        }
+        // Odd hidden length and odd class count exercise the zero-paired
+        // vpmaddwd tail and the single-class remainder of the AVX2 path.
+        {
+            let (classes, hl) = (3usize, 7usize);
+            let w: Vec<i8> = (0..classes * hl)
+                .map(|_| ((rng.next_u64() % 255) as i32 - 127) as i8)
+                .collect();
+            let scale: Vec<f32> = (0..classes)
+                .map(|_| rng.f32_symmetric(0.01).abs() + 1e-4)
+                .collect();
+            let b: Vec<f32> = (0..classes).map(|_| rng.f32_symmetric(0.5)).collect();
+            for batch in [5usize, 16, 21] {
+                let h_t: Vec<i8> = (0..hl * batch)
+                    .map(|_| (rng.next_u64() % 128) as i8)
+                    .collect();
+                let mut out = vec![0.0f32; batch * classes];
+                dense_batch_i8(&h_t, &w, &scale, &b, batch, &mut out);
+                for s in 0..batch {
+                    for k in 0..classes {
+                        let mut acc = 0i32;
+                        for j in 0..hl {
+                            acc += i32::from(w[k * hl + j]) * i32::from(h_t[j * batch + s]);
+                        }
+                        let want = b[k] + scale[k] * acc as f32;
+                        assert_eq!(
+                            out[s * classes + k].to_bits(),
+                            want.to_bits(),
+                            "odd shape: sample {s} class {k} of batch {batch}"
+                        );
+                    }
+                }
+            }
+        }
+        // Property: the paper-sized worst case (1280 terms of ±127²)
+        // uses under 1% of the i32 range.
+        let worst: i64 = 1280 * 127 * 127;
+        assert!(worst * 100 < i64::from(i32::MAX));
+        // And the adversarial all-saturated dot product runs without
+        // overflow in debug builds.
+        let h = vec![127i8; hl * 3];
+        let w = vec![-127i8; classes * hl];
+        let mut out = vec![0.0f32; 3 * classes];
+        dense_batch_i8(
+            &h,
+            &w,
+            &vec![1.0; classes],
+            &vec![0.0; classes],
+            3,
+            &mut out,
+        );
+        assert!(out.iter().all(|&v| v == -(1280.0 * 127.0 * 127.0)));
+    }
+
+    #[test]
+    fn relu_requant_maps_worst_case_to_127_and_negatives_to_zero() {
+        let (filters, cols) = (2usize, 3usize);
+        // Filter 0: worst-case accumulator 1000 → multiplier 127/1000.
+        // Filter 1: worst-case 50 → multiplier 127/50.
+        let m = [127.0f32 / 1000.0, 127.0 / 50.0];
+        let acc = [1000i32, -5, 500, 50, 25, 0];
+        let mut out = [0i8; 6];
+        relu_requant_i8(&acc, &m, filters, cols, &mut out);
+        assert_eq!(out[0], 127, "worst case lands exactly at 127");
+        assert_eq!(out[1], 0, "negative pre-activations clamp to zero");
+        assert_eq!(out[2], 64, "round(500 · 0.127) = 64");
+        assert_eq!(out[3], 127);
+        assert_eq!(out[4], 64, "round(25 · 2.54) = 64");
+        assert_eq!(out[5], 0);
+    }
+
+    #[test]
+    fn relu_requant_wide_rows_match_scalar_formula_exactly() {
+        // cols ≥ 32 dispatches to the AVX2 32-element blocks (with a
+        // scalar tail); the outputs must be byte-identical to the scalar
+        // formula, including at-the-cap and far-past-the-cap extremes.
+        let (filters, cols) = (3usize, 67usize);
+        let mut rng = Rng64::seed_from(21);
+        let mut acc: Vec<i32> = (0..filters * cols)
+            .map(|_| (rng.next_u64() % 2001) as i32 - 1000)
+            .collect();
+        // Extremes: exact worst case, far overflow, deep negative.
+        acc[0] = 1000;
+        acc[1] = i32::MAX;
+        acc[2] = i32::MIN;
+        let m = [127.0f32 / 1000.0, 127.0 / 350.0, 0.0];
+        let mut out = vec![0i8; filters * cols];
+        relu_requant_i8(&acc, &m, filters, cols, &mut out);
+        for f in 0..filters {
+            for c in 0..cols {
+                let a = acc[f * cols + c].max(0);
+                let want = ((a as f32 * m[f] + 0.5) as i32).min(127) as i8;
+                assert_eq!(out[f * cols + c], want, "({f},{c})");
+            }
+        }
     }
 }

@@ -30,6 +30,7 @@ pub mod importance;
 pub mod kernel;
 pub mod metrics;
 pub mod model;
+pub mod quant;
 pub mod serialize;
 pub mod train;
 
@@ -37,4 +38,60 @@ pub use dataset::Dataset;
 pub use importance::{permutation_importance, FeatureGroup};
 pub use metrics::ConfusionMatrix;
 pub use model::{CnnConfig, CutCnn, InferenceScratch};
+pub use quant::{QuantScratch, QuantizedCnn};
 pub use train::{EpochProgress, ProgressSink, StderrProgress, TrainConfig, TrainReport};
+
+/// Which inference kernel tier scores cuts (DESIGN.md §13).
+///
+/// `F32` is the default: lane-blocked f32 kernels, bit-identical to the
+/// seed scalar path. `Int8` is the opt-in quantized tier: a
+/// [`QuantizedCnn`] with exact i32 accumulation — deterministic and
+/// thread-count invariant, but QoR-equivalent rather than bit-identical
+/// to f32, so run manifests record the tier and `slap-report --check`
+/// refuses cross-tier comparisons.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum KernelTier {
+    /// Lane-blocked f32 kernels (the seed-bit-identical default).
+    #[default]
+    F32,
+    /// Post-training int8 quantization with i32 accumulation.
+    Int8,
+}
+
+impl KernelTier {
+    /// Parses `"f32"` or `"int8"`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a usage message on anything else.
+    pub fn parse(s: &str) -> Result<KernelTier, String> {
+        match s {
+            "f32" => Ok(KernelTier::F32),
+            "int8" => Ok(KernelTier::Int8),
+            other => Err(format!("unknown kernel tier {other:?} (want f32 or int8)")),
+        }
+    }
+
+    /// The canonical name carried by run manifests.
+    pub fn name(&self) -> &'static str {
+        match self {
+            KernelTier::F32 => "f32",
+            KernelTier::Int8 => "int8",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tier_tests {
+    use super::KernelTier;
+
+    #[test]
+    fn kernel_tier_parses_and_names() {
+        assert_eq!(KernelTier::parse("f32"), Ok(KernelTier::F32));
+        assert_eq!(KernelTier::parse("int8"), Ok(KernelTier::Int8));
+        assert!(KernelTier::parse("fp16").is_err());
+        assert_eq!(KernelTier::F32.name(), "f32");
+        assert_eq!(KernelTier::Int8.name(), "int8");
+        assert_eq!(KernelTier::default(), KernelTier::F32);
+    }
+}

@@ -125,8 +125,9 @@ impl BackwardScratch {
 /// the first (growing) call, scoring allocates nothing.
 #[derive(Clone, Debug, Default)]
 pub struct InferenceScratch {
-    x: Vec<f32>,      // batch × rows × cols
-    hidden: Vec<f32>, // batch × filters × cols (ReLU applied in place)
+    x: Vec<f32>,      // batch × rows × cols (sample-major)
+    xt: Vec<f32>,     // rows × cols × batch (sample-minor, the GEMM layout)
+    hidden: Vec<f32>, // filters × cols × batch (ReLU applied in place)
     probs: Vec<f32>,  // batch × classes
 }
 
@@ -140,6 +141,7 @@ impl InferenceScratch {
         // resize() never shrinks capacity, so a larger earlier batch keeps
         // its buffers and smaller batches reuse them allocation-free.
         self.x.resize(batch * c.input_dim(), 0.0);
+        self.xt.resize(batch * c.input_dim(), 0.0);
         self.hidden.resize(batch * c.hidden_dim(), 0.0);
         self.probs.resize(batch * c.classes, 0.0);
     }
@@ -251,28 +253,38 @@ impl CutCnn {
         for (raw, x) in xs.chunks_exact(dim).zip(scratch.x.chunks_exact_mut(dim)) {
             kernel::standardize_clamped(raw, &self.feat_mean, &self.feat_std, x);
         }
-        for (x, conv) in scratch
-            .x
-            .chunks_exact(dim)
-            .zip(scratch.hidden.chunks_exact_mut(hid))
-        {
-            kernel::conv_rows(
-                x,
-                &self.conv_w,
-                &self.conv_b,
-                c.filters,
-                c.rows,
-                c.cols,
-                conv,
-            );
-        }
+        // Re-lay the standardized chunk sample-minor (`xt[d · batch + s]`)
+        // so conv and dense run as one GEMM each over the whole batch:
+        // the conv sees `cols · batch` output columns per filter and the
+        // dense vectorizes across samples — full-width contiguous vector
+        // work instead of 10-column rows. Per-output accumulation order
+        // is untouched (each output still sums its own inputs in
+        // ascending index order), so every sample's result stays
+        // bit-identical to the per-sample path.
+        kernel::transpose(
+            &scratch.x[..batch * dim],
+            batch,
+            dim,
+            &mut scratch.xt[..batch * dim],
+        );
+        kernel::conv_rows(
+            &scratch.xt[..batch * dim],
+            &self.conv_w,
+            &self.conv_b,
+            c.filters,
+            c.rows,
+            c.cols * batch,
+            &mut scratch.hidden[..batch * hid],
+        );
         kernel::relu_inplace(&mut scratch.hidden[..batch * hid]);
-        for (h, probs) in scratch
-            .hidden
-            .chunks_exact(hid)
-            .zip(scratch.probs.chunks_exact_mut(c.classes))
-        {
-            kernel::dense(h, &self.dense_w, &self.dense_b, probs);
+        kernel::dense_batch(
+            &scratch.hidden[..batch * hid],
+            &self.dense_w,
+            &self.dense_b,
+            batch,
+            &mut scratch.probs[..batch * c.classes],
+        );
+        for probs in scratch.probs[..batch * c.classes].chunks_exact_mut(c.classes) {
             kernel::softmax_inplace(probs);
         }
         batch
@@ -348,8 +360,9 @@ impl CutCnn {
         })
     }
 
-    /// The most likely class (ties resolve to the highest class index,
-    /// as in every prior release).
+    /// The most likely class (exact probability ties resolve to the
+    /// **lowest** class index — the pinned first-wins rule of
+    /// [`kernel::argmax`], shared by the f32 and int8 tiers).
     ///
     /// Runs allocation-free on a reusable thread-local scratch. Batched
     /// callers should prefer [`CutCnn::predict_batch_into`].

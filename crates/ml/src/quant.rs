@@ -1,0 +1,430 @@
+//! The int8 inference tier: a [`QuantizedCnn`] post-training-quantized
+//! from a trained [`CutCnn`], scoring cuts with exact i32 integer
+//! accumulation (DESIGN.md §13).
+//!
+//! # Quantization scheme
+//!
+//! Symmetric, power-free, and fully deterministic — every scale is a
+//! plain f32 and every rounding is IEEE `round` (half away from zero):
+//!
+//! 1. **Inputs.** Standardized activations are already clamped to ±6
+//!    z-scores by [`kernel::standardize_clamped`], so one global input
+//!    scale `s_x = 6 / 127` maps them onto the full ±127 int8 range.
+//! 2. **Conv weights.** Per-filter symmetric scales `s_w[f] =
+//!    max_r |w[f,r]| / 127`; the bias folds into the integer domain as
+//!    `bq[f] = round(b[f] / (s_w[f] · s_x))`, so one i32 accumulator
+//!    carries the whole pre-activation: `acc = bq[f] + Σ_r wq[f,r] ·
+//!    xq[r]`, worth `acc · s_w[f] · s_x` in real units.
+//! 3. **Requantization.** The hidden layer goes back to int8 through a
+//!    per-filter multiplier sized from the *worst-case* accumulator
+//!    `A[f] = bq[f] + 127 · Σ_r |wq[f,r]|` (the largest value any ±127
+//!    input can produce): `m[f] = 127 / A[f]`, so `hq = round(max(0,
+//!    acc) · m[f])` spans the full int8 range with no saturation — the
+//!    `min(127)` in the kernel is a safety net, not a lossy clamp. One
+//!    int8 hidden unit is worth `s_h[f] = s_w[f] · s_x / m[f]` real
+//!    units.
+//! 4. **Dense weights.** The per-filter hidden scales fold into the
+//!    dense weights (`v[k,j] = w[k,j] · s_h[j / cols]`), which are then
+//!    quantized with per-class (per-row) symmetric scales `s_d[k] =
+//!    max_j |v[k,j]| / 127`. The logit dequantizes with one f32
+//!    multiply-add: `logit[k] = b[k] + s_d[k] · Σ_j wq[k,j] · hq[j]`.
+//!
+//! Classes come from [`kernel::argmax`] over the dequantized logits —
+//! softmax is monotonic, so the int8 tier skips it entirely.
+//!
+//! # Overflow headroom
+//!
+//! Accumulation is exact in i32 by construction: the conv worst case is
+//! `|bq| + rows · 127²` and the dense worst case `hidden_dim · 127²`
+//! (the paper shape: `1280 · 127² ≈ 2.06 × 10⁷`, under 1% of `i32::MAX`).
+//! [`QuantizedCnn::from_model`] asserts both bounds, and the kernel
+//! property tests pin the adversarial all-saturated case (which would
+//! panic in debug builds on wrap).
+//!
+//! # Contract vs the f32 tier
+//!
+//! Integer addition is associative, so the tier is bit-deterministic
+//! and thread-count invariant with no accumulation-order contract to
+//! maintain. Against the f32 tier the contract is deliberately weaker:
+//! QoR equivalence with a golden-bounded keep-mask divergence
+//! (`tests/int8_divergence.rs`), **not** bit-identity.
+
+use crate::kernel;
+use crate::model::{CnnConfig, CutCnn};
+
+/// The ±6-z-score clamp range divided by the int8 range: what one input
+/// quantization step is worth.
+const INPUT_SCALE: f32 = 6.0 / 127.0;
+
+/// A [`CutCnn`] post-training-quantized to int8 weights and activations
+/// with i32 accumulation. Build with [`QuantizedCnn::from_model`]; score
+/// with [`QuantizedCnn::predict_batch_into`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct QuantizedCnn {
+    pub(crate) config: CnnConfig,
+    /// Standardization constants, copied from the source model (the
+    /// standardize + clamp stage stays in f32).
+    pub(crate) feat_mean: Vec<f32>,
+    pub(crate) feat_std: Vec<f32>,
+    /// `conv_w[f * rows + r]`, quantized per filter.
+    pub(crate) conv_w: Vec<i8>,
+    /// Conv bias folded into the i32 accumulator domain.
+    pub(crate) conv_b: Vec<i32>,
+    /// Per-filter requantization multiplier (i32 accumulator → int8
+    /// hidden); 0 for filters that can never activate.
+    pub(crate) requant: Vec<f32>,
+    /// `dense_w[k * hidden + j]`, hidden scales folded in, quantized per
+    /// class row.
+    pub(crate) dense_w: Vec<i8>,
+    /// Per-class dequantization scale for the dense accumulator.
+    pub(crate) dense_scale: Vec<f32>,
+    /// Dense bias, kept in f32 (applied at dequantization).
+    pub(crate) dense_b: Vec<f32>,
+}
+
+/// Caller-owned scratch for the int8 path, mirroring
+/// [`InferenceScratch`](crate::InferenceScratch): grow-only buffers, so
+/// steady-state scoring allocates nothing.
+#[derive(Clone, Debug, Default)]
+pub struct QuantScratch {
+    xf: Vec<f32>,     // batch × rows × cols, standardized (sample-major)
+    xt: Vec<f32>,     // rows × cols × batch (sample-minor, the GEMM layout)
+    xq: Vec<i8>,      // sample-minor batch, quantized
+    acc: Vec<i32>,    // conv accumulators (filters × cols × batch)
+    hq: Vec<i8>,      // hidden, requantized (sample-minor)
+    logits: Vec<f32>, // batch × classes, dequantized (sample-major)
+}
+
+impl QuantScratch {
+    /// An empty scratch; buffers grow to the model's shape on first use.
+    pub fn new() -> QuantScratch {
+        QuantScratch::default()
+    }
+
+    fn ensure(&mut self, c: &CnnConfig, batch: usize) {
+        // resize() never shrinks capacity, so a larger earlier batch keeps
+        // its buffers and smaller batches reuse them allocation-free.
+        self.xf.resize(batch * c.input_dim(), 0.0);
+        self.xt.resize(batch * c.input_dim(), 0.0);
+        self.xq.resize(batch * c.input_dim(), 0);
+        self.acc.resize(batch * c.hidden_dim(), 0);
+        self.hq.resize(batch * c.hidden_dim(), 0);
+        self.logits.resize(batch * c.classes, 0.0);
+    }
+}
+
+impl QuantizedCnn {
+    /// Quantizes a trained model. Pure function of the weights — the
+    /// same model always produces the same `QuantizedCnn`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any worst-case i32 accumulator would overflow (cannot
+    /// happen for paper-shaped models; guards absurd configurations).
+    pub fn from_model(model: &CutCnn) -> QuantizedCnn {
+        let c = model.config().clone();
+        let (rows, cols, filters, classes) = (c.rows, c.cols, c.filters, c.classes);
+        let hidden = c.hidden_dim();
+
+        // Conv: per-filter symmetric weight scales, bias folded to i32.
+        let mut conv_w = vec![0i8; filters * rows];
+        let mut conv_b = vec![0i32; filters];
+        let mut requant = vec![0.0f32; filters];
+        // Real value of one int8 hidden unit, per filter (folded into
+        // the dense weights below).
+        let mut hidden_scale = vec![0.0f32; filters];
+        for f in 0..filters {
+            let wf = &model.conv_w[f * rows..(f + 1) * rows];
+            let w_max = wf.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
+            let s_w = if w_max > 0.0 { w_max / 127.0 } else { 1.0 };
+            let qf = &mut conv_w[f * rows..(f + 1) * rows];
+            for (q, &v) in qf.iter_mut().zip(wf) {
+                *q = ((v / s_w).round() as i32).clamp(-127, 127) as i8;
+            }
+            // One accumulator unit is worth s_w · s_x real units.
+            let acc_scale = s_w * INPUT_SCALE;
+            let bq = (f64::from(model.conv_b[f]) / f64::from(acc_scale)).round();
+            assert!(
+                bq.abs() < f64::from(i32::MAX) / 2.0,
+                "conv bias {bq} overflows the i32 accumulator domain"
+            );
+            conv_b[f] = bq as i32;
+            // Worst-case positive accumulator over ±127 inputs.
+            let wq_abs: i64 = qf.iter().map(|&q| i64::from(q).abs()).sum();
+            let worst = i64::from(conv_b[f]) + 127 * wq_abs;
+            assert!(
+                worst < i64::from(i32::MAX),
+                "conv accumulator worst case {worst} overflows i32"
+            );
+            if worst > 0 {
+                requant[f] = 127.0 / worst as f32;
+                hidden_scale[f] = acc_scale / requant[f];
+            }
+            // worst ≤ 0: the filter can never pass ReLU — requant 0
+            // maps every accumulator to hidden 0, scale irrelevant.
+        }
+
+        // Dense: fold the per-filter hidden scales in, then quantize
+        // with per-class symmetric scales.
+        let mut dense_w = vec![0i8; classes * hidden];
+        let mut dense_scale = vec![0.0f32; classes];
+        for k in 0..classes {
+            let wk = &model.dense_w[k * hidden..(k + 1) * hidden];
+            let mut v_max = 0.0f32;
+            for (j, &w) in wk.iter().enumerate() {
+                v_max = v_max.max((w * hidden_scale[j / cols]).abs());
+            }
+            let s_d = if v_max > 0.0 { v_max / 127.0 } else { 1.0 };
+            dense_scale[k] = s_d;
+            let qk = &mut dense_w[k * hidden..(k + 1) * hidden];
+            for (j, (q, &w)) in qk.iter_mut().zip(wk).enumerate() {
+                let v = w * hidden_scale[j / cols];
+                *q = ((v / s_d).round() as i32).clamp(-127, 127) as i8;
+            }
+        }
+        // Dense worst case: hidden · 127² must fit i32 (hq ∈ [0, 127]).
+        assert!(
+            (hidden as i64) * 127 * 127 < i64::from(i32::MAX),
+            "dense accumulator worst case overflows i32"
+        );
+
+        QuantizedCnn {
+            config: c,
+            feat_mean: model.feat_mean.clone(),
+            feat_std: model.feat_std.clone(),
+            conv_w,
+            conv_b,
+            requant,
+            dense_w,
+            dense_scale,
+            dense_b: model.dense_b.clone(),
+        }
+    }
+
+    /// The architecture (same shape as the source model).
+    pub fn config(&self) -> &CnnConfig {
+        &self.config
+    }
+
+    /// Classifies a batch of raw (unstandardized) samples packed
+    /// row-major into `xs`, appending one predicted class per sample to
+    /// `out` — the int8 twin of
+    /// [`CutCnn::predict_batch_into`](crate::CutCnn::predict_batch_into).
+    ///
+    /// Bit-deterministic and thread-count invariant by construction
+    /// (exact i32 accumulation); allocation-free once `scratch` is warm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is not a whole number of samples.
+    pub fn predict_batch_into(&self, xs: &[f32], scratch: &mut QuantScratch, out: &mut Vec<u8>) {
+        let _span = slap_obs::span("ml.predict_batch_i8");
+        let c = &self.config;
+        let dim = c.input_dim();
+        assert_eq!(
+            xs.len() % dim,
+            0,
+            "batch length must be a multiple of rows × cols"
+        );
+        let batch = xs.len() / dim;
+        scratch.ensure(c, batch);
+        let inv_scale = 1.0 / INPUT_SCALE;
+        for (raw, x) in xs.chunks_exact(dim).zip(scratch.xf.chunks_exact_mut(dim)) {
+            kernel::standardize_clamped(raw, &self.feat_mean, &self.feat_std, x);
+        }
+        // Same GEMM batching as the f32 tier: the chunk is re-laid
+        // sample-minor so conv and dense sweep `cols · batch`-wide rows.
+        // Integer accumulation is exact, so the layout cannot change a
+        // single prediction — batching here is pure speed.
+        kernel::transpose(&scratch.xf, batch, dim, &mut scratch.xt);
+        kernel::quantize_i8(&scratch.xt, inv_scale, &mut scratch.xq);
+        kernel::conv_rows_i8(
+            &scratch.xq,
+            &self.conv_w,
+            &self.conv_b,
+            c.filters,
+            c.rows,
+            c.cols * batch,
+            &mut scratch.acc,
+        );
+        kernel::relu_requant_i8(
+            &scratch.acc,
+            &self.requant,
+            c.filters,
+            c.cols * batch,
+            &mut scratch.hq,
+        );
+        kernel::dense_batch_i8(
+            &scratch.hq,
+            &self.dense_w,
+            &self.dense_scale,
+            &self.dense_b,
+            batch,
+            &mut scratch.logits,
+        );
+        for row in scratch.logits.chunks_exact(c.classes) {
+            out.push(kernel::argmax(row) as u8);
+        }
+        let reg = slap_obs::Registry::global();
+        reg.counter("ml.samples_scored").add(batch as u64);
+        reg.histogram("ml.batch_size").observe(batch as u64);
+    }
+
+    /// The most likely class of one raw sample (convenience wrapper;
+    /// batched callers use [`QuantizedCnn::predict_batch_into`]).
+    pub fn predict_with(&self, raw: &[f32], scratch: &mut QuantScratch) -> u8 {
+        let mut out = Vec::with_capacity(1);
+        self.predict_batch_into(raw, scratch, &mut out);
+        out[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::InferenceScratch;
+    use slap_aig::Rng64;
+
+    fn test_model(seed: u64) -> CutCnn {
+        let mut m = CutCnn::new(&CnnConfig::paper(), seed);
+        m.set_standardization(vec![0.25; 150], vec![1.5; 150]);
+        m
+    }
+
+    #[test]
+    fn quantization_is_a_pure_function_of_the_model() {
+        let m = test_model(9);
+        assert_eq!(QuantizedCnn::from_model(&m), QuantizedCnn::from_model(&m));
+    }
+
+    #[test]
+    fn batched_chunked_and_per_sample_predictions_agree() {
+        let m = test_model(10);
+        let q = QuantizedCnn::from_model(&m);
+        let mut rng = Rng64::seed_from(77);
+        let n = 33;
+        let xs: Vec<f32> = (0..n * 150).map(|_| rng.f32_symmetric(4.0)).collect();
+        let mut scratch = QuantScratch::new();
+        let mut whole = Vec::new();
+        q.predict_batch_into(&xs, &mut scratch, &mut whole);
+        assert_eq!(whole.len(), n);
+        // Chunked arbitrarily and reassembled in order: identical.
+        let mut chunked = Vec::new();
+        for chunk in xs.chunks(7 * 150) {
+            q.predict_batch_into(chunk, &mut scratch, &mut chunked);
+        }
+        assert_eq!(chunked, whole);
+        // Per-sample: identical.
+        for (i, sample) in xs.chunks_exact(150).enumerate() {
+            assert_eq!(q.predict_with(sample, &mut scratch), whole[i], "sample {i}");
+        }
+        // A fresh scratch changes nothing (no hidden state).
+        let mut again = Vec::new();
+        q.predict_batch_into(&xs, &mut QuantScratch::new(), &mut again);
+        assert_eq!(again, whole);
+    }
+
+    #[test]
+    fn quantized_logits_track_f32_logits() {
+        // Property: the dequantized int8 logits stay close to the f32
+        // logits — the accumulated quantization noise over conv +
+        // requant + dense stays well under the He-init logit scale.
+        let m = test_model(11);
+        let q = QuantizedCnn::from_model(&m);
+        let mut rng = Rng64::seed_from(78);
+        let mut worst = 0.0f32;
+        let mut f32_scratch = InferenceScratch::new();
+        let mut i8_scratch = QuantScratch::new();
+        for _ in 0..40 {
+            let raw: Vec<f32> = (0..150).map(|_| rng.f32_symmetric(4.0)).collect();
+            // f32 logits, recomputed through the public probs API is
+            // post-softmax; recompute logits via the quant pipeline's
+            // f32 twin instead: standardize → conv → relu → dense.
+            let c = m.config().clone();
+            let mut x = vec![0.0f32; c.input_dim()];
+            kernel::standardize_clamped(&raw, &m.feat_mean, &m.feat_std, &mut x);
+            let mut conv = vec![0.0f32; c.hidden_dim()];
+            kernel::conv_rows(
+                &x, &m.conv_w, &m.conv_b, c.filters, c.rows, c.cols, &mut conv,
+            );
+            kernel::relu_inplace(&mut conv);
+            let mut logits = vec![0.0f32; c.classes];
+            kernel::dense(&conv, &m.dense_w, &m.dense_b, &mut logits);
+            // int8 logits via the scratch (predict_with fills it).
+            let _ = q.predict_with(&raw, &mut i8_scratch);
+            for (k, (&lf, &li)) in logits.iter().zip(&i8_scratch.logits).enumerate() {
+                worst = worst.max((lf - li).abs());
+                assert!(
+                    (lf - li).abs() < 0.25,
+                    "class {k}: f32 logit {lf} vs int8 {li}"
+                );
+            }
+            let _ = m.predict_with(&raw, &mut f32_scratch);
+        }
+        // The bound above is loose; typical error should be far smaller.
+        assert!(worst < 0.25, "worst logit error {worst}");
+    }
+
+    #[test]
+    fn adversarial_extremes_run_without_overflow() {
+        // Worst-case ±6-clamped inputs against a model with large,
+        // sign-aligned weights: debug builds would panic on any i32
+        // wrap; the construction asserts guarantee they cannot.
+        let c = CnnConfig::paper();
+        let mut m = CutCnn::new(&c, 12);
+        for (i, w) in m.conv_w.iter_mut().enumerate() {
+            *w = if i % 2 == 0 { 50.0 } else { -50.0 };
+        }
+        for b in m.conv_b.iter_mut() {
+            *b = 1000.0;
+        }
+        for (i, w) in m.dense_w.iter_mut().enumerate() {
+            *w = if i % 3 == 0 { -30.0 } else { 30.0 };
+        }
+        m.set_standardization(vec![0.0; 150], vec![1.0; 150]);
+        let q = QuantizedCnn::from_model(&m);
+        let raw: Vec<f32> = (0..150)
+            .map(|i| if i % 2 == 0 { 1e9 } else { -1e9 })
+            .collect();
+        let mut scratch = QuantScratch::new();
+        let _ = q.predict_with(&raw, &mut scratch);
+        // And the all-positive-extreme case.
+        let raw = vec![1e9f32; 150];
+        let _ = q.predict_with(&raw, &mut scratch);
+    }
+
+    #[test]
+    fn dead_filters_and_dead_classes_are_harmless() {
+        let c = CnnConfig {
+            rows: 3,
+            cols: 2,
+            filters: 2,
+            classes: 3,
+        };
+        let mut m = CutCnn::new(&c, 13);
+        // Filter 0: zero weights, large negative bias — can never
+        // activate. Class 2: zero weights — logit is pure bias.
+        for w in &mut m.conv_w[0..3] {
+            *w = 0.0;
+        }
+        m.conv_b[0] = -100.0;
+        for w in &mut m.dense_w[2 * 4..3 * 4] {
+            *w = 0.0;
+        }
+        m.dense_b[2] = 0.5;
+        let q = QuantizedCnn::from_model(&m);
+        assert_eq!(q.requant[0], 0.0);
+        let mut scratch = QuantScratch::new();
+        let raw = vec![0.7f32, -0.3, 0.1, 0.9, -0.5, 0.2];
+        let _ = q.predict_with(&raw, &mut scratch);
+        assert_eq!(scratch.logits[2].to_bits(), 0.5f32.to_bits());
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of rows")]
+    fn ragged_batch_panics() {
+        let q = QuantizedCnn::from_model(&test_model(14));
+        let mut out = Vec::new();
+        q.predict_batch_into(&[0.0; 151], &mut QuantScratch::new(), &mut out);
+    }
+}

@@ -1,11 +1,16 @@
 //! Plain-text weight serialization (self-describing; no serde needed).
 //!
 //! Format: a header line `slap-cnn v1 <rows> <cols> <filters> <classes>`,
-//! then one line per tensor: `<name> <len> <values...>`.
+//! then one line per tensor: `<name> <len> <values...>`. The quantized
+//! model uses the same shape with magic `slap-cnn-int8` and integer
+//! tensors where the weights are int8/i32. f32 values round-trip
+//! exactly: Rust's float `Display` prints the shortest representation
+//! that parses back to the identical bits.
 
 use std::fmt::Write as _;
 
 use crate::model::{CnnConfig, CutCnn};
+use crate::quant::QuantizedCnn;
 
 /// Error for weight parsing.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -119,6 +124,117 @@ impl CutCnn {
     }
 }
 
+/// Reads one `<name> <len> <values...>` tensor line of element type `T`.
+fn read_tensor_line<'a, T: std::str::FromStr>(
+    lines: &mut std::str::Lines<'a>,
+    expect_name: &str,
+    expect_len: usize,
+) -> Result<Vec<T>, ParseWeightsError> {
+    let line = lines
+        .next()
+        .ok_or_else(|| ParseWeightsError(format!("missing tensor {expect_name}")))?;
+    let mut it = line.split_whitespace();
+    let name = it
+        .next()
+        .ok_or_else(|| ParseWeightsError("empty tensor line".into()))?;
+    if name != expect_name {
+        return Err(ParseWeightsError(format!(
+            "expected {expect_name}, got {name}"
+        )));
+    }
+    let len: usize = it
+        .next()
+        .ok_or_else(|| ParseWeightsError("missing length".into()))?
+        .parse()
+        .map_err(|_| ParseWeightsError("bad length".into()))?;
+    if len != expect_len {
+        return Err(ParseWeightsError(format!(
+            "tensor {expect_name}: expected {expect_len} values, header says {len}"
+        )));
+    }
+    let values: Result<Vec<T>, _> = it.map(str::parse::<T>).collect();
+    let values = values.map_err(|_| ParseWeightsError(format!("bad value in {expect_name}")))?;
+    if values.len() != expect_len {
+        return Err(ParseWeightsError(format!("tensor {expect_name} truncated")));
+    }
+    Ok(values)
+}
+
+impl QuantizedCnn {
+    /// Serializes the quantized model to a string (magic
+    /// `slap-cnn-int8 v1`; same line format as [`CutCnn::to_text`] with
+    /// integer tensors for the int8/i32 weights).
+    pub fn to_text(&self) -> String {
+        let c = self.config();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "slap-cnn-int8 v1 {} {} {} {}",
+            c.rows, c.cols, c.filters, c.classes
+        );
+        fn tensor<T: std::fmt::Display>(out: &mut String, name: &str, values: &[T]) {
+            let _ = write!(out, "{name} {}", values.len());
+            for v in values {
+                let _ = write!(out, " {v}");
+            }
+            out.push('\n');
+        }
+        tensor(&mut out, "conv_w", &self.conv_w);
+        tensor(&mut out, "conv_b", &self.conv_b);
+        tensor(&mut out, "requant", &self.requant);
+        tensor(&mut out, "dense_w", &self.dense_w);
+        tensor(&mut out, "dense_scale", &self.dense_scale);
+        tensor(&mut out, "dense_b", &self.dense_b);
+        tensor(&mut out, "feat_mean", &self.feat_mean);
+        tensor(&mut out, "feat_std", &self.feat_std);
+        out
+    }
+
+    /// Parses a model serialized by [`QuantizedCnn::to_text`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseWeightsError`] on malformed input or dimension
+    /// mismatches.
+    pub fn from_text(text: &str) -> Result<QuantizedCnn, ParseWeightsError> {
+        let mut lines = text.lines();
+        let header = lines
+            .next()
+            .ok_or_else(|| ParseWeightsError("empty file".into()))?;
+        let mut it = header.split_whitespace();
+        if it.next() != Some("slap-cnn-int8") || it.next() != Some("v1") {
+            return Err(ParseWeightsError("bad magic".into()));
+        }
+        let mut dims = [0usize; 4];
+        for d in &mut dims {
+            *d = it
+                .next()
+                .ok_or_else(|| ParseWeightsError("short header".into()))?
+                .parse()
+                .map_err(|_| ParseWeightsError("non-numeric header".into()))?;
+        }
+        let config = CnnConfig {
+            rows: dims[0],
+            cols: dims[1],
+            filters: dims[2],
+            classes: dims[3],
+        };
+        let hidden = config.filters * config.cols;
+        let input = config.rows * config.cols;
+        Ok(QuantizedCnn {
+            conv_w: read_tensor_line(&mut lines, "conv_w", config.filters * config.rows)?,
+            conv_b: read_tensor_line(&mut lines, "conv_b", config.filters)?,
+            requant: read_tensor_line(&mut lines, "requant", config.filters)?,
+            dense_w: read_tensor_line(&mut lines, "dense_w", config.classes * hidden)?,
+            dense_scale: read_tensor_line(&mut lines, "dense_scale", config.classes)?,
+            dense_b: read_tensor_line(&mut lines, "dense_b", config.classes)?,
+            feat_mean: read_tensor_line(&mut lines, "feat_mean", input)?,
+            feat_std: read_tensor_line(&mut lines, "feat_std", input)?,
+            config,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,6 +261,44 @@ mod tests {
         assert!(CutCnn::from_text("hello").is_err());
         assert!(CutCnn::from_text("slap-cnn v1 2 2 2").is_err());
         assert!(CutCnn::from_text("slap-cnn v1 2 2 2 2\nconv_w 1 0.5").is_err());
+    }
+
+    #[test]
+    fn quantized_round_trip_is_exact() {
+        let cfg = CnnConfig {
+            rows: 4,
+            cols: 3,
+            filters: 5,
+            classes: 3,
+        };
+        let mut m = CutCnn::new(&cfg, 43);
+        m.set_standardization(vec![0.5; 12], vec![1.25; 12]);
+        let q = QuantizedCnn::from_model(&m);
+        let text = q.to_text();
+        assert!(text.starts_with("slap-cnn-int8 v1 4 3 5 3\n"));
+        let back = QuantizedCnn::from_text(&text).expect("parse");
+        // Integer tensors and f32 Display both round-trip exactly, so
+        // the whole model is reproduced field for field.
+        assert_eq!(q, back);
+    }
+
+    #[test]
+    fn quantized_rejects_f32_magic_and_vice_versa() {
+        let cfg = CnnConfig {
+            rows: 2,
+            cols: 2,
+            filters: 2,
+            classes: 2,
+        };
+        let m = CutCnn::new(&cfg, 44);
+        assert!(QuantizedCnn::from_text(&m.to_text()).is_err());
+        let q = QuantizedCnn::from_model(&m);
+        assert!(CutCnn::from_text(&q.to_text()).is_err());
+        assert!(QuantizedCnn::from_text("").is_err());
+        assert!(QuantizedCnn::from_text("slap-cnn-int8 v1 2 2 2").is_err());
+        // A float where an int8 tensor is expected fails cleanly.
+        let bad = q.to_text().replacen("conv_w 4 ", "conv_w 4 0.5 ", 1);
+        assert!(QuantizedCnn::from_text(&bad).is_err());
     }
 
     #[test]

@@ -98,6 +98,16 @@ impl RunManifest {
         self
     }
 
+    /// Records the inference kernel tier (`"f32"`, `"int8"`) so metrics
+    /// from the bit-identical f32 tier and the QoR-equivalent int8 tier
+    /// can never be diffed against each other silently (`slap-report
+    /// --check` gates on this field; absent means `"f32"`, the tier of
+    /// every run predating it).
+    pub fn kernel(mut self, name: &str) -> RunManifest {
+        self.record.push("kernel", name);
+        self
+    }
+
     /// Appends one free-form config field (policy, k, seed, scale, …).
     pub fn config(mut self, key: &str, value: impl Into<Value>) -> RunManifest {
         self.record.push(key, value);
@@ -152,6 +162,7 @@ mod tests {
             .cache(Some(true))
             .trace()
             .target("lut:6")
+            .kernel("int8")
             .config("seed", 1u64)
             .input_hash("circuit", 0xabcd)
             .input_hash("library", 7)
@@ -167,6 +178,7 @@ mod tests {
         );
         assert_eq!(get("threads").and_then(|v| v.as_u64()), Some(4));
         assert_eq!(get("target").and_then(|v| v.as_str()), Some("lut:6"));
+        assert_eq!(get("kernel").and_then(|v| v.as_str()), Some("int8"));
         assert_eq!(
             get("circuit_hash").and_then(|v| v.as_str()),
             Some("000000000000abcd")

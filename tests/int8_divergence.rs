@@ -1,0 +1,189 @@
+//! Golden bound on the int8 quantized scoring tier.
+//!
+//! The int8 tier (`SlapConfig { kernel: KernelTier::Int8, .. }`) is
+//! *not* held to bit-identity with the f32 kernels — quantization
+//! rounds weights and activations to 8 bits by design. Its contract is:
+//!
+//! 1. **Bounded keep-mask divergence**: on every catalog circuit, the
+//!    fraction of cuts whose keep/drop decision differs from the f32
+//!    tier stays under [`INT8_KEEP_DIVERGENCE_BOUND`]. A quantization
+//!    regression (wrong scale, clipped accumulator, broken requant)
+//!    shows up here as a jump from the committed sub-percent levels.
+//! 2. **Determinism**: the int8 mask and stats are bit-identical across
+//!    worker counts (integer accumulation is associative, and the fixed
+//!    chunk grid of `classify_cuts` removes batching effects), and
+//!    identical between repeated runs.
+//! 3. **Same work**: the int8 tier scores exactly the cuts the f32 tier
+//!    scores — divergence is confined to the predicted classes.
+//!
+//! The bound here is the same constant the `bench_inference` harness
+//! asserts on its untrained paper-size model; keep the two in lockstep.
+
+use std::sync::OnceLock;
+
+use slap_cell::asap7_mini;
+use slap_circuits::arith::ripple_carry_adder;
+use slap_circuits::{table2_benchmarks, Scale};
+use slap_core::{KernelTier, PipelineConfig, SampleConfig, SlapConfig, SlapMapper};
+use slap_cuts::{enumerate_cuts, UnlimitedPolicy};
+use slap_map::{MapOptions, Mapper};
+use slap_ml::{CnnConfig, CutCnn, TrainConfig};
+
+/// Serializes the tests: they mutate the process-global worker count.
+static THREAD_AXIS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Committed per-circuit ceiling on the keep-mask divergence between the
+/// int8 and f32 tiers, as a fraction of all cuts in the arena. Measured
+/// head-room: the trained suite model stays well under 1% on every
+/// catalog circuit; 5% absorbs model-to-model variation without letting
+/// a real quantization bug through.
+const INT8_KEEP_DIVERGENCE_BOUND: f64 = 0.05;
+
+/// The suite flow config: default flow, reduced enumeration cap (the
+/// divergence contract is independent of the cut count, and tier-1 runs
+/// this binary unoptimized).
+fn suite_config() -> SlapConfig {
+    SlapConfig {
+        unlimited_cap: 12,
+        ..SlapConfig::default()
+    }
+}
+
+/// One quick-trained model shared by every test in this binary. Trained
+/// weights matter here more than in the bit-identity suite: quantization
+/// error is relative to real scale spreads, not He-init noise.
+fn shared_model() -> &'static CutCnn {
+    static MODEL: OnceLock<CutCnn> = OnceLock::new();
+    MODEL.get_or_init(|| {
+        let lib = asap7_mini();
+        let mapper = Mapper::new(&lib, MapOptions::default());
+        let config = PipelineConfig {
+            sample: SampleConfig {
+                maps: 16,
+                ..SampleConfig::default()
+            },
+            train: TrainConfig {
+                epochs: 4,
+                ..TrainConfig::default()
+            },
+            model: CnnConfig {
+                filters: 8,
+                ..CnnConfig::paper()
+            },
+            model_seed: 5,
+        };
+        let (model, report) =
+            slap_core::train_slap_model(&[ripple_carry_adder(8)], &mapper, &config);
+        assert!(report.train_samples > 0);
+        model
+    })
+}
+
+/// Divergence + determinism + same-work, on every catalog circuit at
+/// 1, 2, and 8 worker threads.
+#[test]
+fn int8_keep_masks_stay_within_the_golden_bound_across_threads() {
+    let _guard = THREAD_AXIS_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    let prev = slap_par::threads();
+    let lib = asap7_mini();
+    let mapper = Mapper::new(&lib, MapOptions::default());
+    let config = suite_config();
+    let slap_f32 = SlapMapper::new(&mapper, shared_model().clone(), config.clone());
+    let slap_int8 = SlapMapper::new(
+        &mapper,
+        shared_model().clone(),
+        SlapConfig {
+            kernel: KernelTier::Int8,
+            ..config.clone()
+        },
+    );
+    for bench in table2_benchmarks() {
+        let aig = bench.build(Scale::Quick);
+        let cuts = enumerate_cuts(
+            &aig,
+            &config.cut_config,
+            &mut UnlimitedPolicy::with_cap(config.unlimited_cap),
+        );
+        slap_par::set_threads(1);
+        let (f32_keep, f32_stats) = slap_f32.classify_cuts(&aig, &cuts);
+        let (ref_keep, ref_stats) = slap_int8.classify_cuts(&aig, &cuts);
+        assert!(f32_stats.cuts_scored > 0, "{}", bench.name);
+        // Same work: divergence lives in the classes, never the cut set.
+        assert_eq!(
+            ref_stats.cuts_scored, f32_stats.cuts_scored,
+            "{}: int8 tier scored a different cut set",
+            bench.name
+        );
+        // Golden bound: per-circuit keep-mask divergence fraction.
+        let divergent = f32_keep
+            .iter()
+            .zip(&ref_keep)
+            .filter(|(a, b)| a != b)
+            .count();
+        let frac = divergent as f64 / f32_keep.len().max(1) as f64;
+        eprintln!(
+            "{}: int8 keep divergence {divergent}/{} ({:.4}%)",
+            bench.name,
+            f32_keep.len(),
+            frac * 100.0
+        );
+        assert!(
+            frac <= INT8_KEEP_DIVERGENCE_BOUND,
+            "{}: int8 keep-mask divergence {frac:.4} exceeds the committed bound {INT8_KEEP_DIVERGENCE_BOUND}",
+            bench.name
+        );
+        // Determinism: bit-identical mask and stats at every worker count.
+        for t in [1usize, 2, 8] {
+            slap_par::set_threads(t);
+            let (keep, stats) = slap_int8.classify_cuts(&aig, &cuts);
+            assert_eq!(
+                keep, ref_keep,
+                "{}: int8 keep mask not deterministic at {t} threads",
+                bench.name
+            );
+            assert_eq!(
+                stats, ref_stats,
+                "{}: int8 stats not deterministic at {t} threads",
+                bench.name
+            );
+        }
+    }
+    slap_par::set_threads(prev);
+}
+
+/// The downstream axis: the int8 tier must still drive `SlapMapper::map`
+/// to a valid netlist on every catalog circuit, with the same stats the
+/// classification pass reported (QoR-equivalence, not bit-identity, is
+/// the contract — the netlist may legitimately differ from f32's).
+#[test]
+fn int8_tier_maps_every_catalog_circuit() {
+    let _guard = THREAD_AXIS_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    let prev = slap_par::threads();
+    slap_par::set_threads(2);
+    let lib = asap7_mini();
+    let mapper = Mapper::new(&lib, MapOptions::default());
+    let slap_int8 = SlapMapper::new(
+        &mapper,
+        shared_model().clone(),
+        SlapConfig {
+            kernel: KernelTier::Int8,
+            ..suite_config()
+        },
+    );
+    for bench in table2_benchmarks() {
+        let aig = bench.build(Scale::Quick);
+        let (nl, stats) = slap_int8.map(&aig).expect("int8 map");
+        assert!(nl.area() > 0.0, "{}", bench.name);
+        assert!(stats.cuts_scored > 0, "{}", bench.name);
+        assert!(
+            nl.verify_against(&aig, 64, 11),
+            "{}: int8-mapped netlist failed simulation cross-check",
+            bench.name
+        );
+    }
+    slap_par::set_threads(prev);
+}
