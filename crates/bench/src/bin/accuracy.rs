@@ -15,12 +15,12 @@ use slap_bench::metrics::{
     circuits_hash, library_hash, obs_snapshot_record, run_manifest, EpochMetrics, MetricsOut,
     TraceOut,
 };
-use slap_bench::{experiments_dir, init_threads, Args, TargetSpec};
-use slap_cell::{asap7_mini, Library};
+use slap_bench::{experiments_dir, init_threads, run_for_target, Args, TargetRunner, TargetSpec};
+use slap_cell::Library;
 use slap_circuits::catalog::Scale;
 use slap_circuits::training_benchmarks;
 use slap_core::{generate_dataset, LabelMode, SampleConfig, CUT_EMBED_COLS, CUT_EMBED_ROWS};
-use slap_map::{LutMapper, MapOptions, Mapper, Target};
+use slap_map::{MapOptions, Mapper, Target};
 use slap_ml::{CnnConfig, CutCnn, Dataset, TrainConfig};
 
 #[global_allocator]
@@ -29,16 +29,18 @@ static ALLOC: slap_obs::alloc::CountingAllocator = slap_obs::alloc::CountingAllo
 fn main() {
     let args = Args::from_env();
     let target = TargetSpec::from_args(&args);
-    match target {
-        TargetSpec::Asic => {
-            let library = asap7_mini();
-            let mapper = Mapper::new(&library, MapOptions::default());
-            run(&args, &mapper, target, Some(&library));
-        }
-        TargetSpec::Lut(k) => {
-            let mapper = LutMapper::lut(k, MapOptions::default());
-            run(&args, &mapper, target, None);
-        }
+    run_for_target(target, MapOptions::default(), Main { args });
+}
+
+/// `main`'s [`TargetRunner`] continuation (a struct because the
+/// continuation is generic over the target type).
+struct Main {
+    args: Args,
+}
+
+impl TargetRunner for Main {
+    fn run<T: Target>(self, mapper: &Mapper<'_, T>, target: TargetSpec, library: Option<&Library>) {
+        run(&self.args, mapper, target, library);
     }
 }
 

@@ -29,11 +29,13 @@ use std::time::Instant;
 use slap_bench::metrics::{
     aig_hash, library_hash, obs_snapshot_record, run_manifest, MetricsOut, TraceOut,
 };
-use slap_bench::{init_threads, kernel_tier_from_args, Args, TargetSpec};
-use slap_cell::{asap7_mini, Library};
+use slap_bench::{
+    init_threads, kernel_tier_from_args, run_for_target, Args, TargetRunner, TargetSpec,
+};
+use slap_cell::Library;
 use slap_circuits::aes::aes_mini;
 use slap_core::{generate_dataset_session, SampleConfig, CUT_EMBED_COLS, CUT_EMBED_ROWS};
-use slap_map::{LutMapper, MapOptions, Mapper, Target};
+use slap_map::{MapOptions, Mapper, Target};
 use slap_ml::Dataset;
 
 #[global_allocator]
@@ -42,16 +44,18 @@ static ALLOC: slap_obs::alloc::CountingAllocator = slap_obs::alloc::CountingAllo
 fn main() {
     let args = Args::from_env();
     let target = TargetSpec::from_args(&args);
-    match target {
-        TargetSpec::Asic => {
-            let library = asap7_mini();
-            let mapper = Mapper::new(&library, MapOptions::default());
-            run(&args, &mapper, target, Some(&library));
-        }
-        TargetSpec::Lut(k) => {
-            let mapper = LutMapper::lut(k, MapOptions::default());
-            run(&args, &mapper, target, None);
-        }
+    run_for_target(target, MapOptions::default(), Main { args });
+}
+
+/// `main`'s [`TargetRunner`] continuation (a struct because the
+/// continuation is generic over the target type).
+struct Main {
+    args: Args,
+}
+
+impl TargetRunner for Main {
+    fn run<T: Target>(self, mapper: &Mapper<'_, T>, target: TargetSpec, library: Option<&Library>) {
+        run(&self.args, mapper, target, library);
     }
 }
 

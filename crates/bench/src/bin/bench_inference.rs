@@ -23,9 +23,9 @@
 //!
 //! Usage:
 //!   cargo run --release -p slap-bench --bin bench_inference -- \
-//!       [--rounds 5] [--threads N] [--smoke] [--kernel f32|int8]
-//!       [--out BENCH_inference.json] [--metrics-json out.jsonl]
-//!       [--trace-json trace.json]
+//!       [--rounds 5] [--threads N] [--smoke] [--target asic|lut:k]
+//!       [--kernel f32|int8] [--out BENCH_inference.json]
+//!       [--metrics-json out.jsonl] [--trace-json trace.json]
 //!
 //! `--smoke` runs one round and skips the JSON file — the CI leg proving
 //! the harness, the f32 bit-identity asserts, and the int8 divergence
@@ -39,14 +39,16 @@ use std::time::Instant;
 use slap_bench::metrics::{
     aig_hash, library_hash, obs_snapshot_record, run_manifest, MetricsOut, TraceOut,
 };
-use slap_bench::{init_threads, kernel_tier_from_args, Args};
-use slap_cell::asap7_mini;
+use slap_bench::{
+    init_threads, kernel_tier_from_args, run_for_target, Args, TargetRunner, TargetSpec,
+};
+use slap_cell::Library;
 use slap_circuits::aes::aes_mini;
 use slap_core::{
     BandPolicy, EmbeddingContext, KernelTier, SlapConfig, SlapMapper, SlapStats, CUT_EMBED_DIM,
 };
 use slap_cuts::{cut_features, enumerate_cuts, CutArena, UnlimitedPolicy};
-use slap_map::{MapOptions, Mapper};
+use slap_map::{MapOptions, Mapper, Target};
 use slap_ml::{CnnConfig, CutCnn};
 
 #[global_allocator]
@@ -196,37 +198,60 @@ fn seed_classify(
 
 fn main() {
     let args = Args::from_env();
+    let target = TargetSpec::from_args(&args);
+    run_for_target(target, MapOptions::default(), Main { args });
+}
+
+/// `main`'s [`TargetRunner`] continuation (a struct because the
+/// continuation is generic over the target type).
+struct Main {
+    args: Args,
+}
+
+impl TargetRunner for Main {
+    fn run<T: Target>(self, mapper: &Mapper<'_, T>, target: TargetSpec, library: Option<&Library>) {
+        run(&self.args, mapper, target, library);
+    }
+}
+
+fn run<T: Target>(
+    args: &Args,
+    mapper: &Mapper<'_, T>,
+    target: TargetSpec,
+    library: Option<&Library>,
+) {
     let smoke = args.has("smoke");
     let rounds = if smoke { 1 } else { args.get("rounds", 5usize) };
     let out_path = args.get("out", "BENCH_inference.json".to_string());
-    let kernel_flag = kernel_tier_from_args(&args);
-    let threads = init_threads(&args);
+    let kernel_flag = kernel_tier_from_args(args);
+    let threads = init_threads(args);
     let metrics = MetricsOut::from_arg(&args.get("metrics-json", String::new()));
-    let trace = TraceOut::from_args(&args);
+    let trace = TraceOut::from_args(args);
     let run_span = slap_obs::span("bench_inference");
 
-    let lib = asap7_mini();
-    let mapper = Mapper::new(&lib, MapOptions::default());
     let aig = aes_mini();
-    metrics.emit(
-        &run_manifest("bench_inference", threads, "asic")
-            .kernel(kernel_flag.name())
-            .config("rounds", rounds)
-            .config("smoke", smoke)
-            .input_hash("circuit", aig_hash(&aig))
-            .input_hash("library", library_hash(&lib))
-            .into_record(),
-    );
-    let config = SlapConfig::default();
+    let mut manifest = run_manifest("bench_inference", threads, &target.name())
+        .kernel(kernel_flag.name())
+        .config("rounds", rounds)
+        .config("smoke", smoke)
+        .input_hash("circuit", aig_hash(&aig));
+    if let Some(lib) = library {
+        manifest = manifest.input_hash("library", library_hash(lib));
+    }
+    metrics.emit(&manifest.into_record());
+    let config = match target {
+        TargetSpec::Asic => SlapConfig::default(),
+        TargetSpec::Lut(k) => SlapConfig::for_lut(k),
+    };
     // An untrained paper-architecture model: weights are irrelevant for
     // timing (the FLOP count is fixed by the architecture) and the
     // deterministic init keeps every round's asserts meaningful.
     let model = CutCnn::new(&CnnConfig::paper(), 7);
     let seed = SeedModel::from_model(&model);
     let policy = config.policy;
-    let slap_f32 = SlapMapper::new(&mapper, model.clone(), config.clone());
+    let slap_f32 = SlapMapper::new(mapper, model.clone(), config.clone());
     let slap_int8 = SlapMapper::new(
-        &mapper,
+        mapper,
         model,
         SlapConfig {
             kernel: KernelTier::Int8,
@@ -343,6 +368,7 @@ fn main() {
     let _ = writeln!(json, "  \"threads\": {threads},");
     let _ = writeln!(json, "  \"rounds\": {rounds},");
     json.push_str("  \"circuit\": \"aes_mini\",\n");
+    let _ = writeln!(json, "  \"target\": \"{}\",", target.name());
     json.push_str("  \"model\": \"paper (128 filters, untrained)\",\n");
     let _ = writeln!(json, "  \"cuts_scored\": {},", ref_stats.cuts_scored);
     json.push_str(

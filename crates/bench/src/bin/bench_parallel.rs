@@ -9,8 +9,9 @@
 //!
 //! Usage:
 //!   cargo run --release -p slap-bench --bin bench_parallel -- \
-//!       [--rounds 3] [--maps 24] [--out BENCH_parallel.json]
-//!       [--metrics-json out.jsonl] [--trace-json trace.json]
+//!       [--rounds 3] [--maps 24] [--target asic|lut:k]
+//!       [--out BENCH_parallel.json] [--metrics-json out.jsonl]
+//!       [--trace-json trace.json]
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -18,13 +19,13 @@ use std::time::Instant;
 use slap_bench::metrics::{
     aig_hash, library_hash, obs_snapshot_record, run_manifest, MetricsOut, TraceOut,
 };
-use slap_bench::Args;
-use slap_cell::asap7_mini;
+use slap_bench::{run_for_target, Args, TargetRunner, TargetSpec};
+use slap_cell::Library;
 use slap_circuits::aes::aes_mini;
 use slap_circuits::arith::ripple_carry_adder;
 use slap_core::{generate_dataset, SampleConfig, CUT_EMBED_COLS, CUT_EMBED_ROWS};
-use slap_cuts::{enumerate_cuts, CutConfig, DefaultPolicy};
-use slap_map::{MapOptions, Mapper};
+use slap_cuts::{enumerate_cuts, DefaultPolicy};
+use slap_map::{MapOptions, Mapper, Target};
 use slap_ml::Dataset;
 use slap_obs::manifest::combine_hashes;
 
@@ -35,31 +36,52 @@ const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
 fn main() {
     let args = Args::from_env();
+    let target = TargetSpec::from_args(&args);
+    run_for_target(target, MapOptions::default(), Main { args });
+}
+
+/// `main`'s [`TargetRunner`] continuation (a struct because the
+/// continuation is generic over the target type).
+struct Main {
+    args: Args,
+}
+
+impl TargetRunner for Main {
+    fn run<T: Target>(self, mapper: &Mapper<'_, T>, target: TargetSpec, library: Option<&Library>) {
+        run(&self.args, mapper, target, library);
+    }
+}
+
+fn run<T: Target>(
+    args: &Args,
+    mapper: &Mapper<'_, T>,
+    target: TargetSpec,
+    library: Option<&Library>,
+) {
     let rounds = args.get("rounds", 3usize);
     let maps = args.get("maps", 24usize);
     let out_path = args.get("out", "BENCH_parallel.json".to_string());
     let metrics = MetricsOut::from_arg(&args.get("metrics-json", String::new()));
-    let trace = TraceOut::from_args(&args);
+    let trace = TraceOut::from_args(args);
     let run_span = slap_obs::span("bench_parallel");
 
-    let lib = asap7_mini();
-    let mapper = Mapper::new(&lib, MapOptions::default());
-    let cut_config = CutConfig::default();
+    let cut_config = target.cut_config();
     let aes = aes_mini();
     let adder = ripple_carry_adder(16);
-    metrics.emit(
-        &run_manifest("bench_parallel", 0, "asic")
-            .config("rounds", rounds)
-            .config("maps", maps)
-            .input_hash(
-                "circuits",
-                combine_hashes([aig_hash(&aes), aig_hash(&adder)]),
-            )
-            .input_hash("library", library_hash(&lib))
-            .into_record(),
-    );
+    let mut manifest = run_manifest("bench_parallel", 0, &target.name())
+        .config("rounds", rounds)
+        .config("maps", maps)
+        .input_hash(
+            "circuits",
+            combine_hashes([aig_hash(&aes), aig_hash(&adder)]),
+        );
+    if let Some(lib) = library {
+        manifest = manifest.input_hash("library", library_hash(lib));
+    }
+    metrics.emit(&manifest.into_record());
     let sample_cfg = SampleConfig {
         maps,
+        cut_config: cut_config.clone(),
         ..SampleConfig::default()
     };
 
@@ -70,7 +92,7 @@ fn main() {
     };
     let datagen = || {
         let mut ds = Dataset::new(CUT_EMBED_ROWS, CUT_EMBED_COLS, 10);
-        generate_dataset(&adder, &mapper, &sample_cfg, &mut ds).expect("maps");
+        generate_dataset(&adder, mapper, &sample_cfg, &mut ds).expect("maps");
         assert!(!ds.is_empty());
     };
 
@@ -111,6 +133,7 @@ fn main() {
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
+    let _ = writeln!(json, "  \"target\": \"{}\",", target.name());
     let _ = writeln!(json, "  \"rounds\": {rounds},");
     json.push_str(
         "  \"note\": \"best-of-round wall times, thread counts interleaved per round; \

@@ -1,0 +1,414 @@
+//! Sustained-throughput benchmark of the `slap-serve` engine: drives a
+//! mixed catalog workload (every Table II circuit × {default, unlimited,
+//! shuffled} × {asic, lut:6} × {f32, int8}) through one multi-tenant
+//! [`slap_serve::Engine`] and through per-job standalone cold mapping,
+//! interleaved per round, and writes sustained maps/sec plus p50/p99
+//! queue-wait and service latency to `BENCH_serve.json` in the
+//! workspace root.
+//!
+//! The engine side is measured *warm*: one untimed pass fills the
+//! frozen function tiers and the run memo, then every timed round
+//! re-submits the same request stream — the steady state of a bulk
+//! synthesis service replaying known work and sharing cut functions
+//! across jobs. The standalone side maps each job cold, as if every
+//! request spawned a fresh session. Every round asserts each engine
+//! result bit-identical to its standalone counterpart, so the speedup
+//! can never come from changing an answer.
+//!
+//! Usage:
+//!   cargo run --release -p slap-bench --bin bench_serve -- \
+//!       [--rounds 3] [--cap 64] [--keep 8] [--seed 1] [--threads N]
+//!       [--smoke] [--out BENCH_serve.json] [--metrics-json out.jsonl]
+//!       [--trace-json trace.json]
+//!
+//! `--smoke` shrinks the workload (4 circuits, 1 round) and skips the
+//! JSON file — the CI leg proving the harness and the per-round
+//! bit-identity asserts stay green. The `{f32, int8}` axis is request
+//! provenance: serve policies never invoke the CNN, so the tags double
+//! the request mix (as a real multi-tenant stream would) without
+//! changing any mapping — same convention as `bench_datagen --kernel`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use slap_bench::metrics::{
+    circuits_hash, library_hash, map_record, obs_snapshot_record, run_manifest, MetricsOut,
+    TraceOut,
+};
+use slap_bench::{init_threads, Args};
+use slap_cell::asap7_mini;
+use slap_circuits::{table2_benchmarks, Scale};
+use slap_map::{LutMapper, MapOptions, MapPolicy, MappedNetlist, Mapper};
+use slap_serve::{
+    CircuitId, CircuitSpec, Engine, EngineConfig, EngineTarget, MapRequest, TargetId,
+};
+
+#[global_allocator]
+static ALLOC: slap_obs::alloc::CountingAllocator = slap_obs::alloc::CountingAllocator;
+
+/// LUT width of the FPGA side of the mixed workload.
+const LUT_K: usize = 6;
+
+/// One job of the mixed workload, with the resolved engine ids.
+struct Job {
+    circuit: CircuitId,
+    circuit_name: &'static str,
+    target: TargetId,
+    target_name: String,
+    k: usize,
+    policy: MapPolicy,
+    kernel: &'static str,
+    tenant: String,
+}
+
+/// Locates the submitted job a completion answers. Completions arrive
+/// in dispatch (fair-queuing) order, not submit order, so match on the
+/// request fields — unique per job by construction of the workload.
+fn job_index(jobs: &[Job], done: &slap_serve::Completed) -> usize {
+    jobs.iter()
+        .position(|j| {
+            j.circuit_name == done.circuit
+                && j.target_name == done.target
+                && j.policy == done.policy
+                && j.kernel == done.kernel
+                && j.tenant == done.tenant
+        })
+        .expect("completion matches a submitted job")
+}
+
+fn assert_same_mapping(got: &MappedNetlist, base: &MappedNetlist, label: &str) {
+    assert_eq!(got.instances(), base.instances(), "{label}: instances");
+    assert_eq!(got.pos(), base.pos(), "{label}: po sources");
+    assert_eq!(got.cover_cuts(), base.cover_cuts(), "{label}: cover cuts");
+    assert_eq!(got.area().to_bits(), base.area().to_bits(), "{label}: area");
+    assert_eq!(
+        got.delay().to_bits(),
+        base.delay().to_bits(),
+        "{label}: delay"
+    );
+}
+
+fn quantile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let ix = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[ix.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let args = Args::from_env();
+    let smoke = args.has("smoke");
+    let rounds = if smoke { 1 } else { args.get("rounds", 3usize) };
+    let cap = args.get("cap", if smoke { 48 } else { 64usize });
+    let keep = args.get("keep", 8usize);
+    let seed = args.get("seed", 1u64);
+    let out_path = args.get("out", "BENCH_serve.json".to_string());
+    let threads = init_threads(&args);
+    let metrics = MetricsOut::from_arg(&args.get("metrics-json", String::new()));
+    let trace = TraceOut::from_args(&args);
+    let run_span = slap_obs::span("bench_serve");
+
+    // The mixed catalog: every Table II circuit at Quick scale (the
+    // serve benchmark measures engine throughput, not circuit scale).
+    let benches = table2_benchmarks();
+    let circuits = if smoke { &benches[..4] } else { &benches[..] };
+    let aigs: Vec<slap_aig::Aig> = slap_par::par_map(circuits, |_, b| b.build(Scale::Quick));
+
+    let library = asap7_mini();
+    let asic_mapper = Mapper::new(&library, MapOptions::default());
+    let lut_mapper = LutMapper::lut(LUT_K, MapOptions::default());
+    let mut engine = Engine::new(EngineConfig {
+        queue_capacity: 256,
+        quantum: 1,
+        batch: 32,
+        cache: None, // honor SLAP_CACHE
+    });
+    let asic = engine.add_target(EngineTarget::Asic(asic_mapper));
+    let lut = engine.add_target(EngineTarget::Lut(lut_mapper));
+    let circuit_ids: Vec<CircuitId> = circuits
+        .iter()
+        .zip(&aigs)
+        .map(|(b, aig)| engine.register_circuit(b.name, aig.clone()))
+        .collect();
+
+    // The request mix: circuits × policies × targets × kernel tags,
+    // tenants assigned round-robin so fair queuing has real contention.
+    let policies = [
+        MapPolicy::Default,
+        MapPolicy::Unlimited { cap },
+        MapPolicy::Shuffled { seed, keep },
+    ];
+    let mut jobs: Vec<Job> = Vec::new();
+    for (ci, bench) in circuits.iter().enumerate() {
+        for policy in policies {
+            for (target, target_name, k) in [
+                (asic, "asic".to_string(), 5),
+                (lut, format!("lut:{LUT_K}"), LUT_K),
+            ] {
+                for kernel in ["f32", "int8"] {
+                    jobs.push(Job {
+                        circuit: circuit_ids[ci],
+                        circuit_name: bench.name,
+                        target,
+                        target_name: target_name.clone(),
+                        k,
+                        policy,
+                        kernel,
+                        tenant: format!("tenant-{}", jobs.len() % 4),
+                    });
+                }
+            }
+        }
+    }
+
+    let mut manifest = run_manifest("bench_serve", threads, "mixed")
+        .kernel("mixed")
+        .config("rounds", rounds)
+        .config("jobs", jobs.len())
+        .config("cap", cap)
+        .config("smoke", smoke)
+        .input_hash("circuits", circuits_hash(aigs.iter()))
+        .input_hash("library", library_hash(&library));
+    manifest = manifest.config("cache", engine.cache_enabled());
+    metrics.emit(&manifest.into_record());
+    eprintln!(
+        "workload: {} jobs ({} circuits x {} policies x 2 targets x 2 kernel tags), \
+         cache {} ({} threads)",
+        jobs.len(),
+        circuits.len(),
+        policies.len(),
+        if engine.cache_enabled() { "on" } else { "off" },
+        threads,
+    );
+
+    let submit_all = |engine: &mut Engine<'_>| {
+        for job in &jobs {
+            engine
+                .submit(MapRequest {
+                    tenant: job.tenant.clone(),
+                    circuit: CircuitSpec::Named(job.circuit_name.to_string()),
+                    target: job.target,
+                    k: job.k,
+                    policy: job.policy,
+                    kernel: job.kernel.to_string(),
+                })
+                .expect("admitted (queue capacity sized for the workload)");
+        }
+    };
+
+    // Standalone reference pass: one cold map per job — what a caller
+    // spawning a fresh session per request would compute. The outputs
+    // double as the bit-identity reference for every engine round.
+    let reference: Vec<MappedNetlist> = {
+        let _s = slap_obs::span("standalone_reference");
+        jobs.iter()
+            .map(|job| {
+                engine
+                    .map_standalone(job.circuit, job.target, job.k, job.policy)
+                    .expect("maps")
+            })
+            .collect()
+    };
+
+    // Engine warm-fill: one untimed pass populates the frozen tiers and
+    // the run memo, and asserts equivalence once before timing starts.
+    // Its completions (all fresh executions) provide the per-job QoR
+    // rows for the regression gate.
+    {
+        let _s = slap_obs::span("warm_fill");
+        submit_all(&mut engine);
+        let done = engine.drain();
+        assert_eq!(done.len(), jobs.len());
+        for done in &done {
+            let netlist = done.result.as_ref().expect("maps");
+            let ix = job_index(&jobs, done);
+            let job = &jobs[ix];
+            assert_same_mapping(
+                netlist,
+                &reference[ix],
+                &format!(
+                    "warm-fill {} {} {}",
+                    job.circuit_name,
+                    job.target_name,
+                    job.policy.name()
+                ),
+            );
+            // One gated QoR row per distinct (circuit, mode). Kernel
+            // tags map identically by construction, so only tag f32
+            // rows to keep the baseline free of duplicate rows.
+            if job.kernel == "f32" {
+                let mode = format!("serve:{}:{}", job.policy.name(), job.target_name);
+                metrics.emit(&map_record(job.circuit_name, &mode, netlist.stats()));
+            }
+        }
+        for rec in engine.take_records() {
+            metrics.emit(&rec);
+        }
+    }
+    eprintln!(
+        "warm-fill done: {} executed, {} replayed, {} generations",
+        engine.stats().executed,
+        engine.stats().replayed,
+        engine.stats().generations,
+    );
+
+    // Interleaved timed rounds: standalone first, then the warm engine,
+    // per round, with bit-identity asserted on every engine completion.
+    let mut standalone_times = Vec::with_capacity(rounds);
+    let mut engine_times = Vec::with_capacity(rounds);
+    let mut queue_waits: Vec<f64> = Vec::new();
+    let mut services: Vec<f64> = Vec::new();
+    for round in 0..rounds {
+        let standalone_span = slap_obs::span("standalone_round");
+        let t0 = Instant::now();
+        for (job, reference) in jobs.iter().zip(&reference) {
+            let netlist = engine
+                .map_standalone(job.circuit, job.target, job.k, job.policy)
+                .expect("maps");
+            assert_same_mapping(
+                &netlist,
+                reference,
+                &format!("round {round} standalone {}", job.circuit_name),
+            );
+        }
+        let standalone_s = t0.elapsed().as_secs_f64();
+        drop(standalone_span);
+
+        let engine_span = slap_obs::span("engine_round");
+        let t0 = Instant::now();
+        submit_all(&mut engine);
+        let done = engine.drain();
+        let engine_s = t0.elapsed().as_secs_f64();
+        drop(engine_span);
+        assert_eq!(done.len(), jobs.len());
+        for done in &done {
+            let job_ix = job_index(&jobs, done);
+            assert_same_mapping(
+                done.result.as_ref().expect("maps"),
+                &reference[job_ix],
+                &format!("round {round} engine {} {}", done.circuit, done.target),
+            );
+            queue_waits.push(done.queue_wait_s);
+            services.push(done.service_s);
+        }
+        for rec in engine.take_records() {
+            metrics.emit(&rec);
+        }
+
+        eprintln!(
+            "  round {}/{rounds}: standalone {standalone_s:.3}s, engine {engine_s:.3}s \
+             ({:.2}x)",
+            round + 1,
+            standalone_s / engine_s,
+        );
+        let mut rec = slap_obs::Record::new();
+        rec.push("event", "round");
+        rec.push("round", round);
+        rec.push("standalone_s", standalone_s);
+        rec.push("engine_s", engine_s);
+        metrics.emit(&rec);
+        standalone_times.push(standalone_s);
+        engine_times.push(engine_s);
+    }
+
+    let best = |v: &[f64]| v.iter().copied().fold(f64::INFINITY, f64::min);
+    let standalone_best = best(&standalone_times);
+    let engine_best = best(&engine_times);
+    let standalone_mps = jobs.len() as f64 / standalone_best;
+    let engine_mps = jobs.len() as f64 / engine_best;
+    let speedup = standalone_best / engine_best;
+    queue_waits.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    services.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let host_cpus = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+
+    let fmt_times = |v: &[f64]| {
+        let secs: Vec<String> = v.iter().map(|s| format!("{s:.6}")).collect();
+        secs.join(", ")
+    };
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
+    let _ = writeln!(json, "  \"threads\": {threads},");
+    let _ = writeln!(json, "  \"rounds\": {rounds},");
+    let _ = writeln!(json, "  \"jobs_per_round\": {},", jobs.len());
+    let _ = writeln!(json, "  \"circuits\": {},", circuits.len());
+    json.push_str(
+        "  \"note\": \"mixed catalog workload (circuits x {default, unlimited, shuffled} x \
+         {asic, lut:6} x {f32, int8} kernel tags) through one multi-tenant engine, \
+         standalone vs warm engine interleaved per round, best-of-round wall times. \
+         Standalone = one cold map per job (fresh session per request); engine = DRR fair \
+         queuing over 4 tenants with frozen-tier function caches and whole-run \
+         memoization, pre-filled by one untimed pass. Every engine completion asserted \
+         bit-identical to its standalone reference every round. Latency quantiles are \
+         exact (sorted per-request samples across all timed engine rounds).\",\n",
+    );
+    let _ = writeln!(
+        json,
+        "  \"standalone_seconds\": [{}],",
+        fmt_times(&standalone_times)
+    );
+    let _ = writeln!(
+        json,
+        "  \"engine_seconds\": [{}],",
+        fmt_times(&engine_times)
+    );
+    let _ = writeln!(json, "  \"standalone_best_s\": {standalone_best:.6},");
+    let _ = writeln!(json, "  \"engine_best_s\": {engine_best:.6},");
+    let _ = writeln!(json, "  \"standalone_maps_per_sec\": {standalone_mps:.3},");
+    let _ = writeln!(json, "  \"engine_maps_per_sec\": {engine_mps:.3},");
+    let _ = writeln!(json, "  \"engine_speedup\": {speedup:.3},");
+    let _ = writeln!(
+        json,
+        "  \"queue_wait_p50_ms\": {:.6},",
+        quantile(&queue_waits, 0.50) * 1e3
+    );
+    let _ = writeln!(
+        json,
+        "  \"queue_wait_p99_ms\": {:.6},",
+        quantile(&queue_waits, 0.99) * 1e3
+    );
+    let _ = writeln!(
+        json,
+        "  \"service_p50_ms\": {:.6},",
+        quantile(&services, 0.50) * 1e3
+    );
+    let _ = writeln!(
+        json,
+        "  \"service_p99_ms\": {:.6},",
+        quantile(&services, 0.99) * 1e3
+    );
+    let _ = writeln!(json, "  \"executed\": {},", engine.stats().executed);
+    let _ = writeln!(json, "  \"replayed\": {}", engine.stats().replayed);
+    json.push_str("}\n");
+    println!("{json}");
+
+    let alloc = slap_obs::alloc::record_gauges();
+    let mut rec = slap_obs::Record::new();
+    rec.push("event", "summary");
+    rec.push("standalone_best_s", standalone_best);
+    rec.push("engine_best_s", engine_best);
+    rec.push("engine_speedup", speedup);
+    rec.push("engine_maps_per_sec", engine_mps);
+    rec.push("queue_wait_p99_ms", quantile(&queue_waits, 0.99) * 1e3);
+    rec.push("service_p99_ms", quantile(&services, 0.99) * 1e3);
+    rec.push("alloc.count", alloc.count);
+    rec.push("alloc.bytes", alloc.bytes);
+    metrics.emit(&rec);
+    drop(run_span);
+    metrics.emit(&obs_snapshot_record());
+    metrics.finish();
+    trace.finish();
+
+    if smoke {
+        println!("smoke mode: per-round bit-identity asserts passed, skipping {out_path}");
+        return;
+    }
+    let path = std::env::var("CARGO_MANIFEST_DIR")
+        .map(|d| std::path::PathBuf::from(d).join("../..").join(&out_path))
+        .unwrap_or_else(|_| std::path::PathBuf::from(&out_path));
+    std::fs::write(&path, &json).expect("write results");
+    println!("wrote {}", path.display());
+}

@@ -4,7 +4,12 @@
 //! Usage:
 //!   cargo run --release -p slap-bench --bin fig1 -- \
 //!       [--maps 300] [--keep 8] [--seed 1] [--full] [--target asic|lut:k]
-//!       [--threads N] [--metrics-json out.jsonl] [--trace-json trace.json]
+//!       [--kernel f32|int8] [--threads N] [--metrics-json out.jsonl]
+//!       [--trace-json trace.json]
+//!
+//! `--kernel` is accepted for flag symmetry with the inference binaries
+//! and recorded in the manifest; the shuffle scatter never invokes the
+//! CNN, so the tag only keeps `slap-report --check` tier-strict.
 
 use std::io::Write as _;
 
@@ -12,10 +17,13 @@ use slap_aig::Aig;
 use slap_bench::metrics::{
     aig_hash, library_hash, map_record, obs_snapshot_record, run_manifest, MetricsOut, TraceOut,
 };
-use slap_bench::{experiments_dir, init_threads, Args, TargetSpec};
-use slap_cell::{asap7_mini, Library};
+use slap_bench::{
+    experiments_dir, init_threads, kernel_tier_from_args, run_for_target, Args, TargetRunner,
+    TargetSpec,
+};
+use slap_cell::Library;
 use slap_circuits::aes::{aes_core, aes_mini};
-use slap_map::{LutMapper, MapOptions, Mapper, Target};
+use slap_map::{MapOptions, Mapper, Target};
 
 #[global_allocator]
 static ALLOC: slap_obs::alloc::CountingAllocator = slap_obs::alloc::CountingAllocator;
@@ -28,16 +36,19 @@ fn main() {
     } else {
         aes_mini()
     };
-    match target {
-        TargetSpec::Asic => {
-            let library = asap7_mini();
-            let mapper = Mapper::new(&library, MapOptions::default());
-            run(&args, &aig, &mapper, target, Some(&library));
-        }
-        TargetSpec::Lut(k) => {
-            let mapper = LutMapper::lut(k, MapOptions::default());
-            run(&args, &aig, &mapper, target, None);
-        }
+    run_for_target(target, MapOptions::default(), Main { args, aig });
+}
+
+/// `main`'s [`TargetRunner`] continuation (a struct because the
+/// continuation is generic over the target type).
+struct Main {
+    args: Args,
+    aig: Aig,
+}
+
+impl TargetRunner for Main {
+    fn run<T: Target>(self, mapper: &Mapper<'_, T>, target: TargetSpec, library: Option<&Library>) {
+        run(&self.args, &self.aig, mapper, target, library);
     }
 }
 
@@ -58,6 +69,7 @@ fn run<T: Target>(
     println!("circuit: {} ({} AND nodes)", aig.name(), aig.num_ands());
 
     let mut manifest = run_manifest("fig1", threads, &target.name())
+        .kernel(kernel_tier_from_args(args).name())
         .config("maps", maps)
         .config("keep", keep)
         .config("seed", seed)

@@ -5,8 +5,12 @@
 //! Usage:
 //!   cargo run --release -p slap-bench --bin fig5 -- \
 //!       [--maps 120] [--epochs 12] [--filters 64] [--rounds 10]
-//!       [--eval 2000] [--seed 1] [--target asic|lut:k] [--threads N]
-//!       [--metrics-json out.jsonl] [--trace-json trace.json]
+//!       [--eval 2000] [--seed 1] [--target asic|lut:k] [--kernel f32|int8]
+//!       [--threads N] [--metrics-json out.jsonl] [--trace-json trace.json]
+//!
+//! `--kernel` is accepted for flag symmetry with the inference binaries
+//! and recorded in the manifest; permutation importance evaluates the
+//! f32 reference model directly, so the tag is provenance only.
 
 use std::io::Write as _;
 use std::sync::Arc;
@@ -16,12 +20,15 @@ use slap_bench::metrics::{
     circuits_hash, library_hash, obs_snapshot_record, run_manifest, EpochMetrics, MetricsOut,
     TraceOut,
 };
-use slap_bench::{experiments_dir, init_threads, Args, TargetSpec};
-use slap_cell::{asap7_mini, Library};
+use slap_bench::{
+    experiments_dir, init_threads, kernel_tier_from_args, run_for_target, Args, TargetRunner,
+    TargetSpec,
+};
+use slap_cell::Library;
 use slap_circuits::catalog::Scale;
 use slap_circuits::training_benchmarks;
 use slap_core::{feature_groups, generate_dataset, SampleConfig, CUT_EMBED_COLS, CUT_EMBED_ROWS};
-use slap_map::{LutMapper, MapOptions, Mapper, Target};
+use slap_map::{MapOptions, Mapper, Target};
 use slap_ml::{permutation_importance, CnnConfig, CutCnn, Dataset, TrainConfig};
 
 #[global_allocator]
@@ -30,16 +37,18 @@ static ALLOC: slap_obs::alloc::CountingAllocator = slap_obs::alloc::CountingAllo
 fn main() {
     let args = Args::from_env();
     let target = TargetSpec::from_args(&args);
-    match target {
-        TargetSpec::Asic => {
-            let library = asap7_mini();
-            let mapper = Mapper::new(&library, MapOptions::default());
-            run(&args, &mapper, target, Some(&library));
-        }
-        TargetSpec::Lut(k) => {
-            let mapper = LutMapper::lut(k, MapOptions::default());
-            run(&args, &mapper, target, None);
-        }
+    run_for_target(target, MapOptions::default(), Main { args });
+}
+
+/// `main`'s [`TargetRunner`] continuation (a struct because the
+/// continuation is generic over the target type).
+struct Main {
+    args: Args,
+}
+
+impl TargetRunner for Main {
+    fn run<T: Target>(self, mapper: &Mapper<'_, T>, target: TargetSpec, library: Option<&Library>) {
+        run(&self.args, mapper, target, library);
     }
 }
 
@@ -67,6 +76,7 @@ fn run<T: Target>(
     let benches = training_benchmarks();
     let aigs: Vec<Aig> = slap_par::par_map(&benches, |_, b| b.build(Scale::Full));
     let mut manifest = run_manifest("fig5", threads, &target.name())
+        .kernel(kernel_tier_from_args(args).name())
         .config("maps", maps)
         .config("epochs", epochs)
         .config("filters", filters)

@@ -28,13 +28,13 @@ use slap_bench::metrics::{
     MetricsOut, TraceOut,
 };
 use slap_bench::{
-    experiments_dir, geomean, init_threads, kernel_tier_from_args, train_paper_model, Args, Qor,
-    TargetSpec,
+    experiments_dir, geomean, init_threads, kernel_tier_from_args, run_for_target,
+    train_paper_model, Args, Qor, TargetRunner, TargetSpec,
 };
-use slap_cell::{asap7_mini, Library};
+use slap_cell::Library;
 use slap_circuits::catalog::{table2_benchmarks, Scale};
 use slap_core::{SlapConfig, SlapMapper};
-use slap_map::{LutMapper, MapOptions, Mapper, Target};
+use slap_map::{MapOptions, Mapper, Target};
 use slap_obs::manifest::combine_hashes;
 
 #[global_allocator]
@@ -50,16 +50,18 @@ struct Row {
 fn main() {
     let args = Args::from_env();
     let target = TargetSpec::from_args(&args);
-    match target {
-        TargetSpec::Asic => {
-            let library = asap7_mini();
-            let mapper = Mapper::new(&library, MapOptions::default());
-            run(&args, &mapper, target, Some(&library));
-        }
-        TargetSpec::Lut(k) => {
-            let mapper = LutMapper::lut(k, MapOptions::default());
-            run(&args, &mapper, target, None);
-        }
+    run_for_target(target, MapOptions::default(), Main { args });
+}
+
+/// `main`'s [`TargetRunner`] continuation (a struct because the
+/// continuation is generic over the target type).
+struct Main {
+    args: Args,
+}
+
+impl TargetRunner for Main {
+    fn run<T: Target>(self, mapper: &Mapper<'_, T>, target: TargetSpec, library: Option<&Library>) {
+        run(&self.args, mapper, target, library);
     }
 }
 

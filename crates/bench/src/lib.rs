@@ -163,6 +163,45 @@ impl TargetSpec {
     }
 }
 
+/// The target-generic continuation of a binary's `main()`: implemented
+/// once per binary (usually forwarding to its `fn run<T: Target>`),
+/// invoked by [`run_for_target`] with the concrete mapper. A trait
+/// rather than a closure because the continuation itself is generic
+/// over the target type.
+pub trait TargetRunner {
+    /// Runs the binary against the concrete mapper. `library` is the
+    /// genlib library for ASIC targets (`None` for LUT targets, which
+    /// have no library to hash into manifests).
+    fn run<T: Target>(
+        self,
+        mapper: &Mapper<'_, T>,
+        target: TargetSpec,
+        library: Option<&slap_cell::Library>,
+    );
+}
+
+/// Builds the concrete mapper for `target` and hands it to `runner` —
+/// the one shared copy of the `--target` dispatch match that every
+/// experiment binary's `main()` used to repeat (construct `asap7_mini`
+/// + [`Mapper`] for ASIC, [`slap_map::LutMapper`] for `lut:k`).
+pub fn run_for_target<R: TargetRunner>(
+    target: TargetSpec,
+    options: slap_map::MapOptions,
+    runner: R,
+) {
+    match target {
+        TargetSpec::Asic => {
+            let library = slap_cell::asap7_mini();
+            let mapper = Mapper::new(&library, options);
+            runner.run(&mapper, target, Some(&library));
+        }
+        TargetSpec::Lut(k) => {
+            let mapper = slap_map::LutMapper::lut(k, options);
+            runner.run(&mapper, target, None);
+        }
+    }
+}
+
 /// Reads the `--kernel {f32,int8}` flag (default `f32`) shared by the
 /// inference binaries. The chosen tier goes into [`SlapConfig::kernel`]
 /// and the run manifest (`RunManifest::kernel`), so `slap-report
@@ -316,6 +355,39 @@ mod tests {
         assert_eq!(
             TargetSpec::from_args(&Args::from_vec(vec![])),
             TargetSpec::Asic
+        );
+    }
+
+    #[test]
+    fn run_for_target_dispatches_both_targets() {
+        struct Probe<'a> {
+            seen: &'a mut Vec<(String, bool)>,
+        }
+        impl TargetRunner for Probe<'_> {
+            fn run<T: Target>(
+                self,
+                mapper: &Mapper<'_, T>,
+                target: TargetSpec,
+                library: Option<&slap_cell::Library>,
+            ) {
+                let _ = mapper;
+                self.seen.push((target.name(), library.is_some()));
+            }
+        }
+        let mut seen = Vec::new();
+        run_for_target(
+            TargetSpec::Asic,
+            slap_map::MapOptions::default(),
+            Probe { seen: &mut seen },
+        );
+        run_for_target(
+            TargetSpec::Lut(4),
+            slap_map::MapOptions::default(),
+            Probe { seen: &mut seen },
+        );
+        assert_eq!(
+            seen,
+            [("asic".to_string(), true), ("lut:4".to_string(), false)]
         );
     }
 

@@ -624,6 +624,134 @@ impl SessionCache {
         }
         fresh_interns
     }
+
+    /// An order-independent digest of the cache *contents*: every
+    /// `(root, cut) → function` entry hashed by value (the truth-table
+    /// bits, not the interning-order-dependent [`TtId`]) and combined
+    /// commutatively. Two caches that memoize the same set of functions
+    /// fingerprint equal no matter what order the entries arrived in —
+    /// this is what the serve-equivalence suite asserts is invariant
+    /// across worker thread counts.
+    pub fn fingerprint(&self) -> u64 {
+        let mut acc = 0u64;
+        for ((root, cut), value) in &self.functions {
+            let mut h = mix64(root.index() as u64 ^ 0x9e37_79b9_7f4a_7c15);
+            for &leaf in cut.leaf_indices() {
+                h = mix64(h ^ u64::from(leaf));
+            }
+            let entry = match value {
+                None => mix64(h ^ u64::MAX),
+                Some((id, vol)) => {
+                    let tt = self.tts.get(*id);
+                    mix64(h ^ tt.bits() ^ ((tt.num_vars() as u64) << 58) ^ (u64::from(*vol) << 32))
+                }
+            };
+            acc = acc.wrapping_add(entry);
+        }
+        mix64(acc ^ ((self.functions.len() as u64) << 1) ^ ((self.tts.len() as u64) << 33))
+    }
+}
+
+/// A [`SessionCache`] promoted to a read-only shared tier, as used by
+/// the `slap-serve` engine: during a *generation*, every worker probes
+/// the tier through `&self` (the frozen resolve paths — lock-free by
+/// construction, the borrow checker proves no writer exists), recording
+/// misses into per-job [`SessionDelta`]s. Between generations the
+/// single-threaded engine absorbs those deltas in job-dispatch order
+/// through `&mut self` and bumps the generation counter.
+///
+/// The tier only ever removes recomputation: absorbing in dispatch
+/// order reproduces the sequential first-encounter interning order, and
+/// a probe can only observe values that are pure functions of the AIG —
+/// so results stay bit-identical to a cold session no matter how many
+/// generations ran before.
+#[derive(Debug)]
+pub struct FrozenTier {
+    cache: SessionCache,
+    generation: u64,
+    deltas_absorbed: u64,
+    fresh_interns: u64,
+}
+
+impl FrozenTier {
+    /// A tier that memoizes (`enabled = true`) or transparently degrades
+    /// every probe to the cold path (`enabled = false`).
+    pub fn new(enabled: bool) -> FrozenTier {
+        FrozenTier {
+            cache: SessionCache::new(enabled),
+            generation: 0,
+            deltas_absorbed: 0,
+            fresh_interns: 0,
+        }
+    }
+
+    /// A tier honoring the `SLAP_CACHE` environment toggle (see
+    /// [`SessionCache::from_env`]).
+    pub fn from_env() -> FrozenTier {
+        FrozenTier {
+            cache: SessionCache::from_env(),
+            generation: 0,
+            deltas_absorbed: 0,
+            fresh_interns: 0,
+        }
+    }
+
+    /// Whether the tier memoizes at all.
+    pub fn enabled(&self) -> bool {
+        self.cache.enabled()
+    }
+
+    /// The read-only view workers probe during a generation.
+    pub fn frozen(&self) -> &SessionCache {
+        &self.cache
+    }
+
+    /// How many absorb generations have completed.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Total deltas absorbed across all generations.
+    pub fn deltas_absorbed(&self) -> u64 {
+        self.deltas_absorbed
+    }
+
+    /// Total truth tables newly interned by absorption.
+    pub fn fresh_interns(&self) -> u64 {
+        self.fresh_interns
+    }
+
+    /// Order-independent digest of the tier contents
+    /// ([`SessionCache::fingerprint`]).
+    pub fn fingerprint(&self) -> u64 {
+        self.cache.fingerprint()
+    }
+
+    /// Absorbs one generation's worth of deltas in the given order via
+    /// `absorb` (the target-specific replay, e.g.
+    /// [`SessionCache::absorb`] for ASIC or
+    /// [`SessionCache::absorb_functions`] for LUT targets), then bumps
+    /// the generation counter. Returns how many truth tables were newly
+    /// interned. A call with no deltas is a no-op that leaves the
+    /// generation unchanged, and a disabled tier drops every delta
+    /// unabsorbed (the cold path must stay cold).
+    pub fn absorb_generation(
+        &mut self,
+        deltas: Vec<SessionDelta>,
+        mut absorb: impl FnMut(&mut SessionCache, SessionDelta) -> u64,
+    ) -> u64 {
+        if deltas.is_empty() || !self.cache.enabled() {
+            return 0;
+        }
+        let mut fresh = 0u64;
+        for delta in deltas {
+            self.deltas_absorbed += 1;
+            fresh += absorb(&mut self.cache, delta);
+        }
+        self.fresh_interns += fresh;
+        self.generation += 1;
+        fresh
+    }
 }
 
 /// Key of one memoized shuffled-map run: everything that, together with
@@ -971,5 +1099,105 @@ mod tests {
         let mut delta2 = SessionDelta::default();
         let (_, fi2) = cache.resolve_fn_frozen(&aig, other, &cut2, &lv, &mut cone, &mut delta2);
         assert!(fi2.fn_hit && delta2.is_empty());
+    }
+
+    #[test]
+    fn fingerprint_is_insertion_order_independent() {
+        let (aig, roots) = xor_chain();
+        let mut cone = ConeScratch::default();
+        // Collect the single-node cuts of every AND, resolve them into
+        // two caches in opposite orders, and require equal fingerprints.
+        let mut forward = SessionCache::new(true);
+        let mut backward = SessionCache::new(true);
+        let probes: Vec<(NodeId, [NodeId; 2])> = roots
+            .iter()
+            .map(|&r| {
+                let (f0, f1) = aig.fanins(r);
+                (r, [f0.node(), f1.node()])
+            })
+            .collect();
+        for (root, lv) in &probes {
+            let cut = Cut::from_leaves(lv);
+            let _ = forward.resolve_fn_mut(&aig, *root, &cut, lv, &mut cone);
+        }
+        for (root, lv) in probes.iter().rev() {
+            let cut = Cut::from_leaves(lv);
+            let _ = backward.resolve_fn_mut(&aig, *root, &cut, lv, &mut cone);
+        }
+        assert_eq!(forward.num_functions(), backward.num_functions());
+        assert_eq!(
+            forward.fingerprint(),
+            backward.fingerprint(),
+            "fingerprints hash contents, not arrival order"
+        );
+        // A cache holding fewer entries must fingerprint differently.
+        let mut partial = SessionCache::new(true);
+        let (root, lv) = &probes[0];
+        let cut = Cut::from_leaves(lv);
+        let _ = partial.resolve_fn_mut(&aig, *root, &cut, lv, &mut cone);
+        assert_ne!(partial.fingerprint(), forward.fingerprint());
+        assert_eq!(
+            SessionCache::new(true).fingerprint(),
+            SessionCache::new(false).fingerprint()
+        );
+    }
+
+    #[test]
+    fn frozen_tier_absorbs_generations_in_order() {
+        let (aig, roots) = xor_chain();
+        let mut cone = ConeScratch::default();
+        let mut tier = FrozenTier::new(true);
+        assert!(tier.enabled());
+        assert_eq!(tier.generation(), 0);
+
+        // Generation 1: two workers probe the frozen view, each
+        // recording a delta; the engine absorbs both in dispatch order.
+        let probe = |cache: &SessionCache, root: NodeId, cone: &mut ConeScratch| {
+            let (f0, f1) = aig.fanins(root);
+            let lv = [f0.node(), f1.node()];
+            let cut = Cut::from_leaves(&lv);
+            let mut delta = SessionDelta::default();
+            let _ = cache.resolve_fn_frozen(&aig, root, &cut, &lv, cone, &mut delta);
+            delta
+        };
+        let d0 = probe(tier.frozen(), roots[0], &mut cone);
+        let d1 = probe(tier.frozen(), roots[1], &mut cone);
+        assert_eq!(d0.len() + d1.len(), 2);
+        let fresh = tier.absorb_generation(vec![d0, d1], SessionCache::absorb_functions);
+        assert!(fresh >= 1);
+        assert_eq!(tier.generation(), 1);
+        assert_eq!(tier.deltas_absorbed(), 2);
+        assert_eq!(tier.frozen().num_functions(), 2);
+
+        // Generation 2: the same probes now hit and record nothing;
+        // absorbing empty deltas still advances the generation.
+        let d0 = probe(tier.frozen(), roots[0], &mut cone);
+        assert!(d0.is_empty());
+        let fp = tier.fingerprint();
+        let _ = tier.absorb_generation(vec![d0], SessionCache::absorb_functions);
+        assert_eq!(tier.generation(), 2);
+        assert_eq!(
+            tier.fingerprint(),
+            fp,
+            "empty absorb leaves contents unchanged"
+        );
+
+        // No deltas at all: a no-op, generation unchanged.
+        let _ = tier.absorb_generation(Vec::new(), SessionCache::absorb_functions);
+        assert_eq!(tier.generation(), 2);
+
+        // A disabled tier drops deltas unabsorbed and stays empty (the
+        // map layer degrades disabled caches to the cold path before a
+        // delta can even be recorded; this guards direct misuse).
+        let mut off = FrozenTier::new(false);
+        assert!(!off.enabled());
+        let d = probe(off.frozen(), roots[0], &mut cone);
+        let _ = off.absorb_generation(vec![d], SessionCache::absorb_functions);
+        assert_eq!(off.generation(), 0);
+        assert_eq!(
+            off.frozen().num_functions(),
+            0,
+            "disabled tier stores nothing"
+        );
     }
 }

@@ -47,7 +47,7 @@ pub mod target;
 pub mod verilog;
 
 pub use error::MapError;
-pub use mapping::{LutMapper, MapOptions, MapSession, MapStats, Mapper, PhaseTimes};
+pub use mapping::{LutMapper, MapOptions, MapPolicy, MapSession, MapStats, Mapper, PhaseTimes};
 pub use matching::{compute_matches, gate_histogram, MatchArena, MatchStats, PreparedMatch};
 pub use netlist::{Instance, InstanceKind, MappedNetlist, PoSource, Signal, TargetModel};
 pub use target::{AsicTarget, LutTarget, Target};

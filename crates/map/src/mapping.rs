@@ -19,6 +19,55 @@ use crate::target::{AsicTarget, LutTarget, Target};
 /// Tolerance used when comparing arrivals against required times.
 const EPS: f32 = 1e-3;
 
+/// A cut-enumeration policy selection as plain data, so callers that
+/// route *mixed* workloads (the `slap-serve` engine, the bench bins)
+/// can carry "which map" in a job description instead of branching to
+/// one of the `map_default` / `map_unlimited` / `map_shuffled` entry
+/// points at every call site. `Eq + Hash` so a policy can key run
+/// memoization.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MapPolicy {
+    /// The paper's *ABC Default* priority-cut policy.
+    Default,
+    /// The *ABC Unlimited* policy; `cap` bounds per-node memory.
+    Unlimited {
+        /// Per-node cut cap (memory bound, not a priority filter).
+        cap: usize,
+    },
+    /// The random-shuffle exploration policy (Fig. 1 / §IV-B).
+    Shuffled {
+        /// Shuffle seed.
+        seed: u64,
+        /// Cuts kept per node.
+        keep: usize,
+    },
+}
+
+impl MapPolicy {
+    /// Short policy label (`"default"`, `"unlimited"`, `"shuffled"`)
+    /// for manifests and metrics records.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MapPolicy::Default => "default",
+            MapPolicy::Unlimited { .. } => "unlimited",
+            MapPolicy::Shuffled { .. } => "shuffled",
+        }
+    }
+
+    /// Runs the policy's cut enumeration.
+    fn enumerate(&self, aig: &Aig, config: &CutConfig) -> CutArena {
+        match *self {
+            MapPolicy::Default => enumerate_cuts(aig, config, &mut DefaultPolicy::default()),
+            MapPolicy::Unlimited { cap } => {
+                enumerate_cuts(aig, config, &mut UnlimitedPolicy::with_cap(cap))
+            }
+            MapPolicy::Shuffled { seed, keep } => {
+                enumerate_cuts(aig, config, &mut ShufflePolicy::with_keep(seed, keep))
+            }
+        }
+    }
+}
+
 /// Mapper configuration.
 #[derive(Clone, Debug)]
 pub struct MapOptions {
@@ -290,6 +339,62 @@ impl<'a, T: Target> Mapper<'a, T> {
     /// a different graph, or [`MapError::Unmappable`] if covering fails.
     pub fn map_with_cuts(&self, aig: &Aig, cuts: &CutArena) -> Result<MappedNetlist, MapError> {
         self.map_with_cuts_timed(aig, cuts, 0.0)
+    }
+
+    /// Maps with the policy described by `policy` — the data-driven
+    /// dispatch over [`Mapper::map_default`] / [`Mapper::map_unlimited`]
+    /// / [`Mapper::map_shuffled`], cold (no cache).
+    ///
+    /// # Errors
+    ///
+    /// See [`Mapper::map_default`].
+    pub fn map_policy(
+        &self,
+        aig: &Aig,
+        config: &CutConfig,
+        policy: MapPolicy,
+    ) -> Result<MappedNetlist, MapError> {
+        let t0 = Instant::now();
+        let cuts = policy.enumerate(aig, config);
+        self.map_with_cuts_timed(aig, &cuts, t0.elapsed().as_secs_f64())
+    }
+
+    /// [`Mapper::map_policy`] against a frozen (`&`) shared cache — the
+    /// `slap-serve` worker entry point: cache misses are computed cold
+    /// and recorded in the returned [`SessionDelta`] instead of mutating
+    /// the cache, so any number of workers can probe one cache
+    /// concurrently. The result is bit-identical to the cold
+    /// [`Mapper::map_policy`] regardless of what the cache holds; a
+    /// disabled cache degrades transparently to the cold path and
+    /// records nothing.
+    pub fn map_policy_frozen(
+        &self,
+        aig: &Aig,
+        config: &CutConfig,
+        policy: MapPolicy,
+        cache: &SessionCache,
+    ) -> (Result<MappedNetlist, MapError>, SessionDelta) {
+        let t0 = Instant::now();
+        let cuts = policy.enumerate(aig, config);
+        let enumerate_s = t0.elapsed().as_secs_f64();
+        let mut delta = SessionDelta::default();
+        let mut dp = DpState::new(aig.num_nodes());
+        let result = self.map_with_cuts_ctx(
+            aig,
+            &cuts,
+            enumerate_s,
+            CacheCtx::Frozen(cache, &mut delta),
+            &mut dp,
+        );
+        (result, delta)
+    }
+
+    /// Replays a worker delta into `cache` through this mapper's
+    /// target-specific absorb (bindings prepared for ASIC, function-only
+    /// for LUT targets). Returns how many truth tables were newly
+    /// interned.
+    pub fn absorb_into(&self, cache: &mut SessionCache, delta: SessionDelta) -> u64 {
+        self.target.absorb_delta(cache, delta)
     }
 
     /// Opens a memoizing session on `aig`: repeated maps of the same AIG
@@ -1122,6 +1227,29 @@ impl<'s, 'lib, T: Target> MapSession<'s, 'lib, T> {
             self.aig,
             cuts,
             0.0,
+            CacheCtx::Mut(&mut self.cache),
+            &mut self.dp,
+        )
+    }
+
+    /// Warm equivalent of [`Mapper::map_policy`]: data-driven dispatch
+    /// over the session's cached map methods.
+    ///
+    /// # Errors
+    ///
+    /// See [`Mapper::map_default`].
+    pub fn map_policy(
+        &mut self,
+        config: &CutConfig,
+        policy: MapPolicy,
+    ) -> Result<MappedNetlist, MapError> {
+        let t0 = Instant::now();
+        let cuts = policy.enumerate(self.aig, config);
+        let enumerate_s = t0.elapsed().as_secs_f64();
+        self.mapper.map_with_cuts_ctx(
+            self.aig,
+            &cuts,
+            enumerate_s,
             CacheCtx::Mut(&mut self.cache),
             &mut self.dp,
         )

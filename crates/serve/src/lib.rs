@@ -1,0 +1,967 @@
+//! `slap-serve`: a multi-tenant batch mapping engine.
+//!
+//! The experiment binaries map one circuit per process; this crate is
+//! the step from "experiment harness" to "service": a job-stream
+//! [`Engine`] that accepts mapping requests (catalog circuit or raw
+//! AIGER bytes, plus target / cut bound / policy / kernel tier), runs
+//! them over `slap-par` workers, and shares one immutable match index
+//! and one **frozen-tier session cache** per `(circuit, target)` across
+//! every job that ever touches that pair.
+//!
+//! # Generations
+//!
+//! The engine alternates two phases, with the borrow checker standing
+//! in for a lock:
+//!
+//! 1. **Dispatch** — a generation of jobs (picked by deficit
+//!    round-robin over bounded per-tenant queues) runs on the worker
+//!    pool. Every worker probes the shared [`FrozenTier`] through
+//!    `&self` — read-only, hence lock-free — and records cache misses
+//!    into a private [`SessionDelta`].
+//! 2. **Absorb** — back on the engine thread, the deltas are replayed
+//!    into the tier in job-dispatch order (deterministic: `par_map`
+//!    reassembles results in item order regardless of thread count) and
+//!    the tier's generation counter advances.
+//!
+//! The cache only ever removes recomputation — a frozen probe returns
+//! exactly what a cold computation would — so a job's QoR is
+//! bit-identical to a standalone cold session no matter the arrival
+//! order, worker thread count, or what ran before it. On top of the
+//! function tier the engine memoizes whole runs: a request repeating an
+//! already-served `(circuit, target, k, policy)` replays the stored
+//! netlist without mapping at all (mapping is a pure function of that
+//! key).
+//!
+//! Admission control is explicit: each tenant owns a bounded FIFO, and
+//! a submit against a full queue is shed with
+//! [`Rejected::QueueFull`] instead of growing without bound. Service is
+//! deficit round-robin, so a tenant flooding its queue cannot starve
+//! the others. Every served request emits one `slap-obs` record (queue
+//! wait, service time, frozen-tier hit counters, QoR) under a
+//! request-scoped span; see [`Engine::take_records`].
+
+use std::collections::{HashMap, VecDeque};
+use std::time::Instant;
+
+use slap_aig::Aig;
+use slap_cache::{FrozenTier, SessionDelta};
+use slap_cuts::CutConfig;
+use slap_map::{AsicTarget, LutMapper, MapError, MapPolicy, MappedNetlist, Mapper, Target};
+use slap_obs::Record;
+
+/// Index of a registered circuit (dense, in registration order).
+pub type CircuitId = usize;
+
+/// Index of a registered target (dense, in registration order).
+pub type TargetId = usize;
+
+/// Engine-assigned request identifier, unique per engine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct JobId(pub u64);
+
+/// A mapping target registered with the engine. The engine is not
+/// generic over one target — a serve workload is *mixed* by nature, so
+/// targets are closed-enum dispatched per job.
+pub enum EngineTarget<'lib> {
+    /// ASIC standard-cell mapping against a genlib library.
+    Asic(Mapper<'lib, AsicTarget<'lib>>),
+    /// k-input LUT FPGA mapping (unit cost model).
+    Lut(LutMapper),
+}
+
+impl EngineTarget<'_> {
+    /// Manifest name of the target (`"asic"`, `"lut:6"`).
+    pub fn name(&self) -> String {
+        match self {
+            EngineTarget::Asic(m) => m.target().name(),
+            EngineTarget::Lut(m) => m.target().name(),
+        }
+    }
+
+    fn map_policy_cold(
+        &self,
+        aig: &Aig,
+        config: &CutConfig,
+        policy: MapPolicy,
+    ) -> Result<MappedNetlist, MapError> {
+        match self {
+            EngineTarget::Asic(m) => m.map_policy(aig, config, policy),
+            EngineTarget::Lut(m) => m.map_policy(aig, config, policy),
+        }
+    }
+
+    fn map_policy_frozen(
+        &self,
+        aig: &Aig,
+        config: &CutConfig,
+        policy: MapPolicy,
+        cache: &slap_cache::SessionCache,
+    ) -> (Result<MappedNetlist, MapError>, SessionDelta) {
+        match self {
+            EngineTarget::Asic(m) => m.map_policy_frozen(aig, config, policy, cache),
+            EngineTarget::Lut(m) => m.map_policy_frozen(aig, config, policy, cache),
+        }
+    }
+
+    fn absorb_into(&self, cache: &mut slap_cache::SessionCache, delta: SessionDelta) -> u64 {
+        match self {
+            EngineTarget::Asic(m) => m.absorb_into(cache, delta),
+            EngineTarget::Lut(m) => m.absorb_into(cache, delta),
+        }
+    }
+}
+
+/// Which circuit a request maps.
+#[derive(Clone, Debug)]
+pub enum CircuitSpec {
+    /// A circuit previously registered with
+    /// [`Engine::register_circuit`], by name.
+    Named(String),
+    /// Raw AIGER bytes (ASCII `aag` or binary `aig`), parsed and
+    /// deduplicated by content on submit.
+    Aiger(Vec<u8>),
+}
+
+/// One mapping request.
+#[derive(Clone, Debug)]
+pub struct MapRequest {
+    /// Submitting tenant (auto-registered on first use; queue bound and
+    /// fair-queuing weight are per tenant).
+    pub tenant: String,
+    /// The circuit to map.
+    pub circuit: CircuitSpec,
+    /// Which registered target to map onto.
+    pub target: TargetId,
+    /// Cut feasibility bound `k`.
+    pub k: usize,
+    /// Cut-enumeration policy (carries the shuffle seed when present).
+    pub policy: MapPolicy,
+    /// Inference kernel-tier tag (`"f32"` / `"int8"`), recorded in the
+    /// request record for provenance. The serve policies never invoke
+    /// the CNN, so the tag does not affect results — same convention as
+    /// `bench_datagen --kernel`.
+    pub kernel: String,
+}
+
+/// Admission-control shedding decisions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Rejected {
+    /// The tenant's bounded queue is at capacity; the request was shed.
+    QueueFull {
+        /// The tenant whose queue overflowed.
+        tenant: String,
+        /// The configured per-tenant bound.
+        capacity: usize,
+    },
+}
+
+/// Errors a submit can fail with before a job is enqueued.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// Shed by admission control.
+    Rejected(Rejected),
+    /// `CircuitSpec::Named` named an unregistered circuit.
+    UnknownCircuit(String),
+    /// `CircuitSpec::Aiger` bytes failed to parse.
+    InvalidAiger(String),
+    /// The request's [`TargetId`] was never registered.
+    UnknownTarget(TargetId),
+}
+
+/// Engine tuning knobs.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Per-tenant queue bound; a submit beyond it is shed with
+    /// [`Rejected::QueueFull`].
+    pub queue_capacity: usize,
+    /// Deficit-round-robin quantum, in jobs credited per tenant per
+    /// scheduling round (1 = strict round-robin).
+    pub quantum: usize,
+    /// Maximum jobs dispatched per generation (bounds how stale the
+    /// frozen tier can get before deltas are absorbed).
+    pub batch: usize,
+    /// Frozen-tier toggle: `None` honors the `SLAP_CACHE` environment
+    /// variable, `Some(false)` forces the cold path (results unchanged,
+    /// nothing shared).
+    pub cache: Option<bool>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            queue_capacity: 64,
+            quantum: 1,
+            batch: 32,
+            cache: None,
+        }
+    }
+}
+
+/// One served request.
+#[derive(Clone, Debug)]
+pub struct Completed {
+    /// Engine-assigned id, in submit order.
+    pub job: JobId,
+    /// Submitting tenant.
+    pub tenant: String,
+    /// Resolved circuit name.
+    pub circuit: String,
+    /// Target name (`"asic"`, `"lut:6"`).
+    pub target: String,
+    /// The request's policy.
+    pub policy: MapPolicy,
+    /// The request's cut bound.
+    pub k: usize,
+    /// The request's kernel-tier tag.
+    pub kernel: String,
+    /// The mapping outcome — bit-identical to a standalone cold
+    /// session running the same request.
+    pub result: Result<MappedNetlist, MapError>,
+    /// Seconds between submit and dispatch.
+    pub queue_wait_s: f64,
+    /// Seconds spent serving (mapping, or replaying the run memo).
+    pub service_s: f64,
+    /// The frozen tier's generation when this job was dispatched.
+    pub generation: u64,
+    /// Whether the run memo replayed a stored netlist (no mapping ran).
+    pub replayed: bool,
+}
+
+/// Aggregate engine counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Requests accepted into a queue.
+    pub submitted: u64,
+    /// Requests shed by admission control.
+    pub rejected: u64,
+    /// Requests served fresh (a mapping ran).
+    pub executed: u64,
+    /// Requests served from the run memo.
+    pub replayed: u64,
+    /// Completed dispatch/absorb generations.
+    pub generations: u64,
+}
+
+struct CircuitEntry {
+    name: String,
+    aig: Aig,
+}
+
+struct Tenant {
+    name: String,
+    deficit: usize,
+    queue: VecDeque<PendingJob>,
+}
+
+struct PendingJob {
+    id: JobId,
+    circuit: CircuitId,
+    target: TargetId,
+    k: usize,
+    policy: MapPolicy,
+    kernel: String,
+    tenant: usize,
+    submitted: Instant,
+}
+
+/// Key of one memoized whole run; everything that, with the registered
+/// circuit and target, determines the mapping bit-for-bit. (The
+/// kernel-tier tag is deliberately absent — it is provenance, not an
+/// input of the mapping.)
+type RunMemoKey = (CircuitId, TargetId, usize, MapPolicy);
+
+/// The multi-tenant batch mapping engine. See the crate docs for the
+/// generation / fairness / determinism contract.
+pub struct Engine<'lib> {
+    config: EngineConfig,
+    cache_enabled: bool,
+    targets: Vec<EngineTarget<'lib>>,
+    circuits: Vec<CircuitEntry>,
+    circuits_by_name: HashMap<String, CircuitId>,
+    aiger_by_hash: HashMap<u64, CircuitId>,
+    tiers: HashMap<(CircuitId, TargetId), FrozenTier>,
+    runs: HashMap<RunMemoKey, MappedNetlist>,
+    tenants: Vec<Tenant>,
+    tenants_by_name: HashMap<String, usize>,
+    next_job: u64,
+    stats: EngineStats,
+    records: Vec<Record>,
+}
+
+impl<'lib> Engine<'lib> {
+    /// An engine with no targets, circuits, or tenants yet.
+    pub fn new(config: EngineConfig) -> Engine<'lib> {
+        assert!(config.queue_capacity >= 1, "queue capacity must be >= 1");
+        assert!(config.quantum >= 1, "DRR quantum must be >= 1");
+        assert!(config.batch >= 1, "generation batch must be >= 1");
+        let cache_enabled = config
+            .cache
+            .unwrap_or_else(|| std::env::var("SLAP_CACHE").map_or(true, |v| v != "0"));
+        Engine {
+            config,
+            cache_enabled,
+            targets: Vec::new(),
+            circuits: Vec::new(),
+            circuits_by_name: HashMap::new(),
+            aiger_by_hash: HashMap::new(),
+            tiers: HashMap::new(),
+            runs: HashMap::new(),
+            tenants: Vec::new(),
+            tenants_by_name: HashMap::new(),
+            next_job: 0,
+            stats: EngineStats::default(),
+            records: Vec::new(),
+        }
+    }
+
+    /// Registers a mapping target and returns its id (requests name
+    /// targets by id).
+    pub fn add_target(&mut self, target: EngineTarget<'lib>) -> TargetId {
+        self.targets.push(target);
+        self.targets.len() - 1
+    }
+
+    /// Registers a named catalog circuit. Registering the same name
+    /// twice returns the existing id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is already registered with a *different* AIG —
+    /// frozen tiers are keyed by circuit, so silently swapping the
+    /// graph under a name would poison them.
+    pub fn register_circuit(&mut self, name: &str, aig: Aig) -> CircuitId {
+        if let Some(&id) = self.circuits_by_name.get(name) {
+            assert!(
+                aig_fingerprint(&self.circuits[id].aig) == aig_fingerprint(&aig),
+                "circuit name {name:?} re-registered with a different AIG"
+            );
+            return id;
+        }
+        let id = self.circuits.len();
+        self.circuits.push(CircuitEntry {
+            name: name.to_string(),
+            aig,
+        });
+        self.circuits_by_name.insert(name.to_string(), id);
+        id
+    }
+
+    /// Whether the shared frozen tier (and run memo) is active.
+    pub fn cache_enabled(&self) -> bool {
+        self.cache_enabled
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Jobs currently queued across all tenants.
+    pub fn pending(&self) -> usize {
+        self.tenants.iter().map(|t| t.queue.len()).sum()
+    }
+
+    /// The per-request `slap-obs` records accumulated since the last
+    /// call, in completion order (one per served request).
+    pub fn take_records(&mut self) -> Vec<Record> {
+        std::mem::take(&mut self.records)
+    }
+
+    /// Order-independent content digests of every frozen tier, keyed by
+    /// `(circuit, target)` names and sorted — equal across runs that
+    /// memoized the same function set, regardless of worker thread
+    /// count (the golden suite's tier-invariance assertion).
+    pub fn tier_fingerprints(&self) -> Vec<(String, String, u64)> {
+        let mut out: Vec<(String, String, u64)> = self
+            .tiers
+            .iter()
+            .map(|(&(c, t), tier)| {
+                (
+                    self.circuits[c].name.clone(),
+                    self.targets[t].name(),
+                    tier.fingerprint(),
+                )
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Total completed generations summed over all tiers.
+    pub fn tier_generations(&self) -> u64 {
+        self.tiers.values().map(FrozenTier::generation).sum()
+    }
+
+    /// Submits a request, enqueuing it on its tenant's bounded queue.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Rejected`] when admission control sheds the
+    /// request (tenant queue full); the other variants reject malformed
+    /// requests (unknown circuit/target, unparseable AIGER).
+    pub fn submit(&mut self, request: MapRequest) -> Result<JobId, SubmitError> {
+        if request.target >= self.targets.len() {
+            return Err(SubmitError::UnknownTarget(request.target));
+        }
+        let circuit = match &request.circuit {
+            CircuitSpec::Named(name) => *self
+                .circuits_by_name
+                .get(name)
+                .ok_or_else(|| SubmitError::UnknownCircuit(name.clone()))?,
+            CircuitSpec::Aiger(bytes) => {
+                let hash = slap_obs::content_hash(bytes);
+                match self.aiger_by_hash.get(&hash) {
+                    Some(&id) => id,
+                    None => {
+                        let aig = slap_aig::aiger::read_aiger(&bytes[..])
+                            .map_err(|e| SubmitError::InvalidAiger(format!("{e:?}")))?;
+                        let id = self.register_circuit(&format!("aiger:{hash:016x}"), aig);
+                        self.aiger_by_hash.insert(hash, id);
+                        id
+                    }
+                }
+            }
+        };
+        let tenant = match self.tenants_by_name.get(&request.tenant) {
+            Some(&ix) => ix,
+            None => {
+                let ix = self.tenants.len();
+                self.tenants.push(Tenant {
+                    name: request.tenant.clone(),
+                    deficit: 0,
+                    queue: VecDeque::new(),
+                });
+                self.tenants_by_name.insert(request.tenant.clone(), ix);
+                ix
+            }
+        };
+        if self.tenants[tenant].queue.len() >= self.config.queue_capacity {
+            self.stats.rejected += 1;
+            slap_obs::counter("serve.rejected").incr();
+            return Err(SubmitError::Rejected(Rejected::QueueFull {
+                tenant: request.tenant,
+                capacity: self.config.queue_capacity,
+            }));
+        }
+        // The tier is created at admission so dispatch can probe it
+        // through `&self` without an entry-creation race.
+        self.tiers
+            .entry((circuit, request.target))
+            .or_insert_with(|| FrozenTier::new(self.cache_enabled));
+        let id = JobId(self.next_job);
+        self.next_job += 1;
+        self.tenants[tenant].queue.push_back(PendingJob {
+            id,
+            circuit,
+            target: request.target,
+            k: request.k,
+            policy: request.policy,
+            kernel: request.kernel,
+            tenant,
+            submitted: Instant::now(),
+        });
+        self.stats.submitted += 1;
+        slap_obs::counter("serve.submitted").incr();
+        slap_obs::gauge("serve.queue_depth").set(self.pending() as i64);
+        Ok(id)
+    }
+
+    /// Runs one generation: schedules up to `batch` jobs by deficit
+    /// round-robin, dispatches them over the worker pool against the
+    /// frozen tiers, absorbs the recorded deltas in dispatch order, and
+    /// returns the completions (in dispatch order). Returns an empty
+    /// vector when no jobs are queued.
+    pub fn step(&mut self) -> Vec<Completed> {
+        let jobs = self.schedule();
+        if jobs.is_empty() {
+            return Vec::new();
+        }
+
+        // Split replays (run-memo hits, served inline) from fresh jobs,
+        // and dedupe within the generation: a job repeating an earlier
+        // job's run key maps identically (mapping is a pure function of
+        // the key), so only the first occurrence executes.
+        enum Work {
+            Replay(Box<MappedNetlist>),
+            Fresh(usize), // index into `fresh`: this job executes
+            Dup(usize),   // shares the result of `fresh[ix]`
+        }
+        let mut fresh: Vec<&PendingJob> = Vec::new();
+        let mut fresh_by_key: HashMap<RunMemoKey, usize> = HashMap::new();
+        let mut work: Vec<Work> = Vec::with_capacity(jobs.len());
+        for job in &jobs {
+            let key = (job.circuit, job.target, job.k, job.policy);
+            if self.cache_enabled {
+                if let Some(netlist) = self.runs.get(&key) {
+                    work.push(Work::Replay(Box::new(netlist.clone())));
+                    continue;
+                }
+                if let Some(&ix) = fresh_by_key.get(&key) {
+                    work.push(Work::Dup(ix));
+                    continue;
+                }
+                fresh_by_key.insert(key, fresh.len());
+            }
+            work.push(Work::Fresh(fresh.len()));
+            fresh.push(job);
+        }
+
+        // Dispatch: workers probe the frozen tiers read-only and record
+        // deltas. `par_map` reassembles results in item order, so the
+        // output order (and therefore the absorb order below) does not
+        // depend on the worker thread count.
+        let queue_waits: Vec<f64> = jobs
+            .iter()
+            .map(|j| j.submitted.elapsed().as_secs_f64())
+            .collect();
+        let outs = {
+            let circuits = &self.circuits;
+            let targets = &self.targets;
+            let tiers = &self.tiers;
+            slap_par::par_map(&fresh, |_, job| {
+                let _span = slap_obs::span("request");
+                let t0 = Instant::now();
+                let aig = &circuits[job.circuit].aig;
+                let tier = tiers
+                    .get(&(job.circuit, job.target))
+                    .expect("tier created at submit");
+                let config = CutConfig::with_k(job.k);
+                let (result, delta) =
+                    targets[job.target].map_policy_frozen(aig, &config, job.policy, tier.frozen());
+                (result, delta, t0.elapsed().as_secs_f64())
+            })
+        };
+
+        // Absorb every delta in dispatch order, grouped per tier in
+        // first-touch order, then advance each touched tier's
+        // generation.
+        let mut per_tier: Vec<((CircuitId, TargetId), Vec<SessionDelta>)> = Vec::new();
+        let mut results: Vec<(Result<MappedNetlist, MapError>, f64)> =
+            Vec::with_capacity(fresh.len());
+        for (job, (result, delta, service_s)) in fresh.iter().zip(outs) {
+            let key = (job.circuit, job.target);
+            match per_tier.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, deltas)) => deltas.push(delta),
+                None => per_tier.push((key, vec![delta])),
+            }
+            results.push((result, service_s));
+        }
+        for (key, deltas) in per_tier {
+            let target = &self.targets[key.1];
+            let tier = self.tiers.get_mut(&key).expect("tier created at submit");
+            tier.absorb_generation(deltas, |cache, delta| target.absorb_into(cache, delta));
+        }
+        self.stats.generations += 1;
+
+        // Completions in dispatch order: memoize fresh successes, emit
+        // one obs record per request.
+        let mut completed = Vec::with_capacity(jobs.len());
+        for ((job, work), queue_wait_s) in jobs.iter().zip(work).zip(queue_waits) {
+            let (result, service_s, replayed) = match work {
+                Work::Replay(netlist) => {
+                    let t0 = Instant::now();
+                    let result = Ok(*netlist);
+                    (result, t0.elapsed().as_secs_f64(), true)
+                }
+                Work::Fresh(ix) => {
+                    let (result, service_s) = results[ix].clone();
+                    (result, service_s, false)
+                }
+                Work::Dup(ix) => {
+                    let t0 = Instant::now();
+                    let result = results[ix].0.clone();
+                    (result, t0.elapsed().as_secs_f64(), true)
+                }
+            };
+            if !replayed {
+                if let (true, Ok(netlist)) = (self.cache_enabled, &result) {
+                    self.runs
+                        .entry((job.circuit, job.target, job.k, job.policy))
+                        .or_insert_with(|| netlist.clone());
+                }
+            }
+            let generation = self
+                .tiers
+                .get(&(job.circuit, job.target))
+                .map_or(0, FrozenTier::generation);
+            let done = Completed {
+                job: job.id,
+                tenant: self.tenants[job.tenant].name.clone(),
+                circuit: self.circuits[job.circuit].name.clone(),
+                target: self.targets[job.target].name(),
+                policy: job.policy,
+                k: job.k,
+                kernel: job.kernel.clone(),
+                result,
+                queue_wait_s,
+                service_s,
+                generation,
+                replayed,
+            };
+            if replayed {
+                self.stats.replayed += 1;
+                slap_obs::counter("serve.replayed").incr();
+            } else {
+                self.stats.executed += 1;
+                slap_obs::counter("serve.executed").incr();
+            }
+            self.records.push(request_record(&done));
+            completed.push(done);
+        }
+        slap_obs::gauge("serve.queue_depth").set(self.pending() as i64);
+        completed
+    }
+
+    /// Runs generations until every queue is empty, returning all
+    /// completions in service order.
+    pub fn drain(&mut self) -> Vec<Completed> {
+        let mut all = Vec::new();
+        loop {
+            let step = self.step();
+            if step.is_empty() {
+                return all;
+            }
+            all.extend(step);
+        }
+    }
+
+    /// What a standalone cold session would produce for a request —
+    /// the reference side of the equivalence contract, exposed so
+    /// benchmarks and tests compare against exactly the engine's own
+    /// notion of "standalone".
+    ///
+    /// # Errors
+    ///
+    /// See [`Mapper::map_default`]; unknown ids panic (this is a
+    /// test/bench helper, not the service path).
+    pub fn map_standalone(
+        &self,
+        circuit: CircuitId,
+        target: TargetId,
+        k: usize,
+        policy: MapPolicy,
+    ) -> Result<MappedNetlist, MapError> {
+        self.targets[target].map_policy_cold(
+            &self.circuits[circuit].aig,
+            &CutConfig::with_k(k),
+            policy,
+        )
+    }
+
+    /// Deficit round-robin over the tenant queues: each scheduling
+    /// round credits every backlogged tenant `quantum` jobs and drains
+    /// its queue while credit lasts, until `batch` jobs are picked or
+    /// every queue is empty. An emptied tenant forfeits leftover credit
+    /// (classic DRR — credit must not accumulate while idle).
+    fn schedule(&mut self) -> Vec<PendingJob> {
+        let mut picked = Vec::new();
+        let quantum = self.config.quantum;
+        let batch = self.config.batch;
+        while picked.len() < batch && self.tenants.iter().any(|t| !t.queue.is_empty()) {
+            for tenant in &mut self.tenants {
+                if tenant.queue.is_empty() {
+                    tenant.deficit = 0;
+                    continue;
+                }
+                tenant.deficit += quantum;
+                while tenant.deficit >= 1 && picked.len() < batch {
+                    let Some(job) = tenant.queue.pop_front() else {
+                        tenant.deficit = 0;
+                        break;
+                    };
+                    tenant.deficit -= 1;
+                    picked.push(job);
+                }
+                if picked.len() >= batch {
+                    break;
+                }
+            }
+        }
+        picked
+    }
+}
+
+/// The per-request observability record. Deliberately carries no
+/// `mode` field: `slap-report` treats `(circuit, mode)` pairs as gated
+/// QoR rows, and request records are a latency stream, not a QoR
+/// baseline.
+fn request_record(done: &Completed) -> Record {
+    let mut rec = Record::new();
+    rec.push("event", "request");
+    rec.push("job", done.job.0);
+    rec.push("tenant", done.tenant.as_str());
+    rec.push("circuit", done.circuit.as_str());
+    rec.push("target", done.target.as_str());
+    rec.push("policy", done.policy.name());
+    if let MapPolicy::Shuffled { seed, keep } = done.policy {
+        rec.push("seed", seed);
+        rec.push("keep", keep);
+    }
+    rec.push("k", done.k);
+    rec.push("kernel", done.kernel.as_str());
+    rec.push("replayed", done.replayed);
+    rec.push("generation", done.generation);
+    rec.push("queue_wait_s", done.queue_wait_s);
+    rec.push("service_s", done.service_s);
+    let wait_us = (done.queue_wait_s * 1e6) as u64;
+    let service_us = (done.service_s * 1e6) as u64;
+    slap_obs::histogram("serve.queue_wait_us").observe(wait_us);
+    slap_obs::histogram("serve.service_us").observe(service_us);
+    match &done.result {
+        Ok(netlist) => {
+            let stats = netlist.stats();
+            rec.push("area_um2", f64::from(netlist.area()));
+            rec.push("delay_ps", f64::from(netlist.delay()));
+            rec.push("num_instances", stats.num_instances);
+            rec.push("cuts_considered", stats.cuts_considered);
+            if !done.replayed {
+                rec.push("fn_cache_hits", stats.match_stats.fn_cache_hits);
+                rec.push("fn_cache_misses", stats.match_stats.fn_cache_misses);
+                rec.push("binding_cache_hits", stats.match_stats.binding_cache_hits);
+            }
+        }
+        Err(e) => {
+            rec.push("error", format!("{e:?}"));
+        }
+    }
+    rec
+}
+
+/// Content digest of an AIG (its ASCII AIGER serialization hashed).
+fn aig_fingerprint(aig: &Aig) -> u64 {
+    let mut bytes = Vec::new();
+    slap_aig::aiger::write_ascii(aig, &mut bytes).expect("serialize AIG");
+    slap_obs::content_hash(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slap_map::MapOptions;
+
+    fn adder8() -> Aig {
+        // A small ripple-carry adder — enough structure to exercise the
+        // cache without slowing the unit tests.
+        let mut aig = Aig::new();
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for _ in 0..8 {
+            a.push(aig.add_pi());
+        }
+        for _ in 0..8 {
+            b.push(aig.add_pi());
+        }
+        let mut carry = None;
+        for i in 0..8 {
+            let (x, y) = (a[i], b[i]);
+            let sum = match carry {
+                None => aig.xor(x, y),
+                Some(c) => {
+                    let t = aig.xor(x, y);
+                    aig.xor(t, c)
+                }
+            };
+            let new_carry = match carry {
+                None => aig.and(x, y),
+                Some(c) => {
+                    let t1 = aig.and(x, y);
+                    let t2 = aig.xor(x, y);
+                    let t3 = aig.and(t2, c);
+                    aig.or(t1, t3)
+                }
+            };
+            carry = Some(new_carry);
+            aig.add_po(sum);
+        }
+        aig.add_po(carry.expect("nonzero width"));
+        aig
+    }
+
+    fn lut_engine(config: EngineConfig) -> Engine<'static> {
+        let mut engine = Engine::new(config);
+        engine.add_target(EngineTarget::Lut(LutMapper::lut(6, MapOptions::default())));
+        engine.register_circuit("adder8", adder8());
+        engine
+    }
+
+    fn request(tenant: &str, policy: MapPolicy) -> MapRequest {
+        MapRequest {
+            tenant: tenant.to_string(),
+            circuit: CircuitSpec::Named("adder8".to_string()),
+            target: 0,
+            k: 6,
+            policy,
+            kernel: "f32".to_string(),
+        }
+    }
+
+    #[test]
+    fn queue_full_sheds_with_explicit_rejection() {
+        let mut engine = lut_engine(EngineConfig {
+            queue_capacity: 2,
+            cache: Some(true),
+            ..EngineConfig::default()
+        });
+        assert!(engine.submit(request("t0", MapPolicy::Default)).is_ok());
+        assert!(engine
+            .submit(request("t0", MapPolicy::Unlimited { cap: 16 }))
+            .is_ok());
+        let third = engine.submit(request("t0", MapPolicy::Shuffled { seed: 1, keep: 4 }));
+        assert_eq!(
+            third,
+            Err(SubmitError::Rejected(Rejected::QueueFull {
+                tenant: "t0".to_string(),
+                capacity: 2,
+            }))
+        );
+        // Another tenant still has room.
+        assert!(engine.submit(request("t1", MapPolicy::Default)).is_ok());
+        assert_eq!(engine.stats().rejected, 1);
+        assert_eq!(engine.pending(), 3);
+    }
+
+    #[test]
+    fn drr_alternates_tenants_and_completes_everything() {
+        let mut engine = lut_engine(EngineConfig {
+            cache: Some(true),
+            ..EngineConfig::default()
+        });
+        // Tenant a floods three jobs before b's single job arrives; DRR
+        // with quantum 1 still alternates a, b, a, a.
+        for seed in 0..3u64 {
+            engine
+                .submit(request("a", MapPolicy::Shuffled { seed, keep: 4 }))
+                .expect("admitted");
+        }
+        engine
+            .submit(request("b", MapPolicy::Default))
+            .expect("admitted");
+        let done = engine.drain();
+        assert_eq!(done.len(), 4);
+        let tenants: Vec<&str> = done.iter().map(|d| d.tenant.as_str()).collect();
+        assert_eq!(tenants, ["a", "b", "a", "a"]);
+        assert!(done.iter().all(|d| d.result.is_ok()));
+        assert_eq!(engine.pending(), 0);
+    }
+
+    #[test]
+    fn repeat_requests_replay_the_run_memo() {
+        let mut engine = lut_engine(EngineConfig {
+            cache: Some(true),
+            ..EngineConfig::default()
+        });
+        let policy = MapPolicy::Shuffled { seed: 9, keep: 4 };
+        engine.submit(request("t", policy)).expect("admitted");
+        let first = engine.drain();
+        engine.submit(request("t", policy)).expect("admitted");
+        let second = engine.drain();
+        assert!(!first[0].replayed);
+        assert!(second[0].replayed);
+        let (a, b) = (
+            first[0].result.as_ref().expect("maps"),
+            second[0].result.as_ref().expect("maps"),
+        );
+        assert_eq!(a.area().to_bits(), b.area().to_bits());
+        assert_eq!(a.delay().to_bits(), b.delay().to_bits());
+        assert_eq!(a.cover_cuts(), b.cover_cuts());
+        assert_eq!(engine.stats().executed, 1);
+        assert_eq!(engine.stats().replayed, 1);
+    }
+
+    #[test]
+    fn disabled_cache_still_serves_identical_results() {
+        let policy = MapPolicy::Shuffled { seed: 3, keep: 4 };
+        let mut on = lut_engine(EngineConfig {
+            cache: Some(true),
+            ..EngineConfig::default()
+        });
+        let mut off = lut_engine(EngineConfig {
+            cache: Some(false),
+            ..EngineConfig::default()
+        });
+        assert!(on.cache_enabled() && !off.cache_enabled());
+        for engine in [&mut on, &mut off] {
+            engine.submit(request("t", policy)).expect("admitted");
+            engine.submit(request("t", policy)).expect("admitted");
+        }
+        let warm = on.drain();
+        let cold = off.drain();
+        assert!(cold.iter().all(|d| !d.replayed), "cold path never replays");
+        assert!(warm[1].replayed);
+        for (w, c) in warm.iter().zip(&cold) {
+            let (w, c) = (
+                w.result.as_ref().expect("maps"),
+                c.result.as_ref().expect("maps"),
+            );
+            assert_eq!(w.area().to_bits(), c.area().to_bits());
+            assert_eq!(w.delay().to_bits(), c.delay().to_bits());
+            assert_eq!(w.cover_cuts(), c.cover_cuts());
+        }
+        assert_eq!(off.tier_generations(), 0, "disabled tiers never advance");
+    }
+
+    #[test]
+    fn aiger_submissions_parse_and_dedupe() {
+        let mut engine = lut_engine(EngineConfig {
+            cache: Some(true),
+            ..EngineConfig::default()
+        });
+        let mut bytes = Vec::new();
+        slap_aig::aiger::write_ascii(&adder8(), &mut bytes).expect("serialize");
+        let mk = |policy| MapRequest {
+            tenant: "t".to_string(),
+            circuit: CircuitSpec::Aiger(bytes.clone()),
+            target: 0,
+            k: 6,
+            policy,
+            kernel: "f32".to_string(),
+        };
+        engine.submit(mk(MapPolicy::Default)).expect("admitted");
+        engine.submit(mk(MapPolicy::Default)).expect("admitted");
+        let done = engine.drain();
+        assert_eq!(done.len(), 2);
+        assert!(done[1].replayed, "same bytes dedupe to one circuit");
+        assert!(done[0].circuit.starts_with("aiger:"));
+        // Bad submissions are rejected without enqueueing.
+        let bad = engine.submit(MapRequest {
+            circuit: CircuitSpec::Aiger(b"not an aiger".to_vec()),
+            ..mk(MapPolicy::Default)
+        });
+        assert!(matches!(bad, Err(SubmitError::InvalidAiger(_))));
+        let unknown = engine.submit(MapRequest {
+            circuit: CircuitSpec::Named("nope".to_string()),
+            ..mk(MapPolicy::Default)
+        });
+        assert_eq!(
+            unknown,
+            Err(SubmitError::UnknownCircuit("nope".to_string()))
+        );
+        let bad_target = engine.submit(MapRequest {
+            target: 7,
+            ..mk(MapPolicy::Default)
+        });
+        assert_eq!(bad_target, Err(SubmitError::UnknownTarget(7)));
+    }
+
+    #[test]
+    fn request_records_cover_every_completion() {
+        let mut engine = lut_engine(EngineConfig {
+            cache: Some(true),
+            ..EngineConfig::default()
+        });
+        engine
+            .submit(request("t", MapPolicy::Default))
+            .expect("admitted");
+        engine
+            .submit(request("t", MapPolicy::Default))
+            .expect("admitted");
+        let done = engine.drain();
+        let records = engine.take_records();
+        assert_eq!(records.len(), done.len());
+        let lines: Vec<String> = records.iter().map(Record::to_json_line).collect();
+        assert!(lines[0].contains("\"event\":\"request\""));
+        assert!(lines[0].contains("\"fn_cache_misses\""));
+        assert!(lines[1].contains("\"replayed\":true"));
+        assert!(engine.take_records().is_empty(), "records drain once");
+    }
+}

@@ -1,0 +1,310 @@
+//! Serve-engine equivalence suite: the multi-tenant batch engine must
+//! be a pure scheduler (DESIGN.md §14). Sharing frozen function tiers
+//! and the run memo across tenants may only remove recomputation —
+//! never change an answer. For a mixed job list over catalog circuits,
+//! policies, and both targets, every engine completion must reproduce a
+//! standalone cold session bit-for-bit, regardless of
+//!
+//! * worker thread count (1, 2, 8);
+//! * submission order (identity and LCG shuffles);
+//! * how the stream is split into cache generations (one wave vs many);
+//! * whether the frozen tier is enabled at all (`cache: Some(false)`).
+//!
+//! The frozen tiers themselves must also be thread-count-invariant: at
+//! a fixed submission order, the per-tier fingerprints after draining
+//! are identical at 1, 2, and 8 threads, because deltas are absorbed in
+//! dispatch order, not completion-race order.
+
+use slap_cell::asap7_mini;
+use slap_circuits::{table2_benchmarks, Scale};
+use slap_map::{LutMapper, MapOptions, MapPolicy, MappedNetlist, Mapper};
+use slap_serve::{CircuitSpec, Engine, EngineConfig, EngineTarget, MapRequest};
+
+/// Serializes tests that mutate the process-global worker count (same
+/// pattern as the golden and LUT suites — tests within this binary must
+/// not race each other on `slap_par::set_threads`).
+static THREAD_AXIS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+const LUT_K: usize = 6;
+
+/// One request of the golden job list, with its standalone reference.
+struct Job {
+    circuit: &'static str,
+    target: usize,
+    k: usize,
+    policy: MapPolicy,
+    tenant: &'static str,
+}
+
+/// Everything an engine completion must reproduce bit-for-bit from the
+/// standalone cold baseline (cache-traffic counters excluded: the
+/// frozen tier exists precisely to change cache traffic).
+fn assert_same_mapping(got: &MappedNetlist, base: &MappedNetlist, label: &str) {
+    assert_eq!(got.instances(), base.instances(), "{label}: instances");
+    assert_eq!(got.pos(), base.pos(), "{label}: po sources");
+    assert_eq!(got.cover_cuts(), base.cover_cuts(), "{label}: cover cuts");
+    assert_eq!(got.area().to_bits(), base.area().to_bits(), "{label}: area");
+    assert_eq!(
+        got.delay().to_bits(),
+        base.delay().to_bits(),
+        "{label}: delay"
+    );
+    assert_eq!(
+        got.stats().dp_delay.to_bits(),
+        base.stats().dp_delay.to_bits(),
+        "{label}: dp delay"
+    );
+    assert_eq!(
+        got.stats().match_stats.without_cache_counters(),
+        base.stats().match_stats.without_cache_counters(),
+        "{label}: match stats"
+    );
+}
+
+/// Builds an engine over the first three Quick-scale catalog circuits
+/// with both targets registered, plus the golden job list: every
+/// circuit × {default, unlimited, shuffled} × {asic, lut:6}, tenants
+/// assigned round-robin so fair queuing actually interleaves.
+fn engine_and_jobs(library: &slap_cell::Library, cache: Option<bool>) -> (Engine<'_>, Vec<Job>) {
+    let mut engine = Engine::new(EngineConfig {
+        queue_capacity: 64,
+        quantum: 1,
+        batch: 8,
+        cache,
+    });
+    let asic = engine.add_target(EngineTarget::Asic(Mapper::new(
+        library,
+        MapOptions::default(),
+    )));
+    let lut = engine.add_target(EngineTarget::Lut(LutMapper::lut(
+        LUT_K,
+        MapOptions::default(),
+    )));
+    let benches = table2_benchmarks();
+    let picks = &benches[..3];
+    for bench in picks {
+        engine.register_circuit(bench.name, bench.build(Scale::Quick));
+    }
+    let policies = [
+        MapPolicy::Default,
+        MapPolicy::Unlimited { cap: 48 },
+        MapPolicy::Shuffled { seed: 7, keep: 8 },
+    ];
+    let tenants = ["alpha", "beta", "gamma"];
+    let mut jobs = Vec::new();
+    for bench in picks {
+        for policy in policies {
+            for (target, k) in [(asic, 5usize), (lut, LUT_K)] {
+                jobs.push(Job {
+                    circuit: bench.name,
+                    target,
+                    k,
+                    policy,
+                    tenant: tenants[jobs.len() % tenants.len()],
+                });
+            }
+        }
+    }
+    (engine, jobs)
+}
+
+fn submit(engine: &mut Engine<'_>, job: &Job) {
+    engine
+        .submit(MapRequest {
+            tenant: job.tenant.to_string(),
+            circuit: CircuitSpec::Named(job.circuit.to_string()),
+            target: job.target,
+            k: job.k,
+            policy: job.policy,
+            kernel: "f32".to_string(),
+        })
+        .expect("admitted");
+}
+
+/// Key uniquely identifying a job within the golden list, used to match
+/// completions (which arrive in dispatch order) back to references.
+fn key(circuit: &str, target: &str, policy: MapPolicy) -> String {
+    format!("{circuit}/{target}/{policy:?}")
+}
+
+/// Standalone cold references for every job, keyed by request identity.
+fn references(
+    engine: &Engine<'_>,
+    jobs: &[Job],
+) -> std::collections::HashMap<String, MappedNetlist> {
+    let target_names = ["asic".to_string(), format!("lut:{LUT_K}")];
+    jobs.iter()
+        .map(|job| {
+            let netlist = engine
+                .map_standalone(circuit_id(job.circuit), job.target, job.k, job.policy)
+                .expect("maps");
+            (
+                key(job.circuit, &target_names[job.target], job.policy),
+                netlist,
+            )
+        })
+        .collect()
+}
+
+/// Resolves a circuit name to its engine id: circuits were registered
+/// in catalog order, so the catalog position is the id.
+fn circuit_id(name: &str) -> usize {
+    table2_benchmarks()
+        .iter()
+        .position(|b| b.name == name)
+        .expect("catalog circuit")
+}
+
+/// A tiny deterministic LCG-driven Fisher–Yates, so submission orders
+/// differ across cases without pulling in an RNG dependency.
+fn shuffled_order(len: usize, mut state: u64) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..len).collect();
+    for i in (1..len).rev() {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let j = (state >> 33) as usize % (i + 1);
+        order.swap(i, j);
+    }
+    order
+}
+
+/// Drains the engine and asserts every completion bit-identical to its
+/// standalone reference.
+fn drain_and_check(
+    engine: &mut Engine<'_>,
+    refs: &std::collections::HashMap<String, MappedNetlist>,
+    expected: usize,
+    label: &str,
+) {
+    let done = engine.drain();
+    assert_eq!(done.len(), expected, "{label}: completion count");
+    for done in &done {
+        let k = key(&done.circuit, &done.target, done.policy);
+        let reference = refs.get(&k).expect("reference for completion");
+        assert_same_mapping(
+            done.result.as_ref().expect("maps"),
+            reference,
+            &format!("{label} {k}"),
+        );
+    }
+}
+
+/// The tentpole contract: every job through the engine is bit-identical
+/// to a standalone cold session at every thread count, shuffled
+/// submission order, and generation split.
+#[test]
+fn engine_matches_standalone_across_threads_orders_and_generations() {
+    let _lock = THREAD_AXIS_LOCK.lock().expect("thread-axis lock");
+    let library = asap7_mini();
+    let refs = {
+        let (engine, jobs) = engine_and_jobs(&library, Some(true));
+        references(&engine, &jobs)
+    };
+
+    for &threads in &[1usize, 2, 8] {
+        slap_par::set_threads(threads);
+        for (case, order) in [
+            ("identity", (0..18).collect::<Vec<_>>()),
+            ("shuffle-a", shuffled_order(18, 0x5eed)),
+            ("shuffle-b", shuffled_order(18, 0xdead_beef)),
+        ] {
+            let (mut engine, jobs) = engine_and_jobs(&library, Some(true));
+            assert_eq!(jobs.len(), order.len(), "golden list size");
+            // Split the stream into two waves with a drain between, so
+            // the second wave probes tiers the first wave populated —
+            // jobs must not care which generation served them.
+            let (front, back) = order.split_at(order.len() / 2);
+            for &ix in front {
+                submit(&mut engine, &jobs[ix]);
+            }
+            drain_and_check(
+                &mut engine,
+                &refs,
+                front.len(),
+                &format!("{threads}t {case} wave1"),
+            );
+            for &ix in back {
+                submit(&mut engine, &jobs[ix]);
+            }
+            drain_and_check(
+                &mut engine,
+                &refs,
+                back.len(),
+                &format!("{threads}t {case} wave2"),
+            );
+        }
+    }
+    slap_par::reset_threads();
+}
+
+/// Frozen-tier contents are thread-count-invariant: at a fixed
+/// submission order, the engine absorbs worker deltas in dispatch
+/// order, so the resulting tier fingerprints cannot depend on how many
+/// workers raced to produce them.
+#[test]
+fn tier_fingerprints_are_thread_count_invariant() {
+    let _lock = THREAD_AXIS_LOCK.lock().expect("thread-axis lock");
+    let library = asap7_mini();
+    let mut baseline: Option<Vec<(String, String, u64)>> = None;
+    for &threads in &[1usize, 2, 8] {
+        slap_par::set_threads(threads);
+        let (mut engine, jobs) = engine_and_jobs(&library, Some(true));
+        for job in &jobs {
+            submit(&mut engine, job);
+        }
+        let done = engine.drain();
+        assert_eq!(done.len(), jobs.len());
+        let prints = engine.tier_fingerprints();
+        assert!(
+            engine.tier_generations() > 0,
+            "tiers advanced at {threads} threads"
+        );
+        match &baseline {
+            None => baseline = Some(prints),
+            Some(base) => assert_eq!(
+                &prints, base,
+                "tier fingerprints diverged at {threads} threads"
+            ),
+        }
+    }
+    slap_par::reset_threads();
+}
+
+/// `cache: Some(false)` (the `SLAP_CACHE=0` path) disables the frozen
+/// tier without changing any answer: the engine still passes the full
+/// equivalence check, tiers never advance, and repeat submissions are
+/// still served (via the run memo, which is independent of the cache).
+#[test]
+fn disabled_cache_engine_is_still_equivalent() {
+    let _lock = THREAD_AXIS_LOCK.lock().expect("thread-axis lock");
+    slap_par::set_threads(2);
+    let library = asap7_mini();
+    let refs = {
+        let (engine, jobs) = engine_and_jobs(&library, Some(true));
+        references(&engine, &jobs)
+    };
+    let (mut engine, jobs) = engine_and_jobs(&library, Some(false));
+    assert!(!engine.cache_enabled(), "cache override honored");
+    for job in &jobs {
+        submit(&mut engine, job);
+    }
+    drain_and_check(&mut engine, &refs, jobs.len(), "cache-off");
+    assert_eq!(
+        engine.tier_generations(),
+        0,
+        "disabled tiers must never advance"
+    );
+    // Resubmit the whole list: with caching off the run memo is off
+    // too, so every repeat maps cold again — and still bit-identically.
+    for job in &jobs {
+        submit(&mut engine, job);
+    }
+    drain_and_check(&mut engine, &refs, jobs.len(), "cache-off repeat");
+    assert_eq!(
+        engine.stats().replayed,
+        0,
+        "disabled cache disables the run memo as well"
+    );
+    slap_par::reset_threads();
+}
