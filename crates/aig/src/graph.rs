@@ -99,6 +99,19 @@ impl Aig {
         }
     }
 
+    /// Creates an empty AIG with capacity reserved for `nodes` total
+    /// nodes, `pis` primary inputs, and `pos` primary outputs — used by
+    /// rebuild-style consumers (e.g. optimization passes) to avoid
+    /// incremental growth allocations.
+    pub fn with_capacity(nodes: usize, pis: usize, pos: usize) -> Aig {
+        let mut aig = Aig::new();
+        aig.nodes.reserve(nodes);
+        aig.pis.reserve(pis);
+        aig.pos.reserve(pos);
+        aig.strash.reserve(nodes);
+        aig
+    }
+
     /// Sets a human-readable design name (used by reports and AIGER output).
     pub fn set_name(&mut self, name: impl Into<String>) {
         self.name = name.into();

@@ -29,8 +29,10 @@ impl Lit {
     pub const FALSE: Lit = Lit(0);
     /// The constant-true literal (node 0, inverted edge).
     pub const TRUE: Lit = Lit(1);
-    /// Sentinel used internally for "no fanin" (primary inputs).
-    pub(crate) const NONE: Lit = Lit(u32::MAX);
+    /// Sentinel for "no literal": used for PI fanins inside the graph
+    /// and by rebuild-style consumers (e.g. optimization passes) for
+    /// not-yet-mapped nodes. Never a valid edge.
+    pub const NONE: Lit = Lit(u32::MAX);
 
     /// Creates a literal from a node and a complement flag.
     #[inline]

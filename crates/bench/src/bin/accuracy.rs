@@ -5,8 +5,8 @@
 //! Usage:
 //!   cargo run --release -p slap-bench --bin accuracy -- \
 //!       [--maps 250] [--epochs 20] [--filters 128] [--keep 4] [--lr 0.002]
-//!       [--seed 1] [--target asic|lut:k] [--threads N] [--save model.txt]
-//!       [--metrics-json out.jsonl]
+//!       [--seed 1] [--target asic|lut:k] [--passes strash,fold,sweep,balance]
+//!       [--threads N] [--save model.txt] [--metrics-json out.jsonl]
 
 use std::sync::Arc;
 
@@ -15,7 +15,10 @@ use slap_bench::metrics::{
     circuits_hash, library_hash, obs_snapshot_record, run_manifest, EpochMetrics, MetricsOut,
     TraceOut,
 };
-use slap_bench::{experiments_dir, init_threads, run_for_target, Args, TargetRunner, TargetSpec};
+use slap_bench::{
+    experiments_dir, init_threads, optimize_circuits, pass_pipeline_from_args, run_for_target,
+    Args, TargetRunner, TargetSpec,
+};
 use slap_cell::Library;
 use slap_circuits::catalog::Scale;
 use slap_circuits::training_benchmarks;
@@ -75,8 +78,13 @@ fn run<T: Target>(
     // The training circuits sample independently; build one dataset per
     // circuit across worker threads and merge in catalog order.
     let benches = training_benchmarks();
-    let aigs: Vec<Aig> = slap_par::par_map(&benches, |_, b| b.build(Scale::Full));
-    let mut manifest = run_manifest("accuracy", threads, &target.name())
+    let mut pipeline = pass_pipeline_from_args(args);
+    let mut aigs: Vec<Aig> = slap_par::par_map(&benches, |_, b| b.build(Scale::Full));
+    for line in optimize_circuits(&mut pipeline, &mut aigs) {
+        eprintln!("{line}");
+    }
+    let aigs = aigs;
+    let mut manifest = run_manifest("accuracy", threads, &target.name(), &pipeline.spec())
         .config("maps", maps)
         .config("epochs", epochs)
         .config("filters", filters)

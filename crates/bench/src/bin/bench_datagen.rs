@@ -14,7 +14,8 @@
 //! Usage:
 //!   cargo run --release -p slap-bench --bin bench_datagen -- \
 //!       [--rounds 3] [--maps 48] [--target asic|lut:k]
-//!       [--kernel f32|int8] [--threads N] [--out BENCH_datagen.json]
+//!       [--kernel f32|int8] [--passes strash,fold,sweep,balance]
+//!       [--threads N] [--out BENCH_datagen.json]
 //!       [--metrics-json out.jsonl] [--trace-json trace.json]
 //!
 //! `--kernel` is accepted for flag symmetry with the inference binaries
@@ -30,7 +31,8 @@ use slap_bench::metrics::{
     aig_hash, library_hash, obs_snapshot_record, run_manifest, MetricsOut, TraceOut,
 };
 use slap_bench::{
-    init_threads, kernel_tier_from_args, run_for_target, Args, TargetRunner, TargetSpec,
+    init_threads, kernel_tier_from_args, optimize_circuits, pass_pipeline_from_args,
+    run_for_target, Args, TargetRunner, TargetSpec,
 };
 use slap_cell::Library;
 use slap_circuits::aes::aes_mini;
@@ -74,8 +76,13 @@ fn run<T: Target>(
     let run_span = slap_obs::span("bench_datagen");
     assert!(maps >= 32, "acceptance criterion measures maps >= 32");
 
-    let aig = aes_mini();
-    let mut manifest = run_manifest("bench_datagen", threads, &target.name())
+    let mut pipeline = pass_pipeline_from_args(args);
+    let mut opt = [aes_mini()];
+    for line in optimize_circuits(&mut pipeline, &mut opt) {
+        eprintln!("{line}");
+    }
+    let [aig] = opt;
+    let mut manifest = run_manifest("bench_datagen", threads, &target.name(), &pipeline.spec())
         .kernel(kernel_tier_from_args(args).name())
         .config("rounds", rounds)
         .config("maps", maps)

@@ -24,7 +24,8 @@
 //! Usage:
 //!   cargo run --release -p slap-bench --bin bench_inference -- \
 //!       [--rounds 5] [--threads N] [--smoke] [--target asic|lut:k]
-//!       [--kernel f32|int8] [--out BENCH_inference.json]
+//!       [--kernel f32|int8] [--passes strash,fold,sweep,balance]
+//!       [--out BENCH_inference.json]
 //!       [--metrics-json out.jsonl] [--trace-json trace.json]
 //!
 //! `--smoke` runs one round and skips the JSON file — the CI leg proving
@@ -40,7 +41,8 @@ use slap_bench::metrics::{
     aig_hash, library_hash, obs_snapshot_record, run_manifest, MetricsOut, TraceOut,
 };
 use slap_bench::{
-    init_threads, kernel_tier_from_args, run_for_target, Args, TargetRunner, TargetSpec,
+    init_threads, kernel_tier_from_args, optimize_circuits, pass_pipeline_from_args,
+    run_for_target, Args, TargetRunner, TargetSpec,
 };
 use slap_cell::Library;
 use slap_circuits::aes::aes_mini;
@@ -229,8 +231,13 @@ fn run<T: Target>(
     let trace = TraceOut::from_args(args);
     let run_span = slap_obs::span("bench_inference");
 
-    let aig = aes_mini();
-    let mut manifest = run_manifest("bench_inference", threads, &target.name())
+    let mut pipeline = pass_pipeline_from_args(args);
+    let mut opt = [aes_mini()];
+    for line in optimize_circuits(&mut pipeline, &mut opt) {
+        eprintln!("{line}");
+    }
+    let [aig] = opt;
+    let mut manifest = run_manifest("bench_inference", threads, &target.name(), &pipeline.spec())
         .kernel(kernel_flag.name())
         .config("rounds", rounds)
         .config("smoke", smoke)

@@ -1,0 +1,320 @@
+//! Pre-mapping optimization benchmark: times the end-to-end
+//! opt + enumerate + map path against the raw enumerate + map path at
+//! 1 worker thread and writes node/level reductions, wall-time ratios,
+//! and per-pass time shares to `BENCH_opt.json` in the workspace root.
+//!
+//! Opt-on and opt-off are interleaved within each round (off, then on,
+//! per round) so slow drift of the host — thermal state, co-tenants —
+//! spreads evenly across both sides instead of biasing one. The opt-on
+//! timing window covers the *whole* pipeline (clone + optimize +
+//! enumerate + map): the ratio answers "is it worth optimizing first?",
+//! not "is the optimized graph faster to map?". Every round asserts
+//! 64-bit parallel-sim equivalence of the optimized graph against the
+//! raw one, and that the optimized mapping still implements the raw
+//! graph.
+//!
+//! The per-circuit `opt-off` / `opt-on` mapping records are gated by
+//! `slap-report --check` (QoR at 1 thread with the default policy is
+//! deterministic), so a committed metrics stream from this binary
+//! doubles as a regression baseline for the optimizer itself.
+//!
+//! Usage:
+//!   cargo run --release -p slap-bench --bin bench_opt -- \
+//!       [--rounds 3] [--smoke] [--scale quick|full]
+//!       [--target asic|lut:k] [--passes strash,fold,sweep,balance]
+//!       [--out BENCH_opt.json] [--metrics-json out.jsonl]
+//!       [--trace-json trace.json]
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use slap_aig::sim::random_equiv_check;
+use slap_aig::Aig;
+use slap_bench::metrics::{
+    circuits_hash, library_hash, map_record, obs_snapshot_record, run_manifest, MetricsOut,
+    TraceOut,
+};
+use slap_bench::{run_for_target, Args, TargetRunner, TargetSpec};
+use slap_cell::Library;
+use slap_circuits::catalog::Scale;
+use slap_circuits::table2_benchmarks;
+use slap_cuts::{enumerate_cuts, DefaultPolicy};
+use slap_map::{MapOptions, MappedNetlist, Mapper, Target};
+use slap_opt::PassPipeline;
+
+#[global_allocator]
+static ALLOC: slap_obs::alloc::CountingAllocator = slap_obs::alloc::CountingAllocator;
+
+/// Catalog circuits measured by the default profile. The AES core
+/// leads because the acceptance bar is stated on it.
+const DEFAULT_CIRCUITS: &[&str] = &["AES", "adder", "bar", "sin", "max", "rc64b"];
+
+/// The `--smoke` subset: enough for CI to gate the optimizer's QoR
+/// without paying for the full sweep.
+const SMOKE_CIRCUITS: &[&str] = &["AES", "adder"];
+
+/// Sim rounds (of 64 parallel patterns each) for the per-round
+/// equivalence asserts.
+const EQUIV_ROUNDS: usize = 8;
+const EQUIV_SEED: u64 = 0x0B7_BE4C;
+
+fn main() {
+    let args = Args::from_env();
+    let target = TargetSpec::from_args(&args);
+    run_for_target(target, MapOptions::default(), Main { args });
+}
+
+/// `main`'s [`TargetRunner`] continuation (a struct because the
+/// continuation is generic over the target type).
+struct Main {
+    args: Args,
+}
+
+impl TargetRunner for Main {
+    fn run<T: Target>(self, mapper: &Mapper<'_, T>, target: TargetSpec, library: Option<&Library>) {
+        run(&self.args, mapper, target, library);
+    }
+}
+
+/// Aggregate of one circuit's sweep.
+struct CircuitResult {
+    name: &'static str,
+    ands_raw: usize,
+    ands_opt: usize,
+    depth_raw: u32,
+    depth_opt: u32,
+    off_times: Vec<f64>,
+    on_times: Vec<f64>,
+    opt_times: Vec<f64>,
+    /// `(pass name, share of total optimize seconds)`, execution order.
+    pass_shares: Vec<(&'static str, f64)>,
+}
+
+fn run<T: Target>(
+    args: &Args,
+    mapper: &Mapper<'_, T>,
+    target: TargetSpec,
+    library: Option<&Library>,
+) {
+    let smoke = args.has("smoke");
+    let rounds = args.get("rounds", if smoke { 2 } else { 3 });
+    let out_path = args.get("out", "BENCH_opt.json".to_string());
+    let scale_name = args.get("scale", "quick".to_string());
+    let scale = match scale_name.as_str() {
+        "quick" => Scale::Quick,
+        "full" => Scale::Full,
+        other => panic!("unknown --scale {other:?} (expected quick or full)"),
+    };
+    let metrics = MetricsOut::from_arg(&args.get("metrics-json", String::new()));
+    let trace = TraceOut::from_args(args);
+    let run_span = slap_obs::span("bench_opt");
+    // The acceptance bar is stated at 1 thread; the comparison is
+    // between pipelines, not thread counts.
+    slap_par::set_threads(1);
+
+    let spec = args.get("passes", "full".to_string());
+    let mut pipeline = PassPipeline::parse(&spec).unwrap_or_else(|e| panic!("{e}"));
+    assert!(
+        !pipeline.is_empty(),
+        "bench_opt measures a pipeline against the raw path; \
+         --passes must name at least one pass"
+    );
+
+    let names: &[&str] = if smoke {
+        SMOKE_CIRCUITS
+    } else {
+        DEFAULT_CIRCUITS
+    };
+    let benches: Vec<_> = table2_benchmarks()
+        .into_iter()
+        .filter(|b| names.contains(&b.name))
+        .collect();
+    assert_eq!(benches.len(), names.len(), "unknown circuit in the set");
+    let raws: Vec<Aig> = benches.iter().map(|b| b.build(scale)).collect();
+
+    let mut manifest = run_manifest("bench_opt", 1, &target.name(), &pipeline.spec())
+        .config("rounds", rounds)
+        .config("smoke", smoke)
+        .config("scale", scale_name.as_str())
+        .input_hash("circuits", circuits_hash(&raws));
+    if let Some(lib) = library {
+        manifest = manifest.input_hash("library", library_hash(lib));
+    }
+    metrics.emit(&manifest.into_record());
+
+    let cut_config = target.cut_config();
+    let map = |aig: &Aig| -> MappedNetlist {
+        let cuts = enumerate_cuts(aig, &cut_config, &mut DefaultPolicy::default());
+        mapper.map_with_cuts(aig, &cuts).expect("maps")
+    };
+
+    let mut results: Vec<CircuitResult> = Vec::with_capacity(benches.len());
+    for (bench, raw) in benches.iter().zip(&raws) {
+        let _circuit_span = slap_obs::span("circuit");
+        // Warm up lazy globals and allocator pools, untimed.
+        let _ = map(raw);
+
+        let mut result = CircuitResult {
+            name: bench.name,
+            ands_raw: raw.num_ands(),
+            ands_opt: 0,
+            depth_raw: raw.depth(),
+            depth_opt: 0,
+            off_times: Vec::with_capacity(rounds),
+            on_times: Vec::with_capacity(rounds),
+            opt_times: Vec::with_capacity(rounds),
+            pass_shares: Vec::new(),
+        };
+        let mut last: Option<(MappedNetlist, MappedNetlist)> = None;
+        for round in 0..rounds {
+            let off_span = slap_obs::span("off_round");
+            let t0 = Instant::now();
+            let nl_off = map(raw);
+            let off_s = t0.elapsed().as_secs_f64();
+            drop(off_span);
+
+            let on_span = slap_obs::span("on_round");
+            let t0 = Instant::now();
+            let (opt, report) = pipeline.optimize(raw.clone());
+            let nl_on = map(&opt);
+            let on_s = t0.elapsed().as_secs_f64();
+            drop(on_span);
+
+            // The equivalence obligations, every round: the optimizer
+            // preserved the function, and the mapping of the optimized
+            // graph still implements the *raw* circuit.
+            assert!(
+                random_equiv_check(raw, &opt, EQUIV_ROUNDS, EQUIV_SEED ^ round as u64),
+                "{}: pipeline broke sim equivalence in round {round}",
+                bench.name
+            );
+            assert!(
+                nl_on.verify_against(raw, 4, EQUIV_SEED ^ round as u64),
+                "{}: optimized mapping diverged from the raw circuit in round {round}",
+                bench.name
+            );
+
+            eprintln!(
+                "  {} round {}/{rounds}: off {off_s:.3}s, on {on_s:.3}s \
+                 (opt {:.3}s, {} -> {} ands) = {:.2}x",
+                bench.name,
+                round + 1,
+                report.seconds,
+                report.ands_in,
+                report.ands_out,
+                off_s / on_s
+            );
+            let mut rec = slap_obs::Record::new();
+            rec.push("event", "round");
+            rec.push("circuit", bench.name);
+            rec.push("round", round);
+            rec.push("off_s", off_s);
+            rec.push("on_s", on_s);
+            rec.push("opt_s", report.seconds);
+            metrics.emit(&rec);
+
+            result.ands_opt = report.ands_out;
+            result.depth_opt = report.depth_out;
+            result.off_times.push(off_s);
+            result.on_times.push(on_s);
+            result.opt_times.push(report.seconds);
+            result.pass_shares = report
+                .passes
+                .iter()
+                .map(|p| (p.name, p.seconds / report.seconds.max(1e-12)))
+                .collect();
+            last = Some((nl_off, nl_on));
+        }
+
+        // QoR rows for the regression gate, from the final round (QoR
+        // at 1 thread with the default policy is deterministic, so any
+        // round would do).
+        let (nl_off, nl_on) = last.expect("rounds >= 1");
+        metrics.emit(&map_record(bench.name, "opt-off", nl_off.stats()));
+        metrics.emit(&map_record(bench.name, "opt-on", nl_on.stats()));
+        results.push(result);
+    }
+
+    let best = |v: &[f64]| v.iter().copied().fold(f64::INFINITY, f64::min);
+    let host_cpus = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"host_cpus\": {host_cpus},");
+    json.push_str("  \"threads\": 1,\n");
+    let _ = writeln!(json, "  \"rounds\": {rounds},");
+    let _ = writeln!(json, "  \"scale\": \"{scale_name}\",");
+    let _ = writeln!(json, "  \"target\": \"{}\",", target.name());
+    let _ = writeln!(json, "  \"passes\": \"{}\",", pipeline.spec());
+    json.push_str(
+        "  \"note\": \"opt-on vs opt-off interleaved per round, best-of-round wall times at \
+         1 thread. on_best_s covers clone + optimize + enumerate + map, so speedup is the \
+         end-to-end gain of optimizing before mapping; opt_best_s is the optimize share of \
+         that window. Sim equivalence (raw vs optimized, and raw vs the optimized mapping) \
+         is asserted every round.\",\n",
+    );
+    json.push_str("  \"circuits\": {\n");
+    for (i, r) in results.iter().enumerate() {
+        let off_best = best(&r.off_times);
+        let on_best = best(&r.on_times);
+        let and_red = 100.0 * (1.0 - r.ands_opt as f64 / r.ands_raw.max(1) as f64);
+        let depth_red = 100.0 * (1.0 - f64::from(r.depth_opt) / f64::from(r.depth_raw.max(1)));
+        let _ = writeln!(json, "    \"{}\": {{", r.name);
+        let _ = writeln!(json, "      \"ands_raw\": {},", r.ands_raw);
+        let _ = writeln!(json, "      \"ands_opt\": {},", r.ands_opt);
+        let _ = writeln!(json, "      \"and_reduction_pct\": {and_red:.2},");
+        let _ = writeln!(json, "      \"depth_raw\": {},", r.depth_raw);
+        let _ = writeln!(json, "      \"depth_opt\": {},", r.depth_opt);
+        let _ = writeln!(json, "      \"depth_reduction_pct\": {depth_red:.2},");
+        let fmt = |v: &[f64]| {
+            let s: Vec<String> = v.iter().map(|t| format!("{t:.6}")).collect();
+            s.join(", ")
+        };
+        let _ = writeln!(json, "      \"off_seconds\": [{}],", fmt(&r.off_times));
+        let _ = writeln!(json, "      \"on_seconds\": [{}],", fmt(&r.on_times));
+        let _ = writeln!(json, "      \"off_best_s\": {off_best:.6},");
+        let _ = writeln!(json, "      \"on_best_s\": {on_best:.6},");
+        let _ = writeln!(json, "      \"opt_best_s\": {:.6},", best(&r.opt_times));
+        let _ = writeln!(json, "      \"speedup\": {:.3},", off_best / on_best);
+        let shares: Vec<String> = r
+            .pass_shares
+            .iter()
+            .map(|(name, share)| format!("\"{name}\": {share:.3}"))
+            .collect();
+        let _ = writeln!(
+            json,
+            "      \"pass_time_shares\": {{{}}}",
+            shares.join(", ")
+        );
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        let _ = writeln!(json, "    }}{comma}");
+    }
+    json.push_str("  }\n}\n");
+
+    let path = std::env::var("CARGO_MANIFEST_DIR")
+        .map(|d| std::path::PathBuf::from(d).join("../..").join(&out_path))
+        .unwrap_or_else(|_| std::path::PathBuf::from(&out_path));
+    std::fs::write(&path, &json).expect("write results");
+    println!("{json}");
+    println!("wrote {}", path.display());
+
+    let alloc = slap_obs::alloc::record_gauges();
+    let mut rec = slap_obs::Record::new();
+    rec.push("event", "summary");
+    for r in &results {
+        if r.name == "AES" {
+            rec.push("aes_and_reduction_pct", {
+                100.0 * (1.0 - r.ands_opt as f64 / r.ands_raw.max(1) as f64)
+            });
+            rec.push("aes_speedup", best(&r.off_times) / best(&r.on_times));
+        }
+    }
+    rec.push("alloc.count", alloc.count);
+    rec.push("alloc.bytes", alloc.bytes);
+    metrics.emit(&rec);
+    drop(run_span);
+    metrics.emit(&obs_snapshot_record());
+    metrics.finish();
+    trace.finish();
+}

@@ -19,7 +19,9 @@ use std::time::Instant;
 use slap_bench::metrics::{
     aig_hash, library_hash, obs_snapshot_record, run_manifest, MetricsOut, TraceOut,
 };
-use slap_bench::{run_for_target, Args, TargetRunner, TargetSpec};
+use slap_bench::{
+    optimize_circuits, pass_pipeline_from_args, run_for_target, Args, TargetRunner, TargetSpec,
+};
 use slap_cell::Library;
 use slap_circuits::aes::aes_mini;
 use slap_circuits::arith::ripple_carry_adder;
@@ -66,9 +68,13 @@ fn run<T: Target>(
     let run_span = slap_obs::span("bench_parallel");
 
     let cut_config = target.cut_config();
-    let aes = aes_mini();
-    let adder = ripple_carry_adder(16);
-    let mut manifest = run_manifest("bench_parallel", 0, &target.name())
+    let mut pipeline = pass_pipeline_from_args(args);
+    let mut opt = [aes_mini(), ripple_carry_adder(16)];
+    for line in optimize_circuits(&mut pipeline, &mut opt) {
+        eprintln!("{line}");
+    }
+    let [aes, adder] = opt;
+    let mut manifest = run_manifest("bench_parallel", 0, &target.name(), &pipeline.spec())
         .config("rounds", rounds)
         .config("maps", maps)
         .input_hash(

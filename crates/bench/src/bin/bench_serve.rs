@@ -18,7 +18,8 @@
 //! Usage:
 //!   cargo run --release -p slap-bench --bin bench_serve -- \
 //!       [--rounds 3] [--cap 64] [--keep 8] [--seed 1] [--threads N]
-//!       [--smoke] [--out BENCH_serve.json] [--metrics-json out.jsonl]
+//!       [--passes strash,fold,sweep,balance] [--smoke]
+//!       [--out BENCH_serve.json] [--metrics-json out.jsonl]
 //!       [--trace-json trace.json]
 //!
 //! `--smoke` shrinks the workload (4 circuits, 1 round) and skips the
@@ -35,7 +36,7 @@ use slap_bench::metrics::{
     circuits_hash, library_hash, map_record, obs_snapshot_record, run_manifest, MetricsOut,
     TraceOut,
 };
-use slap_bench::{init_threads, Args};
+use slap_bench::{init_threads, optimize_circuits, pass_pipeline_from_args, Args};
 use slap_cell::asap7_mini;
 use slap_circuits::{table2_benchmarks, Scale};
 use slap_map::{LutMapper, MapOptions, MapPolicy, MappedNetlist, Mapper};
@@ -113,7 +114,12 @@ fn main() {
     // serve benchmark measures engine throughput, not circuit scale).
     let benches = table2_benchmarks();
     let circuits = if smoke { &benches[..4] } else { &benches[..] };
-    let aigs: Vec<slap_aig::Aig> = slap_par::par_map(circuits, |_, b| b.build(Scale::Quick));
+    let mut pipeline = pass_pipeline_from_args(&args);
+    let mut aigs: Vec<slap_aig::Aig> = slap_par::par_map(circuits, |_, b| b.build(Scale::Quick));
+    for line in optimize_circuits(&mut pipeline, &mut aigs) {
+        eprintln!("{line}");
+    }
+    let aigs = aigs;
 
     let library = asap7_mini();
     let asic_mapper = Mapper::new(&library, MapOptions::default());
@@ -162,7 +168,7 @@ fn main() {
         }
     }
 
-    let mut manifest = run_manifest("bench_serve", threads, "mixed")
+    let mut manifest = run_manifest("bench_serve", threads, "mixed", &pipeline.spec())
         .kernel("mixed")
         .config("rounds", rounds)
         .config("jobs", jobs.len())
@@ -192,6 +198,9 @@ fn main() {
                     k: job.k,
                     policy: job.policy,
                     kernel: job.kernel.to_string(),
+                    // The bin optimizes the catalog before registration
+                    // (see above), so requests map as-registered.
+                    passes: String::new(),
                 })
                 .expect("admitted (queue capacity sized for the workload)");
         }

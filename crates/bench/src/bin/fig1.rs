@@ -4,7 +4,8 @@
 //! Usage:
 //!   cargo run --release -p slap-bench --bin fig1 -- \
 //!       [--maps 300] [--keep 8] [--seed 1] [--full] [--target asic|lut:k]
-//!       [--kernel f32|int8] [--threads N] [--metrics-json out.jsonl]
+//!       [--kernel f32|int8] [--passes strash,fold,sweep,balance]
+//!       [--threads N] [--metrics-json out.jsonl]
 //!       [--trace-json trace.json]
 //!
 //! `--kernel` is accepted for flag symmetry with the inference binaries
@@ -18,8 +19,8 @@ use slap_bench::metrics::{
     aig_hash, library_hash, map_record, obs_snapshot_record, run_manifest, MetricsOut, TraceOut,
 };
 use slap_bench::{
-    experiments_dir, init_threads, kernel_tier_from_args, run_for_target, Args, TargetRunner,
-    TargetSpec,
+    experiments_dir, init_threads, kernel_tier_from_args, optimize_circuits,
+    pass_pipeline_from_args, run_for_target, Args, TargetRunner, TargetSpec,
 };
 use slap_cell::Library;
 use slap_circuits::aes::{aes_core, aes_mini};
@@ -62,13 +63,19 @@ fn run<T: Target>(
     let maps = args.get("maps", 300usize);
     let keep = args.get("keep", 8usize);
     let seed = args.get("seed", 1u64);
+    let mut pipeline = pass_pipeline_from_args(args);
     let threads = init_threads(args);
     let metrics = MetricsOut::from_arg(&args.get("metrics-json", String::new()));
     let trace = TraceOut::from_args(args);
     let run_span = slap_obs::span("fig1");
+    let mut opt = [aig.clone()];
+    for line in optimize_circuits(&mut pipeline, &mut opt) {
+        eprintln!("{line}");
+    }
+    let [aig] = &opt;
     println!("circuit: {} ({} AND nodes)", aig.name(), aig.num_ands());
 
-    let mut manifest = run_manifest("fig1", threads, &target.name())
+    let mut manifest = run_manifest("fig1", threads, &target.name(), &pipeline.spec())
         .kernel(kernel_tier_from_args(args).name())
         .config("maps", maps)
         .config("keep", keep)

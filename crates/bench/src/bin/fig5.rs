@@ -6,7 +6,8 @@
 //!   cargo run --release -p slap-bench --bin fig5 -- \
 //!       [--maps 120] [--epochs 12] [--filters 64] [--rounds 10]
 //!       [--eval 2000] [--seed 1] [--target asic|lut:k] [--kernel f32|int8]
-//!       [--threads N] [--metrics-json out.jsonl] [--trace-json trace.json]
+//!       [--passes strash,fold,sweep,balance] [--threads N]
+//!       [--metrics-json out.jsonl] [--trace-json trace.json]
 //!
 //! `--kernel` is accepted for flag symmetry with the inference binaries
 //! and recorded in the manifest; permutation importance evaluates the
@@ -21,8 +22,8 @@ use slap_bench::metrics::{
     TraceOut,
 };
 use slap_bench::{
-    experiments_dir, init_threads, kernel_tier_from_args, run_for_target, Args, TargetRunner,
-    TargetSpec,
+    experiments_dir, init_threads, kernel_tier_from_args, optimize_circuits,
+    pass_pipeline_from_args, run_for_target, Args, TargetRunner, TargetSpec,
 };
 use slap_cell::Library;
 use slap_circuits::catalog::Scale;
@@ -74,8 +75,13 @@ fn run<T: Target>(
     // The training circuits sample independently; build one dataset per
     // circuit across worker threads and merge in catalog order.
     let benches = training_benchmarks();
-    let aigs: Vec<Aig> = slap_par::par_map(&benches, |_, b| b.build(Scale::Full));
-    let mut manifest = run_manifest("fig5", threads, &target.name())
+    let mut pipeline = pass_pipeline_from_args(args);
+    let mut aigs: Vec<Aig> = slap_par::par_map(&benches, |_, b| b.build(Scale::Full));
+    for line in optimize_circuits(&mut pipeline, &mut aigs) {
+        eprintln!("{line}");
+    }
+    let aigs = aigs;
+    let mut manifest = run_manifest("fig5", threads, &target.name(), &pipeline.spec())
         .kernel(kernel_tier_from_args(args).name())
         .config("maps", maps)
         .config("epochs", epochs)

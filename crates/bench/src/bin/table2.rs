@@ -5,6 +5,7 @@
 //! Usage:
 //!   cargo run --release -p slap-bench --bin table2 -- \
 //!       [--full | --smoke] [--target asic|lut:k] [--kernel f32|int8]
+//!       [--passes strash,fold,sweep,balance]
 //!       [--maps 150] [--epochs 15] [--filters 128] [--seed 1]
 //!       [--cap 1000] [--threads N] [--metrics-json out.jsonl]
 //!       [--trace-json trace.json] [--trace-folded stacks.txt]
@@ -28,8 +29,9 @@ use slap_bench::metrics::{
     MetricsOut, TraceOut,
 };
 use slap_bench::{
-    experiments_dir, geomean, init_threads, kernel_tier_from_args, run_for_target,
-    train_paper_model, Args, Qor, TargetRunner, TargetSpec,
+    experiments_dir, geomean, init_threads, kernel_tier_from_args, optimize_circuits,
+    pass_pipeline_from_args, run_for_target, train_paper_model, Args, Qor, TargetRunner,
+    TargetSpec,
 };
 use slap_cell::Library;
 use slap_circuits::catalog::{table2_benchmarks, Scale};
@@ -83,6 +85,7 @@ fn run<T: Target>(
     let seed = args.get("seed", 1u64);
     let cap = args.get("cap", if smoke { 200 } else { 1000usize });
     let kernel = kernel_tier_from_args(args);
+    let mut pipeline = pass_pipeline_from_args(args);
     let threads = init_threads(args);
     let metrics = Arc::new(MetricsOut::from_arg(
         &args.get("metrics-json", String::new()),
@@ -93,11 +96,18 @@ fn run<T: Target>(
     // Build the benchmark circuits up front so the manifest (the
     // stream's first record) can carry their combined content hash.
     let benches = table2_benchmarks();
-    let aigs: Vec<Aig> = {
+    let mut aigs: Vec<Aig> = {
         let _s = slap_obs::span("build_circuits");
         slap_par::par_map(&benches, |_, b| b.build(scale))
     };
-    let mut manifest = run_manifest("table2", threads, &target.name())
+    // Optimize before hashing: the manifest pins the graphs that were
+    // actually mapped, and the `passes` field explains the difference
+    // from an opt-off stream.
+    for line in optimize_circuits(&mut pipeline, &mut aigs) {
+        eprintln!("{line}");
+    }
+    let aigs = aigs;
+    let mut manifest = run_manifest("table2", threads, &target.name(), &pipeline.spec())
         .kernel(kernel.name())
         .config("scale", format!("{scale:?}"))
         .config("smoke", smoke)

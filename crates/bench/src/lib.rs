@@ -217,6 +217,49 @@ pub fn kernel_tier_from_args(args: &Args) -> KernelTier {
     KernelTier::parse(&raw).unwrap_or_else(|e| panic!("{e}"))
 }
 
+/// Reads the `--passes` flag (default: no optimization) shared by the
+/// experiment binaries and parses it into a pre-mapping optimization
+/// pipeline. The pipeline's canonical spec goes into the run manifest
+/// (`RunManifest::passes`), so `slap-report --check` can refuse
+/// cross-pipeline comparisons.
+///
+/// # Panics
+///
+/// Panics with the parser's message on an unknown pass name.
+pub fn pass_pipeline_from_args(args: &Args) -> slap_opt::PassPipeline {
+    let raw = args.get("passes", String::new());
+    slap_opt::PassPipeline::parse(&raw).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Optimizes every circuit in place through `pipeline`, returning one
+/// preformatted per-circuit reduction line for the caller (a binary)
+/// to print. The empty pipeline is a strict no-op — the slots are
+/// never touched and no lines are produced, so opt-off runs stay
+/// bit-identical to binaries that predate the pipeline.
+#[must_use]
+pub fn optimize_circuits(pipeline: &mut slap_opt::PassPipeline, aigs: &mut [Aig]) -> Vec<String> {
+    if pipeline.is_empty() {
+        return Vec::new();
+    }
+    let _s = slap_obs::span("optimize_circuits");
+    let mut lines = Vec::with_capacity(aigs.len());
+    for slot in aigs.iter_mut() {
+        let input = std::mem::replace(slot, Aig::new());
+        let (opt, report) = pipeline.optimize(input);
+        lines.push(format!(
+            "  opt {:<14} ands {} -> {}, depth {} -> {} ({:.3}s)",
+            opt.name(),
+            report.ands_in,
+            report.ands_out,
+            report.depth_in,
+            report.depth_out,
+            report.seconds
+        ));
+        *slot = opt;
+    }
+    lines
+}
+
 /// Applies the `--threads N` override and returns the effective worker
 /// count. Without the flag the count falls back to the `SLAP_THREADS`
 /// environment variable, then to the machine's available parallelism.
@@ -399,6 +442,37 @@ mod tests {
         );
         let args = Args::from_vec(vec!["--kernel".into(), "int8".into()]);
         assert_eq!(kernel_tier_from_args(&args), KernelTier::Int8);
+    }
+
+    #[test]
+    fn pass_pipeline_flag_parses_with_empty_default() {
+        assert!(pass_pipeline_from_args(&Args::from_vec(vec![])).is_empty());
+        let args = Args::from_vec(vec!["--passes".into(), "strash,balance".into()]);
+        assert_eq!(pass_pipeline_from_args(&args).spec(), "strash,balance");
+        let args = Args::from_vec(vec!["--passes".into(), "full".into()]);
+        assert_eq!(pass_pipeline_from_args(&args).spec(), slap_opt::FULL_SPEC);
+    }
+
+    #[test]
+    fn optimize_circuits_shrinks_in_place_and_empty_is_noop() {
+        let mut aig = Aig::new();
+        let a = aig.add_pi();
+        let b = aig.add_pi();
+        let x = aig.xor(a, b);
+        let y = aig.xor(x, b); // == a
+        aig.add_po(y);
+        let mut aigs = vec![aig];
+        let before = aigs[0].num_ands();
+        let lines = optimize_circuits(
+            &mut pass_pipeline_from_args(&Args::from_vec(vec![])),
+            &mut aigs,
+        );
+        assert!(lines.is_empty(), "empty pipeline reports nothing");
+        assert_eq!(aigs[0].num_ands(), before, "empty pipeline is a no-op");
+        let args = Args::from_vec(vec!["--passes".into(), "full".into()]);
+        let lines = optimize_circuits(&mut pass_pipeline_from_args(&args), &mut aigs);
+        assert_eq!(lines.len(), 1, "one report line per circuit");
+        assert_eq!(aigs[0].num_ands(), 0, "the XOR pair cancels");
     }
 
     #[test]

@@ -115,17 +115,20 @@ impl ProgressSink for EpochMetrics {
 }
 
 /// Starts the `event = "run_manifest"` record every metrics stream opens
-/// with: binary, thread count, cache mode, trace state, and the mapping
-/// target (`"asic"`, `"lut:6"`, …). Callers chain `.config(...)` /
+/// with: binary, thread count, cache mode, trace state, the mapping
+/// target (`"asic"`, `"lut:6"`, …), and the pre-mapping optimization
+/// pipeline (`"none"` when opt is off). Callers chain `.config(...)` /
 /// `.input_hash(...)` for run-specific fields before emitting; schema in
 /// DESIGN.md §11. `slap-report --check` refuses to compare streams whose
-/// targets differ, so the field is mandatory here.
-pub fn run_manifest(bin: &str, threads: usize, target: &str) -> RunManifest {
+/// targets, kernels, or pipelines differ, so the fields are mandatory
+/// here.
+pub fn run_manifest(bin: &str, threads: usize, target: &str, passes: &str) -> RunManifest {
     RunManifest::new(bin)
         .threads(threads)
         .cache(None)
         .trace()
         .target(target)
+        .passes(passes)
 }
 
 /// FNV-1a content hash of a circuit's canonical ASCII AIGER
@@ -346,7 +349,7 @@ mod tests {
         {
             let out = Arc::new(MetricsOut::from_arg(path_str));
             assert!(out.enabled());
-            out.emit(&run_manifest("test-bin", 2, "asic").into_record());
+            out.emit(&run_manifest("test-bin", 2, "asic", "none").into_record());
             out.emit(&map_record("c1", "m1", &MapStats::default()));
             let sink = EpochMetrics::new(out.clone(), false);
             sink.on_epoch(&EpochProgress {
@@ -369,6 +372,9 @@ mod tests {
         assert!(manifest
             .iter()
             .any(|(k, v)| k == "target" && v.as_str() == Some("asic")));
+        assert!(manifest
+            .iter()
+            .any(|(k, v)| k == "passes" && v.as_str() == Some("none")));
         let fields = slap_obs::parse_object(lines[2]).expect("epoch line");
         assert!(fields
             .iter()

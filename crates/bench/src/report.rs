@@ -370,6 +370,15 @@ pub fn run_kernel(run: &Run) -> &str {
         .unwrap_or("f32")
 }
 
+/// The pre-mapping optimization pipeline a run's manifest declares.
+/// Streams written before the manifest carried a `passes` field never
+/// optimized their subject graphs, so absence defaults to `"none"`.
+pub fn run_passes(run: &Run) -> &str {
+    run.manifest_field("passes")
+        .and_then(Value::as_str)
+        .unwrap_or("none")
+}
+
 /// The CI regression gate: compares `current` against `baseline`,
 /// failing on
 ///
@@ -378,6 +387,10 @@ pub fn run_kernel(run: &Run) -> &str {
 /// * manifest `kernel` mismatches (the int8 tier is QoR-equivalent,
 ///   not bit-identical, to f32 — diffing across tiers would either
 ///   mask real regressions or flag expected divergence);
+/// * manifest `passes` mismatches (an optimized subject graph has
+///   different node counts, cut spaces, and QoR than the raw graph —
+///   cross-pipeline comparison would flag the optimization itself as a
+///   regression or mask a real one behind it);
 /// * manifest input-hash or `schema_version` mismatches (the runs
 ///   mapped different inputs — QoR comparison would be meaningless);
 /// * baseline `(circuit, mode)` rows missing from the current run;
@@ -396,6 +409,12 @@ pub fn check(current: &Run, baseline: &Run, tolerance_pct: f64) -> CheckReport {
     if ck != bk {
         report.failures.push(format!(
             "manifest kernel mismatch: baseline {bk:?}, current {ck:?}"
+        ));
+    }
+    let (cp, bp) = (run_passes(current), run_passes(baseline));
+    if cp != bp {
+        report.failures.push(format!(
+            "manifest passes mismatch: baseline {bp:?}, current {cp:?}"
         ));
     }
     for (key, base_value) in &baseline.manifest {
@@ -607,6 +626,41 @@ mod tests {
         // Two int8 runs gate each other fine.
         let a = parse_run(&int8, "a").expect("parses");
         let b = parse_run(&int8, "b").expect("parses");
+        assert!(check(&a, &b, 2.0).passed());
+    }
+
+    #[test]
+    fn check_fails_on_passes_mismatch_defaulting_absent_to_none() {
+        let baseline = sample_run();
+        assert_eq!(run_passes(&baseline), "none", "absent passes is none");
+        let opt = SAMPLE.replace(
+            "\"trace\":false",
+            "\"trace\":false,\"passes\":\"strash,fold,sweep,balance\"",
+        );
+        let current = parse_run(&opt, "opt").expect("parses");
+        assert_eq!(run_passes(&current), "strash,fold,sweep,balance");
+        let report = check(&current, &baseline, 2.0);
+        assert!(
+            report
+                .failures
+                .iter()
+                .any(|f| f.contains("passes mismatch") && f.contains("strash")),
+            "{:?}",
+            report.failures
+        );
+        // Symmetric: an opt-off run can't gate an optimized baseline.
+        let report = check(&baseline, &current, 2.0);
+        assert!(report
+            .failures
+            .iter()
+            .any(|f| f.contains("passes mismatch")));
+        // An explicit "none" still matches a pre-passes baseline.
+        let none = SAMPLE.replace("\"trace\":false", "\"trace\":false,\"passes\":\"none\"");
+        let current = parse_run(&none, "none").expect("parses");
+        assert!(check(&current, &baseline, 2.0).passed());
+        // Two optimized runs with the same pipeline gate each other fine.
+        let a = parse_run(&opt, "a").expect("parses");
+        let b = parse_run(&opt, "b").expect("parses");
         assert!(check(&a, &b, 2.0).passed());
     }
 

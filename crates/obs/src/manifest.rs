@@ -108,6 +108,17 @@ impl RunManifest {
         self
     }
 
+    /// Records the pre-mapping optimization pipeline spec
+    /// (`"strash,fold,sweep,balance"`, or `"none"` for opt-off) so
+    /// metrics over optimized and raw subject graphs can never be
+    /// diffed against each other silently (`slap-report --check` gates
+    /// on this field; absent means `"none"`, the pipeline of every run
+    /// predating it).
+    pub fn passes(mut self, spec: &str) -> RunManifest {
+        self.record.push("passes", spec);
+        self
+    }
+
     /// Appends one free-form config field (policy, k, seed, scale, …).
     pub fn config(mut self, key: &str, value: impl Into<Value>) -> RunManifest {
         self.record.push(key, value);
@@ -163,6 +174,7 @@ mod tests {
             .trace()
             .target("lut:6")
             .kernel("int8")
+            .passes("strash,balance")
             .config("seed", 1u64)
             .input_hash("circuit", 0xabcd)
             .input_hash("library", 7)
@@ -179,6 +191,10 @@ mod tests {
         assert_eq!(get("threads").and_then(|v| v.as_u64()), Some(4));
         assert_eq!(get("target").and_then(|v| v.as_str()), Some("lut:6"));
         assert_eq!(get("kernel").and_then(|v| v.as_str()), Some("int8"));
+        assert_eq!(
+            get("passes").and_then(|v| v.as_str()),
+            Some("strash,balance")
+        );
         assert_eq!(
             get("circuit_hash").and_then(|v| v.as_str()),
             Some("000000000000abcd")

@@ -1,0 +1,292 @@
+//! Cross-cone shared-pair extraction for XOR trees (Paar's greedy
+//! common-pair algorithm over GF(2)).
+//!
+//! Cone-local canonicalization (see `rebuild`) leaves each XOR sum at
+//! its own mod-2 minimum, but different cones still recompute the same
+//! partial sums: two MixColumns lanes both need `a2 ^ a3`, two folded
+//! reduction offsets both need `c13 ^ c14`. This stage collects every
+//! XOR cone's atom set, counts unordered atom pairs across all cones,
+//! and while some pair occurs in at least two cones, replaces it
+//! everywhere with a single shared node. Selection is deterministic
+//! (highest count, ties broken by smallest packed pair key), so
+//! repeated runs extract the same structure and the pipeline stays
+//! idempotent: after the loop no pair occurs twice, which is exactly
+//! the fixpoint the next run re-discovers.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::collections::HashMap;
+
+use slap_aig::{Aig, Lit, NodeId};
+
+use crate::pass::PassScratch;
+use crate::rebuild::{
+    cancel_xor_pairs, emit_and_leaves, emit_tree, map_lit, mark_absorbed_trees, walk_and_tree,
+    walk_xor_tree, xor_operands,
+};
+
+/// Cones larger than this are excluded from pair counting: quadratic
+/// pair enumeration on a huge sum costs more than the sharing it could
+/// ever recover.
+const PAIR_CONE_CAP: usize = 64;
+
+/// Packs an unordered plain-literal pair into a deterministic map key.
+#[inline]
+fn pair_key(a: Lit, b: Lit) -> u64 {
+    let (lo, hi) = if a.raw() <= b.raw() {
+        (a.raw(), b.raw())
+    } else {
+        (b.raw(), a.raw())
+    };
+    ((lo as u64) << 32) | hi as u64
+}
+
+#[inline]
+fn unpack_pair(key: u64) -> (Lit, Lit) {
+    (Lit::from_raw((key >> 32) as u32), Lit::from_raw(key as u32))
+}
+
+/// Working state of one extraction run. All collections are rebuilt per
+/// run; the dominant buffers (cone atom sets) reuse pooled vectors from
+/// [`PassScratch`] so steady-state pipelines stay within the pinned
+/// allocation budget.
+struct Extractor {
+    /// Per-cone sorted plain atom sets (old-graph + virtual literals).
+    cones: Vec<Vec<Lit>>,
+    /// Old-graph root index and complement parity per cone.
+    roots: Vec<(u32, bool)>,
+    /// Unordered pair key → number of cones containing the pair.
+    counts: HashMap<u64, u32>,
+    /// Lazy max-heap over (count, pair) snapshots.
+    heap: BinaryHeap<(u32, Reverse<u64>)>,
+    /// Definitions of extracted pairs, in creation order. Operands are
+    /// plain old-graph or earlier-virtual literals.
+    virtuals: Vec<(Lit, Lit)>,
+    /// First raw value of the virtual id space.
+    virtual_base: u32,
+}
+
+impl Extractor {
+    /// Increments (`up`) or decrements the count of `(a, b)`, pushing a
+    /// fresh heap snapshot on increment.
+    fn bump(&mut self, a: Lit, b: Lit, up: bool) {
+        let key = pair_key(a, b);
+        let slot = self.counts.entry(key).or_insert(0);
+        if up {
+            *slot += 1;
+            self.heap.push((*slot, Reverse(key)));
+        } else {
+            debug_assert!(*slot > 0, "decrement of an untracked pair");
+            *slot = slot.saturating_sub(1);
+        }
+    }
+
+    /// Counts all pairs of cone `c` against the rest of its atoms.
+    fn count_cone(&mut self, c: usize) {
+        let atoms = std::mem::take(&mut self.cones[c]);
+        if atoms.len() <= PAIR_CONE_CAP {
+            for i in 0..atoms.len() {
+                for j in i + 1..atoms.len() {
+                    self.bump(atoms[i], atoms[j], true);
+                }
+            }
+        }
+        self.cones[c] = atoms;
+    }
+
+    /// Replaces pair `(a, b)` with virtual literal `v` in cone `c`,
+    /// keeping pair counts and sortedness intact.
+    fn substitute(&mut self, c: usize, a: Lit, b: Lit, v: Lit) {
+        let mut atoms = std::mem::take(&mut self.cones[c]);
+        let counted = atoms.len() <= PAIR_CONE_CAP;
+        if counted {
+            for &x in &atoms {
+                if x != a && x != b {
+                    self.bump(a, x, false);
+                    self.bump(b, x, false);
+                }
+            }
+            self.bump(a, b, false);
+        }
+        atoms.retain(|&x| x != a && x != b);
+        if counted {
+            for &x in &atoms {
+                self.bump(v, x, true);
+            }
+        }
+        // Virtual raws grow monotonically, so pushing keeps the set sorted.
+        atoms.push(v);
+        self.cones[c] = atoms;
+    }
+
+    /// Runs the greedy loop: while some pair occurs in two or more
+    /// cones, extract it. Returns the number of extracted pairs.
+    fn extract(&mut self) -> u64 {
+        while let Some((count, Reverse(key))) = self.heap.pop() {
+            if count < 2 {
+                break;
+            }
+            // Lazy heap: skip stale snapshots.
+            if self.counts.get(&key).copied().unwrap_or(0) != count {
+                continue;
+            }
+            let (a, b) = unpack_pair(key);
+            let v = Lit::from_raw(self.virtual_base + 2 * self.virtuals.len() as u32);
+            self.virtuals.push((a, b));
+            for c in 0..self.cones.len() {
+                let has =
+                    |set: &[Lit], l: Lit| set.binary_search_by_key(&l.raw(), |x| x.raw()).is_ok();
+                if has(&self.cones[c], a) && has(&self.cones[c], b) {
+                    self.substitute(c, a, b, v);
+                }
+            }
+        }
+        self.virtuals.len() as u64
+    }
+}
+
+/// Materializes virtual literal `v` (and, recursively, the virtuals it
+/// depends on) in the new graph. `vmap` memoizes per virtual id.
+fn materialize(
+    new: &mut Aig,
+    map: &[Lit],
+    virtuals: &[(Lit, Lit)],
+    virtual_base: u32,
+    vmap: &mut Vec<Lit>,
+    v: Lit,
+) -> Lit {
+    let vi = ((v.raw() - virtual_base) / 2) as usize;
+    if vmap[vi] != Lit::NONE {
+        return vmap[vi];
+    }
+    let (a, b) = virtuals[vi];
+    let la = resolve_atom(new, map, virtuals, virtual_base, vmap, a);
+    let lb = resolve_atom(new, map, virtuals, virtual_base, vmap, b);
+    let lit = new.xor(la, lb);
+    vmap[vi] = lit;
+    lit
+}
+
+/// Maps an extracted-cone atom — old-graph or virtual — to a new-graph
+/// literal.
+fn resolve_atom(
+    new: &mut Aig,
+    map: &[Lit],
+    virtuals: &[(Lit, Lit)],
+    virtual_base: u32,
+    vmap: &mut Vec<Lit>,
+    atom: Lit,
+) -> Lit {
+    if atom.raw() >= virtual_base {
+        materialize(new, map, virtuals, virtual_base, vmap, atom)
+    } else {
+        map_lit(map, atom)
+    }
+}
+
+/// Extracts shared XOR pairs from `aig` and rebuilds it. Returns the
+/// rebuilt graph and the number of pairs extracted; `None` means
+/// nothing was shared and the input stands as-is (zero rebuild cost).
+pub(crate) fn extract_shared_xor_pairs(aig: &Aig, scratch: &mut PassScratch) -> (Option<Aig>, u64) {
+    scratch.reset(aig.num_nodes());
+    mark_absorbed_trees(aig, scratch);
+    let mut ex = Extractor {
+        cones: Vec::new(),
+        roots: Vec::new(),
+        counts: HashMap::new(),
+        heap: BinaryHeap::new(),
+        virtuals: Vec::new(),
+        virtual_base: 2 * aig.num_nodes() as u32,
+    };
+    // Collect every XOR cone's atom set in old-graph coordinates. The
+    // graph comes out of a canonicalizing rebuild, so the sets are
+    // already duplicate-free; canonicalize again for safety anyway.
+    for idx in 0..aig.num_nodes() {
+        let n = NodeId::new(idx);
+        if !aig.is_and(n) || scratch.absorbed[idx] {
+            continue;
+        }
+        let Some((p, q)) = xor_operands(aig, n) else {
+            continue;
+        };
+        scratch.leaves.clear();
+        let mut parity = walk_xor_tree(aig, n, p, q, scratch, false);
+        let mut atoms = Vec::with_capacity(scratch.leaves.len());
+        for &l in &scratch.leaves {
+            parity ^= l.is_complement();
+            let plain = l.with_complement(false);
+            if plain != Lit::FALSE {
+                atoms.push(plain);
+            }
+        }
+        cancel_xor_pairs(&mut atoms);
+        ex.roots.push((idx as u32, parity));
+        ex.cones.push(atoms);
+    }
+    for c in 0..ex.cones.len() {
+        ex.count_cone(c);
+    }
+    let extracted = ex.extract();
+    if extracted == 0 {
+        return (None, 0);
+    }
+    // Rebuild: XOR roots emit their substituted atom sets (virtuals
+    // materialize as shared nodes on first use); everything else goes
+    // through the regular tree emission.
+    let mut new = Aig::with_capacity(aig.num_nodes(), aig.num_pis(), aig.num_pos());
+    new.set_name(aig.name().to_string());
+    for pi in aig.pis() {
+        let lit = new.add_pi();
+        scratch.map[pi.index()] = lit;
+    }
+    scratch.map[NodeId::CONST0.index()] = Lit::FALSE;
+    let mut vmap = vec![Lit::NONE; ex.virtuals.len()];
+    let mut next_cone = 0usize;
+    for idx in 0..aig.num_nodes() {
+        let n = NodeId::new(idx);
+        if !aig.is_and(n) || scratch.absorbed[idx] {
+            continue;
+        }
+        let result = if next_cone < ex.roots.len() && ex.roots[next_cone].0 == idx as u32 {
+            let (_, mut parity) = ex.roots[next_cone];
+            scratch.work.clear();
+            for k in 0..ex.cones[next_cone].len() {
+                let atom = ex.cones[next_cone][k];
+                let lit = resolve_atom(
+                    &mut new,
+                    &scratch.map,
+                    &ex.virtuals,
+                    ex.virtual_base,
+                    &mut vmap,
+                    atom,
+                );
+                parity ^= lit.is_complement();
+                let plain = lit.with_complement(false);
+                if plain != Lit::FALSE {
+                    scratch.work.push(plain);
+                }
+            }
+            next_cone += 1;
+            cancel_xor_pairs(&mut scratch.work);
+            if scratch.work.is_empty() {
+                Lit::FALSE.xor_complement(parity)
+            } else {
+                emit_tree(&mut new, &mut scratch.work, Aig::xor).xor_complement(parity)
+            }
+        } else {
+            scratch.leaves.clear();
+            walk_and_tree(aig, n, scratch, false);
+            scratch.work.clear();
+            for k in 0..scratch.leaves.len() {
+                let mapped = map_lit(&scratch.map, scratch.leaves[k]);
+                scratch.work.push(mapped);
+            }
+            emit_and_leaves(&mut new, &mut scratch.work)
+        };
+        scratch.map[idx] = result;
+    }
+    for &po in aig.pos() {
+        new.add_po(map_lit(&scratch.map, po));
+    }
+    (Some(new), extracted)
+}

@@ -1,0 +1,58 @@
+//! Pre-mapping AIG optimization: an ordered, composable pass pipeline.
+//!
+//! Real mapping flows (ABC's `strash; rewrite; balance`) optimize the
+//! subject graph before technology mapping; this crate brings that stage
+//! to the SLAP reproduction. A [`PassPipeline`] is parsed from a spec
+//! string such as `"strash,fold,sweep,balance"` and applied to an [`Aig`]
+//! before cut enumeration, so the enumerator and covering DP never pay
+//! for redundant AND nodes, dangling cones, or depth-pessimal chains in
+//! the input.
+//!
+//! Four passes are available (see [`passes`]):
+//!
+//! | name     | rewrite responsibility |
+//! |----------|------------------------|
+//! | `strash` | canonicalizing rebuild: flattens single-use AND/XOR trees, sorts and deduplicates leaves, cancels XOR pairs mod 2, and re-emits through the structural-hash table so isomorphic cones collapse |
+//! | `fold`   | plain rebuild through [`Aig::and`], propagating 0/1 constants through complemented edges |
+//! | `sweep`  | drops every AND node outside the transitive fanin of a primary output |
+//! | `balance`| depth-oriented tree rebuild: combines the two lowest-level operands first (Huffman order) |
+//!
+//! # Contract
+//!
+//! Every pass preserves 64-bit parallel-simulation equivalence against
+//! its input and keeps the PI/PO interface (count and order) intact; in
+//! debug builds [`PassPipeline::optimize`] asserts this after every pass.
+//! The empty pipeline (spec `""` or `"none"`) returns its input untouched
+//! — byte-for-byte the same `Aig` — so opt-off paths stay bit-identical
+//! to pre-pipeline behavior. Running the full pipeline twice is a no-op
+//! (`tests/opt_equivalence.rs` pins this structurally). DESIGN.md §15
+//! documents the full pass contract.
+//!
+//! # Example
+//!
+//! ```
+//! use slap_aig::Aig;
+//! use slap_opt::PassPipeline;
+//!
+//! let mut aig = Aig::new();
+//! let a = aig.add_pi();
+//! let b = aig.add_pi();
+//! let x = aig.xor(a, b);
+//! let y = aig.xor(x, b); // == a: the b's cancel mod 2
+//! aig.add_po(y);
+//!
+//! let mut pipeline = PassPipeline::parse("strash,fold,sweep,balance").expect("valid spec");
+//! let (opt, report) = pipeline.optimize(aig);
+//! assert_eq!(opt.num_ands(), 0); // the XOR pair cancelled away
+//! assert_eq!(report.ands_out, 0);
+//! ```
+
+mod extract;
+pub mod pass;
+pub mod passes;
+pub mod pipeline;
+mod rebuild;
+
+pub use pass::{Pass, PassScratch, PassStats};
+pub use passes::{Balance, Fold, Strash, Sweep};
+pub use pipeline::{OptReport, PassPipeline, FULL_SPEC, NONE_SPEC};

@@ -1,0 +1,89 @@
+//! The [`Pass`] trait, per-pass statistics, and the reusable scratch
+//! buffers every pass rebuilds through.
+
+use slap_aig::{Aig, Lit};
+
+/// One optimization pass over an [`Aig`].
+///
+/// A pass never mutates its input (the graph is append-only); it rebuilds
+/// a new `Aig` with the same PI/PO interface and an equivalent function.
+/// Passes are stateless: all working memory lives in the caller-owned
+/// [`PassScratch`] so repeated invocations allocate nothing per node in
+/// steady state (pinned by `tests/alloc_budget.rs`).
+pub trait Pass {
+    /// The spec name of this pass (`"strash"`, `"fold"`, ...).
+    fn name(&self) -> &'static str;
+
+    /// Rebuilds `aig` through this pass. Returns the rebuilt graph and
+    /// the number of rewrite events applied (pass-specific; see each
+    /// pass's documentation for what counts as one rewrite).
+    fn run(&self, aig: &Aig, scratch: &mut PassScratch) -> (Aig, u64);
+}
+
+/// Per-pass observation record emitted by
+/// [`PassPipeline::optimize`](crate::PassPipeline::optimize).
+#[derive(Clone, Debug)]
+pub struct PassStats {
+    /// Spec name of the pass.
+    pub name: &'static str,
+    /// AND count of the pass input.
+    pub ands_in: usize,
+    /// AND count of the pass output.
+    pub ands_out: usize,
+    /// Depth (maximum level) of the pass input.
+    pub depth_in: u32,
+    /// Depth of the pass output.
+    pub depth_out: u32,
+    /// Rewrite events applied (pass-specific meaning).
+    pub rewrites: u64,
+    /// Wall time spent inside the pass.
+    pub seconds: f64,
+}
+
+/// Reusable working memory shared by all passes.
+///
+/// Buffers grow to the size of the largest graph seen and are then reused,
+/// so a warm pipeline performs only the output-graph allocations.
+#[derive(Default)]
+pub struct PassScratch {
+    /// Old node id → new literal (`Lit::NONE` = not rebuilt).
+    pub(crate) map: Vec<Lit>,
+    /// Old node was flattened into an enclosing tree and needs no rebuild.
+    pub(crate) absorbed: Vec<bool>,
+    /// Old node is in the transitive fanin of a primary output.
+    pub(crate) reach: Vec<bool>,
+    /// Leaf literals of the tree currently being collected.
+    pub(crate) leaves: Vec<Lit>,
+    /// DFS worklist for tree collection and reachability.
+    pub(crate) stack: Vec<Lit>,
+    /// DFS worklist for XOR-tree collection: literal plus whether the
+    /// structure referencing it is fully absorbed (expansion allowed).
+    pub(crate) xstack: Vec<(Lit, bool)>,
+    /// Sorted working set for tree re-emission.
+    pub(crate) work: Vec<Lit>,
+    /// Secondary working set for the XOR atomization trial.
+    pub(crate) work2: Vec<Lit>,
+}
+
+impl PassScratch {
+    /// Creates an empty scratch; buffers grow on first use.
+    pub fn new() -> PassScratch {
+        PassScratch::default()
+    }
+
+    /// Resets the per-graph buffers for a graph of `num_nodes` nodes,
+    /// keeping capacity.
+    pub(crate) fn reset(&mut self, num_nodes: usize) {
+        self.map.clear();
+        self.map.resize(num_nodes, Lit::NONE);
+        self.absorbed.clear();
+        self.absorbed.resize(num_nodes, false);
+        self.reach.clear();
+        self.reach.resize(num_nodes, false);
+        self.leaves.clear();
+        self.stack.clear();
+        self.xstack.clear();
+        self.work.clear();
+        self.work2.clear();
+    }
+}

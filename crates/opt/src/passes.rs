@@ -1,0 +1,93 @@
+//! The four built-in passes: `strash`, `fold`, `sweep`, `balance`.
+
+use slap_aig::Aig;
+
+use crate::pass::{Pass, PassScratch};
+use crate::rebuild::{mark_reachable, rebuild_plain, rebuild_trees};
+
+/// `strash`: canonicalizing structural-hash rebuild.
+///
+/// Flattens every maximal single-use AND/XOR tree, sorts and
+/// deduplicates the leaves (`x & x`, `x & !x`, `x ^ x` mod 2), and
+/// re-emits each tree in a deterministic depth-aware shape through the
+/// new graph's strash table, so isomorphic and association-variant cones
+/// collapse to one node. A final cross-cone stage extracts partial sums
+/// shared by two or more XOR cones into single nodes (Paar-style pair
+/// extraction). Rewrites counted: tree roots realized without creating
+/// any new AND node, plus extracted shared pairs.
+pub struct Strash;
+
+impl Pass for Strash {
+    fn name(&self) -> &'static str {
+        "strash"
+    }
+
+    fn run(&self, aig: &Aig, scratch: &mut PassScratch) -> (Aig, u64) {
+        let out = rebuild_trees(aig, scratch);
+        (out.aig, out.folded_roots + out.extracted_pairs)
+    }
+}
+
+/// `fold`: constant folding with 0/1 propagation through complemented
+/// edges.
+///
+/// A plain one-to-one rebuild through [`Aig::and`], whose folding rules
+/// (`a & 0`, `a & 1`, `a & a`, `a & !a`) propagate constants bottom-up —
+/// an inverted edge off a folded-to-0 node feeds `1` into its parent,
+/// which folds in turn. Rewrites counted: nodes realized without
+/// creating any new AND node (folded or collapsed into existing
+/// structure).
+pub struct Fold;
+
+impl Pass for Fold {
+    fn name(&self) -> &'static str {
+        "fold"
+    }
+
+    fn run(&self, aig: &Aig, scratch: &mut PassScratch) -> (Aig, u64) {
+        scratch.reset(aig.num_nodes());
+        rebuild_plain(aig, scratch, false)
+    }
+}
+
+/// `sweep`: dangling-cone removal.
+///
+/// Keeps exactly the AND nodes inside some primary output's transitive
+/// fanin; every primary input survives so the PI/PO interface is
+/// untouched. Rewrites counted: AND nodes dropped.
+pub struct Sweep;
+
+impl Pass for Sweep {
+    fn name(&self) -> &'static str {
+        "sweep"
+    }
+
+    fn run(&self, aig: &Aig, scratch: &mut PassScratch) -> (Aig, u64) {
+        scratch.reset(aig.num_nodes());
+        mark_reachable(aig, scratch);
+        rebuild_plain(aig, scratch, true)
+    }
+}
+
+/// `balance`: depth-oriented AND/XOR-tree rebalancing.
+///
+/// Rebuilds through the same flatten-and-re-emit engine as
+/// [`Strash`], combining the two lowest-level operands of each tree
+/// first (Huffman order), which minimizes the rebuilt root level.
+/// After `strash` in the full pipeline this is a fixpoint verification
+/// stage (trees are already emitted depth-aware); standalone — e.g.
+/// `--passes balance` — it rebalances chains without canonical-order
+/// leaf sorting side effects. Rewrites counted: tree roots whose
+/// rebuilt level is strictly below their input level.
+pub struct Balance;
+
+impl Pass for Balance {
+    fn name(&self) -> &'static str {
+        "balance"
+    }
+
+    fn run(&self, aig: &Aig, scratch: &mut PassScratch) -> (Aig, u64) {
+        let out = rebuild_trees(aig, scratch);
+        (out.aig, out.depth_improved_roots)
+    }
+}

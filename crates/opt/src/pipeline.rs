@@ -1,0 +1,288 @@
+//! [`PassPipeline`]: an ordered list of passes parsed from a spec string.
+
+use std::time::Instant;
+
+use slap_aig::Aig;
+
+use crate::pass::{Pass, PassScratch, PassStats};
+use crate::passes::{Balance, Fold, Strash, Sweep};
+
+/// The canonical full-pipeline spec, in recommended order.
+pub const FULL_SPEC: &str = "strash,fold,sweep,balance";
+
+/// The canonical spec of the empty (opt-off) pipeline. This is also the
+/// value run manifests report when no `--passes` flag was given, so old
+/// baselines and opt-off runs compare as the same pipeline.
+pub const NONE_SPEC: &str = "none";
+
+/// Seed for the debug-build equivalence check after each pass.
+#[cfg(debug_assertions)]
+const EQUIV_SEED: u64 = 0x51A9_0B70;
+
+/// Summary of one [`PassPipeline::optimize`] invocation.
+#[derive(Clone, Debug, Default)]
+pub struct OptReport {
+    /// AND count before the first pass.
+    pub ands_in: usize,
+    /// AND count after the last pass.
+    pub ands_out: usize,
+    /// Depth before the first pass.
+    pub depth_in: u32,
+    /// Depth after the last pass.
+    pub depth_out: u32,
+    /// Total wall time across all passes.
+    pub seconds: f64,
+    /// Per-pass breakdown, in execution order.
+    pub passes: Vec<PassStats>,
+}
+
+/// An ordered, composable pass pipeline over [`Aig`]s.
+///
+/// Parsed from a comma-separated spec (`"strash,fold,sweep,balance"`);
+/// the empty string and `"none"` parse to the empty pipeline, and
+/// `"full"` expands to [`FULL_SPEC`]. The pipeline owns the scratch
+/// buffers its passes share, so reusing one pipeline across circuits
+/// avoids per-run buffer growth.
+pub struct PassPipeline {
+    passes: Vec<Box<dyn Pass>>,
+    scratch: PassScratch,
+}
+
+impl PassPipeline {
+    /// Parses a pipeline spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending token if any
+    /// comma-separated entry is not a known pass name.
+    pub fn parse(spec: &str) -> Result<PassPipeline, String> {
+        let trimmed = spec.trim();
+        let mut passes: Vec<Box<dyn Pass>> = Vec::new();
+        if !trimmed.is_empty() && trimmed != NONE_SPEC {
+            let expanded = if trimmed == "full" {
+                FULL_SPEC
+            } else {
+                trimmed
+            };
+            for tok in expanded.split(',') {
+                match tok.trim() {
+                    "strash" => passes.push(Box::new(Strash)),
+                    "fold" => passes.push(Box::new(Fold)),
+                    "sweep" => passes.push(Box::new(Sweep)),
+                    "balance" => passes.push(Box::new(Balance)),
+                    other => {
+                        return Err(format!(
+                            "unknown pass '{other}' (expected strash, fold, sweep, or balance)"
+                        ))
+                    }
+                }
+            }
+        }
+        Ok(PassPipeline {
+            passes,
+            scratch: PassScratch::new(),
+        })
+    }
+
+    /// True when the pipeline holds no passes (opt off).
+    pub fn is_empty(&self) -> bool {
+        self.passes.is_empty()
+    }
+
+    /// The canonical spec: [`NONE_SPEC`] when empty, otherwise the pass
+    /// names joined by commas. This is the string that goes into run
+    /// manifests and serve cache keys.
+    pub fn spec(&self) -> String {
+        if self.passes.is_empty() {
+            NONE_SPEC.to_string()
+        } else {
+            let names: Vec<&str> = self.passes.iter().map(|p| p.name()).collect();
+            names.join(",")
+        }
+    }
+
+    /// Runs every pass in order and returns the optimized graph plus a
+    /// per-pass report.
+    ///
+    /// The empty pipeline returns `input` untouched (the very same
+    /// value, not a rebuild), which is what keeps opt-off paths
+    /// bit-identical to pre-pipeline behavior. In debug builds each
+    /// pass's output is checked for 64-bit parallel-sim equivalence
+    /// against its input.
+    pub fn optimize(&mut self, input: Aig) -> (Aig, OptReport) {
+        let mut report = OptReport {
+            ands_in: input.num_ands(),
+            ands_out: input.num_ands(),
+            depth_in: input.depth(),
+            depth_out: input.depth(),
+            ..OptReport::default()
+        };
+        if self.passes.is_empty() {
+            return (input, report);
+        }
+        let _pipeline_span = slap_obs::span("opt.pipeline");
+        let mut cur = input;
+        for pass in &self.passes {
+            let name = pass.name();
+            let t0 = Instant::now();
+            let (next, rewrites) = {
+                let _pass_span = slap_obs::span(&format!("opt.{name}"));
+                pass.run(&cur, &mut self.scratch)
+            };
+            let seconds = t0.elapsed().as_secs_f64();
+            #[cfg(debug_assertions)]
+            {
+                assert!(
+                    slap_aig::sim::random_equiv_check(&cur, &next, 4, EQUIV_SEED),
+                    "pass '{name}' broke sim equivalence on '{}'",
+                    cur.name()
+                );
+            }
+            let stats = PassStats {
+                name,
+                ands_in: cur.num_ands(),
+                ands_out: next.num_ands(),
+                depth_in: cur.depth(),
+                depth_out: next.depth(),
+                rewrites,
+                seconds,
+            };
+            slap_obs::counter(&format!("opt.{name}.nodes_in")).add(stats.ands_in as u64);
+            slap_obs::counter(&format!("opt.{name}.nodes_out")).add(stats.ands_out as u64);
+            slap_obs::counter(&format!("opt.{name}.rewrites")).add(rewrites);
+            report.seconds += seconds;
+            report.passes.push(stats);
+            cur = next;
+        }
+        report.ands_out = cur.num_ands();
+        report.depth_out = cur.depth();
+        (cur, report)
+    }
+}
+
+impl std::fmt::Debug for PassPipeline {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "PassPipeline({})", self.spec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slap_aig::sim::random_equiv_check;
+    use slap_aig::Lit;
+
+    fn pipeline(spec: &str) -> PassPipeline {
+        PassPipeline::parse(spec).expect("valid spec in test")
+    }
+
+    #[test]
+    fn parse_specs() {
+        assert!(pipeline("").is_empty());
+        assert!(pipeline("none").is_empty());
+        assert!(pipeline(" none ").is_empty());
+        assert_eq!(pipeline(FULL_SPEC).spec(), FULL_SPEC);
+        assert_eq!(pipeline("full").spec(), FULL_SPEC);
+        assert_eq!(pipeline(" strash , balance ").spec(), "strash,balance");
+        assert_eq!(pipeline("").spec(), NONE_SPEC);
+        assert!(PassPipeline::parse("strash,bogus").is_err());
+        assert!(PassPipeline::parse(",").is_err());
+    }
+
+    #[test]
+    fn empty_pipeline_returns_input_untouched() {
+        let mut aig = Aig::new();
+        let a = aig.add_pi();
+        let b = aig.add_pi();
+        let x = aig.and(a, b);
+        aig.add_po(x);
+        let before_nodes = aig.num_nodes();
+        let (out, report) = pipeline("").optimize(aig);
+        assert_eq!(out.num_nodes(), before_nodes);
+        assert!(report.passes.is_empty());
+        assert_eq!(report.ands_in, report.ands_out);
+    }
+
+    #[test]
+    fn xor_pair_cancels_through_full_pipeline() {
+        let mut aig = Aig::new();
+        let a = aig.add_pi();
+        let b = aig.add_pi();
+        let x = aig.xor(a, b);
+        let y = aig.xor(x, b); // == a
+        aig.add_po(y);
+        assert_eq!(aig.num_ands(), 6);
+        let (out, report) = pipeline("full").optimize(aig);
+        assert_eq!(out.num_ands(), 0, "a ^ b ^ b should collapse to a");
+        assert_eq!(out.pos()[0], Lit::new(out.pis()[0], false));
+        assert_eq!(report.ands_out, 0);
+    }
+
+    #[test]
+    fn sweep_drops_dangling_cone_and_keeps_pis() {
+        let mut aig = Aig::new();
+        let a = aig.add_pi();
+        let b = aig.add_pi();
+        let c = aig.add_pi();
+        let live = aig.and(a, b);
+        let _dead = aig.and(b, c);
+        aig.add_po(live);
+        let (out, _) = pipeline("sweep").optimize(aig);
+        assert_eq!(out.num_ands(), 1);
+        assert_eq!(out.num_pis(), 3, "unused PIs must survive a sweep");
+    }
+
+    #[test]
+    fn fold_propagates_constants_through_complemented_edges() {
+        let mut aig = Aig::new();
+        let a = aig.add_pi();
+        let b = aig.add_pi();
+        // x = a & !a folds at build time; force a dangling-constant shape
+        // via a PO on an inverted dead node instead: y = !(b & 0) == 1.
+        let x = aig.and(a, !a);
+        let y = aig.and(b, x); // b & 0 == 0
+        aig.add_po(!y);
+        let (out, _) = pipeline("fold").optimize(aig);
+        assert_eq!(out.num_ands(), 0);
+        assert_eq!(out.pos()[0], Lit::TRUE);
+    }
+
+    #[test]
+    fn balance_reduces_chain_depth() {
+        let mut aig = Aig::new();
+        let xs = aig.add_pis(8);
+        let mut acc = xs[0];
+        for &x in &xs[1..] {
+            acc = aig.and(acc, x); // a left-leaning depth-7 chain
+        }
+        aig.add_po(acc);
+        assert_eq!(aig.depth(), 7);
+        let orig = aig.clone();
+        let (out, report) = pipeline("balance").optimize(aig);
+        assert_eq!(out.depth(), 3, "8-leaf AND tree balances to depth 3");
+        assert!(report.passes[0].rewrites >= 1);
+        assert!(random_equiv_check(&orig, &out, 8, 7));
+    }
+
+    #[test]
+    fn passes_preserve_equivalence_on_a_mixed_graph() {
+        let mut aig = Aig::new();
+        let xs = aig.add_pis(6);
+        let s = aig.xor(xs[0], xs[1]);
+        let t = aig.xor(s, xs[2]);
+        let m = aig.mux(xs[3], t, s);
+        let g = aig.maj(xs[4], xs[5], m);
+        let dead = aig.and(xs[0], xs[4]);
+        let _ = aig.and(dead, xs[5]);
+        aig.add_po(g);
+        aig.add_po(!t);
+        let orig = aig.clone();
+        for spec in ["strash", "fold", "sweep", "balance", FULL_SPEC] {
+            let (out, _) = pipeline(spec).optimize(orig.clone());
+            assert!(
+                random_equiv_check(&orig, &out, 16, 0xBEEF),
+                "spec '{spec}' broke equivalence"
+            );
+        }
+    }
+}

@@ -1,0 +1,546 @@
+//! Shared tree-rebuild machinery: XOR-structure detection, maximal
+//! single-use tree flattening, leaf canonicalization (sort, dedup,
+//! mod-2 cancellation), and depth-aware re-emission through the new
+//! graph's structural-hash table.
+//!
+//! Both `strash` and `balance` rebuild through this engine; they differ
+//! in which rewrite events they report (see `passes`). Emitting every
+//! tree in the same deterministic shape — operands combined two lowest
+//! levels first, ties broken by raw literal — is what makes the full
+//! pipeline idempotent: a tree that re-enters the engine with some of
+//! its sub-trees shared (and therefore treated as atomic leaves) rebuilds
+//! into exactly the nodes it already consists of.
+
+use slap_aig::{Aig, Lit, NodeId};
+
+use crate::pass::PassScratch;
+
+/// Maps an old-graph literal through the rebuild map, preserving the
+/// complement bit.
+#[inline]
+pub(crate) fn map_lit(map: &[Lit], l: Lit) -> Lit {
+    let m = map[l.node().index()];
+    debug_assert!(m != Lit::NONE, "fanin rebuilt before any node that uses it");
+    m.xor_complement(l.is_complement())
+}
+
+/// Detects the three-AND XOR structure [`Aig::xor`] builds: if the plain
+/// literal of AND node `n` computes `p ^ q`, returns `(p, q)`.
+///
+/// `n = AND(!AND(a, b), !AND(c, d))` with `{c, d} = {!a, !b}` simplifies
+/// to `!(a & b) & (a | b)`, which is exactly `a ^ b`.
+pub(crate) fn xor_operands(aig: &Aig, n: NodeId) -> Option<(Lit, Lit)> {
+    let (f0, f1) = aig.fanins(n);
+    if !f0.is_complement() || !f1.is_complement() {
+        return None;
+    }
+    let (n0, n1) = (f0.node(), f1.node());
+    if !aig.is_and(n0) || !aig.is_and(n1) {
+        return None;
+    }
+    let (a, b) = aig.fanins(n0);
+    let (c, d) = aig.fanins(n1);
+    if (c == !a && d == !b) || (c == !b && d == !a) {
+        Some((a, b))
+    } else {
+        None
+    }
+}
+
+/// True if literal `l` may be flattened into an enclosing XOR tree: its
+/// node is an XOR root used only by the tree parent. Both inner ANDs of
+/// the parent's XOR structure reference the operand node, so "no
+/// external users" means a fanout of exactly two.
+fn expandable_xor(aig: &Aig, l: Lit) -> bool {
+    let n = l.node();
+    aig.is_and(n) && aig.fanout_of(n) == 2 && xor_operands(aig, n).is_some()
+}
+
+/// True if literal `l` may be flattened into an enclosing AND tree: a
+/// plain edge into an AND used only by the tree parent that is not
+/// itself an XOR root (XOR structures are kept atomic so they
+/// canonicalize as XOR trees instead).
+fn expandable_and(aig: &Aig, l: Lit) -> bool {
+    let n = l.node();
+    !l.is_complement() && aig.is_and(n) && aig.fanout_of(n) == 1 && xor_operands(aig, n).is_none()
+}
+
+/// Marks the inner NAND pair of XOR root `n` as absorbed where the tree
+/// rebuild will bypass them (single-use only; a shared inner AND stays
+/// live for its other users).
+fn absorb_xor_inners(aig: &Aig, n: NodeId, absorbed: &mut [bool]) {
+    let (f0, f1) = aig.fanins(n);
+    for inner in [f0.node(), f1.node()] {
+        if aig.fanout_of(inner) == 1 {
+            absorbed[inner.index()] = true;
+        }
+    }
+}
+
+/// True if both inner NANDs of XOR root `n` are used only by `n` itself,
+/// so the rebuild bypasses them entirely. Only then may the structure's
+/// operands be flattened further: a shared inner stays live and keeps
+/// referencing the operands, which therefore must not be absorbed.
+fn xor_inners_private(aig: &Aig, n: NodeId) -> bool {
+    let (f0, f1) = aig.fanins(n);
+    aig.fanout_of(f0.node()) == 1 && aig.fanout_of(f1.node()) == 1
+}
+
+/// Walks the maximal XOR tree rooted at `root` (whose plain literal is
+/// `p ^ q`), pushing old-graph leaf literals onto `scratch.leaves`. When
+/// `mark` is set, interior nodes are flagged absorbed instead. Returns
+/// the complement parity contributed by expanded literals: an inverted
+/// edge into a flattened sub-XOR negates the whole sum.
+///
+/// An operand's two users are the inner NANDs of its enclosing
+/// structure, so it may only be expanded (and absorbed) when those
+/// inners are absorbed themselves — the `expand` flag carried on the
+/// stack tracks exactly that, keeping the mark and collect phases in
+/// agreement.
+pub(crate) fn walk_xor_tree(
+    aig: &Aig,
+    root: NodeId,
+    p: Lit,
+    q: Lit,
+    scratch: &mut PassScratch,
+    mark: bool,
+) -> bool {
+    let root_private = xor_inners_private(aig, root);
+    scratch.xstack.clear();
+    scratch.xstack.push((p, root_private));
+    scratch.xstack.push((q, root_private));
+    let mut parity = false;
+    while let Some((l, expand)) = scratch.xstack.pop() {
+        if expand && expandable_xor(aig, l) {
+            let n = l.node();
+            parity ^= l.is_complement();
+            let (a, b) =
+                xor_operands(aig, n).expect("expandable_xor implies the XOR structure matches");
+            if mark {
+                scratch.absorbed[n.index()] = true;
+                absorb_xor_inners(aig, n, &mut scratch.absorbed);
+            }
+            let private = xor_inners_private(aig, n);
+            scratch.xstack.push((a, private));
+            scratch.xstack.push((b, private));
+        } else if !mark {
+            scratch.leaves.push(l);
+        }
+    }
+    parity
+}
+
+/// Walks the maximal AND tree rooted at `root`, pushing old-graph leaf
+/// literals onto `scratch.leaves`, or flagging interior nodes absorbed
+/// when `mark` is set.
+pub(crate) fn walk_and_tree(aig: &Aig, root: NodeId, scratch: &mut PassScratch, mark: bool) {
+    let (f0, f1) = aig.fanins(root);
+    scratch.stack.clear();
+    scratch.stack.push(f0);
+    scratch.stack.push(f1);
+    while let Some(l) = scratch.stack.pop() {
+        if expandable_and(aig, l) {
+            let n = l.node();
+            if mark {
+                scratch.absorbed[n.index()] = true;
+            }
+            let (a, b) = aig.fanins(n);
+            scratch.stack.push(a);
+            scratch.stack.push(b);
+        } else if !mark {
+            scratch.leaves.push(l);
+        }
+    }
+}
+
+/// Emission key: combine shallow operands first so tree depth tracks the
+/// optimal Huffman bound; break level ties by raw literal for
+/// determinism.
+#[inline]
+fn emit_key(new: &Aig, l: Lit) -> (u32, u32) {
+    (new.level_of(l.node()), l.raw())
+}
+
+/// Combines `work` (already canonicalized operands) into one literal,
+/// two lowest-keyed operands at a time, inserting each intermediate back
+/// in key order. `op` is [`Aig::and`] or [`Aig::xor`].
+pub(crate) fn emit_tree(
+    new: &mut Aig,
+    work: &mut Vec<Lit>,
+    op: fn(&mut Aig, Lit, Lit) -> Lit,
+) -> Lit {
+    debug_assert!(!work.is_empty(), "caller handles the empty operand set");
+    work.sort_by_key(|&l| emit_key(new, l));
+    let mut i = 0;
+    while work.len() - i > 1 {
+        let a = work[i];
+        let b = work[i + 1];
+        i += 2;
+        let combined = op(new, a, b);
+        let key = emit_key(new, combined);
+        let pos = work[i..].partition_point(|&l| emit_key(new, l) <= key);
+        work.insert(i + pos, combined);
+    }
+    work[i]
+}
+
+/// Canonicalizes and emits an AND tree from the mapped leaves in
+/// `scratch.work`: drops `TRUE`, folds on `FALSE`, deduplicates `x & x`,
+/// detects `x & !x`, then emits in Huffman order.
+pub(crate) fn emit_and_leaves(new: &mut Aig, work: &mut Vec<Lit>) -> Lit {
+    work.retain(|&l| l != Lit::TRUE);
+    if work.contains(&Lit::FALSE) {
+        return Lit::FALSE;
+    }
+    work.sort_by_key(|l| l.raw());
+    work.dedup();
+    if work.windows(2).any(|w| w[0].node() == w[1].node()) {
+        return Lit::FALSE; // x & !x: raw sort puts the pair adjacent
+    }
+    if work.is_empty() {
+        return Lit::TRUE;
+    }
+    emit_tree(new, work, Aig::and)
+}
+
+/// Cancels equal pairs mod 2 (`x ^ x == 0`) in a raw-sorted `work`.
+pub(crate) fn cancel_xor_pairs(work: &mut Vec<Lit>) {
+    work.sort_by_key(|l| l.raw());
+    let mut kept = 0;
+    let mut i = 0;
+    while i < work.len() {
+        if i + 1 < work.len() && work[i] == work[i + 1] {
+            i += 2;
+        } else {
+            work[kept] = work[i];
+            kept += 1;
+            i += 1;
+        }
+    }
+    work.truncate(kept);
+}
+
+/// Cancellation-driven expansion of *shared* XOR leaves: a leaf whose
+/// new-graph node is itself an XOR structure is replaced by its two
+/// operands whenever at least one operand already occurs in the leaf
+/// set, so the pair cancels mod 2 and the final sum gets strictly
+/// smaller. The shared node stays live for its other users — this cone
+/// merely re-expresses its parity function over cheaper leaves (the
+/// operands are already-built literals). Returns the complement parity
+/// contributed by expanded operand edges.
+///
+/// Each committed expansion removes one leaf and cancels at least one
+/// pair, so the post-cancellation leaf count strictly decreases and the
+/// loop terminates. Expansions that would not cancel are rejected,
+/// which keeps the pass from duplicating shared logic to no benefit and
+/// keeps the pipeline idempotent: a minimal sum admits no further
+/// cancelling expansion.
+fn expand_cancelling_xor_leaves(new: &Aig, work: &mut Vec<Lit>) -> bool {
+    let mut parity = false;
+    loop {
+        cancel_xor_pairs(work);
+        let mut committed = false;
+        for i in 0..work.len() {
+            if !new.is_and(work[i].node()) {
+                continue;
+            }
+            let Some((a, b)) = xor_operands(new, work[i].node()) else {
+                continue;
+            };
+            let pa = a.with_complement(false);
+            let pb = b.with_complement(false);
+            if work.binary_search_by_key(&pa.raw(), |l| l.raw()).is_ok()
+                || work.binary_search_by_key(&pb.raw(), |l| l.raw()).is_ok()
+            {
+                parity ^= a.is_complement() ^ b.is_complement();
+                work.swap_remove(i);
+                work.push(pa);
+                work.push(pb);
+                committed = true;
+                break;
+            }
+        }
+        if !committed {
+            return parity;
+        }
+    }
+}
+
+/// Toggles membership of `l` in the raw-sorted set `set` — mod-2
+/// insertion: present literals cancel, absent literals join.
+fn toggle_sorted(set: &mut Vec<Lit>, l: Lit) {
+    match set.binary_search_by_key(&l.raw(), |x| x.raw()) {
+        Ok(pos) => {
+            set.remove(pos);
+        }
+        Err(pos) => set.insert(pos, l),
+    }
+}
+
+/// Ceiling on the working-set size and expansion count of the
+/// atomization trial; cones whose GF(2) normal form does not fit are
+/// left in their greedy-refined shape. Deterministic, so repeated runs
+/// take identical decisions.
+const ATOMIZE_SIZE_CAP: usize = 128;
+const ATOMIZE_STEP_CAP: usize = 512;
+
+/// Fully atomizes the sum in `work` into `out`: repeatedly expands the
+/// highest-id XOR-structure member into its operands with mod-2
+/// cancellation. Operands always have lower ids than their root, so the
+/// maximum expandable id strictly decreases and the walk terminates.
+/// The result is the cone's parity function over non-XOR atoms — a
+/// GF(2) normal form that catches rank deficiencies the pairwise greedy
+/// expansion misses (e.g. `(a^b) ^ (b^c) ^ (a^c) == 0`). Returns the
+/// accumulated complement parity, or `None` when a cap is hit.
+fn atomize_xor_leaves(new: &Aig, work: &[Lit], out: &mut Vec<Lit>) -> Option<bool> {
+    out.clear();
+    out.extend_from_slice(work);
+    out.sort_by_key(|l| l.raw());
+    let mut parity = false;
+    for _ in 0..ATOMIZE_STEP_CAP {
+        // Raw-sorted order is id order for plain literals, so the first
+        // XOR structure found from the back is the highest-id one.
+        let Some(i) = (0..out.len())
+            .rev()
+            .find(|&i| new.is_and(out[i].node()) && xor_operands(new, out[i].node()).is_some())
+        else {
+            return Some(parity);
+        };
+        let (a, b) = xor_operands(new, out[i].node())
+            .expect("membership test above matched the XOR structure");
+        parity ^= a.is_complement() ^ b.is_complement();
+        out.remove(i);
+        toggle_sorted(out, a.with_complement(false));
+        toggle_sorted(out, b.with_complement(false));
+        if out.len() > ATOMIZE_SIZE_CAP {
+            return None;
+        }
+    }
+    None
+}
+
+/// Canonicalizes and emits an XOR tree from the plain mapped leaf nodes
+/// in `scratch.work` (complement parity already stripped by the caller):
+/// sorts, cancels equal pairs mod 2, expands shared XOR leaves where
+/// that cancels further, atomizes the whole sum when its GF(2) normal
+/// form is strictly smaller, then emits in Huffman order. Returns the
+/// result literal and the parity contributed by the expansions.
+fn emit_xor_leaves(new: &mut Aig, work: &mut Vec<Lit>, spare: &mut Vec<Lit>) -> (Lit, bool) {
+    let mut parity = expand_cancelling_xor_leaves(new, work);
+    if let Some(atom_parity) = atomize_xor_leaves(new, work, spare) {
+        if spare.len() < work.len() {
+            std::mem::swap(work, spare);
+            parity ^= atom_parity;
+        }
+    }
+    if work.is_empty() {
+        return (Lit::FALSE, parity);
+    }
+    let lit = emit_tree(new, work, Aig::xor);
+    (lit, parity)
+}
+
+/// Outcome of a canonicalizing tree rebuild, with the rewrite counts the
+/// two tree passes report.
+pub(crate) struct TreeRebuild {
+    pub aig: Aig,
+    /// Roots realized without creating any new AND node (collapsed into
+    /// existing structure or folded to a constant/leaf).
+    pub folded_roots: u64,
+    /// Roots whose rebuilt level is strictly below their input level.
+    pub depth_improved_roots: u64,
+    /// Shared XOR pairs extracted across cones (see `extract`).
+    pub extracted_pairs: u64,
+}
+
+/// Marks every node absorbed that the tree rebuild will flatten into an
+/// enclosing AND/XOR tree. Parents have higher ids than their fanins,
+/// so a reverse id walk sees every tree root before the nodes it
+/// absorbs.
+pub(crate) fn mark_absorbed_trees(aig: &Aig, scratch: &mut PassScratch) {
+    for idx in (0..aig.num_nodes()).rev() {
+        let n = NodeId::new(idx);
+        if !aig.is_and(n) || scratch.absorbed[idx] {
+            continue;
+        }
+        if let Some((p, q)) = xor_operands(aig, n) {
+            absorb_xor_inners(aig, n, &mut scratch.absorbed);
+            let _ = walk_xor_tree(aig, n, p, q, scratch, true);
+        } else {
+            walk_and_tree(aig, n, scratch, true);
+        }
+    }
+}
+
+/// True if the two graphs are structurally identical: same node array,
+/// same PI count, same output literals.
+fn same_structure(a: &Aig, b: &Aig) -> bool {
+    a.num_nodes() == b.num_nodes()
+        && a.num_pis() == b.num_pis()
+        && a.pos() == b.pos()
+        && (0..a.num_nodes()).all(|i| {
+            let n = NodeId::new(i);
+            a.is_and(n) == b.is_and(n) && (!a.is_and(n) || a.fanins(n) == b.fanins(n))
+        })
+}
+
+/// Iteration ceiling for the rebuild/extract fixpoint loop. Convergence
+/// takes two or three rounds in practice; the cap only guards against a
+/// pathological oscillation.
+const REBUILD_FIXPOINT_CAP: usize = 8;
+
+/// Rebuilds `aig` by flattening every maximal single-use AND/XOR tree,
+/// canonicalizing its leaves, re-emitting depth-aware through the new
+/// graph's structural hash, and extracting partial sums shared across
+/// XOR cones — iterated to a structural fixpoint, because extraction
+/// changes fanouts and thereby exposes new flattening and cancellation
+/// opportunities to the next canonicalizing round. The fixpoint is what
+/// makes the pass idempotent. The PI/PO interface is preserved exactly;
+/// dangling input cones are rebuilt too (sweeping is a separate pass).
+pub(crate) fn rebuild_trees(aig: &Aig, scratch: &mut PassScratch) -> TreeRebuild {
+    let mut result = rebuild_trees_once(aig, scratch);
+    for _ in 0..REBUILD_FIXPOINT_CAP {
+        let (extracted_aig, extracted_pairs) =
+            crate::extract::extract_shared_xor_pairs(&result.aig, scratch);
+        let extracted = extracted_aig.is_some();
+        if let Some(extracted_aig) = extracted_aig {
+            result.aig = extracted_aig;
+            result.extracted_pairs += extracted_pairs;
+        }
+        let next = rebuild_trees_once(&result.aig, scratch);
+        if !extracted && same_structure(&next.aig, &result.aig) {
+            break;
+        }
+        result.folded_roots += next.folded_roots;
+        result.depth_improved_roots += next.depth_improved_roots;
+        result.aig = next.aig;
+    }
+    result
+}
+
+/// One canonicalizing flatten-and-re-emit rebuild (no cross-cone
+/// extraction).
+fn rebuild_trees_once(aig: &Aig, scratch: &mut PassScratch) -> TreeRebuild {
+    scratch.reset(aig.num_nodes());
+    mark_absorbed_trees(aig, scratch);
+    let mut new = Aig::with_capacity(aig.num_nodes(), aig.num_pis(), aig.num_pos());
+    new.set_name(aig.name().to_string());
+    for pi in aig.pis() {
+        let lit = new.add_pi();
+        scratch.map[pi.index()] = lit;
+    }
+    scratch.map[NodeId::CONST0.index()] = Lit::FALSE;
+    let mut folded_roots = 0u64;
+    let mut depth_improved_roots = 0u64;
+    for idx in 0..aig.num_nodes() {
+        let n = NodeId::new(idx);
+        if !aig.is_and(n) || scratch.absorbed[idx] {
+            continue;
+        }
+        let ands_before = new.num_ands();
+        let result = if let Some((p, q)) = xor_operands(aig, n) {
+            scratch.leaves.clear();
+            let mut parity = walk_xor_tree(aig, n, p, q, scratch, false);
+            // Strip leaf polarity and constants into the output parity;
+            // keep plain node literals for mod-2 cancellation.
+            scratch.work.clear();
+            for k in 0..scratch.leaves.len() {
+                let mapped = map_lit(&scratch.map, scratch.leaves[k]);
+                parity ^= mapped.is_complement();
+                let plain = mapped.with_complement(false);
+                if plain != Lit::FALSE {
+                    scratch.work.push(plain);
+                }
+            }
+            let (lit, expand_parity) =
+                emit_xor_leaves(&mut new, &mut scratch.work, &mut scratch.work2);
+            lit.xor_complement(parity ^ expand_parity)
+        } else {
+            scratch.leaves.clear();
+            walk_and_tree(aig, n, scratch, false);
+            scratch.work.clear();
+            for k in 0..scratch.leaves.len() {
+                let mapped = map_lit(&scratch.map, scratch.leaves[k]);
+                scratch.work.push(mapped);
+            }
+            emit_and_leaves(&mut new, &mut scratch.work)
+        };
+        if new.num_ands() == ands_before {
+            folded_roots += 1;
+        }
+        if new.level_of(result.node()) < aig.level_of(n) {
+            depth_improved_roots += 1;
+        }
+        scratch.map[idx] = result;
+    }
+    for &po in aig.pos() {
+        new.add_po(map_lit(&scratch.map, po));
+    }
+    TreeRebuild {
+        aig: new,
+        folded_roots,
+        depth_improved_roots,
+        extracted_pairs: 0,
+    }
+}
+
+/// Plain one-to-one rebuild through [`Aig::and`] (structural hashing plus
+/// constant folding), optionally restricted to nodes marked reachable.
+pub(crate) fn rebuild_plain(
+    aig: &Aig,
+    scratch: &mut PassScratch,
+    reachable_only: bool,
+) -> (Aig, u64) {
+    let mut new = Aig::with_capacity(aig.num_nodes(), aig.num_pis(), aig.num_pos());
+    new.set_name(aig.name().to_string());
+    for pi in aig.pis() {
+        let lit = new.add_pi();
+        scratch.map[pi.index()] = lit;
+    }
+    scratch.map[NodeId::CONST0.index()] = Lit::FALSE;
+    let mut rewrites = 0u64;
+    for idx in 0..aig.num_nodes() {
+        let n = NodeId::new(idx);
+        if !aig.is_and(n) {
+            continue;
+        }
+        if reachable_only && !scratch.reach[idx] {
+            rewrites += 1; // dropped: outside every PO cone
+            continue;
+        }
+        let (f0, f1) = aig.fanins(n);
+        let a = map_lit(&scratch.map, f0);
+        let b = map_lit(&scratch.map, f1);
+        let ands_before = new.num_ands();
+        let result = new.and(a, b);
+        if !reachable_only && new.num_ands() == ands_before {
+            rewrites += 1; // folded or collapsed into existing structure
+        }
+        scratch.map[idx] = result;
+    }
+    for &po in aig.pos() {
+        new.add_po(map_lit(&scratch.map, po));
+    }
+    (new, rewrites)
+}
+
+/// Marks `scratch.reach` for every node in the transitive fanin of a
+/// primary output.
+pub(crate) fn mark_reachable(aig: &Aig, scratch: &mut PassScratch) {
+    scratch.stack.clear();
+    for &po in aig.pos() {
+        scratch.stack.push(po);
+    }
+    while let Some(l) = scratch.stack.pop() {
+        let idx = l.node().index();
+        if scratch.reach[idx] {
+            continue;
+        }
+        scratch.reach[idx] = true;
+        if aig.is_and(l.node()) {
+            let (f0, f1) = aig.fanins(l.node());
+            scratch.stack.push(f0);
+            scratch.stack.push(f1);
+        }
+    }
+}

@@ -141,6 +141,14 @@ pub struct MapRequest {
     /// the CNN, so the tag does not affect results — same convention as
     /// `bench_datagen --kernel`.
     pub kernel: String,
+    /// Pre-mapping optimization pipeline spec (`slap-opt` syntax, e.g.
+    /// `"strash,fold,sweep,balance"`; `""` or `"none"` maps the graph
+    /// as registered). A non-empty spec derives an optimized circuit
+    /// registered as `"{name}@{canonical-spec}"` with its own
+    /// [`CircuitId`], so frozen tiers and the run memo never mix
+    /// optimized and raw graphs; the optimization runs once per
+    /// `(circuit, spec)` and later requests reuse the derived circuit.
+    pub passes: String,
 }
 
 /// Admission-control shedding decisions.
@@ -166,6 +174,8 @@ pub enum SubmitError {
     InvalidAiger(String),
     /// The request's [`TargetId`] was never registered.
     UnknownTarget(TargetId),
+    /// The request's `passes` spec failed to parse (unknown pass name).
+    InvalidPasses(String),
 }
 
 /// Engine tuning knobs.
@@ -214,6 +224,9 @@ pub struct Completed {
     pub k: usize,
     /// The request's kernel-tier tag.
     pub kernel: String,
+    /// Canonical pre-mapping pipeline spec (`"none"` when the request
+    /// mapped the registered graph untouched).
+    pub passes: String,
     /// The mapping outcome — bit-identical to a standalone cold
     /// session running the same request.
     pub result: Result<MappedNetlist, MapError>,
@@ -260,6 +273,7 @@ struct PendingJob {
     k: usize,
     policy: MapPolicy,
     kernel: String,
+    passes: String,
     tenant: usize,
     submitted: Instant,
 }
@@ -267,7 +281,10 @@ struct PendingJob {
 /// Key of one memoized whole run; everything that, with the registered
 /// circuit and target, determines the mapping bit-for-bit. (The
 /// kernel-tier tag is deliberately absent — it is provenance, not an
-/// input of the mapping.)
+/// input of the mapping. The passes spec is also absent, but for the
+/// opposite reason: it *is* an input, and it is already folded into
+/// the [`CircuitId`] because an optimized request resolves to its own
+/// derived circuit registration.)
 type RunMemoKey = (CircuitId, TargetId, usize, MapPolicy);
 
 /// The multi-tenant batch mapping engine. See the crate docs for the
@@ -279,6 +296,9 @@ pub struct Engine<'lib> {
     circuits: Vec<CircuitEntry>,
     circuits_by_name: HashMap<String, CircuitId>,
     aiger_by_hash: HashMap<u64, CircuitId>,
+    /// Parsed pipelines keyed by canonical spec, kept so repeated
+    /// optimized requests reuse one pipeline's scratch buffers.
+    opt_pipelines: HashMap<String, slap_opt::PassPipeline>,
     tiers: HashMap<(CircuitId, TargetId), FrozenTier>,
     runs: HashMap<RunMemoKey, MappedNetlist>,
     tenants: Vec<Tenant>,
@@ -304,6 +324,7 @@ impl<'lib> Engine<'lib> {
             circuits: Vec::new(),
             circuits_by_name: HashMap::new(),
             aiger_by_hash: HashMap::new(),
+            opt_pipelines: HashMap::new(),
             tiers: HashMap::new(),
             runs: HashMap::new(),
             tenants: Vec::new(),
@@ -344,6 +365,63 @@ impl<'lib> Engine<'lib> {
         });
         self.circuits_by_name.insert(name.to_string(), id);
         id
+    }
+
+    /// Resolves a request's pre-mapping pipeline: an empty spec
+    /// (`""` / `"none"`) returns the base circuit untouched; a
+    /// non-empty spec returns the derived circuit
+    /// `"{name}@{canonical-spec}"`, creating it — one optimization run,
+    /// ever — on first use. The derived circuit has its own
+    /// [`CircuitId`], so its frozen tier and run-memo entries are
+    /// disjoint from the raw graph's by construction.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::InvalidPasses`] when the spec names an unknown
+    /// pass. The spec is parsed even when the queue would shed the
+    /// request, so a typo never silently maps the raw graph.
+    fn apply_passes(
+        &mut self,
+        base: CircuitId,
+        spec: &str,
+    ) -> Result<(CircuitId, String), SubmitError> {
+        if !self.opt_pipelines.contains_key(spec) {
+            let pipeline =
+                slap_opt::PassPipeline::parse(spec).map_err(SubmitError::InvalidPasses)?;
+            self.opt_pipelines.insert(spec.to_string(), pipeline);
+        }
+        let pipeline = self.opt_pipelines.get_mut(spec).expect("inserted above");
+        if pipeline.is_empty() {
+            return Ok((base, "none".to_string()));
+        }
+        let canonical = pipeline.spec();
+        let name = format!("{}@{canonical}", self.circuits[base].name);
+        if let Some(&id) = self.circuits_by_name.get(&name) {
+            return Ok((id, canonical));
+        }
+        let span = slap_obs::span("serve_optimize");
+        let input = self.circuits[base].aig.clone();
+        let (optimized, report) = pipeline.optimize(input);
+        drop(span);
+        slap_obs::counter("serve.optimized").incr();
+        let mut rec = Record::new();
+        rec.push("event", "optimize");
+        rec.push("circuit", self.circuits[base].name.as_str());
+        rec.push("derived", name.as_str());
+        rec.push("passes", canonical.as_str());
+        rec.push("ands_in", report.ands_in);
+        rec.push("ands_out", report.ands_out);
+        rec.push("depth_in", u64::from(report.depth_in));
+        rec.push("depth_out", u64::from(report.depth_out));
+        rec.push("seconds", report.seconds);
+        self.records.push(rec);
+        let id = self.circuits.len();
+        self.circuits.push(CircuitEntry {
+            name: name.clone(),
+            aig: optimized,
+        });
+        self.circuits_by_name.insert(name, id);
+        Ok((id, canonical))
     }
 
     /// Whether the shared frozen tier (and run memo) is active.
@@ -422,6 +500,7 @@ impl<'lib> Engine<'lib> {
                 }
             }
         };
+        let (circuit, passes) = self.apply_passes(circuit, &request.passes)?;
         let tenant = match self.tenants_by_name.get(&request.tenant) {
             Some(&ix) => ix,
             None => {
@@ -457,6 +536,7 @@ impl<'lib> Engine<'lib> {
             k: request.k,
             policy: request.policy,
             kernel: request.kernel,
+            passes,
             tenant,
             submitted: Instant::now(),
         });
@@ -592,6 +672,7 @@ impl<'lib> Engine<'lib> {
                 policy: job.policy,
                 k: job.k,
                 kernel: job.kernel.clone(),
+                passes: job.passes.clone(),
                 result,
                 queue_wait_s,
                 service_s,
@@ -699,6 +780,7 @@ fn request_record(done: &Completed) -> Record {
     }
     rec.push("k", done.k);
     rec.push("kernel", done.kernel.as_str());
+    rec.push("passes", done.passes.as_str());
     rec.push("replayed", done.replayed);
     rec.push("generation", done.generation);
     rec.push("queue_wait_s", done.queue_wait_s);
@@ -792,6 +874,7 @@ mod tests {
             k: 6,
             policy,
             kernel: "f32".to_string(),
+            passes: String::new(),
         }
     }
 
@@ -915,6 +998,7 @@ mod tests {
             k: 6,
             policy,
             kernel: "f32".to_string(),
+            passes: String::new(),
         };
         engine.submit(mk(MapPolicy::Default)).expect("admitted");
         engine.submit(mk(MapPolicy::Default)).expect("admitted");
@@ -963,5 +1047,120 @@ mod tests {
         assert!(lines[0].contains("\"fn_cache_misses\""));
         assert!(lines[1].contains("\"replayed\":true"));
         assert!(engine.take_records().is_empty(), "records drain once");
+    }
+
+    #[test]
+    fn optimized_requests_derive_a_distinct_circuit_and_map_equivalently() {
+        let mut engine = lut_engine(EngineConfig {
+            cache: Some(true),
+            ..EngineConfig::default()
+        });
+        engine
+            .submit(request("t", MapPolicy::Default))
+            .expect("admitted");
+        engine
+            .submit(MapRequest {
+                passes: "full".to_string(),
+                ..request("t", MapPolicy::Default)
+            })
+            .expect("admitted");
+        let done = engine.drain();
+        assert_eq!(done.len(), 2);
+        // Same (target, k, policy), but the derived circuit has its own
+        // id, so the optimized request is NOT a run-memo hit.
+        assert!(!done[0].replayed && !done[1].replayed);
+        assert_eq!(done[0].circuit, "adder8");
+        assert_eq!(done[0].passes, "none");
+        assert_eq!(done[1].circuit, "adder8@strash,fold,sweep,balance");
+        assert_eq!(done[1].passes, "strash,fold,sweep,balance");
+        // The optimized mapping still implements the *registered* graph.
+        let raw = done[0].result.as_ref().expect("maps");
+        let opt = done[1].result.as_ref().expect("maps");
+        assert!(raw.verify_against(&adder8(), 16, 0xC0FFEE));
+        assert!(opt.verify_against(&adder8(), 16, 0xC0FFEE));
+        assert!(
+            opt.stats().num_instances <= raw.stats().num_instances,
+            "optimization must not grow the adder's LUT cover ({} > {})",
+            opt.stats().num_instances,
+            raw.stats().num_instances
+        );
+        // Both tiers exist, keyed by their own circuit names.
+        let tiers = engine.tier_fingerprints();
+        assert_eq!(tiers.len(), 2);
+        assert_eq!(tiers[0].0, "adder8");
+        assert_eq!(tiers[1].0, "adder8@strash,fold,sweep,balance");
+    }
+
+    #[test]
+    fn optimized_requests_share_one_derivation_and_replay() {
+        let mut engine = lut_engine(EngineConfig {
+            cache: Some(true),
+            ..EngineConfig::default()
+        });
+        // Three spellings of the same pipeline: the alias, the canonical
+        // spec, and the alias again from another tenant. One derivation
+        // runs; the repeats replay the derived circuit's run memo.
+        for (tenant, spec) in [
+            ("a", "full"),
+            ("a", "strash,fold,sweep,balance"),
+            ("b", "full"),
+        ] {
+            engine
+                .submit(MapRequest {
+                    passes: spec.to_string(),
+                    ..request(tenant, MapPolicy::Default)
+                })
+                .expect("admitted");
+        }
+        let done = engine.drain();
+        assert_eq!(done.len(), 3);
+        assert!(done
+            .iter()
+            .all(|d| d.circuit == "adder8@strash,fold,sweep,balance"));
+        assert!(!done[0].replayed);
+        assert!(done[1].replayed && done[2].replayed);
+        let records = engine.take_records();
+        let optimize_events: Vec<&Record> = records
+            .iter()
+            .filter(|r| r.to_json_line().contains("\"event\":\"optimize\""))
+            .collect();
+        assert_eq!(optimize_events.len(), 1, "optimization runs once");
+        let line = optimize_events[0].to_json_line();
+        assert!(line.contains("\"circuit\":\"adder8\""));
+        assert!(line.contains("\"passes\":\"strash,fold,sweep,balance\""));
+        // The request stream carries the canonical spec for provenance.
+        let request_lines: Vec<String> = records
+            .iter()
+            .filter(|r| r.to_json_line().contains("\"event\":\"request\""))
+            .map(Record::to_json_line)
+            .collect();
+        assert_eq!(request_lines.len(), 3);
+        assert!(request_lines
+            .iter()
+            .all(|l| l.contains("\"passes\":\"strash,fold,sweep,balance\"")));
+    }
+
+    #[test]
+    fn invalid_passes_are_rejected_before_enqueue() {
+        let mut engine = lut_engine(EngineConfig {
+            cache: Some(true),
+            ..EngineConfig::default()
+        });
+        let bad = engine.submit(MapRequest {
+            passes: "strash,nosuchpass".to_string(),
+            ..request("t", MapPolicy::Default)
+        });
+        assert!(matches!(bad, Err(SubmitError::InvalidPasses(_))));
+        assert_eq!(engine.pending(), 0);
+        // "none" and "" are both the identity pipeline.
+        engine
+            .submit(MapRequest {
+                passes: "none".to_string(),
+                ..request("t", MapPolicy::Default)
+            })
+            .expect("admitted");
+        let done = engine.drain();
+        assert_eq!(done[0].circuit, "adder8");
+        assert_eq!(done[0].passes, "none");
     }
 }

@@ -16,6 +16,8 @@
 //! * [`circuits`] — generators for the paper's 14 benchmark circuits.
 //! * [`core`] — SLAP itself: embeddings, dataset generation, the
 //!   three-band filtering policy, and the end-to-end [`core::SlapMapper`].
+//! * [`opt`] — pre-mapping AIG optimization: the `strash`, `fold`,
+//!   `sweep`, `balance` pass pipeline behind the `--passes` flag.
 //! * [`par`] — deterministic scoped-thread parallelism (`SLAP_THREADS`,
 //!   `par_map`/`par_chunks_mut`/`par_levels`).
 //!
@@ -49,4 +51,5 @@ pub use slap_core as core;
 pub use slap_cuts as cuts;
 pub use slap_map as map;
 pub use slap_ml as ml;
+pub use slap_opt as opt;
 pub use slap_par as par;

@@ -187,6 +187,53 @@ fn warm_session_remap_allocation_count() {
     );
 }
 
+/// The pass-pipeline guard: a warm [`slap_opt::PassPipeline`] reuses
+/// its scratch buffers across `optimize` calls, so the steady-state
+/// cost of optimizing a circuit is the output graphs themselves (each
+/// pass emits a fresh `Aig`, a constant number of containers) plus a
+/// bounded number of working containers — not a per-node stream of
+/// small allocations. The budget is far below one-allocation-per-AND
+/// on the AES core, so any pass that starts boxing per node (or
+/// dropping and regrowing its scratch) fails it.
+#[test]
+fn warm_pass_pipeline_allocation_count() {
+    use slap_circuits::aes::aes_mini;
+    use slap_opt::PassPipeline;
+
+    let _guard = BUDGET_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner());
+    let aig = aes_mini();
+    let mut pipeline = PassPipeline::parse("full").expect("valid spec");
+    // Warm up: scratch buffers grow to the circuit's shape, lazy obs
+    // counter/span entries are created.
+    let (out, _) = pipeline.optimize(aig.clone());
+    assert!(out.num_ands() < aig.num_ands());
+
+    let calls = 4u64;
+    let before = allocs();
+    for _ in 0..calls {
+        let (out, report) = pipeline.optimize(aig.clone());
+        assert!(out.num_ands() < aig.num_ands());
+        assert_eq!(report.ands_out, out.num_ands());
+    }
+    let after = allocs();
+    let per_call = (after - before) / calls;
+    let ands = aig.num_ands() as u64;
+    eprintln!("allocations per warm pipeline.optimize(aes_mini): {per_call} ({ands} ands)");
+    // Measured ~3,200 per call on the 6,916-AND AES core (tree
+    // rebuilds and the extraction heap allocate per *tree*, not per
+    // node; the debug sim-equivalence checks add a small constant).
+    // Budget = one allocation per AND, ~2× the measurement: a pass
+    // that allocates per node adds at least `ands` and blows through.
+    let budget = ands;
+    assert!(
+        per_call < budget,
+        "pass-pipeline allocation budget exceeded: {per_call} >= {budget} \
+         for a {ands}-AND circuit; passes must reuse scratch, not allocate per node"
+    );
+}
+
 /// The serve-engine steady-state guard: once the frozen tier and run
 /// memo are warm, a repeated request costs a small constant number of
 /// allocations (request strings, the memoized netlist clone, one obs
@@ -215,6 +262,7 @@ fn warm_engine_request_allocation_count() {
         k: 6,
         policy,
         kernel: "f32".to_string(),
+        passes: String::new(),
     };
     let repeat = MapPolicy::Shuffled { seed: 11, keep: 6 };
     // Warm up: first submission fills the tier and the run memo, the

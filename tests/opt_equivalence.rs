@@ -1,0 +1,120 @@
+//! Equivalence property suite for the `slap-opt` pass pipeline.
+//!
+//! The pipeline's contract (DESIGN.md §15) is that passes only ever
+//! restructure — never re-function — the subject graph. This suite
+//! pins that on the whole catalog: every pass alone and the full
+//! pipeline preserve 64-bit parallel-sim equivalence across random
+//! input seeds, the pipeline is idempotent (a second run is a
+//! structural no-op) and thread-count-invariant, and mapping the
+//! optimized graph on both targets still implements the *raw* circuit.
+
+use slap_aig::sim::random_equiv_check;
+use slap_aig::Aig;
+use slap_cell::asap7_mini;
+use slap_circuits::{table2_benchmarks, Scale};
+use slap_cuts::CutConfig;
+use slap_map::{LutMapper, MapOptions, MapPolicy, Mapper};
+use slap_opt::{PassPipeline, FULL_SPEC};
+
+/// Random-sim seeds; each drives `rounds` × 64 parallel patterns.
+const SEEDS: [u64; 3] = [1, 0xDEAD_BEEF, 0x5EED_5EED];
+
+fn pipeline(spec: &str) -> PassPipeline {
+    PassPipeline::parse(spec).expect("valid spec in test")
+}
+
+/// Content digest of an AIG's ASCII AIGER serialization — structural
+/// identity, not just functional equivalence.
+fn aiger_hash(aig: &Aig) -> u64 {
+    let mut bytes = Vec::new();
+    slap_aig::aiger::write_ascii(aig, &mut bytes).expect("serialize AIG");
+    slap_obs::content_hash(&bytes)
+}
+
+#[test]
+fn every_pass_alone_and_the_full_pipeline_preserve_equivalence() {
+    let benches = table2_benchmarks();
+    assert_eq!(benches.len(), 14, "the whole catalog is covered");
+    for bench in &benches {
+        let raw = bench.build(Scale::Quick);
+        for spec in ["strash", "fold", "sweep", "balance", FULL_SPEC] {
+            let (out, report) = pipeline(spec).optimize(raw.clone());
+            assert!(
+                report.ands_out <= report.ands_in,
+                "{} / {spec}: a pass grew the graph ({} -> {})",
+                bench.name,
+                report.ands_in,
+                report.ands_out
+            );
+            for &seed in &SEEDS {
+                assert!(
+                    random_equiv_check(&raw, &out, 4, seed),
+                    "{} / {spec}: sim equivalence broke under seed {seed:#x}",
+                    bench.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn full_pipeline_is_idempotent_and_thread_invariant() {
+    for bench in table2_benchmarks() {
+        let raw = bench.build(Scale::Quick);
+        // Thread invariance: the pipeline must produce the same
+        // *structure* (not merely the same function) no matter the
+        // worker-pool size a host process happens to run with.
+        let mut hashes = Vec::new();
+        for threads in [1usize, 2, 8] {
+            slap_par::set_threads(threads);
+            let (out, _) = pipeline(FULL_SPEC).optimize(raw.clone());
+            hashes.push(aiger_hash(&out));
+        }
+        slap_par::set_threads(1);
+        assert!(
+            hashes.windows(2).all(|w| w[0] == w[1]),
+            "{}: pipeline output varies with the thread count",
+            bench.name
+        );
+
+        // Idempotence: the optimized graph is a fixpoint, so a second
+        // run must reproduce it bit-for-bit (AIGER hash, which also
+        // pins PI/PO order).
+        let (once, _) = pipeline(FULL_SPEC).optimize(raw);
+        let once_hash = aiger_hash(&once);
+        let (twice, _) = pipeline(FULL_SPEC).optimize(once);
+        assert_eq!(
+            once_hash,
+            aiger_hash(&twice),
+            "{}: running the pipeline twice was not a no-op",
+            bench.name
+        );
+    }
+}
+
+#[test]
+fn optimized_mappings_verify_against_the_raw_circuit_on_both_targets() {
+    let lib = asap7_mini();
+    let asic = Mapper::new(&lib, MapOptions::default());
+    let lut = LutMapper::lut(6, MapOptions::default());
+    for bench in table2_benchmarks() {
+        let raw = bench.build(Scale::Quick);
+        let (opt, _) = pipeline(FULL_SPEC).optimize(raw.clone());
+        let nl_asic = asic
+            .map_policy(&opt, &CutConfig::default(), MapPolicy::Default)
+            .expect("asic maps");
+        assert!(
+            nl_asic.verify_against(&raw, 4, 7),
+            "{}: ASIC mapping of the optimized graph diverged from the raw circuit",
+            bench.name
+        );
+        let nl_lut = lut
+            .map_policy(&opt, &CutConfig::with_k(6), MapPolicy::Default)
+            .expect("lut maps");
+        assert!(
+            nl_lut.verify_against(&raw, 4, 7),
+            "{}: lut:6 mapping of the optimized graph diverged from the raw circuit",
+            bench.name
+        );
+    }
+}

@@ -117,6 +117,7 @@ fn submit(engine: &mut Engine<'_>, job: &Job) {
             k: job.k,
             policy: job.policy,
             kernel: "f32".to_string(),
+            passes: String::new(),
         })
         .expect("admitted");
 }
